@@ -1,0 +1,31 @@
+//! # smishing-avscan
+//!
+//! Antivirus-detection substrate (§3.3.4, §4.7, Tables 9 and 18).
+//!
+//! The paper's finding is that blocklists *disagree*: half the smishing
+//! URLs are flagged by at least one VirusTotal vendor, almost none by more
+//! than fifteen, and Google Safe Browsing's own API, its Transparency
+//! Report website and its listing on VirusTotal give three different
+//! answers for the same URLs. This crate models that disagreement
+//! mechanistically:
+//!
+//! - every URL has a latent *detectability* (how visible the campaign was
+//!   to the AV ecosystem), a stable hash of the URL,
+//! - each of the 70 modelled vendors ([`vendor`]) has its own coverage and
+//!   flags a URL with probability coverage × detectability,
+//! - [`virustotal`] aggregates the per-vendor verdicts into
+//!   malicious/suspicious counts (Table 9),
+//! - [`gsb`] derives the three inconsistent GSB views (Table 18), including
+//!   the ~50% of URLs the Transparency website blocked from scripted
+//!   querying.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gsb;
+pub mod vendor;
+pub mod virustotal;
+
+pub use gsb::{GsbService, TransparencyVerdict};
+pub use vendor::{detectability, AvVendor, VENDORS};
+pub use virustotal::{VtResult, VtScanner};

@@ -1,0 +1,123 @@
+//! VirusTotal URL-scan aggregation (§3.3.4, Table 9).
+
+use crate::vendor::{detectability, unit, VENDORS};
+
+/// Aggregated verdict for one URL.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct VtResult {
+    /// Vendors flagging the URL malicious.
+    pub malicious: u32,
+    /// Vendors flagging the URL suspicious.
+    pub suspicious: u32,
+}
+
+impl VtResult {
+    /// Table 9's clean row: no vendor flags at all.
+    pub fn is_clean(&self) -> bool {
+        self.malicious == 0 && self.suspicious == 0
+    }
+}
+
+/// The VirusTotal simulator.
+#[derive(Debug, Clone, Copy)]
+pub struct VtScanner {
+    seed: u64,
+}
+
+impl VtScanner {
+    /// Build with a seed (decorrelates worlds).
+    pub fn new(seed: u64) -> VtScanner {
+        VtScanner { seed }
+    }
+
+    /// Scan a URL: each vendor independently (but deterministically) flags
+    /// it with probability `coverage × detectability`.
+    pub fn scan(&self, url: &str) -> VtResult {
+        let d = detectability(url, self.seed);
+        if d == 0.0 {
+            return VtResult::default();
+        }
+        let mut res = VtResult::default();
+        for (i, vendor) in VENDORS.iter().enumerate() {
+            let salt = self.seed.wrapping_mul(31).wrapping_add(i as u64);
+            let roll = unit(url, salt);
+            if roll < vendor.coverage * d {
+                res.malicious += 1;
+            } else if roll < (vendor.coverage + 0.6 * vendor.suspicious_rate) * d {
+                // Suspicious flags are rarer than the raw vendor rates: most
+                // engines only mark "suspicious" for borderline heuristics.
+                res.suspicious += 1;
+            }
+        }
+        res
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn urls(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("https://campaign{i}.bad-domain{}.com/pay", i % 977)).collect()
+    }
+
+    #[test]
+    fn scans_are_deterministic() {
+        let vt = VtScanner::new(3);
+        let a = vt.scan("https://evil.example/x");
+        let b = vt.scan("https://evil.example/x");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn threshold_distribution_has_table9_shape() {
+        let vt = VtScanner::new(3);
+        let results: Vec<VtResult> = urls(20_000).iter().map(|u| vt.scan(u)).collect();
+        let n = results.len() as f64;
+        let frac = |pred: &dyn Fn(&VtResult) -> bool| {
+            results.iter().filter(|r| pred(r)).count() as f64 / n
+        };
+        let clean = frac(&|r| r.is_clean());
+        let m1 = frac(&|r| r.malicious >= 1);
+        let m3 = frac(&|r| r.malicious >= 3);
+        let m5 = frac(&|r| r.malicious >= 5);
+        let m10 = frac(&|r| r.malicious >= 10);
+        let m15 = frac(&|r| r.malicious >= 15);
+        let s1 = frac(&|r| r.suspicious >= 1);
+        let s3 = frac(&|r| r.suspicious >= 3);
+        // Paper (Table 9): clean 44.9%, ≥1 49.6%, ≥3 25.9%, ≥5 16.3%,
+        // ≥10 3.7%, ≥15 0.3%, susp ≥1 18.0%, susp ≥3 0.2%.
+        assert!((0.35..0.55).contains(&clean), "clean {clean}");
+        assert!((0.40..0.60).contains(&m1), "m1 {m1}");
+        assert!((0.15..0.35).contains(&m3), "m3 {m3}");
+        assert!((0.08..0.24).contains(&m5), "m5 {m5}");
+        assert!((0.01..0.09).contains(&m10), "m10 {m10}");
+        assert!(m15 < 0.02, "m15 {m15}");
+        assert!((0.08..0.28).contains(&s1), "s1 {s1}");
+        assert!(s3 < 0.02, "s3 {s3}");
+        // Ordering sanity: strictly decreasing tail.
+        assert!(m1 > m3 && m3 > m5 && m5 > m10 && m10 > m15);
+    }
+
+    #[test]
+    fn invisible_urls_are_clean() {
+        let vt = VtScanner::new(3);
+        let mut found_clean = false;
+        for i in 0..100 {
+            let r = vt.scan(&format!("https://fresh{i}.new/"));
+            if r.is_clean() {
+                found_clean = true;
+            }
+        }
+        assert!(found_clean);
+    }
+
+    #[test]
+    fn counts_bounded_by_vendor_count() {
+        let vt = VtScanner::new(3);
+        for u in urls(500) {
+            let r = vt.scan(&u);
+            assert!((r.malicious + r.suspicious) as usize <= VENDORS.len());
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! Property-based tests for the AV-scan simulators: determinism, bounds
+//! and the cross-view consistency rules §4.6/§4.7 rely on.
+
+use proptest::prelude::*;
+use smishing_avscan::{detectability, GsbService, VtScanner, VENDORS};
+
+fn url_strategy() -> impl Strategy<Value = String> {
+    ("[a-z]{1,12}", "[a-z]{2,6}", "[a-z0-9/._-]{0,24}")
+        .prop_map(|(host, tld, path)| format!("https://{host}.{tld}/{path}"))
+}
+
+proptest! {
+    #[test]
+    fn detectability_is_a_probability(url in url_strategy(), seed in 0u64..500) {
+        let d = detectability(&url, seed);
+        prop_assert!((0.0..=1.0).contains(&d), "{d}");
+        // And a pure function of (url, seed).
+        prop_assert_eq!(d, detectability(&url, seed));
+    }
+
+    #[test]
+    fn vt_scan_is_deterministic_and_bounded(url in url_strategy(), seed in 0u64..500) {
+        let vt = VtScanner::new(seed);
+        let a = vt.scan(&url);
+        let b = vt.scan(&url);
+        prop_assert_eq!(a, b);
+        prop_assert!(a.malicious as usize <= VENDORS.len());
+        prop_assert!(a.suspicious as usize <= VENDORS.len());
+        prop_assert!((a.malicious + a.suspicious) as usize <= VENDORS.len());
+        prop_assert_eq!(a.is_clean(), a.malicious == 0 && a.suspicious == 0);
+    }
+
+    #[test]
+    fn undetectable_urls_are_clean_everywhere(url in url_strategy(), seed in 0u64..500) {
+        // The 42% zero-detectability mass must read clean on VT.
+        if detectability(&url, seed) == 0.0 {
+            prop_assert!(VtScanner::new(seed).scan(&url).is_clean());
+        }
+    }
+
+    #[test]
+    fn gsb_views_are_deterministic(url in url_strategy(), seed in 0u64..500) {
+        let gsb = GsbService::new(seed);
+        prop_assert_eq!(gsb.api_unsafe(&url), gsb.api_unsafe(&url));
+        prop_assert_eq!(gsb.vt_listed_unsafe(&url), gsb.vt_listed_unsafe(&url));
+        prop_assert_eq!(gsb.transparency(&url), gsb.transparency(&url));
+    }
+
+    #[test]
+    fn seeds_decorrelate_but_do_not_crash(url in url_strategy()) {
+        // Any seed must produce a valid verdict; different seeds may
+        // disagree (worlds are decorrelated), but each is internally sane.
+        for seed in [0u64, 1, 0xF15F, u64::MAX] {
+            let vt = VtScanner::new(seed).scan(&url);
+            prop_assert!((vt.malicious + vt.suspicious) as usize <= VENDORS.len());
+            let _ = GsbService::new(seed).transparency(&url);
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Component micro-benchmarks: the hot primitives every pipeline stage
+//! leans on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use smishing_avscan::VtScanner;
+use smishing_stats::{cohen_kappa, ks_two_sample};
+use smishing_telecom::{classify_sender, parse_phone, HlrLookup, NumberFactory, SimulatedHlr};
+use smishing_textnlp::annotator::{Annotator, PipelineAnnotator};
+use smishing_textnlp::{extract_brand, identify_language, normalize_text};
+use smishing_types::{parse_timestamp, SenderId};
+use smishing_webinfra::{parse_url, registrable_domain};
+use std::hint::black_box;
+
+const SAMPLE_TEXT: &str = "Dear customer, your SBI net banking will be blocked today. \
+    Please update your KYC at https://sbi-kyc-verify3.com/login?id=4af1 urgently.";
+const SAMPLE_ES: &str = "Correos: su paquete CP472893450GB está retenido. Pague la tasa \
+    de €2.99 aquí: https://cutt.ly/xA91bQ2";
+
+fn bench_components(c: &mut Criterion) {
+    let mut g = c.benchmark_group("components");
+
+    g.bench_function("url_parse", |b| {
+        b.iter(|| black_box(parse_url("hxxps://sa-krs[.]web[.]app/verify?d=s1")))
+    });
+    g.bench_function("registrable_domain", |b| {
+        b.iter(|| black_box(registrable_domain("secure.login.hsbc.co.uk")))
+    });
+    g.bench_function("timestamp_parse", |b| {
+        b.iter(|| black_box(parse_timestamp("Aug 3, 2021 at 11:34 AM")))
+    });
+    g.bench_function("sender_classify_and_parse", |b| {
+        b.iter(|| {
+            black_box(classify_sender("+44 7911 123456"));
+            black_box(parse_phone("+44 7911 123456"))
+        })
+    });
+    g.bench_function("langid_en", |b| b.iter(|| black_box(identify_language(SAMPLE_TEXT))));
+    g.bench_function("langid_es", |b| b.iter(|| black_box(identify_language(SAMPLE_ES))));
+    g.bench_function("normalize_text", |b| {
+        b.iter(|| black_box(normalize_text("Your N3tfl!x account w1ll be l0cked t0day!")))
+    });
+    g.bench_function("brand_ner", |b| b.iter(|| black_box(extract_brand(SAMPLE_TEXT))));
+    g.bench_function("full_annotation", |b| {
+        let annotator = PipelineAnnotator::new();
+        b.iter(|| black_box(annotator.annotate(SAMPLE_ES)))
+    });
+
+    let hlr = SimulatedHlr::new(1);
+    let factory = NumberFactory::new();
+    let mut rng = StdRng::seed_from_u64(1);
+    let numbers: Vec<SenderId> = (0..256)
+        .filter_map(|_| factory.mobile_any(smishing_types::Country::India, &mut rng))
+        .map(SenderId::Phone)
+        .collect();
+    g.bench_function("hlr_lookup_256", |b| {
+        b.iter(|| {
+            for n in &numbers {
+                black_box(hlr.lookup(n));
+            }
+        })
+    });
+
+    let vt = VtScanner::new(1);
+    g.bench_function("virustotal_scan", |b| {
+        b.iter(|| black_box(vt.scan("https://evil-campaign.example-login.com/pay")))
+    });
+
+    let labels_a: Vec<u8> = (0..150).map(|i| (i % 7) as u8).collect();
+    let mut labels_b = labels_a.clone();
+    labels_b[3] = 6;
+    g.bench_function("cohen_kappa_150", |b| {
+        b.iter(|| black_box(cohen_kappa(&labels_a, &labels_b)))
+    });
+
+    let s1: Vec<f64> = (0..1000).map(|i| (i as f64 * 7919.0) % 86_400.0).collect();
+    let s2: Vec<f64> = (0..1000).map(|i| (i as f64 * 104_729.0) % 86_400.0).collect();
+    g.bench_function("ks_two_sample_1k", |b| {
+        b.iter(|| black_box(ks_two_sample(&s1, &s2)))
+    });
+
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_components
+}
+criterion_main!(benches);

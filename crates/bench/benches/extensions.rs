@@ -1,0 +1,80 @@
+//! Benchmarks for the extension subsystems: detection models, campaign
+//! linking, the mitigation what-if study and domain freshness.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use smishing_bench::{bench_output, bench_world};
+use smishing_core::analysis::freshness::domain_freshness;
+use smishing_core::analysis::linking::{link_campaigns, LinkingPivots};
+use smishing_core::analysis::mitigation::mitigation_study;
+use smishing_detect::{binary_study, featurize, multiclass_study_grouped, NaiveBayes};
+use std::hint::black_box;
+
+fn bench_extensions(c: &mut Criterion) {
+    let world = bench_world();
+    let out = bench_output();
+    let mut g = c.benchmark_group("extensions");
+    g.sample_size(10);
+
+    // Detection.
+    let texts: Vec<String> = world.messages.iter().map(|m| m.text.clone()).collect();
+    g.bench_function("detect_binary_study", |b| {
+        b.iter(|| black_box(binary_study(&texts, 1).map(|s| s.report.accuracy)))
+    });
+    let labeled: Vec<(String, smishing_types::ScamType, u32)> = world
+        .messages
+        .iter()
+        .map(|m| (m.text.clone(), m.truth.scam_type, m.campaign.0))
+        .collect();
+    g.bench_function("detect_multiclass_grouped", |b| {
+        b.iter(|| black_box(multiclass_study_grouped(&labeled, 1).map(|s| s.report.accuracy)))
+    });
+    g.bench_function("detect_featurize", |b| {
+        b.iter(|| {
+            black_box(featurize(
+                "URGENT: your N3tfl!x account is locked, pay £4.99 at https://bit.ly/x9 now",
+            ))
+        })
+    });
+    // Inference throughput: train once, predict many.
+    let samples: Vec<(Vec<String>, smishing_types::ScamType)> = world
+        .messages
+        .iter()
+        .map(|m| (featurize(&m.text), m.truth.scam_type))
+        .collect();
+    let model = NaiveBayes::train(&samples, 1.0).expect("trainable");
+    let probe = featurize("Your parcel is held at the depot, pay the fee at https://cutt.ly/ab now");
+    g.bench_function("detect_nb_predict", |b| b.iter(|| black_box(model.predict(&probe))));
+
+    // Linking.
+    g.bench_function("linking_all_pivots", |b| {
+        b.iter(|| black_box(link_campaigns(out, LinkingPivots::ALL).pair_f1()))
+    });
+    g.bench_function("linking_domain_only", |b| {
+        b.iter(|| {
+            black_box(
+                link_campaigns(
+                    out,
+                    LinkingPivots { domain: true, sender: false, skeleton: false },
+                )
+                .pair_f1(),
+            )
+        })
+    });
+
+    // Mitigation.
+    g.bench_function("mitigation_study", |b| {
+        b.iter(|| black_box(mitigation_study(out).levers.len()))
+    });
+    g.bench_function("domain_freshness", |b| {
+        b.iter(|| black_box(domain_freshness(out).nrd_coverage(30)))
+    });
+
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_extensions
+}
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```sh
+//! cargo run --release -p smishing-bench --bin repro -- [scale] [seed]
+//! ```
+//!
+//! Prints each experiment's regenerated table, the paper's expectation, and
+//! the shape-check verdicts. The output of this binary (at scale 0.25) is
+//! the basis of EXPERIMENTS.md.
+
+use smishing_core::experiment::run_all;
+use smishing_core::pipeline::Pipeline;
+use smishing_worldsim::{World, WorldConfig};
+use std::time::Instant;
+
+fn main() {
+    let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.25);
+    let seed: u64 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(0xF15F);
+
+    eprintln!("# Reproduction run: scale {scale}, seed {seed:#x}");
+    let t0 = Instant::now();
+    let world = World::generate(WorldConfig { scale, seed, ..WorldConfig::default() });
+    eprintln!(
+        "world: {} campaigns / {} messages / {} posts in {:.1?}",
+        world.campaigns.len(),
+        world.messages.len(),
+        world.posts.len(),
+        t0.elapsed()
+    );
+
+    let t1 = Instant::now();
+    let output = Pipeline::default().run(&world);
+    eprintln!(
+        "pipeline: {} curated / {} unique records in {:.1?}",
+        output.curated_total.len(),
+        output.records.len(),
+        t1.elapsed()
+    );
+
+    let t2 = Instant::now();
+    let results = run_all(&output);
+    eprintln!("analyses: {} experiments in {:.1?}\n", results.len(), t2.elapsed());
+
+    let mut passed = 0;
+    let mut failed = 0;
+    for r in &results {
+        println!("\n================================================================");
+        println!("Experiment {}", r.id);
+        println!("Paper: {}", r.paper);
+        println!("----------------------------------------------------------------");
+        println!("{}", r.table);
+        for (desc, ok) in &r.checks {
+            println!("  [{}] {desc}", if *ok { "PASS" } else { "FAIL" });
+            if *ok {
+                passed += 1;
+            } else {
+                failed += 1;
+            }
+        }
+    }
+    println!("\n================================================================");
+    println!("Shape checks: {passed} passed, {failed} failed (total wall time {:.1?})", t0.elapsed());
+    if failed > 0 {
+        std::process::exit(1);
+    }
+}

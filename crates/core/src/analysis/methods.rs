@@ -1,0 +1,97 @@
+//! Table 2: which data sources feed which analysis method.
+//!
+//! A static mapping in the paper; here it is derived from what each
+//! analysis actually consumes, so it cannot drift from the code.
+
+use crate::table::TextTable;
+use smishing_types::Forum;
+
+/// An analysis method of Fig. 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// §3.3.1 HLR-based mobile network analysis.
+    MobileNetwork,
+    /// §3.3.2 timestamp metadata analysis.
+    Metadata,
+    /// §3.3.3 URL/domain trend analysis.
+    Trend,
+    /// §3.3.5 active case-study analysis.
+    Active,
+    /// §3.3.4 antivirus detection.
+    Antivirus,
+    /// §3.3.6 textual analysis.
+    Textual,
+}
+
+impl Method {
+    /// All methods, Table 2 order.
+    pub const ALL: &'static [Method] = &[
+        Method::MobileNetwork,
+        Method::Metadata,
+        Method::Trend,
+        Method::Active,
+        Method::Antivirus,
+        Method::Textual,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Method::MobileNetwork => "Mobile network analysis",
+            Method::Metadata => "Metadata analysis",
+            Method::Trend => "Trend analysis",
+            Method::Active => "Active analysis (case study)",
+            Method::Antivirus => "Antivirus detection",
+            Method::Textual => "Textual analysis",
+        }
+    }
+
+    /// The forums feeding this method (Table 2).
+    ///
+    /// Metadata analysis needs time-of-day, which Smishing.eu and Pastebin
+    /// reports lack (date-only, §3.3.2); the active case study used the
+    /// real-time Twitter stream only.
+    pub fn sources(self) -> Vec<Forum> {
+        match self {
+            Method::Metadata => vec![Forum::Twitter, Forum::Reddit, Forum::Smishtank],
+            Method::Active => vec![Forum::Twitter],
+            _ => Forum::ALL.to_vec(),
+        }
+    }
+}
+
+/// Render Table 2.
+pub fn methods_table() -> TextTable {
+    let mut t = TextTable::new(
+        "Table 2: data sources used in analysis methods",
+        &["Analysis method", "Data sources"],
+    );
+    for m in Method::ALL {
+        let sources: Vec<&str> = m.sources().iter().map(|f| f.name()).collect();
+        t.row(&[m.name().to_string(), sources.join(", ")]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_paper_table2() {
+        assert_eq!(Method::MobileNetwork.sources().len(), 5);
+        assert_eq!(Method::Trend.sources().len(), 5);
+        assert_eq!(Method::Antivirus.sources().len(), 5);
+        assert_eq!(Method::Textual.sources().len(), 5);
+        assert_eq!(
+            Method::Metadata.sources(),
+            vec![Forum::Twitter, Forum::Reddit, Forum::Smishtank]
+        );
+        assert_eq!(Method::Active.sources(), vec![Forum::Twitter]);
+    }
+
+    #[test]
+    fn renders_six_rows() {
+        assert_eq!(methods_table().len(), 6);
+    }
+}

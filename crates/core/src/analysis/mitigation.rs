@@ -1,0 +1,243 @@
+//! Mitigation what-if analysis (§7.2).
+//!
+//! The paper recommends interventions to registrars, URL shorteners,
+//! certificate authorities, mobile operators and platforms. This module
+//! quantifies each lever on the collected dataset: *if this stakeholder
+//! had acted, what fraction of reported smishing messages would have been
+//! cut off?* Coverage is measured over unique messages whose infrastructure
+//! the lever touches.
+
+use crate::pipeline::PipelineOutput;
+use crate::table::TextTable;
+
+/// One mitigation lever and its measured coverage.
+#[derive(Debug, Clone)]
+pub struct Lever {
+    /// Short name.
+    pub name: &'static str,
+    /// The §7.2 recommendation it operationalizes.
+    pub recommendation: &'static str,
+    /// Messages the lever could have blocked.
+    pub covered: usize,
+    /// Messages considered (denominator).
+    pub total: usize,
+}
+
+impl Lever {
+    /// Coverage in `[0, 1]`.
+    pub fn coverage(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.covered as f64 / self.total as f64
+        }
+    }
+}
+
+/// The full what-if study.
+#[derive(Debug, Clone)]
+pub struct MitigationStudy {
+    /// All levers, strongest first.
+    pub levers: Vec<Lever>,
+}
+
+/// Run the study over the pipeline output.
+pub fn mitigation_study(out: &PipelineOutput<'_>) -> MitigationStudy {
+    let total = out.records.len();
+    let mut shortener_checks = 0usize;
+    let mut registrar_screening = 0usize;
+    let mut ca_screening = 0usize;
+    let mut operator_url_filter = 0usize;
+    let mut operator_sender_validation = 0usize;
+    let mut apk_blocking = 0usize;
+
+    for r in &out.records {
+        // Operator-side sender validation (§7.2 "sender ID registries",
+        // KYC): numbers that cannot legitimately originate SMS.
+        if let Some(hlr) = &r.hlr {
+            if !hlr.number_type.is_valid_sender() {
+                operator_sender_validation += 1;
+            }
+        }
+        let Some(u) = &r.url else { continue };
+        // Operator XDR URL filtering: any message with a URL flagged by at
+        // least one VirusTotal vendor at collection time.
+        if u.vt.malicious >= 1 {
+            operator_url_filter += 1;
+        }
+        // Shortener-side threat intel (§7.2: bit.ly / is.gd should check
+        // destinations): every shortened smishing link.
+        if u.shortener.is_some() {
+            shortener_checks += 1;
+        }
+        // Registrar screening of brand-impersonating registrations: domains
+        // that carry an identified brand in their name.
+        if let (Some(domain), Some(brand)) = (&u.domain, &r.annotation.brand) {
+            if !u.free_hosted && domain_mentions_brand(domain, brand) {
+                registrar_screening += 1;
+            }
+        }
+        // CA screening before issuance (the Let's Encrypt debate): messages
+        // whose domain got certificates after the URL was detectable.
+        if !u.certs.is_empty() && u.vt.malicious >= 1 {
+            ca_screening += 1;
+        }
+        // Platform APK blocking: direct dropper links.
+        if u.parsed.points_to_apk() {
+            apk_blocking += 1;
+        }
+    }
+
+    let mut levers = vec![
+        Lever {
+            name: "Operator XDR URL filtering",
+            recommendation: "MNOs should deploy XDR filtering checking texts' URLs against threat intel",
+            covered: operator_url_filter,
+            total,
+        },
+        Lever {
+            name: "Shortener-side destination checks",
+            recommendation: "bit.ly/is.gd should vet destinations before serving redirects",
+            covered: shortener_checks,
+            total,
+        },
+        Lever {
+            name: "Registrar brand-impersonation screening",
+            recommendation: "GoDaddy/NameCheap should restrict domains impersonating popular brands",
+            covered: registrar_screening,
+            total,
+        },
+        Lever {
+            name: "CA pre-issuance screening",
+            recommendation: "CAs should consult malicious-domain feeds before issuing TLS",
+            covered: ca_screening,
+            total,
+        },
+        Lever {
+            name: "Sender-ID validation / KYC",
+            recommendation: "registries + KYC stop spoofed landline/bad-format senders",
+            covered: operator_sender_validation,
+            total,
+        },
+        Lever {
+            name: "Platform APK download blocking",
+            recommendation: "handset platforms should block drive-by APK links in SMS",
+            covered: apk_blocking,
+            total,
+        },
+    ];
+    levers.sort_by(|a, b| b.covered.cmp(&a.covered).then(a.name.cmp(b.name)));
+    MitigationStudy { levers }
+}
+
+fn domain_mentions_brand(domain: &str, brand: &str) -> bool {
+    let d = domain.to_ascii_lowercase().replace(['-', '.'], "");
+    // Any catalog alias ("sbi", "state bank") or name token of length >= 3
+    // appearing in the domain counts.
+    let name_tokens = brand
+        .to_ascii_lowercase()
+        .split_whitespace()
+        .filter(|t| t.len() >= 3)
+        .map(str::to_string)
+        .collect::<Vec<_>>();
+    if name_tokens.iter().any(|t| d.contains(t.as_str())) {
+        return true;
+    }
+    if let Some(b) = smishing_textnlp::brands::BrandCatalog::global().by_name(brand) {
+        return b
+            .aliases
+            .iter()
+            .map(|a| a.to_ascii_lowercase().replace([' ', '-', '.'], ""))
+            .filter(|a| a.len() >= 3)
+            .any(|a| d.contains(a.as_str()));
+    }
+    false
+}
+
+impl MitigationStudy {
+    /// Render the study.
+    pub fn to_table(&self) -> TextTable {
+        let mut t = TextTable::new(
+            "§7.2 what-if: coverage of each mitigation lever",
+            &["Lever", "Messages covered", "Coverage"],
+        );
+        for l in &self.levers {
+            t.row(&[
+                l.name.to_string(),
+                format!("{} / {}", l.covered, l.total),
+                format!("{:.1}%", l.coverage() * 100.0),
+            ]);
+        }
+        t
+    }
+
+    /// Union coverage of the top `k` levers is NOT computed here — levers
+    /// overlap; this returns the single strongest lever.
+    pub fn strongest(&self) -> Option<&Lever> {
+        self.levers.first()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::testfix;
+
+    #[test]
+    fn all_levers_have_signal() {
+        let study = mitigation_study(testfix::output());
+        assert_eq!(study.levers.len(), 6);
+        for l in &study.levers {
+            assert!(l.covered > 0, "{} has zero coverage", l.name);
+            assert!(l.coverage() <= 1.0);
+        }
+    }
+
+    #[test]
+    fn url_filtering_and_registrar_screening_lead() {
+        // Table 9: ~half of URLs are flagged by at least one vendor, and
+        // most registered domains embed the impersonated brand — these two
+        // levers are the strongest and run neck-and-neck.
+        let study = mitigation_study(testfix::output());
+        let top = study.strongest().unwrap();
+        assert!(
+            top.name == "Operator XDR URL filtering"
+                || top.name == "Registrar brand-impersonation screening",
+            "{}",
+            top.name
+        );
+        let url_lever = study
+            .levers
+            .iter()
+            .find(|l| l.name == "Operator XDR URL filtering")
+            .unwrap();
+        assert!(url_lever.coverage() > 0.3, "{}", url_lever.coverage());
+    }
+
+    #[test]
+    fn registrar_screening_catches_brand_squats() {
+        let study = mitigation_study(testfix::output());
+        let reg = study
+            .levers
+            .iter()
+            .find(|l| l.name.contains("Registrar"))
+            .unwrap();
+        // Most registered smishing domains embed the impersonated brand
+        // (the generator's squatting model, matching §4.3).
+        assert!(reg.coverage() > 0.15, "{}", reg.coverage());
+    }
+
+    #[test]
+    fn brand_mention_matching() {
+        assert!(domain_mentions_brand("sbi-kyc-update.com", "State Bank of India"));
+        assert!(!domain_mentions_brand("netfl1x-billing.info", "Netflix")); // leet in domain
+        assert!(domain_mentions_brand("netflix-billing.info", "Netflix"));
+        assert!(!domain_mentions_brand("random-prize.xyz", "Netflix"));
+    }
+
+    #[test]
+    fn table_renders() {
+        let study = mitigation_study(testfix::output());
+        assert_eq!(study.to_table().len(), 6);
+    }
+}

@@ -1,0 +1,265 @@
+//! Enrichment: curated messages → fully annotated records (§3.3, Fig. 1).
+//!
+//! Per unique message:
+//!
+//! - sender classification (phone / email / alphanumeric) and, for phones,
+//!   an HLR lookup (§3.3.1),
+//! - URL parsing, shortener detection, TLD/registrable-domain extraction,
+//!   WHOIS, CT-log, passive-DNS + ASN mapping (§3.3.3),
+//! - VirusTotal and GSB verdicts (§3.3.4),
+//! - text annotation: scam type, brand, lures, language (§3.3.6).
+
+use crate::curation::CuratedMessage;
+use smishing_avscan::{TransparencyVerdict, VtResult};
+use smishing_telecom::{classify_sender, parse_phone, HlrLookup, HlrRecord, RawSenderKind};
+use smishing_textnlp::annotator::{Annotation, Annotator, PipelineAnnotator};
+use smishing_types::SenderId;
+use smishing_webinfra::{
+    free_hosting_site, parse_url, registrable_domain, CertRecord, IpInfo, ParsedUrl,
+    Resolution, ShortenerCatalog,
+};
+use smishing_worldsim::World;
+use std::net::Ipv4Addr;
+
+/// Everything the trend/AV analyses need about one URL.
+#[derive(Debug, Clone)]
+pub struct UrlIntel {
+    /// The parsed URL as collected (short link when shortened).
+    pub parsed: ParsedUrl,
+    /// Shortening service, if the host is one (§4.2).
+    pub shortener: Option<&'static str>,
+    /// Whether this is a WhatsApp click-to-chat link.
+    pub whatsapp: bool,
+    /// Registrable domain / free-hosting site of a *direct* URL
+    /// (None for shortened links — the destination is hidden, §3.3.5).
+    pub domain: Option<String>,
+    /// Whether the site sits on a free website builder (§4.3).
+    pub free_hosted: bool,
+    /// WHOIS registrar of `domain`.
+    pub registrar: Option<&'static str>,
+    /// CT-log certificates issued for `domain`.
+    pub certs: Vec<CertRecord>,
+    /// Passive-DNS resolutions with AS attribution.
+    pub resolutions: Vec<(Resolution, Option<IpInfo>)>,
+    /// VirusTotal verdict for the collected URL.
+    pub vt: VtResult,
+    /// GSB public-API verdict.
+    pub gsb_api_unsafe: bool,
+    /// GSB transparency-report verdict.
+    pub gsb_transparency: TransparencyVerdict,
+    /// GSB's listing on VirusTotal.
+    pub gsb_vt_listed: bool,
+}
+
+/// A fully enriched record.
+#[derive(Debug, Clone)]
+pub struct EnrichedRecord {
+    /// The curated message.
+    pub curated: CuratedMessage,
+    /// Parsed sender, when present and parseable as *something*.
+    pub sender: Option<SenderId>,
+    /// HLR record for phone senders.
+    pub hlr: Option<HlrRecord>,
+    /// URL intelligence, when the message carried a URL.
+    pub url: Option<UrlIntel>,
+    /// Text annotation (scam type, brand, lures, language).
+    pub annotation: Annotation,
+}
+
+/// Parse a raw sender string into a [`SenderId`].
+pub fn parse_sender(raw: &str) -> Option<SenderId> {
+    match classify_sender(raw) {
+        RawSenderKind::Empty => None,
+        RawSenderKind::EmailLike => Some(SenderId::Email(raw.trim().to_string())),
+        RawSenderKind::AlphanumericLike => Some(SenderId::Alphanumeric(raw.trim().to_string())),
+        RawSenderKind::PhoneLike => Some(parse_phone(raw)),
+    }
+}
+
+fn enrich_url(raw: &str, world: &World) -> Option<UrlIntel> {
+    let parsed = parse_url(raw)?;
+    let catalog = ShortenerCatalog::new();
+    let shortener = catalog.service_of(&parsed);
+    let whatsapp = catalog.is_whatsapp_link(&parsed);
+    let (domain, free_hosted) = if shortener.is_some() || whatsapp {
+        (None, false)
+    } else if let Some(site) = free_hosting_site(&parsed.host) {
+        (Some(site), true)
+    } else {
+        (registrable_domain(&parsed.host), false)
+    };
+
+    let services = &world.services;
+    let registrar = domain
+        .as_deref()
+        .filter(|_| !free_hosted)
+        .and_then(|d| services.whois.query(d))
+        .map(|r| r.registrar);
+    let certs = domain.as_deref().map(|d| services.ctlog.query(d)).unwrap_or_default();
+    let resolutions: Vec<(Resolution, Option<IpInfo>)> = domain
+        .as_deref()
+        .map(|d| services.pdns.query(d, world.now))
+        .unwrap_or_default()
+        .into_iter()
+        .map(|r| {
+            let info = services.asn.lookup(r.ip);
+            (r, info)
+        })
+        .collect();
+
+    let url_string = parsed.to_url_string();
+    Some(UrlIntel {
+        vt: services.virustotal.scan(&url_string),
+        gsb_api_unsafe: services.gsb.api_unsafe(&url_string),
+        gsb_transparency: services.gsb.transparency(&url_string),
+        gsb_vt_listed: services.gsb.vt_listed_unsafe(&url_string),
+        parsed,
+        shortener,
+        whatsapp,
+        domain,
+        free_hosted,
+        registrar,
+        certs,
+        resolutions,
+    })
+}
+
+/// Enrich one curated message.
+pub fn enrich(curated: CuratedMessage, world: &World) -> EnrichedRecord {
+    let sender = curated.sender_raw.as_deref().and_then(parse_sender);
+    let hlr = sender.as_ref().and_then(|s| world.services.hlr.lookup(s));
+    let url = curated.url_raw.as_deref().and_then(|u| enrich_url(u, world));
+    let annotation = PipelineAnnotator::new().annotate(&curated.text);
+    EnrichedRecord { curated, sender, hlr, url, annotation }
+}
+
+/// Enrich a batch (serial; enrichment is cheap next to curation).
+pub fn enrich_all(curated: Vec<CuratedMessage>, world: &World) -> Vec<EnrichedRecord> {
+    curated.into_iter().map(|c| enrich(c, world)).collect()
+}
+
+/// Distinct resolved IPs of a record set (§4.6).
+pub fn distinct_ips(records: &[EnrichedRecord]) -> Vec<Ipv4Addr> {
+    let mut ips: Vec<Ipv4Addr> = records
+        .iter()
+        .filter_map(|r| r.url.as_ref())
+        .flat_map(|u| u.resolutions.iter().map(|(r, _)| r.ip))
+        .collect();
+    ips.sort_unstable();
+    ips.dedup();
+    ips
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::curation::{curate_posts, dedup, CurationOptions, DedupMode};
+    use smishing_types::{ScamType, SenderKind};
+    use smishing_worldsim::{Post, WorldConfig};
+
+    fn records() -> (World, Vec<EnrichedRecord>) {
+        let world = World::generate(WorldConfig { scale: 0.06, seed: 71, ..WorldConfig::default() });
+        let refs: Vec<&Post> = world.posts.iter().collect();
+        let curated = curate_posts(&refs, &CurationOptions::default());
+        let unique = dedup(&curated, DedupMode::Normalized);
+        let recs = enrich_all(unique, &world);
+        (world, recs)
+    }
+
+    #[test]
+    fn sender_kinds_cover_all_three() {
+        let (_, recs) = records();
+        let mut kinds = std::collections::HashSet::new();
+        for r in &recs {
+            if let Some(s) = &r.sender {
+                kinds.insert(s.kind());
+            }
+        }
+        assert!(kinds.contains(&SenderKind::Phone));
+        assert!(kinds.contains(&SenderKind::Alphanumeric));
+        assert!(kinds.contains(&SenderKind::Email), "{kinds:?}");
+    }
+
+    #[test]
+    fn phone_senders_get_hlr_records() {
+        let (_, recs) = records();
+        let mut phones = 0;
+        for r in &recs {
+            if matches!(r.sender, Some(SenderId::Phone(_))) {
+                assert!(r.hlr.is_some());
+                phones += 1;
+            }
+        }
+        assert!(phones > 20, "{phones}");
+    }
+
+    #[test]
+    fn shortened_urls_hide_their_domains() {
+        let (_, recs) = records();
+        let mut shortened = 0;
+        for r in &recs {
+            if let Some(u) = &r.url {
+                if u.shortener.is_some() {
+                    shortened += 1;
+                    assert!(u.domain.is_none(), "{:?}", u.parsed);
+                    assert!(u.certs.is_empty());
+                }
+            }
+        }
+        assert!(shortened > 10, "{shortened}");
+    }
+
+    #[test]
+    fn direct_urls_resolve_infrastructure() {
+        let (_, recs) = records();
+        let mut with_registrar = 0;
+        let mut with_certs = 0;
+        for r in &recs {
+            if let Some(u) = &r.url {
+                if u.domain.is_some() && !u.free_hosted {
+                    if u.registrar.is_some() {
+                        with_registrar += 1;
+                    }
+                    if !u.certs.is_empty() {
+                        with_certs += 1;
+                    }
+                }
+            }
+        }
+        assert!(with_registrar > 20, "{with_registrar}");
+        assert!(with_certs > 20, "{with_certs}");
+    }
+
+    #[test]
+    fn annotations_recover_scam_types() {
+        let (world, recs) = records();
+        let mut hits = 0;
+        let mut total = 0;
+        for r in &recs {
+            let Some(mid) = r.curated.truth_message else { continue };
+            let truth = &world.messages[mid.0 as usize].truth;
+            total += 1;
+            if r.annotation.scam_type == truth.scam_type {
+                hits += 1;
+            }
+        }
+        let acc = hits as f64 / total as f64;
+        assert!(acc > 0.75, "scam-type accuracy {acc}");
+    }
+
+    #[test]
+    fn banking_dominates_annotations() {
+        let (_, recs) = records();
+        let banking =
+            recs.iter().filter(|r| r.annotation.scam_type == ScamType::Banking).count();
+        assert!(banking as f64 / recs.len() as f64 > 0.3, "{banking}/{}", recs.len());
+    }
+
+    #[test]
+    fn parse_sender_handles_all_shapes() {
+        assert!(parse_sender("+447911123456").unwrap().phone().is_some());
+        assert_eq!(parse_sender("SBIBNK").unwrap().kind(), SenderKind::Alphanumeric);
+        assert_eq!(parse_sender("a@b.co").unwrap().kind(), SenderKind::Email);
+        assert!(parse_sender("  ").is_none());
+    }
+}

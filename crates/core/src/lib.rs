@@ -1,0 +1,36 @@
+//! # smishing-core
+//!
+//! The measurement pipeline of the paper, end to end:
+//!
+//! 1. [`collect`] — gather posts from the five forums (§3.1),
+//! 2. [`curation`] — extract message/sender/URL/timestamp from screenshots
+//!    and text forms, dismiss non-reports, deduplicate (§3.2),
+//! 3. [`enrich`] — sender classification + HLR, URL parsing + shortener /
+//!    TLD / WHOIS / CT / passive-DNS / AV lookups, text annotation (§3.3),
+//! 4. [`analysis`] — one module per table/figure of the paper,
+//! 5. [`experiment`] — the registry that regenerates every table and
+//!    figure with paper-vs-measured shape checks,
+//! 6. [`dataset`] — the pseudo-anonymized dataset artifact (Appendix C).
+//!
+//! The pipeline takes a [`smishing_worldsim::World`] as its input universe,
+//! but touches only what a real deployment would see: the posts and the
+//! service interfaces. Ground truth is read exclusively by the evaluation
+//! analyses (IRR, extraction comparison) and the tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod casestudy;
+pub mod collect;
+pub mod curation;
+pub mod dataset;
+pub mod enrich;
+pub mod experiment;
+pub mod pipeline;
+pub mod table;
+
+pub use curation::{CurationOptions, CuratedMessage, DedupMode, ExtractorChoice};
+pub use enrich::EnrichedRecord;
+pub use pipeline::{Pipeline, PipelineOutput};
+pub use table::TextTable;

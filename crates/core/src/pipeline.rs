@@ -1,0 +1,91 @@
+//! Pipeline orchestration: world → collected → curated → enriched.
+
+use crate::collect::{collect_all, CollectionStats};
+use crate::curation::{curate_posts, dedup, CurationOptions, CuratedMessage};
+use crate::enrich::{enrich_all, EnrichedRecord};
+use smishing_types::Forum;
+use smishing_worldsim::World;
+
+/// The full pipeline configuration.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Pipeline {
+    /// Curation options (extractor, dedup mode, parallelism).
+    pub curation: CurationOptions,
+}
+
+/// Everything the analyses consume.
+pub struct PipelineOutput<'w> {
+    /// The input world (for services and — in evaluation analyses only —
+    /// ground truth).
+    pub world: &'w World,
+    /// Per-forum raw collection stats (Table 1 posts/images columns).
+    pub collection: Vec<(Forum, CollectionStats)>,
+    /// All curated messages, duplicates included (Table 1 "Total").
+    pub curated_total: Vec<CuratedMessage>,
+    /// Enriched unique messages (Table 1 "Unique" and everything after).
+    pub records: Vec<EnrichedRecord>,
+}
+
+impl Pipeline {
+    /// Run the pipeline over a world.
+    pub fn run<'w>(&self, world: &'w World) -> PipelineOutput<'w> {
+        let collected = collect_all(world);
+        let mut curated_total = Vec::new();
+        let mut collection = Vec::new();
+        for (forum, posts, stats) in collected {
+            let curated = curate_posts(&posts, &self.curation);
+            curated_total.extend(curated);
+            collection.push((forum, stats));
+        }
+        curated_total.sort_by_key(|c| c.post_id);
+        let unique = dedup(&curated_total, self.curation.dedup);
+        let records = enrich_all(unique, world);
+        PipelineOutput { world, collection, curated_total, records }
+    }
+}
+
+impl<'w> PipelineOutput<'w> {
+    /// Curated messages of one forum (with duplicates).
+    pub fn curated_on(&self, forum: Forum) -> impl Iterator<Item = &CuratedMessage> {
+        self.curated_total.iter().filter(move |c| c.forum == forum)
+    }
+
+    /// Unique records of one forum.
+    pub fn records_on(&self, forum: Forum) -> impl Iterator<Item = &EnrichedRecord> {
+        self.records.iter().filter(move |r| r.curated.forum == forum)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smishing_worldsim::WorldConfig;
+
+    #[test]
+    fn end_to_end_counts_are_consistent() {
+        let world = World::generate(WorldConfig::test_scale(81));
+        let out = Pipeline::default().run(&world);
+        assert!(!out.records.is_empty());
+        assert!(out.records.len() <= out.curated_total.len());
+        let posts_total: usize = out.collection.iter().map(|(_, s)| s.posts).sum();
+        assert_eq!(posts_total, world.posts.len());
+        // Every record's forum stats exist.
+        for (forum, stats) in &out.collection {
+            let curated_here = out.curated_on(*forum).count();
+            assert!(curated_here <= stats.posts, "{forum}");
+        }
+    }
+
+    #[test]
+    fn deterministic_output() {
+        let world = World::generate(WorldConfig::test_scale(82));
+        let a = Pipeline::default().run(&world);
+        let b = Pipeline::default().run(&world);
+        assert_eq!(a.records.len(), b.records.len());
+        assert_eq!(a.curated_total.len(), b.curated_total.len());
+        for (x, y) in a.records.iter().zip(b.records.iter()) {
+            assert_eq!(x.curated.post_id, y.curated.post_id);
+            assert_eq!(x.annotation.scam_type, y.annotation.scam_type);
+        }
+    }
+}

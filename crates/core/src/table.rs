@@ -1,0 +1,154 @@
+//! Plain-text table rendering for the repro binary and EXPERIMENTS.md.
+
+use std::fmt;
+
+/// A simple aligned text table.
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// New table with a title and column headers.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> TextTable {
+        TextTable {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header width).
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Append a row of string-likes.
+    pub fn row_strs(&mut self, cells: &[&str]) -> &mut Self {
+        let owned: Vec<String> = cells.iter().map(|s| s.to_string()).collect();
+        self.row(&owned)
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The table title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Access rendered rows (for tests).
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+}
+
+impl fmt::Display for TextTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        writeln!(f, "## {}", self.title)?;
+        let print_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            let mut line = String::new();
+            for (i, width) in widths.iter().enumerate().take(cols) {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                line.push_str("| ");
+                line.push_str(cell);
+                for _ in cell.chars().count()..*width {
+                    line.push(' ');
+                }
+                line.push(' ');
+            }
+            line.push('|');
+            writeln!(f, "{line}")
+        };
+        print_row(f, &self.header)?;
+        let mut sep = String::new();
+        for w in &widths {
+            sep.push('|');
+            for _ in 0..w + 2 {
+                sep.push('-');
+            }
+        }
+        sep.push('|');
+        writeln!(f, "{sep}")?;
+        for row in &self.rows {
+            print_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Format a count with a percentage of a total: `1,830 (30.6%)`.
+pub fn count_pct(count: u64, total: u64) -> String {
+    if total == 0 {
+        return format!("{count} (0.0%)");
+    }
+    format!("{} ({:.1}%)", group_thousands(count), count as f64 * 100.0 / total as f64)
+}
+
+/// Group a number with thousands separators: `28617` → `28,617`.
+pub fn group_thousands(n: u64) -> String {
+    let s = n.to_string();
+    let mut out = String::with_capacity(s.len() + s.len() / 3);
+    for (i, c) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i).is_multiple_of(3) {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_markdownish() {
+        let mut t = TextTable::new("Demo", &["Name", "Count"]);
+        t.row_strs(&["bit.ly", "1830"]);
+        t.row_strs(&["is.gd", "1023"]);
+        let s = t.to_string();
+        assert!(s.contains("## Demo"));
+        assert!(s.contains("| bit.ly"));
+        assert!(s.lines().count() >= 5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn row_width_enforced() {
+        let mut t = TextTable::new("x", &["a", "b"]);
+        t.row_strs(&["only one"]);
+    }
+
+    #[test]
+    fn thousands() {
+        assert_eq!(group_thousands(5), "5");
+        assert_eq!(group_thousands(1234), "1,234");
+        assert_eq!(group_thousands(28_617), "28,617");
+        assert_eq!(group_thousands(1_234_567), "1,234,567");
+    }
+
+    #[test]
+    fn pct() {
+        assert_eq!(count_pct(1830, 5977), "1,830 (30.6%)");
+        assert_eq!(count_pct(3, 0), "3 (0.0%)");
+    }
+}

@@ -1,0 +1,257 @@
+//! Evaluation machinery: splits, confusion matrices, accuracy, macro-F1.
+
+use crate::nb::NaiveBayes;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// A confusion matrix over labels.
+#[derive(Debug, Clone)]
+pub struct ConfusionMatrix<L: Eq + Hash + Clone + Ord> {
+    /// (truth, predicted) → count.
+    pub cells: HashMap<(L, L), usize>,
+    /// All labels seen, sorted.
+    pub labels: Vec<L>,
+}
+
+impl<L: Eq + Hash + Clone + Ord> ConfusionMatrix<L> {
+    fn new() -> Self {
+        ConfusionMatrix { cells: HashMap::new(), labels: Vec::new() }
+    }
+
+    fn record(&mut self, truth: L, predicted: L) {
+        for l in [&truth, &predicted] {
+            if !self.labels.contains(l) {
+                self.labels.push(l.clone());
+            }
+        }
+        self.labels.sort();
+        *self.cells.entry((truth, predicted)).or_default() += 1;
+    }
+
+    /// Count at (truth, predicted).
+    pub fn get(&self, truth: &L, predicted: &L) -> usize {
+        self.cells.get(&(truth.clone(), predicted.clone())).copied().unwrap_or(0)
+    }
+
+    /// Per-class (precision, recall, f1).
+    pub fn class_prf(&self, label: &L) -> (f64, f64, f64) {
+        let tp = self.get(label, label) as f64;
+        let fp: f64 = self
+            .labels
+            .iter()
+            .filter(|l| *l != label)
+            .map(|l| self.get(l, label) as f64)
+            .sum();
+        let fn_: f64 = self
+            .labels
+            .iter()
+            .filter(|l| *l != label)
+            .map(|l| self.get(label, l) as f64)
+            .sum();
+        let precision = if tp + fp == 0.0 { 0.0 } else { tp / (tp + fp) };
+        let recall = if tp + fn_ == 0.0 { 0.0 } else { tp / (tp + fn_) };
+        let f1 = if precision + recall == 0.0 {
+            0.0
+        } else {
+            2.0 * precision * recall / (precision + recall)
+        };
+        (precision, recall, f1)
+    }
+}
+
+/// Aggregate evaluation numbers.
+#[derive(Debug, Clone)]
+pub struct EvalReport<L: Eq + Hash + Clone + Ord> {
+    /// Test-set size.
+    pub n: usize,
+    /// Overall accuracy.
+    pub accuracy: f64,
+    /// Macro-averaged F1.
+    pub macro_f1: f64,
+    /// The confusion matrix.
+    pub confusion: ConfusionMatrix<L>,
+}
+
+/// Shuffle, split `test_frac` off for testing, train NB, evaluate.
+///
+/// Returns `None` when either split would be empty.
+pub fn evaluate<L, R>(
+    samples: &[(Vec<String>, L)],
+    test_frac: f64,
+    alpha: f64,
+    rng: &mut R,
+) -> Option<EvalReport<L>>
+where
+    L: Eq + Hash + Clone + Ord,
+    R: Rng + ?Sized,
+{
+    let mut idx: Vec<usize> = (0..samples.len()).collect();
+    idx.shuffle(rng);
+    let n_test = ((samples.len() as f64) * test_frac).round() as usize;
+    if n_test == 0 || n_test >= samples.len() {
+        return None;
+    }
+    let (test_idx, train_idx) = idx.split_at(n_test);
+    let train: Vec<(Vec<String>, L)> =
+        train_idx.iter().map(|&i| samples[i].clone()).collect();
+    let model = NaiveBayes::train(&train, alpha)?;
+
+    let mut confusion = ConfusionMatrix::new();
+    let mut hits = 0;
+    for &i in test_idx {
+        let (tokens, truth) = &samples[i];
+        let predicted = model.predict(tokens);
+        if predicted == *truth {
+            hits += 1;
+        }
+        confusion.record(truth.clone(), predicted);
+    }
+    let n = test_idx.len();
+    let macro_f1 = {
+        let labels = confusion.labels.clone();
+        let sum: f64 = labels.iter().map(|l| confusion.class_prf(l).2).sum();
+        sum / labels.len() as f64
+    };
+    Some(EvalReport { n, accuracy: hits as f64 / n as f64, macro_f1, confusion })
+}
+
+/// Group-aware evaluation: all samples of one group (e.g. one campaign) go
+/// to the same side of the split, preventing near-duplicate leakage between
+/// train and test — messages from one campaign are template siblings.
+pub fn evaluate_grouped<L, G, R>(
+    samples: &[(Vec<String>, L, G)],
+    test_frac: f64,
+    alpha: f64,
+    rng: &mut R,
+) -> Option<EvalReport<L>>
+where
+    L: Eq + Hash + Clone + Ord,
+    G: Eq + Hash + Clone + Ord,
+    R: Rng + ?Sized,
+{
+    let mut groups: Vec<G> = samples.iter().map(|(_, _, g)| g.clone()).collect();
+    groups.sort();
+    groups.dedup();
+    groups.shuffle(rng);
+    let n_test_groups = ((groups.len() as f64) * test_frac).round() as usize;
+    if n_test_groups == 0 || n_test_groups >= groups.len() {
+        return None;
+    }
+    let test_groups: std::collections::HashSet<&G> =
+        groups[..n_test_groups].iter().collect();
+
+    let mut train: Vec<(Vec<String>, L)> = Vec::new();
+    let mut test: Vec<&(Vec<String>, L, G)> = Vec::new();
+    for sample in samples {
+        if test_groups.contains(&sample.2) {
+            test.push(sample);
+        } else {
+            train.push((sample.0.clone(), sample.1.clone()));
+        }
+    }
+    if train.is_empty() || test.is_empty() {
+        return None;
+    }
+    let model = NaiveBayes::train(&train, alpha)?;
+    let mut confusion = ConfusionMatrix::new();
+    let mut hits = 0;
+    for (tokens, truth, _) in &test {
+        let predicted = model.predict(tokens);
+        if predicted == *truth {
+            hits += 1;
+        }
+        confusion.record(truth.clone(), predicted);
+    }
+    let n = test.len();
+    let macro_f1 = {
+        let labels = confusion.labels.clone();
+        let sum: f64 = labels.iter().map(|l| confusion.class_prf(l).2).sum();
+        sum / labels.len() as f64
+    };
+    Some(EvalReport { n, accuracy: hits as f64 / n as f64, macro_f1, confusion })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toks(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    fn corpus() -> Vec<(Vec<String>, &'static str)> {
+        let mut out = Vec::new();
+        for i in 0..60 {
+            out.push((toks(&format!("free prize claim now offer {i}")), "scam"));
+            out.push((toks(&format!("dinner friday with family {i}")), "ham"));
+        }
+        out
+    }
+
+    #[test]
+    fn separable_corpus_scores_high() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let report = evaluate(&corpus(), 0.3, 1.0, &mut rng).unwrap();
+        assert!(report.accuracy > 0.95, "{}", report.accuracy);
+        assert!(report.macro_f1 > 0.95, "{}", report.macro_f1);
+        assert_eq!(report.n, 36);
+    }
+
+    #[test]
+    fn confusion_matrix_math() {
+        let mut m = ConfusionMatrix::new();
+        // 8 true scam (6 caught), 12 true ham (11 kept).
+        for _ in 0..6 {
+            m.record("scam", "scam");
+        }
+        for _ in 0..2 {
+            m.record("scam", "ham");
+        }
+        for _ in 0..11 {
+            m.record("ham", "ham");
+        }
+        m.record("ham", "scam");
+        let (p, r, f1) = m.class_prf(&"scam");
+        assert!((p - 6.0 / 7.0).abs() < 1e-12);
+        assert!((r - 6.0 / 8.0).abs() < 1e-12);
+        assert!(f1 > 0.0 && f1 < 1.0);
+    }
+
+    #[test]
+    fn degenerate_splits_are_none() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let c = corpus();
+        assert!(evaluate(&c, 0.0, 1.0, &mut rng).is_none());
+        assert!(evaluate(&c, 1.0, 1.0, &mut rng).is_none());
+    }
+
+    #[test]
+    fn grouped_split_keeps_groups_together() {
+        // 10 groups x 10 near-identical samples; grouped evaluation must
+        // never put siblings on both sides. We verify via determinism of
+        // the group partition: identical texts across groups would score
+        // perfectly either way, so instead check the mechanics directly.
+        let mut samples = Vec::new();
+        for g in 0..10u8 {
+            for i in 0..10 {
+                let label = if g % 2 == 0 { "a" } else { "b" };
+                samples.push((toks(&format!("w{g} x{i}")), label, g));
+            }
+        }
+        let mut rng = StdRng::seed_from_u64(3);
+        let report = evaluate_grouped(&samples, 0.3, 1.0, &mut rng).unwrap();
+        assert_eq!(report.n % 10, 0, "whole groups only: {}", report.n);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = evaluate(&corpus(), 0.3, 1.0, &mut StdRng::seed_from_u64(8)).unwrap();
+        let b = evaluate(&corpus(), 0.3, 1.0, &mut StdRng::seed_from_u64(8)).unwrap();
+        assert_eq!(a.accuracy, b.accuracy);
+        assert_eq!(a.macro_f1, b.macro_f1);
+    }
+}

@@ -1,0 +1,32 @@
+//! APK artifacts.
+
+/// One Android package served by a smishing campaign.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ApkArtifact {
+    /// File name as downloaded (`s1.apk`, `internet.apk`...).
+    pub name: String,
+    /// SHA-256 (hex) — the IoC column of Table 19.
+    pub sha256: String,
+    /// Ground-truth family (generator-side; the analysis must *recover*
+    /// this through noisy vendor labels).
+    pub true_family: &'static str,
+}
+
+impl ApkArtifact {
+    /// Construct an artifact.
+    pub fn new(name: impl Into<String>, sha256: impl Into<String>, family: &'static str) -> Self {
+        ApkArtifact { name: name.into(), sha256: sha256.into(), true_family: family }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction() {
+        let a = ApkArtifact::new("s1.apk", "ab".repeat(32), "SMSspy");
+        assert_eq!(a.sha256.len(), 64);
+        assert_eq!(a.true_family, "SMSspy");
+    }
+}

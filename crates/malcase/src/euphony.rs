@@ -1,0 +1,136 @@
+//! Euphony-style label unification (§3.3.5).
+//!
+//! Euphony parses the cacophony of vendor labels and returns a single
+//! malware family per file. Our implementation follows the same recipe:
+//! tokenize each label, drop structural noise (platform names, type words,
+//! heuristic markers, variant suffixes), normalize case/aliases, and take
+//! the plurality family token.
+
+use crate::vtlabels::VendorLabel;
+use std::collections::HashMap;
+
+/// Tokens that are never family names.
+const STOP_TOKENS: &[&str] = &[
+    "trojan", "trojanspy", "trojan-spy", "spy", "banker", "android", "androidos", "andr",
+    "heur", "uds", "gen", "generic", "malicious", "high", "confidence", "riskware",
+    "dangerousobject", "multi", "variant", "agent2", "win32", "tr", "trj",
+    "a", "b", "c", "d", "ab", "abc",
+    // NOTE: "artemis" is deliberately NOT a stop token. It is McAfee's
+    // generic prefix, but Euphony (and the paper's Table 19) reports it as
+    // the family when nothing more specific reaches a plurality.
+];
+
+/// Family aliases different vendors use for the same thing.
+fn canonical(token: &str) -> String {
+    match token {
+        "smsspy" | "smspy" | "smsthief" => "SMSspy".to_string(),
+        "hqwar" | "hqwares" => "HQWar".to_string(),
+        "rewardsteal" | "rewardstealer" => "Rewardsteal".to_string(),
+        "flubot" | "cabassous" => "FluBot".to_string(),
+        other => {
+            // Title-case unknown tokens.
+            let mut cs = other.chars();
+            match cs.next() {
+                Some(f) => f.to_uppercase().chain(cs).collect(),
+                None => String::new(),
+            }
+        }
+    }
+}
+
+fn tokens_of(label: &str) -> Vec<String> {
+    label
+        .split(|c: char| !c.is_ascii_alphanumeric())
+        .filter(|t| t.len() >= 3)
+        .map(|t| t.to_ascii_lowercase())
+        .filter(|t| !STOP_TOKENS.contains(&t.as_str()))
+        .filter(|t| !t.chars().all(|c| c.is_ascii_digit()))
+        .collect()
+}
+
+/// Unify vendor labels into one family. Returns `None` when no family
+/// token reaches a plurality of 2 mentions (all-generic reports).
+pub fn unify_labels(labels: &[VendorLabel]) -> Option<String> {
+    let mut votes: HashMap<String, usize> = HashMap::new();
+    for l in labels {
+        // Each vendor votes once per distinct family token in its label.
+        let mut seen = Vec::new();
+        for t in tokens_of(&l.label) {
+            let fam = canonical(&t);
+            if !seen.contains(&fam) {
+                *votes.entry(fam.clone()).or_default() += 1;
+                seen.push(fam);
+            }
+        }
+    }
+    votes
+        .into_iter()
+        .filter(|(_, v)| *v >= 2)
+        .max_by(|a, b| a.1.cmp(&b.1).then_with(|| b.0.cmp(&a.0)))
+        .map(|(fam, _)| fam)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apk::ApkArtifact;
+    use crate::vtlabels::generate_vendor_labels;
+
+    fn label(vendor: &'static str, s: &str) -> VendorLabel {
+        VendorLabel { vendor, label: s.to_string() }
+    }
+
+    #[test]
+    fn unifies_house_styles() {
+        let labels = vec![
+            label("Kaspersky", "HEUR:Trojan-Spy.AndroidOS.smsspy.gen"),
+            label("Fortinet", "Android/SMSspy.B!tr"),
+            label("ESET", "Andr.Banker.SMSSPY"),
+            label("Avast", "Malicious.High.Confidence"),
+            label("McAfee", "Trojan.AndroidOS.Agent.b"),
+        ];
+        assert_eq!(unify_labels(&labels).as_deref(), Some("SMSspy"));
+    }
+
+    #[test]
+    fn all_generic_is_none() {
+        let labels = vec![
+            label("A", "Malicious.High.Confidence"),
+            label("B", "Trojan.Generic.D4C1"),
+        ];
+        assert_eq!(unify_labels(&labels), None);
+    }
+
+    #[test]
+    fn aliases_merge() {
+        let labels = vec![
+            label("A", "Android/SMSThief.C"),
+            label("B", "Trojan.AndroidOS.smspy.a"),
+        ];
+        assert_eq!(unify_labels(&labels).as_deref(), Some("SMSspy"));
+    }
+
+    #[test]
+    fn recovers_true_family_from_generated_labels() {
+        // End-to-end: generated noisy labels → Euphony → true family, for
+        // the overwhelming majority of samples (Table 19's pipeline).
+        let mut hits = 0;
+        let n = 60;
+        for i in 0..n {
+            let fam = ["SMSspy", "HQWar", "Rewardsteal", "Artemis"][i % 4];
+            let apk = ApkArtifact::new("x.apk", format!("{i:064x}"), fam);
+            let labels = generate_vendor_labels(&apk, 11);
+            if let Some(out) = unify_labels(&labels) {
+                if out == fam {
+                    hits += 1;
+                }
+            }
+        }
+        assert!(hits as f64 / n as f64 > 0.7, "{hits}/{n}");
+    }
+
+    #[test]
+    fn empty_labels() {
+        assert_eq!(unify_labels(&[]), None);
+    }
+}

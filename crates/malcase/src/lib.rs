@@ -1,0 +1,29 @@
+//! # smishing-malcase
+//!
+//! The §6 case-study substrate: Android malware spread via smishing.
+//!
+//! - [`redirect`]: device-dependent redirect resolution — the same short
+//!   link lands desktop visitors on a phishing page and Android visitors on
+//!   an automatic APK download (`sa-krs.web.app` vs `?d=s1` in the paper),
+//! - [`apk`]: APK artifacts with hashes,
+//! - [`androzoo`]: the AndroZoo hash-lookup simulator (fresh smishing
+//!   droppers are absent, as the paper found),
+//! - [`vtlabels`]: per-vendor malware labels for a submitted APK, with the
+//!   naming chaos VirusTotal is known for,
+//! - [`euphony`]: Euphony-style label unification returning one family per
+//!   file (SMSspy dominates Table 19).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod androzoo;
+pub mod apk;
+pub mod euphony;
+pub mod redirect;
+pub mod vtlabels;
+
+pub use androzoo::AndroZoo;
+pub use apk::ApkArtifact;
+pub use euphony::unify_labels;
+pub use redirect::{Device, RedirectOutcome, RedirectResolver};
+pub use vtlabels::generate_vendor_labels;

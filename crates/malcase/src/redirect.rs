@@ -1,0 +1,116 @@
+//! Device-dependent redirect resolution (§6).
+//!
+//! "shrtco[.]de/2Rq2La, when opened on a desktop browser, redirects to
+//! sa-krs[.]web[.]app/, which displays a smishing webpage ... if opened
+//! using an Android device, it redirects to sa-krs[.]web[.]app/?d=s1 and
+//! automatically downloads an APK file named s1.apk."
+
+use crate::apk::ApkArtifact;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+
+/// The visiting device, as derived from the User-Agent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Device {
+    /// Desktop browser.
+    Desktop,
+    /// Android handset (the drive-by target).
+    Android,
+    /// iOS handset (usually shown the phishing page, not an APK).
+    Ios,
+}
+
+/// What opening a landing URL does.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RedirectOutcome {
+    /// A phishing web page at the given URL.
+    PhishingPage(String),
+    /// An automatic APK download (drive-by).
+    ApkDownload(ApkArtifact),
+    /// Nothing behind the URL (taken down / never registered).
+    Dead,
+}
+
+#[derive(Debug, Clone)]
+struct SiteBehaviour {
+    page_url: String,
+    android_apk: Option<ApkArtifact>,
+}
+
+/// Resolver mapping landing hosts to their device-dependent behaviour.
+#[derive(Debug, Default)]
+pub struct RedirectResolver {
+    by_host: RwLock<HashMap<String, SiteBehaviour>>,
+}
+
+impl RedirectResolver {
+    /// New empty resolver.
+    pub fn new() -> RedirectResolver {
+        RedirectResolver::default()
+    }
+
+    /// Register a phishing site, optionally serving an APK to Android.
+    pub fn register(&self, host: &str, page_url: &str, android_apk: Option<ApkArtifact>) {
+        self.by_host.write().insert(
+            host.to_ascii_lowercase(),
+            SiteBehaviour { page_url: page_url.to_string(), android_apk },
+        );
+    }
+
+    /// Open a landing URL with a given device.
+    pub fn open(&self, host: &str, device: Device) -> RedirectOutcome {
+        let sites = self.by_host.read();
+        match sites.get(&host.to_ascii_lowercase()) {
+            None => RedirectOutcome::Dead,
+            Some(site) => match (device, &site.android_apk) {
+                (Device::Android, Some(apk)) => RedirectOutcome::ApkDownload(apk.clone()),
+                _ => RedirectOutcome::PhishingPage(site.page_url.clone()),
+            },
+        }
+    }
+
+    /// Number of registered sites.
+    pub fn len(&self) -> usize {
+        self.by_host.read().len()
+    }
+
+    /// Whether empty.
+    pub fn is_empty(&self) -> bool {
+        self.by_host.read().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_behaviour() {
+        let r = RedirectResolver::new();
+        let apk = ApkArtifact::new("s1.apk", "34ae95c0".repeat(8), "SMSspy");
+        r.register("sa-krs.web.app", "https://sa-krs.web.app/", Some(apk.clone()));
+
+        assert_eq!(
+            r.open("sa-krs.web.app", Device::Desktop),
+            RedirectOutcome::PhishingPage("https://sa-krs.web.app/".into())
+        );
+        assert_eq!(r.open("sa-krs.web.app", Device::Android), RedirectOutcome::ApkDownload(apk));
+        assert!(matches!(r.open("sa-krs.web.app", Device::Ios), RedirectOutcome::PhishingPage(_)));
+    }
+
+    #[test]
+    fn page_only_sites() {
+        let r = RedirectResolver::new();
+        r.register("bank-verify.com", "https://bank-verify.com/login", None);
+        assert!(matches!(
+            r.open("bank-verify.com", Device::Android),
+            RedirectOutcome::PhishingPage(_)
+        ));
+    }
+
+    #[test]
+    fn unknown_hosts_are_dead() {
+        let r = RedirectResolver::new();
+        assert_eq!(r.open("ghost.example", Device::Desktop), RedirectOutcome::Dead);
+    }
+}

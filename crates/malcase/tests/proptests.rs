@@ -1,0 +1,119 @@
+//! Property-based tests for the malware-case substrate: redirect
+//! device-dependence, AndroZoo membership semantics, and Euphony-style
+//! label unification (§6).
+
+use proptest::prelude::*;
+use smishing_malcase::{
+    generate_vendor_labels, unify_labels, AndroZoo, ApkArtifact, Device, RedirectOutcome,
+    RedirectResolver,
+};
+use smishing_malcase::vtlabels::VendorLabel;
+
+fn sha_strategy() -> impl Strategy<Value = String> {
+    "[0-9a-f]{64}"
+}
+
+fn family_strategy() -> impl Strategy<Value = &'static str> {
+    prop::sample::select(vec!["smsspy", "moqhao", "flubot", "hydra", "ermac"])
+}
+
+proptest! {
+    #[test]
+    fn redirects_are_device_dependent(host in "[a-z]{3,12}\\.[a-z]{2,4}",
+                                      sha in sha_strategy(),
+                                      family in family_strategy()) {
+        let r = RedirectResolver::new();
+        let apk = ApkArtifact::new("s1.apk", sha.clone(), family);
+        r.register(&host, &format!("https://{host}/login"), Some(apk));
+        // Android gets the drive-by; desktop and iOS get the page.
+        match r.open(&host, Device::Android) {
+            RedirectOutcome::ApkDownload(a) => prop_assert_eq!(a.sha256, sha),
+            other => prop_assert!(false, "android got {other:?}"),
+        }
+        for d in [Device::Desktop, Device::Ios] {
+            match r.open(&host, d) {
+                RedirectOutcome::PhishingPage(p) => prop_assert!(p.contains(&host)),
+                other => prop_assert!(false, "{d:?} got {other:?}"),
+            }
+        }
+        // Unregistered hosts are dead for every device.
+        prop_assert_eq!(r.open("unregistered.example", Device::Android), RedirectOutcome::Dead);
+    }
+
+    #[test]
+    fn androzoo_membership_is_exact(known in prop::collection::hash_set("[0-9a-f]{64}", 0..20),
+                                    probe in sha_strategy(),
+                                    seed in 0u64..100) {
+        let mut az = AndroZoo::with_corpus(seed, 50);
+        let base = az.len();
+        for s in &known {
+            az.insert(s);
+        }
+        prop_assert!(az.len() >= base);
+        for s in &known {
+            prop_assert!(az.contains(s));
+        }
+        // A fresh random hash is (essentially) never in the synthetic corpus
+        // unless we inserted it — the §6 "none of the droppers are known".
+        if !known.contains(&probe) {
+            prop_assert!(!az.contains(&probe) || az.len() > base + known.len());
+        }
+    }
+
+    #[test]
+    fn euphony_verdicts_are_label_supported(sha in sha_strategy(),
+                                            family in family_strategy(),
+                                            seed in 0u64..200) {
+        let apk = ApkArtifact::new("dropper.apk", sha, family);
+        let labels = generate_vendor_labels(&apk, seed);
+        prop_assert!(!labels.is_empty());
+        // Vendor chaos means the plurality can occasionally land on a
+        // mislabel (the paper's §3.3.5 point) — but whatever Euphony
+        // returns must be *evidenced*: a token of at least two distinct
+        // vendors' labels, never invented.
+        if let Some(unified) = unify_labels(&labels) {
+            let needle = unified.to_lowercase();
+            let fam = family.to_lowercase();
+            let supporters = labels
+                .iter()
+                .filter(|l| {
+                    let hay = l.label.to_lowercase();
+                    // Alias groups (smsspy/smspy/smsthief) unify; accept
+                    // any alias of the planted family as support for it.
+                    hay.contains(&needle) || (needle == fam && hay.contains("thief"))
+                        || (needle == fam && hay.contains(&fam.replace("ss", "s")))
+                })
+                .count();
+            prop_assert!(supporters >= 2, "{unified} has {supporters} supporters in {labels:?}");
+        }
+    }
+
+    #[test]
+    fn euphony_recovers_the_family_in_the_aggregate(family in family_strategy()) {
+        // Per-sample the plurality can misfire; across many samples the
+        // planted family must win the clear majority (what Table 19's
+        // family column relies on).
+        let mut right = 0;
+        let mut total = 0;
+        for i in 0u64..40 {
+            let sha = format!("{i:064x}");
+            let apk = ApkArtifact::new("dropper.apk", sha, family);
+            if let Some(u) = unify_labels(&generate_vendor_labels(&apk, i)) {
+                total += 1;
+                if u.to_lowercase() == family.to_lowercase() {
+                    right += 1;
+                }
+            }
+        }
+        prop_assert!(total >= 30, "{total}");
+        prop_assert!(right as f64 >= 0.7 * total as f64, "{right}/{total}");
+    }
+
+    #[test]
+    fn unification_needs_a_plurality(label in "[A-Za-z./:!-]{0,40}") {
+        // A single arbitrary label can never reach the 2-vote plurality.
+        let one = [VendorLabel { vendor: "X", label }];
+        prop_assert_eq!(unify_labels(&one), None);
+        prop_assert_eq!(unify_labels(&[]), None);
+    }
+}

@@ -1,0 +1,144 @@
+//! Extractor evaluation against screenshot ground truth (§3.2's
+//! methodology comparison, reproduced as experiment CUR).
+
+use crate::image::{Extractor, Screenshot};
+
+/// Field-level accuracy of one extractor over a screenshot set.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ExtractionScore {
+    /// Screenshots evaluated.
+    pub n: usize,
+    /// Exact text recovery rate (over true SMS screenshots).
+    pub text_exact: f64,
+    /// Exact URL recovery rate (over SMS screenshots that carried a URL).
+    pub url_exact: f64,
+    /// Sender recovery rate (over SMS screenshots showing a sender).
+    pub sender_exact: f64,
+    /// Timestamp recovery rate (over SMS screenshots showing one).
+    pub timestamp_found: f64,
+    /// SMS-vs-not discrimination accuracy (over all screenshots).
+    pub discrimination: f64,
+}
+
+/// Evaluate an extractor over a set of rendered screenshots.
+pub fn evaluate<E: Extractor>(extractor: &E, shots: &[Screenshot]) -> ExtractionScore {
+    let mut text_hit = 0usize;
+    let mut text_n = 0usize;
+    let mut url_hit = 0usize;
+    let mut url_n = 0usize;
+    let mut sender_hit = 0usize;
+    let mut sender_n = 0usize;
+    let mut ts_hit = 0usize;
+    let mut ts_n = 0usize;
+    let mut disc_hit = 0usize;
+    for shot in shots {
+        let e = extractor.extract(shot);
+        if e.is_sms_screenshot == shot.is_sms {
+            disc_hit += 1;
+        }
+        if !shot.is_sms {
+            continue;
+        }
+        if let Some(truth) = &shot.truth.text {
+            text_n += 1;
+            if e.text.as_deref() == Some(truth.as_str()) {
+                text_hit += 1;
+            }
+        }
+        if let Some(truth) = &shot.truth.url {
+            url_n += 1;
+            if e.url.as_deref() == Some(truth.as_str()) {
+                url_hit += 1;
+            }
+        }
+        if let Some(truth) = &shot.truth.sender {
+            sender_n += 1;
+            if e.sender.as_deref() == Some(truth.as_str()) {
+                sender_hit += 1;
+            }
+        }
+        if let Some(truth) = &shot.truth.timestamp {
+            ts_n += 1;
+            if e.timestamp_raw.as_deref() == Some(truth.as_str()) {
+                ts_hit += 1;
+            }
+        }
+    }
+    let rate = |hit: usize, n: usize| if n == 0 { 0.0 } else { hit as f64 / n as f64 };
+    ExtractionScore {
+        n: shots.len(),
+        text_exact: rate(text_hit, text_n),
+        url_exact: rate(url_hit, url_n),
+        sender_exact: rate(sender_hit, sender_n),
+        timestamp_found: rate(ts_hit, ts_n),
+        discrimination: rate(disc_hit, shots.len()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extract_llm::LlmExtractor;
+    use crate::image::AppTheme;
+    use crate::ocr_naive::NaiveOcr;
+    use crate::ocr_vision::VisionOcr;
+    use crate::render::{render_noise_image, render_sms, RenderSpec};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use smishing_types::{CivilDateTime, Date, NoiseKind, TimeOfDay, TimestampStyle};
+
+    fn corpus(n: usize) -> Vec<Screenshot> {
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut shots = Vec::new();
+        for i in 0..n {
+            if i % 7 == 0 {
+                shots.push(render_noise_image(NoiseKind::AwarenessPoster, &mut rng));
+                continue;
+            }
+            let theme = AppTheme::ALL[rng.gen_range(0..AppTheme::ALL.len())];
+            let url = format!("https://evil-campaign-{i}.example-login-portal.com/verify/session");
+            let text = format!("URGENT alert {i}: your account is locked, verify at {url} now");
+            shots.push(render_sms(
+                &RenderSpec {
+                    sender: Some(format!("+4479{:08}", i)),
+                    text,
+                    url: Some(url),
+                    received: CivilDateTime::new(
+                        Date::new(2022, 5, 20).unwrap(),
+                        TimeOfDay::new(12, 0, 0).unwrap(),
+                    ),
+                    timestamp_style: Some(TimestampStyle::Iso),
+                    theme,
+                    noise: rng.gen_range(0.0..0.5),
+                },
+                &mut rng,
+            ));
+        }
+        shots
+    }
+
+    #[test]
+    fn llm_beats_vision_beats_naive() {
+        // The §3.2 methodology ranking must hold on the modelled corpus.
+        let shots = corpus(300);
+        let naive = evaluate(&NaiveOcr::new(1), &shots);
+        let vision = evaluate(&VisionOcr::new(1), &shots);
+        let llm = evaluate(&LlmExtractor::new(1), &shots);
+
+        assert!(llm.url_exact > 0.88, "llm url {:?}", llm.url_exact);
+        assert!(vision.url_exact < 0.05, "vision splits URLs: {:?}", vision.url_exact);
+        assert_eq!(naive.url_exact, 0.0, "naive has no URL field");
+        assert!(llm.text_exact > 0.9, "{:?}", llm.text_exact);
+        assert!(naive.text_exact < 0.05, "naive blob ≠ message text");
+        assert!(llm.discrimination > 0.95);
+        assert!(naive.discrimination < 0.95, "naive can't dismiss posters");
+        assert!(llm.sender_exact > 0.95 && llm.timestamp_found > 0.95);
+    }
+
+    #[test]
+    fn empty_corpus() {
+        let score = evaluate(&LlmExtractor::new(1), &[]);
+        assert_eq!(score.n, 0);
+        assert_eq!(score.discrimination, 0.0);
+    }
+}

@@ -1,0 +1,178 @@
+//! The screenshot model.
+
+use smishing_types::NoiseKind;
+
+/// Messaging-app theme of a screenshot.
+///
+/// §3.2: "OCR fails to extract text from multiple mobile messaging apps
+/// with custom background colors and designs" — themes carry exactly the
+/// properties that break each extractor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AppTheme {
+    /// iOS Messages, light.
+    Imessage,
+    /// Google Messages, light.
+    AndroidMessages,
+    /// Google Messages, dark mode.
+    AndroidMessagesDark,
+    /// Samsung Messages.
+    SamsungMessages,
+    /// WhatsApp (its default patterned wallpaper).
+    WhatsApp,
+    /// A third-party SMS app with a custom background image.
+    CustomThemed,
+}
+
+impl AppTheme {
+    /// All themes.
+    pub const ALL: &'static [AppTheme] = &[
+        AppTheme::Imessage,
+        AppTheme::AndroidMessages,
+        AppTheme::AndroidMessagesDark,
+        AppTheme::SamsungMessages,
+        AppTheme::WhatsApp,
+        AppTheme::CustomThemed,
+    ];
+
+    /// Whether the background defeats threshold-based OCR (naive OCR
+    /// returns garbage on these).
+    pub fn custom_background(self) -> bool {
+        matches!(self, AppTheme::WhatsApp | AppTheme::CustomThemed | AppTheme::AndroidMessagesDark)
+    }
+
+    /// Characters that fit on one bubble line in this theme.
+    pub fn chars_per_line(self) -> usize {
+        match self {
+            AppTheme::Imessage => 34,
+            AppTheme::AndroidMessages | AppTheme::AndroidMessagesDark => 38,
+            AppTheme::SamsungMessages => 36,
+            AppTheme::WhatsApp => 32,
+            AppTheme::CustomThemed => 30,
+        }
+    }
+}
+
+/// What a text block on the screenshot is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BlockKind {
+    /// The phone status bar (carrier, battery, *clock* — a classic OCR trap).
+    StatusBar,
+    /// The conversation header showing the sender ID.
+    SenderHeader,
+    /// The per-message timestamp line.
+    Timestamp,
+    /// One wrapped line of the message bubble.
+    BubbleLine,
+    /// Poster / unrelated caption text (noise images).
+    Caption,
+}
+
+/// One positioned text block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TextBlock {
+    /// Block kind.
+    pub kind: BlockKind,
+    /// The text content.
+    pub text: String,
+    /// Horizontal position (column units).
+    pub x: u16,
+    /// Vertical position (row units); reading order is by `y` then `x`.
+    pub y: u16,
+}
+
+/// Ground truth attached to a rendered screenshot, for extractor
+/// evaluation only — extractors must never read it.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ScreenshotTruth {
+    /// The full message text as sent.
+    pub text: Option<String>,
+    /// The URL in the message, if any.
+    pub url: Option<String>,
+    /// The sender ID displayed.
+    pub sender: Option<String>,
+    /// The rendered timestamp string.
+    pub timestamp: Option<String>,
+}
+
+/// A synthetic screenshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Screenshot {
+    /// App theme.
+    pub theme: AppTheme,
+    /// Positioned text blocks.
+    pub blocks: Vec<TextBlock>,
+    /// Whether the image actually shows an SMS conversation.
+    pub is_sms: bool,
+    /// For non-SMS images, what they are instead.
+    pub noise_kind: Option<NoiseKind>,
+    /// Photo-of-screen / compression noise in `[0, 1]`.
+    pub noise: f64,
+    /// Evaluation-only ground truth (see [`ScreenshotTruth`]).
+    pub truth: ScreenshotTruth,
+}
+
+impl Screenshot {
+    /// Blocks of one kind, in reading order.
+    pub fn blocks_of(&self, kind: BlockKind) -> Vec<&TextBlock> {
+        let mut v: Vec<&TextBlock> = self.blocks.iter().filter(|b| b.kind == kind).collect();
+        v.sort_by_key(|b| (b.y, b.x));
+        v
+    }
+}
+
+/// What an extractor managed to pull out of a screenshot.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Extraction {
+    /// Whether the extractor believes the image is an SMS screenshot.
+    /// Extractors without that capability report `true` for everything.
+    pub is_sms_screenshot: bool,
+    /// Extracted message text.
+    pub text: Option<String>,
+    /// Extracted URL.
+    pub url: Option<String>,
+    /// Extracted sender ID.
+    pub sender: Option<String>,
+    /// Extracted raw timestamp string (unparsed).
+    pub timestamp_raw: Option<String>,
+}
+
+/// The extractor interface (§3.2's three contenders implement this).
+pub trait Extractor {
+    /// Human-readable name for reports.
+    fn name(&self) -> &'static str;
+    /// Run extraction on one screenshot.
+    fn extract(&self, shot: &Screenshot) -> Extraction;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn theme_properties() {
+        assert!(AppTheme::CustomThemed.custom_background());
+        assert!(AppTheme::WhatsApp.custom_background());
+        assert!(!AppTheme::Imessage.custom_background());
+        for t in AppTheme::ALL {
+            assert!(t.chars_per_line() >= 28);
+        }
+    }
+
+    #[test]
+    fn blocks_of_sorts_by_reading_order() {
+        let shot = Screenshot {
+            theme: AppTheme::Imessage,
+            blocks: vec![
+                TextBlock { kind: BlockKind::BubbleLine, text: "second".into(), x: 0, y: 2 },
+                TextBlock { kind: BlockKind::BubbleLine, text: "first".into(), x: 0, y: 1 },
+            ],
+            is_sms: true,
+            noise_kind: None,
+            noise: 0.0,
+            truth: ScreenshotTruth::default(),
+        };
+        let lines = shot.blocks_of(BlockKind::BubbleLine);
+        assert_eq!(lines[0].text, "first");
+        assert_eq!(lines[1].text, "second");
+    }
+}

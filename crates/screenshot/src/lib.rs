@@ -1,0 +1,38 @@
+//! # smishing-screenshot
+//!
+//! A structured model of SMS screenshots and the three field extractors the
+//! paper compares in §3.2:
+//!
+//! - [`ocr_naive::NaiveOcr`] — the Pytesseract baseline: breaks on custom
+//!   themes/backgrounds, confuses `l`/`I` and friends, cannot tell an SMS
+//!   screenshot from an awareness poster, and reads the status-bar clock as
+//!   if it were message text,
+//! - [`ocr_vision::VisionOcr`] — the Google-Vision-like block OCR: clean
+//!   characters, but block ordering scrambles multi-line messages, so URLs
+//!   wrapped across bubble lines come out incomplete,
+//! - [`extract_llm::LlmExtractor`] — the OpenAI-Vision-like structured
+//!   extractor: discriminates SMS vs non-SMS images, reads bubbles in
+//!   order, rejoins wrapped URLs and returns (text, URL, sender,
+//!   timestamp) as separate fields.
+//!
+//! Screenshots are *glyph-structured*, not rasterized: a list of positioned
+//! text blocks with theme metadata. That is sufficient to reproduce every
+//! failure mode §3.2's methodology decision rests on (see DESIGN.md's
+//! substitution table).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod compare;
+pub mod extract_llm;
+pub mod image;
+pub mod ocr_naive;
+pub mod ocr_vision;
+pub mod render;
+
+pub use compare::{evaluate, ExtractionScore};
+pub use extract_llm::LlmExtractor;
+pub use image::{AppTheme, BlockKind, Extraction, Extractor, Screenshot, TextBlock};
+pub use ocr_naive::NaiveOcr;
+pub use ocr_vision::VisionOcr;
+pub use render::{render_noise_image, render_sms, RenderSpec};

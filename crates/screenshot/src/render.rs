@@ -1,0 +1,217 @@
+//! The layout engine: message → positioned text blocks.
+
+use crate::image::{AppTheme, BlockKind, Screenshot, ScreenshotTruth, TextBlock};
+use rand::Rng;
+use smishing_types::{CivilDateTime, NoiseKind, TimestampStyle};
+
+/// Inputs for rendering one SMS screenshot.
+#[derive(Debug, Clone)]
+pub struct RenderSpec {
+    /// Sender ID as the app displays it (`None` = reporter cropped it out
+    /// or the app hid it).
+    pub sender: Option<String>,
+    /// Full message text (URL inline, as sent).
+    pub text: String,
+    /// The URL inside `text`, if any (ground truth for evaluation).
+    pub url: Option<String>,
+    /// When the message was received.
+    pub received: CivilDateTime,
+    /// How the app renders the timestamp (`None` = timestamp not visible).
+    pub timestamp_style: Option<TimestampStyle>,
+    /// App theme.
+    pub theme: AppTheme,
+    /// Photo/compression noise in `[0, 1]`.
+    pub noise: f64,
+}
+
+/// Greedy word wrap at `width` columns. Overlong words (URLs!) are split
+/// hard mid-word — exactly what makes URLs span bubble lines (§3.2).
+pub fn wrap(text: &str, width: usize) -> Vec<String> {
+    assert!(width >= 4, "unreasonable wrap width");
+    let mut lines: Vec<String> = Vec::new();
+    let mut line = String::new();
+    for word in text.split_whitespace() {
+        let mut w = word;
+        loop {
+            let need = if line.is_empty() { w.chars().count() } else { w.chars().count() + 1 };
+            let used = line.chars().count();
+            if used + need <= width {
+                if !line.is_empty() {
+                    line.push(' ');
+                }
+                line.push_str(w);
+                break;
+            }
+            if line.is_empty() {
+                // Hard-split an overlong word.
+                let split_at = w
+                    .char_indices()
+                    .nth(width)
+                    .map(|(i, _)| i)
+                    .unwrap_or(w.len());
+                line.push_str(&w[..split_at]);
+                lines.push(std::mem::take(&mut line));
+                w = &w[split_at..];
+                if w.is_empty() {
+                    break;
+                }
+                continue;
+            }
+            lines.push(std::mem::take(&mut line));
+        }
+    }
+    if !line.is_empty() {
+        lines.push(line);
+    }
+    lines
+}
+
+/// Render an SMS screenshot from a spec.
+pub fn render_sms<R: Rng + ?Sized>(spec: &RenderSpec, rng: &mut R) -> Screenshot {
+    let mut blocks = Vec::new();
+    // Status bar: carrier + an unrelated wall-clock time (OCR trap).
+    let clock_h: u8 = rng.gen_range(0..24);
+    let clock_m: u8 = rng.gen_range(0..60);
+    blocks.push(TextBlock {
+        kind: BlockKind::StatusBar,
+        text: format!("{:02}:{:02}  LTE  87%", clock_h, clock_m),
+        x: 0,
+        y: 0,
+    });
+    if let Some(sender) = &spec.sender {
+        blocks.push(TextBlock { kind: BlockKind::SenderHeader, text: sender.clone(), x: 4, y: 1 });
+    }
+    let ts_string = spec.timestamp_style.map(|style| style.format(spec.received));
+    if let Some(ts) = &ts_string {
+        blocks.push(TextBlock { kind: BlockKind::Timestamp, text: ts.clone(), x: 10, y: 2 });
+    }
+    for (i, line) in wrap(&spec.text, spec.theme.chars_per_line()).into_iter().enumerate() {
+        blocks.push(TextBlock { kind: BlockKind::BubbleLine, text: line, x: 2, y: 3 + i as u16 });
+    }
+    Screenshot {
+        theme: spec.theme,
+        blocks,
+        is_sms: true,
+        noise_kind: None,
+        noise: spec.noise.clamp(0.0, 1.0),
+        truth: ScreenshotTruth {
+            text: Some(spec.text.clone()),
+            url: spec.url.clone(),
+            sender: spec.sender.clone(),
+            timestamp: ts_string,
+        },
+    }
+}
+
+/// Render a keyword-matched image that is NOT an SMS screenshot: awareness
+/// posters and unrelated screenshots (§3.2 instructs the extractor to
+/// dismiss these).
+pub fn render_noise_image<R: Rng + ?Sized>(kind: NoiseKind, rng: &mut R) -> Screenshot {
+    let captions: &[&str] = match kind {
+        NoiseKind::AwarenessPoster => &[
+            "STOP SMISHING — think before you click",
+            "Report scam texts to 7726",
+            "Protect yourself from SMS phishing scams",
+        ],
+        _ => &[
+            "Inbox (3 unread) — Promotions tab",
+            "Breaking: new wave of text scams hits users",
+            "Settings > Notifications > Messages",
+        ],
+    };
+    let text = captions[rng.gen_range(0..captions.len())];
+    Screenshot {
+        theme: AppTheme::AndroidMessages,
+        blocks: vec![
+            TextBlock { kind: BlockKind::Caption, text: text.to_string(), x: 0, y: 0 },
+            TextBlock {
+                kind: BlockKind::Caption,
+                text: "shared image".to_string(),
+                x: 0,
+                y: 1,
+            },
+        ],
+        is_sms: false,
+        noise_kind: Some(kind),
+        noise: rng.gen_range(0.0..0.4),
+        truth: ScreenshotTruth::default(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use smishing_types::{Date, TimeOfDay};
+
+    fn spec(text: &str, theme: AppTheme) -> RenderSpec {
+        RenderSpec {
+            sender: Some("+447900000001".into()),
+            text: text.into(),
+            url: None,
+            received: CivilDateTime::new(
+                Date::new(2022, 6, 10).unwrap(),
+                TimeOfDay::new(14, 5, 0).unwrap(),
+            ),
+            timestamp_style: Some(TimestampStyle::Iso),
+            theme,
+            noise: 0.1,
+        }
+    }
+
+    #[test]
+    fn wrap_basic() {
+        let lines = wrap("one two three four five six seven", 12);
+        assert!(lines.iter().all(|l| l.chars().count() <= 12), "{lines:?}");
+        assert_eq!(lines.join(" "), "one two three four five six seven");
+    }
+
+    #[test]
+    fn wrap_splits_long_urls() {
+        let url = "https://secure-banking-verification-portal.example.com/login/session";
+        let lines = wrap(&format!("Visit {url} now"), 30);
+        assert!(lines.len() >= 3, "{lines:?}");
+        // Rejoining the split fragments reconstructs the URL.
+        let joined = lines.join("");
+        assert!(joined.replace(' ', "").contains(&url.replace(' ', "")), "{joined}");
+    }
+
+    #[test]
+    fn wrap_width_respected_for_multibyte() {
+        let lines = wrap("ありがとうございますありがとうございます", 10);
+        assert!(lines.iter().all(|l| l.chars().count() <= 10), "{lines:?}");
+    }
+
+    #[test]
+    fn rendered_screenshot_structure() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let shot = render_sms(&spec("Your account is locked. Visit the branch today.", AppTheme::Imessage), &mut rng);
+        assert!(shot.is_sms);
+        assert!(!shot.blocks_of(BlockKind::StatusBar).is_empty());
+        assert!(!shot.blocks_of(BlockKind::SenderHeader).is_empty());
+        assert!(!shot.blocks_of(BlockKind::Timestamp).is_empty());
+        assert!(shot.blocks_of(BlockKind::BubbleLine).len() >= 2);
+        assert_eq!(shot.truth.sender.as_deref(), Some("+447900000001"));
+    }
+
+    #[test]
+    fn noise_images_are_not_sms() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let shot = render_noise_image(NoiseKind::AwarenessPoster, &mut rng);
+        assert!(!shot.is_sms);
+        assert!(shot.truth.text.is_none());
+    }
+
+    #[test]
+    fn missing_sender_and_timestamp_supported() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut s = spec("hello there friend", AppTheme::Imessage);
+        s.sender = None;
+        s.timestamp_style = None;
+        let shot = render_sms(&s, &mut rng);
+        assert!(shot.blocks_of(BlockKind::SenderHeader).is_empty());
+        assert!(shot.blocks_of(BlockKind::Timestamp).is_empty());
+        assert_eq!(shot.truth.timestamp, None);
+    }
+}

@@ -1,0 +1,86 @@
+//! Property-based tests over the screenshot renderer and extractors.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use smishing_screenshot::{
+    render_sms, AppTheme, Extractor, LlmExtractor, NaiveOcr, RenderSpec, VisionOcr,
+};
+use smishing_screenshot::render::wrap;
+use smishing_types::{CivilDateTime, Date, TimeOfDay, TimestampStyle};
+
+fn spec(text: String, theme: AppTheme, noise: f64) -> RenderSpec {
+    RenderSpec {
+        sender: Some("+447900000001".into()),
+        text,
+        url: None,
+        received: CivilDateTime::new(
+            Date::new(2022, 6, 10).unwrap(),
+            TimeOfDay::new(14, 5, 0).unwrap(),
+        ),
+        timestamp_style: Some(TimestampStyle::Iso),
+        theme,
+        noise,
+    }
+}
+
+proptest! {
+    #[test]
+    fn wrap_preserves_characters(text in "[a-zA-Z0-9 ./:-]{1,200}", width in 8usize..50) {
+        let lines = wrap(&text, width);
+        for l in &lines {
+            prop_assert!(l.chars().count() <= width, "{l:?} too long for {width}");
+        }
+        let rejoined_chars: String =
+            lines.join("").chars().filter(|c| *c != ' ').collect();
+        let original_chars: String = text.chars().filter(|c| *c != ' ').collect();
+        prop_assert_eq!(rejoined_chars, original_chars);
+    }
+
+    #[test]
+    fn extractors_never_panic(
+        text in "\\PC{1,150}",
+        theme_idx in 0usize..6,
+        noise in 0.0f64..1.0,
+        seed in 0u64..50,
+    ) {
+        prop_assume!(!text.trim().is_empty());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let theme = AppTheme::ALL[theme_idx];
+        let shot = render_sms(&spec(text, theme, noise), &mut rng);
+        let _ = NaiveOcr::new(seed).extract(&shot);
+        let _ = VisionOcr::new(seed).extract(&shot);
+        let _ = LlmExtractor::new(seed).extract(&shot);
+    }
+
+    #[test]
+    fn llm_recovers_simple_texts_exactly(
+        words in prop::collection::vec("[a-z]{1,9}", 3..25),
+        theme_idx in 0usize..6,
+        seed in 0u64..50,
+    ) {
+        // Texts of plain short words have no rejoin ambiguity: recovery
+        // must be exact on every theme.
+        let text = words.join(" ");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let theme = AppTheme::ALL[theme_idx];
+        let shot = render_sms(&spec(text.clone(), theme, 0.1), &mut rng);
+        // Disable the (realistic) 1% SMS-discrimination error: this
+        // property is about text reconstruction, not discrimination.
+        let mut llm = LlmExtractor::new(seed);
+        llm.discrimination_error = 0.0;
+        let e = llm.extract(&shot);
+        prop_assert_eq!(e.text.as_deref(), Some(text.as_str()));
+        prop_assert_eq!(e.sender.as_deref(), Some("+447900000001"));
+    }
+
+    #[test]
+    fn extraction_is_deterministic(text in "[a-z ]{5,80}", seed in 0u64..20) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let shot = render_sms(&spec(text, AppTheme::Imessage, 0.3), &mut rng);
+        let llm = LlmExtractor::new(seed);
+        prop_assert_eq!(llm.extract(&shot), llm.extract(&shot));
+        let naive = NaiveOcr::new(seed);
+        prop_assert_eq!(naive.extract(&shot), naive.extract(&shot));
+    }
+}

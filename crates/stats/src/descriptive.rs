@@ -1,0 +1,50 @@
+//! Descriptive statistics (mean/variance) — §4.5 reports mean 39 and
+//! median 4 certificates per domain.
+
+/// Arithmetic mean; `None` on empty input.
+pub fn mean(sample: &[f64]) -> Option<f64> {
+    if sample.is_empty() {
+        return None;
+    }
+    Some(sample.iter().sum::<f64>() / sample.len() as f64)
+}
+
+/// Sample variance (Bessel-corrected); `None` for fewer than two points.
+pub fn variance(sample: &[f64]) -> Option<f64> {
+    if sample.len() < 2 {
+        return None;
+    }
+    let m = mean(sample)?;
+    let ss: f64 = sample.iter().map(|x| (x - m) * (x - m)).sum();
+    Some(ss / (sample.len() - 1) as f64)
+}
+
+/// Sample standard deviation; `None` for fewer than two points.
+pub fn stddev(sample: &[f64]) -> Option<f64> {
+    variance(sample).map(f64::sqrt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_basic() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), Some(2.0));
+        assert_eq!(mean(&[]), None);
+    }
+
+    #[test]
+    fn variance_known_value() {
+        // Var of [2,4,4,4,5,5,7,9] is 32/7 with Bessel correction.
+        let s = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let v = variance(&s).unwrap();
+        assert!((v - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stddev_of_constant_is_zero() {
+        assert_eq!(stddev(&[3.0, 3.0, 3.0]), Some(0.0));
+        assert_eq!(stddev(&[3.0]), None);
+    }
+}

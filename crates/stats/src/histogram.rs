@@ -1,0 +1,129 @@
+//! Fixed-bin histograms.
+//!
+//! Fig. 2 is rendered from hour-of-day densities per weekday; a fixed-bin
+//! histogram over `[0, 86400)` seconds is the underlying structure.
+
+/// A histogram over a fixed numeric range with equal-width bins.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    count: u64,
+}
+
+impl Histogram {
+    /// Build a histogram over `[lo, hi)` with `n_bins` equal-width bins.
+    ///
+    /// # Panics
+    /// Panics if `n_bins == 0` or `hi <= lo`.
+    pub fn new(lo: f64, hi: f64, n_bins: usize) -> Histogram {
+        assert!(n_bins > 0, "histogram needs at least one bin");
+        assert!(hi > lo, "histogram range must be non-empty");
+        Histogram { lo, hi, bins: vec![0; n_bins], underflow: 0, overflow: 0, count: 0 }
+    }
+
+    /// Record a value.
+    pub fn add(&mut self, value: f64) {
+        self.count += 1;
+        if value < self.lo {
+            self.underflow += 1;
+            return;
+        }
+        if value >= self.hi {
+            self.overflow += 1;
+            return;
+        }
+        let width = (self.hi - self.lo) / self.bins.len() as f64;
+        let idx = ((value - self.lo) / width) as usize;
+        let idx = idx.min(self.bins.len() - 1); // guard FP edge
+        self.bins[idx] += 1;
+    }
+
+    /// Raw bin counts.
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Total values recorded (including out-of-range).
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Values that fell below/above the range.
+    pub fn out_of_range(&self) -> (u64, u64) {
+        (self.underflow, self.overflow)
+    }
+
+    /// Center of bin `i`.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        let width = (self.hi - self.lo) / self.bins.len() as f64;
+        self.lo + width * (i as f64 + 0.5)
+    }
+
+    /// Index of the fullest bin (first on ties).
+    pub fn mode_bin(&self) -> usize {
+        let mut best = 0;
+        for (i, &c) in self.bins.iter().enumerate() {
+            if c > self.bins[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Normalized densities summing to 1 over in-range values (all zeros if
+    /// nothing in range).
+    pub fn densities(&self) -> Vec<f64> {
+        let in_range: u64 = self.bins.iter().sum();
+        if in_range == 0 {
+            return vec![0.0; self.bins.len()];
+        }
+        self.bins.iter().map(|&c| c as f64 / in_range as f64).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_binning() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        for v in [0.0, 1.9, 2.0, 9.99, 10.0, -0.1] {
+            h.add(v);
+        }
+        assert_eq!(h.bins(), &[2, 1, 0, 0, 1]);
+        assert_eq!(h.out_of_range(), (1, 1));
+        assert_eq!(h.count(), 6);
+    }
+
+    #[test]
+    fn centers_and_mode() {
+        let mut h = Histogram::new(0.0, 24.0, 24);
+        for _ in 0..5 {
+            h.add(13.5);
+        }
+        h.add(2.0);
+        assert_eq!(h.mode_bin(), 13);
+        assert!((h.bin_center(13) - 13.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn densities_sum_to_one() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        for i in 0..100 {
+            h.add(i as f64 / 100.0);
+        }
+        let sum: f64 = h.densities().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_bins_panics() {
+        let _ = Histogram::new(0.0, 1.0, 0);
+    }
+}

@@ -1,0 +1,223 @@
+//! Cohen's κ for inter-rater reliability (§3.4).
+//!
+//! The paper compares two human annotators, then GPT-4o against the human
+//! consensus, on three properties (brand, scam type, lure principle). Scam
+//! type and brand are single-label nominal; lures are multi-label, which we
+//! handle as the mean of per-label binary κ (a common multi-label IRR
+//! treatment that matches the paper's single reported number).
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Qualitative agreement bands (Landis & Koch), as the paper phrases them
+/// ("substantial agreement", "near-perfect agreement").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AgreementLevel {
+    /// κ ≤ 0 — no better than chance.
+    Poor,
+    /// 0 < κ ≤ 0.20.
+    Slight,
+    /// 0.20 < κ ≤ 0.40.
+    Fair,
+    /// 0.40 < κ ≤ 0.60.
+    Moderate,
+    /// 0.60 < κ ≤ 0.80 — "substantial".
+    Substantial,
+    /// κ > 0.80 — "near-perfect".
+    NearPerfect,
+}
+
+impl AgreementLevel {
+    /// Band for a κ value.
+    pub fn of(kappa: f64) -> AgreementLevel {
+        match kappa {
+            k if k <= 0.0 => AgreementLevel::Poor,
+            k if k <= 0.20 => AgreementLevel::Slight,
+            k if k <= 0.40 => AgreementLevel::Fair,
+            k if k <= 0.60 => AgreementLevel::Moderate,
+            k if k <= 0.80 => AgreementLevel::Substantial,
+            _ => AgreementLevel::NearPerfect,
+        }
+    }
+
+    /// The phrase used in the paper's §3.4.
+    pub fn phrase(self) -> &'static str {
+        match self {
+            AgreementLevel::Poor => "poor",
+            AgreementLevel::Slight => "slight",
+            AgreementLevel::Fair => "fair",
+            AgreementLevel::Moderate => "moderate",
+            AgreementLevel::Substantial => "substantial",
+            AgreementLevel::NearPerfect => "near-perfect",
+        }
+    }
+}
+
+/// Cohen's κ over paired nominal labels.
+///
+/// Returns `None` if the slices differ in length or are empty. By
+/// convention κ = 1 when both raters agree perfectly *and* use a single
+/// category (expected agreement 1); this avoids a 0/0.
+pub fn cohen_kappa<L: Eq + Hash + Clone>(rater_a: &[L], rater_b: &[L]) -> Option<f64> {
+    if rater_a.len() != rater_b.len() || rater_a.is_empty() {
+        return None;
+    }
+    let n = rater_a.len() as f64;
+    let mut observed = 0usize;
+    // Marginals in first-seen order: summation order is deterministic, so
+    // repeated runs produce bit-identical kappa values.
+    let mut marg_a: Vec<(&L, f64)> = Vec::new();
+    let mut marg_b: HashMap<&L, f64> = HashMap::new();
+    for (a, b) in rater_a.iter().zip(rater_b.iter()) {
+        if a == b {
+            observed += 1;
+        }
+        match marg_a.iter_mut().find(|(l, _)| *l == a) {
+            Some((_, c)) => *c += 1.0,
+            None => marg_a.push((a, 1.0)),
+        }
+        *marg_b.entry(b).or_insert(0.0) += 1.0;
+    }
+    let po = observed as f64 / n;
+    let mut pe = 0.0;
+    for (label, ca) in marg_a.iter() {
+        if let Some(cb) = marg_b.get(*label) {
+            pe += (ca / n) * (cb / n);
+        }
+    }
+    if (1.0 - pe).abs() < 1e-12 {
+        // Degenerate marginals: perfect expected agreement. κ is defined as
+        // 1 when observed agreement is also perfect, else 0.
+        return Some(if (po - 1.0).abs() < 1e-12 { 1.0 } else { 0.0 });
+    }
+    Some((po - pe) / (1.0 - pe))
+}
+
+/// Multi-label κ: mean of per-label binary κ over the label universe.
+///
+/// Each item is a set of labels (here represented as sorted `Vec`s of some
+/// label type). Labels that neither rater ever uses are skipped. Per-label
+/// κ that is degenerate-but-agreeing contributes 1.0.
+pub fn kappa_from_labels<L: Eq + Hash + Clone + Ord>(
+    rater_a: &[Vec<L>],
+    rater_b: &[Vec<L>],
+    universe: &[L],
+) -> Option<f64> {
+    if rater_a.len() != rater_b.len() || rater_a.is_empty() {
+        return None;
+    }
+    let mut kappas = Vec::new();
+    for label in universe {
+        let a: Vec<bool> = rater_a.iter().map(|s| s.contains(label)).collect();
+        let b: Vec<bool> = rater_b.iter().map(|s| s.contains(label)).collect();
+        if a.iter().all(|&x| !x) && b.iter().all(|&x| !x) {
+            continue; // label never used by either rater
+        }
+        kappas.push(cohen_kappa(&a, &b)?);
+    }
+    if kappas.is_empty() {
+        return None;
+    }
+    Some(kappas.iter().sum::<f64>() / kappas.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_agreement_is_one() {
+        let a = vec!["x", "y", "x", "z"];
+        assert!((cohen_kappa(&a, &a).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn textbook_example() {
+        // Classic 2x2 example: 50 items, raters agree on 20 yes + 15 no,
+        // disagree on 15. po = 0.7, pe = 0.5 -> kappa = 0.4.
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for _ in 0..20 {
+            a.push(true);
+            b.push(true);
+        }
+        for _ in 0..15 {
+            a.push(false);
+            b.push(false);
+        }
+        for _ in 0..10 {
+            a.push(true);
+            b.push(false);
+        }
+        for _ in 0..5 {
+            a.push(false);
+            b.push(true);
+        }
+        // marginals: a: 30 yes / 20 no; b: 25 yes / 25 no
+        // pe = 0.6*0.5 + 0.4*0.5 = 0.5; po = 35/50 = 0.7; kappa = 0.4
+        let k = cohen_kappa(&a, &b).unwrap();
+        assert!((k - 0.4).abs() < 1e-12, "{k}");
+    }
+
+    #[test]
+    fn chance_level_is_near_zero() {
+        // Rater B's labels are independent of A's: alternate pattern with
+        // identical marginals gives kappa close to 0.
+        let a = vec![true, true, false, false];
+        let b = vec![true, false, true, false];
+        let k = cohen_kappa(&a, &b).unwrap();
+        assert!(k.abs() < 1e-9, "{k}");
+    }
+
+    #[test]
+    fn degenerate_single_category() {
+        let a = vec!["x"; 10];
+        assert_eq!(cohen_kappa(&a, &a), Some(1.0));
+        let mut b = a.clone();
+        b[0] = "y";
+        // Not degenerate: b has two categories now.
+        let k = cohen_kappa(&a, &b).unwrap();
+        assert!(k <= 0.0, "{k}");
+    }
+
+    #[test]
+    fn mismatched_or_empty_inputs() {
+        let a = vec![1, 2];
+        let b = vec![1];
+        assert_eq!(cohen_kappa(&a, &b), None);
+        let e: Vec<i32> = vec![];
+        assert_eq!(cohen_kappa(&e, &e), None);
+    }
+
+    #[test]
+    fn multilabel_perfect() {
+        let a = vec![vec!["auth", "urgency"], vec!["herd"]];
+        let universe = vec!["auth", "urgency", "herd", "kindness"];
+        assert!((kappa_from_labels(&a, &a, &universe).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multilabel_partial_disagreement_lands_between() {
+        let a = vec![
+            vec!["auth"],
+            vec!["auth", "urgency"],
+            vec!["urgency"],
+            vec!["auth"],
+            vec!["urgency"],
+            vec!["auth", "urgency"],
+        ];
+        let mut b = a.clone();
+        b[0] = vec!["urgency"]; // one item fully flipped
+        let universe = vec!["auth", "urgency"];
+        let k = kappa_from_labels(&a, &b, &universe).unwrap();
+        assert!(k > 0.0 && k < 1.0, "{k}");
+    }
+
+    #[test]
+    fn agreement_bands_match_paper_phrasing() {
+        assert_eq!(AgreementLevel::of(0.94), AgreementLevel::NearPerfect);
+        assert_eq!(AgreementLevel::of(0.70), AgreementLevel::Substantial);
+        assert_eq!(AgreementLevel::of(0.82).phrase(), "near-perfect");
+        assert_eq!(AgreementLevel::of(-0.1), AgreementLevel::Poor);
+    }
+}

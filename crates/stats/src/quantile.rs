@@ -1,0 +1,95 @@
+//! Quantiles and medians (Fig. 2 reports per-weekday medians like
+//! "Mon – 12:38:00").
+//!
+//! Uses the linear-interpolation definition (type 7 in the R taxonomy),
+//! which is also NumPy's default — what the paper's plotting code would
+//! have computed.
+
+/// The `q`-quantile (0 ≤ q ≤ 1) of a sample, by linear interpolation.
+/// Returns `None` on an empty sample or out-of-range `q`.
+pub fn quantile(sample: &[f64], q: f64) -> Option<f64> {
+    if sample.is_empty() || !(0.0..=1.0).contains(&q) {
+        return None;
+    }
+    let mut s = sample.to_vec();
+    s.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in quantile input"));
+    Some(quantile_sorted(&s, q))
+}
+
+/// Like [`quantile`] but assumes `sorted` is already ascending (no checks).
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let pos = q * (n - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// The median of a sample. `None` on empty input.
+pub fn median(sample: &[f64]) -> Option<f64> {
+    quantile(sample, 0.5)
+}
+
+/// The five-number summary used by boxplots: (min, q1, median, q3, max).
+pub fn five_number_summary(sample: &[f64]) -> Option<(f64, f64, f64, f64, f64)> {
+    if sample.is_empty() {
+        return None;
+    }
+    let mut s = sample.to_vec();
+    s.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    Some((
+        s[0],
+        quantile_sorted(&s, 0.25),
+        quantile_sorted(&s, 0.5),
+        quantile_sorted(&s, 0.75),
+        s[s.len() - 1],
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_odd_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), Some(2.0));
+        assert_eq!(median(&[1.0, 2.0, 3.0, 4.0]), Some(2.5));
+        assert_eq!(median(&[7.0]), Some(7.0));
+        assert_eq!(median(&[]), None);
+    }
+
+    #[test]
+    fn quartiles_interpolate() {
+        let s = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&s, 0.25), Some(1.75));
+        assert_eq!(quantile(&s, 0.75), Some(3.25));
+        assert_eq!(quantile(&s, 0.0), Some(1.0));
+        assert_eq!(quantile(&s, 1.0), Some(4.0));
+    }
+
+    #[test]
+    fn out_of_range_q() {
+        assert_eq!(quantile(&[1.0], 1.5), None);
+        assert_eq!(quantile(&[1.0], -0.1), None);
+    }
+
+    #[test]
+    fn five_numbers() {
+        let (min, q1, med, q3, max) =
+            five_number_summary(&[5.0, 1.0, 4.0, 2.0, 3.0]).unwrap();
+        assert_eq!((min, q1, med, q3, max), (1.0, 2.0, 3.0, 4.0, 5.0));
+    }
+
+    #[test]
+    fn unsorted_input_is_fine() {
+        assert_eq!(quantile(&[9.0, 1.0, 5.0], 0.5), Some(5.0));
+    }
+}

@@ -1,0 +1,89 @@
+//! Seeded sampling.
+//!
+//! The paper draws a 150-message random subset for the IRR study (§3.4) and
+//! a 200-report sample for the active case study (§3.3.5). Reservoir
+//! sampling with an explicit RNG keeps both draws reproducible.
+
+use rand::Rng;
+
+/// Uniform reservoir sample of `k` items from an iterator (Algorithm R).
+///
+/// Returns fewer than `k` items if the iterator is shorter. Order of the
+/// returned items is the reservoir order (not the stream order).
+pub fn reservoir_sample<T, I, R>(iter: I, k: usize, rng: &mut R) -> Vec<T>
+where
+    I: IntoIterator<Item = T>,
+    R: Rng + ?Sized,
+{
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut reservoir: Vec<T> = Vec::with_capacity(k);
+    for (i, item) in iter.into_iter().enumerate() {
+        if i < k {
+            reservoir.push(item);
+        } else {
+            let j = rng.gen_range(0..=i);
+            if j < k {
+                reservoir[j] = item;
+            }
+        }
+    }
+    reservoir
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn short_stream_returns_everything() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = reservoir_sample(0..3, 10, &mut rng);
+        assert_eq!(s, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn exact_size() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = reservoir_sample(0..10_000, 150, &mut rng);
+        assert_eq!(s.len(), 150);
+        let mut t = s.clone();
+        t.sort_unstable();
+        t.dedup();
+        assert_eq!(t.len(), 150, "no duplicates");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = reservoir_sample(0..1000, 20, &mut StdRng::seed_from_u64(42));
+        let b = reservoir_sample(0..1000, 20, &mut StdRng::seed_from_u64(42));
+        assert_eq!(a, b);
+        let c = reservoir_sample(0..1000, 20, &mut StdRng::seed_from_u64(43));
+        assert_ne!(a, c, "different seed should (overwhelmingly) differ");
+    }
+
+    #[test]
+    fn roughly_uniform() {
+        // Each of 100 items should be picked ~ (10/100) of the time over
+        // many trials; bound loosely.
+        let mut hits = [0u32; 100];
+        for seed in 0..2000 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            for v in reservoir_sample(0..100, 10, &mut rng) {
+                hits[v as usize] += 1;
+            }
+        }
+        for (i, &h) in hits.iter().enumerate() {
+            assert!((100..320).contains(&h), "item {i} hit {h} times");
+        }
+    }
+
+    #[test]
+    fn k_zero() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(reservoir_sample(0..100, 0, &mut rng).is_empty());
+    }
+}

@@ -1,0 +1,120 @@
+//! Raw sender-ID classification (§3.3.1).
+//!
+//! "We create regular expressions to differentiate between mobile numbers,
+//! email addresses, and alphanumeric sender IDs." This module is that step,
+//! implemented as a small hand-rolled matcher: email if it has exactly one
+//! `@` with a dotted domain; phone-like if it is (nearly) all digits after
+//! stripping phone punctuation; alphanumeric otherwise.
+
+/// Coarse kind of a raw sender string, before any numbering-plan checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RawSenderKind {
+    /// Looks like a phone number (may still be a spoofed bad-format one).
+    PhoneLike,
+    /// Looks like an email address.
+    EmailLike,
+    /// An alphanumeric shortcode (`SBIBNK`, `GOV-UK`, `M-PESA`...).
+    AlphanumericLike,
+    /// Empty/whitespace — e.g. a redacted sender.
+    Empty,
+}
+
+/// Strip characters people and apps put inside phone numbers.
+pub(crate) fn strip_phone_punct(s: &str) -> String {
+    s.chars()
+        .filter(|c| !matches!(c, ' ' | '-' | '(' | ')' | '.' | '\u{a0}'))
+        .collect()
+}
+
+fn is_email_like(s: &str) -> bool {
+    let mut parts = s.split('@');
+    let (Some(local), Some(domain), None) = (parts.next(), parts.next(), parts.next()) else {
+        return false;
+    };
+    if local.is_empty() || domain.len() < 3 || !domain.contains('.') {
+        return false;
+    }
+    if domain.starts_with('.') || domain.ends_with('.') {
+        return false;
+    }
+    domain.chars().all(|c| c.is_ascii_alphanumeric() || c == '.' || c == '-')
+}
+
+fn is_phone_like(s: &str) -> bool {
+    let stripped = strip_phone_punct(s);
+    let body = stripped.strip_prefix('+').unwrap_or(&stripped);
+    if body.len() < 7 {
+        // Short digit-only codes (e.g. "7726", "60678") are operator
+        // shortcodes, which the paper files under alphanumeric sender IDs;
+        // real phone numbers are at least 7 digits nationally.
+        return false;
+    }
+    let digits = body.chars().filter(|c| c.is_ascii_digit()).count();
+    digits == body.chars().count()
+}
+
+/// Classify a raw sender string.
+pub fn classify_sender(raw: &str) -> RawSenderKind {
+    let s = raw.trim();
+    if s.is_empty() {
+        return RawSenderKind::Empty;
+    }
+    if is_email_like(s) {
+        return RawSenderKind::EmailLike;
+    }
+    if is_phone_like(s) {
+        return RawSenderKind::PhoneLike;
+    }
+    RawSenderKind::AlphanumericLike
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phones() {
+        for p in [
+            "+447911123456",
+            "07911 123456",
+            "(917) 555-0123",
+            "91-98765-43210",
+            "0039 333 1234567",
+            "123456789012345678", // spoofed, too long — still phone-like
+        ] {
+            assert_eq!(classify_sender(p), RawSenderKind::PhoneLike, "{p:?}");
+        }
+    }
+
+    #[test]
+    fn emails() {
+        for e in ["scam@icloud.com", "a.b@mail.example.co.uk", "x@y.io"] {
+            assert_eq!(classify_sender(e), RawSenderKind::EmailLike, "{e:?}");
+        }
+    }
+
+    #[test]
+    fn not_emails() {
+        for e in ["@nodomain", "two@@ats.com", "a@nodot", "a@.bad.", "user@"] {
+            assert_ne!(classify_sender(e), RawSenderKind::EmailLike, "{e:?}");
+        }
+    }
+
+    #[test]
+    fn alphanumerics() {
+        for a in ["SBIBNK", "GOV-UK", "M-PESA", "InfoSMS", "AX-HDFCBK", "7726", "60678"] {
+            assert_eq!(classify_sender(a), RawSenderKind::AlphanumericLike, "{a:?}");
+        }
+    }
+
+    #[test]
+    fn empty_and_redacted() {
+        assert_eq!(classify_sender(""), RawSenderKind::Empty);
+        assert_eq!(classify_sender("   "), RawSenderKind::Empty);
+    }
+
+    #[test]
+    fn mixed_digits_and_letters_is_alphanumeric() {
+        assert_eq!(classify_sender("44ABC123456"), RawSenderKind::AlphanumericLike);
+    }
+}

@@ -1,0 +1,40 @@
+//! # smishing-telecom
+//!
+//! The telephony substrate behind §3.3.1 / §4.1 / §5.6:
+//!
+//! - [`classify`]: split raw sender strings into phone / email /
+//!   alphanumeric (the regex step of §3.3.1),
+//! - [`plan`]: per-country numbering plans — prefix rules deciding whether
+//!   a number is mobile, landline, VoIP, toll-free, pager, ... (Table 3),
+//! - [`parse`]: international and national phone-number parsing with
+//!   bad-format detection (spoofed sender IDs with too many digits),
+//! - [`mno`]: the mobile-network-operator registry (Table 4),
+//! - [`hlr`]: a Home Location Register lookup simulator returning the
+//!   number's type, original and current operator, origin country and
+//!   live/inactive/dead status — including the number-recycling behaviour
+//!   that makes "current operator" unreliable (§3.3.1),
+//! - [`numgen`]: deterministic generation of numbers that the HLR maps back
+//!   to a chosen (country, operator) pair — used by the world simulator.
+//!
+//! The HLR is exposed as a trait ([`hlr::HlrLookup`]) so the pipeline code
+//! is identical whether it talks to the simulator or, in a real deployment,
+//! an actual HLR provider.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod classify;
+pub mod hlr;
+pub mod mno;
+pub mod numbertype;
+pub mod numgen;
+pub mod parse;
+pub mod plan;
+
+pub use classify::{classify_sender, RawSenderKind};
+pub use hlr::{HlrLookup, HlrRecord, NumberStatus, SimulatedHlr};
+pub use mno::{Mno, MnoRegistry};
+pub use numbertype::NumberType;
+pub use numgen::NumberFactory;
+pub use parse::{parse_phone, parse_phone_national};
+pub use plan::{CountryPlan, PlanRegistry};

@@ -1,0 +1,141 @@
+//! Mobile network operator registry.
+//!
+//! Built by aggregating the numbering plans: an operator "exists" in every
+//! country where it holds a mobile allocation. Table 4 reports, per
+//! operator, how many abused numbers originated on its network and from
+//! which countries.
+
+use crate::plan::PlanRegistry;
+use smishing_types::Country;
+use std::collections::BTreeMap;
+use std::sync::OnceLock;
+
+/// A mobile network operator and its footprint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mno {
+    /// Canonical operator name (as in Table 4: "Vodafone", "AirTel"...).
+    pub name: &'static str,
+    /// Countries where the operator holds mobile allocations, sorted.
+    pub countries: Vec<Country>,
+}
+
+impl Mno {
+    /// Whether the operator is a multi-country group.
+    pub fn is_multinational(&self) -> bool {
+        self.countries.len() > 1
+    }
+}
+
+/// All modelled operators, derived from the numbering plans.
+#[derive(Debug)]
+pub struct MnoRegistry {
+    by_name: BTreeMap<&'static str, Mno>,
+}
+
+impl MnoRegistry {
+    /// The process-wide registry.
+    pub fn global() -> &'static MnoRegistry {
+        static REG: OnceLock<MnoRegistry> = OnceLock::new();
+        REG.get_or_init(|| {
+            let mut by_name: BTreeMap<&'static str, Mno> = BTreeMap::new();
+            let plans = PlanRegistry::global();
+            for country in plans.countries() {
+                let plan = plans.plan_for(country).expect("listed country has plan");
+                for op in plan.operators() {
+                    let entry = by_name
+                        .entry(op)
+                        .or_insert_with(|| Mno { name: op, countries: Vec::new() });
+                    if !entry.countries.contains(&country) {
+                        entry.countries.push(country);
+                    }
+                }
+            }
+            for mno in by_name.values_mut() {
+                mno.countries.sort();
+            }
+            MnoRegistry { by_name }
+        })
+    }
+
+    /// Look up an operator by name.
+    pub fn get(&self, name: &str) -> Option<&Mno> {
+        self.by_name.get(name)
+    }
+
+    /// All operators, sorted by name.
+    pub fn all(&self) -> impl Iterator<Item = &Mno> {
+        self.by_name.values()
+    }
+
+    /// Operators with allocations in a given country.
+    pub fn in_country(&self, country: Country) -> Vec<&Mno> {
+        self.by_name.values().filter(|m| m.countries.contains(&country)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vodafone_is_the_widest_group() {
+        let reg = MnoRegistry::global();
+        let voda = reg.get("Vodafone").expect("Vodafone modelled");
+        assert!(voda.is_multinational());
+        // Table 4 lists Vodafone abuse from 18 countries; the registry must
+        // model a comparable footprint.
+        assert!(voda.countries.len() >= 15, "{}", voda.countries.len());
+        for m in reg.all() {
+            assert!(
+                m.countries.len() <= voda.countries.len(),
+                "{} has wider footprint than Vodafone",
+                m.name
+            );
+        }
+    }
+
+    #[test]
+    fn table4_operators_present() {
+        let reg = MnoRegistry::global();
+        for name in [
+            "Vodafone",
+            "AirTel",
+            "BSNL Mobile",
+            "Reliance Jio",
+            "O2",
+            "T-Mobile",
+            "Lycamobile",
+            "SFR",
+            "KPN Mobile",
+            "EE Limited",
+        ] {
+            assert!(reg.get(name).is_some(), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn o2_footprint_matches_table4() {
+        let reg = MnoRegistry::global();
+        let o2 = reg.get("O2").unwrap();
+        for c in [Country::UnitedKingdom, Country::Germany, Country::Ireland] {
+            assert!(o2.countries.contains(&c), "O2 missing {c:?}");
+        }
+    }
+
+    #[test]
+    fn country_query() {
+        let reg = MnoRegistry::global();
+        let in_uk = reg.in_country(Country::UnitedKingdom);
+        let names: Vec<_> = in_uk.iter().map(|m| m.name).collect();
+        assert!(names.contains(&"Vodafone"));
+        assert!(names.contains(&"EE Limited"));
+    }
+
+    #[test]
+    fn single_country_operator() {
+        let reg = MnoRegistry::global();
+        let bsnl = reg.get("BSNL Mobile").unwrap();
+        assert_eq!(bsnl.countries, vec![Country::India]);
+        assert!(!bsnl.is_multinational());
+    }
+}

@@ -1,0 +1,107 @@
+//! Phone-number types as reported by HLR lookups (Table 3).
+
+use std::fmt;
+
+/// The type of a phone number, in the taxonomy of Table 3.
+///
+/// The paper splits these into "Valid" (numbers that can plausibly send an
+/// SMS) and "Invalid/Suspicious" (landlines, voicemail-only numbers and
+/// badly formatted strings — likely spoofed sender IDs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum NumberType {
+    /// A mobile subscriber number.
+    Mobile,
+    /// A range where mobile and fixed lines are not distinguishable from
+    /// the prefix (NANP countries).
+    MobileOrLandline,
+    /// Voice-over-IP allocation.
+    Voip,
+    /// Toll-free / freephone number.
+    TollFree,
+    /// Paging service.
+    Pager,
+    /// Universal access number (company-wide routing).
+    UniversalAccess,
+    /// Personal numbering service (e.g. UK 070).
+    PersonalNumber,
+    /// Valid under the plan but in none of the above classes.
+    OtherValid,
+    /// Fixed landline — cannot originate SMS; a spoofing tell.
+    Landline,
+    /// Voicemail-access-only allocation.
+    VoicemailOnly,
+    /// Not a valid number under any plan (wrong length / prefix).
+    BadFormat,
+}
+
+impl NumberType {
+    /// All types in Table 3 row order (valid block first).
+    pub const ALL: &'static [NumberType] = &[
+        NumberType::Mobile,
+        NumberType::MobileOrLandline,
+        NumberType::Voip,
+        NumberType::TollFree,
+        NumberType::Pager,
+        NumberType::UniversalAccess,
+        NumberType::PersonalNumber,
+        NumberType::OtherValid,
+        NumberType::BadFormat,
+        NumberType::Landline,
+        NumberType::VoicemailOnly,
+    ];
+
+    /// Label as in Table 3.
+    pub fn label(self) -> &'static str {
+        match self {
+            NumberType::Mobile => "Mobile",
+            NumberType::MobileOrLandline => "Mobile or Landline",
+            NumberType::Voip => "VOIP",
+            NumberType::TollFree => "Toll Free",
+            NumberType::Pager => "Pager",
+            NumberType::UniversalAccess => "Universal Access Number",
+            NumberType::PersonalNumber => "Personal number",
+            NumberType::OtherValid => "Others",
+            NumberType::Landline => "Landline",
+            NumberType::VoicemailOnly => "Voicemail Only",
+            NumberType::BadFormat => "Bad Format",
+        }
+    }
+
+    /// Whether Table 3 files this under "Valid Numbers".
+    ///
+    /// Invalid/suspicious types cannot actually originate SMS and are
+    /// "likely spoofed and easy fodder to block" (§4.1).
+    pub fn is_valid_sender(self) -> bool {
+        !matches!(
+            self,
+            NumberType::Landline | NumberType::VoicemailOnly | NumberType::BadFormat
+        )
+    }
+}
+
+impl fmt::Display for NumberType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn taxonomy_size_matches_table3() {
+        assert_eq!(NumberType::ALL.len(), 11);
+    }
+
+    #[test]
+    fn validity_split_matches_table3() {
+        let invalid: Vec<_> =
+            NumberType::ALL.iter().filter(|t| !t.is_valid_sender()).collect();
+        assert_eq!(invalid.len(), 3);
+        assert!(!NumberType::Landline.is_valid_sender());
+        assert!(!NumberType::BadFormat.is_valid_sender());
+        assert!(!NumberType::VoicemailOnly.is_valid_sender());
+        assert!(NumberType::Pager.is_valid_sender());
+    }
+}

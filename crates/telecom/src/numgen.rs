@@ -1,0 +1,242 @@
+//! Deterministic phone-number generation for the world simulator.
+//!
+//! Generates numbers that the plan/HLR machinery maps *back* to the chosen
+//! country, operator and number type — the generator proposes digits and
+//! verifies by re-classification, retrying on prefix collisions (e.g. a
+//! German `152…` draw that lands in the longer `1521` Lycamobile block).
+
+use crate::numbertype::NumberType;
+use crate::plan::{CountryPlan, PlanRegistry};
+use rand::Rng;
+use smishing_types::{Country, PhoneNumber};
+
+/// Factory for plan-consistent (and deliberately plan-violating) numbers.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NumberFactory;
+
+impl NumberFactory {
+    /// Create a factory.
+    pub fn new() -> NumberFactory {
+        NumberFactory
+    }
+
+    fn plan(country: Country) -> Option<&'static CountryPlan> {
+        PlanRegistry::global().plan_for(country)
+    }
+
+    fn fill_digits<R: Rng + ?Sized>(prefix: &str, len: usize, rng: &mut R) -> String {
+        let mut s = String::with_capacity(len);
+        s.push_str(prefix);
+        while s.len() < len {
+            s.push(char::from(b'0' + rng.gen_range(0..10u8)));
+        }
+        s
+    }
+
+    /// A mobile number in `country` originally allocated to `operator`.
+    ///
+    /// Returns `None` if the operator holds no allocation there.
+    pub fn mobile_for<R: Rng + ?Sized>(
+        &self,
+        country: Country,
+        operator: &str,
+        rng: &mut R,
+    ) -> Option<PhoneNumber> {
+        let plan = Self::plan(country)?;
+        let series = plan.mobile_series_of(operator);
+        if series.is_empty() {
+            return None;
+        }
+        for _ in 0..32 {
+            let prefix = series[rng.gen_range(0..series.len())];
+            // Use the country default length unless the matched series
+            // overrides it; regenerate until reclassification agrees.
+            let (lo, hi) = plan
+                .series
+                .iter()
+                .find(|s| s.prefix == prefix && s.operator == Some(operator))
+                .and_then(|s| s.len)
+                .unwrap_or(plan.national_len);
+            let len = rng.gen_range(lo..=hi) as usize;
+            let national = Self::fill_digits(prefix, len, rng);
+            let c = plan.classify(&national);
+            if c.number_type == NumberType::Mobile && c.operator == Some(operator) {
+                return Some(PhoneNumber::new(country.calling_code(), national));
+            }
+        }
+        None
+    }
+
+    /// A mobile number in `country` from any modelled operator.
+    pub fn mobile_any<R: Rng + ?Sized>(
+        &self,
+        country: Country,
+        rng: &mut R,
+    ) -> Option<PhoneNumber> {
+        let plan = Self::plan(country)?;
+        let ops = plan.operators();
+        if ops.is_empty() {
+            return None;
+        }
+        let op = ops[rng.gen_range(0..ops.len())];
+        self.mobile_for(country, op, rng)
+    }
+
+    /// A number of a specific non-mobile type (Landline, TollFree, Voip...).
+    pub fn special<R: Rng + ?Sized>(
+        &self,
+        country: Country,
+        number_type: NumberType,
+        rng: &mut R,
+    ) -> Option<PhoneNumber> {
+        let plan = Self::plan(country)?;
+        let series: Vec<_> =
+            plan.series.iter().filter(|s| s.number_type == number_type).collect();
+        if series.is_empty() {
+            return None;
+        }
+        for _ in 0..32 {
+            let s = series[rng.gen_range(0..series.len())];
+            let (lo, hi) = s.len.unwrap_or(plan.national_len);
+            let len = rng.gen_range(lo..=hi) as usize;
+            let national = Self::fill_digits(s.prefix, len, rng);
+            if plan.classify(&national).number_type == number_type {
+                return Some(PhoneNumber::new(country.calling_code(), national));
+            }
+        }
+        None
+    }
+
+    /// A spoofed, badly formatted sender string: either more digits than
+    /// any valid number (§4.1) or an unallocated prefix.
+    pub fn bad_format<R: Rng + ?Sized>(&self, rng: &mut R) -> String {
+        if rng.gen_bool(0.5) {
+            // Too many digits for E.164.
+            let len = rng.gen_range(16..=22);
+            let mut s = String::from("+");
+            s.push(char::from(b'1' + rng.gen_range(0..9u8)));
+            while s.len() < len + 1 {
+                s.push(char::from(b'0' + rng.gen_range(0..10u8)));
+            }
+            s
+        } else {
+            // A long random digit blob that fits no plan: starts with '5'
+            // so the leading "digits" never match a modelled calling code's
+            // allocation, and is ≥ 9 digits so it classifies as phone-like
+            // rather than an operator shortcode.
+            let len = rng.gen_range(9..=12);
+            let mut s = String::new();
+            s.push('5');
+            while s.len() < len {
+                s.push(char::from(b'0' + rng.gen_range(0..10u8)));
+            }
+            s
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hlr::{HlrLookup, SimulatedHlr};
+    use crate::parse::parse_phone;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use smishing_types::SenderId;
+
+    #[test]
+    fn generated_mobiles_round_trip_through_hlr() {
+        let f = NumberFactory::new();
+        let hlr = SimulatedHlr::new(1);
+        let mut rng = StdRng::seed_from_u64(9);
+        for (country, op) in [
+            (Country::India, "AirTel"),
+            (Country::India, "Reliance Jio"),
+            (Country::UnitedKingdom, "Vodafone"),
+            (Country::Netherlands, "KPN Mobile"),
+            (Country::Germany, "Lycamobile"),
+            (Country::France, "SFR"),
+            (Country::Czechia, "T-Mobile"),
+        ] {
+            for _ in 0..20 {
+                let p = f.mobile_for(country, op, &mut rng).expect("series exists");
+                let rec = hlr.lookup(&SenderId::Phone(p.clone())).unwrap();
+                assert_eq!(rec.origin_country, Some(country), "{p}");
+                assert_eq!(rec.original_operator, Some(op), "{p}");
+                assert_eq!(rec.number_type, NumberType::Mobile, "{p}");
+            }
+        }
+    }
+
+    #[test]
+    fn generated_numbers_reparse_from_e164() {
+        let f = NumberFactory::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..50 {
+            let p = f.mobile_any(Country::Spain, &mut rng).unwrap();
+            let reparsed = parse_phone(&p.e164());
+            assert_eq!(reparsed.phone(), Some(&p), "{p}");
+        }
+    }
+
+    #[test]
+    fn unknown_operator_yields_none() {
+        let f = NumberFactory::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(f.mobile_for(Country::India, "O2", &mut rng).is_none());
+    }
+
+    #[test]
+    fn specials_classify_correctly() {
+        let f = NumberFactory::new();
+        let mut rng = StdRng::seed_from_u64(4);
+        for nt in [
+            NumberType::Landline,
+            NumberType::TollFree,
+            NumberType::Pager,
+            NumberType::PersonalNumber,
+            NumberType::Voip,
+            NumberType::VoicemailOnly,
+        ] {
+            let p = f
+                .special(Country::UnitedKingdom, nt, &mut rng)
+                .unwrap_or_else(|| panic!("UK should allocate {nt:?}"));
+            let plan = PlanRegistry::global().plan_for(Country::UnitedKingdom).unwrap();
+            assert_eq!(plan.classify(&p.national).number_type, nt, "{p}");
+        }
+    }
+
+    #[test]
+    fn bad_format_is_really_bad() {
+        let f = NumberFactory::new();
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..50 {
+            let raw = f.bad_format(&mut rng);
+            let parsed = parse_phone(&raw);
+            match parsed {
+                SenderId::MalformedPhone(_) => {}
+                SenderId::Phone(p) => {
+                    // A "+<junk>" draw may split on a valid cc; it must then
+                    // be bad under the plan.
+                    let (_, c) = PlanRegistry::global().classify(&p);
+                    assert_eq!(c.number_type, NumberType::BadFormat, "{raw} -> {p}");
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn determinism_under_seed() {
+        let f = NumberFactory::new();
+        let a: Vec<_> = {
+            let mut rng = StdRng::seed_from_u64(11);
+            (0..10).map(|_| f.mobile_any(Country::India, &mut rng).unwrap()).collect()
+        };
+        let b: Vec<_> = {
+            let mut rng = StdRng::seed_from_u64(11);
+            (0..10).map(|_| f.mobile_any(Country::India, &mut rng).unwrap()).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,576 @@
+//! Per-country numbering plans.
+//!
+//! A numbering plan decides, from the national significant number alone,
+//! whether a number is mobile / landline / VoIP / toll-free / ... and which
+//! operator the range was *originally allocated to*. The paper's HLR
+//! provider derives "original mobile network operator" from exactly this
+//! allocation data (§3.3.1) — number portability only affects the *current*
+//! operator, which the paper deliberately ignores.
+//!
+//! The plans here are simplified but structurally faithful: prefix rules
+//! with longest-prefix matching, per-series length overrides, and a
+//! bad-format bucket for anything that matches no rule (Table 3 shows 24.3%
+//! of sender numbers are such spoofed strings).
+
+use crate::numbertype::NumberType;
+use smishing_types::{Country, PhoneNumber};
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+/// One allocated number range.
+#[derive(Debug, Clone, Copy)]
+pub struct Series {
+    /// National-number prefix (digits).
+    pub prefix: &'static str,
+    /// What the range is allocated for.
+    pub number_type: NumberType,
+    /// Original allocatee, for mobile-capable ranges.
+    pub operator: Option<&'static str>,
+    /// Length override `(min, max)` for this series, if it differs from the
+    /// country default (e.g. toll-free numbers are often longer).
+    pub len: Option<(u8, u8)>,
+}
+
+const fn mob(prefix: &'static str, operator: &'static str) -> Series {
+    Series { prefix, number_type: NumberType::Mobile, operator: Some(operator), len: None }
+}
+
+const fn typ(prefix: &'static str, number_type: NumberType) -> Series {
+    Series { prefix, number_type, operator: None, len: None }
+}
+
+const fn typl(prefix: &'static str, number_type: NumberType, lo: u8, hi: u8) -> Series {
+    Series { prefix, number_type, operator: None, len: Some((lo, hi)) }
+}
+
+/// A country's numbering plan.
+#[derive(Debug, Clone, Copy)]
+pub struct CountryPlan {
+    /// The country this plan covers.
+    pub country: Country,
+    /// Valid national-number length `(min, max)` in digits.
+    pub national_len: (u8, u8),
+    /// Allocated ranges; matched longest-prefix-first.
+    pub series: &'static [Series],
+    /// Type for numbers of valid length matching no series; `None` means
+    /// such numbers are [`NumberType::BadFormat`].
+    pub default_type: Option<NumberType>,
+}
+
+/// Result of classifying a national number under a plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Classification {
+    /// The number type.
+    pub number_type: NumberType,
+    /// Original operator, when the range is operator-allocated.
+    pub operator: Option<&'static str>,
+}
+
+impl CountryPlan {
+    /// Classify a national significant number under this plan.
+    pub fn classify(&self, national: &str) -> Classification {
+        self.classify_detailed(national).0
+    }
+
+    /// Like [`CountryPlan::classify`], also reporting whether an explicit
+    /// series matched (as opposed to the plan's default bucket). Used to
+    /// break calling-code ties: a Canadian series match outranks the generic
+    /// US NANP default.
+    pub fn classify_detailed(&self, national: &str) -> (Classification, bool) {
+        const BAD: Classification =
+            Classification { number_type: NumberType::BadFormat, operator: None };
+        if national.is_empty() || !national.bytes().all(|b| b.is_ascii_digit()) {
+            return (BAD, false);
+        }
+        // Longest prefix match first, so "1521" (Lycamobile DE) beats "152".
+        let mut best: Option<&Series> = None;
+        for s in self.series {
+            if national.starts_with(s.prefix)
+                && best.is_none_or(|b| s.prefix.len() > b.prefix.len())
+            {
+                best = Some(s);
+            }
+        }
+        let n = national.len() as u8;
+        match best {
+            Some(s) => {
+                let (lo, hi) = s.len.unwrap_or(self.national_len);
+                if n < lo || n > hi {
+                    (BAD, false)
+                } else {
+                    (Classification { number_type: s.number_type, operator: s.operator }, true)
+                }
+            }
+            None => {
+                let (lo, hi) = self.national_len;
+                if n < lo || n > hi {
+                    return (BAD, false);
+                }
+                match self.default_type {
+                    Some(t) => (Classification { number_type: t, operator: None }, false),
+                    None => (BAD, false),
+                }
+            }
+        }
+    }
+
+    /// All mobile series allocated to `operator` in this plan.
+    pub fn mobile_series_of(&self, operator: &str) -> Vec<&'static str> {
+        self.series
+            .iter()
+            .filter(|s| s.number_type == NumberType::Mobile && s.operator == Some(operator))
+            .map(|s| s.prefix)
+            .collect()
+    }
+
+    /// Distinct mobile operators allocated ranges in this plan.
+    pub fn operators(&self) -> Vec<&'static str> {
+        let mut ops: Vec<&'static str> = self
+            .series
+            .iter()
+            .filter(|s| s.number_type == NumberType::Mobile)
+            .filter_map(|s| s.operator)
+            .collect();
+        ops.sort_unstable();
+        ops.dedup();
+        ops
+    }
+}
+
+macro_rules! plans {
+    ($( $country:ident : len=($lo:literal,$hi:literal), default=$default:expr, series=[$($series:expr),* $(,)?] );+ $(;)?) => {
+        &[
+            $(CountryPlan {
+                country: Country::$country,
+                national_len: ($lo, $hi),
+                series: &[$($series),*],
+                default_type: $default,
+            }),+
+        ]
+    };
+}
+
+/// The static plan table. See module docs for the simplification stance.
+pub const PLANS: &[CountryPlan] = plans! {
+    // ----- Core markets (Table 14 top-10) -----
+    India: len=(10,10), default=None, series=[
+        mob("98", "AirTel"), mob("96", "AirTel"), mob("93", "AirTel"),
+        mob("99", "Vodafone"), mob("97", "Vodafone"),
+        mob("94", "BSNL Mobile"), mob("95", "BSNL Mobile"),
+        mob("70", "Reliance Jio"), mob("79", "Reliance Jio"), mob("89", "Reliance Jio"),
+        mob("63", "Vi India"), mob("62", "Vi India"),
+        typ("11", NumberType::Landline), typ("22", NumberType::Landline),
+        typ("33", NumberType::Landline), typ("44", NumberType::Landline),
+        typ("80", NumberType::Landline), typ("40", NumberType::Landline),
+        typl("1800", NumberType::TollFree, 10, 11),
+    ];
+    UnitedStates: len=(10,10), default=Some(NumberType::MobileOrLandline), series=[
+        mob("347", "T-Mobile"), mob("917", "T-Mobile"), mob("929", "T-Mobile"),
+        mob("206", "T-Mobile"),
+        mob("551", "Verizon"), mob("862", "Verizon"), mob("908", "Verizon"),
+        mob("214", "AT&T"), mob("469", "AT&T"), mob("972", "AT&T"),
+        mob("510", "Metro by T-Mobile"), mob("678", "Cricket Wireless"),
+        mob("980", "Boost Mobile"), mob("628", "Mint Mobile"),
+        mob("605", "US Cellular"),
+        typ("212", NumberType::Landline), typ("312", NumberType::Landline),
+        typ("415", NumberType::Landline), typ("202", NumberType::Landline),
+        typ("800", NumberType::TollFree), typ("833", NumberType::TollFree),
+        typ("844", NumberType::TollFree), typ("855", NumberType::TollFree),
+        typ("866", NumberType::TollFree), typ("877", NumberType::TollFree),
+        typ("888", NumberType::TollFree),
+        typ("500", NumberType::PersonalNumber), typ("533", NumberType::PersonalNumber),
+        typ("521", NumberType::Voip), typ("522", NumberType::Voip),
+        typ("710", NumberType::OtherValid),
+    ];
+    UnitedKingdom: len=(9,10), default=None, series=[
+        mob("74", "Vodafone"), mob("79", "Vodafone"),
+        mob("75", "O2"), mob("7402", "O2"),
+        mob("77", "EE Limited"), mob("78", "EE Limited"),
+        mob("73", "Three"),
+        typ("76", NumberType::Pager), typ("7600", NumberType::VoicemailOnly),
+        typ("70", NumberType::PersonalNumber),
+        typ("56", NumberType::Voip),
+        typ("80", NumberType::TollFree),
+        typ("84", NumberType::OtherValid), typ("87", NumberType::OtherValid),
+        typ("1", NumberType::Landline), typ("2", NumberType::Landline),
+        typ("3", NumberType::UniversalAccess),
+        typ("55", NumberType::OtherValid),
+    ];
+    Netherlands: len=(9,9), default=None, series=[
+        mob("61", "KPN Mobile"), mob("62", "KPN Mobile"),
+        mob("64", "T-Mobile"), mob("68", "Lycamobile"),
+        mob("65", "Vodafone"), mob("63", "Vodafone"),
+        typ("10", NumberType::Landline), typ("20", NumberType::Landline),
+        typ("30", NumberType::Landline), typ("70", NumberType::Landline),
+        typ("85", NumberType::Voip), typ("88", NumberType::Voip),
+        typl("800", NumberType::TollFree, 7, 10),
+    ];
+    Spain: len=(9,9), default=None, series=[
+        mob("60", "Movistar"), mob("65", "Movistar"), mob("61", "Vodafone"),
+        mob("67", "Vodafone"), mob("62", "Orange"), mob("63", "Lycamobile"),
+        mob("7", "Movistar"),
+        typ("91", NumberType::Landline), typ("93", NumberType::Landline),
+        typ("96", NumberType::Landline),
+        typ("900", NumberType::TollFree),
+        typ("51", NumberType::Voip),
+    ];
+    Australia: len=(9,9), default=None, series=[
+        mob("40", "Telstra"), mob("43", "Telstra"), mob("41", "Vodafone"),
+        mob("44", "Vodafone"), mob("42", "Optus"), mob("45", "Lycamobile"),
+        typ("2", NumberType::Landline), typ("3", NumberType::Landline),
+        typ("7", NumberType::Landline), typ("8", NumberType::Landline),
+        typl("1800", NumberType::TollFree, 10, 10),
+        typl("13", NumberType::UniversalAccess, 6, 10),
+    ];
+    France: len=(9,9), default=None, series=[
+        mob("60", "Orange"), mob("66", "Orange"), mob("76", "Orange"),
+        mob("61", "SFR"), mob("64", "SFR"), mob("67", "SFR"), mob("77", "SFR"),
+        mob("62", "Bouygues"), mob("63", "Free Mobile"), mob("75", "Free Mobile"),
+        mob("65", "Lycamobile"),
+        typ("1", NumberType::Landline), typ("2", NumberType::Landline),
+        typ("3", NumberType::Landline), typ("4", NumberType::Landline),
+        typ("5", NumberType::Landline),
+        typ("9", NumberType::Voip),
+        typ("80", NumberType::TollFree),
+    ];
+    Belgium: len=(8,9), default=None, series=[
+        Series { prefix: "46", number_type: NumberType::Mobile, operator: Some("Proximus"), len: Some((9, 9)) },
+        Series { prefix: "47", number_type: NumberType::Mobile, operator: Some("Proximus"), len: Some((9, 9)) },
+        Series { prefix: "48", number_type: NumberType::Mobile, operator: Some("Orange BE"), len: Some((9, 9)) },
+        Series { prefix: "49", number_type: NumberType::Mobile, operator: Some("Lycamobile"), len: Some((9, 9)) },
+        typl("2", NumberType::Landline, 8, 8),
+        typl("3", NumberType::Landline, 8, 8),
+        typl("800", NumberType::TollFree, 8, 8),
+        typl("78", NumberType::UniversalAccess, 8, 8),
+    ];
+    Indonesia: len=(9,11), default=None, series=[
+        mob("811", "Telkomsel"), mob("812", "Telkomsel"), mob("813", "Telkomsel"),
+        mob("852", "Telkomsel"), mob("853", "Telkomsel"),
+        mob("814", "Indosat"), mob("815", "Indosat"), mob("816", "Indosat"),
+        mob("856", "Indosat"),
+        mob("817", "XL Axiata"), mob("818", "XL Axiata"), mob("819", "XL Axiata"),
+        typ("21", NumberType::Landline), typ("22", NumberType::Landline),
+        typ("24", NumberType::Landline),
+        typ("800", NumberType::TollFree),
+    ];
+    Germany: len=(10,11), default=None, series=[
+        mob("151", "T-Mobile"), mob("160", "T-Mobile"), mob("170", "T-Mobile"),
+        mob("152", "Vodafone"), mob("162", "Vodafone"), mob("172", "Vodafone"),
+        mob("1521", "Lycamobile"),
+        mob("157", "O2"), mob("159", "O2"), mob("176", "O2"), mob("179", "O2"),
+        typ("30", NumberType::Landline), typ("40", NumberType::Landline),
+        typ("69", NumberType::Landline), typ("89", NumberType::Landline),
+        typl("800", NumberType::TollFree, 9, 10),
+        typl("32", NumberType::Voip, 10, 11),
+    ];
+    // ----- Vodafone / Airtel / O2 / Lycamobile footprint -----
+    Ireland: len=(9,9), default=None, series=[
+        mob("87", "Vodafone"), mob("83", "Vodafone"),
+        mob("85", "O2"), mob("86", "O2"), mob("89", "Lycamobile"),
+        typ("1", NumberType::Landline),
+        typl("1800", NumberType::TollFree, 10, 10),
+    ];
+    Italy: len=(9,10), default=None, series=[
+        mob("340", "Vodafone"), mob("342", "Vodafone"), mob("349", "Vodafone"),
+        mob("330", "TIM"), mob("333", "TIM"), mob("339", "TIM"),
+        mob("320", "Wind Tre"), mob("327", "Wind Tre"),
+        typ("02", NumberType::Landline), typ("06", NumberType::Landline),
+        typl("800", NumberType::TollFree, 9, 10),
+    ];
+    Portugal: len=(9,9), default=None, series=[
+        mob("91", "Vodafone"), mob("96", "MEO"), mob("93", "NOS"),
+        typ("21", NumberType::Landline), typ("22", NumberType::Landline),
+        typ("800", NumberType::TollFree),
+    ];
+    Czechia: len=(9,9), default=None, series=[
+        mob("77", "T-Mobile"), mob("60", "Vodafone"), mob("73", "Vodafone"),
+        mob("72", "O2"),
+        typ("2", NumberType::Landline),
+        typ("800", NumberType::TollFree),
+    ];
+    NewZealand: len=(8,10), default=None, series=[
+        mob("21", "Vodafone"), mob("22", "2degrees"), mob("27", "Spark"),
+        typl("9", NumberType::Landline, 8, 8), typl("4", NumberType::Landline, 8, 8),
+        typl("800", NumberType::TollFree, 9, 10),
+    ];
+    SouthAfrica: len=(9,9), default=None, series=[
+        mob("82", "Vodafone"), mob("72", "Vodafone"), mob("83", "MTN"),
+        mob("73", "MTN"), mob("84", "Cell C"),
+        typ("11", NumberType::Landline), typ("21", NumberType::Landline),
+        typ("800", NumberType::TollFree),
+    ];
+    Turkey: len=(10,10), default=None, series=[
+        mob("53", "Vodafone"), mob("54", "Vodafone"), mob("55", "Turkcell"),
+        mob("50", "Turk Telekom"),
+        typ("212", NumberType::Landline), typ("216", NumberType::Landline),
+        typ("312", NumberType::Landline),
+        typ("800", NumberType::TollFree),
+    ];
+    Romania: len=(9,9), default=None, series=[
+        mob("72", "Vodafone"), mob("73", "Vodafone"), mob("74", "Orange RO"),
+        mob("76", "Digi"),
+        typ("21", NumberType::Landline),
+        typ("800", NumberType::TollFree),
+    ];
+    Hungary: len=(9,9), default=None, series=[
+        mob("70", "Vodafone"), mob("20", "Yettel"), mob("30", "Telekom HU"),
+        typ("1", NumberType::Landline),
+        typ("80", NumberType::TollFree),
+    ];
+    Ukraine: len=(9,9), default=None, series=[
+        mob("50", "Vodafone"), mob("66", "Vodafone"), mob("67", "Kyivstar"),
+        mob("63", "lifecell"),
+        typ("44", NumberType::Landline),
+        typ("800", NumberType::TollFree),
+    ];
+    Ghana: len=(9,9), default=None, series=[
+        mob("20", "Vodafone"), mob("50", "Vodafone"), mob("24", "MTN GH"),
+        mob("54", "MTN GH"),
+        typ("30", NumberType::Landline),
+        typ("800", NumberType::TollFree),
+    ];
+    Qatar: len=(8,8), default=None, series=[
+        mob("33", "Vodafone"), mob("77", "Vodafone"), mob("55", "Ooredoo"),
+        mob("66", "Ooredoo"),
+        typ("44", NumberType::Landline),
+        typ("800", NumberType::TollFree),
+    ];
+    Kenya: len=(9,9), default=None, series=[
+        mob("70", "Safaricom"), mob("72", "Safaricom"), mob("73", "AirTel"),
+        mob("78", "AirTel"),
+        typ("20", NumberType::Landline),
+        typ("800", NumberType::TollFree),
+    ];
+    Nigeria: len=(10,10), default=None, series=[
+        mob("803", "MTN NG"), mob("703", "MTN NG"), mob("802", "AirTel"),
+        mob("808", "AirTel"), mob("902", "AirTel"),
+        typ("1", NumberType::Landline),
+        typ("800", NumberType::TollFree),
+    ];
+    DrCongo: len=(9,9), default=None, series=[
+        mob("99", "AirTel"), mob("97", "AirTel"), mob("81", "Vodacom"),
+        typ("1", NumberType::Landline),
+    ];
+    SriLanka: len=(9,9), default=None, series=[
+        mob("75", "AirTel"), mob("77", "Dialog"), mob("76", "Dialog"),
+        mob("71", "Mobitel LK"),
+        typ("11", NumberType::Landline),
+    ];
+    Malawi: len=(9,9), default=None, series=[
+        mob("99", "AirTel"), mob("98", "AirTel"), mob("88", "TNM"),
+        typ("1", NumberType::Landline),
+    ];
+    Guadeloupe: len=(9,9), default=None, series=[
+        mob("690", "SFR"), mob("691", "Orange Caraibe"),
+        typ("590", NumberType::Landline),
+    ];
+    Canada: len=(10,10), default=Some(NumberType::MobileOrLandline), series=[
+        mob("416", "Rogers"), mob("647", "Rogers"), mob("514", "Bell"),
+        mob("604", "Telus"),
+        typ("800", NumberType::TollFree), typ("888", NumberType::TollFree),
+    ];
+};
+
+/// Lookup structure over [`PLANS`].
+#[derive(Debug)]
+pub struct PlanRegistry {
+    by_country: HashMap<Country, &'static CountryPlan>,
+    /// Calling-code → candidate plans, in priority order (US before CA).
+    by_cc: HashMap<u16, Vec<&'static CountryPlan>>,
+}
+
+impl PlanRegistry {
+    /// The process-wide registry.
+    pub fn global() -> &'static PlanRegistry {
+        static REG: OnceLock<PlanRegistry> = OnceLock::new();
+        REG.get_or_init(|| {
+            let mut by_country = HashMap::new();
+            let mut by_cc: HashMap<u16, Vec<&'static CountryPlan>> = HashMap::new();
+            for plan in PLANS {
+                by_country.insert(plan.country, plan);
+                by_cc.entry(plan.country.calling_code()).or_default().push(plan);
+            }
+            PlanRegistry { by_country, by_cc }
+        })
+    }
+
+    /// The plan for a country, if modelled.
+    pub fn plan_for(&self, country: Country) -> Option<&'static CountryPlan> {
+        self.by_country.get(&country).copied()
+    }
+
+    /// All plans sharing a calling code (NANP members), priority order.
+    pub fn plans_for_cc(&self, cc: u16) -> &[&'static CountryPlan] {
+        self.by_cc.get(&cc).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Classify a parsed phone number: resolve the calling code to a
+    /// country plan (preferring the plan under which the number is valid)
+    /// and run the plan's rules.
+    pub fn classify(&self, phone: &PhoneNumber) -> (Option<Country>, Classification) {
+        let candidates = self.plans_for_cc(phone.country_code);
+        if candidates.is_empty() {
+            return (None, Classification { number_type: NumberType::BadFormat, operator: None });
+        }
+        // Prefer plans where an explicit series matched; a Canadian range hit
+        // outranks the generic US NANP default bucket.
+        let mut default_hit = None;
+        let mut fallback = None;
+        for plan in candidates {
+            let (c, series_matched) = plan.classify_detailed(&phone.national);
+            if c.number_type != NumberType::BadFormat {
+                if series_matched {
+                    return (Some(plan.country), c);
+                }
+                default_hit.get_or_insert((Some(plan.country), c));
+            }
+            fallback.get_or_insert((Some(plan.country), c));
+        }
+        default_hit.or(fallback).expect("at least one candidate")
+    }
+
+    /// Countries with modelled plans.
+    pub fn countries(&self) -> Vec<Country> {
+        let mut cs: Vec<Country> = self.by_country.keys().copied().collect();
+        cs.sort();
+        cs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan(c: Country) -> &'static CountryPlan {
+        PlanRegistry::global().plan_for(c).unwrap()
+    }
+
+    #[test]
+    fn india_operator_allocation() {
+        let p = plan(Country::India);
+        let c = p.classify("9876543210");
+        assert_eq!(c.number_type, NumberType::Mobile);
+        assert_eq!(c.operator, Some("AirTel"));
+        let c = p.classify("9912345678");
+        assert_eq!(c.operator, Some("Vodafone"));
+        let c = p.classify("7012345678");
+        assert_eq!(c.operator, Some("Reliance Jio"));
+    }
+
+    #[test]
+    fn india_landline_and_badformat() {
+        let p = plan(Country::India);
+        assert_eq!(p.classify("1123456789").number_type, NumberType::Landline);
+        assert_eq!(p.classify("123").number_type, NumberType::BadFormat);
+        assert_eq!(p.classify("98765432101234").number_type, NumberType::BadFormat);
+        // Valid length but unallocated leading digit.
+        assert_eq!(p.classify("5123456789").number_type, NumberType::BadFormat);
+    }
+
+    #[test]
+    fn uk_special_ranges() {
+        let p = plan(Country::UnitedKingdom);
+        assert_eq!(p.classify("7412345678").operator, Some("Vodafone"));
+        assert_eq!(p.classify("7612345678").number_type, NumberType::Pager);
+        assert_eq!(p.classify("7600123456").number_type, NumberType::VoicemailOnly);
+        assert_eq!(p.classify("7012345678").number_type, NumberType::PersonalNumber);
+        assert_eq!(p.classify("5612345678").number_type, NumberType::Voip);
+        assert_eq!(p.classify("2071234567").number_type, NumberType::Landline);
+        assert_eq!(p.classify("8001234567").number_type, NumberType::TollFree);
+    }
+
+    #[test]
+    fn longest_prefix_wins() {
+        // German 1521 (Lycamobile) sits inside 152 (Vodafone).
+        let p = plan(Country::Germany);
+        assert_eq!(p.classify("1521234567").operator, Some("Lycamobile"));
+        assert_eq!(p.classify("1522345678").operator, Some("Vodafone"));
+    }
+
+    #[test]
+    fn us_default_is_mobile_or_landline() {
+        let p = plan(Country::UnitedStates);
+        assert_eq!(p.classify("9175551234").operator, Some("T-Mobile"));
+        assert_eq!(p.classify("6145551234").number_type, NumberType::MobileOrLandline);
+        assert_eq!(p.classify("8005551234").number_type, NumberType::TollFree);
+        assert_eq!(p.classify("5005551234").number_type, NumberType::PersonalNumber);
+    }
+
+    #[test]
+    fn belgium_length_overrides() {
+        let p = plan(Country::Belgium);
+        assert_eq!(p.classify("471234567").number_type, NumberType::Mobile);
+        assert_eq!(p.classify("47123456").number_type, NumberType::BadFormat); // 8-digit mobile
+        assert_eq!(p.classify("21234567").number_type, NumberType::Landline);
+    }
+
+    #[test]
+    fn cc_collision_us_vs_canada() {
+        let reg = PlanRegistry::global();
+        // A Canadian mobile range resolves to Canada even though cc 1 is shared.
+        let (country, c) = reg.classify(&PhoneNumber::new(1, "4165551234"));
+        assert_eq!(country, Some(Country::Canada));
+        assert_eq!(c.operator, Some("Rogers"));
+        // A generic NANP number resolves via priority order to the US.
+        let (country, c) = reg.classify(&PhoneNumber::new(1, "6145551234"));
+        assert_eq!(country, Some(Country::UnitedStates));
+        assert_eq!(c.number_type, NumberType::MobileOrLandline);
+    }
+
+    #[test]
+    fn unknown_cc_is_badformat() {
+        let reg = PlanRegistry::global();
+        let (country, c) = reg.classify(&PhoneNumber::new(999, "12345678"));
+        assert_eq!(country, None);
+        assert_eq!(c.number_type, NumberType::BadFormat);
+    }
+
+    #[test]
+    fn vodafone_footprint_is_wide() {
+        // Table 4: Vodafone abused from 18 countries. The plan table must
+        // give Vodafone allocations in many countries.
+        let reg = PlanRegistry::global();
+        let n = reg
+            .countries()
+            .iter()
+            .filter(|&&c| {
+                reg.plan_for(c).unwrap().operators().contains(&"Vodafone")
+            })
+            .count();
+        assert!(n >= 15, "Vodafone modelled in only {n} countries");
+    }
+
+    #[test]
+    fn airtel_footprint() {
+        // Table 4: AirTel in IND, COD, KEN, LKA, MWI, NGA.
+        let reg = PlanRegistry::global();
+        for c in [
+            Country::India,
+            Country::DrCongo,
+            Country::Kenya,
+            Country::SriLanka,
+            Country::Malawi,
+            Country::Nigeria,
+        ] {
+            assert!(
+                reg.plan_for(c).unwrap().operators().contains(&"AirTel"),
+                "AirTel missing in {c:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn mobile_series_lookup() {
+        let p = plan(Country::Netherlands);
+        let kpn = p.mobile_series_of("KPN Mobile");
+        assert!(kpn.contains(&"61") && kpn.contains(&"62"));
+        assert!(p.mobile_series_of("Nonexistent").is_empty());
+    }
+
+    #[test]
+    fn non_digit_input_is_badformat() {
+        let p = plan(Country::UnitedKingdom);
+        assert_eq!(p.classify("74abc45678").number_type, NumberType::BadFormat);
+        assert_eq!(p.classify("").number_type, NumberType::BadFormat);
+    }
+}

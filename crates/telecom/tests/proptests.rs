@@ -1,0 +1,83 @@
+//! Property-based tests over the telephony substrate.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use smishing_telecom::{
+    classify_sender, parse_phone, HlrLookup, NumberFactory, NumberType, PlanRegistry,
+    RawSenderKind, SimulatedHlr,
+};
+use smishing_types::{Country, PhoneNumber, SenderId};
+
+proptest! {
+    #[test]
+    fn classifier_and_parser_never_panic(s in "\\PC{0,40}") {
+        let kind = classify_sender(&s);
+        if kind == RawSenderKind::PhoneLike {
+            let _ = parse_phone(&s);
+        }
+    }
+
+    #[test]
+    fn plan_classification_is_total(cc in 1u16..1000, national in "[0-9]{0,20}") {
+        let p = PhoneNumber::new(cc, national);
+        let (_, class) = PlanRegistry::global().classify(&p);
+        // Any input classifies to *something*; overlong input is BadFormat.
+        if p.national.len() > 13 {
+            prop_assert_eq!(class.number_type, NumberType::BadFormat);
+        }
+    }
+
+    #[test]
+    fn e164_strings_always_reparse(seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let f = NumberFactory::new();
+        for country in [Country::India, Country::UnitedKingdom, Country::France, Country::Indonesia] {
+            if let Some(p) = f.mobile_any(country, &mut rng) {
+                let reparsed = parse_phone(&p.e164());
+                prop_assert_eq!(reparsed.phone(), Some(&p));
+                prop_assert_eq!(classify_sender(&p.e164()), RawSenderKind::PhoneLike);
+            }
+        }
+    }
+
+    #[test]
+    fn hlr_is_a_pure_function_of_number_and_seed(seed in 0u64..200, n in 0u64..10_000u64) {
+        let hlr = SimulatedHlr::new(seed);
+        let s = SenderId::Phone(PhoneNumber::new(44, format!("74{n:08}")));
+        let a = hlr.lookup(&s).unwrap();
+        let b = hlr.lookup(&s).unwrap();
+        prop_assert_eq!(&a, &b);
+        // Mobile allocations always carry an original operator and country.
+        if a.number_type == NumberType::Mobile {
+            prop_assert!(a.original_operator.is_some());
+            prop_assert_eq!(a.origin_country, Some(Country::UnitedKingdom));
+        }
+    }
+
+    #[test]
+    fn generated_specials_classify_as_requested(seed in 0u64..200) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let f = NumberFactory::new();
+        for nt in [NumberType::Landline, NumberType::TollFree, NumberType::Voip] {
+            if let Some(p) = f.special(Country::UnitedKingdom, nt, &mut rng) {
+                let plan = PlanRegistry::global().plan_for(Country::UnitedKingdom).unwrap();
+                prop_assert_eq!(plan.classify(&p.national).number_type, nt);
+            }
+        }
+    }
+
+    #[test]
+    fn bad_format_generator_is_honest(seed in 0u64..300) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let raw = NumberFactory::new().bad_format(&mut rng);
+        match parse_phone(&raw) {
+            SenderId::MalformedPhone(_) => {}
+            SenderId::Phone(p) => {
+                let (_, c) = PlanRegistry::global().classify(&p);
+                prop_assert_eq!(c.number_type, NumberType::BadFormat);
+            }
+            other => prop_assert!(false, "unexpected {:?}", other),
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Per-language function-word lexicons.
+//!
+//! Each of the 66+ modelled languages has a small lexicon of function words
+//! and smishing-domain vocabulary. Two consumers share it:
+//!
+//! 1. the template corpus ([`crate::templates`]) renders tail-language
+//!    messages from these words, and
+//! 2. the language identifier ([`crate::langid`]) scores Latin-script text
+//!    against these same lists.
+//!
+//! **Honesty note (see DESIGN.md):** this is deliberately circular for the
+//! long-tail languages — we did not license 66 real corpora. The *mechanism*
+//! (script detection, then stopword profiles) is the faithful part; the
+//! vocabulary for tail languages is a minimal stand-in. The 13 major
+//! languages (>100 messages in Table 11) carry realistic phrasebooks in the
+//! template corpus on top of these lists.
+
+use smishing_types::Language;
+
+/// Characteristic words of a language, lowercase.
+pub fn lexicon(lang: Language) -> &'static [&'static str] {
+    use Language::*;
+    match lang {
+        English => &[
+            "the", "your", "has", "been", "please", "click", "here", "account", "with",
+            "have", "is", "at", "to", "our", "will", "be", "or", "and", "you", "of",
+        ],
+        Spanish => &["su", "cuenta", "ha", "sido", "aquí", "usted", "para", "por", "favor", "hoy"],
+        Dutch => &["uw", "het", "een", "niet", "wordt", "klik", "hier", "alstublieft", "vandaag", "rekening"],
+        French => &["votre", "compte", "été", "cliquez", "ici", "vous", "pour", "veuillez", "aujourd'hui", "dès"],
+        German => &["ihr", "konto", "wurde", "gesperrt", "bitte", "hier", "klicken", "sie", "und", "heute"],
+        Italian => &["il", "suo", "conto", "stato", "bloccato", "clicchi", "qui", "per", "subito", "oggi"],
+        Indonesian => &["anda", "akun", "telah", "diblokir", "silakan", "klik", "di", "sini", "untuk", "segera"],
+        Portuguese => &["sua", "conta", "foi", "bloqueada", "clique", "aqui", "você", "para", "não", "hoje"],
+        Japanese => &["あなた", "の", "です", "ます", "ください", "口座", "確認", "こちら"],
+        Hindi => &["आपका", "खाता", "है", "कृपया", "करें", "बैंक", "तुरंत", "यहाँ"],
+        Tagalog => &["ang", "iyong", "ay", "na", "dito", "po", "ninyo", "upang", "ngayon", "mag-click"],
+        Mandarin => &["您的", "账户", "已", "请", "点击", "银行", "立即", "这里"],
+        Turkish => &["hesabınız", "lütfen", "için", "tıklayın", "bir", "ve", "bu", "bugün", "hemen", "banka"],
+        Arabic => &["حسابك", "تم", "الرجاء", "انقر", "هنا", "البنك", "فوراً"],
+        Russian => &["ваш", "счёт", "был", "пожалуйста", "нажмите", "здесь", "банк", "срочно"],
+        Ukrainian => &["ваш", "рахунок", "було", "будь", "ласка", "натисніть", "тут", "терміново"],
+        Polish => &["twoje", "konto", "zostało", "proszę", "kliknij", "tutaj", "bank", "dzisiaj"],
+        Czech => &["váš", "účet", "byl", "prosím", "klikněte", "zde", "banka", "dnes"],
+        Slovak => &["váš", "účet", "bol", "prosím", "kliknite", "tu", "banka", "dnes"],
+        Hungarian => &["az", "ön", "számlája", "kérjük", "kattintson", "ide", "bank", "ma"],
+        Romanian => &["contul", "dumneavoastră", "fost", "vă", "rugăm", "apăsați", "aici", "astăzi"],
+        Bulgarian => &["вашата", "сметка", "беше", "моля", "кликнете", "тук", "банка", "днес"],
+        Greek => &["ο", "λογαριασμός", "σας", "παρακαλώ", "κάντε", "κλικ", "εδώ", "τράπεζα"],
+        Swedish => &["ditt", "konto", "har", "vänligen", "klicka", "här", "banken", "idag"],
+        Norwegian => &["din", "konto", "har", "vennligst", "klikk", "her", "banken", "dag"],
+        Danish => &["din", "konto", "er", "venligst", "klik", "her", "banken", "dag"],
+        Finnish => &["tilisi", "on", "ole", "hyvä", "napsauta", "tästä", "pankki", "tänään"],
+        Catalan => &["el", "vostre", "compte", "ha", "estat", "cliqueu", "aquí", "avui"],
+        Galician => &["a", "súa", "conta", "foi", "prema", "aquí", "banco", "hoxe"],
+        Basque => &["zure", "kontua", "izan", "da", "egin", "klik", "hemen", "gaur"],
+        Croatian => &["vaš", "račun", "je", "molimo", "kliknite", "ovdje", "banka", "danas"],
+        Serbian => &["ваш", "рачун", "је", "молимо", "кликните", "овде", "банка", "данас"],
+        Slovenian => &["vaš", "račun", "je", "prosimo", "kliknite", "tukaj", "banka", "danes"],
+        Lithuanian => &["jūsų", "sąskaita", "buvo", "prašome", "spustelėkite", "čia", "bankas", "šiandien"],
+        Latvian => &["jūsu", "konts", "ir", "lūdzu", "noklikšķiniet", "šeit", "banka", "šodien"],
+        Estonian => &["teie", "konto", "on", "palun", "klõpsake", "siin", "pank", "täna"],
+        Korean => &["귀하의", "계좌", "가", "되었습니다", "클릭", "여기", "은행", "즉시"],
+        Vietnamese => &["tài", "khoản", "của", "bạn", "đã", "vui", "lòng", "nhấp", "vào", "đây"],
+        Thai => &["บัญชี", "ของคุณ", "ถูก", "กรุณา", "คลิก", "ที่นี่", "ธนาคาร", "ทันที"],
+        Malay => &["akaun", "anda", "telah", "sila", "klik", "di", "sini", "bank", "segera", "hari"],
+        Bengali => &["আপনার", "অ্যাকাউন্ট", "হয়েছে", "দয়া", "করে", "ক্লিক", "এখানে", "ব্যাংক"],
+        Punjabi => &["ਤੁਹਾਡਾ", "ਖਾਤਾ", "ਹੈ", "ਕਿਰਪਾ", "ਕਰਕੇ", "ਕਲਿੱਕ", "ਇੱਥੇ", "ਬੈਂਕ"],
+        Gujarati => &["તમારું", "ખાતું", "છે", "કૃપા", "કરીને", "ક્લિક", "અહીં", "બેંક"],
+        Tamil => &["உங்கள்", "கணக்கு", "உள்ளது", "தயவுசெய்து", "கிளிக்", "இங்கே", "வங்கி"],
+        Telugu => &["మీ", "ఖాతా", "ఉంది", "దయచేసి", "క్లిక్", "ఇక్కడ", "బ్యాంక్"],
+        Kannada => &["ನಿಮ್ಮ", "ಖಾತೆ", "ಇದೆ", "ದಯವಿಟ್ಟು", "ಕ್ಲಿಕ್", "ಇಲ್ಲಿ", "ಬ್ಯಾಂಕ್"],
+        Malayalam => &["നിങ്ങളുടെ", "അക്കൗണ്ട്", "ആണ്", "ദയവായി", "ക്ലിക്ക്", "ഇവിടെ", "ബാങ്ക്"],
+        Marathi => &["तुमचे", "खाते", "आहे", "कृपया", "क्लिक", "येथे", "बँक", "त्वरित"],
+        Urdu => &["آپ", "کا", "اکاؤنٹ", "ہے", "براہ", "کرم", "کلک", "یہاں"],
+        Sinhala => &["ඔබේ", "ගිණුම", "ඇත", "කරුණාකර", "ක්ලික්", "මෙතන", "බැංකුව"],
+        Nepali => &["तपाईंको", "खाता", "छ", "कृपया", "क्लिक", "यहाँ", "बैंक"],
+        Hebrew => &["החשבון", "שלך", "נא", "לחץ", "כאן", "בנק", "מיד"],
+        Persian => &["حساب", "شما", "است", "لطفا", "کلیک", "اینجا", "بانک"],
+        Swahili => &["akaunti", "yako", "imefungwa", "tafadhali", "bonyeza", "hapa", "benki", "leo"],
+        Amharic => &["የእርስዎ", "መለያ", "ነው", "እባክዎ", "ጠቅ", "እዚህ", "ባንክ"],
+        Hausa => &["asusunka", "an", "don", "allah", "danna", "nan", "banki", "yau"],
+        Yoruba => &["àkántì", "rẹ", "ti", "jọwọ", "tẹ", "níbí", "báńkì", "lónìí"],
+        Afrikaans => &["jou", "rekening", "is", "asseblief", "kliek", "hier", "bank", "vandag"],
+        Burmese => &["သင့်", "အကောင့်", "သည်", "ကျေးဇူးပြု၍", "နှိပ်ပါ", "ဤနေရာ", "ဘဏ်"],
+        Khmer => &["គណនី", "របស់អ្នក", "ត្រូវបាន", "សូម", "ចុច", "ទីនេះ", "ធនាគារ"],
+        Lao => &["ບັນຊີ", "ຂອງທ່ານ", "ຖືກ", "ກະລຸນາ", "ກົດ", "ທີ່ນີ້", "ທະນາຄານ"],
+        Georgian => &["თქვენი", "ანგარიში", "არის", "გთხოვთ", "დააჭირეთ", "აქ", "ბანკი"],
+        Armenian => &["ձեր", "հաշիվը", "է", "խնդրում", "ենք", "սեղմեք", "այստեղ", "բանկ"],
+        Azerbaijani => &["sizin", "hesabınız", "olub", "zəhmət", "olmasa", "klikləyin", "bura", "bank"],
+        Kazakh => &["сіздің", "шотыңыз", "болды", "өтінеміз", "басыңыз", "осында", "банк"],
+        Uzbek => &["sizning", "hisobingiz", "bo'ldi", "iltimos", "bosing", "shu", "yerga", "bank"],
+        Albanian => &["llogaria", "juaj", "është", "ju", "lutemi", "klikoni", "këtu", "banka"],
+        Macedonian => &["вашата", "сметка", "е", "ве", "молиме", "кликнете", "овде", "банка"],
+        Icelandic => &["reikningurinn", "þinn", "hefur", "vinsamlegast", "smelltu", "hér", "banki", "dag"],
+        Maltese => &["il-kont", "tiegħek", "ġie", "jekk", "jogħġbok", "ikklikkja", "hawn", "bank"],
+        Welsh => &["eich", "cyfrif", "wedi", "cliciwch", "yma", "banc", "heddiw", "os", "gwelwch", "dda"],
+        Irish => &["do", "chuntas", "tá", "cliceáil", "anseo", "banc", "inniu", "le", "thoil", "déan"],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_language_has_a_lexicon() {
+        for &lang in Language::ALL {
+            assert!(lexicon(lang).len() >= 5, "{lang:?} lexicon too small");
+        }
+    }
+
+    #[test]
+    fn lexicons_are_lowercase() {
+        for &lang in Language::ALL {
+            for w in lexicon(lang) {
+                assert_eq!(&w.to_lowercase(), w, "{lang:?}: {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn latin_script_lexicons_are_mostly_distinct() {
+        use smishing_types::Script;
+        // For any two Latin-script languages, the lexicons must not overlap
+        // so much that scoring cannot separate them.
+        let latin: Vec<_> = Language::ALL
+            .iter()
+            .copied()
+            .filter(|l| l.script() == Script::Latin)
+            .collect();
+        for (i, &a) in latin.iter().enumerate() {
+            for &b in &latin[i + 1..] {
+                let la = lexicon(a);
+                let lb = lexicon(b);
+                let overlap = la.iter().filter(|w| lb.contains(w)).count();
+                let max_allowed = la.len().min(lb.len()) - 2;
+                assert!(
+                    overlap <= max_allowed,
+                    "{a:?} and {b:?} share {overlap} of {} words",
+                    la.len()
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! # smishing-textnlp
+//!
+//! Multilingual text analysis for smishing messages — the Rust substitute
+//! for the paper's GPT-4o annotation stage (§3.3.6, §3.4):
+//!
+//! - [`tokenize`]: unicode-aware tokenization,
+//! - [`normalize`]: homoglyph/leetspeak normalization (`N3tfl!x` → `netflix`),
+//!   the evasion the paper says breaks off-the-shelf NER,
+//! - [`lexicon`]: per-language function-word lexicons, shared by the
+//!   template corpus and the language identifier (see the circularity note
+//!   in DESIGN.md — the mechanism is faithful, the vocabulary is ours),
+//! - [`langid`]: script + stopword language identification over the 66+
+//!   modelled languages (Table 11),
+//! - [`templates`]: the multilingual template corpus campaigns render
+//!   messages from, with placeholder alignment for translation,
+//! - [`translate`]: template-backed translation to English (§3.2 translates
+//!   every non-English smish),
+//! - [`brands`] and [`ner`]: the brand catalog (Table 12) and
+//!   normalization-aware brand extraction,
+//! - [`scamclass`]: the eight-way scam-type classifier (Table 10),
+//! - [`lures`]: the seven Stajano–Wilson lure detectors (Table 13),
+//! - [`annotator`]: human and LLM annotator models for the §3.4 κ study,
+//! - [`ham`]: the benign-SMS corpus that detection models (§7.2) train
+//!   against.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod annotator;
+pub mod brands;
+pub mod ham;
+pub mod langid;
+pub mod lexicon;
+pub mod lures;
+pub mod ner;
+pub mod normalize;
+pub mod scamclass;
+pub mod templates;
+pub mod tokenize;
+pub mod translate;
+
+pub use annotator::{Annotation, Annotator, HumanAnnotator, PipelineAnnotator};
+pub use brands::{Brand, BrandCatalog};
+pub use langid::identify_language;
+pub use lures::detect_lures;
+pub use ner::extract_brand;
+pub use normalize::{normalize_token, normalize_text};
+pub use scamclass::classify_scam;
+pub use templates::{Template, TemplateLibrary};
+pub use translate::{TemplateTranslator, Translator};

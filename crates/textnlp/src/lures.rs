@@ -1,0 +1,146 @@
+//! Lure-principle detection (§3.3.6, §5.5, Table 13).
+//!
+//! Detects Stajano & Wilson's seven lures from cue phrases in the English
+//! rendering. Authority additionally fires on a successfully extracted
+//! brand (referencing a trusted third party *is* the authority lure).
+
+use crate::brands::Brand;
+use smishing_types::{Lure, LureSet};
+
+const URGENCY: &[&str] = &[
+    "urgent", "immediately", "today", " now", "asap", "final notice", "expires", "expire",
+    "deadline", "within 24", "within 12", "within 48", "act now", "quickly", "last chance",
+    "before friday", "right away", "hurry", "tonight", "suspension", "will be closed",
+    "will be blocked", "will be returned", "will be deactivated", "will be locked",
+    "unless you cancel",
+];
+const AUTHORITY_WORDS: &[&str] = &[
+    "bank", "government", "official", "security", "customs", "tax", "police", "revenue",
+    "agency", "court", "verification", "verify your", "confirm your identity",
+];
+const GREED: &[&str] = &[
+    "refund", "prize", "reward", "bonus", "win", "won", "free", "claim", "gift", "cash",
+    "discount", "deal", "offer", "paying", "salary", "per day", "points worth", "redeem",
+    "jackpot", "% off", "sale", "profit", "tip:",
+];
+const KINDNESS: &[&str] = &[
+    "help me", "need your help", "please help", "help, i", "help out", "can you help",
+    "help others", "support me", "i need you",
+    // Conversation openers exploit the recipient's willingness to help a
+    // stranger who (apparently) mis-texted (§5.5, Table 13's W column).
+    "is this", "right number for", "are we still on", "got your number from",
+    "wanted to ask", "gave me your number", "how have you been", "long time no see",
+];
+const DISTRACTION: &[&str] = &[
+    "new number", "phone broke", "phone is broken", "dropped my phone", "screen smashed",
+    "being repaired", "using a friend", "by the way", "long time no see", "yoga class",
+    "dinner on", "the apartment", "how have you been", "got your number", "the other day",
+    "last gathering", "temporary number", "is my new number", "my number changed",
+    "from the gym", "on whatsapp",
+];
+const HERD: &[&str] = &[
+    "thousands", "others have", "many winners", "players won", "join them", "already won",
+    "everyone is", "most popular", "already profited", "there are already",
+];
+const DISHONESTY: &[&str] = &[
+    "insider", "avoid the tax", "discreet", "bypass", "under the table", "off the record",
+    "before the announcement", "secret",
+];
+
+fn any(text: &str, cues: &[&str]) -> bool {
+    cues.iter().any(|c| text.contains(c))
+}
+
+/// Detect the lures present in an English-rendered smishing text.
+pub fn detect_lures(english_text: &str, brand: Option<&Brand>) -> LureSet {
+    let lower = english_text.to_lowercase();
+    let mut lures = LureSet::EMPTY;
+    if any(&lower, URGENCY) {
+        lures.insert(Lure::TimeUrgency);
+    }
+    if brand.is_some() || any(&lower, AUTHORITY_WORDS) {
+        lures.insert(Lure::Authority);
+    }
+    if any(&lower, GREED) {
+        lures.insert(Lure::NeedAndGreed);
+    }
+    if any(&lower, KINDNESS) {
+        lures.insert(Lure::Kindness);
+    }
+    if any(&lower, DISTRACTION) {
+        lures.insert(Lure::Distraction);
+    }
+    if any(&lower, HERD) {
+        lures.insert(Lure::Herd);
+    }
+    if any(&lower, DISHONESTY) {
+        lures.insert(Lure::Dishonesty);
+    }
+    lures
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brands::BrandCatalog;
+
+    #[test]
+    fn banking_smish_carries_authority_and_urgency() {
+        let brand = BrandCatalog::global().by_name("Santander");
+        let lures = detect_lures(
+            "Santander ALERT: Your account has been suspended. Verify your details within 24 hours or your account will be closed.",
+            brand,
+        );
+        assert!(lures.contains(Lure::Authority));
+        assert!(lures.contains(Lure::TimeUrgency));
+        assert!(!lures.contains(Lure::Kindness));
+    }
+
+    #[test]
+    fn hey_mum_dad_lures() {
+        let lures = detect_lures(
+            "Hi mum, I dropped my phone down the toilet, this is my new number. Please help, I need to pay a bill today. Text me back asap x",
+            None,
+        );
+        assert!(lures.contains(Lure::Kindness));
+        assert!(lures.contains(Lure::Distraction));
+        assert!(lures.contains(Lure::TimeUrgency));
+    }
+
+    #[test]
+    fn wrong_number_is_distraction_without_urgency() {
+        let lures = detect_lures(
+            "Hello, is this Maria? I got your number from Jenny about the yoga class.",
+            None,
+        );
+        assert!(lures.contains(Lure::Distraction));
+        assert!(!lures.contains(Lure::TimeUrgency));
+        assert!(!lures.contains(Lure::Authority));
+    }
+
+    #[test]
+    fn herd_and_greed() {
+        let lures = detect_lures(
+            "Thousands of traders have already doubled their savings. Join them and claim your bonus",
+            None,
+        );
+        assert!(lures.contains(Lure::Herd));
+        assert!(lures.contains(Lure::NeedAndGreed));
+    }
+
+    #[test]
+    fn dishonesty_is_rare_and_specific() {
+        let lures = detect_lures(
+            "Insider tip: move your holdings before the announcement and avoid the tax hit.",
+            None,
+        );
+        assert!(lures.contains(Lure::Dishonesty));
+        let benign = detect_lures("Your parcel is held at the depot", None);
+        assert!(!benign.contains(Lure::Dishonesty));
+    }
+
+    #[test]
+    fn empty_text_has_no_lures() {
+        assert!(detect_lures("", None).is_empty());
+    }
+}

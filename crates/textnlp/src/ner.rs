@@ -1,0 +1,183 @@
+//! Brand extraction (§3.3.6).
+//!
+//! Off-the-shelf NER fails on smishing because of leetspeak evasion and
+//! globally unknown entities. The extractor here:
+//!
+//! 1. normalizes the text ([`crate::normalize`]), defeating `N3tfl!x`-style
+//!    evasion,
+//! 2. scans the normalized alias index longest-alias-first at word
+//!    boundaries (so "bank of america" beats "bank"),
+//! 3. falls back to per-token edit-distance-1 matching for typo-squatted
+//!    single-word aliases (`amazom` → Amazon).
+
+use crate::brands::{Brand, BrandCatalog};
+use crate::normalize::normalize_text;
+
+/// Levenshtein distance, early-exiting at > 1 since we only use d ≤ 1.
+fn within_edit_one(a: &str, b: &str) -> bool {
+    let (la, lb) = (a.chars().count(), b.chars().count());
+    if la.abs_diff(lb) > 1 {
+        return false;
+    }
+    let av: Vec<char> = a.chars().collect();
+    let bv: Vec<char> = b.chars().collect();
+    let (mut i, mut j, mut edits) = (0usize, 0usize, 0usize);
+    while i < av.len() && j < bv.len() {
+        if av[i] == bv[j] {
+            i += 1;
+            j += 1;
+            continue;
+        }
+        edits += 1;
+        if edits > 1 {
+            return false;
+        }
+        if av.len() == bv.len() {
+            i += 1;
+            j += 1; // substitution
+        } else if av.len() > bv.len() {
+            i += 1; // deletion from a
+        } else {
+            j += 1; // insertion into a
+        }
+    }
+    edits + (av.len() - i) + (bv.len() - j) <= 1
+}
+
+/// Whether `needle` occurs in `hay` at word boundaries.
+fn contains_at_word_boundary(hay: &str, needle: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = hay[start..].find(needle) {
+        let abs = start + pos;
+        let before_ok = abs == 0 || hay.as_bytes()[abs - 1] == b' ';
+        let after = abs + needle.len();
+        let after_ok = after == hay.len() || hay.as_bytes()[after] == b' ';
+        if before_ok && after_ok {
+            return true;
+        }
+        // Advance by one full character (the haystack is UTF-8).
+        start = abs + hay[abs..].chars().next().map(char::len_utf8).unwrap_or(1);
+        if start >= hay.len() {
+            break;
+        }
+    }
+    false
+}
+
+/// Common words that must never fuzzy-match a brand ("apply" is one edit
+/// from "Apple").
+const FUZZY_STOPLIST: &[&str] = &[
+    "apply", "applies", "applied", "change", "charge", "choose", "please", "amazing",
+    "chases", "paying", "ranges", "cause", "phase",
+];
+
+/// Messaging channels: a mention like "message me on WhatsApp" is a channel
+/// reference, not an impersonation of the channel brand.
+fn is_channel_mention(norm: &str, alias: &str) -> bool {
+    if alias != "whatsapp" && alias != "telegram" {
+        return false;
+    }
+    for marker in ["on ", "via ", "over "] {
+        if norm.contains(&format!("{marker}{alias}")) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Extract the impersonated brand from a message text (any language — the
+/// alias forms are proper names that survive translation).
+pub fn extract_brand(text: &str) -> Option<&'static Brand> {
+    let norm = normalize_text(text);
+    if norm.is_empty() {
+        return None;
+    }
+    let cat = BrandCatalog::global();
+
+    // Exact alias hit, longest alias first.
+    for (alias, idx) in cat.alias_index() {
+        if alias.len() >= 2
+            && contains_at_word_boundary(&norm, alias)
+            && !is_channel_mention(&norm, alias)
+        {
+            return Some(&cat.brands()[*idx]);
+        }
+    }
+
+    // Fuzzy fallback: single-word aliases of length ≥ 5 at edit distance 1.
+    for token in norm.split(' ') {
+        if token.len() < 5 || FUZZY_STOPLIST.contains(&token) {
+            continue;
+        }
+        for (alias, idx) in cat.alias_index() {
+            if !alias.contains(' ')
+                && alias.len() >= 5
+                && within_edit_one(token, alias)
+                && !is_channel_mention(&norm, alias)
+            {
+                return Some(&cat.brands()[*idx]);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn name_of(text: &str) -> Option<&'static str> {
+        extract_brand(text).map(|b| b.name)
+    }
+
+    #[test]
+    fn plain_mentions() {
+        assert_eq!(name_of("Your SBI account is blocked, update KYC now"), Some("State Bank of India"));
+        assert_eq!(name_of("Netflix: your payment failed"), Some("Netflix"));
+        assert_eq!(name_of("Rabobank: uw pas verloopt"), Some("Rabobank"));
+    }
+
+    #[test]
+    fn leetspeak_evasion_defeated() {
+        // The paper's motivating example.
+        assert_eq!(name_of("Your N3tfl!x subscription is on hold"), Some("Netflix"));
+        assert_eq!(name_of("AMAZ0N: parcel fee due"), Some("Amazon"));
+        assert_eq!(name_of("P4yPal: verify y0ur account"), Some("PayPal"));
+    }
+
+    #[test]
+    fn multiword_beats_substring() {
+        assert_eq!(name_of("Bank of America alert: card locked"), Some("Bank of America"));
+        assert_eq!(name_of("Royal Mail: your parcel is waiting"), Some("Royal Mail"));
+    }
+
+    #[test]
+    fn typo_squats() {
+        assert_eq!(name_of("Your Amazom order could not be shipped"), Some("Amazon"));
+        assert_eq!(name_of("Netflxi account suspended"), None, "transposition is distance 2");
+    }
+
+    #[test]
+    fn no_brand() {
+        assert_eq!(name_of("Hi mum, my phone broke, text me on this number"), None);
+        assert_eq!(name_of(""), None);
+    }
+
+    #[test]
+    fn word_boundaries_prevent_false_hits() {
+        // "upset" contains "ups"? Not at word boundary in normalized text.
+        assert_eq!(name_of("I am very upset about this"), None);
+        // "fee" must not fuzzy-match "ee".
+        assert_eq!(name_of("a small fee applies"), None);
+    }
+
+    #[test]
+    fn edit_distance_helper() {
+        assert!(within_edit_one("amazon", "amazon"));
+        assert!(within_edit_one("amazon", "amazom"));
+        assert!(within_edit_one("amazon", "amazn"));
+        assert!(within_edit_one("amazon", "amazons"));
+        assert!(!within_edit_one("amazon", "amzaon")); // transposition = 2 edits
+        assert!(!within_edit_one("amazon", "amzn"));
+    }
+}

@@ -1,0 +1,136 @@
+//! Homoglyph / leetspeak normalization (§3.3.6).
+//!
+//! Scammers write `N3tfl!x` so operator filters and off-the-shelf NER miss
+//! the brand. Normalization maps confusable characters to their canonical
+//! lowercase ASCII letter and strips separator noise, so `N3tfl!x`,
+//! `NETFL1X` and `n-e-t-f-l-i-x` all collapse to `netflix`.
+
+/// Map one confusable character to its canonical letter, if any.
+fn fold_char(c: char) -> Option<char> {
+    let out = match c {
+        // Leetspeak digits and symbols.
+        '0' => 'o',
+        '1' => 'l', // visually closest; '1'→'i' is handled by fuzzy matching
+        '3' => 'e',
+        '4' => 'a',
+        '5' => 's',
+        '7' => 't',
+        '8' => 'b',
+        '@' => 'a',
+        '$' => 's',
+        '!' => 'i',
+        '|' => 'l',
+        '€' => 'e',
+        '£' => 'l',
+        // Common Unicode homoglyphs (Cyrillic/Greek lookalikes).
+        'а' => 'a',
+        'е' => 'e',
+        'о' => 'o',
+        'р' => 'p',
+        'с' => 'c',
+        'х' => 'x',
+        'у' => 'y',
+        'і' => 'i',
+        'ο' => 'o',
+        'α' => 'a',
+        'ν' => 'v',
+        _ => return None,
+    };
+    Some(out)
+}
+
+/// Normalize one token for brand matching: casefold, fold confusables,
+/// drop separators entirely.
+///
+/// Digit folding only applies to *mixed* tokens (at least one letter):
+/// `N3tfl!x` folds, but a standalone amount like `24` stays `24` — folding
+/// pure numbers would corrupt ordinary message content.
+pub fn normalize_token(token: &str) -> String {
+    let has_letter = token.chars().any(|c| c.is_alphabetic());
+    let mut out = String::with_capacity(token.len());
+    for c in token.chars() {
+        let c = c.to_lowercase().next().unwrap_or(c);
+        let fold = if has_letter { fold_char(c) } else { None };
+        if let Some(f) = fold {
+            out.push(f);
+        } else if c.is_alphanumeric() {
+            out.push(c);
+        }
+        // separators ('-', '.', '_', spaces inside token) vanish
+    }
+    out
+}
+
+/// Normalize a whole text for brand matching.
+///
+/// Splits on whitespace (NOT on interior punctuation — `N3tfl!x` must stay
+/// one token), trims *edge* sentence punctuation (`renew!` → `renew`), then
+/// folds each chunk.
+pub fn normalize_text(text: &str) -> String {
+    text.split_whitespace()
+        .map(|chunk| {
+            let trimmed =
+                chunk.trim_matches(|c: char| matches!(c, '.' | ',' | '!' | '?' | ';' | ':' | '"' | '\'' | '(' | ')' | '[' | ']'));
+            normalize_token(trimmed)
+        })
+        .filter(|t| !t.is_empty())
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn netflix_evasion_from_the_paper() {
+        // §3.3.6: "N3tfl!x cannot be detected as Netflix from off-the-shelf
+        // models".
+        assert_eq!(normalize_token("N3tfl!x"), "netflix");
+    }
+
+    #[test]
+    fn separator_noise() {
+        assert_eq!(normalize_token("n-e-t.f_l-i-x"), "netflix");
+        assert_eq!(normalize_token("PAY-TM"), "paytm");
+    }
+
+    #[test]
+    fn pure_digit_tokens_unfolded() {
+        assert_eq!(normalize_token("24"), "24");
+        assert_eq!(normalize_token("100"), "100");
+    }
+
+    #[test]
+    fn leet_digits() {
+        assert_eq!(normalize_token("AMAZ0N"), "amazon");
+        assert_eq!(normalize_token("PayPa1"), "paypal");
+        assert_eq!(normalize_token("5BI"), "sbi");
+    }
+
+    #[test]
+    fn cyrillic_homoglyphs() {
+        assert_eq!(normalize_token("Sаntаnder"), "santander"); // Cyrillic а
+    }
+
+    #[test]
+    fn plain_tokens_pass_through() {
+        assert_eq!(normalize_token("Vodafone"), "vodafone");
+        assert_eq!(normalize_token("hsbc"), "hsbc");
+    }
+
+    #[test]
+    fn whole_text() {
+        assert_eq!(
+            normalize_text("Your N3tfl!x account: renew!"),
+            "your netflix account renew"
+        );
+    }
+
+    #[test]
+    fn edge_punctuation_trims_but_interior_folds() {
+        assert_eq!(normalize_text("renew!"), "renew");
+        assert_eq!(normalize_text("N3tfl!x!"), "netflix");
+        assert_eq!(normalize_text("(urgent)"), "urgent");
+    }
+}

@@ -1,0 +1,176 @@
+//! Scam-type classification (§3.3.6, Table 10).
+//!
+//! Runs on the *English* text (the pipeline translates first, §3.2) and
+//! combines two signals:
+//!
+//! 1. keyword scores per category,
+//! 2. the impersonated brand's sector as a strong prior (an Evri smish with
+//!    generic wording is still a delivery scam).
+//!
+//! Conversational scams are matched by structural cues (family address +
+//! changed-number story; stranger greeting) before the keyword scoring, as
+//! they rarely contain category vocabulary.
+
+use crate::brands::Brand;
+use crate::tokenize::words_lower;
+use smishing_types::ScamType;
+
+fn contains_any(text: &str, cues: &[&str]) -> usize {
+    cues.iter().filter(|c| text.contains(*c)).count()
+}
+
+const FAMILY: &[&str] = &["mum", "mom", "dad", "mama", "papa"];
+const CHANGED_PHONE: &[&str] = &[
+    "new number", "phone broke", "phone is broken", "dropped my phone", "screen smashed",
+    "being repaired", "using a friend", "temporary number", "save this number",
+    "my phone down",
+];
+const STRANGER_OPENER: &[&str] = &[
+    "is this", "are you ", "long time no see", "got your number", "gave me your number",
+    "how have you been", "right number for", "the other day", "my number changed",
+    "from the gym", "from the last gathering",
+];
+const DELIVERY: &[&str] = &[
+    "parcel", "package", "delivery", "deliver", "courier", "shipment", "tracking",
+    "customs", "depot", "redeliver", "reschedule", "address", "shipping", "post office",
+];
+const GOVERNMENT: &[&str] = &[
+    "tax", "toll", "fine", "penalty", "licence", "license", "prosecution", "revenue",
+    "benefit", "seizure", "vehicle", "court", "regularize",
+];
+const TELECOM: &[&str] = &[
+    "sim", "bill", "network", "data plan", "loyalty", "top-up", "topup", "airtime",
+    "service suspension", "operator", "tariff", "upgrade",
+];
+const BANKING: &[&str] = &[
+    "bank", "account", "card", "kyc", "net banking", "password", "transaction",
+    "payment", "debited", "credited", "online banking", "iban", "refund",
+];
+const SPAM: &[&str] = &[
+    "casino", "free spins", "sale", "% off", "discount", "draw", "prize", "newsletter",
+    "stock alert", "play now", "shop", "promo", "raffle", "betting",
+];
+const OTHERS: &[&str] = &[
+    "subscription", "profile", "verification code", "job", "traders", "investment",
+    "crypto", "wallet", "bonus", "streaming", "logged into your", "accessed from",
+];
+
+/// Classify the scam type of an English-rendered smishing text.
+pub fn classify_scam(english_text: &str, brand: Option<&Brand>) -> ScamType {
+    let lower = english_text.to_lowercase();
+    let words = words_lower(english_text);
+
+    // Conversational structures first.
+    let family = FAMILY.iter().any(|f| words.iter().any(|w| w == f));
+    if family && contains_any(&lower, CHANGED_PHONE) > 0 {
+        return ScamType::HeyMumDad;
+    }
+    let greetingish = ["hi", "hey", "hello", "good"]
+        .iter()
+        .any(|g| words.first().map(String::as_str) == Some(*g));
+    if greetingish && contains_any(&lower, STRANGER_OPENER) > 0 && brand.is_none() {
+        return ScamType::WrongNumber;
+    }
+
+    // Keyword scores.
+    let mut scores: Vec<(ScamType, f64)> = vec![
+        (ScamType::Delivery, contains_any(&lower, DELIVERY) as f64),
+        (ScamType::Government, contains_any(&lower, GOVERNMENT) as f64),
+        (ScamType::Telecom, contains_any(&lower, TELECOM) as f64),
+        (ScamType::Banking, contains_any(&lower, BANKING) as f64),
+        (ScamType::Spam, contains_any(&lower, SPAM) as f64),
+        (ScamType::Others, contains_any(&lower, OTHERS) as f64),
+    ];
+
+    // Brand sector prior.
+    if let Some(b) = brand {
+        let target = b.sector.typical_scam_type();
+        for (st, s) in scores.iter_mut() {
+            if *st == target {
+                *s += 2.5;
+            }
+        }
+    }
+
+    let (best, score) = scores
+        .into_iter()
+        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("scores are finite"))
+        .expect("non-empty scores");
+    if score <= 0.0 {
+        return ScamType::Others;
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brands::BrandCatalog;
+
+    fn brand(name: &str) -> Option<&'static Brand> {
+        BrandCatalog::global().by_name(name)
+    }
+
+    #[test]
+    fn banking() {
+        let t = "SBI ALERT: Your account has been suspended. Verify your details at https://x.co/1";
+        assert_eq!(classify_scam(t, brand("State Bank of India")), ScamType::Banking);
+    }
+
+    #[test]
+    fn delivery_by_keywords_and_brand() {
+        let t = "Your parcel is held at the depot, pay the redelivery fee";
+        assert_eq!(classify_scam(t, None), ScamType::Delivery);
+        let generic = "A fee is due on your item, see link";
+        assert_eq!(classify_scam(generic, brand("Evri")), ScamType::Delivery);
+    }
+
+    #[test]
+    fn government() {
+        let t = "HMRC: you are eligible for a tax refund, claim before the deadline";
+        assert_eq!(classify_scam(t, brand("HMRC")), ScamType::Government);
+        let toll = "An unpaid toll is registered to your vehicle, pay to avoid a penalty";
+        assert_eq!(classify_scam(toll, None), ScamType::Government);
+    }
+
+    #[test]
+    fn telecom() {
+        let t = "Your SIM will be deactivated, re-verify your identity";
+        assert_eq!(classify_scam(t, None), ScamType::Telecom);
+    }
+
+    #[test]
+    fn hey_mum_dad() {
+        let t = "Hi mum, I dropped my phone down the toilet, this is my new number. Text me back";
+        assert_eq!(classify_scam(t, None), ScamType::HeyMumDad);
+    }
+
+    #[test]
+    fn wrong_number() {
+        let t = "Hello, is this Maria? I got your number from Jenny about the yoga class.";
+        assert_eq!(classify_scam(t, None), ScamType::WrongNumber);
+    }
+
+    #[test]
+    fn spam() {
+        let t = "MEGA CASINO: 50 free spins waiting! Play now";
+        assert_eq!(classify_scam(t, None), ScamType::Spam);
+    }
+
+    #[test]
+    fn others_tech_brand_overrides_banking_words() {
+        let t = "Netflix: your account will be charged unless you cancel your subscription";
+        assert_eq!(classify_scam(t, brand("Netflix")), ScamType::Others);
+    }
+
+    #[test]
+    fn unclassifiable_defaults_to_others() {
+        assert_eq!(classify_scam("random words entirely", None), ScamType::Others);
+    }
+
+    #[test]
+    fn refund_with_bank_brand_is_banking() {
+        let t = "Santander: you have received a refund of £120. Claim here";
+        assert_eq!(classify_scam(t, brand("Santander")), ScamType::Banking);
+    }
+}

@@ -1,0 +1,97 @@
+//! Unicode-aware tokenization.
+//!
+//! Splits on anything that is neither alphanumeric nor an in-word
+//! apostrophe/hyphen. URLs are kept whole so downstream stages can skip
+//! them when counting stopwords.
+
+/// Tokenize text into word tokens, preserving URL-looking tokens intact.
+pub fn tokenize(text: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    for raw in text.split_whitespace() {
+        if looks_like_url(raw) {
+            out.push(raw);
+            continue;
+        }
+        let trimmed = raw.trim_matches(|c: char| !c.is_alphanumeric());
+        if trimmed.is_empty() {
+            continue;
+        }
+        // Split interior punctuation except ' and - (don't split "don't").
+        let mut start = None;
+        let bytes: Vec<(usize, char)> = trimmed.char_indices().collect();
+        for &(i, c) in &bytes {
+            let wordy = c.is_alphanumeric() || c == '\'' || c == '-';
+            match (wordy, start) {
+                (true, None) => start = Some(i),
+                (false, Some(s)) => {
+                    out.push(&trimmed[s..i]);
+                    start = None;
+                }
+                _ => {}
+            }
+        }
+        if let Some(s) = start {
+            out.push(&trimmed[s..]);
+        }
+    }
+    out
+}
+
+/// Heuristic: does this whitespace-token look like a URL?
+pub fn looks_like_url(token: &str) -> bool {
+    let t = token.to_ascii_lowercase();
+    t.starts_with("http://")
+        || t.starts_with("https://")
+        || t.starts_with("hxxp")
+        || t.starts_with("www.")
+        || (t.contains('.') && t.contains('/'))
+        || t.contains("[.]")
+}
+
+/// Lowercased word tokens with URLs removed — the unit the language
+/// identifier and keyword classifiers operate on.
+pub fn words_lower(text: &str) -> Vec<String> {
+    tokenize(text)
+        .into_iter()
+        .filter(|t| !looks_like_url(t))
+        .map(|t| t.to_lowercase())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_split() {
+        assert_eq!(tokenize("Hello, world!"), vec!["Hello", "world"]);
+    }
+
+    #[test]
+    fn keeps_urls_whole() {
+        let toks = tokenize("pay at https://bit.ly/x now");
+        assert!(toks.contains(&"https://bit.ly/x"));
+    }
+
+    #[test]
+    fn keeps_apostrophes_and_hyphens() {
+        assert_eq!(tokenize("don't re-send"), vec!["don't", "re-send"]);
+    }
+
+    #[test]
+    fn splits_interior_punctuation() {
+        assert_eq!(tokenize("bank:account=locked"), vec!["bank", "account", "locked"]);
+    }
+
+    #[test]
+    fn unicode_words() {
+        assert_eq!(tokenize("Ihr Konto wurde gesperrt"), vec!["Ihr", "Konto", "wurde", "gesperrt"]);
+        assert_eq!(tokenize("あなたの口座"), vec!["あなたの口座"]);
+    }
+
+    #[test]
+    fn words_lower_drops_urls() {
+        let ws = words_lower("URGENT visit https://evil.com/x today");
+        assert_eq!(ws, vec!["urgent", "visit", "today"]);
+    }
+}

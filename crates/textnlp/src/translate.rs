@@ -1,0 +1,141 @@
+//! Translation to English (§3.2).
+//!
+//! The paper has GPT-4o translate every non-English smish. Our stand-in is
+//! template-backed: the translator recognizes which library template
+//! produced the text (pattern matching with filler extraction) and
+//! re-renders the template's English counterpart with the same fillers.
+//! This models a translator that *knows the phrasebook* — exactly the
+//! competence the LLM contributes — while remaining fully offline.
+
+use crate::templates::TemplateLibrary;
+use smishing_types::Language;
+
+/// Result of a translation attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Translated {
+    /// Text was already English; returned verbatim.
+    AlreadyEnglish(String),
+    /// Recognized and translated.
+    Translated(String),
+    /// Unrecognized phrasing; original returned untouched.
+    Untranslatable(String),
+}
+
+impl Translated {
+    /// The best-available English text.
+    pub fn text(&self) -> &str {
+        match self {
+            Translated::AlreadyEnglish(s)
+            | Translated::Translated(s)
+            | Translated::Untranslatable(s) => s,
+        }
+    }
+
+    /// Whether an actual translation happened.
+    pub fn was_translated(&self) -> bool {
+        matches!(self, Translated::Translated(_))
+    }
+}
+
+/// The translator interface the pipeline codes against.
+pub trait Translator {
+    /// Translate `text` (whose detected language is `lang`) to English.
+    fn to_english(&self, text: &str, lang: Option<Language>) -> Translated;
+}
+
+/// Template-backed translator (see module docs).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TemplateTranslator;
+
+impl TemplateTranslator {
+    /// Build the translator.
+    pub fn new() -> TemplateTranslator {
+        TemplateTranslator
+    }
+}
+
+impl Translator for TemplateTranslator {
+    fn to_english(&self, text: &str, lang: Option<Language>) -> Translated {
+        if lang == Some(Language::English) {
+            return Translated::AlreadyEnglish(text.to_string());
+        }
+        let lib = TemplateLibrary::global();
+        match lib.match_text(text, lang) {
+            Some((template, fills)) => {
+                if template.language == Language::English {
+                    Translated::AlreadyEnglish(text.to_string())
+                } else {
+                    Translated::Translated(template.render_english(&fills))
+                }
+            }
+            None => Translated::Untranslatable(text.to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::templates::{Fills, TemplateLibrary};
+
+    fn fills() -> Fills {
+        Fills {
+            brand: Some("Rabobank".into()),
+            url: Some("https://is.gd/q7".into()),
+            name: Some("Eva".into()),
+            amount: Some("€310".into()),
+            tracking: Some("3SABCD99".into()),
+            code: Some("114477".into()),
+            number: Some("+31612345678".into()),
+        }
+    }
+
+    #[test]
+    fn translates_dutch_banking_smish() {
+        let lib = TemplateLibrary::global();
+        let t = lib
+            .for_scam_lang(smishing_types::ScamType::Banking, Language::Dutch)
+            .into_iter()
+            .next()
+            .unwrap();
+        let rendered = t.render(&fills());
+        let tr = TemplateTranslator::new().to_english(&rendered, Some(Language::Dutch));
+        assert!(tr.was_translated(), "{rendered}");
+        let en = tr.text();
+        assert!(en.contains("Rabobank"), "{en}");
+        assert!(en.contains("https://is.gd/q7"), "{en}");
+        assert!(en.to_lowercase().contains("verify") || en.to_lowercase().contains("account"), "{en}");
+    }
+
+    #[test]
+    fn english_passes_through() {
+        let tr = TemplateTranslator::new()
+            .to_english("Your account is locked", Some(Language::English));
+        assert_eq!(tr, Translated::AlreadyEnglish("Your account is locked".into()));
+    }
+
+    #[test]
+    fn every_non_english_template_translates() {
+        let lib = TemplateLibrary::global();
+        let translator = TemplateTranslator::new();
+        let f = fills();
+        for t in lib.all().iter().filter(|t| t.language != Language::English) {
+            let rendered = t.render(&f);
+            let tr = translator.to_english(&rendered, Some(t.language));
+            assert!(
+                tr.was_translated(),
+                "template {} ({:?}) failed: {rendered}",
+                t.id,
+                t.language
+            );
+            assert!(tr.text().contains("https://is.gd/q7") || !t.needs_url());
+        }
+    }
+
+    #[test]
+    fn free_text_is_untranslatable() {
+        let tr = TemplateTranslator::new()
+            .to_english("texte totalement libre sans modèle", Some(Language::French));
+        assert!(matches!(tr, Translated::Untranslatable(_)));
+    }
+}

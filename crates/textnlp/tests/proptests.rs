@@ -1,0 +1,89 @@
+//! Property-based tests over the text-analysis stack.
+
+use proptest::prelude::*;
+use smishing_textnlp::annotator::{Annotator, PipelineAnnotator};
+use smishing_textnlp::templates::{match_pattern, render_pattern, Fills, TemplateLibrary};
+use smishing_textnlp::{detect_lures, extract_brand, identify_language, normalize_text};
+
+proptest! {
+    #[test]
+    fn nothing_panics_on_arbitrary_text(s in "\\PC{0,120}") {
+        let _ = normalize_text(&s);
+        let _ = identify_language(&s);
+        let _ = extract_brand(&s);
+        let _ = detect_lures(&s, None);
+        let _ = PipelineAnnotator::new().annotate(&s);
+    }
+
+    #[test]
+    fn normalization_is_idempotent_and_ascii_lowercase_on_ascii(s in "[ -~]{0,60}") {
+        let once = normalize_text(&s);
+        prop_assert_eq!(normalize_text(&once), once.clone());
+        prop_assert!(once.chars().all(|c| !c.is_ascii_uppercase()));
+    }
+
+    #[test]
+    fn render_then_match_extracts_the_same_fills(
+        brand in "[A-Z][a-z]{2,8}",
+        code in "[0-9]{6}",
+        amount in "[1-9][0-9]{0,3}",
+    ) {
+        let pattern = "{brand}: your code is {code}, a charge of £{amount} is pending.";
+        let fills = Fills {
+            brand: Some(brand.clone()),
+            code: Some(code.clone()),
+            amount: Some(amount.clone()),
+            ..Fills::default()
+        };
+        let rendered = render_pattern(pattern, &fills);
+        let extracted = match_pattern(pattern, &rendered).expect("own rendering matches");
+        prop_assert_eq!(extracted.brand.as_deref(), Some(brand.as_str()));
+        prop_assert_eq!(extracted.code.as_deref(), Some(code.as_str()));
+        prop_assert_eq!(extracted.amount.as_deref(), Some(amount.as_str()));
+    }
+
+    #[test]
+    fn every_template_renders_without_leftover_placeholders(
+        url in "https://[a-z]{3,8}\\.(com|ly)/[a-z0-9]{3,6}",
+        name in "[A-Z][a-z]{2,6}",
+    ) {
+        let fills = Fills {
+            brand: Some("Santander".into()),
+            url: Some(url),
+            name: Some(name),
+            amount: Some("£12.00".into()),
+            tracking: Some("RM123456789GB".into()),
+            code: Some("123456".into()),
+            number: Some("+447900000001".into()),
+        };
+        for t in TemplateLibrary::global().all() {
+            let rendered = t.render(&fills);
+            prop_assert!(!rendered.contains('{'), "template {}: {}", t.id, rendered);
+            let english = t.render_english(&fills);
+            prop_assert!(!english.contains('}'), "template {}: {}", t.id, english);
+        }
+    }
+
+    #[test]
+    fn brand_ner_survives_case_and_leet(variant in 0u8..4) {
+        let base = "netflix";
+        let mutated: String = match variant {
+            0 => base.to_uppercase(),
+            1 => "N3tflix".to_string(),
+            2 => "Netfl1x".to_string(),
+            _ => "n-e-t-f-l-i-x".to_string(),
+        };
+        let text = format!("Your {mutated} subscription is on hold");
+        let found = extract_brand(&text).map(|b| b.name);
+        prop_assert_eq!(found, Some("Netflix"), "{}", text);
+    }
+
+    #[test]
+    fn annotation_is_deterministic(s in "[ -~]{0,80}") {
+        let a = PipelineAnnotator::new().annotate(&s);
+        let b = PipelineAnnotator::new().annotate(&s);
+        prop_assert_eq!(a.scam_type, b.scam_type);
+        prop_assert_eq!(a.brand, b.brand);
+        prop_assert_eq!(a.lures, b.lures);
+    }
+}

@@ -1,0 +1,90 @@
+//! Brand sectors.
+//!
+//! The brand *catalog* (names, aliases, home countries) lives in
+//! `smishing-textnlp::brands`; this module only defines the sector taxonomy
+//! shared between the generator and the analyses (Table 12 maps each brand
+//! to the scam category it is typically impersonated for).
+
+use crate::scam::ScamType;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Business sector of an impersonated brand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Sector {
+    /// Banks, payment apps, financial institutions.
+    Banking,
+    /// Postal and parcel companies.
+    Delivery,
+    /// Government agencies (tax, toll, benefits).
+    Government,
+    /// Mobile network operators and ISPs.
+    Telecom,
+    /// Tech/streaming/marketplace companies (Netflix, Amazon, Facebook...).
+    Tech,
+    /// Cryptocurrency exchanges and wallets.
+    Crypto,
+    /// Everything else (retail, charities...).
+    Other,
+}
+
+impl Sector {
+    /// All sectors.
+    pub const ALL: &'static [Sector] = &[
+        Sector::Banking,
+        Sector::Delivery,
+        Sector::Government,
+        Sector::Telecom,
+        Sector::Tech,
+        Sector::Crypto,
+        Sector::Other,
+    ];
+
+    /// The scam category a brand of this sector is typically impersonated
+    /// for. Tech/crypto/other impersonation lands in `Others` (§5.2).
+    pub fn typical_scam_type(self) -> ScamType {
+        match self {
+            Sector::Banking => ScamType::Banking,
+            Sector::Delivery => ScamType::Delivery,
+            Sector::Government => ScamType::Government,
+            Sector::Telecom => ScamType::Telecom,
+            Sector::Tech | Sector::Crypto | Sector::Other => ScamType::Others,
+        }
+    }
+
+    /// Display label (matches the "Category" column of Table 12).
+    pub fn label(self) -> &'static str {
+        match self {
+            Sector::Banking => "Banking",
+            Sector::Delivery => "Delivery",
+            Sector::Government => "Government",
+            Sector::Telecom => "Telecom",
+            Sector::Tech => "Others",
+            Sector::Crypto => "Others",
+            Sector::Other => "Others",
+        }
+    }
+}
+
+impl fmt::Display for Sector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sector_to_scam_type() {
+        assert_eq!(Sector::Banking.typical_scam_type(), ScamType::Banking);
+        assert_eq!(Sector::Tech.typical_scam_type(), ScamType::Others);
+    }
+
+    #[test]
+    fn table12_labels_tech_as_others() {
+        // Amazon and Netflix appear in Table 12 with category "Others".
+        assert_eq!(Sector::Tech.label(), "Others");
+    }
+}

@@ -1,0 +1,170 @@
+//! Countries relevant to the smishing ecosystem.
+//!
+//! The paper reports sender-ID origin countries (Table 14), MNO operating
+//! countries (Table 4) and AS host countries (Table 8). We model the ~60
+//! countries that appear anywhere in the paper's tables plus the major
+//! telephony markets needed by the numbering-plan substrate.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! countries {
+    ($( $variant:ident => ($a2:literal, $a3:literal, $name:literal, $cc:literal) ),+ $(,)?) => {
+        /// A country, identified by its ISO 3166-1 codes.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+        #[allow(missing_docs)]
+        pub enum Country {
+            $($variant),+
+        }
+
+        impl Country {
+            /// Every country known to the model, in declaration order.
+            pub const ALL: &'static [Country] = &[$(Country::$variant),+];
+
+            /// ISO 3166-1 alpha-2 code (e.g. `"GB"`).
+            pub fn alpha2(self) -> &'static str {
+                match self { $(Country::$variant => $a2),+ }
+            }
+
+            /// ISO 3166-1 alpha-3 code (e.g. `"GBR"`), the form used in the paper's tables.
+            pub fn alpha3(self) -> &'static str {
+                match self { $(Country::$variant => $a3),+ }
+            }
+
+            /// English short name.
+            pub fn name(self) -> &'static str {
+                match self { $(Country::$variant => $name),+ }
+            }
+
+            /// ITU E.164 country calling code (e.g. `44` for the UK).
+            ///
+            /// Note several countries share a calling code (NANP members all
+            /// use `1`); resolving a number to a country therefore needs the
+            /// numbering plan in `smishing-telecom`, not just this code.
+            pub fn calling_code(self) -> u16 {
+                match self { $(Country::$variant => $cc),+ }
+            }
+
+            /// Look a country up by either its alpha-2 or alpha-3 code
+            /// (case-insensitive).
+            pub fn from_code(code: &str) -> Option<Country> {
+                let up = code.trim().to_ascii_uppercase();
+                Country::ALL.iter().copied().find(|c| c.alpha2() == up || c.alpha3() == up)
+            }
+        }
+    };
+}
+
+countries! {
+    // Core markets that dominate the paper's tables.
+    India => ("IN", "IND", "India", 91),
+    UnitedStates => ("US", "USA", "United States of America", 1),
+    UnitedKingdom => ("GB", "GBR", "United Kingdom", 44),
+    Netherlands => ("NL", "NLD", "Netherlands", 31),
+    Spain => ("ES", "ESP", "Spain", 34),
+    Australia => ("AU", "AUS", "Australia", 61),
+    France => ("FR", "FRA", "France", 33),
+    Belgium => ("BE", "BEL", "Belgium", 32),
+    Indonesia => ("ID", "IDN", "Indonesia", 62),
+    Germany => ("DE", "DEU", "Germany", 49),
+    // Vodafone / Airtel / Lycamobile footprints (Table 4).
+    Czechia => ("CZ", "CZE", "Czechia", 420),
+    Ghana => ("GH", "GHA", "Ghana", 233),
+    Hungary => ("HU", "HUN", "Hungary", 36),
+    Ireland => ("IE", "IRL", "Ireland", 353),
+    Italy => ("IT", "ITA", "Italy", 39),
+    NewZealand => ("NZ", "NZL", "New Zealand", 64),
+    Portugal => ("PT", "PRT", "Portugal", 351),
+    Qatar => ("QA", "QAT", "Qatar", 974),
+    Romania => ("RO", "ROU", "Romania", 40),
+    Turkey => ("TR", "TUR", "Turkey", 90),
+    Ukraine => ("UA", "UKR", "Ukraine", 380),
+    SouthAfrica => ("ZA", "ZAF", "South Africa", 27),
+    DrCongo => ("CD", "COD", "DR Congo", 243),
+    Kenya => ("KE", "KEN", "Kenya", 254),
+    SriLanka => ("LK", "LKA", "Sri Lanka", 94),
+    Malawi => ("MW", "MWI", "Malawi", 265),
+    Nigeria => ("NG", "NGA", "Nigeria", 234),
+    Guadeloupe => ("GP", "GLP", "Guadeloupe", 590),
+    // Hosting / AS countries (Table 8) and language markets.
+    Japan => ("JP", "JPN", "Japan", 81),
+    China => ("CN", "CHN", "China", 86),
+    HongKong => ("HK", "HKG", "Hong Kong", 852),
+    Luxembourg => ("LU", "LUX", "Luxembourg", 352),
+    Russia => ("RU", "RUS", "Russia", 7),
+    Morocco => ("MA", "MAR", "Morocco", 212),
+    Brazil => ("BR", "BRA", "Brazil", 55),
+    Mexico => ("MX", "MEX", "Mexico", 52),
+    Argentina => ("AR", "ARG", "Argentina", 54),
+    Colombia => ("CO", "COL", "Colombia", 57),
+    Philippines => ("PH", "PHL", "Philippines", 63),
+    Pakistan => ("PK", "PAK", "Pakistan", 92),
+    Bangladesh => ("BD", "BGD", "Bangladesh", 880),
+    Malaysia => ("MY", "MYS", "Malaysia", 60),
+    Singapore => ("SG", "SGP", "Singapore", 65),
+    Thailand => ("TH", "THA", "Thailand", 66),
+    Vietnam => ("VN", "VNM", "Vietnam", 84),
+    SouthKorea => ("KR", "KOR", "South Korea", 82),
+    Poland => ("PL", "POL", "Poland", 48),
+    Sweden => ("SE", "SWE", "Sweden", 46),
+    Norway => ("NO", "NOR", "Norway", 47),
+    Denmark => ("DK", "DNK", "Denmark", 45),
+    Finland => ("FI", "FIN", "Finland", 358),
+    Switzerland => ("CH", "CHE", "Switzerland", 41),
+    Austria => ("AT", "AUT", "Austria", 43),
+    Greece => ("GR", "GRC", "Greece", 30),
+    Canada => ("CA", "CAN", "Canada", 1),
+    Egypt => ("EG", "EGY", "Egypt", 20),
+    SaudiArabia => ("SA", "SAU", "Saudi Arabia", 966),
+    UnitedArabEmirates => ("AE", "ARE", "United Arab Emirates", 971),
+    Israel => ("IL", "ISR", "Israel", 972),
+    Taiwan => ("TW", "TWN", "Taiwan", 886),
+}
+
+impl fmt::Display for Country {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.alpha3())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn codes_are_unique() {
+        let a2: HashSet<_> = Country::ALL.iter().map(|c| c.alpha2()).collect();
+        let a3: HashSet<_> = Country::ALL.iter().map(|c| c.alpha3()).collect();
+        assert_eq!(a2.len(), Country::ALL.len());
+        assert_eq!(a3.len(), Country::ALL.len());
+    }
+
+    #[test]
+    fn lookup_by_either_code() {
+        assert_eq!(Country::from_code("gb"), Some(Country::UnitedKingdom));
+        assert_eq!(Country::from_code("GBR"), Some(Country::UnitedKingdom));
+        assert_eq!(Country::from_code(" ind "), Some(Country::India));
+        assert_eq!(Country::from_code("xx"), None);
+    }
+
+    #[test]
+    fn alpha_code_shapes() {
+        for c in Country::ALL {
+            assert_eq!(c.alpha2().len(), 2, "{c:?}");
+            assert_eq!(c.alpha3().len(), 3, "{c:?}");
+            assert!(c.calling_code() > 0);
+        }
+    }
+
+    #[test]
+    fn nanp_members_share_calling_code() {
+        assert_eq!(Country::UnitedStates.calling_code(), 1);
+        assert_eq!(Country::Canada.calling_code(), 1);
+    }
+
+    #[test]
+    fn display_uses_alpha3_like_the_paper() {
+        assert_eq!(Country::UnitedKingdom.to_string(), "GBR");
+    }
+}

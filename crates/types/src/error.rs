@@ -1,0 +1,79 @@
+//! Error types shared across the data model.
+
+use std::fmt;
+
+/// Errors produced while parsing or validating model types.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeError {
+    /// A phone number string could not be interpreted under any numbering plan.
+    InvalidPhoneNumber {
+        /// The offending input (possibly truncated for logging).
+        input: String,
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+    /// A timestamp string matched none of the supported civil formats.
+    UnparsableTimestamp {
+        /// The offending input.
+        input: String,
+    },
+    /// A civil date/time had an out-of-range component (month 13, hour 25, ...).
+    InvalidCivil {
+        /// Which component was out of range.
+        component: &'static str,
+        /// The offending value.
+        value: i64,
+    },
+    /// An ISO country or language code was not recognised.
+    UnknownCode {
+        /// What kind of code ("country", "language", ...).
+        kind: &'static str,
+        /// The offending code.
+        code: String,
+    },
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeError::InvalidPhoneNumber { input, reason } => {
+                write!(f, "invalid phone number {input:?}: {reason}")
+            }
+            TypeError::UnparsableTimestamp { input } => {
+                write!(f, "unparsable timestamp {input:?}")
+            }
+            TypeError::InvalidCivil { component, value } => {
+                write!(f, "civil {component} out of range: {value}")
+            }
+            TypeError::UnknownCode { kind, code } => {
+                write!(f, "unknown {kind} code {code:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_human_readable() {
+        let e = TypeError::InvalidPhoneNumber {
+            input: "++44".into(),
+            reason: "repeated plus sign",
+        };
+        assert!(e.to_string().contains("++44"));
+        assert!(e.to_string().contains("repeated plus sign"));
+    }
+
+    #[test]
+    fn unknown_code_mentions_kind() {
+        let e = TypeError::UnknownCode {
+            kind: "language",
+            code: "zz".into(),
+        };
+        assert!(e.to_string().contains("language"));
+    }
+}

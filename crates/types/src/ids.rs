@@ -1,0 +1,57 @@
+//! Opaque identifiers threaded through the pipeline.
+//!
+//! The generator stamps every smish with the campaign that produced it and
+//! every forum post with the message it reports. The *pipeline never reads
+//! these* — they exist so tests and EXPERIMENTS.md can compare what the
+//! pipeline recovered against ground truth.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident($inner:ty)) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+        )]
+        pub struct $name(pub $inner);
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!(stringify!($name), "#{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type! {
+    /// Identifies a smishing campaign in the generated world.
+    CampaignId(u32)
+}
+
+id_type! {
+    /// Identifies a single smish *send* (one message to one victim).
+    MessageId(u64)
+}
+
+id_type! {
+    /// Identifies a forum post/report.
+    PostId(u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_type_and_value() {
+        assert_eq!(CampaignId(7).to_string(), "CampaignId#7");
+        assert_eq!(MessageId(42).to_string(), "MessageId#42");
+        assert_eq!(PostId(9).to_string(), "PostId#9");
+    }
+
+    #[test]
+    fn ids_are_ordered() {
+        assert!(MessageId(1) < MessageId(2));
+    }
+}

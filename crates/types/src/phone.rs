@@ -1,0 +1,101 @@
+//! Phone numbers as they appear in sender IDs.
+//!
+//! This type is deliberately *syntactic*: it stores a country calling code
+//! and national digits. Whether the number is a valid mobile, a landline, a
+//! spoofed bad-format string, etc. is decided by the numbering plans in
+//! `smishing-telecom` (§3.3.1), not here.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A phone number split into E.164 components.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PhoneNumber {
+    /// ITU country calling code (1–3 digits, e.g. 44).
+    pub country_code: u16,
+    /// National significant number, digits only (no leading trunk zero).
+    pub national: String,
+}
+
+impl PhoneNumber {
+    /// Construct from parts. `national` must be all ASCII digits.
+    pub fn new(country_code: u16, national: impl Into<String>) -> PhoneNumber {
+        let national = national.into();
+        debug_assert!(national.bytes().all(|b| b.is_ascii_digit()));
+        PhoneNumber { country_code, national }
+    }
+
+    /// Full digit string including the country code (no `+`).
+    pub fn digits(&self) -> String {
+        format!("{}{}", self.country_code, self.national)
+    }
+
+    /// E.164 representation (`+919876543210`).
+    pub fn e164(&self) -> String {
+        format!("+{}{}", self.country_code, self.national)
+    }
+
+    /// Total digit count (country code + national).
+    pub fn len(&self) -> usize {
+        count_digits(self.country_code) + self.national.len()
+    }
+
+    /// Never true for a constructed number, provided for completeness.
+    pub fn is_empty(&self) -> bool {
+        self.national.is_empty()
+    }
+
+    /// Pseudo-anonymize for dataset release: keep country code and the first
+    /// digit of the national number, mask the rest (Appendix C).
+    pub fn anonymized(&self) -> String {
+        let mut masked = String::with_capacity(self.national.len());
+        for (i, c) in self.national.chars().enumerate() {
+            masked.push(if i == 0 { c } else { 'X' });
+        }
+        format!("+{}{}", self.country_code, masked)
+    }
+}
+
+fn count_digits(mut n: u16) -> usize {
+    if n == 0 {
+        return 1;
+    }
+    let mut c = 0;
+    while n > 0 {
+        n /= 10;
+        c += 1;
+    }
+    c
+}
+
+impl fmt::Display for PhoneNumber {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.e164())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e164_formatting() {
+        let p = PhoneNumber::new(44, "7911123456");
+        assert_eq!(p.e164(), "+447911123456");
+        assert_eq!(p.digits(), "447911123456");
+        assert_eq!(p.len(), 12);
+    }
+
+    #[test]
+    fn anonymization_keeps_cc_and_first_digit() {
+        let p = PhoneNumber::new(91, "9876543210");
+        assert_eq!(p.anonymized(), "+919XXXXXXXXX");
+    }
+
+    #[test]
+    fn digit_counting() {
+        assert_eq!(count_digits(1), 1);
+        assert_eq!(count_digits(44), 2);
+        assert_eq!(count_digits(420), 3);
+    }
+}

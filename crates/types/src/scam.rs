@@ -1,0 +1,300 @@
+//! The scam taxonomy the paper annotates messages with.
+//!
+//! - [`ScamType`]: the seven scam categories plus spam (§5.2, Table 10),
+//!   following the categorization of Agarwal et al. (IMC'24 poster).
+//! - [`Lure`]: the seven lure principles of Stajano & Wilson (§5.5, Table 13).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Scam category of a smishing message (Table 10).
+///
+/// `Spam` is not a scam — the paper keeps it as a category precisely to show
+/// that user-report mining needs a spam/scam distinction (§5.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ScamType {
+    /// Impersonates a bank or financial institution.
+    Banking,
+    /// Impersonates a parcel/delivery company.
+    Delivery,
+    /// Impersonates a government organization (tax agency, toll authority...).
+    Government,
+    /// Impersonates a mobile network operator.
+    Telecom,
+    /// Conversation opener pretending to have texted the wrong person.
+    WrongNumber,
+    /// "Hey mum/dad" family-impersonation conversation scam.
+    HeyMumDad,
+    /// Anything else: crypto, job offers, tech-company impersonation, OTP call-backs...
+    Others,
+    /// Unsolicited marketing — annoying but not directly fraudulent.
+    Spam,
+}
+
+impl ScamType {
+    /// All categories, in the paper's Table 10 order.
+    pub const ALL: &'static [ScamType] = &[
+        ScamType::Banking,
+        ScamType::Delivery,
+        ScamType::Government,
+        ScamType::Telecom,
+        ScamType::WrongNumber,
+        ScamType::HeyMumDad,
+        ScamType::Others,
+        ScamType::Spam,
+    ];
+
+    /// The label used in the paper's tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            ScamType::Banking => "Banking",
+            ScamType::Delivery => "Delivery",
+            ScamType::Government => "Government",
+            ScamType::Telecom => "Telecom",
+            ScamType::WrongNumber => "Wrong number",
+            ScamType::HeyMumDad => "Hey mum/dad",
+            ScamType::Others => "Others",
+            ScamType::Spam => "Spam",
+        }
+    }
+
+    /// Single-letter key used in Tables 5 and 13 (B/D/G/T/W/H); `None` for
+    /// Others and Spam, which those tables omit.
+    pub fn short_key(self) -> Option<char> {
+        match self {
+            ScamType::Banking => Some('B'),
+            ScamType::Delivery => Some('D'),
+            ScamType::Government => Some('G'),
+            ScamType::Telecom => Some('T'),
+            ScamType::WrongNumber => Some('W'),
+            ScamType::HeyMumDad => Some('H'),
+            _ => None,
+        }
+    }
+
+    /// Conversation scams lure the victim into *replying* rather than
+    /// clicking (§5.5): "Hey mum/dad" and "Wrong number".
+    pub fn is_conversational(self) -> bool {
+        matches!(self, ScamType::WrongNumber | ScamType::HeyMumDad)
+    }
+
+    /// Whether the category is an actual scam (financially harmful), as
+    /// opposed to generic spam.
+    pub fn is_scam(self) -> bool {
+        !matches!(self, ScamType::Spam)
+    }
+}
+
+impl fmt::Display for ScamType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A lure principle from Stajano & Wilson's typology (Table 13).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Lure {
+    /// References to trusted third parties so users comply without question.
+    Authority,
+    /// Invites users willingly and knowingly into a fraudulent action.
+    Dishonesty,
+    /// Provides unrelated details to distract the user.
+    Distraction,
+    /// Leverages greed: attractive (monetary) benefits.
+    NeedAndGreed,
+    /// Convinces the victim that others have taken the same risk and won.
+    Herd,
+    /// Leverages people's willingness to help others.
+    Kindness,
+    /// Time pressure towards an irrational decision.
+    TimeUrgency,
+}
+
+impl Lure {
+    /// All lures, in Table 13 order.
+    pub const ALL: &'static [Lure] = &[
+        Lure::Authority,
+        Lure::Dishonesty,
+        Lure::Distraction,
+        Lure::NeedAndGreed,
+        Lure::Herd,
+        Lure::Kindness,
+        Lure::TimeUrgency,
+    ];
+
+    /// The label used in the paper's tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Lure::Authority => "Authority",
+            Lure::Dishonesty => "Dishonesty",
+            Lure::Distraction => "Distraction",
+            Lure::NeedAndGreed => "Need & Greed",
+            Lure::Herd => "Herd",
+            Lure::Kindness => "Kindness",
+            Lure::TimeUrgency => "Time & Urgency",
+        }
+    }
+
+    /// Stajano & Wilson's one-line definition, as phrased in Table 13.
+    pub fn definition(self) -> &'static str {
+        match self {
+            Lure::Authority => {
+                "Scammers refer to trusted third parties to convince users to comply"
+            }
+            Lure::Dishonesty => {
+                "Scammers invite users willingly and knowingly into taking fraudulent action"
+            }
+            Lure::Distraction => "Scammers provide unrelated details to distract the user",
+            Lure::NeedAndGreed => {
+                "Scammers leverage users' greed and offer attractive benefits"
+            }
+            Lure::Herd => "Scammers convince that others have won taking the same risk",
+            Lure::Kindness => "Scammers leverage the willingness of people to help others",
+            Lure::TimeUrgency => {
+                "Scammers put time pressure on users so they make an irrational decision"
+            }
+        }
+    }
+}
+
+impl fmt::Display for Lure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A set of lures attached to one message, stored as a bitmask.
+///
+/// Lure annotation is multi-label (§3.3.6): a single banking smish typically
+/// carries both `Authority` and `TimeUrgency`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct LureSet(u8);
+
+impl LureSet {
+    /// The empty set.
+    pub const EMPTY: LureSet = LureSet(0);
+
+    fn bit(lure: Lure) -> u8 {
+        1 << (Lure::ALL.iter().position(|&l| l == lure).expect("lure in ALL") as u8)
+    }
+
+    /// Build a set from a slice of lures.
+    pub fn from_slice(lures: &[Lure]) -> LureSet {
+        let mut s = LureSet::EMPTY;
+        for &l in lures {
+            s.insert(l);
+        }
+        s
+    }
+
+    /// Insert a lure.
+    pub fn insert(&mut self, lure: Lure) {
+        self.0 |= Self::bit(lure);
+    }
+
+    /// Remove a lure.
+    pub fn remove(&mut self, lure: Lure) {
+        self.0 &= !Self::bit(lure);
+    }
+
+    /// Membership test.
+    pub fn contains(self, lure: Lure) -> bool {
+        self.0 & Self::bit(lure) != 0
+    }
+
+    /// Number of lures in the set.
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterate the lures in `Lure::ALL` order.
+    pub fn iter(self) -> impl Iterator<Item = Lure> {
+        Lure::ALL.iter().copied().filter(move |&l| self.contains(l))
+    }
+
+    /// Set union.
+    pub fn union(self, other: LureSet) -> LureSet {
+        LureSet(self.0 | other.0)
+    }
+
+    /// Set intersection.
+    pub fn intersection(self, other: LureSet) -> LureSet {
+        LureSet(self.0 & other.0)
+    }
+}
+
+impl FromIterator<Lure> for LureSet {
+    fn from_iter<I: IntoIterator<Item = Lure>>(iter: I) -> Self {
+        let mut s = LureSet::EMPTY;
+        for l in iter {
+            s.insert(l);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_categories_seven_lures() {
+        assert_eq!(ScamType::ALL.len(), 8);
+        assert_eq!(Lure::ALL.len(), 7);
+    }
+
+    #[test]
+    fn short_keys_match_table5_header() {
+        let keys: String = ScamType::ALL.iter().filter_map(|s| s.short_key()).collect();
+        assert_eq!(keys, "BDGTWH");
+    }
+
+    #[test]
+    fn conversational_flags() {
+        assert!(ScamType::HeyMumDad.is_conversational());
+        assert!(ScamType::WrongNumber.is_conversational());
+        assert!(!ScamType::Banking.is_conversational());
+    }
+
+    #[test]
+    fn spam_is_not_a_scam() {
+        assert!(!ScamType::Spam.is_scam());
+        assert!(ScamType::Others.is_scam());
+    }
+
+    #[test]
+    fn lureset_roundtrip() {
+        let mut s = LureSet::EMPTY;
+        assert!(s.is_empty());
+        s.insert(Lure::Authority);
+        s.insert(Lure::TimeUrgency);
+        s.insert(Lure::Authority); // idempotent
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(Lure::Authority));
+        assert!(!s.contains(Lure::Herd));
+        let collected: Vec<_> = s.iter().collect();
+        assert_eq!(collected, vec![Lure::Authority, Lure::TimeUrgency]);
+        s.remove(Lure::Authority);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn lureset_set_ops() {
+        let a = LureSet::from_slice(&[Lure::Authority, Lure::Herd]);
+        let b = LureSet::from_slice(&[Lure::Herd, Lure::Kindness]);
+        assert_eq!(a.union(b).len(), 3);
+        assert_eq!(a.intersection(b).len(), 1);
+        assert!(a.intersection(b).contains(Lure::Herd));
+    }
+
+    #[test]
+    fn lureset_from_iterator() {
+        let s: LureSet = [Lure::Distraction, Lure::Kindness].into_iter().collect();
+        assert_eq!(s.len(), 2);
+    }
+}

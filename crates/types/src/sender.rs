@@ -1,0 +1,137 @@
+//! Sender identities (§3.3.1, §4.1).
+//!
+//! A smish arrives from one of three sender-ID kinds: a phone number, an
+//! email address (iMessage via an iCloud account), or an alphanumeric
+//! shortcode (spoofed through SMS aggregators). Reporters sometimes redact
+//! the sender before posting, which the model represents explicitly.
+
+use crate::phone::PhoneNumber;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The kind of a sender ID — the three-way split of §4.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum SenderKind {
+    /// A phone number (possibly spoofed / badly formatted).
+    Phone,
+    /// An email address.
+    Email,
+    /// An alphanumeric shortcode like `SBIBNK` or `GOV-UK`.
+    Alphanumeric,
+}
+
+impl SenderKind {
+    /// All kinds, in the §4.1 reporting order.
+    pub const ALL: &'static [SenderKind] =
+        &[SenderKind::Phone, SenderKind::Email, SenderKind::Alphanumeric];
+
+    /// Label as used in prose and the released dataset (Appendix C).
+    pub fn label(self) -> &'static str {
+        match self {
+            SenderKind::Phone => "phone number",
+            SenderKind::Email => "email",
+            SenderKind::Alphanumeric => "alphanumeric",
+        }
+    }
+}
+
+impl fmt::Display for SenderKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A sender ID exactly as extracted from a report.
+///
+/// `Phone` keeps both the parsed number *and* the raw string as displayed,
+/// because spoofed senders often fail to parse (Table 3 "Bad Format") and
+/// the raw form is what HLR lookups and dataset exports need to reason about.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SenderId {
+    /// A parseable phone number.
+    Phone(PhoneNumber),
+    /// A digit string that looks like a phone number but parses under no
+    /// numbering plan (too many digits, invalid prefix, ...). Kept verbatim.
+    MalformedPhone(String),
+    /// An email address.
+    Email(String),
+    /// An alphanumeric shortcode.
+    Alphanumeric(String),
+}
+
+impl SenderId {
+    /// The coarse kind. Malformed phone strings still count as `Phone` —
+    /// the paper's Table 3 classifies them as "Bad Format" phone numbers.
+    pub fn kind(&self) -> SenderKind {
+        match self {
+            SenderId::Phone(_) | SenderId::MalformedPhone(_) => SenderKind::Phone,
+            SenderId::Email(_) => SenderKind::Email,
+            SenderId::Alphanumeric(_) => SenderKind::Alphanumeric,
+        }
+    }
+
+    /// The sender as the messaging app would display it.
+    pub fn display_string(&self) -> String {
+        match self {
+            SenderId::Phone(p) => p.e164(),
+            SenderId::MalformedPhone(s) => s.clone(),
+            SenderId::Email(e) => e.clone(),
+            SenderId::Alphanumeric(a) => a.clone(),
+        }
+    }
+
+    /// Pseudo-anonymized form for dataset release (Appendix C): the released
+    /// dataset replaces the actual identity with its kind label, except that
+    /// phone numbers keep their country prefix (needed for Table 14).
+    pub fn anonymized(&self) -> String {
+        match self {
+            SenderId::Phone(p) => p.anonymized(),
+            SenderId::MalformedPhone(_) => "phone number (bad format)".to_string(),
+            SenderId::Email(_) => "email".to_string(),
+            SenderId::Alphanumeric(_) => "alphanumeric".to_string(),
+        }
+    }
+
+    /// The parsed phone number, if this is a well-formed phone sender.
+    pub fn phone(&self) -> Option<&PhoneNumber> {
+        match self {
+            SenderId::Phone(p) => Some(p),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for SenderId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.display_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds() {
+        assert_eq!(SenderId::Phone(PhoneNumber::new(44, "7900000001")).kind(), SenderKind::Phone);
+        assert_eq!(SenderId::MalformedPhone("12345678901234567".into()).kind(), SenderKind::Phone);
+        assert_eq!(SenderId::Email("a@icloud.com".into()).kind(), SenderKind::Email);
+        assert_eq!(SenderId::Alphanumeric("SBIBNK".into()).kind(), SenderKind::Alphanumeric);
+    }
+
+    #[test]
+    fn anonymization_never_leaks_identity() {
+        let e = SenderId::Email("victim-target@icloud.com".into());
+        assert!(!e.anonymized().contains("victim"));
+        let a = SenderId::Alphanumeric("SBIBNK".into());
+        assert_eq!(a.anonymized(), "alphanumeric");
+        let p = SenderId::Phone(PhoneNumber::new(91, "9876543210"));
+        assert!(!p.anonymized().contains("876543210"));
+    }
+
+    #[test]
+    fn display_matches_app_rendering() {
+        let p = SenderId::Phone(PhoneNumber::new(1, "2025550147"));
+        assert_eq!(p.to_string(), "+12025550147");
+    }
+}

@@ -1,0 +1,844 @@
+//! Civil time for SMS screenshots.
+//!
+//! SMS screenshots carry timestamps in whatever format the victim's
+//! messaging app uses: `2021-08-03 11:34`, `03/08/2021 11:34`, `Aug 3, 2021
+//! 11:34 AM`, bare `11:34`, or `Tue 11:34`. The paper parses these with the
+//! Python `dateparser` library (§3.2); this module is the Rust equivalent,
+//! built from scratch on the proleptic Gregorian calendar.
+//!
+//! Design notes:
+//!
+//! - [`UnixTime`] is the canonical instant (seconds since the Unix epoch,
+//!   UTC). All arithmetic happens here.
+//! - [`CivilDateTime`] is the human-facing broken-down form; conversions use
+//!   Howard Hinnant's `days_from_civil` algorithms.
+//! - [`parse_timestamp`] returns a [`ParsedStamp`] that is honest about how
+//!   much the screenshot told us: a full instant, a date, a time of day, or
+//!   a weekday + time. §3.3.2 excludes time-only stamps from the day-of-week
+//!   analysis for exactly this reason.
+
+use crate::error::TypeError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Seconds since the Unix epoch (1970-01-01T00:00:00Z).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
+pub struct UnixTime(pub i64);
+
+/// Days of the week. The Unix epoch (1970-01-01) was a Thursday.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum Weekday {
+    Monday,
+    Tuesday,
+    Wednesday,
+    Thursday,
+    Friday,
+    Saturday,
+    Sunday,
+}
+
+impl Weekday {
+    /// All weekdays, Monday-first as in Fig. 2.
+    pub const ALL: &'static [Weekday] = &[
+        Weekday::Monday,
+        Weekday::Tuesday,
+        Weekday::Wednesday,
+        Weekday::Thursday,
+        Weekday::Friday,
+        Weekday::Saturday,
+        Weekday::Sunday,
+    ];
+
+    /// Full English name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Weekday::Monday => "Monday",
+            Weekday::Tuesday => "Tuesday",
+            Weekday::Wednesday => "Wednesday",
+            Weekday::Thursday => "Thursday",
+            Weekday::Friday => "Friday",
+            Weekday::Saturday => "Saturday",
+            Weekday::Sunday => "Sunday",
+        }
+    }
+
+    /// Three-letter abbreviation ("Mon").
+    pub fn abbrev(self) -> &'static str {
+        &self.name()[..3]
+    }
+
+    /// Monday = 0 ... Sunday = 6.
+    pub fn index(self) -> usize {
+        Weekday::ALL.iter().position(|&w| w == self).expect("weekday in ALL")
+    }
+
+    /// Parse a full name or 3-letter abbreviation, case-insensitive.
+    pub fn parse(s: &str) -> Option<Weekday> {
+        let t = s.trim().trim_end_matches([',', '.']);
+        Weekday::ALL.iter().copied().find(|w| {
+            w.name().eq_ignore_ascii_case(t) || w.abbrev().eq_ignore_ascii_case(t)
+        })
+    }
+
+    /// Whether this is Saturday or Sunday.
+    pub fn is_weekend(self) -> bool {
+        matches!(self, Weekday::Saturday | Weekday::Sunday)
+    }
+}
+
+impl fmt::Display for Weekday {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A calendar date in the proleptic Gregorian calendar.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct Date {
+    /// Astronomical year (2023 = 2023).
+    pub year: i32,
+    /// Month, 1–12.
+    pub month: u8,
+    /// Day of month, 1–31.
+    pub day: u8,
+}
+
+const MONTH_NAMES: [&str; 12] = [
+    "January", "February", "March", "April", "May", "June", "July", "August", "September",
+    "October", "November", "December",
+];
+
+/// Whether `year` is a Gregorian leap year.
+pub fn is_leap_year(year: i32) -> bool {
+    (year % 4 == 0 && year % 100 != 0) || year % 400 == 0
+}
+
+/// Number of days in `month` of `year`.
+pub fn days_in_month(year: i32, month: u8) -> u8 {
+    match month {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if is_leap_year(year) {
+                29
+            } else {
+                28
+            }
+        }
+        _ => 0,
+    }
+}
+
+impl Date {
+    /// Construct a validated date.
+    pub fn new(year: i32, month: u8, day: u8) -> Result<Date, TypeError> {
+        if !(1..=12).contains(&month) {
+            return Err(TypeError::InvalidCivil { component: "month", value: month as i64 });
+        }
+        if day == 0 || day > days_in_month(year, month) {
+            return Err(TypeError::InvalidCivil { component: "day", value: day as i64 });
+        }
+        Ok(Date { year, month, day })
+    }
+
+    /// Days since 1970-01-01 (Hinnant's `days_from_civil`).
+    pub fn days_from_epoch(self) -> i64 {
+        let y = if self.month <= 2 { self.year - 1 } else { self.year } as i64;
+        let era = if y >= 0 { y } else { y - 399 } / 400;
+        let yoe = y - era * 400; // [0, 399]
+        let mp = (self.month as i64 + 9) % 12; // March = 0
+        let doy = (153 * mp + 2) / 5 + self.day as i64 - 1; // [0, 365]
+        let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+        era * 146097 + doe - 719468
+    }
+
+    /// Inverse of [`Date::days_from_epoch`] (Hinnant's `civil_from_days`).
+    pub fn from_days_since_epoch(days: i64) -> Date {
+        let z = days + 719468;
+        let era = if z >= 0 { z } else { z - 146096 } / 146097;
+        let doe = z - era * 146097; // [0, 146096]
+        let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365; // [0, 399]
+        let y = yoe + era * 400;
+        let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+        let mp = (5 * doy + 2) / 153; // [0, 11]
+        let day = (doy - (153 * mp + 2) / 5 + 1) as u8; // [1, 31]
+        let month = if mp < 10 { mp + 3 } else { mp - 9 } as u8; // [1, 12]
+        let year = if month <= 2 { y + 1 } else { y } as i32;
+        Date { year, month, day }
+    }
+
+    /// Day of the week.
+    pub fn weekday(self) -> Weekday {
+        // 1970-01-01 is a Thursday, i.e. index 3 (Monday-first).
+        let d = self.days_from_epoch().rem_euclid(7);
+        Weekday::ALL[((d + 3) % 7) as usize]
+    }
+
+    /// The date `n` days later (negative for earlier).
+    pub fn plus_days(self, n: i64) -> Date {
+        Date::from_days_since_epoch(self.days_from_epoch() + n)
+    }
+
+    /// English month name ("August").
+    pub fn month_name(self) -> &'static str {
+        MONTH_NAMES[(self.month - 1) as usize]
+    }
+}
+
+impl fmt::Display for Date {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:04}-{:02}-{:02}", self.year, self.month, self.day)
+    }
+}
+
+/// A wall-clock time of day.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct TimeOfDay {
+    /// Hour, 0–23.
+    pub hour: u8,
+    /// Minute, 0–59.
+    pub minute: u8,
+    /// Second, 0–59.
+    pub second: u8,
+}
+
+impl TimeOfDay {
+    /// Construct a validated time of day.
+    pub fn new(hour: u8, minute: u8, second: u8) -> Result<TimeOfDay, TypeError> {
+        if hour > 23 {
+            return Err(TypeError::InvalidCivil { component: "hour", value: hour as i64 });
+        }
+        if minute > 59 {
+            return Err(TypeError::InvalidCivil { component: "minute", value: minute as i64 });
+        }
+        if second > 59 {
+            return Err(TypeError::InvalidCivil { component: "second", value: second as i64 });
+        }
+        Ok(TimeOfDay { hour, minute, second })
+    }
+
+    /// Seconds since midnight, in `[0, 86400)`.
+    pub fn seconds_since_midnight(self) -> u32 {
+        self.hour as u32 * 3600 + self.minute as u32 * 60 + self.second as u32
+    }
+
+    /// Inverse of [`TimeOfDay::seconds_since_midnight`]; `secs` is taken mod 86400.
+    pub fn from_seconds_since_midnight(secs: u32) -> TimeOfDay {
+        let s = secs % 86_400;
+        TimeOfDay { hour: (s / 3600) as u8, minute: ((s / 60) % 60) as u8, second: (s % 60) as u8 }
+    }
+
+    /// Format as 12-hour clock with AM/PM ("2:33 PM").
+    pub fn format_ampm(self) -> String {
+        let (h12, suffix) = match self.hour {
+            0 => (12, "AM"),
+            1..=11 => (self.hour, "AM"),
+            12 => (12, "PM"),
+            h => (h - 12, "PM"),
+        };
+        format!("{}:{:02} {}", h12, self.minute, suffix)
+    }
+}
+
+impl fmt::Display for TimeOfDay {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.second == 0 {
+            write!(f, "{:02}:{:02}", self.hour, self.minute)
+        } else {
+            write!(f, "{:02}:{:02}:{:02}", self.hour, self.minute, self.second)
+        }
+    }
+}
+
+/// A full civil date-time, interpreted as UTC throughout the pipeline.
+///
+/// The paper's dataset records local wall-clock as shown on screenshots;
+/// since no screenshot carries a zone, the pipeline treats wall-clock time
+/// as-is (what matters for Fig. 2 is the *local* time of day).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct CivilDateTime {
+    /// The calendar date.
+    pub date: Date,
+    /// The wall-clock time.
+    pub time: TimeOfDay,
+}
+
+impl CivilDateTime {
+    /// Construct from validated parts.
+    pub fn new(date: Date, time: TimeOfDay) -> CivilDateTime {
+        CivilDateTime { date, time }
+    }
+
+    /// Convert to an instant.
+    pub fn to_unix(self) -> UnixTime {
+        UnixTime(self.date.days_from_epoch() * 86_400 + self.time.seconds_since_midnight() as i64)
+    }
+
+    /// Convert from an instant.
+    pub fn from_unix(t: UnixTime) -> CivilDateTime {
+        let days = t.0.div_euclid(86_400);
+        let secs = t.0.rem_euclid(86_400) as u32;
+        CivilDateTime {
+            date: Date::from_days_since_epoch(days),
+            time: TimeOfDay::from_seconds_since_midnight(secs),
+        }
+    }
+}
+
+impl fmt::Display for CivilDateTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.date, self.time)
+    }
+}
+
+impl UnixTime {
+    /// Broken-down civil form.
+    pub fn civil(self) -> CivilDateTime {
+        CivilDateTime::from_unix(self)
+    }
+
+    /// The calendar date.
+    pub fn date(self) -> Date {
+        self.civil().date
+    }
+
+    /// Wall-clock time of day.
+    pub fn time_of_day(self) -> TimeOfDay {
+        self.civil().time
+    }
+
+    /// Day of the week.
+    pub fn weekday(self) -> Weekday {
+        self.date().weekday()
+    }
+
+    /// The instant `secs` seconds later.
+    pub fn plus_secs(self, secs: i64) -> UnixTime {
+        UnixTime(self.0 + secs)
+    }
+
+    /// The instant `days` days later.
+    pub fn plus_days(self, days: i64) -> UnixTime {
+        UnixTime(self.0 + days * 86_400)
+    }
+
+    /// Calendar year of the instant.
+    pub fn year(self) -> i32 {
+        self.date().year
+    }
+}
+
+/// The different timestamp renderings messaging apps put on screen.
+///
+/// The screenshot generator picks one of these per app theme; the parser
+/// must invert all of them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TimestampStyle {
+    /// `2021-08-03 11:34`
+    Iso,
+    /// `03/08/2021 11:34` (day-first, common outside the US)
+    EuSlash,
+    /// `08/03/2021 11:34 AM` (month-first, US)
+    UsSlashAmPm,
+    /// `Aug 3, 2021 at 11:34 AM` (iOS long form)
+    AbbrevMonthAmPm,
+    /// `3 August 2021 11:34`
+    DayLongMonth,
+    /// `11:34` — time only; the screenshot was taken the same week
+    TimeOnly24,
+    /// `11:34 AM` — time only, 12-hour clock
+    TimeOnlyAmPm,
+    /// `Tue 11:34` — weekday + time, shown for messages within the last week
+    WeekdayTime,
+}
+
+impl TimestampStyle {
+    /// All styles the generator may emit.
+    pub const ALL: &'static [TimestampStyle] = &[
+        TimestampStyle::Iso,
+        TimestampStyle::EuSlash,
+        TimestampStyle::UsSlashAmPm,
+        TimestampStyle::AbbrevMonthAmPm,
+        TimestampStyle::DayLongMonth,
+        TimestampStyle::TimeOnly24,
+        TimestampStyle::TimeOnlyAmPm,
+        TimestampStyle::WeekdayTime,
+    ];
+
+    /// Whether the style includes a full calendar date.
+    pub fn carries_date(self) -> bool {
+        matches!(
+            self,
+            TimestampStyle::Iso
+                | TimestampStyle::EuSlash
+                | TimestampStyle::UsSlashAmPm
+                | TimestampStyle::AbbrevMonthAmPm
+                | TimestampStyle::DayLongMonth
+        )
+    }
+
+    /// Render `t` in this style, as the messaging app would.
+    pub fn format(self, t: CivilDateTime) -> String {
+        let d = t.date;
+        match self {
+            TimestampStyle::Iso => format!("{} {:02}:{:02}", d, t.time.hour, t.time.minute),
+            TimestampStyle::EuSlash => format!(
+                "{:02}/{:02}/{:04} {:02}:{:02}",
+                d.day, d.month, d.year, t.time.hour, t.time.minute
+            ),
+            TimestampStyle::UsSlashAmPm => format!(
+                "{:02}/{:02}/{:04} {}",
+                d.month,
+                d.day,
+                d.year,
+                t.time.format_ampm()
+            ),
+            TimestampStyle::AbbrevMonthAmPm => format!(
+                "{} {}, {} at {}",
+                &d.month_name()[..3],
+                d.day,
+                d.year,
+                t.time.format_ampm()
+            ),
+            TimestampStyle::DayLongMonth => format!(
+                "{} {} {} {:02}:{:02}",
+                d.day,
+                d.month_name(),
+                d.year,
+                t.time.hour,
+                t.time.minute
+            ),
+            TimestampStyle::TimeOnly24 => format!("{:02}:{:02}", t.time.hour, t.time.minute),
+            TimestampStyle::TimeOnlyAmPm => t.time.format_ampm(),
+            TimestampStyle::WeekdayTime => {
+                format!("{} {:02}:{:02}", d.weekday().abbrev(), t.time.hour, t.time.minute)
+            }
+        }
+    }
+}
+
+/// Result of parsing a screenshot timestamp: exactly as much information as
+/// the string carried.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ParsedStamp {
+    /// Full date and time.
+    Full(CivilDateTime),
+    /// Date only (e.g. a report form with a date field).
+    DateOnly(Date),
+    /// Time of day without a date — unusable for day-of-week analysis (§3.3.2).
+    TimeOnly(TimeOfDay),
+    /// Weekday plus time of day — usable for Fig. 2 but not for Table 15.
+    WeekdayTime(Weekday, TimeOfDay),
+}
+
+impl ParsedStamp {
+    /// The time of day, if the stamp carried one.
+    pub fn time_of_day(self) -> Option<TimeOfDay> {
+        match self {
+            ParsedStamp::Full(c) => Some(c.time),
+            ParsedStamp::TimeOnly(t) | ParsedStamp::WeekdayTime(_, t) => Some(t),
+            ParsedStamp::DateOnly(_) => None,
+        }
+    }
+
+    /// The weekday, if derivable.
+    pub fn weekday(self) -> Option<Weekday> {
+        match self {
+            ParsedStamp::Full(c) => Some(c.date.weekday()),
+            ParsedStamp::WeekdayTime(w, _) => Some(w),
+            ParsedStamp::DateOnly(d) => Some(d.weekday()),
+            ParsedStamp::TimeOnly(_) => None,
+        }
+    }
+
+    /// Both weekday and time of day — the unit of analysis for Fig. 2.
+    pub fn weekday_and_time(self) -> Option<(Weekday, TimeOfDay)> {
+        Some((self.weekday()?, self.time_of_day()?))
+    }
+
+    /// The full civil instant, if the stamp carried a complete date and time.
+    pub fn full(self) -> Option<CivilDateTime> {
+        match self {
+            ParsedStamp::Full(c) => Some(c),
+            _ => None,
+        }
+    }
+}
+
+fn parse_month_name(s: &str) -> Option<u8> {
+    let t = s.trim_end_matches([',', '.']);
+    for (i, name) in MONTH_NAMES.iter().enumerate() {
+        if name.eq_ignore_ascii_case(t) || name[..3].eq_ignore_ascii_case(t) {
+            return Some(i as u8 + 1);
+        }
+    }
+    None
+}
+
+/// Parse `"11:34"`, `"11:34:56"`, `"2:33 PM"`, `"2:33PM"`, `"11.34"`.
+fn parse_time_fragment(s: &str) -> Option<TimeOfDay> {
+    let t = s.trim();
+    let (clock, suffix) = if let Some(rest) = strip_suffix_ci(t, "am") {
+        (rest.trim(), Some(false))
+    } else if let Some(rest) = strip_suffix_ci(t, "pm") {
+        (rest.trim(), Some(true))
+    } else {
+        (t, None)
+    };
+    let sep = if clock.contains(':') { ':' } else { '.' };
+    let mut parts = clock.split(sep);
+    let h: u8 = parts.next()?.trim().parse().ok()?;
+    let m: u8 = parts.next()?.trim().parse().ok()?;
+    let sec: u8 = match parts.next() {
+        Some(p) => p.trim().parse().ok()?,
+        None => 0,
+    };
+    if parts.next().is_some() {
+        return None;
+    }
+    let hour = match suffix {
+        None => h,
+        Some(false) => {
+            // AM: 12 AM is midnight.
+            if h == 12 {
+                0
+            } else {
+                h
+            }
+        }
+        Some(true) => {
+            if h == 12 {
+                12
+            } else {
+                h.checked_add(12)?
+            }
+        }
+    };
+    if suffix.is_some() && !(1..=12).contains(&h) {
+        return None;
+    }
+    TimeOfDay::new(hour, m, sec).ok()
+}
+
+fn strip_suffix_ci<'a>(s: &'a str, suffix: &str) -> Option<&'a str> {
+    if s.len() >= suffix.len()
+        && s.is_char_boundary(s.len() - suffix.len())
+        && s[s.len() - suffix.len()..].eq_ignore_ascii_case(suffix)
+    {
+        Some(&s[..s.len() - suffix.len()])
+    } else {
+        None
+    }
+}
+
+fn parse_slash_date(s: &str) -> Option<Date> {
+    // dd/mm/yyyy or mm/dd/yyyy. Like `dateparser`, prefer day-first and fall
+    // back to month-first only when day-first is invalid. Ambiguous dates
+    // (both valid) resolve day-first; this is a documented bias of the
+    // pipeline, matching the paper's predominantly non-US report sources.
+    let mut parts = s.split(['/', '-', '.']);
+    let a: u16 = parts.next()?.trim().parse().ok()?;
+    let b: u16 = parts.next()?.trim().parse().ok()?;
+    let c: i32 = parts.next()?.trim().parse().ok()?;
+    if parts.next().is_some() {
+        return None;
+    }
+    let year = if c < 100 { 2000 + c } else { c };
+    Date::new(year, b as u8, a as u8)
+        .or_else(|_| Date::new(year, a as u8, b as u8))
+        .ok()
+}
+
+fn parse_iso_date(s: &str) -> Option<Date> {
+    let mut parts = s.split('-');
+    let y: i32 = parts.next()?.trim().parse().ok()?;
+    let m: u8 = parts.next()?.trim().parse().ok()?;
+    let d: u8 = parts.next()?.trim().parse().ok()?;
+    if parts.next().is_some() || y < 1000 {
+        return None;
+    }
+    Date::new(y, m, d).ok()
+}
+
+/// Parse a screenshot timestamp in any of the supported app formats.
+///
+/// Returns `None` for strings that are not timestamps at all. This is the
+/// Rust counterpart of the paper's use of `dateparser` (§3.2).
+pub fn parse_timestamp(input: &str) -> Option<ParsedStamp> {
+    let s = normalize_stamp(input);
+    if s.is_empty() {
+        return None;
+    }
+    let tokens: Vec<&str> = s.split_whitespace().collect();
+
+    // Weekday-led: "Tue 11:34", "Tuesday, 2:33 PM".
+    if let Some(wd) = Weekday::parse(tokens[0]) {
+        let rest = tokens[1..].join(" ");
+        if rest.is_empty() {
+            return None;
+        }
+        if let Some(t) = parse_time_fragment(&rest) {
+            return Some(ParsedStamp::WeekdayTime(wd, t));
+        }
+        // "Tue, Aug 3" style: weekday then date.
+        if let Some(stamp) = parse_timestamp(&rest) {
+            return Some(stamp);
+        }
+        return None;
+    }
+
+    // Pure time: "11:34", "2:33 PM".
+    if let Some(t) = parse_time_fragment(&s) {
+        return Some(ParsedStamp::TimeOnly(t));
+    }
+
+    // ISO: "2021-08-03[ 11:34[:56]]".
+    if let Some(d) = parse_iso_date(tokens[0]) {
+        return Some(match time_from_tail(&tokens[1..]) {
+            Some(t) => ParsedStamp::Full(CivilDateTime::new(d, t)),
+            None => ParsedStamp::DateOnly(d),
+        });
+    }
+
+    // Slash: "03/08/2021 11:34".
+    if tokens[0].contains('/') {
+        if let Some(d) = parse_slash_date(tokens[0]) {
+            return Some(match time_from_tail(&tokens[1..]) {
+                Some(t) => ParsedStamp::Full(CivilDateTime::new(d, t)),
+                None => ParsedStamp::DateOnly(d),
+            });
+        }
+    }
+
+    // "Aug 3, 2021 at 11:34 AM" / "August 3 2021 11:34".
+    if let Some(m) = parse_month_name(tokens[0]) {
+        if tokens.len() >= 3 {
+            let day: u8 = tokens[1].trim_end_matches(',').parse().ok()?;
+            let year: i32 = tokens[2].trim_end_matches(',').parse().ok()?;
+            let d = Date::new(year, m, day).ok()?;
+            return Some(match time_from_tail(&tokens[3..]) {
+                Some(t) => ParsedStamp::Full(CivilDateTime::new(d, t)),
+                None => ParsedStamp::DateOnly(d),
+            });
+        }
+        return None;
+    }
+
+    // "3 August 2021 11:34".
+    if tokens.len() >= 3 {
+        if let (Ok(day), Some(m), Ok(year)) = (
+            tokens[0].parse::<u8>(),
+            parse_month_name(tokens[1]),
+            tokens[2].trim_end_matches(',').parse::<i32>(),
+        ) {
+            let d = Date::new(year, m, day).ok()?;
+            return Some(match time_from_tail(&tokens[3..]) {
+                Some(t) => ParsedStamp::Full(CivilDateTime::new(d, t)),
+                None => ParsedStamp::DateOnly(d),
+            });
+        }
+    }
+
+    None
+}
+
+fn time_from_tail(tokens: &[&str]) -> Option<TimeOfDay> {
+    if tokens.is_empty() {
+        return None;
+    }
+    parse_time_fragment(&tokens.join(" "))
+}
+
+/// Strip filler words apps insert ("at", "Today,"), collapse whitespace.
+fn normalize_stamp(input: &str) -> String {
+    let mut out = String::with_capacity(input.len());
+    for raw in input.split_whitespace() {
+        let w = raw.trim();
+        if w.eq_ignore_ascii_case("at")
+            || w.eq_ignore_ascii_case("today")
+            || w.eq_ignore_ascii_case("today,")
+            || w.eq_ignore_ascii_case("·")
+        {
+            continue;
+        }
+        if !out.is_empty() {
+            out.push(' ');
+        }
+        out.push_str(w);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(y: i32, m: u8, day: u8) -> Date {
+        Date::new(y, m, day).unwrap()
+    }
+
+    fn t(h: u8, m: u8) -> TimeOfDay {
+        TimeOfDay::new(h, m, 0).unwrap()
+    }
+
+    #[test]
+    fn epoch_is_thursday() {
+        assert_eq!(d(1970, 1, 1).weekday(), Weekday::Thursday);
+        assert_eq!(d(1970, 1, 1).days_from_epoch(), 0);
+    }
+
+    #[test]
+    fn sbi_campaign_date_is_tuesday() {
+        // §5.1: the 2021 SBI campaign fired Tue, Aug 3rd 2021 at 11:34.
+        assert_eq!(d(2021, 8, 3).weekday(), Weekday::Tuesday);
+    }
+
+    #[test]
+    fn civil_roundtrip_across_leap_years() {
+        for &days in &[-1000, -1, 0, 1, 59, 60, 365, 366, 18_000, 19_580, 20_000] {
+            let date = Date::from_days_since_epoch(days);
+            assert_eq!(date.days_from_epoch(), days, "{date}");
+        }
+    }
+
+    #[test]
+    fn leap_year_rules() {
+        assert!(is_leap_year(2000));
+        assert!(!is_leap_year(1900));
+        assert!(is_leap_year(2024));
+        assert!(!is_leap_year(2023));
+        assert_eq!(days_in_month(2024, 2), 29);
+        assert_eq!(days_in_month(2023, 2), 28);
+    }
+
+    #[test]
+    fn unix_conversion() {
+        let c = CivilDateTime::new(d(2021, 8, 3), TimeOfDay::new(11, 34, 0).unwrap());
+        let u = c.to_unix();
+        assert_eq!(u.civil(), c);
+        assert_eq!(u.weekday(), Weekday::Tuesday);
+        assert_eq!(u.year(), 2021);
+    }
+
+    #[test]
+    fn parse_iso_and_slash() {
+        assert_eq!(
+            parse_timestamp("2021-08-03 11:34"),
+            Some(ParsedStamp::Full(CivilDateTime::new(d(2021, 8, 3), t(11, 34))))
+        );
+        assert_eq!(
+            parse_timestamp("03/08/2021 11:34"),
+            Some(ParsedStamp::Full(CivilDateTime::new(d(2021, 8, 3), t(11, 34))))
+        );
+        assert_eq!(parse_timestamp("2021-08-03"), Some(ParsedStamp::DateOnly(d(2021, 8, 3))));
+    }
+
+    #[test]
+    fn parse_month_name_styles() {
+        assert_eq!(
+            parse_timestamp("Aug 3, 2021 at 11:34 AM"),
+            Some(ParsedStamp::Full(CivilDateTime::new(d(2021, 8, 3), t(11, 34))))
+        );
+        assert_eq!(
+            parse_timestamp("3 August 2021 11:34"),
+            Some(ParsedStamp::Full(CivilDateTime::new(d(2021, 8, 3), t(11, 34))))
+        );
+    }
+
+    #[test]
+    fn parse_time_only_and_weekday() {
+        assert_eq!(parse_timestamp("11:34"), Some(ParsedStamp::TimeOnly(t(11, 34))));
+        assert_eq!(parse_timestamp("2:33 PM"), Some(ParsedStamp::TimeOnly(t(14, 33))));
+        assert_eq!(
+            parse_timestamp("Tue 11:34"),
+            Some(ParsedStamp::WeekdayTime(Weekday::Tuesday, t(11, 34)))
+        );
+        assert_eq!(
+            parse_timestamp("Tuesday, 2:33 PM"),
+            Some(ParsedStamp::WeekdayTime(Weekday::Tuesday, t(14, 33)))
+        );
+    }
+
+    #[test]
+    fn ampm_edge_cases() {
+        assert_eq!(parse_time_fragment("12:00 AM"), Some(t(0, 0)));
+        assert_eq!(parse_time_fragment("12:00 PM"), Some(t(12, 0)));
+        assert_eq!(parse_time_fragment("12:01am"), Some(t(0, 1)));
+        assert_eq!(parse_time_fragment("13:00 PM"), None, "13 is not a 12h hour");
+    }
+
+    #[test]
+    fn garbage_is_rejected() {
+        for bad in ["", "hello", "99:99", "2021-13-40", "32/13/2021 11:34", "Mon"] {
+            assert_eq!(parse_timestamp(bad), None, "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn every_style_round_trips_weekday_and_time() {
+        // Whatever the app shows, the pipeline must recover (weekday, time)
+        // when the style carries enough information.
+        // A Friday with day-of-month > 12 so slash styles are unambiguous.
+        let c = CivilDateTime::new(d(2022, 12, 23), t(14, 5));
+        for &style in TimestampStyle::ALL {
+            let rendered = style.format(c);
+            let parsed = parse_timestamp(&rendered)
+                .unwrap_or_else(|| panic!("{style:?} rendered unparsable {rendered:?}"));
+            assert_eq!(parsed.time_of_day(), Some(c.time), "{style:?}: {rendered}");
+            if style.carries_date() {
+                assert_eq!(parsed.full(), Some(c), "{style:?}: {rendered}");
+            }
+            if matches!(style, TimestampStyle::WeekdayTime) {
+                assert_eq!(parsed.weekday(), Some(Weekday::Friday));
+            }
+        }
+    }
+
+    #[test]
+    fn stamp_information_content() {
+        let full = ParsedStamp::Full(CivilDateTime::new(d(2021, 8, 3), t(11, 34)));
+        assert_eq!(full.weekday_and_time(), Some((Weekday::Tuesday, t(11, 34))));
+        let time_only = ParsedStamp::TimeOnly(t(9, 0));
+        assert_eq!(time_only.weekday_and_time(), None);
+        let date_only = ParsedStamp::DateOnly(d(2021, 8, 3));
+        assert_eq!(date_only.weekday(), Some(Weekday::Tuesday));
+        assert_eq!(date_only.time_of_day(), None);
+    }
+
+    #[test]
+    fn weekend_flag() {
+        assert!(Weekday::Saturday.is_weekend());
+        assert!(!Weekday::Friday.is_weekend());
+    }
+
+    #[test]
+    fn ambiguous_slash_dates_resolve_day_first() {
+        // 12/09/2022 could be Dec 9 (US) or Sep 12 (rest of world). Like
+        // `dateparser`'s default, the pipeline resolves day-first; this is a
+        // documented bias (§3.2 equivalent) asserted here so it can never
+        // change silently.
+        assert_eq!(
+            parse_timestamp("12/09/2022"),
+            Some(ParsedStamp::DateOnly(d(2022, 9, 12)))
+        );
+        // Unambiguous month-first input still parses via fallback.
+        assert_eq!(
+            parse_timestamp("12/23/2022"),
+            Some(ParsedStamp::DateOnly(d(2022, 12, 23)))
+        );
+    }
+
+    #[test]
+    fn two_digit_years_are_expanded() {
+        assert_eq!(parse_timestamp("03/08/21 11:34").and_then(|p| p.full()).map(|c| c.date.year), Some(2021));
+    }
+}

@@ -1,0 +1,98 @@
+//! Property-based tests on the civil-time core and model types.
+
+use proptest::prelude::*;
+use smishing_types::time::{days_in_month, is_leap_year};
+use smishing_types::{
+    parse_timestamp, CivilDateTime, Date, LureSet, Lure, PhoneNumber, TimeOfDay, UnixTime,
+    Weekday,
+};
+
+proptest! {
+    #[test]
+    fn civil_round_trip_total(secs in -4_000_000_000i64..8_000_000_000i64) {
+        let t = UnixTime(secs);
+        let c = t.civil();
+        prop_assert_eq!(c.to_unix(), t);
+        prop_assert!(c.date.month >= 1 && c.date.month <= 12);
+        prop_assert!(c.date.day >= 1 && c.date.day <= days_in_month(c.date.year, c.date.month));
+    }
+
+    #[test]
+    fn date_ordering_matches_day_numbers(a in -50_000i64..50_000, b in -50_000i64..50_000) {
+        let da = Date::from_days_since_epoch(a);
+        let db = Date::from_days_since_epoch(b);
+        prop_assert_eq!(a.cmp(&b), da.cmp(&db));
+    }
+
+    #[test]
+    fn leap_years_have_366_days(year in 1800i32..2400) {
+        let total: u32 = (1..=12).map(|m| days_in_month(year, m) as u32).sum();
+        prop_assert_eq!(total, if is_leap_year(year) { 366 } else { 365 });
+    }
+
+    #[test]
+    fn weekday_index_bijection(days in -10_000i64..10_000) {
+        let w = Date::from_days_since_epoch(days).weekday();
+        prop_assert_eq!(Weekday::ALL[w.index()], w);
+        prop_assert_eq!(Weekday::parse(w.name()), Some(w));
+        prop_assert_eq!(Weekday::parse(w.abbrev()), Some(w));
+    }
+
+    #[test]
+    fn time_of_day_round_trip(secs in 0u32..86_400) {
+        let t = TimeOfDay::from_seconds_since_midnight(secs);
+        prop_assert_eq!(t.seconds_since_midnight(), secs);
+    }
+
+    #[test]
+    fn ampm_rendering_parses_back(secs in 0u32..86_400) {
+        let t = TimeOfDay::from_seconds_since_midnight(secs - secs % 60);
+        let rendered = t.format_ampm();
+        let parsed = parse_timestamp(&rendered).expect("ampm parses");
+        prop_assert_eq!(parsed.time_of_day(), Some(t));
+    }
+
+    #[test]
+    fn timestamp_parser_never_panics(s in "\\PC{0,40}") {
+        let _ = parse_timestamp(&s);
+    }
+
+    #[test]
+    fn lureset_is_a_faithful_set(bits in 0u8..128) {
+        let lures: Vec<Lure> = Lure::ALL
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| bits & (1 << i) != 0)
+            .map(|(_, &l)| l)
+            .collect();
+        let set = LureSet::from_slice(&lures);
+        prop_assert_eq!(set.len(), lures.len());
+        let back: Vec<Lure> = set.iter().collect();
+        prop_assert_eq!(back, lures);
+    }
+
+    #[test]
+    fn phone_anonymization_hides_digits(cc in 1u16..999, national in "[0-9]{7,12}") {
+        let first = national.chars().next().unwrap();
+        let p = PhoneNumber::new(cc, national.clone());
+        let masked = p.anonymized();
+        // Only the country code and first national digit survive.
+        let tail: String = national.chars().skip(1).collect();
+        if tail.chars().any(|c| c != first) {
+            prop_assert!(!masked.contains(&tail));
+        }
+        let prefix = format!("+{cc}");
+        prop_assert!(masked.starts_with(&prefix));
+    }
+
+    #[test]
+    fn civil_datetime_display_is_sortable(a in 0i64..4_000_000_000, b in 0i64..4_000_000_000) {
+        // Lexicographic order of the ISO rendering matches temporal order.
+        let ca = CivilDateTime::from_unix(UnixTime(a));
+        let cb = CivilDateTime::from_unix(UnixTime(b));
+        let (sa, sb) = (format!("{ca}"), format!("{cb}"));
+        if a != b {
+            prop_assert_eq!(a < b, sa <= sb);
+        }
+    }
+}

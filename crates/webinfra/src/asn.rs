@@ -1,0 +1,271 @@
+//! IP → AS / organization / country mapping (§3.3.3, §4.6, Table 8).
+//!
+//! Plays the role of ipinfo.io's IP-to-ASN and IP-to-country databases. The
+//! catalog covers Table 8's organizations, the proxy/CDN operators
+//! criminals hide behind (Cloudflare), and the bulletproof hosting
+//! providers the paper calls out (FranTech, Proton66, Stark Industries).
+//! Address space is modelled as /16 blocks so allocation and reverse
+//! lookup are exact inverses.
+
+use rand::Rng;
+use std::net::Ipv4Addr;
+
+/// One autonomous-system organization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AsnRecord {
+    /// Organization name (Table 8 "AS Name").
+    pub org: &'static str,
+    /// AS numbers operated by the organization.
+    pub asns: &'static [u32],
+    /// Announced /16 blocks: (first octet, second octet, ISO country).
+    pub blocks: &'static [(u8, u8, &'static str)],
+    /// Whether the org is a known bulletproof hosting provider (§4.6).
+    pub bulletproof: bool,
+    /// Whether the org fronts other people's infrastructure (CDN/proxy).
+    pub proxy: bool,
+}
+
+/// The AS catalog.
+pub const AS_CATALOG: &[AsnRecord] = &[
+    AsnRecord {
+        org: "Cloudflare",
+        asns: &[13335],
+        blocks: &[(104, 16, "US"), (104, 17, "US"), (172, 64, "US"), (188, 114, "US")],
+        bulletproof: false,
+        proxy: true,
+    },
+    AsnRecord {
+        org: "Amazon",
+        asns: &[16509, 14618],
+        blocks: &[
+            (52, 0, "US"), (52, 1, "US"), (54, 64, "US"), (18, 176, "JP"),
+            (52, 208, "IE"), (13, 232, "IN"), (15, 184, "MA"),
+        ],
+        bulletproof: false,
+        proxy: false,
+    },
+    AsnRecord {
+        org: "Akamai",
+        asns: &[63949],
+        blocks: &[(23, 32, "US"), (23, 33, "US"), (104, 64, "IN")],
+        bulletproof: false,
+        proxy: true,
+    },
+    AsnRecord {
+        org: "Google",
+        asns: &[15169, 396982],
+        blocks: &[(34, 64, "US"), (35, 184, "US"), (142, 250, "US")],
+        bulletproof: false,
+        proxy: false,
+    },
+    AsnRecord {
+        org: "Multacom",
+        asns: &[35916],
+        blocks: &[(204, 13, "US"), (66, 117, "US")],
+        bulletproof: false,
+        proxy: false,
+    },
+    AsnRecord {
+        org: "SEDO GmbH",
+        asns: &[47846],
+        blocks: &[(91, 195, "DE")],
+        bulletproof: false,
+        proxy: false,
+    },
+    AsnRecord {
+        org: "Alibaba",
+        asns: &[45102, 37963],
+        blocks: &[(47, 74, "HK"), (47, 88, "US"), (39, 96, "CN")],
+        bulletproof: false,
+        proxy: false,
+    },
+    AsnRecord {
+        org: "Tencent",
+        asns: &[132203],
+        blocks: &[(43, 130, "US"), (43, 157, "DE")],
+        bulletproof: false,
+        proxy: false,
+    },
+    AsnRecord {
+        org: "FranTech Solutions",
+        asns: &[53667],
+        blocks: &[(198, 98, "US"), (205, 185, "LU")],
+        bulletproof: true,
+        proxy: false,
+    },
+    AsnRecord {
+        org: "HKBN Enterprise",
+        asns: &[17444],
+        blocks: &[(112, 118, "HK")],
+        bulletproof: false,
+        proxy: false,
+    },
+    AsnRecord {
+        org: "The Constant Company",
+        asns: &[20473],
+        blocks: &[(45, 32, "US"), (45, 63, "US")],
+        bulletproof: false,
+        proxy: false,
+    },
+    AsnRecord {
+        org: "Proton66 OOO",
+        asns: &[198953],
+        blocks: &[(45, 135, "RU")],
+        bulletproof: true,
+        proxy: false,
+    },
+    AsnRecord {
+        org: "Stark Industries",
+        asns: &[44477],
+        blocks: &[(77, 91, "NL")],
+        bulletproof: true,
+        proxy: false,
+    },
+    AsnRecord {
+        org: "OVH",
+        asns: &[16276],
+        blocks: &[(51, 38, "FR"), (51, 91, "FR")],
+        bulletproof: false,
+        proxy: false,
+    },
+    AsnRecord {
+        org: "Hetzner",
+        asns: &[24940],
+        blocks: &[(88, 198, "DE"), (95, 216, "FI")],
+        bulletproof: false,
+        proxy: false,
+    },
+    AsnRecord {
+        org: "DigitalOcean",
+        asns: &[14061],
+        blocks: &[(159, 65, "US"), (167, 99, "US")],
+        bulletproof: false,
+        proxy: false,
+    },
+];
+
+/// Result of an IP lookup: the owning org, the specific ASN and country.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IpInfo {
+    /// Owning organization record.
+    pub record: &'static AsnRecord,
+    /// The AS number announcing the block (orgs with several ASNs announce
+    /// blocks round-robin in block order).
+    pub asn: u32,
+    /// Country of the block.
+    pub country: &'static str,
+}
+
+/// The IP-to-AS database.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AsnDb;
+
+impl AsnDb {
+    /// The database.
+    pub fn new() -> AsnDb {
+        AsnDb
+    }
+
+    /// Reverse lookup: which org/ASN/country announces this IP?
+    pub fn lookup(&self, ip: Ipv4Addr) -> Option<IpInfo> {
+        let [a, b, _, _] = ip.octets();
+        for rec in AS_CATALOG {
+            for (i, &(ba, bb, country)) in rec.blocks.iter().enumerate() {
+                if a == ba && b == bb {
+                    let asn = rec.asns[i % rec.asns.len()];
+                    return Some(IpInfo { record: rec, asn, country });
+                }
+            }
+        }
+        None
+    }
+
+    /// Allocate a random IP inside one of `org`'s blocks.
+    pub fn allocate_ip<R: Rng + ?Sized>(&self, org: &str, rng: &mut R) -> Option<Ipv4Addr> {
+        let rec = AS_CATALOG.iter().find(|r| r.org == org)?;
+        let (a, b, _) = rec.blocks[rng.gen_range(0..rec.blocks.len())];
+        Some(Ipv4Addr::new(a, b, rng.gen_range(0..=255), rng.gen_range(1..=254)))
+    }
+
+    /// Catalog entry for an org.
+    pub fn org(&self, name: &str) -> Option<&'static AsnRecord> {
+        AS_CATALOG.iter().find(|r| r.org == name)
+    }
+
+    /// All organizations.
+    pub fn orgs(&self) -> impl Iterator<Item = &'static AsnRecord> {
+        AS_CATALOG.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn allocation_round_trips() {
+        let db = AsnDb::new();
+        let mut rng = StdRng::seed_from_u64(5);
+        for rec in AS_CATALOG {
+            for _ in 0..10 {
+                let ip = db.allocate_ip(rec.org, &mut rng).unwrap();
+                let info = db.lookup(ip).unwrap();
+                assert_eq!(info.record.org, rec.org, "{ip}");
+                assert!(rec.asns.contains(&info.asn));
+            }
+        }
+    }
+
+    #[test]
+    fn no_block_collisions() {
+        let mut seen = std::collections::HashSet::new();
+        for rec in AS_CATALOG {
+            for &(a, b, _) in rec.blocks {
+                assert!(seen.insert((a, b)), "{}.{} claimed twice", a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn table8_orgs_present() {
+        let db = AsnDb::new();
+        for org in [
+            "Amazon", "Akamai", "Google", "Multacom", "SEDO GmbH", "Alibaba",
+            "Tencent", "FranTech Solutions", "HKBN Enterprise", "The Constant Company",
+        ] {
+            assert!(db.org(org).is_some(), "{org}");
+        }
+    }
+
+    #[test]
+    fn bulletproof_flags() {
+        let db = AsnDb::new();
+        assert!(db.org("FranTech Solutions").unwrap().bulletproof);
+        assert!(db.org("Proton66 OOO").unwrap().bulletproof);
+        assert!(db.org("Stark Industries").unwrap().bulletproof);
+        assert!(!db.org("Amazon").unwrap().bulletproof);
+    }
+
+    #[test]
+    fn cloudflare_is_a_proxy() {
+        let db = AsnDb::new();
+        assert!(db.org("Cloudflare").unwrap().proxy);
+    }
+
+    #[test]
+    fn unknown_ip_is_none() {
+        assert_eq!(AsnDb::new().lookup(Ipv4Addr::new(10, 0, 0, 1)), None);
+    }
+
+    #[test]
+    fn amazon_footprint_countries() {
+        // Table 8: Amazon hosts in US, JP, IE, IN, MA.
+        let countries: std::collections::HashSet<_> =
+            AsnDb::new().org("Amazon").unwrap().blocks.iter().map(|b| b.2).collect();
+        for c in ["US", "JP", "IE", "IN", "MA"] {
+            assert!(countries.contains(c), "{c}");
+        }
+    }
+}

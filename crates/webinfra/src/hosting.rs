@@ -1,0 +1,82 @@
+//! Free website-building / hosting suffixes (§4.3).
+//!
+//! Scammers deploy phishing pages on Firebase, ngrok, Vercel, Heroku and
+//! Netlify because the services are free, fast to spin up and sit behind a
+//! trusted apex domain. The paper counts 303 `web.app`, 186 `ngrok.io` and
+//! 184 further free-hosting domains. Hosts under these suffixes have their
+//! "registrable" unit one label *below* the service suffix.
+
+/// Free-hosting suffixes: (suffix, service name).
+pub const FREE_HOSTING_SUFFIXES: &[(&str, &str)] = &[
+    ("web.app", "Firebase Hosting"),
+    ("firebaseapp.com", "Firebase Hosting"),
+    ("ngrok.io", "ngrok"),
+    ("ngrok-free.app", "ngrok"),
+    ("vercel.app", "Vercel"),
+    ("herokuapp.com", "Heroku"),
+    ("netlify.app", "Netlify"),
+    ("github.io", "GitHub Pages"),
+    ("pages.dev", "Cloudflare Pages"),
+    ("glitch.me", "Glitch"),
+    ("repl.co", "Replit"),
+    ("weebly.com", "Weebly"),
+    ("wixsite.com", "Wix"),
+    ("blogspot.com", "Blogger"),
+    ("000webhostapp.com", "000webhost"),
+];
+
+/// If `host` sits under a free-hosting service, return `(suffix, service)`.
+pub fn free_hosting_suffix(host: &str) -> Option<(&'static str, &'static str)> {
+    let h = host.trim_matches('.').to_ascii_lowercase();
+    FREE_HOSTING_SUFFIXES
+        .iter()
+        .find(|(suffix, _)| {
+            h.len() > suffix.len()
+                && h.ends_with(suffix)
+                && h.as_bytes()[h.len() - suffix.len() - 1] == b'.'
+        })
+        .copied()
+}
+
+/// The site unit on a free host (`sa-krs.web.app` → `sa-krs.web.app`), i.e.
+/// suffix plus one label — the thing the paper counts as "a web.app domain".
+pub fn free_hosting_site(host: &str) -> Option<String> {
+    let (suffix, _) = free_hosting_suffix(host)?;
+    let h = host.trim_matches('.').to_ascii_lowercase();
+    let stem = &h[..h.len() - suffix.len() - 1];
+    let label = stem.rsplit('.').next()?;
+    Some(format!("{label}.{suffix}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detects_firebase() {
+        let (suffix, service) = free_hosting_suffix("sa-krs.web.app").unwrap();
+        assert_eq!(suffix, "web.app");
+        assert_eq!(service, "Firebase Hosting");
+    }
+
+    #[test]
+    fn requires_label_boundary() {
+        assert_eq!(free_hosting_suffix("notweb.app"), None);
+        assert_eq!(free_hosting_suffix("web.app"), None, "bare suffix is not a site");
+    }
+
+    #[test]
+    fn site_unit() {
+        assert_eq!(free_hosting_site("a.b.ngrok.io"), Some("b.ngrok.io".into()));
+        assert_eq!(free_hosting_site("sa-krs.web.app"), Some("sa-krs.web.app".into()));
+        assert_eq!(free_hosting_site("example.com"), None);
+    }
+
+    #[test]
+    fn catalog_covers_paper_services() {
+        let services: Vec<&str> = FREE_HOSTING_SUFFIXES.iter().map(|(s, _)| *s).collect();
+        for s in ["web.app", "ngrok.io", "firebaseapp.com", "vercel.app", "herokuapp.com", "netlify.app"] {
+            assert!(services.contains(&s), "missing {s}");
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! # smishing-webinfra
+//!
+//! The web-infrastructure substrate behind §3.3.3 (trend analysis) and
+//! §4.2–§4.6:
+//!
+//! - [`url`]: URL parsing as found in SMS bodies — scheme-less forms,
+//!   defanged notation (`hxxp`, `example[.]com`), and rejoining URLs that
+//!   screenshots split across bubble lines,
+//! - [`tld`]: the IANA root-zone table with the six TLD classes (Table 16)
+//!   and registrable-domain extraction with multi-label public suffixes,
+//! - [`hosting`]: free website-builder suffixes (web.app, ngrok.io, ...)
+//!   that let scammers deploy phishing pages without owning a domain (§4.3),
+//! - [`shortener`]: the URL-shortener catalog and takedown-aware expansion
+//!   (§4.2, Table 5),
+//! - [`whois`]: registrar catalog + WHOIS database (Table 17),
+//! - [`ctlog`]: a crt.sh-style certificate-transparency log whose issuance
+//!   records follow each CA's validity policy — Let's Encrypt's 90-day
+//!   certificates mechanically inflate its cert counts (Table 7),
+//! - [`pdns`]: passive DNS (domain → historical IP resolutions, §4.6),
+//! - [`asn`]: IP → AS/organization/country mapping including bulletproof
+//!   hosting providers (Table 8).
+//!
+//! The query-side types are what the pipeline uses; the registration-side
+//! methods are called by `smishing-worldsim` when campaigns stand up their
+//! infrastructure.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod asn;
+pub mod ctlog;
+pub mod hosting;
+pub mod pdns;
+pub mod shortener;
+pub mod tld;
+pub mod url;
+pub mod whois;
+
+pub use asn::{AsnDb, AsnRecord, IpInfo};
+pub use ctlog::{ca_policy, CaPolicy, CertRecord, CtLog, CA_POLICIES};
+pub use hosting::{free_hosting_site, free_hosting_suffix};
+pub use pdns::{PassiveDns, Resolution};
+pub use shortener::{ExpandResult, ShortLinkDb, ShortenerCatalog};
+pub use tld::{registrable_domain, tld_of, TldClass, TldDb};
+pub use url::{find_url_in_text, parse_url, refang, ParsedUrl};
+pub use whois::{WhoisDb, WhoisRecord, REGISTRARS};

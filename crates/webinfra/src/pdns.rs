@@ -1,0 +1,117 @@
+//! Passive DNS (§3.3.3, §4.6).
+//!
+//! Spamhaus' passive DNS API returns every IP a domain resolved to in the
+//! past year. The world simulator registers resolutions as campaigns stand
+//! up (and move) hosting; the pipeline queries with a reference "now" and a
+//! one-year lookback, exactly like the paper's collection.
+
+use parking_lot::RwLock;
+use smishing_types::UnixTime;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// One observed resolution interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Resolution {
+    /// Resolved address.
+    pub ip: Ipv4Addr,
+    /// First observation.
+    pub first_seen: UnixTime,
+    /// Last observation.
+    pub last_seen: UnixTime,
+}
+
+/// The passive-DNS store, keyed by registrable domain.
+#[derive(Debug, Default)]
+pub struct PassiveDns {
+    by_domain: RwLock<HashMap<String, Vec<Resolution>>>,
+}
+
+/// Seconds in the one-year lookback window.
+pub const LOOKBACK_SECS: i64 = 365 * 86_400;
+
+impl PassiveDns {
+    /// New empty store.
+    pub fn new() -> PassiveDns {
+        PassiveDns::default()
+    }
+
+    /// Record a resolution interval (world-simulator side).
+    pub fn record(&self, domain: &str, ip: Ipv4Addr, first_seen: UnixTime, last_seen: UnixTime) {
+        self.by_domain
+            .write()
+            .entry(domain.to_ascii_lowercase())
+            .or_default()
+            .push(Resolution { ip, first_seen, last_seen });
+    }
+
+    /// Query all resolutions whose observation overlaps the year before
+    /// `now` (pipeline side). Domains behind proxies with no recorded
+    /// resolution return an empty vec — §4.6 notes only 466 of the
+    /// collected domains resolve at all.
+    pub fn query(&self, domain: &str, now: UnixTime) -> Vec<Resolution> {
+        let cutoff = UnixTime(now.0 - LOOKBACK_SECS);
+        self.by_domain
+            .read()
+            .get(&domain.to_ascii_lowercase())
+            .map(|v| {
+                v.iter()
+                    .filter(|r| r.last_seen >= cutoff && r.first_seen <= now)
+                    .copied()
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Number of domains with any history.
+    pub fn domains(&self) -> usize {
+        self.by_domain.read().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn day(n: i64) -> UnixTime {
+        UnixTime(n * 86_400)
+    }
+
+    fn ip(d: u8) -> Ipv4Addr {
+        Ipv4Addr::new(104, 16, 0, d)
+    }
+
+    #[test]
+    fn window_filtering() {
+        let pdns = PassiveDns::new();
+        pdns.record("evil.com", ip(1), day(0), day(10)); // ancient
+        pdns.record("evil.com", ip(2), day(500), day(600)); // in window
+        pdns.record("evil.com", ip(3), day(900), day(901)); // future
+        let now = day(800);
+        let hits = pdns.query("evil.com", now);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].ip, ip(2));
+    }
+
+    #[test]
+    fn interval_overlap_counts() {
+        let pdns = PassiveDns::new();
+        // Started long ago but still seen recently: included.
+        pdns.record("old-but-live.com", ip(4), day(0), day(795));
+        assert_eq!(pdns.query("old-but-live.com", day(800)).len(), 1);
+    }
+
+    #[test]
+    fn unknown_domain_is_empty() {
+        assert!(PassiveDns::new().query("ghost.com", day(1)).is_empty());
+    }
+
+    #[test]
+    fn multiple_ips_per_domain() {
+        let pdns = PassiveDns::new();
+        pdns.record("multi.com", ip(1), day(700), day(750));
+        pdns.record("multi.com", ip(2), day(750), day(790));
+        assert_eq!(pdns.query("multi.com", day(800)).len(), 2);
+        assert_eq!(pdns.domains(), 1);
+    }
+}

@@ -1,0 +1,218 @@
+//! URL shorteners (§4.2, Table 5).
+//!
+//! The paper hand-curates a list of 33 shortening services and finds 27 of
+//! them abused. Shorteners hide the phishing target from operators' filters
+//! and from users; once a short link is taken down, the redirect target is
+//! unrecoverable (§3.3.5) — which is why the active case study must resolve
+//! links while they are live. [`ShortenerService`] models the catalog;
+//! [`ShortLinkDb`] is the resolvable link store with a takedown model.
+
+use crate::url::ParsedUrl;
+use parking_lot::RwLock;
+use smishing_types::UnixTime;
+use std::collections::HashMap;
+
+/// The hand-curated shortener catalog (33 services, §3.3.3).
+pub const SHORTENER_HOSTS: &[&str] = &[
+    "bit.ly", "is.gd", "cutt.ly", "tinyurl.com", "bit.do", "shrtco.de", "rb.gy", "t.ly",
+    "bitly.ws", "t.co", "goo.gl", "ow.ly", "buff.ly", "adf.ly", "tiny.cc", "shorturl.at",
+    "rebrand.ly", "s.id", "v.gd", "qr.ae", "lnkd.in", "trib.al", "soo.gd", "clck.ru",
+    "u.to", "x.co", "zpr.io", "snip.ly", "short.cm", "bl.ink", "t2m.io", "kutt.it",
+    "2no.co",
+];
+
+/// WhatsApp's click-to-chat host — not a shortener, but §4.2 tracks the 205
+/// `wa.me` links conversation scammers use to move victims to WhatsApp.
+pub const WHATSAPP_HOST: &str = "wa.me";
+
+/// Catalog queries over the shortener list.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ShortenerCatalog;
+
+impl ShortenerCatalog {
+    /// The catalog.
+    pub fn new() -> ShortenerCatalog {
+        ShortenerCatalog
+    }
+
+    /// Whether a host is a known shortening service.
+    pub fn is_shortener(&self, host: &str) -> bool {
+        let h = host.to_ascii_lowercase();
+        SHORTENER_HOSTS.contains(&h.as_str())
+    }
+
+    /// The shortener service name for a URL, if its host is one.
+    pub fn service_of(&self, url: &ParsedUrl) -> Option<&'static str> {
+        SHORTENER_HOSTS.iter().copied().find(|&h| h == url.host)
+    }
+
+    /// Whether the URL is a WhatsApp click-to-chat link.
+    pub fn is_whatsapp_link(&self, url: &ParsedUrl) -> bool {
+        url.host == WHATSAPP_HOST
+    }
+
+    /// Number of catalogued services.
+    pub fn len(&self) -> usize {
+        SHORTENER_HOSTS.len()
+    }
+
+    /// Always false.
+    pub fn is_empty(&self) -> bool {
+        SHORTENER_HOSTS.is_empty()
+    }
+}
+
+/// Outcome of expanding a short link at a point in time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExpandResult {
+    /// Redirect is live; the target URL string.
+    Active(String),
+    /// The service (or the scammer) removed the link.
+    TakenDown,
+    /// No such code on this service.
+    NotFound,
+}
+
+#[derive(Debug, Clone)]
+struct ShortLink {
+    target: String,
+    created: UnixTime,
+    taken_down_at: Option<UnixTime>,
+}
+
+/// A resolvable short-link store shared between the world simulator (which
+/// registers links) and the active-analysis code (which expands them).
+#[derive(Debug, Default)]
+pub struct ShortLinkDb {
+    links: RwLock<HashMap<(String, String), ShortLink>>,
+}
+
+/// One shortening service instance backed by the shared db.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShortenerService {
+    /// The service host, e.g. `bit.ly`.
+    pub host: &'static str,
+}
+
+impl ShortLinkDb {
+    /// New empty store.
+    pub fn new() -> ShortLinkDb {
+        ShortLinkDb::default()
+    }
+
+    /// Register a short link. `lifespan_secs = None` means never taken down.
+    pub fn register(
+        &self,
+        host: &str,
+        code: &str,
+        target: &str,
+        created: UnixTime,
+        lifespan_secs: Option<i64>,
+    ) {
+        let link = ShortLink {
+            target: target.to_string(),
+            created,
+            taken_down_at: lifespan_secs.map(|s| created.plus_secs(s)),
+        };
+        self.links
+            .write()
+            .insert((host.to_ascii_lowercase(), code.to_string()), link);
+    }
+
+    /// Expand `url` at time `at`.
+    pub fn expand(&self, url: &ParsedUrl, at: UnixTime) -> ExpandResult {
+        let code = url.path.trim_start_matches('/').to_string();
+        let key = (url.host.clone(), code);
+        let links = self.links.read();
+        match links.get(&key) {
+            None => ExpandResult::NotFound,
+            Some(link) => {
+                if at < link.created {
+                    return ExpandResult::NotFound;
+                }
+                match link.taken_down_at {
+                    Some(t) if at >= t => ExpandResult::TakenDown,
+                    _ => ExpandResult::Active(link.target.clone()),
+                }
+            }
+        }
+    }
+
+    /// Number of registered links.
+    pub fn len(&self) -> usize {
+        self.links.read().len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.links.read().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::url::parse_url;
+
+    #[test]
+    fn catalog_size_is_33() {
+        assert_eq!(ShortenerCatalog::new().len(), 33, "§3.3.3: list of 33 shorteners");
+    }
+
+    #[test]
+    fn detection() {
+        let cat = ShortenerCatalog::new();
+        let u = parse_url("https://bit.ly/3NuqjwD").unwrap();
+        assert_eq!(cat.service_of(&u), Some("bit.ly"));
+        assert!(cat.is_shortener("CUTT.LY"));
+        assert!(!cat.is_shortener("evil.com"));
+    }
+
+    #[test]
+    fn whatsapp_is_not_a_shortener() {
+        let cat = ShortenerCatalog::new();
+        let u = parse_url("https://wa.me/4479111234").unwrap();
+        assert!(cat.is_whatsapp_link(&u));
+        assert_eq!(cat.service_of(&u), None);
+    }
+
+    #[test]
+    fn expansion_lifecycle() {
+        let db = ShortLinkDb::new();
+        let created = UnixTime(1_000_000);
+        db.register("shrtco.de", "2Rq2La", "https://sa-krs.web.app/", created, Some(86_400));
+        let u = parse_url("shrtco.de/2Rq2La").unwrap();
+        // Before creation: unknown.
+        assert_eq!(db.expand(&u, UnixTime(999_999)), ExpandResult::NotFound);
+        // Live window.
+        assert_eq!(
+            db.expand(&u, created.plus_secs(100)),
+            ExpandResult::Active("https://sa-krs.web.app/".into())
+        );
+        // After takedown the target is unrecoverable (§3.3.5).
+        assert_eq!(db.expand(&u, created.plus_secs(86_400)), ExpandResult::TakenDown);
+    }
+
+    #[test]
+    fn immortal_links() {
+        let db = ShortLinkDb::new();
+        db.register("bit.ly", "abc", "https://x.example.com/", UnixTime(0), None);
+        let u = parse_url("bit.ly/abc").unwrap();
+        assert!(matches!(db.expand(&u, UnixTime(i64::MAX / 2)), ExpandResult::Active(_)));
+    }
+
+    #[test]
+    fn unknown_code() {
+        let db = ShortLinkDb::new();
+        let u = parse_url("bit.ly/nope").unwrap();
+        assert_eq!(db.expand(&u, UnixTime(0)), ExpandResult::NotFound);
+    }
+
+    #[test]
+    fn table5_hosts_catalogued() {
+        let cat = ShortenerCatalog::new();
+        for h in ["bit.ly", "is.gd", "cutt.ly", "tinyurl.com", "bit.do", "shrtco.de", "rb.gy", "t.ly", "bitly.ws", "t.co"] {
+            assert!(cat.is_shortener(h), "{h}");
+        }
+    }
+}

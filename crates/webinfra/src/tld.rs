@@ -1,0 +1,277 @@
+//! The IANA root-zone table and registrable-domain extraction.
+//!
+//! §3.3.3 classifies smishing domains' TLDs into IANA's six groups —
+//! generic, country-code, generic-restricted, sponsored, infrastructure and
+//! test (Table 16) — and §4.3 ranks the most-abused TLDs (Table 6). This
+//! module carries a root-zone snapshot large enough to exercise both, plus
+//! a public-suffix list for splitting hosts into registrable domains
+//! (`example.co.uk` → registrable `example.co.uk`, not `co.uk`).
+
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+/// IANA TLD classification (Table 16).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum TldClass {
+    /// Generic (gTLD): com, info, online, xyz...
+    Generic,
+    /// Country-code (ccTLD): uk, in, de...
+    CountryCode,
+    /// Generic-restricted (grTLD): biz, name, pro.
+    GenericRestricted,
+    /// Sponsored (sTLD): gov, edu, museum...
+    Sponsored,
+    /// Infrastructure (iTLD): arpa.
+    Infrastructure,
+    /// Test TLDs.
+    Test,
+}
+
+impl TldClass {
+    /// Short label as in Table 16.
+    pub fn label(self) -> &'static str {
+        match self {
+            TldClass::Generic => "Generic (gTLD)",
+            TldClass::CountryCode => "Country-Code (ccTLD)",
+            TldClass::GenericRestricted => "Generic-restricted (grTLD)",
+            TldClass::Sponsored => "Sponsored (sTLD)",
+            TldClass::Infrastructure => "Infra (iTLD)",
+            TldClass::Test => "Test (tTLD)",
+        }
+    }
+}
+
+/// Generic TLDs (a representative 150 of the root zone's gTLDs, led by the
+/// ones Table 6 reports as abused).
+pub const GENERIC_TLDS: &[&str] = &[
+    "com", "info", "me", "net", "co", "top", "online", "xyz", "org", "app", "dev", "page",
+    "site", "club", "vip", "shop", "store", "live", "work", "icu", "cyou", "rest", "bar",
+    "fun", "space", "website", "tech", "host", "press", "link", "click", "help", "support",
+    "services", "solutions", "agency", "digital", "email", "network", "systems", "today",
+    "world", "zone", "plus", "cloud", "codes", "company", "computer", "center", "city",
+    "delivery", "direct", "discount", "domains", "exchange", "express", "finance",
+    "financial", "fund", "money", "credit", "creditcard", "loan", "loans", "bank",
+    "insurance", "legal", "media", "news", "design", "photo", "pictures", "video", "social",
+    "community", "events", "tickets", "tours", "voyage", "vacations", "flights", "holiday",
+    "cab", "taxi", "car", "cars", "auto", "bike", "boats", "parts", "repair", "build",
+    "builders", "construction", "contractors", "tools", "supply", "supplies", "equipment",
+    "industries", "factory", "farm", "garden", "flowers", "fish", "pet", "pets", "dog",
+    "kitchen", "health", "healthcare", "clinic", "dental", "doctor", "hospital", "pharmacy",
+    "fit", "fitness", "yoga", "run", "football", "golf", "tennis", "hockey", "soccer",
+    "team", "win", "bet", "casino", "poker", "bingo", "lotto", "game", "games", "play",
+    "toys", "fashion", "style", "shoes", "jewelry", "watch", "gift", "gifts", "deals",
+    "sale", "bargains", "cheap", "promo", "market", "markets", "trade", "trading", "gold",
+];
+
+/// Country-code TLDs (130 entries, led by Table 6's abused ones).
+pub const COUNTRY_TLDS: &[&str] = &[
+    "in", "us", "uk", "ly", "gd", "do", "gy", "de", "ws", "cc", "fr", "ru", "cn", "br",
+    "au", "nl", "es", "it", "pt", "be", "id", "jp", "kr", "mx", "ar", "cl", "pe", "ve",
+    "ec", "uy", "py", "bo", "cr", "pa", "gt", "hn", "ni", "sv", "cu", "ht", "jm", "tt",
+    "bs", "bb", "ag", "dm", "gr", "tr", "ua", "pl", "cz", "sk", "hu", "ro", "bg", "hr",
+    "si", "rs", "ba", "mk", "al", "md", "by", "lt", "lv", "ee", "fi", "se", "no", "dk",
+    "is", "ie", "ch", "at", "lu", "li", "mt", "cy", "il", "sa", "ae", "qa", "kw", "bh",
+    "om", "ye", "jo", "lb", "sy", "iq", "ir", "af", "pk", "bd", "lk", "np", "bt", "mv",
+    "mm", "th", "la", "kh", "vn", "my", "sg", "ph", "tw", "hk", "mo", "mn", "kz", "uz",
+    "tm", "kg", "tj", "az", "am", "ge", "eg", "ma", "dz", "tn", "ng", "gh", "ke", "za",
+    "tz", "ug", "cd", "cm",
+];
+
+/// Generic-restricted TLDs.
+pub const GENERIC_RESTRICTED_TLDS: &[&str] = &["biz", "name", "pro"];
+
+/// Sponsored TLDs.
+pub const SPONSORED_TLDS: &[&str] =
+    &["gov", "edu", "mil", "int", "aero", "asia", "cat", "coop", "jobs", "mobi", "museum",
+      "post", "tel", "travel", "xxx"];
+
+/// Infrastructure TLD.
+pub const INFRA_TLDS: &[&str] = &["arpa"];
+
+/// Test TLDs.
+pub const TEST_TLDS: &[&str] = &["test", "example", "invalid", "localhost"];
+
+/// Multi-label public suffixes (a working subset of the PSL).
+pub const MULTI_LABEL_SUFFIXES: &[&str] = &[
+    "co.uk", "org.uk", "ac.uk", "gov.uk", "me.uk",
+    "com.au", "net.au", "org.au",
+    "co.in", "net.in", "org.in", "gov.in", "ac.in",
+    "co.nz", "com.br", "net.br", "org.br",
+    "co.za", "com.mx", "com.ar", "com.tr", "com.cn", "net.cn", "org.cn",
+    "co.jp", "ne.jp", "or.jp", "co.kr", "com.sg", "com.my", "com.hk",
+    "com.ng", "com.gh", "co.ke", "co.id", "web.id", "com.ph", "com.pk",
+    "com.bd", "com.lk", "com.np", "com.eg", "com.sa", "com.ua", "com.pl",
+];
+
+/// The root-zone snapshot with class lookup.
+#[derive(Debug)]
+pub struct TldDb {
+    classes: HashMap<&'static str, TldClass>,
+}
+
+impl TldDb {
+    /// The process-wide table.
+    pub fn global() -> &'static TldDb {
+        static DB: OnceLock<TldDb> = OnceLock::new();
+        DB.get_or_init(|| {
+            let mut classes = HashMap::new();
+            for (list, class) in [
+                (GENERIC_TLDS, TldClass::Generic),
+                (COUNTRY_TLDS, TldClass::CountryCode),
+                (GENERIC_RESTRICTED_TLDS, TldClass::GenericRestricted),
+                (SPONSORED_TLDS, TldClass::Sponsored),
+                (INFRA_TLDS, TldClass::Infrastructure),
+                (TEST_TLDS, TldClass::Test),
+            ] {
+                for &t in list {
+                    classes.insert(t, class);
+                }
+            }
+            TldDb { classes }
+        })
+    }
+
+    /// Class of a TLD string, if known.
+    pub fn classify(&self, tld: &str) -> Option<TldClass> {
+        self.classes.get(tld.to_ascii_lowercase().as_str()).copied()
+    }
+
+    /// Number of TLDs known per class.
+    pub fn count(&self, class: TldClass) -> usize {
+        self.classes.values().filter(|&&c| c == class).count()
+    }
+
+    /// Total known TLDs.
+    pub fn len(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Never true: the table is static and non-empty.
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty()
+    }
+}
+
+/// The effective TLD (public suffix) of a lowercase host: the longest
+/// matching multi-label suffix, else the last label.
+pub fn public_suffix(host: &str) -> Option<&str> {
+    let host = host.trim_matches('.');
+    if host.is_empty() || !host.contains('.') {
+        return None;
+    }
+    let mut best: Option<&str> = None;
+    for &suffix in MULTI_LABEL_SUFFIXES {
+        let boundary_ok = host == suffix
+            || (host.len() > suffix.len()
+                && host.ends_with(suffix)
+                && host.as_bytes()[host.len() - suffix.len() - 1] == b'.');
+        if boundary_ok && best.is_none_or(|b| suffix.len() > b.len()) {
+            best = Some(suffix);
+        }
+    }
+    if best.is_some() {
+        return best.map(|s| &host[host.len() - s.len()..]);
+    }
+    host.rsplit('.').next()
+}
+
+/// The registrable domain of a host: public suffix plus one label.
+/// Returns `None` when the host *is* a bare suffix.
+pub fn registrable_domain(host: &str) -> Option<String> {
+    let host = host.trim_matches('.').to_ascii_lowercase();
+    let suffix = public_suffix(&host)?.to_string();
+    if host == suffix {
+        return None;
+    }
+    let stem = &host[..host.len() - suffix.len() - 1];
+    let label = stem.rsplit('.').next()?;
+    if label.is_empty() {
+        return None;
+    }
+    Some(format!("{label}.{suffix}"))
+}
+
+/// The TLD (last label) of a host — what Table 6 counts.
+pub fn tld_of(host: &str) -> Option<String> {
+    let host = host.trim_matches('.');
+    let last = host.rsplit('.').next()?;
+    if last.is_empty() || last == host {
+        return None;
+    }
+    Some(last.to_ascii_lowercase())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_counts_have_table16_shape() {
+        let db = TldDb::global();
+        // Table 16: 146 gTLDs vs 130 ccTLDs abused; the root-zone snapshot
+        // must be at least that rich and keep the ordering.
+        assert!(db.count(TldClass::Generic) >= 130, "{}", db.count(TldClass::Generic));
+        assert!(db.count(TldClass::CountryCode) >= 120);
+        assert!(db.count(TldClass::Generic) > db.count(TldClass::CountryCode));
+        assert_eq!(db.count(TldClass::GenericRestricted), 3);
+        assert!(db.count(TldClass::Sponsored) >= 8);
+        assert_eq!(db.count(TldClass::Infrastructure), 1);
+    }
+
+    #[test]
+    fn classify_known() {
+        let db = TldDb::global();
+        assert_eq!(db.classify("com"), Some(TldClass::Generic));
+        assert_eq!(db.classify("COM"), Some(TldClass::Generic));
+        assert_eq!(db.classify("uk"), Some(TldClass::CountryCode));
+        assert_eq!(db.classify("biz"), Some(TldClass::GenericRestricted));
+        assert_eq!(db.classify("gov"), Some(TldClass::Sponsored));
+        assert_eq!(db.classify("arpa"), Some(TldClass::Infrastructure));
+        assert_eq!(db.classify("notatld"), None);
+    }
+
+    #[test]
+    fn no_duplicate_tlds_across_classes() {
+        let db = TldDb::global();
+        let total = GENERIC_TLDS.len()
+            + COUNTRY_TLDS.len()
+            + GENERIC_RESTRICTED_TLDS.len()
+            + SPONSORED_TLDS.len()
+            + INFRA_TLDS.len()
+            + TEST_TLDS.len();
+        assert_eq!(db.len(), total, "duplicate TLD across class lists");
+    }
+
+    #[test]
+    fn registrable_simple() {
+        assert_eq!(registrable_domain("evil.com"), Some("evil.com".into()));
+        assert_eq!(registrable_domain("a.b.evil.com"), Some("evil.com".into()));
+    }
+
+    #[test]
+    fn registrable_multi_label_suffix() {
+        assert_eq!(registrable_domain("secure.hsbc.co.uk"), Some("hsbc.co.uk".into()));
+        assert_eq!(registrable_domain("hsbc.co.uk"), Some("hsbc.co.uk".into()));
+        assert_eq!(registrable_domain("co.uk"), None);
+    }
+
+    #[test]
+    fn suffix_requires_label_boundary() {
+        // "xco.uk" must not match suffix "co.uk".
+        assert_eq!(registrable_domain("xco.uk"), Some("xco.uk".into()));
+        assert_eq!(public_suffix("xco.uk"), Some("uk"));
+    }
+
+    #[test]
+    fn tld_extraction() {
+        assert_eq!(tld_of("fb.user-page.online"), Some("online".into()));
+        assert_eq!(tld_of("bit.ly"), Some("ly".into()));
+        assert_eq!(tld_of("nodots"), None);
+    }
+
+    #[test]
+    fn single_label_host_has_no_registrable() {
+        assert_eq!(registrable_domain("localhost"), None);
+        assert_eq!(public_suffix("localhost"), None);
+    }
+}

@@ -1,0 +1,252 @@
+//! URL parsing for SMS bodies and user reports.
+//!
+//! URLs in smishing reports are messier than RFC 3986:
+//!
+//! - SMS bodies often omit the scheme (`bit.ly/2Rq2La`),
+//! - reporters *defang* URLs to stop readers clicking them
+//!   (`hxxps://sa-krs[.]web[.]app/`),
+//! - screenshots wrap long URLs across bubble lines, so the extractor must
+//!   rejoin fragments (§3.2: Google Vision "does not extract the complete
+//!   URL ... the URL spreads across more than one line").
+//!
+//! [`parse_url`] handles all three. It is intentionally forgiving — the
+//! curation pipeline wants a best-effort host/path split, not validation.
+
+use std::fmt;
+
+/// A parsed URL, normalized: scheme lowercased, host lowercased and
+/// refanged, path/query kept verbatim.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ParsedUrl {
+    /// `http` or `https`. Scheme-less inputs default to `https`.
+    pub scheme: String,
+    /// Hostname (no port, no credentials).
+    pub host: String,
+    /// Path including leading `/`; empty string when absent.
+    pub path: String,
+    /// Query string without the `?`; empty when absent.
+    pub query: String,
+}
+
+impl ParsedUrl {
+    /// Rebuild the canonical URL string.
+    pub fn to_url_string(&self) -> String {
+        let mut s = format!("{}://{}{}", self.scheme, self.host, self.path);
+        if !self.query.is_empty() {
+            s.push('?');
+            s.push_str(&self.query);
+        }
+        s
+    }
+
+    /// Host labels, most-specific first is NOT applied — returns in written
+    /// order (`["sa-krs", "web", "app"]`).
+    pub fn host_labels(&self) -> Vec<&str> {
+        self.host.split('.').collect()
+    }
+
+    /// The last host label — the TLD candidate.
+    pub fn tld_candidate(&self) -> Option<&str> {
+        self.host.rsplit('.').next().filter(|s| !s.is_empty())
+    }
+
+    /// Whether the path directly references an Android package (§6: URLs
+    /// ending in `.apk` deliver malware droppers).
+    pub fn points_to_apk(&self) -> bool {
+        self.path.to_ascii_lowercase().ends_with(".apk")
+    }
+}
+
+impl fmt::Display for ParsedUrl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_url_string())
+    }
+}
+
+/// Undo defanging: `hxxp(s)` → `http(s)`, `[.]`/`(.)`/`{.}`/` [dot] ` → `.`.
+pub fn refang(input: &str) -> String {
+    let mut s = input.trim().to_string();
+    for (from, to) in [
+        ("hxxps://", "https://"),
+        ("hxxp://", "http://"),
+        ("hXXps://", "https://"),
+        ("hXXp://", "http://"),
+        ("[.]", "."),
+        ("(.)", "."),
+        ("{.}", "."),
+        ("[dot]", "."),
+        ("(dot)", "."),
+        ("[:]", ":"),
+        ("[://]", "://"),
+    ] {
+        s = s.replace(from, to);
+    }
+    s
+}
+
+fn valid_host(host: &str) -> bool {
+    if host.is_empty() || host.len() > 253 || !host.contains('.') {
+        return false;
+    }
+    if host.starts_with('.') || host.ends_with('.') || host.contains("..") {
+        return false;
+    }
+    host.chars().all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '.')
+        && host.rsplit('.').next().is_some_and(|tld| {
+            tld.len() >= 2 && tld.chars().all(|c| c.is_ascii_alphabetic())
+        })
+}
+
+/// Parse a URL as it appears in an SMS body or report.
+///
+/// Accepts schemed, scheme-less and defanged forms. Returns `None` when the
+/// string does not look like a URL at all (no dotted host).
+pub fn parse_url(input: &str) -> Option<ParsedUrl> {
+    let refanged = refang(input);
+    let trimmed = refanged.trim().trim_end_matches(['!', ',', ';', ')', '"', '\'', '>']);
+    if trimmed.is_empty() || trimmed.contains(char::is_whitespace) {
+        return None;
+    }
+    let (scheme, rest) = if let Some(r) = strip_prefix_ci(trimmed, "https://") {
+        ("https", r)
+    } else if let Some(r) = strip_prefix_ci(trimmed, "http://") {
+        ("http", r)
+    } else if trimmed.contains("://") {
+        return None; // ftp:// etc. — not SMS-phishing material
+    } else {
+        ("https", trimmed)
+    };
+
+    // Split host from path/query; drop credentials and port.
+    let (host_port, tail) = match rest.find(['/', '?']) {
+        Some(i) => (&rest[..i], &rest[i..]),
+        None => (rest, ""),
+    };
+    let host_port = host_port.rsplit('@').next().unwrap_or(host_port);
+    let host = host_port.split(':').next().unwrap_or(host_port).to_ascii_lowercase();
+    if !valid_host(&host) {
+        return None;
+    }
+    let (path, query) = match tail.find('?') {
+        Some(i) => (&tail[..i], &tail[i + 1..]),
+        None => (tail, ""),
+    };
+    Some(ParsedUrl {
+        scheme: scheme.to_string(),
+        host,
+        path: path.to_string(),
+        query: query.to_string(),
+    })
+}
+
+fn strip_prefix_ci<'a>(s: &'a str, prefix: &str) -> Option<&'a str> {
+    if s.len() >= prefix.len()
+        && s.is_char_boundary(prefix.len())
+        && s[..prefix.len()].eq_ignore_ascii_case(prefix)
+    {
+        Some(&s[prefix.len()..])
+    } else {
+        None
+    }
+}
+
+/// Extract the first URL-looking token from free text (an SMS body).
+pub fn find_url_in_text(text: &str) -> Option<ParsedUrl> {
+    for token in text.split_whitespace() {
+        if let Some(u) = parse_url(token) {
+            // Require either a scheme, a known-looking path, or at least one
+            // dot with a plausible TLD — parse_url already checks the TLD.
+            return Some(u);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_https_url() {
+        let u = parse_url("https://secure.bank-verify.com/login?session=1").unwrap();
+        assert_eq!(u.scheme, "https");
+        assert_eq!(u.host, "secure.bank-verify.com");
+        assert_eq!(u.path, "/login");
+        assert_eq!(u.query, "session=1");
+        assert_eq!(u.to_url_string(), "https://secure.bank-verify.com/login?session=1");
+    }
+
+    #[test]
+    fn schemeless_shortener() {
+        let u = parse_url("bit.ly/2Rq2La").unwrap();
+        assert_eq!(u.scheme, "https");
+        assert_eq!(u.host, "bit.ly");
+        assert_eq!(u.path, "/2Rq2La");
+    }
+
+    #[test]
+    fn defanged_forms() {
+        let u = parse_url("hxxps://sa-krs[.]web[.]app/?d=s1").unwrap();
+        assert_eq!(u.host, "sa-krs.web.app");
+        assert_eq!(u.query, "d=s1");
+        let u = parse_url("download[.]china-telecom[.]cn/internet.apk").unwrap();
+        assert_eq!(u.host, "download.china-telecom.cn");
+        assert!(u.points_to_apk());
+    }
+
+    #[test]
+    fn host_normalization() {
+        let u = parse_url("HTTPS://ExAmPlE.CoM/Path").unwrap();
+        assert_eq!(u.host, "example.com");
+        assert_eq!(u.path, "/Path", "path case preserved");
+    }
+
+    #[test]
+    fn ports_and_credentials_dropped() {
+        let u = parse_url("http://evil.com:8080/x").unwrap();
+        assert_eq!(u.host, "evil.com");
+        let u = parse_url("http://user:pw@evil.com/x").unwrap();
+        assert_eq!(u.host, "evil.com");
+    }
+
+    #[test]
+    fn rejects_non_urls() {
+        for bad in ["hello", "no dots here", "1234", "ftp://files.example.com/x", "a.b c"] {
+            assert_eq!(parse_url(bad), None, "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_bad_hosts() {
+        for bad in ["http://.start.com", "http://end.com.", "http://dou..ble.com", "x.12345"] {
+            assert_eq!(parse_url(bad), None, "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn trailing_punctuation_stripped() {
+        let u = parse_url("https://cutt.ly/abc123,").unwrap();
+        assert_eq!(u.path, "/abc123");
+    }
+
+    #[test]
+    fn find_in_text() {
+        let body = "Your parcel is held. Pay the fee at https://royal-mail.fee-pay.com/track now";
+        let u = find_url_in_text(body).unwrap();
+        assert_eq!(u.host, "royal-mail.fee-pay.com");
+        assert_eq!(find_url_in_text("no links at all"), None);
+    }
+
+    #[test]
+    fn refang_is_idempotent_on_clean_urls() {
+        let clean = "https://example.com/a";
+        assert_eq!(refang(clean), clean);
+    }
+
+    #[test]
+    fn tld_candidate_and_labels() {
+        let u = parse_url("https://a.b.example.co.uk/x").unwrap();
+        assert_eq!(u.tld_candidate(), Some("uk"));
+        assert_eq!(u.host_labels(), vec!["a", "b", "example", "co", "uk"]);
+    }
+}

@@ -1,0 +1,117 @@
+//! WHOIS registrar data (§3.3.3, Table 17).
+//!
+//! WHOIS rate-limits automation, so the paper queries domains through
+//! WhoisXMLAPI. [`WhoisDb`] plays that role offline: the world simulator
+//! registers each scammer domain with the registrar the campaign purchased
+//! it from; the pipeline queries domains and tallies registrars.
+
+use parking_lot::RwLock;
+use smishing_types::UnixTime;
+use std::collections::HashMap;
+
+/// Registrar catalog: Table 17's top ten plus further mainstream registrars
+/// so the tail is non-trivial.
+pub const REGISTRARS: &[&str] = &[
+    "GoDaddy",
+    "NameCheap",
+    "Gname",
+    "Dynadot",
+    "Tucows",
+    "PublicDomainRegistry",
+    "NameSilo",
+    "Key-Systems",
+    "MarkMonitor",
+    "Gandi",
+    "Porkbun",
+    "OVH",
+    "IONOS",
+    "Hostinger",
+    "Alibaba Cloud",
+    "GMO Internet",
+    "Register.com",
+    "Enom",
+];
+
+/// One WHOIS record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WhoisRecord {
+    /// Registrar of record.
+    pub registrar: &'static str,
+    /// Registration (creation) instant.
+    pub created: UnixTime,
+    /// Expiry instant.
+    pub expires: UnixTime,
+}
+
+impl WhoisRecord {
+    /// Whether the registration was live at `at`.
+    pub fn live_at(&self, at: UnixTime) -> bool {
+        at >= self.created && at < self.expires
+    }
+}
+
+/// The WHOIS database, keyed by registrable domain.
+#[derive(Debug, Default)]
+pub struct WhoisDb {
+    records: RwLock<HashMap<String, WhoisRecord>>,
+}
+
+impl WhoisDb {
+    /// New empty database.
+    pub fn new() -> WhoisDb {
+        WhoisDb::default()
+    }
+
+    /// Register a domain (world-simulator side).
+    pub fn register(&self, domain: &str, registrar: &'static str, created: UnixTime, ttl_days: i64) {
+        let rec = WhoisRecord { registrar, created, expires: created.plus_days(ttl_days) };
+        self.records.write().insert(domain.to_ascii_lowercase(), rec);
+    }
+
+    /// Query a domain (pipeline side). `None` models both never-registered
+    /// domains and WHOIS privacy failures.
+    pub fn query(&self, domain: &str) -> Option<WhoisRecord> {
+        self.records.read().get(&domain.to_ascii_lowercase()).cloned()
+    }
+
+    /// Number of registered domains.
+    pub fn len(&self) -> usize {
+        self.records.read().len()
+    }
+
+    /// Whether empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.read().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_query() {
+        let db = WhoisDb::new();
+        db.register("bank-verify.com", "GoDaddy", UnixTime(1_000), 365);
+        let rec = db.query("BANK-VERIFY.com").unwrap();
+        assert_eq!(rec.registrar, "GoDaddy");
+        assert!(rec.live_at(UnixTime(2_000)));
+        assert!(!rec.live_at(UnixTime(0)));
+        assert!(!rec.live_at(UnixTime(1_000 + 366 * 86_400)));
+    }
+
+    #[test]
+    fn unknown_domain() {
+        assert_eq!(WhoisDb::new().query("nope.example"), None);
+    }
+
+    #[test]
+    fn table17_registrars_catalogued() {
+        for r in [
+            "GoDaddy", "NameCheap", "Gname", "Dynadot", "Tucows",
+            "PublicDomainRegistry", "NameSilo", "Key-Systems", "MarkMonitor", "Gandi",
+        ] {
+            assert!(REGISTRARS.contains(&r), "{r}");
+        }
+    }
+}

@@ -1,0 +1,791 @@
+//! Campaign generation: who scams whom, from what sender, with what
+//! infrastructure.
+
+use crate::config::{
+    country_scam_multiplier, operator_weights, shortener_weights, PhoneKindChoice,
+    SenderKindChoice, WorldConfig, CA_MIX, COUNTRY_MIX, english_rate, minority_language,
+    FREE_HOSTING_RATE, GNAME_GOVERNMENT_BOOST, HOSTING_MIX, PDNS_COVERAGE, PHONE_KIND_MIX,
+    REGISTRAR_MIX, SCAM_MIX, SENDER_KIND_MIX, SHORTENER_RATE,
+};
+use crate::domaingen;
+use crate::schedule::CampaignSchedule;
+use crate::services::Services;
+use crate::weighted_index;
+use rand::Rng;
+use smishing_telecom::{NumberFactory, NumberType};
+use smishing_textnlp::brands::{Brand, BrandCatalog};
+use smishing_textnlp::templates::TemplateLibrary;
+use smishing_types::{CampaignId, Country, Language, PhoneNumber, ScamType, Sector, SenderId};
+use smishing_webinfra::ca_policy;
+
+/// How a campaign provisions sender identities.
+#[derive(Debug, Clone)]
+pub enum SenderStrategy {
+    /// A pool of real mobile subscriptions (SIM farm).
+    MobilePool {
+        /// Origin country of the numbers.
+        country: Country,
+        /// Original operator of the numbers.
+        operator: &'static str,
+        /// The provisioned numbers.
+        pool: Vec<PhoneNumber>,
+    },
+    /// Spoofed numbers of a non-mobile type (landline, VoIP, toll-free...).
+    SpecialPool {
+        /// Claimed origin country.
+        country: Country,
+        /// The (suspicious) number type.
+        number_type: NumberType,
+        /// The spoofed numbers.
+        pool: Vec<PhoneNumber>,
+    },
+    /// Junk digit strings that fit no numbering plan.
+    BadFormatPool {
+        /// The raw spoofed strings.
+        pool: Vec<String>,
+    },
+    /// Aggregator-spoofed alphanumeric shortcodes.
+    AlphanumericPool {
+        /// The shortcodes.
+        codes: Vec<String>,
+    },
+    /// iMessage-style email senders.
+    EmailPool {
+        /// The addresses.
+        addrs: Vec<String>,
+    },
+}
+
+impl SenderStrategy {
+    /// Pick one sender from the pool.
+    pub fn pick<R: Rng + ?Sized>(&self, rng: &mut R) -> SenderId {
+        match self {
+            SenderStrategy::MobilePool { pool, .. }
+            | SenderStrategy::SpecialPool { pool, .. } => {
+                SenderId::Phone(pool[rng.gen_range(0..pool.len())].clone())
+            }
+            SenderStrategy::BadFormatPool { pool } => {
+                SenderId::MalformedPhone(pool[rng.gen_range(0..pool.len())].clone())
+            }
+            SenderStrategy::AlphanumericPool { codes } => {
+                SenderId::Alphanumeric(codes[rng.gen_range(0..codes.len())].clone())
+            }
+            SenderStrategy::EmailPool { addrs } => {
+                SenderId::Email(addrs[rng.gen_range(0..addrs.len())].clone())
+            }
+        }
+    }
+
+    /// Pool size (distinct sender IDs).
+    pub fn pool_size(&self) -> usize {
+        match self {
+            SenderStrategy::MobilePool { pool, .. } => pool.len(),
+            SenderStrategy::SpecialPool { pool, .. } => pool.len(),
+            SenderStrategy::BadFormatPool { pool } => pool.len(),
+            SenderStrategy::AlphanumericPool { codes } => codes.len(),
+            SenderStrategy::EmailPool { addrs } => addrs.len(),
+        }
+    }
+}
+
+/// A campaign's web infrastructure.
+#[derive(Debug, Clone)]
+pub struct UrlPlan {
+    /// Registrable domain or free-hosting site (or `wa.me`).
+    pub domain: String,
+    /// Whether the site lives on a free website builder (§4.3).
+    pub free_hosted: bool,
+    /// Whether this is a WhatsApp click-to-chat link (§4.2).
+    pub whatsapp: bool,
+    /// Distinct URL paths the campaign rotates through.
+    pub paths: Vec<String>,
+    /// Shortening service host, if links are shortened.
+    pub shortener: Option<&'static str>,
+    /// Short codes, parallel to `paths` (empty when not shortened).
+    pub short_codes: Vec<String>,
+}
+
+impl UrlPlan {
+    /// The landing (destination) URL for a variant.
+    pub fn landing_url(&self, variant: usize) -> String {
+        let path = &self.paths[variant % self.paths.len()];
+        format!("https://{}{}", self.domain, path)
+    }
+
+    /// The URL as written in the SMS for a variant (short link when the
+    /// campaign shortens).
+    pub fn sms_url(&self, variant: usize) -> String {
+        match self.shortener {
+            Some(host) => {
+                let code = &self.short_codes[variant % self.short_codes.len()];
+                format!("https://{host}/{code}")
+            }
+            None => self.landing_url(variant),
+        }
+    }
+}
+
+/// Android-malware delivery for a campaign (§6).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MalwarePlan {
+    /// Malware family ground truth (Table 19: SMSspy dominates).
+    pub family: &'static str,
+    /// APK file name served to Android devices.
+    pub apk_name: String,
+    /// SHA-256 of the APK artifact (hex).
+    pub sha256: String,
+}
+
+/// Malware family mix for §6 / Table 19.
+pub const MALWARE_FAMILY_MIX: &[(&str, f64)] = &[
+    ("SMSspy", 0.80),
+    ("HQWar", 0.06),
+    ("Rewardsteal", 0.06),
+    ("Artemis", 0.05),
+    ("FluBot", 0.03),
+];
+
+/// One smishing campaign.
+#[derive(Debug, Clone)]
+pub struct Campaign {
+    /// Campaign id.
+    pub id: CampaignId,
+    /// Scam category.
+    pub scam_type: ScamType,
+    /// Impersonated brand, if the template has a brand slot.
+    pub brand: Option<&'static Brand>,
+    /// Message language.
+    pub language: Language,
+    /// Target (victim) country.
+    pub country: Country,
+    /// Template index into [`TemplateLibrary`].
+    pub template_id: usize,
+    /// Sending window + diurnal model.
+    pub schedule: CampaignSchedule,
+    /// Sender identities.
+    pub senders: SenderStrategy,
+    /// Web infrastructure, if the scam carries a URL.
+    pub url_plan: Option<UrlPlan>,
+    /// Android-malware delivery, if any.
+    pub malware: Option<MalwarePlan>,
+    /// Total user reports this campaign receives.
+    pub n_reports: usize,
+    /// Distinct message variants among those reports.
+    pub n_variants: usize,
+    /// Whether this is the §5.1 SBI burst.
+    pub is_sbi_burst: bool,
+}
+
+fn pick_weighted<'a, T, R: Rng + ?Sized>(table: &'a [(T, f64)], rng: &mut R) -> &'a T {
+    let weights: Vec<f64> = table.iter().map(|x| x.1).collect();
+    &table[weighted_index(&weights, rng)].0
+}
+
+/// The dominant local language of a market, used when the campaign does
+/// not write in English.
+pub fn local_language(country: Country) -> Language {
+    use Country as C;
+    use Language as L;
+    match country {
+        C::India => L::Hindi,
+        C::Spain => L::Spanish,
+        C::Mexico | C::Argentina | C::Colombia => L::Spanish,
+        C::Netherlands => L::Dutch,
+        C::France | C::Guadeloupe | C::DrCongo => L::French,
+        C::Belgium => L::Dutch,
+        C::Germany | C::Austria | C::Switzerland => L::German,
+        C::Italy => L::Italian,
+        C::Indonesia => L::Indonesian,
+        C::Portugal | C::Brazil => L::Portuguese,
+        C::Japan => L::Japanese,
+        C::Turkey => L::Turkish,
+        C::Philippines => L::Tagalog,
+        C::China | C::HongKong | C::Taiwan => L::Mandarin,
+        C::Czechia => L::Czech,
+        C::Romania => L::Romanian,
+        C::Hungary => L::Hungarian,
+        C::Ukraine => L::Ukrainian,
+        C::SouthAfrica => L::Afrikaans,
+        C::Kenya => L::Swahili,
+        C::Nigeria => L::Hausa,
+        C::SriLanka => L::Sinhala,
+        C::Malawi => L::Swahili,
+        C::Qatar => L::Arabic,
+        C::Malaysia => L::Malay,
+        C::Poland => L::Polish,
+        C::Sweden => L::Swedish,
+        C::Russia => L::Russian,
+        C::Greece => L::Greek,
+        C::Israel => L::Hebrew,
+        C::SouthKorea => L::Korean,
+        C::Thailand => L::Thai,
+        C::Vietnam => L::Vietnamese,
+        C::Egypt | C::Morocco | C::SaudiArabia | C::UnitedArabEmirates => L::Arabic,
+        _ => L::English,
+    }
+}
+
+impl Campaign {
+    /// Draw one campaign and register its infrastructure into `services`.
+    pub fn draw<R: Rng + ?Sized>(
+        id: CampaignId,
+        _cfg: &WorldConfig,
+        services: &Services,
+        malware_rate: f64,
+        rng: &mut R,
+    ) -> Campaign {
+        // Target country, then scam type conditioned on it (Fig. 3).
+        let country = *pick_weighted(COUNTRY_MIX, rng);
+        let scam_weights: Vec<f64> = SCAM_MIX
+            .iter()
+            .map(|(s, w)| w * country_scam_multiplier(country, *s))
+            .collect();
+        let scam_type = SCAM_MIX[weighted_index(&scam_weights, rng)].0;
+
+        // Language (§5.3): English dominates even in non-English markets.
+        let lib = TemplateLibrary::global();
+        let local = local_language(country);
+        let minority = minority_language(country)
+            .filter(|&(lang, p)| {
+                rng.gen_bool(p) && !lib.for_scam_lang(scam_type, lang).is_empty()
+            })
+            .map(|(lang, _)| lang);
+        let language = if let Some(lang) = minority {
+            lang
+        } else if local == Language::English
+            || rng.gen_bool(english_rate(country))
+            || lib.for_scam_lang(scam_type, local).is_empty()
+        {
+            Language::English
+        } else {
+            local
+        };
+
+        // Template, then brand from the template's sector slot.
+        let candidates = lib.for_scam_lang(scam_type, language);
+        let candidates = if candidates.is_empty() {
+            lib.for_scam_lang(scam_type, Language::English)
+        } else {
+            candidates
+        };
+        let template = candidates[rng.gen_range(0..candidates.len())];
+        let brand = template.brand_sector.map(|sector| pick_brand(sector, country, rng));
+
+        let schedule = CampaignSchedule::draw(rng);
+
+        // Report volume: heavy tail, mean ≈ 11 reports per campaign. The
+        // exponent tempers the tail so scaled-down test worlds keep stable
+        // marginals.
+        let u: f64 = rng.gen_range(0.0..1.0);
+        let n_reports = (1.0 + u.powi(3) * 40.0).round() as usize;
+        let n_variants = ((n_reports as f64) * 0.82).ceil().max(1.0) as usize;
+
+        let senders = draw_senders(country, brand, n_variants, rng);
+        // Malware intent is decided before infrastructure: droppers prefer
+        // takedown-resistant hosting (§4.6). Infrastructure is only stood
+        // up when the chosen template actually carries a URL slot.
+        let wants_malware = rng.gen_bool(malware_rate);
+        let url_plan = if template.needs_url() {
+            Some(draw_url_plan(
+                scam_type,
+                brand,
+                &schedule,
+                n_variants,
+                wants_malware,
+                services,
+                rng,
+            ))
+        } else {
+            None
+        };
+        let malware = match &url_plan {
+            Some(plan) if !plan.whatsapp && wants_malware => Some(draw_malware(rng)),
+            _ => None,
+        };
+
+        Campaign {
+            id,
+            scam_type,
+            brand,
+            language,
+            country,
+            template_id: template.id,
+            schedule,
+            senders,
+            url_plan,
+            malware,
+            n_reports,
+            n_variants,
+            is_sbi_burst: false,
+        }
+    }
+}
+
+fn pick_brand<R: Rng + ?Sized>(
+    sector: Sector,
+    country: Country,
+    rng: &mut R,
+) -> &'static Brand {
+    let cat = BrandCatalog::global();
+    // Home-market brands first: a Japanese banking smish impersonates a
+    // local bank, not PayPal, whenever locals exist. Globals form the tail.
+    let locals: Vec<&'static Brand> = cat
+        .of_sector(sector)
+        .into_iter()
+        .filter(|b| !b.global && b.countries.contains(&country))
+        .collect();
+    let globals: Vec<&'static Brand> =
+        cat.of_sector(sector).into_iter().filter(|b| b.global).collect();
+    let mut pool = locals;
+    pool.extend(globals);
+    if pool.is_empty() {
+        pool = cat.of_sector(sector);
+    }
+    // Zipf-ish preference for the pool head (exponent 1.5): Table 12's
+    // head concentration (SBI alone takes 11.6%).
+    let weights: Vec<f64> =
+        (0..pool.len()).map(|i| 1.0 / (i as f64 + 1.0).powf(1.5)).collect();
+    pool[weighted_index(&weights, rng)]
+}
+
+fn draw_senders<R: Rng + ?Sized>(
+    country: Country,
+    brand: Option<&'static Brand>,
+    n_variants: usize,
+    rng: &mut R,
+) -> SenderStrategy {
+    let pool_size = ((n_variants as f64 * 0.7).ceil() as usize).max(1);
+    let kind = *pick_weighted(SENDER_KIND_MIX, rng);
+    let factory = NumberFactory::new();
+    match kind {
+        SenderKindChoice::Alphanumeric => SenderStrategy::AlphanumericPool {
+            codes: (0..pool_size).map(|_| gen_shortcode(brand, rng)).collect(),
+        },
+        SenderKindChoice::Email => SenderStrategy::EmailPool {
+            addrs: (0..pool_size).map(|_| gen_email(rng)).collect(),
+        },
+        SenderKindChoice::Phone => {
+            let phone_kind = *pick_weighted(PHONE_KIND_MIX, rng);
+            draw_phone_pool(country, phone_kind, pool_size, &factory, brand, rng)
+        }
+    }
+}
+
+fn draw_phone_pool<R: Rng + ?Sized>(
+    country: Country,
+    kind: PhoneKindChoice,
+    pool_size: usize,
+    factory: &NumberFactory,
+    brand: Option<&'static Brand>,
+    rng: &mut R,
+) -> SenderStrategy {
+    use PhoneKindChoice as P;
+    let special = |country: Country, nt: NumberType, rng: &mut R| -> Option<SenderStrategy> {
+        let pool: Vec<PhoneNumber> =
+            (0..pool_size).filter_map(|_| factory.special(country, nt, rng)).collect();
+        if pool.is_empty() {
+            None
+        } else {
+            Some(SenderStrategy::SpecialPool { country, number_type: nt, pool })
+        }
+    };
+    let fallback_alnum = |rng: &mut R| SenderStrategy::AlphanumericPool {
+        codes: (0..pool_size).map(|_| gen_shortcode(brand, rng)).collect(),
+    };
+    match kind {
+        P::BadFormat => SenderStrategy::BadFormatPool {
+            pool: (0..pool_size).map(|_| factory.bad_format(rng)).collect(),
+        },
+        P::Mobile => {
+            let weights = operator_weights(country);
+            if weights.is_empty() {
+                return fallback_alnum(rng);
+            }
+            let operator = *pick_weighted(weights, rng);
+            let pool: Vec<PhoneNumber> = (0..pool_size)
+                .filter_map(|_| factory.mobile_for(country, operator, rng))
+                .collect();
+            if pool.is_empty() {
+                fallback_alnum(rng)
+            } else {
+                SenderStrategy::MobilePool { country, operator, pool }
+            }
+        }
+        P::MobileOrLandline => {
+            // NANP default ranges: only the US plan yields these.
+            special(Country::UnitedStates, NumberType::MobileOrLandline, rng)
+                .or_else(|| {
+                    let f = NumberFactory::new();
+                    let _ = &f;
+                    let pool: Vec<PhoneNumber> = (0..pool_size)
+                        .map(|_| {
+                            // Generic NANP number outside explicit series.
+                            let nat = format!(
+                                "6{:02}555{:04}",
+                                rng.gen_range(10..99),
+                                rng.gen_range(0..10_000)
+                            );
+                            PhoneNumber::new(1, nat)
+                        })
+                        .collect();
+                    Some(SenderStrategy::SpecialPool {
+                        country: Country::UnitedStates,
+                        number_type: NumberType::MobileOrLandline,
+                        pool,
+                    })
+                })
+                .expect("NANP fallback always succeeds")
+        }
+        P::Landline => special(country, NumberType::Landline, rng)
+            .or_else(|| special(Country::UnitedKingdom, NumberType::Landline, rng))
+            .unwrap_or_else(|| fallback_alnum(rng)),
+        P::Voip => special(country, NumberType::Voip, rng)
+            .or_else(|| special(Country::UnitedKingdom, NumberType::Voip, rng))
+            .unwrap_or_else(|| fallback_alnum(rng)),
+        P::TollFree => special(country, NumberType::TollFree, rng)
+            .or_else(|| special(Country::UnitedStates, NumberType::TollFree, rng))
+            .unwrap_or_else(|| fallback_alnum(rng)),
+        P::Pager => special(Country::UnitedKingdom, NumberType::Pager, rng)
+            .unwrap_or_else(|| fallback_alnum(rng)),
+        P::OtherSpecial => {
+            let nt = [
+                NumberType::UniversalAccess,
+                NumberType::PersonalNumber,
+                NumberType::OtherValid,
+            ][rng.gen_range(0..3)];
+            special(Country::UnitedKingdom, nt, rng)
+                .or_else(|| special(Country::UnitedStates, nt, rng))
+                .unwrap_or_else(|| fallback_alnum(rng))
+        }
+        P::VoicemailOnly => special(Country::UnitedKingdom, NumberType::VoicemailOnly, rng)
+            .unwrap_or_else(|| fallback_alnum(rng)),
+    }
+}
+
+fn gen_shortcode<R: Rng + ?Sized>(brand: Option<&'static Brand>, rng: &mut R) -> String {
+    let stem: String = match brand {
+        Some(b) => b
+            .name
+            .chars()
+            .filter(|c| c.is_ascii_alphanumeric())
+            .take(6)
+            .collect::<String>()
+            .to_ascii_uppercase(),
+        None => {
+            const WORDS: &[&str] = &["INFO", "ALERT", "NOTICE", "PROMO", "SECURE", "UPDATE"];
+            WORDS[rng.gen_range(0..WORDS.len())].to_string()
+        }
+    };
+    // Aggregators let senders pick nearly arbitrary codes; campaigns mint
+    // many variants around the brand stem.
+    const PREFIXES: &[&str] = &["AX", "VM", "TX", "JD", "QP", "BZ"];
+    match rng.gen_range(0..5) {
+        0 => stem,
+        1 => format!("{stem}{:02}", rng.gen_range(0..100)),
+        2 => format!("{}-{stem}", PREFIXES[rng.gen_range(0..PREFIXES.len())]),
+        3 => format!("{stem}SMS{}", rng.gen_range(0..10)),
+        _ => format!("{stem}-{:03}", rng.gen_range(0..1000)),
+    }
+}
+
+fn gen_email<R: Rng + ?Sized>(rng: &mut R) -> String {
+    const WORDS: &[&str] = &["notify", "service", "care", "alerts", "info", "billing", "team"];
+    const DOMS: &[&str] = &["icloud.com", "gmail.com", "outlook.com", "mail.com"];
+    format!(
+        "{}{}{}@{}",
+        WORDS[rng.gen_range(0..WORDS.len())],
+        WORDS[rng.gen_range(0..WORDS.len())],
+        rng.gen_range(10..9999),
+        DOMS[rng.gen_range(0..DOMS.len())]
+    )
+}
+
+fn draw_url_plan<R: Rng + ?Sized>(
+    scam_type: ScamType,
+    brand: Option<&'static Brand>,
+    schedule: &CampaignSchedule,
+    n_variants: usize,
+    wants_malware: bool,
+    services: &Services,
+    rng: &mut R,
+) -> UrlPlan {
+    // Conversation scams that carry a link always move the victim to
+    // WhatsApp (§4.2's wa.me pattern) — they never host phishing pages.
+    if scam_type.is_conversational() {
+        let number = format!("{}", rng.gen_range(30_000_000_000u64..49_999_999_999));
+        return UrlPlan {
+            domain: "wa.me".to_string(),
+            free_hosted: false,
+            whatsapp: true,
+            paths: vec![format!("/{number}")],
+            shortener: None,
+            short_codes: Vec::new(),
+        };
+    }
+
+    let brand_name = brand.map(|b| b.name);
+    let free_hosted = rng.gen_bool(FREE_HOSTING_RATE);
+    let domain = if free_hosted {
+        domaingen::gen_free_host_site(brand_name, rng)
+    } else {
+        domaingen::gen_domain(brand_name, rng)
+    };
+    // Campaigns mint near-per-recipient links (Table 1: unique URLs track
+    // unique messages), so the path pool scales with the variant count.
+    let n_paths = ((n_variants as f64 * 0.85).ceil() as usize).max(1);
+    let mut paths: Vec<String> = (0..n_paths).map(|_| domaingen::gen_path(rng)).collect();
+    // §6: some campaigns link .apk droppers directly (the paper finds 89
+    // such URLs); malware campaigns do so half the time.
+    if (wants_malware && rng.gen_bool(0.5)) || rng.gen_bool(0.012) {
+        paths[0] = "/internet.apk".to_string();
+    }
+
+    // Infrastructure registration.
+    let created = schedule.start.plus_days(-(rng.gen_range(1..14)));
+    if !free_hosted {
+        let weights: Vec<f64> = REGISTRAR_MIX
+            .iter()
+            .map(|(r, w)| {
+                if *r == "Gname" && scam_type == ScamType::Government {
+                    w * GNAME_GOVERNMENT_BOOST
+                } else {
+                    *w
+                }
+            })
+            .collect();
+        let registrar = REGISTRAR_MIX[weighted_index(&weights, rng)].0;
+        services.whois.register(&domain, registrar, created, 365);
+    }
+    // TLS provisioning: primary CA for the campaign's active window plus a
+    // heavy tail of long-lived renewals (Table 7's mean ≫ median).
+    let ca_name = pick_weighted(CA_MIX, rng);
+    if let Some(ca) = ca_policy(ca_name) {
+        let tail_days = 120 + (rng.gen_range(0.0..1.0f64).powi(3) * 720.0) as i64;
+        let until = schedule.end().plus_days(tail_days);
+        services.ctlog.provision(&domain, &ca, created, until);
+        // A small slice of domains sits behind hosting platforms that
+        // re-issue per-subdomain certificates every few days — the
+        // mechanism behind Table 7's mean (39) dwarfing its median (4).
+        if ca.free && rng.gen_bool(0.05) {
+            services.ctlog.provision_dense(&domain, &ca, created, until, 2);
+        }
+        if rng.gen_bool(0.25) {
+            let second = pick_weighted(CA_MIX, rng);
+            if *second != *ca_name {
+                if let Some(ca2) = ca_policy(second) {
+                    services.ctlog.provision(&domain, &ca2, created.plus_days(3), until);
+                }
+            }
+        }
+    }
+    // Passive DNS: only a minority of domains ever resolve for the pDNS
+    // sensor (§4.6), and malware campaigns prefer takedown-resistant
+    // bulletproof hosting.
+    if wants_malware || rng.gen_bool(PDNS_COVERAGE) {
+        // The deref is load-bearing: both if/else arms must unify to &str
+        // before coercion, so clippy's auto-deref suggestion does not build.
+        #[allow(clippy::explicit_auto_deref)]
+        let org: &str = if wants_malware && rng.gen_bool(0.6) {
+            ["FranTech Solutions", "Proton66 OOO", "Stark Industries"][rng.gen_range(0..3)]
+        } else {
+            *pick_weighted(HOSTING_MIX, rng)
+        };
+        let n_ips = if org == "Cloudflare" { rng.gen_range(3..8) } else { rng.gen_range(1..4) };
+        for _ in 0..n_ips {
+            if let Some(ip) = services.asn.allocate_ip(org, rng) {
+                let first = created.plus_days(rng.gen_range(0..5));
+                // Parked/sinkholed domains keep resolving long after the
+                // campaign dies, which is how they fall inside the pDNS
+                // one-year lookback at analysis time.
+                let last = first.plus_days(rng.gen_range(30..1200));
+                services.pdns.record(&domain, ip, first, last);
+            }
+        }
+    }
+
+    // Shortening (§4.2): per-scam-type service preference.
+    let (shortener, short_codes) = if rng.gen_bool(SHORTENER_RATE) {
+        let host = *pick_weighted(shortener_weights(scam_type), rng);
+        let codes: Vec<String> =
+            (0..paths.len()).map(|_| domaingen::gen_short_code(rng)).collect();
+        // Scammers mint short links right before blasting (§2: URLs live
+        // minutes to days) — not when the domain was registered.
+        let link_created = schedule.start.plus_secs(-3600);
+        for (code, path) in codes.iter().zip(paths.iter()) {
+            let target = format!("https://{domain}{path}");
+            // Short links die quickly: hours to a few weeks.
+            let lifespan = rng.gen_range(6 * 3600..45 * 86_400);
+            services.short_links.register(host, code, &target, link_created, Some(lifespan));
+        }
+        (Some(host), codes)
+    } else {
+        (None, Vec::new())
+    };
+
+    UrlPlan { domain, free_hosted, whatsapp: false, paths, shortener, short_codes }
+}
+
+fn draw_malware<R: Rng + ?Sized>(rng: &mut R) -> MalwarePlan {
+    let family = *pick_weighted(MALWARE_FAMILY_MIX, rng);
+    let apk_name = format!("s{}.apk", rng.gen_range(1..30));
+    let sha256: String = (0..32).map(|_| format!("{:02x}", rng.gen::<u8>())).collect();
+    MalwarePlan { family, apk_name, sha256 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use smishing_stats::Counter;
+
+    fn draw_many(n: usize, seed: u64) -> (Vec<Campaign>, Services) {
+        let cfg = WorldConfig::test_scale(seed);
+        let services = Services::new(seed);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cs = (0..n)
+            .map(|i| Campaign::draw(CampaignId(i as u32), &cfg, &services, 0.02, &mut rng))
+            .collect();
+        (cs, services)
+    }
+
+    #[test]
+    fn scam_mix_approximates_table10() {
+        let (cs, _) = draw_many(3000, 21);
+        let counter: Counter<ScamType> = cs.iter().map(|c| c.scam_type).collect();
+        let banking = counter.share(&ScamType::Banking);
+        assert!((0.38..0.55).contains(&banking), "banking {banking}");
+        assert!(counter.share(&ScamType::Others) > counter.share(&ScamType::Delivery));
+        assert!(counter.share(&ScamType::Delivery) > counter.share(&ScamType::Telecom));
+    }
+
+    #[test]
+    fn us_campaigns_include_a_spanish_minority() {
+        // Table 11: Spanish is #2 despite Spain's modest report volume —
+        // the generator targets the US Hispanic market in Spanish.
+        let (cs, _) = draw_many(4000, 24);
+        let us: Vec<_> = cs
+            .iter()
+            .filter(|c| c.country == Country::UnitedStates)
+            .collect();
+        assert!(us.len() > 300, "{}", us.len());
+        let spanish = us.iter().filter(|c| c.language == Language::Spanish).count();
+        let share = spanish as f64 / us.len() as f64;
+        assert!((0.08..0.30).contains(&share), "US Spanish share {share}");
+        // …but never in a language with no template support for the scam.
+        for c in &us {
+            assert!(
+                c.language == Language::English || c.language == Language::Spanish,
+                "{:?}",
+                c.language
+            );
+        }
+    }
+
+    #[test]
+    fn sender_pools_are_never_empty() {
+        let (cs, _) = draw_many(800, 22);
+        for c in &cs {
+            assert!(c.senders.pool_size() >= 1, "{:?}", c.id);
+            let mut rng = StdRng::seed_from_u64(1);
+            let _ = c.senders.pick(&mut rng);
+        }
+    }
+
+    #[test]
+    fn url_plans_register_infrastructure() {
+        let (cs, services) = draw_many(500, 23);
+        let with_url = cs.iter().filter(|c| c.url_plan.is_some()).count();
+        assert!(with_url > 300, "{with_url}");
+        assert!(services.whois.len() > 200, "{}", services.whois.len());
+        assert!(services.ctlog.domains() > 200);
+        assert!(services.short_links.len() > 50);
+        // Registered domains answer WHOIS with a registrar.
+        for c in cs.iter().filter(|c| {
+            c.url_plan.as_ref().is_some_and(|p| !p.free_hosted && !p.whatsapp)
+        }) {
+            let plan = c.url_plan.as_ref().unwrap();
+            assert!(services.whois.query(&plan.domain).is_some(), "{}", plan.domain);
+            assert!(!services.ctlog.query(&plan.domain).is_empty(), "{}", plan.domain);
+        }
+    }
+
+    #[test]
+    fn short_links_resolve_while_live() {
+        let (cs, services) = draw_many(600, 24);
+        let mut checked = 0;
+        for c in &cs {
+            let Some(plan) = &c.url_plan else { continue };
+            let Some(host) = plan.shortener else { continue };
+            let sms_url = plan.sms_url(0);
+            assert!(sms_url.contains(host), "{sms_url}");
+            let parsed = smishing_webinfra::parse_url(&sms_url).unwrap();
+            let at = c.schedule.start.plus_secs(3600);
+            match services.short_links.expand(&parsed, at) {
+                smishing_webinfra::ExpandResult::Active(target) => {
+                    assert!(target.contains(&plan.domain), "{target}");
+                    checked += 1;
+                }
+                other => panic!("fresh short link not active: {other:?}"),
+            }
+        }
+        assert!(checked > 50, "{checked}");
+    }
+
+    #[test]
+    fn conversational_campaigns_mostly_urlless() {
+        let (cs, _) = draw_many(4000, 25);
+        let convo: Vec<_> =
+            cs.iter().filter(|c| c.scam_type.is_conversational()).collect();
+        assert!(!convo.is_empty());
+        let with_wa = convo
+            .iter()
+            .filter(|c| c.url_plan.as_ref().is_some_and(|p| p.whatsapp))
+            .count();
+        let with_web = convo
+            .iter()
+            .filter(|c| c.url_plan.as_ref().is_some_and(|p| !p.whatsapp))
+            .count();
+        assert_eq!(with_web, 0, "conversation scams never host phishing pages");
+        assert!(with_wa > 0, "some move victims to WhatsApp");
+    }
+
+    #[test]
+    fn brands_respect_template_sector() {
+        let (cs, _) = draw_many(1000, 26);
+        let lib = TemplateLibrary::global();
+        for c in &cs {
+            let t = &lib.all()[c.template_id];
+            assert_eq!(t.brand_sector.is_some(), c.brand.is_some(), "{:?}", c.id);
+            if let (Some(sector), Some(brand)) = (t.brand_sector, c.brand) {
+                assert_eq!(brand.sector, sector, "{:?}", c.id);
+            }
+            assert_eq!(t.scam_type, c.scam_type);
+        }
+    }
+
+    #[test]
+    fn sbi_tops_indian_banking_brands() {
+        let (cs, _) = draw_many(3000, 27);
+        let indian_banking: Counter<&str> = cs
+            .iter()
+            .filter(|c| c.country == Country::India && c.scam_type == ScamType::Banking)
+            .filter_map(|c| c.brand.map(|b| b.name))
+            .collect();
+        if indian_banking.total() >= 50 {
+            let top = indian_banking.top_k(1);
+            assert_eq!(top[0].0, "State Bank of India", "{top:?}");
+        }
+    }
+
+    #[test]
+    fn determinism() {
+        let (a, _) = draw_many(50, 42);
+        let (b, _) = draw_many(50, 42);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.template_id, y.template_id);
+            assert_eq!(x.scam_type, y.scam_type);
+            assert_eq!(x.n_reports, y.n_reports);
+        }
+    }
+}

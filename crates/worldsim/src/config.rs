@@ -1,0 +1,477 @@
+//! World configuration: every calibration knob, with defaults set from the
+//! paper's published marginals (the tables each constant reproduces are
+//! cited inline).
+
+use smishing_types::{Country, Language, ScamType};
+
+/// Configuration of one generated world.
+#[derive(Debug, Clone)]
+pub struct WorldConfig {
+    /// Master seed; every derived RNG is seeded from it.
+    pub seed: u64,
+    /// Volume multiplier: 1.0 ≈ paper scale (220k posts / 33.9k messages);
+    /// tests run at 0.01–0.05.
+    pub scale: f64,
+    /// Number of campaigns at scale 1.0.
+    pub campaigns_at_scale_1: usize,
+    /// Include the 2021 SBI burst campaign (§5.1). On by default; the Fig. 2
+    /// ablation turns the *filter* on and off, not the campaign.
+    pub include_sbi_burst: bool,
+    /// Fraction of URL-bearing campaigns that deliver Android malware via
+    /// device-dependent redirects (§6).
+    pub malware_campaign_rate: f64,
+}
+
+impl Default for WorldConfig {
+    fn default() -> Self {
+        WorldConfig {
+            seed: 0xF15F,
+            scale: 1.0,
+            campaigns_at_scale_1: 3000,
+            include_sbi_burst: true,
+            malware_campaign_rate: 0.05,
+        }
+    }
+}
+
+impl WorldConfig {
+    /// A small world for unit/integration tests (~1/40 of paper scale).
+    pub fn test_scale(seed: u64) -> WorldConfig {
+        WorldConfig { seed, scale: 0.025, ..WorldConfig::default() }
+    }
+
+    /// Number of campaigns for this scale.
+    pub fn n_campaigns(&self) -> usize {
+        ((self.campaigns_at_scale_1 as f64 * self.scale).round() as usize).max(10)
+    }
+}
+
+/// Scam-category mix (Table 10: banking 45.1%, delivery 11.3%, government
+/// 9.6%, telecom 6.6%, wrong number 1.0%, hey mum/dad 0.8%, others 20.6%,
+/// spam 5.0%).
+pub const SCAM_MIX: &[(ScamType, f64)] = &[
+    (ScamType::Banking, 0.451),
+    (ScamType::Delivery, 0.113),
+    (ScamType::Government, 0.096),
+    (ScamType::Telecom, 0.066),
+    (ScamType::WrongNumber, 0.010),
+    (ScamType::HeyMumDad, 0.008),
+    (ScamType::Others, 0.206),
+    (ScamType::Spam, 0.050),
+];
+
+/// Target-country mix (Table 14's origin ranking, which §5.6 argues tracks
+/// the receiving side).
+pub const COUNTRY_MIX: &[(Country, f64)] = &[
+    (Country::India, 0.27),
+    (Country::UnitedStates, 0.15),
+    (Country::Netherlands, 0.085),
+    (Country::UnitedKingdom, 0.08),
+    (Country::Spain, 0.055),
+    (Country::Australia, 0.042),
+    (Country::France, 0.042),
+    (Country::Belgium, 0.028),
+    (Country::Indonesia, 0.024),
+    (Country::Germany, 0.021),
+    (Country::Italy, 0.018),
+    (Country::Portugal, 0.012),
+    (Country::Ireland, 0.012),
+    (Country::Czechia, 0.010),
+    (Country::Japan, 0.012),
+    (Country::Mexico, 0.012),
+    (Country::Brazil, 0.010),
+    (Country::Canada, 0.010),
+    (Country::NewZealand, 0.006),
+    (Country::SouthAfrica, 0.008),
+    (Country::Turkey, 0.008),
+    (Country::Romania, 0.006),
+    (Country::Hungary, 0.005),
+    (Country::Ukraine, 0.006),
+    (Country::Ghana, 0.005),
+    (Country::Kenya, 0.005),
+    (Country::Nigeria, 0.006),
+    (Country::SriLanka, 0.004),
+    (Country::Malawi, 0.002),
+    (Country::DrCongo, 0.003),
+    (Country::Qatar, 0.003),
+    (Country::Guadeloupe, 0.002),
+    (Country::Philippines, 0.008),
+    (Country::Malaysia, 0.006),
+    (Country::Singapore, 0.004),
+];
+
+/// Per-country scam-mix multipliers (Fig. 3): India is banking-heavy; the
+/// US and Indonesia lean to the Others bucket (tech impersonation,
+/// conversation scams).
+pub fn country_scam_multiplier(country: Country, scam: ScamType) -> f64 {
+    use Country as C;
+    use ScamType as S;
+    match (country, scam) {
+        (C::India, S::Banking) => 1.9,
+        (C::India, S::Others) => 0.5,
+        (C::India, S::HeyMumDad | S::WrongNumber) => 0.1,
+        (C::UnitedStates, S::Others) => 1.8,
+        (C::UnitedStates, S::Banking) => 0.8,
+        (C::UnitedStates, S::Delivery) => 1.2,
+        (C::Indonesia, S::Others) => 2.2,
+        (C::Indonesia, S::Banking) => 0.6,
+        (C::UnitedKingdom, S::Delivery) => 1.5,
+        (C::UnitedKingdom, S::HeyMumDad) => 3.0,
+        (C::Australia, S::HeyMumDad) => 2.0,
+        (C::Netherlands, S::Banking) => 1.3,
+        (C::France, S::Government | S::Telecom) => 1.5,
+        (C::Spain, S::Banking | S::Delivery) => 1.3,
+        (C::Japan, S::WrongNumber) => 3.0,
+        (C::Germany, S::HeyMumDad) => 2.5,
+        _ => 1.0,
+    }
+}
+
+/// Probability the campaign writes in English for a non-English market
+/// (§5.3: "global organizations increasingly use English"). India is the
+/// extreme case — SBI tops Table 12 yet only 0.5% of messages are Hindi;
+/// Spanish-speaking markets are the opposite (es is 13.7% of Table 11).
+pub fn english_rate(country: Country) -> f64 {
+    use Country as C;
+    match country {
+        C::India => 0.82,
+        C::Spain | C::Mexico | C::Argentina | C::Colombia => 0.12,
+        C::Netherlands | C::Belgium => 0.25,
+        C::France => 0.28,
+        C::Japan => 0.25,
+        C::Indonesia => 0.30,
+        _ => 0.30,
+    }
+}
+
+/// Minority-language targeting inside English-default markets. Table 11's
+/// Spanish share (13.7%, #2) exceeds what Spain + Latin America's report
+/// volume supports; the excess is Spanish-language waves aimed at the US
+/// market's Hispanic population. Returns (language, probability).
+pub fn minority_language(country: Country) -> Option<(Language, f64)> {
+    match country {
+        Country::UnitedStates => Some((Language::Spanish, 0.18)),
+        _ => None,
+    }
+}
+
+/// Per-variant probability that a campaign renders one variant in a random
+/// other supported language. Real operations A/B-test translations, which is
+/// how Table 11's tail reaches 66 observed languages while the top ten hold
+/// 97% of the volume.
+pub const POLYGLOT_SPRAY_RATE: f64 = 0.015;
+
+/// Sender-kind mix (§4.1: phones 65.6%, shortcodes 30.7%, emails 3.7%).
+pub const SENDER_KIND_MIX: &[(SenderKindChoice, f64)] = &[
+    (SenderKindChoice::Phone, 0.656),
+    (SenderKindChoice::Alphanumeric, 0.307),
+    (SenderKindChoice::Email, 0.037),
+];
+
+/// Which sender identity a campaign provisions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SenderKindChoice {
+    /// Phone numbers (of some number type).
+    Phone,
+    /// Alphanumeric shortcodes via SMS aggregators.
+    Alphanumeric,
+    /// iMessage-style email senders.
+    Email,
+}
+
+/// Phone number-type mix within phone senders (Table 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PhoneKindChoice {
+    /// Real mobile subscriptions (66.7%).
+    Mobile,
+    /// Spoofed junk digit strings (24.3%).
+    BadFormat,
+    /// Landlines — spoofed (3.8%).
+    Landline,
+    /// NANP default ranges (2.3%).
+    MobileOrLandline,
+    /// VoIP allocations (2.0%).
+    Voip,
+    /// Toll-free (0.6%).
+    TollFree,
+    /// Pager (0.1%).
+    Pager,
+    /// Universal access / personal / other valid (≈0.15%).
+    OtherSpecial,
+    /// Voicemail-only (2 numbers in the paper).
+    VoicemailOnly,
+}
+
+/// Table 3 phone-kind weights.
+pub const PHONE_KIND_MIX: &[(PhoneKindChoice, f64)] = &[
+    (PhoneKindChoice::Mobile, 0.667),
+    (PhoneKindChoice::BadFormat, 0.243),
+    (PhoneKindChoice::Landline, 0.038),
+    (PhoneKindChoice::MobileOrLandline, 0.023),
+    (PhoneKindChoice::Voip, 0.020),
+    (PhoneKindChoice::TollFree, 0.006),
+    (PhoneKindChoice::Pager, 0.0011),
+    (PhoneKindChoice::OtherSpecial, 0.0015),
+    (PhoneKindChoice::VoicemailOnly, 0.0003),
+];
+
+/// Per-country mobile-operator preference (drives Table 4; operators must
+/// exist in the country's numbering plan).
+pub fn operator_weights(country: Country) -> &'static [(&'static str, f64)] {
+    use Country as C;
+    match country {
+        C::India => &[
+            ("Vodafone", 0.26), ("AirTel", 0.31), ("BSNL Mobile", 0.20),
+            ("Reliance Jio", 0.15), ("Vi India", 0.08),
+        ],
+        C::UnitedStates => &[
+            ("T-Mobile", 0.26), ("Verizon", 0.20), ("AT&T", 0.18),
+            ("Metro by T-Mobile", 0.12), ("Cricket Wireless", 0.10),
+            ("Boost Mobile", 0.06), ("Mint Mobile", 0.04), ("US Cellular", 0.04),
+        ],
+        C::UnitedKingdom => &[
+            ("O2", 0.38), ("EE Limited", 0.22), ("Vodafone", 0.28), ("Three", 0.12),
+        ],
+        C::Netherlands => &[
+            ("KPN Mobile", 0.33), ("T-Mobile", 0.25), ("Vodafone", 0.22), ("Lycamobile", 0.20),
+        ],
+        C::Spain => &[
+            ("Movistar", 0.33), ("Vodafone", 0.30), ("Orange", 0.17), ("Lycamobile", 0.20),
+        ],
+        C::Australia => &[("Telstra", 0.40), ("Vodafone", 0.35), ("Optus", 0.15), ("Lycamobile", 0.10)],
+        C::France => &[
+            ("SFR", 0.38), ("Orange", 0.27), ("Bouygues", 0.10), ("Free Mobile", 0.10),
+            ("Lycamobile", 0.15),
+        ],
+        C::Belgium => &[("Proximus", 0.45), ("Orange BE", 0.25), ("Lycamobile", 0.30)],
+        C::Indonesia => &[("Telkomsel", 0.5), ("Indosat", 0.3), ("XL Axiata", 0.2)],
+        C::Germany => &[
+            ("T-Mobile", 0.25), ("Vodafone", 0.30), ("O2", 0.30), ("Lycamobile", 0.15),
+        ],
+        C::Ireland => &[("Vodafone", 0.45), ("O2", 0.35), ("Lycamobile", 0.20)],
+        C::Italy => &[("Vodafone", 0.45), ("TIM", 0.35), ("Wind Tre", 0.20)],
+        C::Portugal => &[("Vodafone", 0.5), ("MEO", 0.3), ("NOS", 0.2)],
+        C::Czechia => &[("T-Mobile", 0.4), ("Vodafone", 0.35), ("O2", 0.25)],
+        C::NewZealand => &[("Vodafone", 0.55), ("Spark", 0.25), ("2degrees", 0.20)],
+        C::SouthAfrica => &[("Vodafone", 0.5), ("MTN", 0.35), ("Cell C", 0.15)],
+        C::Turkey => &[("Vodafone", 0.45), ("Turkcell", 0.35), ("Turk Telekom", 0.20)],
+        C::Romania => &[("Vodafone", 0.45), ("Orange RO", 0.35), ("Digi", 0.20)],
+        C::Hungary => &[("Vodafone", 0.45), ("Yettel", 0.30), ("Telekom HU", 0.25)],
+        C::Ukraine => &[("Vodafone", 0.5), ("Kyivstar", 0.3), ("lifecell", 0.2)],
+        C::Ghana => &[("Vodafone", 0.55), ("MTN GH", 0.45)],
+        C::Qatar => &[("Vodafone", 0.55), ("Ooredoo", 0.45)],
+        C::Kenya => &[("AirTel", 0.5), ("Safaricom", 0.5)],
+        C::Nigeria => &[("AirTel", 0.5), ("MTN NG", 0.5)],
+        C::DrCongo => &[("AirTel", 0.6), ("Vodacom", 0.4)],
+        C::SriLanka => &[("AirTel", 0.45), ("Dialog", 0.4), ("Mobitel LK", 0.15)],
+        C::Malawi => &[("AirTel", 0.6), ("TNM", 0.4)],
+        C::Guadeloupe => &[("SFR", 0.6), ("Orange Caraibe", 0.4)],
+        C::Canada => &[("Rogers", 0.4), ("Bell", 0.3), ("Telus", 0.3)],
+        _ => &[],
+    }
+}
+
+/// Shortener preference per scam type (Table 5): bit.ly leads everywhere;
+/// is.gd is banking's number two; cutt.ly leads delivery/government's tail.
+pub fn shortener_weights(scam: ScamType) -> &'static [(&'static str, f64)] {
+    match scam {
+        ScamType::Banking => &[
+            ("bit.ly", 0.36), ("is.gd", 0.25), ("cutt.ly", 0.06), ("tinyurl.com", 0.08),
+            ("bit.do", 0.07), ("shrtco.de", 0.07), ("rb.gy", 0.05), ("t.ly", 0.03),
+            ("bitly.ws", 0.04), ("t.co", 0.025), ("ow.ly", 0.015),
+        ],
+        ScamType::Delivery => &[
+            ("bit.ly", 0.38), ("cutt.ly", 0.24), ("tinyurl.com", 0.10), ("bit.do", 0.10),
+            ("is.gd", 0.055), ("rb.gy", 0.035), ("t.ly", 0.06), ("t.co", 0.09),
+        ],
+        ScamType::Government => &[
+            ("bit.ly", 0.42), ("cutt.ly", 0.21), ("tinyurl.com", 0.07), ("bit.do", 0.07),
+            ("t.ly", 0.04), ("rb.gy", 0.024), ("is.gd", 0.015), ("t.co", 0.026),
+        ],
+        ScamType::Telecom => &[
+            ("bit.ly", 0.52), ("bit.do", 0.13), ("cutt.ly", 0.06), ("tinyurl.com", 0.05),
+            ("is.gd", 0.035), ("rb.gy", 0.01), ("t.ly", 0.01), ("t.co", 0.01),
+        ],
+        ScamType::WrongNumber => &[("bit.ly", 0.6), ("t.co", 0.4)],
+        _ => &[
+            ("bit.ly", 0.45), ("tinyurl.com", 0.14), ("cutt.ly", 0.08), ("is.gd", 0.09),
+            ("rb.gy", 0.08), ("t.ly", 0.07), ("bit.do", 0.05), ("t.co", 0.05),
+        ],
+    }
+}
+
+/// Probability a URL-bearing message uses a shortener at all (Table 6:
+/// shortened URLs are a large minority of unique URLs).
+pub const SHORTENER_RATE: f64 = 0.30;
+
+/// Registrar preference (Table 17): GoDaddy > NameCheap overall.
+pub const REGISTRAR_MIX: &[(&str, f64)] = &[
+    ("GoDaddy", 0.34),
+    ("NameCheap", 0.135),
+    ("Gname", 0.035),
+    ("Dynadot", 0.06),
+    ("Tucows", 0.055),
+    ("PublicDomainRegistry", 0.053),
+    ("NameSilo", 0.048),
+    ("Key-Systems", 0.045),
+    ("MarkMonitor", 0.040),
+    ("Gandi", 0.039),
+    ("Porkbun", 0.020),
+    ("OVH", 0.030),
+    ("IONOS", 0.025),
+    ("Hostinger", 0.022),
+    ("Alibaba Cloud", 0.015),
+    ("GMO Internet", 0.012),
+    ("Register.com", 0.008),
+    ("Enom", 0.008),
+];
+
+/// Government scams prefer Gname (§4.4 finds Gname leading that niche):
+/// multiplier applied to Gname's weight for government campaigns.
+pub const GNAME_GOVERNMENT_BOOST: f64 = 20.0;
+
+/// CA preference for domain provisioning (Table 7 domains column).
+pub const CA_MIX: &[(&str, f64)] = &[
+    ("Let's Encrypt", 0.47),
+    ("Sectigo", 0.135),
+    ("Google Trust Services", 0.095),
+    ("cPanel", 0.09),
+    ("DigiCert", 0.073),
+    ("Cloudflare", 0.067),
+    ("Amazon", 0.027),
+    ("Comodo", 0.025),
+    ("Globalsign", 0.014),
+    ("Entrust", 0.007),
+];
+
+/// Hosting organization preference for resolving domains (Table 8 +
+/// Cloudflare's 19% proxy share, §4.6).
+pub const HOSTING_MIX: &[(&str, f64)] = &[
+    ("Cloudflare", 0.19),
+    ("Amazon", 0.20),
+    ("Akamai", 0.15),
+    ("Google", 0.06),
+    ("Multacom", 0.05),
+    ("SEDO GmbH", 0.035),
+    ("Alibaba", 0.025),
+    ("Tencent", 0.022),
+    ("FranTech Solutions", 0.018),
+    ("HKBN Enterprise", 0.017),
+    ("The Constant Company", 0.017),
+    ("OVH", 0.055),
+    ("Hetzner", 0.055),
+    ("DigitalOcean", 0.06),
+    ("Proton66 OOO", 0.008),
+    ("Stark Industries", 0.007),
+];
+
+/// Fraction of registered smishing domains that ever resolve in passive
+/// DNS (§4.6 found pDNS data for only 466 domains).
+pub const PDNS_COVERAGE: f64 = 0.22;
+
+/// Fraction of campaigns using free website builders instead of a
+/// registered domain (§4.3: web.app, ngrok.io, ...).
+pub const FREE_HOSTING_RATE: f64 = 0.10;
+
+/// Campaign start-year weights for 2017–2023 (Table 15 growth).
+pub const YEAR_MIX: &[(i32, f64)] = &[
+    (2017, 0.035),
+    (2018, 0.055),
+    (2019, 0.10),
+    (2020, 0.145),
+    (2021, 0.195),
+    (2022, 0.25),
+    (2023, 0.22),
+];
+
+/// Forum share of *reports* (Table 1 messages-total column).
+pub const FORUM_MIX: &[(smishing_types::Forum, f64)] = &[
+    (smishing_types::Forum::Twitter, 0.9222),
+    (smishing_types::Forum::Reddit, 0.0128),
+    (smishing_types::Forum::Smishtank, 0.0580),
+    (smishing_types::Forum::SmishingEu, 0.0036),
+    (smishing_types::Forum::Pastebin, 0.0035),
+];
+
+/// Duplicate-report rate: total/unique messages ≈ 1.22 (Table 1).
+pub const DUPLICATE_REPORT_RATE: f64 = 0.18;
+
+/// Probability a screenshot redacts the sender (§3.2).
+pub const SENDER_REDACTION_RATE: f64 = 0.10;
+
+/// Probability a screenshot redacts/crops the URL (§3.2).
+pub const URL_REDACTION_RATE: f64 = 0.06;
+
+/// Share of conversation-scam *templates* that carry a wa.me mover link is
+/// governed by the template corpus itself (§4.2 found 205 wa.me URLs); a
+/// guaranteed WhatsApp-mover campaign also exists at any scale.
+pub const WA_ME_TEMPLATE_NOTE: () = ();
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smishing_telecom::plan::PlanRegistry;
+
+    #[test]
+    fn mixes_sum_to_about_one() {
+        for (name, sum) in [
+            ("scam", SCAM_MIX.iter().map(|x| x.1).sum::<f64>()),
+            ("sender", SENDER_KIND_MIX.iter().map(|x| x.1).sum::<f64>()),
+            ("phone", PHONE_KIND_MIX.iter().map(|x| x.1).sum::<f64>()),
+            ("forum", FORUM_MIX.iter().map(|x| x.1).sum::<f64>()),
+            ("year", YEAR_MIX.iter().map(|x| x.1).sum::<f64>()),
+            ("ca", CA_MIX.iter().map(|x| x.1).sum::<f64>()),
+            ("registrar", REGISTRAR_MIX.iter().map(|x| x.1).sum::<f64>()),
+            ("hosting", HOSTING_MIX.iter().map(|x| x.1).sum::<f64>()),
+        ] {
+            assert!((0.93..1.07).contains(&sum), "{name} mix sums to {sum}");
+        }
+    }
+
+    #[test]
+    fn operator_weights_reference_real_allocations() {
+        let plans = PlanRegistry::global();
+        for (country, _) in COUNTRY_MIX {
+            let Some(plan) = plans.plan_for(*country) else { continue };
+            for (op, w) in operator_weights(*country) {
+                assert!(*w > 0.0);
+                assert!(
+                    !plan.mobile_series_of(op).is_empty(),
+                    "{op} has no series in {country:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shortener_weights_reference_catalog() {
+        let cat = smishing_webinfra::ShortenerCatalog::new();
+        for &scam in smishing_types::ScamType::ALL {
+            for (host, _) in shortener_weights(scam) {
+                assert!(cat.is_shortener(host), "{host}");
+            }
+        }
+    }
+
+    #[test]
+    fn registrar_and_ca_mixes_reference_catalogs() {
+        for (r, _) in REGISTRAR_MIX {
+            assert!(smishing_webinfra::REGISTRARS.contains(r), "{r}");
+        }
+        for (ca, _) in CA_MIX {
+            assert!(smishing_webinfra::ca_policy(ca).is_some(), "{ca}");
+        }
+        let asn = smishing_webinfra::AsnDb::new();
+        for (org, _) in HOSTING_MIX {
+            assert!(asn.org(org).is_some(), "{org}");
+        }
+    }
+
+    #[test]
+    fn scale_controls_campaign_count() {
+        let mut c = WorldConfig::default();
+        assert_eq!(c.n_campaigns(), 3000);
+        c.scale = 0.025;
+        assert_eq!(c.n_campaigns(), 75);
+    }
+}

@@ -1,0 +1,237 @@
+//! Scammer domain and URL generation.
+//!
+//! Domains imitate the impersonated brand with squatting tricks (§3.2,
+//! §4.3): brand token plus lure words, hyphenation, optional homoglyph
+//! digits, under a TLD drawn from the abuse distribution of Table 6 — or a
+//! free-hosting site name (§4.3).
+
+use crate::weighted_index;
+use rand::Rng;
+
+/// TLD abuse weights for registered smishing domains (Table 6 left column
+/// plus a long tail).
+pub const TLD_MIX: &[(&str, f64)] = &[
+    ("com", 0.475),
+    ("info", 0.055),
+    ("in", 0.039),
+    ("me", 0.028),
+    ("net", 0.027),
+    ("co", 0.022),
+    ("top", 0.022),
+    ("us", 0.019),
+    ("online", 0.019),
+    ("xyz", 0.015),
+    ("site", 0.013),
+    ("club", 0.012),
+    ("vip", 0.011),
+    ("shop", 0.010),
+    ("icu", 0.010),
+    ("live", 0.009),
+    ("cyou", 0.008),
+    ("work", 0.008),
+    ("de", 0.012),
+    ("fr", 0.011),
+    ("nl", 0.010),
+    ("es", 0.010),
+    ("it", 0.008),
+    ("ru", 0.008),
+    ("cn", 0.008),
+    ("br", 0.007),
+    ("au", 0.006),
+    ("uk", 0.014),
+    ("id", 0.006),
+    ("jp", 0.005),
+    ("biz", 0.006),
+    ("pro", 0.004),
+    ("mobi", 0.003),
+    ("asia", 0.002),
+    ("cc", 0.006),
+    ("ws", 0.004),
+    ("tr", 0.004),
+    ("ua", 0.004),
+    ("pl", 0.004),
+    ("pt", 0.004),
+    ("be", 0.004),
+    ("mx", 0.004),
+    ("ng", 0.003),
+    ("ke", 0.003),
+    ("za", 0.003),
+    ("gr", 0.002),
+    ("ro", 0.002),
+    ("cz", 0.002),
+    ("hu", 0.002),
+];
+
+/// Free-hosting suffix weights (§4.3: web.app 303, ngrok.io 186, rest 184).
+pub const FREE_HOST_MIX: &[(&str, f64)] = &[
+    ("web.app", 0.50),
+    ("ngrok.io", 0.20),
+    ("firebaseapp.com", 0.07),
+    ("vercel.app", 0.07),
+    ("herokuapp.com", 0.07),
+    ("netlify.app", 0.06),
+    ("github.io", 0.03),
+    ("pages.dev", 0.03),
+];
+
+const LURE_WORDS: &[&str] = &[
+    "secure", "verify", "login", "account", "update", "alert", "support", "service",
+    "portal", "online", "auth", "id", "safety", "help", "care", "官方",
+];
+
+fn brand_token<R: Rng + ?Sized>(brand: Option<&str>, rng: &mut R) -> String {
+    let raw = match brand {
+        Some(b) => b.to_ascii_lowercase(),
+        None => ["promo", "bonus", "gift", "prize", "win"][rng.gen_range(0..5)].to_string(),
+    };
+    let mut token: String = raw
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+        .collect::<String>()
+        .trim_matches('-')
+        .to_string();
+    while token.contains("--") {
+        token = token.replace("--", "-");
+    }
+    // Squatting tricks: occasional digit homoglyphs.
+    if rng.gen_bool(0.18) {
+        token = token.replacen('o', "0", 1);
+    } else if rng.gen_bool(0.12) {
+        token = token.replacen('i', "1", 1);
+    }
+    if token.is_empty() {
+        token.push_str("notify");
+    }
+    token
+}
+
+fn ascii_lure<R: Rng + ?Sized>(rng: &mut R) -> &'static str {
+    loop {
+        let w = LURE_WORDS[rng.gen_range(0..LURE_WORDS.len())];
+        if w.is_ascii() {
+            return w;
+        }
+    }
+}
+
+/// Generate a registered smishing domain for a brand: `sbi-kyc-verify.com`.
+///
+/// A 4% escape hatch samples uniformly from the full IANA table — scammers
+/// exploit whatever registry is cheap that week, which is how the paper
+/// observes over 280 distinct TLDs.
+pub fn gen_domain<R: Rng + ?Sized>(brand: Option<&str>, rng: &mut R) -> String {
+    let token = brand_token(brand, rng);
+    let lure1 = ascii_lure(rng);
+    let tld = if rng.gen_bool(0.04) {
+        use smishing_webinfra::tld::{COUNTRY_TLDS, GENERIC_TLDS};
+        if rng.gen_bool(0.6) {
+            GENERIC_TLDS[rng.gen_range(0..GENERIC_TLDS.len())]
+        } else {
+            COUNTRY_TLDS[rng.gen_range(0..COUNTRY_TLDS.len())]
+        }
+    } else {
+        TLD_MIX[weighted_index(&TLD_MIX.iter().map(|x| x.1).collect::<Vec<_>>(), rng)].0
+    };
+    if rng.gen_bool(0.4) {
+        let lure2 = ascii_lure(rng);
+        format!("{token}-{lure1}-{lure2}.{tld}")
+    } else if rng.gen_bool(0.5) {
+        format!("{token}-{lure1}{}.{tld}", rng.gen_range(0..100))
+    } else {
+        format!("{lure1}-{token}.{tld}")
+    }
+}
+
+/// Generate a free-hosting site for a brand: `sa-krs.web.app`.
+pub fn gen_free_host_site<R: Rng + ?Sized>(brand: Option<&str>, rng: &mut R) -> String {
+    let token = brand_token(brand, rng);
+    let suffix = FREE_HOST_MIX[weighted_index(
+        &FREE_HOST_MIX.iter().map(|x| x.1).collect::<Vec<_>>(),
+        rng,
+    )]
+    .0;
+    format!("{token}-{:x}.{suffix}", rng.gen_range(0x100..0xfffu32))
+}
+
+/// Generate a path for a phishing URL.
+pub fn gen_path<R: Rng + ?Sized>(rng: &mut R) -> String {
+    let segs = ["login", "verify", "secure", "pay", "track", "claim", "update", "session"];
+    match rng.gen_range(0..3) {
+        0 => format!("/{}", segs[rng.gen_range(0..segs.len())]),
+        1 => format!(
+            "/{}/{}",
+            segs[rng.gen_range(0..segs.len())],
+            segs[rng.gen_range(0..segs.len())]
+        ),
+        _ => format!("/{}?id={:06x}", segs[rng.gen_range(0..segs.len())], rng.gen_range(0..0xffffffu32)),
+    }
+}
+
+/// A short code for a shortened URL.
+pub fn gen_short_code<R: Rng + ?Sized>(rng: &mut R) -> String {
+    const ALPHABET: &[u8] = b"abcdefghijkmnopqrstuvwxyzABCDEFGHJKLMNPQRSTUVWXYZ23456789";
+    (0..rng.gen_range(6..=8))
+        .map(|_| char::from(ALPHABET[rng.gen_range(0..ALPHABET.len())]))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use smishing_webinfra::{free_hosting_suffix, parse_url, registrable_domain, TldDb};
+
+    #[test]
+    fn domains_parse_and_have_known_tlds() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for i in 0..300 {
+            let brand = if i % 3 == 0 { None } else { Some("State Bank of India") };
+            let d = gen_domain(brand, &mut rng);
+            let url = format!("https://{d}{}", gen_path(&mut rng));
+            let parsed = parse_url(&url).unwrap_or_else(|| panic!("unparsable {url}"));
+            let tld = parsed.tld_candidate().unwrap();
+            assert!(TldDb::global().classify(tld).is_some(), "{d}");
+            assert_eq!(registrable_domain(&parsed.host).as_deref(), Some(d.as_str()));
+        }
+    }
+
+    #[test]
+    fn free_hosts_are_recognized() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..100 {
+            let site = gen_free_host_site(Some("Netflix"), &mut rng);
+            assert!(free_hosting_suffix(&site).is_some(), "{site}");
+        }
+    }
+
+    #[test]
+    fn brand_tokens_sanitized() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let d = gen_domain(Some("AT&T"), &mut rng);
+        assert!(!d.contains('&'), "{d}");
+        let d = gen_domain(Some("GOV.UK"), &mut rng);
+        assert!(parse_url(&format!("https://{d}/x")).is_some(), "{d}");
+    }
+
+    #[test]
+    fn com_dominates() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 2000;
+        let coms = (0..n)
+            .filter(|_| gen_domain(Some("Chase"), &mut rng).ends_with(".com"))
+            .count();
+        let frac = coms as f64 / n as f64;
+        assert!((0.40..0.56).contains(&frac), "{frac}");
+    }
+
+    #[test]
+    fn short_codes_shape() {
+        let mut rng = StdRng::seed_from_u64(8);
+        for _ in 0..50 {
+            let c = gen_short_code(&mut rng);
+            assert!((6..=8).contains(&c.len()));
+            assert!(c.chars().all(|ch| ch.is_ascii_alphanumeric()));
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! # smishing-worldsim
+//!
+//! A deterministic generative model of the smishing ecosystem — the
+//! substitute for the paper's data-gated inputs (Twitter Academic API,
+//! Reddit, Smishing.eu, Pastebin, Smishtank; see DESIGN.md's substitution
+//! table).
+//!
+//! [`World::generate`] builds, from a seed and a scale factor:
+//!
+//! - **campaigns** ([`campaign`]): scam type, impersonated brand, language,
+//!   target countries, sender strategy, URL plan (domain, registrar, CA,
+//!   hosting, optional shortener), schedule with a diurnal model, and the
+//!   paper's special cases (the 2021 SBI burst of §5.1; malware campaigns
+//!   with device-dependent redirects of §6),
+//! - **infrastructure** registered into the service simulators
+//!   ([`services`]): WHOIS records, CT-log issuance chains, passive-DNS
+//!   resolutions, short links,
+//! - **messages and forum posts** ([`reporting`]): unique message variants,
+//!   duplicate reports, per-forum formats (screenshots with themes and
+//!   redactions, text report forms, pastes), and the keyword-matched noise
+//!   posts that dominate Twitter's raw volume.
+//!
+//! All volume and mix parameters live in [`config::WorldConfig`] and are
+//! calibrated to the paper's published marginals. The pipeline in
+//! `smishing-core` must *recover* those marginals through the noise this
+//! crate injects.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod campaign;
+pub mod config;
+pub mod domaingen;
+pub mod names;
+pub mod reporting;
+pub mod schedule;
+pub mod services;
+pub mod subreddits;
+pub mod world;
+
+pub use campaign::{Campaign, MalwarePlan, SenderStrategy, UrlPlan};
+pub use config::WorldConfig;
+pub use reporting::{Post, PostBody};
+pub use services::Services;
+pub use world::World;
+
+/// Pick from a weighted table. Weights need not sum to 1.
+pub(crate) fn weighted_index<R: rand::Rng + ?Sized>(weights: &[f64], rng: &mut R) -> usize {
+    let total: f64 = weights.iter().sum();
+    debug_assert!(total > 0.0, "empty weight table");
+    let mut roll = rng.gen_range(0.0..total);
+    for (i, w) in weights.iter().enumerate() {
+        if roll < *w {
+            return i;
+        }
+        roll -= w;
+    }
+    weights.len() - 1
+}

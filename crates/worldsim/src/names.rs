@@ -1,0 +1,112 @@
+//! Victim first names and currency formatting per market — template
+//! fillers for the message generator.
+
+use rand::Rng;
+use smishing_types::Country;
+
+/// A pool of plausible first names for a market.
+pub fn first_names(country: Country) -> &'static [&'static str] {
+    use Country as C;
+    match country {
+        C::India => &["Ankit", "Priya", "Rahul", "Sneha", "Vikram", "Anita", "Arjun", "Kavya"],
+        C::Spain | C::Mexico | C::Argentina | C::Colombia => {
+            &["Maria", "Jose", "Carmen", "Antonio", "Lucia", "Javier", "Elena", "Carlos"]
+        }
+        C::Netherlands => &["Eva", "Daan", "Sanne", "Bram", "Lotte", "Sem", "Femke", "Jeroen"],
+        C::France | C::Belgium | C::Guadeloupe => {
+            &["Camille", "Lucas", "Chloe", "Hugo", "Manon", "Louis", "Emma", "Jules"]
+        }
+        C::Germany | C::Austria | C::Switzerland => {
+            &["Anna", "Paul", "Lena", "Max", "Mia", "Felix", "Laura", "Jonas"]
+        }
+        C::Italy => &["Giulia", "Marco", "Sofia", "Luca", "Aurora", "Matteo", "Alice", "Paolo"],
+        C::Indonesia => &["Putri", "Budi", "Siti", "Agus", "Dewi", "Rizky", "Ayu", "Andi"],
+        C::Japan => &["Yuki", "Haruto", "Sakura", "Ren", "Hana", "Sota", "Aoi", "Riku"],
+        C::Brazil | C::Portugal => {
+            &["Ana", "Joao", "Beatriz", "Pedro", "Mariana", "Tiago", "Ines", "Rafael"]
+        }
+        _ => &["Alex", "Sam", "Charlie", "Jamie", "Taylor", "Jordan", "Casey", "Morgan"],
+    }
+}
+
+/// Pick a name for a market.
+pub fn pick_name<R: Rng + ?Sized>(country: Country, rng: &mut R) -> &'static str {
+    let pool = first_names(country);
+    pool[rng.gen_range(0..pool.len())]
+}
+
+/// Currency symbol of a market.
+pub fn currency(country: Country) -> &'static str {
+    use Country as C;
+    match country {
+        C::India => "₹",
+        C::UnitedStates | C::Canada | C::Australia | C::NewZealand | C::Singapore => "$",
+        C::UnitedKingdom => "£",
+        C::Japan => "¥",
+        C::Indonesia => "Rp",
+        C::Brazil => "R$",
+        C::Turkey => "₺",
+        C::Ukraine => "₴",
+        C::Kenya => "KSh",
+        C::Nigeria => "₦",
+        C::SouthAfrica => "R",
+        _ => "€",
+    }
+}
+
+/// Format a plausible scam amount for a market.
+pub fn pick_amount<R: Rng + ?Sized>(country: Country, rng: &mut R) -> String {
+    let base: f64 = match currency(country) {
+        "₹" => rng.gen_range(500.0..25_000.0),
+        "¥" => rng.gen_range(1_000.0..60_000.0),
+        "Rp" => rng.gen_range(100_000.0..5_000_000.0),
+        _ => rng.gen_range(1.0..900.0),
+    };
+    let rounded = (base * 100.0).round() / 100.0;
+    format!("{}{:.2}", currency(country), rounded)
+}
+
+/// A plausible parcel tracking code.
+pub fn pick_tracking<R: Rng + ?Sized>(rng: &mut R) -> String {
+    let prefix = ["RM", "CP", "LX", "JD", "EE", "UA"][rng.gen_range(0..6)];
+    format!("{prefix}{:09}{}", rng.gen_range(0..1_000_000_000u64), ["GB", "US", "NL", "ES"][rng.gen_range(0..4)])
+}
+
+/// A plausible OTP code.
+pub fn pick_code<R: Rng + ?Sized>(rng: &mut R) -> String {
+    format!("{:06}", rng.gen_range(0..1_000_000u32))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pools_nonempty() {
+        for (c, _) in crate::config::COUNTRY_MIX {
+            assert!(!first_names(*c).is_empty());
+            assert!(!currency(*c).is_empty());
+        }
+    }
+
+    #[test]
+    fn amounts_formatted_with_currency() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = pick_amount(Country::UnitedKingdom, &mut rng);
+        assert!(a.starts_with('£'), "{a}");
+        let b = pick_amount(Country::India, &mut rng);
+        assert!(b.starts_with('₹'), "{b}");
+    }
+
+    #[test]
+    fn tracking_and_codes_shape() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = pick_tracking(&mut rng);
+        assert!(t.len() >= 12, "{t}");
+        let c = pick_code(&mut rng);
+        assert_eq!(c.len(), 6);
+        assert!(c.bytes().all(|b| b.is_ascii_digit()));
+    }
+}

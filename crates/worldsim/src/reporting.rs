@@ -1,0 +1,552 @@
+//! User reporting: messages → forum posts (§3.1, §3.2).
+//!
+//! Each campaign's reports become posts on the five forums with
+//! platform-appropriate bodies: screenshots (with themes, timestamp styles
+//! and redactions) on Twitter/Reddit/Smishtank, structured text forms on
+//! Smishing.eu, pastes on Pastebin. Duplicate reports of the same message
+//! and keyword-matched noise posts (awareness posters, discussion threads)
+//! are generated at the ratios implied by Table 1.
+
+use crate::campaign::Campaign;
+use crate::config::{
+    SENDER_REDACTION_RATE, URL_REDACTION_RATE, DUPLICATE_REPORT_RATE, FORUM_MIX,
+    POLYGLOT_SPRAY_RATE,
+};
+use crate::names;
+use crate::subreddits;
+use crate::weighted_index;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use smishing_screenshot::{render_noise_image, render_sms, AppTheme, RenderSpec, Screenshot};
+use smishing_textnlp::templates::{Fills, TemplateLibrary};
+use smishing_types::{
+    CivilDateTime, Forum, MessageId, MessageTruth, NoiseKind, PostId, SmsMessage,
+    TextReport, TimestampStyle, UnixTime,
+};
+
+/// A forum post.
+#[derive(Debug, Clone)]
+pub struct Post {
+    /// Post id.
+    pub id: PostId,
+    /// Hosting forum.
+    pub forum: Forum,
+    /// When the user posted.
+    pub posted_at: UnixTime,
+    /// The body.
+    pub body: PostBody,
+    /// Ground truth: the message this post reports, if it is a report.
+    pub reported_message: Option<MessageId>,
+    /// Subreddit, for Reddit posts.
+    pub subreddit: Option<String>,
+}
+
+/// Post content.
+#[derive(Debug, Clone)]
+pub enum PostBody {
+    /// A screenshot attachment (Twitter/Reddit/Smishtank reports).
+    ImageReport(Screenshot),
+    /// A structured text report, optionally with a screenshot (Smishtank
+    /// carries both; Smishing.eu and Pastebin are text-only).
+    Form {
+        /// The form fields / paste contents.
+        report: TextReport,
+        /// Attached screenshot, when the platform collects one.
+        screenshot: Option<Screenshot>,
+    },
+    /// A keyword-matched text post that reports nothing.
+    NoiseText(String),
+    /// A keyword-matched image that is not an SMS screenshot.
+    NoiseImage(Screenshot),
+}
+
+impl PostBody {
+    /// Whether the post carries an image attachment.
+    pub fn has_image(&self) -> bool {
+        matches!(self, PostBody::ImageReport(_) | PostBody::NoiseImage(_))
+            || matches!(self, PostBody::Form { screenshot: Some(_), .. })
+    }
+}
+
+/// Noise-post volume multipliers relative to a forum's report count
+/// (derived from Table 1's posts / images / messages columns).
+pub fn noise_ratios(forum: Forum) -> (f64, f64) {
+    // (noise_text_per_report, noise_image_per_report)
+    match forum {
+        Forum::Twitter => (4.98, 0.93),
+        Forum::Reddit => (0.99, 2.94),
+        Forum::Smishtank => (0.0, 0.21),
+        Forum::SmishingEu | Forum::Pastebin => (0.0, 0.0),
+    }
+}
+
+/// Render one message's fills.
+fn draw_fills<R: Rng + ?Sized>(c: &Campaign, variant: usize, rng: &mut R) -> Fills {
+    let brand_alias = c.brand.map(|b| {
+        let alias = b.aliases[rng.gen_range(0..b.aliases.len())];
+        let surface = if rng.gen_bool(0.5) {
+            // SMS senders usually write the proper name capitalized.
+            b.name.to_string()
+        } else {
+            alias.to_uppercase()
+        };
+        if rng.gen_bool(0.06) {
+            // Leetspeak evasion (§3.3.6).
+            surface.replacen(['o', 'O'], "0", 1).replacen(['i', 'I'], "1", 1)
+        } else {
+            surface
+        }
+    });
+    Fills {
+        brand: brand_alias,
+        url: c.url_plan.as_ref().map(|p| p.sms_url(variant)),
+        name: Some(names::pick_name(c.country, rng).to_string()),
+        amount: Some(names::pick_amount(c.country, rng)),
+        tracking: Some(names::pick_tracking(rng)),
+        code: Some(names::pick_code(rng)),
+        number: Some(format!("+{}{}", c.country.calling_code(), rng.gen_range(600_000_000..999_999_999u64))),
+    }
+}
+
+/// Build the unique message variants of a campaign.
+pub fn build_messages<R: Rng + ?Sized>(
+    c: &Campaign,
+    next_message_id: &mut u64,
+    rng: &mut R,
+) -> Vec<SmsMessage> {
+    let lib = TemplateLibrary::global();
+    let base_template = &lib.all()[c.template_id];
+    // The spray draws from its own per-campaign stream so that enabling it
+    // does not perturb every downstream draw of the shared world RNG.
+    let mut spray_rng = StdRng::seed_from_u64(0x5994_u64 ^ ((c.id.0 as u64) << 8));
+    let mut out = Vec::with_capacity(c.n_variants);
+    for variant in 0..c.n_variants {
+        // Polyglot spray: a rare variant rendered from a translation of the
+        // same scam in another language (Table 11's 66-language tail).
+        let (template, language) = if spray_rng.gen_bool(POLYGLOT_SPRAY_RATE) {
+            let langs: Vec<smishing_types::Language> = smishing_types::Language::ALL
+                .iter()
+                .copied()
+                .filter(|&l| {
+                    l != c.language
+                        && lib
+                            .for_scam_lang(c.scam_type, l)
+                            .iter()
+                            .any(|t| t.needs_url() == base_template.needs_url())
+                })
+                .collect();
+            if langs.is_empty() {
+                (base_template, c.language)
+            } else {
+                let l = langs[spray_rng.gen_range(0..langs.len())];
+                let cands: Vec<_> = lib
+                    .for_scam_lang(c.scam_type, l)
+                    .into_iter()
+                    .filter(|t| t.needs_url() == base_template.needs_url())
+                    .collect();
+                (cands[spray_rng.gen_range(0..cands.len())], l)
+            }
+        } else {
+            (base_template, c.language)
+        };
+        let fills = draw_fills(c, variant, rng);
+        let text = template.render(&fills);
+        let english_text = template.render_english(&fills);
+        let received = if c.is_sbi_burst {
+            // §5.1: Tue, Aug 3rd 2021, 11:34 — the whole burst at one instant.
+            CivilDateTime::new(
+                smishing_types::Date::new(2021, 8, 3).expect("valid date"),
+                smishing_types::TimeOfDay::new(11, 34, 0).expect("valid time"),
+            )
+            .to_unix()
+        } else {
+            c.schedule.sample_send(rng)
+        };
+        let id = MessageId(*next_message_id);
+        *next_message_id += 1;
+        out.push(SmsMessage {
+            id,
+            campaign: c.id,
+            sender: c.senders.pick(rng),
+            url: fills.url.clone(),
+            text,
+            received,
+            truth: MessageTruth {
+                scam_type: c.scam_type,
+                lures: template.lures,
+                brand: c.brand.map(|b| b.name.to_string()),
+                language,
+                english_text,
+                recipient_country: c.country,
+            },
+        });
+    }
+    out
+}
+
+fn pick_forum_for<R: Rng + ?Sized>(received: UnixTime, rng: &mut R) -> Forum {
+    let weights: Vec<f64> = FORUM_MIX.iter().map(|x| x.1).collect();
+    for _ in 0..8 {
+        let forum = FORUM_MIX[weighted_index(&weights, rng)].0;
+        let (lo, hi) = forum.window();
+        if received >= lo && received <= hi {
+            return forum;
+        }
+    }
+    // Unlucky draws: fall back to any forum still collecting at `received`
+    // (late receives land on Smishtank, whose window runs into 2024) so the
+    // posted-at clamp can never move a report before its receive instant.
+    FORUM_MIX
+        .iter()
+        .map(|x| x.0)
+        .find(|f| {
+            let (lo, hi) = f.window();
+            received >= lo && received <= hi
+        })
+        .unwrap_or(Forum::Twitter)
+}
+
+fn pick_timestamp_style<R: Rng + ?Sized>(rng: &mut R) -> Option<TimestampStyle> {
+    let roll: f64 = rng.gen_range(0.0..1.0);
+    if roll < 0.06 {
+        None // screenshot cropped above the timestamp line
+    } else if roll < 0.62 {
+        Some(
+            [
+                TimestampStyle::Iso,
+                TimestampStyle::EuSlash,
+                TimestampStyle::UsSlashAmPm,
+                TimestampStyle::AbbrevMonthAmPm,
+                TimestampStyle::DayLongMonth,
+            ][rng.gen_range(0..5)],
+        )
+    } else if roll < 0.85 {
+        Some(if rng.gen_bool(0.5) { TimestampStyle::TimeOnly24 } else { TimestampStyle::TimeOnlyAmPm })
+    } else {
+        Some(TimestampStyle::WeekdayTime)
+    }
+}
+
+/// Defang a URL the way cautious reporters do (§3.2 mentions redaction; the
+/// Pastebin feed uses `hxxp`/`[.]`).
+fn defang(url: &str) -> String {
+    url.replace("https://", "hxxps://").replace("http://", "hxxp://").replace('.', "[.]")
+}
+
+fn render_report_screenshot<R: Rng + ?Sized>(msg: &SmsMessage, rng: &mut R) -> Screenshot {
+    let theme = AppTheme::ALL[rng.gen_range(0..AppTheme::ALL.len())];
+    let sender = if rng.gen_bool(SENDER_REDACTION_RATE) {
+        None
+    } else {
+        Some(msg.sender.display_string())
+    };
+    let (text, url) = if msg.url.is_some() && rng.gen_bool(URL_REDACTION_RATE) {
+        // Reporter cropped/painted over the link.
+        let url = msg.url.clone().expect("checked");
+        (msg.text.replace(&url, "[link removed]"), None)
+    } else {
+        (msg.text.clone(), msg.url.clone())
+    };
+    render_sms(
+        &RenderSpec {
+            sender,
+            text,
+            url,
+            received: msg.received.civil(),
+            timestamp_style: pick_timestamp_style(rng),
+            theme,
+            noise: rng.gen_range(0.0..0.65),
+        },
+        rng,
+    )
+}
+
+/// One report of `msg` on `forum`, posted `delay` after receipt.
+fn build_report_post<R: Rng + ?Sized>(
+    id: PostId,
+    msg: &SmsMessage,
+    forum: Forum,
+    rng: &mut R,
+) -> Post {
+    // Reporting delay: most within a day, tail up to a week. Posts landing
+    // past the forum's collection cutoff were never collected, so the
+    // timestamp clamps to the window end.
+    let delay_secs = (rng.gen_range(0.0..1.0f64).powi(2) * 6.5 * 86_400.0) as i64 + 600;
+    let (_, window_end) = forum.window();
+    let posted_at = UnixTime(msg.received.plus_secs(delay_secs).0.min(window_end.0));
+    let body = match forum {
+        Forum::Twitter | Forum::Reddit => PostBody::ImageReport(render_report_screenshot(msg, rng)),
+        Forum::Smishtank => PostBody::Form {
+            report: TextReport {
+                sender: Some(msg.sender.display_string()),
+                body: msg.text.clone(),
+                url: msg.url.clone(),
+                claimed_brand: msg.truth.brand.clone(),
+                claimed_country: Some(msg.truth.recipient_country.alpha3().to_string()),
+                received_date: Some(msg.received.date()),
+            },
+            screenshot: if rng.gen_bool(0.7) {
+                Some(render_report_screenshot(msg, rng))
+            } else {
+                None
+            },
+        },
+        Forum::SmishingEu => PostBody::Form {
+            report: TextReport {
+                sender: if rng.gen_bool(0.92) { Some(msg.sender.display_string()) } else { None },
+                body: msg.text.clone(),
+                url: msg.url.as_deref().map(|u| {
+                    if rng.gen_bool(0.25) {
+                        defang(u)
+                    } else {
+                        u.to_string()
+                    }
+                }),
+                claimed_brand: msg.truth.brand.clone(),
+                claimed_country: Some(msg.truth.recipient_country.alpha3().to_string()),
+                received_date: Some(msg.received.date()),
+            },
+            screenshot: None,
+        },
+        Forum::Pastebin => PostBody::Form {
+            report: TextReport {
+                sender: Some(msg.sender.display_string()),
+                body: if rng.gen_bool(0.5) {
+                    match &msg.url {
+                        Some(u) => msg.text.replace(u.as_str(), &defang(u)),
+                        None => msg.text.clone(),
+                    }
+                } else {
+                    msg.text.clone()
+                },
+                url: msg.url.as_deref().map(defang),
+                claimed_brand: None,
+                claimed_country: None,
+                received_date: Some(msg.received.date()),
+            },
+            screenshot: None,
+        },
+    };
+    Post {
+        id,
+        forum,
+        posted_at,
+        body,
+        reported_message: Some(msg.id),
+        subreddit: if forum == Forum::Reddit { Some(subreddits::pick_subreddit(rng)) } else { None },
+    }
+}
+
+/// Emit all report posts for a campaign's messages.
+pub fn build_reports<R: Rng + ?Sized>(
+    c: &Campaign,
+    messages: &[SmsMessage],
+    next_post_id: &mut u64,
+    rng: &mut R,
+) -> Vec<Post> {
+    let mut posts = Vec::with_capacity(c.n_reports);
+    let mut emit = |msg: &SmsMessage, rng: &mut R, posts: &mut Vec<Post>| {
+        let forum = pick_forum_for(msg.received, rng);
+        let id = PostId(*next_post_id);
+        *next_post_id += 1;
+        posts.push(build_report_post(id, msg, forum, rng));
+    };
+    // Every variant reported at least once.
+    for msg in messages {
+        emit(msg, rng, &mut posts);
+    }
+    // Remaining reports duplicate random variants (possibly on other forums).
+    for _ in messages.len()..c.n_reports {
+        let msg = &messages[rng.gen_range(0..messages.len())];
+        emit(msg, rng, &mut posts);
+    }
+    // A further fraction of variants gets re-reported (Table 1's
+    // total/unique ≈ 1.22 including cross-forum duplication).
+    for msg in messages {
+        if rng.gen_bool(DUPLICATE_REPORT_RATE * 0.3) {
+            emit(msg, rng, &mut posts);
+        }
+    }
+    posts
+}
+
+/// Noise text for keyword-matched non-report posts.
+const NOISE_TEXTS: &[&str] = &[
+    "PSA: there's a new wave of smishing going around, never click links in texts!",
+    "Got another sms scam today, blocked and reported. Stay safe everyone.",
+    "Is this text from my bank legit or phishing sms? It has no link so unsure.",
+    "Our latest blog post covers sms fraud trends in 2023 — link in bio.",
+    "How do I report smishing in this country? Asking for my grandmother.",
+    "Thread: 10 ways to spot an sms scam before it costs you money.",
+    "Anyone else getting a flood of sms fraud attempts this week?",
+    "Reminder that banks never ask for your PIN via text. #phishing #sms",
+    "lol the sms scam grammar keeps getting worse, who falls for this",
+    "Forwarded a phishing sms to 7726, hope it helps someone.",
+];
+
+/// Emit the keyword-matched noise posts for a forum, proportional to its
+/// report volume.
+pub fn build_noise_posts<R: Rng + ?Sized>(
+    forum: Forum,
+    n_reports: usize,
+    next_post_id: &mut u64,
+    rng: &mut R,
+) -> Vec<Post> {
+    let (text_ratio, image_ratio) = noise_ratios(forum);
+    let n_text = (n_reports as f64 * text_ratio).round() as usize;
+    let n_image = (n_reports as f64 * image_ratio).round() as usize;
+    let (lo, hi) = forum.window();
+    let mut posts = Vec::with_capacity(n_text + n_image);
+    let stamp = |rng: &mut R| {
+        // Noise volume grows over the window like report volume does.
+        let u: f64 = rng.gen_range(0.0..1.0);
+        let frac = u.sqrt(); // later-skewed
+        UnixTime(lo.0 + ((hi.0 - lo.0) as f64 * frac) as i64)
+    };
+    for _ in 0..n_text {
+        let id = PostId(*next_post_id);
+        *next_post_id += 1;
+        posts.push(Post {
+            id,
+            forum,
+            posted_at: stamp(rng),
+            body: PostBody::NoiseText(
+                NOISE_TEXTS[rng.gen_range(0..NOISE_TEXTS.len())].to_string(),
+            ),
+            reported_message: None,
+            subreddit: if forum == Forum::Reddit {
+                Some(subreddits::pick_subreddit(rng))
+            } else {
+                None
+            },
+        });
+    }
+    for _ in 0..n_image {
+        let id = PostId(*next_post_id);
+        *next_post_id += 1;
+        let kind = if rng.gen_bool(0.55) {
+            NoiseKind::AwarenessPoster
+        } else {
+            NoiseKind::UnrelatedScreenshot
+        };
+        posts.push(Post {
+            id,
+            forum,
+            posted_at: stamp(rng),
+            body: PostBody::NoiseImage(render_noise_image(kind, rng)),
+            reported_message: None,
+            subreddit: if forum == Forum::Reddit {
+                Some(subreddits::pick_subreddit(rng))
+            } else {
+                None
+            },
+        });
+    }
+    posts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::Campaign;
+    use crate::config::WorldConfig;
+    use crate::services::Services;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use smishing_types::CampaignId;
+
+    fn one_campaign(seed: u64) -> (Campaign, Vec<SmsMessage>, Vec<Post>) {
+        let cfg = WorldConfig::test_scale(seed);
+        let services = Services::new(seed);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut c = Campaign::draw(CampaignId(0), &cfg, &services, 0.0, &mut rng);
+        c.n_reports = c.n_reports.max(5);
+        c.n_variants = c.n_variants.clamp(1, c.n_reports);
+        let mut mid = 0;
+        let msgs = build_messages(&c, &mut mid, &mut rng);
+        let mut pid = 0;
+        let posts = build_reports(&c, &msgs, &mut pid, &mut rng);
+        (c, msgs, posts)
+    }
+
+    #[test]
+    fn variants_match_campaign_plan() {
+        let (c, msgs, posts) = one_campaign(31);
+        assert_eq!(msgs.len(), c.n_variants);
+        assert!(posts.len() >= c.n_reports, "{} >= {}", posts.len(), c.n_reports);
+        for m in &msgs {
+            assert_eq!(m.campaign, c.id);
+            assert_eq!(m.truth.scam_type, c.scam_type);
+            assert!(!m.text.contains('{'), "unfilled placeholder: {}", m.text);
+        }
+    }
+
+    #[test]
+    fn reports_reference_real_messages() {
+        let (_, msgs, posts) = one_campaign(32);
+        let ids: Vec<MessageId> = msgs.iter().map(|m| m.id).collect();
+        for p in &posts {
+            let mid = p.reported_message.expect("report posts cite a message");
+            assert!(ids.contains(&mid));
+            assert!(p.posted_at > UnixTime(0));
+        }
+    }
+
+    #[test]
+    fn screenshots_carry_the_message() {
+        for seed in 31..40 {
+            let (_, msgs, posts) = one_campaign(seed);
+            for p in &posts {
+                if let PostBody::ImageReport(shot) = &p.body {
+                    let msg =
+                        msgs.iter().find(|m| Some(m.id) == p.reported_message).unwrap();
+                    let truth_text = shot.truth.text.as_deref().unwrap();
+                    // Redacted screenshots replace the URL.
+                    assert!(
+                        truth_text == msg.text || truth_text.contains("[link removed]"),
+                        "screenshot text diverges: {truth_text}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn noise_posts_volume() {
+        let mut rng = StdRng::seed_from_u64(33);
+        let mut pid = 0;
+        let posts = build_noise_posts(Forum::Twitter, 100, &mut pid, &mut rng);
+        assert_eq!(posts.len(), 498 + 93);
+        assert!(posts.iter().all(|p| p.reported_message.is_none()));
+        let (lo, hi) = Forum::Twitter.window();
+        assert!(posts.iter().all(|p| p.posted_at >= lo && p.posted_at <= hi));
+    }
+
+    #[test]
+    fn smishing_eu_and_pastebin_are_textual() {
+        let mut rng = StdRng::seed_from_u64(34);
+        let (_, msgs, _) = one_campaign(34);
+        let msg = &msgs[0];
+        let mut pid = 0;
+        let p = build_report_post(PostId(pid), msg, Forum::SmishingEu, &mut rng);
+        pid += 1;
+        match &p.body {
+            PostBody::Form { report, screenshot } => {
+                assert!(screenshot.is_none());
+                assert_eq!(report.body, msg.text);
+                assert!(report.received_date.is_some());
+            }
+            other => panic!("{other:?}"),
+        }
+        let p = build_report_post(PostId(pid), msg, Forum::Pastebin, &mut rng);
+        assert!(matches!(p.body, PostBody::Form { screenshot: None, .. }));
+    }
+
+    #[test]
+    fn defang_round_trips_with_webinfra() {
+        let d = defang("https://evil-site.com/pay");
+        assert_eq!(d, "hxxps://evil-site[.]com/pay");
+        let back = smishing_webinfra::refang(&d);
+        assert_eq!(back, "https://evil-site.com/pay");
+    }
+}

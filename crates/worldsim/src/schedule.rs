@@ -1,0 +1,158 @@
+//! Campaign scheduling and the diurnal send-time model (§5.1 / Fig. 2).
+//!
+//! Scammers send throughout the working day, 09:00–20:00, with per-weekday
+//! medians between 12:26 and 14:38. The model: per weekday, a normal
+//! mixture centred on that weekday's median (80% mass) over a uniform
+//! background (20%) — enough structure for the pairwise KS tests of §5.1 to
+//! separate the shifted weekdays.
+
+use crate::config::YEAR_MIX;
+use crate::weighted_index;
+use rand::Rng;
+use smishing_types::{Date, TimeOfDay, UnixTime, Weekday};
+
+/// Per-weekday peak hour (fractional), from the medians reported in §5.1.
+pub fn peak_hour(day: Weekday) -> f64 {
+    match day {
+        Weekday::Monday => 12.63,
+        Weekday::Tuesday => 12.43,
+        Weekday::Wednesday => 14.61,
+        Weekday::Thursday => 14.41,
+        Weekday::Friday => 13.28,
+        Weekday::Saturday => 14.63,
+        Weekday::Sunday => 13.32,
+    }
+}
+
+/// Sample a standard normal via Box–Muller.
+fn std_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Sample a time of day for a send on `day`.
+pub fn sample_time_of_day<R: Rng + ?Sized>(day: Weekday, rng: &mut R) -> TimeOfDay {
+    let hour = if rng.gen_bool(0.8) {
+        // Working-day component.
+        (peak_hour(day) + std_normal(rng) * 2.6).clamp(0.0, 23.99)
+    } else {
+        rng.gen_range(0.0..24.0)
+    };
+    let secs = (hour * 3600.0) as u32;
+    TimeOfDay::from_seconds_since_midnight(secs.min(86_399))
+}
+
+/// A campaign's sending window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CampaignSchedule {
+    /// First send instant (midnight of the start day).
+    pub start: UnixTime,
+    /// Active sending days.
+    pub duration_days: u32,
+}
+
+impl CampaignSchedule {
+    /// Draw a schedule: year by the Table 15 growth mix, start date uniform
+    /// within the year, duration heavy-tailed between 1 and ~90 days.
+    pub fn draw<R: Rng + ?Sized>(rng: &mut R) -> CampaignSchedule {
+        let year = YEAR_MIX[weighted_index(
+            &YEAR_MIX.iter().map(|x| x.1).collect::<Vec<_>>(),
+            rng,
+        )]
+        .0;
+        let day_of_year = rng.gen_range(0..360i64);
+        let start_days = Date { year, month: 1, day: 1 }.days_from_epoch() + day_of_year;
+        // Heavy-tailed duration: most campaigns are short bursts (§2: URLs
+        // live minutes to days), some run for weeks.
+        let u: f64 = rng.gen_range(0.0..1.0);
+        let duration_days = (1.0 + 89.0 * u.powi(5)) as u32;
+        CampaignSchedule { start: UnixTime(start_days * 86_400), duration_days }
+    }
+
+    /// Sample one send instant inside the window, honouring the diurnal
+    /// model.
+    pub fn sample_send<R: Rng + ?Sized>(&self, rng: &mut R) -> UnixTime {
+        let day_offset = rng.gen_range(0..self.duration_days.max(1)) as i64;
+        let midnight = self.start.plus_days(day_offset);
+        let weekday = midnight.weekday();
+        let tod = sample_time_of_day(weekday, rng);
+        midnight.plus_secs(tod.seconds_since_midnight() as i64)
+    }
+
+    /// Last instant of the window.
+    pub fn end(&self) -> UnixTime {
+        self.start.plus_days(self.duration_days as i64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use smishing_stats::{ks_two_sample, median};
+
+    fn samples(day: Weekday, n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| sample_time_of_day(day, &mut rng).seconds_since_midnight() as f64 / 3600.0)
+            .collect()
+    }
+
+    #[test]
+    fn medians_match_section_5_1() {
+        for day in Weekday::ALL {
+            let s = samples(*day, 4000, 11);
+            let med = median(&s).unwrap();
+            assert!(
+                (med - peak_hour(*day)).abs() < 0.75,
+                "{day}: median {med} vs peak {}",
+                peak_hour(*day)
+            );
+        }
+    }
+
+    #[test]
+    fn most_sends_in_working_hours() {
+        let s = samples(Weekday::Monday, 4000, 12);
+        let in_window = s.iter().filter(|&&h| (9.0..20.0).contains(&h)).count();
+        let frac = in_window as f64 / s.len() as f64;
+        assert!(frac > 0.7, "{frac}");
+    }
+
+    #[test]
+    fn shifted_weekdays_are_ks_distinguishable() {
+        // §5.1: Monday/Tuesday vs Wednesday distributions differ (p < .05);
+        // Wednesday vs Thursday do not (0.2h apart).
+        let mon = samples(Weekday::Monday, 3000, 13);
+        let wed = samples(Weekday::Wednesday, 3000, 14);
+        let thu = samples(Weekday::Thursday, 3000, 15);
+        let r = ks_two_sample(&mon, &wed).unwrap();
+        assert!(r.significant_at(0.05), "Mon vs Wed p = {}", r.p_value);
+        let r = ks_two_sample(&wed, &thu).unwrap();
+        assert!(!r.significant_at(0.01), "Wed vs Thu should be close, p = {}", r.p_value);
+    }
+
+    #[test]
+    fn schedule_windows_are_sane() {
+        let mut rng = StdRng::seed_from_u64(16);
+        for _ in 0..200 {
+            let s = CampaignSchedule::draw(&mut rng);
+            assert!((1..=90).contains(&s.duration_days), "{}", s.duration_days);
+            let y = s.start.year();
+            assert!((2017..=2023).contains(&y), "{y}");
+            let send = s.sample_send(&mut rng);
+            assert!(send >= s.start && send <= s.end());
+        }
+    }
+
+    #[test]
+    fn durations_are_mostly_short() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let short = (0..1000)
+            .filter(|_| CampaignSchedule::draw(&mut rng).duration_days <= 14)
+            .count();
+        assert!(short > 600, "{short}");
+    }
+}

@@ -1,0 +1,67 @@
+//! The bundle of service simulators a generated world populates and the
+//! pipeline later queries.
+
+use smishing_avscan::{GsbService, VtScanner};
+use smishing_telecom::SimulatedHlr;
+use smishing_webinfra::{AsnDb, CtLog, PassiveDns, ShortLinkDb, WhoisDb};
+
+/// All external services, pre-populated by world generation.
+pub struct Services {
+    /// WHOIS database (registrar records).
+    pub whois: WhoisDb,
+    /// Certificate-transparency log.
+    pub ctlog: CtLog,
+    /// Passive DNS history.
+    pub pdns: PassiveDns,
+    /// Short-link resolver.
+    pub short_links: ShortLinkDb,
+    /// HLR lookup.
+    pub hlr: SimulatedHlr,
+    /// VirusTotal.
+    pub virustotal: VtScanner,
+    /// Google Safe Browsing.
+    pub gsb: GsbService,
+    /// IP → AS database.
+    pub asn: AsnDb,
+}
+
+impl Services {
+    /// Fresh services derived from the world seed.
+    pub fn new(seed: u64) -> Services {
+        Services {
+            whois: WhoisDb::new(),
+            ctlog: CtLog::new(),
+            pdns: PassiveDns::new(),
+            short_links: ShortLinkDb::new(),
+            hlr: SimulatedHlr::new(seed ^ 0x41_4C52),
+            virustotal: VtScanner::new(seed ^ 0x56_54),
+            gsb: GsbService::new(seed ^ 0x47_5342),
+            asn: AsnDb::new(),
+        }
+    }
+}
+
+impl std::fmt::Debug for Services {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Services")
+            .field("whois_domains", &self.whois.len())
+            .field("ct_domains", &self.ctlog.domains())
+            .field("pdns_domains", &self.pdns.domains())
+            .field("short_links", &self.short_links.len())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_empty() {
+        let s = Services::new(1);
+        assert_eq!(s.whois.len(), 0);
+        assert_eq!(s.ctlog.domains(), 0);
+        assert_eq!(s.pdns.domains(), 0);
+        assert!(s.short_links.is_empty());
+    }
+}

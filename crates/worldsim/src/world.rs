@@ -1,0 +1,412 @@
+//! World orchestration: campaigns → messages → posts → populated services.
+
+use crate::campaign::{Campaign, SenderStrategy};
+use crate::config::WorldConfig;
+use crate::reporting::{build_messages, build_noise_posts, build_reports, Post};
+use crate::schedule::CampaignSchedule;
+use crate::services::Services;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use smishing_telecom::NumberFactory;
+use smishing_textnlp::brands::BrandCatalog;
+use smishing_textnlp::templates::TemplateLibrary;
+use smishing_types::{
+    CampaignId, Country, Date, Forum, Language, ScamType, SmsMessage, UnixTime,
+};
+
+/// A fully generated world.
+pub struct World {
+    /// The configuration it was generated from.
+    pub config: WorldConfig,
+    /// All campaigns (ground truth).
+    pub campaigns: Vec<Campaign>,
+    /// All unique messages (ground truth).
+    pub messages: Vec<SmsMessage>,
+    /// All forum posts (the pipeline's input).
+    pub posts: Vec<Post>,
+    /// Populated service simulators (the pipeline's query targets).
+    pub services: Services,
+    /// Collection-end reference instant (for pDNS lookback etc.):
+    /// 2024-04-08, the last Smishtank collection day.
+    pub now: UnixTime,
+}
+
+impl std::fmt::Debug for World {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("World")
+            .field("campaigns", &self.campaigns.len())
+            .field("messages", &self.messages.len())
+            .field("posts", &self.posts.len())
+            .field("services", &self.services)
+            .finish()
+    }
+}
+
+/// Build the §5.1 SBI burst campaign: ~850 reports at paper scale, all
+/// received Tue 2021-08-03 11:34, banking, SBI, India.
+fn sbi_burst_campaign<R: Rng + ?Sized>(
+    id: CampaignId,
+    cfg: &WorldConfig,
+    services: &Services,
+    rng: &mut R,
+) -> Campaign {
+    let lib = TemplateLibrary::global();
+    let template = lib
+        .for_scam_lang(ScamType::Banking, Language::English)
+        .into_iter()
+        .find(|t| t.pattern.contains("KYC"))
+        .expect("the KYC banking template exists");
+    let brand = BrandCatalog::global().by_name("State Bank of India");
+    let n_reports = ((850.0 * cfg.scale).round() as usize).max(12);
+    let n_variants = ((n_reports as f64) * 0.82).ceil() as usize;
+    let factory = NumberFactory::new();
+    let pool = (0..(n_variants / 3).max(2))
+        .filter_map(|_| factory.mobile_for(Country::India, "Vodafone", rng))
+        .collect::<Vec<_>>();
+    let start = Date::new(2021, 8, 3).expect("valid").days_from_epoch() * 86_400;
+    let schedule = CampaignSchedule { start: UnixTime(start), duration_days: 1 };
+    // One registered domain, shortened with is.gd (banking's #2, Table 5).
+    let domain = "sbi-kyc-update.com".to_string();
+    services.whois.register(&domain, "GoDaddy", UnixTime(start - 5 * 86_400), 365);
+    if let Some(ca) = smishing_webinfra::ca_policy("Let's Encrypt") {
+        services.ctlog.provision(&domain, &ca, UnixTime(start - 5 * 86_400), UnixTime(start + 120 * 86_400));
+    }
+    let code = "sbiKyc21".to_string();
+    services.short_links.register(
+        "is.gd",
+        &code,
+        &format!("https://{domain}/login"),
+        UnixTime(start - 86_400),
+        Some(10 * 86_400),
+    );
+    Campaign {
+        id,
+        scam_type: ScamType::Banking,
+        brand,
+        language: Language::English,
+        country: Country::India,
+        template_id: template.id,
+        schedule,
+        senders: SenderStrategy::MobilePool {
+            country: Country::India,
+            operator: "Vodafone",
+            pool,
+        },
+        url_plan: Some(crate::campaign::UrlPlan {
+            domain,
+            free_hosted: false,
+            whatsapp: false,
+            paths: vec!["/login".to_string()],
+            shortener: Some("is.gd"),
+            short_codes: vec![code],
+        }),
+        malware: None,
+        n_reports,
+        n_variants,
+        is_sbi_burst: true,
+    }
+}
+
+/// The §6 worked example, verbatim from the paper: `shrtco[.]de/2Rq2La`
+/// lands desktop visitors on `sa-krs[.]web[.]app` and serves Android
+/// visitors `s1.apk` (SMSspy; the paper's published IoC). Scheduled inside
+/// the real-time Twitter window so the active case study can catch it live.
+fn smsspy_campaign<R: Rng + ?Sized>(
+    id: CampaignId,
+    cfg: &WorldConfig,
+    services: &Services,
+    rng: &mut R,
+) -> Campaign {
+    let lib = TemplateLibrary::global();
+    let template = lib
+        .for_scam_lang(ScamType::Banking, Language::English)
+        .into_iter()
+        .find(|t| t.needs_url())
+        .expect("banking templates carry URLs");
+    let brand = BrandCatalog::global().by_name("Maybank");
+    let n_reports = ((60.0 * cfg.scale).round() as usize).max(8);
+    let n_variants = ((n_reports as f64) * 0.82).ceil() as usize;
+    let factory = NumberFactory::new();
+    let pool = (0..(n_variants / 2).max(2))
+        .filter_map(|_| factory.mobile_any(Country::Malaysia, rng))
+        .collect::<Vec<_>>();
+    let senders = if pool.is_empty() {
+        // Malaysia has no modelled plan: the campaign spoofs junk numbers.
+        SenderStrategy::BadFormatPool {
+            pool: (0..(n_variants / 2).max(2)).map(|_| factory.bad_format(rng)).collect(),
+        }
+    } else {
+        SenderStrategy::MobilePool { country: Country::Malaysia, operator: "Maybank", pool }
+    };
+    let start = Date::new(2023, 2, 6).expect("valid").days_from_epoch() * 86_400;
+    let schedule = CampaignSchedule { start: UnixTime(start), duration_days: 45 };
+    let domain = "sa-krs.web.app".to_string();
+    let code = "2Rq2La".to_string();
+    services.short_links.register(
+        "shrtco.de",
+        &code,
+        &format!("https://{domain}/"),
+        UnixTime(start - 3_600),
+        Some(120 * 86_400),
+    );
+    Campaign {
+        id,
+        scam_type: ScamType::Banking,
+        brand,
+        language: Language::English,
+        country: Country::Malaysia,
+        template_id: template.id,
+        schedule,
+        senders,
+        url_plan: Some(crate::campaign::UrlPlan {
+            domain,
+            free_hosted: true,
+            whatsapp: false,
+            paths: vec!["/".to_string()],
+            shortener: Some("shrtco.de"),
+            short_codes: vec![code],
+        }),
+        malware: Some(crate::campaign::MalwarePlan {
+            family: "SMSspy",
+            apk_name: "s1.apk".to_string(),
+            sha256: "34ae95c0a19e3c72f199c812f64dc8f38bbc7f0f5746efe0bd756737163ed8ec"
+                .to_string(),
+        }),
+        n_reports,
+        n_variants,
+        is_sbi_burst: false,
+    }
+}
+
+/// A fixed 'Hey mum' campaign that moves victims to WhatsApp via wa.me —
+/// the §4.2 pattern, guaranteed present at any scale.
+fn wa_me_campaign<R: Rng + ?Sized>(id: CampaignId, cfg: &WorldConfig, rng: &mut R) -> Campaign {
+    let lib = TemplateLibrary::global();
+    let template = lib
+        .for_scam_lang(ScamType::HeyMumDad, Language::English)
+        .into_iter()
+        .find(|t| t.needs_url())
+        .expect("a WhatsApp-mover hey mum/dad template exists");
+    let n_reports = ((40.0 * cfg.scale).round() as usize).max(6);
+    let n_variants = ((n_reports as f64) * 0.82).ceil() as usize;
+    let factory = NumberFactory::new();
+    let pool = (0..(n_variants / 2).max(2))
+        .filter_map(|_| factory.mobile_for(Country::UnitedKingdom, "O2", rng))
+        .collect::<Vec<_>>();
+    Campaign {
+        id,
+        scam_type: ScamType::HeyMumDad,
+        brand: None,
+        language: Language::English,
+        country: Country::UnitedKingdom,
+        template_id: template.id,
+        schedule: crate::schedule::CampaignSchedule {
+            start: UnixTime(Date::new(2022, 9, 5).expect("valid").days_from_epoch() * 86_400),
+            duration_days: 30,
+        },
+        senders: SenderStrategy::MobilePool {
+            country: Country::UnitedKingdom,
+            operator: "O2",
+            pool,
+        },
+        url_plan: Some(crate::campaign::UrlPlan {
+            domain: "wa.me".to_string(),
+            free_hosted: false,
+            whatsapp: true,
+            paths: vec![format!("/447{:09}", rng.gen_range(0..1_000_000_000u64))],
+            shortener: None,
+            short_codes: Vec::new(),
+        }),
+        malware: None,
+        n_reports,
+        n_variants,
+        is_sbi_burst: false,
+    }
+}
+
+impl World {
+    /// Generate a world.
+    pub fn generate(config: WorldConfig) -> World {
+        let services = Services::new(config.seed);
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let n = config.n_campaigns();
+
+        let mut campaigns: Vec<Campaign> = Vec::with_capacity(n + 2);
+        for i in 0..n {
+            campaigns.push(Campaign::draw(
+                CampaignId(i as u32),
+                &config,
+                &services,
+                config.malware_campaign_rate,
+                &mut rng,
+            ));
+        }
+        if config.include_sbi_burst {
+            campaigns.push(sbi_burst_campaign(
+                CampaignId(n as u32),
+                &config,
+                &services,
+                &mut rng,
+            ));
+        }
+        campaigns.push(wa_me_campaign(
+            CampaignId(campaigns.len() as u32),
+            &config,
+            &mut rng,
+        ));
+        campaigns.push(smsspy_campaign(
+            CampaignId(campaigns.len() as u32),
+            &config,
+            &services,
+            &mut rng,
+        ));
+
+        let mut messages = Vec::new();
+        let mut posts = Vec::new();
+        let mut next_message_id = 0u64;
+        let mut next_post_id = 0u64;
+        let mut reports_per_forum: std::collections::HashMap<Forum, usize> =
+            std::collections::HashMap::new();
+        for campaign in &campaigns {
+            let msgs = build_messages(campaign, &mut next_message_id, &mut rng);
+            let reports = build_reports(campaign, &msgs, &mut next_post_id, &mut rng);
+            for p in &reports {
+                *reports_per_forum.entry(p.forum).or_default() += 1;
+            }
+            messages.extend(msgs);
+            posts.extend(reports);
+        }
+        for forum in Forum::ALL {
+            let n_reports = reports_per_forum.get(forum).copied().unwrap_or(0);
+            posts.extend(build_noise_posts(*forum, n_reports, &mut next_post_id, &mut rng));
+        }
+        posts.sort_by_key(|p| (p.posted_at, p.id));
+
+        let now = UnixTime(Date::new(2024, 4, 8).expect("valid").days_from_epoch() * 86_400);
+        World { config, campaigns, messages, posts, services, now }
+    }
+
+    /// The message a post reports, if any.
+    pub fn message_of(&self, post: &Post) -> Option<&SmsMessage> {
+        post.reported_message.map(|id| &self.messages[id.0 as usize])
+    }
+
+    /// Posts on one forum.
+    pub fn posts_on(&self, forum: Forum) -> impl Iterator<Item = &Post> {
+        self.posts.iter().filter(move |p| p.forum == forum)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reporting::PostBody;
+    use smishing_stats::Counter;
+
+    fn world() -> World {
+        World::generate(WorldConfig::test_scale(0xBEEF))
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = World::generate(WorldConfig::test_scale(7));
+        let b = World::generate(WorldConfig::test_scale(7));
+        assert_eq!(a.messages.len(), b.messages.len());
+        assert_eq!(a.posts.len(), b.posts.len());
+        assert_eq!(a.messages[0].text, b.messages[0].text);
+        let c = World::generate(WorldConfig::test_scale(8));
+        assert_ne!(a.messages.len(), c.messages.len());
+    }
+
+    #[test]
+    fn volumes_scale_as_expected() {
+        let w = world();
+        // scale 0.025 → ~75 campaigns (+1 burst), ~850 reports, ~5.5k posts.
+        assert!(w.campaigns.len() >= 70, "{}", w.campaigns.len());
+        assert!(w.messages.len() > 400, "{}", w.messages.len());
+        assert!(w.posts.len() > 3000, "{}", w.posts.len());
+        let reports = w.posts.iter().filter(|p| p.reported_message.is_some()).count();
+        let noise = w.posts.len() - reports;
+        assert!(noise > reports, "noise dominates raw keyword volume");
+    }
+
+    #[test]
+    fn message_ids_index_into_messages() {
+        let w = world();
+        for (i, m) in w.messages.iter().enumerate() {
+            assert_eq!(m.id.0 as usize, i);
+        }
+        for p in &w.posts {
+            if let Some(m) = w.message_of(p) {
+                assert_eq!(Some(m.id), p.reported_message);
+            }
+        }
+    }
+
+    #[test]
+    fn twitter_dominates_reports() {
+        let w = world();
+        let by_forum: Counter<Forum> = w
+            .posts
+            .iter()
+            .filter(|p| p.reported_message.is_some())
+            .map(|p| p.forum)
+            .collect();
+        assert_eq!(by_forum.top_k(1)[0].0, Forum::Twitter);
+        assert!(by_forum.share(&Forum::Twitter) > 0.85);
+    }
+
+    #[test]
+    fn sbi_burst_present_and_timed() {
+        let w = world();
+        let burst = w.campaigns.iter().find(|c| c.is_sbi_burst).expect("burst included");
+        let msgs: Vec<_> =
+            w.messages.iter().filter(|m| m.campaign == burst.id).collect();
+        assert!(msgs.len() >= 10);
+        for m in msgs {
+            let civil = m.received.civil();
+            assert_eq!(civil.date, Date::new(2021, 8, 3).unwrap());
+            assert_eq!(civil.time.hour, 11);
+            assert_eq!(civil.time.minute, 34);
+            assert_eq!(m.truth.brand.as_deref(), Some("State Bank of India"));
+        }
+    }
+
+    #[test]
+    fn posts_sorted_by_time() {
+        let w = world();
+        for pair in w.posts.windows(2) {
+            assert!(pair[0].posted_at <= pair[1].posted_at);
+        }
+    }
+
+    #[test]
+    fn forum_shapes() {
+        let w = world();
+        // Smishing.eu and Pastebin never carry images.
+        for p in w.posts_on(Forum::SmishingEu).chain(w.posts_on(Forum::Pastebin)) {
+            assert!(!p.body.has_image(), "{:?}", p.id);
+        }
+        // Reddit posts carry subreddits.
+        for p in w.posts_on(Forum::Reddit) {
+            assert!(p.subreddit.is_some());
+        }
+        // Some Twitter noise images exist (awareness posters).
+        let noise_imgs = w
+            .posts_on(Forum::Twitter)
+            .filter(|p| matches!(p.body, PostBody::NoiseImage(_)))
+            .count();
+        assert!(noise_imgs > 50, "{noise_imgs}");
+    }
+
+    #[test]
+    fn languages_are_diverse(){
+        let w = world();
+        let langs: Counter<Language> = w.messages.iter().map(|m| m.truth.language).collect();
+        assert_eq!(langs.top_k(1)[0].0, Language::English);
+        assert!(langs.share(&Language::English) > 0.5);
+        // At test scale only a handful of non-English markets draw local
+        // templates; the full Table 11 spread is asserted at repro scale.
+        assert!(langs.distinct() >= 4, "{}", langs.distinct());
+    }
+}

@@ -1,0 +1,140 @@
+//! Property-based tests over the world generator: structural invariants
+//! that must hold for *any* seed, not just the calibration seed. These are
+//! the contracts the pipeline's analyses silently rely on.
+
+use proptest::prelude::*;
+use smishing_textnlp::templates::TemplateLibrary;
+use smishing_worldsim::{PostBody, World, WorldConfig};
+use std::collections::HashMap;
+
+fn small_world(seed: u64) -> World {
+    World::generate(WorldConfig { scale: 0.01, seed, ..WorldConfig::default() })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn generation_is_deterministic_per_seed(seed in 0u64..1_000_000) {
+        let a = small_world(seed);
+        let b = small_world(seed);
+        prop_assert_eq!(a.posts.len(), b.posts.len());
+        prop_assert_eq!(a.messages.len(), b.messages.len());
+        for (x, y) in a.messages.iter().zip(&b.messages) {
+            prop_assert_eq!(&x.text, &y.text);
+            prop_assert_eq!(x.received.0, y.received.0);
+        }
+    }
+
+    #[test]
+    fn posts_sit_inside_their_forum_window(seed in 0u64..1_000_000) {
+        let w = small_world(seed);
+        for p in &w.posts {
+            let (lo, hi) = p.forum.window();
+            prop_assert!(
+                p.posted_at >= lo && p.posted_at <= hi,
+                "post {:?} at {} outside {:?} window [{}, {}]",
+                p.id, p.posted_at.0, p.forum, lo.0, hi.0
+            );
+        }
+    }
+
+    #[test]
+    fn reports_never_precede_their_message(seed in 0u64..1_000_000) {
+        let w = small_world(seed);
+        let received: HashMap<_, _> = w.messages.iter().map(|m| (m.id, m.received)).collect();
+        for p in &w.posts {
+            if let Some(mid) = p.reported_message {
+                let r = received[&mid];
+                prop_assert!(p.posted_at >= r, "report at {} before receive {}", p.posted_at.0, r.0);
+            }
+        }
+    }
+
+    #[test]
+    fn message_campaign_links_are_sound(seed in 0u64..1_000_000) {
+        let w = small_world(seed);
+        let by_id: HashMap<_, _> = w.campaigns.iter().map(|c| (c.id, c)).collect();
+        let lib = TemplateLibrary::global();
+        let mut sprayed = 0usize;
+        for m in &w.messages {
+            let c = by_id.get(&m.campaign).expect("message links a real campaign");
+            prop_assert_eq!(m.truth.scam_type, c.scam_type);
+            prop_assert_eq!(m.truth.recipient_country, c.country);
+            // Language is the campaign's unless the polyglot spray fired,
+            // and a sprayed language always has template support.
+            if m.truth.language != c.language {
+                sprayed += 1;
+                prop_assert!(
+                    !lib.for_scam_lang(c.scam_type, m.truth.language).is_empty(),
+                    "sprayed into an unsupported language {:?}",
+                    m.truth.language
+                );
+            }
+        }
+        // The spray is a tail mechanism, not a second language model.
+        prop_assert!(
+            sprayed as f64 <= 0.05 * w.messages.len() as f64,
+            "{sprayed} sprayed of {}",
+            w.messages.len()
+        );
+    }
+
+    #[test]
+    fn every_url_message_has_campaign_infrastructure(seed in 0u64..1_000_000) {
+        let w = small_world(seed);
+        let by_id: HashMap<_, _> = w.campaigns.iter().map(|c| (c.id, c)).collect();
+        for m in &w.messages {
+            if let Some(url) = &m.url {
+                prop_assert!(
+                    smishing_webinfra::parse_url(url).is_some(),
+                    "generated URL must parse: {url}"
+                );
+                prop_assert!(
+                    by_id[&m.campaign].url_plan.is_some(),
+                    "URL message from a plan-less campaign"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn forum_bodies_match_platform_contracts(seed in 0u64..1_000_000) {
+        use smishing_types::Forum;
+        let w = small_world(seed);
+        for p in &w.posts {
+            // Smishing.eu and Pastebin never carry images (Table 1).
+            if let (Forum::SmishingEu | Forum::Pastebin,
+                    PostBody::ImageReport(_) | PostBody::NoiseImage { .. }) = (&p.forum, &p.body)
+            {
+                prop_assert!(false, "image on a text-only forum: {:?}", p.forum);
+            }
+            if p.subreddit.is_some() {
+                prop_assert_eq!(p.forum, Forum::Reddit);
+            }
+        }
+    }
+
+    #[test]
+    fn volumes_scale_roughly_linearly(seed in 0u64..100_000) {
+        let small = World::generate(WorldConfig { scale: 0.01, seed, ..WorldConfig::default() });
+        let large = World::generate(WorldConfig { scale: 0.03, seed, ..WorldConfig::default() });
+        let ratio = large.posts.len() as f64 / small.posts.len() as f64;
+        prop_assert!((1.5..6.0).contains(&ratio), "3x scale gave {ratio}x posts");
+    }
+
+    #[test]
+    fn sbi_burst_toggle_is_respected(seed in 0u64..100_000) {
+        let with = World::generate(WorldConfig { scale: 0.01, seed, include_sbi_burst: true, ..WorldConfig::default() });
+        let without = World::generate(WorldConfig { scale: 0.01, seed, include_sbi_burst: false, ..WorldConfig::default() });
+        let burst_at = |w: &World| {
+            w.messages.iter().filter(|m| {
+                let c = m.received.civil();
+                c.date.year == 2021 && c.date.month == 8 && c.date.day == 3
+                    && c.time.hour == 11 && c.time.minute == 34
+            }).count()
+        };
+        prop_assert!(burst_at(&with) >= 8, "burst missing: {}", burst_at(&with));
+        prop_assert!(burst_at(&without) < 8, "burst not disabled");
+    }
+}

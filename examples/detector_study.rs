@@ -1,0 +1,77 @@
+//! §7.2's recommendation, executed: train detection models on the
+//! reproduced labeled dataset.
+//!
+//! - binary: smishing vs ham (the classical task, with *modern* data),
+//! - multi-class: the scam typology (the paper's "new features such as
+//!   scam typologies").
+//!
+//! ```sh
+//! cargo run --release --example detector_study [scale]
+//! ```
+
+use smishing::detect::{baseline_comparison, binary_study, multiclass_study, multiclass_study_grouped};
+use smishing::prelude::*;
+
+fn main() {
+    let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.15);
+    let world = World::generate(WorldConfig { scale, ..WorldConfig::default() });
+    println!(
+        "Training corpora from a scale-{scale} world ({} labeled messages)\n",
+        world.messages.len()
+    );
+
+    // ---- Binary: smishing vs ham ----
+    let texts: Vec<String> = world.messages.iter().map(|m| m.text.clone()).collect();
+    let binary = binary_study(&texts, 0xD1).expect("corpus large enough");
+    println!("== Binary study: smishing vs ham ==");
+    println!("corpus:    {} messages (50/50 smish/ham)", binary.corpus);
+    println!("test set:  {}", binary.report.n);
+    println!("accuracy:  {:.1}%", binary.report.accuracy * 100.0);
+    println!("macro-F1:  {:.3}", binary.report.macro_f1);
+    for label in binary.report.confusion.labels.clone() {
+        let (p, r, f1) = binary.report.confusion.class_prf(&label);
+        println!("  {label:?}: precision {p:.3} recall {r:.3} F1 {f1:.3}");
+    }
+
+    // ---- Multi-class: scam typology ----
+    let labeled: Vec<(String, ScamType)> = world
+        .messages
+        .iter()
+        .map(|m| (m.text.clone(), m.truth.scam_type))
+        .collect();
+    let multi = multiclass_study(&labeled, 0xD1).expect("corpus large enough");
+    println!("\n== Multi-class study: scam typology ==");
+    println!("corpus:    {} messages, {} classes", multi.corpus, multi.report.confusion.labels.len());
+    println!("accuracy:  {:.1}%", multi.report.accuracy * 100.0);
+    println!("macro-F1:  {:.3}", multi.report.macro_f1);
+    println!("\nper-class breakdown:");
+    for label in multi.report.confusion.labels.clone() {
+        let (p, r, f1) = multi.report.confusion.class_prf(&label);
+        println!("  {label:<13} precision {p:.3} recall {r:.3} F1 {f1:.3}");
+    }
+    // ---- Baseline head-to-head ----
+    let (nb_acc, lr_acc) = baseline_comparison(&texts, 0xD1).expect("corpus large enough");
+    println!("\n== Baseline head-to-head (same split) ==");
+    println!("naive bayes:         {:.1}%", nb_acc * 100.0);
+    println!("logistic regression: {:.1}%", lr_acc * 100.0);
+
+    // ---- Multi-class, campaign-grouped split (the honest number) ----
+    let grouped_input: Vec<(String, ScamType, u32)> = world
+        .messages
+        .iter()
+        .map(|m| (m.text.clone(), m.truth.scam_type, m.campaign.0))
+        .collect();
+    let grouped = multiclass_study_grouped(&grouped_input, 0xD1).expect("corpus large enough");
+    println!("\n== Multi-class, campaign-held-out split ==");
+    println!("accuracy:  {:.1}%  (vs {:.1}% with the leaky random split)",
+        grouped.report.accuracy * 100.0, multi.report.accuracy * 100.0);
+    println!("macro-F1:  {:.3}", grouped.report.macro_f1);
+
+    println!(
+        "\nTakeaway (§7.2): with an up-to-date labeled corpus, even the classical \
+         Naive Bayes baseline separates smishing cleanly. The campaign-held-out \
+         split shows the deployment-realistic number — generalizing to unseen \
+         campaigns is the actual open problem, and it needs fresh data, which is \
+         the paper's core argument."
+    );
+}

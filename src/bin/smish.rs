@@ -1,0 +1,158 @@
+//! `smish` — the command-line face of the workspace.
+//!
+//! ```text
+//! smish generate --scale 0.1 --seed 7 --out ./dataset   # export the pseudo-anonymized dataset
+//! smish analyze  --scale 0.1 [--experiment T10]         # regenerate paper tables
+//! smish detect   --scale 0.1                            # §7.2 detection studies
+//! smish link     --scale 0.1                            # campaign-linking ablation
+//! smish mitigate --scale 0.1                            # §7.2 what-if coverage
+//! ```
+
+use smishing::core::analysis::linking::linking_ablation;
+use smishing::core::analysis::freshness::domain_freshness;
+use smishing::core::analysis::latency::report_latency;
+use smishing::core::analysis::mitigation::mitigation_study;
+use smishing::core::dataset;
+use smishing::detect::{binary_study, multiclass_study_grouped};
+use smishing::prelude::*;
+use std::io::Write;
+
+struct Args {
+    command: String,
+    scale: f64,
+    seed: u64,
+    out: Option<String>,
+    experiment: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut argv = std::env::args().skip(1);
+    let command = argv.next().ok_or_else(usage)?;
+    let mut args = Args { command, scale: 0.1, seed: 0xF15F, out: None, experiment: None };
+    while let Some(flag) = argv.next() {
+        let mut take = |name: &str| -> Result<String, String> {
+            argv.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--scale" => args.scale = take("--scale")?.parse().map_err(|e| format!("{e}"))?,
+            "--seed" => args.seed = parse_seed(&take("--seed")?)?,
+            "--out" => args.out = Some(take("--out")?),
+            "--experiment" => args.experiment = Some(take("--experiment")?),
+            other => return Err(format!("unknown flag {other}\n{}", usage())),
+        }
+    }
+    Ok(args)
+}
+
+fn parse_seed(s: &str) -> Result<u64, String> {
+    if let Some(hex) = s.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16).map_err(|e| e.to_string())
+    } else {
+        s.parse().map_err(|e: std::num::ParseIntError| e.to_string())
+    }
+}
+
+fn usage() -> String {
+    "usage: smish <generate|analyze|detect|link|mitigate> [--scale S] [--seed N] [--out DIR] [--experiment ID]"
+        .to_string()
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let world = World::generate(WorldConfig {
+        scale: args.scale,
+        seed: args.seed,
+        ..WorldConfig::default()
+    });
+    eprintln!(
+        "world: {} campaigns / {} messages / {} posts (scale {}, seed {:#x})",
+        world.campaigns.len(),
+        world.messages.len(),
+        world.posts.len(),
+        args.scale,
+        args.seed
+    );
+    let output = Pipeline::default().run(&world);
+    eprintln!("pipeline: {} unique records\n", output.records.len());
+
+    match args.command.as_str() {
+        "generate" => {
+            let rows = dataset::build_dataset(&output.records);
+            dataset::validate_anonymization(&rows).expect("anonymization contract");
+            let dir = args.out.unwrap_or_else(|| "dataset".to_string());
+            std::fs::create_dir_all(&dir).expect("create output dir");
+            let json = dataset::to_json(&rows).expect("serialize");
+            let csv = dataset::to_csv(&rows);
+            std::fs::File::create(format!("{dir}/smishing-dataset.json"))
+                .and_then(|mut f| f.write_all(json.as_bytes()))
+                .expect("write json");
+            std::fs::File::create(format!("{dir}/smishing-dataset.csv"))
+                .and_then(|mut f| f.write_all(csv.as_bytes()))
+                .expect("write csv");
+            println!("wrote {} rows to {dir}/smishing-dataset.{{json,csv}}", rows.len());
+        }
+        "analyze" => {
+            let results = run_all(&output);
+            let mut shown = 0;
+            for r in &results {
+                if let Some(want) = &args.experiment {
+                    if !r.id.eq_ignore_ascii_case(want) {
+                        continue;
+                    }
+                }
+                shown += 1;
+                println!("[{}] paper: {}", r.id, r.paper);
+                println!("{}", r.table);
+                for (desc, ok) in &r.checks {
+                    println!("  [{}] {desc}", if *ok { "PASS" } else { "FAIL" });
+                }
+                println!();
+            }
+            if shown == 0 {
+                eprintln!("no experiment matched {:?}", args.experiment);
+                std::process::exit(2);
+            }
+        }
+        "detect" => {
+            let texts: Vec<String> = world.messages.iter().map(|m| m.text.clone()).collect();
+            let binary = binary_study(&texts, args.seed).expect("corpus");
+            println!(
+                "binary smish-vs-ham:        accuracy {:.1}%  macro-F1 {:.3}  (n={})",
+                binary.report.accuracy * 100.0,
+                binary.report.macro_f1,
+                binary.report.n
+            );
+            let labeled: Vec<(String, ScamType, u32)> = world
+                .messages
+                .iter()
+                .map(|m| (m.text.clone(), m.truth.scam_type, m.campaign.0))
+                .collect();
+            let grouped = multiclass_study_grouped(&labeled, args.seed).expect("corpus");
+            println!(
+                "typology (campaign-held-out): accuracy {:.1}%  macro-F1 {:.3}  (n={})",
+                grouped.report.accuracy * 100.0,
+                grouped.report.macro_f1,
+                grouped.report.n
+            );
+        }
+        "link" => {
+            let (_, table) = linking_ablation(&output);
+            println!("{table}");
+        }
+        "mitigate" => {
+            println!("{}", mitigation_study(&output).to_table());
+            println!("{}", domain_freshness(&output).to_table());
+            println!("{}", report_latency(&output).to_table());
+        }
+        other => {
+            eprintln!("unknown command {other}\n{}", usage());
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Cross-crate integration: world generation through every pipeline stage.
+
+use smishing::prelude::*;
+
+fn output() -> (World, &'static str) {
+    (World::generate(WorldConfig { scale: 0.03, seed: 0xE2E, ..WorldConfig::default() }), "e2e")
+}
+
+#[test]
+fn pipeline_recovers_most_ground_truth_messages() {
+    let (world, _) = output();
+    let out = Pipeline::default().run(&world);
+    // Every record that cites a ground-truth message must quote it
+    // faithfully (modulo the documented redaction of URLs).
+    let mut faithful = 0;
+    let mut cited = 0;
+    for r in &out.records {
+        let Some(mid) = r.curated.truth_message else { continue };
+        cited += 1;
+        let truth = &world.messages[mid.0 as usize];
+        if r.curated.text == truth.text || r.curated.text.contains("[link removed]") {
+            faithful += 1;
+        }
+    }
+    assert!(cited > 100);
+    assert!(
+        faithful as f64 / cited as f64 > 0.95,
+        "{faithful}/{cited} records quote their message faithfully"
+    );
+}
+
+#[test]
+fn annotation_accuracy_against_ground_truth() {
+    let (world, _) = output();
+    let out = Pipeline::default().run(&world);
+    let mut scam_hits = 0;
+    let mut brand_hits = 0;
+    let mut lang_hits = 0;
+    let mut n = 0;
+    for r in &out.records {
+        let Some(mid) = r.curated.truth_message else { continue };
+        let truth = &world.messages[mid.0 as usize].truth;
+        n += 1;
+        if r.annotation.scam_type == truth.scam_type {
+            scam_hits += 1;
+        }
+        if r.annotation.brand == truth.brand {
+            brand_hits += 1;
+        }
+        if r.annotation.language == Some(truth.language) {
+            lang_hits += 1;
+        }
+    }
+    let (scam, brand, lang) =
+        (scam_hits as f64 / n as f64, brand_hits as f64 / n as f64, lang_hits as f64 / n as f64);
+    assert!(scam > 0.75, "scam-type accuracy {scam}");
+    assert!(brand > 0.6, "brand accuracy {brand}");
+    assert!(lang > 0.9, "language accuracy {lang}");
+}
+
+#[test]
+fn hlr_attribution_matches_campaign_ground_truth() {
+    let (world, _) = output();
+    let out = Pipeline::default().run(&world);
+    // For records whose ground-truth campaign used a mobile pool, the HLR
+    // must attribute the original operator correctly.
+    use smishing::worldsim::SenderStrategy;
+    let mut hits = 0;
+    let mut n = 0;
+    for r in &out.records {
+        let Some(mid) = r.curated.truth_message else { continue };
+        let campaign_id = world.messages[mid.0 as usize].campaign;
+        let campaign = &world.campaigns[campaign_id.0 as usize];
+        if let SenderStrategy::MobilePool { operator, country, .. } = &campaign.senders {
+            let Some(hlr) = &r.hlr else { continue };
+            n += 1;
+            if hlr.original_operator == Some(operator) && hlr.origin_country == Some(*country) {
+                hits += 1;
+            }
+        }
+    }
+    assert!(n > 50, "{n}");
+    assert!(hits as f64 / n as f64 > 0.95, "{hits}/{n} HLR attributions correct");
+}
+
+#[test]
+fn url_enrichment_is_internally_consistent() {
+    let (world, _) = output();
+    let out = Pipeline::default().run(&world);
+    for r in &out.records {
+        let Some(u) = &r.url else { continue };
+        // Shortened / WhatsApp URLs never expose infrastructure.
+        if u.shortener.is_some() || u.whatsapp {
+            assert!(u.domain.is_none());
+            assert!(u.certs.is_empty());
+            assert!(u.registrar.is_none());
+        }
+        // Free-hosted sites never have WHOIS records.
+        if u.free_hosted {
+            assert!(u.registrar.is_none());
+        }
+        // Any resolved IP maps back to a catalogued AS.
+        for (_, info) in &u.resolutions {
+            assert!(info.is_some(), "IP without AS attribution");
+        }
+    }
+}
+
+#[test]
+fn umbrella_prelude_compiles_and_runs() {
+    let world = World::generate(WorldConfig { scale: 0.01, seed: 1, ..WorldConfig::default() });
+    let out = Pipeline::default().run(&world);
+    let results = smishing::prelude::run_all(&out);
+    assert_eq!(results.len(), 23);
+}

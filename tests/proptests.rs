@@ -1,0 +1,155 @@
+//! Workspace-level property-based tests on the cross-crate invariants.
+
+use proptest::prelude::*;
+use smishing::core::dataset::mask_pii;
+use smishing::stats::{cohen_kappa, ks_two_sample, median, quantile, Counter};
+use smishing::textnlp::normalize_text;
+use smishing::types::{
+    parse_timestamp, CivilDateTime, Date, TimeOfDay, TimestampStyle, UnixTime,
+};
+use smishing::webinfra::{parse_url, refang, registrable_domain};
+
+proptest! {
+    // ---------- civil time ----------
+
+    #[test]
+    fn unix_civil_round_trip(secs in -2_000_000_000i64..4_000_000_000i64) {
+        let t = UnixTime(secs);
+        prop_assert_eq!(t.civil().to_unix(), t);
+    }
+
+    #[test]
+    fn date_day_arithmetic_is_consistent(days in -40_000i64..40_000i64, delta in -500i64..500i64) {
+        let d = Date::from_days_since_epoch(days);
+        prop_assert_eq!(d.days_from_epoch(), days);
+        let e = d.plus_days(delta);
+        prop_assert_eq!(e.days_from_epoch() - d.days_from_epoch(), delta);
+    }
+
+    #[test]
+    fn weekday_cycles_every_seven_days(days in -30_000i64..30_000i64) {
+        let d = Date::from_days_since_epoch(days);
+        prop_assert_eq!(d.weekday(), d.plus_days(7).weekday());
+        prop_assert_ne!(d.weekday(), d.plus_days(1).weekday());
+    }
+
+    #[test]
+    fn every_rendered_timestamp_parses(
+        days in 17_000i64..20_000i64,
+        secs in 0u32..86_400,
+        style_idx in 0usize..TimestampStyle::ALL.len(),
+    ) {
+        let civil = CivilDateTime::new(
+            Date::from_days_since_epoch(days),
+            TimeOfDay::from_seconds_since_midnight(secs - secs % 60),
+        );
+        let style = TimestampStyle::ALL[style_idx];
+        let rendered = style.format(civil);
+        let parsed = parse_timestamp(&rendered);
+        prop_assert!(parsed.is_some(), "{} unparsable", rendered);
+        prop_assert_eq!(parsed.unwrap().time_of_day(), Some(civil.time));
+    }
+
+    // ---------- URLs ----------
+
+    #[test]
+    fn parse_url_never_panics(s in "\\PC{0,80}") {
+        let _ = parse_url(&s);
+        let _ = refang(&s);
+        let _ = registrable_domain(&s);
+    }
+
+    #[test]
+    fn parsed_urls_are_idempotent(
+        host in "[a-z]{1,12}(-[a-z]{1,8})?\\.(com|info|co\\.uk|xyz|web\\.app)",
+        path in "(/[a-z0-9]{1,10}){0,3}",
+    ) {
+        let url = format!("https://{host}{path}");
+        let once = parse_url(&url).expect("well-formed URL parses");
+        let twice = parse_url(&once.to_url_string()).expect("canonical form re-parses");
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn defanged_urls_reparse_to_same_host(
+        host in "[a-z]{2,12}\\.(com|net|org)",
+    ) {
+        let clean = format!("https://{host}/x");
+        let defanged = clean.replace("https://", "hxxps://").replace('.', "[.]");
+        let a = parse_url(&clean).unwrap();
+        let b = parse_url(&defanged).unwrap();
+        prop_assert_eq!(a.host, b.host);
+    }
+
+    // ---------- normalization ----------
+
+    #[test]
+    fn normalize_is_idempotent(s in "\\PC{0,60}") {
+        let once = normalize_text(&s);
+        let twice = normalize_text(&once);
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn mask_pii_kills_urls_and_numbers(
+        word in "[a-z]{1,8}",
+        digits in "[0-9]{8,14}",
+    ) {
+        let text = format!("{word} call {digits} or visit https://evil.com/{word}");
+        let masked = mask_pii(&text);
+        prop_assert!(!masked.contains(&digits));
+        prop_assert!(!masked.contains("https://"));
+        prop_assert!(masked.contains(&word));
+    }
+
+    // ---------- stats ----------
+
+    #[test]
+    fn kappa_is_bounded_and_perfect_on_identity(labels in prop::collection::vec(0u8..5, 2..80)) {
+        let k = cohen_kappa(&labels, &labels).unwrap();
+        prop_assert!((k - 1.0).abs() < 1e-9);
+        let mut flipped = labels.clone();
+        for l in flipped.iter_mut() {
+            *l = (*l + 1) % 5;
+        }
+        if let Some(k2) = cohen_kappa(&labels, &flipped) {
+            prop_assert!(k2 <= 1.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn ks_statistic_in_unit_interval(
+        a in prop::collection::vec(0.0f64..100.0, 1..60),
+        b in prop::collection::vec(0.0f64..100.0, 1..60),
+    ) {
+        let r = ks_two_sample(&a, &b).unwrap();
+        prop_assert!((0.0..=1.0).contains(&r.statistic));
+        prop_assert!((0.0..=1.0).contains(&r.p_value));
+        // Self-comparison is never significant.
+        let same = ks_two_sample(&a, &a).unwrap();
+        prop_assert!(same.statistic < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_are_monotone(sample in prop::collection::vec(-1e6f64..1e6, 1..50)) {
+        let q25 = quantile(&sample, 0.25).unwrap();
+        let q50 = median(&sample).unwrap();
+        let q75 = quantile(&sample, 0.75).unwrap();
+        prop_assert!(q25 <= q50 && q50 <= q75);
+        let min = sample.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = sample.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(q25 >= min && q75 <= max);
+    }
+
+    #[test]
+    fn counter_totals_are_conserved(items in prop::collection::vec(0u16..40, 0..200)) {
+        let counter: Counter<u16> = items.iter().copied().collect();
+        prop_assert_eq!(counter.total() as usize, items.len());
+        let sum: u64 = counter.sorted().iter().map(|(_, c)| c).sum();
+        prop_assert_eq!(sum as usize, items.len());
+        let top = counter.top_k(5);
+        for w in top.windows(2) {
+            prop_assert!(w[0].1 >= w[1].1);
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! The contract of the reproduction: every paper artifact's *shape* holds
+//! on a fresh world with a seed different from the one the analysis tests
+//! use — the calibration must be a property of the model, not of one seed.
+
+use smishing::prelude::*;
+use std::sync::OnceLock;
+
+fn results() -> &'static Vec<ExperimentResult> {
+    static RESULTS: OnceLock<Vec<ExperimentResult>> = OnceLock::new();
+    RESULTS.get_or_init(|| {
+        let world: &'static World = Box::leak(Box::new(World::generate(WorldConfig {
+            scale: 0.2,
+            seed: 0x5EED_CAFE,
+            ..WorldConfig::default()
+        })));
+        let out: &'static _ = Box::leak(Box::new(Pipeline::default().run(world)));
+        run_all(out)
+    })
+}
+
+#[test]
+fn all_twenty_three_experiments_run() {
+    assert_eq!(results().len(), 23);
+    let ids: Vec<&str> = results().iter().map(|r| r.id).collect();
+    for want in [
+        "T1", "T2", "T3", "T4", "T5", "T6", "T7", "T8", "T9", "T10", "T11", "T12", "T13",
+        "T14", "T15", "T16", "T17", "T18", "T19", "F2", "F3", "IRR", "CUR",
+    ] {
+        assert!(ids.contains(&want), "missing experiment {want}");
+    }
+}
+
+#[test]
+fn every_shape_check_passes_on_a_fresh_seed() {
+    let mut failures = Vec::new();
+    for r in results() {
+        for (desc, ok) in &r.checks {
+            if !ok {
+                failures.push(format!("{}: {}", r.id, desc));
+            }
+        }
+    }
+    assert!(failures.is_empty(), "failed shape checks:\n{}", failures.join("\n"));
+}
+
+#[test]
+fn every_table_renders_nonempty() {
+    for r in results() {
+        assert!(!r.table.is_empty(), "{} produced an empty table", r.id);
+        let rendered = r.table.to_string();
+        assert!(rendered.lines().count() >= 3, "{}", r.id);
+    }
+}

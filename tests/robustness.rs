@@ -1,0 +1,121 @@
+//! Adversarial-input robustness: the pipeline must degrade gracefully, not
+//! panic, on inputs worse than the generator produces.
+
+use smishing::core::curation::{curate_post, CurationOptions};
+use smishing::core::enrich::{enrich, parse_sender};
+use smishing::prelude::*;
+use smishing::screenshot::{render_sms, AppTheme, RenderSpec};
+use smishing::types::{CivilDateTime, Date, TextReport, TimeOfDay, TimestampStyle};
+use smishing::worldsim::{Post, PostBody};
+
+fn small_world() -> World {
+    World::generate(WorldConfig { scale: 0.01, seed: 0xBAD, ..WorldConfig::default() })
+}
+
+fn post_with(body: PostBody) -> Post {
+    Post {
+        id: smishing::types::PostId(999_999),
+        forum: Forum::Twitter,
+        posted_at: UnixTime(1_600_000_000),
+        body,
+        reported_message: None,
+        subreddit: None,
+    }
+}
+
+#[test]
+fn hostile_form_fields_do_not_panic() {
+    let world = small_world();
+    let opts = CurationOptions::default();
+    let hostile_bodies = [
+        "", " ", "\u{0}\u{0}\u{0}", "{}{}{}{", "https://", "[.][.][.]",
+        "a]d[.]b hxxps:// ++44++", "🎣🐟💬", "ｈｔｔｐｓ://ｗｉｄｅ.example",
+        &"x".repeat(10_000),
+    ];
+    for body in hostile_bodies {
+        let post = post_with(PostBody::Form {
+            report: TextReport {
+                sender: Some("++++not a number++++".into()),
+                body: body.to_string(),
+                url: Some("hxxp://br[.]ok[.]en///".into()),
+                claimed_brand: Some("\u{202e}evil".into()),
+                claimed_country: Some("??".into()),
+                received_date: Date::new(2022, 2, 2).ok(),
+            },
+            screenshot: None,
+        });
+        if let Some(curated) = curate_post(&post, &opts) {
+            let record = enrich(curated, &world);
+            // Whatever happened, the record is internally consistent.
+            if let Some(u) = &record.url {
+                assert!(!u.parsed.host.is_empty());
+            }
+        }
+    }
+}
+
+#[test]
+fn hostile_screenshots_do_not_panic() {
+    let world = small_world();
+    let opts = CurationOptions::default();
+    let mut rng = rand::rngs::mock::StepRng::new(7, 13);
+    let texts = [
+        "{brand} {url} {unclosed",
+        "line\nbreaks\nand\ttabs",
+        "مرحبا مزيج of scripts 混合 текст",
+        "https://a.b https://c.d https://e.f",
+    ];
+    for text in texts {
+        let shot = render_sms(
+            &RenderSpec {
+                sender: Some("＋４４７９１１".into()),
+                text: text.to_string(),
+                url: None,
+                received: CivilDateTime::new(
+                    Date::new(2020, 2, 29).unwrap(), // leap day
+                    TimeOfDay::new(23, 59, 59).unwrap(),
+                ),
+                timestamp_style: Some(TimestampStyle::AbbrevMonthAmPm),
+                theme: AppTheme::CustomThemed,
+                noise: 0.99,
+            },
+            &mut rng,
+        );
+        let post = post_with(PostBody::ImageReport(shot));
+        if let Some(curated) = curate_post(&post, &opts) {
+            let _ = enrich(curated, &world);
+        }
+    }
+}
+
+#[test]
+fn hostile_senders_classify_to_something() {
+    for raw in [
+        "", "+", "++", "00", "@", "@@", "a@", "@b", "𝔸𝔹ℂ", "+99999999999999999999999999",
+        "(((((((", "12 34 56 78 90 12 34 56", "NUL\u{0}BYTE", "SBI\u{202e}KNB",
+    ] {
+        let _ = parse_sender(raw); // must not panic; any Option is fine
+    }
+}
+
+#[test]
+fn pipeline_survives_a_world_with_every_post_duplicated() {
+    // Duplicate every post (simulating a scraper double-fetch): totals
+    // double, uniques stay identical.
+    let world = small_world();
+    let (n_total, n_unique) = {
+        let out1 = Pipeline::default().run(&world);
+        (out1.curated_total.len(), out1.records.len())
+    };
+
+    let mut doubled = world;
+    let mut extra: Vec<Post> = doubled.posts.clone();
+    for (i, p) in extra.iter_mut().enumerate() {
+        p.id = smishing::types::PostId(1_000_000 + i as u64);
+    }
+    doubled.posts.extend(extra);
+    let out2 = Pipeline::default().run(&doubled);
+
+    assert_eq!(out2.curated_total.len(), n_total * 2);
+    assert_eq!(out2.records.len(), n_unique, "uniques are idempotent");
+}

@@ -1,0 +1,29 @@
+//! Multi-seed stability of the reproduction (slow; run with `--ignored`).
+//!
+//! ```sh
+//! cargo test --release -p smishing --test seed_sweep -- --ignored
+//! ```
+
+use smishing::prelude::*;
+
+#[test]
+#[ignore = "slow: runs the full experiment suite across five seeds"]
+fn shape_checks_hold_across_seeds() {
+    let mut failures = Vec::new();
+    for seed in [1u64, 2, 3, 0xAAAA, 0xFFFF_FFFF] {
+        let world = World::generate(WorldConfig {
+            scale: 0.2,
+            seed,
+            ..WorldConfig::default()
+        });
+        let out = Pipeline::default().run(&world);
+        for r in run_all(&out) {
+            for (desc, ok) in &r.checks {
+                if !ok {
+                    failures.push(format!("seed {seed:#x} {}: {desc}", r.id));
+                }
+            }
+        }
+    }
+    assert!(failures.is_empty(), "{} failures:\n{}", failures.len(), failures.join("\n"));
+}
