@@ -78,7 +78,9 @@ mod tests {
     use super::*;
 
     fn urls(n: usize) -> Vec<String> {
-        (0..n).map(|i| format!("https://campaign{i}.bad-domain{}.com/pay", i % 977)).collect()
+        (0..n)
+            .map(|i| format!("https://campaign{i}.bad-domain{}.com/pay", i % 977))
+            .collect()
     }
 
     #[test]
@@ -97,9 +99,8 @@ mod tests {
         let api = us.iter().filter(|u| gsb.api_unsafe(u)).count() as f64 / n;
         let vt = us.iter().filter(|u| gsb.vt_listed_unsafe(u)).count() as f64 / n;
         let verdicts: Vec<_> = us.iter().map(|u| gsb.transparency(u)).collect();
-        let tfrac = |v: TransparencyVerdict| {
-            verdicts.iter().filter(|&&x| x == v).count() as f64 / n
-        };
+        let tfrac =
+            |v: TransparencyVerdict| verdicts.iter().filter(|&&x| x == v).count() as f64 / n;
         // Paper: API 1.0%, VT-listed 1.6%, transparency unsafe 4.0%,
         // partial 2.2%, undetected 29.6%, no-data 14.2%, not-queried 50.1%.
         assert!((0.004..0.022).contains(&api), "api {api}");

@@ -18,7 +18,11 @@ pub struct AvVendor {
 }
 
 const fn v(name: &'static str, coverage: f64, suspicious_rate: f64) -> AvVendor {
-    AvVendor { name, coverage, suspicious_rate }
+    AvVendor {
+        name,
+        coverage,
+        suspicious_rate,
+    }
 }
 
 /// The 70 vendors VirusTotal lists (§3.3.4). A handful of aggressive
@@ -140,7 +144,11 @@ mod tests {
 
     #[test]
     fn seventy_vendors() {
-        assert_eq!(VENDORS.len(), 70, "§3.3.4: over 70 AV vendors on VirusTotal");
+        assert_eq!(
+            VENDORS.len(),
+            70,
+            "§3.3.4: over 70 AV vendors on VirusTotal"
+        );
     }
 
     #[test]

@@ -58,7 +58,9 @@ mod tests {
     use super::*;
 
     fn urls(n: usize) -> Vec<String> {
-        (0..n).map(|i| format!("https://campaign{i}.bad-domain{}.com/pay", i % 977)).collect()
+        (0..n)
+            .map(|i| format!("https://campaign{i}.bad-domain{}.com/pay", i % 977))
+            .collect()
     }
 
     #[test]

@@ -28,7 +28,10 @@ fn bench_ablations(c: &mut Criterion) {
         ("curation_llm", ExtractorChoice::Llm),
     ] {
         g.bench_function(name, |b| {
-            let opts = CurationOptions { extractor, ..CurationOptions::default() };
+            let opts = CurationOptions {
+                extractor,
+                ..CurationOptions::default()
+            };
             b.iter(|| black_box(curate_posts(&posts, &opts).len()))
         });
     }
@@ -44,11 +47,17 @@ fn bench_ablations(c: &mut Criterion) {
 
     // 3. Serial vs parallel curation.
     g.bench_function("curation_serial", |b| {
-        let opts = CurationOptions { workers: 1, ..CurationOptions::default() };
+        let opts = CurationOptions {
+            workers: 1,
+            ..CurationOptions::default()
+        };
         b.iter(|| black_box(curate_posts(&posts, &opts).len()))
     });
     g.bench_function("curation_parallel_4", |b| {
-        let opts = CurationOptions { workers: 4, ..CurationOptions::default() };
+        let opts = CurationOptions {
+            workers: 4,
+            ..CurationOptions::default()
+        };
         b.iter(|| black_box(curate_posts(&posts, &opts).len()))
     });
 

@@ -36,12 +36,18 @@ fn bench_components(c: &mut Criterion) {
             black_box(parse_phone("+44 7911 123456"))
         })
     });
-    g.bench_function("langid_en", |b| b.iter(|| black_box(identify_language(SAMPLE_TEXT))));
-    g.bench_function("langid_es", |b| b.iter(|| black_box(identify_language(SAMPLE_ES))));
+    g.bench_function("langid_en", |b| {
+        b.iter(|| black_box(identify_language(SAMPLE_TEXT)))
+    });
+    g.bench_function("langid_es", |b| {
+        b.iter(|| black_box(identify_language(SAMPLE_ES)))
+    });
     g.bench_function("normalize_text", |b| {
         b.iter(|| black_box(normalize_text("Your N3tfl!x account w1ll be l0cked t0day!")))
     });
-    g.bench_function("brand_ner", |b| b.iter(|| black_box(extract_brand(SAMPLE_TEXT))));
+    g.bench_function("brand_ner", |b| {
+        b.iter(|| black_box(extract_brand(SAMPLE_TEXT)))
+    });
     g.bench_function("full_annotation", |b| {
         let annotator = PipelineAnnotator::new();
         b.iter(|| black_box(annotator.annotate(SAMPLE_ES)))
@@ -75,7 +81,9 @@ fn bench_components(c: &mut Criterion) {
     });
 
     let s1: Vec<f64> = (0..1000).map(|i| (i as f64 * 7919.0) % 86_400.0).collect();
-    let s2: Vec<f64> = (0..1000).map(|i| (i as f64 * 104_729.0) % 86_400.0).collect();
+    let s2: Vec<f64> = (0..1000)
+        .map(|i| (i as f64 * 104_729.0) % 86_400.0)
+        .collect();
     g.bench_function("ks_two_sample_1k", |b| {
         b.iter(|| black_box(ks_two_sample(&s1, &s2)))
     });

@@ -42,8 +42,11 @@ fn bench_extensions(c: &mut Criterion) {
         .map(|m| (featurize(&m.text), m.truth.scam_type))
         .collect();
     let model = NaiveBayes::train(&samples, 1.0).expect("trainable");
-    let probe = featurize("Your parcel is held at the depot, pay the fee at https://cutt.ly/ab now");
-    g.bench_function("detect_nb_predict", |b| b.iter(|| black_box(model.predict(&probe))));
+    let probe =
+        featurize("Your parcel is held at the depot, pay the fee at https://cutt.ly/ab now");
+    g.bench_function("detect_nb_predict", |b| {
+        b.iter(|| black_box(model.predict(&probe)))
+    });
 
     // Linking.
     g.bench_function("linking_all_pivots", |b| {
@@ -54,7 +57,11 @@ fn bench_extensions(c: &mut Criterion) {
             black_box(
                 link_campaigns(
                     out,
-                    LinkingPivots { domain: true, sender: false, skeleton: false },
+                    LinkingPivots {
+                        domain: true,
+                        sender: false,
+                        skeleton: false,
+                    },
                 )
                 .pair_f1(),
             )

@@ -1,0 +1,71 @@
+//! Streaming ingest vs the batch pipeline: the same world, end to end,
+//! through `smishing_stream::ingest` at 1/2/4/8 shards and through
+//! `Pipeline::run`. The streaming engine pays for channels, marker
+//! alignment and winner retraction; the shards buy back curation and
+//! enrichment parallelism.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use smishing_core::pipeline::Pipeline;
+use smishing_stream::{ingest, SnapshotPlan, StreamConfig};
+use smishing_worldsim::{ReportStream, World, WorldConfig};
+use std::hint::black_box;
+
+fn bench_stream_ingest(c: &mut Criterion) {
+    let world = World::generate(WorldConfig {
+        scale: 0.02,
+        ..WorldConfig::default()
+    });
+    let mut g = c.benchmark_group("stream_ingest");
+    g.sample_size(10);
+
+    g.bench_function("batch_pipeline", |b| {
+        b.iter(|| black_box(Pipeline::default().run(&world)))
+    });
+
+    for shards in [1usize, 2, 4, 8] {
+        let cfg = StreamConfig {
+            shards,
+            ..Default::default()
+        };
+        g.bench_function(format!("stream_{shards}_shards"), |b| {
+            b.iter(|| {
+                black_box(ingest(
+                    &world,
+                    ReportStream::replay(&world),
+                    &cfg,
+                    &SnapshotPlan::none(),
+                    |_| {},
+                ))
+            })
+        });
+    }
+
+    // The cost of observing the stream: four snapshots over the run.
+    let cfg = StreamConfig {
+        shards: 4,
+        ..Default::default()
+    };
+    let step = (world.posts.len() as u64 / 4).max(1);
+    g.bench_function("stream_4_shards_snapshots", |b| {
+        b.iter(|| {
+            black_box(ingest(
+                &world,
+                ReportStream::replay(&world),
+                &cfg,
+                &SnapshotPlan::every(step),
+                |s| {
+                    black_box(s.at_posts);
+                },
+            ))
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_stream_ingest
+}
+criterion_main!(benches);

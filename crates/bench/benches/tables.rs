@@ -7,8 +7,8 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use smishing_bench::bench_output;
 use smishing_core::analysis::{
-    asn, av, brands, categories, countries, extraction, irr, languages, lures, methods,
-    overview, registrars, sender_info, shorteners, timestamps, tlds, tls,
+    asn, av, brands, categories, countries, extraction, irr, languages, lures, methods, overview,
+    registrars, sender_info, shorteners, timestamps, tlds, tls,
 };
 use smishing_core::casestudy;
 use std::hint::black_box;
@@ -20,7 +20,9 @@ fn bench_tables(c: &mut Criterion) {
     g.bench_function("t01_overview", |b| {
         b.iter(|| black_box(overview::overview(out).totals()))
     });
-    g.bench_function("t02_methods", |b| b.iter(|| black_box(methods::methods_table())));
+    g.bench_function("t02_methods", |b| {
+        b.iter(|| black_box(methods::methods_table()))
+    });
     g.bench_function("t03_t04_sender_info", |b| {
         b.iter(|| black_box(sender_info::sender_info(out).number_types.total()))
     });
@@ -30,7 +32,9 @@ fn bench_tables(c: &mut Criterion) {
     g.bench_function("t06_t16_tlds", |b| {
         b.iter(|| black_box(tlds::tld_use(out).smishing_tlds.total()))
     });
-    g.bench_function("t07_tls", |b| b.iter(|| black_box(tls::tls_use(out).mean_certs())));
+    g.bench_function("t07_tls", |b| {
+        b.iter(|| black_box(tls::tls_use(out).mean_certs()))
+    });
     g.bench_function("t08_asn", |b| {
         b.iter(|| black_box(asn::asn_use(out).resolving_domains))
     });

@@ -14,12 +14,22 @@ use smishing_worldsim::{World, WorldConfig};
 use std::time::Instant;
 
 fn main() {
-    let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.25);
-    let seed: u64 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(0xF15F);
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.25);
+    let seed: u64 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xF15F);
 
     eprintln!("# Reproduction run: scale {scale}, seed {seed:#x}");
     let t0 = Instant::now();
-    let world = World::generate(WorldConfig { scale, seed, ..WorldConfig::default() });
+    let world = World::generate(WorldConfig {
+        scale,
+        seed,
+        ..WorldConfig::default()
+    });
     eprintln!(
         "world: {} campaigns / {} messages / {} posts in {:.1?}",
         world.campaigns.len(),
@@ -39,7 +49,11 @@ fn main() {
 
     let t2 = Instant::now();
     let results = run_all(&output);
-    eprintln!("analyses: {} experiments in {:.1?}\n", results.len(), t2.elapsed());
+    eprintln!(
+        "analyses: {} experiments in {:.1?}\n",
+        results.len(),
+        t2.elapsed()
+    );
 
     let mut passed = 0;
     let mut failed = 0;
@@ -59,7 +73,10 @@ fn main() {
         }
     }
     println!("\n================================================================");
-    println!("Shape checks: {passed} passed, {failed} failed (total wall time {:.1?})", t0.elapsed());
+    println!(
+        "Shape checks: {passed} passed, {failed} failed (total wall time {:.1?})",
+        t0.elapsed()
+    );
     if failed > 0 {
         std::process::exit(1);
     }

@@ -18,7 +18,10 @@ pub const BENCH_SCALE: f64 = 0.02;
 pub fn bench_world() -> &'static World {
     static WORLD: OnceLock<World> = OnceLock::new();
     WORLD.get_or_init(|| {
-        World::generate(WorldConfig { scale: BENCH_SCALE, ..WorldConfig::default() })
+        World::generate(WorldConfig {
+            scale: BENCH_SCALE,
+            ..WorldConfig::default()
+        })
     })
 }
 

@@ -1,8 +1,9 @@
 //! Table 8: autonomous systems hosting smishing pages (§4.6).
 
+use crate::enrich::EnrichedRecord;
 use crate::pipeline::PipelineOutput;
 use crate::table::TextTable;
-use smishing_stats::Counter;
+use smishing_stats::{Counter, FirstClaim};
 use std::collections::{BTreeSet, HashSet};
 use std::net::Ipv4Addr;
 
@@ -25,70 +26,155 @@ pub struct AsnUse {
     pub bulletproof_domains: usize,
 }
 
-/// Compute AS usage.
+/// Compute AS usage (a fold of [`AsnAcc`]).
 pub fn asn_use(out: &PipelineOutput<'_>) -> AsnUse {
-    let mut seen_domains: HashSet<&str> = HashSet::new();
-    let mut ips: HashSet<Ipv4Addr> = HashSet::new();
-    let mut ips_per_org: Counter<&'static str> = Counter::new();
-    let mut domains_per_org: Counter<&'static str> = Counter::new();
-    let mut org_details: Vec<(&'static str, BTreeSet<u32>, BTreeSet<&'static str>)> = Vec::new();
-    let mut resolving = 0;
-    let mut cloudflare_domains = 0;
-    let mut bulletproof_domains = 0;
-
+    let mut acc = AsnAcc::new();
     for r in &out.records {
-        let Some(url) = &r.url else { continue };
-        let Some(domain) = url.domain.as_deref() else { continue };
-        if !seen_domains.insert(domain) || url.resolutions.is_empty() {
-            continue;
-        }
-        resolving += 1;
-        let mut orgs_here: HashSet<&'static str> = HashSet::new();
-        for (res, info) in &url.resolutions {
-            let Some(info) = info else { continue };
-            let org = info.record.org;
-            if ips.insert(res.ip) {
-                ips_per_org.add(org);
-            }
-            orgs_here.insert(org);
-            match org_details.iter_mut().find(|(o, _, _)| *o == org) {
-                Some((_, asns, countries)) => {
-                    asns.insert(info.asn);
-                    countries.insert(info.country);
-                }
-                None => {
-                    let mut asns = BTreeSet::new();
-                    asns.insert(info.asn);
-                    let mut countries = BTreeSet::new();
-                    countries.insert(info.country);
-                    org_details.push((org, asns, countries));
-                }
-            }
-        }
-        if orgs_here.contains("Cloudflare") {
-            cloudflare_domains += 1;
-        }
-        if orgs_here.iter().any(|o| {
-            out.world.services.asn.org(o).is_some_and(|rec| rec.bulletproof)
-        }) {
-            bulletproof_domains += 1;
-        }
-        for org in orgs_here {
-            domains_per_org.add(org);
-        }
+        acc.add_record(r);
     }
-    AsnUse {
-        resolving_domains: resolving,
-        distinct_ips: ips.len(),
-        ips_per_org,
-        domains_per_org,
-        org_details,
-        cloudflare_domain_share: if resolving == 0 {
-            0.0
-        } else {
-            cloudflare_domains as f64 / resolving as f64
-        },
-        bulletproof_domains,
+    acc.finish()
+}
+
+/// One resolution's contribution, captured at claim time: the AS record is
+/// a static-catalog entry, so its org/ASN/country/bulletproof flags travel
+/// with the claim and no world lookup is needed at finish.
+#[derive(Debug, Clone, Copy)]
+struct AsnResolution {
+    ip: Ipv4Addr,
+    org: &'static str,
+    asn: u32,
+    country: &'static str,
+    bulletproof: bool,
+}
+
+/// One record's contribution for its unique domain. `resolved` mirrors the
+/// batch check on the raw resolution list (which may contain entries with
+/// no AS info); `infos` keeps only the informative ones.
+#[derive(Debug, Clone)]
+struct AsnClaim {
+    resolved: bool,
+    infos: Vec<AsnResolution>,
+}
+
+/// Incremental form of [`asn_use`]: a record claims its registrable domain
+/// even when it has no resolutions (mirroring the batch pass, where a
+/// non-resolving first record still consumes the domain slot); the global
+/// distinct-IP attribution is replayed over winners in `post_id` order at
+/// finish.
+#[derive(Debug, Clone, Default)]
+pub struct AsnAcc {
+    claims: FirstClaim<String, AsnClaim>,
+}
+
+impl AsnAcc {
+    /// New empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold in one unique record.
+    pub fn add_record(&mut self, r: &EnrichedRecord) {
+        let Some(url) = &r.url else { return };
+        let Some(domain) = url.domain.clone() else {
+            return;
+        };
+        let infos = url
+            .resolutions
+            .iter()
+            .filter_map(|(res, info)| {
+                info.as_ref().map(|i| AsnResolution {
+                    ip: res.ip,
+                    org: i.record.org,
+                    asn: i.asn,
+                    country: i.country,
+                    bulletproof: i.record.bulletproof,
+                })
+            })
+            .collect();
+        let claim = AsnClaim {
+            resolved: !url.resolutions.is_empty(),
+            infos,
+        };
+        self.claims.add(domain, r.curated.post_id.0, claim);
+    }
+
+    /// Retract a record previously folded in.
+    pub fn sub_record(&mut self, r: &EnrichedRecord) {
+        let Some(url) = &r.url else { return };
+        let Some(domain) = url.domain.as_ref() else {
+            return;
+        };
+        self.claims.sub(domain, r.curated.post_id.0);
+    }
+
+    /// Absorb another shard's accumulator.
+    pub fn merge(&mut self, other: AsnAcc) {
+        self.claims.merge(other.claims);
+    }
+
+    /// Produce the batch result.
+    pub fn finish(&self) -> AsnUse {
+        let mut ips: HashSet<Ipv4Addr> = HashSet::new();
+        let mut ips_per_org: Counter<&'static str> = Counter::new();
+        let mut domains_per_org: Counter<&'static str> = Counter::new();
+        let mut org_details: Vec<(&'static str, BTreeSet<u32>, BTreeSet<&'static str>)> =
+            Vec::new();
+        let mut resolving = 0;
+        let mut cloudflare_domains = 0;
+        let mut bulletproof_domains = 0;
+
+        // Claimant order replays the batch pass: first-seen records hand out
+        // distinct-IP credit and org_details insertion positions.
+        for (_, _, claim) in self.claims.winners_by_claimant() {
+            if !claim.resolved {
+                continue;
+            }
+            resolving += 1;
+            let mut orgs_here: HashSet<&'static str> = HashSet::new();
+            let mut bulletproof_here = false;
+            for info in &claim.infos {
+                if ips.insert(info.ip) {
+                    ips_per_org.add(info.org);
+                }
+                orgs_here.insert(info.org);
+                bulletproof_here |= info.bulletproof;
+                match org_details.iter_mut().find(|(o, _, _)| *o == info.org) {
+                    Some((_, asns, countries)) => {
+                        asns.insert(info.asn);
+                        countries.insert(info.country);
+                    }
+                    None => {
+                        let mut asns = BTreeSet::new();
+                        asns.insert(info.asn);
+                        let mut countries = BTreeSet::new();
+                        countries.insert(info.country);
+                        org_details.push((info.org, asns, countries));
+                    }
+                }
+            }
+            if orgs_here.contains("Cloudflare") {
+                cloudflare_domains += 1;
+            }
+            if bulletproof_here {
+                bulletproof_domains += 1;
+            }
+            for org in orgs_here {
+                domains_per_org.add(org);
+            }
+        }
+        AsnUse {
+            resolving_domains: resolving,
+            distinct_ips: ips.len(),
+            ips_per_org,
+            domains_per_org,
+            org_details,
+            cloudflare_domain_share: if resolving == 0 {
+                0.0
+            } else {
+                cloudflare_domains as f64 / resolving as f64
+            },
+            bulletproof_domains,
+        }
     }
 }
 
@@ -111,7 +197,10 @@ impl AsnUse {
                 .find(|(o, _, _)| *o == org)
                 .map(|(_, a, c)| {
                     (
-                        a.iter().map(|n| format!("AS{n}")).collect::<Vec<_>>().join(", "),
+                        a.iter()
+                            .map(|n| format!("AS{n}"))
+                            .collect::<Vec<_>>()
+                            .join(", "),
                         c.iter().copied().collect::<Vec<_>>().join(", "),
                     )
                 })
@@ -136,7 +225,12 @@ mod tests {
         // §4.6: 466 resolving domains out of thousands queried.
         let u = asn_use(testfix::output());
         assert!(u.resolving_domains > 10, "{}", u.resolving_domains);
-        assert!(u.distinct_ips >= u.resolving_domains, "IPs {} < domains {}", u.distinct_ips, u.resolving_domains);
+        assert!(
+            u.distinct_ips >= u.resolving_domains,
+            "IPs {} < domains {}",
+            u.distinct_ips,
+            u.resolving_domains
+        );
     }
 
     #[test]

@@ -1,8 +1,10 @@
 //! Tables 9 and 18: antivirus detection of smishing URLs (§4.7).
 
+use crate::enrich::EnrichedRecord;
 use crate::pipeline::PipelineOutput;
 use crate::table::{count_pct, TextTable};
 use smishing_avscan::TransparencyVerdict;
+use smishing_stats::FirstClaim;
 
 /// VirusTotal threshold rows (Table 9).
 #[derive(Debug, Clone, Copy, Default)]
@@ -40,47 +42,105 @@ pub struct AvDetection {
     pub gsb: GsbCounts,
 }
 
-/// Compute AV detection stats.
+/// Compute AV detection stats (a fold of [`AvAcc`]).
 pub fn av_detection(out: &PipelineOutput<'_>) -> AvDetection {
-    let mut seen = std::collections::HashSet::new();
-    let mut vt = VtThresholds::default();
-    let mut gsb = GsbCounts::default();
+    let mut acc = AvAcc::new();
     for r in &out.records {
-        let Some(url) = &r.url else { continue };
-        if !seen.insert(url.parsed.to_url_string()) {
-            continue;
-        }
-        vt.n += 1;
-        gsb.n += 1;
-        if url.vt.is_clean() {
-            vt.clean += 1;
-        }
-        for (i, th) in [1, 3, 5, 10, 15].into_iter().enumerate() {
-            if url.vt.malicious >= th {
-                vt.mal_ge[i] += 1;
-            }
-        }
-        for (i, th) in [1, 3, 5].into_iter().enumerate() {
-            if url.vt.suspicious >= th {
-                vt.susp_ge[i] += 1;
-            }
-        }
-        if url.gsb_api_unsafe {
-            gsb.api_unsafe += 1;
-        }
-        if url.gsb_vt_listed {
-            gsb.vt_listed_unsafe += 1;
-        }
-        let idx = match url.gsb_transparency {
-            TransparencyVerdict::Unsafe => 0,
-            TransparencyVerdict::PartiallyUnsafe => 1,
-            TransparencyVerdict::Undetected => 2,
-            TransparencyVerdict::NoData => 3,
-            TransparencyVerdict::NotQueried => 4,
-        };
-        gsb.transparency[idx] += 1;
+        acc.add_record(r);
     }
-    AvDetection { vt, gsb }
+    acc.finish()
+}
+
+/// The AV verdicts one record would contribute for its unique URL.
+#[derive(Debug, Clone, Copy)]
+struct AvClaim {
+    clean: bool,
+    malicious: u32,
+    suspicious: u32,
+    gsb_api_unsafe: bool,
+    gsb_vt_listed: bool,
+    transparency: TransparencyVerdict,
+}
+
+/// Incremental form of [`av_detection`]: per-URL first-claims folded at
+/// finish.
+#[derive(Debug, Clone, Default)]
+pub struct AvAcc {
+    claims: FirstClaim<String, AvClaim>,
+}
+
+impl AvAcc {
+    /// New empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold in one unique record.
+    pub fn add_record(&mut self, r: &EnrichedRecord) {
+        let Some(url) = &r.url else { return };
+        self.claims.add(
+            url.parsed.to_url_string(),
+            r.curated.post_id.0,
+            AvClaim {
+                clean: url.vt.is_clean(),
+                malicious: url.vt.malicious,
+                suspicious: url.vt.suspicious,
+                gsb_api_unsafe: url.gsb_api_unsafe,
+                gsb_vt_listed: url.gsb_vt_listed,
+                transparency: url.gsb_transparency,
+            },
+        );
+    }
+
+    /// Retract a record previously folded in.
+    pub fn sub_record(&mut self, r: &EnrichedRecord) {
+        let Some(url) = &r.url else { return };
+        self.claims
+            .sub(&url.parsed.to_url_string(), r.curated.post_id.0);
+    }
+
+    /// Absorb another shard's accumulator.
+    pub fn merge(&mut self, other: AvAcc) {
+        self.claims.merge(other.claims);
+    }
+
+    /// Produce the batch result.
+    pub fn finish(&self) -> AvDetection {
+        let mut vt = VtThresholds::default();
+        let mut gsb = GsbCounts::default();
+        for (_, _, claim) in self.claims.winners() {
+            vt.n += 1;
+            gsb.n += 1;
+            if claim.clean {
+                vt.clean += 1;
+            }
+            for (i, th) in [1, 3, 5, 10, 15].into_iter().enumerate() {
+                if claim.malicious >= th {
+                    vt.mal_ge[i] += 1;
+                }
+            }
+            for (i, th) in [1, 3, 5].into_iter().enumerate() {
+                if claim.suspicious >= th {
+                    vt.susp_ge[i] += 1;
+                }
+            }
+            if claim.gsb_api_unsafe {
+                gsb.api_unsafe += 1;
+            }
+            if claim.gsb_vt_listed {
+                gsb.vt_listed_unsafe += 1;
+            }
+            let idx = match claim.transparency {
+                TransparencyVerdict::Unsafe => 0,
+                TransparencyVerdict::PartiallyUnsafe => 1,
+                TransparencyVerdict::Undetected => 2,
+                TransparencyVerdict::NoData => 3,
+                TransparencyVerdict::NotQueried => 4,
+            };
+            gsb.transparency[idx] += 1;
+        }
+        AvDetection { vt, gsb }
+    }
 }
 
 impl AvDetection {
@@ -91,12 +151,21 @@ impl AvDetection {
             &["VirusTotal results", "URLs"],
         );
         let n = self.vt.n as u64;
-        t.row(&["Malicious = 0 and Suspicious = 0".into(), count_pct(self.vt.clean as u64, n)]);
+        t.row(&[
+            "Malicious = 0 and Suspicious = 0".into(),
+            count_pct(self.vt.clean as u64, n),
+        ]);
         for (i, th) in [1, 3, 5, 10, 15].into_iter().enumerate() {
-            t.row(&[format!("Malicious >= {th}"), count_pct(self.vt.mal_ge[i] as u64, n)]);
+            t.row(&[
+                format!("Malicious >= {th}"),
+                count_pct(self.vt.mal_ge[i] as u64, n),
+            ]);
         }
         for (i, th) in [1, 3, 5].into_iter().enumerate() {
-            t.row(&[format!("Suspicious >= {th}"), count_pct(self.vt.susp_ge[i] as u64, n)]);
+            t.row(&[
+                format!("Suspicious >= {th}"),
+                count_pct(self.vt.susp_ge[i] as u64, n),
+            ]);
         }
         t
     }
@@ -105,7 +174,14 @@ impl AvDetection {
     pub fn to_table18(&self) -> TextTable {
         let mut t = TextTable::new(
             "Table 18: Google Safe Browsing results (three views)",
-            &["View", "Unsafe", "Partially", "Undetected", "No data", "Not queried"],
+            &[
+                "View",
+                "Unsafe",
+                "Partially",
+                "Undetected",
+                "No data",
+                "Not queried",
+            ],
         );
         let n = self.gsb.n as u64;
         t.row(&[

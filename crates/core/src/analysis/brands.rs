@@ -1,8 +1,10 @@
 //! Table 12: impersonated brands (§5.4).
 
+use crate::curation::CuratedMessage;
+use crate::enrich::EnrichedRecord;
 use crate::pipeline::PipelineOutput;
 use crate::table::{count_pct, TextTable};
-use smishing_stats::Counter;
+use smishing_stats::{Counter, FirstClaim, RefCount};
 use smishing_textnlp::brands::BrandCatalog;
 
 /// Brand impersonation counts over all curated messages.
@@ -14,25 +16,75 @@ pub struct Brands {
     pub no_brand: usize,
 }
 
-/// Compute Table 12 (weighted over total messages via unique annotations).
+/// Compute Table 12 (weighted over total messages via unique annotations;
+/// a fold of [`BrandsAcc`]).
 pub fn brands(out: &PipelineOutput<'_>) -> Brands {
-    let mut by_key: std::collections::HashMap<String, Option<String>> =
-        std::collections::HashMap::new();
+    let mut acc = BrandsAcc::new();
     for r in &out.records {
-        by_key.insert(
+        acc.add_record(r);
+    }
+    for c in &out.curated_total {
+        acc.add_curated(c);
+    }
+    acc.finish()
+}
+
+/// Incremental form of [`brands`]: per-key multiplicities from the curated
+/// stream joined at finish time against first-claim brand annotations from
+/// the unique records.
+#[derive(Debug, Clone, Default)]
+pub struct BrandsAcc {
+    brands: FirstClaim<String, Option<String>>,
+    key_counts: RefCount<String>,
+}
+
+impl BrandsAcc {
+    /// New empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold in one curated message (total-weighted side).
+    pub fn add_curated(&mut self, c: &CuratedMessage) {
+        self.key_counts
+            .add(c.dedup_key(crate::curation::DedupMode::Normalized));
+    }
+
+    /// Fold in one unique record (annotation side).
+    pub fn add_record(&mut self, r: &EnrichedRecord) {
+        self.brands.add(
             r.curated.dedup_key(crate::curation::DedupMode::Normalized),
+            r.curated.post_id.0,
             r.annotation.brand.clone(),
         );
     }
-    let mut counts = Counter::new();
-    let mut no_brand = 0;
-    for c in &out.curated_total {
-        match by_key.get(&c.dedup_key(crate::curation::DedupMode::Normalized)) {
-            Some(Some(b)) => counts.add(b.clone()),
-            _ => no_brand += 1,
-        }
+
+    /// Retract a record previously folded in.
+    pub fn sub_record(&mut self, r: &EnrichedRecord) {
+        self.brands.sub(
+            &r.curated.dedup_key(crate::curation::DedupMode::Normalized),
+            r.curated.post_id.0,
+        );
     }
-    Brands { counts, no_brand }
+
+    /// Absorb another shard's accumulator.
+    pub fn merge(&mut self, other: BrandsAcc) {
+        self.brands.merge(other.brands);
+        self.key_counts.merge(other.key_counts);
+    }
+
+    /// Produce the batch result.
+    pub fn finish(&self) -> Brands {
+        let mut counts = Counter::new();
+        let mut no_brand = 0usize;
+        for (key, n) in self.key_counts.iter() {
+            match self.brands.winner(key) {
+                Some((_, Some(b))) => counts.add_n(b.clone(), n),
+                _ => no_brand += n as usize,
+            }
+        }
+        Brands { counts, no_brand }
+    }
 }
 
 impl Brands {
@@ -78,7 +130,8 @@ mod tests {
             .top_k(10)
             .iter()
             .filter(|(name, _)| {
-                cat.by_name(name).is_some_and(|br| br.sector == Sector::Banking)
+                cat.by_name(name)
+                    .is_some_and(|br| br.sector == Sector::Banking)
             })
             .count();
         assert!(bank_count >= 5, "{bank_count} banks in top 10");
@@ -90,7 +143,8 @@ mod tests {
         let b = brands(testfix::output());
         let top: Vec<String> = b.counts.top_k(20).into_iter().map(|(n, _)| n).collect();
         assert!(
-            top.iter().any(|n| n == "Amazon" || n == "Netflix" || n == "PayPal"),
+            top.iter()
+                .any(|n| n == "Amazon" || n == "Netflix" || n == "PayPal"),
             "{top:?}"
         );
     }

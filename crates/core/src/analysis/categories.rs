@@ -1,8 +1,10 @@
 //! Table 10: scam-category distribution with top languages (§5.2).
 
+use crate::curation::CuratedMessage;
+use crate::enrich::EnrichedRecord;
 use crate::pipeline::PipelineOutput;
 use crate::table::{count_pct, TextTable};
-use smishing_stats::Counter;
+use smishing_stats::{Counter, FirstClaim, RefCount};
 use smishing_types::{Language, ScamType};
 use std::collections::HashMap;
 
@@ -17,28 +19,80 @@ pub struct Categories {
 }
 
 /// Compute Table 10. Classification comes from the pipeline's annotator on
-/// the unique records, then weighted back over duplicates by key.
+/// the unique records, then weighted back over duplicates by key (a fold
+/// of [`CategoriesAcc`]).
 pub fn categories(out: &PipelineOutput<'_>) -> Categories {
-    // Annotate the unique records, then count every curated (total) message
-    // through its unique key's annotation.
-    let mut by_key: HashMap<String, (ScamType, Option<Language>)> = HashMap::new();
+    let mut acc = CategoriesAcc::new();
     for r in &out.records {
-        by_key.insert(
+        acc.add_record(r);
+    }
+    for c in &out.curated_total {
+        acc.add_curated(c);
+    }
+    acc.finish()
+}
+
+/// Incremental form of [`categories`]. Two streams feed it: curated
+/// messages bump a per-dedup-key multiplicity, and unique records claim
+/// the key's annotation (minimum `post_id` wins, so shard merges and
+/// winner displacement both resolve exactly as the batch pass over
+/// `post_id`-sorted records).
+#[derive(Debug, Clone, Default)]
+pub struct CategoriesAcc {
+    annots: FirstClaim<String, (ScamType, Option<Language>)>,
+    key_counts: RefCount<String>,
+}
+
+impl CategoriesAcc {
+    /// New empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold in one curated message (total-weighted side).
+    pub fn add_curated(&mut self, c: &CuratedMessage) {
+        self.key_counts
+            .add(c.dedup_key(crate::curation::DedupMode::Normalized));
+    }
+
+    /// Fold in one unique record (annotation side).
+    pub fn add_record(&mut self, r: &EnrichedRecord) {
+        self.annots.add(
             r.curated.dedup_key(crate::curation::DedupMode::Normalized),
+            r.curated.post_id.0,
             (r.annotation.scam_type, r.annotation.language),
         );
     }
-    let mut counts = Counter::new();
-    let mut languages: HashMap<ScamType, Counter<Language>> = HashMap::new();
-    for c in &out.curated_total {
-        let key = c.dedup_key(crate::curation::DedupMode::Normalized);
-        let Some(&(scam, lang)) = by_key.get(&key) else { continue };
-        counts.add(scam);
-        if let Some(lang) = lang {
-            languages.entry(scam).or_default().add(lang);
-        }
+
+    /// Retract a record previously folded in.
+    pub fn sub_record(&mut self, r: &EnrichedRecord) {
+        self.annots.sub(
+            &r.curated.dedup_key(crate::curation::DedupMode::Normalized),
+            r.curated.post_id.0,
+        );
     }
-    Categories { counts, languages }
+
+    /// Absorb another shard's accumulator.
+    pub fn merge(&mut self, other: CategoriesAcc) {
+        self.annots.merge(other.annots);
+        self.key_counts.merge(other.key_counts);
+    }
+
+    /// Produce the batch result.
+    pub fn finish(&self) -> Categories {
+        let mut counts = Counter::new();
+        let mut languages: HashMap<ScamType, Counter<Language>> = HashMap::new();
+        for (key, n) in self.key_counts.iter() {
+            let Some((_, &(scam, lang))) = self.annots.winner(key) else {
+                continue;
+            };
+            counts.add_n(scam, n);
+            if let Some(lang) = lang {
+                languages.entry(scam).or_default().add_n(lang, n);
+            }
+        }
+        Categories { counts, languages }
+    }
 }
 
 impl Categories {
@@ -93,7 +147,10 @@ mod tests {
         assert!(c.counts.get(&ScamType::Others) > c.counts.get(&ScamType::Delivery));
         assert!(c.counts.get(&ScamType::Delivery) > c.counts.get(&ScamType::Telecom));
         assert!(c.counts.get(&ScamType::Government) > c.counts.get(&ScamType::WrongNumber));
-        assert!(c.counts.get(&ScamType::Spam) > 0, "spam leaks into user reports (§5.2)");
+        assert!(
+            c.counts.get(&ScamType::Spam) > 0,
+            "spam leaks into user reports (§5.2)"
+        );
         assert!(
             c.counts.get(&ScamType::Spam) < c.counts.get(&ScamType::Banking) / 4,
             "but stays a small minority"

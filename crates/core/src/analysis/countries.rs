@@ -1,11 +1,12 @@
 //! Table 14 and Figure 3: sender-ID origin countries and their scam mix
 //! (§5.6).
 
+use crate::enrich::EnrichedRecord;
 use crate::pipeline::PipelineOutput;
 use crate::table::TextTable;
-use smishing_stats::Counter;
+use smishing_stats::{Counter, FirstClaim};
 use smishing_telecom::NumberStatus;
-use smishing_types::{Country, ScamType};
+use smishing_types::{Country, PhoneNumber, ScamType};
 use std::collections::{HashMap, HashSet};
 
 /// Country measurements over unique mobile-number senders.
@@ -21,31 +22,105 @@ pub struct Countries {
     pub scam_mix: HashMap<Country, Counter<ScamType>>,
 }
 
-/// Compute Table 14 / Figure 3.
+/// Compute Table 14 / Figure 3 (a fold of [`CountriesAcc`]).
 pub fn countries(out: &PipelineOutput<'_>) -> Countries {
-    let mut seen = HashSet::new();
-    let mut all = Counter::new();
-    let mut live = Counter::new();
-    let mut mnos: HashMap<Country, HashSet<&'static str>> = HashMap::new();
-    let mut scam_mix: HashMap<Country, Counter<ScamType>> = HashMap::new();
+    let mut acc = CountriesAcc::new();
     for r in &out.records {
-        let Some(hlr) = &r.hlr else { continue };
-        let Some(country) = hlr.origin_country else { continue };
-        let Some(sender) = &r.sender else { continue };
-        let Some(phone) = sender.phone() else { continue };
-        if !seen.insert(phone.clone()) {
-            continue;
-        }
-        all.add(country);
-        if hlr.status == NumberStatus::Live {
-            live.add(country);
-        }
-        if let Some(op) = hlr.original_operator {
-            mnos.entry(country).or_default().insert(op);
-        }
-        scam_mix.entry(country).or_default().add(r.annotation.scam_type);
+        acc.add_record(r);
     }
-    Countries { all, live, mnos, scam_mix }
+    acc.finish()
+}
+
+/// One record's contribution for its unique phone number.
+#[derive(Debug, Clone, Copy)]
+struct CountryClaim {
+    country: Country,
+    live: bool,
+    operator: Option<&'static str>,
+    scam: ScamType,
+}
+
+/// Incremental form of [`countries`]: phone-number uniqueness is
+/// first-wins by `post_id`; records without an HLR country or a parseable
+/// phone never claim (exactly the batch guards).
+#[derive(Debug, Clone, Default)]
+pub struct CountriesAcc {
+    claims: FirstClaim<PhoneNumber, CountryClaim>,
+}
+
+impl CountriesAcc {
+    /// New empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold in one unique record.
+    pub fn add_record(&mut self, r: &EnrichedRecord) {
+        let Some(claim) = Self::project(r) else {
+            return;
+        };
+        let phone = r
+            .sender
+            .as_ref()
+            .and_then(|s| s.phone())
+            .expect("projected");
+        self.claims.add(phone.clone(), r.curated.post_id.0, claim);
+    }
+
+    /// Retract a record previously folded in.
+    pub fn sub_record(&mut self, r: &EnrichedRecord) {
+        if Self::project(r).is_none() {
+            return;
+        }
+        let phone = r
+            .sender
+            .as_ref()
+            .and_then(|s| s.phone())
+            .expect("projected");
+        self.claims.sub(phone, r.curated.post_id.0);
+    }
+
+    fn project(r: &EnrichedRecord) -> Option<CountryClaim> {
+        let hlr = r.hlr.as_ref()?;
+        let country = hlr.origin_country?;
+        let sender = r.sender.as_ref()?;
+        sender.phone()?;
+        Some(CountryClaim {
+            country,
+            live: hlr.status == NumberStatus::Live,
+            operator: hlr.original_operator,
+            scam: r.annotation.scam_type,
+        })
+    }
+
+    /// Absorb another shard's accumulator.
+    pub fn merge(&mut self, other: CountriesAcc) {
+        self.claims.merge(other.claims);
+    }
+
+    /// Produce the batch result.
+    pub fn finish(&self) -> Countries {
+        let mut all = Counter::new();
+        let mut live = Counter::new();
+        let mut mnos: HashMap<Country, HashSet<&'static str>> = HashMap::new();
+        let mut scam_mix: HashMap<Country, Counter<ScamType>> = HashMap::new();
+        for (_, _, claim) in self.claims.winners() {
+            all.add(claim.country);
+            if claim.live {
+                live.add(claim.country);
+            }
+            if let Some(op) = claim.operator {
+                mnos.entry(claim.country).or_default().insert(op);
+            }
+            scam_mix.entry(claim.country).or_default().add(claim.scam);
+        }
+        Countries {
+            all,
+            live,
+            mnos,
+            scam_mix,
+        }
+    }
 }
 
 impl Countries {
@@ -58,7 +133,11 @@ impl Countries {
         for (country, count) in self.all.top_k(10) {
             t.row(&[
                 country.name().to_string(),
-                self.mnos.get(&country).map(|s| s.len()).unwrap_or(0).to_string(),
+                self.mnos
+                    .get(&country)
+                    .map(|s| s.len())
+                    .unwrap_or(0)
+                    .to_string(),
                 count.to_string(),
                 self.live.get(&country).to_string(),
             ]);
@@ -90,7 +169,9 @@ impl Countries {
     pub fn figure3_table(&self) -> TextTable {
         let mut t = TextTable::new(
             "Figure 3: scam-type mix per top-10 origin country (%)",
-            &["Country", "Bank", "Deliv", "Gov", "Tele", "Wrong#", "Mum/Dad", "Others"],
+            &[
+                "Country", "Bank", "Deliv", "Gov", "Tele", "Wrong#", "Mum/Dad", "Others",
+            ],
         );
         for (country, series) in self.figure3() {
             let get = |s: ScamType| {
@@ -155,7 +236,11 @@ mod tests {
         let c = countries(testfix::output());
         let india = c.scam_mix.get(&Country::India).expect("india present");
         assert_eq!(india.top_k(1)[0].0, ScamType::Banking);
-        assert!(india.share(&ScamType::Banking) > 0.5, "{}", india.share(&ScamType::Banking));
+        assert!(
+            india.share(&ScamType::Banking) > 0.5,
+            "{}",
+            india.share(&ScamType::Banking)
+        );
         let us = c.scam_mix.get(&Country::UnitedStates).expect("us present");
         assert!(
             us.share(&ScamType::Others) > india.share(&ScamType::Others),

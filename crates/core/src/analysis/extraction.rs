@@ -5,7 +5,9 @@
 
 use crate::pipeline::PipelineOutput;
 use crate::table::TextTable;
-use smishing_screenshot::{evaluate, ExtractionScore, LlmExtractor, NaiveOcr, Screenshot, VisionOcr};
+use smishing_screenshot::{
+    evaluate, ExtractionScore, LlmExtractor, NaiveOcr, Screenshot, VisionOcr,
+};
 use smishing_worldsim::PostBody;
 
 /// Comparison result for the three extractors.
@@ -29,7 +31,10 @@ pub fn extractor_comparison(out: &PipelineOutput<'_>, limit: usize) -> Extractor
         .iter()
         .filter_map(|p| match &p.body {
             PostBody::ImageReport(s) | PostBody::NoiseImage(s) => Some(s.clone()),
-            PostBody::Form { screenshot: Some(s), .. } => Some(s.clone()),
+            PostBody::Form {
+                screenshot: Some(s),
+                ..
+            } => Some(s.clone()),
             _ => None,
         })
         .take(limit)
@@ -48,7 +53,14 @@ impl ExtractorComparison {
     pub fn to_table(&self) -> TextTable {
         let mut t = TextTable::new(
             "§3.2: extractor comparison over report screenshots",
-            &["Extractor", "Text exact", "URL exact", "Sender", "Timestamp", "SMS-vs-not"],
+            &[
+                "Extractor",
+                "Text exact",
+                "URL exact",
+                "Sender",
+                "Timestamp",
+                "SMS-vs-not",
+            ],
         );
         let f = |x: f64| format!("{:.1}%", x * 100.0);
         for (name, s) in [

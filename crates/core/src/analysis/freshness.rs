@@ -35,8 +35,12 @@ pub struct DomainFreshness {
 
 /// Compute domain ages and NRD coverage over the unique records.
 pub fn domain_freshness(out: &PipelineOutput<'_>) -> DomainFreshness {
-    let posted_at: HashMap<_, _> =
-        out.world.posts.iter().map(|p| (p.id, p.posted_at)).collect();
+    let posted_at: HashMap<_, _> = out
+        .world
+        .posts
+        .iter()
+        .map(|p| (p.id, p.posted_at))
+        .collect();
 
     // First-report instant per unique domain, plus per-message ages.
     let mut first_report: HashMap<String, UnixTime> = HashMap::new();
@@ -44,11 +48,15 @@ pub fn domain_freshness(out: &PipelineOutput<'_>) -> DomainFreshness {
     let mut no_answer = 0;
     for r in &out.records {
         let Some(url) = &r.url else { continue };
-        let Some(domain) = url.domain.as_deref() else { continue };
+        let Some(domain) = url.domain.as_deref() else {
+            continue;
+        };
         if url.free_hosted {
             continue;
         }
-        let Some(&at) = posted_at.get(&r.curated.post_id) else { continue };
+        let Some(&at) = posted_at.get(&r.curated.post_id) else {
+            continue;
+        };
         let Some(rec) = out.world.services.whois.query(domain) else {
             no_answer += 1;
             continue;
@@ -104,7 +112,10 @@ impl DomainFreshness {
         if self.messages_with_domain == 0 {
             return 0.0;
         }
-        self.caught_by_window.get(&window_days).copied().unwrap_or(0) as f64
+        self.caught_by_window
+            .get(&window_days)
+            .copied()
+            .unwrap_or(0) as f64
             / self.messages_with_domain as f64
     }
 
@@ -114,10 +125,15 @@ impl DomainFreshness {
             "Domain age at first report & NRD-blocklist coverage",
             &["Metric", "Value"],
         );
-        t.row(&["unique registered domains".into(), self.ages_days.len().to_string()]);
+        t.row(&[
+            "unique registered domains".into(),
+            self.ages_days.len().to_string(),
+        ]);
         if let Some((min, q1, med, q3, max)) = five_number_summary(&self.ages_days) {
-            t.row(&["age min/q1/median/q3/max (days)".into(),
-                format!("{min:.1} / {q1:.1} / {med:.1} / {q3:.1} / {max:.1}")]);
+            t.row(&[
+                "age min/q1/median/q3/max (days)".into(),
+                format!("{min:.1} / {q1:.1} / {med:.1} / {q3:.1} / {max:.1}"),
+            ]);
         }
         for &w in NRD_WINDOWS {
             t.row(&[
@@ -125,7 +141,10 @@ impl DomainFreshness {
                 format!("{:.1}%", self.nrd_coverage(w) * 100.0),
             ]);
         }
-        t.row(&["domains without WHOIS answer".into(), self.no_answer.to_string()]);
+        t.row(&[
+            "domains without WHOIS answer".into(),
+            self.no_answer.to_string(),
+        ]);
         t
     }
 }
@@ -145,7 +164,11 @@ mod tests {
         let med = median(&f.ages_days).unwrap();
         assert!((1.0..60.0).contains(&med), "median age {med} days");
         // Essentially everything is inside the registration year.
-        assert!(f.share_younger_than(365.0) > 0.99, "{}", f.share_younger_than(365.0));
+        assert!(
+            f.share_younger_than(365.0) > 0.99,
+            "{}",
+            f.share_younger_than(365.0)
+        );
     }
 
     #[test]

@@ -83,7 +83,11 @@ pub fn irr_study(out: &PipelineOutput<'_>, sample_size: usize, seed: u64) -> Irr
     // Lure sets are compared as nominal labels (the exact set is the
     // category), matching how the paper reports a single κ per property.
     let set_label = |lures: &[Lure]| -> String {
-        lures.iter().map(|l| l.label()).collect::<Vec<_>>().join("+")
+        lures
+            .iter()
+            .map(|l| l.label())
+            .collect::<Vec<_>>()
+            .join("+")
     };
     let h1_lureset: Vec<String> = h1_lures.iter().map(|v| set_label(v)).collect();
     let h2_lureset: Vec<String> = h2_lures.iter().map(|v| set_label(v)).collect();
@@ -109,7 +113,11 @@ pub fn irr_study(out: &PipelineOutput<'_>, sample_size: usize, seed: u64) -> Irr
         lures: cohen_kappa(&llm_lureset, &cons_lureset).unwrap_or(0.0),
     };
 
-    IrrStudy { n: sample.len(), human_human, llm_consensus }
+    IrrStudy {
+        n: sample.len(),
+        human_human,
+        llm_consensus,
+    }
 }
 
 impl IrrStudy {
@@ -157,7 +165,10 @@ mod tests {
         assert!((0.70..1.0).contains(&k.brands), "brands {}", k.brands);
         assert!((0.85..1.0).contains(&k.scam_types), "scam {}", k.scam_types);
         assert!((0.70..1.0).contains(&k.lures), "lures {}", k.lures);
-        assert_eq!(AgreementLevel::of(k.scam_types), AgreementLevel::NearPerfect);
+        assert_eq!(
+            AgreementLevel::of(k.scam_types),
+            AgreementLevel::NearPerfect
+        );
     }
 
     #[test]

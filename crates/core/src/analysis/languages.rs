@@ -14,17 +14,52 @@ pub struct Languages {
     pub unidentified: usize,
 }
 
-/// Compute Table 11.
+/// Compute Table 11 (a fold of [`LanguagesAcc`] over the curated total).
 pub fn languages(out: &PipelineOutput<'_>) -> Languages {
-    let mut counts = Counter::new();
-    let mut unidentified = 0;
+    let mut acc = LanguagesAcc::new();
     for c in &out.curated_total {
+        acc.add_curated(c);
+    }
+    acc.finish()
+}
+
+/// Incremental form of [`languages`]: counts stream in one curated message
+/// at a time and shard states merge losslessly. Curated messages are never
+/// retracted (deduplication displaces *records*, not reports), so no `sub`
+/// is needed.
+#[derive(Debug, Clone, Default)]
+pub struct LanguagesAcc {
+    counts: Counter<Language>,
+    unidentified: usize,
+}
+
+impl LanguagesAcc {
+    /// New empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold in one curated message.
+    pub fn add_curated(&mut self, c: &crate::curation::CuratedMessage) {
         match c.language {
-            Some(l) => counts.add(l),
-            None => unidentified += 1,
+            Some(l) => self.counts.add(l),
+            None => self.unidentified += 1,
         }
     }
-    Languages { counts, unidentified }
+
+    /// Absorb another shard's accumulator.
+    pub fn merge(&mut self, other: LanguagesAcc) {
+        self.counts.merge(&other.counts);
+        self.unidentified += other.unidentified;
+    }
+
+    /// Produce the batch result.
+    pub fn finish(&self) -> Languages {
+        Languages {
+            counts: self.counts.clone(),
+            unidentified: self.unidentified,
+        }
+    }
 }
 
 impl Languages {
@@ -41,7 +76,11 @@ impl Languages {
         );
         let total = self.counts.total();
         for (lang, count) in self.counts.top_k(10) {
-            t.row(&[lang.name().to_string(), lang.code().to_string(), count_pct(count, total)]);
+            t.row(&[
+                lang.name().to_string(),
+                lang.code().to_string(),
+                count_pct(count, total),
+            ]);
         }
         t.row(&[
             "(distinct languages)".into(),
@@ -80,9 +119,18 @@ mod tests {
     #[test]
     fn major_european_languages_present() {
         let l = languages(testfix::output());
-        let top10: Vec<Language> =
-            l.counts.top_k(10).into_iter().map(|(lang, _)| lang).collect();
-        let majors = [Language::Spanish, Language::Dutch, Language::French, Language::German];
+        let top10: Vec<Language> = l
+            .counts
+            .top_k(10)
+            .into_iter()
+            .map(|(lang, _)| lang)
+            .collect();
+        let majors = [
+            Language::Spanish,
+            Language::Dutch,
+            Language::French,
+            Language::German,
+        ];
         let present = majors.iter().filter(|m| top10.contains(m)).count();
         assert!(present >= 3, "{top10:?}");
     }

@@ -55,7 +55,10 @@ pub fn report_latency(out: &PipelineOutput<'_>) -> ReportLatency {
                 if catalog.is_shortener(&parsed.host) {
                     short_total += 1;
                     if matches!(
-                        out.world.services.short_links.expand(&parsed, post.posted_at),
+                        out.world
+                            .services
+                            .short_links
+                            .expand(&parsed, post.posted_at),
                         smishing_webinfra::ExpandResult::Active(_)
                     ) {
                         live += 1;
@@ -89,9 +92,14 @@ impl ReportLatency {
             &["Metric", "Value"],
         );
         if let Some((min, q1, med, q3, max)) = five_number_summary(&self.delays_hours) {
-            t.row(&["reports with full timestamps".into(), self.delays_hours.len().to_string()]);
-            t.row(&["min / q1 / median / q3 / max (hours)".into(),
-                format!("{min:.1} / {q1:.1} / {med:.1} / {q3:.1} / {max:.1}")]);
+            t.row(&[
+                "reports with full timestamps".into(),
+                self.delays_hours.len().to_string(),
+            ]);
+            t.row(&[
+                "min / q1 / median / q3 / max (hours)".into(),
+                format!("{min:.1} / {q1:.1} / {med:.1} / {q3:.1} / {max:.1}"),
+            ]);
         }
         t.row(&[
             "short links still live at report time".into(),

@@ -31,7 +31,11 @@ pub struct LinkingPivots {
 
 impl LinkingPivots {
     /// All pivots on (the production configuration).
-    pub const ALL: LinkingPivots = LinkingPivots { domain: true, sender: true, skeleton: true };
+    pub const ALL: LinkingPivots = LinkingPivots {
+        domain: true,
+        sender: true,
+        skeleton: true,
+    };
 }
 
 /// Clustering outcome with ground-truth evaluation.
@@ -57,8 +61,7 @@ impl LinkingResult {
         if self.pair_precision + self.pair_recall == 0.0 {
             0.0
         } else {
-            2.0 * self.pair_precision * self.pair_recall
-                / (self.pair_precision + self.pair_recall)
+            2.0 * self.pair_precision * self.pair_recall / (self.pair_precision + self.pair_recall)
         }
     }
 
@@ -85,16 +88,47 @@ impl LinkingResult {
 fn linking_table_header() -> TextTable {
     TextTable::new(
         "Campaign linking by infrastructure pivoting",
-        &["Pivots", "Records", "Clusters", "True campaigns", "Pair P", "Pair R", "Pair F1"],
+        &[
+            "Pivots",
+            "Records",
+            "Clusters",
+            "True campaigns",
+            "Pair P",
+            "Pair R",
+            "Pair F1",
+        ],
     )
 }
 
 /// The full pivot ablation: each pivot alone, then all combined.
-pub fn linking_ablation(out: &PipelineOutput<'_>) -> (Vec<(&'static str, LinkingResult)>, TextTable) {
+pub fn linking_ablation(
+    out: &PipelineOutput<'_>,
+) -> (Vec<(&'static str, LinkingResult)>, TextTable) {
     let configs = [
-        ("domain", LinkingPivots { domain: true, sender: false, skeleton: false }),
-        ("sender", LinkingPivots { domain: false, sender: true, skeleton: false }),
-        ("skeleton", LinkingPivots { domain: false, sender: false, skeleton: true }),
+        (
+            "domain",
+            LinkingPivots {
+                domain: true,
+                sender: false,
+                skeleton: false,
+            },
+        ),
+        (
+            "sender",
+            LinkingPivots {
+                domain: false,
+                sender: true,
+                skeleton: false,
+            },
+        ),
+        (
+            "skeleton",
+            LinkingPivots {
+                domain: false,
+                sender: false,
+                skeleton: true,
+            },
+        ),
         ("all", LinkingPivots::ALL),
     ];
     let mut table = linking_table_header();
@@ -126,10 +160,7 @@ fn skeleton_of(text: &str) -> String {
 /// Pivot keys for one record: `(key, strong)` — strong pivots (domains)
 /// are exempt from the anti-hub rule, weak ones (senders, skeletons) are
 /// capped.
-fn pivot_keys(
-    r: &crate::enrich::EnrichedRecord,
-    pivots: LinkingPivots,
-) -> Vec<(String, bool)> {
+fn pivot_keys(r: &crate::enrich::EnrichedRecord, pivots: LinkingPivots) -> Vec<(String, bool)> {
     let mut keys = Vec::new();
     if pivots.domain {
         if let Some(u) = &r.url {
@@ -151,7 +182,10 @@ fn pivot_keys(
     }
     if pivots.skeleton {
         keys.push((
-            format!("t:{}", skeleton_of(&r.curated.dedup_key(DedupMode::Normalized))),
+            format!(
+                "t:{}",
+                skeleton_of(&r.curated.dedup_key(DedupMode::Normalized))
+            ),
             false,
         ));
     }
@@ -169,8 +203,11 @@ pub const WEAK_KEY_CAP: u32 = 40;
 
 /// Cluster the unique records on the chosen pivots and evaluate.
 pub fn link_campaigns(out: &PipelineOutput<'_>, pivots: LinkingPivots) -> LinkingResult {
-    let records: Vec<_> =
-        out.records.iter().filter(|r| r.curated.truth_message.is_some()).collect();
+    let records: Vec<_> = out
+        .records
+        .iter()
+        .filter(|r| r.curated.truth_message.is_some())
+        .collect();
     let n = records.len();
     let mut uf = UnionFind::new(n);
 
@@ -230,8 +267,16 @@ pub fn link_campaigns(out: &PipelineOutput<'_>, pivots: LinkingPivots) -> Linkin
         n,
         clusters: cluster_sizes.len(),
         true_campaigns: campaign_sizes.len(),
-        pair_precision: if linked_pairs == 0 { 1.0 } else { joint_pairs as f64 / linked_pairs as f64 },
-        pair_recall: if true_pairs == 0 { 1.0 } else { joint_pairs as f64 / true_pairs as f64 },
+        pair_precision: if linked_pairs == 0 {
+            1.0
+        } else {
+            joint_pairs as f64 / linked_pairs as f64
+        },
+        pair_recall: if true_pairs == 0 {
+            1.0
+        } else {
+            joint_pairs as f64 / true_pairs as f64
+        },
     }
 }
 
@@ -246,11 +291,19 @@ mod tests {
         // a shared campaign — the analyst's strongest pivot.
         let r = link_campaigns(
             testfix::output(),
-            LinkingPivots { domain: true, sender: false, skeleton: false },
+            LinkingPivots {
+                domain: true,
+                sender: false,
+                skeleton: false,
+            },
         );
         assert!(r.n > 2000, "{}", r.n);
         assert!(r.pair_precision > 0.95, "precision {}", r.pair_precision);
-        assert!((0.35..0.9).contains(&r.pair_recall), "recall {}", r.pair_recall);
+        assert!(
+            (0.35..0.9).contains(&r.pair_recall),
+            "recall {}",
+            r.pair_recall
+        );
     }
 
     #[test]
@@ -260,11 +313,23 @@ mod tests {
         // trades precision for recall — the practitioner's dilemma.
         let domain = link_campaigns(
             testfix::output(),
-            LinkingPivots { domain: true, sender: false, skeleton: false },
+            LinkingPivots {
+                domain: true,
+                sender: false,
+                skeleton: false,
+            },
         );
         let all = link_campaigns(testfix::output(), LinkingPivots::ALL);
-        assert!(all.pair_recall > domain.pair_recall + 0.05, "{} vs {}", all.pair_recall, domain.pair_recall);
-        assert!(all.pair_precision < domain.pair_precision, "weak pivots must cost precision");
+        assert!(
+            all.pair_recall > domain.pair_recall + 0.05,
+            "{} vs {}",
+            all.pair_recall,
+            domain.pair_recall
+        );
+        assert!(
+            all.pair_precision < domain.pair_precision,
+            "weak pivots must cost precision"
+        );
         // Transitive chaining through weak keys costs real precision even
         // with the anti-hub cap — the honest over-merge number stays well
         // above chance but far below the domain pivot.

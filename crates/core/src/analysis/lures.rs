@@ -1,8 +1,9 @@
 //! Table 13: lure principles per scam category (§5.5).
 
+use crate::enrich::EnrichedRecord;
 use crate::pipeline::PipelineOutput;
 use crate::table::TextTable;
-use smishing_stats::Counter;
+use smishing_stats::{Counter, RefCount};
 use smishing_types::{Lure, ScamType};
 use std::collections::HashMap;
 
@@ -19,22 +20,72 @@ pub struct Lures {
     pub n: usize,
 }
 
-/// Compute Table 13.
+/// Compute Table 13 (a fold of [`LuresAcc`] over the unique records).
 pub fn lures(out: &PipelineOutput<'_>) -> Lures {
-    let mut counts = Counter::new();
-    let mut by_scam: HashMap<(ScamType, Lure), u64> = HashMap::new();
-    let mut scam_totals = Counter::new();
-    let mut n = 0;
+    let mut acc = LuresAcc::new();
     for r in &out.records {
-        n += 1;
+        acc.add_record(r);
+    }
+    acc.finish()
+}
+
+/// Incremental form of [`lures`]. Lure counting has no internal
+/// deduplication, so retraction is plain multiset subtraction: when a
+/// record is displaced by a lower-`post_id` duplicate, `sub_record` undoes
+/// exactly what `add_record` contributed.
+#[derive(Debug, Clone, Default)]
+pub struct LuresAcc {
+    counts: RefCount<Lure>,
+    by_scam: RefCount<(ScamType, Lure)>,
+    scam_totals: RefCount<ScamType>,
+    n: u64,
+}
+
+impl LuresAcc {
+    /// New empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold in one unique record.
+    pub fn add_record(&mut self, r: &EnrichedRecord) {
+        self.n += 1;
         let scam = r.annotation.scam_type;
-        scam_totals.add(scam);
+        self.scam_totals.add(scam);
         for lure in r.annotation.lures.iter() {
-            counts.add(lure);
-            *by_scam.entry((scam, lure)).or_default() += 1;
+            self.counts.add(lure);
+            self.by_scam.add((scam, lure));
         }
     }
-    Lures { counts, by_scam, scam_totals, n }
+
+    /// Retract a record previously folded in.
+    pub fn sub_record(&mut self, r: &EnrichedRecord) {
+        self.n -= 1;
+        let scam = r.annotation.scam_type;
+        self.scam_totals.sub(&scam);
+        for lure in r.annotation.lures.iter() {
+            self.counts.sub(&lure);
+            self.by_scam.sub(&(scam, lure));
+        }
+    }
+
+    /// Absorb another shard's accumulator.
+    pub fn merge(&mut self, other: LuresAcc) {
+        self.counts.merge(other.counts);
+        self.by_scam.merge(other.by_scam);
+        self.scam_totals.merge(other.scam_totals);
+        self.n += other.n;
+    }
+
+    /// Produce the batch result.
+    pub fn finish(&self) -> Lures {
+        Lures {
+            counts: self.counts.to_counter(),
+            by_scam: self.by_scam.iter().map(|(&k, c)| (k, c)).collect(),
+            scam_totals: self.scam_totals.to_counter(),
+            n: self.n as usize,
+        }
+    }
 }
 
 impl Lures {
@@ -66,7 +117,11 @@ impl Lures {
         for &lure in Lure::ALL {
             let mut row = vec![lure.label().to_string()];
             for &s in &scams {
-                row.push(if self.is_characteristic(s, lure) { "✓".into() } else { "".into() });
+                row.push(if self.is_characteristic(s, lure) {
+                    "✓".into()
+                } else {
+                    "".into()
+                });
             }
             t.row(&row);
         }
@@ -107,7 +162,12 @@ mod tests {
     #[test]
     fn authority_in_institutional_scams_only() {
         let l = lures(testfix::output());
-        for s in [ScamType::Banking, ScamType::Delivery, ScamType::Government, ScamType::Telecom] {
+        for s in [
+            ScamType::Banking,
+            ScamType::Delivery,
+            ScamType::Government,
+            ScamType::Telecom,
+        ] {
             assert!(l.is_characteristic(s, Lure::Authority), "{s:?}");
         }
         assert!(!l.is_characteristic(ScamType::HeyMumDad, Lure::Authority));
@@ -127,9 +187,17 @@ mod tests {
     fn dishonesty_and_herd_are_rare() {
         // §5.5: dishonesty 0.5%, herd 1.2% of messages.
         let l = lures(testfix::output());
-        assert!(l.share(Lure::Dishonesty) < 0.05, "{}", l.share(Lure::Dishonesty));
+        assert!(
+            l.share(Lure::Dishonesty) < 0.05,
+            "{}",
+            l.share(Lure::Dishonesty)
+        );
         assert!(l.share(Lure::Herd) < 0.12, "{}", l.share(Lure::Herd));
-        assert!(l.share(Lure::TimeUrgency) > 0.5, "{}", l.share(Lure::TimeUrgency));
+        assert!(
+            l.share(Lure::TimeUrgency) > 0.5,
+            "{}",
+            l.share(Lure::TimeUrgency)
+        );
     }
 
     #[test]

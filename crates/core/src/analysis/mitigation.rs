@@ -91,7 +91,8 @@ pub fn mitigation_study(out: &PipelineOutput<'_>) -> MitigationStudy {
     let mut levers = vec![
         Lever {
             name: "Operator XDR URL filtering",
-            recommendation: "MNOs should deploy XDR filtering checking texts' URLs against threat intel",
+            recommendation:
+                "MNOs should deploy XDR filtering checking texts' URLs against threat intel",
             covered: operator_url_filter,
             total,
         },
@@ -103,7 +104,8 @@ pub fn mitigation_study(out: &PipelineOutput<'_>) -> MitigationStudy {
         },
         Lever {
             name: "Registrar brand-impersonation screening",
-            recommendation: "GoDaddy/NameCheap should restrict domains impersonating popular brands",
+            recommendation:
+                "GoDaddy/NameCheap should restrict domains impersonating popular brands",
             covered: registrar_screening,
             total,
         },
@@ -229,7 +231,10 @@ mod tests {
 
     #[test]
     fn brand_mention_matching() {
-        assert!(domain_mentions_brand("sbi-kyc-update.com", "State Bank of India"));
+        assert!(domain_mentions_brand(
+            "sbi-kyc-update.com",
+            "State Bank of India"
+        ));
         assert!(!domain_mentions_brand("netfl1x-billing.info", "Netflix")); // leet in domain
         assert!(domain_mentions_brand("netflix-billing.info", "Netflix"));
         assert!(!domain_mentions_brand("random-prize.xyz", "Netflix"));

@@ -57,7 +57,10 @@ pub(crate) mod testfix {
     pub fn output() -> &'static PipelineOutput<'static> {
         static OUT: OnceLock<PipelineOutput<'static>> = OnceLock::new();
         OUT.get_or_init(|| {
-            let config = WorldConfig { scale: 0.2, ..WorldConfig::default() };
+            let config = WorldConfig {
+                scale: 0.2,
+                ..WorldConfig::default()
+            };
             let world: &'static World = Box::leak(Box::new(World::generate(config)));
             Pipeline::default().run(world)
         })

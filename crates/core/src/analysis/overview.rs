@@ -1,12 +1,13 @@
 //! Table 1 (dataset overview per forum) and Table 15 (yearly Twitter
 //! distribution).
 
-use crate::curation::DedupMode;
+use crate::collect::CollectionStats;
+use crate::curation::{CuratedMessage, DedupMode};
 use crate::pipeline::PipelineOutput;
 use crate::table::{count_pct, group_thousands, TextTable};
-use smishing_stats::Counter;
+use smishing_stats::{Counter, RefCount};
 use smishing_types::Forum;
-use std::collections::HashSet;
+use std::collections::HashMap;
 
 /// One forum's row of Table 1.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -38,36 +39,105 @@ pub struct Overview {
     pub rows: Vec<ForumRow>,
 }
 
-/// Compute Table 1 from the pipeline output.
+/// Compute Table 1 from the pipeline output (a fold of [`OverviewAcc`]).
 pub fn overview(out: &PipelineOutput<'_>) -> Overview {
-    let mut rows = Vec::new();
-    for &forum in Forum::ALL {
-        let stats = out
-            .collection
-            .iter()
-            .find(|(f, _)| *f == forum)
-            .map(|(_, s)| *s)
-            .unwrap_or_default();
-        let curated: Vec<_> = out.curated_on(forum).collect();
-        let msgs_total = curated.len();
-        let keys: HashSet<String> =
-            curated.iter().map(|c| c.dedup_key(DedupMode::Normalized)).collect();
-        let senders: Vec<&str> =
-            curated.iter().filter_map(|c| c.sender_raw.as_deref()).collect();
-        let urls: Vec<&str> = curated.iter().filter_map(|c| c.url_raw.as_deref()).collect();
-        rows.push(ForumRow {
-            forum,
-            posts: stats.posts,
-            images: stats.images,
-            msgs_unique: keys.len(),
-            msgs_total,
-            senders_unique: senders.iter().collect::<HashSet<_>>().len(),
-            senders_total: senders.len(),
-            urls_unique: urls.iter().collect::<HashSet<_>>().len(),
-            urls_total: urls.len(),
-        });
+    let mut acc = OverviewAcc::new();
+    for (forum, stats) in &out.collection {
+        acc.add_stats(*forum, stats);
     }
-    Overview { rows }
+    for c in &out.curated_total {
+        acc.add_curated(c);
+    }
+    acc.finish()
+}
+
+/// Incremental form of [`overview`]: post-level counts arrive via
+/// [`OverviewAcc::add_post`] (or pre-aggregated [`OverviewAcc::add_stats`]),
+/// message-level counts via [`OverviewAcc::add_curated`]. Uniqueness columns
+/// are multisets, so shard merges sum exactly.
+#[derive(Debug, Clone, Default)]
+pub struct OverviewAcc {
+    posts: Counter<Forum>,
+    images: Counter<Forum>,
+    msgs: Counter<Forum>,
+    keys: HashMap<Forum, RefCount<String>>,
+    senders: HashMap<Forum, RefCount<String>>,
+    urls: HashMap<Forum, RefCount<String>>,
+}
+
+impl OverviewAcc {
+    /// New empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold in one collected post.
+    pub fn add_post(&mut self, forum: Forum, has_image: bool) {
+        self.posts.add(forum);
+        if has_image {
+            self.images.add(forum);
+        }
+    }
+
+    /// Fold in pre-aggregated per-forum collection stats.
+    pub fn add_stats(&mut self, forum: Forum, stats: &CollectionStats) {
+        self.posts.add_n(forum, stats.posts as u64);
+        self.images.add_n(forum, stats.images as u64);
+    }
+
+    /// Fold in one curated message.
+    pub fn add_curated(&mut self, c: &CuratedMessage) {
+        self.msgs.add(c.forum);
+        self.keys
+            .entry(c.forum)
+            .or_default()
+            .add(c.dedup_key(DedupMode::Normalized));
+        if let Some(s) = c.sender_raw.as_deref() {
+            self.senders.entry(c.forum).or_default().add(s.to_string());
+        }
+        if let Some(u) = c.url_raw.as_deref() {
+            self.urls.entry(c.forum).or_default().add(u.to_string());
+        }
+    }
+
+    /// Absorb another shard's accumulator.
+    pub fn merge(&mut self, other: OverviewAcc) {
+        self.posts.merge(&other.posts);
+        self.images.merge(&other.images);
+        self.msgs.merge(&other.msgs);
+        for (f, rc) in other.keys {
+            self.keys.entry(f).or_default().merge(rc);
+        }
+        for (f, rc) in other.senders {
+            self.senders.entry(f).or_default().merge(rc);
+        }
+        for (f, rc) in other.urls {
+            self.urls.entry(f).or_default().merge(rc);
+        }
+    }
+
+    /// Produce the batch result.
+    pub fn finish(&self) -> Overview {
+        let empty = RefCount::new();
+        let mut rows = Vec::new();
+        for &forum in Forum::ALL {
+            let keys = self.keys.get(&forum).unwrap_or(&empty);
+            let senders = self.senders.get(&forum).unwrap_or(&empty);
+            let urls = self.urls.get(&forum).unwrap_or(&empty);
+            rows.push(ForumRow {
+                forum,
+                posts: self.posts.get(&forum) as usize,
+                images: self.images.get(&forum) as usize,
+                msgs_unique: keys.distinct(),
+                msgs_total: self.msgs.get(&forum) as usize,
+                senders_unique: senders.distinct(),
+                senders_total: senders.total() as usize,
+                urls_unique: urls.distinct(),
+                urls_total: urls.total() as usize,
+            });
+        }
+        Overview { rows }
+    }
 }
 
 impl Overview {
@@ -102,8 +172,15 @@ impl Overview {
         let mut t = TextTable::new(
             "Table 1: dataset overview per forum",
             &[
-                "Forum", "Posts", "Images", "Msgs uniq", "Msgs total", "Senders uniq",
-                "Senders total", "URLs uniq", "URLs total",
+                "Forum",
+                "Posts",
+                "Images",
+                "Msgs uniq",
+                "Msgs total",
+                "Senders uniq",
+                "Senders total",
+                "URLs uniq",
+                "URLs total",
             ],
         );
         let total = self.totals();
@@ -135,23 +212,52 @@ impl Overview {
     }
 }
 
-/// Table 15: yearly distribution of Twitter posts and image attachments.
+/// Table 15: yearly distribution of Twitter posts and image attachments
+/// (a fold of [`TwitterYearsAcc`]).
 pub fn twitter_by_year(out: &PipelineOutput<'_>) -> Vec<(i32, usize, usize)> {
-    let mut posts: Counter<i32> = Counter::new();
-    let mut images: Counter<i32> = Counter::new();
+    let mut acc = TwitterYearsAcc::new();
     for p in out.world.posts_on(Forum::Twitter) {
-        let year = p.posted_at.year();
-        posts.add(year);
-        if p.body.has_image() {
-            images.add(year);
+        acc.add_post(p.posted_at.year(), p.body.has_image());
+    }
+    acc.finish()
+}
+
+/// Incremental form of [`twitter_by_year`]: per-year post and image counts.
+#[derive(Debug, Clone, Default)]
+pub struct TwitterYearsAcc {
+    posts: Counter<i32>,
+    images: Counter<i32>,
+}
+
+impl TwitterYearsAcc {
+    /// New empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold in one Twitter post.
+    pub fn add_post(&mut self, year: i32, has_image: bool) {
+        self.posts.add(year);
+        if has_image {
+            self.images.add(year);
         }
     }
-    let mut years: Vec<i32> = posts.iter().map(|(y, _)| *y).collect();
-    years.sort_unstable();
-    years
-        .into_iter()
-        .map(|y| (y, posts.get(&y) as usize, images.get(&y) as usize))
-        .collect()
+
+    /// Absorb another shard's accumulator.
+    pub fn merge(&mut self, other: TwitterYearsAcc) {
+        self.posts.merge(&other.posts);
+        self.images.merge(&other.images);
+    }
+
+    /// Produce the batch result, sorted by year.
+    pub fn finish(&self) -> Vec<(i32, usize, usize)> {
+        let mut years: Vec<i32> = self.posts.iter().map(|(y, _)| *y).collect();
+        years.sort_unstable();
+        years
+            .into_iter()
+            .map(|y| (y, self.posts.get(&y) as usize, self.images.get(&y) as usize))
+            .collect()
+    }
 }
 
 /// Render Table 15.
@@ -217,7 +323,12 @@ mod tests {
         // Raw keyword volume ≫ usable reports (§3.2).
         let ov = overview(testfix::output());
         let t = ov.totals();
-        assert!(t.posts > t.msgs_total * 3, "{} vs {}", t.posts, t.msgs_total);
+        assert!(
+            t.posts > t.msgs_total * 3,
+            "{} vs {}",
+            t.posts,
+            t.msgs_total
+        );
     }
 
     #[test]

@@ -1,10 +1,11 @@
 //! Table 17: registrars of smishing domains (§4.4).
 
+use crate::enrich::EnrichedRecord;
 use crate::pipeline::PipelineOutput;
 use crate::table::TextTable;
-use smishing_stats::Counter;
+use smishing_stats::{Counter, FirstClaim};
 use smishing_types::ScamType;
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 
 /// Registrar measurements over unique registered domains.
 #[derive(Debug, Clone)]
@@ -17,27 +18,82 @@ pub struct Registrars {
     pub no_answer: usize,
 }
 
-/// Compute Table 17.
+/// Compute Table 17 (a fold of [`RegistrarsAcc`]).
 pub fn registrars(out: &PipelineOutput<'_>) -> Registrars {
-    let mut seen: HashSet<&str> = HashSet::new();
-    let mut counts = Counter::new();
-    let mut by_scam: HashMap<(&'static str, ScamType), u64> = HashMap::new();
-    let mut no_answer = 0;
+    let mut acc = RegistrarsAcc::new();
     for r in &out.records {
-        let Some(url) = &r.url else { continue };
-        let Some(domain) = url.domain.as_deref() else { continue };
-        if url.free_hosted || !seen.insert(domain) {
-            continue;
+        acc.add_record(r);
+    }
+    acc.finish()
+}
+
+/// Incremental form of [`registrars`]: registered (non-free-hosted)
+/// domains are first-claimed by `post_id`; the winning record's registrar
+/// and scam type are counted at finish.
+#[derive(Debug, Clone, Default)]
+pub struct RegistrarsAcc {
+    claims: FirstClaim<String, (Option<&'static str>, ScamType)>,
+}
+
+impl RegistrarsAcc {
+    /// New empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold in one unique record.
+    pub fn add_record(&mut self, r: &EnrichedRecord) {
+        let Some(url) = &r.url else { return };
+        let Some(domain) = url.domain.clone() else {
+            return;
+        };
+        if url.free_hosted {
+            return;
         }
-        match url.registrar {
-            Some(reg) => {
-                counts.add(reg);
-                *by_scam.entry((reg, r.annotation.scam_type)).or_default() += 1;
+        self.claims.add(
+            domain,
+            r.curated.post_id.0,
+            (url.registrar, r.annotation.scam_type),
+        );
+    }
+
+    /// Retract a record previously folded in.
+    pub fn sub_record(&mut self, r: &EnrichedRecord) {
+        let Some(url) = &r.url else { return };
+        let Some(domain) = url.domain.as_ref() else {
+            return;
+        };
+        if url.free_hosted {
+            return;
+        }
+        self.claims.sub(domain, r.curated.post_id.0);
+    }
+
+    /// Absorb another shard's accumulator.
+    pub fn merge(&mut self, other: RegistrarsAcc) {
+        self.claims.merge(other.claims);
+    }
+
+    /// Produce the batch result.
+    pub fn finish(&self) -> Registrars {
+        let mut counts = Counter::new();
+        let mut by_scam: HashMap<(&'static str, ScamType), u64> = HashMap::new();
+        let mut no_answer = 0;
+        for (_, _, &(registrar, scam)) in self.claims.winners() {
+            match registrar {
+                Some(reg) => {
+                    counts.add(reg);
+                    *by_scam.entry((reg, scam)).or_default() += 1;
+                }
+                None => no_answer += 1,
             }
-            None => no_answer += 1,
+        }
+        Registrars {
+            counts,
+            by_scam,
+            no_answer,
         }
     }
-    Registrars { counts, by_scam, no_answer }
 }
 
 impl Registrars {
@@ -54,8 +110,12 @@ impl Registrars {
     /// relative to its overall share (1.0 = no preference). §4.4's Gname
     /// claim is a lift claim, not a raw-rank claim.
     pub fn lift(&self, registrar: &'static str, scam: ScamType) -> f64 {
-        let scam_total: u64 =
-            self.by_scam.iter().filter(|((_, s), _)| *s == scam).map(|(_, c)| c).sum();
+        let scam_total: u64 = self
+            .by_scam
+            .iter()
+            .filter(|((_, s), _)| *s == scam)
+            .map(|(_, c)| c)
+            .sum();
         let scam_reg = self.by_scam.get(&(registrar, scam)).copied().unwrap_or(0);
         let overall_share = self.counts.share(&registrar);
         if scam_total == 0 || overall_share == 0.0 {
@@ -66,8 +126,10 @@ impl Registrars {
 
     /// Render Table 17.
     pub fn to_table(&self) -> TextTable {
-        let mut t =
-            TextTable::new("Table 17: top 10 registrars of smishing domains", &["Registrar", "Domains"]);
+        let mut t = TextTable::new(
+            "Table 17: top 10 registrars of smishing domains",
+            &["Registrar", "Domains"],
+        );
         for (reg, c) in self.counts.top_k(10) {
             t.row(&[reg.to_string(), c.to_string()]);
         }
@@ -86,7 +148,10 @@ mod tests {
         let top = r.counts.top_k(2);
         assert_eq!(top[0].0, "GoDaddy", "{top:?}");
         assert_eq!(top[1].0, "NameCheap", "{top:?}");
-        assert!(top[0].1 as f64 > top[1].1 as f64 * 1.5, "GoDaddy leads clearly (464 vs 153): {top:?}");
+        assert!(
+            top[0].1 as f64 > top[1].1 as f64 * 1.5,
+            "GoDaddy leads clearly (464 vs 153): {top:?}"
+        );
     }
 
     #[test]
@@ -96,7 +161,11 @@ mod tests {
         let r = registrars(testfix::output());
         // Gname is strongly over-represented inside government scams
         // relative to its overall share (the §4.4 preference claim).
-        assert!(r.lift("Gname", ScamType::Government) > 2.0, "{}", r.lift("Gname", ScamType::Government));
+        assert!(
+            r.lift("Gname", ScamType::Government) > 2.0,
+            "{}",
+            r.lift("Gname", ScamType::Government)
+        );
         // While banking prefers GoDaddy outright.
         assert_eq!(r.top_for(ScamType::Banking), Some("GoDaddy"));
     }

@@ -1,12 +1,13 @@
 //! Tables 3 and 4: sender-ID composition, phone-number types and abused
 //! mobile operators (§4.1).
 
+use crate::enrich::EnrichedRecord;
 use crate::pipeline::PipelineOutput;
 use crate::table::{count_pct, TextTable};
-use smishing_stats::Counter;
+use smishing_stats::{Counter, FirstClaim};
 use smishing_telecom::NumberType;
 use smishing_types::{Country, SenderId, SenderKind};
-use std::collections::{BTreeSet, HashSet};
+use std::collections::BTreeSet;
 
 /// Sender-related measurements.
 #[derive(Debug, Clone)]
@@ -21,41 +22,108 @@ pub struct SenderInfo {
     pub operator_countries: Vec<(&'static str, BTreeSet<Country>)>,
 }
 
-/// Compute sender measurements over unique sender IDs.
+/// Compute sender measurements over unique sender IDs (a fold of
+/// [`SenderInfoAcc`]).
 pub fn sender_info(out: &PipelineOutput<'_>) -> SenderInfo {
-    let mut seen: HashSet<String> = HashSet::new();
-    let mut kinds = Counter::new();
-    let mut number_types = Counter::new();
-    let mut operators: Counter<&'static str> = Counter::new();
-    let mut op_countries: Vec<(&'static str, BTreeSet<Country>)> = Vec::new();
-
+    let mut acc = SenderInfoAcc::new();
     for r in &out.records {
-        let Some(sender) = &r.sender else { continue };
-        if !seen.insert(sender.display_string()) {
-            continue; // unique sender IDs only
-        }
-        kinds.add(sender.kind());
-        if matches!(sender, SenderId::Phone(_) | SenderId::MalformedPhone(_)) {
-            let Some(hlr) = &r.hlr else { continue };
-            number_types.add(hlr.number_type);
-            if let Some(op) = hlr.original_operator {
-                operators.add(op);
-                if let Some(c) = hlr.origin_country {
-                    match op_countries.iter_mut().find(|(o, _)| *o == op) {
-                        Some((_, set)) => {
-                            set.insert(c);
-                        }
-                        None => {
-                            let mut set = BTreeSet::new();
-                            set.insert(c);
-                            op_countries.push((op, set));
+        acc.add_record(r);
+    }
+    acc.finish()
+}
+
+/// What one record would contribute for its sender-ID string, were it the
+/// first (lowest `post_id`) record carrying that sender.
+#[derive(Debug, Clone)]
+struct SenderClaim {
+    kind: SenderKind,
+    phoneish: bool,
+    hlr: Option<(NumberType, Option<&'static str>, Option<Country>)>,
+}
+
+/// Incremental form of [`sender_info`]. Sender uniqueness is first-wins in
+/// `post_id` order, so the accumulator keeps per-sender claims and counts
+/// only the winners at [`SenderInfoAcc::finish`]; retraction and shard
+/// merges promote the next-lowest claim exactly as the batch pass would.
+#[derive(Debug, Clone, Default)]
+pub struct SenderInfoAcc {
+    claims: FirstClaim<String, SenderClaim>,
+}
+
+impl SenderInfoAcc {
+    /// New empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold in one unique record.
+    pub fn add_record(&mut self, r: &EnrichedRecord) {
+        let Some(sender) = &r.sender else { return };
+        self.claims.add(
+            sender.display_string(),
+            r.curated.post_id.0,
+            SenderClaim {
+                kind: sender.kind(),
+                phoneish: matches!(sender, SenderId::Phone(_) | SenderId::MalformedPhone(_)),
+                hlr: r
+                    .hlr
+                    .as_ref()
+                    .map(|h| (h.number_type, h.original_operator, h.origin_country)),
+            },
+        );
+    }
+
+    /// Retract a record previously folded in.
+    pub fn sub_record(&mut self, r: &EnrichedRecord) {
+        let Some(sender) = &r.sender else { return };
+        self.claims
+            .sub(&sender.display_string(), r.curated.post_id.0);
+    }
+
+    /// Absorb another shard's accumulator.
+    pub fn merge(&mut self, other: SenderInfoAcc) {
+        self.claims.merge(other.claims);
+    }
+
+    /// Produce the batch result.
+    pub fn finish(&self) -> SenderInfo {
+        let mut kinds = Counter::new();
+        let mut number_types = Counter::new();
+        let mut operators: Counter<&'static str> = Counter::new();
+        let mut op_countries: Vec<(&'static str, BTreeSet<Country>)> = Vec::new();
+        // Ascending claimant order = the order the batch pass encounters
+        // each winning sender (records are post_id-sorted).
+        for (_, _, claim) in self.claims.winners_by_claimant() {
+            kinds.add(claim.kind);
+            if claim.phoneish {
+                let Some((nt, op, country)) = claim.hlr else {
+                    continue;
+                };
+                number_types.add(nt);
+                if let Some(op) = op {
+                    operators.add(op);
+                    if let Some(c) = country {
+                        match op_countries.iter_mut().find(|(o, _)| *o == op) {
+                            Some((_, set)) => {
+                                set.insert(c);
+                            }
+                            None => {
+                                let mut set = BTreeSet::new();
+                                set.insert(c);
+                                op_countries.push((op, set));
+                            }
                         }
                     }
                 }
             }
         }
+        SenderInfo {
+            kinds,
+            number_types,
+            operators,
+            operator_countries: op_countries,
+        }
     }
-    SenderInfo { kinds, number_types, operators, operator_countries: op_countries }
 }
 
 impl SenderInfo {
@@ -75,7 +143,10 @@ impl SenderInfo {
         }
         t.row_strs(&["— Invalid/Suspicious —", ""]);
         for nt in NumberType::ALL.iter().filter(|n| !n.is_valid_sender()) {
-            t.row(&[nt.label().to_string(), count_pct(self.number_types.get(nt), total)]);
+            t.row(&[
+                nt.label().to_string(),
+                count_pct(self.number_types.get(nt), total),
+            ]);
         }
         t
     }
@@ -93,7 +164,10 @@ impl SenderInfo {
                 .iter()
                 .find(|(o, _)| *o == op)
                 .map(|(_, set)| {
-                    set.iter().map(|c| c.alpha3()).collect::<Vec<_>>().join(", ")
+                    set.iter()
+                        .map(|c| c.alpha3())
+                        .collect::<Vec<_>>()
+                        .join(", ")
                 })
                 .unwrap_or_default();
             t.row(&[op.to_string(), count_pct(count, total), countries]);
@@ -118,7 +192,10 @@ mod tests {
         assert!((0.55..0.75).contains(&phone), "phone {phone}");
         assert!((0.20..0.42).contains(&alnum), "alnum {alnum}");
         assert!((0.01..0.09).contains(&email), "email {email}");
-        assert!(alnum > email, "shortcodes outnumber emails (contra Smishtank-only data)");
+        assert!(
+            alnum > email,
+            "shortcodes outnumber emails (contra Smishtank-only data)"
+        );
     }
 
     #[test]
@@ -145,7 +222,10 @@ mod tests {
             .find(|(o, _)| *o == "Vodafone")
             .map(|(_, s)| s.len())
             .unwrap_or(0);
-        assert!(voda_countries >= 4, "Vodafone abused from {voda_countries} countries");
+        assert!(
+            voda_countries >= 4,
+            "Vodafone abused from {voda_countries} countries"
+        );
         for (op, set) in &info.operator_countries {
             if *op != "Vodafone" {
                 assert!(set.len() <= voda_countries + 2, "{op} wider than Vodafone");
@@ -156,7 +236,12 @@ mod tests {
     #[test]
     fn airtel_present_in_top_operators() {
         let info = sender_info(testfix::output());
-        let names: Vec<&str> = info.operators.top_k(6).into_iter().map(|(o, _)| o).collect();
+        let names: Vec<&str> = info
+            .operators
+            .top_k(6)
+            .into_iter()
+            .map(|(o, _)| o)
+            .collect();
         assert!(names.contains(&"AirTel"), "{names:?}");
     }
 

@@ -1,8 +1,9 @@
 //! Table 5: URL shorteners abused per scam type (§4.2).
 
+use crate::enrich::EnrichedRecord;
 use crate::pipeline::PipelineOutput;
 use crate::table::{count_pct, TextTable};
-use smishing_stats::Counter;
+use smishing_stats::{Counter, FirstClaim};
 use smishing_types::ScamType;
 use std::collections::HashMap;
 
@@ -18,26 +19,83 @@ pub struct ShortenerUse {
 }
 
 /// Compute shortener usage. Scam type comes from the pipeline's own
-/// annotation, as in the paper.
+/// annotation, as in the paper (a fold of [`ShortenerAcc`]).
 pub fn shortener_use(out: &PipelineOutput<'_>) -> ShortenerUse {
-    let mut seen = std::collections::HashSet::new();
-    let mut services = Counter::new();
-    let mut by_scam: HashMap<(&'static str, ScamType), u64> = HashMap::new();
-    let mut whatsapp_links = 0;
+    let mut acc = ShortenerAcc::new();
     for r in &out.records {
-        let Some(url) = &r.url else { continue };
-        if !seen.insert(url.parsed.to_url_string()) {
-            continue;
+        acc.add_record(r);
+    }
+    acc.finish()
+}
+
+/// One record's contribution for its URL string, were it the first record
+/// carrying that URL.
+#[derive(Debug, Clone)]
+struct ShortenerClaim {
+    whatsapp: bool,
+    shortener: Option<&'static str>,
+    scam: ScamType,
+}
+
+/// Incremental form of [`shortener_use`]: URL uniqueness is first-wins by
+/// `post_id`, held as per-URL claims and folded at finish.
+#[derive(Debug, Clone, Default)]
+pub struct ShortenerAcc {
+    claims: FirstClaim<String, ShortenerClaim>,
+}
+
+impl ShortenerAcc {
+    /// New empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold in one unique record.
+    pub fn add_record(&mut self, r: &EnrichedRecord) {
+        let Some(url) = &r.url else { return };
+        self.claims.add(
+            url.parsed.to_url_string(),
+            r.curated.post_id.0,
+            ShortenerClaim {
+                whatsapp: url.whatsapp,
+                shortener: url.shortener,
+                scam: r.annotation.scam_type,
+            },
+        );
+    }
+
+    /// Retract a record previously folded in.
+    pub fn sub_record(&mut self, r: &EnrichedRecord) {
+        let Some(url) = &r.url else { return };
+        self.claims
+            .sub(&url.parsed.to_url_string(), r.curated.post_id.0);
+    }
+
+    /// Absorb another shard's accumulator.
+    pub fn merge(&mut self, other: ShortenerAcc) {
+        self.claims.merge(other.claims);
+    }
+
+    /// Produce the batch result.
+    pub fn finish(&self) -> ShortenerUse {
+        let mut services = Counter::new();
+        let mut by_scam: HashMap<(&'static str, ScamType), u64> = HashMap::new();
+        let mut whatsapp_links = 0;
+        for (_, _, claim) in self.claims.winners() {
+            if claim.whatsapp {
+                whatsapp_links += 1;
+            }
+            if let Some(host) = claim.shortener {
+                services.add(host);
+                *by_scam.entry((host, claim.scam)).or_default() += 1;
+            }
         }
-        if url.whatsapp {
-            whatsapp_links += 1;
-        }
-        if let Some(host) = url.shortener {
-            services.add(host);
-            *by_scam.entry((host, r.annotation.scam_type)).or_default() += 1;
+        ShortenerUse {
+            services,
+            by_scam,
+            whatsapp_links,
         }
     }
-    ShortenerUse { services, by_scam, whatsapp_links }
 }
 
 impl ShortenerUse {
@@ -85,7 +143,11 @@ mod tests {
         assert_eq!(top[0].0, "bit.ly", "{top:?}");
         // bit.ly is at worst a close second within banking (Table 5: 1,140
         // vs is.gd's 970 — the two are near parity there).
-        let bitly_banking = s.by_scam.get(&("bit.ly", ScamType::Banking)).copied().unwrap_or(0);
+        let bitly_banking = s
+            .by_scam
+            .get(&("bit.ly", ScamType::Banking))
+            .copied()
+            .unwrap_or(0);
         for ((host, scam), c) in &s.by_scam {
             if *scam == ScamType::Banking && *host != "bit.ly" && *host != "is.gd" {
                 assert!(*c <= bitly_banking, "{host} beats bit.ly in banking");
@@ -97,21 +159,46 @@ mod tests {
     fn is_gd_is_banking_heavy() {
         // Table 5: is.gd is #2 for banking but marginal elsewhere.
         let s = shortener_use(testfix::output());
-        let isgd_banking = s.by_scam.get(&("is.gd", ScamType::Banking)).copied().unwrap_or(0);
-        let isgd_delivery =
-            s.by_scam.get(&("is.gd", ScamType::Delivery)).copied().unwrap_or(0);
-        assert!(isgd_banking > isgd_delivery, "{isgd_banking} vs {isgd_delivery}");
+        let isgd_banking = s
+            .by_scam
+            .get(&("is.gd", ScamType::Banking))
+            .copied()
+            .unwrap_or(0);
+        let isgd_delivery = s
+            .by_scam
+            .get(&("is.gd", ScamType::Delivery))
+            .copied()
+            .unwrap_or(0);
+        assert!(
+            isgd_banking > isgd_delivery,
+            "{isgd_banking} vs {isgd_delivery}"
+        );
     }
 
     #[test]
     fn cuttly_prefers_delivery_and_government() {
         let s = shortener_use(testfix::output());
-        let d = s.by_scam.get(&("cutt.ly", ScamType::Delivery)).copied().unwrap_or(0);
-        let g = s.by_scam.get(&("cutt.ly", ScamType::Government)).copied().unwrap_or(0);
-        let banking_share = s.by_scam.get(&("cutt.ly", ScamType::Banking)).copied().unwrap_or(0);
+        let d = s
+            .by_scam
+            .get(&("cutt.ly", ScamType::Delivery))
+            .copied()
+            .unwrap_or(0);
+        let g = s
+            .by_scam
+            .get(&("cutt.ly", ScamType::Government))
+            .copied()
+            .unwrap_or(0);
+        let banking_share = s
+            .by_scam
+            .get(&("cutt.ly", ScamType::Banking))
+            .copied()
+            .unwrap_or(0);
         // Delivery+government together rival its banking use (unlike is.gd).
         assert!(d + g > 0);
-        assert!((d + g) as f64 >= banking_share as f64 * 0.3, "{d}+{g} vs {banking_share}");
+        assert!(
+            (d + g) as f64 >= banking_share as f64 * 0.3,
+            "{d}+{g} vs {banking_share}"
+        );
     }
 
     #[test]

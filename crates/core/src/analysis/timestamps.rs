@@ -3,7 +3,7 @@
 
 use crate::pipeline::PipelineOutput;
 use crate::table::TextTable;
-use smishing_stats::{ks_two_sample, median, KsResult};
+use smishing_stats::{ks_two_sample, median, KsResult, RefCount};
 use smishing_types::{TimeOfDay, Weekday};
 use std::collections::HashMap;
 
@@ -24,23 +24,75 @@ pub struct SendTimes {
 /// spike holding more than `burst_threshold` of one weekday's mass — the
 /// paper removes the 2021 SBI campaign this way (§5.1).
 pub fn send_times(out: &PipelineOutput<'_>, remove_bursts: bool) -> SendTimes {
-    let mut by_weekday: HashMap<Weekday, Vec<f64>> = HashMap::new();
-    let mut usable = 0;
-    let mut excluded = 0;
-    // Collect (weekday, seconds) from every curated report with a full or
-    // weekday-bearing timestamp.
-    let mut samples: Vec<(Weekday, u32)> = Vec::new();
+    let mut acc = SendTimesAcc::new();
     for c in &out.curated_total {
-        let wt = c.stamp.and_then(|s| s.weekday_and_time());
-        match wt {
+        acc.add_curated(c);
+    }
+    acc.finish(remove_bursts)
+}
+
+/// Incremental form of [`send_times`]: the sample multiset accumulates one
+/// curated message at a time and merges across shards; the burst filter
+/// and per-weekday grouping are applied at [`SendTimesAcc::finish`]. All
+/// downstream statistics (medians, KS tests, quantiles) are multiset
+/// functions, so the reconstructed sample order is irrelevant.
+#[derive(Debug, Clone, Default)]
+pub struct SendTimesAcc {
+    samples: RefCount<(Weekday, u32)>,
+    usable: usize,
+    excluded: usize,
+}
+
+impl SendTimesAcc {
+    /// New empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold in one curated message.
+    pub fn add_curated(&mut self, c: &crate::curation::CuratedMessage) {
+        match c.stamp.and_then(|s| s.weekday_and_time()) {
             Some((w, t)) => {
-                usable += 1;
-                samples.push((w, t.seconds_since_midnight()));
+                self.usable += 1;
+                self.samples.add((w, t.seconds_since_midnight()));
             }
-            None => excluded += 1,
+            None => self.excluded += 1,
         }
     }
 
+    /// Absorb another shard's accumulator.
+    pub fn merge(&mut self, other: SendTimesAcc) {
+        self.samples.merge(other.samples);
+        self.usable += other.usable;
+        self.excluded += other.excluded;
+    }
+
+    /// Produce the batch result.
+    pub fn finish(&self, remove_bursts: bool) -> SendTimes {
+        // Rebuild the flat sample list in deterministic (weekday, seconds)
+        // order; every consumer treats it as a multiset.
+        let mut ordered: Vec<((Weekday, u32), u64)> =
+            self.samples.iter().map(|(&k, c)| (k, c)).collect();
+        ordered.sort_unstable_by_key(|&((w, s), _)| (w as u8, s));
+        let mut samples: Vec<(Weekday, u32)> = Vec::new();
+        for ((w, s), c) in ordered {
+            for _ in 0..c {
+                samples.push((w, s));
+            }
+        }
+        finish_send_times(samples, self.usable, self.excluded, remove_bursts)
+    }
+}
+
+/// Shared tail of [`send_times`] / [`SendTimesAcc::finish`]: burst removal
+/// and per-weekday grouping over the collected sample multiset.
+fn finish_send_times(
+    mut samples: Vec<(Weekday, u32)>,
+    usable: usize,
+    excluded: usize,
+    remove_bursts: bool,
+) -> SendTimes {
+    let mut by_weekday: HashMap<Weekday, Vec<f64>> = HashMap::new();
     let mut burst_removed = None;
     if remove_bursts {
         // Find the largest exact-minute spike.
@@ -48,9 +100,7 @@ pub fn send_times(out: &PipelineOutput<'_>, remove_bursts: bool) -> SendTimes {
         for (w, s) in &samples {
             *minute_counts.entry((*w, s / 60)).or_default() += 1;
         }
-        if let Some((&(w, minute), &count)) =
-            minute_counts.iter().max_by_key(|(_, &c)| c)
-        {
+        if let Some((&(w, minute), &count)) = minute_counts.iter().max_by_key(|(_, &c)| c) {
             // A same-instant campaign shows up as a minute bucket holding
             // orders of magnitude more than the weekday's per-minute
             // density (the §5.1 burst: >850 at one minute).
@@ -67,7 +117,12 @@ pub fn send_times(out: &PipelineOutput<'_>, remove_bursts: bool) -> SendTimes {
     for (w, s) in samples {
         by_weekday.entry(w).or_default().push(s as f64);
     }
-    SendTimes { by_weekday, usable, excluded, burst_removed }
+    SendTimes {
+        by_weekday,
+        usable,
+        excluded,
+        burst_removed,
+    }
 }
 
 impl SendTimes {
@@ -127,9 +182,7 @@ impl SendTimes {
             "Figure 2: receive time of day per weekday (boxplot stats)",
             &["Weekday", "n", "Q1", "Median", "Q3"],
         );
-        let fmt = |secs: f64| {
-            TimeOfDay::from_seconds_since_midnight(secs as u32).to_string()
-        };
+        let fmt = |secs: f64| TimeOfDay::from_seconds_since_midnight(secs as u32).to_string();
         for &w in Weekday::ALL {
             let n = self.by_weekday.get(&w).map(Vec::len).unwrap_or(0);
             let (q1, med, q3) = self
@@ -152,14 +205,24 @@ mod tests {
     #[test]
     fn burst_filter_finds_the_sbi_campaign() {
         let with = send_times(testfix::output(), true);
-        let (label, count) =
-            with.burst_removed.clone().expect("the 2021 burst should be detected");
+        let (label, count) = with
+            .burst_removed
+            .clone()
+            .expect("the 2021 burst should be detected");
         assert!(label.starts_with("Tuesday 11:34"), "{label}");
         assert!(count >= 8, "{count}");
         let without = send_times(testfix::output(), false);
         assert!(without.burst_removed.is_none());
-        let tue_with = with.by_weekday.get(&Weekday::Tuesday).map(Vec::len).unwrap_or(0);
-        let tue_without = without.by_weekday.get(&Weekday::Tuesday).map(Vec::len).unwrap_or(0);
+        let tue_with = with
+            .by_weekday
+            .get(&Weekday::Tuesday)
+            .map(Vec::len)
+            .unwrap_or(0);
+        let tue_without = without
+            .by_weekday
+            .get(&Weekday::Tuesday)
+            .map(Vec::len)
+            .unwrap_or(0);
         assert!(tue_without > tue_with, "{tue_without} vs {tue_with}");
     }
 
@@ -179,7 +242,11 @@ mod tests {
     #[test]
     fn working_hours_dominate() {
         let st = send_times(testfix::output(), true);
-        assert!(st.working_hours_share() > 0.65, "{}", st.working_hours_share());
+        assert!(
+            st.working_hours_share() > 0.65,
+            "{}",
+            st.working_hours_share()
+        );
     }
 
     #[test]
@@ -188,7 +255,10 @@ mod tests {
         let st = send_times(testfix::output(), true);
         let matrix = st.ks_matrix();
         assert!(!matrix.is_empty());
-        let significant = matrix.iter().filter(|(_, _, r)| r.significant_at(0.05)).count();
+        let significant = matrix
+            .iter()
+            .filter(|(_, _, r)| r.significant_at(0.05))
+            .count();
         assert!(significant >= 1, "no weekday pair differs");
         assert!(
             significant < matrix.len(),
@@ -199,7 +269,10 @@ mod tests {
     #[test]
     fn timestamps_without_dates_are_excluded() {
         let st = send_times(testfix::output(), false);
-        assert!(st.excluded > 0, "time-only stamps must be excluded (§3.3.2)");
+        assert!(
+            st.excluded > 0,
+            "time-only stamps must be excluded (§3.3.2)"
+        );
         assert!(st.usable > st.excluded / 4);
     }
 }

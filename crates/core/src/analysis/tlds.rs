@@ -1,8 +1,9 @@
 //! Tables 6 and 16: abused TLDs and their IANA classes (§4.3).
 
+use crate::enrich::EnrichedRecord;
 use crate::pipeline::PipelineOutput;
 use crate::table::{count_pct, TextTable};
-use smishing_stats::Counter;
+use smishing_stats::{Counter, FirstClaim};
 use smishing_webinfra::{free_hosting_suffix, tld_of, TldClass, TldDb};
 
 /// TLD measurements over unique URLs.
@@ -20,42 +21,108 @@ pub struct TldUse {
     pub free_hosting_sites: Counter<&'static str>,
 }
 
-/// Compute TLD usage.
+/// Compute TLD usage (a fold of [`TldAcc`]).
 pub fn tld_use(out: &PipelineOutput<'_>) -> TldUse {
-    let mut seen = std::collections::HashSet::new();
-    let mut smishing_tlds: Counter<String> = Counter::new();
-    let mut shortened_tlds: Counter<String> = Counter::new();
-    let mut classes = Counter::new();
-    let mut free_hosting_sites: Counter<&'static str> = Counter::new();
-    let mut per_class_tlds: std::collections::HashMap<TldClass, std::collections::HashSet<String>> =
-        std::collections::HashMap::new();
-
+    let mut acc = TldAcc::new();
     for r in &out.records {
-        let Some(url) = &r.url else { continue };
-        if !seen.insert(url.parsed.to_url_string()) {
-            continue;
+        acc.add_record(r);
+    }
+    acc.finish()
+}
+
+/// One record's contribution for its URL string: everything `tld_use`
+/// derives from the URL, precomputed at claim time.
+#[derive(Debug, Clone)]
+struct TldClaim {
+    whatsapp: bool,
+    shortened: bool,
+    tld: Option<String>,
+    class: Option<TldClass>,
+    free_suffix: Option<&'static str>,
+}
+
+/// Incremental form of [`tld_use`]: per-URL first-claims folded at finish.
+#[derive(Debug, Clone, Default)]
+pub struct TldAcc {
+    claims: FirstClaim<String, TldClaim>,
+}
+
+impl TldAcc {
+    /// New empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold in one unique record.
+    pub fn add_record(&mut self, r: &EnrichedRecord) {
+        let Some(url) = &r.url else { return };
+        let tld = tld_of(&url.parsed.host);
+        self.claims.add(
+            url.parsed.to_url_string(),
+            r.curated.post_id.0,
+            TldClaim {
+                whatsapp: url.whatsapp,
+                shortened: url.shortener.is_some(),
+                class: tld.as_deref().and_then(|t| TldDb::global().classify(t)),
+                free_suffix: free_hosting_suffix(&url.parsed.host).map(|(s, _)| s),
+                tld,
+            },
+        );
+    }
+
+    /// Retract a record previously folded in.
+    pub fn sub_record(&mut self, r: &EnrichedRecord) {
+        let Some(url) = &r.url else { return };
+        self.claims
+            .sub(&url.parsed.to_url_string(), r.curated.post_id.0);
+    }
+
+    /// Absorb another shard's accumulator.
+    pub fn merge(&mut self, other: TldAcc) {
+        self.claims.merge(other.claims);
+    }
+
+    /// Produce the batch result.
+    pub fn finish(&self) -> TldUse {
+        let mut smishing_tlds: Counter<String> = Counter::new();
+        let mut shortened_tlds: Counter<String> = Counter::new();
+        let mut classes = Counter::new();
+        let mut free_hosting_sites: Counter<&'static str> = Counter::new();
+        let mut per_class_tlds: std::collections::HashMap<
+            TldClass,
+            std::collections::HashSet<String>,
+        > = std::collections::HashMap::new();
+        for (_, _, claim) in self.claims.winners() {
+            if claim.whatsapp {
+                continue;
+            }
+            let Some(tld) = &claim.tld else { continue };
+            if claim.shortened {
+                shortened_tlds.add(tld.clone());
+                continue;
+            }
+            smishing_tlds.add(tld.clone());
+            if let Some(class) = claim.class {
+                classes.add(class);
+                per_class_tlds.entry(class).or_default().insert(tld.clone());
+            }
+            if let Some(suffix) = claim.free_suffix {
+                free_hosting_sites.add(suffix);
+            }
         }
-        if url.whatsapp {
-            continue;
-        }
-        let Some(tld) = tld_of(&url.parsed.host) else { continue };
-        if url.shortener.is_some() {
-            shortened_tlds.add(tld);
-            continue;
-        }
-        smishing_tlds.add(tld.clone());
-        if let Some(class) = TldDb::global().classify(&tld) {
-            classes.add(class);
-            per_class_tlds.entry(class).or_default().insert(tld);
-        }
-        if let Some((suffix, _)) = free_hosting_suffix(&url.parsed.host) {
-            free_hosting_sites.add(suffix);
+        let mut class_tld_counts: Vec<(TldClass, usize)> = per_class_tlds
+            .into_iter()
+            .map(|(c, s)| (c, s.len()))
+            .collect();
+        class_tld_counts.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
+        TldUse {
+            smishing_tlds,
+            shortened_tlds,
+            classes,
+            class_tld_counts,
+            free_hosting_sites,
         }
     }
-    let mut class_tld_counts: Vec<(TldClass, usize)> =
-        per_class_tlds.into_iter().map(|(c, s)| (c, s.len())).collect();
-    class_tld_counts.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
-    TldUse { smishing_tlds, shortened_tlds, classes, class_tld_counts, free_hosting_sites }
 }
 
 impl TldUse {
@@ -68,9 +135,14 @@ impl TldUse {
         let left = self.smishing_tlds.top_k(10);
         let right = self.shortened_tlds.top_k(10);
         for i in 0..left.len().max(right.len()) {
-            let (l, lc) = left.get(i).map(|(a, b)| (a.clone(), b.to_string())).unwrap_or_default();
-            let (r, rc) =
-                right.get(i).map(|(a, b)| (a.clone(), b.to_string())).unwrap_or_default();
+            let (l, lc) = left
+                .get(i)
+                .map(|(a, b)| (a.clone(), b.to_string()))
+                .unwrap_or_default();
+            let (r, rc) = right
+                .get(i)
+                .map(|(a, b)| (a.clone(), b.to_string()))
+                .unwrap_or_default();
             t.row(&[l, lc, r, rc]);
         }
         t
@@ -90,7 +162,11 @@ impl TldUse {
                 .find(|(c, _)| *c == class)
                 .map(|(_, n)| *n)
                 .unwrap_or(0);
-            t.row(&[class.label().to_string(), count_pct(count, total), n_tlds.to_string()]);
+            t.row(&[
+                class.label().to_string(),
+                count_pct(count, total),
+                n_tlds.to_string(),
+            ]);
         }
         t
     }
@@ -132,7 +208,11 @@ mod tests {
     fn many_distinct_tlds() {
         let u = tld_use(testfix::output());
         // Paper finds >280 TLDs at full scale; the test world is 5% scale.
-        assert!(u.smishing_tlds.distinct() >= 15, "{}", u.smishing_tlds.distinct());
+        assert!(
+            u.smishing_tlds.distinct() >= 15,
+            "{}",
+            u.smishing_tlds.distinct()
+        );
         let generic_tlds = u
             .class_tld_counts
             .iter()
@@ -154,7 +234,12 @@ mod tests {
         assert!(u.free_hosting_sites.total() > 0);
         // web.app leads the free-hosting pack (§4.3) — allow #2 at small
         // sample sizes.
-        let top: Vec<_> = u.free_hosting_sites.top_k(2).into_iter().map(|(s, _)| s).collect();
+        let top: Vec<_> = u
+            .free_hosting_sites
+            .top_k(2)
+            .into_iter()
+            .map(|(s, _)| s)
+            .collect();
         assert!(top.contains(&"web.app"), "{top:?}");
     }
 

@@ -1,8 +1,9 @@
 //! Table 7: TLS certificate authorities (§4.5).
 
+use crate::enrich::EnrichedRecord;
 use crate::pipeline::PipelineOutput;
 use crate::table::{group_thousands, TextTable};
-use smishing_stats::{mean, median, Counter};
+use smishing_stats::{mean, median, Counter, FirstClaim};
 use std::collections::HashSet;
 
 /// CA measurements over unique domains.
@@ -18,39 +19,83 @@ pub struct TlsUse {
     pub domains_with_tls: usize,
 }
 
-/// Compute CA usage.
+/// Compute CA usage (a fold of [`TlsAcc`]).
 pub fn tls_use(out: &PipelineOutput<'_>) -> TlsUse {
-    let mut seen_domains: HashSet<&str> = HashSet::new();
-    let mut certs_per_ca = Counter::new();
-    let mut domains_per_ca = Counter::new();
-    let mut certs_per_domain = Vec::new();
-    let mut domains_with_tls = 0;
+    let mut acc = TlsAcc::new();
     for r in &out.records {
-        let Some(url) = &r.url else { continue };
-        let Some(domain) = url.domain.as_deref() else { continue };
-        if !seen_domains.insert(
-            // Key on the owned string inside the record (stable for the
-            // lifetime of `out`).
-            url.domain.as_deref().expect("checked above"),
-        ) {
-            continue;
+        acc.add_record(r);
+    }
+    acc.finish()
+}
+
+/// Incremental form of [`tls_use`]. A record claims its registrable domain
+/// even when it holds no certificates (mirroring the batch pass, where a
+/// cert-less first record still consumes the domain's uniqueness slot);
+/// the cert-emptiness check happens on the winner at finish.
+#[derive(Debug, Clone, Default)]
+pub struct TlsAcc {
+    claims: FirstClaim<String, Vec<&'static str>>,
+}
+
+impl TlsAcc {
+    /// New empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold in one unique record.
+    pub fn add_record(&mut self, r: &EnrichedRecord) {
+        let Some(url) = &r.url else { return };
+        let Some(domain) = url.domain.clone() else {
+            return;
+        };
+        let issuers: Vec<&'static str> = url.certs.iter().map(|c| c.issuer).collect();
+        self.claims.add(domain, r.curated.post_id.0, issuers);
+    }
+
+    /// Retract a record previously folded in.
+    pub fn sub_record(&mut self, r: &EnrichedRecord) {
+        let Some(url) = &r.url else { return };
+        let Some(domain) = url.domain.as_ref() else {
+            return;
+        };
+        self.claims.sub(domain, r.curated.post_id.0);
+    }
+
+    /// Absorb another shard's accumulator.
+    pub fn merge(&mut self, other: TlsAcc) {
+        self.claims.merge(other.claims);
+    }
+
+    /// Produce the batch result.
+    pub fn finish(&self) -> TlsUse {
+        let mut certs_per_ca = Counter::new();
+        let mut domains_per_ca = Counter::new();
+        let mut certs_per_domain = Vec::new();
+        let mut domains_with_tls = 0;
+        // Claimant order keeps certs_per_domain in batch (post_id) order.
+        for (_, _, issuers) in self.claims.winners_by_claimant() {
+            if issuers.is_empty() {
+                continue;
+            }
+            domains_with_tls += 1;
+            certs_per_domain.push(issuers.len() as f64);
+            let mut cas_here: HashSet<&'static str> = HashSet::new();
+            for &issuer in issuers {
+                certs_per_ca.add(issuer);
+                cas_here.insert(issuer);
+            }
+            for ca in cas_here {
+                domains_per_ca.add(ca);
+            }
         }
-        if url.certs.is_empty() {
-            continue;
-        }
-        let _ = domain;
-        domains_with_tls += 1;
-        certs_per_domain.push(url.certs.len() as f64);
-        let mut cas_here: HashSet<&'static str> = HashSet::new();
-        for cert in &url.certs {
-            certs_per_ca.add(cert.issuer);
-            cas_here.insert(cert.issuer);
-        }
-        for ca in cas_here {
-            domains_per_ca.add(ca);
+        TlsUse {
+            certs_per_ca,
+            domains_per_ca,
+            certs_per_domain,
+            domains_with_tls,
         }
     }
-    TlsUse { certs_per_ca, domains_per_ca, certs_per_domain, domains_with_tls }
 }
 
 impl TlsUse {
@@ -99,11 +144,14 @@ mod tests {
         // Table 7's signature: Sectigo serves many domains with relatively
         // few certificates (1-year validity), Let's Encrypt the opposite.
         let u = tls_use(testfix::output());
-        let le_ratio =
-            u.certs_per_ca.get(&"Let's Encrypt") as f64 / u.domains_per_ca.get(&"Let's Encrypt").max(1) as f64;
+        let le_ratio = u.certs_per_ca.get(&"Let's Encrypt") as f64
+            / u.domains_per_ca.get(&"Let's Encrypt").max(1) as f64;
         let sectigo_ratio =
             u.certs_per_ca.get(&"Sectigo") as f64 / u.domains_per_ca.get(&"Sectigo").max(1) as f64;
-        assert!(le_ratio > sectigo_ratio * 2.0, "LE {le_ratio} vs Sectigo {sectigo_ratio}");
+        assert!(
+            le_ratio > sectigo_ratio * 2.0,
+            "LE {le_ratio} vs Sectigo {sectigo_ratio}"
+        );
     }
 
     #[test]
@@ -111,7 +159,12 @@ mod tests {
         // §4.5: mean 39, median 4 — a right-skewed distribution. The scaled
         // world keeps the mean ≫ median shape.
         let u = tls_use(testfix::output());
-        assert!(u.mean_certs() > u.median_certs() * 1.3, "mean {} median {}", u.mean_certs(), u.median_certs());
+        assert!(
+            u.mean_certs() > u.median_certs() * 1.3,
+            "mean {} median {}",
+            u.mean_certs(),
+            u.median_certs()
+        );
         assert!(u.median_certs() >= 1.0);
     }
 

@@ -58,9 +58,10 @@ fn build_resolver(out: &PipelineOutput<'_>) -> RedirectResolver {
         if plan.whatsapp {
             continue;
         }
-        let apk = c.malware.as_ref().map(|m| {
-            ApkArtifact::new(m.apk_name.clone(), m.sha256.clone(), m.family)
-        });
+        let apk = c
+            .malware
+            .as_ref()
+            .map(|m| ApkArtifact::new(m.apk_name.clone(), m.sha256.clone(), m.family));
         resolver.register(&plan.domain, &plan.landing_url(0), apk);
     }
     resolver
@@ -73,20 +74,27 @@ pub fn case_study(out: &PipelineOutput<'_>, sample_size: usize, seed: u64) -> Ca
 
     // Real-time sample: Twitter reports posted inside the paper's live
     // collection window (Nov 30 2022 – Jun 23 2023, §3.1.1).
-    let window_start =
-        smishing_types::Date::new(2022, 11, 30).expect("valid").days_from_epoch() * 86_400;
-    let window_end =
-        smishing_types::Date::new(2023, 6, 23).expect("valid").days_from_epoch() * 86_400;
+    let window_start = smishing_types::Date::new(2022, 11, 30)
+        .expect("valid")
+        .days_from_epoch()
+        * 86_400;
+    let window_end = smishing_types::Date::new(2023, 6, 23)
+        .expect("valid")
+        .days_from_epoch()
+        * 86_400;
     let posted_at_of = |post_id: smishing_types::PostId| {
-        out.world.posts.iter().find(|p| p.id == post_id).map(|p| p.posted_at)
+        out.world
+            .posts
+            .iter()
+            .find(|p| p.id == post_id)
+            .map(|p| p.posted_at)
     };
     let realtime: Vec<_> = out
         .curated_total
         .iter()
         .filter(|c| c.forum == Forum::Twitter)
         .filter(|c| {
-            posted_at_of(c.post_id)
-                .is_some_and(|t| (window_start..=window_end).contains(&t.0))
+            posted_at_of(c.post_id).is_some_and(|t| (window_start..=window_end).contains(&t.0))
         })
         .collect();
     let mut rng = StdRng::seed_from_u64(seed);
@@ -100,7 +108,9 @@ pub fn case_study(out: &PipelineOutput<'_>, sample_size: usize, seed: u64) -> Ca
 
     for report in &sample {
         let Some(raw) = &report.url_raw else { continue };
-        let Some(parsed) = parse_url(raw) else { continue };
+        let Some(parsed) = parse_url(raw) else {
+            continue;
+        };
         urls_investigated += 1;
 
         // Expand the short link "live": at the time the analyst clicks,
@@ -112,8 +122,7 @@ pub fn case_study(out: &PipelineOutput<'_>, sample_size: usize, seed: u64) -> Ca
             .find(|p| p.id == report.post_id)
             .map(|p| p.posted_at.plus_secs(3600))
             .unwrap_or(out.world.now);
-        let landing_host = if smishing_webinfra::ShortenerCatalog::new()
-            .is_shortener(&parsed.host)
+        let landing_host = if smishing_webinfra::ShortenerCatalog::new().is_shortener(&parsed.host)
         {
             match out.world.services.short_links.expand(&parsed, visit_time) {
                 ExpandResult::Active(target) => match parse_url(&target) {
@@ -197,16 +206,26 @@ mod tests {
         let s = study();
         assert_eq!(s.sampled_reports, 200);
         // Paper: 145 of 200 reports had URLs.
-        assert!((100..=200).contains(&s.urls_investigated), "{}", s.urls_investigated);
+        assert!(
+            (100..=200).contains(&s.urls_investigated),
+            "{}",
+            s.urls_investigated
+        );
         assert!(s.phishing_pages > 10, "{}", s.phishing_pages);
     }
 
     #[test]
     fn finds_apk_droppers_absent_from_androzoo() {
         let s = study();
-        assert!(!s.findings.is_empty(), "malware campaigns exist in the world");
+        assert!(
+            !s.findings.is_empty(),
+            "malware campaigns exist in the world"
+        );
         for f in &s.findings {
-            assert!(!f.in_androzoo, "fresh droppers are never in AndroZoo (§3.3.5)");
+            assert!(
+                !f.in_androzoo,
+                "fresh droppers are never in AndroZoo (§3.3.5)"
+            );
             assert_eq!(f.sha256.len(), 64);
         }
     }

@@ -7,12 +7,10 @@
 
 use crossbeam::channel;
 use smishing_screenshot::{Extractor, LlmExtractor, NaiveOcr, Screenshot, VisionOcr};
+use smishing_textnlp::identify_language;
 use smishing_textnlp::normalize::normalize_text;
 use smishing_textnlp::translate::{TemplateTranslator, Translator};
-use smishing_textnlp::identify_language;
-use smishing_types::{
-    parse_timestamp, Date, Forum, Language, MessageId, ParsedStamp, PostId,
-};
+use smishing_types::{parse_timestamp, Date, Forum, Language, MessageId, ParsedStamp, PostId};
 use smishing_webinfra::refang;
 use smishing_worldsim::{Post, PostBody};
 
@@ -97,7 +95,11 @@ impl CuratedMessage {
     }
 }
 
-fn extract_with(choice: ExtractorChoice, seed: u64, shot: &Screenshot) -> smishing_screenshot::Extraction {
+fn extract_with(
+    choice: ExtractorChoice,
+    seed: u64,
+    shot: &Screenshot,
+) -> smishing_screenshot::Extraction {
     match choice {
         ExtractorChoice::Naive => NaiveOcr::new(seed).extract(shot),
         ExtractorChoice::Vision => VisionOcr::new(seed).extract(shot),
@@ -134,7 +136,10 @@ pub fn curate_post(post: &Post, opts: &CurationOptions) -> Option<CuratedMessage
     };
 
     let language = identify_language(&text);
-    let english = TemplateTranslator::new().to_english(&text, language).text().to_string();
+    let english = TemplateTranslator::new()
+        .to_english(&text, language)
+        .text()
+        .to_string();
     let url_raw = url_raw
         .map(|u| refang(&u))
         .or_else(|| smishing_webinfra::find_url_in_text(&text).map(|p| p.to_url_string()));
@@ -159,8 +164,13 @@ pub fn curate_posts(posts: &[&Post], opts: &CurationOptions) -> Vec<CuratedMessa
     let mut out: Vec<CuratedMessage> = if opts.workers <= 1 {
         posts.iter().filter_map(|p| curate_post(p, opts)).collect()
     } else {
+        // Both channels are bounded: a slow consumer exerts backpressure on
+        // the feeder instead of buffering every curated message. The feeder
+        // runs on its own thread so this thread can drain the output
+        // concurrently — feeding and draining from one thread with two full
+        // bounded channels would deadlock.
         let (tx_jobs, rx_jobs) = channel::bounded::<&Post>(1024);
-        let (tx_out, rx_out) = channel::unbounded::<CuratedMessage>();
+        let (tx_out, rx_out) = channel::bounded::<CuratedMessage>(1024);
         crossbeam::scope(|s| {
             for _ in 0..opts.workers {
                 let rx = rx_jobs.clone();
@@ -175,10 +185,12 @@ pub fn curate_posts(posts: &[&Post], opts: &CurationOptions) -> Vec<CuratedMessa
                 });
             }
             drop(tx_out);
-            for p in posts {
-                tx_jobs.send(p).expect("workers alive");
-            }
-            drop(tx_jobs);
+            drop(rx_jobs);
+            s.spawn(move |_| {
+                for p in posts {
+                    tx_jobs.send(p).expect("workers alive");
+                }
+            });
             rx_out.iter().collect::<Vec<_>>()
         })
         .expect("curation workers do not panic")
@@ -214,10 +226,19 @@ mod tests {
         let opts = CurationOptions::default();
         let refs: Vec<&Post> = w.posts.iter().collect();
         let curated = curate_posts(&refs, &opts);
-        let n_reports = w.posts.iter().filter(|p| p.reported_message.is_some()).count();
+        let n_reports = w
+            .posts
+            .iter()
+            .filter(|p| p.reported_message.is_some())
+            .count();
         // The LLM extractor keeps nearly all reports and drops nearly all
         // noise (§3.2).
-        assert!(curated.len() as f64 > n_reports as f64 * 0.9, "{} vs {}", curated.len(), n_reports);
+        assert!(
+            curated.len() as f64 > n_reports as f64 * 0.9,
+            "{} vs {}",
+            curated.len(),
+            n_reports
+        );
         assert!((curated.len() as f64) < n_reports as f64 * 1.1);
         let false_reports = curated.iter().filter(|c| c.truth_message.is_none()).count();
         assert!(
@@ -230,8 +251,20 @@ mod tests {
     fn parallel_equals_serial() {
         let w = world();
         let refs: Vec<&Post> = w.posts.iter().take(800).collect();
-        let serial = curate_posts(&refs, &CurationOptions { workers: 1, ..Default::default() });
-        let parallel = curate_posts(&refs, &CurationOptions { workers: 4, ..Default::default() });
+        let serial = curate_posts(
+            &refs,
+            &CurationOptions {
+                workers: 1,
+                ..Default::default()
+            },
+        );
+        let parallel = curate_posts(
+            &refs,
+            &CurationOptions {
+                workers: 4,
+                ..Default::default()
+            },
+        );
         assert_eq!(serial.len(), parallel.len());
         for (a, b) in serial.iter().zip(parallel.iter()) {
             assert_eq!(a.post_id, b.post_id);
@@ -241,13 +274,49 @@ mod tests {
     }
 
     #[test]
+    fn bounded_output_handles_more_messages_than_capacity() {
+        // Regression: the output channel is bounded (1024); feeding and
+        // draining must overlap or a corpus larger than the capacity
+        // deadlocks. Push well past the capacity through few workers.
+        let w = World::generate(WorldConfig {
+            seed: 63,
+            scale: 0.05,
+            ..WorldConfig::default()
+        });
+        let refs: Vec<&Post> = w.posts.iter().collect();
+        let serial = curate_posts(
+            &refs,
+            &CurationOptions {
+                workers: 1,
+                ..Default::default()
+            },
+        );
+        assert!(
+            serial.len() > 1024,
+            "corpus too small to stress the channel: {}",
+            serial.len()
+        );
+        let parallel = curate_posts(
+            &refs,
+            &CurationOptions {
+                workers: 2,
+                ..Default::default()
+            },
+        );
+        assert_eq!(serial.len(), parallel.len());
+    }
+
+    #[test]
     fn naive_extractor_loses_messages() {
         let w = world();
         let refs: Vec<&Post> = w.posts.iter().collect();
         let llm = curate_posts(&refs, &CurationOptions::default());
         let naive = curate_posts(
             &refs,
-            &CurationOptions { extractor: ExtractorChoice::Naive, ..Default::default() },
+            &CurationOptions {
+                extractor: ExtractorChoice::Naive,
+                ..Default::default()
+            },
         );
         // Naive OCR fails on themed screenshots but also "curates" posters;
         // its *usable text* yield is poorer — and it keeps noise in.
@@ -301,7 +370,11 @@ mod tests {
             .filter(|c| c.language.is_some() && c.language != Some(Language::English))
             .count();
         assert!(non_english > 0);
-        for c in curated.iter().filter(|c| c.language == Some(Language::Dutch)).take(5) {
+        for c in curated
+            .iter()
+            .filter(|c| c.language == Some(Language::Dutch))
+            .take(5)
+        {
             assert_ne!(c.english, c.text, "Dutch text should be translated");
         }
     }

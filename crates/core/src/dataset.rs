@@ -82,8 +82,7 @@ pub fn build_dataset(records: &[EnrichedRecord]) -> Vec<DatasetRow> {
     records
         .iter()
         .map(|r| {
-            let language =
-                r.annotation.language.unwrap_or(Language::English);
+            let language = r.annotation.language.unwrap_or(Language::English);
             DatasetRow {
                 sender_id: r.sender.as_ref().map(|s| s.anonymized()),
                 sender_id_type: r.hlr.as_ref().map(|h| h.number_type.label().to_string()),
@@ -106,7 +105,12 @@ pub fn build_dataset(records: &[EnrichedRecord]) -> Vec<DatasetRow> {
                 url_shortener: r.url.as_ref().and_then(|u| u.shortener).map(str::to_string),
                 brand_impersonated: r.annotation.brand.clone(),
                 scam_category: r.annotation.scam_type.label().to_string(),
-                lure_principles: r.annotation.lures.iter().map(|l| l.label().to_string()).collect(),
+                lure_principles: r
+                    .annotation
+                    .lures
+                    .iter()
+                    .map(|l| l.label().to_string())
+                    .collect(),
                 language: language.code().to_string(),
             }
         })
@@ -159,7 +163,10 @@ pub fn to_csv(rows: &[DatasetRow]) -> String {
 /// long digit runs survive in released text.
 pub fn validate_anonymization(rows: &[DatasetRow]) -> Result<(), String> {
     for (i, r) in rows.iter().enumerate() {
-        for text in [Some(&r.text_message), r.translated_text.as_ref()].into_iter().flatten() {
+        for text in [Some(&r.text_message), r.translated_text.as_ref()]
+            .into_iter()
+            .flatten()
+        {
             if text.contains("http://") || text.contains("https://") {
                 return Err(format!("row {i}: URL leaked: {text}"));
             }
@@ -210,7 +217,10 @@ mod tests {
         for row in &r {
             if let Some(s) = &row.sender_id {
                 assert!(
-                    s.contains('X') || s == "alphanumeric" || s == "email" || s.contains("bad format"),
+                    s.contains('X')
+                        || s == "alphanumeric"
+                        || s == "email"
+                        || s.contains("bad format"),
                     "{s}"
                 );
             }
@@ -243,7 +253,11 @@ mod tests {
     fn labels_obey_schema() {
         let (scams, lures) = schema_labels();
         for row in rows() {
-            assert!(scams.contains(&row.scam_category.as_str()), "{}", row.scam_category);
+            assert!(
+                scams.contains(&row.scam_category.as_str()),
+                "{}",
+                row.scam_category
+            );
             for l in &row.lure_principles {
                 assert!(lures.contains(&l.as_str()), "{l}");
             }

@@ -15,8 +15,8 @@ use smishing_telecom::{classify_sender, parse_phone, HlrLookup, HlrRecord, RawSe
 use smishing_textnlp::annotator::{Annotation, Annotator, PipelineAnnotator};
 use smishing_types::SenderId;
 use smishing_webinfra::{
-    free_hosting_site, parse_url, registrable_domain, CertRecord, IpInfo, ParsedUrl,
-    Resolution, ShortenerCatalog,
+    free_hosting_site, parse_url, registrable_domain, CertRecord, IpInfo, ParsedUrl, Resolution,
+    ShortenerCatalog,
 };
 use smishing_worldsim::World;
 use std::net::Ipv4Addr;
@@ -95,7 +95,10 @@ fn enrich_url(raw: &str, world: &World) -> Option<UrlIntel> {
         .filter(|_| !free_hosted)
         .and_then(|d| services.whois.query(d))
         .map(|r| r.registrar);
-    let certs = domain.as_deref().map(|d| services.ctlog.query(d)).unwrap_or_default();
+    let certs = domain
+        .as_deref()
+        .map(|d| services.ctlog.query(d))
+        .unwrap_or_default();
     let resolutions: Vec<(Resolution, Option<IpInfo>)> = domain
         .as_deref()
         .map(|d| services.pdns.query(d, world.now))
@@ -128,9 +131,18 @@ fn enrich_url(raw: &str, world: &World) -> Option<UrlIntel> {
 pub fn enrich(curated: CuratedMessage, world: &World) -> EnrichedRecord {
     let sender = curated.sender_raw.as_deref().and_then(parse_sender);
     let hlr = sender.as_ref().and_then(|s| world.services.hlr.lookup(s));
-    let url = curated.url_raw.as_deref().and_then(|u| enrich_url(u, world));
+    let url = curated
+        .url_raw
+        .as_deref()
+        .and_then(|u| enrich_url(u, world));
     let annotation = PipelineAnnotator::new().annotate(&curated.text);
-    EnrichedRecord { curated, sender, hlr, url, annotation }
+    EnrichedRecord {
+        curated,
+        sender,
+        hlr,
+        url,
+        annotation,
+    }
 }
 
 /// Enrich a batch (serial; enrichment is cheap next to curation).
@@ -158,7 +170,11 @@ mod tests {
     use smishing_worldsim::{Post, WorldConfig};
 
     fn records() -> (World, Vec<EnrichedRecord>) {
-        let world = World::generate(WorldConfig { scale: 0.06, seed: 71, ..WorldConfig::default() });
+        let world = World::generate(WorldConfig {
+            scale: 0.06,
+            seed: 71,
+            ..WorldConfig::default()
+        });
         let refs: Vec<&Post> = world.posts.iter().collect();
         let curated = curate_posts(&refs, &CurationOptions::default());
         let unique = dedup(&curated, DedupMode::Normalized);
@@ -236,7 +252,9 @@ mod tests {
         let mut hits = 0;
         let mut total = 0;
         for r in &recs {
-            let Some(mid) = r.curated.truth_message else { continue };
+            let Some(mid) = r.curated.truth_message else {
+                continue;
+            };
             let truth = &world.messages[mid.0 as usize].truth;
             total += 1;
             if r.annotation.scam_type == truth.scam_type {
@@ -250,15 +268,24 @@ mod tests {
     #[test]
     fn banking_dominates_annotations() {
         let (_, recs) = records();
-        let banking =
-            recs.iter().filter(|r| r.annotation.scam_type == ScamType::Banking).count();
-        assert!(banking as f64 / recs.len() as f64 > 0.3, "{banking}/{}", recs.len());
+        let banking = recs
+            .iter()
+            .filter(|r| r.annotation.scam_type == ScamType::Banking)
+            .count();
+        assert!(
+            banking as f64 / recs.len() as f64 > 0.3,
+            "{banking}/{}",
+            recs.len()
+        );
     }
 
     #[test]
     fn parse_sender_handles_all_shapes() {
         assert!(parse_sender("+447911123456").unwrap().phone().is_some());
-        assert_eq!(parse_sender("SBIBNK").unwrap().kind(), SenderKind::Alphanumeric);
+        assert_eq!(
+            parse_sender("SBIBNK").unwrap().kind(),
+            SenderKind::Alphanumeric
+        );
         assert_eq!(parse_sender("a@b.co").unwrap().kind(), SenderKind::Email);
         assert!(parse_sender("  ").is_none());
     }

@@ -2,8 +2,8 @@
 //! paper-expected shape checks (see DESIGN.md §3).
 
 use crate::analysis::{
-    asn, av, brands, categories, countries, extraction, irr, languages, lures, methods,
-    overview, registrars, sender_info, shorteners, timestamps, tlds, tls,
+    asn, av, brands, categories, countries, extraction, irr, languages, lures, methods, overview,
+    registrars, sender_info, shorteners, timestamps, tlds, tls,
 };
 use crate::casestudy;
 use crate::pipeline::PipelineOutput;
@@ -58,8 +58,14 @@ pub fn run_all(out: &PipelineOutput<'_>) -> Vec<ExperimentResult> {
         id: "T2",
         paper: "metadata analysis uses Twitter/Reddit/Smishtank; active analysis uses Twitter only",
         checks: vec![
-            check("metadata sources = 3", methods::Method::Metadata.sources().len() == 3),
-            check("active source = Twitter", methods::Method::Active.sources() == vec![smishing_types::Forum::Twitter]),
+            check(
+                "metadata sources = 3",
+                methods::Method::Metadata.sources().len() == 3,
+            ),
+            check(
+                "active source = Twitter",
+                methods::Method::Active.sources() == vec![smishing_types::Forum::Twitter],
+            ),
         ],
         table: methods::methods_table(),
     });
@@ -70,9 +76,18 @@ pub fn run_all(out: &PipelineOutput<'_>) -> Vec<ExperimentResult> {
         id: "T3",
         paper: "mobile 66.7%, bad format 24.3%, landline 3.8% of 12,299 phone senders",
         checks: vec![
-            check("Mobile is the top type", si.number_types.top_k(1)[0].0 == smishing_telecom::NumberType::Mobile),
-            check("Bad Format is second", si.number_types.top_k(2)[1].0 == smishing_telecom::NumberType::BadFormat),
-            check("landlines present (spoofing tell)", si.number_types.get(&smishing_telecom::NumberType::Landline) > 0),
+            check(
+                "Mobile is the top type",
+                si.number_types.top_k(1)[0].0 == smishing_telecom::NumberType::Mobile,
+            ),
+            check(
+                "Bad Format is second",
+                si.number_types.top_k(2)[1].0 == smishing_telecom::NumberType::BadFormat,
+            ),
+            check(
+                "landlines present (spoofing tell)",
+                si.number_types.get(&smishing_telecom::NumberType::Landline) > 0,
+            ),
         ],
         table: si.number_types_table(),
     });
@@ -87,7 +102,10 @@ pub fn run_all(out: &PipelineOutput<'_>) -> Vec<ExperimentResult> {
         paper: "Vodafone tops Table 4 (13.3%, 18 countries), AirTel second (10.9%, 6 countries)",
         checks: vec![
             check("Vodafone is #1", si.operators.top_k(1)[0].0 == "Vodafone"),
-            check("AirTel in the operator head (top 6)", si.operators.top_k(6).iter().any(|(o, _)| *o == "AirTel")),
+            check(
+                "AirTel in the operator head (top 6)",
+                si.operators.top_k(6).iter().any(|(o, _)| *o == "AirTel"),
+            ),
             check("Vodafone abused from most countries", voda_countries >= 4),
         ],
         table: si.operators_table(),
@@ -95,11 +113,20 @@ pub fn run_all(out: &PipelineOutput<'_>) -> Vec<ExperimentResult> {
 
     // ---- T5 ----
     let sh = shorteners::shortener_use(out);
-    let isgd_b = sh.by_scam.get(&("is.gd", ScamType::Banking)).copied().unwrap_or(0);
-    let isgd_d = sh.by_scam.get(&("is.gd", ScamType::Delivery)).copied().unwrap_or(0);
+    let isgd_b = sh
+        .by_scam
+        .get(&("is.gd", ScamType::Banking))
+        .copied()
+        .unwrap_or(0);
+    let isgd_d = sh
+        .by_scam
+        .get(&("is.gd", ScamType::Delivery))
+        .copied()
+        .unwrap_or(0);
     results.push(ExperimentResult {
         id: "T5",
-        paper: "bit.ly leads all scam types (30.6%); is.gd is banking-specific #2; wa.me links exist",
+        paper:
+            "bit.ly leads all scam types (30.6%); is.gd is banking-specific #2; wa.me links exist",
         checks: vec![
             check("bit.ly is #1", sh.services.top_k(1)[0].0 == "bit.ly"),
             check("is.gd skews to banking", isgd_b > isgd_d),
@@ -114,9 +141,18 @@ pub fn run_all(out: &PipelineOutput<'_>) -> Vec<ExperimentResult> {
         id: "T6",
         paper: ".com tops direct URLs (4,951); .ly tops shortened URLs (2,482)",
         checks: vec![
-            check(".com is top direct TLD", tld.smishing_tlds.top_k(1)[0].0 == "com"),
-            check(".ly is top shortened TLD", tld.shortened_tlds.top_k(1)[0].0 == "ly"),
-            check("web.app free hosting observed", tld.free_hosting_sites.get(&"web.app") > 0),
+            check(
+                ".com is top direct TLD",
+                tld.smishing_tlds.top_k(1)[0].0 == "com",
+            ),
+            check(
+                ".ly is top shortened TLD",
+                tld.shortened_tlds.top_k(1)[0].0 == "ly",
+            ),
+            check(
+                "web.app free hosting observed",
+                tld.free_hosting_sites.get(&"web.app") > 0,
+            ),
         ],
         table: tld.to_table6(),
     });
@@ -136,8 +172,8 @@ pub fn run_all(out: &PipelineOutput<'_>) -> Vec<ExperimentResult> {
     let tls_u = tls::tls_use(out);
     let le_ratio = tls_u.certs_per_ca.get(&"Let's Encrypt") as f64
         / tls_u.domains_per_ca.get(&"Let's Encrypt").max(1) as f64;
-    let sec_ratio =
-        tls_u.certs_per_ca.get(&"Sectigo") as f64 / tls_u.domains_per_ca.get(&"Sectigo").max(1) as f64;
+    let sec_ratio = tls_u.certs_per_ca.get(&"Sectigo") as f64
+        / tls_u.domains_per_ca.get(&"Sectigo").max(1) as f64;
     results.push(ExperimentResult {
         id: "T7",
         paper: "Let's Encrypt tops certs (141,878) and domains (4,773); Sectigo: many domains, few certs; mean 39 >> median 4 certs/domain",
@@ -178,9 +214,18 @@ pub fn run_all(out: &PipelineOutput<'_>) -> Vec<ExperimentResult> {
         id: "T9",
         paper: "44.9% clean; 49.6% >=1 malicious; only 0.3% >=15; suspicious >=1 18%",
         checks: vec![
-            check("roughly half the URLs flagged by someone", (0.35..0.65).contains(&(avd.vt.mal_ge[0] as f64 / n))),
-            check("almost none flagged by >=15 vendors", (avd.vt.mal_ge[4] as f64 / n) < 0.03),
-            check("clean fraction near 45%", (0.30..0.60).contains(&(avd.vt.clean as f64 / n))),
+            check(
+                "roughly half the URLs flagged by someone",
+                (0.35..0.65).contains(&(avd.vt.mal_ge[0] as f64 / n)),
+            ),
+            check(
+                "almost none flagged by >=15 vendors",
+                (avd.vt.mal_ge[4] as f64 / n) < 0.03,
+            ),
+            check(
+                "clean fraction near 45%",
+                (0.30..0.60).contains(&(avd.vt.clean as f64 / n)),
+            ),
         ],
         table: avd.to_table9(),
     });
@@ -188,9 +233,18 @@ pub fn run_all(out: &PipelineOutput<'_>) -> Vec<ExperimentResult> {
         id: "T18",
         paper: "GSB API 1.0% vs on-VT 1.6% vs transparency 4.0% unsafe; 50.1% not queryable",
         checks: vec![
-            check("GSB's three views disagree (API < VT-listed)", avd.gsb.vt_listed_unsafe > avd.gsb.api_unsafe),
-            check("transparency flags more than the API", avd.gsb.transparency[0] > avd.gsb.api_unsafe),
-            check("about half not queryable", (0.40..0.60).contains(&(avd.gsb.transparency[4] as f64 / avd.gsb.n.max(1) as f64))),
+            check(
+                "GSB's three views disagree (API < VT-listed)",
+                avd.gsb.vt_listed_unsafe > avd.gsb.api_unsafe,
+            ),
+            check(
+                "transparency flags more than the API",
+                avd.gsb.transparency[0] > avd.gsb.api_unsafe,
+            ),
+            check(
+                "about half not queryable",
+                (0.40..0.60).contains(&(avd.gsb.transparency[4] as f64 / avd.gsb.n.max(1) as f64)),
+            ),
         ],
         table: avd.to_table18(),
     });
@@ -228,8 +282,17 @@ pub fn run_all(out: &PipelineOutput<'_>) -> Vec<ExperimentResult> {
         id: "T12",
         paper: "SBI tops Table 12 (11.6%); banks dominate; Amazon/Netflix appear as Others",
         checks: vec![
-            check("SBI is the most impersonated brand", br.counts.top_k(1).first().map(|(b, _)| b.as_str()) == Some("State Bank of India")),
-            check("tech brands reach the top 20", br.counts.top_k(20).iter().any(|(b, _)| b == "Amazon" || b == "Netflix" || b == "PayPal")),
+            check(
+                "SBI is the most impersonated brand",
+                br.counts.top_k(1).first().map(|(b, _)| b.as_str()) == Some("State Bank of India"),
+            ),
+            check(
+                "tech brands reach the top 20",
+                br.counts
+                    .top_k(20)
+                    .iter()
+                    .any(|(b, _)| b == "Amazon" || b == "Netflix" || b == "PayPal"),
+            ),
         ],
         table: br.to_table(),
     });
@@ -267,11 +330,21 @@ pub fn run_all(out: &PipelineOutput<'_>) -> Vec<ExperimentResult> {
         id: "F3",
         paper: "India's mix is banking-heavy; the US and Indonesia lean to Others",
         checks: vec![
-            check("India is banking-heavy (>50%)", india_mix.map(|m| m.share(&ScamType::Banking) > 0.5).unwrap_or(false)),
-            check("US leans to Others more than India", match (us_mix, india_mix) {
-                (Some(us), Some(ind)) => us.share(&ScamType::Others) > ind.share(&ScamType::Others),
-                _ => false,
-            }),
+            check(
+                "India is banking-heavy (>50%)",
+                india_mix
+                    .map(|m| m.share(&ScamType::Banking) > 0.5)
+                    .unwrap_or(false),
+            ),
+            check(
+                "US leans to Others more than India",
+                match (us_mix, india_mix) {
+                    (Some(us), Some(ind)) => {
+                        us.share(&ScamType::Others) > ind.share(&ScamType::Others)
+                    }
+                    _ => false,
+                },
+            ),
         ],
         table: co.figure3_table(),
     });
@@ -283,7 +356,11 @@ pub fn run_all(out: &PipelineOutput<'_>) -> Vec<ExperimentResult> {
         paper: "Twitter volume grows from 6,345 (2017) to >50k/yr (2022-23)",
         checks: vec![
             check("at least 6 years covered", years.len() >= 6),
-            check("last year > first year", years.last().map(|l| l.1).unwrap_or(0) > years.first().map(|f| f.1).unwrap_or(usize::MAX)),
+            check(
+                "last year > first year",
+                years.last().map(|l| l.1).unwrap_or(0)
+                    > years.first().map(|f| f.1).unwrap_or(usize::MAX),
+            ),
         ],
         table: overview::twitter_by_year_table(&years),
     });
@@ -297,15 +374,21 @@ pub fn run_all(out: &PipelineOutput<'_>) -> Vec<ExperimentResult> {
         checks: vec![
             check("GoDaddy #1", regs.counts.top_k(1)[0].0 == "GoDaddy"),
             check("NameCheap #2", regs.counts.top_k(2)[1].0 == "NameCheap"),
-            check("Gname strongly over-represented in government scams (lift > 2)", gname_gov_lift > 2.0),
+            check(
+                "Gname strongly over-represented in government scams (lift > 2)",
+                gname_gov_lift > 2.0,
+            ),
         ],
         table: regs.to_table(),
     });
 
     // ---- F2 ----
     let st = timestamps::send_times(out, true);
-    let significant =
-        st.ks_matrix().iter().filter(|(_, _, r)| r.significant_at(0.05)).count();
+    let significant = st
+        .ks_matrix()
+        .iter()
+        .filter(|(_, _, r)| r.significant_at(0.05))
+        .count();
     results.push(ExperimentResult {
         id: "F2",
         paper: "sends cluster 09:00-20:00; weekday medians 12:26-14:38; the Tue 11:34 2021 SBI burst is filtered; some KS pairs significant",
@@ -345,8 +428,11 @@ pub fn run_all(out: &PipelineOutput<'_>) -> Vec<ExperimentResult> {
 
     // ---- T19 ----
     let cs = casestudy::case_study(out, 200, 0xCA5E);
-    let named: Vec<&str> =
-        cs.findings.iter().filter_map(|f| f.family.as_deref()).collect();
+    let named: Vec<&str> = cs
+        .findings
+        .iter()
+        .filter_map(|f| f.family.as_deref())
+        .collect();
     let smsspy = named.iter().filter(|f| **f == "SMSspy").count();
     results.push(ExperimentResult {
         id: "T19",
@@ -380,7 +466,11 @@ mod tests {
                 }
             }
         }
-        assert!(failures.is_empty(), "failed shape checks:\n{}", failures.join("\n"));
+        assert!(
+            failures.is_empty(),
+            "failed shape checks:\n{}",
+            failures.join("\n")
+        );
     }
 
     #[test]

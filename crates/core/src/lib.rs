@@ -30,7 +30,7 @@ pub mod experiment;
 pub mod pipeline;
 pub mod table;
 
-pub use curation::{CurationOptions, CuratedMessage, DedupMode, ExtractorChoice};
+pub use curation::{CuratedMessage, CurationOptions, DedupMode, ExtractorChoice};
 pub use enrich::EnrichedRecord;
 pub use pipeline::{Pipeline, PipelineOutput};
 pub use table::TextTable;

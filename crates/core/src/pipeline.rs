@@ -1,7 +1,7 @@
 //! Pipeline orchestration: world → collected → curated → enriched.
 
 use crate::collect::{collect_all, CollectionStats};
-use crate::curation::{curate_posts, dedup, CurationOptions, CuratedMessage};
+use crate::curation::{curate_posts, dedup, CuratedMessage, CurationOptions};
 use crate::enrich::{enrich_all, EnrichedRecord};
 use smishing_types::Forum;
 use smishing_worldsim::World;
@@ -40,7 +40,12 @@ impl Pipeline {
         curated_total.sort_by_key(|c| c.post_id);
         let unique = dedup(&curated_total, self.curation.dedup);
         let records = enrich_all(unique, world);
-        PipelineOutput { world, collection, curated_total, records }
+        PipelineOutput {
+            world,
+            collection,
+            curated_total,
+            records,
+        }
     }
 }
 
@@ -52,7 +57,9 @@ impl<'w> PipelineOutput<'w> {
 
     /// Unique records of one forum.
     pub fn records_on(&self, forum: Forum) -> impl Iterator<Item = &EnrichedRecord> {
-        self.records.iter().filter(move |r| r.curated.forum == forum)
+        self.records
+            .iter()
+            .filter(move |r| r.curated.forum == forum)
     }
 }
 

@@ -100,7 +100,11 @@ pub fn count_pct(count: u64, total: u64) -> String {
     if total == 0 {
         return format!("{count} (0.0%)");
     }
-    format!("{} ({:.1}%)", group_thousands(count), count as f64 * 100.0 / total as f64)
+    format!(
+        "{} ({:.1}%)",
+        group_thousands(count),
+        count as f64 * 100.0 / total as f64
+    )
 }
 
 /// Group a number with thousands separators: `28617` → `28,617`.

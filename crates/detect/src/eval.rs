@@ -17,7 +17,10 @@ pub struct ConfusionMatrix<L: Eq + Hash + Clone + Ord> {
 
 impl<L: Eq + Hash + Clone + Ord> ConfusionMatrix<L> {
     fn new() -> Self {
-        ConfusionMatrix { cells: HashMap::new(), labels: Vec::new() }
+        ConfusionMatrix {
+            cells: HashMap::new(),
+            labels: Vec::new(),
+        }
     }
 
     fn record(&mut self, truth: L, predicted: L) {
@@ -32,7 +35,10 @@ impl<L: Eq + Hash + Clone + Ord> ConfusionMatrix<L> {
 
     /// Count at (truth, predicted).
     pub fn get(&self, truth: &L, predicted: &L) -> usize {
-        self.cells.get(&(truth.clone(), predicted.clone())).copied().unwrap_or(0)
+        self.cells
+            .get(&(truth.clone(), predicted.clone()))
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Per-class (precision, recall, f1).
@@ -51,7 +57,11 @@ impl<L: Eq + Hash + Clone + Ord> ConfusionMatrix<L> {
             .map(|l| self.get(label, l) as f64)
             .sum();
         let precision = if tp + fp == 0.0 { 0.0 } else { tp / (tp + fp) };
-        let recall = if tp + fn_ == 0.0 { 0.0 } else { tp / (tp + fn_) };
+        let recall = if tp + fn_ == 0.0 {
+            0.0
+        } else {
+            tp / (tp + fn_)
+        };
         let f1 = if precision + recall == 0.0 {
             0.0
         } else {
@@ -94,8 +104,7 @@ where
         return None;
     }
     let (test_idx, train_idx) = idx.split_at(n_test);
-    let train: Vec<(Vec<String>, L)> =
-        train_idx.iter().map(|&i| samples[i].clone()).collect();
+    let train: Vec<(Vec<String>, L)> = train_idx.iter().map(|&i| samples[i].clone()).collect();
     let model = NaiveBayes::train(&train, alpha)?;
 
     let mut confusion = ConfusionMatrix::new();
@@ -114,7 +123,12 @@ where
         let sum: f64 = labels.iter().map(|l| confusion.class_prf(l).2).sum();
         sum / labels.len() as f64
     };
-    Some(EvalReport { n, accuracy: hits as f64 / n as f64, macro_f1, confusion })
+    Some(EvalReport {
+        n,
+        accuracy: hits as f64 / n as f64,
+        macro_f1,
+        confusion,
+    })
 }
 
 /// Group-aware evaluation: all samples of one group (e.g. one campaign) go
@@ -139,8 +153,7 @@ where
     if n_test_groups == 0 || n_test_groups >= groups.len() {
         return None;
     }
-    let test_groups: std::collections::HashSet<&G> =
-        groups[..n_test_groups].iter().collect();
+    let test_groups: std::collections::HashSet<&G> = groups[..n_test_groups].iter().collect();
 
     let mut train: Vec<(Vec<String>, L)> = Vec::new();
     let mut test: Vec<&(Vec<String>, L, G)> = Vec::new();
@@ -170,7 +183,12 @@ where
         let sum: f64 = labels.iter().map(|l| confusion.class_prf(l).2).sum();
         sum / labels.len() as f64
     };
-    Some(EvalReport { n, accuracy: hits as f64 / n as f64, macro_f1, confusion })
+    Some(EvalReport {
+        n,
+        accuracy: hits as f64 / n as f64,
+        macro_f1,
+        confusion,
+    })
 }
 
 #[cfg(test)]

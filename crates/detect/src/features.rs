@@ -51,7 +51,10 @@ pub fn featurize(text: &str) -> Vec<String> {
         // Whitespace chunks with edge punctuation trimmed — interior
         // punctuation must survive so `N3tfl!x` normalizes to `netflix`.
         let trimmed = chunk.trim_matches(|c: char| {
-            matches!(c, '.' | ',' | '!' | '?' | ';' | ':' | '"' | '\'' | '(' | ')' | '[' | ']')
+            matches!(
+                c,
+                '.' | ',' | '!' | '?' | ';' | ':' | '"' | '\'' | '(' | ')' | '[' | ']'
+            )
         });
         let norm = normalize_token(trimmed);
         if !norm.is_empty() && !norm.chars().all(|c| c.is_ascii_digit()) {
@@ -68,7 +71,10 @@ pub fn featurize(text: &str) -> Vec<String> {
     if url_apk {
         out.push(markers::URL_APK.to_string());
     }
-    if text.chars().any(|c| matches!(c, '£' | '€' | '$' | '₹' | '¥' | '₺' | '₦')) {
+    if text
+        .chars()
+        .any(|c| matches!(c, '£' | '€' | '$' | '₹' | '¥' | '₺' | '₦'))
+    {
         out.push(markers::HAS_AMOUNT.to_string());
     }
     if has_digit_run(text, 6) {
@@ -86,8 +92,21 @@ pub fn featurize(text: &str) -> Vec<String> {
 /// Local copy of the shortener hosts (a detector ships its own lists; keep
 /// this aligned with `smishing_webinfra::shortener::SHORTENER_HOSTS`).
 const SHORTENER_HOSTS: &[&str] = &[
-    "bit.ly", "is.gd", "cutt.ly", "tinyurl.com", "bit.do", "shrtco.de", "rb.gy", "t.ly",
-    "bitly.ws", "t.co", "goo.gl", "ow.ly", "tiny.cc", "rebrand.ly", "v.gd",
+    "bit.ly",
+    "is.gd",
+    "cutt.ly",
+    "tinyurl.com",
+    "bit.do",
+    "shrtco.de",
+    "rb.gy",
+    "t.ly",
+    "bitly.ws",
+    "t.co",
+    "goo.gl",
+    "ow.ly",
+    "tiny.cc",
+    "rebrand.ly",
+    "v.gd",
 ];
 
 fn host_of(url: &str) -> Option<String> {

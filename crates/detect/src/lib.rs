@@ -24,8 +24,8 @@
 #![warn(missing_docs)]
 
 pub mod eval;
-pub mod logreg;
 pub mod features;
+pub mod logreg;
 pub mod nb;
 pub mod tasks;
 
@@ -33,4 +33,6 @@ pub use eval::{evaluate, evaluate_grouped, ConfusionMatrix, EvalReport};
 pub use features::featurize;
 pub use logreg::{LogisticRegression, LrConfig};
 pub use nb::NaiveBayes;
-pub use tasks::{baseline_comparison, binary_study, multiclass_study, multiclass_study_grouped, StudyResult};
+pub use tasks::{
+    baseline_comparison, binary_study, multiclass_study, multiclass_study_grouped, StudyResult,
+};

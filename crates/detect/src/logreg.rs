@@ -34,7 +34,13 @@ pub struct LrConfig {
 
 impl Default for LrConfig {
     fn default() -> Self {
-        LrConfig { dims: 1 << 16, lr: 0.1, l2: 1e-6, epochs: 5, seed: 0x106 }
+        LrConfig {
+            dims: 1 << 16,
+            lr: 0.1,
+            l2: 1e-6,
+            epochs: 5,
+            seed: 0x106,
+        }
     }
 }
 
@@ -110,7 +116,10 @@ mod tests {
         let mut out = Vec::new();
         for i in 0..80 {
             out.push((toks(&format!("urgent account locked verify fee {i}")), true));
-            out.push((toks(&format!("dinner friday cat birthday thanks {i}")), false));
+            out.push((
+                toks(&format!("dinner friday cat birthday thanks {i}")),
+                false,
+            ));
         }
         out
     }
@@ -128,7 +137,10 @@ mod tests {
     fn training_is_deterministic() {
         let a = LogisticRegression::train(&corpus(), LrConfig::default()).unwrap();
         let b = LogisticRegression::train(&corpus(), LrConfig::default()).unwrap();
-        assert_eq!(a.probability(&toks("urgent")), b.probability(&toks("urgent")));
+        assert_eq!(
+            a.probability(&toks("urgent")),
+            b.probability(&toks("urgent"))
+        );
     }
 
     #[test]
@@ -146,9 +158,16 @@ mod tests {
 
     #[test]
     fn l2_keeps_weights_bounded() {
-        let strong_l2 = LrConfig { l2: 0.1, ..LrConfig::default() };
+        let strong_l2 = LrConfig {
+            l2: 0.1,
+            ..LrConfig::default()
+        };
         let model = LogisticRegression::train(&corpus(), strong_l2).unwrap();
-        let max_w = model.weights.iter().cloned().fold(0.0f64, |a, b| a.max(b.abs()));
+        let max_w = model
+            .weights
+            .iter()
+            .cloned()
+            .fold(0.0f64, |a, b| a.max(b.abs()));
         assert!(max_w < 5.0, "{max_w}");
     }
 }

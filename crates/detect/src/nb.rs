@@ -84,7 +84,11 @@ impl<L: Eq + Hash + Clone + Ord> NaiveBayes<L> {
     pub fn predict(&self, tokens: &[String]) -> L {
         self.scores(tokens)
             .into_iter()
-            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite").then_with(|| b.0.cmp(&a.0)))
+            .max_by(|a, b| {
+                a.1.partial_cmp(&b.1)
+                    .expect("finite")
+                    .then_with(|| b.0.cmp(&a.0))
+            })
             .map(|(l, _)| l)
             .expect("trained model has classes")
     }
@@ -159,6 +163,9 @@ mod tests {
     #[test]
     fn deterministic_scores() {
         let m = toy_model();
-        assert_eq!(m.scores(&toks("pay the fee")), m.scores(&toks("pay the fee")));
+        assert_eq!(
+            m.scores(&toks("pay the fee")),
+            m.scores(&toks("pay the fee"))
+        );
     }
 }

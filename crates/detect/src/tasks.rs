@@ -42,7 +42,10 @@ pub fn binary_study(smish_texts: &[String], seed: u64) -> Option<StudyResult<Bin
         samples.push((featurize(&h.text), BinaryLabel::Ham));
     }
     let report = evaluate(&samples, 0.3, 1.0, &mut rng)?;
-    Some(StudyResult { corpus: samples.len(), report })
+    Some(StudyResult {
+        corpus: samples.len(),
+        report,
+    })
 }
 
 /// Multi-class study: scam typology from text alone (the paper's "new
@@ -57,7 +60,10 @@ pub fn multiclass_study(
         .map(|(text, scam)| (featurize(text), scam.label()))
         .collect();
     let report = evaluate(&samples, 0.3, 1.0, &mut rng)?;
-    Some(StudyResult { corpus: samples.len(), report })
+    Some(StudyResult {
+        corpus: samples.len(),
+        report,
+    })
 }
 
 /// Head-to-head of the two classical baselines on the binary task:
@@ -81,11 +87,16 @@ pub fn baseline_comparison(smish_texts: &[String], seed: u64) -> Option<(f64, f6
         return None;
     }
     let (test_idx, train_idx) = idx.split_at(n_test);
-    let train: Vec<(Vec<String>, bool)> =
-        train_idx.iter().map(|&i| samples[i].clone()).collect();
+    let train: Vec<(Vec<String>, bool)> = train_idx.iter().map(|&i| samples[i].clone()).collect();
 
     let nb = crate::nb::NaiveBayes::train(&train, 1.0)?;
-    let lr = LogisticRegression::train(&train, LrConfig { seed, ..LrConfig::default() })?;
+    let lr = LogisticRegression::train(
+        &train,
+        LrConfig {
+            seed,
+            ..LrConfig::default()
+        },
+    )?;
 
     let mut nb_hits = 0;
     let mut lr_hits = 0;
@@ -116,7 +127,10 @@ pub fn multiclass_study_grouped(
         .map(|(text, scam, group)| (featurize(text), scam.label(), *group))
         .collect();
     let report = evaluate_grouped(&samples, 0.3, 1.0, &mut rng)?;
-    Some(StudyResult { corpus: samples.len(), report })
+    Some(StudyResult {
+        corpus: samples.len(),
+        report,
+    })
 }
 
 #[cfg(test)]
@@ -125,7 +139,11 @@ mod tests {
     use smishing_worldsim::{World, WorldConfig};
 
     fn world_texts() -> Vec<(String, ScamType)> {
-        let world = World::generate(WorldConfig { scale: 0.04, seed: 0xDE7, ..WorldConfig::default() });
+        let world = World::generate(WorldConfig {
+            scale: 0.04,
+            seed: 0xDE7,
+            ..WorldConfig::default()
+        });
         world
             .messages
             .iter()
@@ -158,7 +176,11 @@ mod tests {
 
     #[test]
     fn grouped_split_is_harder_but_still_strong() {
-        let world = World::generate(WorldConfig { scale: 0.04, seed: 0xDE7, ..WorldConfig::default() });
+        let world = World::generate(WorldConfig {
+            scale: 0.04,
+            seed: 0xDE7,
+            ..WorldConfig::default()
+        });
         let labeled: Vec<(String, ScamType, u32)> = world
             .messages
             .iter()
@@ -168,10 +190,17 @@ mod tests {
         // Unseen campaigns classify far above the ~45% majority-class
         // baseline but well below the leaky random split — the honest
         // deployment number.
-        assert!(grouped.report.accuracy > 0.60, "{}", grouped.report.accuracy);
+        assert!(
+            grouped.report.accuracy > 0.60,
+            "{}",
+            grouped.report.accuracy
+        );
         assert!(grouped.report.accuracy <= 1.0);
         let random_split = multiclass_study(
-            &labeled.iter().map(|(t, s, _)| (t.clone(), *s)).collect::<Vec<_>>(),
+            &labeled
+                .iter()
+                .map(|(t, s, _)| (t.clone(), *s))
+                .collect::<Vec<_>>(),
             7,
         )
         .unwrap();
@@ -191,8 +220,11 @@ mod tests {
 
     #[test]
     fn studies_are_deterministic() {
-        let texts: Vec<String> =
-            world_texts().into_iter().map(|(t, _)| t).take(300).collect();
+        let texts: Vec<String> = world_texts()
+            .into_iter()
+            .map(|(t, _)| t)
+            .take(300)
+            .collect();
         let a = binary_study(&texts, 9).unwrap();
         let b = binary_study(&texts, 9).unwrap();
         assert_eq!(a.report.accuracy, b.report.accuracy);

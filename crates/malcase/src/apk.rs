@@ -15,7 +15,11 @@ pub struct ApkArtifact {
 impl ApkArtifact {
     /// Construct an artifact.
     pub fn new(name: impl Into<String>, sha256: impl Into<String>, family: &'static str) -> Self {
-        ApkArtifact { name: name.into(), sha256: sha256.into(), true_family: family }
+        ApkArtifact {
+            name: name.into(),
+            sha256: sha256.into(),
+            true_family: family,
+        }
     }
 }
 

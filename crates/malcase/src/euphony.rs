@@ -11,10 +11,35 @@ use std::collections::HashMap;
 
 /// Tokens that are never family names.
 const STOP_TOKENS: &[&str] = &[
-    "trojan", "trojanspy", "trojan-spy", "spy", "banker", "android", "androidos", "andr",
-    "heur", "uds", "gen", "generic", "malicious", "high", "confidence", "riskware",
-    "dangerousobject", "multi", "variant", "agent2", "win32", "tr", "trj",
-    "a", "b", "c", "d", "ab", "abc",
+    "trojan",
+    "trojanspy",
+    "trojan-spy",
+    "spy",
+    "banker",
+    "android",
+    "androidos",
+    "andr",
+    "heur",
+    "uds",
+    "gen",
+    "generic",
+    "malicious",
+    "high",
+    "confidence",
+    "riskware",
+    "dangerousobject",
+    "multi",
+    "variant",
+    "agent2",
+    "win32",
+    "tr",
+    "trj",
+    "a",
+    "b",
+    "c",
+    "d",
+    "ab",
+    "abc",
     // NOTE: "artemis" is deliberately NOT a stop token. It is McAfee's
     // generic prefix, but Euphony (and the paper's Table 19) reports it as
     // the family when nothing more specific reaches a plurality.
@@ -77,7 +102,10 @@ mod tests {
     use crate::vtlabels::generate_vendor_labels;
 
     fn label(vendor: &'static str, s: &str) -> VendorLabel {
-        VendorLabel { vendor, label: s.to_string() }
+        VendorLabel {
+            vendor,
+            label: s.to_string(),
+        }
     }
 
     #[test]

@@ -53,7 +53,10 @@ impl RedirectResolver {
     pub fn register(&self, host: &str, page_url: &str, android_apk: Option<ApkArtifact>) {
         self.by_host.write().insert(
             host.to_ascii_lowercase(),
-            SiteBehaviour { page_url: page_url.to_string(), android_apk },
+            SiteBehaviour {
+                page_url: page_url.to_string(),
+                android_apk,
+            },
         );
     }
 
@@ -88,14 +91,24 @@ mod tests {
     fn paper_example_behaviour() {
         let r = RedirectResolver::new();
         let apk = ApkArtifact::new("s1.apk", "34ae95c0".repeat(8), "SMSspy");
-        r.register("sa-krs.web.app", "https://sa-krs.web.app/", Some(apk.clone()));
+        r.register(
+            "sa-krs.web.app",
+            "https://sa-krs.web.app/",
+            Some(apk.clone()),
+        );
 
         assert_eq!(
             r.open("sa-krs.web.app", Device::Desktop),
             RedirectOutcome::PhishingPage("https://sa-krs.web.app/".into())
         );
-        assert_eq!(r.open("sa-krs.web.app", Device::Android), RedirectOutcome::ApkDownload(apk));
-        assert!(matches!(r.open("sa-krs.web.app", Device::Ios), RedirectOutcome::PhishingPage(_)));
+        assert_eq!(
+            r.open("sa-krs.web.app", Device::Android),
+            RedirectOutcome::ApkDownload(apk)
+        );
+        assert!(matches!(
+            r.open("sa-krs.web.app", Device::Ios),
+            RedirectOutcome::PhishingPage(_)
+        ));
     }
 
     #[test]
@@ -111,6 +124,9 @@ mod tests {
     #[test]
     fn unknown_hosts_are_dead() {
         let r = RedirectResolver::new();
-        assert_eq!(r.open("ghost.example", Device::Desktop), RedirectOutcome::Dead);
+        assert_eq!(
+            r.open("ghost.example", Device::Desktop),
+            RedirectOutcome::Dead
+        );
     }
 }

@@ -28,9 +28,28 @@ const STYLES: &[fn(&str) -> String] = &[
 ];
 
 const VENDORS: &[&str] = &[
-    "Kaspersky", "BitDefender", "Fortinet", "ESET", "Microsoft", "McAfee", "Avast",
-    "Sophos", "DrWeb", "Tencent", "Ikarus", "K7GW", "Zillya", "Cynet", "SymantecMobile",
-    "TrendMicro", "Avira", "Lionic", "AhnLab", "FSecure", "Jiangmin", "NANO",
+    "Kaspersky",
+    "BitDefender",
+    "Fortinet",
+    "ESET",
+    "Microsoft",
+    "McAfee",
+    "Avast",
+    "Sophos",
+    "DrWeb",
+    "Tencent",
+    "Ikarus",
+    "K7GW",
+    "Zillya",
+    "Cynet",
+    "SymantecMobile",
+    "TrendMicro",
+    "Avira",
+    "Lionic",
+    "AhnLab",
+    "FSecure",
+    "Jiangmin",
+    "NANO",
 ];
 
 const GENERIC_LABELS: &[&str] = &[
@@ -122,7 +141,10 @@ mod tests {
                 if l.label.contains("Generic") || l.label.contains("DangerousObject") {
                     saw_generic = true;
                 }
-                if ["Agent", "Boxer", "FakeInst", "Hiddad"].iter().any(|w| l.label.contains(w)) {
+                if ["Agent", "Boxer", "FakeInst", "Hiddad"]
+                    .iter()
+                    .any(|w| l.label.contains(w))
+                {
                     saw_wrong = true;
                 }
             }

@@ -3,11 +3,11 @@
 //! label unification (§6).
 
 use proptest::prelude::*;
+use smishing_malcase::vtlabels::VendorLabel;
 use smishing_malcase::{
     generate_vendor_labels, unify_labels, AndroZoo, ApkArtifact, Device, RedirectOutcome,
     RedirectResolver,
 };
-use smishing_malcase::vtlabels::VendorLabel;
 
 fn sha_strategy() -> impl Strategy<Value = String> {
     "[0-9a-f]{64}"

@@ -126,7 +126,11 @@ mod tests {
         let llm = evaluate(&LlmExtractor::new(1), &shots);
 
         assert!(llm.url_exact > 0.88, "llm url {:?}", llm.url_exact);
-        assert!(vision.url_exact < 0.05, "vision splits URLs: {:?}", vision.url_exact);
+        assert!(
+            vision.url_exact < 0.05,
+            "vision splits URLs: {:?}",
+            vision.url_exact
+        );
         assert_eq!(naive.url_exact, 0.0, "naive has no URL field");
         assert!(llm.text_exact > 0.9, "{:?}", llm.text_exact);
         assert!(naive.text_exact < 0.05, "naive blob ≠ message text");

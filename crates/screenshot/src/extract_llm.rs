@@ -23,7 +23,10 @@ pub struct LlmExtractor {
 impl LlmExtractor {
     /// Build with a seed.
     pub fn new(seed: u64) -> LlmExtractor {
-        LlmExtractor { seed, discrimination_error: 0.01 }
+        LlmExtractor {
+            seed,
+            discrimination_error: 0.01,
+        }
     }
 
     fn unit(&self, s: &str, salt: u64) -> f64 {
@@ -58,11 +61,38 @@ pub(crate) fn rejoin_lines(lines: &[&str], width: usize) -> String {
 /// English function words that start lines after a URL that merely ended at
 /// the wrap boundary — never glue into these.
 const NON_CONTINUATION_WORDS: &[&str] = &[
-    "to", "the", "now", "at", "or", "and", "for", "today", "please", "a", "in", "of",
-    "is", "it", "on", "by", "x", "asap", "urgently", "immediately",
+    "to",
+    "the",
+    "now",
+    "at",
+    "or",
+    "and",
+    "for",
+    "today",
+    "please",
+    "a",
+    "in",
+    "of",
+    "is",
+    "it",
+    "on",
+    "by",
+    "x",
+    "asap",
+    "urgently",
+    "immediately",
     // Common sentence enders in the non-English corpus.
-    "hoy", "aqui", "aquí", "ahora", "vandaag", "oggi", "hier", "heute", "segera",
-    "ngayon", "ici",
+    "hoy",
+    "aqui",
+    "aquí",
+    "ahora",
+    "vandaag",
+    "oggi",
+    "hier",
+    "heute",
+    "segera",
+    "ngayon",
+    "ici",
 ];
 
 fn should_glue(line: &str, next: &str, width: usize) -> bool {
@@ -96,7 +126,9 @@ fn should_glue(line: &str, next: &str, width: usize) -> bool {
     // A short leading fragment ("ssion now", or a lone "m" when the URL is
     // the last thing in the message) is a split tail — unless it reads as a
     // plain function word ("to keep", trailing "now").
-    let word = next_first.trim_end_matches(['.', ',', '!', '?', ':']).to_ascii_lowercase();
+    let word = next_first
+        .trim_end_matches(['.', ',', '!', '?', ':'])
+        .to_ascii_lowercase();
     next_first.chars().count() <= 6 && !NON_CONTINUATION_WORDS.contains(&word.as_str())
 }
 
@@ -124,8 +156,12 @@ impl Extractor for LlmExtractor {
     }
 
     fn extract(&self, shot: &Screenshot) -> Extraction {
-        let fingerprint: String =
-            shot.blocks.iter().map(|b| b.text.as_str()).collect::<Vec<_>>().join("|");
+        let fingerprint: String = shot
+            .blocks
+            .iter()
+            .map(|b| b.text.as_str())
+            .collect::<Vec<_>>()
+            .join("|");
         // SMS-vs-not discrimination with a small error rate.
         let believes_sms = if self.unit(&fingerprint, 1) < self.discrimination_error {
             !shot.is_sms
@@ -165,7 +201,13 @@ impl Extractor for LlmExtractor {
             .blocks_of(BlockKind::Timestamp)
             .first()
             .map(|b| b.text.clone());
-        Extraction { is_sms_screenshot: true, text: Some(text), url, sender, timestamp_raw }
+        Extraction {
+            is_sms_screenshot: true,
+            text: Some(text),
+            url,
+            sender,
+            timestamp_raw,
+        }
     }
 }
 
@@ -204,7 +246,11 @@ mod tests {
         assert_eq!(e.sender.as_deref(), Some("+34612345678"));
         assert_eq!(e.timestamp_raw.as_deref(), Some("17/02/2023 16:45"));
         assert_eq!(e.url.as_deref(), Some(url), "wrapped URL must be rejoined");
-        assert_eq!(e.text.as_deref(), Some(text.as_str()), "text reconstructed exactly");
+        assert_eq!(
+            e.text.as_deref(),
+            Some(text.as_str()),
+            "text reconstructed exactly"
+        );
     }
 
     #[test]
@@ -262,7 +308,14 @@ mod tests {
     #[test]
     fn no_url_means_none() {
         let mut rng = StdRng::seed_from_u64(3);
-        let shot = render_sms(&spec("Hi mum, my phone broke, text me back", None, AppTheme::Imessage), &mut rng);
+        let shot = render_sms(
+            &spec(
+                "Hi mum, my phone broke, text me back",
+                None,
+                AppTheme::Imessage,
+            ),
+            &mut rng,
+        );
         let e = LlmExtractor::new(7).extract(&shot);
         assert_eq!(e.url, None);
     }

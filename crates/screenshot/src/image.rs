@@ -37,7 +37,10 @@ impl AppTheme {
     /// Whether the background defeats threshold-based OCR (naive OCR
     /// returns garbage on these).
     pub fn custom_background(self) -> bool {
-        matches!(self, AppTheme::WhatsApp | AppTheme::CustomThemed | AppTheme::AndroidMessagesDark)
+        matches!(
+            self,
+            AppTheme::WhatsApp | AppTheme::CustomThemed | AppTheme::AndroidMessagesDark
+        )
     }
 
     /// Characters that fit on one bubble line in this theme.
@@ -163,8 +166,18 @@ mod tests {
         let shot = Screenshot {
             theme: AppTheme::Imessage,
             blocks: vec![
-                TextBlock { kind: BlockKind::BubbleLine, text: "second".into(), x: 0, y: 2 },
-                TextBlock { kind: BlockKind::BubbleLine, text: "first".into(), x: 0, y: 1 },
+                TextBlock {
+                    kind: BlockKind::BubbleLine,
+                    text: "second".into(),
+                    x: 0,
+                    y: 2,
+                },
+                TextBlock {
+                    kind: BlockKind::BubbleLine,
+                    text: "first".into(),
+                    x: 0,
+                    y: 1,
+                },
             ],
             is_sms: true,
             noise_kind: None,

@@ -25,8 +25,7 @@ fn hash(s: &str, salt: u64) -> u64 {
 pub(crate) fn confuse(line: &str, rate: f64, salt: u64) -> String {
     let mut out = String::with_capacity(line.len());
     for (i, c) in line.chars().enumerate() {
-        let roll =
-            (hash(line, salt.wrapping_add(i as u64)) >> 11) as f64 / (1u64 << 53) as f64;
+        let roll = (hash(line, salt.wrapping_add(i as u64)) >> 11) as f64 / (1u64 << 53) as f64;
         let swapped = if roll < rate {
             match c {
                 'l' => Some('I'),
@@ -67,17 +66,25 @@ impl Extractor for NaiveOcr {
     fn extract(&self, shot: &Screenshot) -> Extraction {
         // Custom backgrounds defeat binarization entirely.
         if shot.theme.custom_background() {
-            return Extraction { is_sms_screenshot: true, ..Extraction::default() };
+            return Extraction {
+                is_sms_screenshot: true,
+                ..Extraction::default()
+            };
         }
         // Heavy photo noise also kills it.
         if shot.noise > 0.7 {
-            return Extraction { is_sms_screenshot: true, ..Extraction::default() };
+            return Extraction {
+                is_sms_screenshot: true,
+                ..Extraction::default()
+            };
         }
         let rate = 0.08 + shot.noise * 0.25;
         let mut blocks: Vec<&crate::image::TextBlock> = shot.blocks.iter().collect();
         blocks.sort_by_key(|b| (b.y, b.x));
-        let blob: Vec<String> =
-            blocks.iter().map(|b| confuse(&b.text, rate, self.seed)).collect();
+        let blob: Vec<String> = blocks
+            .iter()
+            .map(|b| confuse(&b.text, rate, self.seed))
+            .collect();
         Extraction {
             is_sms_screenshot: true, // cannot discriminate
             text: Some(blob.join("\n")),
@@ -130,7 +137,10 @@ mod tests {
         let ocr = NaiveOcr::new(1);
         let e = ocr.extract(&shot(AppTheme::Imessage, 0.0));
         let text = e.text.unwrap();
-        assert!(text.contains("LTE"), "status bar leaks into the blob: {text}");
+        assert!(
+            text.contains("LTE"),
+            "status bar leaks into the blob: {text}"
+        );
         assert!(e.url.is_none() && e.sender.is_none(), "no field structure");
     }
 
@@ -146,7 +156,10 @@ mod tests {
 
     #[test]
     fn confusion_is_deterministic() {
-        assert_eq!(confuse("sbl-kyc.com", 0.5, 3), confuse("sbl-kyc.com", 0.5, 3));
+        assert_eq!(
+            confuse("sbl-kyc.com", 0.5, 3),
+            confuse("sbl-kyc.com", 0.5, 3)
+        );
     }
 
     #[test]
@@ -155,6 +168,9 @@ mod tests {
         let poster =
             crate::render::render_noise_image(smishing_types::NoiseKind::AwarenessPoster, &mut rng);
         let e = NaiveOcr::new(1).extract(&poster);
-        assert!(e.is_sms_screenshot, "naive OCR believes everything is an SMS");
+        assert!(
+            e.is_sms_screenshot,
+            "naive OCR believes everything is an SMS"
+        );
     }
 }

@@ -61,7 +61,9 @@ mod tests {
         render_sms(
             &RenderSpec {
                 sender: Some("+447900000001".into()),
-                text: format!("URGENT: your account is locked. Visit {url} immediately to restore access."),
+                text: format!(
+                    "URGENT: your account is locked. Visit {url} immediately to restore access."
+                ),
                 url: Some(url.into()),
                 received: CivilDateTime::new(
                     Date::new(2022, 6, 10).unwrap(),

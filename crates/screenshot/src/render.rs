@@ -33,7 +33,11 @@ pub fn wrap(text: &str, width: usize) -> Vec<String> {
     for word in text.split_whitespace() {
         let mut w = word;
         loop {
-            let need = if line.is_empty() { w.chars().count() } else { w.chars().count() + 1 };
+            let need = if line.is_empty() {
+                w.chars().count()
+            } else {
+                w.chars().count() + 1
+            };
             let used = line.chars().count();
             if used + need <= width {
                 if !line.is_empty() {
@@ -79,14 +83,34 @@ pub fn render_sms<R: Rng + ?Sized>(spec: &RenderSpec, rng: &mut R) -> Screenshot
         y: 0,
     });
     if let Some(sender) = &spec.sender {
-        blocks.push(TextBlock { kind: BlockKind::SenderHeader, text: sender.clone(), x: 4, y: 1 });
+        blocks.push(TextBlock {
+            kind: BlockKind::SenderHeader,
+            text: sender.clone(),
+            x: 4,
+            y: 1,
+        });
     }
-    let ts_string = spec.timestamp_style.map(|style| style.format(spec.received));
+    let ts_string = spec
+        .timestamp_style
+        .map(|style| style.format(spec.received));
     if let Some(ts) = &ts_string {
-        blocks.push(TextBlock { kind: BlockKind::Timestamp, text: ts.clone(), x: 10, y: 2 });
+        blocks.push(TextBlock {
+            kind: BlockKind::Timestamp,
+            text: ts.clone(),
+            x: 10,
+            y: 2,
+        });
     }
-    for (i, line) in wrap(&spec.text, spec.theme.chars_per_line()).into_iter().enumerate() {
-        blocks.push(TextBlock { kind: BlockKind::BubbleLine, text: line, x: 2, y: 3 + i as u16 });
+    for (i, line) in wrap(&spec.text, spec.theme.chars_per_line())
+        .into_iter()
+        .enumerate()
+    {
+        blocks.push(TextBlock {
+            kind: BlockKind::BubbleLine,
+            text: line,
+            x: 2,
+            y: 3 + i as u16,
+        });
     }
     Screenshot {
         theme: spec.theme,
@@ -123,7 +147,12 @@ pub fn render_noise_image<R: Rng + ?Sized>(kind: NoiseKind, rng: &mut R) -> Scre
     Screenshot {
         theme: AppTheme::AndroidMessages,
         blocks: vec![
-            TextBlock { kind: BlockKind::Caption, text: text.to_string(), x: 0, y: 0 },
+            TextBlock {
+                kind: BlockKind::Caption,
+                text: text.to_string(),
+                x: 0,
+                y: 0,
+            },
             TextBlock {
                 kind: BlockKind::Caption,
                 text: "shared image".to_string(),
@@ -174,7 +203,10 @@ mod tests {
         assert!(lines.len() >= 3, "{lines:?}");
         // Rejoining the split fragments reconstructs the URL.
         let joined = lines.join("");
-        assert!(joined.replace(' ', "").contains(&url.replace(' ', "")), "{joined}");
+        assert!(
+            joined.replace(' ', "").contains(&url.replace(' ', "")),
+            "{joined}"
+        );
     }
 
     #[test]
@@ -186,7 +218,13 @@ mod tests {
     #[test]
     fn rendered_screenshot_structure() {
         let mut rng = StdRng::seed_from_u64(1);
-        let shot = render_sms(&spec("Your account is locked. Visit the branch today.", AppTheme::Imessage), &mut rng);
+        let shot = render_sms(
+            &spec(
+                "Your account is locked. Visit the branch today.",
+                AppTheme::Imessage,
+            ),
+            &mut rng,
+        );
         assert!(shot.is_sms);
         assert!(!shot.blocks_of(BlockKind::StatusBar).is_empty());
         assert!(!shot.blocks_of(BlockKind::SenderHeader).is_empty());

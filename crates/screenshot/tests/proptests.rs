@@ -3,10 +3,10 @@
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use smishing_screenshot::render::wrap;
 use smishing_screenshot::{
     render_sms, AppTheme, Extractor, LlmExtractor, NaiveOcr, RenderSpec, VisionOcr,
 };
-use smishing_screenshot::render::wrap;
 use smishing_types::{CivilDateTime, Date, TimeOfDay, TimestampStyle};
 
 fn spec(text: String, theme: AppTheme, noise: f64) -> RenderSpec {

@@ -17,7 +17,10 @@ pub struct Counter<K: Eq + Hash> {
 
 impl<K: Eq + Hash> Default for Counter<K> {
     fn default() -> Self {
-        Counter { counts: HashMap::new(), total: 0 }
+        Counter {
+            counts: HashMap::new(),
+            total: 0,
+        }
     }
 }
 

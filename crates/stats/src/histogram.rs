@@ -22,7 +22,14 @@ impl Histogram {
     pub fn new(lo: f64, hi: f64, n_bins: usize) -> Histogram {
         assert!(n_bins > 0, "histogram needs at least one bin");
         assert!(hi > lo, "histogram range must be non-empty");
-        Histogram { lo, hi, bins: vec![0; n_bins], underflow: 0, overflow: 0, count: 0 }
+        Histogram {
+            lo,
+            hi,
+            bins: vec![0; n_bins],
+            underflow: 0,
+            overflow: 0,
+            count: 0,
+        }
     }
 
     /// Record a value.
@@ -81,7 +88,10 @@ impl Histogram {
         if in_range == 0 {
             return vec![0.0; self.bins.len()];
         }
-        self.bins.iter().map(|&c| c as f64 / in_range as f64).collect()
+        self.bins
+            .iter()
+            .map(|&c| c as f64 / in_range as f64)
+            .collect()
     }
 }
 

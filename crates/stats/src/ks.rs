@@ -57,7 +57,12 @@ pub fn ks_two_sample(sample1: &[f64], sample2: &[f64]) -> Option<KsResult> {
     // Numerical-recipes style corrected argument for better small-sample accuracy.
     let lambda = (en + 0.12 + 0.11 / en) * d;
     let p_value = kolmogorov_survival(lambda);
-    Some(KsResult { statistic: d, p_value, n1, n2 })
+    Some(KsResult {
+        statistic: d,
+        p_value,
+        n1,
+        n2,
+    })
 }
 
 /// Q_KS(λ) = 2 Σ_{k≥1} (−1)^{k−1} e^{−2 k² λ²}, clamped to [0, 1].

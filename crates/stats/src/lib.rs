@@ -12,7 +12,9 @@
 //! - [`descriptive`]: means/variance for the TLS certificate counts (§4.5),
 //! - [`sample`]: seeded reservoir sampling (the 150-message IRR subset and
 //!   the 200-report case-study sample),
-//! - [`unionfind`]: disjoint-set union for campaign linking.
+//! - [`unionfind`]: disjoint-set union for campaign linking,
+//! - [`merge`]: mergeable accumulator primitives (multisets with
+//!   retraction, first-writer-wins claims) for the streaming engine.
 //!
 //! Everything is deterministic: functions either take no randomness or take
 //! an explicit `&mut impl Rng`.
@@ -25,6 +27,7 @@ pub mod descriptive;
 pub mod histogram;
 pub mod kappa;
 pub mod ks;
+pub mod merge;
 pub mod quantile;
 pub mod sample;
 pub mod unionfind;
@@ -34,6 +37,7 @@ pub use descriptive::{mean, stddev, variance};
 pub use histogram::Histogram;
 pub use kappa::{cohen_kappa, kappa_from_labels, AgreementLevel};
 pub use ks::{ks_two_sample, KsResult};
+pub use merge::{FirstClaim, RefCount};
 pub use quantile::{median, quantile};
 pub use sample::reservoir_sample;
 pub use unionfind::UnionFind;

@@ -83,8 +83,7 @@ mod tests {
 
     #[test]
     fn five_numbers() {
-        let (min, q1, med, q3, max) =
-            five_number_summary(&[5.0, 1.0, 4.0, 2.0, 3.0]).unwrap();
+        let (min, q1, med, q3, max) = five_number_summary(&[5.0, 1.0, 4.0, 2.0, 3.0]).unwrap();
         assert_eq!((min, q1, med, q3, max), (1.0, 2.0, 3.0, 4.0, 5.0));
     }
 

@@ -1,0 +1,281 @@
+//! The per-shard analysis state: every incremental accumulator from
+//! `smishing_core::analysis`, bundled with uniform `add`/`merge` entry
+//! points.
+//!
+//! Each engine worker owns one [`AnalysisAccs`]. Curation workers feed the
+//! post-level accumulators (Table 1's posts/images columns, Table 15);
+//! analyst shards feed the message- and record-level ones. Merging the
+//! bundles from every worker yields exactly the state a single sequential
+//! pass would have built, so any table renders mid-stream.
+
+use smishing_core::analysis::asn::{asn_use, AsnAcc};
+use smishing_core::analysis::av::{av_detection, AvAcc};
+use smishing_core::analysis::brands::{brands, BrandsAcc};
+use smishing_core::analysis::categories::{categories, CategoriesAcc};
+use smishing_core::analysis::countries::{countries, CountriesAcc};
+use smishing_core::analysis::languages::{languages, LanguagesAcc};
+use smishing_core::analysis::lures::{lures, LuresAcc};
+use smishing_core::analysis::overview::{
+    overview, twitter_by_year, twitter_by_year_table, OverviewAcc, TwitterYearsAcc,
+};
+use smishing_core::analysis::registrars::{registrars, RegistrarsAcc};
+use smishing_core::analysis::sender_info::{sender_info, SenderInfoAcc};
+use smishing_core::analysis::shorteners::{shortener_use, ShortenerAcc};
+use smishing_core::analysis::timestamps::{send_times, SendTimesAcc};
+use smishing_core::analysis::tlds::{tld_use, TldAcc};
+use smishing_core::analysis::tls::{tls_use, TlsAcc};
+use smishing_core::curation::CuratedMessage;
+use smishing_core::enrich::EnrichedRecord;
+use smishing_core::pipeline::PipelineOutput;
+use smishing_core::table::TextTable;
+use smishing_types::Forum;
+use smishing_worldsim::Post;
+
+/// Every incremental analysis accumulator, mergeable across shards.
+#[derive(Debug, Clone, Default)]
+pub struct AnalysisAccs {
+    /// Table 1 (posts/images arrive per post, message columns per curated
+    /// message).
+    pub overview: OverviewAcc,
+    /// Table 15.
+    pub twitter_years: TwitterYearsAcc,
+    /// Table 11.
+    pub languages: LanguagesAcc,
+    /// Figure 2 / Table 13 send-time samples.
+    pub send_times: SendTimesAcc,
+    /// Table 10.
+    pub categories: CategoriesAcc,
+    /// Table 12.
+    pub brands: BrandsAcc,
+    /// Table 19.
+    pub lures: LuresAcc,
+    /// Tables 3 and 4.
+    pub sender_info: SenderInfoAcc,
+    /// Table 5.
+    pub shorteners: ShortenerAcc,
+    /// Tables 6 and 16.
+    pub tlds: TldAcc,
+    /// Table 7.
+    pub tls: TlsAcc,
+    /// Table 8.
+    pub asn: AsnAcc,
+    /// Tables 9 and 18.
+    pub av: AvAcc,
+    /// Table 14 / Figure 3.
+    pub countries: CountriesAcc,
+    /// Table 17.
+    pub registrars: RegistrarsAcc,
+}
+
+impl AnalysisAccs {
+    /// New empty bundle.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold in one collected post (curation-worker side: raw volume).
+    pub fn add_post(&mut self, post: &Post) {
+        let has_image = post.body.has_image();
+        self.overview.add_post(post.forum, has_image);
+        if post.forum == Forum::Twitter {
+            self.twitter_years
+                .add_post(post.posted_at.year(), has_image);
+        }
+    }
+
+    /// Fold in one curated message (duplicates included).
+    pub fn add_curated(&mut self, c: &CuratedMessage) {
+        self.overview.add_curated(c);
+        self.languages.add_curated(c);
+        self.send_times.add_curated(c);
+        self.categories.add_curated(c);
+        self.brands.add_curated(c);
+    }
+
+    /// Fold in one unique (dedup-winning) enriched record.
+    pub fn add_record(&mut self, r: &EnrichedRecord) {
+        self.categories.add_record(r);
+        self.brands.add_record(r);
+        self.lures.add_record(r);
+        self.sender_info.add_record(r);
+        self.shorteners.add_record(r);
+        self.tlds.add_record(r);
+        self.tls.add_record(r);
+        self.asn.add_record(r);
+        self.av.add_record(r);
+        self.countries.add_record(r);
+        self.registrars.add_record(r);
+    }
+
+    /// Retract a record displaced by an earlier-post duplicate.
+    pub fn sub_record(&mut self, r: &EnrichedRecord) {
+        self.categories.sub_record(r);
+        self.brands.sub_record(r);
+        self.lures.sub_record(r);
+        self.sender_info.sub_record(r);
+        self.shorteners.sub_record(r);
+        self.tlds.sub_record(r);
+        self.tls.sub_record(r);
+        self.asn.sub_record(r);
+        self.av.sub_record(r);
+        self.countries.sub_record(r);
+        self.registrars.sub_record(r);
+    }
+
+    /// Absorb another worker's bundle.
+    pub fn merge(&mut self, other: AnalysisAccs) {
+        self.overview.merge(other.overview);
+        self.twitter_years.merge(other.twitter_years);
+        self.languages.merge(other.languages);
+        self.send_times.merge(other.send_times);
+        self.categories.merge(other.categories);
+        self.brands.merge(other.brands);
+        self.lures.merge(other.lures);
+        self.sender_info.merge(other.sender_info);
+        self.shorteners.merge(other.shorteners);
+        self.tlds.merge(other.tlds);
+        self.tls.merge(other.tls);
+        self.asn.merge(other.asn);
+        self.av.merge(other.av);
+        self.countries.merge(other.countries);
+        self.registrars.merge(other.registrars);
+    }
+
+    /// Render every table the accumulators cover, mid-stream or final.
+    pub fn tables(&self) -> Vec<(&'static str, TextTable)> {
+        let av = self.av.finish();
+        let tlds = self.tlds.finish();
+        vec![
+            ("T1", self.overview.finish().to_table()),
+            ("T3", self.sender_info.finish().number_types_table()),
+            ("T4", self.sender_info.finish().operators_table()),
+            ("T5", self.shorteners.finish().to_table()),
+            ("T6", tlds.to_table6()),
+            ("T7", self.tls.finish().to_table()),
+            ("T8", self.asn.finish().to_table()),
+            ("T9", av.to_table9()),
+            ("T10", self.categories.finish().to_table()),
+            ("T11", self.languages.finish().to_table()),
+            ("T12", self.brands.finish().to_table()),
+            ("T13", self.send_times.finish(true).to_table()),
+            ("T14", self.countries.finish().to_table()),
+            ("F3", self.countries.finish().figure3_table()),
+            ("T15", twitter_by_year_table(&self.twitter_years.finish())),
+            ("T16", tlds.to_table16()),
+            ("T17", self.registrars.finish().to_table()),
+            ("T18", av.to_table18()),
+            ("T19", self.lures.finish().to_table()),
+        ]
+    }
+
+    /// Verify every accumulator against the batch analysis of `out`
+    /// (table-level string equality). Used by the equivalence tests; cheap
+    /// enough to run in debug assertions.
+    pub fn assert_matches_batch(&self, out: &PipelineOutput<'_>) {
+        assert_eq!(
+            self.overview.finish().to_table().to_string(),
+            overview(out).to_table().to_string(),
+            "T1 diverged"
+        );
+        assert_eq!(
+            twitter_by_year_table(&self.twitter_years.finish()).to_string(),
+            twitter_by_year_table(&twitter_by_year(out)).to_string(),
+            "T15 diverged"
+        );
+        assert_eq!(
+            self.languages.finish().to_table().to_string(),
+            languages(out).to_table().to_string(),
+            "T11 diverged"
+        );
+        for bursts in [false, true] {
+            assert_eq!(
+                self.send_times.finish(bursts).to_table().to_string(),
+                send_times(out, bursts).to_table().to_string(),
+                "T13 diverged (bursts={bursts})"
+            );
+        }
+        assert_eq!(
+            self.categories.finish().to_table().to_string(),
+            categories(out).to_table().to_string(),
+            "T10 diverged"
+        );
+        assert_eq!(
+            self.brands.finish().to_table().to_string(),
+            brands(out).to_table().to_string(),
+            "T12 diverged"
+        );
+        assert_eq!(
+            self.lures.finish().to_table().to_string(),
+            lures(out).to_table().to_string(),
+            "T19 diverged"
+        );
+        let si = self.sender_info.finish();
+        let si_batch = sender_info(out);
+        assert_eq!(
+            si.number_types_table().to_string(),
+            si_batch.number_types_table().to_string(),
+            "T3 diverged"
+        );
+        assert_eq!(
+            si.operators_table().to_string(),
+            si_batch.operators_table().to_string(),
+            "T4 diverged"
+        );
+        assert_eq!(
+            self.shorteners.finish().to_table().to_string(),
+            shortener_use(out).to_table().to_string(),
+            "T5 diverged"
+        );
+        let tlds_mine = self.tlds.finish();
+        let tlds_batch = tld_use(out);
+        assert_eq!(
+            tlds_mine.to_table6().to_string(),
+            tlds_batch.to_table6().to_string(),
+            "T6 diverged"
+        );
+        assert_eq!(
+            tlds_mine.to_table16().to_string(),
+            tlds_batch.to_table16().to_string(),
+            "T16 diverged"
+        );
+        assert_eq!(
+            self.tls.finish().to_table().to_string(),
+            tls_use(out).to_table().to_string(),
+            "T7 diverged"
+        );
+        assert_eq!(
+            self.asn.finish().to_table().to_string(),
+            asn_use(out).to_table().to_string(),
+            "T8 diverged"
+        );
+        let av_mine = self.av.finish();
+        let av_batch = av_detection(out);
+        assert_eq!(
+            av_mine.to_table9().to_string(),
+            av_batch.to_table9().to_string(),
+            "T9 diverged"
+        );
+        assert_eq!(
+            av_mine.to_table18().to_string(),
+            av_batch.to_table18().to_string(),
+            "T18 diverged"
+        );
+        let c_mine = self.countries.finish();
+        let c_batch = countries(out);
+        assert_eq!(
+            c_mine.to_table().to_string(),
+            c_batch.to_table().to_string(),
+            "T14 diverged"
+        );
+        assert_eq!(
+            c_mine.figure3_table().to_string(),
+            c_batch.figure3_table().to_string(),
+            "F3 diverged"
+        );
+        assert_eq!(
+            self.registrars.finish().to_table().to_string(),
+            registrars(out).to_table().to_string(),
+            "T17 diverged"
+        );
+    }
+}

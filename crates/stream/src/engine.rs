@@ -1,0 +1,563 @@
+//! The sharded streaming ingest engine.
+//!
+//! ```text
+//!             bounded              bounded                bounded
+//!  feeder ──► curator 0 ──┬──► analyst shard 0 ──┬──► collector (caller
+//!         ──► curator 1 ──┤ ──► analyst shard 1 ──┤     thread: merges
+//!             ...         │     ...               │     snapshots, builds
+//!                         └──► shard = fnv(key)%N ┘     the final output)
+//! ```
+//!
+//! * The **feeder** pulls posts from the caller's iterator (typically a
+//!   [`ReportStream`](smishing_worldsim::ReportStream)) in arrival order and
+//!   round-robins them over per-curator bounded channels. A full channel
+//!   blocks the feeder — real backpressure, bounded memory.
+//! * **Curators** run the pure per-post curation (`curate_post`), own the
+//!   post-level accumulators (Table 1 volume columns, Table 15), and route
+//!   each curated message to the analyst shard owning its dedup key.
+//! * **Analyst shards** own one [`AnalysisAccs`] each plus the per-key
+//!   dedup winner (minimum post id). When a later-arriving but
+//!   earlier-posted duplicate displaces a winner, the old record is
+//!   retracted (`sub_record`) and the new one folded in — so shard state
+//!   always equals a batch pass over the posts seen so far.
+//! * **Snapshots** use aligned markers: the feeder injects a marker after
+//!   post `k`; curators forward it to every shard; a shard freezes its
+//!   state once markers from *all* curators arrived, buffering any
+//!   messages that overtook a slower curator's marker. The merged snapshot
+//!   therefore equals the batch pipeline over exactly the first `k` posts,
+//!   while ingestion continues behind it.
+//!
+//! Determinism: the final assembly sorts messages and records by post id
+//! and lists forums in `Forum::ALL` order, so the output is a pure
+//! function of the post sequence — independent of shard count, curator
+//! count, channel capacity, and thread scheduling. End-of-stream output is
+//! *identical* to [`Pipeline::run`](smishing_core::Pipeline).
+
+use crate::accs::AnalysisAccs;
+use crossbeam::channel::{self, Receiver, Sender};
+use smishing_core::collect::CollectionStats;
+use smishing_core::curation::{curate_post, CuratedMessage, CurationOptions};
+use smishing_core::enrich::{enrich, EnrichedRecord};
+use smishing_core::pipeline::PipelineOutput;
+use smishing_types::Forum;
+use smishing_worldsim::{Post, World};
+use std::collections::HashMap;
+
+/// Engine configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamConfig {
+    /// Analyst shards (each owns a full accumulator bundle).
+    pub shards: usize,
+    /// Curation workers.
+    pub curators: usize,
+    /// Capacity of every channel; a full channel blocks the producer.
+    pub channel_capacity: usize,
+    /// Curation options (extractor, dedup mode, seed). The `workers` field
+    /// is ignored — the engine's curators replace batch curation threads.
+    pub curation: CurationOptions,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig {
+            shards: 4,
+            curators: 2,
+            channel_capacity: 256,
+            curation: CurationOptions::default(),
+        }
+    }
+}
+
+/// When the feeder injects snapshot markers.
+#[derive(Debug, Clone, Default)]
+pub struct SnapshotPlan {
+    /// Snapshot every `n` posts.
+    pub every: Option<u64>,
+    /// Snapshot at these exact post counts (positions past the end of a
+    /// finite stream never fire).
+    pub at: Vec<u64>,
+}
+
+impl SnapshotPlan {
+    /// No snapshots.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Snapshot at exactly these post counts.
+    pub fn at(points: &[u64]) -> Self {
+        SnapshotPlan {
+            every: None,
+            at: points.to_vec(),
+        }
+    }
+
+    /// Snapshot every `n` posts.
+    pub fn every(n: u64) -> Self {
+        SnapshotPlan {
+            every: Some(n),
+            at: Vec::new(),
+        }
+    }
+
+    fn fires_at(&self, count: u64) -> bool {
+        self.at.contains(&count)
+            || self
+                .every
+                .is_some_and(|n| n > 0 && count > 0 && count.is_multiple_of(n))
+    }
+}
+
+/// A consistent mid-stream view: the merged accumulators and an assembled
+/// [`PipelineOutput`] equal to a batch run over the first
+/// [`at_posts`](Self::at_posts) posts.
+pub struct StreamSnapshot<'w> {
+    /// How many posts the snapshot covers.
+    pub at_posts: u64,
+    /// Merged accumulator bundle (render tables via
+    /// [`AnalysisAccs::tables`]).
+    pub accs: AnalysisAccs,
+    /// Batch-equivalent assembled output.
+    pub output: PipelineOutput<'w>,
+}
+
+/// The end-of-stream result.
+pub struct IngestResult<'w> {
+    /// Assembled output — identical to `Pipeline::run` over the same
+    /// posts.
+    pub output: PipelineOutput<'w>,
+    /// Merged accumulator bundle.
+    pub accs: AnalysisAccs,
+    /// Posts consumed from the stream.
+    pub posts_ingested: u64,
+    /// Snapshots emitted.
+    pub snapshots_taken: usize,
+}
+
+#[derive(Debug)]
+enum CuratorMsg {
+    // Boxed: a Post is ~336 bytes, a marker 16; boxing keeps the queued
+    // enum small and the channel buffers cheap.
+    Post(Box<Post>),
+    Marker { id: u64, at_posts: u64 },
+}
+
+#[derive(Debug)]
+enum ShardMsg {
+    Curated {
+        curator: usize,
+        msg: CuratedMessage,
+    },
+    Marker {
+        curator: usize,
+        id: u64,
+        at_posts: u64,
+    },
+}
+
+#[derive(Debug)]
+enum CollectorMsg {
+    CuratorSnap {
+        id: u64,
+        accs: AnalysisAccs,
+        collection: HashMap<Forum, CollectionStats>,
+    },
+    CuratorDone {
+        accs: AnalysisAccs,
+        collection: HashMap<Forum, CollectionStats>,
+    },
+    ShardSnap {
+        id: u64,
+        at_posts: u64,
+        accs: AnalysisAccs,
+        curated: Vec<CuratedMessage>,
+        records: Vec<EnrichedRecord>,
+    },
+    ShardDone {
+        accs: AnalysisAccs,
+        curated: Vec<CuratedMessage>,
+        records: Vec<EnrichedRecord>,
+    },
+}
+
+/// Stable routing hash (FNV-1a) so a dedup key always lands on the same
+/// shard, across runs and platforms.
+fn shard_of(key: &str, shards: usize) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in key.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    (h % shards as u64) as usize
+}
+
+/// One analyst shard's mutable state.
+struct ShardState {
+    accs: AnalysisAccs,
+    curated: Vec<CuratedMessage>,
+    winners: HashMap<String, EnrichedRecord>,
+}
+
+impl ShardState {
+    fn new() -> Self {
+        ShardState {
+            accs: AnalysisAccs::new(),
+            curated: Vec::new(),
+            winners: HashMap::new(),
+        }
+    }
+
+    /// Fold one curated message in, maintaining the min-post-id dedup
+    /// winner per key with exact retraction.
+    fn apply(&mut self, c: CuratedMessage, world: &World, opts: &CurationOptions) {
+        self.accs.add_curated(&c);
+        let key = c.dedup_key(opts.dedup);
+        match self.winners.get(&key) {
+            None => {
+                let rec = enrich(c.clone(), world);
+                self.accs.add_record(&rec);
+                self.winners.insert(key, rec);
+            }
+            Some(current) if c.post_id < current.curated.post_id => {
+                let rec = enrich(c.clone(), world);
+                self.accs.add_record(&rec);
+                let old = self.winners.insert(key, rec).expect("winner present");
+                self.accs.sub_record(&old);
+            }
+            Some(_) => {}
+        }
+        self.curated.push(c);
+    }
+
+    fn records(&self) -> Vec<EnrichedRecord> {
+        self.winners.values().cloned().collect()
+    }
+}
+
+/// Parts of one in-flight snapshot at the collector.
+#[derive(Default)]
+struct SnapParts {
+    at_posts: u64,
+    accs: Vec<AnalysisAccs>,
+    collections: Vec<HashMap<Forum, CollectionStats>>,
+    curated: Vec<Vec<CuratedMessage>>,
+    records: Vec<Vec<EnrichedRecord>>,
+    parts: usize,
+}
+
+/// Deterministically assemble worker parts into a batch-identical
+/// [`PipelineOutput`].
+fn assemble<'w>(
+    world: &'w World,
+    collections: Vec<HashMap<Forum, CollectionStats>>,
+    curated: Vec<Vec<CuratedMessage>>,
+    records: Vec<Vec<EnrichedRecord>>,
+) -> PipelineOutput<'w> {
+    let mut merged: HashMap<Forum, CollectionStats> = HashMap::new();
+    for part in collections {
+        for (forum, stats) in part {
+            let e = merged.entry(forum).or_default();
+            e.posts += stats.posts;
+            e.images += stats.images;
+        }
+    }
+    let collection: Vec<(Forum, CollectionStats)> = Forum::ALL
+        .iter()
+        .map(|&f| (f, merged.get(&f).copied().unwrap_or_default()))
+        .collect();
+    let mut curated_total: Vec<CuratedMessage> = curated.into_iter().flatten().collect();
+    curated_total.sort_by_key(|c| c.post_id);
+    let mut records: Vec<EnrichedRecord> = records.into_iter().flatten().collect();
+    records.sort_by_key(|r| r.curated.post_id);
+    PipelineOutput {
+        world,
+        collection,
+        curated_total,
+        records,
+    }
+}
+
+/// Run the engine over a post stream. `on_snapshot` fires on the caller's
+/// thread, in snapshot order, while ingestion continues in the workers.
+///
+/// The returned output is byte-identical (table-for-table) to the batch
+/// [`Pipeline`](smishing_core::Pipeline) over the same posts.
+pub fn ingest<'w, I, F>(
+    world: &'w World,
+    posts: I,
+    cfg: &StreamConfig,
+    plan: &SnapshotPlan,
+    mut on_snapshot: F,
+) -> IngestResult<'w>
+where
+    I: Iterator<Item = Post> + Send,
+    F: FnMut(StreamSnapshot<'w>),
+{
+    let n_curators = cfg.curators.max(1);
+    let n_shards = cfg.shards.max(1);
+    let cap = cfg.channel_capacity.max(1);
+    let opts = cfg.curation;
+
+    let (curator_txs, curator_rxs): (Vec<Sender<CuratorMsg>>, Vec<Receiver<CuratorMsg>>) =
+        (0..n_curators).map(|_| channel::bounded(cap)).unzip();
+    let (shard_txs, shard_rxs): (Vec<Sender<ShardMsg>>, Vec<Receiver<ShardMsg>>) =
+        (0..n_shards).map(|_| channel::bounded(cap)).unzip();
+    let (collector_tx, collector_rx) = channel::bounded::<CollectorMsg>(cap);
+
+    crossbeam::scope(|s| {
+        // Feeder: arrival-order fan-out plus marker injection.
+        s.spawn({
+            let curator_txs = curator_txs;
+            let plan = plan.clone();
+            move |_| {
+                let mut count: u64 = 0;
+                let mut marker_id: u64 = 0;
+                for post in posts {
+                    let target = (count % n_curators as u64) as usize;
+                    count += 1;
+                    curator_txs[target]
+                        .send(CuratorMsg::Post(Box::new(post)))
+                        .expect("curators outlive the feeder");
+                    if plan.fires_at(count) {
+                        marker_id += 1;
+                        for tx in &curator_txs {
+                            tx.send(CuratorMsg::Marker {
+                                id: marker_id,
+                                at_posts: count,
+                            })
+                            .expect("curators outlive the feeder");
+                        }
+                    }
+                }
+                // Dropping the senders ends every curator's loop.
+            }
+        });
+
+        // Curators: pure per-post curation + post-level accumulators.
+        for (curator_idx, rx) in curator_rxs.into_iter().enumerate() {
+            s.spawn({
+                let shard_txs = shard_txs.clone();
+                let collector_tx = collector_tx.clone();
+                move |_| {
+                    let mut accs = AnalysisAccs::new();
+                    let mut collection: HashMap<Forum, CollectionStats> = HashMap::new();
+                    for msg in rx.iter() {
+                        match msg {
+                            CuratorMsg::Post(post) => {
+                                accs.add_post(&post);
+                                let e = collection.entry(post.forum).or_default();
+                                e.posts += 1;
+                                if post.body.has_image() {
+                                    e.images += 1;
+                                }
+                                if let Some(c) = curate_post(&post, &opts) {
+                                    let shard = shard_of(&c.dedup_key(opts.dedup), n_shards);
+                                    shard_txs[shard]
+                                        .send(ShardMsg::Curated {
+                                            curator: curator_idx,
+                                            msg: c,
+                                        })
+                                        .expect("shards outlive curators");
+                                }
+                            }
+                            CuratorMsg::Marker { id, at_posts } => {
+                                collector_tx
+                                    .send(CollectorMsg::CuratorSnap {
+                                        id,
+                                        accs: accs.clone(),
+                                        collection: collection.clone(),
+                                    })
+                                    .expect("collector outlives curators");
+                                for tx in &shard_txs {
+                                    tx.send(ShardMsg::Marker {
+                                        curator: curator_idx,
+                                        id,
+                                        at_posts,
+                                    })
+                                    .expect("shards outlive curators");
+                                }
+                            }
+                        }
+                    }
+                    collector_tx
+                        .send(CollectorMsg::CuratorDone { accs, collection })
+                        .expect("collector outlives curators");
+                }
+            });
+        }
+        drop(shard_txs);
+
+        // Analyst shards: curated/record accumulators + dedup winners, with
+        // marker alignment (messages that overtake a slower curator's
+        // marker wait in `deferred`).
+        for rx in shard_rxs {
+            s.spawn({
+                let collector_tx = collector_tx.clone();
+                move |_| {
+                    let mut state = ShardState::new();
+                    let mut marker_seen = vec![0u64; n_curators];
+                    let mut completed: u64 = 0;
+                    let mut deferred: HashMap<u64, Vec<(usize, CuratedMessage)>> = HashMap::new();
+                    let mut marker_posts: HashMap<u64, u64> = HashMap::new();
+                    for msg in rx.iter() {
+                        match msg {
+                            ShardMsg::Curated { curator, msg } => {
+                                if marker_seen[curator] == completed {
+                                    state.apply(msg, world, &opts);
+                                } else {
+                                    deferred
+                                        .entry(marker_seen[curator])
+                                        .or_default()
+                                        .push((curator, msg));
+                                }
+                            }
+                            ShardMsg::Marker {
+                                curator,
+                                id,
+                                at_posts,
+                            } => {
+                                debug_assert_eq!(id, marker_seen[curator] + 1, "markers in order");
+                                marker_seen[curator] = id;
+                                marker_posts.insert(id, at_posts);
+                                while marker_seen.iter().all(|&m| m > completed) {
+                                    completed += 1;
+                                    let at = marker_posts
+                                        .remove(&completed)
+                                        .expect("marker position recorded");
+                                    collector_tx
+                                        .send(CollectorMsg::ShardSnap {
+                                            id: completed,
+                                            at_posts: at,
+                                            accs: state.accs.clone(),
+                                            curated: state.curated.clone(),
+                                            records: state.records(),
+                                        })
+                                        .expect("collector outlives shards");
+                                    for (_, c) in deferred.remove(&completed).unwrap_or_default() {
+                                        state.apply(c, world, &opts);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    collector_tx
+                        .send(CollectorMsg::ShardDone {
+                            accs: state.accs,
+                            curated: state.curated,
+                            records: state.winners.into_values().collect(),
+                        })
+                        .expect("collector outlives shards");
+                }
+            });
+        }
+        drop(collector_tx);
+
+        // Collector (this thread): merge snapshot parts in id order, then
+        // the final state.
+        let parts_per_snapshot = n_curators + n_shards;
+        let mut pending: HashMap<u64, SnapParts> = HashMap::new();
+        let mut next_emit: u64 = 1;
+        let mut snapshots_taken = 0usize;
+        let mut final_accs = AnalysisAccs::new();
+        let mut final_collections: Vec<HashMap<Forum, CollectionStats>> = Vec::new();
+        let mut final_curated: Vec<Vec<CuratedMessage>> = Vec::new();
+        let mut final_records: Vec<Vec<EnrichedRecord>> = Vec::new();
+        for msg in collector_rx.iter() {
+            match msg {
+                CollectorMsg::CuratorSnap {
+                    id,
+                    accs,
+                    collection,
+                } => {
+                    let p = pending.entry(id).or_default();
+                    p.accs.push(accs);
+                    p.collections.push(collection);
+                    p.parts += 1;
+                }
+                CollectorMsg::ShardSnap {
+                    id,
+                    at_posts,
+                    accs,
+                    curated,
+                    records,
+                } => {
+                    let p = pending.entry(id).or_default();
+                    p.at_posts = at_posts;
+                    p.accs.push(accs);
+                    p.curated.push(curated);
+                    p.records.push(records);
+                    p.parts += 1;
+                }
+                CollectorMsg::CuratorDone { accs, collection } => {
+                    final_accs.merge(accs);
+                    final_collections.push(collection);
+                }
+                CollectorMsg::ShardDone {
+                    accs,
+                    curated,
+                    records,
+                } => {
+                    final_accs.merge(accs);
+                    final_curated.push(curated);
+                    final_records.push(records);
+                }
+            }
+            while pending
+                .get(&next_emit)
+                .is_some_and(|p| p.parts == parts_per_snapshot)
+            {
+                let p = pending.remove(&next_emit).expect("checked");
+                let mut accs = AnalysisAccs::new();
+                for a in p.accs {
+                    accs.merge(a);
+                }
+                let output = assemble(world, p.collections, p.curated, p.records);
+                on_snapshot(StreamSnapshot {
+                    at_posts: p.at_posts,
+                    accs,
+                    output,
+                });
+                snapshots_taken += 1;
+                next_emit += 1;
+            }
+        }
+        let posts_ingested = final_collections
+            .iter()
+            .flat_map(|m| m.values())
+            .map(|s| s.posts as u64)
+            .sum();
+        let output = assemble(world, final_collections, final_curated, final_records);
+        IngestResult {
+            output,
+            accs: final_accs,
+            posts_ingested,
+            snapshots_taken,
+        }
+    })
+    .expect("engine workers do not panic")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_routing_is_stable_and_in_range() {
+        for shards in [1, 2, 4, 8] {
+            for key in ["", "a", "hello world", "Ваш пакет"] {
+                let s = shard_of(key, shards);
+                assert!(s < shards);
+                assert_eq!(s, shard_of(key, shards), "stable");
+            }
+        }
+    }
+
+    #[test]
+    fn plan_fires() {
+        let p = SnapshotPlan::every(10);
+        assert!(p.fires_at(10) && p.fires_at(20) && !p.fires_at(15) && !p.fires_at(0));
+        let p = SnapshotPlan::at(&[7]);
+        assert!(p.fires_at(7) && !p.fires_at(14));
+        assert!(!SnapshotPlan::none().fires_at(1));
+    }
+}

@@ -1,0 +1,29 @@
+//! Streaming ingest for the smishing measurement pipeline.
+//!
+//! The batch [`Pipeline`](smishing_core::Pipeline) sees the whole report
+//! corpus at once. This crate processes the same reports as a live feed:
+//!
+//! * [`ReportStream`](smishing_worldsim::ReportStream) (in `worldsim`)
+//!   replays a world's posts in arrival order, or soaks forever;
+//! * [`ingest`] runs the sharded engine — bounded channels with
+//!   backpressure, curation workers, analyst shards owning mergeable
+//!   per-analysis accumulators ([`AnalysisAccs`]);
+//! * [`SnapshotPlan`] injects aligned markers so a consistent
+//!   [`StreamSnapshot`] — every table included — renders mid-stream
+//!   without pausing ingestion;
+//! * [`Checkpoint`] persists a snapshot through the serde dataset layer
+//!   and [`resume`] verifies and continues an interrupted run.
+//!
+//! The determinism contract: for a fixed post sequence the end-of-stream
+//! output equals the batch pipeline's exactly, independent of shard
+//! count, curator count, channel capacity, and scheduling.
+
+#![warn(missing_docs)]
+
+pub mod accs;
+pub mod engine;
+pub mod snapshot;
+
+pub use accs::AnalysisAccs;
+pub use engine::{ingest, IngestResult, SnapshotPlan, StreamConfig, StreamSnapshot};
+pub use snapshot::{resume, Checkpoint};

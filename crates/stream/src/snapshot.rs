@@ -1,0 +1,103 @@
+//! Checkpoint/resume on top of the serde dataset layer.
+//!
+//! A [`Checkpoint`] freezes a [`StreamSnapshot`](crate::StreamSnapshot)
+//! into the released-dataset schema (`smishing_core::dataset`) plus the
+//! stream position and world identity. Because the whole pipeline is
+//! deterministic, resuming does not need raw engine state: [`resume`]
+//! replays the first `posts_consumed` posts through the engine, verifies
+//! the rebuilt dataset matches the checkpoint row-for-row, and carries on
+//! with the remainder of the stream.
+
+use crate::engine::{ingest, IngestResult, SnapshotPlan, StreamConfig, StreamSnapshot};
+use serde::{Deserialize, Serialize};
+use smishing_core::dataset::{build_dataset, DatasetRow};
+use smishing_worldsim::{Post, World};
+
+/// A serializable stream checkpoint.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// Seed of the world the stream was drawn from.
+    pub world_seed: u64,
+    /// Scale of that world.
+    pub world_scale: f64,
+    /// Shard count of the engine that produced it.
+    pub shards: usize,
+    /// Posts consumed when the snapshot was taken.
+    pub posts_consumed: u64,
+    /// The released dataset built from the snapshot's unique records
+    /// (Appendix C schema, via the existing serde dataset layer).
+    pub dataset: Vec<DatasetRow>,
+}
+
+impl Checkpoint {
+    /// Freeze a snapshot.
+    pub fn capture(snap: &StreamSnapshot<'_>, cfg: &StreamConfig) -> Self {
+        Checkpoint {
+            world_seed: snap.output.world.config.seed,
+            world_scale: snap.output.world.config.scale,
+            shards: cfg.shards,
+            posts_consumed: snap.at_posts,
+            dataset: build_dataset(&snap.output.records),
+        }
+    }
+
+    /// Serialize to JSON.
+    pub fn to_json(&self) -> serde_json::Result<String> {
+        serde_json::to_string(self)
+    }
+
+    /// Deserialize from JSON.
+    pub fn from_json(s: &str) -> serde_json::Result<Checkpoint> {
+        serde_json::from_str(s)
+    }
+
+    /// Whether this checkpoint belongs to `world`.
+    pub fn matches_world(&self, world: &World) -> bool {
+        self.world_seed == world.config.seed && self.world_scale == world.config.scale
+    }
+}
+
+/// Resume an interrupted ingest: replay `posts` (which must restart from
+/// the beginning of the stream the checkpoint came from), verify the
+/// checkpointed dataset is reproduced exactly at `posts_consumed`, then
+/// keep ingesting to the end of the stream.
+///
+/// Returns an error without touching `on_snapshot` if the checkpoint is
+/// from a different world, and panics if replay diverges from the
+/// checkpointed dataset (determinism violation — not recoverable).
+pub fn resume<'w, I, F>(
+    world: &'w World,
+    posts: I,
+    checkpoint: &Checkpoint,
+    cfg: &StreamConfig,
+    plan: &SnapshotPlan,
+    mut on_snapshot: F,
+) -> Result<IngestResult<'w>, String>
+where
+    I: Iterator<Item = Post> + Send,
+    F: FnMut(StreamSnapshot<'w>),
+{
+    if !checkpoint.matches_world(world) {
+        return Err(format!(
+            "checkpoint is for world seed={:#x} scale={}, not seed={:#x} scale={}",
+            checkpoint.world_seed, checkpoint.world_scale, world.config.seed, world.config.scale,
+        ));
+    }
+    let mut replay_plan = plan.clone();
+    if !replay_plan.at.contains(&checkpoint.posts_consumed) {
+        replay_plan.at.push(checkpoint.posts_consumed);
+    }
+    let expected = &checkpoint.dataset;
+    let result = ingest(world, posts, cfg, &replay_plan, |snap| {
+        if snap.at_posts == checkpoint.posts_consumed {
+            let rebuilt = build_dataset(&snap.output.records);
+            assert_eq!(
+                &rebuilt, expected,
+                "replay diverged from checkpoint at post {}",
+                snap.at_posts
+            );
+        }
+        on_snapshot(snap);
+    });
+    Ok(result)
+}

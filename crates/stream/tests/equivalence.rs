@@ -1,0 +1,226 @@
+//! The determinism contract: streaming ingest == batch pipeline, exactly.
+
+use smishing_core::experiment;
+use smishing_core::pipeline::{Pipeline, PipelineOutput};
+use smishing_stream::{ingest, resume, Checkpoint, SnapshotPlan, StreamConfig};
+use smishing_worldsim::{ReportStream, World, WorldConfig};
+
+fn world() -> World {
+    World::generate(WorldConfig {
+        scale: 0.02,
+        ..WorldConfig::default()
+    })
+}
+
+/// Structural equality of two pipeline outputs, field by field.
+fn assert_outputs_equal(a: &PipelineOutput<'_>, b: &PipelineOutput<'_>, label: &str) {
+    assert_eq!(a.collection, b.collection, "{label}: collection stats");
+    assert_eq!(
+        a.curated_total.len(),
+        b.curated_total.len(),
+        "{label}: curated count"
+    );
+    for (x, y) in a.curated_total.iter().zip(&b.curated_total) {
+        assert_eq!(x.post_id, y.post_id, "{label}");
+        assert_eq!(x.text, y.text, "{label}");
+        assert_eq!(x.sender_raw, y.sender_raw, "{label}");
+        assert_eq!(x.url_raw, y.url_raw, "{label}");
+    }
+    assert_eq!(a.records.len(), b.records.len(), "{label}: record count");
+    for (x, y) in a.records.iter().zip(&b.records) {
+        assert_eq!(x.curated.post_id, y.curated.post_id, "{label}");
+        assert_eq!(x.annotation.scam_type, y.annotation.scam_type, "{label}");
+        assert_eq!(x.curated.text, y.curated.text, "{label}");
+    }
+}
+
+/// Render every experiment table to one string for byte comparison.
+fn all_tables(out: &PipelineOutput<'_>) -> String {
+    experiment::run_all(out)
+        .iter()
+        .map(|r| format!("== {}\n{}\n", r.id, r.table))
+        .collect()
+}
+
+#[test]
+fn streaming_equals_batch_across_shard_counts() {
+    let w = world();
+    let batch = Pipeline::default().run(&w);
+    let batch_tables = all_tables(&batch);
+    for shards in [1, 4] {
+        let cfg = StreamConfig {
+            shards,
+            curators: 2,
+            ..Default::default()
+        };
+        let result = ingest(
+            &w,
+            ReportStream::replay(&w),
+            &cfg,
+            &SnapshotPlan::none(),
+            |_| {},
+        );
+        assert_eq!(result.posts_ingested, w.posts.len() as u64);
+        assert_outputs_equal(&result.output, &batch, &format!("shards={shards}"));
+        // Byte-identical tables, T1 through T19 and the figures.
+        assert_eq!(all_tables(&result.output), batch_tables, "shards={shards}");
+        // The merged accumulators agree with batch analyses too.
+        result.accs.assert_matches_batch(&batch);
+    }
+}
+
+#[test]
+fn mid_stream_snapshot_equals_batch_over_prefix() {
+    let w = world();
+    let half = (w.posts.len() / 2) as u64;
+    let cfg = StreamConfig {
+        shards: 3,
+        curators: 2,
+        ..Default::default()
+    };
+    let mut snaps = Vec::new();
+    let result = ingest(
+        &w,
+        ReportStream::replay(&w),
+        &cfg,
+        &SnapshotPlan::at(&[half]),
+        |s| {
+            snaps.push(s);
+        },
+    );
+    // Ingestion did not stop at the snapshot: the run covered everything.
+    assert_eq!(result.posts_ingested, w.posts.len() as u64);
+    assert_eq!(result.snapshots_taken, 1);
+    assert_eq!(snaps.len(), 1);
+    let snap = &snaps[0];
+    assert_eq!(snap.at_posts, half);
+
+    // A world truncated to the first `half` posts is exactly what a batch
+    // collector would have seen at that instant.
+    let mut prefix_world = world();
+    prefix_world.posts.truncate(half as usize);
+    let prefix_batch = Pipeline::default().run(&prefix_world);
+    assert_outputs_equal(&snap.output, &prefix_batch, "snapshot vs batch prefix");
+    snap.accs.assert_matches_batch(&prefix_batch);
+    // Every table renders mid-stream.
+    let tables = snap.accs.tables();
+    assert_eq!(tables.len(), 19);
+    for (id, t) in &tables {
+        assert!(!t.to_string().is_empty(), "{id} empty");
+    }
+}
+
+#[test]
+fn periodic_snapshots_fire_in_order() {
+    let w = world();
+    let n = w.posts.len() as u64;
+    let step = n / 4;
+    let cfg = StreamConfig {
+        shards: 2,
+        curators: 3,
+        ..Default::default()
+    };
+    let mut seen = Vec::new();
+    let result = ingest(
+        &w,
+        ReportStream::replay(&w),
+        &cfg,
+        &SnapshotPlan::every(step),
+        |s| {
+            seen.push(s.at_posts);
+        },
+    );
+    assert_eq!(result.snapshots_taken, seen.len());
+    assert!(seen.len() >= 4, "{seen:?}");
+    let mut sorted = seen.clone();
+    sorted.sort_unstable();
+    assert_eq!(seen, sorted, "snapshots arrive in stream order");
+    assert!(seen.windows(2).all(|w| w[1] - w[0] == step), "{seen:?}");
+}
+
+#[test]
+fn checkpoint_roundtrip_and_resume() {
+    let w = world();
+    let half = (w.posts.len() / 2) as u64;
+    let cfg = StreamConfig {
+        shards: 2,
+        curators: 2,
+        ..Default::default()
+    };
+
+    // First run: capture a checkpoint at 50%.
+    let mut cp = None;
+    ingest(
+        &w,
+        ReportStream::replay(&w),
+        &cfg,
+        &SnapshotPlan::at(&[half]),
+        |s| {
+            cp = Some(Checkpoint::capture(&s, &cfg));
+        },
+    );
+    let cp = cp.expect("snapshot fired");
+    assert_eq!(cp.posts_consumed, half);
+    assert!(!cp.dataset.is_empty());
+
+    // Serde round-trip through the dataset layer.
+    let json = cp.to_json().expect("serializes");
+    let cp2 = Checkpoint::from_json(&json).expect("deserializes");
+    assert_eq!(cp2.dataset, cp.dataset);
+    assert_eq!(cp2.posts_consumed, half);
+
+    // Resume: replays, verifies the dataset at the checkpoint, finishes.
+    let resumed = resume(
+        &w,
+        ReportStream::replay(&w),
+        &cp2,
+        &cfg,
+        &SnapshotPlan::none(),
+        |_| {},
+    )
+    .expect("same world");
+    let batch = Pipeline::default().run(&w);
+    assert_outputs_equal(&resumed.output, &batch, "resumed vs batch");
+
+    // A checkpoint from another world is rejected.
+    let other = World::generate(WorldConfig {
+        seed: 1,
+        scale: 0.02,
+        ..WorldConfig::default()
+    });
+    assert!(resume(
+        &other,
+        ReportStream::replay(&other),
+        &cp2,
+        &cfg,
+        &SnapshotPlan::none(),
+        |_| {}
+    )
+    .is_err());
+}
+
+#[test]
+fn soak_feed_with_snapshot_keeps_running() {
+    let w = world();
+    let lap = w.posts.len() as u64;
+    // One and a half laps of the infinite feed, snapshot at one lap.
+    let budget = lap + lap / 2;
+    let cfg = StreamConfig {
+        shards: 2,
+        curators: 2,
+        ..Default::default()
+    };
+    let mut snap_posts = Vec::new();
+    let result = ingest(
+        &w,
+        ReportStream::soak(&w).take(budget as usize),
+        &cfg,
+        &SnapshotPlan::at(&[lap]),
+        |s| snap_posts.push(s.at_posts),
+    );
+    assert_eq!(result.posts_ingested, budget);
+    assert_eq!(snap_posts, vec![lap]);
+    // After exactly one lap the soak feed has replayed the world once.
+    let batch = Pipeline::default().run(&w);
+    assert!(result.output.curated_total.len() > batch.curated_total.len());
+}

@@ -37,7 +37,9 @@ fn is_email_like(s: &str) -> bool {
     if domain.starts_with('.') || domain.ends_with('.') {
         return false;
     }
-    domain.chars().all(|c| c.is_ascii_alphanumeric() || c == '.' || c == '-')
+    domain
+        .chars()
+        .all(|c| c.is_ascii_alphanumeric() || c == '.' || c == '-')
 }
 
 fn is_phone_like(s: &str) -> bool {
@@ -102,7 +104,15 @@ mod tests {
 
     #[test]
     fn alphanumerics() {
-        for a in ["SBIBNK", "GOV-UK", "M-PESA", "InfoSMS", "AX-HDFCBK", "7726", "60678"] {
+        for a in [
+            "SBIBNK",
+            "GOV-UK",
+            "M-PESA",
+            "InfoSMS",
+            "AX-HDFCBK",
+            "7726",
+            "60678",
+        ] {
             assert_eq!(classify_sender(a), RawSenderKind::AlphanumericLike, "{a:?}");
         }
     }
@@ -115,6 +125,9 @@ mod tests {
 
     #[test]
     fn mixed_digits_and_letters_is_alphanumeric() {
-        assert_eq!(classify_sender("44ABC123456"), RawSenderKind::AlphanumericLike);
+        assert_eq!(
+            classify_sender("44ABC123456"),
+            RawSenderKind::AlphanumericLike
+        );
     }
 }

@@ -145,9 +145,14 @@ impl SimulatedHlr {
         let current = match (original, country) {
             (Some(orig), Some(c)) if self.unit(phone, 2) < self.porting_rate => {
                 // Ported: pick a different operator active in the country.
-                let plan = PlanRegistry::global().plan_for(c).expect("classified country");
-                let others: Vec<_> =
-                    plan.operators().into_iter().filter(|&o| o != orig).collect();
+                let plan = PlanRegistry::global()
+                    .plan_for(c)
+                    .expect("classified country");
+                let others: Vec<_> = plan
+                    .operators()
+                    .into_iter()
+                    .filter(|&o| o != orig)
+                    .collect();
                 if others.is_empty() {
                     Some(orig)
                 } else {
@@ -225,7 +230,11 @@ mod tests {
         for i in 0..1000 {
             let nat = format!("74{:08}", i);
             let rec = hlr.lookup(&phone(44, &nat)).unwrap();
-            assert_eq!(rec.original_operator, Some("Vodafone"), "original never changes");
+            assert_eq!(
+                rec.original_operator,
+                Some("Vodafone"),
+                "original never changes"
+            );
             total += 1;
             if rec.current_operator != rec.original_operator {
                 ported += 1;
@@ -257,7 +266,9 @@ mod tests {
     #[test]
     fn malformed_is_bad_format() {
         let hlr = SimulatedHlr::new(7);
-        let rec = hlr.lookup(&SenderId::MalformedPhone("9999999999999999999".into())).unwrap();
+        let rec = hlr
+            .lookup(&SenderId::MalformedPhone("9999999999999999999".into()))
+            .unwrap();
         assert_eq!(rec.number_type, NumberType::BadFormat);
         assert_eq!(rec.original_operator, None);
     }
@@ -265,7 +276,9 @@ mod tests {
     #[test]
     fn non_phone_senders_have_no_hlr() {
         let hlr = SimulatedHlr::new(7);
-        assert!(hlr.lookup(&SenderId::Alphanumeric("SBIBNK".into())).is_none());
+        assert!(hlr
+            .lookup(&SenderId::Alphanumeric("SBIBNK".into()))
+            .is_none());
         assert!(hlr.lookup(&SenderId::Email("a@b.com".into())).is_none());
     }
 

@@ -42,9 +42,10 @@ impl MnoRegistry {
             for country in plans.countries() {
                 let plan = plans.plan_for(country).expect("listed country has plan");
                 for op in plan.operators() {
-                    let entry = by_name
-                        .entry(op)
-                        .or_insert_with(|| Mno { name: op, countries: Vec::new() });
+                    let entry = by_name.entry(op).or_insert_with(|| Mno {
+                        name: op,
+                        countries: Vec::new(),
+                    });
                     if !entry.countries.contains(&country) {
                         entry.countries.push(country);
                     }
@@ -69,7 +70,10 @@ impl MnoRegistry {
 
     /// Operators with allocations in a given country.
     pub fn in_country(&self, country: Country) -> Vec<&Mno> {
-        self.by_name.values().filter(|m| m.countries.contains(&country)).collect()
+        self.by_name
+            .values()
+            .filter(|m| m.countries.contains(&country))
+            .collect()
     }
 }
 

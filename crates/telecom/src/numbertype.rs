@@ -96,8 +96,10 @@ mod tests {
 
     #[test]
     fn validity_split_matches_table3() {
-        let invalid: Vec<_> =
-            NumberType::ALL.iter().filter(|t| !t.is_valid_sender()).collect();
+        let invalid: Vec<_> = NumberType::ALL
+            .iter()
+            .filter(|t| !t.is_valid_sender())
+            .collect();
         assert_eq!(invalid.len(), 3);
         assert!(!NumberType::Landline.is_valid_sender());
         assert!(!NumberType::BadFormat.is_valid_sender());

@@ -90,8 +90,11 @@ impl NumberFactory {
         rng: &mut R,
     ) -> Option<PhoneNumber> {
         let plan = Self::plan(country)?;
-        let series: Vec<_> =
-            plan.series.iter().filter(|s| s.number_type == number_type).collect();
+        let series: Vec<_> = plan
+            .series
+            .iter()
+            .filter(|s| s.number_type == number_type)
+            .collect();
         if series.is_empty() {
             return None;
         }
@@ -201,7 +204,9 @@ mod tests {
             let p = f
                 .special(Country::UnitedKingdom, nt, &mut rng)
                 .unwrap_or_else(|| panic!("UK should allocate {nt:?}"));
-            let plan = PlanRegistry::global().plan_for(Country::UnitedKingdom).unwrap();
+            let plan = PlanRegistry::global()
+                .plan_for(Country::UnitedKingdom)
+                .unwrap();
             assert_eq!(plan.classify(&p.national).number_type, nt, "{p}");
         }
     }
@@ -231,11 +236,15 @@ mod tests {
         let f = NumberFactory::new();
         let a: Vec<_> = {
             let mut rng = StdRng::seed_from_u64(11);
-            (0..10).map(|_| f.mobile_any(Country::India, &mut rng).unwrap()).collect()
+            (0..10)
+                .map(|_| f.mobile_any(Country::India, &mut rng).unwrap())
+                .collect()
         };
         let b: Vec<_> = {
             let mut rng = StdRng::seed_from_u64(11);
-            (0..10).map(|_| f.mobile_any(Country::India, &mut rng).unwrap()).collect()
+            (0..10)
+                .map(|_| f.mobile_any(Country::India, &mut rng).unwrap())
+                .collect()
         };
         assert_eq!(a, b);
     }

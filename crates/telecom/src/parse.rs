@@ -18,8 +18,7 @@ use std::sync::OnceLock;
 fn calling_codes() -> &'static [u16] {
     static CODES: OnceLock<Vec<u16>> = OnceLock::new();
     CODES.get_or_init(|| {
-        let mut codes: Vec<u16> =
-            Country::ALL.iter().map(|c| c.calling_code()).collect();
+        let mut codes: Vec<u16> = Country::ALL.iter().map(|c| c.calling_code()).collect();
         codes.sort_unstable();
         codes.dedup();
         codes.sort_by_key(|c| std::cmp::Reverse(c.to_string().len()));

@@ -32,15 +32,30 @@ pub struct Series {
 }
 
 const fn mob(prefix: &'static str, operator: &'static str) -> Series {
-    Series { prefix, number_type: NumberType::Mobile, operator: Some(operator), len: None }
+    Series {
+        prefix,
+        number_type: NumberType::Mobile,
+        operator: Some(operator),
+        len: None,
+    }
 }
 
 const fn typ(prefix: &'static str, number_type: NumberType) -> Series {
-    Series { prefix, number_type, operator: None, len: None }
+    Series {
+        prefix,
+        number_type,
+        operator: None,
+        len: None,
+    }
 }
 
 const fn typl(prefix: &'static str, number_type: NumberType, lo: u8, hi: u8) -> Series {
-    Series { prefix, number_type, operator: None, len: Some((lo, hi)) }
+    Series {
+        prefix,
+        number_type,
+        operator: None,
+        len: Some((lo, hi)),
+    }
 }
 
 /// A country's numbering plan.
@@ -77,8 +92,10 @@ impl CountryPlan {
     /// break calling-code ties: a Canadian series match outranks the generic
     /// US NANP default.
     pub fn classify_detailed(&self, national: &str) -> (Classification, bool) {
-        const BAD: Classification =
-            Classification { number_type: NumberType::BadFormat, operator: None };
+        const BAD: Classification = Classification {
+            number_type: NumberType::BadFormat,
+            operator: None,
+        };
         if national.is_empty() || !national.bytes().all(|b| b.is_ascii_digit()) {
             return (BAD, false);
         }
@@ -98,7 +115,13 @@ impl CountryPlan {
                 if n < lo || n > hi {
                     (BAD, false)
                 } else {
-                    (Classification { number_type: s.number_type, operator: s.operator }, true)
+                    (
+                        Classification {
+                            number_type: s.number_type,
+                            operator: s.operator,
+                        },
+                        true,
+                    )
                 }
             }
             None => {
@@ -107,7 +130,13 @@ impl CountryPlan {
                     return (BAD, false);
                 }
                 match self.default_type {
-                    Some(t) => (Classification { number_type: t, operator: None }, false),
+                    Some(t) => (
+                        Classification {
+                            number_type: t,
+                            operator: None,
+                        },
+                        false,
+                    ),
                     None => (BAD, false),
                 }
             }
@@ -388,7 +417,10 @@ impl PlanRegistry {
             let mut by_cc: HashMap<u16, Vec<&'static CountryPlan>> = HashMap::new();
             for plan in PLANS {
                 by_country.insert(plan.country, plan);
-                by_cc.entry(plan.country.calling_code()).or_default().push(plan);
+                by_cc
+                    .entry(plan.country.calling_code())
+                    .or_default()
+                    .push(plan);
             }
             PlanRegistry { by_country, by_cc }
         })
@@ -410,7 +442,13 @@ impl PlanRegistry {
     pub fn classify(&self, phone: &PhoneNumber) -> (Option<Country>, Classification) {
         let candidates = self.plans_for_cc(phone.country_code);
         if candidates.is_empty() {
-            return (None, Classification { number_type: NumberType::BadFormat, operator: None });
+            return (
+                None,
+                Classification {
+                    number_type: NumberType::BadFormat,
+                    operator: None,
+                },
+            );
         }
         // Prefer plans where an explicit series matched; a Canadian range hit
         // outranks the generic US NANP default bucket.
@@ -462,7 +500,10 @@ mod tests {
         let p = plan(Country::India);
         assert_eq!(p.classify("1123456789").number_type, NumberType::Landline);
         assert_eq!(p.classify("123").number_type, NumberType::BadFormat);
-        assert_eq!(p.classify("98765432101234").number_type, NumberType::BadFormat);
+        assert_eq!(
+            p.classify("98765432101234").number_type,
+            NumberType::BadFormat
+        );
         // Valid length but unallocated leading digit.
         assert_eq!(p.classify("5123456789").number_type, NumberType::BadFormat);
     }
@@ -472,8 +513,14 @@ mod tests {
         let p = plan(Country::UnitedKingdom);
         assert_eq!(p.classify("7412345678").operator, Some("Vodafone"));
         assert_eq!(p.classify("7612345678").number_type, NumberType::Pager);
-        assert_eq!(p.classify("7600123456").number_type, NumberType::VoicemailOnly);
-        assert_eq!(p.classify("7012345678").number_type, NumberType::PersonalNumber);
+        assert_eq!(
+            p.classify("7600123456").number_type,
+            NumberType::VoicemailOnly
+        );
+        assert_eq!(
+            p.classify("7012345678").number_type,
+            NumberType::PersonalNumber
+        );
         assert_eq!(p.classify("5612345678").number_type, NumberType::Voip);
         assert_eq!(p.classify("2071234567").number_type, NumberType::Landline);
         assert_eq!(p.classify("8001234567").number_type, NumberType::TollFree);
@@ -491,9 +538,15 @@ mod tests {
     fn us_default_is_mobile_or_landline() {
         let p = plan(Country::UnitedStates);
         assert_eq!(p.classify("9175551234").operator, Some("T-Mobile"));
-        assert_eq!(p.classify("6145551234").number_type, NumberType::MobileOrLandline);
+        assert_eq!(
+            p.classify("6145551234").number_type,
+            NumberType::MobileOrLandline
+        );
         assert_eq!(p.classify("8005551234").number_type, NumberType::TollFree);
-        assert_eq!(p.classify("5005551234").number_type, NumberType::PersonalNumber);
+        assert_eq!(
+            p.classify("5005551234").number_type,
+            NumberType::PersonalNumber
+        );
     }
 
     #[test]
@@ -533,9 +586,7 @@ mod tests {
         let n = reg
             .countries()
             .iter()
-            .filter(|&&c| {
-                reg.plan_for(c).unwrap().operators().contains(&"Vodafone")
-            })
+            .filter(|&&c| reg.plan_for(c).unwrap().operators().contains(&"Vodafone"))
             .count();
         assert!(n >= 15, "Vodafone modelled in only {n} countries");
     }

@@ -54,7 +54,11 @@ impl PipelineAnnotator {
 impl Annotator for PipelineAnnotator {
     fn annotate(&self, text: &str) -> Annotation {
         let language = identify_language(text);
-        let english = self.translator.to_english(text, language).text().to_string();
+        let english = self
+            .translator
+            .to_english(text, language)
+            .text()
+            .to_string();
         // Brand aliases are proper names: look in both renderings.
         let brand = extract_brand(&english).or_else(|| extract_brand(text));
         let scam_type = classify_scam(&english, brand);
@@ -86,7 +90,13 @@ pub struct HumanAnnotator {
 impl HumanAnnotator {
     /// Default calibration reproducing the paper's human–human κ.
     pub fn new(seed: u64) -> HumanAnnotator {
-        HumanAnnotator { seed, scam_error: 0.03, brand_error: 0.09, lure_miss: 0.02, lure_add: 0.003 }
+        HumanAnnotator {
+            seed,
+            scam_error: 0.03,
+            brand_error: 0.09,
+            lure_miss: 0.02,
+            lure_add: 0.003,
+        }
     }
 
     fn unit(&self, item: u64, salt: u64) -> f64 {
@@ -144,7 +154,11 @@ impl HumanAnnotator {
         for (i, &lure) in Lure::ALL.iter().enumerate() {
             let u = self.unit(item, 10 + i as u64);
             let present = truth.lures.contains(lure);
-            let keep = if present { u >= self.lure_miss } else { u < self.lure_add };
+            let keep = if present {
+                u >= self.lure_miss
+            } else {
+                u < self.lure_add
+            };
             if keep {
                 lures.insert(lure);
             }
@@ -201,7 +215,11 @@ mod tests {
     #[test]
     fn humans_mostly_agree_with_truth() {
         let h = HumanAnnotator::new(1);
-        let t = truth(ScamType::Banking, Some("Santander"), &[Lure::Authority, Lure::TimeUrgency]);
+        let t = truth(
+            ScamType::Banking,
+            Some("Santander"),
+            &[Lure::Authority, Lure::TimeUrgency],
+        );
         let mut scam_agree = 0;
         let n = 2000;
         for item in 0..n {

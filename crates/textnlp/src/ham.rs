@@ -92,7 +92,10 @@ pub fn generate_ham<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Vec<HamMessage> {
                 code: Some(format!("{:06}", rng.gen_range(0..1_000_000u32))),
                 number: None,
             };
-            HamMessage { kind, text: render_pattern(pattern, &fills) }
+            HamMessage {
+                kind,
+                text: render_pattern(pattern, &fills),
+            }
         })
         .collect()
 }

@@ -128,14 +128,35 @@ mod tests {
     #[test]
     fn major_latin_languages() {
         let cases = [
-            ("Your account has been suspended, please click here", Language::English),
-            ("Su cuenta ha sido bloqueada, haga clic aquí hoy", Language::Spanish),
-            ("Uw rekening wordt geblokkeerd, klik hier vandaag", Language::Dutch),
+            (
+                "Your account has been suspended, please click here",
+                Language::English,
+            ),
+            (
+                "Su cuenta ha sido bloqueada, haga clic aquí hoy",
+                Language::Spanish,
+            ),
+            (
+                "Uw rekening wordt geblokkeerd, klik hier vandaag",
+                Language::Dutch,
+            ),
             ("Votre compte a été suspendu, cliquez ici", Language::French),
-            ("Ihr Konto wurde gesperrt, bitte hier klicken", Language::German),
-            ("Il suo conto è stato bloccato, clicchi qui subito", Language::Italian),
-            ("Akun Anda telah diblokir, silakan klik di sini segera", Language::Indonesian),
-            ("Sua conta foi bloqueada, clique aqui hoje", Language::Portuguese),
+            (
+                "Ihr Konto wurde gesperrt, bitte hier klicken",
+                Language::German,
+            ),
+            (
+                "Il suo conto è stato bloccato, clicchi qui subito",
+                Language::Italian,
+            ),
+            (
+                "Akun Anda telah diblokir, silakan klik di sini segera",
+                Language::Indonesian,
+            ),
+            (
+                "Sua conta foi bloqueada, clique aqui hoje",
+                Language::Portuguese,
+            ),
         ];
         for (text, expect) in cases {
             assert_eq!(identify_language(text), Some(expect), "{text:?}");
@@ -148,14 +169,26 @@ mod tests {
             identify_language("あなたの口座を確認してください"),
             Some(Language::Japanese)
         );
-        assert_eq!(identify_language("您的账户已被冻结，请点击这里"), Some(Language::Mandarin));
-        assert_eq!(identify_language("आपका खाता बंद है कृपया क्लिक करें"), Some(Language::Hindi));
+        assert_eq!(
+            identify_language("您的账户已被冻结，请点击这里"),
+            Some(Language::Mandarin)
+        );
+        assert_eq!(
+            identify_language("आपका खाता बंद है कृपया क्लिक करें"),
+            Some(Language::Hindi)
+        );
         assert_eq!(
             identify_language("ваш счёт был заблокирован, пожалуйста нажмите здесь"),
             Some(Language::Russian)
         );
-        assert_eq!(identify_language("حسابك تم إيقافه الرجاء انقر هنا"), Some(Language::Arabic));
-        assert_eq!(identify_language("บัญชีของคุณถูกระงับ กรุณาคลิกที่นี่"), Some(Language::Thai));
+        assert_eq!(
+            identify_language("حسابك تم إيقافه الرجاء انقر هنا"),
+            Some(Language::Arabic)
+        );
+        assert_eq!(
+            identify_language("บัญชีของคุณถูกระงับ กรุณาคลิกที่นี่"),
+            Some(Language::Thai)
+        );
     }
 
     #[test]

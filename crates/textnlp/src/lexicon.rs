@@ -22,52 +22,294 @@ pub fn lexicon(lang: Language) -> &'static [&'static str] {
     use Language::*;
     match lang {
         English => &[
-            "the", "your", "has", "been", "please", "click", "here", "account", "with",
-            "have", "is", "at", "to", "our", "will", "be", "or", "and", "you", "of",
+            "the", "your", "has", "been", "please", "click", "here", "account", "with", "have",
+            "is", "at", "to", "our", "will", "be", "or", "and", "you", "of",
         ],
-        Spanish => &["su", "cuenta", "ha", "sido", "aquí", "usted", "para", "por", "favor", "hoy"],
-        Dutch => &["uw", "het", "een", "niet", "wordt", "klik", "hier", "alstublieft", "vandaag", "rekening"],
-        French => &["votre", "compte", "été", "cliquez", "ici", "vous", "pour", "veuillez", "aujourd'hui", "dès"],
-        German => &["ihr", "konto", "wurde", "gesperrt", "bitte", "hier", "klicken", "sie", "und", "heute"],
-        Italian => &["il", "suo", "conto", "stato", "bloccato", "clicchi", "qui", "per", "subito", "oggi"],
-        Indonesian => &["anda", "akun", "telah", "diblokir", "silakan", "klik", "di", "sini", "untuk", "segera"],
-        Portuguese => &["sua", "conta", "foi", "bloqueada", "clique", "aqui", "você", "para", "não", "hoje"],
-        Japanese => &["あなた", "の", "です", "ます", "ください", "口座", "確認", "こちら"],
+        Spanish => &[
+            "su", "cuenta", "ha", "sido", "aquí", "usted", "para", "por", "favor", "hoy",
+        ],
+        Dutch => &[
+            "uw",
+            "het",
+            "een",
+            "niet",
+            "wordt",
+            "klik",
+            "hier",
+            "alstublieft",
+            "vandaag",
+            "rekening",
+        ],
+        French => &[
+            "votre",
+            "compte",
+            "été",
+            "cliquez",
+            "ici",
+            "vous",
+            "pour",
+            "veuillez",
+            "aujourd'hui",
+            "dès",
+        ],
+        German => &[
+            "ihr", "konto", "wurde", "gesperrt", "bitte", "hier", "klicken", "sie", "und", "heute",
+        ],
+        Italian => &[
+            "il", "suo", "conto", "stato", "bloccato", "clicchi", "qui", "per", "subito", "oggi",
+        ],
+        Indonesian => &[
+            "anda", "akun", "telah", "diblokir", "silakan", "klik", "di", "sini", "untuk", "segera",
+        ],
+        Portuguese => &[
+            "sua",
+            "conta",
+            "foi",
+            "bloqueada",
+            "clique",
+            "aqui",
+            "você",
+            "para",
+            "não",
+            "hoje",
+        ],
+        Japanese => &[
+            "あなた",
+            "の",
+            "です",
+            "ます",
+            "ください",
+            "口座",
+            "確認",
+            "こちら",
+        ],
         Hindi => &["आपका", "खाता", "है", "कृपया", "करें", "बैंक", "तुरंत", "यहाँ"],
-        Tagalog => &["ang", "iyong", "ay", "na", "dito", "po", "ninyo", "upang", "ngayon", "mag-click"],
+        Tagalog => &[
+            "ang",
+            "iyong",
+            "ay",
+            "na",
+            "dito",
+            "po",
+            "ninyo",
+            "upang",
+            "ngayon",
+            "mag-click",
+        ],
         Mandarin => &["您的", "账户", "已", "请", "点击", "银行", "立即", "这里"],
-        Turkish => &["hesabınız", "lütfen", "için", "tıklayın", "bir", "ve", "bu", "bugün", "hemen", "banka"],
+        Turkish => &[
+            "hesabınız",
+            "lütfen",
+            "için",
+            "tıklayın",
+            "bir",
+            "ve",
+            "bu",
+            "bugün",
+            "hemen",
+            "banka",
+        ],
         Arabic => &["حسابك", "تم", "الرجاء", "انقر", "هنا", "البنك", "فوراً"],
-        Russian => &["ваш", "счёт", "был", "пожалуйста", "нажмите", "здесь", "банк", "срочно"],
-        Ukrainian => &["ваш", "рахунок", "було", "будь", "ласка", "натисніть", "тут", "терміново"],
-        Polish => &["twoje", "konto", "zostało", "proszę", "kliknij", "tutaj", "bank", "dzisiaj"],
-        Czech => &["váš", "účet", "byl", "prosím", "klikněte", "zde", "banka", "dnes"],
-        Slovak => &["váš", "účet", "bol", "prosím", "kliknite", "tu", "banka", "dnes"],
-        Hungarian => &["az", "ön", "számlája", "kérjük", "kattintson", "ide", "bank", "ma"],
-        Romanian => &["contul", "dumneavoastră", "fost", "vă", "rugăm", "apăsați", "aici", "astăzi"],
-        Bulgarian => &["вашата", "сметка", "беше", "моля", "кликнете", "тук", "банка", "днес"],
-        Greek => &["ο", "λογαριασμός", "σας", "παρακαλώ", "κάντε", "κλικ", "εδώ", "τράπεζα"],
-        Swedish => &["ditt", "konto", "har", "vänligen", "klicka", "här", "banken", "idag"],
-        Norwegian => &["din", "konto", "har", "vennligst", "klikk", "her", "banken", "dag"],
-        Danish => &["din", "konto", "er", "venligst", "klik", "her", "banken", "dag"],
-        Finnish => &["tilisi", "on", "ole", "hyvä", "napsauta", "tästä", "pankki", "tänään"],
-        Catalan => &["el", "vostre", "compte", "ha", "estat", "cliqueu", "aquí", "avui"],
+        Russian => &[
+            "ваш",
+            "счёт",
+            "был",
+            "пожалуйста",
+            "нажмите",
+            "здесь",
+            "банк",
+            "срочно",
+        ],
+        Ukrainian => &[
+            "ваш",
+            "рахунок",
+            "було",
+            "будь",
+            "ласка",
+            "натисніть",
+            "тут",
+            "терміново",
+        ],
+        Polish => &[
+            "twoje", "konto", "zostało", "proszę", "kliknij", "tutaj", "bank", "dzisiaj",
+        ],
+        Czech => &[
+            "váš",
+            "účet",
+            "byl",
+            "prosím",
+            "klikněte",
+            "zde",
+            "banka",
+            "dnes",
+        ],
+        Slovak => &[
+            "váš", "účet", "bol", "prosím", "kliknite", "tu", "banka", "dnes",
+        ],
+        Hungarian => &[
+            "az",
+            "ön",
+            "számlája",
+            "kérjük",
+            "kattintson",
+            "ide",
+            "bank",
+            "ma",
+        ],
+        Romanian => &[
+            "contul",
+            "dumneavoastră",
+            "fost",
+            "vă",
+            "rugăm",
+            "apăsați",
+            "aici",
+            "astăzi",
+        ],
+        Bulgarian => &[
+            "вашата",
+            "сметка",
+            "беше",
+            "моля",
+            "кликнете",
+            "тук",
+            "банка",
+            "днес",
+        ],
+        Greek => &[
+            "ο",
+            "λογαριασμός",
+            "σας",
+            "παρακαλώ",
+            "κάντε",
+            "κλικ",
+            "εδώ",
+            "τράπεζα",
+        ],
+        Swedish => &[
+            "ditt",
+            "konto",
+            "har",
+            "vänligen",
+            "klicka",
+            "här",
+            "banken",
+            "idag",
+        ],
+        Norwegian => &[
+            "din",
+            "konto",
+            "har",
+            "vennligst",
+            "klikk",
+            "her",
+            "banken",
+            "dag",
+        ],
+        Danish => &[
+            "din", "konto", "er", "venligst", "klik", "her", "banken", "dag",
+        ],
+        Finnish => &[
+            "tilisi",
+            "on",
+            "ole",
+            "hyvä",
+            "napsauta",
+            "tästä",
+            "pankki",
+            "tänään",
+        ],
+        Catalan => &[
+            "el", "vostre", "compte", "ha", "estat", "cliqueu", "aquí", "avui",
+        ],
         Galician => &["a", "súa", "conta", "foi", "prema", "aquí", "banco", "hoxe"],
-        Basque => &["zure", "kontua", "izan", "da", "egin", "klik", "hemen", "gaur"],
-        Croatian => &["vaš", "račun", "je", "molimo", "kliknite", "ovdje", "banka", "danas"],
-        Serbian => &["ваш", "рачун", "је", "молимо", "кликните", "овде", "банка", "данас"],
-        Slovenian => &["vaš", "račun", "je", "prosimo", "kliknite", "tukaj", "banka", "danes"],
-        Lithuanian => &["jūsų", "sąskaita", "buvo", "prašome", "spustelėkite", "čia", "bankas", "šiandien"],
-        Latvian => &["jūsu", "konts", "ir", "lūdzu", "noklikšķiniet", "šeit", "banka", "šodien"],
-        Estonian => &["teie", "konto", "on", "palun", "klõpsake", "siin", "pank", "täna"],
-        Korean => &["귀하의", "계좌", "가", "되었습니다", "클릭", "여기", "은행", "즉시"],
-        Vietnamese => &["tài", "khoản", "của", "bạn", "đã", "vui", "lòng", "nhấp", "vào", "đây"],
+        Basque => &[
+            "zure", "kontua", "izan", "da", "egin", "klik", "hemen", "gaur",
+        ],
+        Croatian => &[
+            "vaš", "račun", "je", "molimo", "kliknite", "ovdje", "banka", "danas",
+        ],
+        Serbian => &[
+            "ваш",
+            "рачун",
+            "је",
+            "молимо",
+            "кликните",
+            "овде",
+            "банка",
+            "данас",
+        ],
+        Slovenian => &[
+            "vaš", "račun", "je", "prosimo", "kliknite", "tukaj", "banka", "danes",
+        ],
+        Lithuanian => &[
+            "jūsų",
+            "sąskaita",
+            "buvo",
+            "prašome",
+            "spustelėkite",
+            "čia",
+            "bankas",
+            "šiandien",
+        ],
+        Latvian => &[
+            "jūsu",
+            "konts",
+            "ir",
+            "lūdzu",
+            "noklikšķiniet",
+            "šeit",
+            "banka",
+            "šodien",
+        ],
+        Estonian => &[
+            "teie",
+            "konto",
+            "on",
+            "palun",
+            "klõpsake",
+            "siin",
+            "pank",
+            "täna",
+        ],
+        Korean => &[
+            "귀하의",
+            "계좌",
+            "가",
+            "되었습니다",
+            "클릭",
+            "여기",
+            "은행",
+            "즉시",
+        ],
+        Vietnamese => &[
+            "tài", "khoản", "của", "bạn", "đã", "vui", "lòng", "nhấp", "vào", "đây",
+        ],
         Thai => &["บัญชี", "ของคุณ", "ถูก", "กรุณา", "คลิก", "ที่นี่", "ธนาคาร", "ทันที"],
-        Malay => &["akaun", "anda", "telah", "sila", "klik", "di", "sini", "bank", "segera", "hari"],
-        Bengali => &["আপনার", "অ্যাকাউন্ট", "হয়েছে", "দয়া", "করে", "ক্লিক", "এখানে", "ব্যাংক"],
+        Malay => &[
+            "akaun", "anda", "telah", "sila", "klik", "di", "sini", "bank", "segera", "hari",
+        ],
+        Bengali => &[
+            "আপনার",
+            "অ্যাকাউন্ট",
+            "হয়েছে",
+            "দয়া",
+            "করে",
+            "ক্লিক",
+            "এখানে",
+            "ব্যাংক",
+        ],
         Punjabi => &["ਤੁਹਾਡਾ", "ਖਾਤਾ", "ਹੈ", "ਕਿਰਪਾ", "ਕਰਕੇ", "ਕਲਿੱਕ", "ਇੱਥੇ", "ਬੈਂਕ"],
         Gujarati => &["તમારું", "ખાતું", "છે", "કૃપા", "કરીને", "ક્લિક", "અહીં", "બેંક"],
-        Tamil => &["உங்கள்", "கணக்கு", "உள்ளது", "தயவுசெய்து", "கிளிக்", "இங்கே", "வங்கி"],
+        Tamil => &[
+            "உங்கள்",
+            "கணக்கு",
+            "உள்ளது",
+            "தயவுசெய்து",
+            "கிளிக்",
+            "இங்கே",
+            "வங்கி",
+        ],
         Telugu => &["మీ", "ఖాతా", "ఉంది", "దయచేసి", "క్లిక్", "ఇక్కడ", "బ్యాంక్"],
         Kannada => &["ನಿಮ್ಮ", "ಖಾತೆ", "ಇದೆ", "ದಯವಿಟ್ಟು", "ಕ್ಲಿಕ್", "ಇಲ್ಲಿ", "ಬ್ಯಾಂಕ್"],
         Malayalam => &["നിങ്ങളുടെ", "അക്കൗണ്ട്", "ആണ്", "ദയവായി", "ക്ലിക്ക്", "ഇവിടെ", "ബാങ്ക്"],
@@ -77,25 +319,130 @@ pub fn lexicon(lang: Language) -> &'static [&'static str] {
         Nepali => &["तपाईंको", "खाता", "छ", "कृपया", "क्लिक", "यहाँ", "बैंक"],
         Hebrew => &["החשבון", "שלך", "נא", "לחץ", "כאן", "בנק", "מיד"],
         Persian => &["حساب", "شما", "است", "لطفا", "کلیک", "اینجا", "بانک"],
-        Swahili => &["akaunti", "yako", "imefungwa", "tafadhali", "bonyeza", "hapa", "benki", "leo"],
+        Swahili => &[
+            "akaunti",
+            "yako",
+            "imefungwa",
+            "tafadhali",
+            "bonyeza",
+            "hapa",
+            "benki",
+            "leo",
+        ],
         Amharic => &["የእርስዎ", "መለያ", "ነው", "እባክዎ", "ጠቅ", "እዚህ", "ባንክ"],
-        Hausa => &["asusunka", "an", "don", "allah", "danna", "nan", "banki", "yau"],
+        Hausa => &[
+            "asusunka", "an", "don", "allah", "danna", "nan", "banki", "yau",
+        ],
         Yoruba => &["àkántì", "rẹ", "ti", "jọwọ", "tẹ", "níbí", "báńkì", "lónìí"],
-        Afrikaans => &["jou", "rekening", "is", "asseblief", "kliek", "hier", "bank", "vandag"],
+        Afrikaans => &[
+            "jou",
+            "rekening",
+            "is",
+            "asseblief",
+            "kliek",
+            "hier",
+            "bank",
+            "vandag",
+        ],
         Burmese => &["သင့်", "အကောင့်", "သည်", "ကျေးဇူးပြု၍", "နှိပ်ပါ", "ဤနေရာ", "ဘဏ်"],
         Khmer => &["គណនី", "របស់អ្នក", "ត្រូវបាន", "សូម", "ចុច", "ទីនេះ", "ធនាគារ"],
         Lao => &["ບັນຊີ", "ຂອງທ່ານ", "ຖືກ", "ກະລຸນາ", "ກົດ", "ທີ່ນີ້", "ທະນາຄານ"],
-        Georgian => &["თქვენი", "ანგარიში", "არის", "გთხოვთ", "დააჭირეთ", "აქ", "ბანკი"],
-        Armenian => &["ձեր", "հաշիվը", "է", "խնդրում", "ենք", "սեղմեք", "այստեղ", "բանկ"],
-        Azerbaijani => &["sizin", "hesabınız", "olub", "zəhmət", "olmasa", "klikləyin", "bura", "bank"],
-        Kazakh => &["сіздің", "шотыңыз", "болды", "өтінеміз", "басыңыз", "осында", "банк"],
-        Uzbek => &["sizning", "hisobingiz", "bo'ldi", "iltimos", "bosing", "shu", "yerga", "bank"],
-        Albanian => &["llogaria", "juaj", "është", "ju", "lutemi", "klikoni", "këtu", "banka"],
-        Macedonian => &["вашата", "сметка", "е", "ве", "молиме", "кликнете", "овде", "банка"],
-        Icelandic => &["reikningurinn", "þinn", "hefur", "vinsamlegast", "smelltu", "hér", "banki", "dag"],
-        Maltese => &["il-kont", "tiegħek", "ġie", "jekk", "jogħġbok", "ikklikkja", "hawn", "bank"],
-        Welsh => &["eich", "cyfrif", "wedi", "cliciwch", "yma", "banc", "heddiw", "os", "gwelwch", "dda"],
-        Irish => &["do", "chuntas", "tá", "cliceáil", "anseo", "banc", "inniu", "le", "thoil", "déan"],
+        Georgian => &[
+            "თქვენი",
+            "ანგარიში",
+            "არის",
+            "გთხოვთ",
+            "დააჭირეთ",
+            "აქ",
+            "ბანკი",
+        ],
+        Armenian => &[
+            "ձեր",
+            "հաշիվը",
+            "է",
+            "խնդրում",
+            "ենք",
+            "սեղմեք",
+            "այստեղ",
+            "բանկ",
+        ],
+        Azerbaijani => &[
+            "sizin",
+            "hesabınız",
+            "olub",
+            "zəhmət",
+            "olmasa",
+            "klikləyin",
+            "bura",
+            "bank",
+        ],
+        Kazakh => &[
+            "сіздің",
+            "шотыңыз",
+            "болды",
+            "өтінеміз",
+            "басыңыз",
+            "осында",
+            "банк",
+        ],
+        Uzbek => &[
+            "sizning",
+            "hisobingiz",
+            "bo'ldi",
+            "iltimos",
+            "bosing",
+            "shu",
+            "yerga",
+            "bank",
+        ],
+        Albanian => &[
+            "llogaria", "juaj", "është", "ju", "lutemi", "klikoni", "këtu", "banka",
+        ],
+        Macedonian => &[
+            "вашата",
+            "сметка",
+            "е",
+            "ве",
+            "молиме",
+            "кликнете",
+            "овде",
+            "банка",
+        ],
+        Icelandic => &[
+            "reikningurinn",
+            "þinn",
+            "hefur",
+            "vinsamlegast",
+            "smelltu",
+            "hér",
+            "banki",
+            "dag",
+        ],
+        Maltese => &[
+            "il-kont",
+            "tiegħek",
+            "ġie",
+            "jekk",
+            "jogħġbok",
+            "ikklikkja",
+            "hawn",
+            "bank",
+        ],
+        Welsh => &[
+            "eich", "cyfrif", "wedi", "cliciwch", "yma", "banc", "heddiw", "os", "gwelwch", "dda",
+        ],
+        Irish => &[
+            "do",
+            "chuntas",
+            "tá",
+            "cliceáil",
+            "anseo",
+            "banc",
+            "inniu",
+            "le",
+            "thoil",
+            "déan",
+        ],
     }
 }
 

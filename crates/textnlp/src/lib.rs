@@ -44,7 +44,7 @@ pub use brands::{Brand, BrandCatalog};
 pub use langid::identify_language;
 pub use lures::detect_lures;
 pub use ner::extract_brand;
-pub use normalize::{normalize_token, normalize_text};
+pub use normalize::{normalize_text, normalize_token};
 pub use scamclass::classify_scam;
 pub use templates::{Template, TemplateLibrary};
 pub use translate::{TemplateTranslator, Translator};

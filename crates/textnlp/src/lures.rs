@@ -8,43 +8,138 @@ use crate::brands::Brand;
 use smishing_types::{Lure, LureSet};
 
 const URGENCY: &[&str] = &[
-    "urgent", "immediately", "today", " now", "asap", "final notice", "expires", "expire",
-    "deadline", "within 24", "within 12", "within 48", "act now", "quickly", "last chance",
-    "before friday", "right away", "hurry", "tonight", "suspension", "will be closed",
-    "will be blocked", "will be returned", "will be deactivated", "will be locked",
+    "urgent",
+    "immediately",
+    "today",
+    " now",
+    "asap",
+    "final notice",
+    "expires",
+    "expire",
+    "deadline",
+    "within 24",
+    "within 12",
+    "within 48",
+    "act now",
+    "quickly",
+    "last chance",
+    "before friday",
+    "right away",
+    "hurry",
+    "tonight",
+    "suspension",
+    "will be closed",
+    "will be blocked",
+    "will be returned",
+    "will be deactivated",
+    "will be locked",
     "unless you cancel",
 ];
 const AUTHORITY_WORDS: &[&str] = &[
-    "bank", "government", "official", "security", "customs", "tax", "police", "revenue",
-    "agency", "court", "verification", "verify your", "confirm your identity",
+    "bank",
+    "government",
+    "official",
+    "security",
+    "customs",
+    "tax",
+    "police",
+    "revenue",
+    "agency",
+    "court",
+    "verification",
+    "verify your",
+    "confirm your identity",
 ];
 const GREED: &[&str] = &[
-    "refund", "prize", "reward", "bonus", "win", "won", "free", "claim", "gift", "cash",
-    "discount", "deal", "offer", "paying", "salary", "per day", "points worth", "redeem",
-    "jackpot", "% off", "sale", "profit", "tip:",
+    "refund",
+    "prize",
+    "reward",
+    "bonus",
+    "win",
+    "won",
+    "free",
+    "claim",
+    "gift",
+    "cash",
+    "discount",
+    "deal",
+    "offer",
+    "paying",
+    "salary",
+    "per day",
+    "points worth",
+    "redeem",
+    "jackpot",
+    "% off",
+    "sale",
+    "profit",
+    "tip:",
 ];
 const KINDNESS: &[&str] = &[
-    "help me", "need your help", "please help", "help, i", "help out", "can you help",
-    "help others", "support me", "i need you",
+    "help me",
+    "need your help",
+    "please help",
+    "help, i",
+    "help out",
+    "can you help",
+    "help others",
+    "support me",
+    "i need you",
     // Conversation openers exploit the recipient's willingness to help a
     // stranger who (apparently) mis-texted (§5.5, Table 13's W column).
-    "is this", "right number for", "are we still on", "got your number from",
-    "wanted to ask", "gave me your number", "how have you been", "long time no see",
+    "is this",
+    "right number for",
+    "are we still on",
+    "got your number from",
+    "wanted to ask",
+    "gave me your number",
+    "how have you been",
+    "long time no see",
 ];
 const DISTRACTION: &[&str] = &[
-    "new number", "phone broke", "phone is broken", "dropped my phone", "screen smashed",
-    "being repaired", "using a friend", "by the way", "long time no see", "yoga class",
-    "dinner on", "the apartment", "how have you been", "got your number", "the other day",
-    "last gathering", "temporary number", "is my new number", "my number changed",
-    "from the gym", "on whatsapp",
+    "new number",
+    "phone broke",
+    "phone is broken",
+    "dropped my phone",
+    "screen smashed",
+    "being repaired",
+    "using a friend",
+    "by the way",
+    "long time no see",
+    "yoga class",
+    "dinner on",
+    "the apartment",
+    "how have you been",
+    "got your number",
+    "the other day",
+    "last gathering",
+    "temporary number",
+    "is my new number",
+    "my number changed",
+    "from the gym",
+    "on whatsapp",
 ];
 const HERD: &[&str] = &[
-    "thousands", "others have", "many winners", "players won", "join them", "already won",
-    "everyone is", "most popular", "already profited", "there are already",
+    "thousands",
+    "others have",
+    "many winners",
+    "players won",
+    "join them",
+    "already won",
+    "everyone is",
+    "most popular",
+    "already profited",
+    "there are already",
 ];
 const DISHONESTY: &[&str] = &[
-    "insider", "avoid the tax", "discreet", "bypass", "under the table", "off the record",
-    "before the announcement", "secret",
+    "insider",
+    "avoid the tax",
+    "discreet",
+    "bypass",
+    "under the table",
+    "off the record",
+    "before the announcement",
+    "secret",
 ];
 
 fn any(text: &str, cues: &[&str]) -> bool {

@@ -67,8 +67,8 @@ fn contains_at_word_boundary(hay: &str, needle: &str) -> bool {
 /// Common words that must never fuzzy-match a brand ("apply" is one edit
 /// from "Apple").
 const FUZZY_STOPLIST: &[&str] = &[
-    "apply", "applies", "applied", "change", "charge", "choose", "please", "amazing",
-    "chases", "paying", "ranges", "cause", "phase",
+    "apply", "applies", "applied", "change", "charge", "choose", "please", "amazing", "chases",
+    "paying", "ranges", "cause", "phase",
 ];
 
 /// Messaging channels: a mention like "message me on WhatsApp" is a channel
@@ -132,7 +132,10 @@ mod tests {
 
     #[test]
     fn plain_mentions() {
-        assert_eq!(name_of("Your SBI account is blocked, update KYC now"), Some("State Bank of India"));
+        assert_eq!(
+            name_of("Your SBI account is blocked, update KYC now"),
+            Some("State Bank of India")
+        );
         assert_eq!(name_of("Netflix: your payment failed"), Some("Netflix"));
         assert_eq!(name_of("Rabobank: uw pas verloopt"), Some("Rabobank"));
     }
@@ -140,26 +143,45 @@ mod tests {
     #[test]
     fn leetspeak_evasion_defeated() {
         // The paper's motivating example.
-        assert_eq!(name_of("Your N3tfl!x subscription is on hold"), Some("Netflix"));
+        assert_eq!(
+            name_of("Your N3tfl!x subscription is on hold"),
+            Some("Netflix")
+        );
         assert_eq!(name_of("AMAZ0N: parcel fee due"), Some("Amazon"));
         assert_eq!(name_of("P4yPal: verify y0ur account"), Some("PayPal"));
     }
 
     #[test]
     fn multiword_beats_substring() {
-        assert_eq!(name_of("Bank of America alert: card locked"), Some("Bank of America"));
-        assert_eq!(name_of("Royal Mail: your parcel is waiting"), Some("Royal Mail"));
+        assert_eq!(
+            name_of("Bank of America alert: card locked"),
+            Some("Bank of America")
+        );
+        assert_eq!(
+            name_of("Royal Mail: your parcel is waiting"),
+            Some("Royal Mail")
+        );
     }
 
     #[test]
     fn typo_squats() {
-        assert_eq!(name_of("Your Amazom order could not be shipped"), Some("Amazon"));
-        assert_eq!(name_of("Netflxi account suspended"), None, "transposition is distance 2");
+        assert_eq!(
+            name_of("Your Amazom order could not be shipped"),
+            Some("Amazon")
+        );
+        assert_eq!(
+            name_of("Netflxi account suspended"),
+            None,
+            "transposition is distance 2"
+        );
     }
 
     #[test]
     fn no_brand() {
-        assert_eq!(name_of("Hi mum, my phone broke, text me on this number"), None);
+        assert_eq!(
+            name_of("Hi mum, my phone broke, text me on this number"),
+            None
+        );
         assert_eq!(name_of(""), None);
     }
 

@@ -69,8 +69,12 @@ pub fn normalize_token(token: &str) -> String {
 pub fn normalize_text(text: &str) -> String {
     text.split_whitespace()
         .map(|chunk| {
-            let trimmed =
-                chunk.trim_matches(|c: char| matches!(c, '.' | ',' | '!' | '?' | ';' | ':' | '"' | '\'' | '(' | ')' | '[' | ']'));
+            let trimmed = chunk.trim_matches(|c: char| {
+                matches!(
+                    c,
+                    '.' | ',' | '!' | '?' | ';' | ':' | '"' | '\'' | '(' | ')' | '[' | ']'
+                )
+            });
             normalize_token(trimmed)
         })
         .filter(|t| !t.is_empty())

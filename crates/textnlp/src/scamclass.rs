@@ -21,38 +21,119 @@ fn contains_any(text: &str, cues: &[&str]) -> usize {
 
 const FAMILY: &[&str] = &["mum", "mom", "dad", "mama", "papa"];
 const CHANGED_PHONE: &[&str] = &[
-    "new number", "phone broke", "phone is broken", "dropped my phone", "screen smashed",
-    "being repaired", "using a friend", "temporary number", "save this number",
+    "new number",
+    "phone broke",
+    "phone is broken",
+    "dropped my phone",
+    "screen smashed",
+    "being repaired",
+    "using a friend",
+    "temporary number",
+    "save this number",
     "my phone down",
 ];
 const STRANGER_OPENER: &[&str] = &[
-    "is this", "are you ", "long time no see", "got your number", "gave me your number",
-    "how have you been", "right number for", "the other day", "my number changed",
-    "from the gym", "from the last gathering",
+    "is this",
+    "are you ",
+    "long time no see",
+    "got your number",
+    "gave me your number",
+    "how have you been",
+    "right number for",
+    "the other day",
+    "my number changed",
+    "from the gym",
+    "from the last gathering",
 ];
 const DELIVERY: &[&str] = &[
-    "parcel", "package", "delivery", "deliver", "courier", "shipment", "tracking",
-    "customs", "depot", "redeliver", "reschedule", "address", "shipping", "post office",
+    "parcel",
+    "package",
+    "delivery",
+    "deliver",
+    "courier",
+    "shipment",
+    "tracking",
+    "customs",
+    "depot",
+    "redeliver",
+    "reschedule",
+    "address",
+    "shipping",
+    "post office",
 ];
 const GOVERNMENT: &[&str] = &[
-    "tax", "toll", "fine", "penalty", "licence", "license", "prosecution", "revenue",
-    "benefit", "seizure", "vehicle", "court", "regularize",
+    "tax",
+    "toll",
+    "fine",
+    "penalty",
+    "licence",
+    "license",
+    "prosecution",
+    "revenue",
+    "benefit",
+    "seizure",
+    "vehicle",
+    "court",
+    "regularize",
 ];
 const TELECOM: &[&str] = &[
-    "sim", "bill", "network", "data plan", "loyalty", "top-up", "topup", "airtime",
-    "service suspension", "operator", "tariff", "upgrade",
+    "sim",
+    "bill",
+    "network",
+    "data plan",
+    "loyalty",
+    "top-up",
+    "topup",
+    "airtime",
+    "service suspension",
+    "operator",
+    "tariff",
+    "upgrade",
 ];
 const BANKING: &[&str] = &[
-    "bank", "account", "card", "kyc", "net banking", "password", "transaction",
-    "payment", "debited", "credited", "online banking", "iban", "refund",
+    "bank",
+    "account",
+    "card",
+    "kyc",
+    "net banking",
+    "password",
+    "transaction",
+    "payment",
+    "debited",
+    "credited",
+    "online banking",
+    "iban",
+    "refund",
 ];
 const SPAM: &[&str] = &[
-    "casino", "free spins", "sale", "% off", "discount", "draw", "prize", "newsletter",
-    "stock alert", "play now", "shop", "promo", "raffle", "betting",
+    "casino",
+    "free spins",
+    "sale",
+    "% off",
+    "discount",
+    "draw",
+    "prize",
+    "newsletter",
+    "stock alert",
+    "play now",
+    "shop",
+    "promo",
+    "raffle",
+    "betting",
 ];
 const OTHERS: &[&str] = &[
-    "subscription", "profile", "verification code", "job", "traders", "investment",
-    "crypto", "wallet", "bonus", "streaming", "logged into your", "accessed from",
+    "subscription",
+    "profile",
+    "verification code",
+    "job",
+    "traders",
+    "investment",
+    "crypto",
+    "wallet",
+    "bonus",
+    "streaming",
+    "logged into your",
+    "accessed from",
 ];
 
 /// Classify the scam type of an English-rendered smishing text.
@@ -75,7 +156,10 @@ pub fn classify_scam(english_text: &str, brand: Option<&Brand>) -> ScamType {
     // Keyword scores.
     let mut scores: Vec<(ScamType, f64)> = vec![
         (ScamType::Delivery, contains_any(&lower, DELIVERY) as f64),
-        (ScamType::Government, contains_any(&lower, GOVERNMENT) as f64),
+        (
+            ScamType::Government,
+            contains_any(&lower, GOVERNMENT) as f64,
+        ),
         (ScamType::Telecom, contains_any(&lower, TELECOM) as f64),
         (ScamType::Banking, contains_any(&lower, BANKING) as f64),
         (ScamType::Spam, contains_any(&lower, SPAM) as f64),
@@ -114,7 +198,10 @@ mod tests {
     #[test]
     fn banking() {
         let t = "SBI ALERT: Your account has been suspended. Verify your details at https://x.co/1";
-        assert_eq!(classify_scam(t, brand("State Bank of India")), ScamType::Banking);
+        assert_eq!(
+            classify_scam(t, brand("State Bank of India")),
+            ScamType::Banking
+        );
     }
 
     #[test]
@@ -165,7 +252,10 @@ mod tests {
 
     #[test]
     fn unclassifiable_defaults_to_others() {
-        assert_eq!(classify_scam("random words entirely", None), ScamType::Others);
+        assert_eq!(
+            classify_scam("random words entirely", None),
+            ScamType::Others
+        );
     }
 
     #[test]

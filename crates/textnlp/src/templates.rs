@@ -116,7 +116,9 @@ pub fn placeholders_of(pattern: &str) -> Vec<&str> {
     let mut out = Vec::new();
     let mut rest = pattern;
     while let Some(open) = rest.find('{') {
-        let Some(close) = rest[open..].find('}') else { break };
+        let Some(close) = rest[open..].find('}') else {
+            break;
+        };
         out.push(&rest[open + 1..open + close]);
         rest = &rest[open + close + 1..];
     }
@@ -666,13 +668,15 @@ impl TemplateLibrary {
 
     /// Templates of a scam type in any language.
     pub fn for_scam(&self, scam: ScamType) -> Vec<&Template> {
-        self.templates.iter().filter(|t| t.scam_type == scam).collect()
+        self.templates
+            .iter()
+            .filter(|t| t.scam_type == scam)
+            .collect()
     }
 
     /// Languages with at least one template.
     pub fn languages(&self) -> Vec<Language> {
-        let mut ls: Vec<Language> =
-            self.templates.iter().map(|t| t.language).collect();
+        let mut ls: Vec<Language> = self.templates.iter().map(|t| t.language).collect();
         ls.sort();
         ls.dedup();
         ls
@@ -680,7 +684,11 @@ impl TemplateLibrary {
 
     /// Find the template matching a rendered text, extracting its fillers.
     /// Tries same-language templates first when `lang_hint` is given.
-    pub fn match_text(&self, text: &str, lang_hint: Option<Language>) -> Option<(&Template, Fills)> {
+    pub fn match_text(
+        &self,
+        text: &str,
+        lang_hint: Option<Language>,
+    ) -> Option<(&Template, Fills)> {
         if let Some(lang) = lang_hint {
             for t in self.templates.iter().filter(|t| t.language == lang) {
                 if let Some(f) = match_pattern(&t.pattern, text) {
@@ -782,9 +790,18 @@ mod tests {
 
     #[test]
     fn match_rejects_wrong_text() {
-        assert_eq!(match_pattern("{brand}: pay at {url}", "completely unrelated text"), None);
-        assert_eq!(match_pattern("literal only", "literal only"), Some(Fills::default()));
-        assert_eq!(match_pattern("literal only", "literal only plus junk"), None);
+        assert_eq!(
+            match_pattern("{brand}: pay at {url}", "completely unrelated text"),
+            None
+        );
+        assert_eq!(
+            match_pattern("literal only", "literal only"),
+            Some(Fills::default())
+        );
+        assert_eq!(
+            match_pattern("literal only", "literal only plus junk"),
+            None
+        );
     }
 
     #[test]

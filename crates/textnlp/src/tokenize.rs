@@ -80,12 +80,18 @@ mod tests {
 
     #[test]
     fn splits_interior_punctuation() {
-        assert_eq!(tokenize("bank:account=locked"), vec!["bank", "account", "locked"]);
+        assert_eq!(
+            tokenize("bank:account=locked"),
+            vec!["bank", "account", "locked"]
+        );
     }
 
     #[test]
     fn unicode_words() {
-        assert_eq!(tokenize("Ihr Konto wurde gesperrt"), vec!["Ihr", "Konto", "wurde", "gesperrt"]);
+        assert_eq!(
+            tokenize("Ihr Konto wurde gesperrt"),
+            vec!["Ihr", "Konto", "wurde", "gesperrt"]
+        );
         assert_eq!(tokenize("あなたの口座"), vec!["あなたの口座"]);
     }
 

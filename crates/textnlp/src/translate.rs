@@ -104,14 +104,20 @@ mod tests {
         let en = tr.text();
         assert!(en.contains("Rabobank"), "{en}");
         assert!(en.contains("https://is.gd/q7"), "{en}");
-        assert!(en.to_lowercase().contains("verify") || en.to_lowercase().contains("account"), "{en}");
+        assert!(
+            en.to_lowercase().contains("verify") || en.to_lowercase().contains("account"),
+            "{en}"
+        );
     }
 
     #[test]
     fn english_passes_through() {
-        let tr = TemplateTranslator::new()
-            .to_english("Your account is locked", Some(Language::English));
-        assert_eq!(tr, Translated::AlreadyEnglish("Your account is locked".into()));
+        let tr =
+            TemplateTranslator::new().to_english("Your account is locked", Some(Language::English));
+        assert_eq!(
+            tr,
+            Translated::AlreadyEnglish("Your account is locked".into())
+        );
     }
 
     #[test]

@@ -68,8 +68,21 @@ impl Forum {
     /// the end of Dec 31 of the last year.
     pub fn window(self) -> (UnixTime, UnixTime) {
         let (y0, y1) = self.timeline();
-        let start = Date { year: y0, month: 1, day: 1 }.days_from_epoch() * 86_400;
-        let end = (Date { year: y1 + 1, month: 1, day: 1 }.days_from_epoch()) * 86_400 - 1;
+        let start = Date {
+            year: y0,
+            month: 1,
+            day: 1,
+        }
+        .days_from_epoch()
+            * 86_400;
+        let end = (Date {
+            year: y1 + 1,
+            month: 1,
+            day: 1,
+        }
+        .days_from_epoch())
+            * 86_400
+            - 1;
         (UnixTime(start), UnixTime(end))
     }
 }
@@ -123,7 +136,10 @@ impl NoiseKind {
 
     /// Whether this noise kind manifests as an image attachment.
     pub fn is_image(self) -> bool {
-        matches!(self, NoiseKind::AwarenessPoster | NoiseKind::UnrelatedScreenshot)
+        matches!(
+            self,
+            NoiseKind::AwarenessPoster | NoiseKind::UnrelatedScreenshot
+        )
     }
 }
 

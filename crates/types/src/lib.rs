@@ -41,6 +41,5 @@ pub use phone::PhoneNumber;
 pub use scam::{Lure, LureSet, ScamType};
 pub use sender::{SenderId, SenderKind};
 pub use time::{
-    parse_timestamp, CivilDateTime, Date, ParsedStamp, TimeOfDay, TimestampStyle, UnixTime,
-    Weekday,
+    parse_timestamp, CivilDateTime, Date, ParsedStamp, TimeOfDay, TimestampStyle, UnixTime, Weekday,
 };

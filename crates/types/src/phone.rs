@@ -22,7 +22,10 @@ impl PhoneNumber {
     pub fn new(country_code: u16, national: impl Into<String>) -> PhoneNumber {
         let national = national.into();
         debug_assert!(national.bytes().all(|b| b.is_ascii_digit()));
-        PhoneNumber { country_code, national }
+        PhoneNumber {
+            country_code,
+            national,
+        }
     }
 
     /// Full digit string including the country code (no `+`).

@@ -145,9 +145,7 @@ impl Lure {
                 "Scammers invite users willingly and knowingly into taking fraudulent action"
             }
             Lure::Distraction => "Scammers provide unrelated details to distract the user",
-            Lure::NeedAndGreed => {
-                "Scammers leverage users' greed and offer attractive benefits"
-            }
+            Lure::NeedAndGreed => "Scammers leverage users' greed and offer attractive benefits",
             Lure::Herd => "Scammers convince that others have won taking the same risk",
             Lure::Kindness => "Scammers leverage the willingness of people to help others",
             Lure::TimeUrgency => {
@@ -175,7 +173,10 @@ impl LureSet {
     pub const EMPTY: LureSet = LureSet(0);
 
     fn bit(lure: Lure) -> u8 {
-        1 << (Lure::ALL.iter().position(|&l| l == lure).expect("lure in ALL") as u8)
+        1 << (Lure::ALL
+            .iter()
+            .position(|&l| l == lure)
+            .expect("lure in ALL") as u8)
     }
 
     /// Build a set from a slice of lures.

@@ -22,8 +22,11 @@ pub enum SenderKind {
 
 impl SenderKind {
     /// All kinds, in the §4.1 reporting order.
-    pub const ALL: &'static [SenderKind] =
-        &[SenderKind::Phone, SenderKind::Email, SenderKind::Alphanumeric];
+    pub const ALL: &'static [SenderKind] = &[
+        SenderKind::Phone,
+        SenderKind::Email,
+        SenderKind::Alphanumeric,
+    ];
 
     /// Label as used in prose and the released dataset (Appendix C).
     pub fn label(self) -> &'static str {
@@ -113,10 +116,22 @@ mod tests {
 
     #[test]
     fn kinds() {
-        assert_eq!(SenderId::Phone(PhoneNumber::new(44, "7900000001")).kind(), SenderKind::Phone);
-        assert_eq!(SenderId::MalformedPhone("12345678901234567".into()).kind(), SenderKind::Phone);
-        assert_eq!(SenderId::Email("a@icloud.com".into()).kind(), SenderKind::Email);
-        assert_eq!(SenderId::Alphanumeric("SBIBNK".into()).kind(), SenderKind::Alphanumeric);
+        assert_eq!(
+            SenderId::Phone(PhoneNumber::new(44, "7900000001")).kind(),
+            SenderKind::Phone
+        );
+        assert_eq!(
+            SenderId::MalformedPhone("12345678901234567".into()).kind(),
+            SenderKind::Phone
+        );
+        assert_eq!(
+            SenderId::Email("a@icloud.com".into()).kind(),
+            SenderKind::Email
+        );
+        assert_eq!(
+            SenderId::Alphanumeric("SBIBNK".into()).kind(),
+            SenderKind::Alphanumeric
+        );
     }
 
     #[test]

@@ -72,15 +72,19 @@ impl Weekday {
 
     /// Monday = 0 ... Sunday = 6.
     pub fn index(self) -> usize {
-        Weekday::ALL.iter().position(|&w| w == self).expect("weekday in ALL")
+        Weekday::ALL
+            .iter()
+            .position(|&w| w == self)
+            .expect("weekday in ALL")
     }
 
     /// Parse a full name or 3-letter abbreviation, case-insensitive.
     pub fn parse(s: &str) -> Option<Weekday> {
         let t = s.trim().trim_end_matches([',', '.']);
-        Weekday::ALL.iter().copied().find(|w| {
-            w.name().eq_ignore_ascii_case(t) || w.abbrev().eq_ignore_ascii_case(t)
-        })
+        Weekday::ALL
+            .iter()
+            .copied()
+            .find(|w| w.name().eq_ignore_ascii_case(t) || w.abbrev().eq_ignore_ascii_case(t))
     }
 
     /// Whether this is Saturday or Sunday.
@@ -96,9 +100,7 @@ impl fmt::Display for Weekday {
 }
 
 /// A calendar date in the proleptic Gregorian calendar.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct Date {
     /// Astronomical year (2023 = 2023).
     pub year: i32,
@@ -109,8 +111,18 @@ pub struct Date {
 }
 
 const MONTH_NAMES: [&str; 12] = [
-    "January", "February", "March", "April", "May", "June", "July", "August", "September",
-    "October", "November", "December",
+    "January",
+    "February",
+    "March",
+    "April",
+    "May",
+    "June",
+    "July",
+    "August",
+    "September",
+    "October",
+    "November",
+    "December",
 ];
 
 /// Whether `year` is a Gregorian leap year.
@@ -138,17 +150,27 @@ impl Date {
     /// Construct a validated date.
     pub fn new(year: i32, month: u8, day: u8) -> Result<Date, TypeError> {
         if !(1..=12).contains(&month) {
-            return Err(TypeError::InvalidCivil { component: "month", value: month as i64 });
+            return Err(TypeError::InvalidCivil {
+                component: "month",
+                value: month as i64,
+            });
         }
         if day == 0 || day > days_in_month(year, month) {
-            return Err(TypeError::InvalidCivil { component: "day", value: day as i64 });
+            return Err(TypeError::InvalidCivil {
+                component: "day",
+                value: day as i64,
+            });
         }
         Ok(Date { year, month, day })
     }
 
     /// Days since 1970-01-01 (Hinnant's `days_from_civil`).
     pub fn days_from_epoch(self) -> i64 {
-        let y = if self.month <= 2 { self.year - 1 } else { self.year } as i64;
+        let y = if self.month <= 2 {
+            self.year - 1
+        } else {
+            self.year
+        } as i64;
         let era = if y >= 0 { y } else { y - 399 } / 400;
         let yoe = y - era * 400; // [0, 399]
         let mp = (self.month as i64 + 9) % 12; // March = 0
@@ -197,9 +219,7 @@ impl fmt::Display for Date {
 }
 
 /// A wall-clock time of day.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct TimeOfDay {
     /// Hour, 0–23.
     pub hour: u8,
@@ -213,15 +233,28 @@ impl TimeOfDay {
     /// Construct a validated time of day.
     pub fn new(hour: u8, minute: u8, second: u8) -> Result<TimeOfDay, TypeError> {
         if hour > 23 {
-            return Err(TypeError::InvalidCivil { component: "hour", value: hour as i64 });
+            return Err(TypeError::InvalidCivil {
+                component: "hour",
+                value: hour as i64,
+            });
         }
         if minute > 59 {
-            return Err(TypeError::InvalidCivil { component: "minute", value: minute as i64 });
+            return Err(TypeError::InvalidCivil {
+                component: "minute",
+                value: minute as i64,
+            });
         }
         if second > 59 {
-            return Err(TypeError::InvalidCivil { component: "second", value: second as i64 });
+            return Err(TypeError::InvalidCivil {
+                component: "second",
+                value: second as i64,
+            });
         }
-        Ok(TimeOfDay { hour, minute, second })
+        Ok(TimeOfDay {
+            hour,
+            minute,
+            second,
+        })
     }
 
     /// Seconds since midnight, in `[0, 86400)`.
@@ -232,7 +265,11 @@ impl TimeOfDay {
     /// Inverse of [`TimeOfDay::seconds_since_midnight`]; `secs` is taken mod 86400.
     pub fn from_seconds_since_midnight(secs: u32) -> TimeOfDay {
         let s = secs % 86_400;
-        TimeOfDay { hour: (s / 3600) as u8, minute: ((s / 60) % 60) as u8, second: (s % 60) as u8 }
+        TimeOfDay {
+            hour: (s / 3600) as u8,
+            minute: ((s / 60) % 60) as u8,
+            second: (s % 60) as u8,
+        }
     }
 
     /// Format as 12-hour clock with AM/PM ("2:33 PM").
@@ -262,9 +299,7 @@ impl fmt::Display for TimeOfDay {
 /// The paper's dataset records local wall-clock as shown on screenshots;
 /// since no screenshot carries a zone, the pipeline treats wall-clock time
 /// as-is (what matters for Fig. 2 is the *local* time of day).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct CivilDateTime {
     /// The calendar date.
     pub date: Date,
@@ -420,7 +455,12 @@ impl TimestampStyle {
             TimestampStyle::TimeOnly24 => format!("{:02}:{:02}", t.time.hour, t.time.minute),
             TimestampStyle::TimeOnlyAmPm => t.time.format_ampm(),
             TimestampStyle::WeekdayTime => {
-                format!("{} {:02}:{:02}", d.weekday().abbrev(), t.time.hour, t.time.minute)
+                format!(
+                    "{} {:02}:{:02}",
+                    d.weekday().abbrev(),
+                    t.time.hour,
+                    t.time.minute
+                )
             }
         }
     }
@@ -733,31 +773,52 @@ mod tests {
     fn parse_iso_and_slash() {
         assert_eq!(
             parse_timestamp("2021-08-03 11:34"),
-            Some(ParsedStamp::Full(CivilDateTime::new(d(2021, 8, 3), t(11, 34))))
+            Some(ParsedStamp::Full(CivilDateTime::new(
+                d(2021, 8, 3),
+                t(11, 34)
+            )))
         );
         assert_eq!(
             parse_timestamp("03/08/2021 11:34"),
-            Some(ParsedStamp::Full(CivilDateTime::new(d(2021, 8, 3), t(11, 34))))
+            Some(ParsedStamp::Full(CivilDateTime::new(
+                d(2021, 8, 3),
+                t(11, 34)
+            )))
         );
-        assert_eq!(parse_timestamp("2021-08-03"), Some(ParsedStamp::DateOnly(d(2021, 8, 3))));
+        assert_eq!(
+            parse_timestamp("2021-08-03"),
+            Some(ParsedStamp::DateOnly(d(2021, 8, 3)))
+        );
     }
 
     #[test]
     fn parse_month_name_styles() {
         assert_eq!(
             parse_timestamp("Aug 3, 2021 at 11:34 AM"),
-            Some(ParsedStamp::Full(CivilDateTime::new(d(2021, 8, 3), t(11, 34))))
+            Some(ParsedStamp::Full(CivilDateTime::new(
+                d(2021, 8, 3),
+                t(11, 34)
+            )))
         );
         assert_eq!(
             parse_timestamp("3 August 2021 11:34"),
-            Some(ParsedStamp::Full(CivilDateTime::new(d(2021, 8, 3), t(11, 34))))
+            Some(ParsedStamp::Full(CivilDateTime::new(
+                d(2021, 8, 3),
+                t(11, 34)
+            )))
         );
     }
 
     #[test]
     fn parse_time_only_and_weekday() {
-        assert_eq!(parse_timestamp("11:34"), Some(ParsedStamp::TimeOnly(t(11, 34))));
-        assert_eq!(parse_timestamp("2:33 PM"), Some(ParsedStamp::TimeOnly(t(14, 33))));
+        assert_eq!(
+            parse_timestamp("11:34"),
+            Some(ParsedStamp::TimeOnly(t(11, 34)))
+        );
+        assert_eq!(
+            parse_timestamp("2:33 PM"),
+            Some(ParsedStamp::TimeOnly(t(14, 33)))
+        );
         assert_eq!(
             parse_timestamp("Tue 11:34"),
             Some(ParsedStamp::WeekdayTime(Weekday::Tuesday, t(11, 34)))
@@ -773,12 +834,23 @@ mod tests {
         assert_eq!(parse_time_fragment("12:00 AM"), Some(t(0, 0)));
         assert_eq!(parse_time_fragment("12:00 PM"), Some(t(12, 0)));
         assert_eq!(parse_time_fragment("12:01am"), Some(t(0, 1)));
-        assert_eq!(parse_time_fragment("13:00 PM"), None, "13 is not a 12h hour");
+        assert_eq!(
+            parse_time_fragment("13:00 PM"),
+            None,
+            "13 is not a 12h hour"
+        );
     }
 
     #[test]
     fn garbage_is_rejected() {
-        for bad in ["", "hello", "99:99", "2021-13-40", "32/13/2021 11:34", "Mon"] {
+        for bad in [
+            "",
+            "hello",
+            "99:99",
+            "2021-13-40",
+            "32/13/2021 11:34",
+            "Mon",
+        ] {
             assert_eq!(parse_timestamp(bad), None, "{bad:?}");
         }
     }
@@ -839,6 +911,11 @@ mod tests {
 
     #[test]
     fn two_digit_years_are_expanded() {
-        assert_eq!(parse_timestamp("03/08/21 11:34").and_then(|p| p.full()).map(|c| c.date.year), Some(2021));
+        assert_eq!(
+            parse_timestamp("03/08/21 11:34")
+                .and_then(|p| p.full())
+                .map(|c| c.date.year),
+            Some(2021)
+        );
     }
 }

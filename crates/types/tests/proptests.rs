@@ -3,8 +3,7 @@
 use proptest::prelude::*;
 use smishing_types::time::{days_in_month, is_leap_year};
 use smishing_types::{
-    parse_timestamp, CivilDateTime, Date, LureSet, Lure, PhoneNumber, TimeOfDay, UnixTime,
-    Weekday,
+    parse_timestamp, CivilDateTime, Date, Lure, LureSet, PhoneNumber, TimeOfDay, UnixTime, Weekday,
 };
 
 proptest! {

@@ -30,7 +30,12 @@ pub const AS_CATALOG: &[AsnRecord] = &[
     AsnRecord {
         org: "Cloudflare",
         asns: &[13335],
-        blocks: &[(104, 16, "US"), (104, 17, "US"), (172, 64, "US"), (188, 114, "US")],
+        blocks: &[
+            (104, 16, "US"),
+            (104, 17, "US"),
+            (172, 64, "US"),
+            (188, 114, "US"),
+        ],
         bulletproof: false,
         proxy: true,
     },
@@ -38,8 +43,13 @@ pub const AS_CATALOG: &[AsnRecord] = &[
         org: "Amazon",
         asns: &[16509, 14618],
         blocks: &[
-            (52, 0, "US"), (52, 1, "US"), (54, 64, "US"), (18, 176, "JP"),
-            (52, 208, "IE"), (13, 232, "IN"), (15, 184, "MA"),
+            (52, 0, "US"),
+            (52, 1, "US"),
+            (54, 64, "US"),
+            (18, 176, "JP"),
+            (52, 208, "IE"),
+            (13, 232, "IN"),
+            (15, 184, "MA"),
         ],
         bulletproof: false,
         proxy: false,
@@ -173,7 +183,11 @@ impl AsnDb {
             for (i, &(ba, bb, country)) in rec.blocks.iter().enumerate() {
                 if a == ba && b == bb {
                     let asn = rec.asns[i % rec.asns.len()];
-                    return Some(IpInfo { record: rec, asn, country });
+                    return Some(IpInfo {
+                        record: rec,
+                        asn,
+                        country,
+                    });
                 }
             }
         }
@@ -184,7 +198,12 @@ impl AsnDb {
     pub fn allocate_ip<R: Rng + ?Sized>(&self, org: &str, rng: &mut R) -> Option<Ipv4Addr> {
         let rec = AS_CATALOG.iter().find(|r| r.org == org)?;
         let (a, b, _) = rec.blocks[rng.gen_range(0..rec.blocks.len())];
-        Some(Ipv4Addr::new(a, b, rng.gen_range(0..=255), rng.gen_range(1..=254)))
+        Some(Ipv4Addr::new(
+            a,
+            b,
+            rng.gen_range(0..=255),
+            rng.gen_range(1..=254),
+        ))
     }
 
     /// Catalog entry for an org.
@@ -232,8 +251,16 @@ mod tests {
     fn table8_orgs_present() {
         let db = AsnDb::new();
         for org in [
-            "Amazon", "Akamai", "Google", "Multacom", "SEDO GmbH", "Alibaba",
-            "Tencent", "FranTech Solutions", "HKBN Enterprise", "The Constant Company",
+            "Amazon",
+            "Akamai",
+            "Google",
+            "Multacom",
+            "SEDO GmbH",
+            "Alibaba",
+            "Tencent",
+            "FranTech Solutions",
+            "HKBN Enterprise",
+            "The Constant Company",
         ] {
             assert!(db.org(org).is_some(), "{org}");
         }
@@ -262,8 +289,13 @@ mod tests {
     #[test]
     fn amazon_footprint_countries() {
         // Table 8: Amazon hosts in US, JP, IE, IN, MA.
-        let countries: std::collections::HashSet<_> =
-            AsnDb::new().org("Amazon").unwrap().blocks.iter().map(|b| b.2).collect();
+        let countries: std::collections::HashSet<_> = AsnDb::new()
+            .org("Amazon")
+            .unwrap()
+            .blocks
+            .iter()
+            .map(|b| b.2)
+            .collect();
         for c in ["US", "JP", "IE", "IN", "MA"] {
             assert!(countries.contains(c), "{c}");
         }

@@ -26,16 +26,56 @@ pub struct CaPolicy {
 /// CA catalog: Table 7's top ten. Validity periods drive the cert-count
 /// asymmetry the paper reports.
 pub const CA_POLICIES: &[CaPolicy] = &[
-    CaPolicy { name: "Let's Encrypt", validity_days: 90, free: true },
-    CaPolicy { name: "DigiCert", validity_days: 365, free: false },
-    CaPolicy { name: "cPanel", validity_days: 90, free: true },
-    CaPolicy { name: "Google Trust Services", validity_days: 90, free: true },
-    CaPolicy { name: "Globalsign", validity_days: 365, free: false },
-    CaPolicy { name: "Comodo", validity_days: 365, free: false },
-    CaPolicy { name: "Amazon", validity_days: 395, free: true },
-    CaPolicy { name: "Entrust", validity_days: 365, free: false },
-    CaPolicy { name: "Sectigo", validity_days: 365, free: false },
-    CaPolicy { name: "Cloudflare", validity_days: 90, free: true },
+    CaPolicy {
+        name: "Let's Encrypt",
+        validity_days: 90,
+        free: true,
+    },
+    CaPolicy {
+        name: "DigiCert",
+        validity_days: 365,
+        free: false,
+    },
+    CaPolicy {
+        name: "cPanel",
+        validity_days: 90,
+        free: true,
+    },
+    CaPolicy {
+        name: "Google Trust Services",
+        validity_days: 90,
+        free: true,
+    },
+    CaPolicy {
+        name: "Globalsign",
+        validity_days: 365,
+        free: false,
+    },
+    CaPolicy {
+        name: "Comodo",
+        validity_days: 365,
+        free: false,
+    },
+    CaPolicy {
+        name: "Amazon",
+        validity_days: 395,
+        free: true,
+    },
+    CaPolicy {
+        name: "Entrust",
+        validity_days: 365,
+        free: false,
+    },
+    CaPolicy {
+        name: "Sectigo",
+        validity_days: 365,
+        free: false,
+    },
+    CaPolicy {
+        name: "Cloudflare",
+        validity_days: 90,
+        free: true,
+    },
 ];
 
 /// Look up a CA policy by name.
@@ -192,8 +232,18 @@ mod tests {
         // §4.5: "cybercriminals sometimes use multiple TLS certificates for
         // smishing URLs".
         let log = CtLog::new();
-        log.provision("multi.com", &ca_policy("Let's Encrypt").unwrap(), day(0), day(30));
-        log.provision("multi.com", &ca_policy("Cloudflare").unwrap(), day(0), day(30));
+        log.provision(
+            "multi.com",
+            &ca_policy("Let's Encrypt").unwrap(),
+            day(0),
+            day(30),
+        );
+        log.provision(
+            "multi.com",
+            &ca_policy("Cloudflare").unwrap(),
+            day(0),
+            day(30),
+        );
         let issuers: Vec<_> = log.query("multi.com").iter().map(|c| c.issuer).collect();
         assert!(issuers.contains(&"Let's Encrypt"));
         assert!(issuers.contains(&"Cloudflare"));

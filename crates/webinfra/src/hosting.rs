@@ -62,20 +62,34 @@ mod tests {
     #[test]
     fn requires_label_boundary() {
         assert_eq!(free_hosting_suffix("notweb.app"), None);
-        assert_eq!(free_hosting_suffix("web.app"), None, "bare suffix is not a site");
+        assert_eq!(
+            free_hosting_suffix("web.app"),
+            None,
+            "bare suffix is not a site"
+        );
     }
 
     #[test]
     fn site_unit() {
         assert_eq!(free_hosting_site("a.b.ngrok.io"), Some("b.ngrok.io".into()));
-        assert_eq!(free_hosting_site("sa-krs.web.app"), Some("sa-krs.web.app".into()));
+        assert_eq!(
+            free_hosting_site("sa-krs.web.app"),
+            Some("sa-krs.web.app".into())
+        );
         assert_eq!(free_hosting_site("example.com"), None);
     }
 
     #[test]
     fn catalog_covers_paper_services() {
         let services: Vec<&str> = FREE_HOSTING_SUFFIXES.iter().map(|(s, _)| *s).collect();
-        for s in ["web.app", "ngrok.io", "firebaseapp.com", "vercel.app", "herokuapp.com", "netlify.app"] {
+        for s in [
+            "web.app",
+            "ngrok.io",
+            "firebaseapp.com",
+            "vercel.app",
+            "herokuapp.com",
+            "netlify.app",
+        ] {
             assert!(services.contains(&s), "missing {s}");
         }
     }

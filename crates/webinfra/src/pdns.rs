@@ -42,7 +42,11 @@ impl PassiveDns {
             .write()
             .entry(domain.to_ascii_lowercase())
             .or_default()
-            .push(Resolution { ip, first_seen, last_seen });
+            .push(Resolution {
+                ip,
+                first_seen,
+                last_seen,
+            });
     }
 
     /// Query all resolutions whose observation overlaps the year before

@@ -14,10 +14,38 @@ use std::collections::HashMap;
 
 /// The hand-curated shortener catalog (33 services, §3.3.3).
 pub const SHORTENER_HOSTS: &[&str] = &[
-    "bit.ly", "is.gd", "cutt.ly", "tinyurl.com", "bit.do", "shrtco.de", "rb.gy", "t.ly",
-    "bitly.ws", "t.co", "goo.gl", "ow.ly", "buff.ly", "adf.ly", "tiny.cc", "shorturl.at",
-    "rebrand.ly", "s.id", "v.gd", "qr.ae", "lnkd.in", "trib.al", "soo.gd", "clck.ru",
-    "u.to", "x.co", "zpr.io", "snip.ly", "short.cm", "bl.ink", "t2m.io", "kutt.it",
+    "bit.ly",
+    "is.gd",
+    "cutt.ly",
+    "tinyurl.com",
+    "bit.do",
+    "shrtco.de",
+    "rb.gy",
+    "t.ly",
+    "bitly.ws",
+    "t.co",
+    "goo.gl",
+    "ow.ly",
+    "buff.ly",
+    "adf.ly",
+    "tiny.cc",
+    "shorturl.at",
+    "rebrand.ly",
+    "s.id",
+    "v.gd",
+    "qr.ae",
+    "lnkd.in",
+    "trib.al",
+    "soo.gd",
+    "clck.ru",
+    "u.to",
+    "x.co",
+    "zpr.io",
+    "snip.ly",
+    "short.cm",
+    "bl.ink",
+    "t2m.io",
+    "kutt.it",
     "2no.co",
 ];
 
@@ -156,7 +184,11 @@ mod tests {
 
     #[test]
     fn catalog_size_is_33() {
-        assert_eq!(ShortenerCatalog::new().len(), 33, "§3.3.3: list of 33 shorteners");
+        assert_eq!(
+            ShortenerCatalog::new().len(),
+            33,
+            "§3.3.3: list of 33 shorteners"
+        );
     }
 
     #[test]
@@ -180,7 +212,13 @@ mod tests {
     fn expansion_lifecycle() {
         let db = ShortLinkDb::new();
         let created = UnixTime(1_000_000);
-        db.register("shrtco.de", "2Rq2La", "https://sa-krs.web.app/", created, Some(86_400));
+        db.register(
+            "shrtco.de",
+            "2Rq2La",
+            "https://sa-krs.web.app/",
+            created,
+            Some(86_400),
+        );
         let u = parse_url("shrtco.de/2Rq2La").unwrap();
         // Before creation: unknown.
         assert_eq!(db.expand(&u, UnixTime(999_999)), ExpandResult::NotFound);
@@ -190,7 +228,10 @@ mod tests {
             ExpandResult::Active("https://sa-krs.web.app/".into())
         );
         // After takedown the target is unrecoverable (§3.3.5).
-        assert_eq!(db.expand(&u, created.plus_secs(86_400)), ExpandResult::TakenDown);
+        assert_eq!(
+            db.expand(&u, created.plus_secs(86_400)),
+            ExpandResult::TakenDown
+        );
     }
 
     #[test]
@@ -198,7 +239,10 @@ mod tests {
         let db = ShortLinkDb::new();
         db.register("bit.ly", "abc", "https://x.example.com/", UnixTime(0), None);
         let u = parse_url("bit.ly/abc").unwrap();
-        assert!(matches!(db.expand(&u, UnixTime(i64::MAX / 2)), ExpandResult::Active(_)));
+        assert!(matches!(
+            db.expand(&u, UnixTime(i64::MAX / 2)),
+            ExpandResult::Active(_)
+        ));
     }
 
     #[test]
@@ -211,7 +255,18 @@ mod tests {
     #[test]
     fn table5_hosts_catalogued() {
         let cat = ShortenerCatalog::new();
-        for h in ["bit.ly", "is.gd", "cutt.ly", "tinyurl.com", "bit.do", "shrtco.de", "rb.gy", "t.ly", "bitly.ws", "t.co"] {
+        for h in [
+            "bit.ly",
+            "is.gd",
+            "cutt.ly",
+            "tinyurl.com",
+            "bit.do",
+            "shrtco.de",
+            "rb.gy",
+            "t.ly",
+            "bitly.ws",
+            "t.co",
+        ] {
             assert!(cat.is_shortener(h), "{h}");
         }
     }

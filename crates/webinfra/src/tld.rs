@@ -44,46 +44,182 @@ impl TldClass {
 /// Generic TLDs (a representative 150 of the root zone's gTLDs, led by the
 /// ones Table 6 reports as abused).
 pub const GENERIC_TLDS: &[&str] = &[
-    "com", "info", "me", "net", "co", "top", "online", "xyz", "org", "app", "dev", "page",
-    "site", "club", "vip", "shop", "store", "live", "work", "icu", "cyou", "rest", "bar",
-    "fun", "space", "website", "tech", "host", "press", "link", "click", "help", "support",
-    "services", "solutions", "agency", "digital", "email", "network", "systems", "today",
-    "world", "zone", "plus", "cloud", "codes", "company", "computer", "center", "city",
-    "delivery", "direct", "discount", "domains", "exchange", "express", "finance",
-    "financial", "fund", "money", "credit", "creditcard", "loan", "loans", "bank",
-    "insurance", "legal", "media", "news", "design", "photo", "pictures", "video", "social",
-    "community", "events", "tickets", "tours", "voyage", "vacations", "flights", "holiday",
-    "cab", "taxi", "car", "cars", "auto", "bike", "boats", "parts", "repair", "build",
-    "builders", "construction", "contractors", "tools", "supply", "supplies", "equipment",
-    "industries", "factory", "farm", "garden", "flowers", "fish", "pet", "pets", "dog",
-    "kitchen", "health", "healthcare", "clinic", "dental", "doctor", "hospital", "pharmacy",
-    "fit", "fitness", "yoga", "run", "football", "golf", "tennis", "hockey", "soccer",
-    "team", "win", "bet", "casino", "poker", "bingo", "lotto", "game", "games", "play",
-    "toys", "fashion", "style", "shoes", "jewelry", "watch", "gift", "gifts", "deals",
-    "sale", "bargains", "cheap", "promo", "market", "markets", "trade", "trading", "gold",
+    "com",
+    "info",
+    "me",
+    "net",
+    "co",
+    "top",
+    "online",
+    "xyz",
+    "org",
+    "app",
+    "dev",
+    "page",
+    "site",
+    "club",
+    "vip",
+    "shop",
+    "store",
+    "live",
+    "work",
+    "icu",
+    "cyou",
+    "rest",
+    "bar",
+    "fun",
+    "space",
+    "website",
+    "tech",
+    "host",
+    "press",
+    "link",
+    "click",
+    "help",
+    "support",
+    "services",
+    "solutions",
+    "agency",
+    "digital",
+    "email",
+    "network",
+    "systems",
+    "today",
+    "world",
+    "zone",
+    "plus",
+    "cloud",
+    "codes",
+    "company",
+    "computer",
+    "center",
+    "city",
+    "delivery",
+    "direct",
+    "discount",
+    "domains",
+    "exchange",
+    "express",
+    "finance",
+    "financial",
+    "fund",
+    "money",
+    "credit",
+    "creditcard",
+    "loan",
+    "loans",
+    "bank",
+    "insurance",
+    "legal",
+    "media",
+    "news",
+    "design",
+    "photo",
+    "pictures",
+    "video",
+    "social",
+    "community",
+    "events",
+    "tickets",
+    "tours",
+    "voyage",
+    "vacations",
+    "flights",
+    "holiday",
+    "cab",
+    "taxi",
+    "car",
+    "cars",
+    "auto",
+    "bike",
+    "boats",
+    "parts",
+    "repair",
+    "build",
+    "builders",
+    "construction",
+    "contractors",
+    "tools",
+    "supply",
+    "supplies",
+    "equipment",
+    "industries",
+    "factory",
+    "farm",
+    "garden",
+    "flowers",
+    "fish",
+    "pet",
+    "pets",
+    "dog",
+    "kitchen",
+    "health",
+    "healthcare",
+    "clinic",
+    "dental",
+    "doctor",
+    "hospital",
+    "pharmacy",
+    "fit",
+    "fitness",
+    "yoga",
+    "run",
+    "football",
+    "golf",
+    "tennis",
+    "hockey",
+    "soccer",
+    "team",
+    "win",
+    "bet",
+    "casino",
+    "poker",
+    "bingo",
+    "lotto",
+    "game",
+    "games",
+    "play",
+    "toys",
+    "fashion",
+    "style",
+    "shoes",
+    "jewelry",
+    "watch",
+    "gift",
+    "gifts",
+    "deals",
+    "sale",
+    "bargains",
+    "cheap",
+    "promo",
+    "market",
+    "markets",
+    "trade",
+    "trading",
+    "gold",
 ];
 
 /// Country-code TLDs (130 entries, led by Table 6's abused ones).
 pub const COUNTRY_TLDS: &[&str] = &[
-    "in", "us", "uk", "ly", "gd", "do", "gy", "de", "ws", "cc", "fr", "ru", "cn", "br",
-    "au", "nl", "es", "it", "pt", "be", "id", "jp", "kr", "mx", "ar", "cl", "pe", "ve",
-    "ec", "uy", "py", "bo", "cr", "pa", "gt", "hn", "ni", "sv", "cu", "ht", "jm", "tt",
-    "bs", "bb", "ag", "dm", "gr", "tr", "ua", "pl", "cz", "sk", "hu", "ro", "bg", "hr",
-    "si", "rs", "ba", "mk", "al", "md", "by", "lt", "lv", "ee", "fi", "se", "no", "dk",
-    "is", "ie", "ch", "at", "lu", "li", "mt", "cy", "il", "sa", "ae", "qa", "kw", "bh",
-    "om", "ye", "jo", "lb", "sy", "iq", "ir", "af", "pk", "bd", "lk", "np", "bt", "mv",
-    "mm", "th", "la", "kh", "vn", "my", "sg", "ph", "tw", "hk", "mo", "mn", "kz", "uz",
-    "tm", "kg", "tj", "az", "am", "ge", "eg", "ma", "dz", "tn", "ng", "gh", "ke", "za",
-    "tz", "ug", "cd", "cm",
+    "in", "us", "uk", "ly", "gd", "do", "gy", "de", "ws", "cc", "fr", "ru", "cn", "br", "au", "nl",
+    "es", "it", "pt", "be", "id", "jp", "kr", "mx", "ar", "cl", "pe", "ve", "ec", "uy", "py", "bo",
+    "cr", "pa", "gt", "hn", "ni", "sv", "cu", "ht", "jm", "tt", "bs", "bb", "ag", "dm", "gr", "tr",
+    "ua", "pl", "cz", "sk", "hu", "ro", "bg", "hr", "si", "rs", "ba", "mk", "al", "md", "by", "lt",
+    "lv", "ee", "fi", "se", "no", "dk", "is", "ie", "ch", "at", "lu", "li", "mt", "cy", "il", "sa",
+    "ae", "qa", "kw", "bh", "om", "ye", "jo", "lb", "sy", "iq", "ir", "af", "pk", "bd", "lk", "np",
+    "bt", "mv", "mm", "th", "la", "kh", "vn", "my", "sg", "ph", "tw", "hk", "mo", "mn", "kz", "uz",
+    "tm", "kg", "tj", "az", "am", "ge", "eg", "ma", "dz", "tn", "ng", "gh", "ke", "za", "tz", "ug",
+    "cd", "cm",
 ];
 
 /// Generic-restricted TLDs.
 pub const GENERIC_RESTRICTED_TLDS: &[&str] = &["biz", "name", "pro"];
 
 /// Sponsored TLDs.
-pub const SPONSORED_TLDS: &[&str] =
-    &["gov", "edu", "mil", "int", "aero", "asia", "cat", "coop", "jobs", "mobi", "museum",
-      "post", "tel", "travel", "xxx"];
+pub const SPONSORED_TLDS: &[&str] = &[
+    "gov", "edu", "mil", "int", "aero", "asia", "cat", "coop", "jobs", "mobi", "museum", "post",
+    "tel", "travel", "xxx",
+];
 
 /// Infrastructure TLD.
 pub const INFRA_TLDS: &[&str] = &["arpa"];
@@ -93,13 +229,10 @@ pub const TEST_TLDS: &[&str] = &["test", "example", "invalid", "localhost"];
 
 /// Multi-label public suffixes (a working subset of the PSL).
 pub const MULTI_LABEL_SUFFIXES: &[&str] = &[
-    "co.uk", "org.uk", "ac.uk", "gov.uk", "me.uk",
-    "com.au", "net.au", "org.au",
-    "co.in", "net.in", "org.in", "gov.in", "ac.in",
-    "co.nz", "com.br", "net.br", "org.br",
-    "co.za", "com.mx", "com.ar", "com.tr", "com.cn", "net.cn", "org.cn",
-    "co.jp", "ne.jp", "or.jp", "co.kr", "com.sg", "com.my", "com.hk",
-    "com.ng", "com.gh", "co.ke", "co.id", "web.id", "com.ph", "com.pk",
+    "co.uk", "org.uk", "ac.uk", "gov.uk", "me.uk", "com.au", "net.au", "org.au", "co.in", "net.in",
+    "org.in", "gov.in", "ac.in", "co.nz", "com.br", "net.br", "org.br", "co.za", "com.mx",
+    "com.ar", "com.tr", "com.cn", "net.cn", "org.cn", "co.jp", "ne.jp", "or.jp", "co.kr", "com.sg",
+    "com.my", "com.hk", "com.ng", "com.gh", "co.ke", "co.id", "web.id", "com.ph", "com.pk",
     "com.bd", "com.lk", "com.np", "com.eg", "com.sa", "com.ua", "com.pl",
 ];
 
@@ -210,7 +343,11 @@ mod tests {
         let db = TldDb::global();
         // Table 16: 146 gTLDs vs 130 ccTLDs abused; the root-zone snapshot
         // must be at least that rich and keep the ordering.
-        assert!(db.count(TldClass::Generic) >= 130, "{}", db.count(TldClass::Generic));
+        assert!(
+            db.count(TldClass::Generic) >= 130,
+            "{}",
+            db.count(TldClass::Generic)
+        );
         assert!(db.count(TldClass::CountryCode) >= 120);
         assert!(db.count(TldClass::Generic) > db.count(TldClass::CountryCode));
         assert_eq!(db.count(TldClass::GenericRestricted), 3);
@@ -250,7 +387,10 @@ mod tests {
 
     #[test]
     fn registrable_multi_label_suffix() {
-        assert_eq!(registrable_domain("secure.hsbc.co.uk"), Some("hsbc.co.uk".into()));
+        assert_eq!(
+            registrable_domain("secure.hsbc.co.uk"),
+            Some("hsbc.co.uk".into())
+        );
         assert_eq!(registrable_domain("hsbc.co.uk"), Some("hsbc.co.uk".into()));
         assert_eq!(registrable_domain("co.uk"), None);
     }

@@ -91,10 +91,12 @@ fn valid_host(host: &str) -> bool {
     if host.starts_with('.') || host.ends_with('.') || host.contains("..") {
         return false;
     }
-    host.chars().all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '.')
-        && host.rsplit('.').next().is_some_and(|tld| {
-            tld.len() >= 2 && tld.chars().all(|c| c.is_ascii_alphabetic())
-        })
+    host.chars()
+        .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '.')
+        && host
+            .rsplit('.')
+            .next()
+            .is_some_and(|tld| tld.len() >= 2 && tld.chars().all(|c| c.is_ascii_alphabetic()))
 }
 
 /// Parse a URL as it appears in an SMS body or report.
@@ -103,7 +105,9 @@ fn valid_host(host: &str) -> bool {
 /// string does not look like a URL at all (no dotted host).
 pub fn parse_url(input: &str) -> Option<ParsedUrl> {
     let refanged = refang(input);
-    let trimmed = refanged.trim().trim_end_matches(['!', ',', ';', ')', '"', '\'', '>']);
+    let trimmed = refanged
+        .trim()
+        .trim_end_matches(['!', ',', ';', ')', '"', '\'', '>']);
     if trimmed.is_empty() || trimmed.contains(char::is_whitespace) {
         return None;
     }
@@ -123,7 +127,11 @@ pub fn parse_url(input: &str) -> Option<ParsedUrl> {
         None => (rest, ""),
     };
     let host_port = host_port.rsplit('@').next().unwrap_or(host_port);
-    let host = host_port.split(':').next().unwrap_or(host_port).to_ascii_lowercase();
+    let host = host_port
+        .split(':')
+        .next()
+        .unwrap_or(host_port)
+        .to_ascii_lowercase();
     if !valid_host(&host) {
         return None;
     }
@@ -173,7 +181,10 @@ mod tests {
         assert_eq!(u.host, "secure.bank-verify.com");
         assert_eq!(u.path, "/login");
         assert_eq!(u.query, "session=1");
-        assert_eq!(u.to_url_string(), "https://secure.bank-verify.com/login?session=1");
+        assert_eq!(
+            u.to_url_string(),
+            "https://secure.bank-verify.com/login?session=1"
+        );
     }
 
     #[test]
@@ -211,14 +222,25 @@ mod tests {
 
     #[test]
     fn rejects_non_urls() {
-        for bad in ["hello", "no dots here", "1234", "ftp://files.example.com/x", "a.b c"] {
+        for bad in [
+            "hello",
+            "no dots here",
+            "1234",
+            "ftp://files.example.com/x",
+            "a.b c",
+        ] {
             assert_eq!(parse_url(bad), None, "{bad:?}");
         }
     }
 
     #[test]
     fn rejects_bad_hosts() {
-        for bad in ["http://.start.com", "http://end.com.", "http://dou..ble.com", "x.12345"] {
+        for bad in [
+            "http://.start.com",
+            "http://end.com.",
+            "http://dou..ble.com",
+            "x.12345",
+        ] {
             assert_eq!(parse_url(bad), None, "{bad:?}");
         }
     }

@@ -63,15 +63,30 @@ impl WhoisDb {
     }
 
     /// Register a domain (world-simulator side).
-    pub fn register(&self, domain: &str, registrar: &'static str, created: UnixTime, ttl_days: i64) {
-        let rec = WhoisRecord { registrar, created, expires: created.plus_days(ttl_days) };
-        self.records.write().insert(domain.to_ascii_lowercase(), rec);
+    pub fn register(
+        &self,
+        domain: &str,
+        registrar: &'static str,
+        created: UnixTime,
+        ttl_days: i64,
+    ) {
+        let rec = WhoisRecord {
+            registrar,
+            created,
+            expires: created.plus_days(ttl_days),
+        };
+        self.records
+            .write()
+            .insert(domain.to_ascii_lowercase(), rec);
     }
 
     /// Query a domain (pipeline side). `None` models both never-registered
     /// domains and WHOIS privacy failures.
     pub fn query(&self, domain: &str) -> Option<WhoisRecord> {
-        self.records.read().get(&domain.to_ascii_lowercase()).cloned()
+        self.records
+            .read()
+            .get(&domain.to_ascii_lowercase())
+            .cloned()
     }
 
     /// Number of registered domains.
@@ -108,8 +123,16 @@ mod tests {
     #[test]
     fn table17_registrars_catalogued() {
         for r in [
-            "GoDaddy", "NameCheap", "Gname", "Dynadot", "Tucows",
-            "PublicDomainRegistry", "NameSilo", "Key-Systems", "MarkMonitor", "Gandi",
+            "GoDaddy",
+            "NameCheap",
+            "Gname",
+            "Dynadot",
+            "Tucows",
+            "PublicDomainRegistry",
+            "NameSilo",
+            "Key-Systems",
+            "MarkMonitor",
+            "Gandi",
         ] {
             assert!(REGISTRARS.contains(&r), "{r}");
         }

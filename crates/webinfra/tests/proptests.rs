@@ -4,11 +4,11 @@
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use smishing_types::UnixTime;
 use smishing_webinfra::{
     ca_policy, parse_url, refang, registrable_domain, tld_of, AsnDb, CtLog, PassiveDns,
     ShortLinkDb, ShortenerCatalog, TldDb, WhoisDb, CA_POLICIES,
 };
-use smishing_types::UnixTime;
 
 proptest! {
     #[test]

@@ -2,10 +2,10 @@
 //! infrastructure.
 
 use crate::config::{
-    country_scam_multiplier, operator_weights, shortener_weights, PhoneKindChoice,
-    SenderKindChoice, WorldConfig, CA_MIX, COUNTRY_MIX, english_rate, minority_language,
-    FREE_HOSTING_RATE, GNAME_GOVERNMENT_BOOST, HOSTING_MIX, PDNS_COVERAGE, PHONE_KIND_MIX,
-    REGISTRAR_MIX, SCAM_MIX, SENDER_KIND_MIX, SHORTENER_RATE,
+    country_scam_multiplier, english_rate, minority_language, operator_weights, shortener_weights,
+    PhoneKindChoice, SenderKindChoice, WorldConfig, CA_MIX, COUNTRY_MIX, FREE_HOSTING_RATE,
+    GNAME_GOVERNMENT_BOOST, HOSTING_MIX, PDNS_COVERAGE, PHONE_KIND_MIX, REGISTRAR_MIX, SCAM_MIX,
+    SENDER_KIND_MIX, SHORTENER_RATE,
 };
 use crate::domaingen;
 use crate::schedule::CampaignSchedule;
@@ -60,8 +60,7 @@ impl SenderStrategy {
     /// Pick one sender from the pool.
     pub fn pick<R: Rng + ?Sized>(&self, rng: &mut R) -> SenderId {
         match self {
-            SenderStrategy::MobilePool { pool, .. }
-            | SenderStrategy::SpecialPool { pool, .. } => {
+            SenderStrategy::MobilePool { pool, .. } | SenderStrategy::SpecialPool { pool, .. } => {
                 SenderId::Phone(pool[rng.gen_range(0..pool.len())].clone())
             }
             SenderStrategy::BadFormatPool { pool } => {
@@ -246,9 +245,7 @@ impl Campaign {
         let lib = TemplateLibrary::global();
         let local = local_language(country);
         let minority = minority_language(country)
-            .filter(|&(lang, p)| {
-                rng.gen_bool(p) && !lib.for_scam_lang(scam_type, lang).is_empty()
-            })
+            .filter(|&(lang, p)| rng.gen_bool(p) && !lib.for_scam_lang(scam_type, lang).is_empty())
             .map(|(lang, _)| lang);
         let language = if let Some(lang) = minority {
             lang
@@ -269,7 +266,9 @@ impl Campaign {
             candidates
         };
         let template = candidates[rng.gen_range(0..candidates.len())];
-        let brand = template.brand_sector.map(|sector| pick_brand(sector, country, rng));
+        let brand = template
+            .brand_sector
+            .map(|sector| pick_brand(sector, country, rng));
 
         let schedule = CampaignSchedule::draw(rng);
 
@@ -321,11 +320,7 @@ impl Campaign {
     }
 }
 
-fn pick_brand<R: Rng + ?Sized>(
-    sector: Sector,
-    country: Country,
-    rng: &mut R,
-) -> &'static Brand {
+fn pick_brand<R: Rng + ?Sized>(sector: Sector, country: Country, rng: &mut R) -> &'static Brand {
     let cat = BrandCatalog::global();
     // Home-market brands first: a Japanese banking smish impersonates a
     // local bank, not PayPal, whenever locals exist. Globals form the tail.
@@ -334,8 +329,11 @@ fn pick_brand<R: Rng + ?Sized>(
         .into_iter()
         .filter(|b| !b.global && b.countries.contains(&country))
         .collect();
-    let globals: Vec<&'static Brand> =
-        cat.of_sector(sector).into_iter().filter(|b| b.global).collect();
+    let globals: Vec<&'static Brand> = cat
+        .of_sector(sector)
+        .into_iter()
+        .filter(|b| b.global)
+        .collect();
     let mut pool = locals;
     pool.extend(globals);
     if pool.is_empty() {
@@ -343,8 +341,9 @@ fn pick_brand<R: Rng + ?Sized>(
     }
     // Zipf-ish preference for the pool head (exponent 1.5): Table 12's
     // head concentration (SBI alone takes 11.6%).
-    let weights: Vec<f64> =
-        (0..pool.len()).map(|i| 1.0 / (i as f64 + 1.0).powf(1.5)).collect();
+    let weights: Vec<f64> = (0..pool.len())
+        .map(|i| 1.0 / (i as f64 + 1.0).powf(1.5))
+        .collect();
     pool[weighted_index(&weights, rng)]
 }
 
@@ -381,12 +380,17 @@ fn draw_phone_pool<R: Rng + ?Sized>(
 ) -> SenderStrategy {
     use PhoneKindChoice as P;
     let special = |country: Country, nt: NumberType, rng: &mut R| -> Option<SenderStrategy> {
-        let pool: Vec<PhoneNumber> =
-            (0..pool_size).filter_map(|_| factory.special(country, nt, rng)).collect();
+        let pool: Vec<PhoneNumber> = (0..pool_size)
+            .filter_map(|_| factory.special(country, nt, rng))
+            .collect();
         if pool.is_empty() {
             None
         } else {
-            Some(SenderStrategy::SpecialPool { country, number_type: nt, pool })
+            Some(SenderStrategy::SpecialPool {
+                country,
+                number_type: nt,
+                pool,
+            })
         }
     };
     let fallback_alnum = |rng: &mut R| SenderStrategy::AlphanumericPool {
@@ -408,7 +412,11 @@ fn draw_phone_pool<R: Rng + ?Sized>(
             if pool.is_empty() {
                 fallback_alnum(rng)
             } else {
-                SenderStrategy::MobilePool { country, operator, pool }
+                SenderStrategy::MobilePool {
+                    country,
+                    operator,
+                    pool,
+                }
             }
         }
         P::MobileOrLandline => {
@@ -489,7 +497,9 @@ fn gen_shortcode<R: Rng + ?Sized>(brand: Option<&'static Brand>, rng: &mut R) ->
 }
 
 fn gen_email<R: Rng + ?Sized>(rng: &mut R) -> String {
-    const WORDS: &[&str] = &["notify", "service", "care", "alerts", "info", "billing", "team"];
+    const WORDS: &[&str] = &[
+        "notify", "service", "care", "alerts", "info", "billing", "team",
+    ];
     const DOMS: &[&str] = &["icloud.com", "gmail.com", "outlook.com", "mail.com"];
     format!(
         "{}{}{}@{}",
@@ -567,13 +577,17 @@ fn draw_url_plan<R: Rng + ?Sized>(
         // re-issue per-subdomain certificates every few days — the
         // mechanism behind Table 7's mean (39) dwarfing its median (4).
         if ca.free && rng.gen_bool(0.05) {
-            services.ctlog.provision_dense(&domain, &ca, created, until, 2);
+            services
+                .ctlog
+                .provision_dense(&domain, &ca, created, until, 2);
         }
         if rng.gen_bool(0.25) {
             let second = pick_weighted(CA_MIX, rng);
             if *second != *ca_name {
                 if let Some(ca2) = ca_policy(second) {
-                    services.ctlog.provision(&domain, &ca2, created.plus_days(3), until);
+                    services
+                        .ctlog
+                        .provision(&domain, &ca2, created.plus_days(3), until);
                 }
             }
         }
@@ -590,7 +604,11 @@ fn draw_url_plan<R: Rng + ?Sized>(
         } else {
             *pick_weighted(HOSTING_MIX, rng)
         };
-        let n_ips = if org == "Cloudflare" { rng.gen_range(3..8) } else { rng.gen_range(1..4) };
+        let n_ips = if org == "Cloudflare" {
+            rng.gen_range(3..8)
+        } else {
+            rng.gen_range(1..4)
+        };
         for _ in 0..n_ips {
             if let Some(ip) = services.asn.allocate_ip(org, rng) {
                 let first = created.plus_days(rng.gen_range(0..5));
@@ -606,8 +624,9 @@ fn draw_url_plan<R: Rng + ?Sized>(
     // Shortening (§4.2): per-scam-type service preference.
     let (shortener, short_codes) = if rng.gen_bool(SHORTENER_RATE) {
         let host = *pick_weighted(shortener_weights(scam_type), rng);
-        let codes: Vec<String> =
-            (0..paths.len()).map(|_| domaingen::gen_short_code(rng)).collect();
+        let codes: Vec<String> = (0..paths.len())
+            .map(|_| domaingen::gen_short_code(rng))
+            .collect();
         // Scammers mint short links right before blasting (§2: URLs live
         // minutes to days) — not when the domain was registered.
         let link_created = schedule.start.plus_secs(-3600);
@@ -615,21 +634,36 @@ fn draw_url_plan<R: Rng + ?Sized>(
             let target = format!("https://{domain}{path}");
             // Short links die quickly: hours to a few weeks.
             let lifespan = rng.gen_range(6 * 3600..45 * 86_400);
-            services.short_links.register(host, code, &target, link_created, Some(lifespan));
+            services
+                .short_links
+                .register(host, code, &target, link_created, Some(lifespan));
         }
         (Some(host), codes)
     } else {
         (None, Vec::new())
     };
 
-    UrlPlan { domain, free_hosted, whatsapp: false, paths, shortener, short_codes }
+    UrlPlan {
+        domain,
+        free_hosted,
+        whatsapp: false,
+        paths,
+        shortener,
+        short_codes,
+    }
 }
 
 fn draw_malware<R: Rng + ?Sized>(rng: &mut R) -> MalwarePlan {
     let family = *pick_weighted(MALWARE_FAMILY_MIX, rng);
     let apk_name = format!("s{}.apk", rng.gen_range(1..30));
-    let sha256: String = (0..32).map(|_| format!("{:02x}", rng.gen::<u8>())).collect();
-    MalwarePlan { family, apk_name, sha256 }
+    let sha256: String = (0..32)
+        .map(|_| format!("{:02x}", rng.gen::<u8>()))
+        .collect();
+    MalwarePlan {
+        family,
+        apk_name,
+        sha256,
+    }
 }
 
 #[cfg(test)]
@@ -669,7 +703,10 @@ mod tests {
             .filter(|c| c.country == Country::UnitedStates)
             .collect();
         assert!(us.len() > 300, "{}", us.len());
-        let spanish = us.iter().filter(|c| c.language == Language::Spanish).count();
+        let spanish = us
+            .iter()
+            .filter(|c| c.language == Language::Spanish)
+            .count();
         let share = spanish as f64 / us.len() as f64;
         assert!((0.08..0.30).contains(&share), "US Spanish share {share}");
         // …but never in a language with no template support for the scam.
@@ -702,11 +739,21 @@ mod tests {
         assert!(services.short_links.len() > 50);
         // Registered domains answer WHOIS with a registrar.
         for c in cs.iter().filter(|c| {
-            c.url_plan.as_ref().is_some_and(|p| !p.free_hosted && !p.whatsapp)
+            c.url_plan
+                .as_ref()
+                .is_some_and(|p| !p.free_hosted && !p.whatsapp)
         }) {
             let plan = c.url_plan.as_ref().unwrap();
-            assert!(services.whois.query(&plan.domain).is_some(), "{}", plan.domain);
-            assert!(!services.ctlog.query(&plan.domain).is_empty(), "{}", plan.domain);
+            assert!(
+                services.whois.query(&plan.domain).is_some(),
+                "{}",
+                plan.domain
+            );
+            assert!(
+                !services.ctlog.query(&plan.domain).is_empty(),
+                "{}",
+                plan.domain
+            );
         }
     }
 
@@ -735,8 +782,10 @@ mod tests {
     #[test]
     fn conversational_campaigns_mostly_urlless() {
         let (cs, _) = draw_many(4000, 25);
-        let convo: Vec<_> =
-            cs.iter().filter(|c| c.scam_type.is_conversational()).collect();
+        let convo: Vec<_> = cs
+            .iter()
+            .filter(|c| c.scam_type.is_conversational())
+            .collect();
         assert!(!convo.is_empty());
         let with_wa = convo
             .iter()

@@ -37,7 +37,11 @@ impl Default for WorldConfig {
 impl WorldConfig {
     /// A small world for unit/integration tests (~1/40 of paper scale).
     pub fn test_scale(seed: u64) -> WorldConfig {
-        WorldConfig { seed, scale: 0.025, ..WorldConfig::default() }
+        WorldConfig {
+            seed,
+            scale: 0.025,
+            ..WorldConfig::default()
+        }
     }
 
     /// Number of campaigns for this scale.
@@ -221,32 +225,64 @@ pub fn operator_weights(country: Country) -> &'static [(&'static str, f64)] {
     use Country as C;
     match country {
         C::India => &[
-            ("Vodafone", 0.26), ("AirTel", 0.31), ("BSNL Mobile", 0.20),
-            ("Reliance Jio", 0.15), ("Vi India", 0.08),
+            ("Vodafone", 0.26),
+            ("AirTel", 0.31),
+            ("BSNL Mobile", 0.20),
+            ("Reliance Jio", 0.15),
+            ("Vi India", 0.08),
         ],
         C::UnitedStates => &[
-            ("T-Mobile", 0.26), ("Verizon", 0.20), ("AT&T", 0.18),
-            ("Metro by T-Mobile", 0.12), ("Cricket Wireless", 0.10),
-            ("Boost Mobile", 0.06), ("Mint Mobile", 0.04), ("US Cellular", 0.04),
+            ("T-Mobile", 0.26),
+            ("Verizon", 0.20),
+            ("AT&T", 0.18),
+            ("Metro by T-Mobile", 0.12),
+            ("Cricket Wireless", 0.10),
+            ("Boost Mobile", 0.06),
+            ("Mint Mobile", 0.04),
+            ("US Cellular", 0.04),
         ],
         C::UnitedKingdom => &[
-            ("O2", 0.38), ("EE Limited", 0.22), ("Vodafone", 0.28), ("Three", 0.12),
+            ("O2", 0.38),
+            ("EE Limited", 0.22),
+            ("Vodafone", 0.28),
+            ("Three", 0.12),
         ],
         C::Netherlands => &[
-            ("KPN Mobile", 0.33), ("T-Mobile", 0.25), ("Vodafone", 0.22), ("Lycamobile", 0.20),
+            ("KPN Mobile", 0.33),
+            ("T-Mobile", 0.25),
+            ("Vodafone", 0.22),
+            ("Lycamobile", 0.20),
         ],
         C::Spain => &[
-            ("Movistar", 0.33), ("Vodafone", 0.30), ("Orange", 0.17), ("Lycamobile", 0.20),
+            ("Movistar", 0.33),
+            ("Vodafone", 0.30),
+            ("Orange", 0.17),
+            ("Lycamobile", 0.20),
         ],
-        C::Australia => &[("Telstra", 0.40), ("Vodafone", 0.35), ("Optus", 0.15), ("Lycamobile", 0.10)],
+        C::Australia => &[
+            ("Telstra", 0.40),
+            ("Vodafone", 0.35),
+            ("Optus", 0.15),
+            ("Lycamobile", 0.10),
+        ],
         C::France => &[
-            ("SFR", 0.38), ("Orange", 0.27), ("Bouygues", 0.10), ("Free Mobile", 0.10),
+            ("SFR", 0.38),
+            ("Orange", 0.27),
+            ("Bouygues", 0.10),
+            ("Free Mobile", 0.10),
             ("Lycamobile", 0.15),
         ],
-        C::Belgium => &[("Proximus", 0.45), ("Orange BE", 0.25), ("Lycamobile", 0.30)],
+        C::Belgium => &[
+            ("Proximus", 0.45),
+            ("Orange BE", 0.25),
+            ("Lycamobile", 0.30),
+        ],
         C::Indonesia => &[("Telkomsel", 0.5), ("Indosat", 0.3), ("XL Axiata", 0.2)],
         C::Germany => &[
-            ("T-Mobile", 0.25), ("Vodafone", 0.30), ("O2", 0.30), ("Lycamobile", 0.15),
+            ("T-Mobile", 0.25),
+            ("Vodafone", 0.30),
+            ("O2", 0.30),
+            ("Lycamobile", 0.15),
         ],
         C::Ireland => &[("Vodafone", 0.45), ("O2", 0.35), ("Lycamobile", 0.20)],
         C::Italy => &[("Vodafone", 0.45), ("TIM", 0.35), ("Wind Tre", 0.20)],
@@ -254,7 +290,11 @@ pub fn operator_weights(country: Country) -> &'static [(&'static str, f64)] {
         C::Czechia => &[("T-Mobile", 0.4), ("Vodafone", 0.35), ("O2", 0.25)],
         C::NewZealand => &[("Vodafone", 0.55), ("Spark", 0.25), ("2degrees", 0.20)],
         C::SouthAfrica => &[("Vodafone", 0.5), ("MTN", 0.35), ("Cell C", 0.15)],
-        C::Turkey => &[("Vodafone", 0.45), ("Turkcell", 0.35), ("Turk Telekom", 0.20)],
+        C::Turkey => &[
+            ("Vodafone", 0.45),
+            ("Turkcell", 0.35),
+            ("Turk Telekom", 0.20),
+        ],
         C::Romania => &[("Vodafone", 0.45), ("Orange RO", 0.35), ("Digi", 0.20)],
         C::Hungary => &[("Vodafone", 0.45), ("Yettel", 0.30), ("Telekom HU", 0.25)],
         C::Ukraine => &[("Vodafone", 0.5), ("Kyivstar", 0.3), ("lifecell", 0.2)],
@@ -276,26 +316,58 @@ pub fn operator_weights(country: Country) -> &'static [(&'static str, f64)] {
 pub fn shortener_weights(scam: ScamType) -> &'static [(&'static str, f64)] {
     match scam {
         ScamType::Banking => &[
-            ("bit.ly", 0.36), ("is.gd", 0.25), ("cutt.ly", 0.06), ("tinyurl.com", 0.08),
-            ("bit.do", 0.07), ("shrtco.de", 0.07), ("rb.gy", 0.05), ("t.ly", 0.03),
-            ("bitly.ws", 0.04), ("t.co", 0.025), ("ow.ly", 0.015),
+            ("bit.ly", 0.36),
+            ("is.gd", 0.25),
+            ("cutt.ly", 0.06),
+            ("tinyurl.com", 0.08),
+            ("bit.do", 0.07),
+            ("shrtco.de", 0.07),
+            ("rb.gy", 0.05),
+            ("t.ly", 0.03),
+            ("bitly.ws", 0.04),
+            ("t.co", 0.025),
+            ("ow.ly", 0.015),
         ],
         ScamType::Delivery => &[
-            ("bit.ly", 0.38), ("cutt.ly", 0.24), ("tinyurl.com", 0.10), ("bit.do", 0.10),
-            ("is.gd", 0.055), ("rb.gy", 0.035), ("t.ly", 0.06), ("t.co", 0.09),
+            ("bit.ly", 0.38),
+            ("cutt.ly", 0.24),
+            ("tinyurl.com", 0.10),
+            ("bit.do", 0.10),
+            ("is.gd", 0.055),
+            ("rb.gy", 0.035),
+            ("t.ly", 0.06),
+            ("t.co", 0.09),
         ],
         ScamType::Government => &[
-            ("bit.ly", 0.42), ("cutt.ly", 0.21), ("tinyurl.com", 0.07), ("bit.do", 0.07),
-            ("t.ly", 0.04), ("rb.gy", 0.024), ("is.gd", 0.015), ("t.co", 0.026),
+            ("bit.ly", 0.42),
+            ("cutt.ly", 0.21),
+            ("tinyurl.com", 0.07),
+            ("bit.do", 0.07),
+            ("t.ly", 0.04),
+            ("rb.gy", 0.024),
+            ("is.gd", 0.015),
+            ("t.co", 0.026),
         ],
         ScamType::Telecom => &[
-            ("bit.ly", 0.52), ("bit.do", 0.13), ("cutt.ly", 0.06), ("tinyurl.com", 0.05),
-            ("is.gd", 0.035), ("rb.gy", 0.01), ("t.ly", 0.01), ("t.co", 0.01),
+            ("bit.ly", 0.52),
+            ("bit.do", 0.13),
+            ("cutt.ly", 0.06),
+            ("tinyurl.com", 0.05),
+            ("is.gd", 0.035),
+            ("rb.gy", 0.01),
+            ("t.ly", 0.01),
+            ("t.co", 0.01),
         ],
         ScamType::WrongNumber => &[("bit.ly", 0.6), ("t.co", 0.4)],
         _ => &[
-            ("bit.ly", 0.45), ("tinyurl.com", 0.14), ("cutt.ly", 0.08), ("is.gd", 0.09),
-            ("rb.gy", 0.08), ("t.ly", 0.07), ("bit.do", 0.05), ("t.co", 0.05),
+            ("bit.ly", 0.45),
+            ("tinyurl.com", 0.14),
+            ("cutt.ly", 0.08),
+            ("is.gd", 0.09),
+            ("rb.gy", 0.08),
+            ("t.ly", 0.07),
+            ("bit.do", 0.05),
+            ("t.co", 0.05),
         ],
     }
 }
@@ -432,7 +504,9 @@ mod tests {
     fn operator_weights_reference_real_allocations() {
         let plans = PlanRegistry::global();
         for (country, _) in COUNTRY_MIX {
-            let Some(plan) = plans.plan_for(*country) else { continue };
+            let Some(plan) = plans.plan_for(*country) else {
+                continue;
+            };
             for (op, w) in operator_weights(*country) {
                 assert!(*w > 0.0);
                 assert!(

@@ -75,8 +75,8 @@ pub const FREE_HOST_MIX: &[(&str, f64)] = &[
 ];
 
 const LURE_WORDS: &[&str] = &[
-    "secure", "verify", "login", "account", "update", "alert", "support", "service",
-    "portal", "online", "auth", "id", "safety", "help", "care", "官方",
+    "secure", "verify", "login", "account", "update", "alert", "support", "service", "portal",
+    "online", "auth", "id", "safety", "help", "care", "官方",
 ];
 
 fn brand_token<R: Rng + ?Sized>(brand: Option<&str>, rng: &mut R) -> String {
@@ -145,17 +145,17 @@ pub fn gen_domain<R: Rng + ?Sized>(brand: Option<&str>, rng: &mut R) -> String {
 /// Generate a free-hosting site for a brand: `sa-krs.web.app`.
 pub fn gen_free_host_site<R: Rng + ?Sized>(brand: Option<&str>, rng: &mut R) -> String {
     let token = brand_token(brand, rng);
-    let suffix = FREE_HOST_MIX[weighted_index(
-        &FREE_HOST_MIX.iter().map(|x| x.1).collect::<Vec<_>>(),
-        rng,
-    )]
+    let suffix = FREE_HOST_MIX
+        [weighted_index(&FREE_HOST_MIX.iter().map(|x| x.1).collect::<Vec<_>>(), rng)]
     .0;
     format!("{token}-{:x}.{suffix}", rng.gen_range(0x100..0xfffu32))
 }
 
 /// Generate a path for a phishing URL.
 pub fn gen_path<R: Rng + ?Sized>(rng: &mut R) -> String {
-    let segs = ["login", "verify", "secure", "pay", "track", "claim", "update", "session"];
+    let segs = [
+        "login", "verify", "secure", "pay", "track", "claim", "update", "session",
+    ];
     match rng.gen_range(0..3) {
         0 => format!("/{}", segs[rng.gen_range(0..segs.len())]),
         1 => format!(
@@ -163,7 +163,11 @@ pub fn gen_path<R: Rng + ?Sized>(rng: &mut R) -> String {
             segs[rng.gen_range(0..segs.len())],
             segs[rng.gen_range(0..segs.len())]
         ),
-        _ => format!("/{}?id={:06x}", segs[rng.gen_range(0..segs.len())], rng.gen_range(0..0xffffffu32)),
+        _ => format!(
+            "/{}?id={:06x}",
+            segs[rng.gen_range(0..segs.len())],
+            rng.gen_range(0..0xffffffu32)
+        ),
     }
 }
 
@@ -186,13 +190,20 @@ mod tests {
     fn domains_parse_and_have_known_tlds() {
         let mut rng = StdRng::seed_from_u64(4);
         for i in 0..300 {
-            let brand = if i % 3 == 0 { None } else { Some("State Bank of India") };
+            let brand = if i % 3 == 0 {
+                None
+            } else {
+                Some("State Bank of India")
+            };
             let d = gen_domain(brand, &mut rng);
             let url = format!("https://{d}{}", gen_path(&mut rng));
             let parsed = parse_url(&url).unwrap_or_else(|| panic!("unparsable {url}"));
             let tld = parsed.tld_candidate().unwrap();
             assert!(TldDb::global().classify(tld).is_some(), "{d}");
-            assert_eq!(registrable_domain(&parsed.host).as_deref(), Some(d.as_str()));
+            assert_eq!(
+                registrable_domain(&parsed.host).as_deref(),
+                Some(d.as_str())
+            );
         }
     }
 

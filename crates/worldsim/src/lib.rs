@@ -35,6 +35,7 @@ pub mod names;
 pub mod reporting;
 pub mod schedule;
 pub mod services;
+pub mod stream;
 pub mod subreddits;
 pub mod world;
 
@@ -42,6 +43,7 @@ pub use campaign::{Campaign, MalwarePlan, SenderStrategy, UrlPlan};
 pub use config::WorldConfig;
 pub use reporting::{Post, PostBody};
 pub use services::Services;
+pub use stream::ReportStream;
 pub use world::World;
 
 /// Pick from a weighted table. Weights need not sum to 1.

@@ -8,24 +8,36 @@ use smishing_types::Country;
 pub fn first_names(country: Country) -> &'static [&'static str] {
     use Country as C;
     match country {
-        C::India => &["Ankit", "Priya", "Rahul", "Sneha", "Vikram", "Anita", "Arjun", "Kavya"],
-        C::Spain | C::Mexico | C::Argentina | C::Colombia => {
-            &["Maria", "Jose", "Carmen", "Antonio", "Lucia", "Javier", "Elena", "Carlos"]
-        }
-        C::Netherlands => &["Eva", "Daan", "Sanne", "Bram", "Lotte", "Sem", "Femke", "Jeroen"],
-        C::France | C::Belgium | C::Guadeloupe => {
-            &["Camille", "Lucas", "Chloe", "Hugo", "Manon", "Louis", "Emma", "Jules"]
-        }
-        C::Germany | C::Austria | C::Switzerland => {
-            &["Anna", "Paul", "Lena", "Max", "Mia", "Felix", "Laura", "Jonas"]
-        }
-        C::Italy => &["Giulia", "Marco", "Sofia", "Luca", "Aurora", "Matteo", "Alice", "Paolo"],
-        C::Indonesia => &["Putri", "Budi", "Siti", "Agus", "Dewi", "Rizky", "Ayu", "Andi"],
-        C::Japan => &["Yuki", "Haruto", "Sakura", "Ren", "Hana", "Sota", "Aoi", "Riku"],
-        C::Brazil | C::Portugal => {
-            &["Ana", "Joao", "Beatriz", "Pedro", "Mariana", "Tiago", "Ines", "Rafael"]
-        }
-        _ => &["Alex", "Sam", "Charlie", "Jamie", "Taylor", "Jordan", "Casey", "Morgan"],
+        C::India => &[
+            "Ankit", "Priya", "Rahul", "Sneha", "Vikram", "Anita", "Arjun", "Kavya",
+        ],
+        C::Spain | C::Mexico | C::Argentina | C::Colombia => &[
+            "Maria", "Jose", "Carmen", "Antonio", "Lucia", "Javier", "Elena", "Carlos",
+        ],
+        C::Netherlands => &[
+            "Eva", "Daan", "Sanne", "Bram", "Lotte", "Sem", "Femke", "Jeroen",
+        ],
+        C::France | C::Belgium | C::Guadeloupe => &[
+            "Camille", "Lucas", "Chloe", "Hugo", "Manon", "Louis", "Emma", "Jules",
+        ],
+        C::Germany | C::Austria | C::Switzerland => &[
+            "Anna", "Paul", "Lena", "Max", "Mia", "Felix", "Laura", "Jonas",
+        ],
+        C::Italy => &[
+            "Giulia", "Marco", "Sofia", "Luca", "Aurora", "Matteo", "Alice", "Paolo",
+        ],
+        C::Indonesia => &[
+            "Putri", "Budi", "Siti", "Agus", "Dewi", "Rizky", "Ayu", "Andi",
+        ],
+        C::Japan => &[
+            "Yuki", "Haruto", "Sakura", "Ren", "Hana", "Sota", "Aoi", "Riku",
+        ],
+        C::Brazil | C::Portugal => &[
+            "Ana", "Joao", "Beatriz", "Pedro", "Mariana", "Tiago", "Ines", "Rafael",
+        ],
+        _ => &[
+            "Alex", "Sam", "Charlie", "Jamie", "Taylor", "Jordan", "Casey", "Morgan",
+        ],
     }
 }
 
@@ -69,7 +81,11 @@ pub fn pick_amount<R: Rng + ?Sized>(country: Country, rng: &mut R) -> String {
 /// A plausible parcel tracking code.
 pub fn pick_tracking<R: Rng + ?Sized>(rng: &mut R) -> String {
     let prefix = ["RM", "CP", "LX", "JD", "EE", "UA"][rng.gen_range(0..6)];
-    format!("{prefix}{:09}{}", rng.gen_range(0..1_000_000_000u64), ["GB", "US", "NL", "ES"][rng.gen_range(0..4)])
+    format!(
+        "{prefix}{:09}{}",
+        rng.gen_range(0..1_000_000_000u64),
+        ["GB", "US", "NL", "ES"][rng.gen_range(0..4)]
+    )
 }
 
 /// A plausible OTP code.

@@ -9,8 +9,8 @@
 
 use crate::campaign::Campaign;
 use crate::config::{
-    SENDER_REDACTION_RATE, URL_REDACTION_RATE, DUPLICATE_REPORT_RATE, FORUM_MIX,
-    POLYGLOT_SPRAY_RATE,
+    DUPLICATE_REPORT_RATE, FORUM_MIX, POLYGLOT_SPRAY_RATE, SENDER_REDACTION_RATE,
+    URL_REDACTION_RATE,
 };
 use crate::names;
 use crate::subreddits;
@@ -20,8 +20,8 @@ use rand::{Rng, SeedableRng};
 use smishing_screenshot::{render_noise_image, render_sms, AppTheme, RenderSpec, Screenshot};
 use smishing_textnlp::templates::{Fills, TemplateLibrary};
 use smishing_types::{
-    CivilDateTime, Forum, MessageId, MessageTruth, NoiseKind, PostId, SmsMessage,
-    TextReport, TimestampStyle, UnixTime,
+    CivilDateTime, Forum, MessageId, MessageTruth, NoiseKind, PostId, SmsMessage, TextReport,
+    TimestampStyle, UnixTime,
 };
 
 /// A forum post.
@@ -64,7 +64,13 @@ impl PostBody {
     /// Whether the post carries an image attachment.
     pub fn has_image(&self) -> bool {
         matches!(self, PostBody::ImageReport(_) | PostBody::NoiseImage(_))
-            || matches!(self, PostBody::Form { screenshot: Some(_), .. })
+            || matches!(
+                self,
+                PostBody::Form {
+                    screenshot: Some(_),
+                    ..
+                }
+            )
     }
 }
 
@@ -92,7 +98,9 @@ fn draw_fills<R: Rng + ?Sized>(c: &Campaign, variant: usize, rng: &mut R) -> Fil
         };
         if rng.gen_bool(0.06) {
             // Leetspeak evasion (§3.3.6).
-            surface.replacen(['o', 'O'], "0", 1).replacen(['i', 'I'], "1", 1)
+            surface
+                .replacen(['o', 'O'], "0", 1)
+                .replacen(['i', 'I'], "1", 1)
         } else {
             surface
         }
@@ -104,7 +112,11 @@ fn draw_fills<R: Rng + ?Sized>(c: &Campaign, variant: usize, rng: &mut R) -> Fil
         amount: Some(names::pick_amount(c.country, rng)),
         tracking: Some(names::pick_tracking(rng)),
         code: Some(names::pick_code(rng)),
-        number: Some(format!("+{}{}", c.country.calling_code(), rng.gen_range(600_000_000..999_999_999u64))),
+        number: Some(format!(
+            "+{}{}",
+            c.country.calling_code(),
+            rng.gen_range(600_000_000..999_999_999u64)
+        )),
     }
 }
 
@@ -221,7 +233,11 @@ fn pick_timestamp_style<R: Rng + ?Sized>(rng: &mut R) -> Option<TimestampStyle> 
             ][rng.gen_range(0..5)],
         )
     } else if roll < 0.85 {
-        Some(if rng.gen_bool(0.5) { TimestampStyle::TimeOnly24 } else { TimestampStyle::TimeOnlyAmPm })
+        Some(if rng.gen_bool(0.5) {
+            TimestampStyle::TimeOnly24
+        } else {
+            TimestampStyle::TimeOnlyAmPm
+        })
     } else {
         Some(TimestampStyle::WeekdayTime)
     }
@@ -230,7 +246,9 @@ fn pick_timestamp_style<R: Rng + ?Sized>(rng: &mut R) -> Option<TimestampStyle> 
 /// Defang a URL the way cautious reporters do (§3.2 mentions redaction; the
 /// Pastebin feed uses `hxxp`/`[.]`).
 fn defang(url: &str) -> String {
-    url.replace("https://", "hxxps://").replace("http://", "hxxp://").replace('.', "[.]")
+    url.replace("https://", "hxxps://")
+        .replace("http://", "hxxp://")
+        .replace('.', "[.]")
 }
 
 fn render_report_screenshot<R: Rng + ?Sized>(msg: &SmsMessage, rng: &mut R) -> Screenshot {
@@ -293,7 +311,11 @@ fn build_report_post<R: Rng + ?Sized>(
         },
         Forum::SmishingEu => PostBody::Form {
             report: TextReport {
-                sender: if rng.gen_bool(0.92) { Some(msg.sender.display_string()) } else { None },
+                sender: if rng.gen_bool(0.92) {
+                    Some(msg.sender.display_string())
+                } else {
+                    None
+                },
                 body: msg.text.clone(),
                 url: msg.url.as_deref().map(|u| {
                     if rng.gen_bool(0.25) {
@@ -333,7 +355,11 @@ fn build_report_post<R: Rng + ?Sized>(
         posted_at,
         body,
         reported_message: Some(msg.id),
-        subreddit: if forum == Forum::Reddit { Some(subreddits::pick_subreddit(rng)) } else { None },
+        subreddit: if forum == Forum::Reddit {
+            Some(subreddits::pick_subreddit(rng))
+        } else {
+            None
+        },
     }
 }
 
@@ -410,9 +436,7 @@ pub fn build_noise_posts<R: Rng + ?Sized>(
             id,
             forum,
             posted_at: stamp(rng),
-            body: PostBody::NoiseText(
-                NOISE_TEXTS[rng.gen_range(0..NOISE_TEXTS.len())].to_string(),
-            ),
+            body: PostBody::NoiseText(NOISE_TEXTS[rng.gen_range(0..NOISE_TEXTS.len())].to_string()),
             reported_message: None,
             subreddit: if forum == Forum::Reddit {
                 Some(subreddits::pick_subreddit(rng))
@@ -473,7 +497,12 @@ mod tests {
     fn variants_match_campaign_plan() {
         let (c, msgs, posts) = one_campaign(31);
         assert_eq!(msgs.len(), c.n_variants);
-        assert!(posts.len() >= c.n_reports, "{} >= {}", posts.len(), c.n_reports);
+        assert!(
+            posts.len() >= c.n_reports,
+            "{} >= {}",
+            posts.len(),
+            c.n_reports
+        );
         for m in &msgs {
             assert_eq!(m.campaign, c.id);
             assert_eq!(m.truth.scam_type, c.scam_type);
@@ -498,8 +527,10 @@ mod tests {
             let (_, msgs, posts) = one_campaign(seed);
             for p in &posts {
                 if let PostBody::ImageReport(shot) = &p.body {
-                    let msg =
-                        msgs.iter().find(|m| Some(m.id) == p.reported_message).unwrap();
+                    let msg = msgs
+                        .iter()
+                        .find(|m| Some(m.id) == p.reported_message)
+                        .unwrap();
                     let truth_text = shot.truth.text.as_deref().unwrap();
                     // Redacted screenshots replace the URL.
                     assert!(
@@ -539,7 +570,13 @@ mod tests {
             other => panic!("{other:?}"),
         }
         let p = build_report_post(PostId(pid), msg, Forum::Pastebin, &mut rng);
-        assert!(matches!(p.body, PostBody::Form { screenshot: None, .. }));
+        assert!(matches!(
+            p.body,
+            PostBody::Form {
+                screenshot: None,
+                ..
+            }
+        ));
     }
 
     #[test]

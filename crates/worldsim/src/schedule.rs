@@ -56,18 +56,24 @@ impl CampaignSchedule {
     /// Draw a schedule: year by the Table 15 growth mix, start date uniform
     /// within the year, duration heavy-tailed between 1 and ~90 days.
     pub fn draw<R: Rng + ?Sized>(rng: &mut R) -> CampaignSchedule {
-        let year = YEAR_MIX[weighted_index(
-            &YEAR_MIX.iter().map(|x| x.1).collect::<Vec<_>>(),
-            rng,
-        )]
-        .0;
+        let year =
+            YEAR_MIX[weighted_index(&YEAR_MIX.iter().map(|x| x.1).collect::<Vec<_>>(), rng)].0;
         let day_of_year = rng.gen_range(0..360i64);
-        let start_days = Date { year, month: 1, day: 1 }.days_from_epoch() + day_of_year;
+        let start_days = Date {
+            year,
+            month: 1,
+            day: 1,
+        }
+        .days_from_epoch()
+            + day_of_year;
         // Heavy-tailed duration: most campaigns are short bursts (§2: URLs
         // live minutes to days), some run for weeks.
         let u: f64 = rng.gen_range(0.0..1.0);
         let duration_days = (1.0 + 89.0 * u.powi(5)) as u32;
-        CampaignSchedule { start: UnixTime(start_days * 86_400), duration_days }
+        CampaignSchedule {
+            start: UnixTime(start_days * 86_400),
+            duration_days,
+        }
     }
 
     /// Sample one send instant inside the window, honouring the diurnal
@@ -131,7 +137,11 @@ mod tests {
         let r = ks_two_sample(&mon, &wed).unwrap();
         assert!(r.significant_at(0.05), "Mon vs Wed p = {}", r.p_value);
         let r = ks_two_sample(&wed, &thu).unwrap();
-        assert!(!r.significant_at(0.01), "Wed vs Thu should be close, p = {}", r.p_value);
+        assert!(
+            !r.significant_at(0.01),
+            "Wed vs Thu should be close, p = {}",
+            r.p_value
+        );
     }
 
     #[test]

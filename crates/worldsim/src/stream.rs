@@ -1,0 +1,187 @@
+//! A chronological feed of forum posts, as a live collector would observe
+//! them.
+//!
+//! [`World::generate`](crate::World::generate) stores posts sorted by
+//! `(posted_at, id)` — arrival order. [`ReportStream`] replays that order
+//! one post at a time, which is what the streaming ingest engine consumes
+//! instead of the batch pipeline's whole-`World` slice.
+//!
+//! Two modes:
+//!
+//! * **replay** — yield each post once, in arrival order, then end. The
+//!   engine's end-of-stream merged result must equal the batch pipeline
+//!   exactly.
+//! * **soak** — an infinite feed for load testing: after each full lap over
+//!   the world the stream wraps around, shifting timestamps forward by one
+//!   lap span and re-minting post ids past the previous maximum so arrival
+//!   order (and id uniqueness) is preserved forever.
+
+use crate::reporting::Post;
+use crate::world::World;
+use smishing_types::{PostId, UnixTime};
+
+/// How a [`ReportStream`] behaves at the end of the world's post list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StreamMode {
+    /// Yield every post once, then end.
+    Replay,
+    /// Wrap around forever, re-stamping ids and timestamps.
+    Soak,
+}
+
+/// An iterator over a [`World`]'s posts in arrival order.
+///
+/// Deterministic: two streams over the same world yield identical posts in
+/// identical order. Cloned lazily, so a replay stream is cheap even for
+/// large worlds.
+#[derive(Debug, Clone)]
+pub struct ReportStream<'w> {
+    world: &'w World,
+    mode: StreamMode,
+    /// Index of the next post within the current lap.
+    next: usize,
+    /// Completed laps (always 0 in replay mode).
+    lap: u64,
+    /// Ids are offset by `lap * id_stride` in soak mode.
+    id_stride: u64,
+    /// Timestamps are offset by `lap * time_stride` in soak mode.
+    time_stride: i64,
+}
+
+impl<'w> ReportStream<'w> {
+    /// A finite stream that yields each post of `world` exactly once, in
+    /// arrival order.
+    pub fn replay(world: &'w World) -> Self {
+        Self::with_mode(world, StreamMode::Replay)
+    }
+
+    /// An infinite soak feed: arrival order within each lap, monotone
+    /// timestamps and fresh post ids across laps.
+    pub fn soak(world: &'w World) -> Self {
+        Self::with_mode(world, StreamMode::Soak)
+    }
+
+    fn with_mode(world: &'w World, mode: StreamMode) -> Self {
+        let id_stride = world.posts.iter().map(|p| p.id.0 + 1).max().unwrap_or(1);
+        let time_stride = match (world.posts.first(), world.posts.last()) {
+            (Some(first), Some(last)) => last.posted_at.0 - first.posted_at.0 + 1,
+            _ => 1,
+        };
+        Self {
+            world,
+            mode,
+            next: 0,
+            lap: 0,
+            id_stride,
+            time_stride,
+        }
+    }
+
+    /// Posts yielded per full pass over the world.
+    pub fn posts_per_lap(&self) -> usize {
+        self.world.posts.len()
+    }
+
+    /// Total posts yielded so far.
+    pub fn position(&self) -> u64 {
+        self.lap * self.world.posts.len() as u64 + self.next as u64
+    }
+
+    /// Whether this stream ever ends.
+    pub fn is_finite(&self) -> bool {
+        self.mode == StreamMode::Replay
+    }
+}
+
+impl Iterator for ReportStream<'_> {
+    type Item = Post;
+
+    fn next(&mut self) -> Option<Post> {
+        if self.next >= self.world.posts.len() {
+            match self.mode {
+                StreamMode::Replay => return None,
+                StreamMode::Soak => {
+                    if self.world.posts.is_empty() {
+                        return None;
+                    }
+                    self.next = 0;
+                    self.lap += 1;
+                }
+            }
+        }
+        let mut post = self.world.posts[self.next].clone();
+        self.next += 1;
+        if self.lap > 0 {
+            post.id = PostId(post.id.0 + self.lap * self.id_stride);
+            post.posted_at = UnixTime(post.posted_at.0 + self.lap as i64 * self.time_stride);
+        }
+        Some(post)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match self.mode {
+            StreamMode::Replay => {
+                let rest = self.world.posts.len() - self.next;
+                (rest, Some(rest))
+            }
+            StreamMode::Soak => (usize::MAX, None),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::WorldConfig;
+
+    fn small_world() -> World {
+        World::generate(WorldConfig {
+            scale: 0.01,
+            ..WorldConfig::default()
+        })
+    }
+
+    #[test]
+    fn replay_matches_world_order() {
+        let w = small_world();
+        let streamed: Vec<PostId> = ReportStream::replay(&w).map(|p| p.id).collect();
+        let direct: Vec<PostId> = w.posts.iter().map(|p| p.id).collect();
+        assert_eq!(streamed, direct);
+        assert_eq!(streamed.len(), ReportStream::replay(&w).posts_per_lap());
+    }
+
+    #[test]
+    fn replay_is_chronological() {
+        let w = small_world();
+        let mut last = (UnixTime(i64::MIN), PostId(0));
+        for p in ReportStream::replay(&w) {
+            assert!((p.posted_at, p.id) >= last);
+            last = (p.posted_at, p.id);
+        }
+    }
+
+    #[test]
+    fn soak_wraps_with_fresh_ids_and_monotone_time() {
+        let w = small_world();
+        let lap = w.posts.len();
+        let mut seen = std::collections::HashSet::new();
+        let mut last_at = UnixTime(i64::MIN);
+        for p in ReportStream::soak(&w).take(lap * 2 + 3) {
+            assert!(seen.insert(p.id), "duplicate id across laps: {:?}", p.id);
+            assert!(p.posted_at >= last_at, "time went backwards");
+            last_at = p.posted_at;
+        }
+        assert_eq!(seen.len(), lap * 2 + 3);
+    }
+
+    #[test]
+    fn position_counts_across_laps() {
+        let w = small_world();
+        let mut s = ReportStream::soak(&w);
+        let lap = w.posts.len() as u64;
+        for _ in 0..lap + 2 {
+            s.next();
+        }
+        assert_eq!(s.position(), lap + 2);
+    }
+}

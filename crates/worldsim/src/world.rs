@@ -10,9 +10,7 @@ use rand::{Rng, SeedableRng};
 use smishing_telecom::NumberFactory;
 use smishing_textnlp::brands::BrandCatalog;
 use smishing_textnlp::templates::TemplateLibrary;
-use smishing_types::{
-    CampaignId, Country, Date, Forum, Language, ScamType, SmsMessage, UnixTime,
-};
+use smishing_types::{CampaignId, Country, Date, Forum, Language, ScamType, SmsMessage, UnixTime};
 
 /// A fully generated world.
 pub struct World {
@@ -64,12 +62,22 @@ fn sbi_burst_campaign<R: Rng + ?Sized>(
         .filter_map(|_| factory.mobile_for(Country::India, "Vodafone", rng))
         .collect::<Vec<_>>();
     let start = Date::new(2021, 8, 3).expect("valid").days_from_epoch() * 86_400;
-    let schedule = CampaignSchedule { start: UnixTime(start), duration_days: 1 };
+    let schedule = CampaignSchedule {
+        start: UnixTime(start),
+        duration_days: 1,
+    };
     // One registered domain, shortened with is.gd (banking's #2, Table 5).
     let domain = "sbi-kyc-update.com".to_string();
-    services.whois.register(&domain, "GoDaddy", UnixTime(start - 5 * 86_400), 365);
+    services
+        .whois
+        .register(&domain, "GoDaddy", UnixTime(start - 5 * 86_400), 365);
     if let Some(ca) = smishing_webinfra::ca_policy("Let's Encrypt") {
-        services.ctlog.provision(&domain, &ca, UnixTime(start - 5 * 86_400), UnixTime(start + 120 * 86_400));
+        services.ctlog.provision(
+            &domain,
+            &ca,
+            UnixTime(start - 5 * 86_400),
+            UnixTime(start + 120 * 86_400),
+        );
     }
     let code = "sbiKyc21".to_string();
     services.short_links.register(
@@ -133,13 +141,22 @@ fn smsspy_campaign<R: Rng + ?Sized>(
     let senders = if pool.is_empty() {
         // Malaysia has no modelled plan: the campaign spoofs junk numbers.
         SenderStrategy::BadFormatPool {
-            pool: (0..(n_variants / 2).max(2)).map(|_| factory.bad_format(rng)).collect(),
+            pool: (0..(n_variants / 2).max(2))
+                .map(|_| factory.bad_format(rng))
+                .collect(),
         }
     } else {
-        SenderStrategy::MobilePool { country: Country::Malaysia, operator: "Maybank", pool }
+        SenderStrategy::MobilePool {
+            country: Country::Malaysia,
+            operator: "Maybank",
+            pool,
+        }
     };
     let start = Date::new(2023, 2, 6).expect("valid").days_from_epoch() * 86_400;
-    let schedule = CampaignSchedule { start: UnixTime(start), duration_days: 45 };
+    let schedule = CampaignSchedule {
+        start: UnixTime(start),
+        duration_days: 45,
+    };
     let domain = "sa-krs.web.app".to_string();
     let code = "2Rq2La".to_string();
     services.short_links.register(
@@ -169,8 +186,7 @@ fn smsspy_campaign<R: Rng + ?Sized>(
         malware: Some(crate::campaign::MalwarePlan {
             family: "SMSspy",
             apk_name: "s1.apk".to_string(),
-            sha256: "34ae95c0a19e3c72f199c812f64dc8f38bbc7f0f5746efe0bd756737163ed8ec"
-                .to_string(),
+            sha256: "34ae95c0a19e3c72f199c812f64dc8f38bbc7f0f5746efe0bd756737163ed8ec".to_string(),
         }),
         n_reports,
         n_variants,
@@ -278,17 +294,30 @@ impl World {
         }
         for forum in Forum::ALL {
             let n_reports = reports_per_forum.get(forum).copied().unwrap_or(0);
-            posts.extend(build_noise_posts(*forum, n_reports, &mut next_post_id, &mut rng));
+            posts.extend(build_noise_posts(
+                *forum,
+                n_reports,
+                &mut next_post_id,
+                &mut rng,
+            ));
         }
         posts.sort_by_key(|p| (p.posted_at, p.id));
 
         let now = UnixTime(Date::new(2024, 4, 8).expect("valid").days_from_epoch() * 86_400);
-        World { config, campaigns, messages, posts, services, now }
+        World {
+            config,
+            campaigns,
+            messages,
+            posts,
+            services,
+            now,
+        }
     }
 
     /// The message a post reports, if any.
     pub fn message_of(&self, post: &Post) -> Option<&SmsMessage> {
-        post.reported_message.map(|id| &self.messages[id.0 as usize])
+        post.reported_message
+            .map(|id| &self.messages[id.0 as usize])
     }
 
     /// Posts on one forum.
@@ -325,7 +354,11 @@ mod tests {
         assert!(w.campaigns.len() >= 70, "{}", w.campaigns.len());
         assert!(w.messages.len() > 400, "{}", w.messages.len());
         assert!(w.posts.len() > 3000, "{}", w.posts.len());
-        let reports = w.posts.iter().filter(|p| p.reported_message.is_some()).count();
+        let reports = w
+            .posts
+            .iter()
+            .filter(|p| p.reported_message.is_some())
+            .count();
         let noise = w.posts.len() - reports;
         assert!(noise > reports, "noise dominates raw keyword volume");
     }
@@ -359,9 +392,16 @@ mod tests {
     #[test]
     fn sbi_burst_present_and_timed() {
         let w = world();
-        let burst = w.campaigns.iter().find(|c| c.is_sbi_burst).expect("burst included");
-        let msgs: Vec<_> =
-            w.messages.iter().filter(|m| m.campaign == burst.id).collect();
+        let burst = w
+            .campaigns
+            .iter()
+            .find(|c| c.is_sbi_burst)
+            .expect("burst included");
+        let msgs: Vec<_> = w
+            .messages
+            .iter()
+            .filter(|m| m.campaign == burst.id)
+            .collect();
         assert!(msgs.len() >= 10);
         for m in msgs {
             let civil = m.received.civil();
@@ -384,7 +424,10 @@ mod tests {
     fn forum_shapes() {
         let w = world();
         // Smishing.eu and Pastebin never carry images.
-        for p in w.posts_on(Forum::SmishingEu).chain(w.posts_on(Forum::Pastebin)) {
+        for p in w
+            .posts_on(Forum::SmishingEu)
+            .chain(w.posts_on(Forum::Pastebin))
+        {
             assert!(!p.body.has_image(), "{:?}", p.id);
         }
         // Reddit posts carry subreddits.
@@ -400,7 +443,7 @@ mod tests {
     }
 
     #[test]
-    fn languages_are_diverse(){
+    fn languages_are_diverse() {
         let w = world();
         let langs: Counter<Language> = w.messages.iter().map(|m| m.truth.language).collect();
         assert_eq!(langs.top_k(1)[0].0, Language::English);

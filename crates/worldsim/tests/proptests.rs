@@ -8,7 +8,11 @@ use smishing_worldsim::{PostBody, World, WorldConfig};
 use std::collections::HashMap;
 
 fn small_world(seed: u64) -> World {
-    World::generate(WorldConfig { scale: 0.01, seed, ..WorldConfig::default() })
+    World::generate(WorldConfig {
+        scale: 0.01,
+        seed,
+        ..WorldConfig::default()
+    })
 }
 
 proptest! {

@@ -15,13 +15,21 @@ use smishing::prelude::*;
 use smishing::stats::Counter;
 
 fn main() {
-    let world = World::generate(WorldConfig { scale: 0.08, ..WorldConfig::default() });
+    let world = World::generate(WorldConfig {
+        scale: 0.08,
+        ..WorldConfig::default()
+    });
     let output = Pipeline::default().run(&world);
 
     // Target brand: CLI arg, or the most-impersonated one.
     let brand = std::env::args().nth(1).unwrap_or_else(|| {
         let brands = smishing::core::analysis::brands::brands(&output);
-        brands.counts.top_k(1).first().map(|(b, _)| b.clone()).unwrap_or_default()
+        brands
+            .counts
+            .top_k(1)
+            .first()
+            .map(|(b, _)| b.clone())
+            .unwrap_or_default()
     });
     println!("=== Infrastructure dossier: {brand} ===\n");
 

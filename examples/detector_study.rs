@@ -9,12 +9,20 @@
 //! cargo run --release --example detector_study [scale]
 //! ```
 
-use smishing::detect::{baseline_comparison, binary_study, multiclass_study, multiclass_study_grouped};
+use smishing::detect::{
+    baseline_comparison, binary_study, multiclass_study, multiclass_study_grouped,
+};
 use smishing::prelude::*;
 
 fn main() {
-    let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.15);
-    let world = World::generate(WorldConfig { scale, ..WorldConfig::default() });
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.15);
+    let world = World::generate(WorldConfig {
+        scale,
+        ..WorldConfig::default()
+    });
     println!(
         "Training corpora from a scale-{scale} world ({} labeled messages)\n",
         world.messages.len()
@@ -41,7 +49,11 @@ fn main() {
         .collect();
     let multi = multiclass_study(&labeled, 0xD1).expect("corpus large enough");
     println!("\n== Multi-class study: scam typology ==");
-    println!("corpus:    {} messages, {} classes", multi.corpus, multi.report.confusion.labels.len());
+    println!(
+        "corpus:    {} messages, {} classes",
+        multi.corpus,
+        multi.report.confusion.labels.len()
+    );
     println!("accuracy:  {:.1}%", multi.report.accuracy * 100.0);
     println!("macro-F1:  {:.3}", multi.report.macro_f1);
     println!("\nper-class breakdown:");
@@ -63,8 +75,11 @@ fn main() {
         .collect();
     let grouped = multiclass_study_grouped(&grouped_input, 0xD1).expect("corpus large enough");
     println!("\n== Multi-class, campaign-held-out split ==");
-    println!("accuracy:  {:.1}%  (vs {:.1}% with the leaky random split)",
-        grouped.report.accuracy * 100.0, multi.report.accuracy * 100.0);
+    println!(
+        "accuracy:  {:.1}%  (vs {:.1}% with the leaky random split)",
+        grouped.report.accuracy * 100.0,
+        multi.report.accuracy * 100.0
+    );
     println!("macro-F1:  {:.3}", grouped.report.macro_f1);
 
     println!(

@@ -10,15 +10,26 @@ use smishing::core::analysis::mitigation::mitigation_study;
 use smishing::prelude::*;
 
 fn main() {
-    let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.15);
-    let world = World::generate(WorldConfig { scale, ..WorldConfig::default() });
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.15);
+    let world = World::generate(WorldConfig {
+        scale,
+        ..WorldConfig::default()
+    });
     let output = Pipeline::default().run(&world);
     let study = mitigation_study(&output);
 
     println!("{}", study.to_table());
     println!("Recommendations behind each lever:\n");
     for l in &study.levers {
-        println!("- {}\n    {}\n    coverage: {:.1}%\n", l.name, l.recommendation, l.coverage() * 100.0);
+        println!(
+            "- {}\n    {}\n    coverage: {:.1}%\n",
+            l.name,
+            l.recommendation,
+            l.coverage() * 100.0
+        );
     }
     if let Some(best) = study.strongest() {
         println!(

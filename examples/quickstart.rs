@@ -16,7 +16,10 @@ fn main() {
         .unwrap_or(0.05);
 
     println!("Generating a deterministic smishing world (scale {scale})...");
-    let world = World::generate(WorldConfig { scale, ..WorldConfig::default() });
+    let world = World::generate(WorldConfig {
+        scale,
+        ..WorldConfig::default()
+    });
     println!(
         "  {} campaigns, {} unique messages, {} forum posts\n",
         world.campaigns.len(),
@@ -49,7 +52,11 @@ fn main() {
             r.curated.forum,
             r.annotation.scam_type,
             r.annotation.brand,
-            r.annotation.lures.iter().map(|l| l.label()).collect::<Vec<_>>(),
+            r.annotation
+                .lures
+                .iter()
+                .map(|l| l.label())
+                .collect::<Vec<_>>(),
             r.curated.english.chars().take(100).collect::<String>()
         );
     }

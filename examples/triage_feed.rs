@@ -18,7 +18,10 @@ use smishing::stats::Counter;
 use smishing::webinfra::{parse_url, ExpandResult, ShortenerCatalog};
 
 fn main() {
-    let world = World::generate(WorldConfig { scale: 0.03, ..WorldConfig::default() });
+    let world = World::generate(WorldConfig {
+        scale: 0.03,
+        ..WorldConfig::default()
+    });
     let opts = CurationOptions::default();
     let catalog = ShortenerCatalog::new();
 
@@ -28,10 +31,15 @@ fn main() {
     let mut alerts = [0usize; 3];
     let mut printed = 0usize;
 
-    println!("=== Live triage over {} posts (time-ordered) ===\n", world.posts.len());
+    println!(
+        "=== Live triage over {} posts (time-ordered) ===\n",
+        world.posts.len()
+    );
     for post in &world.posts {
         seen_posts += 1;
-        let Some(curated) = curate_post(post, &opts) else { continue };
+        let Some(curated) = curate_post(post, &opts) else {
+            continue;
+        };
         let record = enrich(curated, &world);
         reports += 1;
         by_type.add(record.annotation.scam_type);
@@ -49,7 +57,10 @@ fn main() {
         });
         let p1 = urgent_banking && live_short;
         // P2: direct APK link.
-        let p2 = record.url.as_ref().is_some_and(|u| u.parsed.points_to_apk());
+        let p2 = record
+            .url
+            .as_ref()
+            .is_some_and(|u| u.parsed.points_to_apk());
         // P3: conversation scam.
         let p3 = record.annotation.scam_type.is_conversational();
 

@@ -6,15 +6,19 @@
 //! smish detect   --scale 0.1                            # §7.2 detection studies
 //! smish link     --scale 0.1                            # campaign-linking ablation
 //! smish mitigate --scale 0.1                            # §7.2 what-if coverage
+//! smish stream   --scale 0.1 --shards 4                 # replay as a live feed
+//! smish watch    --scale 0.1 --posts 50000              # infinite-feed soak
 //! ```
 
-use smishing::core::analysis::linking::linking_ablation;
 use smishing::core::analysis::freshness::domain_freshness;
 use smishing::core::analysis::latency::report_latency;
+use smishing::core::analysis::linking::linking_ablation;
 use smishing::core::analysis::mitigation::mitigation_study;
 use smishing::core::dataset;
 use smishing::detect::{binary_study, multiclass_study_grouped};
 use smishing::prelude::*;
+use smishing::stream::{ingest, SnapshotPlan, StreamConfig};
+use smishing::worldsim::ReportStream;
 use std::io::Write;
 
 struct Args {
@@ -23,12 +27,24 @@ struct Args {
     seed: u64,
     out: Option<String>,
     experiment: Option<String>,
+    shards: usize,
+    snapshot_every: Option<u64>,
+    posts: Option<u64>,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut argv = std::env::args().skip(1);
     let command = argv.next().ok_or_else(usage)?;
-    let mut args = Args { command, scale: 0.1, seed: 0xF15F, out: None, experiment: None };
+    let mut args = Args {
+        command,
+        scale: 0.1,
+        seed: 0xF15F,
+        out: None,
+        experiment: None,
+        shards: 4,
+        snapshot_every: None,
+        posts: None,
+    };
     while let Some(flag) = argv.next() {
         let mut take = |name: &str| -> Result<String, String> {
             argv.next().ok_or_else(|| format!("{name} needs a value"))
@@ -38,6 +54,15 @@ fn parse_args() -> Result<Args, String> {
             "--seed" => args.seed = parse_seed(&take("--seed")?)?,
             "--out" => args.out = Some(take("--out")?),
             "--experiment" => args.experiment = Some(take("--experiment")?),
+            "--shards" => args.shards = take("--shards")?.parse().map_err(|e| format!("{e}"))?,
+            "--snapshot-every" => {
+                args.snapshot_every = Some(
+                    take("--snapshot-every")?
+                        .parse()
+                        .map_err(|e| format!("{e}"))?,
+                )
+            }
+            "--posts" => args.posts = Some(take("--posts")?.parse().map_err(|e| format!("{e}"))?),
             other => return Err(format!("unknown flag {other}\n{}", usage())),
         }
     }
@@ -48,12 +73,15 @@ fn parse_seed(s: &str) -> Result<u64, String> {
     if let Some(hex) = s.strip_prefix("0x") {
         u64::from_str_radix(hex, 16).map_err(|e| e.to_string())
     } else {
-        s.parse().map_err(|e: std::num::ParseIntError| e.to_string())
+        s.parse()
+            .map_err(|e: std::num::ParseIntError| e.to_string())
     }
 }
 
 fn usage() -> String {
-    "usage: smish <generate|analyze|detect|link|mitigate> [--scale S] [--seed N] [--out DIR] [--experiment ID]"
+    "usage: smish <generate|analyze|detect|link|mitigate|stream|watch> \
+     [--scale S] [--seed N] [--out DIR] [--experiment ID] \
+     [--shards N] [--snapshot-every POSTS] [--posts N]"
         .to_string()
 }
 
@@ -78,11 +106,17 @@ fn main() {
         args.scale,
         args.seed
     );
-    let output = Pipeline::default().run(&world);
-    eprintln!("pipeline: {} unique records\n", output.records.len());
+    // The streaming commands never materialize the batch pipeline; the
+    // batch commands run it once here.
+    let run_pipeline = || {
+        let output = Pipeline::default().run(&world);
+        eprintln!("pipeline: {} unique records\n", output.records.len());
+        output
+    };
 
     match args.command.as_str() {
         "generate" => {
+            let output = run_pipeline();
             let rows = dataset::build_dataset(&output.records);
             dataset::validate_anonymization(&rows).expect("anonymization contract");
             let dir = args.out.unwrap_or_else(|| "dataset".to_string());
@@ -95,9 +129,13 @@ fn main() {
             std::fs::File::create(format!("{dir}/smishing-dataset.csv"))
                 .and_then(|mut f| f.write_all(csv.as_bytes()))
                 .expect("write csv");
-            println!("wrote {} rows to {dir}/smishing-dataset.{{json,csv}}", rows.len());
+            println!(
+                "wrote {} rows to {dir}/smishing-dataset.{{json,csv}}",
+                rows.len()
+            );
         }
         "analyze" => {
+            let output = run_pipeline();
             let results = run_all(&output);
             let mut shown = 0;
             for r in &results {
@@ -142,13 +180,94 @@ fn main() {
             );
         }
         "link" => {
+            let output = run_pipeline();
             let (_, table) = linking_ablation(&output);
             println!("{table}");
         }
         "mitigate" => {
+            let output = run_pipeline();
             println!("{}", mitigation_study(&output).to_table());
             println!("{}", domain_freshness(&output).to_table());
             println!("{}", report_latency(&output).to_table());
+        }
+        "stream" => {
+            // Chronological replay through the sharded engine; snapshots
+            // report progress without pausing ingestion, and the final
+            // merged state renders the same tables as `analyze`.
+            let cfg = StreamConfig {
+                shards: args.shards,
+                ..Default::default()
+            };
+            let plan = match args.snapshot_every {
+                Some(n) => SnapshotPlan::every(n),
+                None => SnapshotPlan::every((world.posts.len() as u64 / 4).max(1)),
+            };
+            let result = ingest(&world, ReportStream::replay(&world), &cfg, &plan, |s| {
+                eprintln!(
+                    "snapshot @ {:>7} posts: {} curated / {} unique records",
+                    s.at_posts,
+                    s.output.curated_total.len(),
+                    s.output.records.len()
+                );
+            });
+            eprintln!(
+                "stream: {} posts through {} shards, {} snapshots\n",
+                result.posts_ingested, cfg.shards, result.snapshots_taken
+            );
+            let mut shown = 0;
+            for (id, table) in result.accs.tables() {
+                if let Some(want) = &args.experiment {
+                    if !id.eq_ignore_ascii_case(want) {
+                        continue;
+                    }
+                }
+                shown += 1;
+                println!("[{id}]\n{table}\n");
+            }
+            if shown == 0 {
+                eprintln!("no experiment matched {:?}", args.experiment);
+                std::process::exit(2);
+            }
+        }
+        "watch" => {
+            // Infinite-feed soak: the world's reports loop forever with
+            // fresh post ids and advancing timestamps. Bounded by --posts
+            // (default two laps) so the command terminates.
+            let lap = world.posts.len() as u64;
+            let budget = args.posts.unwrap_or(2 * lap);
+            let every = args.snapshot_every.unwrap_or((lap / 2).max(1));
+            let cfg = StreamConfig {
+                shards: args.shards,
+                ..Default::default()
+            };
+            let result = ingest(
+                &world,
+                ReportStream::soak(&world).take(budget as usize),
+                &cfg,
+                &SnapshotPlan::every(every),
+                |s| {
+                    println!(
+                        "[lap {}] {:>7} posts: {} curated / {} unique records",
+                        s.at_posts / lap,
+                        s.at_posts,
+                        s.output.curated_total.len(),
+                        s.output.records.len()
+                    );
+                    if let Some(want) = &args.experiment {
+                        for (id, table) in s.accs.tables() {
+                            if id.eq_ignore_ascii_case(want) {
+                                println!("{table}");
+                            }
+                        }
+                    }
+                },
+            );
+            println!(
+                "soak done: {} posts ({:.1} laps), {} snapshots",
+                result.posts_ingested,
+                result.posts_ingested as f64 / lap as f64,
+                result.snapshots_taken
+            );
         }
         other => {
             eprintln!("unknown command {other}\n{}", usage());

@@ -18,6 +18,7 @@
 //! | [`malcase`] | §6 malware case-study substrate |
 //! | [`core`] | the collection → curation → enrichment → analysis pipeline |
 //! | [`detect`] | §7.2 detection models (Naive Bayes over the labeled dataset) |
+//! | [`stream`] | sharded streaming ingest with mid-stream snapshots |
 //!
 //! ## Quickstart
 //!
@@ -43,6 +44,7 @@ pub use smishing_detect as detect;
 pub use smishing_malcase as malcase;
 pub use smishing_screenshot as screenshot;
 pub use smishing_stats as stats;
+pub use smishing_stream as stream;
 pub use smishing_telecom as telecom;
 pub use smishing_textnlp as textnlp;
 pub use smishing_types as types;

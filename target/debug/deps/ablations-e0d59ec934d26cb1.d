@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-e0d59ec934d26cb1.d: tests/ablations.rs
+
+/root/repo/target/debug/deps/ablations-e0d59ec934d26cb1: tests/ablations.rs
+
+tests/ablations.rs:

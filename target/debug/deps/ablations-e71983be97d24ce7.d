@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-e71983be97d24ce7.d: tests/ablations.rs
+
+/root/repo/target/debug/deps/ablations-e71983be97d24ce7: tests/ablations.rs
+
+tests/ablations.rs:

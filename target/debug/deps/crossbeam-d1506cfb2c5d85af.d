@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/crossbeam-d1506cfb2c5d85af.d: vendor/crossbeam/src/lib.rs vendor/crossbeam/src/channel.rs
+
+/root/repo/target/debug/deps/libcrossbeam-d1506cfb2c5d85af.rmeta: vendor/crossbeam/src/lib.rs vendor/crossbeam/src/channel.rs
+
+vendor/crossbeam/src/lib.rs:
+vendor/crossbeam/src/channel.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dataset_artifact-a5fa29ff8059fdf3.d: tests/dataset_artifact.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdataset_artifact-a5fa29ff8059fdf3.rmeta: tests/dataset_artifact.rs Cargo.toml
+
+tests/dataset_artifact.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dataset_artifact-de7535c41b6b559c.d: tests/dataset_artifact.rs
+
+/root/repo/target/debug/deps/dataset_artifact-de7535c41b6b559c: tests/dataset_artifact.rs
+
+tests/dataset_artifact.rs:

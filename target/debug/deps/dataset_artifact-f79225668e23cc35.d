@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dataset_artifact-f79225668e23cc35.d: tests/dataset_artifact.rs
+
+/root/repo/target/debug/deps/dataset_artifact-f79225668e23cc35: tests/dataset_artifact.rs
+
+tests/dataset_artifact.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-b1f1035741238669.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-b1f1035741238669: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/equivalence-33eda175896e3bdd.d: crates/stream/tests/equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libequivalence-33eda175896e3bdd.rmeta: crates/stream/tests/equivalence.rs Cargo.toml
+
+crates/stream/tests/equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

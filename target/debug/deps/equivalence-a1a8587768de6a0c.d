@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/equivalence-a1a8587768de6a0c.d: crates/stream/tests/equivalence.rs
+
+/root/repo/target/debug/deps/equivalence-a1a8587768de6a0c: crates/stream/tests/equivalence.rs
+
+crates/stream/tests/equivalence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/merge_laws-9e4df10bb91c198a.d: crates/stream/tests/merge_laws.rs
+
+/root/repo/target/debug/deps/merge_laws-9e4df10bb91c198a: crates/stream/tests/merge_laws.rs
+
+crates/stream/tests/merge_laws.rs:

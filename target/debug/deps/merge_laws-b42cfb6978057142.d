@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/merge_laws-b42cfb6978057142.d: crates/stream/tests/merge_laws.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmerge_laws-b42cfb6978057142.rmeta: crates/stream/tests/merge_laws.rs Cargo.toml
+
+crates/stream/tests/merge_laws.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

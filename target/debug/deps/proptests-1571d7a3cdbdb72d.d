@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-1571d7a3cdbdb72d.d: crates/webinfra/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-1571d7a3cdbdb72d.rmeta: crates/webinfra/tests/proptests.rs Cargo.toml
+
+crates/webinfra/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-2f7b36ad0a3fe6f6.d: tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-2f7b36ad0a3fe6f6: tests/proptests.rs
+
+tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-375f64b386412c8e.d: crates/malcase/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-375f64b386412c8e: crates/malcase/tests/proptests.rs
+
+crates/malcase/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-48f0f5232b83fcd7.d: crates/worldsim/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-48f0f5232b83fcd7: crates/worldsim/tests/proptests.rs
+
+crates/worldsim/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-64aa8b1bd30ee947.d: crates/avscan/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-64aa8b1bd30ee947.rmeta: crates/avscan/tests/proptests.rs Cargo.toml
+
+crates/avscan/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

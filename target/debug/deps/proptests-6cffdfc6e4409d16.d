@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-6cffdfc6e4409d16.d: crates/types/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-6cffdfc6e4409d16: crates/types/tests/proptests.rs
+
+crates/types/tests/proptests.rs:

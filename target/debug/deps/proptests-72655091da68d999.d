@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-72655091da68d999.d: crates/screenshot/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-72655091da68d999: crates/screenshot/tests/proptests.rs
+
+crates/screenshot/tests/proptests.rs:

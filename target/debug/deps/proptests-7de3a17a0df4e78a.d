@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-7de3a17a0df4e78a.d: crates/webinfra/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-7de3a17a0df4e78a: crates/webinfra/tests/proptests.rs
+
+crates/webinfra/tests/proptests.rs:

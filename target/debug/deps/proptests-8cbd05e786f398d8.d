@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-8cbd05e786f398d8.d: crates/textnlp/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-8cbd05e786f398d8: crates/textnlp/tests/proptests.rs
+
+crates/textnlp/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-933e112aa36789ac.d: crates/malcase/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-933e112aa36789ac.rmeta: crates/malcase/tests/proptests.rs Cargo.toml
+
+crates/malcase/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-a52fd1cc4e14ab3b.d: crates/telecom/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-a52fd1cc4e14ab3b.rmeta: crates/telecom/tests/proptests.rs Cargo.toml
+
+crates/telecom/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-a63d483feb56a44c.d: crates/avscan/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-a63d483feb56a44c: crates/avscan/tests/proptests.rs
+
+crates/avscan/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-aed7ba2932faff9e.d: crates/stats/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-aed7ba2932faff9e: crates/stats/tests/proptests.rs
+
+crates/stats/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-b086b593d4de2d7c.d: crates/types/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-b086b593d4de2d7c.rmeta: crates/types/tests/proptests.rs Cargo.toml
+
+crates/types/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-b4c3243d724e5941.d: crates/stats/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-b4c3243d724e5941.rmeta: crates/stats/tests/proptests.rs Cargo.toml
+
+crates/stats/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

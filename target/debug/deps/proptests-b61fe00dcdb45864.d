@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-b61fe00dcdb45864.d: tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-b61fe00dcdb45864: tests/proptests.rs
+
+tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-c2222b2148eee1d4.d: crates/textnlp/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-c2222b2148eee1d4.rmeta: crates/textnlp/tests/proptests.rs Cargo.toml
+
+crates/textnlp/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

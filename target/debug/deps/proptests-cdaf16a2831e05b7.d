@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-cdaf16a2831e05b7.d: crates/screenshot/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-cdaf16a2831e05b7.rmeta: crates/screenshot/tests/proptests.rs Cargo.toml
+
+crates/screenshot/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-d2aa4d7bcf248e0a.d: crates/worldsim/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-d2aa4d7bcf248e0a.rmeta: crates/worldsim/tests/proptests.rs Cargo.toml
+
+crates/worldsim/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

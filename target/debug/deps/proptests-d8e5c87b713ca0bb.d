@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-d8e5c87b713ca0bb.d: tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-d8e5c87b713ca0bb.rmeta: tests/proptests.rs Cargo.toml
+
+tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

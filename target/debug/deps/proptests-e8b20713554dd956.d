@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-e8b20713554dd956.d: crates/telecom/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-e8b20713554dd956: crates/telecom/tests/proptests.rs
+
+crates/telecom/tests/proptests.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/rand-6bb24fec08eef152.d: vendor/rand/src/lib.rs vendor/rand/src/distributions/mod.rs vendor/rand/src/distributions/uniform.rs vendor/rand/src/rngs/mod.rs vendor/rand/src/rngs/mock.rs vendor/rand/src/seq.rs vendor/rand/src/chacha.rs
+
+/root/repo/target/debug/deps/librand-6bb24fec08eef152.rlib: vendor/rand/src/lib.rs vendor/rand/src/distributions/mod.rs vendor/rand/src/distributions/uniform.rs vendor/rand/src/rngs/mod.rs vendor/rand/src/rngs/mock.rs vendor/rand/src/seq.rs vendor/rand/src/chacha.rs
+
+/root/repo/target/debug/deps/librand-6bb24fec08eef152.rmeta: vendor/rand/src/lib.rs vendor/rand/src/distributions/mod.rs vendor/rand/src/distributions/uniform.rs vendor/rand/src/rngs/mod.rs vendor/rand/src/rngs/mock.rs vendor/rand/src/seq.rs vendor/rand/src/chacha.rs
+
+vendor/rand/src/lib.rs:
+vendor/rand/src/distributions/mod.rs:
+vendor/rand/src/distributions/uniform.rs:
+vendor/rand/src/rngs/mod.rs:
+vendor/rand/src/rngs/mock.rs:
+vendor/rand/src/seq.rs:
+vendor/rand/src/chacha.rs:

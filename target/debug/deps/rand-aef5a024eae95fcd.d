@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/rand-aef5a024eae95fcd.d: vendor/rand/src/lib.rs vendor/rand/src/distributions/mod.rs vendor/rand/src/distributions/uniform.rs vendor/rand/src/rngs/mod.rs vendor/rand/src/rngs/mock.rs vendor/rand/src/seq.rs vendor/rand/src/chacha.rs
+
+/root/repo/target/debug/deps/librand-aef5a024eae95fcd.rmeta: vendor/rand/src/lib.rs vendor/rand/src/distributions/mod.rs vendor/rand/src/distributions/uniform.rs vendor/rand/src/rngs/mod.rs vendor/rand/src/rngs/mock.rs vendor/rand/src/seq.rs vendor/rand/src/chacha.rs
+
+vendor/rand/src/lib.rs:
+vendor/rand/src/distributions/mod.rs:
+vendor/rand/src/distributions/uniform.rs:
+vendor/rand/src/rngs/mod.rs:
+vendor/rand/src/rngs/mock.rs:
+vendor/rand/src/seq.rs:
+vendor/rand/src/chacha.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-6040f4a8924250c1.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-6040f4a8924250c1: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-b2a05f7ad7e78a8a.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-b2a05f7ad7e78a8a: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

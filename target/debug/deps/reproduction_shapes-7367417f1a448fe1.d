@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduction_shapes-7367417f1a448fe1.d: tests/reproduction_shapes.rs
+
+/root/repo/target/debug/deps/reproduction_shapes-7367417f1a448fe1: tests/reproduction_shapes.rs
+
+tests/reproduction_shapes.rs:

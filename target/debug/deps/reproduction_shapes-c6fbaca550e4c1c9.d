@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduction_shapes-c6fbaca550e4c1c9.d: tests/reproduction_shapes.rs
+
+/root/repo/target/debug/deps/reproduction_shapes-c6fbaca550e4c1c9: tests/reproduction_shapes.rs
+
+tests/reproduction_shapes.rs:

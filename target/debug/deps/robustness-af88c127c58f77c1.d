@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/robustness-af88c127c58f77c1.d: tests/robustness.rs
+
+/root/repo/target/debug/deps/robustness-af88c127c58f77c1: tests/robustness.rs
+
+tests/robustness.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/robustness-be5484a233922173.d: tests/robustness.rs
+
+/root/repo/target/debug/deps/robustness-be5484a233922173: tests/robustness.rs
+
+tests/robustness.rs:

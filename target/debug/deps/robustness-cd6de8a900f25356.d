@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/robustness-cd6de8a900f25356.d: tests/robustness.rs Cargo.toml
+
+/root/repo/target/debug/deps/librobustness-cd6de8a900f25356.rmeta: tests/robustness.rs Cargo.toml
+
+tests/robustness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/seed_sweep-09ce12af12bf1cba.d: tests/seed_sweep.rs
+
+/root/repo/target/debug/deps/seed_sweep-09ce12af12bf1cba: tests/seed_sweep.rs
+
+tests/seed_sweep.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/seed_sweep-132316cb6e34cbfc.d: tests/seed_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libseed_sweep-132316cb6e34cbfc.rmeta: tests/seed_sweep.rs Cargo.toml
+
+tests/seed_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

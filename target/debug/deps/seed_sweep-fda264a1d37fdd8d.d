@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/seed_sweep-fda264a1d37fdd8d.d: tests/seed_sweep.rs
+
+/root/repo/target/debug/deps/seed_sweep-fda264a1d37fdd8d: tests/seed_sweep.rs
+
+tests/seed_sweep.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serde_json-55bb1fd88dd6e7b4.d: vendor/serde_json/src/lib.rs vendor/serde_json/src/de.rs vendor/serde_json/src/ser.rs
+
+/root/repo/target/debug/deps/libserde_json-55bb1fd88dd6e7b4.rlib: vendor/serde_json/src/lib.rs vendor/serde_json/src/de.rs vendor/serde_json/src/ser.rs
+
+/root/repo/target/debug/deps/libserde_json-55bb1fd88dd6e7b4.rmeta: vendor/serde_json/src/lib.rs vendor/serde_json/src/de.rs vendor/serde_json/src/ser.rs
+
+vendor/serde_json/src/lib.rs:
+vendor/serde_json/src/de.rs:
+vendor/serde_json/src/ser.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-f82a32e91fcb1a80.d: vendor/serde_json/src/lib.rs vendor/serde_json/src/de.rs vendor/serde_json/src/ser.rs
+
+/root/repo/target/debug/deps/libserde_json-f82a32e91fcb1a80.rmeta: vendor/serde_json/src/lib.rs vendor/serde_json/src/de.rs vendor/serde_json/src/ser.rs
+
+vendor/serde_json/src/lib.rs:
+vendor/serde_json/src/de.rs:
+vendor/serde_json/src/ser.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/smish-476b17ddb35d4e89.d: src/bin/smish.rs
+
+/root/repo/target/debug/deps/smish-476b17ddb35d4e89: src/bin/smish.rs
+
+src/bin/smish.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/smish-546e9f3339464b9c.d: src/bin/smish.rs
+
+/root/repo/target/debug/deps/smish-546e9f3339464b9c: src/bin/smish.rs
+
+src/bin/smish.rs:

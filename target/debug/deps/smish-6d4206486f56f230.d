@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/smish-6d4206486f56f230.d: src/bin/smish.rs
+
+/root/repo/target/debug/deps/smish-6d4206486f56f230: src/bin/smish.rs
+
+src/bin/smish.rs:

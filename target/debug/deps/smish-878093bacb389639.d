@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/smish-878093bacb389639.d: src/bin/smish.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsmish-878093bacb389639.rmeta: src/bin/smish.rs Cargo.toml
+
+src/bin/smish.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/smish-eb3787339d2ffa9b.d: src/bin/smish.rs
+
+/root/repo/target/debug/deps/smish-eb3787339d2ffa9b: src/bin/smish.rs
+
+src/bin/smish.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/smishing-07d6975f110d970c.d: src/lib.rs
+
+/root/repo/target/debug/deps/smishing-07d6975f110d970c: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/smishing-2575a79635f6413f.d: src/lib.rs
+
+/root/repo/target/debug/deps/libsmishing-2575a79635f6413f.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libsmishing-2575a79635f6413f.rmeta: src/lib.rs
+
+src/lib.rs:

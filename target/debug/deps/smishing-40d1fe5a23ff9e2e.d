@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/smishing-40d1fe5a23ff9e2e.d: src/lib.rs
+
+/root/repo/target/debug/deps/smishing-40d1fe5a23ff9e2e: src/lib.rs
+
+src/lib.rs:

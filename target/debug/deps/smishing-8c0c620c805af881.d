@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/smishing-8c0c620c805af881.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsmishing-8c0c620c805af881.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/smishing-d0e3b1b65f7c3d65.d: src/lib.rs
+
+/root/repo/target/debug/deps/libsmishing-d0e3b1b65f7c3d65.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libsmishing-d0e3b1b65f7c3d65.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/smishing_avscan-21f054d5d81e86de.d: crates/avscan/src/lib.rs crates/avscan/src/gsb.rs crates/avscan/src/vendor.rs crates/avscan/src/virustotal.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsmishing_avscan-21f054d5d81e86de.rmeta: crates/avscan/src/lib.rs crates/avscan/src/gsb.rs crates/avscan/src/vendor.rs crates/avscan/src/virustotal.rs Cargo.toml
+
+crates/avscan/src/lib.rs:
+crates/avscan/src/gsb.rs:
+crates/avscan/src/vendor.rs:
+crates/avscan/src/virustotal.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

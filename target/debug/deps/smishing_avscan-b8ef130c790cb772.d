@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/smishing_avscan-b8ef130c790cb772.d: crates/avscan/src/lib.rs crates/avscan/src/gsb.rs crates/avscan/src/vendor.rs crates/avscan/src/virustotal.rs
+
+/root/repo/target/debug/deps/smishing_avscan-b8ef130c790cb772: crates/avscan/src/lib.rs crates/avscan/src/gsb.rs crates/avscan/src/vendor.rs crates/avscan/src/virustotal.rs
+
+crates/avscan/src/lib.rs:
+crates/avscan/src/gsb.rs:
+crates/avscan/src/vendor.rs:
+crates/avscan/src/virustotal.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/smishing_avscan-cc4ad0698d52b27b.d: crates/avscan/src/lib.rs crates/avscan/src/gsb.rs crates/avscan/src/vendor.rs crates/avscan/src/virustotal.rs
+
+/root/repo/target/debug/deps/libsmishing_avscan-cc4ad0698d52b27b.rlib: crates/avscan/src/lib.rs crates/avscan/src/gsb.rs crates/avscan/src/vendor.rs crates/avscan/src/virustotal.rs
+
+/root/repo/target/debug/deps/libsmishing_avscan-cc4ad0698d52b27b.rmeta: crates/avscan/src/lib.rs crates/avscan/src/gsb.rs crates/avscan/src/vendor.rs crates/avscan/src/virustotal.rs
+
+crates/avscan/src/lib.rs:
+crates/avscan/src/gsb.rs:
+crates/avscan/src/vendor.rs:
+crates/avscan/src/virustotal.rs:

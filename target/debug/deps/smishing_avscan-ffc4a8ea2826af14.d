@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/smishing_avscan-ffc4a8ea2826af14.d: crates/avscan/src/lib.rs crates/avscan/src/gsb.rs crates/avscan/src/vendor.rs crates/avscan/src/virustotal.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsmishing_avscan-ffc4a8ea2826af14.rmeta: crates/avscan/src/lib.rs crates/avscan/src/gsb.rs crates/avscan/src/vendor.rs crates/avscan/src/virustotal.rs Cargo.toml
+
+crates/avscan/src/lib.rs:
+crates/avscan/src/gsb.rs:
+crates/avscan/src/vendor.rs:
+crates/avscan/src/virustotal.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

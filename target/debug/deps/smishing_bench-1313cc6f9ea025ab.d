@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/smishing_bench-1313cc6f9ea025ab.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/smishing_bench-1313cc6f9ea025ab: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/smishing_bench-284a882f1a3e721b.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsmishing_bench-284a882f1a3e721b.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/smishing_bench-70ab2a32f4e0c75a.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/smishing_bench-70ab2a32f4e0c75a: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

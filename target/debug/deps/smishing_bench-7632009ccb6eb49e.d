@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/smishing_bench-7632009ccb6eb49e.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libsmishing_bench-7632009ccb6eb49e.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libsmishing_bench-7632009ccb6eb49e.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

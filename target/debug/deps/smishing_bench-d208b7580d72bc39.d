@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/smishing_bench-d208b7580d72bc39.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libsmishing_bench-d208b7580d72bc39.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libsmishing_bench-d208b7580d72bc39.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,35 @@
+/root/repo/target/debug/deps/smishing_core-f7559f632052593a.d: crates/core/src/lib.rs crates/core/src/analysis/mod.rs crates/core/src/analysis/asn.rs crates/core/src/analysis/av.rs crates/core/src/analysis/brands.rs crates/core/src/analysis/categories.rs crates/core/src/analysis/countries.rs crates/core/src/analysis/extraction.rs crates/core/src/analysis/freshness.rs crates/core/src/analysis/irr.rs crates/core/src/analysis/languages.rs crates/core/src/analysis/latency.rs crates/core/src/analysis/linking.rs crates/core/src/analysis/lures.rs crates/core/src/analysis/methods.rs crates/core/src/analysis/mitigation.rs crates/core/src/analysis/overview.rs crates/core/src/analysis/registrars.rs crates/core/src/analysis/sender_info.rs crates/core/src/analysis/shorteners.rs crates/core/src/analysis/timestamps.rs crates/core/src/analysis/tlds.rs crates/core/src/analysis/tls.rs crates/core/src/casestudy.rs crates/core/src/collect.rs crates/core/src/curation.rs crates/core/src/dataset.rs crates/core/src/enrich.rs crates/core/src/experiment.rs crates/core/src/pipeline.rs crates/core/src/table.rs
+
+/root/repo/target/debug/deps/smishing_core-f7559f632052593a: crates/core/src/lib.rs crates/core/src/analysis/mod.rs crates/core/src/analysis/asn.rs crates/core/src/analysis/av.rs crates/core/src/analysis/brands.rs crates/core/src/analysis/categories.rs crates/core/src/analysis/countries.rs crates/core/src/analysis/extraction.rs crates/core/src/analysis/freshness.rs crates/core/src/analysis/irr.rs crates/core/src/analysis/languages.rs crates/core/src/analysis/latency.rs crates/core/src/analysis/linking.rs crates/core/src/analysis/lures.rs crates/core/src/analysis/methods.rs crates/core/src/analysis/mitigation.rs crates/core/src/analysis/overview.rs crates/core/src/analysis/registrars.rs crates/core/src/analysis/sender_info.rs crates/core/src/analysis/shorteners.rs crates/core/src/analysis/timestamps.rs crates/core/src/analysis/tlds.rs crates/core/src/analysis/tls.rs crates/core/src/casestudy.rs crates/core/src/collect.rs crates/core/src/curation.rs crates/core/src/dataset.rs crates/core/src/enrich.rs crates/core/src/experiment.rs crates/core/src/pipeline.rs crates/core/src/table.rs
+
+crates/core/src/lib.rs:
+crates/core/src/analysis/mod.rs:
+crates/core/src/analysis/asn.rs:
+crates/core/src/analysis/av.rs:
+crates/core/src/analysis/brands.rs:
+crates/core/src/analysis/categories.rs:
+crates/core/src/analysis/countries.rs:
+crates/core/src/analysis/extraction.rs:
+crates/core/src/analysis/freshness.rs:
+crates/core/src/analysis/irr.rs:
+crates/core/src/analysis/languages.rs:
+crates/core/src/analysis/latency.rs:
+crates/core/src/analysis/linking.rs:
+crates/core/src/analysis/lures.rs:
+crates/core/src/analysis/methods.rs:
+crates/core/src/analysis/mitigation.rs:
+crates/core/src/analysis/overview.rs:
+crates/core/src/analysis/registrars.rs:
+crates/core/src/analysis/sender_info.rs:
+crates/core/src/analysis/shorteners.rs:
+crates/core/src/analysis/timestamps.rs:
+crates/core/src/analysis/tlds.rs:
+crates/core/src/analysis/tls.rs:
+crates/core/src/casestudy.rs:
+crates/core/src/collect.rs:
+crates/core/src/curation.rs:
+crates/core/src/dataset.rs:
+crates/core/src/enrich.rs:
+crates/core/src/experiment.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/table.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/smishing_detect-41ca7ea1f7c5595f.d: crates/detect/src/lib.rs crates/detect/src/eval.rs crates/detect/src/features.rs crates/detect/src/logreg.rs crates/detect/src/nb.rs crates/detect/src/tasks.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsmishing_detect-41ca7ea1f7c5595f.rmeta: crates/detect/src/lib.rs crates/detect/src/eval.rs crates/detect/src/features.rs crates/detect/src/logreg.rs crates/detect/src/nb.rs crates/detect/src/tasks.rs Cargo.toml
+
+crates/detect/src/lib.rs:
+crates/detect/src/eval.rs:
+crates/detect/src/features.rs:
+crates/detect/src/logreg.rs:
+crates/detect/src/nb.rs:
+crates/detect/src/tasks.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/smishing_detect-59e324f9971a4583.d: crates/detect/src/lib.rs crates/detect/src/eval.rs crates/detect/src/features.rs crates/detect/src/logreg.rs crates/detect/src/nb.rs crates/detect/src/tasks.rs
+
+/root/repo/target/debug/deps/libsmishing_detect-59e324f9971a4583.rlib: crates/detect/src/lib.rs crates/detect/src/eval.rs crates/detect/src/features.rs crates/detect/src/logreg.rs crates/detect/src/nb.rs crates/detect/src/tasks.rs
+
+/root/repo/target/debug/deps/libsmishing_detect-59e324f9971a4583.rmeta: crates/detect/src/lib.rs crates/detect/src/eval.rs crates/detect/src/features.rs crates/detect/src/logreg.rs crates/detect/src/nb.rs crates/detect/src/tasks.rs
+
+crates/detect/src/lib.rs:
+crates/detect/src/eval.rs:
+crates/detect/src/features.rs:
+crates/detect/src/logreg.rs:
+crates/detect/src/nb.rs:
+crates/detect/src/tasks.rs:

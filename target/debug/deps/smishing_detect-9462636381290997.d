@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/smishing_detect-9462636381290997.d: crates/detect/src/lib.rs crates/detect/src/eval.rs crates/detect/src/features.rs crates/detect/src/logreg.rs crates/detect/src/nb.rs crates/detect/src/tasks.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsmishing_detect-9462636381290997.rmeta: crates/detect/src/lib.rs crates/detect/src/eval.rs crates/detect/src/features.rs crates/detect/src/logreg.rs crates/detect/src/nb.rs crates/detect/src/tasks.rs Cargo.toml
+
+crates/detect/src/lib.rs:
+crates/detect/src/eval.rs:
+crates/detect/src/features.rs:
+crates/detect/src/logreg.rs:
+crates/detect/src/nb.rs:
+crates/detect/src/tasks.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/smishing_detect-ca2be7e5c8df99d6.d: crates/detect/src/lib.rs crates/detect/src/eval.rs crates/detect/src/features.rs crates/detect/src/logreg.rs crates/detect/src/nb.rs crates/detect/src/tasks.rs
+
+/root/repo/target/debug/deps/smishing_detect-ca2be7e5c8df99d6: crates/detect/src/lib.rs crates/detect/src/eval.rs crates/detect/src/features.rs crates/detect/src/logreg.rs crates/detect/src/nb.rs crates/detect/src/tasks.rs
+
+crates/detect/src/lib.rs:
+crates/detect/src/eval.rs:
+crates/detect/src/features.rs:
+crates/detect/src/logreg.rs:
+crates/detect/src/nb.rs:
+crates/detect/src/tasks.rs:

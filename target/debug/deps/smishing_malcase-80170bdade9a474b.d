@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/smishing_malcase-80170bdade9a474b.d: crates/malcase/src/lib.rs crates/malcase/src/androzoo.rs crates/malcase/src/apk.rs crates/malcase/src/euphony.rs crates/malcase/src/redirect.rs crates/malcase/src/vtlabels.rs
+
+/root/repo/target/debug/deps/smishing_malcase-80170bdade9a474b: crates/malcase/src/lib.rs crates/malcase/src/androzoo.rs crates/malcase/src/apk.rs crates/malcase/src/euphony.rs crates/malcase/src/redirect.rs crates/malcase/src/vtlabels.rs
+
+crates/malcase/src/lib.rs:
+crates/malcase/src/androzoo.rs:
+crates/malcase/src/apk.rs:
+crates/malcase/src/euphony.rs:
+crates/malcase/src/redirect.rs:
+crates/malcase/src/vtlabels.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/smishing_malcase-b1579b021a504736.d: crates/malcase/src/lib.rs crates/malcase/src/androzoo.rs crates/malcase/src/apk.rs crates/malcase/src/euphony.rs crates/malcase/src/redirect.rs crates/malcase/src/vtlabels.rs
+
+/root/repo/target/debug/deps/libsmishing_malcase-b1579b021a504736.rlib: crates/malcase/src/lib.rs crates/malcase/src/androzoo.rs crates/malcase/src/apk.rs crates/malcase/src/euphony.rs crates/malcase/src/redirect.rs crates/malcase/src/vtlabels.rs
+
+/root/repo/target/debug/deps/libsmishing_malcase-b1579b021a504736.rmeta: crates/malcase/src/lib.rs crates/malcase/src/androzoo.rs crates/malcase/src/apk.rs crates/malcase/src/euphony.rs crates/malcase/src/redirect.rs crates/malcase/src/vtlabels.rs
+
+crates/malcase/src/lib.rs:
+crates/malcase/src/androzoo.rs:
+crates/malcase/src/apk.rs:
+crates/malcase/src/euphony.rs:
+crates/malcase/src/redirect.rs:
+crates/malcase/src/vtlabels.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/smishing_malcase-d215b5e9b85dd7c3.d: crates/malcase/src/lib.rs crates/malcase/src/androzoo.rs crates/malcase/src/apk.rs crates/malcase/src/euphony.rs crates/malcase/src/redirect.rs crates/malcase/src/vtlabels.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsmishing_malcase-d215b5e9b85dd7c3.rmeta: crates/malcase/src/lib.rs crates/malcase/src/androzoo.rs crates/malcase/src/apk.rs crates/malcase/src/euphony.rs crates/malcase/src/redirect.rs crates/malcase/src/vtlabels.rs Cargo.toml
+
+crates/malcase/src/lib.rs:
+crates/malcase/src/androzoo.rs:
+crates/malcase/src/apk.rs:
+crates/malcase/src/euphony.rs:
+crates/malcase/src/redirect.rs:
+crates/malcase/src/vtlabels.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

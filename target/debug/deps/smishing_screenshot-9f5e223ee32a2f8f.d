@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/smishing_screenshot-9f5e223ee32a2f8f.d: crates/screenshot/src/lib.rs crates/screenshot/src/compare.rs crates/screenshot/src/extract_llm.rs crates/screenshot/src/image.rs crates/screenshot/src/ocr_naive.rs crates/screenshot/src/ocr_vision.rs crates/screenshot/src/render.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsmishing_screenshot-9f5e223ee32a2f8f.rmeta: crates/screenshot/src/lib.rs crates/screenshot/src/compare.rs crates/screenshot/src/extract_llm.rs crates/screenshot/src/image.rs crates/screenshot/src/ocr_naive.rs crates/screenshot/src/ocr_vision.rs crates/screenshot/src/render.rs Cargo.toml
+
+crates/screenshot/src/lib.rs:
+crates/screenshot/src/compare.rs:
+crates/screenshot/src/extract_llm.rs:
+crates/screenshot/src/image.rs:
+crates/screenshot/src/ocr_naive.rs:
+crates/screenshot/src/ocr_vision.rs:
+crates/screenshot/src/render.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/smishing_screenshot-a2268c00fe4719d3.d: crates/screenshot/src/lib.rs crates/screenshot/src/compare.rs crates/screenshot/src/extract_llm.rs crates/screenshot/src/image.rs crates/screenshot/src/ocr_naive.rs crates/screenshot/src/ocr_vision.rs crates/screenshot/src/render.rs
+
+/root/repo/target/debug/deps/smishing_screenshot-a2268c00fe4719d3: crates/screenshot/src/lib.rs crates/screenshot/src/compare.rs crates/screenshot/src/extract_llm.rs crates/screenshot/src/image.rs crates/screenshot/src/ocr_naive.rs crates/screenshot/src/ocr_vision.rs crates/screenshot/src/render.rs
+
+crates/screenshot/src/lib.rs:
+crates/screenshot/src/compare.rs:
+crates/screenshot/src/extract_llm.rs:
+crates/screenshot/src/image.rs:
+crates/screenshot/src/ocr_naive.rs:
+crates/screenshot/src/ocr_vision.rs:
+crates/screenshot/src/render.rs:

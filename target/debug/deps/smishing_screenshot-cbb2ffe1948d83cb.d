@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/smishing_screenshot-cbb2ffe1948d83cb.d: crates/screenshot/src/lib.rs crates/screenshot/src/compare.rs crates/screenshot/src/extract_llm.rs crates/screenshot/src/image.rs crates/screenshot/src/ocr_naive.rs crates/screenshot/src/ocr_vision.rs crates/screenshot/src/render.rs
+
+/root/repo/target/debug/deps/libsmishing_screenshot-cbb2ffe1948d83cb.rlib: crates/screenshot/src/lib.rs crates/screenshot/src/compare.rs crates/screenshot/src/extract_llm.rs crates/screenshot/src/image.rs crates/screenshot/src/ocr_naive.rs crates/screenshot/src/ocr_vision.rs crates/screenshot/src/render.rs
+
+/root/repo/target/debug/deps/libsmishing_screenshot-cbb2ffe1948d83cb.rmeta: crates/screenshot/src/lib.rs crates/screenshot/src/compare.rs crates/screenshot/src/extract_llm.rs crates/screenshot/src/image.rs crates/screenshot/src/ocr_naive.rs crates/screenshot/src/ocr_vision.rs crates/screenshot/src/render.rs
+
+crates/screenshot/src/lib.rs:
+crates/screenshot/src/compare.rs:
+crates/screenshot/src/extract_llm.rs:
+crates/screenshot/src/image.rs:
+crates/screenshot/src/ocr_naive.rs:
+crates/screenshot/src/ocr_vision.rs:
+crates/screenshot/src/render.rs:

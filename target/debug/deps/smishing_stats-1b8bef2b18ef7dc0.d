@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/smishing_stats-1b8bef2b18ef7dc0.d: crates/stats/src/lib.rs crates/stats/src/counter.rs crates/stats/src/descriptive.rs crates/stats/src/histogram.rs crates/stats/src/kappa.rs crates/stats/src/ks.rs crates/stats/src/merge.rs crates/stats/src/quantile.rs crates/stats/src/sample.rs crates/stats/src/unionfind.rs
+
+/root/repo/target/debug/deps/smishing_stats-1b8bef2b18ef7dc0: crates/stats/src/lib.rs crates/stats/src/counter.rs crates/stats/src/descriptive.rs crates/stats/src/histogram.rs crates/stats/src/kappa.rs crates/stats/src/ks.rs crates/stats/src/merge.rs crates/stats/src/quantile.rs crates/stats/src/sample.rs crates/stats/src/unionfind.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/counter.rs:
+crates/stats/src/descriptive.rs:
+crates/stats/src/histogram.rs:
+crates/stats/src/kappa.rs:
+crates/stats/src/ks.rs:
+crates/stats/src/merge.rs:
+crates/stats/src/quantile.rs:
+crates/stats/src/sample.rs:
+crates/stats/src/unionfind.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/smishing_stats-be727c085e2fc998.d: crates/stats/src/lib.rs crates/stats/src/counter.rs crates/stats/src/descriptive.rs crates/stats/src/histogram.rs crates/stats/src/kappa.rs crates/stats/src/ks.rs crates/stats/src/merge.rs crates/stats/src/quantile.rs crates/stats/src/sample.rs crates/stats/src/unionfind.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsmishing_stats-be727c085e2fc998.rmeta: crates/stats/src/lib.rs crates/stats/src/counter.rs crates/stats/src/descriptive.rs crates/stats/src/histogram.rs crates/stats/src/kappa.rs crates/stats/src/ks.rs crates/stats/src/merge.rs crates/stats/src/quantile.rs crates/stats/src/sample.rs crates/stats/src/unionfind.rs Cargo.toml
+
+crates/stats/src/lib.rs:
+crates/stats/src/counter.rs:
+crates/stats/src/descriptive.rs:
+crates/stats/src/histogram.rs:
+crates/stats/src/kappa.rs:
+crates/stats/src/ks.rs:
+crates/stats/src/merge.rs:
+crates/stats/src/quantile.rs:
+crates/stats/src/sample.rs:
+crates/stats/src/unionfind.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/smishing_stats-d9d5817d10b00679.d: crates/stats/src/lib.rs crates/stats/src/counter.rs crates/stats/src/descriptive.rs crates/stats/src/histogram.rs crates/stats/src/kappa.rs crates/stats/src/ks.rs crates/stats/src/merge.rs crates/stats/src/quantile.rs crates/stats/src/sample.rs crates/stats/src/unionfind.rs
+
+/root/repo/target/debug/deps/libsmishing_stats-d9d5817d10b00679.rlib: crates/stats/src/lib.rs crates/stats/src/counter.rs crates/stats/src/descriptive.rs crates/stats/src/histogram.rs crates/stats/src/kappa.rs crates/stats/src/ks.rs crates/stats/src/merge.rs crates/stats/src/quantile.rs crates/stats/src/sample.rs crates/stats/src/unionfind.rs
+
+/root/repo/target/debug/deps/libsmishing_stats-d9d5817d10b00679.rmeta: crates/stats/src/lib.rs crates/stats/src/counter.rs crates/stats/src/descriptive.rs crates/stats/src/histogram.rs crates/stats/src/kappa.rs crates/stats/src/ks.rs crates/stats/src/merge.rs crates/stats/src/quantile.rs crates/stats/src/sample.rs crates/stats/src/unionfind.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/counter.rs:
+crates/stats/src/descriptive.rs:
+crates/stats/src/histogram.rs:
+crates/stats/src/kappa.rs:
+crates/stats/src/ks.rs:
+crates/stats/src/merge.rs:
+crates/stats/src/quantile.rs:
+crates/stats/src/sample.rs:
+crates/stats/src/unionfind.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/smishing_stream-79e275dcb5ae9a8b.d: crates/stream/src/lib.rs crates/stream/src/accs.rs crates/stream/src/engine.rs crates/stream/src/snapshot.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsmishing_stream-79e275dcb5ae9a8b.rmeta: crates/stream/src/lib.rs crates/stream/src/accs.rs crates/stream/src/engine.rs crates/stream/src/snapshot.rs Cargo.toml
+
+crates/stream/src/lib.rs:
+crates/stream/src/accs.rs:
+crates/stream/src/engine.rs:
+crates/stream/src/snapshot.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

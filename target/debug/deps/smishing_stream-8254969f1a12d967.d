@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/smishing_stream-8254969f1a12d967.d: crates/stream/src/lib.rs crates/stream/src/accs.rs crates/stream/src/engine.rs crates/stream/src/snapshot.rs
+
+/root/repo/target/debug/deps/libsmishing_stream-8254969f1a12d967.rlib: crates/stream/src/lib.rs crates/stream/src/accs.rs crates/stream/src/engine.rs crates/stream/src/snapshot.rs
+
+/root/repo/target/debug/deps/libsmishing_stream-8254969f1a12d967.rmeta: crates/stream/src/lib.rs crates/stream/src/accs.rs crates/stream/src/engine.rs crates/stream/src/snapshot.rs
+
+crates/stream/src/lib.rs:
+crates/stream/src/accs.rs:
+crates/stream/src/engine.rs:
+crates/stream/src/snapshot.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/smishing_stream-97886d0c772e15d0.d: crates/stream/src/lib.rs crates/stream/src/accs.rs crates/stream/src/engine.rs crates/stream/src/snapshot.rs
+
+/root/repo/target/debug/deps/smishing_stream-97886d0c772e15d0: crates/stream/src/lib.rs crates/stream/src/accs.rs crates/stream/src/engine.rs crates/stream/src/snapshot.rs
+
+crates/stream/src/lib.rs:
+crates/stream/src/accs.rs:
+crates/stream/src/engine.rs:
+crates/stream/src/snapshot.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/smishing_stream-c85c79b06ccb9774.d: crates/stream/src/lib.rs crates/stream/src/accs.rs crates/stream/src/engine.rs crates/stream/src/snapshot.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsmishing_stream-c85c79b06ccb9774.rmeta: crates/stream/src/lib.rs crates/stream/src/accs.rs crates/stream/src/engine.rs crates/stream/src/snapshot.rs Cargo.toml
+
+crates/stream/src/lib.rs:
+crates/stream/src/accs.rs:
+crates/stream/src/engine.rs:
+crates/stream/src/snapshot.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/smishing_telecom-10f15d8a07a8542e.d: crates/telecom/src/lib.rs crates/telecom/src/classify.rs crates/telecom/src/hlr.rs crates/telecom/src/mno.rs crates/telecom/src/numbertype.rs crates/telecom/src/numgen.rs crates/telecom/src/parse.rs crates/telecom/src/plan.rs
+
+/root/repo/target/debug/deps/smishing_telecom-10f15d8a07a8542e: crates/telecom/src/lib.rs crates/telecom/src/classify.rs crates/telecom/src/hlr.rs crates/telecom/src/mno.rs crates/telecom/src/numbertype.rs crates/telecom/src/numgen.rs crates/telecom/src/parse.rs crates/telecom/src/plan.rs
+
+crates/telecom/src/lib.rs:
+crates/telecom/src/classify.rs:
+crates/telecom/src/hlr.rs:
+crates/telecom/src/mno.rs:
+crates/telecom/src/numbertype.rs:
+crates/telecom/src/numgen.rs:
+crates/telecom/src/parse.rs:
+crates/telecom/src/plan.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/smishing_telecom-5244107c573b00ea.d: crates/telecom/src/lib.rs crates/telecom/src/classify.rs crates/telecom/src/hlr.rs crates/telecom/src/mno.rs crates/telecom/src/numbertype.rs crates/telecom/src/numgen.rs crates/telecom/src/parse.rs crates/telecom/src/plan.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsmishing_telecom-5244107c573b00ea.rmeta: crates/telecom/src/lib.rs crates/telecom/src/classify.rs crates/telecom/src/hlr.rs crates/telecom/src/mno.rs crates/telecom/src/numbertype.rs crates/telecom/src/numgen.rs crates/telecom/src/parse.rs crates/telecom/src/plan.rs Cargo.toml
+
+crates/telecom/src/lib.rs:
+crates/telecom/src/classify.rs:
+crates/telecom/src/hlr.rs:
+crates/telecom/src/mno.rs:
+crates/telecom/src/numbertype.rs:
+crates/telecom/src/numgen.rs:
+crates/telecom/src/parse.rs:
+crates/telecom/src/plan.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/smishing_telecom-c1f5eb3cbfd9862d.d: crates/telecom/src/lib.rs crates/telecom/src/classify.rs crates/telecom/src/hlr.rs crates/telecom/src/mno.rs crates/telecom/src/numbertype.rs crates/telecom/src/numgen.rs crates/telecom/src/parse.rs crates/telecom/src/plan.rs
+
+/root/repo/target/debug/deps/libsmishing_telecom-c1f5eb3cbfd9862d.rlib: crates/telecom/src/lib.rs crates/telecom/src/classify.rs crates/telecom/src/hlr.rs crates/telecom/src/mno.rs crates/telecom/src/numbertype.rs crates/telecom/src/numgen.rs crates/telecom/src/parse.rs crates/telecom/src/plan.rs
+
+/root/repo/target/debug/deps/libsmishing_telecom-c1f5eb3cbfd9862d.rmeta: crates/telecom/src/lib.rs crates/telecom/src/classify.rs crates/telecom/src/hlr.rs crates/telecom/src/mno.rs crates/telecom/src/numbertype.rs crates/telecom/src/numgen.rs crates/telecom/src/parse.rs crates/telecom/src/plan.rs
+
+crates/telecom/src/lib.rs:
+crates/telecom/src/classify.rs:
+crates/telecom/src/hlr.rs:
+crates/telecom/src/mno.rs:
+crates/telecom/src/numbertype.rs:
+crates/telecom/src/numgen.rs:
+crates/telecom/src/parse.rs:
+crates/telecom/src/plan.rs:

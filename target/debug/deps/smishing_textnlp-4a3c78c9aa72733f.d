@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/smishing_textnlp-4a3c78c9aa72733f.d: crates/textnlp/src/lib.rs crates/textnlp/src/annotator.rs crates/textnlp/src/brands.rs crates/textnlp/src/ham.rs crates/textnlp/src/langid.rs crates/textnlp/src/lexicon.rs crates/textnlp/src/lures.rs crates/textnlp/src/ner.rs crates/textnlp/src/normalize.rs crates/textnlp/src/scamclass.rs crates/textnlp/src/templates.rs crates/textnlp/src/tokenize.rs crates/textnlp/src/translate.rs
+
+/root/repo/target/debug/deps/smishing_textnlp-4a3c78c9aa72733f: crates/textnlp/src/lib.rs crates/textnlp/src/annotator.rs crates/textnlp/src/brands.rs crates/textnlp/src/ham.rs crates/textnlp/src/langid.rs crates/textnlp/src/lexicon.rs crates/textnlp/src/lures.rs crates/textnlp/src/ner.rs crates/textnlp/src/normalize.rs crates/textnlp/src/scamclass.rs crates/textnlp/src/templates.rs crates/textnlp/src/tokenize.rs crates/textnlp/src/translate.rs
+
+crates/textnlp/src/lib.rs:
+crates/textnlp/src/annotator.rs:
+crates/textnlp/src/brands.rs:
+crates/textnlp/src/ham.rs:
+crates/textnlp/src/langid.rs:
+crates/textnlp/src/lexicon.rs:
+crates/textnlp/src/lures.rs:
+crates/textnlp/src/ner.rs:
+crates/textnlp/src/normalize.rs:
+crates/textnlp/src/scamclass.rs:
+crates/textnlp/src/templates.rs:
+crates/textnlp/src/tokenize.rs:
+crates/textnlp/src/translate.rs:

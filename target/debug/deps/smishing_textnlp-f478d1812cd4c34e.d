@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/smishing_textnlp-f478d1812cd4c34e.d: crates/textnlp/src/lib.rs crates/textnlp/src/annotator.rs crates/textnlp/src/brands.rs crates/textnlp/src/ham.rs crates/textnlp/src/langid.rs crates/textnlp/src/lexicon.rs crates/textnlp/src/lures.rs crates/textnlp/src/ner.rs crates/textnlp/src/normalize.rs crates/textnlp/src/scamclass.rs crates/textnlp/src/templates.rs crates/textnlp/src/tokenize.rs crates/textnlp/src/translate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsmishing_textnlp-f478d1812cd4c34e.rmeta: crates/textnlp/src/lib.rs crates/textnlp/src/annotator.rs crates/textnlp/src/brands.rs crates/textnlp/src/ham.rs crates/textnlp/src/langid.rs crates/textnlp/src/lexicon.rs crates/textnlp/src/lures.rs crates/textnlp/src/ner.rs crates/textnlp/src/normalize.rs crates/textnlp/src/scamclass.rs crates/textnlp/src/templates.rs crates/textnlp/src/tokenize.rs crates/textnlp/src/translate.rs Cargo.toml
+
+crates/textnlp/src/lib.rs:
+crates/textnlp/src/annotator.rs:
+crates/textnlp/src/brands.rs:
+crates/textnlp/src/ham.rs:
+crates/textnlp/src/langid.rs:
+crates/textnlp/src/lexicon.rs:
+crates/textnlp/src/lures.rs:
+crates/textnlp/src/ner.rs:
+crates/textnlp/src/normalize.rs:
+crates/textnlp/src/scamclass.rs:
+crates/textnlp/src/templates.rs:
+crates/textnlp/src/tokenize.rs:
+crates/textnlp/src/translate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

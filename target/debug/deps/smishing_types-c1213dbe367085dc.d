@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/smishing_types-c1213dbe367085dc.d: crates/types/src/lib.rs crates/types/src/brand.rs crates/types/src/country.rs crates/types/src/error.rs crates/types/src/forum.rs crates/types/src/ids.rs crates/types/src/language.rs crates/types/src/message.rs crates/types/src/phone.rs crates/types/src/scam.rs crates/types/src/sender.rs crates/types/src/time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsmishing_types-c1213dbe367085dc.rmeta: crates/types/src/lib.rs crates/types/src/brand.rs crates/types/src/country.rs crates/types/src/error.rs crates/types/src/forum.rs crates/types/src/ids.rs crates/types/src/language.rs crates/types/src/message.rs crates/types/src/phone.rs crates/types/src/scam.rs crates/types/src/sender.rs crates/types/src/time.rs Cargo.toml
+
+crates/types/src/lib.rs:
+crates/types/src/brand.rs:
+crates/types/src/country.rs:
+crates/types/src/error.rs:
+crates/types/src/forum.rs:
+crates/types/src/ids.rs:
+crates/types/src/language.rs:
+crates/types/src/message.rs:
+crates/types/src/phone.rs:
+crates/types/src/scam.rs:
+crates/types/src/sender.rs:
+crates/types/src/time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

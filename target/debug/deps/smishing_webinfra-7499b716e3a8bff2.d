@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/smishing_webinfra-7499b716e3a8bff2.d: crates/webinfra/src/lib.rs crates/webinfra/src/asn.rs crates/webinfra/src/ctlog.rs crates/webinfra/src/hosting.rs crates/webinfra/src/pdns.rs crates/webinfra/src/shortener.rs crates/webinfra/src/tld.rs crates/webinfra/src/url.rs crates/webinfra/src/whois.rs
+
+/root/repo/target/debug/deps/libsmishing_webinfra-7499b716e3a8bff2.rlib: crates/webinfra/src/lib.rs crates/webinfra/src/asn.rs crates/webinfra/src/ctlog.rs crates/webinfra/src/hosting.rs crates/webinfra/src/pdns.rs crates/webinfra/src/shortener.rs crates/webinfra/src/tld.rs crates/webinfra/src/url.rs crates/webinfra/src/whois.rs
+
+/root/repo/target/debug/deps/libsmishing_webinfra-7499b716e3a8bff2.rmeta: crates/webinfra/src/lib.rs crates/webinfra/src/asn.rs crates/webinfra/src/ctlog.rs crates/webinfra/src/hosting.rs crates/webinfra/src/pdns.rs crates/webinfra/src/shortener.rs crates/webinfra/src/tld.rs crates/webinfra/src/url.rs crates/webinfra/src/whois.rs
+
+crates/webinfra/src/lib.rs:
+crates/webinfra/src/asn.rs:
+crates/webinfra/src/ctlog.rs:
+crates/webinfra/src/hosting.rs:
+crates/webinfra/src/pdns.rs:
+crates/webinfra/src/shortener.rs:
+crates/webinfra/src/tld.rs:
+crates/webinfra/src/url.rs:
+crates/webinfra/src/whois.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/smishing_webinfra-a07d3cbd73442c7d.d: crates/webinfra/src/lib.rs crates/webinfra/src/asn.rs crates/webinfra/src/ctlog.rs crates/webinfra/src/hosting.rs crates/webinfra/src/pdns.rs crates/webinfra/src/shortener.rs crates/webinfra/src/tld.rs crates/webinfra/src/url.rs crates/webinfra/src/whois.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsmishing_webinfra-a07d3cbd73442c7d.rmeta: crates/webinfra/src/lib.rs crates/webinfra/src/asn.rs crates/webinfra/src/ctlog.rs crates/webinfra/src/hosting.rs crates/webinfra/src/pdns.rs crates/webinfra/src/shortener.rs crates/webinfra/src/tld.rs crates/webinfra/src/url.rs crates/webinfra/src/whois.rs Cargo.toml
+
+crates/webinfra/src/lib.rs:
+crates/webinfra/src/asn.rs:
+crates/webinfra/src/ctlog.rs:
+crates/webinfra/src/hosting.rs:
+crates/webinfra/src/pdns.rs:
+crates/webinfra/src/shortener.rs:
+crates/webinfra/src/tld.rs:
+crates/webinfra/src/url.rs:
+crates/webinfra/src/whois.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/smishing_webinfra-d250cedd390f1eed.d: crates/webinfra/src/lib.rs crates/webinfra/src/asn.rs crates/webinfra/src/ctlog.rs crates/webinfra/src/hosting.rs crates/webinfra/src/pdns.rs crates/webinfra/src/shortener.rs crates/webinfra/src/tld.rs crates/webinfra/src/url.rs crates/webinfra/src/whois.rs
+
+/root/repo/target/debug/deps/smishing_webinfra-d250cedd390f1eed: crates/webinfra/src/lib.rs crates/webinfra/src/asn.rs crates/webinfra/src/ctlog.rs crates/webinfra/src/hosting.rs crates/webinfra/src/pdns.rs crates/webinfra/src/shortener.rs crates/webinfra/src/tld.rs crates/webinfra/src/url.rs crates/webinfra/src/whois.rs
+
+crates/webinfra/src/lib.rs:
+crates/webinfra/src/asn.rs:
+crates/webinfra/src/ctlog.rs:
+crates/webinfra/src/hosting.rs:
+crates/webinfra/src/pdns.rs:
+crates/webinfra/src/shortener.rs:
+crates/webinfra/src/tld.rs:
+crates/webinfra/src/url.rs:
+crates/webinfra/src/whois.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/smishing_worldsim-32e2160a477bc7ee.d: crates/worldsim/src/lib.rs crates/worldsim/src/campaign.rs crates/worldsim/src/config.rs crates/worldsim/src/domaingen.rs crates/worldsim/src/names.rs crates/worldsim/src/reporting.rs crates/worldsim/src/schedule.rs crates/worldsim/src/services.rs crates/worldsim/src/stream.rs crates/worldsim/src/subreddits.rs crates/worldsim/src/world.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsmishing_worldsim-32e2160a477bc7ee.rmeta: crates/worldsim/src/lib.rs crates/worldsim/src/campaign.rs crates/worldsim/src/config.rs crates/worldsim/src/domaingen.rs crates/worldsim/src/names.rs crates/worldsim/src/reporting.rs crates/worldsim/src/schedule.rs crates/worldsim/src/services.rs crates/worldsim/src/stream.rs crates/worldsim/src/subreddits.rs crates/worldsim/src/world.rs Cargo.toml
+
+crates/worldsim/src/lib.rs:
+crates/worldsim/src/campaign.rs:
+crates/worldsim/src/config.rs:
+crates/worldsim/src/domaingen.rs:
+crates/worldsim/src/names.rs:
+crates/worldsim/src/reporting.rs:
+crates/worldsim/src/schedule.rs:
+crates/worldsim/src/services.rs:
+crates/worldsim/src/stream.rs:
+crates/worldsim/src/subreddits.rs:
+crates/worldsim/src/world.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

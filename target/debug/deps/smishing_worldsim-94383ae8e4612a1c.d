@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/smishing_worldsim-94383ae8e4612a1c.d: crates/worldsim/src/lib.rs crates/worldsim/src/campaign.rs crates/worldsim/src/config.rs crates/worldsim/src/domaingen.rs crates/worldsim/src/names.rs crates/worldsim/src/reporting.rs crates/worldsim/src/schedule.rs crates/worldsim/src/services.rs crates/worldsim/src/stream.rs crates/worldsim/src/subreddits.rs crates/worldsim/src/world.rs
+
+/root/repo/target/debug/deps/smishing_worldsim-94383ae8e4612a1c: crates/worldsim/src/lib.rs crates/worldsim/src/campaign.rs crates/worldsim/src/config.rs crates/worldsim/src/domaingen.rs crates/worldsim/src/names.rs crates/worldsim/src/reporting.rs crates/worldsim/src/schedule.rs crates/worldsim/src/services.rs crates/worldsim/src/stream.rs crates/worldsim/src/subreddits.rs crates/worldsim/src/world.rs
+
+crates/worldsim/src/lib.rs:
+crates/worldsim/src/campaign.rs:
+crates/worldsim/src/config.rs:
+crates/worldsim/src/domaingen.rs:
+crates/worldsim/src/names.rs:
+crates/worldsim/src/reporting.rs:
+crates/worldsim/src/schedule.rs:
+crates/worldsim/src/services.rs:
+crates/worldsim/src/stream.rs:
+crates/worldsim/src/subreddits.rs:
+crates/worldsim/src/world.rs:

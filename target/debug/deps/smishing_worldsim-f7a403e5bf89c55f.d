@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/smishing_worldsim-f7a403e5bf89c55f.d: crates/worldsim/src/lib.rs crates/worldsim/src/campaign.rs crates/worldsim/src/config.rs crates/worldsim/src/domaingen.rs crates/worldsim/src/names.rs crates/worldsim/src/reporting.rs crates/worldsim/src/schedule.rs crates/worldsim/src/services.rs crates/worldsim/src/stream.rs crates/worldsim/src/subreddits.rs crates/worldsim/src/world.rs
+
+/root/repo/target/debug/deps/libsmishing_worldsim-f7a403e5bf89c55f.rlib: crates/worldsim/src/lib.rs crates/worldsim/src/campaign.rs crates/worldsim/src/config.rs crates/worldsim/src/domaingen.rs crates/worldsim/src/names.rs crates/worldsim/src/reporting.rs crates/worldsim/src/schedule.rs crates/worldsim/src/services.rs crates/worldsim/src/stream.rs crates/worldsim/src/subreddits.rs crates/worldsim/src/world.rs
+
+/root/repo/target/debug/deps/libsmishing_worldsim-f7a403e5bf89c55f.rmeta: crates/worldsim/src/lib.rs crates/worldsim/src/campaign.rs crates/worldsim/src/config.rs crates/worldsim/src/domaingen.rs crates/worldsim/src/names.rs crates/worldsim/src/reporting.rs crates/worldsim/src/schedule.rs crates/worldsim/src/services.rs crates/worldsim/src/stream.rs crates/worldsim/src/subreddits.rs crates/worldsim/src/world.rs
+
+crates/worldsim/src/lib.rs:
+crates/worldsim/src/campaign.rs:
+crates/worldsim/src/config.rs:
+crates/worldsim/src/domaingen.rs:
+crates/worldsim/src/names.rs:
+crates/worldsim/src/reporting.rs:
+crates/worldsim/src/schedule.rs:
+crates/worldsim/src/services.rs:
+crates/worldsim/src/stream.rs:
+crates/worldsim/src/subreddits.rs:
+crates/worldsim/src/world.rs:

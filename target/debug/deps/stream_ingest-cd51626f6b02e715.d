@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/stream_ingest-cd51626f6b02e715.d: crates/bench/benches/stream_ingest.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstream_ingest-cd51626f6b02e715.rmeta: crates/bench/benches/stream_ingest.rs Cargo.toml
+
+crates/bench/benches/stream_ingest.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

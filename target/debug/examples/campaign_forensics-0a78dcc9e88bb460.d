@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/campaign_forensics-0a78dcc9e88bb460.d: examples/campaign_forensics.rs
+
+/root/repo/target/debug/examples/campaign_forensics-0a78dcc9e88bb460: examples/campaign_forensics.rs
+
+examples/campaign_forensics.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/campaign_forensics-817bb4039df02de2.d: examples/campaign_forensics.rs
+
+/root/repo/target/debug/examples/campaign_forensics-817bb4039df02de2: examples/campaign_forensics.rs
+
+examples/campaign_forensics.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/campaign_forensics-904663c53c2fd0a2.d: examples/campaign_forensics.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcampaign_forensics-904663c53c2fd0a2.rmeta: examples/campaign_forensics.rs Cargo.toml
+
+examples/campaign_forensics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/detector_study-75f3c13445ae8045.d: examples/detector_study.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdetector_study-75f3c13445ae8045.rmeta: examples/detector_study.rs Cargo.toml
+
+examples/detector_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/detector_study-b31ee1a2bc202502.d: examples/detector_study.rs
+
+/root/repo/target/debug/examples/detector_study-b31ee1a2bc202502: examples/detector_study.rs
+
+examples/detector_study.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/detector_study-da2e41aa282008f1.d: examples/detector_study.rs
+
+/root/repo/target/debug/examples/detector_study-da2e41aa282008f1: examples/detector_study.rs
+
+examples/detector_study.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/mitigation_whatif-ac081980b92d2dfa.d: examples/mitigation_whatif.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmitigation_whatif-ac081980b92d2dfa.rmeta: examples/mitigation_whatif.rs Cargo.toml
+
+examples/mitigation_whatif.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mitigation_whatif-ca47ec5fcb76adfd.d: examples/mitigation_whatif.rs
+
+/root/repo/target/debug/examples/mitigation_whatif-ca47ec5fcb76adfd: examples/mitigation_whatif.rs
+
+examples/mitigation_whatif.rs:

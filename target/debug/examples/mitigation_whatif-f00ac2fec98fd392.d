@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mitigation_whatif-f00ac2fec98fd392.d: examples/mitigation_whatif.rs
+
+/root/repo/target/debug/examples/mitigation_whatif-f00ac2fec98fd392: examples/mitigation_whatif.rs
+
+examples/mitigation_whatif.rs:

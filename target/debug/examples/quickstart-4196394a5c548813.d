@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-4196394a5c548813.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-4196394a5c548813: examples/quickstart.rs
+
+examples/quickstart.rs:

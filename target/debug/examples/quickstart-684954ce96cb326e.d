@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-684954ce96cb326e.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-684954ce96cb326e: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/streaming_ingest-c3d417f1d1d97f50.d: examples/streaming_ingest.rs
+
+/root/repo/target/debug/examples/streaming_ingest-c3d417f1d1d97f50: examples/streaming_ingest.rs
+
+examples/streaming_ingest.rs:

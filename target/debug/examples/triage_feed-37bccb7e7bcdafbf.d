@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/triage_feed-37bccb7e7bcdafbf.d: examples/triage_feed.rs
+
+/root/repo/target/debug/examples/triage_feed-37bccb7e7bcdafbf: examples/triage_feed.rs
+
+examples/triage_feed.rs:

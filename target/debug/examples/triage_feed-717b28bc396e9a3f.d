@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/triage_feed-717b28bc396e9a3f.d: examples/triage_feed.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtriage_feed-717b28bc396e9a3f.rmeta: examples/triage_feed.rs Cargo.toml
+
+examples/triage_feed.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

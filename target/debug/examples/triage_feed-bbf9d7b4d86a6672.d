@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/triage_feed-bbf9d7b4d86a6672.d: examples/triage_feed.rs
+
+/root/repo/target/debug/examples/triage_feed-bbf9d7b4d86a6672: examples/triage_feed.rs
+
+examples/triage_feed.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-3d438188d71288fa.d: tests/ablations.rs
+
+/root/repo/target/release/deps/ablations-3d438188d71288fa: tests/ablations.rs
+
+tests/ablations.rs:

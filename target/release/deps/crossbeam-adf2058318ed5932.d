@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/crossbeam-adf2058318ed5932.d: vendor/crossbeam/src/lib.rs vendor/crossbeam/src/channel.rs
+
+/root/repo/target/release/deps/libcrossbeam-adf2058318ed5932.rlib: vendor/crossbeam/src/lib.rs vendor/crossbeam/src/channel.rs
+
+/root/repo/target/release/deps/libcrossbeam-adf2058318ed5932.rmeta: vendor/crossbeam/src/lib.rs vendor/crossbeam/src/channel.rs
+
+vendor/crossbeam/src/lib.rs:
+vendor/crossbeam/src/channel.rs:

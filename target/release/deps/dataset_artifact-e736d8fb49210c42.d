@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dataset_artifact-e736d8fb49210c42.d: tests/dataset_artifact.rs
+
+/root/repo/target/release/deps/dataset_artifact-e736d8fb49210c42: tests/dataset_artifact.rs
+
+tests/dataset_artifact.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-255dc3b0b58156a2.d: tests/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-255dc3b0b58156a2: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/proptest-696ece2ba6d908c8.d: vendor/proptest/src/lib.rs vendor/proptest/src/regex.rs
+
+/root/repo/target/release/deps/libproptest-696ece2ba6d908c8.rlib: vendor/proptest/src/lib.rs vendor/proptest/src/regex.rs
+
+/root/repo/target/release/deps/libproptest-696ece2ba6d908c8.rmeta: vendor/proptest/src/lib.rs vendor/proptest/src/regex.rs
+
+vendor/proptest/src/lib.rs:
+vendor/proptest/src/regex.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-1586d1f9a822a387.d: tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-1586d1f9a822a387: tests/proptests.rs
+
+tests/proptests.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/rand-a1e63da3570cb13e.d: vendor/rand/src/lib.rs vendor/rand/src/distributions/mod.rs vendor/rand/src/distributions/uniform.rs vendor/rand/src/rngs/mod.rs vendor/rand/src/rngs/mock.rs vendor/rand/src/seq.rs vendor/rand/src/chacha.rs
+
+/root/repo/target/release/deps/librand-a1e63da3570cb13e.rlib: vendor/rand/src/lib.rs vendor/rand/src/distributions/mod.rs vendor/rand/src/distributions/uniform.rs vendor/rand/src/rngs/mod.rs vendor/rand/src/rngs/mock.rs vendor/rand/src/seq.rs vendor/rand/src/chacha.rs
+
+/root/repo/target/release/deps/librand-a1e63da3570cb13e.rmeta: vendor/rand/src/lib.rs vendor/rand/src/distributions/mod.rs vendor/rand/src/distributions/uniform.rs vendor/rand/src/rngs/mod.rs vendor/rand/src/rngs/mock.rs vendor/rand/src/seq.rs vendor/rand/src/chacha.rs
+
+vendor/rand/src/lib.rs:
+vendor/rand/src/distributions/mod.rs:
+vendor/rand/src/distributions/uniform.rs:
+vendor/rand/src/rngs/mod.rs:
+vendor/rand/src/rngs/mock.rs:
+vendor/rand/src/seq.rs:
+vendor/rand/src/chacha.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-f5eff72c21e3ca52.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-f5eff72c21e3ca52: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

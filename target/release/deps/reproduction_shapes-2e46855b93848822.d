@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/reproduction_shapes-2e46855b93848822.d: tests/reproduction_shapes.rs
+
+/root/repo/target/release/deps/reproduction_shapes-2e46855b93848822: tests/reproduction_shapes.rs
+
+tests/reproduction_shapes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/robustness-d157a61210e2630e.d: tests/robustness.rs
+
+/root/repo/target/release/deps/robustness-d157a61210e2630e: tests/robustness.rs
+
+tests/robustness.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/seed_sweep-1dddab1e7a32f2b8.d: tests/seed_sweep.rs
+
+/root/repo/target/release/deps/seed_sweep-1dddab1e7a32f2b8: tests/seed_sweep.rs
+
+tests/seed_sweep.rs:

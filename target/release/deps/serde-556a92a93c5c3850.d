@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/serde-556a92a93c5c3850.d: vendor/serde/src/lib.rs vendor/serde/src/value.rs
+
+/root/repo/target/release/deps/libserde-556a92a93c5c3850.rlib: vendor/serde/src/lib.rs vendor/serde/src/value.rs
+
+/root/repo/target/release/deps/libserde-556a92a93c5c3850.rmeta: vendor/serde/src/lib.rs vendor/serde/src/value.rs
+
+vendor/serde/src/lib.rs:
+vendor/serde/src/value.rs:

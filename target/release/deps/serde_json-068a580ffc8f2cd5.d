@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/serde_json-068a580ffc8f2cd5.d: vendor/serde_json/src/lib.rs vendor/serde_json/src/de.rs vendor/serde_json/src/ser.rs
+
+/root/repo/target/release/deps/libserde_json-068a580ffc8f2cd5.rlib: vendor/serde_json/src/lib.rs vendor/serde_json/src/de.rs vendor/serde_json/src/ser.rs
+
+/root/repo/target/release/deps/libserde_json-068a580ffc8f2cd5.rmeta: vendor/serde_json/src/lib.rs vendor/serde_json/src/de.rs vendor/serde_json/src/ser.rs
+
+vendor/serde_json/src/lib.rs:
+vendor/serde_json/src/de.rs:
+vendor/serde_json/src/ser.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/smish-37c2c9d2246bbe90.d: src/bin/smish.rs
+
+/root/repo/target/release/deps/smish-37c2c9d2246bbe90: src/bin/smish.rs
+
+src/bin/smish.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/smish-5bc4cb941d256e38.d: src/bin/smish.rs
+
+/root/repo/target/release/deps/smish-5bc4cb941d256e38: src/bin/smish.rs
+
+src/bin/smish.rs:

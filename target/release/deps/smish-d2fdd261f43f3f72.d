@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/smish-d2fdd261f43f3f72.d: src/bin/smish.rs
+
+/root/repo/target/release/deps/smish-d2fdd261f43f3f72: src/bin/smish.rs
+
+src/bin/smish.rs:

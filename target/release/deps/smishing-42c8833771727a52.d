@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/smishing-42c8833771727a52.d: src/lib.rs
+
+/root/repo/target/release/deps/libsmishing-42c8833771727a52.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libsmishing-42c8833771727a52.rmeta: src/lib.rs
+
+src/lib.rs:

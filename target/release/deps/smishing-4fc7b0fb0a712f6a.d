@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/smishing-4fc7b0fb0a712f6a.d: src/lib.rs
+
+/root/repo/target/release/deps/libsmishing-4fc7b0fb0a712f6a.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libsmishing-4fc7b0fb0a712f6a.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/smishing-d656c6177c0f0c3d.d: src/lib.rs
+
+/root/repo/target/release/deps/smishing-d656c6177c0f0c3d: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/smishing_avscan-8142233a00d268a6.d: crates/avscan/src/lib.rs crates/avscan/src/gsb.rs crates/avscan/src/vendor.rs crates/avscan/src/virustotal.rs
+
+/root/repo/target/release/deps/libsmishing_avscan-8142233a00d268a6.rlib: crates/avscan/src/lib.rs crates/avscan/src/gsb.rs crates/avscan/src/vendor.rs crates/avscan/src/virustotal.rs
+
+/root/repo/target/release/deps/libsmishing_avscan-8142233a00d268a6.rmeta: crates/avscan/src/lib.rs crates/avscan/src/gsb.rs crates/avscan/src/vendor.rs crates/avscan/src/virustotal.rs
+
+crates/avscan/src/lib.rs:
+crates/avscan/src/gsb.rs:
+crates/avscan/src/vendor.rs:
+crates/avscan/src/virustotal.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/smishing_bench-72049197d2e619b3.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libsmishing_bench-72049197d2e619b3.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libsmishing_bench-72049197d2e619b3.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

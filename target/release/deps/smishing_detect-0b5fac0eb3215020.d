@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/smishing_detect-0b5fac0eb3215020.d: crates/detect/src/lib.rs crates/detect/src/eval.rs crates/detect/src/features.rs crates/detect/src/logreg.rs crates/detect/src/nb.rs crates/detect/src/tasks.rs
+
+/root/repo/target/release/deps/libsmishing_detect-0b5fac0eb3215020.rlib: crates/detect/src/lib.rs crates/detect/src/eval.rs crates/detect/src/features.rs crates/detect/src/logreg.rs crates/detect/src/nb.rs crates/detect/src/tasks.rs
+
+/root/repo/target/release/deps/libsmishing_detect-0b5fac0eb3215020.rmeta: crates/detect/src/lib.rs crates/detect/src/eval.rs crates/detect/src/features.rs crates/detect/src/logreg.rs crates/detect/src/nb.rs crates/detect/src/tasks.rs
+
+crates/detect/src/lib.rs:
+crates/detect/src/eval.rs:
+crates/detect/src/features.rs:
+crates/detect/src/logreg.rs:
+crates/detect/src/nb.rs:
+crates/detect/src/tasks.rs:

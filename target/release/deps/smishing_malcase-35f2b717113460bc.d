@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/smishing_malcase-35f2b717113460bc.d: crates/malcase/src/lib.rs crates/malcase/src/androzoo.rs crates/malcase/src/apk.rs crates/malcase/src/euphony.rs crates/malcase/src/redirect.rs crates/malcase/src/vtlabels.rs
+
+/root/repo/target/release/deps/libsmishing_malcase-35f2b717113460bc.rlib: crates/malcase/src/lib.rs crates/malcase/src/androzoo.rs crates/malcase/src/apk.rs crates/malcase/src/euphony.rs crates/malcase/src/redirect.rs crates/malcase/src/vtlabels.rs
+
+/root/repo/target/release/deps/libsmishing_malcase-35f2b717113460bc.rmeta: crates/malcase/src/lib.rs crates/malcase/src/androzoo.rs crates/malcase/src/apk.rs crates/malcase/src/euphony.rs crates/malcase/src/redirect.rs crates/malcase/src/vtlabels.rs
+
+crates/malcase/src/lib.rs:
+crates/malcase/src/androzoo.rs:
+crates/malcase/src/apk.rs:
+crates/malcase/src/euphony.rs:
+crates/malcase/src/redirect.rs:
+crates/malcase/src/vtlabels.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/smishing_screenshot-c999d999b0318ee1.d: crates/screenshot/src/lib.rs crates/screenshot/src/compare.rs crates/screenshot/src/extract_llm.rs crates/screenshot/src/image.rs crates/screenshot/src/ocr_naive.rs crates/screenshot/src/ocr_vision.rs crates/screenshot/src/render.rs
+
+/root/repo/target/release/deps/libsmishing_screenshot-c999d999b0318ee1.rlib: crates/screenshot/src/lib.rs crates/screenshot/src/compare.rs crates/screenshot/src/extract_llm.rs crates/screenshot/src/image.rs crates/screenshot/src/ocr_naive.rs crates/screenshot/src/ocr_vision.rs crates/screenshot/src/render.rs
+
+/root/repo/target/release/deps/libsmishing_screenshot-c999d999b0318ee1.rmeta: crates/screenshot/src/lib.rs crates/screenshot/src/compare.rs crates/screenshot/src/extract_llm.rs crates/screenshot/src/image.rs crates/screenshot/src/ocr_naive.rs crates/screenshot/src/ocr_vision.rs crates/screenshot/src/render.rs
+
+crates/screenshot/src/lib.rs:
+crates/screenshot/src/compare.rs:
+crates/screenshot/src/extract_llm.rs:
+crates/screenshot/src/image.rs:
+crates/screenshot/src/ocr_naive.rs:
+crates/screenshot/src/ocr_vision.rs:
+crates/screenshot/src/render.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/smishing_stats-2d8284dcc151bdd9.d: crates/stats/src/lib.rs crates/stats/src/counter.rs crates/stats/src/descriptive.rs crates/stats/src/histogram.rs crates/stats/src/kappa.rs crates/stats/src/ks.rs crates/stats/src/merge.rs crates/stats/src/quantile.rs crates/stats/src/sample.rs crates/stats/src/unionfind.rs
+
+/root/repo/target/release/deps/libsmishing_stats-2d8284dcc151bdd9.rlib: crates/stats/src/lib.rs crates/stats/src/counter.rs crates/stats/src/descriptive.rs crates/stats/src/histogram.rs crates/stats/src/kappa.rs crates/stats/src/ks.rs crates/stats/src/merge.rs crates/stats/src/quantile.rs crates/stats/src/sample.rs crates/stats/src/unionfind.rs
+
+/root/repo/target/release/deps/libsmishing_stats-2d8284dcc151bdd9.rmeta: crates/stats/src/lib.rs crates/stats/src/counter.rs crates/stats/src/descriptive.rs crates/stats/src/histogram.rs crates/stats/src/kappa.rs crates/stats/src/ks.rs crates/stats/src/merge.rs crates/stats/src/quantile.rs crates/stats/src/sample.rs crates/stats/src/unionfind.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/counter.rs:
+crates/stats/src/descriptive.rs:
+crates/stats/src/histogram.rs:
+crates/stats/src/kappa.rs:
+crates/stats/src/ks.rs:
+crates/stats/src/merge.rs:
+crates/stats/src/quantile.rs:
+crates/stats/src/sample.rs:
+crates/stats/src/unionfind.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/smishing_stream-15bc9b6b1e7a754c.d: crates/stream/src/lib.rs crates/stream/src/accs.rs crates/stream/src/engine.rs crates/stream/src/snapshot.rs
+
+/root/repo/target/release/deps/libsmishing_stream-15bc9b6b1e7a754c.rlib: crates/stream/src/lib.rs crates/stream/src/accs.rs crates/stream/src/engine.rs crates/stream/src/snapshot.rs
+
+/root/repo/target/release/deps/libsmishing_stream-15bc9b6b1e7a754c.rmeta: crates/stream/src/lib.rs crates/stream/src/accs.rs crates/stream/src/engine.rs crates/stream/src/snapshot.rs
+
+crates/stream/src/lib.rs:
+crates/stream/src/accs.rs:
+crates/stream/src/engine.rs:
+crates/stream/src/snapshot.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/smishing_telecom-27e4e6147ac527c3.d: crates/telecom/src/lib.rs crates/telecom/src/classify.rs crates/telecom/src/hlr.rs crates/telecom/src/mno.rs crates/telecom/src/numbertype.rs crates/telecom/src/numgen.rs crates/telecom/src/parse.rs crates/telecom/src/plan.rs
+
+/root/repo/target/release/deps/libsmishing_telecom-27e4e6147ac527c3.rlib: crates/telecom/src/lib.rs crates/telecom/src/classify.rs crates/telecom/src/hlr.rs crates/telecom/src/mno.rs crates/telecom/src/numbertype.rs crates/telecom/src/numgen.rs crates/telecom/src/parse.rs crates/telecom/src/plan.rs
+
+/root/repo/target/release/deps/libsmishing_telecom-27e4e6147ac527c3.rmeta: crates/telecom/src/lib.rs crates/telecom/src/classify.rs crates/telecom/src/hlr.rs crates/telecom/src/mno.rs crates/telecom/src/numbertype.rs crates/telecom/src/numgen.rs crates/telecom/src/parse.rs crates/telecom/src/plan.rs
+
+crates/telecom/src/lib.rs:
+crates/telecom/src/classify.rs:
+crates/telecom/src/hlr.rs:
+crates/telecom/src/mno.rs:
+crates/telecom/src/numbertype.rs:
+crates/telecom/src/numgen.rs:
+crates/telecom/src/parse.rs:
+crates/telecom/src/plan.rs:

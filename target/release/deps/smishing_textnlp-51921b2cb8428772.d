@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/smishing_textnlp-51921b2cb8428772.d: crates/textnlp/src/lib.rs crates/textnlp/src/annotator.rs crates/textnlp/src/brands.rs crates/textnlp/src/ham.rs crates/textnlp/src/langid.rs crates/textnlp/src/lexicon.rs crates/textnlp/src/lures.rs crates/textnlp/src/ner.rs crates/textnlp/src/normalize.rs crates/textnlp/src/scamclass.rs crates/textnlp/src/templates.rs crates/textnlp/src/tokenize.rs crates/textnlp/src/translate.rs
+
+/root/repo/target/release/deps/libsmishing_textnlp-51921b2cb8428772.rlib: crates/textnlp/src/lib.rs crates/textnlp/src/annotator.rs crates/textnlp/src/brands.rs crates/textnlp/src/ham.rs crates/textnlp/src/langid.rs crates/textnlp/src/lexicon.rs crates/textnlp/src/lures.rs crates/textnlp/src/ner.rs crates/textnlp/src/normalize.rs crates/textnlp/src/scamclass.rs crates/textnlp/src/templates.rs crates/textnlp/src/tokenize.rs crates/textnlp/src/translate.rs
+
+/root/repo/target/release/deps/libsmishing_textnlp-51921b2cb8428772.rmeta: crates/textnlp/src/lib.rs crates/textnlp/src/annotator.rs crates/textnlp/src/brands.rs crates/textnlp/src/ham.rs crates/textnlp/src/langid.rs crates/textnlp/src/lexicon.rs crates/textnlp/src/lures.rs crates/textnlp/src/ner.rs crates/textnlp/src/normalize.rs crates/textnlp/src/scamclass.rs crates/textnlp/src/templates.rs crates/textnlp/src/tokenize.rs crates/textnlp/src/translate.rs
+
+crates/textnlp/src/lib.rs:
+crates/textnlp/src/annotator.rs:
+crates/textnlp/src/brands.rs:
+crates/textnlp/src/ham.rs:
+crates/textnlp/src/langid.rs:
+crates/textnlp/src/lexicon.rs:
+crates/textnlp/src/lures.rs:
+crates/textnlp/src/ner.rs:
+crates/textnlp/src/normalize.rs:
+crates/textnlp/src/scamclass.rs:
+crates/textnlp/src/templates.rs:
+crates/textnlp/src/tokenize.rs:
+crates/textnlp/src/translate.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/smishing_types-b59934a261455395.d: crates/types/src/lib.rs crates/types/src/brand.rs crates/types/src/country.rs crates/types/src/error.rs crates/types/src/forum.rs crates/types/src/ids.rs crates/types/src/language.rs crates/types/src/message.rs crates/types/src/phone.rs crates/types/src/scam.rs crates/types/src/sender.rs crates/types/src/time.rs
+
+/root/repo/target/release/deps/libsmishing_types-b59934a261455395.rlib: crates/types/src/lib.rs crates/types/src/brand.rs crates/types/src/country.rs crates/types/src/error.rs crates/types/src/forum.rs crates/types/src/ids.rs crates/types/src/language.rs crates/types/src/message.rs crates/types/src/phone.rs crates/types/src/scam.rs crates/types/src/sender.rs crates/types/src/time.rs
+
+/root/repo/target/release/deps/libsmishing_types-b59934a261455395.rmeta: crates/types/src/lib.rs crates/types/src/brand.rs crates/types/src/country.rs crates/types/src/error.rs crates/types/src/forum.rs crates/types/src/ids.rs crates/types/src/language.rs crates/types/src/message.rs crates/types/src/phone.rs crates/types/src/scam.rs crates/types/src/sender.rs crates/types/src/time.rs
+
+crates/types/src/lib.rs:
+crates/types/src/brand.rs:
+crates/types/src/country.rs:
+crates/types/src/error.rs:
+crates/types/src/forum.rs:
+crates/types/src/ids.rs:
+crates/types/src/language.rs:
+crates/types/src/message.rs:
+crates/types/src/phone.rs:
+crates/types/src/scam.rs:
+crates/types/src/sender.rs:
+crates/types/src/time.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/smishing_webinfra-1d6bfa70e5f12f4a.d: crates/webinfra/src/lib.rs crates/webinfra/src/asn.rs crates/webinfra/src/ctlog.rs crates/webinfra/src/hosting.rs crates/webinfra/src/pdns.rs crates/webinfra/src/shortener.rs crates/webinfra/src/tld.rs crates/webinfra/src/url.rs crates/webinfra/src/whois.rs
+
+/root/repo/target/release/deps/libsmishing_webinfra-1d6bfa70e5f12f4a.rlib: crates/webinfra/src/lib.rs crates/webinfra/src/asn.rs crates/webinfra/src/ctlog.rs crates/webinfra/src/hosting.rs crates/webinfra/src/pdns.rs crates/webinfra/src/shortener.rs crates/webinfra/src/tld.rs crates/webinfra/src/url.rs crates/webinfra/src/whois.rs
+
+/root/repo/target/release/deps/libsmishing_webinfra-1d6bfa70e5f12f4a.rmeta: crates/webinfra/src/lib.rs crates/webinfra/src/asn.rs crates/webinfra/src/ctlog.rs crates/webinfra/src/hosting.rs crates/webinfra/src/pdns.rs crates/webinfra/src/shortener.rs crates/webinfra/src/tld.rs crates/webinfra/src/url.rs crates/webinfra/src/whois.rs
+
+crates/webinfra/src/lib.rs:
+crates/webinfra/src/asn.rs:
+crates/webinfra/src/ctlog.rs:
+crates/webinfra/src/hosting.rs:
+crates/webinfra/src/pdns.rs:
+crates/webinfra/src/shortener.rs:
+crates/webinfra/src/tld.rs:
+crates/webinfra/src/url.rs:
+crates/webinfra/src/whois.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/stream_ingest-0512d3bead55bb31.d: crates/bench/benches/stream_ingest.rs
+
+/root/repo/target/release/deps/stream_ingest-0512d3bead55bb31: crates/bench/benches/stream_ingest.rs
+
+crates/bench/benches/stream_ingest.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/campaign_forensics-2e26aeae159ad5cc.d: examples/campaign_forensics.rs
+
+/root/repo/target/release/examples/campaign_forensics-2e26aeae159ad5cc: examples/campaign_forensics.rs
+
+examples/campaign_forensics.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/detector_study-0f1704c2979e964d.d: examples/detector_study.rs
+
+/root/repo/target/release/examples/detector_study-0f1704c2979e964d: examples/detector_study.rs
+
+examples/detector_study.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/mitigation_whatif-791c6ef104e1a08d.d: examples/mitigation_whatif.rs
+
+/root/repo/target/release/examples/mitigation_whatif-791c6ef104e1a08d: examples/mitigation_whatif.rs
+
+examples/mitigation_whatif.rs:

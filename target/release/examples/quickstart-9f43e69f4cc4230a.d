@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-9f43e69f4cc4230a.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-9f43e69f4cc4230a: examples/quickstart.rs
+
+examples/quickstart.rs:

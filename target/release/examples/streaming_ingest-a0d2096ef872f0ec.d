@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/streaming_ingest-a0d2096ef872f0ec.d: examples/streaming_ingest.rs
+
+/root/repo/target/release/examples/streaming_ingest-a0d2096ef872f0ec: examples/streaming_ingest.rs
+
+examples/streaming_ingest.rs:

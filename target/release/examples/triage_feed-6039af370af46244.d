@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/triage_feed-6039af370af46244.d: examples/triage_feed.rs
+
+/root/repo/target/release/examples/triage_feed-6039af370af46244: examples/triage_feed.rs
+
+examples/triage_feed.rs:

@@ -6,7 +6,11 @@ use smishing::prelude::*;
 use smishing::worldsim::Post;
 
 fn world() -> World {
-    World::generate(WorldConfig { scale: 0.03, seed: 0xAB1A, ..WorldConfig::default() })
+    World::generate(WorldConfig {
+        scale: 0.03,
+        seed: 0xAB1A,
+        ..WorldConfig::default()
+    })
 }
 
 #[test]
@@ -17,12 +21,17 @@ fn extractor_ablation_llm_yields_more_usable_reports() {
     // ordering fails to extract the complete URL), so the honest metric is
     // CORRECT URLs — judged against the ground-truth message.
     let correct_urls = |extractor: ExtractorChoice| -> (usize, usize) {
-        let opts = CurationOptions { extractor, ..CurationOptions::default() };
+        let opts = CurationOptions {
+            extractor,
+            ..CurationOptions::default()
+        };
         let curated = curate_posts(&posts, &opts);
         let correct = curated
             .iter()
             .filter(|c| {
-                let Some(mid) = c.truth_message else { return false };
+                let Some(mid) = c.truth_message else {
+                    return false;
+                };
                 let truth = &w.messages[mid.0 as usize];
                 c.url_raw.is_some() && c.url_raw == truth.url
             })
@@ -40,9 +49,15 @@ fn extractor_ablation_llm_yields_more_usable_reports() {
         llm_correct as f64 > vision_correct as f64 * 1.3,
         "llm {llm_correct} vs vision {vision_correct}"
     );
-    assert!(llm_correct > naive_correct, "llm {llm_correct} vs naive {naive_correct}");
+    assert!(
+        llm_correct > naive_correct,
+        "llm {llm_correct} vs naive {naive_correct}"
+    );
     // And the LLM dismisses the keyword-matched noise the OCRs keep.
-    assert!(llm_noise * 10 < naive_noise.max(1), "llm noise {llm_noise} vs naive {naive_noise}");
+    assert!(
+        llm_noise * 10 < naive_noise.max(1),
+        "llm noise {llm_noise} vs naive {naive_noise}"
+    );
 }
 
 #[test]
@@ -58,20 +73,38 @@ fn dedup_ablation_normalized_merges_leetspeak_variants() {
     a.text = "Your N3tfl!x account is locked".into();
     b.text = "Your Netflix account is locked".into();
     assert_ne!(a.dedup_key(DedupMode::Exact), b.dedup_key(DedupMode::Exact));
-    assert_eq!(a.dedup_key(DedupMode::Normalized), b.dedup_key(DedupMode::Normalized));
+    assert_eq!(
+        a.dedup_key(DedupMode::Normalized),
+        b.dedup_key(DedupMode::Normalized)
+    );
     // And over the whole corpus, normalized keying never yields MORE
     // uniques than exact keying.
     let exact = dedup(&curated, DedupMode::Exact).len();
     let normalized = dedup(&curated, DedupMode::Normalized).len();
-    assert!(normalized <= exact, "normalized {normalized} vs exact {exact}");
+    assert!(
+        normalized <= exact,
+        "normalized {normalized} vs exact {exact}"
+    );
 }
 
 #[test]
 fn parallel_curation_is_equivalent_to_serial() {
     let w = world();
     let posts: Vec<&Post> = w.posts.iter().collect();
-    let serial = curate_posts(&posts, &CurationOptions { workers: 1, ..Default::default() });
-    let parallel = curate_posts(&posts, &CurationOptions { workers: 8, ..Default::default() });
+    let serial = curate_posts(
+        &posts,
+        &CurationOptions {
+            workers: 1,
+            ..Default::default()
+        },
+    );
+    let parallel = curate_posts(
+        &posts,
+        &CurationOptions {
+            workers: 8,
+            ..Default::default()
+        },
+    );
     assert_eq!(serial.len(), parallel.len());
     for (a, b) in serial.iter().zip(parallel.iter()) {
         assert_eq!(a.post_id, b.post_id);
@@ -92,7 +125,10 @@ fn burst_filter_ablation_shifts_tuesday() {
     let tue = smishing::types::Weekday::Tuesday;
     let n_with = with.by_weekday.get(&tue).map(Vec::len).unwrap_or(0);
     let n_without = without.by_weekday.get(&tue).map(Vec::len).unwrap_or(0);
-    assert!(n_without > n_with, "filter must remove Tuesday mass: {n_without} vs {n_with}");
+    assert!(
+        n_without > n_with,
+        "filter must remove Tuesday mass: {n_without} vs {n_with}"
+    );
 }
 
 #[test]

@@ -5,7 +5,11 @@ use smishing::core::dataset;
 use smishing::prelude::*;
 
 fn run(seed: u64) -> String {
-    let world = World::generate(WorldConfig { scale: 0.02, seed, ..WorldConfig::default() });
+    let world = World::generate(WorldConfig {
+        scale: 0.02,
+        seed,
+        ..WorldConfig::default()
+    });
     let out = Pipeline::default().run(&world);
     let rows = dataset::build_dataset(&out.records);
     dataset::validate_anonymization(&rows).expect("no PII may leak");
@@ -20,7 +24,11 @@ fn export_is_deterministic_per_seed() {
 
 #[test]
 fn json_and_csv_round_trip_consistently() {
-    let world = World::generate(WorldConfig { scale: 0.02, seed: 3, ..WorldConfig::default() });
+    let world = World::generate(WorldConfig {
+        scale: 0.02,
+        seed: 3,
+        ..WorldConfig::default()
+    });
     let out = Pipeline::default().run(&world);
     let rows = dataset::build_dataset(&out.records);
     assert_eq!(rows.len(), out.records.len());
@@ -35,7 +43,11 @@ fn json_and_csv_round_trip_consistently() {
 
 #[test]
 fn released_fields_match_appendix_c() {
-    let world = World::generate(WorldConfig { scale: 0.02, seed: 4, ..WorldConfig::default() });
+    let world = World::generate(WorldConfig {
+        scale: 0.02,
+        seed: 4,
+        ..WorldConfig::default()
+    });
     let out = Pipeline::default().run(&world);
     let rows = dataset::build_dataset(&out.records);
     let (scams, lures) = dataset::schema_labels();
@@ -52,7 +64,10 @@ fn released_fields_match_appendix_c() {
         }
         if r.sender_original_mno.is_some() {
             with_mno += 1;
-            assert!(r.sender_origin_country.is_some(), "MNO implies origin country");
+            assert!(
+                r.sender_origin_country.is_some(),
+                "MNO implies origin country"
+            );
         }
     }
     assert!(translated > 0, "non-English rows exist");

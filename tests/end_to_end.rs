@@ -3,7 +3,14 @@
 use smishing::prelude::*;
 
 fn output() -> (World, &'static str) {
-    (World::generate(WorldConfig { scale: 0.03, seed: 0xE2E, ..WorldConfig::default() }), "e2e")
+    (
+        World::generate(WorldConfig {
+            scale: 0.03,
+            seed: 0xE2E,
+            ..WorldConfig::default()
+        }),
+        "e2e",
+    )
 }
 
 #[test]
@@ -15,7 +22,9 @@ fn pipeline_recovers_most_ground_truth_messages() {
     let mut faithful = 0;
     let mut cited = 0;
     for r in &out.records {
-        let Some(mid) = r.curated.truth_message else { continue };
+        let Some(mid) = r.curated.truth_message else {
+            continue;
+        };
         cited += 1;
         let truth = &world.messages[mid.0 as usize];
         if r.curated.text == truth.text || r.curated.text.contains("[link removed]") {
@@ -38,7 +47,9 @@ fn annotation_accuracy_against_ground_truth() {
     let mut lang_hits = 0;
     let mut n = 0;
     for r in &out.records {
-        let Some(mid) = r.curated.truth_message else { continue };
+        let Some(mid) = r.curated.truth_message else {
+            continue;
+        };
         let truth = &world.messages[mid.0 as usize].truth;
         n += 1;
         if r.annotation.scam_type == truth.scam_type {
@@ -51,8 +62,11 @@ fn annotation_accuracy_against_ground_truth() {
             lang_hits += 1;
         }
     }
-    let (scam, brand, lang) =
-        (scam_hits as f64 / n as f64, brand_hits as f64 / n as f64, lang_hits as f64 / n as f64);
+    let (scam, brand, lang) = (
+        scam_hits as f64 / n as f64,
+        brand_hits as f64 / n as f64,
+        lang_hits as f64 / n as f64,
+    );
     assert!(scam > 0.75, "scam-type accuracy {scam}");
     assert!(brand > 0.6, "brand accuracy {brand}");
     assert!(lang > 0.9, "language accuracy {lang}");
@@ -68,10 +82,15 @@ fn hlr_attribution_matches_campaign_ground_truth() {
     let mut hits = 0;
     let mut n = 0;
     for r in &out.records {
-        let Some(mid) = r.curated.truth_message else { continue };
+        let Some(mid) = r.curated.truth_message else {
+            continue;
+        };
         let campaign_id = world.messages[mid.0 as usize].campaign;
         let campaign = &world.campaigns[campaign_id.0 as usize];
-        if let SenderStrategy::MobilePool { operator, country, .. } = &campaign.senders {
+        if let SenderStrategy::MobilePool {
+            operator, country, ..
+        } = &campaign.senders
+        {
             let Some(hlr) = &r.hlr else { continue };
             n += 1;
             if hlr.original_operator == Some(operator) && hlr.origin_country == Some(*country) {
@@ -80,7 +99,10 @@ fn hlr_attribution_matches_campaign_ground_truth() {
         }
     }
     assert!(n > 50, "{n}");
-    assert!(hits as f64 / n as f64 > 0.95, "{hits}/{n} HLR attributions correct");
+    assert!(
+        hits as f64 / n as f64 > 0.95,
+        "{hits}/{n} HLR attributions correct"
+    );
 }
 
 #[test]
@@ -108,7 +130,11 @@ fn url_enrichment_is_internally_consistent() {
 
 #[test]
 fn umbrella_prelude_compiles_and_runs() {
-    let world = World::generate(WorldConfig { scale: 0.01, seed: 1, ..WorldConfig::default() });
+    let world = World::generate(WorldConfig {
+        scale: 0.01,
+        seed: 1,
+        ..WorldConfig::default()
+    });
     let out = Pipeline::default().run(&world);
     let results = smishing::prelude::run_all(&out);
     assert_eq!(results.len(), 23);

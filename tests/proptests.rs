@@ -4,9 +4,7 @@ use proptest::prelude::*;
 use smishing::core::dataset::mask_pii;
 use smishing::stats::{cohen_kappa, ks_two_sample, median, quantile, Counter};
 use smishing::textnlp::normalize_text;
-use smishing::types::{
-    parse_timestamp, CivilDateTime, Date, TimeOfDay, TimestampStyle, UnixTime,
-};
+use smishing::types::{parse_timestamp, CivilDateTime, Date, TimeOfDay, TimestampStyle, UnixTime};
 use smishing::webinfra::{parse_url, refang, registrable_domain};
 
 proptest! {

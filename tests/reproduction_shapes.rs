@@ -23,8 +23,8 @@ fn all_twenty_three_experiments_run() {
     assert_eq!(results().len(), 23);
     let ids: Vec<&str> = results().iter().map(|r| r.id).collect();
     for want in [
-        "T1", "T2", "T3", "T4", "T5", "T6", "T7", "T8", "T9", "T10", "T11", "T12", "T13",
-        "T14", "T15", "T16", "T17", "T18", "T19", "F2", "F3", "IRR", "CUR",
+        "T1", "T2", "T3", "T4", "T5", "T6", "T7", "T8", "T9", "T10", "T11", "T12", "T13", "T14",
+        "T15", "T16", "T17", "T18", "T19", "F2", "F3", "IRR", "CUR",
     ] {
         assert!(ids.contains(&want), "missing experiment {want}");
     }
@@ -40,7 +40,11 @@ fn every_shape_check_passes_on_a_fresh_seed() {
             }
         }
     }
-    assert!(failures.is_empty(), "failed shape checks:\n{}", failures.join("\n"));
+    assert!(
+        failures.is_empty(),
+        "failed shape checks:\n{}",
+        failures.join("\n")
+    );
 }
 
 #[test]

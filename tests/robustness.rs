@@ -9,7 +9,11 @@ use smishing::types::{CivilDateTime, Date, TextReport, TimeOfDay, TimestampStyle
 use smishing::worldsim::{Post, PostBody};
 
 fn small_world() -> World {
-    World::generate(WorldConfig { scale: 0.01, seed: 0xBAD, ..WorldConfig::default() })
+    World::generate(WorldConfig {
+        scale: 0.01,
+        seed: 0xBAD,
+        ..WorldConfig::default()
+    })
 }
 
 fn post_with(body: PostBody) -> Post {
@@ -28,8 +32,15 @@ fn hostile_form_fields_do_not_panic() {
     let world = small_world();
     let opts = CurationOptions::default();
     let hostile_bodies = [
-        "", " ", "\u{0}\u{0}\u{0}", "{}{}{}{", "https://", "[.][.][.]",
-        "a]d[.]b hxxps:// ++44++", "🎣🐟💬", "ｈｔｔｐｓ://ｗｉｄｅ.example",
+        "",
+        " ",
+        "\u{0}\u{0}\u{0}",
+        "{}{}{}{",
+        "https://",
+        "[.][.][.]",
+        "a]d[.]b hxxps:// ++44++",
+        "🎣🐟💬",
+        "ｈｔｔｐｓ://ｗｉｄｅ.example",
         &"x".repeat(10_000),
     ];
     for body in hostile_bodies {
@@ -91,8 +102,20 @@ fn hostile_screenshots_do_not_panic() {
 #[test]
 fn hostile_senders_classify_to_something() {
     for raw in [
-        "", "+", "++", "00", "@", "@@", "a@", "@b", "𝔸𝔹ℂ", "+99999999999999999999999999",
-        "(((((((", "12 34 56 78 90 12 34 56", "NUL\u{0}BYTE", "SBI\u{202e}KNB",
+        "",
+        "+",
+        "++",
+        "00",
+        "@",
+        "@@",
+        "a@",
+        "@b",
+        "𝔸𝔹ℂ",
+        "+99999999999999999999999999",
+        "(((((((",
+        "12 34 56 78 90 12 34 56",
+        "NUL\u{0}BYTE",
+        "SBI\u{202e}KNB",
     ] {
         let _ = parse_sender(raw); // must not panic; any Option is fine
     }

@@ -1,0 +1,251 @@
+//! Offline vendored stand-in for `criterion`.
+//!
+//! Provides the API surface the workspace's benches use — `criterion_group!`
+//! / `criterion_main!`, [`Criterion::benchmark_group`], `bench_function`,
+//! `sample_size`, `Bencher::iter` — backed by a simple wall-clock sampler:
+//! per benchmark it warms up, sizes a batch to roughly a millisecond, takes
+//! `sample_size` samples and reports the median per-iteration time. No
+//! statistics beyond that, no HTML reports, no saved baselines.
+
+use std::time::{Duration, Instant};
+
+/// Top-level harness handle.
+pub struct Criterion {
+    sample_size: usize,
+    /// Substring filter from the CLI (`cargo bench -- <filter>`).
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 20, filter: None }
+    }
+}
+
+impl Criterion {
+    /// Set how many timing samples each benchmark takes.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Apply CLI args: skips harness flags, treats the first free-standing
+    /// argument as a name filter.
+    pub fn configure_from_args(mut self) -> Criterion {
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--bench" | "--test" | "--nocapture" | "--quiet" | "--verbose" | "--noplot"
+                | "--exact" => {}
+                s if s.starts_with("--") => {
+                    // Flags with a value we don't model: consume the value.
+                    if !s.contains('=') {
+                        let _ = args.next();
+                    }
+                }
+                s => self.filter = Some(s.to_string()),
+            }
+        }
+        self
+    }
+
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), sample_size: self.sample_size, criterion: self }
+    }
+
+    /// Run a benchmark outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = name.to_string();
+        let sample_size = self.sample_size;
+        self.run_one(&id, sample_size, f);
+        self
+    }
+
+    fn run_one<F>(&self, id: &str, sample_size: usize, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher { samples: Vec::new(), sample_size };
+        f(&mut b);
+        b.report(id);
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    criterion: &'a Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Time one closure under `<group>/<name>`.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, name.into());
+        self.criterion.run_one(&id, self.sample_size, f);
+        self
+    }
+
+    /// End the group. (Reporting is per-benchmark; nothing to flush.)
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; call [`Bencher::iter`] with the code
+/// under test.
+pub struct Bencher {
+    samples: Vec<f64>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Measure `routine`, retaining per-iteration nanoseconds per sample.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm-up and batch sizing: grow the batch until it runs ~1ms so
+        // Instant overhead is amortized for sub-microsecond routines.
+        let mut batch: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(1) || batch >= 1 << 20 {
+                break;
+            }
+            batch = batch.saturating_mul(4);
+        }
+
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            self.samples.push(elapsed.as_secs_f64() * 1e9 / batch as f64);
+        }
+    }
+
+    fn report(&self, id: &str) {
+        if self.samples.is_empty() {
+            println!("{id:<40} (no measurement)");
+            return;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let median = sorted[sorted.len() / 2];
+        let lo = sorted[0];
+        let hi = sorted[sorted.len() - 1];
+        println!(
+            "{id:<40} time: [{} {} {}]",
+            format_ns(lo),
+            format_ns(median),
+            format_ns(hi)
+        );
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declare a benchmark group. Both forms of the real macro are accepted:
+/// `criterion_group!(name, target, ...)` and the
+/// `criterion_group! { name = ...; config = ...; targets = ... }` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Entry point for a `harness = false` bench binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_and_benches_run() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut g = c.benchmark_group("demo");
+        g.sample_size(2);
+        let mut ran = 0;
+        g.bench_function("add", |b| {
+            b.iter(|| 1u64 + 2);
+            ran += 1;
+        });
+        g.finish();
+        assert_eq!(ran, 1);
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let c = Criterion { sample_size: 2, filter: Some("wanted".into()) };
+        let mut ran = 0;
+        c.run_one("other/bench", 2, |_b| ran += 1);
+        assert_eq!(ran, 0);
+        c.run_one("group/wanted_bench", 2, |b| {
+            b.iter(|| ());
+            ran += 1;
+        });
+        assert_eq!(ran, 1);
+    }
+
+    #[test]
+    fn format_ns_units() {
+        assert_eq!(format_ns(12.5), "12.50 ns");
+        assert_eq!(format_ns(1_500.0), "1.50 µs");
+        assert_eq!(format_ns(2_500_000.0), "2.50 ms");
+        assert_eq!(format_ns(3_200_000_000.0), "3.200 s");
+    }
+}

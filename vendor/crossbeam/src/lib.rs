@@ -1,0 +1,83 @@
+//! Offline vendored stand-in for the `crossbeam` facade crate.
+//!
+//! Provides the two pieces this workspace uses:
+//!
+//! - [`channel`]: MPMC bounded/unbounded channels. Implemented over a
+//!   `Mutex<VecDeque>` + condvars — the std mpsc receiver is not cloneable,
+//!   and the streaming engine needs true multi-producer multi-consumer
+//!   semantics with blocking backpressure on bounded channels.
+//! - [`scope`]: scoped threads over `std::thread::scope`, returning
+//!   `Err` when any spawned thread panicked (crossbeam's contract) instead
+//!   of propagating the panic.
+
+pub mod channel;
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Handle passed to the scope closure; lets workers spawn siblings.
+#[derive(Clone, Copy)]
+pub struct Scope<'scope, 'env: 'scope>(&'scope std::thread::Scope<'scope, 'env>);
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a thread bound to the scope. The closure receives the scope
+    /// handle (crossbeam passes `&Scope`; workers here conventionally take
+    /// `|_|`).
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: for<'b> FnOnce(&'b Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.0;
+        inner.spawn(move || f(&Scope(inner)))
+    }
+}
+
+/// Run `f` with a thread scope. All spawned threads are joined before this
+/// returns. Returns `Err` if any spawned thread (or `f` itself) panicked.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    // A panicking scoped thread re-raises at the implicit join when
+    // `std::thread::scope` unwinds; catching that gives crossbeam's
+    // Err-on-worker-panic contract.
+    catch_unwind(AssertUnwindSafe(|| std::thread::scope(|s| f(&Scope(s)))))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_joins_and_collects() {
+        let mut data = vec![0u64; 4];
+        scope(|s| {
+            for (i, slot) in data.iter_mut().enumerate() {
+                s.spawn(move |_| *slot = i as u64 + 1);
+            }
+        })
+        .expect("no panics");
+        assert_eq!(data, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn scope_reports_panics_as_err() {
+        let r = scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn nested_spawn_from_worker() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let flag = AtomicBool::new(false);
+        scope(|s| {
+            s.spawn(|inner| {
+                inner.spawn(|_| flag.store(true, Ordering::SeqCst));
+            });
+        })
+        .expect("no panics");
+        assert!(flag.load(Ordering::SeqCst));
+    }
+}

@@ -1,0 +1,464 @@
+//! Offline vendored stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API this workspace uses: the
+//! [`proptest!`] macro, [`Strategy`] with `prop_map`, integer/float range
+//! strategies, regex-subset string strategies, `prop::collection::vec` /
+//! `hash_set`, `prop::sample::select`, tuple strategies and
+//! [`ProptestConfig`].
+//!
+//! Differences from real proptest, on purpose:
+//! - Cases are generated from a *deterministic* per-test seed (FNV of the
+//!   test path), so failures reproduce without a persistence file.
+//! - No shrinking: a failing case panics with the generated inputs
+//!   interpolated by the assertion message instead of a minimized example.
+
+use std::ops::{Range, RangeInclusive};
+
+use rand::distributions::uniform::{SampleRange, SampleUniform};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+pub mod regex;
+
+/// Run-time configuration for a `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Build a config overriding the case count.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        // Real proptest defaults to 256; 64 keeps the suite quick while
+        // still exercising each property broadly.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Deterministic per-test generator.
+pub struct TestRng {
+    rng: StdRng,
+}
+
+impl TestRng {
+    /// Seed from a test path so every run replays the same cases.
+    pub fn for_test(name: &str) -> TestRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng { rng: StdRng::seed_from_u64(h) }
+    }
+
+    /// Uniform draw from a range.
+    pub fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        self.rng.gen_range(range)
+    }
+
+    /// Access the inner rand generator.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+}
+
+/// A generator of test values.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Always produce a clone of the same value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+impl<T> Strategy for Range<T>
+where
+    T: SampleUniform + PartialOrd + Clone,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl<T> Strategy for RangeInclusive<T>
+where
+    T: SampleUniform + PartialOrd + Clone,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl Strategy for str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        regex::generate(self, rng)
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        regex::generate(self, rng)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($n:tt $s:ident),+))+) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$n.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+tuple_strategy! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+}
+
+/// Strategy combinator namespace (`prop::collection::vec`, ...).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{SizeRange, Strategy, TestRng};
+        use std::collections::HashSet;
+        use std::hash::Hash;
+
+        /// Vec of values from `element`, with a length drawn from `size`.
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy { element, size: size.into() }
+        }
+
+        /// See [`vec`].
+        #[derive(Debug, Clone)]
+        pub struct VecStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let n = self.size.sample(rng);
+                (0..n).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+
+        /// HashSet of distinct values from `element`. Retries on collision,
+        /// settling for fewer elements if the domain is too small.
+        pub fn hash_set<S>(element: S, size: impl Into<SizeRange>) -> HashSetStrategy<S>
+        where
+            S: Strategy,
+            S::Value: Hash + Eq,
+        {
+            HashSetStrategy { element, size: size.into() }
+        }
+
+        /// See [`hash_set`].
+        #[derive(Debug, Clone)]
+        pub struct HashSetStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        impl<S> Strategy for HashSetStrategy<S>
+        where
+            S: Strategy,
+            S::Value: Hash + Eq,
+        {
+            type Value = HashSet<S::Value>;
+
+            fn generate(&self, rng: &mut TestRng) -> HashSet<S::Value> {
+                let n = self.size.sample(rng);
+                let mut out = HashSet::with_capacity(n);
+                let mut attempts = 0;
+                while out.len() < n && attempts < 20 * (n + 1) {
+                    out.insert(self.element.generate(rng));
+                    attempts += 1;
+                }
+                out
+            }
+        }
+    }
+
+    /// Sampling strategies.
+    pub mod sample {
+        use super::super::{Strategy, TestRng};
+
+        /// Uniformly pick one of the given values.
+        pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+            assert!(!options.is_empty(), "select() needs at least one option");
+            Select { options }
+        }
+
+        /// See [`select`].
+        #[derive(Debug, Clone)]
+        pub struct Select<T> {
+            options: Vec<T>,
+        }
+
+        impl<T: Clone> Strategy for Select<T> {
+            type Value = T;
+
+            fn generate(&self, rng: &mut TestRng) -> T {
+                let i = rng.gen_range(0..self.options.len());
+                self.options[i].clone()
+            }
+        }
+    }
+}
+
+/// Length specification for collection strategies.
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    lo: usize,
+    hi_inclusive: usize,
+}
+
+impl SizeRange {
+    fn sample(&self, rng: &mut TestRng) -> usize {
+        if self.lo >= self.hi_inclusive {
+            self.lo
+        } else {
+            rng.gen_range(self.lo..=self.hi_inclusive)
+        }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> SizeRange {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange { lo: r.start, hi_inclusive: r.end - 1 }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> SizeRange {
+        SizeRange { lo: *r.start(), hi_inclusive: *r.end() }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> SizeRange {
+        SizeRange { lo: n, hi_inclusive: n }
+    }
+}
+
+/// Everything a test file needs: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just, ProptestConfig,
+        Strategy,
+    };
+}
+
+/// Skip the current case when its inputs don't satisfy a precondition.
+/// Expands to `continue` on the case loop, so it must be used directly in a
+/// `proptest!` body (matching how the workspace uses it).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            continue;
+        }
+    };
+}
+
+/// Assert inside a property; panics (no shrinking in this stand-in).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Equality assert inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Inequality assert inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Declare property tests. Each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running `ProptestConfig::cases` generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ cfg = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($pat:pat in $strat:expr),* $(,)? ) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::ProptestConfig = $cfg;
+                let mut __rng =
+                    $crate::TestRng::for_test(concat!(module_path!(), "::", stringify!($name)));
+                for __case in 0..__cfg.cases {
+                    let _ = __case;
+                    $(let $pat = $crate::Strategy::generate(&($strat), &mut __rng);)*
+                    { $body }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u32..17, y in -5i64..=5) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-5..=5).contains(&y));
+        }
+
+        #[test]
+        fn strings_match_simple_patterns(s in "[a-z]{2,5}") {
+            prop_assert!((2..=5).contains(&s.chars().count()), "{s}");
+            prop_assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{s}");
+        }
+
+        #[test]
+        fn vec_and_select_compose(v in prop::collection::vec(0u8..4, 2..6),
+                                  t in prop::sample::select(vec!["a", "b"])) {
+            prop_assert!((2..=5).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 4));
+            prop_assert!(t == "a" || t == "b");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(7))]
+        #[test]
+        fn config_is_honoured(_x in 0u8..10) {
+            // Runs without error; case count is applied by the macro.
+        }
+    }
+
+    #[test]
+    fn tuple_and_map_strategies() {
+        let mut rng = crate::TestRng::for_test("tuple_and_map");
+        let strat = (1u32..5, "[0-9]{2}").prop_map(|(n, s)| format!("{n}-{s}"));
+        for _ in 0..50 {
+            let v = crate::Strategy::generate(&strat, &mut rng);
+            let (a, b) = v.split_once('-').unwrap();
+            assert!((1..5).contains(&a.parse::<u32>().unwrap()));
+            assert_eq!(b.len(), 2);
+        }
+    }
+
+    #[test]
+    fn hash_set_reaches_requested_size() {
+        let mut rng = crate::TestRng::for_test("hash_set");
+        let strat = prop::collection::hash_set("[0-9a-f]{64}", 0..20);
+        for _ in 0..20 {
+            let s = crate::Strategy::generate(&strat, &mut rng);
+            assert!(s.len() < 20);
+            for sha in &s {
+                assert_eq!(sha.len(), 64);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::TestRng::for_test("same");
+        let mut b = crate::TestRng::for_test("same");
+        let strat = "[a-z]{1,12}(-[a-z]{1,8})?\\.(com|info|co\\.uk|xyz|web\\.app)";
+        for _ in 0..100 {
+            assert_eq!(
+                crate::Strategy::generate(&strat, &mut a),
+                crate::Strategy::generate(&strat, &mut b)
+            );
+        }
+    }
+}

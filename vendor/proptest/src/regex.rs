@@ -1,0 +1,301 @@
+//! Generation of strings matching a regex subset.
+//!
+//! Supports the constructs the workspace's string strategies use: literal
+//! characters, escaped literals (`\.`), `\PC` (any printable character),
+//! character classes with ranges (`[a-z0-9]`, `[ -~]`, a trailing `-` as a
+//! literal), groups with alternation (`(com|co\.uk)`), and the quantifiers
+//! `?`, `*`, `+`, `{n}`, `{m,n}`.
+
+use crate::TestRng;
+
+#[derive(Debug, Clone)]
+enum Node {
+    Literal(char),
+    /// Inclusive character ranges; single chars are `(c, c)`.
+    Class(Vec<(char, char)>),
+    /// `\PC`: anything that is not a control character.
+    AnyPrintable,
+    Concat(Vec<Node>),
+    Alt(Vec<Node>),
+    Repeat(Box<Node>, usize, usize),
+}
+
+/// Generate one string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let node = parse(pattern);
+    let mut out = String::new();
+    emit(&node, rng, &mut out);
+    out
+}
+
+fn emit(node: &Node, rng: &mut TestRng, out: &mut String) {
+    match node {
+        Node::Literal(c) => out.push(*c),
+        Node::Class(ranges) => out.push(pick_from_class(ranges, rng)),
+        Node::AnyPrintable => out.push(pick_printable(rng)),
+        Node::Concat(parts) => {
+            for p in parts {
+                emit(p, rng, out);
+            }
+        }
+        Node::Alt(options) => {
+            let i = rng.gen_range(0..options.len());
+            emit(&options[i], rng, out);
+        }
+        Node::Repeat(inner, lo, hi) => {
+            let n = if lo >= hi { *lo } else { rng.gen_range(*lo..=*hi) };
+            for _ in 0..n {
+                emit(inner, rng, out);
+            }
+        }
+    }
+}
+
+fn pick_from_class(ranges: &[(char, char)], rng: &mut TestRng) -> char {
+    let total: u32 = ranges.iter().map(|&(a, b)| b as u32 - a as u32 + 1).sum();
+    let mut i = rng.gen_range(0..total);
+    for &(a, b) in ranges {
+        let span = b as u32 - a as u32 + 1;
+        if i < span {
+            return char::from_u32(a as u32 + i).expect("class ranges avoid surrogates");
+        }
+        i -= span;
+    }
+    unreachable!("index within total span")
+}
+
+/// `\PC` pool: mostly ASCII printable, with occasional non-ASCII printable
+/// characters so normalization paths see real unicode.
+fn pick_printable(rng: &mut TestRng) -> char {
+    const UNICODE_POOL: &[char] = &[
+        'é', 'ü', 'ß', 'ñ', 'ç', 'а', 'е', 'о', 'с', 'Ω', '中', '文', '€', '£', '–', '—', '…',
+        '“', '”', '¡', '¿', '٠', '۹', '\u{a0}',
+    ];
+    if rng.gen_range(0u32..100) < 85 {
+        char::from_u32(rng.gen_range(0x20u32..0x7f)).expect("ASCII printable")
+    } else {
+        UNICODE_POOL[rng.gen_range(0..UNICODE_POOL.len())]
+    }
+}
+
+fn parse(pattern: &str) -> Node {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pos = 0;
+    let node = parse_alt(&chars, &mut pos, pattern);
+    assert!(pos == chars.len(), "unbalanced ')' in pattern {pattern:?}");
+    node
+}
+
+/// alternation := concat ('|' concat)*
+fn parse_alt(chars: &[char], pos: &mut usize, pattern: &str) -> Node {
+    let mut options = vec![parse_concat(chars, pos, pattern)];
+    while chars.get(*pos) == Some(&'|') {
+        *pos += 1;
+        options.push(parse_concat(chars, pos, pattern));
+    }
+    if options.len() == 1 {
+        options.pop().expect("one option")
+    } else {
+        Node::Alt(options)
+    }
+}
+
+/// concat := (atom quantifier?)*  — stops at '|' or ')'.
+fn parse_concat(chars: &[char], pos: &mut usize, pattern: &str) -> Node {
+    let mut parts = Vec::new();
+    while let Some(&c) = chars.get(*pos) {
+        if c == '|' || c == ')' {
+            break;
+        }
+        let atom = parse_atom(chars, pos, pattern);
+        parts.push(apply_quantifier(atom, chars, pos, pattern));
+    }
+    if parts.len() == 1 {
+        parts.pop().expect("one part")
+    } else {
+        Node::Concat(parts)
+    }
+}
+
+fn parse_atom(chars: &[char], pos: &mut usize, pattern: &str) -> Node {
+    let c = chars[*pos];
+    *pos += 1;
+    match c {
+        '(' => {
+            let inner = parse_alt(chars, pos, pattern);
+            assert!(chars.get(*pos) == Some(&')'), "missing ')' in pattern {pattern:?}");
+            *pos += 1;
+            inner
+        }
+        '[' => parse_class(chars, pos, pattern),
+        '\\' => parse_escape(chars, pos, pattern),
+        '.' => Node::AnyPrintable,
+        _ => Node::Literal(c),
+    }
+}
+
+fn parse_escape(chars: &[char], pos: &mut usize, pattern: &str) -> Node {
+    let c = *chars.get(*pos).unwrap_or_else(|| panic!("dangling '\\' in pattern {pattern:?}"));
+    *pos += 1;
+    match c {
+        // \PC — the complement of the unicode Control category.
+        'P' => {
+            assert!(
+                chars.get(*pos) == Some(&'C'),
+                "only \\PC is supported in pattern {pattern:?}"
+            );
+            *pos += 1;
+            Node::AnyPrintable
+        }
+        'd' => Node::Class(vec![('0', '9')]),
+        'w' => Node::Class(vec![('0', '9'), ('A', 'Z'), ('_', '_'), ('a', 'z')]),
+        'n' => Node::Literal('\n'),
+        't' => Node::Literal('\t'),
+        _ => Node::Literal(c),
+    }
+}
+
+/// class := '[' (char | char '-' char)* '-'? ']'
+fn parse_class(chars: &[char], pos: &mut usize, pattern: &str) -> Node {
+    let mut ranges = Vec::new();
+    loop {
+        let c = *chars.get(*pos).unwrap_or_else(|| panic!("missing ']' in pattern {pattern:?}"));
+        *pos += 1;
+        match c {
+            ']' => break,
+            '\\' => {
+                let esc = chars[*pos];
+                *pos += 1;
+                ranges.push((esc, esc));
+            }
+            _ => {
+                // `a-z` is a range unless the '-' is last in the class.
+                if chars.get(*pos) == Some(&'-') && chars.get(*pos + 1) != Some(&']') {
+                    let hi = chars[*pos + 1];
+                    *pos += 2;
+                    assert!(c <= hi, "inverted range {c}-{hi} in pattern {pattern:?}");
+                    ranges.push((c, hi));
+                } else {
+                    ranges.push((c, c));
+                }
+            }
+        }
+    }
+    assert!(!ranges.is_empty(), "empty class in pattern {pattern:?}");
+    Node::Class(ranges)
+}
+
+fn apply_quantifier(atom: Node, chars: &[char], pos: &mut usize, pattern: &str) -> Node {
+    match chars.get(*pos) {
+        Some('?') => {
+            *pos += 1;
+            Node::Repeat(Box::new(atom), 0, 1)
+        }
+        Some('*') => {
+            *pos += 1;
+            Node::Repeat(Box::new(atom), 0, 8)
+        }
+        Some('+') => {
+            *pos += 1;
+            Node::Repeat(Box::new(atom), 1, 8)
+        }
+        Some('{') => {
+            *pos += 1;
+            let mut lo = 0usize;
+            while chars[*pos].is_ascii_digit() {
+                lo = lo * 10 + chars[*pos].to_digit(10).expect("digit") as usize;
+                *pos += 1;
+            }
+            let hi = if chars[*pos] == ',' {
+                *pos += 1;
+                let mut hi = 0usize;
+                let mut saw_digit = false;
+                while chars[*pos].is_ascii_digit() {
+                    hi = hi * 10 + chars[*pos].to_digit(10).expect("digit") as usize;
+                    *pos += 1;
+                    saw_digit = true;
+                }
+                // `{m,}`: unbounded upper — cap for generation.
+                if saw_digit {
+                    hi
+                } else {
+                    lo + 8
+                }
+            } else {
+                lo
+            };
+            assert!(chars[*pos] == '}', "missing '}}' in pattern {pattern:?}");
+            *pos += 1;
+            Node::Repeat(Box::new(atom), lo, hi)
+        }
+        _ => atom,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::for_test("regex-tests")
+    }
+
+    #[test]
+    fn fixed_width_classes() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let s = generate("[0-9a-f]{64}", &mut r);
+            assert_eq!(s.len(), 64);
+            assert!(s.chars().all(|c| c.is_ascii_hexdigit() && !c.is_ascii_uppercase()));
+        }
+    }
+
+    #[test]
+    fn alternation_and_escapes() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = generate("[a-z]{1,12}(-[a-z]{1,8})?\\.(com|info|co\\.uk|xyz|web\\.app)", &mut r);
+            let suffix_ok = [".com", ".info", ".co.uk", ".xyz", ".web.app"]
+                .iter()
+                .any(|t| s.ends_with(t));
+            assert!(suffix_ok, "{s}");
+        }
+    }
+
+    #[test]
+    fn space_to_tilde_range_and_trailing_dash() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = generate("[ -~]{0,80}", &mut r);
+            assert!(s.len() <= 80);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)), "{s:?}");
+            let t = generate("[A-Za-z./:!-]{0,40}", &mut r);
+            assert!(
+                t.chars().all(|c| c.is_ascii_alphabetic() || "./:!-".contains(c)),
+                "{t:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn printable_class_never_emits_controls() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = generate("\\PC{1,150}", &mut r);
+            assert!(!s.is_empty() && s.chars().count() <= 150);
+            assert!(s.chars().all(|c| !c.is_control()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn grouped_repetition() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = generate("(/[a-z0-9]{1,10}){0,3}", &mut r);
+            if !s.is_empty() {
+                assert!(s.starts_with('/'));
+                assert!(s.split('/').skip(1).all(|seg| !seg.is_empty() && seg.len() <= 10));
+            }
+        }
+    }
+}

@@ -1,0 +1,6 @@
+/root/repo/vendor/proptest/target/debug/deps/proptest-77750c0762a05a51.d: src/lib.rs src/regex.rs
+
+/root/repo/vendor/proptest/target/debug/deps/proptest-77750c0762a05a51: src/lib.rs src/regex.rs
+
+src/lib.rs:
+src/regex.rs:

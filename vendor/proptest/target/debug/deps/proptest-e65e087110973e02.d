@@ -1,0 +1,8 @@
+/root/repo/vendor/proptest/target/debug/deps/proptest-e65e087110973e02.d: src/lib.rs src/regex.rs
+
+/root/repo/vendor/proptest/target/debug/deps/libproptest-e65e087110973e02.rlib: src/lib.rs src/regex.rs
+
+/root/repo/vendor/proptest/target/debug/deps/libproptest-e65e087110973e02.rmeta: src/lib.rs src/regex.rs
+
+src/lib.rs:
+src/regex.rs:

@@ -1,0 +1,13 @@
+/root/repo/vendor/proptest/target/debug/deps/rand-f91c6126cb04e638.d: /root/repo/vendor/rand/src/lib.rs /root/repo/vendor/rand/src/distributions/mod.rs /root/repo/vendor/rand/src/distributions/uniform.rs /root/repo/vendor/rand/src/rngs/mod.rs /root/repo/vendor/rand/src/rngs/mock.rs /root/repo/vendor/rand/src/seq.rs /root/repo/vendor/rand/src/chacha.rs
+
+/root/repo/vendor/proptest/target/debug/deps/librand-f91c6126cb04e638.rlib: /root/repo/vendor/rand/src/lib.rs /root/repo/vendor/rand/src/distributions/mod.rs /root/repo/vendor/rand/src/distributions/uniform.rs /root/repo/vendor/rand/src/rngs/mod.rs /root/repo/vendor/rand/src/rngs/mock.rs /root/repo/vendor/rand/src/seq.rs /root/repo/vendor/rand/src/chacha.rs
+
+/root/repo/vendor/proptest/target/debug/deps/librand-f91c6126cb04e638.rmeta: /root/repo/vendor/rand/src/lib.rs /root/repo/vendor/rand/src/distributions/mod.rs /root/repo/vendor/rand/src/distributions/uniform.rs /root/repo/vendor/rand/src/rngs/mod.rs /root/repo/vendor/rand/src/rngs/mock.rs /root/repo/vendor/rand/src/seq.rs /root/repo/vendor/rand/src/chacha.rs
+
+/root/repo/vendor/rand/src/lib.rs:
+/root/repo/vendor/rand/src/distributions/mod.rs:
+/root/repo/vendor/rand/src/distributions/uniform.rs:
+/root/repo/vendor/rand/src/rngs/mod.rs:
+/root/repo/vendor/rand/src/rngs/mock.rs:
+/root/repo/vendor/rand/src/seq.rs:
+/root/repo/vendor/rand/src/chacha.rs:

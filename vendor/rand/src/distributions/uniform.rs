@@ -1,0 +1,137 @@
+//! Uniform range sampling with the exact rejection scheme of
+//! `UniformInt::sample_single_inclusive` in `rand` 0.8.5, so value streams
+//! match the real crate for a given generator state.
+
+use crate::distributions::Distribution;
+use crate::Rng;
+use std::ops::{Range, RangeInclusive};
+
+/// Ranges that can be sampled from directly (`rng.gen_range(a..b)`).
+pub trait SampleRange<T> {
+    /// Sample one value uniformly from the range.
+    fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Types with a uniform sampler.
+pub trait SampleUniform: Sized {
+    /// Exclusive-high sample.
+    fn sample_single<R: Rng + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+    /// Inclusive-high sample.
+    fn sample_single_inclusive<R: Rng + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+}
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for Range<T> {
+    fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        T::sample_single(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        let (low, high) = self.into_inner();
+        assert!(low <= high, "cannot sample empty range");
+        T::sample_single_inclusive(low, high, rng)
+    }
+}
+
+/// Widening multiply helpers (rand's `WideningMultiply`).
+trait WMul: Copy {
+    fn wmul(self, other: Self) -> (Self, Self);
+}
+
+impl WMul for u32 {
+    fn wmul(self, other: u32) -> (u32, u32) {
+        let t = self as u64 * other as u64;
+        ((t >> 32) as u32, t as u32)
+    }
+}
+
+impl WMul for u64 {
+    fn wmul(self, other: u64) -> (u64, u64) {
+        let t = self as u128 * other as u128;
+        ((t >> 64) as u64, t as u64)
+    }
+}
+
+macro_rules! uniform_int_impl {
+    ($ty:ty, $unsigned:ty, $u_large:ty) => {
+        impl SampleUniform for $ty {
+            fn sample_single<R: Rng + ?Sized>(low: $ty, high: $ty, rng: &mut R) -> $ty {
+                assert!(low < high, "low >= high in gen_range");
+                Self::sample_single_inclusive(low, high - 1, rng)
+            }
+
+            fn sample_single_inclusive<R: Rng + ?Sized>(
+                low: $ty,
+                high: $ty,
+                rng: &mut R,
+            ) -> $ty {
+                assert!(low <= high, "low > high in gen_range (inclusive)");
+                let range =
+                    (high as $unsigned).wrapping_sub(low as $unsigned).wrapping_add(1) as $u_large;
+                // Full-range request: the multiply-shift degenerates; draw raw.
+                if range == 0 {
+                    return rng.gen::<$u_large>() as $ty;
+                }
+                let zone = if (<$unsigned>::MAX as u64) <= (u16::MAX as u64) {
+                    // Small types: reject exactly, as rand does.
+                    let unsigned_max: $u_large = <$u_large>::MAX;
+                    let ints_to_reject = (unsigned_max - range + 1) % range;
+                    unsigned_max - ints_to_reject
+                } else {
+                    (range << range.leading_zeros()).wrapping_sub(1)
+                };
+                loop {
+                    let v: $u_large = rng.gen();
+                    let (hi, lo) = v.wmul(range);
+                    if lo <= zone {
+                        return low.wrapping_add(hi as $ty);
+                    }
+                }
+            }
+        }
+    };
+}
+
+uniform_int_impl!(u8, u8, u32);
+uniform_int_impl!(i8, u8, u32);
+uniform_int_impl!(u16, u16, u32);
+uniform_int_impl!(i16, u16, u32);
+uniform_int_impl!(u32, u32, u32);
+uniform_int_impl!(i32, u32, u32);
+uniform_int_impl!(u64, u64, u64);
+uniform_int_impl!(i64, u64, u64);
+uniform_int_impl!(usize, usize, u64);
+uniform_int_impl!(isize, usize, u64);
+
+macro_rules! uniform_float_impl {
+    ($ty:ty) => {
+        impl SampleUniform for $ty {
+            fn sample_single<R: Rng + ?Sized>(low: $ty, high: $ty, rng: &mut R) -> $ty {
+                debug_assert!(low.is_finite() && high.is_finite(), "bounds must be finite");
+                assert!(low < high, "low >= high in gen_range");
+                let scale = high - low;
+                let value0_1: $ty = crate::distributions::Standard.sample(rng);
+                value0_1 * scale + low
+            }
+
+            fn sample_single_inclusive<R: Rng + ?Sized>(
+                low: $ty,
+                high: $ty,
+                rng: &mut R,
+            ) -> $ty {
+                // Matches rand's float behaviour: the inclusive form samples
+                // the same way (the top bound has measure zero).
+                assert!(low <= high, "low > high in gen_range (inclusive)");
+                if low == high {
+                    return low;
+                }
+                Self::sample_single(low, high, rng)
+            }
+        }
+    };
+}
+
+uniform_float_impl!(f32);
+uniform_float_impl!(f64);

@@ -1,0 +1,122 @@
+//! Offline vendored reimplementation of the `rand` 0.8 API surface this
+//! workspace uses.
+//!
+//! The build environment has no network access and no registry cache, so the
+//! external `rand` crate cannot be fetched. This crate reimplements — from
+//! the published algorithm descriptions — exactly the subset the workspace
+//! depends on, with the same value streams as `rand` 0.8.5 + `rand_chacha`
+//! 0.3 for a given seed:
+//!
+//! - `StdRng` is ChaCha with 12 rounds, 64-bit block counter, buffered four
+//!   blocks at a time with `BlockRng` index semantics.
+//! - `SeedableRng::seed_from_u64` fills the seed with the PCG32 (XSH-RR)
+//!   output sequence.
+//! - Integer `gen_range` uses widening-multiply rejection sampling with the
+//!   same zone computation as `UniformInt::sample_single_inclusive`.
+//! - `gen_bool` is the fixed-point Bernoulli comparison.
+//! - `SliceRandom::shuffle` is Fisher–Yates from the end with the 32-bit
+//!   index sampling fast path.
+
+pub mod distributions;
+pub mod rngs;
+pub mod seq;
+
+mod chacha;
+
+/// The core trait every generator implements.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(4);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u32().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let b = self.next_u32().to_le_bytes();
+            rem.copy_from_slice(&b[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// Seedable construction.
+pub trait SeedableRng: Sized {
+    /// Seed byte array type.
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Build from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Build from a `u64`, expanding it through the PCG32 sequence exactly
+    /// as `rand_core` 0.6 does.
+    fn seed_from_u64(mut state: u64) -> Self {
+        const MUL: u64 = 6364136223846793005;
+        const INC: u64 = 11634580027462260723;
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            let rot = (state >> 59) as u32;
+            let x = xorshifted.rotate_right(rot);
+            chunk.copy_from_slice(&x.to_le_bytes()[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+use distributions::{Distribution, Standard};
+
+/// User-facing extension methods, blanket-implemented for every `RngCore`.
+pub trait Rng: RngCore {
+    /// Sample a value from the standard distribution of `T`.
+    fn gen<T>(&mut self) -> T
+    where
+        Standard: Distribution<T>,
+    {
+        Standard.sample(self)
+    }
+
+    /// Sample uniformly from a range (`a..b` or `a..=b`).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: distributions::uniform::SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli draw with probability `p` of `true`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p={p} must be in [0, 1]");
+        if p == 1.0 {
+            return true;
+        }
+        const SCALE: f64 = 2.0 * (1u64 << 63) as f64;
+        let p_int = (p * SCALE) as u64;
+        self.next_u64() < p_int
+    }
+
+    /// Sample from an explicit distribution.
+    fn sample<T, D: Distribution<T>>(&mut self, distr: D) -> T {
+        distr.sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub use rngs::StdRng;

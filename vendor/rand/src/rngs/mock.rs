@@ -1,0 +1,30 @@
+//! A deterministic stepping generator for tests, mirroring
+//! `rand::rngs::mock::StepRng`.
+
+use crate::RngCore;
+
+/// Returns `initial`, `initial + increment`, ... as `next_u64`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StepRng {
+    v: u64,
+    a: u64,
+}
+
+impl StepRng {
+    /// Create with an initial value and per-call increment.
+    pub fn new(initial: u64, increment: u64) -> StepRng {
+        StepRng { v: initial, a: increment }
+    }
+}
+
+impl RngCore for StepRng {
+    fn next_u32(&mut self) -> u32 {
+        self.next_u64() as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let out = self.v;
+        self.v = self.v.wrapping_add(self.a);
+        out
+    }
+}

@@ -1,0 +1,11 @@
+/root/repo/vendor/rand/target/debug/deps/rand-232269a59bd1a3f3.d: src/lib.rs src/distributions/mod.rs src/distributions/uniform.rs src/rngs/mod.rs src/rngs/mock.rs src/seq.rs src/chacha.rs
+
+/root/repo/vendor/rand/target/debug/deps/rand-232269a59bd1a3f3: src/lib.rs src/distributions/mod.rs src/distributions/uniform.rs src/rngs/mod.rs src/rngs/mock.rs src/seq.rs src/chacha.rs
+
+src/lib.rs:
+src/distributions/mod.rs:
+src/distributions/uniform.rs:
+src/rngs/mod.rs:
+src/rngs/mock.rs:
+src/seq.rs:
+src/chacha.rs:

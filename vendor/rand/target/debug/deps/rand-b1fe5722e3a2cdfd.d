@@ -1,0 +1,13 @@
+/root/repo/vendor/rand/target/debug/deps/rand-b1fe5722e3a2cdfd.d: src/lib.rs src/distributions/mod.rs src/distributions/uniform.rs src/rngs/mod.rs src/rngs/mock.rs src/seq.rs src/chacha.rs
+
+/root/repo/vendor/rand/target/debug/deps/librand-b1fe5722e3a2cdfd.rlib: src/lib.rs src/distributions/mod.rs src/distributions/uniform.rs src/rngs/mod.rs src/rngs/mock.rs src/seq.rs src/chacha.rs
+
+/root/repo/vendor/rand/target/debug/deps/librand-b1fe5722e3a2cdfd.rmeta: src/lib.rs src/distributions/mod.rs src/distributions/uniform.rs src/rngs/mod.rs src/rngs/mock.rs src/seq.rs src/chacha.rs
+
+src/lib.rs:
+src/distributions/mod.rs:
+src/distributions/uniform.rs:
+src/rngs/mod.rs:
+src/rngs/mock.rs:
+src/seq.rs:
+src/chacha.rs:

@@ -1,0 +1,382 @@
+//! Offline vendored stand-in for `serde_derive`.
+//!
+//! Generates impls of the vendored `serde::Serialize` / `serde::Deserialize`
+//! (which render to / parse from a JSON value tree) for the item shapes this
+//! workspace actually derives on: named-field structs, tuple/newtype
+//! structs, and enums with unit, newtype, tuple and struct variants.
+//! Generics are not supported (nothing in the workspace derives on a
+//! generic type).
+//!
+//! Implemented directly on `proc_macro` tokens — no `syn`/`quote`, since the
+//! build environment cannot fetch them. Parsing collects just enough
+//! structure (names and arities); generated code leans on type inference,
+//! e.g. `field: serde::Deserialize::from_value(x)?` inside a struct literal,
+//! so field *types* never need to be understood, only skipped.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Impl::Serialize)
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Impl::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Impl {
+    Serialize,
+    Deserialize,
+}
+
+enum Shape {
+    /// `struct S { a: T, b: U }`
+    NamedStruct(Vec<String>),
+    /// `struct S(T, ...)` with the field count (1 = transparent newtype).
+    TupleStruct(usize),
+    /// `struct S;`
+    UnitStruct,
+    /// `enum E { ... }`
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+fn expand(input: TokenStream, which: Impl) -> TokenStream {
+    match parse_item(input) {
+        Ok((name, shape)) => {
+            let code = match which {
+                Impl::Serialize => gen_serialize(&name, &shape),
+                Impl::Deserialize => gen_deserialize(&name, &shape),
+            };
+            code.parse().expect("generated impl parses")
+        }
+        Err(msg) => format!("compile_error!({msg:?});").parse().expect("error token"),
+    }
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_item(input: TokenStream) -> Result<(String, Shape), String> {
+    let mut toks = input.into_iter().peekable();
+    // Skip outer attributes and visibility.
+    loop {
+        match toks.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                toks.next();
+                toks.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                toks.next();
+                if let Some(TokenTree::Group(g)) = toks.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        toks.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let kw = match toks.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected struct/enum, found {other:?}")),
+    };
+    let name = match toks.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected item name, found {other:?}")),
+    };
+    if matches!(&toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!("derive on generic type {name} is not supported by the vendored serde_derive"));
+    }
+    match kw.as_str() {
+        "struct" => match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok((name, Shape::NamedStruct(field_names(g.stream())?)))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Ok((name, Shape::TupleStruct(split_top_level(g.stream()).len())))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok((name, Shape::UnitStruct)),
+            other => Err(format!("unsupported struct body: {other:?}")),
+        },
+        "enum" => match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let mut variants = Vec::new();
+                for seg in split_top_level(g.stream()) {
+                    if seg.is_empty() {
+                        continue;
+                    }
+                    variants.push(parse_variant(seg)?);
+                }
+                Ok((name, Shape::Enum(variants)))
+            }
+            other => Err(format!("unsupported enum body: {other:?}")),
+        },
+        other => Err(format!("cannot derive on `{other}` items")),
+    }
+}
+
+/// Split a token sequence on commas, ignoring commas nested inside groups
+/// or angle brackets (`HashMap<String, u32>`).
+fn split_top_level(ts: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out: Vec<Vec<TokenTree>> = Vec::new();
+    let mut cur: Vec<TokenTree> = Vec::new();
+    let mut angle = 0i32;
+    for t in ts {
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                out.push(std::mem::take(&mut cur));
+                continue;
+            }
+            _ => {}
+        }
+        cur.push(t);
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Strip leading attributes/visibility from one comma-separated segment.
+fn strip_attrs_vis(seg: &[TokenTree]) -> &[TokenTree] {
+    let mut i = 0;
+    loop {
+        match seg.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = seg.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => return &seg[i..],
+        }
+    }
+}
+
+fn field_names(ts: TokenStream) -> Result<Vec<String>, String> {
+    let mut names = Vec::new();
+    for seg in split_top_level(ts) {
+        let seg = strip_attrs_vis(&seg);
+        match seg.first() {
+            Some(TokenTree::Ident(i)) => names.push(i.to_string()),
+            None => continue, // trailing comma
+            other => return Err(format!("unsupported field: {other:?}")),
+        }
+    }
+    Ok(names)
+}
+
+fn parse_variant(seg: Vec<TokenTree>) -> Result<Variant, String> {
+    let seg = strip_attrs_vis(&seg);
+    let mut it = seg.iter();
+    let name = match it.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("unsupported variant: {other:?}")),
+    };
+    let kind = match it.next() {
+        None => VariantKind::Unit,
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            VariantKind::Tuple(split_top_level(g.stream()).len())
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            VariantKind::Struct(field_names(g.stream())?)
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+            // Explicit discriminant: serialized by name, discriminant ignored.
+            VariantKind::Unit
+        }
+        other => return Err(format!("unsupported variant shape: {other:?}")),
+    };
+    Ok(Variant { name, kind })
+}
+
+// ------------------------------------------------------------- generation
+
+fn gen_serialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!("({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f}))")
+                })
+                .collect();
+            format!("::serde::Value::Object(vec![{}])", entries.join(", "))
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> =
+                (0..*n).map(|i| format!("::serde::Serialize::to_value(&self.{i})")).collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::UnitStruct => "::serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::Str({vn:?}.to_string()),"
+                        ),
+                        VariantKind::Tuple(1) => format!(
+                            "{name}::{vn}(f0) => ::serde::Value::Object(vec![({vn:?}.to_string(), ::serde::Serialize::to_value(f0))]),"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Serialize::to_value(f{i})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => ::serde::Value::Object(vec![({vn:?}.to_string(), ::serde::Value::Array(vec![{}]))]),",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        VariantKind::Struct(fields) => {
+                            let binds = fields.join(", ");
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!("({f:?}.to_string(), ::serde::Serialize::to_value({f}))")
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => ::serde::Value::Object(vec![({vn:?}.to_string(), ::serde::Value::Object(vec![{}]))]),",
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "#[automatically_derived]\n#[allow(unused_variables, clippy::all)]\nimpl ::serde::Serialize for {name} {{\n    fn to_value(&self) -> ::serde::Value {{ {body} }}\n}}"
+    )
+}
+
+fn gen_deserialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: match v.get({f:?}) {{ \
+                           Some(x) => ::serde::Deserialize::from_value(x)?, \
+                           None => ::serde::Deserialize::from_value(&::serde::Value::Null)\
+                               .map_err(|_| ::serde::DeError::msg(concat!(\"missing field `\", {f:?}, \"` in \", {name:?})))? }}"
+                    )
+                })
+                .collect();
+            format!(
+                "match v {{ \
+                   ::serde::Value::Object(_) => Ok({name} {{ {} }}), \
+                   other => Err(::serde::DeError::msg(format!(\"expected object for {name}, found {{}}\", other.kind()))) }}",
+                inits.join(", ")
+            )
+        }
+        Shape::TupleStruct(1) => {
+            format!("Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> =
+                (0..*n).map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?")).collect();
+            format!(
+                "match v {{ \
+                   ::serde::Value::Array(items) if items.len() == {n} => Ok({name}({})), \
+                   other => Err(::serde::DeError::msg(format!(\"expected {n}-array for {name}, found {{}}\", other.kind()))) }}",
+                items.join(", ")
+            )
+        }
+        Shape::UnitStruct => format!(
+            "match v {{ \
+               ::serde::Value::Null => Ok({name}), \
+               other => Err(::serde::DeError::msg(format!(\"expected null for {name}, found {{}}\", other.kind()))) }}"
+        ),
+        Shape::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| format!("{:?} => Ok({name}::{}),", v.name, v.name))
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Tuple(1) => Some(format!(
+                            "{vn:?} => Ok({name}::{vn}(::serde::Deserialize::from_value(inner)?)),"
+                        )),
+                        VariantKind::Tuple(n) => {
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                                .collect();
+                            Some(format!(
+                                "{vn:?} => match inner {{ \
+                                   ::serde::Value::Array(items) if items.len() == {n} => Ok({name}::{vn}({})), \
+                                   _ => Err(::serde::DeError::msg(concat!(\"expected {n}-array for variant \", {vn:?}))) }},",
+                                items.join(", ")
+                            ))
+                        }
+                        VariantKind::Struct(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: match inner.get({f:?}) {{ \
+                                           Some(x) => ::serde::Deserialize::from_value(x)?, \
+                                           None => ::serde::Deserialize::from_value(&::serde::Value::Null)\
+                                               .map_err(|_| ::serde::DeError::msg(concat!(\"missing field `\", {f:?}, \"`\")))? }}"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "{vn:?} => Ok({name}::{vn} {{ {} }}),",
+                                inits.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match v {{ \
+                   ::serde::Value::Str(s) => match s.as_str() {{ \
+                     {} \
+                     other => Err(::serde::DeError::msg(format!(\"unknown variant {{other}} of {name}\"))) }}, \
+                   ::serde::Value::Object(entries) if entries.len() == 1 => {{ \
+                     let (tag, inner) = &entries[0]; \
+                     let _ = inner; \
+                     match tag.as_str() {{ \
+                       {} \
+                       other => Err(::serde::DeError::msg(format!(\"unknown variant {{other}} of {name}\"))) }} }}, \
+                   other => Err(::serde::DeError::msg(format!(\"expected variant of {name}, found {{}}\", other.kind()))) }}",
+                unit_arms.join(" "),
+                data_arms.join(" ")
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n#[allow(unused_variables, clippy::all)]\nimpl ::serde::Deserialize for {name} {{\n    fn from_value(v: &::serde::Value) -> Result<{name}, ::serde::DeError> {{ {body} }}\n}}"
+    )
+}

@@ -1,0 +1,5 @@
+/root/repo/vendor/serde_derive/target/debug/deps/serde_derive-de5620a9ced8c0dd.d: src/lib.rs
+
+/root/repo/vendor/serde_derive/target/debug/deps/libserde_derive-de5620a9ced8c0dd.so: src/lib.rs
+
+src/lib.rs:

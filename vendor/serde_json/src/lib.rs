@@ -1,0 +1,103 @@
+//! Offline vendored stand-in for `serde_json`: renders the vendored
+//! `serde` value tree to JSON text and parses JSON text back.
+//!
+//! Output conventions match real `serde_json`: compact form writes `"k":v`
+//! with no spaces; pretty form indents by two spaces. Strings escape `"`,
+//! `\\` and control characters; non-ASCII is emitted as UTF-8, not `\u`
+//! escapes.
+
+pub use serde::Value;
+use serde::{DeError, Deserialize, Serialize};
+
+mod de;
+mod ser;
+
+/// Error type for both serialization and parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<DeError> for Error {
+    fn from(e: DeError) -> Error {
+        Error(e.0)
+    }
+}
+
+/// `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serialize to a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(ser::write_value(&value.to_value(), None))
+}
+
+/// Serialize to a human-readable, two-space-indented JSON string.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(ser::write_value(&value.to_value(), Some(0)))
+}
+
+/// Parse a value of `T` from JSON text.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T> {
+    let value = de::parse(s).map_err(Error)?;
+    Ok(T::from_value(&value)?)
+}
+
+/// Parse JSON text into the generic value tree.
+pub fn from_str_value(s: &str) -> Result<Value> {
+    de::parse(s).map_err(Error)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_value() {
+        let v = Value::Object(vec![
+            ("a".into(), Value::Int(1)),
+            ("b".into(), Value::Array(vec![Value::Null, Value::Bool(true)])),
+            ("c".into(), Value::Str("x \"quoted\" \n line".into())),
+            ("d".into(), Value::Float(1.5)),
+        ]);
+        let text = ser::write_value(&v, Some(0));
+        let back = de::parse(&text).unwrap();
+        assert_eq!(v, back);
+        let compact = ser::write_value(&v, None);
+        assert_eq!(de::parse(&compact).unwrap(), v);
+    }
+
+    #[test]
+    fn typed_round_trip() {
+        let rows: Vec<Option<String>> = vec![Some("hi".into()), None];
+        let text = to_string_pretty(&rows).unwrap();
+        let back: Vec<Option<String>> = from_str(&text).unwrap();
+        assert_eq!(rows, back);
+    }
+
+    #[test]
+    fn parses_escapes_and_unicode() {
+        let v: String = from_str(r#""aA\n\t\\\" é""#).unwrap();
+        assert_eq!(v, "aA\n\t\\\" é");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_str::<bool>("trub").is_err());
+        assert!(from_str::<Vec<u8>>("[1, 2").is_err());
+        assert!(from_str::<u8>("300").is_err());
+    }
+
+    #[test]
+    fn pretty_format_shape() {
+        let v = Value::Object(vec![("k".into(), Value::Array(vec![Value::Int(1)]))]);
+        let text = ser::write_value(&v, Some(0));
+        assert_eq!(text, "{\n  \"k\": [\n    1\n  ]\n}");
+    }
+}

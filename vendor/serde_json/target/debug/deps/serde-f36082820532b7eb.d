@@ -1,0 +1,8 @@
+/root/repo/vendor/serde_json/target/debug/deps/serde-f36082820532b7eb.d: /root/repo/vendor/serde/src/lib.rs /root/repo/vendor/serde/src/value.rs
+
+/root/repo/vendor/serde_json/target/debug/deps/libserde-f36082820532b7eb.rlib: /root/repo/vendor/serde/src/lib.rs /root/repo/vendor/serde/src/value.rs
+
+/root/repo/vendor/serde_json/target/debug/deps/libserde-f36082820532b7eb.rmeta: /root/repo/vendor/serde/src/lib.rs /root/repo/vendor/serde/src/value.rs
+
+/root/repo/vendor/serde/src/lib.rs:
+/root/repo/vendor/serde/src/value.rs:

@@ -1,0 +1,9 @@
+/root/repo/vendor/serde_json/target/debug/deps/serde_json-13d7c5b5d5da4173.d: src/lib.rs src/de.rs src/ser.rs
+
+/root/repo/vendor/serde_json/target/debug/deps/libserde_json-13d7c5b5d5da4173.rlib: src/lib.rs src/de.rs src/ser.rs
+
+/root/repo/vendor/serde_json/target/debug/deps/libserde_json-13d7c5b5d5da4173.rmeta: src/lib.rs src/de.rs src/ser.rs
+
+src/lib.rs:
+src/de.rs:
+src/ser.rs:

@@ -1,0 +1,7 @@
+/root/repo/vendor/serde_json/target/debug/deps/serde_json-1dac7112ef6de08a.d: src/lib.rs src/de.rs src/ser.rs
+
+/root/repo/vendor/serde_json/target/debug/deps/serde_json-1dac7112ef6de08a: src/lib.rs src/de.rs src/ser.rs
+
+src/lib.rs:
+src/de.rs:
+src/ser.rs:
