@@ -6,9 +6,11 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use smishing_core::pipeline::Pipeline;
-use smishing_stream::{ingest, SnapshotPlan, StreamConfig};
+use smishing_obs::Obs;
+use smishing_stream::{ingest, ingest_observed, SnapshotPlan, StreamConfig};
 use smishing_worldsim::{ReportStream, World, WorldConfig};
 use std::hint::black_box;
+use std::io::Write;
 
 fn bench_stream_ingest(c: &mut Criterion) {
     let world = World::generate(WorldConfig {
@@ -61,6 +63,25 @@ fn bench_stream_ingest(c: &mut Criterion) {
     });
 
     g.finish();
+
+    // One fully instrumented pass: attribute the streaming wall time to
+    // its stages (per-shard enrichment, backpressure waits, snapshot
+    // merges) and leave the run report next to criterion's output.
+    let obs = Obs::enabled();
+    let result = ingest_observed(
+        &world,
+        ReportStream::replay(&world),
+        &cfg,
+        &SnapshotPlan::every(step),
+        &obs,
+        |_| {},
+    );
+    black_box(result.posts_ingested);
+    let path = "target/stream-ingest-run-report.json";
+    match std::fs::File::create(path).and_then(|mut f| f.write_all(obs.json_report().as_bytes())) {
+        Ok(()) => eprintln!("wrote attribution run report to {path}"),
+        Err(e) => eprintln!("could not write attribution run report to {path}: {e}"),
+    }
 }
 
 criterion_group! {

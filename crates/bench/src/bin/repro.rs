@@ -1,34 +1,59 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
 //! ```sh
-//! cargo run --release -p smishing-bench --bin repro -- [scale] [seed]
+//! cargo run --release -p smishing-bench --bin repro -- [scale] [seed] \
+//!     [--metrics-json PATH]
 //! ```
 //!
 //! Prints each experiment's regenerated table, the paper's expectation, and
 //! the shape-check verdicts. The output of this binary (at scale 0.25) is
-//! the basis of EXPERIMENTS.md.
+//! the basis of EXPERIMENTS.md. Every run also writes a `smishing-obs/v1`
+//! run report (per-stage wall time, per-service enrichment call counts and
+//! latency quantiles) to `repro-run-report.json`, or to the path given
+//! with `--metrics-json`.
 
-use smishing_core::experiment::run_all;
+use smishing_core::experiment::run_all_observed;
 use smishing_core::pipeline::Pipeline;
+use smishing_obs::Obs;
 use smishing_worldsim::{World, WorldConfig};
+use std::io::Write;
 use std::time::Instant;
 
 fn main() {
-    let scale: f64 = std::env::args()
-        .nth(1)
+    let mut positional: Vec<String> = Vec::new();
+    let mut metrics_json = String::from("repro-run-report.json");
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        if arg == "--metrics-json" {
+            match argv.next() {
+                Some(path) => metrics_json = path,
+                None => {
+                    eprintln!("--metrics-json needs a value");
+                    std::process::exit(2);
+                }
+            }
+        } else {
+            positional.push(arg);
+        }
+    }
+    let scale: f64 = positional
+        .first()
         .and_then(|s| s.parse().ok())
         .unwrap_or(0.25);
-    let seed: u64 = std::env::args()
-        .nth(2)
+    let seed: u64 = positional
+        .get(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(0xF15F);
 
+    let obs = Obs::enabled();
     eprintln!("# Reproduction run: scale {scale}, seed {seed:#x}");
     let t0 = Instant::now();
-    let world = World::generate(WorldConfig {
-        scale,
-        seed,
-        ..WorldConfig::default()
+    let world = obs.histogram("repro.world_gen.wall_ns", &[]).time(|| {
+        World::generate(WorldConfig {
+            scale,
+            seed,
+            ..WorldConfig::default()
+        })
     });
     eprintln!(
         "world: {} campaigns / {} messages / {} posts in {:.1?}",
@@ -39,7 +64,7 @@ fn main() {
     );
 
     let t1 = Instant::now();
-    let output = Pipeline::default().run(&world);
+    let output = Pipeline::default().run_observed(&world, &obs);
     eprintln!(
         "pipeline: {} curated / {} unique records in {:.1?}",
         output.curated_total.len(),
@@ -48,7 +73,7 @@ fn main() {
     );
 
     let t2 = Instant::now();
-    let results = run_all(&output);
+    let results = run_all_observed(&output, &obs);
     eprintln!(
         "analyses: {} experiments in {:.1?}\n",
         results.len(),
@@ -77,6 +102,16 @@ fn main() {
         "Shape checks: {passed} passed, {failed} failed (total wall time {:.1?})",
         t0.elapsed()
     );
+
+    let report = obs.json_report();
+    match std::fs::File::create(&metrics_json).and_then(|mut f| f.write_all(report.as_bytes())) {
+        Ok(()) => eprintln!("metrics: wrote run report to {metrics_json}"),
+        Err(e) => {
+            eprintln!("metrics: failed to write {metrics_json}: {e}");
+            std::process::exit(1);
+        }
+    }
+
     if failed > 0 {
         std::process::exit(1);
     }

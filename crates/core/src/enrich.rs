@@ -11,6 +11,7 @@
 
 use crate::curation::CuratedMessage;
 use smishing_avscan::{TransparencyVerdict, VtResult};
+use smishing_obs::{Counter, Histogram, Obs};
 use smishing_telecom::{classify_sender, parse_phone, HlrLookup, HlrRecord, RawSenderKind};
 use smishing_textnlp::annotator::{Annotation, Annotator, PipelineAnnotator};
 use smishing_types::SenderId;
@@ -66,6 +67,73 @@ pub struct EnrichedRecord {
     pub annotation: Annotation,
 }
 
+/// Cached call meters for the seven external-service simulators, under the
+/// `enrich.<service>.{calls,latency_ns}` naming convention. Resolve once
+/// per batch or per shard ([`ServiceMeters::new`]) and record lock-free;
+/// built from a no-op [`Obs`], every meter is inert and enrichment runs
+/// exactly the uninstrumented code path.
+pub struct ServiceMeters {
+    hlr: Meter,
+    whois: Meter,
+    ctlog: Meter,
+    pdns: Meter,
+    ipinfo: Meter,
+    virustotal: Meter,
+    gsb: Meter,
+}
+
+#[derive(Default)]
+struct Meter {
+    calls: Counter,
+    latency: Histogram,
+}
+
+impl Meter {
+    fn new(obs: &Obs, service: &str) -> Meter {
+        Meter {
+            calls: obs.counter(&format!("enrich.{service}.calls"), &[]),
+            latency: obs.histogram(&format!("enrich.{service}.latency_ns"), &[]),
+        }
+    }
+
+    /// Count and time one service call.
+    fn call<T>(&self, f: impl FnOnce() -> T) -> T {
+        self.calls.inc();
+        self.latency.time(f)
+    }
+}
+
+impl ServiceMeters {
+    /// Resolve the per-service meters against an observability handle.
+    pub fn new(obs: &Obs) -> ServiceMeters {
+        if !obs.is_enabled() {
+            return ServiceMeters::disabled();
+        }
+        ServiceMeters {
+            hlr: Meter::new(obs, "hlr"),
+            whois: Meter::new(obs, "whois"),
+            ctlog: Meter::new(obs, "ctlog"),
+            pdns: Meter::new(obs, "pdns"),
+            ipinfo: Meter::new(obs, "ipinfo"),
+            virustotal: Meter::new(obs, "virustotal"),
+            gsb: Meter::new(obs, "gsb"),
+        }
+    }
+
+    /// Inert meters: every call runs unobserved.
+    pub fn disabled() -> ServiceMeters {
+        ServiceMeters {
+            hlr: Meter::default(),
+            whois: Meter::default(),
+            ctlog: Meter::default(),
+            pdns: Meter::default(),
+            ipinfo: Meter::default(),
+            virustotal: Meter::default(),
+            gsb: Meter::default(),
+        }
+    }
+}
+
 /// Parse a raw sender string into a [`SenderId`].
 pub fn parse_sender(raw: &str) -> Option<SenderId> {
     match classify_sender(raw) {
@@ -76,7 +144,7 @@ pub fn parse_sender(raw: &str) -> Option<SenderId> {
     }
 }
 
-fn enrich_url(raw: &str, world: &World) -> Option<UrlIntel> {
+fn enrich_url(raw: &str, world: &World, meters: &ServiceMeters) -> Option<UrlIntel> {
     let parsed = parse_url(raw)?;
     let catalog = ShortenerCatalog::new();
     let shortener = catalog.service_of(&parsed);
@@ -93,29 +161,33 @@ fn enrich_url(raw: &str, world: &World) -> Option<UrlIntel> {
     let registrar = domain
         .as_deref()
         .filter(|_| !free_hosted)
-        .and_then(|d| services.whois.query(d))
+        .and_then(|d| meters.whois.call(|| services.whois.query(d)))
         .map(|r| r.registrar);
     let certs = domain
         .as_deref()
-        .map(|d| services.ctlog.query(d))
+        .map(|d| meters.ctlog.call(|| services.ctlog.query(d)))
         .unwrap_or_default();
     let resolutions: Vec<(Resolution, Option<IpInfo>)> = domain
         .as_deref()
-        .map(|d| services.pdns.query(d, world.now))
+        .map(|d| meters.pdns.call(|| services.pdns.query(d, world.now)))
         .unwrap_or_default()
         .into_iter()
         .map(|r| {
-            let info = services.asn.lookup(r.ip);
+            let info = meters.ipinfo.call(|| services.asn.lookup(r.ip));
             (r, info)
         })
         .collect();
 
     let url_string = parsed.to_url_string();
     Some(UrlIntel {
-        vt: services.virustotal.scan(&url_string),
-        gsb_api_unsafe: services.gsb.api_unsafe(&url_string),
-        gsb_transparency: services.gsb.transparency(&url_string),
-        gsb_vt_listed: services.gsb.vt_listed_unsafe(&url_string),
+        vt: meters
+            .virustotal
+            .call(|| services.virustotal.scan(&url_string)),
+        gsb_api_unsafe: meters.gsb.call(|| services.gsb.api_unsafe(&url_string)),
+        gsb_transparency: meters.gsb.call(|| services.gsb.transparency(&url_string)),
+        gsb_vt_listed: meters
+            .gsb
+            .call(|| services.gsb.vt_listed_unsafe(&url_string)),
         parsed,
         shortener,
         whatsapp,
@@ -129,12 +201,24 @@ fn enrich_url(raw: &str, world: &World) -> Option<UrlIntel> {
 
 /// Enrich one curated message.
 pub fn enrich(curated: CuratedMessage, world: &World) -> EnrichedRecord {
+    enrich_observed(curated, world, &ServiceMeters::disabled())
+}
+
+/// Enrich one curated message, accounting every external-service call
+/// through `meters`.
+pub fn enrich_observed(
+    curated: CuratedMessage,
+    world: &World,
+    meters: &ServiceMeters,
+) -> EnrichedRecord {
     let sender = curated.sender_raw.as_deref().and_then(parse_sender);
-    let hlr = sender.as_ref().and_then(|s| world.services.hlr.lookup(s));
+    let hlr = sender
+        .as_ref()
+        .and_then(|s| meters.hlr.call(|| world.services.hlr.lookup(s)));
     let url = curated
         .url_raw
         .as_deref()
-        .and_then(|u| enrich_url(u, world));
+        .and_then(|u| enrich_url(u, world, meters));
     let annotation = PipelineAnnotator::new().annotate(&curated.text);
     EnrichedRecord {
         curated,
@@ -147,7 +231,20 @@ pub fn enrich(curated: CuratedMessage, world: &World) -> EnrichedRecord {
 
 /// Enrich a batch (serial; enrichment is cheap next to curation).
 pub fn enrich_all(curated: Vec<CuratedMessage>, world: &World) -> Vec<EnrichedRecord> {
-    curated.into_iter().map(|c| enrich(c, world)).collect()
+    enrich_all_observed(curated, world, &Obs::noop())
+}
+
+/// Enrich a batch with per-service call accounting.
+pub fn enrich_all_observed(
+    curated: Vec<CuratedMessage>,
+    world: &World,
+    obs: &Obs,
+) -> Vec<EnrichedRecord> {
+    let meters = ServiceMeters::new(obs);
+    curated
+        .into_iter()
+        .map(|c| enrich_observed(c, world, &meters))
+        .collect()
 }
 
 /// Distinct resolved IPs of a record set (§4.6).

@@ -8,6 +8,7 @@ use crate::analysis::{
 use crate::casestudy;
 use crate::pipeline::PipelineOutput;
 use crate::table::TextTable;
+use smishing_obs::Obs;
 use smishing_types::{Language, Lure, ScamType};
 
 /// One reproduced artifact.
@@ -34,12 +35,29 @@ fn check(desc: impl Into<String>, ok: bool) -> (String, bool) {
     (desc.into(), ok)
 }
 
+/// Time one analysis-module invocation under `analysis.<module>.wall_ns`.
+/// With a no-op handle this is a direct call — not even the metric name is
+/// formatted.
+fn timed<T>(obs: &Obs, module: &str, f: impl FnOnce() -> T) -> T {
+    if !obs.is_enabled() {
+        return f();
+    }
+    let _span = obs.span(&format!("analysis.{module}.wall_ns"));
+    f()
+}
+
 /// Run every experiment against a pipeline output.
 pub fn run_all(out: &PipelineOutput<'_>) -> Vec<ExperimentResult> {
+    run_all_observed(out, &Obs::noop())
+}
+
+/// Run every experiment, timing each analysis-module invocation.
+pub fn run_all_observed(out: &PipelineOutput<'_>, obs: &Obs) -> Vec<ExperimentResult> {
+    let _span = obs.span("analysis.run_all.wall_ns");
     let mut results = Vec::new();
 
     // ---- T1 ----
-    let ov = overview::overview(out);
+    let ov = timed(obs, "overview", || overview::overview(out));
     let totals = ov.totals();
     let twitter = ov.rows[0];
     results.push(ExperimentResult {
@@ -67,11 +85,11 @@ pub fn run_all(out: &PipelineOutput<'_>) -> Vec<ExperimentResult> {
                 methods::Method::Active.sources() == vec![smishing_types::Forum::Twitter],
             ),
         ],
-        table: methods::methods_table(),
+        table: timed(obs, "methods", methods::methods_table),
     });
 
     // ---- T3 / T4 ----
-    let si = sender_info::sender_info(out);
+    let si = timed(obs, "sender_info", || sender_info::sender_info(out));
     results.push(ExperimentResult {
         id: "T3",
         paper: "mobile 66.7%, bad format 24.3%, landline 3.8% of 12,299 phone senders",
@@ -112,7 +130,7 @@ pub fn run_all(out: &PipelineOutput<'_>) -> Vec<ExperimentResult> {
     });
 
     // ---- T5 ----
-    let sh = shorteners::shortener_use(out);
+    let sh = timed(obs, "shorteners", || shorteners::shortener_use(out));
     let isgd_b = sh
         .by_scam
         .get(&("is.gd", ScamType::Banking))
@@ -136,7 +154,7 @@ pub fn run_all(out: &PipelineOutput<'_>) -> Vec<ExperimentResult> {
     });
 
     // ---- T6 / T16 ----
-    let tld = tlds::tld_use(out);
+    let tld = timed(obs, "tlds", || tlds::tld_use(out));
     results.push(ExperimentResult {
         id: "T6",
         paper: ".com tops direct URLs (4,951); .ly tops shortened URLs (2,482)",
@@ -169,7 +187,7 @@ pub fn run_all(out: &PipelineOutput<'_>) -> Vec<ExperimentResult> {
     });
 
     // ---- T7 ----
-    let tls_u = tls::tls_use(out);
+    let tls_u = timed(obs, "tls", || tls::tls_use(out));
     let le_ratio = tls_u.certs_per_ca.get(&"Let's Encrypt") as f64
         / tls_u.domains_per_ca.get(&"Let's Encrypt").max(1) as f64;
     let sec_ratio = tls_u.certs_per_ca.get(&"Sectigo") as f64
@@ -187,7 +205,7 @@ pub fn run_all(out: &PipelineOutput<'_>) -> Vec<ExperimentResult> {
     });
 
     // ---- T8 ----
-    let asn_u = asn::asn_use(out);
+    let asn_u = timed(obs, "asn", || asn::asn_use(out));
     let top_orgs: Vec<&str> = asn_u
         .ips_per_org
         .sorted()
@@ -208,7 +226,7 @@ pub fn run_all(out: &PipelineOutput<'_>) -> Vec<ExperimentResult> {
     });
 
     // ---- T9 / T18 ----
-    let avd = av::av_detection(out);
+    let avd = timed(obs, "av", || av::av_detection(out));
     let n = avd.vt.n.max(1) as f64;
     results.push(ExperimentResult {
         id: "T9",
@@ -250,7 +268,7 @@ pub fn run_all(out: &PipelineOutput<'_>) -> Vec<ExperimentResult> {
     });
 
     // ---- T10 ----
-    let cats = categories::categories(out);
+    let cats = timed(obs, "categories", || categories::categories(out));
     results.push(ExperimentResult {
         id: "T10",
         paper: "banking 45.1% > others 20.6% > delivery 11.3% > government 9.6% > telecom 6.6%; spam 5% leaks in",
@@ -264,7 +282,7 @@ pub fn run_all(out: &PipelineOutput<'_>) -> Vec<ExperimentResult> {
     });
 
     // ---- T11 ----
-    let langs = languages::languages(out);
+    let langs = timed(obs, "languages", || languages::languages(out));
     results.push(ExperimentResult {
         id: "T11",
         paper: "English 65.2%, Spanish 13.7%, Dutch 5.7%; 66 languages observed; Dutch >> Mandarin despite speaker counts",
@@ -277,7 +295,7 @@ pub fn run_all(out: &PipelineOutput<'_>) -> Vec<ExperimentResult> {
     });
 
     // ---- T12 ----
-    let br = brands::brands(out);
+    let br = timed(obs, "brands", || brands::brands(out));
     results.push(ExperimentResult {
         id: "T12",
         paper: "SBI tops Table 12 (11.6%); banks dominate; Amazon/Netflix appear as Others",
@@ -298,7 +316,7 @@ pub fn run_all(out: &PipelineOutput<'_>) -> Vec<ExperimentResult> {
     });
 
     // ---- T13 ----
-    let lu = lures::lures(out);
+    let lu = timed(obs, "lures", || lures::lures(out));
     results.push(ExperimentResult {
         id: "T13",
         paper: "urgency everywhere except Wrong-number; authority for institutional scams; kindness/distraction for conversation scams; dishonesty 0.5% / herd 1.2%",
@@ -313,7 +331,7 @@ pub fn run_all(out: &PipelineOutput<'_>) -> Vec<ExperimentResult> {
     });
 
     // ---- T14 / F3 ----
-    let co = countries::countries(out);
+    let co = timed(obs, "countries", || countries::countries(out));
     let india_mix = co.scam_mix.get(&smishing_types::Country::India);
     let us_mix = co.scam_mix.get(&smishing_types::Country::UnitedStates);
     results.push(ExperimentResult {
@@ -350,7 +368,7 @@ pub fn run_all(out: &PipelineOutput<'_>) -> Vec<ExperimentResult> {
     });
 
     // ---- T15 ----
-    let years = overview::twitter_by_year(out);
+    let years = timed(obs, "twitter_years", || overview::twitter_by_year(out));
     results.push(ExperimentResult {
         id: "T15",
         paper: "Twitter volume grows from 6,345 (2017) to >50k/yr (2022-23)",
@@ -366,7 +384,7 @@ pub fn run_all(out: &PipelineOutput<'_>) -> Vec<ExperimentResult> {
     });
 
     // ---- T17 ----
-    let regs = registrars::registrars(out);
+    let regs = timed(obs, "registrars", || registrars::registrars(out));
     let gname_gov_lift = regs.lift("Gname", ScamType::Government);
     results.push(ExperimentResult {
         id: "T17",
@@ -383,7 +401,7 @@ pub fn run_all(out: &PipelineOutput<'_>) -> Vec<ExperimentResult> {
     });
 
     // ---- F2 ----
-    let st = timestamps::send_times(out, true);
+    let st = timed(obs, "timestamps", || timestamps::send_times(out, true));
     let significant = st
         .ks_matrix()
         .iter()
@@ -401,7 +419,7 @@ pub fn run_all(out: &PipelineOutput<'_>) -> Vec<ExperimentResult> {
     });
 
     // ---- IRR ----
-    let study = irr::irr_study(out, 150, 0x1B4);
+    let study = timed(obs, "irr", || irr::irr_study(out, 150, 0x1B4));
     results.push(ExperimentResult {
         id: "IRR",
         paper: "human-human kappa: brands .82 / scam .94 / lures .85; LLM vs consensus: .85 / .93 / .70",
@@ -414,7 +432,9 @@ pub fn run_all(out: &PipelineOutput<'_>) -> Vec<ExperimentResult> {
     });
 
     // ---- CUR ----
-    let cmp = extraction::extractor_comparison(out, 400);
+    let cmp = timed(obs, "extraction", || {
+        extraction::extractor_comparison(out, 400)
+    });
     results.push(ExperimentResult {
         id: "CUR",
         paper: "naive OCR fails on themes and can't dismiss posters; Vision scrambles URLs; the LLM extractor recovers structured fields",
@@ -427,7 +447,7 @@ pub fn run_all(out: &PipelineOutput<'_>) -> Vec<ExperimentResult> {
     });
 
     // ---- T19 ----
-    let cs = casestudy::case_study(out, 200, 0xCA5E);
+    let cs = timed(obs, "casestudy", || casestudy::case_study(out, 200, 0xCA5E));
     let named: Vec<&str> = cs
         .findings
         .iter()

@@ -2,7 +2,8 @@
 
 use crate::collect::{collect_all, CollectionStats};
 use crate::curation::{curate_posts, dedup, CuratedMessage, CurationOptions};
-use crate::enrich::{enrich_all, EnrichedRecord};
+use crate::enrich::{enrich_all_observed, EnrichedRecord};
+use smishing_obs::Obs;
 use smishing_types::Forum;
 use smishing_worldsim::World;
 
@@ -29,17 +30,48 @@ pub struct PipelineOutput<'w> {
 impl Pipeline {
     /// Run the pipeline over a world.
     pub fn run<'w>(&self, world: &'w World) -> PipelineOutput<'w> {
-        let collected = collect_all(world);
+        self.run_observed(world, &Obs::noop())
+    }
+
+    /// Run the pipeline with per-stage wall-clock spans and volume counters
+    /// (`pipeline.<stage>.wall_ns`, `pipeline.<stage>.<unit>`). With a
+    /// no-op handle this is exactly [`run`](Self::run): no clock reads, no
+    /// atomics, byte-identical output.
+    pub fn run_observed<'w>(&self, world: &'w World, obs: &Obs) -> PipelineOutput<'w> {
+        let _run_span = obs.span("pipeline.run.wall_ns");
+        let collected = {
+            let _s = obs.span("pipeline.collect.wall_ns");
+            collect_all(world)
+        };
         let mut curated_total = Vec::new();
         let mut collection = Vec::new();
-        for (forum, posts, stats) in collected {
-            let curated = curate_posts(&posts, &self.curation);
-            curated_total.extend(curated);
-            collection.push((forum, stats));
+        {
+            let _s = obs.span("pipeline.curate.wall_ns");
+            for (forum, posts, stats) in collected {
+                let curated = curate_posts(&posts, &self.curation);
+                curated_total.extend(curated);
+                collection.push((forum, stats));
+            }
         }
-        curated_total.sort_by_key(|c| c.post_id);
-        let unique = dedup(&curated_total, self.curation.dedup);
-        let records = enrich_all(unique, world);
+        if obs.is_enabled() {
+            let posts: usize = collection.iter().map(|(_, s)| s.posts).sum();
+            obs.counter("pipeline.collect.posts", &[]).add(posts as u64);
+            obs.counter("pipeline.curate.messages", &[])
+                .add(curated_total.len() as u64);
+        }
+        let unique = {
+            let _s = obs.span("pipeline.dedup.wall_ns");
+            curated_total.sort_by_key(|c| c.post_id);
+            dedup(&curated_total, self.curation.dedup)
+        };
+        obs.counter("pipeline.dedup.unique", &[])
+            .add(unique.len() as u64);
+        let records = {
+            let _s = obs.span("pipeline.enrich.wall_ns");
+            enrich_all_observed(unique, world, obs)
+        };
+        obs.counter("pipeline.enrich.records", &[])
+            .add(records.len() as u64);
         PipelineOutput {
             world,
             collection,

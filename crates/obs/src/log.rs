@@ -1,0 +1,83 @@
+//! Leveled logging: a thin stderr logger threaded through the [`Obs`]
+//! handle, so `--log-level`/`--quiet` control every progress line without a
+//! logging framework dependency.
+//!
+//! [`Obs`]: crate::Obs
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Log severity, most to least severe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Unrecoverable or must-see problems (`--quiet` still shows these).
+    Error,
+    /// Degraded but continuing (e.g. a worker panic being propagated).
+    Warn,
+    /// Progress lines (the default level).
+    Info,
+    /// Per-stage details.
+    Debug,
+    /// Firehose.
+    Trace,
+}
+
+impl Level {
+    /// Lower-case name, as used by `--log-level`.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for Level {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Level, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "error" => Ok(Level::Error),
+            "warn" | "warning" => Ok(Level::Warn),
+            "info" => Ok(Level::Info),
+            "debug" => Ok(Level::Debug),
+            "trace" => Ok(Level::Trace),
+            other => Err(format!(
+                "unknown log level {other:?} (expected error|warn|info|debug|trace)"
+            )),
+        }
+    }
+}
+
+/// Log an error through an [`Obs`](crate::Obs) handle.
+#[macro_export]
+macro_rules! obs_error {
+    ($obs:expr, $($arg:tt)*) => { $obs.log($crate::Level::Error, ::std::format_args!($($arg)*)) };
+}
+
+/// Log a warning through an [`Obs`](crate::Obs) handle.
+#[macro_export]
+macro_rules! obs_warn {
+    ($obs:expr, $($arg:tt)*) => { $obs.log($crate::Level::Warn, ::std::format_args!($($arg)*)) };
+}
+
+/// Log a progress line through an [`Obs`](crate::Obs) handle.
+#[macro_export]
+macro_rules! obs_info {
+    ($obs:expr, $($arg:tt)*) => { $obs.log($crate::Level::Info, ::std::format_args!($($arg)*)) };
+}
+
+/// Log a detail line through an [`Obs`](crate::Obs) handle.
+#[macro_export]
+macro_rules! obs_debug {
+    ($obs:expr, $($arg:tt)*) => { $obs.log($crate::Level::Debug, ::std::format_args!($($arg)*)) };
+}

@@ -1,0 +1,102 @@
+//! Counters and gauges: atomic, cloneable handles, no-op when disabled.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering::Relaxed};
+use std::sync::Arc;
+
+/// Shared counter state.
+#[derive(Default)]
+pub(crate) struct CounterCore(AtomicU64);
+
+impl CounterCore {
+    pub(crate) fn get(&self) -> u64 {
+        self.0.load(Relaxed)
+    }
+}
+
+/// A monotonically increasing counter. The default handle is a no-op.
+#[derive(Clone, Default)]
+pub struct Counter(pub(crate) Option<Arc<CounterCore>>);
+
+impl Counter {
+    /// Whether this handle records anywhere.
+    pub fn is_active(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Add one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        if let Some(core) = &self.0 {
+            core.0.fetch_add(n, Relaxed);
+        }
+    }
+
+    /// Current value (0 for disabled handles).
+    pub fn get(&self) -> u64 {
+        self.0.as_ref().map_or(0, |c| c.get())
+    }
+
+    /// Fold another counter's total into this one.
+    pub fn merge_from(&self, other: &Counter) {
+        self.add(other.get());
+    }
+}
+
+/// Shared gauge state: the current value plus its high-water mark.
+#[derive(Default)]
+pub(crate) struct GaugeCore {
+    value: AtomicI64,
+    max: AtomicI64,
+}
+
+impl GaugeCore {
+    pub(crate) fn get(&self) -> i64 {
+        self.value.load(Relaxed)
+    }
+
+    pub(crate) fn high_water(&self) -> i64 {
+        self.max.load(Relaxed)
+    }
+}
+
+/// A point-in-time gauge that also tracks its high-water mark (useful for
+/// channel depths, where the peak matters more than the final value).
+#[derive(Clone, Default)]
+pub struct Gauge(pub(crate) Option<Arc<GaugeCore>>);
+
+impl Gauge {
+    /// Whether this handle records anywhere.
+    pub fn is_active(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Set the current value (and raise the high-water mark).
+    pub fn set(&self, v: i64) {
+        if let Some(core) = &self.0 {
+            core.value.store(v, Relaxed);
+            core.max.fetch_max(v, Relaxed);
+        }
+    }
+
+    /// Adjust the current value by `delta`.
+    pub fn add(&self, delta: i64) {
+        if let Some(core) = &self.0 {
+            let v = core.value.fetch_add(delta, Relaxed) + delta;
+            core.max.fetch_max(v, Relaxed);
+        }
+    }
+
+    /// Current value (0 for disabled handles).
+    pub fn get(&self) -> i64 {
+        self.0.as_ref().map_or(0, |c| c.get())
+    }
+
+    /// Highest value ever set (0 for disabled handles).
+    pub fn high_water(&self) -> i64 {
+        self.0.as_ref().map_or(0, |c| c.high_water())
+    }
+}

@@ -1,0 +1,144 @@
+//! The metrics registry: named, labeled metrics behind cheap handles.
+//!
+//! Metric names follow the `stage.service.metric` convention
+//! (`enrich.hlr.latency_ns`, `stream.shard.channel_depth`); labels add
+//! dimensions that would otherwise explode the name space (`shard="3"`).
+//! Handles are `Arc`s into the registry, so workers resolve a metric once
+//! and then record lock-free.
+
+use crate::histogram::{Histogram, HistogramCore};
+use crate::metrics::{Counter, CounterCore, Gauge, GaugeCore};
+use crate::report::{GaugeStat, HistStat, Report};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+/// A metric's identity: name plus sorted `(key, value)` labels.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MetricId {
+    /// Dotted metric name (`stage.service.metric`).
+    pub name: String,
+    /// Label dimensions, sorted by key.
+    pub labels: Vec<(String, String)>,
+}
+
+impl MetricId {
+    /// Build an id; labels are sorted so the same set always compares equal.
+    pub fn new(name: &str, labels: &[(&str, &str)]) -> MetricId {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        labels.sort();
+        MetricId {
+            name: name.to_string(),
+            labels,
+        }
+    }
+}
+
+impl fmt::Display for MetricId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)?;
+        if !self.labels.is_empty() {
+            write!(f, "{{")?;
+            for (i, (k, v)) in self.labels.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ",")?;
+                }
+                write!(f, "{k}=\"{v}\"")?;
+            }
+            write!(f, "}}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The registry. Interior-mutable and `Sync`: resolving a handle takes a
+/// short mutex; recording through a handle is lock-free.
+#[derive(Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<MetricId, Arc<CounterCore>>>,
+    gauges: Mutex<BTreeMap<MetricId, Arc<GaugeCore>>>,
+    histograms: Mutex<BTreeMap<MetricId, Arc<HistogramCore>>>,
+}
+
+impl Registry {
+    /// A fresh, empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Resolve (or create) a counter.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        let id = MetricId::new(name, labels);
+        let mut map = self.counters.lock().expect("counter registry lock");
+        Counter(Some(Arc::clone(map.entry(id).or_default())))
+    }
+
+    /// Resolve (or create) a gauge.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        let id = MetricId::new(name, labels);
+        let mut map = self.gauges.lock().expect("gauge registry lock");
+        Gauge(Some(Arc::clone(map.entry(id).or_default())))
+    }
+
+    /// Resolve (or create) a histogram.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Histogram {
+        let id = MetricId::new(name, labels);
+        let mut map = self.histograms.lock().expect("histogram registry lock");
+        Histogram(Some(Arc::clone(map.entry(id).or_default())))
+    }
+
+    /// A consistent point-in-time view of every registered metric.
+    pub fn snapshot(&self) -> Report {
+        let counters = self
+            .counters
+            .lock()
+            .expect("counter registry lock")
+            .iter()
+            .map(|(id, c)| (id.clone(), c.get()))
+            .collect();
+        let gauges = self
+            .gauges
+            .lock()
+            .expect("gauge registry lock")
+            .iter()
+            .map(|(id, g)| {
+                (
+                    id.clone(),
+                    GaugeStat {
+                        value: g.get(),
+                        max: g.high_water(),
+                    },
+                )
+            })
+            .collect();
+        let histograms = self
+            .histograms
+            .lock()
+            .expect("histogram registry lock")
+            .iter()
+            .map(|(id, h)| {
+                (
+                    id.clone(),
+                    HistStat {
+                        count: h.count(),
+                        sum: h.sum(),
+                        min: h.min(),
+                        max: h.max(),
+                        p50: h.quantile(0.50).round() as u64,
+                        p90: h.quantile(0.90).round() as u64,
+                        p95: h.quantile(0.95).round() as u64,
+                        p99: h.quantile(0.99).round() as u64,
+                    },
+                )
+            })
+            .collect();
+        Report {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! Exportable run reports: deterministic-schema JSON and Prometheus-style
+//! text exposition.
+//!
+//! Determinism contract (pinned by a snapshot test): `smishing-obs/v1`
+//! reports have exactly the top-level keys `schema`, `counters`, `gauges`,
+//! `histograms`; metric keys render as `name` or `name{k="v",...}` with
+//! labels sorted; every value is an integer; map iteration is `BTreeMap`
+//! order. Two runs that record the same counts produce byte-identical
+//! reports (histogram quantiles of wall times naturally vary between runs,
+//! but the *schema* — the key set and shapes — never does).
+
+use crate::registry::MetricId;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Schema identifier embedded in every JSON report.
+pub const SCHEMA: &str = "smishing-obs/v1";
+
+/// Exported gauge state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GaugeStat {
+    /// Last value set.
+    pub value: i64,
+    /// High-water mark.
+    pub max: i64,
+}
+
+/// Exported histogram state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistStat {
+    /// Recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Smallest recorded value (0 when empty).
+    pub min: u64,
+    /// Largest recorded value (0 when empty).
+    pub max: u64,
+    /// Median estimate.
+    pub p50: u64,
+    /// 90th-percentile estimate.
+    pub p90: u64,
+    /// 95th-percentile estimate.
+    pub p95: u64,
+    /// 99th-percentile estimate.
+    pub p99: u64,
+}
+
+/// A point-in-time view of a registry, ready to export.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Report {
+    /// Counter totals.
+    pub counters: BTreeMap<MetricId, u64>,
+    /// Gauge values + high-water marks.
+    pub gauges: BTreeMap<MetricId, GaugeStat>,
+    /// Histogram summaries.
+    pub histograms: BTreeMap<MetricId, HistStat>,
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl Report {
+    /// Render the deterministic `smishing-obs/v1` JSON document.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        let _ = writeln!(s, "  \"schema\": \"{SCHEMA}\",");
+        s.push_str("  \"counters\": {");
+        for (i, (id, v)) in self.counters.iter().enumerate() {
+            s.push_str(if i == 0 { "\n" } else { ",\n" });
+            let _ = write!(s, "    \"{}\": {v}", json_escape(&id.to_string()));
+        }
+        s.push_str(if self.counters.is_empty() {
+            "},\n"
+        } else {
+            "\n  },\n"
+        });
+        s.push_str("  \"gauges\": {");
+        for (i, (id, g)) in self.gauges.iter().enumerate() {
+            s.push_str(if i == 0 { "\n" } else { ",\n" });
+            let _ = write!(
+                s,
+                "    \"{}\": {{ \"max\": {}, \"value\": {} }}",
+                json_escape(&id.to_string()),
+                g.max,
+                g.value
+            );
+        }
+        s.push_str(if self.gauges.is_empty() {
+            "},\n"
+        } else {
+            "\n  },\n"
+        });
+        s.push_str("  \"histograms\": {");
+        for (i, (id, h)) in self.histograms.iter().enumerate() {
+            s.push_str(if i == 0 { "\n" } else { ",\n" });
+            let _ = write!(
+                s,
+                "    \"{}\": {{ \"count\": {}, \"max\": {}, \"min\": {}, \
+                 \"p50\": {}, \"p90\": {}, \"p95\": {}, \"p99\": {}, \"sum\": {} }}",
+                json_escape(&id.to_string()),
+                h.count,
+                h.max,
+                h.min,
+                h.p50,
+                h.p90,
+                h.p95,
+                h.p99,
+                h.sum
+            );
+        }
+        s.push_str(if self.histograms.is_empty() {
+            "}\n"
+        } else {
+            "\n  }\n"
+        });
+        s.push_str("}\n");
+        s
+    }
+
+    /// Render a Prometheus-style text exposition (`.` in names becomes `_`;
+    /// histograms export as summaries with `quantile` labels).
+    pub fn to_prometheus(&self) -> String {
+        let mut s = String::new();
+        let mut last_family = String::new();
+        for (id, v) in &self.counters {
+            let name = sanitize(&id.name);
+            if name != last_family {
+                let _ = writeln!(s, "# TYPE {name} counter");
+                last_family = name.clone();
+            }
+            let _ = writeln!(s, "{name}{} {v}", label_str(id, None));
+        }
+        last_family.clear();
+        for (id, g) in &self.gauges {
+            let name = sanitize(&id.name);
+            if name != last_family {
+                let _ = writeln!(s, "# TYPE {name} gauge");
+                let _ = writeln!(s, "# TYPE {name}_max gauge");
+                last_family = name.clone();
+            }
+            let _ = writeln!(s, "{name}{} {}", label_str(id, None), g.value);
+            let _ = writeln!(s, "{name}_max{} {}", label_str(id, None), g.max);
+        }
+        last_family.clear();
+        for (id, h) in &self.histograms {
+            let name = sanitize(&id.name);
+            if name != last_family {
+                let _ = writeln!(s, "# TYPE {name} summary");
+                last_family = name.clone();
+            }
+            for (q, v) in [
+                ("0.5", h.p50),
+                ("0.9", h.p90),
+                ("0.95", h.p95),
+                ("0.99", h.p99),
+            ] {
+                let _ = writeln!(s, "{name}{} {v}", label_str(id, Some(q)));
+            }
+            let _ = writeln!(s, "{name}_sum{} {}", label_str(id, None), h.sum);
+            let _ = writeln!(s, "{name}_count{} {}", label_str(id, None), h.count);
+        }
+        s
+    }
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+fn label_str(id: &MetricId, quantile: Option<&str>) -> String {
+    let mut parts: Vec<String> = id
+        .labels
+        .iter()
+        .map(|(k, v)| format!("{}=\"{}\"", sanitize(k), v))
+        .collect();
+    if let Some(q) = quantile {
+        parts.push(format!("quantile=\"{q}\""));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}

@@ -1,0 +1,33 @@
+//! Scoped spans: wall-clock stage timing with RAII.
+
+use crate::histogram::HistogramCore;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A running span. Dropping it records the elapsed nanoseconds into the
+/// histogram it was opened against. Spans from a disabled [`Obs`] never
+/// read the clock.
+///
+/// [`Obs`]: crate::Obs
+#[must_use = "a span measures the scope it lives in; dropping it immediately records ~0ns"]
+pub struct Span {
+    pub(crate) inner: Option<(Instant, Arc<HistogramCore>)>,
+}
+
+impl Span {
+    /// A span that records nowhere.
+    pub fn disabled() -> Span {
+        Span { inner: None }
+    }
+
+    /// End the span now (equivalent to dropping it).
+    pub fn end(self) {}
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some((start, hist)) = self.inner.take() {
+            hist.record(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! Registry-level tests: quantile correctness on known distributions, the
+//! merge law (per-shard histograms combine exactly), and the pinned JSON
+//! run-report schema.
+
+use proptest::prelude::*;
+use smishing_obs::{Obs, Registry};
+
+#[test]
+fn quantiles_on_a_uniform_distribution() {
+    let reg = Registry::new();
+    let h = reg.histogram("t.uniform.ns", &[]);
+    for v in 1..=10_000u64 {
+        h.record(v);
+    }
+    assert_eq!(h.count(), 10_000);
+    assert_eq!(h.sum(), 10_000 * 10_001 / 2);
+    assert_eq!(h.min(), 1);
+    assert_eq!(h.max(), 10_000);
+    for (q, expect) in [
+        (0.50, 5_000.0),
+        (0.90, 9_000.0),
+        (0.95, 9_500.0),
+        (0.99, 9_900.0),
+    ] {
+        let got = h.quantile(q);
+        let rel = (got - expect).abs() / expect;
+        assert!(rel < 0.05, "q{q}: got {got}, want ~{expect} (rel {rel:.3})");
+    }
+}
+
+#[test]
+fn quantiles_on_a_constant_distribution_are_exact() {
+    let reg = Registry::new();
+    let h = reg.histogram("t.constant.ns", &[]);
+    for _ in 0..250 {
+        h.record(777);
+    }
+    for q in [0.01, 0.5, 0.95, 0.99, 1.0] {
+        assert_eq!(h.quantile(q), 777.0, "q{q}");
+    }
+}
+
+#[test]
+fn quantiles_on_a_skewed_distribution_find_the_tail() {
+    let reg = Registry::new();
+    let h = reg.histogram("t.skewed.ns", &[]);
+    // 99 fast calls at ~100ns, one slow call at 1ms.
+    for _ in 0..99 {
+        h.record(100);
+    }
+    h.record(1_000_000);
+    let p50 = h.quantile(0.5);
+    assert!((100.0..150.0).contains(&p50), "p50 {p50}");
+    assert!(h.quantile(0.995) > 500_000.0);
+}
+
+#[test]
+fn empty_histogram_reports_zeros() {
+    let reg = Registry::new();
+    let h = reg.histogram("t.empty.ns", &[]);
+    assert_eq!(h.count(), 0);
+    assert_eq!(h.min(), 0);
+    assert_eq!(h.max(), 0);
+    assert_eq!(h.quantile(0.5), 0.0);
+}
+
+#[test]
+fn counter_and_gauge_merge_and_high_water() {
+    let reg = Registry::new();
+    let a = reg.counter("t.c", &[("shard", "0")]);
+    let b = reg.counter("t.c", &[("shard", "1")]);
+    a.add(5);
+    b.add(7);
+    let total = reg.counter("t.c", &[("shard", "all")]);
+    total.merge_from(&a);
+    total.merge_from(&b);
+    assert_eq!(total.get(), 12);
+
+    let g = reg.gauge("t.depth", &[]);
+    g.set(3);
+    g.set(9);
+    g.set(2);
+    assert_eq!(g.get(), 2);
+    assert_eq!(g.high_water(), 9);
+}
+
+proptest! {
+    /// Merging per-shard histograms equals single-shard recording: the
+    /// merged histogram is *bucket-exact*, so count/sum/min/max and every
+    /// quantile agree bit-for-bit.
+    #[test]
+    fn merged_shard_histograms_equal_single_recording(
+        values in prop::collection::vec(0u64..=10_000_000_000, 1..400),
+        shards in 1usize..8,
+    ) {
+        let reg = Registry::new();
+        let single = reg.histogram("t.single.ns", &[]);
+        let per_shard: Vec<_> = (0..shards)
+            .map(|i| reg.histogram("t.shard.ns", &[("shard", &i.to_string())]))
+            .collect();
+        for (i, v) in values.iter().enumerate() {
+            single.record(*v);
+            per_shard[i % shards].record(*v);
+        }
+        let merged = reg.histogram("t.merged.ns", &[]);
+        for h in &per_shard {
+            merged.merge_from(h);
+        }
+        prop_assert_eq!(merged.count(), single.count());
+        prop_assert_eq!(merged.sum(), single.sum());
+        prop_assert_eq!(merged.min(), single.min());
+        prop_assert_eq!(merged.max(), single.max());
+        prop_assert_eq!(merged.bucket_counts(), single.bucket_counts());
+        for q in [0.0, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0] {
+            prop_assert_eq!(merged.quantile(q), single.quantile(q));
+        }
+    }
+}
+
+/// Pins the `smishing-obs/v1` JSON schema: top-level keys, key rendering
+/// with sorted labels, per-metric shapes, integer values, trailing newline.
+/// If this test fails, downstream consumers of `--metrics-json` break —
+/// bump the schema string instead of silently changing shape.
+#[test]
+fn json_run_report_schema_snapshot() {
+    let obs = Obs::enabled();
+    obs.counter("pipeline.collect.posts", &[]).add(42);
+    obs.counter("stream.shard.curated", &[("shard", "0")])
+        .add(7);
+    let g = obs.gauge("stream.shard.channel_depth", &[("shard", "0")]);
+    g.set(5);
+    g.set(2);
+    let h = obs.histogram("enrich.hlr.latency_ns", &[]);
+    h.record(1000);
+    h.record(1000);
+
+    let expected = concat!(
+        "{\n",
+        "  \"schema\": \"smishing-obs/v1\",\n",
+        "  \"counters\": {\n",
+        "    \"pipeline.collect.posts\": 42,\n",
+        "    \"stream.shard.curated{shard=\\\"0\\\"}\": 7\n",
+        "  },\n",
+        "  \"gauges\": {\n",
+        "    \"stream.shard.channel_depth{shard=\\\"0\\\"}\": { \"max\": 5, \"value\": 2 }\n",
+        "  },\n",
+        "  \"histograms\": {\n",
+        "    \"enrich.hlr.latency_ns\": { \"count\": 2, \"max\": 1000, \"min\": 1000, ",
+        "\"p50\": 1000, \"p90\": 1000, \"p95\": 1000, \"p99\": 1000, \"sum\": 2000 }\n",
+        "  }\n",
+        "}\n",
+    );
+    assert_eq!(obs.json_report(), expected);
+}
+
+#[test]
+fn empty_report_still_has_the_full_schema() {
+    let obs = Obs::enabled();
+    assert_eq!(
+        obs.json_report(),
+        "{\n  \"schema\": \"smishing-obs/v1\",\n  \"counters\": {},\n  \"gauges\": {},\n  \"histograms\": {}\n}\n"
+    );
+    // The no-op handle renders the same empty document.
+    assert_eq!(Obs::noop().json_report(), obs.json_report());
+}
+
+#[test]
+fn prometheus_exposition_renders_all_metric_kinds() {
+    let obs = Obs::enabled();
+    obs.counter("pipeline.collect.posts", &[]).add(3);
+    obs.gauge("stream.shard.channel_depth", &[("shard", "1")])
+        .set(4);
+    obs.histogram("enrich.whois.latency_ns", &[]).record(512);
+    let text = obs.text_exposition();
+    assert!(text.contains("# TYPE pipeline_collect_posts counter"));
+    assert!(text.contains("pipeline_collect_posts 3"));
+    assert!(text.contains("stream_shard_channel_depth{shard=\"1\"} 4"));
+    assert!(text.contains("stream_shard_channel_depth_max{shard=\"1\"} 4"));
+    assert!(text.contains("# TYPE enrich_whois_latency_ns summary"));
+    assert!(text.contains("enrich_whois_latency_ns{quantile=\"0.5\"} 512"));
+    assert!(text.contains("enrich_whois_latency_ns_count 1"));
+    assert!(text.contains("enrich_whois_latency_ns_sum 512"));
+}

@@ -32,16 +32,42 @@
 //! function of the post sequence — independent of shard count, curator
 //! count, channel capacity, and thread scheduling. End-of-stream output is
 //! *identical* to [`Pipeline::run`](smishing_core::Pipeline).
+//!
+//! # Observability
+//!
+//! [`ingest_observed`] threads an [`Obs`] handle through every worker:
+//! per-shard ingest counters (`stream.shard.curated{shard="i"}`), bounded
+//! channel depth gauges with high-water marks
+//! (`stream.{curator,shard}.channel_depth`), backpressure wait histograms
+//! (`stream.{feeder,curator}.backpressure_wait_ns`, recorded only when a
+//! `try_send` finds the channel full), snapshot cost histograms
+//! (`stream.snapshot.cost_ns`) and per-service enrichment meters (via
+//! [`ServiceMeters`]). Per-shard enrichment histograms are additionally
+//! combined with [`Histogram::merge_from`] into a `shard="all"` series —
+//! exact, like the accumulators' `merge()`. With a no-op handle every
+//! instrumentation point short-circuits and the engine runs the
+//! pre-observability code path.
+//!
+//! # Worker panics
+//!
+//! A panic on any worker thread (feeder, curator, shard) is caught at the
+//! thread boundary, counted in `stream.engine.worker_panics`, and
+//! re-raised on the caller's thread with its original payload once the
+//! remaining workers have drained — never silently swallowed, and never a
+//! deadlock: peers detect the closed channels and shut down cleanly.
 
 use crate::accs::AnalysisAccs;
-use crossbeam::channel::{self, Receiver, Sender};
+use crossbeam::channel::{self, Receiver, Sender, TrySendError};
 use smishing_core::collect::CollectionStats;
 use smishing_core::curation::{curate_post, CuratedMessage, CurationOptions};
-use smishing_core::enrich::{enrich, EnrichedRecord};
+use smishing_core::enrich::{enrich_observed, EnrichedRecord, ServiceMeters};
 use smishing_core::pipeline::PipelineOutput;
+use smishing_obs::{obs_warn, Counter, Gauge, Histogram, Obs};
 use smishing_types::Forum;
 use smishing_worldsim::{Post, World};
 use std::collections::HashMap;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::Mutex;
 
 /// Engine configuration.
 #[derive(Debug, Clone, Copy)]
@@ -191,6 +217,26 @@ fn shard_of(key: &str, shards: usize) -> usize {
     (h % shards as u64) as usize
 }
 
+/// Send with backpressure accounting. When the wait histogram is live, a
+/// full channel is detected with `try_send` first, so only genuinely
+/// blocked sends pay for a clock read; when disabled this is a plain
+/// `send`. Returns `false` when the receiver is gone (it panicked —
+/// the caller winds down and the panic is surfaced by the join path).
+fn obs_send<T>(tx: &Sender<T>, msg: T, blocked: &Counter, wait: &Histogram) -> bool {
+    if wait.is_active() {
+        match tx.try_send(msg) {
+            Ok(()) => true,
+            Err(TrySendError::Full(m)) => {
+                blocked.inc();
+                wait.time(|| tx.send(m)).is_ok()
+            }
+            Err(TrySendError::Disconnected(_)) => false,
+        }
+    } else {
+        tx.send(msg).is_ok()
+    }
+}
+
 /// One analyst shard's mutable state.
 struct ShardState {
     accs: AnalysisAccs,
@@ -209,17 +255,24 @@ impl ShardState {
 
     /// Fold one curated message in, maintaining the min-post-id dedup
     /// winner per key with exact retraction.
-    fn apply(&mut self, c: CuratedMessage, world: &World, opts: &CurationOptions) {
+    fn apply(
+        &mut self,
+        c: CuratedMessage,
+        world: &World,
+        opts: &CurationOptions,
+        meters: &ServiceMeters,
+        enrich_ns: &Histogram,
+    ) {
         self.accs.add_curated(&c);
         let key = c.dedup_key(opts.dedup);
         match self.winners.get(&key) {
             None => {
-                let rec = enrich(c.clone(), world);
+                let rec = enrich_ns.time(|| enrich_observed(c.clone(), world, meters));
                 self.accs.add_record(&rec);
                 self.winners.insert(key, rec);
             }
             Some(current) if c.post_id < current.curated.post_id => {
-                let rec = enrich(c.clone(), world);
+                let rec = enrich_ns.time(|| enrich_observed(c.clone(), world, meters));
                 self.accs.add_record(&rec);
                 let old = self.winners.insert(key, rec).expect("winner present");
                 self.accs.sub_record(&old);
@@ -287,6 +340,25 @@ pub fn ingest<'w, I, F>(
     posts: I,
     cfg: &StreamConfig,
     plan: &SnapshotPlan,
+    on_snapshot: F,
+) -> IngestResult<'w>
+where
+    I: Iterator<Item = Post> + Send,
+    F: FnMut(StreamSnapshot<'w>),
+{
+    ingest_observed(world, posts, cfg, plan, &Obs::noop(), on_snapshot)
+}
+
+/// [`ingest`] with full engine instrumentation (see the module docs for
+/// the metric taxonomy). A worker-thread panic is counted under
+/// `stream.engine.worker_panics` and re-raised here with its original
+/// payload after the remaining workers drain.
+pub fn ingest_observed<'w, I, F>(
+    world: &'w World,
+    posts: I,
+    cfg: &StreamConfig,
+    plan: &SnapshotPlan,
+    obs: &Obs,
     mut on_snapshot: F,
 ) -> IngestResult<'w>
 where
@@ -297,6 +369,11 @@ where
     let n_shards = cfg.shards.max(1);
     let cap = cfg.channel_capacity.max(1);
     let opts = cfg.curation;
+    let observing = obs.is_enabled();
+
+    // Worker panic capture: payloads land here, the join path re-raises.
+    let panics: Mutex<Vec<Box<dyn std::any::Any + Send>>> = Mutex::new(Vec::new());
+    let panic_counter = obs.counter("stream.engine.worker_panics", &[]);
 
     let (curator_txs, curator_rxs): (Vec<Sender<CuratorMsg>>, Vec<Receiver<CuratorMsg>>) =
         (0..n_curators).map(|_| channel::bounded(cap)).unzip();
@@ -304,32 +381,67 @@ where
         (0..n_shards).map(|_| channel::bounded(cap)).unzip();
     let (collector_tx, collector_rx) = channel::bounded::<CollectorMsg>(cap);
 
-    crossbeam::scope(|s| {
+    // Handles resolved once; clones into workers share the same atomics.
+    let shard_enrich: Vec<Histogram> = (0..n_shards)
+        .map(|i| obs.histogram("stream.shard.enrich_ns", &[("shard", &i.to_string())]))
+        .collect();
+    let snap_cost = obs.histogram("stream.snapshot.cost_ns", &[]);
+    let snap_counter = obs.counter("stream.snapshot.count", &[]);
+
+    let result = crossbeam::scope(|s| {
         // Feeder: arrival-order fan-out plus marker injection.
         s.spawn({
             let curator_txs = curator_txs;
             let plan = plan.clone();
+            let mut posts = posts;
+            let obs = obs.clone();
+            let panics = &panics;
+            let panic_counter = panic_counter.clone();
             move |_| {
-                let mut count: u64 = 0;
-                let mut marker_id: u64 = 0;
-                for post in posts {
-                    let target = (count % n_curators as u64) as usize;
-                    count += 1;
-                    curator_txs[target]
-                        .send(CuratorMsg::Post(Box::new(post)))
-                        .expect("curators outlive the feeder");
-                    if plan.fires_at(count) {
-                        marker_id += 1;
-                        for tx in &curator_txs {
-                            tx.send(CuratorMsg::Marker {
-                                id: marker_id,
-                                at_posts: count,
-                            })
-                            .expect("curators outlive the feeder");
+                let body = AssertUnwindSafe(|| {
+                    let posts_counter = obs.counter("stream.feeder.posts", &[]);
+                    let blocked = obs.counter("stream.feeder.blocked_sends", &[]);
+                    let wait = obs.histogram("stream.feeder.backpressure_wait_ns", &[]);
+                    let depth: Vec<Gauge> = (0..n_curators)
+                        .map(|i| {
+                            obs.gauge(
+                                "stream.curator.channel_depth",
+                                &[("curator", &i.to_string())],
+                            )
+                        })
+                        .collect();
+                    let mut count: u64 = 0;
+                    let mut marker_id: u64 = 0;
+                    for post in posts.by_ref() {
+                        let target = (count % n_curators as u64) as usize;
+                        count += 1;
+                        posts_counter.inc();
+                        let msg = CuratorMsg::Post(Box::new(post));
+                        if !obs_send(&curator_txs[target], msg, &blocked, &wait) {
+                            return;
+                        }
+                        if observing {
+                            depth[target].set(curator_txs[target].len() as i64);
+                        }
+                        if plan.fires_at(count) {
+                            marker_id += 1;
+                            for tx in &curator_txs {
+                                let m = CuratorMsg::Marker {
+                                    id: marker_id,
+                                    at_posts: count,
+                                };
+                                if tx.send(m).is_err() {
+                                    return;
+                                }
+                            }
                         }
                     }
+                    // Dropping the senders ends every curator's loop.
+                });
+                if let Err(payload) = catch_unwind(body) {
+                    panic_counter.inc();
+                    panics.lock().expect("panic sink lock").push(payload);
                 }
-                // Dropping the senders ends every curator's loop.
             }
         });
 
@@ -338,50 +450,70 @@ where
             s.spawn({
                 let shard_txs = shard_txs.clone();
                 let collector_tx = collector_tx.clone();
+                let obs = obs.clone();
+                let panics = &panics;
+                let panic_counter = panic_counter.clone();
                 move |_| {
-                    let mut accs = AnalysisAccs::new();
-                    let mut collection: HashMap<Forum, CollectionStats> = HashMap::new();
-                    for msg in rx.iter() {
-                        match msg {
-                            CuratorMsg::Post(post) => {
-                                accs.add_post(&post);
-                                let e = collection.entry(post.forum).or_default();
-                                e.posts += 1;
-                                if post.body.has_image() {
-                                    e.images += 1;
-                                }
-                                if let Some(c) = curate_post(&post, &opts) {
-                                    let shard = shard_of(&c.dedup_key(opts.dedup), n_shards);
-                                    shard_txs[shard]
-                                        .send(ShardMsg::Curated {
+                    let body = AssertUnwindSafe(|| {
+                        let label = curator_idx.to_string();
+                        let posts_counter =
+                            obs.counter("stream.curator.posts", &[("curator", &label)]);
+                        let curated_counter =
+                            obs.counter("stream.curator.curated", &[("curator", &label)]);
+                        let blocked = obs.counter("stream.curator.blocked_sends", &[]);
+                        let wait = obs.histogram("stream.curator.backpressure_wait_ns", &[]);
+                        let mut accs = AnalysisAccs::new();
+                        let mut collection: HashMap<Forum, CollectionStats> = HashMap::new();
+                        for msg in rx.iter() {
+                            match msg {
+                                CuratorMsg::Post(post) => {
+                                    posts_counter.inc();
+                                    accs.add_post(&post);
+                                    let e = collection.entry(post.forum).or_default();
+                                    e.posts += 1;
+                                    if post.body.has_image() {
+                                        e.images += 1;
+                                    }
+                                    if let Some(c) = curate_post(&post, &opts) {
+                                        curated_counter.inc();
+                                        let shard = shard_of(&c.dedup_key(opts.dedup), n_shards);
+                                        let m = ShardMsg::Curated {
                                             curator: curator_idx,
                                             msg: c,
-                                        })
-                                        .expect("shards outlive curators");
+                                        };
+                                        if !obs_send(&shard_txs[shard], m, &blocked, &wait) {
+                                            return;
+                                        }
+                                    }
                                 }
-                            }
-                            CuratorMsg::Marker { id, at_posts } => {
-                                collector_tx
-                                    .send(CollectorMsg::CuratorSnap {
+                                CuratorMsg::Marker { id, at_posts } => {
+                                    let snap = CollectorMsg::CuratorSnap {
                                         id,
                                         accs: accs.clone(),
                                         collection: collection.clone(),
-                                    })
-                                    .expect("collector outlives curators");
-                                for tx in &shard_txs {
-                                    tx.send(ShardMsg::Marker {
-                                        curator: curator_idx,
-                                        id,
-                                        at_posts,
-                                    })
-                                    .expect("shards outlive curators");
+                                    };
+                                    if collector_tx.send(snap).is_err() {
+                                        return;
+                                    }
+                                    for tx in &shard_txs {
+                                        let m = ShardMsg::Marker {
+                                            curator: curator_idx,
+                                            id,
+                                            at_posts,
+                                        };
+                                        if tx.send(m).is_err() {
+                                            return;
+                                        }
+                                    }
                                 }
                             }
                         }
+                        let _ = collector_tx.send(CollectorMsg::CuratorDone { accs, collection });
+                    });
+                    if let Err(payload) = catch_unwind(body) {
+                        panic_counter.inc();
+                        panics.lock().expect("panic sink lock").push(payload);
                     }
-                    collector_tx
-                        .send(CollectorMsg::CuratorDone { accs, collection })
-                        .expect("collector outlives curators");
                 }
             });
         }
@@ -390,63 +522,88 @@ where
         // Analyst shards: curated/record accumulators + dedup winners, with
         // marker alignment (messages that overtake a slower curator's
         // marker wait in `deferred`).
-        for rx in shard_rxs {
+        for (shard_idx, rx) in shard_rxs.into_iter().enumerate() {
             s.spawn({
                 let collector_tx = collector_tx.clone();
+                let obs = obs.clone();
+                let enrich_ns = shard_enrich[shard_idx].clone();
+                let panics = &panics;
+                let panic_counter = panic_counter.clone();
                 move |_| {
-                    let mut state = ShardState::new();
-                    let mut marker_seen = vec![0u64; n_curators];
-                    let mut completed: u64 = 0;
-                    let mut deferred: HashMap<u64, Vec<(usize, CuratedMessage)>> = HashMap::new();
-                    let mut marker_posts: HashMap<u64, u64> = HashMap::new();
-                    for msg in rx.iter() {
-                        match msg {
-                            ShardMsg::Curated { curator, msg } => {
-                                if marker_seen[curator] == completed {
-                                    state.apply(msg, world, &opts);
-                                } else {
-                                    deferred
-                                        .entry(marker_seen[curator])
-                                        .or_default()
-                                        .push((curator, msg));
-                                }
+                    let body = AssertUnwindSafe(|| {
+                        let label = shard_idx.to_string();
+                        let curated_counter =
+                            obs.counter("stream.shard.curated", &[("shard", &label)]);
+                        let depth = obs.gauge("stream.shard.channel_depth", &[("shard", &label)]);
+                        let meters = ServiceMeters::new(&obs);
+                        let mut state = ShardState::new();
+                        let mut marker_seen = vec![0u64; n_curators];
+                        let mut completed: u64 = 0;
+                        let mut deferred: HashMap<u64, Vec<(usize, CuratedMessage)>> =
+                            HashMap::new();
+                        let mut marker_posts: HashMap<u64, u64> = HashMap::new();
+                        for msg in rx.iter() {
+                            if observing {
+                                depth.set(rx.len() as i64);
                             }
-                            ShardMsg::Marker {
-                                curator,
-                                id,
-                                at_posts,
-                            } => {
-                                debug_assert_eq!(id, marker_seen[curator] + 1, "markers in order");
-                                marker_seen[curator] = id;
-                                marker_posts.insert(id, at_posts);
-                                while marker_seen.iter().all(|&m| m > completed) {
-                                    completed += 1;
-                                    let at = marker_posts
-                                        .remove(&completed)
-                                        .expect("marker position recorded");
-                                    collector_tx
-                                        .send(CollectorMsg::ShardSnap {
+                            match msg {
+                                ShardMsg::Curated { curator, msg } => {
+                                    curated_counter.inc();
+                                    if marker_seen[curator] == completed {
+                                        state.apply(msg, world, &opts, &meters, &enrich_ns);
+                                    } else {
+                                        deferred
+                                            .entry(marker_seen[curator])
+                                            .or_default()
+                                            .push((curator, msg));
+                                    }
+                                }
+                                ShardMsg::Marker {
+                                    curator,
+                                    id,
+                                    at_posts,
+                                } => {
+                                    debug_assert_eq!(
+                                        id,
+                                        marker_seen[curator] + 1,
+                                        "markers in order"
+                                    );
+                                    marker_seen[curator] = id;
+                                    marker_posts.insert(id, at_posts);
+                                    while marker_seen.iter().all(|&m| m > completed) {
+                                        completed += 1;
+                                        let at = marker_posts
+                                            .remove(&completed)
+                                            .expect("marker position recorded");
+                                        let snap = CollectorMsg::ShardSnap {
                                             id: completed,
                                             at_posts: at,
                                             accs: state.accs.clone(),
                                             curated: state.curated.clone(),
                                             records: state.records(),
-                                        })
-                                        .expect("collector outlives shards");
-                                    for (_, c) in deferred.remove(&completed).unwrap_or_default() {
-                                        state.apply(c, world, &opts);
+                                        };
+                                        if collector_tx.send(snap).is_err() {
+                                            return;
+                                        }
+                                        for (_, c) in
+                                            deferred.remove(&completed).unwrap_or_default()
+                                        {
+                                            state.apply(c, world, &opts, &meters, &enrich_ns);
+                                        }
                                     }
                                 }
                             }
                         }
-                    }
-                    collector_tx
-                        .send(CollectorMsg::ShardDone {
+                        let _ = collector_tx.send(CollectorMsg::ShardDone {
                             accs: state.accs,
                             curated: state.curated,
                             records: state.winners.into_values().collect(),
-                        })
-                        .expect("collector outlives shards");
+                        });
+                    });
+                    if let Err(payload) = catch_unwind(body) {
+                        panic_counter.inc();
+                        panics.lock().expect("panic sink lock").push(payload);
+                    }
                 }
             });
         }
@@ -507,11 +664,15 @@ where
                 .is_some_and(|p| p.parts == parts_per_snapshot)
             {
                 let p = pending.remove(&next_emit).expect("checked");
-                let mut accs = AnalysisAccs::new();
-                for a in p.accs {
-                    accs.merge(a);
-                }
-                let output = assemble(world, p.collections, p.curated, p.records);
+                let (accs, output) = snap_cost.time(|| {
+                    let mut accs = AnalysisAccs::new();
+                    for a in p.accs {
+                        accs.merge(a);
+                    }
+                    let output = assemble(world, p.collections, p.curated, p.records);
+                    (accs, output)
+                });
+                snap_counter.inc();
                 on_snapshot(StreamSnapshot {
                     at_posts: p.at_posts,
                     accs,
@@ -534,7 +695,29 @@ where
             snapshots_taken,
         }
     })
-    .expect("engine workers do not panic")
+    .expect("worker panics are caught inside the scope");
+
+    // Join path: surface the first worker panic with its original payload.
+    let caught = panics.into_inner().expect("panic sink lock");
+    if let Some(payload) = caught.into_iter().next() {
+        obs_warn!(
+            obs,
+            "stream engine worker panicked; re-raising on the caller thread"
+        );
+        resume_unwind(payload);
+    }
+
+    if observing {
+        // Exact cross-shard combination of the per-shard enrichment
+        // histograms, mirroring the accumulators' merge().
+        let all = obs.histogram("stream.shard.enrich_ns", &[("shard", "all")]);
+        for h in &shard_enrich {
+            all.merge_from(h);
+        }
+        obs.counter("stream.engine.posts_ingested", &[])
+            .add(result.posts_ingested);
+    }
+    result
 }
 
 #[cfg(test)]

@@ -25,5 +25,7 @@ pub mod engine;
 pub mod snapshot;
 
 pub use accs::AnalysisAccs;
-pub use engine::{ingest, IngestResult, SnapshotPlan, StreamConfig, StreamSnapshot};
+pub use engine::{
+    ingest, ingest_observed, IngestResult, SnapshotPlan, StreamConfig, StreamSnapshot,
+};
 pub use snapshot::{resume, Checkpoint};

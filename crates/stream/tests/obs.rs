@@ -1,0 +1,173 @@
+//! Engine observability: instrumented runs stay batch-identical, the run
+//! report carries the per-shard series, and worker panics surface.
+
+use smishing_core::pipeline::Pipeline;
+use smishing_obs::Obs;
+use smishing_stream::{ingest_observed, SnapshotPlan, StreamConfig};
+use smishing_worldsim::{Post, ReportStream, World, WorldConfig};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+fn world() -> World {
+    World::generate(WorldConfig {
+        scale: 0.02,
+        ..WorldConfig::default()
+    })
+}
+
+#[test]
+fn observed_ingest_matches_batch_and_reports_per_shard_metrics() {
+    let w = world();
+    let batch = Pipeline::default().run(&w);
+    let obs = Obs::enabled();
+    let cfg = StreamConfig {
+        shards: 4,
+        curators: 2,
+        ..Default::default()
+    };
+    let mut snaps = 0usize;
+    let result = ingest_observed(
+        &w,
+        ReportStream::replay(&w),
+        &cfg,
+        &SnapshotPlan::every(500),
+        &obs,
+        |_| snaps += 1,
+    );
+
+    // Instrumentation must not perturb the output.
+    assert_eq!(result.output.collection, batch.collection);
+    assert_eq!(result.output.records.len(), batch.records.len());
+    for (x, y) in result.output.records.iter().zip(&batch.records) {
+        assert_eq!(x.curated.post_id, y.curated.post_id);
+    }
+
+    // Engine-level series.
+    assert_eq!(
+        obs.counter("stream.engine.posts_ingested", &[]).get(),
+        result.posts_ingested
+    );
+    assert_eq!(
+        obs.counter("stream.feeder.posts", &[]).get(),
+        result.posts_ingested
+    );
+    assert_eq!(
+        obs.counter("stream.snapshot.count", &[]).get(),
+        result.snapshots_taken as u64
+    );
+    assert_eq!(snaps, result.snapshots_taken);
+    assert!(result.snapshots_taken > 0, "plan fired");
+    assert_eq!(
+        obs.histogram("stream.snapshot.cost_ns", &[]).count(),
+        result.snapshots_taken as u64
+    );
+    assert_eq!(obs.counter("stream.engine.worker_panics", &[]).get(), 0);
+
+    // Per-shard counters sum to the curated total, and the merged
+    // `shard="all"` enrichment histogram is the exact bucket sum.
+    let per_shard_curated: u64 = (0..4)
+        .map(|i| {
+            obs.counter("stream.shard.curated", &[("shard", &i.to_string())])
+                .get()
+        })
+        .sum();
+    assert_eq!(per_shard_curated, result.output.curated_total.len() as u64);
+    let merged = obs.histogram("stream.shard.enrich_ns", &[("shard", "all")]);
+    let per_shard_enrich: u64 = (0..4)
+        .map(|i| {
+            obs.histogram("stream.shard.enrich_ns", &[("shard", &i.to_string())])
+                .count()
+        })
+        .sum();
+    assert_eq!(merged.count(), per_shard_enrich);
+    assert!(merged.count() > 0, "shards enriched records");
+
+    // Per-service enrichment meters ran inside the shards.
+    assert!(obs.counter("enrich.hlr.calls", &[]).get() > 0);
+    assert!(obs.histogram("enrich.whois.latency_ns", &[]).count() > 0);
+
+    // The JSON run report carries the stream series.
+    let json = obs.json_report();
+    // Labeled keys appear JSON-escaped: `name{shard=\"0\"}`.
+    for key in [
+        r#"stream.shard.curated{shard=\"0\"}"#,
+        r#"stream.shard.channel_depth{shard=\"0\"}"#,
+        r#"stream.curator.channel_depth{curator=\"0\"}"#,
+        r#"stream.shard.enrich_ns{shard=\"all\"}"#,
+        "stream.snapshot.cost_ns",
+        "stream.engine.posts_ingested",
+        "enrich.hlr.calls",
+    ] {
+        assert!(json.contains(key), "report missing {key}:\n{json}");
+    }
+}
+
+#[test]
+fn noop_observed_ingest_equals_plain_ingest() {
+    let w = world();
+    let cfg = StreamConfig::default();
+    let plain = smishing_stream::ingest(
+        &w,
+        ReportStream::replay(&w),
+        &cfg,
+        &SnapshotPlan::none(),
+        |_| {},
+    );
+    let noop = ingest_observed(
+        &w,
+        ReportStream::replay(&w),
+        &cfg,
+        &SnapshotPlan::none(),
+        &Obs::noop(),
+        |_| {},
+    );
+    assert_eq!(plain.posts_ingested, noop.posts_ingested);
+    assert_eq!(plain.output.collection, noop.output.collection);
+    assert_eq!(plain.output.records.len(), noop.output.records.len());
+}
+
+/// A post stream that panics mid-flight, exercising the feeder's panic
+/// path (the feeder drives this iterator on its own thread).
+struct PanickingPosts {
+    inner: std::vec::IntoIter<Post>,
+    after: usize,
+    yielded: usize,
+}
+
+impl Iterator for PanickingPosts {
+    type Item = Post;
+
+    fn next(&mut self) -> Option<Post> {
+        if self.yielded == self.after {
+            panic!("injected post-iterator failure");
+        }
+        self.yielded += 1;
+        self.inner.next()
+    }
+}
+
+#[test]
+fn worker_panic_is_counted_and_propagated() {
+    let w = world();
+    let posts: Vec<Post> = ReportStream::replay(&w).collect();
+    assert!(posts.len() > 50);
+    let stream = PanickingPosts {
+        inner: posts.into_iter(),
+        after: 50,
+        yielded: 0,
+    };
+    let obs = Obs::enabled();
+    let cfg = StreamConfig::default();
+    let caught = catch_unwind(AssertUnwindSafe(|| {
+        ingest_observed(&w, stream, &cfg, &SnapshotPlan::none(), &obs, |_| {})
+    }));
+    let payload = match caught {
+        Ok(_) => panic!("the worker panic must reach the caller"),
+        Err(payload) => payload,
+    };
+    let msg = payload
+        .downcast_ref::<&str>()
+        .copied()
+        .unwrap_or("<non-str payload>");
+    assert_eq!(msg, "injected post-iterator failure");
+    assert_eq!(obs.counter("stream.engine.worker_panics", &[]).get(), 1);
+}

@@ -2,22 +2,35 @@
 //!
 //! ```text
 //! smish generate --scale 0.1 --seed 7 --out ./dataset   # export the pseudo-anonymized dataset
-//! smish analyze  --scale 0.1 [--experiment T10]         # regenerate paper tables
+//! smish run      --scale 0.1 [--experiment T10]         # regenerate paper tables
+//! smish analyze  ...                                    # alias of `run`
 //! smish detect   --scale 0.1                            # §7.2 detection studies
 //! smish link     --scale 0.1                            # campaign-linking ablation
 //! smish mitigate --scale 0.1                            # §7.2 what-if coverage
 //! smish stream   --scale 0.1 --shards 4                 # replay as a live feed
 //! smish watch    --scale 0.1 --posts 50000              # infinite-feed soak
 //! ```
+//!
+//! Every command accepts the observability flags:
+//!
+//! * `--metrics-json PATH` — write the run report (schema
+//!   `smishing-obs/v1`) to `PATH` on completion.
+//! * `--metrics-text` — print a Prometheus-style text exposition to
+//!   stdout on completion.
+//! * `--log-level LEVEL` — `error|warn|info|debug|trace` (default
+//!   `info`); progress goes to stderr through the leveled logger.
+//! * `--quiet` — shorthand for `--log-level error`.
 
 use smishing::core::analysis::freshness::domain_freshness;
 use smishing::core::analysis::latency::report_latency;
 use smishing::core::analysis::linking::linking_ablation;
 use smishing::core::analysis::mitigation::mitigation_study;
 use smishing::core::dataset;
+use smishing::core::experiment::run_all_observed;
 use smishing::detect::{binary_study, multiclass_study_grouped};
+use smishing::obs::{obs_error, obs_info, Level, Obs};
 use smishing::prelude::*;
-use smishing::stream::{ingest, SnapshotPlan, StreamConfig};
+use smishing::stream::{ingest_observed, SnapshotPlan, StreamConfig};
 use smishing::worldsim::ReportStream;
 use std::io::Write;
 
@@ -30,6 +43,9 @@ struct Args {
     shards: usize,
     snapshot_every: Option<u64>,
     posts: Option<u64>,
+    metrics_json: Option<String>,
+    metrics_text: bool,
+    log_level: Level,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -44,6 +60,9 @@ fn parse_args() -> Result<Args, String> {
         shards: 4,
         snapshot_every: None,
         posts: None,
+        metrics_json: None,
+        metrics_text: false,
+        log_level: Level::Info,
     };
     while let Some(flag) = argv.next() {
         let mut take = |name: &str| -> Result<String, String> {
@@ -63,6 +82,10 @@ fn parse_args() -> Result<Args, String> {
                 )
             }
             "--posts" => args.posts = Some(take("--posts")?.parse().map_err(|e| format!("{e}"))?),
+            "--metrics-json" => args.metrics_json = Some(take("--metrics-json")?),
+            "--metrics-text" => args.metrics_text = true,
+            "--log-level" => args.log_level = take("--log-level")?.parse()?,
+            "--quiet" => args.log_level = Level::Error,
             other => return Err(format!("unknown flag {other}\n{}", usage())),
         }
     }
@@ -79,10 +102,28 @@ fn parse_seed(s: &str) -> Result<u64, String> {
 }
 
 fn usage() -> String {
-    "usage: smish <generate|analyze|detect|link|mitigate|stream|watch> \
+    "usage: smish <generate|run|analyze|detect|link|mitigate|stream|watch> \
      [--scale S] [--seed N] [--out DIR] [--experiment ID] \
-     [--shards N] [--snapshot-every POSTS] [--posts N]"
+     [--shards N] [--snapshot-every POSTS] [--posts N] \
+     [--metrics-json PATH] [--metrics-text] [--log-level LEVEL] [--quiet]"
         .to_string()
+}
+
+/// Emit the requested run reports once the command finished.
+fn emit_metrics(obs: &Obs, args: &Args) {
+    if let Some(path) = &args.metrics_json {
+        let json = obs.json_report();
+        match std::fs::File::create(path).and_then(|mut f| f.write_all(json.as_bytes())) {
+            Ok(()) => obs_info!(obs, "wrote metrics report to {path}"),
+            Err(e) => {
+                obs_error!(obs, "failed to write metrics report to {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if args.metrics_text {
+        print!("{}", obs.text_exposition());
+    }
 }
 
 fn main() {
@@ -93,12 +134,14 @@ fn main() {
             std::process::exit(2);
         }
     };
+    let obs = Obs::with_level(args.log_level);
     let world = World::generate(WorldConfig {
         scale: args.scale,
         seed: args.seed,
         ..WorldConfig::default()
     });
-    eprintln!(
+    obs_info!(
+        obs,
         "world: {} campaigns / {} messages / {} posts (scale {}, seed {:#x})",
         world.campaigns.len(),
         world.messages.len(),
@@ -109,8 +152,8 @@ fn main() {
     // The streaming commands never materialize the batch pipeline; the
     // batch commands run it once here.
     let run_pipeline = || {
-        let output = Pipeline::default().run(&world);
-        eprintln!("pipeline: {} unique records\n", output.records.len());
+        let output = Pipeline::default().run_observed(&world, &obs);
+        obs_info!(obs, "pipeline: {} unique records", output.records.len());
         output
     };
 
@@ -119,7 +162,7 @@ fn main() {
             let output = run_pipeline();
             let rows = dataset::build_dataset(&output.records);
             dataset::validate_anonymization(&rows).expect("anonymization contract");
-            let dir = args.out.unwrap_or_else(|| "dataset".to_string());
+            let dir = args.out.clone().unwrap_or_else(|| "dataset".to_string());
             std::fs::create_dir_all(&dir).expect("create output dir");
             let json = dataset::to_json(&rows).expect("serialize");
             let csv = dataset::to_csv(&rows);
@@ -134,9 +177,9 @@ fn main() {
                 rows.len()
             );
         }
-        "analyze" => {
+        "run" | "analyze" => {
             let output = run_pipeline();
-            let results = run_all(&output);
+            let results = run_all_observed(&output, &obs);
             let mut shown = 0;
             for r in &results {
                 if let Some(want) = &args.experiment {
@@ -153,13 +196,16 @@ fn main() {
                 println!();
             }
             if shown == 0 {
-                eprintln!("no experiment matched {:?}", args.experiment);
+                obs_error!(obs, "no experiment matched {:?}", args.experiment);
                 std::process::exit(2);
             }
         }
         "detect" => {
             let texts: Vec<String> = world.messages.iter().map(|m| m.text.clone()).collect();
-            let binary = binary_study(&texts, args.seed).expect("corpus");
+            let binary = obs
+                .histogram("detect.binary.wall_ns", &[])
+                .time(|| binary_study(&texts, args.seed))
+                .expect("corpus");
             println!(
                 "binary smish-vs-ham:        accuracy {:.1}%  macro-F1 {:.3}  (n={})",
                 binary.report.accuracy * 100.0,
@@ -171,7 +217,10 @@ fn main() {
                 .iter()
                 .map(|m| (m.text.clone(), m.truth.scam_type, m.campaign.0))
                 .collect();
-            let grouped = multiclass_study_grouped(&labeled, args.seed).expect("corpus");
+            let grouped = obs
+                .histogram("detect.multiclass.wall_ns", &[])
+                .time(|| multiclass_study_grouped(&labeled, args.seed))
+                .expect("corpus");
             println!(
                 "typology (campaign-held-out): accuracy {:.1}%  macro-F1 {:.3}  (n={})",
                 grouped.report.accuracy * 100.0,
@@ -193,7 +242,7 @@ fn main() {
         "stream" => {
             // Chronological replay through the sharded engine; snapshots
             // report progress without pausing ingestion, and the final
-            // merged state renders the same tables as `analyze`.
+            // merged state renders the same tables as `run`.
             let cfg = StreamConfig {
                 shards: args.shards,
                 ..Default::default()
@@ -202,17 +251,28 @@ fn main() {
                 Some(n) => SnapshotPlan::every(n),
                 None => SnapshotPlan::every((world.posts.len() as u64 / 4).max(1)),
             };
-            let result = ingest(&world, ReportStream::replay(&world), &cfg, &plan, |s| {
-                eprintln!(
-                    "snapshot @ {:>7} posts: {} curated / {} unique records",
-                    s.at_posts,
-                    s.output.curated_total.len(),
-                    s.output.records.len()
-                );
-            });
-            eprintln!(
-                "stream: {} posts through {} shards, {} snapshots\n",
-                result.posts_ingested, cfg.shards, result.snapshots_taken
+            let result = ingest_observed(
+                &world,
+                ReportStream::replay(&world),
+                &cfg,
+                &plan,
+                &obs,
+                |s| {
+                    obs_info!(
+                        obs,
+                        "snapshot @ {:>7} posts: {} curated / {} unique records",
+                        s.at_posts,
+                        s.output.curated_total.len(),
+                        s.output.records.len()
+                    );
+                },
+            );
+            obs_info!(
+                obs,
+                "stream: {} posts through {} shards, {} snapshots",
+                result.posts_ingested,
+                cfg.shards,
+                result.snapshots_taken
             );
             let mut shown = 0;
             for (id, table) in result.accs.tables() {
@@ -225,7 +285,7 @@ fn main() {
                 println!("[{id}]\n{table}\n");
             }
             if shown == 0 {
-                eprintln!("no experiment matched {:?}", args.experiment);
+                obs_error!(obs, "no experiment matched {:?}", args.experiment);
                 std::process::exit(2);
             }
         }
@@ -240,13 +300,15 @@ fn main() {
                 shards: args.shards,
                 ..Default::default()
             };
-            let result = ingest(
+            let result = ingest_observed(
                 &world,
                 ReportStream::soak(&world).take(budget as usize),
                 &cfg,
                 &SnapshotPlan::every(every),
+                &obs,
                 |s| {
-                    println!(
+                    obs_info!(
+                        obs,
                         "[lap {}] {:>7} posts: {} curated / {} unique records",
                         s.at_posts / lap,
                         s.at_posts,
@@ -274,4 +336,5 @@ fn main() {
             std::process::exit(2);
         }
     }
+    emit_metrics(&obs, &args);
 }

@@ -8,6 +8,7 @@
 //! | crate | role |
 //! |---|---|
 //! | [`types`] | shared data model (countries, languages, scam taxonomy, civil time) |
+//! | [`obs`] | metrics registry, spans, leveled logging, exportable run reports |
 //! | [`stats`] | Cohen's κ, KS tests, quantiles, counters |
 //! | [`telecom`] | numbering plans, sender classification, HLR lookup |
 //! | [`webinfra`] | URLs, TLDs, shorteners, WHOIS/CT/passive-DNS/ASN |
@@ -42,6 +43,7 @@ pub use smishing_avscan as avscan;
 pub use smishing_core as core;
 pub use smishing_detect as detect;
 pub use smishing_malcase as malcase;
+pub use smishing_obs as obs;
 pub use smishing_screenshot as screenshot;
 pub use smishing_stats as stats;
 pub use smishing_stream as stream;
@@ -56,6 +58,7 @@ pub mod prelude {
     pub use smishing_core::experiment::{run_all, ExperimentResult};
     pub use smishing_core::pipeline::{Pipeline, PipelineOutput};
     pub use smishing_core::{CurationOptions, DedupMode, ExtractorChoice, TextTable};
+    pub use smishing_obs::{Level, Obs};
     pub use smishing_types::{
         Country, Forum, Language, Lure, LureSet, ScamType, SenderId, SenderKind, UnixTime,
     };

@@ -1,0 +1,98 @@
+//! Observability is passive: an instrumented run renders byte-identical
+//! tables, and the run report carries every expected stage series.
+
+use smishing::core::experiment::{run_all, run_all_observed};
+use smishing::obs::Obs;
+use smishing::prelude::*;
+
+fn world() -> World {
+    World::generate(WorldConfig {
+        scale: 0.02,
+        ..WorldConfig::default()
+    })
+}
+
+/// Render every experiment table to one string for byte comparison.
+fn all_tables(results: &[smishing::core::experiment::ExperimentResult]) -> String {
+    results
+        .iter()
+        .map(|r| format!("== {}\n{}\n", r.id, r.table))
+        .collect()
+}
+
+#[test]
+fn instrumented_batch_run_is_byte_identical() {
+    let w = world();
+    let plain = all_tables(&run_all(&Pipeline::default().run(&w)));
+
+    let obs = Obs::enabled();
+    let out = Pipeline::default().run_observed(&w, &obs);
+    let observed = all_tables(&run_all_observed(&out, &obs));
+
+    assert_eq!(plain, observed, "instrumentation must not perturb tables");
+}
+
+#[test]
+fn run_report_carries_every_stage_series() {
+    let w = world();
+    let obs = Obs::enabled();
+    let out = Pipeline::default().run_observed(&w, &obs);
+    let results = run_all_observed(&out, &obs);
+    assert!(!results.is_empty());
+
+    let json = obs.json_report();
+    assert!(json.contains("\"schema\": \"smishing-obs/v1\""));
+    // Pipeline stage wall time + volume counters.
+    for key in [
+        "pipeline.run.wall_ns",
+        "pipeline.collect.wall_ns",
+        "pipeline.curate.wall_ns",
+        "pipeline.dedup.wall_ns",
+        "pipeline.enrich.wall_ns",
+        "pipeline.collect.posts",
+        "pipeline.dedup.unique",
+        "pipeline.enrich.records",
+    ] {
+        assert!(json.contains(key), "report missing {key}");
+    }
+    // Per-service enrichment call counts + latency quantiles.
+    for service in [
+        "hlr",
+        "whois",
+        "ctlog",
+        "pdns",
+        "ipinfo",
+        "virustotal",
+        "gsb",
+    ] {
+        for metric in ["calls", "latency_ns"] {
+            let key = format!("enrich.{service}.{metric}");
+            assert!(json.contains(&key), "report missing {key}");
+        }
+    }
+    // Every analysis module span, keyed by experiment module name.
+    for module in ["overview", "methods", "brands", "casestudy", "run_all"] {
+        let key = format!("analysis.{module}.wall_ns");
+        assert!(json.contains(&key), "report missing {key}");
+    }
+    // Latency quantile fields are present on a known histogram.
+    let report = obs.report().expect("enabled");
+    let id = report
+        .histograms
+        .keys()
+        .find(|k| k.to_string() == "enrich.hlr.latency_ns")
+        .expect("hlr latency series")
+        .clone();
+    let stat = &report.histograms[&id];
+    assert!(stat.count > 0 && stat.p50 <= stat.p99 && stat.p99 <= stat.max);
+}
+
+#[test]
+fn noop_handle_collects_nothing() {
+    let w = world();
+    let obs = Obs::noop();
+    let out = Pipeline::default().run_observed(&w, &obs);
+    assert!(!out.records.is_empty());
+    assert!(obs.report().is_none());
+    assert!(obs.json_report().contains("\"counters\": {}"));
+}

@@ -57,6 +57,26 @@ impl fmt::Display for TryRecvError {
 
 impl std::error::Error for TryRecvError {}
 
+/// Error returned by [`Sender::try_send`]; carries the unsent message back.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// Bounded channel at capacity (but receivers remain).
+    Full(T),
+    /// Every receiver dropped.
+    Disconnected(T),
+}
+
+impl<T> fmt::Display for TrySendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrySendError::Full(_) => f.write_str("sending on a full channel"),
+            TrySendError::Disconnected(_) => f.write_str("sending on a disconnected channel"),
+        }
+    }
+}
+
+impl<T: fmt::Debug> std::error::Error for TrySendError<T> {}
+
 struct State<T> {
     queue: VecDeque<T>,
     cap: Option<usize>,
@@ -113,6 +133,23 @@ impl<T> Sender<T> {
             }
             st = shared.not_full.wait(st).unwrap_or_else(|e| e.into_inner());
         }
+    }
+
+    /// Non-blocking send: fails with [`TrySendError::Full`] instead of
+    /// blocking when a bounded channel is at capacity.
+    pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+        let shared = &*self.0;
+        let mut st = shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        if st.receivers == 0 {
+            return Err(TrySendError::Disconnected(msg));
+        }
+        if st.cap.is_some_and(|c| st.queue.len() >= c) {
+            return Err(TrySendError::Full(msg));
+        }
+        st.queue.push_back(msg);
+        drop(st);
+        shared.not_empty.notify_one();
+        Ok(())
     }
 
     /// Number of messages currently queued.
@@ -323,6 +360,17 @@ mod tests {
         }
         all.sort_unstable();
         assert_eq!(all, (0..4 * n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn try_send_reports_full_and_disconnected() {
+        let (tx, rx) = bounded(1);
+        assert_eq!(tx.try_send(1), Ok(()));
+        assert_eq!(tx.try_send(2), Err(TrySendError::Full(2)));
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(tx.try_send(3), Ok(()));
+        drop(rx);
+        assert_eq!(tx.try_send(4), Err(TrySendError::Disconnected(4)));
     }
 
     #[test]
