@@ -1,0 +1,80 @@
+//! Fallible query-side traits for the AV-detection services.
+//!
+//! Same seam as `smishing_webinfra::api`: the pipeline codes against
+//! `Result<T, ServiceError>`, the simulators implement the traits
+//! infallibly, and the fault layer can wrap them to inject deterministic
+//! failures. The [`CallCtx`] parameter exists for the fault layer; real
+//! implementations ignore it.
+
+use smishing_types::{CallCtx, ServiceError};
+
+use crate::gsb::{GsbService, TransparencyVerdict};
+use crate::virustotal::{VtResult, VtScanner};
+
+/// Fallible VirusTotal URL scan.
+pub trait VtApi {
+    /// Aggregate the per-vendor verdicts for a URL.
+    fn vt_scan(&self, ctx: CallCtx, url: &str) -> Result<VtResult, ServiceError>;
+}
+
+impl VtApi for VtScanner {
+    fn vt_scan(&self, _ctx: CallCtx, url: &str) -> Result<VtResult, ServiceError> {
+        Ok(self.scan(url))
+    }
+}
+
+/// Fallible Google Safe Browsing queries — the three inconsistent views
+/// of Table 18 behind one trait.
+pub trait GsbApi {
+    /// GSB Lookup API verdict.
+    fn gsb_api_unsafe(&self, ctx: CallCtx, url: &str) -> Result<bool, ServiceError>;
+    /// GSB-as-a-VirusTotal-vendor verdict.
+    fn gsb_vt_listed(&self, ctx: CallCtx, url: &str) -> Result<bool, ServiceError>;
+    /// Transparency Report website verdict.
+    fn gsb_transparency(
+        &self,
+        ctx: CallCtx,
+        url: &str,
+    ) -> Result<TransparencyVerdict, ServiceError>;
+}
+
+impl GsbApi for GsbService {
+    fn gsb_api_unsafe(&self, _ctx: CallCtx, url: &str) -> Result<bool, ServiceError> {
+        Ok(self.api_unsafe(url))
+    }
+
+    fn gsb_vt_listed(&self, _ctx: CallCtx, url: &str) -> Result<bool, ServiceError> {
+        Ok(self.vt_listed_unsafe(url))
+    }
+
+    fn gsb_transparency(
+        &self,
+        _ctx: CallCtx,
+        url: &str,
+    ) -> Result<TransparencyVerdict, ServiceError> {
+        Ok(self.transparency(url))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn infallible_impls_agree_with_direct_queries() {
+        let ctx = CallCtx::first(0);
+        let vt = VtScanner::new(7);
+        let url = "http://example-test.com/login";
+        assert_eq!(vt.vt_scan(ctx, url).unwrap(), vt.scan(url));
+        let gsb = GsbService::new(7);
+        assert_eq!(gsb.gsb_api_unsafe(ctx, url).unwrap(), gsb.api_unsafe(url));
+        assert_eq!(
+            gsb.gsb_vt_listed(ctx, url).unwrap(),
+            gsb.vt_listed_unsafe(url)
+        );
+        assert_eq!(
+            gsb.gsb_transparency(ctx, url).unwrap(),
+            gsb.transparency(url)
+        );
+    }
+}

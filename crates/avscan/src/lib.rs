@@ -22,10 +22,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod api;
 pub mod gsb;
 pub mod vendor;
 pub mod virustotal;
 
+pub use api::{GsbApi, VtApi};
 pub use gsb::{GsbService, TransparencyVerdict};
 pub use vendor::{detectability, AvVendor, VENDORS};
 pub use virustotal::{VtResult, VtScanner};

@@ -2,7 +2,7 @@
 //!
 //! ```sh
 //! cargo run --release -p smishing-bench --bin repro -- [scale] [seed] \
-//!     [--metrics-json PATH]
+//!     [--metrics-json PATH] [--fault-profile none|mild|harsh[:SEED]]
 //! ```
 //!
 //! Prints each experiment's regenerated table, the paper's expectation, and
@@ -11,9 +11,16 @@
 //! run report (per-stage wall time, per-service enrichment call counts and
 //! latency quantiles) to `repro-run-report.json`, or to the path given
 //! with `--metrics-json`.
+//!
+//! With a non-`none` `--fault-profile` the run doubles as a chaos
+//! exercise: services fail deterministically, degraded records are kept
+//! (never dropped), and the exit code reflects survival rather than the
+//! shape checks — under injected faults some tables legitimately shift,
+//! so verdicts are printed but do not fail the run.
 
 use smishing_core::experiment::run_all_observed;
 use smishing_core::pipeline::Pipeline;
+use smishing_fault::FaultPlan;
 use smishing_obs::Obs;
 use smishing_worldsim::{World, WorldConfig};
 use std::io::Write;
@@ -22,6 +29,7 @@ use std::time::Instant;
 fn main() {
     let mut positional: Vec<String> = Vec::new();
     let mut metrics_json = String::from("repro-run-report.json");
+    let mut fault_plan = FaultPlan::none();
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
         if arg == "--metrics-json" {
@@ -29,6 +37,18 @@ fn main() {
                 Some(path) => metrics_json = path,
                 None => {
                     eprintln!("--metrics-json needs a value");
+                    std::process::exit(2);
+                }
+            }
+        } else if arg == "--fault-profile" {
+            match argv.next().map(|v| v.parse()) {
+                Some(Ok(plan)) => fault_plan = plan,
+                Some(Err(e)) => {
+                    eprintln!("--fault-profile: {e}");
+                    std::process::exit(2);
+                }
+                None => {
+                    eprintln!("--fault-profile needs a value");
                     std::process::exit(2);
                 }
             }
@@ -45,16 +65,26 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(0xF15F);
 
+    let strict = fault_plan.is_none();
+
     let obs = Obs::enabled();
     eprintln!("# Reproduction run: scale {scale}, seed {seed:#x}");
     let t0 = Instant::now();
-    let world = obs.histogram("repro.world_gen.wall_ns", &[]).time(|| {
+    let mut world = obs.histogram("repro.world_gen.wall_ns", &[]).time(|| {
         World::generate(WorldConfig {
             scale,
             seed,
             ..WorldConfig::default()
         })
     });
+    if !strict {
+        world.set_fault_plan(&fault_plan);
+        eprintln!(
+            "chaos: fault plan installed (seed {:#x}); shape verdicts are informational",
+            fault_plan.seed
+        );
+    }
+    let world = world;
     eprintln!(
         "world: {} campaigns / {} messages / {} posts in {:.1?}",
         world.campaigns.len(),
@@ -112,7 +142,9 @@ fn main() {
         }
     }
 
-    if failed > 0 {
+    // Under injected faults the run verifies survival — completion with
+    // honest degradation accounting — not table shapes.
+    if strict && failed > 0 {
         std::process::exit(1);
     }
 }

@@ -1,6 +1,6 @@
 //! Tables 9 and 18: antivirus detection of smishing URLs (§4.7).
 
-use crate::enrich::EnrichedRecord;
+use crate::enrich::{EnrichedRecord, MissingField};
 use crate::pipeline::PipelineOutput;
 use crate::table::{count_pct, TextTable};
 use smishing_avscan::TransparencyVerdict;
@@ -40,6 +40,12 @@ pub struct AvDetection {
     pub vt: VtThresholds,
     /// Table 18.
     pub gsb: GsbCounts,
+    /// URLs whose VirusTotal scan failed after retries — excluded from
+    /// the Table 9 tallies rather than miscounted as clean.
+    pub vt_unresolved: usize,
+    /// URLs with incomplete GSB coverage (any of the three views failed)
+    /// — excluded from the Table 18 tallies.
+    pub gsb_unresolved: usize,
 }
 
 /// Compute AV detection stats (a fold of [`AvAcc`]).
@@ -60,6 +66,8 @@ struct AvClaim {
     gsb_api_unsafe: bool,
     gsb_vt_listed: bool,
     transparency: TransparencyVerdict,
+    vt_missing: bool,
+    gsb_missing: bool,
 }
 
 /// Incremental form of [`av_detection`]: per-URL first-claims folded at
@@ -88,6 +96,10 @@ impl AvAcc {
                 gsb_api_unsafe: url.gsb_api_unsafe,
                 gsb_vt_listed: url.gsb_vt_listed,
                 transparency: url.gsb_transparency,
+                vt_missing: r.is_missing(MissingField::VirusTotal),
+                gsb_missing: r.is_missing(MissingField::GsbApi)
+                    || r.is_missing(MissingField::GsbTransparency)
+                    || r.is_missing(MissingField::GsbVtListing),
             },
         );
     }
@@ -108,38 +120,53 @@ impl AvAcc {
     pub fn finish(&self) -> AvDetection {
         let mut vt = VtThresholds::default();
         let mut gsb = GsbCounts::default();
+        let mut vt_unresolved = 0;
+        let mut gsb_unresolved = 0;
         for (_, _, claim) in self.claims.winners() {
-            vt.n += 1;
-            gsb.n += 1;
-            if claim.clean {
-                vt.clean += 1;
-            }
-            for (i, th) in [1, 3, 5, 10, 15].into_iter().enumerate() {
-                if claim.malicious >= th {
-                    vt.mal_ge[i] += 1;
+            if claim.vt_missing {
+                vt_unresolved += 1;
+            } else {
+                vt.n += 1;
+                if claim.clean {
+                    vt.clean += 1;
+                }
+                for (i, th) in [1, 3, 5, 10, 15].into_iter().enumerate() {
+                    if claim.malicious >= th {
+                        vt.mal_ge[i] += 1;
+                    }
+                }
+                for (i, th) in [1, 3, 5].into_iter().enumerate() {
+                    if claim.suspicious >= th {
+                        vt.susp_ge[i] += 1;
+                    }
                 }
             }
-            for (i, th) in [1, 3, 5].into_iter().enumerate() {
-                if claim.suspicious >= th {
-                    vt.susp_ge[i] += 1;
+            if claim.gsb_missing {
+                gsb_unresolved += 1;
+            } else {
+                gsb.n += 1;
+                if claim.gsb_api_unsafe {
+                    gsb.api_unsafe += 1;
                 }
+                if claim.gsb_vt_listed {
+                    gsb.vt_listed_unsafe += 1;
+                }
+                let idx = match claim.transparency {
+                    TransparencyVerdict::Unsafe => 0,
+                    TransparencyVerdict::PartiallyUnsafe => 1,
+                    TransparencyVerdict::Undetected => 2,
+                    TransparencyVerdict::NoData => 3,
+                    TransparencyVerdict::NotQueried => 4,
+                };
+                gsb.transparency[idx] += 1;
             }
-            if claim.gsb_api_unsafe {
-                gsb.api_unsafe += 1;
-            }
-            if claim.gsb_vt_listed {
-                gsb.vt_listed_unsafe += 1;
-            }
-            let idx = match claim.transparency {
-                TransparencyVerdict::Unsafe => 0,
-                TransparencyVerdict::PartiallyUnsafe => 1,
-                TransparencyVerdict::Undetected => 2,
-                TransparencyVerdict::NoData => 3,
-                TransparencyVerdict::NotQueried => 4,
-            };
-            gsb.transparency[idx] += 1;
         }
-        AvDetection { vt, gsb }
+        AvDetection {
+            vt,
+            gsb,
+            vt_unresolved,
+            gsb_unresolved,
+        }
     }
 }
 
@@ -166,6 +193,9 @@ impl AvDetection {
                 format!("Suspicious >= {th}"),
                 count_pct(self.vt.susp_ge[i] as u64, n),
             ]);
+        }
+        if self.vt_unresolved > 0 {
+            t.row(&["(unresolved)".into(), self.vt_unresolved.to_string()]);
         }
         t
     }
@@ -209,6 +239,16 @@ impl AvDetection {
             "-".into(),
             "-".into(),
         ]);
+        if self.gsb_unresolved > 0 {
+            t.row(&[
+                "(unresolved)".into(),
+                self.gsb_unresolved.to_string(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ]);
+        }
         t
     }
 }

@@ -1,7 +1,7 @@
 //! Table 14 and Figure 3: sender-ID origin countries and their scam mix
 //! (§5.6).
 
-use crate::enrich::EnrichedRecord;
+use crate::enrich::{EnrichedRecord, MissingField};
 use crate::pipeline::PipelineOutput;
 use crate::table::TextTable;
 use smishing_stats::{Counter, FirstClaim};
@@ -20,6 +20,9 @@ pub struct Countries {
     pub mnos: HashMap<Country, HashSet<&'static str>>,
     /// Scam-type counts per country (Figure 3).
     pub scam_mix: HashMap<Country, Counter<ScamType>>,
+    /// Unique phone numbers whose origin is unknown because their HLR
+    /// lookup failed (and no other record resolved them).
+    pub unresolved: usize,
 }
 
 /// Compute Table 14 / Figure 3 (a fold of [`CountriesAcc`]).
@@ -46,6 +49,9 @@ struct CountryClaim {
 #[derive(Debug, Clone, Default)]
 pub struct CountriesAcc {
     claims: FirstClaim<PhoneNumber, CountryClaim>,
+    /// Phone senders whose HLR lookup failed — candidates for the
+    /// "(unresolved)" row unless another record resolved the same number.
+    hlr_failed: FirstClaim<PhoneNumber, ()>,
 }
 
 impl CountriesAcc {
@@ -56,6 +62,10 @@ impl CountriesAcc {
 
     /// Fold in one unique record.
     pub fn add_record(&mut self, r: &EnrichedRecord) {
+        if let Some(phone) = Self::project_failed(r) {
+            self.hlr_failed.add(phone.clone(), r.curated.post_id.0, ());
+            return;
+        }
         let Some(claim) = Self::project(r) else {
             return;
         };
@@ -69,6 +79,10 @@ impl CountriesAcc {
 
     /// Retract a record previously folded in.
     pub fn sub_record(&mut self, r: &EnrichedRecord) {
+        if let Some(phone) = Self::project_failed(r) {
+            self.hlr_failed.sub(phone, r.curated.post_id.0);
+            return;
+        }
         if Self::project(r).is_none() {
             return;
         }
@@ -78,6 +92,15 @@ impl CountriesAcc {
             .and_then(|s| s.phone())
             .expect("projected");
         self.claims.sub(phone, r.curated.post_id.0);
+    }
+
+    /// A phone sender whose HLR lookup failed outright.
+    fn project_failed(r: &EnrichedRecord) -> Option<&PhoneNumber> {
+        if r.hlr.is_none() && r.is_missing(MissingField::Hlr) {
+            r.sender.as_ref().and_then(|s| s.phone())
+        } else {
+            None
+        }
     }
 
     fn project(r: &EnrichedRecord) -> Option<CountryClaim> {
@@ -96,6 +119,7 @@ impl CountriesAcc {
     /// Absorb another shard's accumulator.
     pub fn merge(&mut self, other: CountriesAcc) {
         self.claims.merge(other.claims);
+        self.hlr_failed.merge(other.hlr_failed);
     }
 
     /// Produce the batch result.
@@ -104,7 +128,9 @@ impl CountriesAcc {
         let mut live = Counter::new();
         let mut mnos: HashMap<Country, HashSet<&'static str>> = HashMap::new();
         let mut scam_mix: HashMap<Country, Counter<ScamType>> = HashMap::new();
-        for (_, _, claim) in self.claims.winners() {
+        let mut resolved: HashSet<&PhoneNumber> = HashSet::new();
+        for (phone, _, claim) in self.claims.winners() {
+            resolved.insert(phone);
             all.add(claim.country);
             if claim.live {
                 live.add(claim.country);
@@ -114,11 +140,20 @@ impl CountriesAcc {
             }
             scam_mix.entry(claim.country).or_default().add(claim.scam);
         }
+        // A number only counts as unresolved if *no* record resolved it —
+        // under tick-windowed outages, another sighting of the same number
+        // may have succeeded.
+        let unresolved = self
+            .hlr_failed
+            .winners()
+            .filter(|(phone, _, _)| !resolved.contains(phone))
+            .count();
         Countries {
             all,
             live,
             mnos,
             scam_mix,
+            unresolved,
         }
     }
 }
@@ -140,6 +175,14 @@ impl Countries {
                     .to_string(),
                 count.to_string(),
                 self.live.get(&country).to_string(),
+            ]);
+        }
+        if self.unresolved > 0 {
+            t.row(&[
+                "(unresolved)".to_string(),
+                "-".to_string(),
+                self.unresolved.to_string(),
+                "-".to_string(),
             ]);
         }
         t

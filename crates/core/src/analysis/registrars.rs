@@ -1,6 +1,6 @@
 //! Table 17: registrars of smishing domains (§4.4).
 
-use crate::enrich::EnrichedRecord;
+use crate::enrich::{EnrichedRecord, MissingField};
 use crate::pipeline::PipelineOutput;
 use crate::table::TextTable;
 use smishing_stats::{Counter, FirstClaim};
@@ -16,6 +16,9 @@ pub struct Registrars {
     pub by_scam: HashMap<(&'static str, ScamType), u64>,
     /// Queried domains with no WHOIS answer.
     pub no_answer: usize,
+    /// Domains whose WHOIS lookup *failed* (service fault after retries) —
+    /// the paper's honest coverage gap, reported as an "(unresolved)" row.
+    pub unresolved: usize,
 }
 
 /// Compute Table 17 (a fold of [`RegistrarsAcc`]).
@@ -32,7 +35,17 @@ pub fn registrars(out: &PipelineOutput<'_>) -> Registrars {
 /// and scam type are counted at finish.
 #[derive(Debug, Clone, Default)]
 pub struct RegistrarsAcc {
-    claims: FirstClaim<String, (Option<&'static str>, ScamType)>,
+    claims: FirstClaim<String, RegistrarClaim>,
+}
+
+/// What the winning record knew about a domain's registrar.
+#[derive(Debug, Clone, Copy)]
+struct RegistrarClaim {
+    registrar: Option<&'static str>,
+    scam: ScamType,
+    /// The WHOIS call failed, so `registrar: None` means "unknown",
+    /// not "no answer on file".
+    whois_failed: bool,
 }
 
 impl RegistrarsAcc {
@@ -53,7 +66,11 @@ impl RegistrarsAcc {
         self.claims.add(
             domain,
             r.curated.post_id.0,
-            (url.registrar, r.annotation.scam_type),
+            RegistrarClaim {
+                registrar: url.registrar,
+                scam: r.annotation.scam_type,
+                whois_failed: r.is_missing(MissingField::Registrar),
+            },
         );
     }
 
@@ -79,12 +96,14 @@ impl RegistrarsAcc {
         let mut counts = Counter::new();
         let mut by_scam: HashMap<(&'static str, ScamType), u64> = HashMap::new();
         let mut no_answer = 0;
-        for (_, _, &(registrar, scam)) in self.claims.winners() {
-            match registrar {
+        let mut unresolved = 0;
+        for (_, _, claim) in self.claims.winners() {
+            match claim.registrar {
                 Some(reg) => {
                     counts.add(reg);
-                    *by_scam.entry((reg, scam)).or_default() += 1;
+                    *by_scam.entry((reg, claim.scam)).or_default() += 1;
                 }
+                None if claim.whois_failed => unresolved += 1,
                 None => no_answer += 1,
             }
         }
@@ -92,6 +111,7 @@ impl RegistrarsAcc {
             counts,
             by_scam,
             no_answer,
+            unresolved,
         }
     }
 }
@@ -132,6 +152,9 @@ impl Registrars {
         );
         for (reg, c) in self.counts.top_k(10) {
             t.row(&[reg.to_string(), c.to_string()]);
+        }
+        if self.unresolved > 0 {
+            t.row(&["(unresolved)".to_string(), self.unresolved.to_string()]);
         }
         t
     }

@@ -1,7 +1,7 @@
 //! Tables 3 and 4: sender-ID composition, phone-number types and abused
 //! mobile operators (§4.1).
 
-use crate::enrich::EnrichedRecord;
+use crate::enrich::{EnrichedRecord, MissingField};
 use crate::pipeline::PipelineOutput;
 use crate::table::{count_pct, TextTable};
 use smishing_stats::{Counter, FirstClaim};
@@ -20,6 +20,9 @@ pub struct SenderInfo {
     pub operators: Counter<&'static str>,
     /// Countries seen per operator.
     pub operator_countries: Vec<(&'static str, BTreeSet<Country>)>,
+    /// Unique phone senders whose HLR lookup failed after retries — kept
+    /// out of the Table 3 type tallies and reported as "(unresolved)".
+    pub unresolved: usize,
 }
 
 /// Compute sender measurements over unique sender IDs (a fold of
@@ -39,6 +42,7 @@ struct SenderClaim {
     kind: SenderKind,
     phoneish: bool,
     hlr: Option<(NumberType, Option<&'static str>, Option<Country>)>,
+    hlr_failed: bool,
 }
 
 /// Incremental form of [`sender_info`]. Sender uniqueness is first-wins in
@@ -69,6 +73,7 @@ impl SenderInfoAcc {
                     .hlr
                     .as_ref()
                     .map(|h| (h.number_type, h.original_operator, h.origin_country)),
+                hlr_failed: r.is_missing(MissingField::Hlr),
             },
         );
     }
@@ -91,12 +96,16 @@ impl SenderInfoAcc {
         let mut number_types = Counter::new();
         let mut operators: Counter<&'static str> = Counter::new();
         let mut op_countries: Vec<(&'static str, BTreeSet<Country>)> = Vec::new();
+        let mut unresolved = 0;
         // Ascending claimant order = the order the batch pass encounters
         // each winning sender (records are post_id-sorted).
         for (_, _, claim) in self.claims.winners_by_claimant() {
             kinds.add(claim.kind);
             if claim.phoneish {
                 let Some((nt, op, country)) = claim.hlr else {
+                    if claim.hlr_failed {
+                        unresolved += 1;
+                    }
                     continue;
                 };
                 number_types.add(nt);
@@ -122,6 +131,7 @@ impl SenderInfoAcc {
             number_types,
             operators,
             operator_countries: op_countries,
+            unresolved,
         }
     }
 }
@@ -147,6 +157,9 @@ impl SenderInfo {
                 nt.label().to_string(),
                 count_pct(self.number_types.get(nt), total),
             ]);
+        }
+        if self.unresolved > 0 {
+            t.row(&["(unresolved)".to_string(), self.unresolved.to_string()]);
         }
         t
     }

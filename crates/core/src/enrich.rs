@@ -8,19 +8,34 @@
 //!   WHOIS, CT-log, passive-DNS + ASN mapping (§3.3.3),
 //! - VirusTotal and GSB verdicts (§3.3.4),
 //! - text annotation: scam type, brand, lures, language (§3.3.6).
+//!
+//! All external-service calls go through a [`ResilientClient`]: bounded
+//! retries with deterministic exponential backoff + jitter, per-service
+//! circuit breakers for sustained outages, and graceful degradation — a
+//! record whose enrichment ultimately fails is *kept*, tagged
+//! [`EnrichmentStatus::Partial`] with the list of missing fields, instead
+//! of being dropped. The paper's own tables have exactly this shape: HLR
+//! and WHOIS coverage is explicitly incomplete.
+//!
+//! Retry timing is virtual: the computed backoff is recorded in the
+//! `enrich.backoff_ns` histogram but never slept, so fault runs stay fast
+//! and fully deterministic.
 
 use crate::curation::CuratedMessage;
-use smishing_avscan::{TransparencyVerdict, VtResult};
+use smishing_avscan::{GsbApi, TransparencyVerdict, VtApi, VtResult};
+use smishing_fault::ServiceKind;
 use smishing_obs::{Counter, Histogram, Obs};
-use smishing_telecom::{classify_sender, parse_phone, HlrLookup, HlrRecord, RawSenderKind};
+use smishing_telecom::{classify_sender, parse_phone, HlrApi, HlrRecord, RawSenderKind};
 use smishing_textnlp::annotator::{Annotation, Annotator, PipelineAnnotator};
-use smishing_types::SenderId;
+use smishing_types::{CallCtx, SenderId, ServiceError};
 use smishing_webinfra::{
-    free_hosting_site, parse_url, registrable_domain, CertRecord, IpInfo, ParsedUrl, Resolution,
-    ShortenerCatalog,
+    free_hosting_site, parse_url, registrable_domain, CertRecord, CtApi, IpInfo, IpInfoApi,
+    ParsedUrl, PdnsApi, Resolution, ShortenerCatalog, WhoisApi,
 };
 use smishing_worldsim::World;
+use std::cell::Cell;
 use std::net::Ipv4Addr;
+use std::time::Instant;
 
 /// Everything the trend/AV analyses need about one URL.
 #[derive(Debug, Clone)]
@@ -52,6 +67,61 @@ pub struct UrlIntel {
     pub gsb_vt_listed: bool,
 }
 
+/// A field that could not be enriched because its service call failed
+/// after all retries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MissingField {
+    /// HLR lookup failed — `hlr` is `None`.
+    Hlr,
+    /// WHOIS failed — `registrar` is `None`.
+    Registrar,
+    /// CT-log query failed — `certs` is empty.
+    Certs,
+    /// Passive-DNS query failed — `resolutions` is empty.
+    Resolutions,
+    /// At least one IP-metadata lookup failed — some `resolutions` carry
+    /// `None` info.
+    IpInfo,
+    /// VirusTotal scan failed — `vt` is the zero verdict.
+    VirusTotal,
+    /// GSB Lookup API failed — `gsb_api_unsafe` defaulted to `false`.
+    GsbApi,
+    /// GSB Transparency Report failed — `gsb_transparency` is `NotQueried`.
+    GsbTransparency,
+    /// GSB-on-VirusTotal check failed — `gsb_vt_listed` defaulted to `false`.
+    GsbVtListing,
+}
+
+impl MissingField {
+    /// Stable lowercase label for display and metrics.
+    pub fn label(self) -> &'static str {
+        match self {
+            MissingField::Hlr => "hlr",
+            MissingField::Registrar => "registrar",
+            MissingField::Certs => "certs",
+            MissingField::Resolutions => "resolutions",
+            MissingField::IpInfo => "ipinfo",
+            MissingField::VirusTotal => "virustotal",
+            MissingField::GsbApi => "gsb_api",
+            MissingField::GsbTransparency => "gsb_transparency",
+            MissingField::GsbVtListing => "gsb_vt_listing",
+        }
+    }
+}
+
+/// How completely a record was enriched.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EnrichmentStatus {
+    /// Every service call succeeded.
+    Full,
+    /// Some service calls failed after retries; the record is kept with
+    /// default values in the listed fields.
+    Partial {
+        /// Which fields are missing, in enrichment order.
+        missing: Vec<MissingField>,
+    },
+}
+
 /// A fully enriched record.
 #[derive(Debug, Clone)]
 pub struct EnrichedRecord {
@@ -65,6 +135,28 @@ pub struct EnrichedRecord {
     pub url: Option<UrlIntel>,
     /// Text annotation (scam type, brand, lures, language).
     pub annotation: Annotation,
+    /// Whether every service call behind this record succeeded.
+    pub status: EnrichmentStatus,
+}
+
+impl EnrichedRecord {
+    /// Whether enrichment was degraded by service failures.
+    pub fn is_degraded(&self) -> bool {
+        matches!(self.status, EnrichmentStatus::Partial { .. })
+    }
+
+    /// The missing fields (empty for fully enriched records).
+    pub fn missing(&self) -> &[MissingField] {
+        match &self.status {
+            EnrichmentStatus::Full => &[],
+            EnrichmentStatus::Partial { missing } => missing,
+        }
+    }
+
+    /// Whether a specific field is missing due to a service failure.
+    pub fn is_missing(&self, field: MissingField) -> bool {
+        self.missing().contains(&field)
+    }
 }
 
 /// Cached call meters for the seven external-service simulators, under the
@@ -72,14 +164,18 @@ pub struct EnrichedRecord {
 /// per batch or per shard ([`ServiceMeters::new`]) and record lock-free;
 /// built from a no-op [`Obs`], every meter is inert and enrichment runs
 /// exactly the uninstrumented code path.
+///
+/// Successful calls record wall time in the unlabeled
+/// `enrich.<service>.latency_ns` series. Failed calls — which earlier
+/// versions silently dropped from the histograms, hiding exactly the slow
+/// tail that matters — record into `enrich.<service>.latency_ns{outcome=…}`
+/// with the *virtual* cost of the failure (the full timeout budget for
+/// timeouts, the advertised wait for rate limits), plus an
+/// `enrich.<service>.errors{outcome=…}` counter. Error series are resolved
+/// lazily so fault-free runs export exactly the historical key set.
 pub struct ServiceMeters {
-    hlr: Meter,
-    whois: Meter,
-    ctlog: Meter,
-    pdns: Meter,
-    ipinfo: Meter,
-    virustotal: Meter,
-    gsb: Meter,
+    obs: Obs,
+    meters: [Meter; 7],
 }
 
 #[derive(Default)]
@@ -95,12 +191,6 @@ impl Meter {
             latency: obs.histogram(&format!("enrich.{service}.latency_ns"), &[]),
         }
     }
-
-    /// Count and time one service call.
-    fn call<T>(&self, f: impl FnOnce() -> T) -> T {
-        self.calls.inc();
-        self.latency.time(f)
-    }
 }
 
 impl ServiceMeters {
@@ -110,27 +200,364 @@ impl ServiceMeters {
             return ServiceMeters::disabled();
         }
         ServiceMeters {
-            hlr: Meter::new(obs, "hlr"),
-            whois: Meter::new(obs, "whois"),
-            ctlog: Meter::new(obs, "ctlog"),
-            pdns: Meter::new(obs, "pdns"),
-            ipinfo: Meter::new(obs, "ipinfo"),
-            virustotal: Meter::new(obs, "virustotal"),
-            gsb: Meter::new(obs, "gsb"),
+            obs: obs.clone(),
+            meters: std::array::from_fn(|i| Meter::new(obs, ServiceKind::ALL[i].name())),
         }
     }
 
     /// Inert meters: every call runs unobserved.
     pub fn disabled() -> ServiceMeters {
         ServiceMeters {
-            hlr: Meter::default(),
-            whois: Meter::default(),
-            ctlog: Meter::default(),
-            pdns: Meter::default(),
-            ipinfo: Meter::default(),
-            virustotal: Meter::default(),
-            gsb: Meter::default(),
+            obs: Obs::noop(),
+            meters: std::array::from_fn(|_| Meter::default()),
         }
+    }
+
+    fn meter(&self, kind: ServiceKind) -> &Meter {
+        &self.meters[kind as usize]
+    }
+
+    /// Account one failed call: an `errors{outcome}` counter plus an
+    /// outcome-labeled latency sample carrying the failure's virtual cost.
+    fn record_failure(
+        &self,
+        kind: ServiceKind,
+        err: &ServiceError,
+        measured_ns: u64,
+        policy: &RetryPolicy,
+    ) {
+        if !self.obs.is_enabled() {
+            return;
+        }
+        let labels = [("outcome", err.kind())];
+        self.obs
+            .counter(&format!("enrich.{}.errors", kind.name()), &labels)
+            .inc();
+        let ns = match err {
+            ServiceError::Timeout => policy.timeout_budget_ns,
+            ServiceError::RateLimited { retry_after_ms } => u64::from(*retry_after_ms) * 1_000_000,
+            _ => measured_ns,
+        };
+        self.obs
+            .histogram(&format!("enrich.{}.latency_ns", kind.name()), &labels)
+            .record(ns);
+    }
+}
+
+/// Retry budget and virtual timing for the resilient client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per call (first try + retries).
+    pub max_attempts: u32,
+    /// Backoff before the first retry, in (virtual) nanoseconds.
+    pub base_backoff_ns: u64,
+    /// Backoff cap.
+    pub max_backoff_ns: u64,
+    /// Virtual cost charged to a timed-out call.
+    pub timeout_budget_ns: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff_ns: 100_000_000,      // 100 ms
+            max_backoff_ns: 5_000_000_000,     // 5 s
+            timeout_budget_ns: 10_000_000_000, // 10 s
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Deterministic exponential backoff with jitter in the upper half of
+    /// the exponential window — a pure function of (attempt, tick), so the
+    /// recorded backoff histogram replays exactly.
+    pub fn backoff_ns(&self, attempt: u32, tick: u64) -> u64 {
+        let exp = self
+            .base_backoff_ns
+            .saturating_mul(1u64 << attempt.min(16))
+            .min(self.max_backoff_ns);
+        let mut h = tick
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(u64::from(attempt))
+            .wrapping_mul(0x100_0000_01b3);
+        h ^= h >> 29;
+        exp / 2 + h % (exp / 2 + 1)
+    }
+}
+
+/// A fault-tolerant front for the seven enrichment services.
+///
+/// Wraps every service call in bounded retries (deterministic exponential
+/// backoff + jitter, recorded but never slept) and a per-service circuit
+/// breaker. The breaker only arms on [`ServiceError::Outage`], which
+/// carries its exact virtual-clock window: skipping a call whose tick
+/// falls inside the window is *provably* identical to making it, so the
+/// breaker changes no outcome — batch and stream runs stay byte-equal —
+/// while still counting the work it saved (`enrich.breaker_open`).
+///
+/// One client per worker: it is `Send` but deliberately not shared, so
+/// breaker state needs no locks.
+pub struct ResilientClient {
+    policy: RetryPolicy,
+    meters: ServiceMeters,
+    retries: Counter,
+    breaker_open: Counter,
+    degraded: Counter,
+    backoff: Histogram,
+    timing: bool,
+    breakers: [Cell<Option<(u64, u64)>>; 7],
+}
+
+impl ResilientClient {
+    /// Build against an observability handle with the default policy.
+    pub fn new(obs: &Obs) -> ResilientClient {
+        ResilientClient::with_policy(obs, RetryPolicy::default())
+    }
+
+    /// Build with an explicit retry policy.
+    pub fn with_policy(obs: &Obs, policy: RetryPolicy) -> ResilientClient {
+        ResilientClient {
+            policy,
+            meters: ServiceMeters::new(obs),
+            retries: obs.counter("enrich.retries", &[]),
+            breaker_open: obs.counter("enrich.breaker_open", &[]),
+            degraded: obs.counter("enrich.degraded_records", &[]),
+            backoff: obs.histogram("enrich.backoff_ns", &[]),
+            timing: obs.is_enabled(),
+            breakers: Default::default(),
+        }
+    }
+
+    /// An unobserved client (used by the plain [`enrich`] helpers).
+    pub fn disabled() -> ResilientClient {
+        ResilientClient::new(&Obs::noop())
+    }
+
+    /// The retry policy in force.
+    pub fn policy(&self) -> &RetryPolicy {
+        &self.policy
+    }
+
+    /// Run one service call through breaker + retry loop.
+    fn call<T>(
+        &self,
+        svc: ServiceKind,
+        tick: u64,
+        mut f: impl FnMut(CallCtx) -> Result<T, ServiceError>,
+    ) -> Result<T, ServiceError> {
+        if let Some((from, until)) = self.breakers[svc as usize].get() {
+            if tick >= from && tick < until {
+                self.breaker_open.inc();
+                return Err(ServiceError::Outage {
+                    from_tick: from,
+                    until_tick: until,
+                });
+            }
+        }
+        let meter = self.meters.meter(svc);
+        let mut ctx = CallCtx::first(tick);
+        loop {
+            meter.calls.inc();
+            let start = self.timing.then(Instant::now);
+            let result = f(ctx);
+            let measured_ns = start.map_or(0, |s| s.elapsed().as_nanos() as u64);
+            match result {
+                Ok(v) => {
+                    if start.is_some() {
+                        meter.latency.record(measured_ns);
+                    }
+                    return Ok(v);
+                }
+                Err(e) => {
+                    self.meters
+                        .record_failure(svc, &e, measured_ns, &self.policy);
+                    if let ServiceError::Outage {
+                        from_tick,
+                        until_tick,
+                    } = e
+                    {
+                        self.breakers[svc as usize].set(Some((from_tick, until_tick)));
+                        return Err(e);
+                    }
+                    if !e.is_retryable() || ctx.attempt + 1 >= self.policy.max_attempts {
+                        return Err(e);
+                    }
+                    self.retries.inc();
+                    if self.timing {
+                        self.backoff
+                            .record(self.policy.backoff_ns(ctx.attempt, tick));
+                    }
+                    ctx = ctx.retry();
+                }
+            }
+        }
+    }
+
+    /// Enrich one curated message, degrading gracefully on service
+    /// failures (the record is kept with [`EnrichmentStatus::Partial`]).
+    pub fn enrich(&self, curated: CuratedMessage, world: &World) -> EnrichedRecord {
+        let tick = curated.post_id.0;
+        let mut missing: Vec<MissingField> = Vec::new();
+        let sender = curated.sender_raw.as_deref().and_then(parse_sender);
+        let hlr = sender.as_ref().and_then(|s| {
+            match self.call(ServiceKind::Hlr, tick, |ctx| {
+                world.services.hlr.hlr_lookup(ctx, s)
+            }) {
+                Ok(r) => r,
+                Err(_) => {
+                    missing.push(MissingField::Hlr);
+                    None
+                }
+            }
+        });
+        let url = curated
+            .url_raw
+            .as_deref()
+            .and_then(|u| self.enrich_url(u, world, tick, &mut missing));
+        let annotation = PipelineAnnotator::new().annotate(&curated.text);
+        let status = if missing.is_empty() {
+            EnrichmentStatus::Full
+        } else {
+            self.degraded.inc();
+            EnrichmentStatus::Partial { missing }
+        };
+        EnrichedRecord {
+            curated,
+            sender,
+            hlr,
+            url,
+            annotation,
+            status,
+        }
+    }
+
+    fn enrich_url(
+        &self,
+        raw: &str,
+        world: &World,
+        tick: u64,
+        missing: &mut Vec<MissingField>,
+    ) -> Option<UrlIntel> {
+        let parsed = parse_url(raw)?;
+        let catalog = ShortenerCatalog::new();
+        let shortener = catalog.service_of(&parsed);
+        let whatsapp = catalog.is_whatsapp_link(&parsed);
+        let (domain, free_hosted) = if shortener.is_some() || whatsapp {
+            (None, false)
+        } else if let Some(site) = free_hosting_site(&parsed.host) {
+            (Some(site), true)
+        } else {
+            (registrable_domain(&parsed.host), false)
+        };
+
+        let services = &world.services;
+        let registrar = domain
+            .as_deref()
+            .filter(|_| !free_hosted)
+            .and_then(|d| {
+                match self.call(ServiceKind::Whois, tick, |ctx| {
+                    services.whois.whois_lookup(ctx, d)
+                }) {
+                    Ok(r) => r,
+                    Err(_) => {
+                        missing.push(MissingField::Registrar);
+                        None
+                    }
+                }
+            })
+            .map(|r| r.registrar);
+        let certs = domain
+            .as_deref()
+            .map(|d| {
+                self.call(ServiceKind::CtLog, tick, |ctx| {
+                    services.ctlog.ct_lookup(ctx, d)
+                })
+                .unwrap_or_else(|_| {
+                    missing.push(MissingField::Certs);
+                    Vec::new()
+                })
+            })
+            .unwrap_or_default();
+        let mut ipinfo_failed = false;
+        let resolutions: Vec<(Resolution, Option<IpInfo>)> = domain
+            .as_deref()
+            .map(|d| {
+                self.call(ServiceKind::Pdns, tick, |ctx| {
+                    services.pdns.pdns_lookup(ctx, d, world.now)
+                })
+                .unwrap_or_else(|_| {
+                    missing.push(MissingField::Resolutions);
+                    Vec::new()
+                })
+            })
+            .unwrap_or_default()
+            .into_iter()
+            .map(|r| {
+                let info = match self.call(ServiceKind::IpInfo, tick, |ctx| {
+                    services.asn.ip_lookup(ctx, r.ip)
+                }) {
+                    Ok(i) => i,
+                    Err(_) => {
+                        ipinfo_failed = true;
+                        None
+                    }
+                };
+                (r, info)
+            })
+            .collect();
+        if ipinfo_failed {
+            missing.push(MissingField::IpInfo);
+        }
+
+        let url_string = parsed.to_url_string();
+        let vt = self
+            .call(ServiceKind::VirusTotal, tick, |ctx| {
+                services.virustotal.vt_scan(ctx, &url_string)
+            })
+            .unwrap_or_else(|_| {
+                missing.push(MissingField::VirusTotal);
+                VtResult::default()
+            });
+        let gsb_api_unsafe = self
+            .call(ServiceKind::Gsb, tick, |ctx| {
+                services.gsb.gsb_api_unsafe(ctx, &url_string)
+            })
+            .unwrap_or_else(|_| {
+                missing.push(MissingField::GsbApi);
+                false
+            });
+        let gsb_transparency = self
+            .call(ServiceKind::Gsb, tick, |ctx| {
+                services.gsb.gsb_transparency(ctx, &url_string)
+            })
+            .unwrap_or_else(|_| {
+                missing.push(MissingField::GsbTransparency);
+                TransparencyVerdict::NotQueried
+            });
+        let gsb_vt_listed = self
+            .call(ServiceKind::Gsb, tick, |ctx| {
+                services.gsb.gsb_vt_listed(ctx, &url_string)
+            })
+            .unwrap_or_else(|_| {
+                missing.push(MissingField::GsbVtListing);
+                false
+            });
+
+        Some(UrlIntel {
+            vt,
+            gsb_api_unsafe,
+            gsb_transparency,
+            gsb_vt_listed,
+            parsed,
+            shortener,
+            whatsapp,
+            domain,
+            free_hosted,
+            registrar,
+            certs,
+            resolutions,
+        })
     }
 }
 
@@ -144,89 +571,9 @@ pub fn parse_sender(raw: &str) -> Option<SenderId> {
     }
 }
 
-fn enrich_url(raw: &str, world: &World, meters: &ServiceMeters) -> Option<UrlIntel> {
-    let parsed = parse_url(raw)?;
-    let catalog = ShortenerCatalog::new();
-    let shortener = catalog.service_of(&parsed);
-    let whatsapp = catalog.is_whatsapp_link(&parsed);
-    let (domain, free_hosted) = if shortener.is_some() || whatsapp {
-        (None, false)
-    } else if let Some(site) = free_hosting_site(&parsed.host) {
-        (Some(site), true)
-    } else {
-        (registrable_domain(&parsed.host), false)
-    };
-
-    let services = &world.services;
-    let registrar = domain
-        .as_deref()
-        .filter(|_| !free_hosted)
-        .and_then(|d| meters.whois.call(|| services.whois.query(d)))
-        .map(|r| r.registrar);
-    let certs = domain
-        .as_deref()
-        .map(|d| meters.ctlog.call(|| services.ctlog.query(d)))
-        .unwrap_or_default();
-    let resolutions: Vec<(Resolution, Option<IpInfo>)> = domain
-        .as_deref()
-        .map(|d| meters.pdns.call(|| services.pdns.query(d, world.now)))
-        .unwrap_or_default()
-        .into_iter()
-        .map(|r| {
-            let info = meters.ipinfo.call(|| services.asn.lookup(r.ip));
-            (r, info)
-        })
-        .collect();
-
-    let url_string = parsed.to_url_string();
-    Some(UrlIntel {
-        vt: meters
-            .virustotal
-            .call(|| services.virustotal.scan(&url_string)),
-        gsb_api_unsafe: meters.gsb.call(|| services.gsb.api_unsafe(&url_string)),
-        gsb_transparency: meters.gsb.call(|| services.gsb.transparency(&url_string)),
-        gsb_vt_listed: meters
-            .gsb
-            .call(|| services.gsb.vt_listed_unsafe(&url_string)),
-        parsed,
-        shortener,
-        whatsapp,
-        domain,
-        free_hosted,
-        registrar,
-        certs,
-        resolutions,
-    })
-}
-
 /// Enrich one curated message.
 pub fn enrich(curated: CuratedMessage, world: &World) -> EnrichedRecord {
-    enrich_observed(curated, world, &ServiceMeters::disabled())
-}
-
-/// Enrich one curated message, accounting every external-service call
-/// through `meters`.
-pub fn enrich_observed(
-    curated: CuratedMessage,
-    world: &World,
-    meters: &ServiceMeters,
-) -> EnrichedRecord {
-    let sender = curated.sender_raw.as_deref().and_then(parse_sender);
-    let hlr = sender
-        .as_ref()
-        .and_then(|s| meters.hlr.call(|| world.services.hlr.lookup(s)));
-    let url = curated
-        .url_raw
-        .as_deref()
-        .and_then(|u| enrich_url(u, world, meters));
-    let annotation = PipelineAnnotator::new().annotate(&curated.text);
-    EnrichedRecord {
-        curated,
-        sender,
-        hlr,
-        url,
-        annotation,
-    }
+    ResilientClient::disabled().enrich(curated, world)
 }
 
 /// Enrich a batch (serial; enrichment is cheap next to curation).
@@ -234,16 +581,16 @@ pub fn enrich_all(curated: Vec<CuratedMessage>, world: &World) -> Vec<EnrichedRe
     enrich_all_observed(curated, world, &Obs::noop())
 }
 
-/// Enrich a batch with per-service call accounting.
+/// Enrich a batch with per-service call accounting and fault tolerance.
 pub fn enrich_all_observed(
     curated: Vec<CuratedMessage>,
     world: &World,
     obs: &Obs,
 ) -> Vec<EnrichedRecord> {
-    let meters = ServiceMeters::new(obs);
+    let client = ResilientClient::new(obs);
     curated
         .into_iter()
-        .map(|c| enrich_observed(c, world, &meters))
+        .map(|c| client.enrich(c, world))
         .collect()
 }
 
@@ -263,6 +610,7 @@ pub fn distinct_ips(records: &[EnrichedRecord]) -> Vec<Ipv4Addr> {
 mod tests {
     use super::*;
     use crate::curation::{curate_posts, dedup, CurationOptions, DedupMode};
+    use smishing_fault::{FaultPlan, FaultProfile, TickWindow};
     use smishing_types::{ScamType, SenderKind};
     use smishing_worldsim::{Post, WorldConfig};
 
@@ -385,5 +733,119 @@ mod tests {
         );
         assert_eq!(parse_sender("a@b.co").unwrap().kind(), SenderKind::Email);
         assert!(parse_sender("  ").is_none());
+    }
+
+    #[test]
+    fn fault_free_records_are_fully_enriched() {
+        let (_, recs) = records();
+        assert!(recs.iter().all(|r| !r.is_degraded()));
+    }
+
+    #[test]
+    fn faults_degrade_records_instead_of_dropping_them() {
+        let mut world = World::generate(WorldConfig {
+            scale: 0.02,
+            seed: 71,
+            ..WorldConfig::default()
+        });
+        let refs: Vec<&Post> = world.posts.iter().collect();
+        let curated = curate_posts(&refs, &CurationOptions::default());
+        let unique = dedup(&curated, DedupMode::Normalized);
+        let baseline = enrich_all(unique.clone(), &world).len();
+
+        world.set_fault_plan(&FaultPlan::harsh(13));
+        let recs = enrich_all(unique, &world);
+        assert_eq!(recs.len(), baseline, "no record may be dropped");
+        let degraded = recs.iter().filter(|r| r.is_degraded()).count();
+        assert!(degraded > 0, "harsh faults must degrade some records");
+        for r in &recs {
+            if r.is_missing(MissingField::Registrar) {
+                assert!(r.url.as_ref().is_some_and(|u| u.registrar.is_none()));
+            }
+        }
+    }
+
+    #[test]
+    fn retries_clear_soft_faults_and_are_counted() {
+        let mut world = World::generate(WorldConfig {
+            scale: 0.02,
+            seed: 71,
+            ..WorldConfig::default()
+        });
+        let refs: Vec<&Post> = world.posts.iter().collect();
+        let curated = curate_posts(&refs, &CurationOptions::default());
+        let unique = dedup(&curated, DedupMode::Normalized);
+
+        // Soft-only faults: every faulted key clears within the retry
+        // budget, so nothing degrades but retries are recorded.
+        let mut plan = FaultPlan::none();
+        plan.seed = 5;
+        for kind in ServiceKind::ALL {
+            plan.set_profile(
+                kind,
+                FaultProfile {
+                    transient: 0.3,
+                    hard: 0.0,
+                    ..FaultProfile::default()
+                },
+            );
+        }
+        world.set_fault_plan(&plan);
+        let obs = Obs::enabled();
+        let recs = enrich_all_observed(unique, &world, &obs);
+        assert!(recs.iter().all(|r| !r.is_degraded()));
+        let report = obs.report().unwrap();
+        let retries = report
+            .counters
+            .iter()
+            .find(|(id, _)| id.name == "enrich.retries")
+            .map(|(_, v)| *v)
+            .unwrap_or(0);
+        assert!(retries > 0, "transient faults must be retried");
+    }
+
+    #[test]
+    fn breaker_skips_calls_inside_an_outage_window_only() {
+        let mut world = World::generate(WorldConfig {
+            scale: 0.02,
+            seed: 71,
+            ..WorldConfig::default()
+        });
+        let plan = FaultPlan::none().with_outage(
+            smishing_fault::ServiceKind::Whois,
+            TickWindow {
+                from: 0,
+                until: u64::MAX,
+            },
+        );
+        world.set_fault_plan(&plan);
+        let refs: Vec<&Post> = world.posts.iter().collect();
+        let curated = curate_posts(&refs, &CurationOptions::default());
+        let unique = dedup(&curated, DedupMode::Normalized);
+        let obs = Obs::enabled();
+        let recs = enrich_all_observed(unique, &world, &obs);
+        // Whois info is gone everywhere, nothing else affected.
+        for r in &recs {
+            if let Some(u) = &r.url {
+                assert!(u.registrar.is_none());
+            }
+        }
+        let report = obs.report().unwrap();
+        let breaker = report
+            .counters
+            .iter()
+            .find(|(id, _)| id.name == "enrich.breaker_open")
+            .map(|(_, v)| *v)
+            .unwrap_or(0);
+        assert!(breaker > 0, "breaker must absorb the outage after arming");
+        // The breaker only ever skipped calls that were doomed anyway:
+        // whois calls = attempts that actually reached the service.
+        let whois_errors: u64 = report
+            .counters
+            .iter()
+            .filter(|(id, _)| id.name == "enrich.whois.errors")
+            .map(|(_, v)| *v)
+            .sum();
+        assert!(whois_errors > 0);
     }
 }

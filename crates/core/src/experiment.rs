@@ -390,8 +390,20 @@ pub fn run_all_observed(out: &PipelineOutput<'_>, obs: &Obs) -> Vec<ExperimentRe
         id: "T17",
         paper: "GoDaddy #1 (464), NameCheap #2 (153); Gname preferred for government scams",
         checks: vec![
-            check("GoDaddy #1", regs.counts.top_k(1)[0].0 == "GoDaddy"),
-            check("NameCheap #2", regs.counts.top_k(2)[1].0 == "NameCheap"),
+            check(
+                "GoDaddy #1",
+                regs.counts
+                    .top_k(1)
+                    .first()
+                    .is_some_and(|t| t.0 == "GoDaddy"),
+            ),
+            check(
+                "NameCheap #2",
+                regs.counts
+                    .top_k(2)
+                    .get(1)
+                    .is_some_and(|t| t.0 == "NameCheap"),
+            ),
             check(
                 "Gname strongly over-represented in government scams (lift > 2)",
                 gname_gov_lift > 2.0,

@@ -66,12 +66,23 @@ impl Pipeline {
         };
         obs.counter("pipeline.dedup.unique", &[])
             .add(unique.len() as u64);
+        let unique_in = unique.len();
         let records = {
             let _s = obs.span("pipeline.enrich.wall_ns");
             enrich_all_observed(unique, world, obs)
         };
         obs.counter("pipeline.enrich.records", &[])
             .add(records.len() as u64);
+        if obs.is_enabled() {
+            // Degradation accounting: service faults may leave records
+            // partially enriched, but never drop them — `dropped` is the
+            // invariant the chaos CI job pins at zero.
+            let degraded = records.iter().filter(|r| r.is_degraded()).count();
+            obs.counter("pipeline.enrich.degraded", &[])
+                .add(degraded as u64);
+            obs.counter("pipeline.enrich.dropped", &[])
+                .add((unique_in - records.len()) as u64);
+        }
         PipelineOutput {
             world,
             collection,

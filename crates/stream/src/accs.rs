@@ -65,6 +65,10 @@ pub struct AnalysisAccs {
     pub countries: CountriesAcc,
     /// Table 17.
     pub registrars: RegistrarsAcc,
+    /// Records enriched only partially because a service kept failing
+    /// after retries (snapshots carry this so mid-stream views report
+    /// degradation honestly).
+    pub degraded_records: u64,
 }
 
 impl AnalysisAccs {
@@ -105,6 +109,9 @@ impl AnalysisAccs {
         self.av.add_record(r);
         self.countries.add_record(r);
         self.registrars.add_record(r);
+        if r.is_degraded() {
+            self.degraded_records += 1;
+        }
     }
 
     /// Retract a record displaced by an earlier-post duplicate.
@@ -120,6 +127,9 @@ impl AnalysisAccs {
         self.av.sub_record(r);
         self.countries.sub_record(r);
         self.registrars.sub_record(r);
+        if r.is_degraded() {
+            self.degraded_records -= 1;
+        }
     }
 
     /// Absorb another worker's bundle.
@@ -139,6 +149,7 @@ impl AnalysisAccs {
         self.av.merge(other.av);
         self.countries.merge(other.countries);
         self.registrars.merge(other.registrars);
+        self.degraded_records += other.degraded_records;
     }
 
     /// Render every table the accumulators cover, mid-stream or final.

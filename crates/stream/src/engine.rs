@@ -41,8 +41,11 @@
 //! (`stream.{curator,shard}.channel_depth`), backpressure wait histograms
 //! (`stream.{feeder,curator}.backpressure_wait_ns`, recorded only when a
 //! `try_send` finds the channel full), snapshot cost histograms
-//! (`stream.snapshot.cost_ns`) and per-service enrichment meters (via
-//! [`ServiceMeters`]). Per-shard enrichment histograms are additionally
+//! (`stream.snapshot.cost_ns`) and per-service enrichment meters (each
+//! shard owns a [`ResilientClient`], so retry, breaker, and degradation
+//! counters aggregate across shards through the shared registry, and
+//! `stream.engine.{degraded_records,uncounted_drops}` summarize the run).
+//! Per-shard enrichment histograms are additionally
 //! combined with [`Histogram::merge_from`] into a `shard="all"` series —
 //! exact, like the accumulators' `merge()`. With a no-op handle every
 //! instrumentation point short-circuits and the engine runs the
@@ -60,7 +63,7 @@ use crate::accs::AnalysisAccs;
 use crossbeam::channel::{self, Receiver, Sender, TrySendError};
 use smishing_core::collect::CollectionStats;
 use smishing_core::curation::{curate_post, CuratedMessage, CurationOptions};
-use smishing_core::enrich::{enrich_observed, EnrichedRecord, ServiceMeters};
+use smishing_core::enrich::{EnrichedRecord, ResilientClient};
 use smishing_core::pipeline::PipelineOutput;
 use smishing_obs::{obs_warn, Counter, Gauge, Histogram, Obs};
 use smishing_types::Forum;
@@ -260,19 +263,19 @@ impl ShardState {
         c: CuratedMessage,
         world: &World,
         opts: &CurationOptions,
-        meters: &ServiceMeters,
+        client: &ResilientClient,
         enrich_ns: &Histogram,
     ) {
         self.accs.add_curated(&c);
         let key = c.dedup_key(opts.dedup);
         match self.winners.get(&key) {
             None => {
-                let rec = enrich_ns.time(|| enrich_observed(c.clone(), world, meters));
+                let rec = enrich_ns.time(|| client.enrich(c.clone(), world));
                 self.accs.add_record(&rec);
                 self.winners.insert(key, rec);
             }
             Some(current) if c.post_id < current.curated.post_id => {
-                let rec = enrich_ns.time(|| enrich_observed(c.clone(), world, meters));
+                let rec = enrich_ns.time(|| client.enrich(c.clone(), world));
                 self.accs.add_record(&rec);
                 let old = self.winners.insert(key, rec).expect("winner present");
                 self.accs.sub_record(&old);
@@ -535,7 +538,11 @@ where
                         let curated_counter =
                             obs.counter("stream.shard.curated", &[("shard", &label)]);
                         let depth = obs.gauge("stream.shard.channel_depth", &[("shard", &label)]);
-                        let meters = ServiceMeters::new(&obs);
+                        // Each shard retries independently: the client's
+                        // fault handling is a pure function of (service,
+                        // key, attempt, tick), so per-shard retry loops
+                        // cannot diverge from the batch pass.
+                        let client = ResilientClient::new(&obs);
                         let mut state = ShardState::new();
                         let mut marker_seen = vec![0u64; n_curators];
                         let mut completed: u64 = 0;
@@ -550,7 +557,7 @@ where
                                 ShardMsg::Curated { curator, msg } => {
                                     curated_counter.inc();
                                     if marker_seen[curator] == completed {
-                                        state.apply(msg, world, &opts, &meters, &enrich_ns);
+                                        state.apply(msg, world, &opts, &client, &enrich_ns);
                                     } else {
                                         deferred
                                             .entry(marker_seen[curator])
@@ -588,7 +595,7 @@ where
                                         for (_, c) in
                                             deferred.remove(&completed).unwrap_or_default()
                                         {
-                                            state.apply(c, world, &opts, &meters, &enrich_ns);
+                                            state.apply(c, world, &opts, &client, &enrich_ns);
                                         }
                                     }
                                 }
@@ -716,6 +723,25 @@ where
         }
         obs.counter("stream.engine.posts_ingested", &[])
             .add(result.posts_ingested);
+        obs.counter("stream.engine.degraded_records", &[])
+            .add(result.accs.degraded_records);
+        // Conservation check for the chaos CI job: every curated message a
+        // curator routed must have reached a shard. Nonzero means a
+        // message vanished between workers.
+        let routed: u64 = (0..n_curators)
+            .map(|i| {
+                obs.counter("stream.curator.curated", &[("curator", &i.to_string())])
+                    .get()
+            })
+            .sum();
+        let landed: u64 = (0..n_shards)
+            .map(|i| {
+                obs.counter("stream.shard.curated", &[("shard", &i.to_string())])
+                    .get()
+            })
+            .sum();
+        obs.counter("stream.engine.uncounted_drops", &[])
+            .add(routed.saturating_sub(landed));
     }
     result
 }

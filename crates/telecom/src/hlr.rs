@@ -14,7 +14,7 @@
 use crate::numbertype::NumberType;
 use crate::plan::PlanRegistry;
 use parking_lot::RwLock;
-use smishing_types::{Country, PhoneNumber, SenderId};
+use smishing_types::{CallCtx, Country, PhoneNumber, SenderId, ServiceError};
 use std::collections::HashMap;
 
 /// Line status returned by an HLR query.
@@ -49,6 +49,29 @@ pub trait HlrLookup {
     /// phone strings return a `BadFormat` record (that is what a real HLR
     /// answers for junk input).
     fn lookup(&self, sender: &SenderId) -> Option<HlrRecord>;
+}
+
+/// Fallible HLR lookup — the seam where upstream failures (timeouts, rate
+/// limits, gateway outages) enter the pipeline. Real implementations ignore
+/// the [`CallCtx`]; the fault layer uses it to make failure a pure function
+/// of (attempt, virtual tick).
+pub trait HlrApi {
+    /// Look up a sender, or fail the way a real HLR gateway can.
+    fn hlr_lookup(
+        &self,
+        ctx: CallCtx,
+        sender: &SenderId,
+    ) -> Result<Option<HlrRecord>, ServiceError>;
+}
+
+impl HlrApi for SimulatedHlr {
+    fn hlr_lookup(
+        &self,
+        _ctx: CallCtx,
+        sender: &SenderId,
+    ) -> Result<Option<HlrRecord>, ServiceError> {
+        Ok(self.lookup(sender))
+    }
 }
 
 /// Deterministic HLR simulator.

@@ -32,7 +32,7 @@ pub mod parse;
 pub mod plan;
 
 pub use classify::{classify_sender, RawSenderKind};
-pub use hlr::{HlrLookup, HlrRecord, NumberStatus, SimulatedHlr};
+pub use hlr::{HlrApi, HlrLookup, HlrRecord, NumberStatus, SimulatedHlr};
 pub use mno::{Mno, MnoRegistry};
 pub use numbertype::NumberType;
 pub use numgen::NumberFactory;

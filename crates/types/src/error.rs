@@ -54,6 +54,110 @@ impl fmt::Display for TypeError {
 
 impl std::error::Error for TypeError {}
 
+/// Context threaded into every fallible service call.
+///
+/// Fault injection must be a *pure* function of the call — never of global
+/// call order, which differs between batch and streaming execution — so the
+/// retry loop owns the attempt counter and passes it down explicitly, along
+/// with the virtual-clock tick of the record being enriched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CallCtx {
+    /// Zero-based attempt number (0 = first try, 1 = first retry, ...).
+    pub attempt: u32,
+    /// Virtual-clock tick of the record driving this call.
+    pub tick: u64,
+}
+
+impl CallCtx {
+    /// The first attempt at a given virtual tick.
+    pub fn first(tick: u64) -> CallCtx {
+        CallCtx { attempt: 0, tick }
+    }
+
+    /// The next attempt after `self`.
+    pub fn retry(self) -> CallCtx {
+        CallCtx {
+            attempt: self.attempt + 1,
+            tick: self.tick,
+        }
+    }
+}
+
+/// Failure modes of an external service call.
+///
+/// These model the realities of the paper's seven upstream services (HLR
+/// gateways, WhoisXMLAPI, crt.sh, passive DNS, ipinfo, VirusTotal, GSB):
+/// timeouts, transient 5xx errors, rate limiting, malformed payloads, and
+/// sustained outages. All variants except [`ServiceError::Outage`] are worth
+/// retrying; an outage carries its exact virtual-clock window so callers can
+/// open a circuit breaker without changing any outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The call exceeded its (virtual) deadline.
+    Timeout,
+    /// A transient upstream failure (connection reset, 5xx, ...).
+    Transient {
+        /// Human-readable cause.
+        reason: &'static str,
+    },
+    /// The service rejected the call due to rate limiting.
+    RateLimited {
+        /// Suggested (virtual) wait before retrying, in milliseconds.
+        retry_after_ms: u32,
+    },
+    /// The response arrived but could not be parsed.
+    Malformed,
+    /// The service is down for a sustained window of virtual time.
+    Outage {
+        /// First tick (inclusive) of the outage window.
+        from_tick: u64,
+        /// First tick (exclusive) after the outage window.
+        until_tick: u64,
+    },
+}
+
+impl ServiceError {
+    /// Whether a bounded retry loop should try again.
+    ///
+    /// Outages are not retryable: the error carries the window during which
+    /// every attempt is guaranteed to fail identically.
+    pub fn is_retryable(&self) -> bool {
+        !matches!(self, ServiceError::Outage { .. })
+    }
+
+    /// Stable lowercase label for metrics (`outcome="timeout"` etc.).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ServiceError::Timeout => "timeout",
+            ServiceError::Transient { .. } => "transient",
+            ServiceError::RateLimited { .. } => "rate_limited",
+            ServiceError::Malformed => "malformed",
+            ServiceError::Outage { .. } => "outage",
+        }
+    }
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Timeout => write!(f, "service call timed out"),
+            ServiceError::Transient { reason } => write!(f, "transient service error: {reason}"),
+            ServiceError::RateLimited { retry_after_ms } => {
+                write!(f, "rate limited (retry after {retry_after_ms} ms)")
+            }
+            ServiceError::Malformed => write!(f, "malformed service response"),
+            ServiceError::Outage {
+                from_tick,
+                until_tick,
+            } => {
+                write!(f, "service outage over ticks [{from_tick}, {until_tick})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -75,5 +179,27 @@ mod tests {
             code: "zz".into(),
         };
         assert!(e.to_string().contains("language"));
+    }
+
+    #[test]
+    fn outage_is_not_retryable_everything_else_is() {
+        assert!(ServiceError::Timeout.is_retryable());
+        assert!(ServiceError::Transient { reason: "5xx" }.is_retryable());
+        assert!(ServiceError::RateLimited { retry_after_ms: 7 }.is_retryable());
+        assert!(ServiceError::Malformed.is_retryable());
+        assert!(!ServiceError::Outage {
+            from_tick: 0,
+            until_tick: 10
+        }
+        .is_retryable());
+    }
+
+    #[test]
+    fn call_ctx_retry_increments_attempt_only() {
+        let c = CallCtx::first(42);
+        assert_eq!(c.attempt, 0);
+        let r = c.retry().retry();
+        assert_eq!(r.attempt, 2);
+        assert_eq!(r.tick, 42);
     }
 }

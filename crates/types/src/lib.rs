@@ -32,7 +32,7 @@ pub mod time;
 
 pub use brand::Sector;
 pub use country::Country;
-pub use error::TypeError;
+pub use error::{CallCtx, ServiceError, TypeError};
 pub use forum::{Forum, NoiseKind, TextReport};
 pub use ids::{CampaignId, MessageId, PostId};
 pub use language::{Language, Script};

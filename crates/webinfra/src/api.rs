@@ -1,0 +1,106 @@
+//! Fallible query-side traits for the web-infrastructure services.
+//!
+//! The paper's enrichment pipeline talks to real upstream APIs
+//! (WhoisXMLAPI, crt.sh, passive DNS, ipinfo) that rate-limit, time out
+//! and return partial data. These traits are the seam where that reality
+//! enters: the pipeline codes against `Result<T, ServiceError>`, the
+//! in-process simulators implement the traits infallibly, and a fault
+//! layer (`smishing-fault`) can wrap any implementation to inject
+//! deterministic failures without the caller knowing.
+//!
+//! Every method takes a [`CallCtx`] so fault decisions can be a pure
+//! function of (attempt, virtual tick) rather than of call order; the
+//! real implementations simply ignore it.
+
+use smishing_types::{CallCtx, ServiceError, UnixTime};
+use std::net::Ipv4Addr;
+
+use crate::asn::{AsnDb, IpInfo};
+use crate::ctlog::{CertRecord, CtLog};
+use crate::pdns::{PassiveDns, Resolution};
+use crate::whois::{WhoisDb, WhoisRecord};
+
+/// Fallible WHOIS lookup (registrar records).
+pub trait WhoisApi {
+    /// Look up the WHOIS record for a registrable domain.
+    fn whois_lookup(&self, ctx: CallCtx, domain: &str)
+        -> Result<Option<WhoisRecord>, ServiceError>;
+}
+
+impl WhoisApi for WhoisDb {
+    fn whois_lookup(
+        &self,
+        _ctx: CallCtx,
+        domain: &str,
+    ) -> Result<Option<WhoisRecord>, ServiceError> {
+        Ok(self.query(domain))
+    }
+}
+
+/// Fallible certificate-transparency log query.
+pub trait CtApi {
+    /// All issuance records for a domain.
+    fn ct_lookup(&self, ctx: CallCtx, domain: &str) -> Result<Vec<CertRecord>, ServiceError>;
+}
+
+impl CtApi for CtLog {
+    fn ct_lookup(&self, _ctx: CallCtx, domain: &str) -> Result<Vec<CertRecord>, ServiceError> {
+        Ok(self.query(domain))
+    }
+}
+
+/// Fallible passive-DNS history query.
+pub trait PdnsApi {
+    /// Historical resolutions of a domain up to `now`.
+    fn pdns_lookup(
+        &self,
+        ctx: CallCtx,
+        domain: &str,
+        now: UnixTime,
+    ) -> Result<Vec<Resolution>, ServiceError>;
+}
+
+impl PdnsApi for PassiveDns {
+    fn pdns_lookup(
+        &self,
+        _ctx: CallCtx,
+        domain: &str,
+        now: UnixTime,
+    ) -> Result<Vec<Resolution>, ServiceError> {
+        Ok(self.query(domain, now))
+    }
+}
+
+/// Fallible IP → AS/organization/country lookup.
+pub trait IpInfoApi {
+    /// Metadata for an IPv4 address.
+    fn ip_lookup(&self, ctx: CallCtx, ip: Ipv4Addr) -> Result<Option<IpInfo>, ServiceError>;
+}
+
+impl IpInfoApi for AsnDb {
+    fn ip_lookup(&self, _ctx: CallCtx, ip: Ipv4Addr) -> Result<Option<IpInfo>, ServiceError> {
+        Ok(self.lookup(ip))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn infallible_impls_agree_with_direct_queries() {
+        let ctx = CallCtx::first(0);
+        let whois = WhoisDb::new();
+        assert_eq!(whois.whois_lookup(ctx, "missing.com").unwrap(), None);
+        let ct = CtLog::new();
+        assert!(ct.ct_lookup(ctx, "missing.com").unwrap().is_empty());
+        let pdns = PassiveDns::new();
+        assert!(pdns
+            .pdns_lookup(ctx, "missing.com", UnixTime(0))
+            .unwrap()
+            .is_empty());
+        let asn = AsnDb;
+        let ip = Ipv4Addr::new(127, 0, 0, 1);
+        assert_eq!(asn.ip_lookup(ctx, ip).unwrap(), asn.lookup(ip));
+    }
+}

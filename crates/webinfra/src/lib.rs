@@ -27,6 +27,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod api;
 pub mod asn;
 pub mod ctlog;
 pub mod hosting;
@@ -36,6 +37,7 @@ pub mod tld;
 pub mod url;
 pub mod whois;
 
+pub use api::{CtApi, IpInfoApi, PdnsApi, WhoisApi};
 pub use asn::{AsnDb, AsnRecord, IpInfo};
 pub use ctlog::{ca_policy, CaPolicy, CertRecord, CtLog, CA_POLICIES};
 pub use hosting::{free_hosting_site, free_hosting_suffix};

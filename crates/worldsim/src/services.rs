@@ -1,43 +1,63 @@
 //! The bundle of service simulators a generated world populates and the
 //! pipeline later queries.
+//!
+//! Each query-side service is wrapped in a [`Faulty`] layer. A fresh world
+//! is fault-free; installing a [`FaultPlan`] (see
+//! [`Services::set_fault_plan`]) makes the services fail the way their
+//! real counterparts do — deterministically, so runs stay replayable.
+//! Registration-side methods reach the inner simulators through `Deref`,
+//! untouched by the fault layer. The short-link resolver stays unwrapped:
+//! takedowns are already part of its model, not an infrastructure fault.
 
 use smishing_avscan::{GsbService, VtScanner};
+use smishing_fault::{FaultPlan, Faulty, ServiceKind};
 use smishing_telecom::SimulatedHlr;
 use smishing_webinfra::{AsnDb, CtLog, PassiveDns, ShortLinkDb, WhoisDb};
 
 /// All external services, pre-populated by world generation.
 pub struct Services {
     /// WHOIS database (registrar records).
-    pub whois: WhoisDb,
+    pub whois: Faulty<WhoisDb>,
     /// Certificate-transparency log.
-    pub ctlog: CtLog,
+    pub ctlog: Faulty<CtLog>,
     /// Passive DNS history.
-    pub pdns: PassiveDns,
+    pub pdns: Faulty<PassiveDns>,
     /// Short-link resolver.
     pub short_links: ShortLinkDb,
     /// HLR lookup.
-    pub hlr: SimulatedHlr,
+    pub hlr: Faulty<SimulatedHlr>,
     /// VirusTotal.
-    pub virustotal: VtScanner,
+    pub virustotal: Faulty<VtScanner>,
     /// Google Safe Browsing.
-    pub gsb: GsbService,
+    pub gsb: Faulty<GsbService>,
     /// IP → AS database.
-    pub asn: AsnDb,
+    pub asn: Faulty<AsnDb>,
 }
 
 impl Services {
-    /// Fresh services derived from the world seed.
+    /// Fresh services derived from the world seed. No faults installed.
     pub fn new(seed: u64) -> Services {
         Services {
-            whois: WhoisDb::new(),
-            ctlog: CtLog::new(),
-            pdns: PassiveDns::new(),
+            whois: Faulty::new(WhoisDb::new(), ServiceKind::Whois),
+            ctlog: Faulty::new(CtLog::new(), ServiceKind::CtLog),
+            pdns: Faulty::new(PassiveDns::new(), ServiceKind::Pdns),
             short_links: ShortLinkDb::new(),
-            hlr: SimulatedHlr::new(seed ^ 0x41_4C52),
-            virustotal: VtScanner::new(seed ^ 0x56_54),
-            gsb: GsbService::new(seed ^ 0x47_5342),
-            asn: AsnDb::new(),
+            hlr: Faulty::new(SimulatedHlr::new(seed ^ 0x41_4C52), ServiceKind::Hlr),
+            virustotal: Faulty::new(VtScanner::new(seed ^ 0x56_54), ServiceKind::VirusTotal),
+            gsb: Faulty::new(GsbService::new(seed ^ 0x47_5342), ServiceKind::Gsb),
+            asn: Faulty::new(AsnDb::new(), ServiceKind::IpInfo),
         }
+    }
+
+    /// Install a fault plan across every query-side service.
+    pub fn set_fault_plan(&mut self, plan: &FaultPlan) {
+        self.whois.set_faults(plan);
+        self.ctlog.set_faults(plan);
+        self.pdns.set_faults(plan);
+        self.hlr.set_faults(plan);
+        self.virustotal.set_faults(plan);
+        self.gsb.set_faults(plan);
+        self.asn.set_faults(plan);
     }
 }
 
@@ -63,5 +83,16 @@ mod tests {
         assert_eq!(s.ctlog.domains(), 0);
         assert_eq!(s.pdns.domains(), 0);
         assert!(s.short_links.is_empty());
+    }
+
+    #[test]
+    fn starts_inert_and_accepts_a_plan() {
+        let mut s = Services::new(1);
+        assert!(s.whois.is_inert() && s.hlr.is_inert() && s.gsb.is_inert());
+        s.set_fault_plan(&FaultPlan::harsh(7));
+        assert!(!s.whois.is_inert());
+        assert!(!s.asn.is_inert());
+        s.set_fault_plan(&FaultPlan::none());
+        assert!(s.whois.is_inert());
     }
 }

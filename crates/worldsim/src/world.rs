@@ -314,6 +314,17 @@ impl World {
         }
     }
 
+    /// Install a fault plan across the world's query-side services.
+    ///
+    /// A generated world is fault-free; this makes enrichment-time service
+    /// calls fail deterministically per the plan. World generation itself
+    /// is never affected — infrastructure is populated before faults are
+    /// installed, matching reality (the scammers' registrations succeeded;
+    /// it is *our* measurement queries that flake).
+    pub fn set_fault_plan(&mut self, plan: &smishing_fault::FaultPlan) {
+        self.services.set_fault_plan(plan);
+    }
+
     /// The message a post reports, if any.
     pub fn message_of(&self, post: &Post) -> Option<&SmsMessage> {
         post.reported_message

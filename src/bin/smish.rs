@@ -20,6 +20,15 @@
 //! * `--log-level LEVEL` — `error|warn|info|debug|trace` (default
 //!   `info`); progress goes to stderr through the leveled logger.
 //! * `--quiet` — shorthand for `--log-level error`.
+//!
+//! And the chaos flag:
+//!
+//! * `--fault-profile none|mild|harsh[:SEED]` — install a deterministic
+//!   fault plan on the world's services before the pipeline queries them
+//!   (default `none`: byte-identical to a fault-free run). A bare integer
+//!   is shorthand for `mild:SEED`. Failures degrade records instead of
+//!   dropping them; the run report's `enrich.*` counters show retries,
+//!   breaker trips, and degraded-record totals.
 
 use smishing::core::analysis::freshness::domain_freshness;
 use smishing::core::analysis::latency::report_latency;
@@ -28,6 +37,7 @@ use smishing::core::analysis::mitigation::mitigation_study;
 use smishing::core::dataset;
 use smishing::core::experiment::run_all_observed;
 use smishing::detect::{binary_study, multiclass_study_grouped};
+use smishing::fault::FaultPlan;
 use smishing::obs::{obs_error, obs_info, Level, Obs};
 use smishing::prelude::*;
 use smishing::stream::{ingest_observed, SnapshotPlan, StreamConfig};
@@ -46,6 +56,7 @@ struct Args {
     metrics_json: Option<String>,
     metrics_text: bool,
     log_level: Level,
+    fault_plan: FaultPlan,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -63,6 +74,7 @@ fn parse_args() -> Result<Args, String> {
         metrics_json: None,
         metrics_text: false,
         log_level: Level::Info,
+        fault_plan: FaultPlan::none(),
     };
     while let Some(flag) = argv.next() {
         let mut take = |name: &str| -> Result<String, String> {
@@ -82,6 +94,7 @@ fn parse_args() -> Result<Args, String> {
                 )
             }
             "--posts" => args.posts = Some(take("--posts")?.parse().map_err(|e| format!("{e}"))?),
+            "--fault-profile" => args.fault_plan = take("--fault-profile")?.parse()?,
             "--metrics-json" => args.metrics_json = Some(take("--metrics-json")?),
             "--metrics-text" => args.metrics_text = true,
             "--log-level" => args.log_level = take("--log-level")?.parse()?,
@@ -105,6 +118,7 @@ fn usage() -> String {
     "usage: smish <generate|run|analyze|detect|link|mitigate|stream|watch> \
      [--scale S] [--seed N] [--out DIR] [--experiment ID] \
      [--shards N] [--snapshot-every POSTS] [--posts N] \
+     [--fault-profile none|mild|harsh[:SEED]] \
      [--metrics-json PATH] [--metrics-text] [--log-level LEVEL] [--quiet]"
         .to_string()
 }
@@ -135,11 +149,23 @@ fn main() {
         }
     };
     let obs = Obs::with_level(args.log_level);
-    let world = World::generate(WorldConfig {
+    let mut world = World::generate(WorldConfig {
         scale: args.scale,
         seed: args.seed,
         ..WorldConfig::default()
     });
+    if !args.fault_plan.is_none() {
+        // Installed after generation, so the world itself is unaffected:
+        // only the query-side services misbehave.
+        world.set_fault_plan(&args.fault_plan);
+        obs_info!(
+            obs,
+            "fault plan installed (seed {:#x}) — degraded records will be \
+             reported, never dropped",
+            args.fault_plan.seed
+        );
+    }
+    let world = world;
     obs_info!(
         obs,
         "world: {} campaigns / {} messages / {} posts (scale {}, seed {:#x})",

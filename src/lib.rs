@@ -9,6 +9,7 @@
 //! |---|---|
 //! | [`types`] | shared data model (countries, languages, scam taxonomy, civil time) |
 //! | [`obs`] | metrics registry, spans, leveled logging, exportable run reports |
+//! | [`fault`] | deterministic fault plans + the `Faulty` service wrapper |
 //! | [`stats`] | Cohen's κ, KS tests, quantiles, counters |
 //! | [`telecom`] | numbering plans, sender classification, HLR lookup |
 //! | [`webinfra`] | URLs, TLDs, shorteners, WHOIS/CT/passive-DNS/ASN |
@@ -42,6 +43,7 @@
 pub use smishing_avscan as avscan;
 pub use smishing_core as core;
 pub use smishing_detect as detect;
+pub use smishing_fault as fault;
 pub use smishing_malcase as malcase;
 pub use smishing_obs as obs;
 pub use smishing_screenshot as screenshot;

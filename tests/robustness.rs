@@ -142,3 +142,44 @@ fn pipeline_survives_a_world_with_every_post_duplicated() {
     assert_eq!(out2.curated_total.len(), n_total * 2);
     assert_eq!(out2.records.len(), n_unique, "uniques are idempotent");
 }
+
+#[test]
+fn sustained_whois_outage_degrades_only_the_registrar_table() {
+    // One service down for the whole run: the registrar table owns the
+    // damage (an "(unresolved)" row), every other table is byte-identical
+    // to the fault-free run.
+    use smishing::core::experiment::run_all;
+    use smishing::fault::{FaultPlan, ServiceKind, TickWindow};
+
+    let baseline: Vec<(String, String)> = {
+        let world = small_world();
+        run_all(&Pipeline::default().run(&world))
+            .into_iter()
+            .map(|r| (r.id.to_string(), r.table.to_string()))
+            .collect()
+    };
+
+    let mut world = small_world();
+    world.set_fault_plan(&FaultPlan::none().with_outage(ServiceKind::Whois, TickWindow::ALWAYS));
+    let outage: Vec<(String, String)> = run_all(&Pipeline::default().run(&world))
+        .into_iter()
+        .map(|r| (r.id.to_string(), r.table.to_string()))
+        .collect();
+
+    assert_eq!(baseline.len(), outage.len());
+    let mut saw_t17 = false;
+    for ((id_a, table_a), (id_b, table_b)) in baseline.iter().zip(outage.iter()) {
+        assert_eq!(id_a, id_b);
+        if id_a == "T17" {
+            saw_t17 = true;
+            assert!(table_b.contains("(unresolved)"), "T17 reports the outage");
+            assert_ne!(table_a, table_b, "T17 reflects the missing registrars");
+        } else {
+            assert_eq!(
+                table_a, table_b,
+                "{id_a} must not change under a WHOIS outage"
+            );
+        }
+    }
+    assert!(saw_t17, "T17 present in the experiment list");
+}
