@@ -2,7 +2,8 @@
 //!
 //! ```sh
 //! cargo run --release -p smishing-bench --bin repro -- [scale] [seed] \
-//!     [--metrics-json PATH] [--fault-profile none|mild|harsh[:SEED]]
+//!     [--shards N] [--metrics-json PATH] \
+//!     [--fault-profile none|mild|harsh[:SEED]]
 //! ```
 //!
 //! Prints each experiment's regenerated table, the paper's expectation, and
@@ -12,76 +13,90 @@
 //! latency quantiles) to `repro-run-report.json`, or to the path given
 //! with `--metrics-json`.
 //!
+//! `repro` accepts the shared [`RunConfig`] flags, so `--shards N` runs
+//! the batch pipeline through the execution core at a different worker
+//! topology — the rendered tables are byte-identical at any shard count
+//! (the CI parity job diffs `--shards 1` against `--shards 4`).
+//!
 //! With a non-`none` `--fault-profile` the run doubles as a chaos
 //! exercise: services fail deterministically, degraded records are kept
 //! (never dropped), and the exit code reflects survival rather than the
 //! shape checks — under injected faults some tables legitimately shift,
 //! so verdicts are printed but do not fail the run.
 
-use smishing_core::experiment::run_all_observed;
-use smishing_core::pipeline::Pipeline;
-use smishing_fault::FaultPlan;
+use smishing_core::experiment::run_all;
+use smishing_core::runcfg::{parse_seed, RunConfig};
 use smishing_obs::Obs;
 use smishing_worldsim::{World, WorldConfig};
-use std::io::Write;
 use std::time::Instant;
 
 fn main() {
+    let mut cfg = RunConfig {
+        scale: 0.25,
+        sinks: smishing_core::runcfg::ObsSinks {
+            metrics_json: Some(String::from("repro-run-report.json")),
+            ..Default::default()
+        },
+        ..RunConfig::default()
+    };
     let mut positional: Vec<String> = Vec::new();
-    let mut metrics_json = String::from("repro-run-report.json");
-    let mut fault_plan = FaultPlan::none();
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
-        if arg == "--metrics-json" {
-            match argv.next() {
-                Some(path) => metrics_json = path,
-                None => {
-                    eprintln!("--metrics-json needs a value");
-                    std::process::exit(2);
-                }
+        match cfg.parse_flag(&arg, &mut || argv.next()) {
+            Ok(true) => {}
+            Ok(false) if !arg.starts_with("--") => positional.push(arg),
+            Ok(false) => {
+                eprintln!(
+                    "unknown flag {arg}\nusage: repro [scale] [seed] {}",
+                    RunConfig::FLAGS_USAGE
+                );
+                std::process::exit(2);
             }
-        } else if arg == "--fault-profile" {
-            match argv.next().map(|v| v.parse()) {
-                Some(Ok(plan)) => fault_plan = plan,
-                Some(Err(e)) => {
-                    eprintln!("--fault-profile: {e}");
-                    std::process::exit(2);
-                }
-                None => {
-                    eprintln!("--fault-profile needs a value");
-                    std::process::exit(2);
-                }
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(2);
             }
-        } else {
-            positional.push(arg);
         }
     }
-    let scale: f64 = positional
-        .first()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(0.25);
-    let seed: u64 = positional
-        .get(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(0xF15F);
+    if let Some(s) = positional.first() {
+        match s.parse() {
+            Ok(v) => cfg.scale = v,
+            Err(e) => {
+                eprintln!("bad scale {s}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if let Some(s) = positional.get(1) {
+        match parse_seed(s) {
+            Ok(v) => cfg.seed = v,
+            Err(e) => {
+                eprintln!("bad seed {s}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
 
-    let strict = fault_plan.is_none();
+    let strict = cfg.faults.is_none();
 
     let obs = Obs::enabled();
-    eprintln!("# Reproduction run: scale {scale}, seed {seed:#x}");
+    eprintln!(
+        "# Reproduction run: scale {}, seed {:#x}, {} shards",
+        cfg.scale, cfg.seed, cfg.exec.shards
+    );
     let t0 = Instant::now();
     let mut world = obs.histogram("repro.world_gen.wall_ns", &[]).time(|| {
         World::generate(WorldConfig {
-            scale,
-            seed,
+            scale: cfg.scale,
+            seed: cfg.seed,
             ..WorldConfig::default()
         })
     });
     if !strict {
-        world.set_fault_plan(&fault_plan);
+        world.set_fault_plan(&cfg.faults);
         eprintln!(
             "chaos: fault plan installed (seed {:#x}); shape verdicts are informational",
-            fault_plan.seed
+            cfg.faults.seed
         );
     }
     let world = world;
@@ -94,7 +109,7 @@ fn main() {
     );
 
     let t1 = Instant::now();
-    let output = Pipeline::default().run_observed(&world, &obs);
+    let output = cfg.pipeline().run(&world, &obs);
     eprintln!(
         "pipeline: {} curated / {} unique records in {:.1?}",
         output.curated_total.len(),
@@ -103,7 +118,7 @@ fn main() {
     );
 
     let t2 = Instant::now();
-    let results = run_all_observed(&output, &obs);
+    let results = run_all(&output, &obs);
     eprintln!(
         "analyses: {} experiments in {:.1?}\n",
         results.len(),
@@ -133,13 +148,9 @@ fn main() {
         t0.elapsed()
     );
 
-    let report = obs.json_report();
-    match std::fs::File::create(&metrics_json).and_then(|mut f| f.write_all(report.as_bytes())) {
-        Ok(()) => eprintln!("metrics: wrote run report to {metrics_json}"),
-        Err(e) => {
-            eprintln!("metrics: failed to write {metrics_json}: {e}");
-            std::process::exit(1);
-        }
+    if let Err(e) = cfg.emit_metrics(&obs) {
+        eprintln!("metrics: {e}");
+        std::process::exit(1);
     }
 
     // Under injected faults the run verifies survival — completion with

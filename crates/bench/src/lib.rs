@@ -28,7 +28,7 @@ pub fn bench_world() -> &'static World {
 /// A cached pipeline output over [`bench_world`].
 pub fn bench_output() -> &'static PipelineOutput<'static> {
     static OUT: OnceLock<PipelineOutput<'static>> = OnceLock::new();
-    OUT.get_or_init(|| Pipeline::default().run(bench_world()))
+    OUT.get_or_init(|| Pipeline::default().run(bench_world(), &smishing_obs::Obs::noop()))
 }
 
 #[cfg(test)]

@@ -62,7 +62,7 @@ pub(crate) mod testfix {
                 ..WorldConfig::default()
             };
             let world: &'static World = Box::leak(Box::new(World::generate(config)));
-            Pipeline::default().run(world)
+            Pipeline::default().run(world, &smishing_obs::Obs::noop())
         })
     }
 }

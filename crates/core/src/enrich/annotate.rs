@@ -1,0 +1,18 @@
+//! Text annotation: scam type, brand, lures, language (§3.3.6).
+
+use super::registry::{Draft, EnrichCtx, Enricher};
+use smishing_textnlp::annotator::{Annotator, PipelineAnnotator};
+
+/// Runs the pipeline annotator over the curated text; no service calls,
+/// so annotation can never degrade a record.
+pub struct AnnotateEnricher;
+
+impl Enricher for AnnotateEnricher {
+    fn name(&self) -> &'static str {
+        "annotate"
+    }
+
+    fn apply(&self, draft: &mut Draft, _cx: &EnrichCtx<'_>) {
+        draft.annotation = Some(PipelineAnnotator::new().annotate(&draft.curated.text));
+    }
+}

@@ -1,0 +1,62 @@
+//! AV / blocklist verdicts: VirusTotal and the three GSB views (§3.3.4,
+//! Tables 9 and 18).
+
+use super::record::MissingField;
+use super::registry::{Draft, EnrichCtx, Enricher};
+use smishing_avscan::{GsbApi, TransparencyVerdict, VtApi, VtResult};
+use smishing_fault::ServiceKind;
+
+/// Scans the collected URL with VirusTotal and queries GSB's Lookup API,
+/// Transparency Report, and VT listing. Failures default each verdict and
+/// mark the record, in query order.
+pub struct AvEnricher;
+
+impl Enricher for AvEnricher {
+    fn name(&self) -> &'static str {
+        "av"
+    }
+
+    fn apply(&self, draft: &mut Draft, cx: &EnrichCtx<'_>) {
+        let Some(url_string) = draft.url.as_ref().map(|u| u.parsed.to_url_string()) else {
+            return;
+        };
+        let services = &cx.world.services;
+        let vt = cx
+            .call(ServiceKind::VirusTotal, |ctx| {
+                services.virustotal.vt_scan(ctx, &url_string)
+            })
+            .unwrap_or_else(|_| {
+                draft.missing.push(MissingField::VirusTotal);
+                VtResult::default()
+            });
+        let gsb_api_unsafe = cx
+            .call(ServiceKind::Gsb, |ctx| {
+                services.gsb.gsb_api_unsafe(ctx, &url_string)
+            })
+            .unwrap_or_else(|_| {
+                draft.missing.push(MissingField::GsbApi);
+                false
+            });
+        let gsb_transparency = cx
+            .call(ServiceKind::Gsb, |ctx| {
+                services.gsb.gsb_transparency(ctx, &url_string)
+            })
+            .unwrap_or_else(|_| {
+                draft.missing.push(MissingField::GsbTransparency);
+                TransparencyVerdict::NotQueried
+            });
+        let gsb_vt_listed = cx
+            .call(ServiceKind::Gsb, |ctx| {
+                services.gsb.gsb_vt_listed(ctx, &url_string)
+            })
+            .unwrap_or_else(|_| {
+                draft.missing.push(MissingField::GsbVtListing);
+                false
+            });
+        let u = draft.url.as_mut().expect("url present");
+        u.vt = vt;
+        u.gsb_api_unsafe = gsb_api_unsafe;
+        u.gsb_transparency = gsb_transparency;
+        u.gsb_vt_listed = gsb_vt_listed;
+    }
+}

@@ -1,0 +1,254 @@
+//! The fault-tolerant service client: retries, circuit breakers, and the
+//! per-service call meters. Every external-service call any
+//! [`Enricher`](crate::enrich::Enricher) makes goes through
+//! [`ResilientClient::call`], so retry policy, breaker state, and metric
+//! accounting are applied once, generically — never hand-wired per
+//! service.
+
+use smishing_fault::ServiceKind;
+use smishing_obs::{Counter, Histogram, Obs};
+use smishing_types::{CallCtx, ServiceError};
+use std::cell::Cell;
+use std::time::Instant;
+
+/// Cached call meters for the seven external-service simulators, under the
+/// `enrich.<service>.{calls,latency_ns}` naming convention. Resolve once
+/// per batch or per shard ([`ServiceMeters::new`]) and record lock-free;
+/// built from a no-op [`Obs`], every meter is inert and enrichment runs
+/// exactly the uninstrumented code path.
+///
+/// Successful calls record wall time in the unlabeled
+/// `enrich.<service>.latency_ns` series. Failed calls — which earlier
+/// versions silently dropped from the histograms, hiding exactly the slow
+/// tail that matters — record into `enrich.<service>.latency_ns{outcome=…}`
+/// with the *virtual* cost of the failure (the full timeout budget for
+/// timeouts, the advertised wait for rate limits), plus an
+/// `enrich.<service>.errors{outcome=…}` counter. Error series are resolved
+/// lazily so fault-free runs export exactly the historical key set.
+pub struct ServiceMeters {
+    obs: Obs,
+    meters: [Meter; 7],
+}
+
+#[derive(Default)]
+struct Meter {
+    calls: Counter,
+    latency: Histogram,
+}
+
+impl Meter {
+    fn new(obs: &Obs, service: &str) -> Meter {
+        Meter {
+            calls: obs.counter(&format!("enrich.{service}.calls"), &[]),
+            latency: obs.histogram(&format!("enrich.{service}.latency_ns"), &[]),
+        }
+    }
+}
+
+impl ServiceMeters {
+    /// Resolve the per-service meters against an observability handle.
+    pub fn new(obs: &Obs) -> ServiceMeters {
+        if !obs.is_enabled() {
+            return ServiceMeters::disabled();
+        }
+        ServiceMeters {
+            obs: obs.clone(),
+            meters: std::array::from_fn(|i| Meter::new(obs, ServiceKind::ALL[i].name())),
+        }
+    }
+
+    /// Inert meters: every call runs unobserved.
+    pub fn disabled() -> ServiceMeters {
+        ServiceMeters {
+            obs: Obs::noop(),
+            meters: std::array::from_fn(|_| Meter::default()),
+        }
+    }
+
+    fn meter(&self, kind: ServiceKind) -> &Meter {
+        &self.meters[kind as usize]
+    }
+
+    /// Account one failed call: an `errors{outcome}` counter plus an
+    /// outcome-labeled latency sample carrying the failure's virtual cost.
+    fn record_failure(
+        &self,
+        kind: ServiceKind,
+        err: &ServiceError,
+        measured_ns: u64,
+        policy: &RetryPolicy,
+    ) {
+        if !self.obs.is_enabled() {
+            return;
+        }
+        let labels = [("outcome", err.kind())];
+        self.obs
+            .counter(&format!("enrich.{}.errors", kind.name()), &labels)
+            .inc();
+        let ns = match err {
+            ServiceError::Timeout => policy.timeout_budget_ns,
+            ServiceError::RateLimited { retry_after_ms } => u64::from(*retry_after_ms) * 1_000_000,
+            _ => measured_ns,
+        };
+        self.obs
+            .histogram(&format!("enrich.{}.latency_ns", kind.name()), &labels)
+            .record(ns);
+    }
+}
+
+/// Retry budget and virtual timing for the resilient client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per call (first try + retries).
+    pub max_attempts: u32,
+    /// Backoff before the first retry, in (virtual) nanoseconds.
+    pub base_backoff_ns: u64,
+    /// Backoff cap.
+    pub max_backoff_ns: u64,
+    /// Virtual cost charged to a timed-out call.
+    pub timeout_budget_ns: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff_ns: 100_000_000,      // 100 ms
+            max_backoff_ns: 5_000_000_000,     // 5 s
+            timeout_budget_ns: 10_000_000_000, // 10 s
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Deterministic exponential backoff with jitter in the upper half of
+    /// the exponential window — a pure function of (attempt, tick), so the
+    /// recorded backoff histogram replays exactly.
+    pub fn backoff_ns(&self, attempt: u32, tick: u64) -> u64 {
+        let exp = self
+            .base_backoff_ns
+            .saturating_mul(1u64 << attempt.min(16))
+            .min(self.max_backoff_ns);
+        let mut h = tick
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(u64::from(attempt))
+            .wrapping_mul(0x100_0000_01b3);
+        h ^= h >> 29;
+        exp / 2 + h % (exp / 2 + 1)
+    }
+}
+
+/// A fault-tolerant front for the seven enrichment services.
+///
+/// Wraps every service call in bounded retries (deterministic exponential
+/// backoff + jitter, recorded but never slept) and a per-service circuit
+/// breaker. The breaker only arms on [`ServiceError::Outage`], which
+/// carries its exact virtual-clock window: skipping a call whose tick
+/// falls inside the window is *provably* identical to making it, so the
+/// breaker changes no outcome — batch and stream runs stay byte-equal —
+/// while still counting the work it saved (`enrich.breaker_open`).
+///
+/// One client per worker: it is `Send` but deliberately not shared, so
+/// breaker state needs no locks.
+pub struct ResilientClient {
+    policy: RetryPolicy,
+    meters: ServiceMeters,
+    retries: Counter,
+    breaker_open: Counter,
+    degraded: Counter,
+    backoff: Histogram,
+    timing: bool,
+    breakers: [Cell<Option<(u64, u64)>>; 7],
+}
+
+impl ResilientClient {
+    /// Build against an observability handle with the default policy.
+    pub fn new(obs: &Obs) -> ResilientClient {
+        ResilientClient::with_policy(obs, RetryPolicy::default())
+    }
+
+    /// Build with an explicit retry policy.
+    pub fn with_policy(obs: &Obs, policy: RetryPolicy) -> ResilientClient {
+        ResilientClient {
+            policy,
+            meters: ServiceMeters::new(obs),
+            retries: obs.counter("enrich.retries", &[]),
+            breaker_open: obs.counter("enrich.breaker_open", &[]),
+            degraded: obs.counter("enrich.degraded_records", &[]),
+            backoff: obs.histogram("enrich.backoff_ns", &[]),
+            timing: obs.is_enabled(),
+            breakers: Default::default(),
+        }
+    }
+
+    /// An unobserved client (used by the plain [`enrich`](crate::enrich::enrich)
+    /// helper).
+    pub fn disabled() -> ResilientClient {
+        ResilientClient::new(&Obs::noop())
+    }
+
+    /// The retry policy in force.
+    pub fn policy(&self) -> &RetryPolicy {
+        &self.policy
+    }
+
+    /// Run one service call through breaker + retry loop.
+    pub fn call<T>(
+        &self,
+        svc: ServiceKind,
+        tick: u64,
+        mut f: impl FnMut(CallCtx) -> Result<T, ServiceError>,
+    ) -> Result<T, ServiceError> {
+        if let Some((from, until)) = self.breakers[svc as usize].get() {
+            if tick >= from && tick < until {
+                self.breaker_open.inc();
+                return Err(ServiceError::Outage {
+                    from_tick: from,
+                    until_tick: until,
+                });
+            }
+        }
+        let meter = self.meters.meter(svc);
+        let mut ctx = CallCtx::first(tick);
+        loop {
+            meter.calls.inc();
+            let start = self.timing.then(Instant::now);
+            let result = f(ctx);
+            let measured_ns = start.map_or(0, |s| s.elapsed().as_nanos() as u64);
+            match result {
+                Ok(v) => {
+                    if start.is_some() {
+                        meter.latency.record(measured_ns);
+                    }
+                    return Ok(v);
+                }
+                Err(e) => {
+                    self.meters
+                        .record_failure(svc, &e, measured_ns, &self.policy);
+                    if let ServiceError::Outage {
+                        from_tick,
+                        until_tick,
+                    } = e
+                    {
+                        self.breakers[svc as usize].set(Some((from_tick, until_tick)));
+                        return Err(e);
+                    }
+                    if !e.is_retryable() || ctx.attempt + 1 >= self.policy.max_attempts {
+                        return Err(e);
+                    }
+                    self.retries.inc();
+                    if self.timing {
+                        self.backoff
+                            .record(self.policy.backoff_ns(ctx.attempt, tick));
+                    }
+                    ctx = ctx.retry();
+                }
+            }
+        }
+    }
+
+    /// Count one record that finished enrichment only partially.
+    pub(crate) fn mark_degraded(&self) {
+        self.degraded.inc();
+    }
+}

@@ -1,0 +1,29 @@
+//! Certificate-transparency log queries (§3.3.3, Table 7).
+
+use super::record::MissingField;
+use super::registry::{Draft, EnrichCtx, Enricher};
+use smishing_fault::ServiceKind;
+use smishing_webinfra::CtApi;
+
+/// Fetches the CT-log certificates issued for the registrable domain
+/// (free-hosted sites included — the cert history of the builder subdomain
+/// is still telling).
+pub struct CtEnricher;
+
+impl Enricher for CtEnricher {
+    fn name(&self) -> &'static str {
+        "ct"
+    }
+
+    fn apply(&self, draft: &mut Draft, cx: &EnrichCtx<'_>) {
+        let Some(domain) = draft.url.as_ref().and_then(|u| u.domain.clone()) else {
+            return;
+        };
+        match cx.call(ServiceKind::CtLog, |ctx| {
+            cx.world.services.ctlog.ct_lookup(ctx, &domain)
+        }) {
+            Ok(certs) => draft.url.as_mut().expect("url present").certs = certs,
+            Err(_) => draft.missing.push(MissingField::Certs),
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! HLR lookups for parsed senders (§3.3.1).
+
+use super::record::MissingField;
+use super::registry::{Draft, EnrichCtx, Enricher};
+use smishing_fault::ServiceKind;
+use smishing_telecom::HlrApi;
+
+/// Looks the parsed sender up in the (simulated) HLR gateway.
+pub struct HlrEnricher;
+
+impl Enricher for HlrEnricher {
+    fn name(&self) -> &'static str {
+        "hlr"
+    }
+
+    fn apply(&self, draft: &mut Draft, cx: &EnrichCtx<'_>) {
+        let Some(sender) = draft.sender.clone() else {
+            return;
+        };
+        match cx.call(ServiceKind::Hlr, |ctx| {
+            cx.world.services.hlr.hlr_lookup(ctx, &sender)
+        }) {
+            Ok(r) => draft.hlr = r,
+            Err(_) => draft.missing.push(MissingField::Hlr),
+        }
+    }
+}

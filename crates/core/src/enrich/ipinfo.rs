@@ -1,0 +1,48 @@
+//! Per-IP AS attribution for passive-DNS resolutions (§3.3.3, Table 8).
+
+use super::record::MissingField;
+use super::registry::{Draft, EnrichCtx, Enricher};
+use smishing_fault::ServiceKind;
+use smishing_webinfra::{IpInfo, IpInfoApi};
+
+/// Annotates each resolution with IP metadata. A failed lookup leaves
+/// that resolution's info slot `None` and marks the record once.
+pub struct IpInfoEnricher;
+
+impl Enricher for IpInfoEnricher {
+    fn name(&self) -> &'static str {
+        "ipinfo"
+    }
+
+    fn apply(&self, draft: &mut Draft, cx: &EnrichCtx<'_>) {
+        let Some(u) = draft.url.as_ref() else {
+            return;
+        };
+        if u.resolutions.is_empty() {
+            return;
+        }
+        let ips: Vec<_> = u.resolutions.iter().map(|(r, _)| r.ip).collect();
+        let mut failed = false;
+        let infos: Vec<Option<IpInfo>> = ips
+            .into_iter()
+            .map(|ip| {
+                match cx.call(ServiceKind::IpInfo, |ctx| {
+                    cx.world.services.asn.ip_lookup(ctx, ip)
+                }) {
+                    Ok(i) => i,
+                    Err(_) => {
+                        failed = true;
+                        None
+                    }
+                }
+            })
+            .collect();
+        let u = draft.url.as_mut().expect("url present");
+        for ((_, slot), info) in u.resolutions.iter_mut().zip(infos) {
+            *slot = info;
+        }
+        if failed {
+            draft.missing.push(MissingField::IpInfo);
+        }
+    }
+}

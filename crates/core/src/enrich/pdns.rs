@@ -1,0 +1,34 @@
+//! Passive-DNS resolution history (§3.3.3, Table 8).
+
+use super::record::MissingField;
+use super::registry::{Draft, EnrichCtx, Enricher};
+use smishing_fault::ServiceKind;
+use smishing_webinfra::PdnsApi;
+
+/// Fetches the domain's resolution history; the IP-info stage annotates
+/// each resolution with AS metadata afterwards.
+pub struct PdnsEnricher;
+
+impl Enricher for PdnsEnricher {
+    fn name(&self) -> &'static str {
+        "pdns"
+    }
+
+    fn apply(&self, draft: &mut Draft, cx: &EnrichCtx<'_>) {
+        let Some(domain) = draft.url.as_ref().and_then(|u| u.domain.clone()) else {
+            return;
+        };
+        match cx.call(ServiceKind::Pdns, |ctx| {
+            cx.world
+                .services
+                .pdns
+                .pdns_lookup(ctx, &domain, cx.world.now)
+        }) {
+            Ok(resolutions) => {
+                draft.url.as_mut().expect("url present").resolutions =
+                    resolutions.into_iter().map(|r| (r, None)).collect()
+            }
+            Err(_) => draft.missing.push(MissingField::Resolutions),
+        }
+    }
+}

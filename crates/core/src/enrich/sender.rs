@@ -1,0 +1,28 @@
+//! Sender classification (§3.3.1): phone / email / alphanumeric.
+
+use super::registry::{Draft, EnrichCtx, Enricher};
+use smishing_telecom::{classify_sender, parse_phone, RawSenderKind};
+use smishing_types::SenderId;
+
+/// Parse a raw sender string into a [`SenderId`].
+pub fn parse_sender(raw: &str) -> Option<SenderId> {
+    match classify_sender(raw) {
+        RawSenderKind::Empty => None,
+        RawSenderKind::EmailLike => Some(SenderId::Email(raw.trim().to_string())),
+        RawSenderKind::AlphanumericLike => Some(SenderId::Alphanumeric(raw.trim().to_string())),
+        RawSenderKind::PhoneLike => Some(parse_phone(raw)),
+    }
+}
+
+/// Classifies the raw sender string; no service calls.
+pub struct SenderEnricher;
+
+impl Enricher for SenderEnricher {
+    fn name(&self) -> &'static str {
+        "sender"
+    }
+
+    fn apply(&self, draft: &mut Draft, _cx: &EnrichCtx<'_>) {
+        draft.sender = draft.curated.sender_raw.as_deref().and_then(parse_sender);
+    }
+}

@@ -1,0 +1,44 @@
+//! URL parsing, shortener/WhatsApp detection, and registrable-domain
+//! extraction (§3.3.3, §3.3.5). Pure — no service calls; later stages
+//! query infrastructure for the domain this stage extracts.
+
+use super::record::UrlIntel;
+use super::registry::{Draft, EnrichCtx, Enricher};
+use smishing_webinfra::{free_hosting_site, parse_url, registrable_domain, ShortenerCatalog};
+
+/// Parses the collected URL and seeds the [`UrlIntel`] skeleton.
+pub struct UrlParseEnricher;
+
+impl Enricher for UrlParseEnricher {
+    fn name(&self) -> &'static str {
+        "url"
+    }
+
+    fn apply(&self, draft: &mut Draft, _cx: &EnrichCtx<'_>) {
+        let Some(raw) = draft.curated.url_raw.as_deref() else {
+            return;
+        };
+        let Some(parsed) = parse_url(raw) else {
+            return;
+        };
+        let catalog = ShortenerCatalog::new();
+        let shortener = catalog.service_of(&parsed);
+        let whatsapp = catalog.is_whatsapp_link(&parsed);
+        let (domain, free_hosted) = if shortener.is_some() || whatsapp {
+            // The destination of a shortened / click-to-chat link is
+            // hidden from the collector (§3.3.5).
+            (None, false)
+        } else if let Some(site) = free_hosting_site(&parsed.host) {
+            (Some(site), true)
+        } else {
+            (registrable_domain(&parsed.host), false)
+        };
+        draft.url = Some(UrlIntel::parsed(
+            parsed,
+            shortener,
+            whatsapp,
+            domain,
+            free_hosted,
+        ));
+    }
+}

@@ -1,0 +1,36 @@
+//! WHOIS registrar lookups (§3.3.3, Table 17).
+
+use super::record::MissingField;
+use super::registry::{Draft, EnrichCtx, Enricher};
+use smishing_fault::ServiceKind;
+use smishing_webinfra::WhoisApi;
+
+/// Resolves the registrar of a direct URL's registrable domain.
+/// Free-hosted sites are skipped: the builder, not the scammer, owns the
+/// registration (§4.3).
+pub struct WhoisEnricher;
+
+impl Enricher for WhoisEnricher {
+    fn name(&self) -> &'static str {
+        "whois"
+    }
+
+    fn apply(&self, draft: &mut Draft, cx: &EnrichCtx<'_>) {
+        let Some(domain) = draft
+            .url
+            .as_ref()
+            .filter(|u| !u.free_hosted)
+            .and_then(|u| u.domain.clone())
+        else {
+            return;
+        };
+        match cx.call(ServiceKind::Whois, |ctx| {
+            cx.world.services.whois.whois_lookup(ctx, &domain)
+        }) {
+            Ok(r) => {
+                draft.url.as_mut().expect("url present").registrar = r.map(|rec| rec.registrar)
+            }
+            Err(_) => draft.missing.push(MissingField::Registrar),
+        }
+    }
+}

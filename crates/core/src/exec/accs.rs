@@ -1,5 +1,5 @@
 //! The per-shard analysis state: every incremental accumulator from
-//! `smishing_core::analysis`, bundled with uniform `add`/`merge` entry
+//! `crate::analysis`, bundled with uniform `add`/`merge` entry
 //! points.
 //!
 //! Each engine worker owns one [`AnalysisAccs`]. Curation workers feed the
@@ -8,26 +8,26 @@
 //! bundles from every worker yields exactly the state a single sequential
 //! pass would have built, so any table renders mid-stream.
 
-use smishing_core::analysis::asn::{asn_use, AsnAcc};
-use smishing_core::analysis::av::{av_detection, AvAcc};
-use smishing_core::analysis::brands::{brands, BrandsAcc};
-use smishing_core::analysis::categories::{categories, CategoriesAcc};
-use smishing_core::analysis::countries::{countries, CountriesAcc};
-use smishing_core::analysis::languages::{languages, LanguagesAcc};
-use smishing_core::analysis::lures::{lures, LuresAcc};
-use smishing_core::analysis::overview::{
+use crate::analysis::asn::{asn_use, AsnAcc};
+use crate::analysis::av::{av_detection, AvAcc};
+use crate::analysis::brands::{brands, BrandsAcc};
+use crate::analysis::categories::{categories, CategoriesAcc};
+use crate::analysis::countries::{countries, CountriesAcc};
+use crate::analysis::languages::{languages, LanguagesAcc};
+use crate::analysis::lures::{lures, LuresAcc};
+use crate::analysis::overview::{
     overview, twitter_by_year, twitter_by_year_table, OverviewAcc, TwitterYearsAcc,
 };
-use smishing_core::analysis::registrars::{registrars, RegistrarsAcc};
-use smishing_core::analysis::sender_info::{sender_info, SenderInfoAcc};
-use smishing_core::analysis::shorteners::{shortener_use, ShortenerAcc};
-use smishing_core::analysis::timestamps::{send_times, SendTimesAcc};
-use smishing_core::analysis::tlds::{tld_use, TldAcc};
-use smishing_core::analysis::tls::{tls_use, TlsAcc};
-use smishing_core::curation::CuratedMessage;
-use smishing_core::enrich::EnrichedRecord;
-use smishing_core::pipeline::PipelineOutput;
-use smishing_core::table::TextTable;
+use crate::analysis::registrars::{registrars, RegistrarsAcc};
+use crate::analysis::sender_info::{sender_info, SenderInfoAcc};
+use crate::analysis::shorteners::{shortener_use, ShortenerAcc};
+use crate::analysis::timestamps::{send_times, SendTimesAcc};
+use crate::analysis::tlds::{tld_use, TldAcc};
+use crate::analysis::tls::{tls_use, TlsAcc};
+use crate::curation::CuratedMessage;
+use crate::enrich::EnrichedRecord;
+use crate::pipeline::PipelineOutput;
+use crate::table::TextTable;
 use smishing_types::Forum;
 use smishing_worldsim::Post;
 

@@ -1,4 +1,5 @@
-//! The sharded streaming ingest engine.
+//! The sharded stage engine — the one execution path behind both the
+//! batch [`Pipeline`](crate::pipeline::Pipeline) and streaming ingest.
 //!
 //! ```text
 //!             bounded              bounded                bounded
@@ -8,18 +9,24 @@
 //!                         └──► shard = fnv(key)%N ┘     the final output)
 //! ```
 //!
-//! * The **feeder** pulls posts from the caller's iterator (typically a
-//!   [`ReportStream`](smishing_worldsim::ReportStream)) in arrival order and
-//!   round-robins them over per-curator bounded channels. A full channel
-//!   blocks the feeder — real backpressure, bounded memory.
+//! * The **feeder** pulls posts from the caller's iterator (the world's
+//!   post list for a batch run, a
+//!   [`ReportStream`](smishing_worldsim::ReportStream) for a live one) in
+//!   arrival order and round-robins them over per-curator bounded
+//!   channels. A full channel blocks the feeder — real backpressure,
+//!   bounded memory.
 //! * **Curators** run the pure per-post curation (`curate_post`), own the
 //!   post-level accumulators (Table 1 volume columns, Table 15), and route
 //!   each curated message to the analyst shard owning its dedup key.
 //! * **Analyst shards** own one [`AnalysisAccs`] each plus the per-key
-//!   dedup winner (minimum post id). When a later-arriving but
-//!   earlier-posted duplicate displaces a winner, the old record is
-//!   retracted (`sub_record`) and the new one folded in — so shard state
-//!   always equals a batch pass over the posts seen so far.
+//!   dedup winner (minimum post id). Enrichment runs through the
+//!   [`EnricherRegistry`](crate::enrich::EnricherRegistry) — the same
+//!   stage list everywhere — behind a per-shard
+//!   [`ResilientClient`](crate::enrich::ResilientClient). When a
+//!   later-arriving but earlier-posted duplicate displaces a winner, the
+//!   old record is retracted (`sub_record`) and the new one folded in —
+//!   so shard state always equals a batch pass over the posts seen so
+//!   far.
 //! * **Snapshots** use aligned markers: the feeder injects a marker after
 //!   post `k`; curators forward it to every shard; a shard freezes its
 //!   state once markers from *all* curators arrived, buffering any
@@ -27,115 +34,57 @@
 //!   therefore equals the batch pipeline over exactly the first `k` posts,
 //!   while ingestion continues behind it.
 //!
-//! Determinism: the final assembly sorts messages and records by post id
-//! and lists forums in `Forum::ALL` order, so the output is a pure
-//! function of the post sequence — independent of shard count, curator
-//! count, channel capacity, and thread scheduling. End-of-stream output is
-//! *identical* to [`Pipeline::run`](smishing_core::Pipeline).
+//! # Ordering invariant
+//!
+//! The merge step ([`assemble`]) owns canonical ordering: curated
+//! messages and enriched records are sorted by post id, and per-forum
+//! collection stats are listed in `Forum::ALL` order. Combined with
+//! set-semantics dedup (minimum post id wins per key), the output is a
+//! pure function of the post *multiset* — independent of arrival order,
+//! shard count, curator count, channel capacity, and thread scheduling.
+//! No frontend may rely on feeding posts in any particular order, and
+//! none needs to sort afterwards. End-of-stream output is *identical* to
+//! the batch [`Pipeline`](crate::pipeline::Pipeline).
 //!
 //! # Observability
 //!
-//! [`ingest_observed`] threads an [`Obs`] handle through every worker:
-//! per-shard ingest counters (`stream.shard.curated{shard="i"}`), bounded
-//! channel depth gauges with high-water marks
-//! (`stream.{curator,shard}.channel_depth`), backpressure wait histograms
-//! (`stream.{feeder,curator}.backpressure_wait_ns`, recorded only when a
+//! Passing an enabled [`Obs`] threads instrumentation through every
+//! worker: per-shard ingest counters (`exec.shard.curated{shard="i"}`),
+//! bounded channel depth gauges with high-water marks
+//! (`exec.{curator,shard}.channel_depth`), backpressure wait histograms
+//! (`exec.{feeder,curator}.backpressure_wait_ns`, recorded only when a
 //! `try_send` finds the channel full), snapshot cost histograms
-//! (`stream.snapshot.cost_ns`) and per-service enrichment meters (each
-//! shard owns a [`ResilientClient`], so retry, breaker, and degradation
+//! (`exec.snapshot.cost_ns`) and per-service enrichment meters (each
+//! shard owns a `ResilientClient`, so retry, breaker, and degradation
 //! counters aggregate across shards through the shared registry, and
-//! `stream.engine.{degraded_records,uncounted_drops}` summarize the run).
-//! Per-shard enrichment histograms are additionally
-//! combined with [`Histogram::merge_from`] into a `shard="all"` series —
-//! exact, like the accumulators' `merge()`. With a no-op handle every
-//! instrumentation point short-circuits and the engine runs the
-//! pre-observability code path.
+//! `exec.engine.{degraded_records,uncounted_drops}` summarize the run).
+//! Per-shard enrichment histograms are additionally combined with
+//! `Histogram::merge_from` into a `shard="all"` series — exact, like the
+//! accumulators' `merge()`. With a no-op handle every instrumentation
+//! point short-circuits and the engine runs the pre-observability code
+//! path.
 //!
 //! # Worker panics
 //!
 //! A panic on any worker thread (feeder, curator, shard) is caught at the
-//! thread boundary, counted in `stream.engine.worker_panics`, and
-//! re-raised on the caller's thread with its original payload once the
-//! remaining workers have drained — never silently swallowed, and never a
-//! deadlock: peers detect the closed channels and shut down cleanly.
+//! thread boundary, counted in `exec.engine.worker_panics`, and re-raised
+//! on the caller's thread with its original payload once the remaining
+//! workers have drained — never silently swallowed, and never a deadlock:
+//! peers detect the closed channels and shut down cleanly.
 
-use crate::accs::AnalysisAccs;
+use super::accs::AnalysisAccs;
+use super::{ExecPlan, SnapshotPlan};
+use crate::collect::CollectionStats;
+use crate::curation::{curate_post, CuratedMessage, CurationOptions};
+use crate::enrich::{EnrichedRecord, EnricherRegistry, ResilientClient};
+use crate::pipeline::PipelineOutput;
 use crossbeam::channel::{self, Receiver, Sender, TrySendError};
-use smishing_core::collect::CollectionStats;
-use smishing_core::curation::{curate_post, CuratedMessage, CurationOptions};
-use smishing_core::enrich::{EnrichedRecord, ResilientClient};
-use smishing_core::pipeline::PipelineOutput;
 use smishing_obs::{obs_warn, Counter, Gauge, Histogram, Obs};
 use smishing_types::Forum;
 use smishing_worldsim::{Post, World};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::Mutex;
-
-/// Engine configuration.
-#[derive(Debug, Clone, Copy)]
-pub struct StreamConfig {
-    /// Analyst shards (each owns a full accumulator bundle).
-    pub shards: usize,
-    /// Curation workers.
-    pub curators: usize,
-    /// Capacity of every channel; a full channel blocks the producer.
-    pub channel_capacity: usize,
-    /// Curation options (extractor, dedup mode, seed). The `workers` field
-    /// is ignored — the engine's curators replace batch curation threads.
-    pub curation: CurationOptions,
-}
-
-impl Default for StreamConfig {
-    fn default() -> Self {
-        StreamConfig {
-            shards: 4,
-            curators: 2,
-            channel_capacity: 256,
-            curation: CurationOptions::default(),
-        }
-    }
-}
-
-/// When the feeder injects snapshot markers.
-#[derive(Debug, Clone, Default)]
-pub struct SnapshotPlan {
-    /// Snapshot every `n` posts.
-    pub every: Option<u64>,
-    /// Snapshot at these exact post counts (positions past the end of a
-    /// finite stream never fire).
-    pub at: Vec<u64>,
-}
-
-impl SnapshotPlan {
-    /// No snapshots.
-    pub fn none() -> Self {
-        Self::default()
-    }
-
-    /// Snapshot at exactly these post counts.
-    pub fn at(points: &[u64]) -> Self {
-        SnapshotPlan {
-            every: None,
-            at: points.to_vec(),
-        }
-    }
-
-    /// Snapshot every `n` posts.
-    pub fn every(n: u64) -> Self {
-        SnapshotPlan {
-            every: Some(n),
-            at: Vec::new(),
-        }
-    }
-
-    fn fires_at(&self, count: u64) -> bool {
-        self.at.contains(&count)
-            || self
-                .every
-                .is_some_and(|n| n > 0 && count > 0 && count.is_multiple_of(n))
-    }
-}
 
 /// A consistent mid-stream view: the merged accumulators and an assembled
 /// [`PipelineOutput`] equal to a batch run over the first
@@ -258,11 +207,13 @@ impl ShardState {
 
     /// Fold one curated message in, maintaining the min-post-id dedup
     /// winner per key with exact retraction.
+    #[allow(clippy::too_many_arguments)]
     fn apply(
         &mut self,
         c: CuratedMessage,
         world: &World,
         opts: &CurationOptions,
+        registry: &EnricherRegistry,
         client: &ResilientClient,
         enrich_ns: &Histogram,
     ) {
@@ -270,12 +221,12 @@ impl ShardState {
         let key = c.dedup_key(opts.dedup);
         match self.winners.get(&key) {
             None => {
-                let rec = enrich_ns.time(|| client.enrich(c.clone(), world));
+                let rec = enrich_ns.time(|| registry.enrich(client, c.clone(), world));
                 self.accs.add_record(&rec);
                 self.winners.insert(key, rec);
             }
             Some(current) if c.post_id < current.curated.post_id => {
-                let rec = enrich_ns.time(|| client.enrich(c.clone(), world));
+                let rec = enrich_ns.time(|| registry.enrich(client, c.clone(), world));
                 self.accs.add_record(&rec);
                 let old = self.winners.insert(key, rec).expect("winner present");
                 self.accs.sub_record(&old);
@@ -303,6 +254,12 @@ struct SnapParts {
 
 /// Deterministically assemble worker parts into a batch-identical
 /// [`PipelineOutput`].
+///
+/// This is the engine's **canonical-ordering step** (see the module
+/// docs): whatever order worker parts arrive in, `curated_total` and
+/// `records` leave sorted by post id and `collection` lists forums in
+/// `Forum::ALL` order. Every frontend inherits its output ordering from
+/// here — it is an engine invariant, not a frontend courtesy sort.
 fn assemble<'w>(
     world: &'w World,
     collections: Vec<HashMap<Forum, CollectionStats>>,
@@ -334,33 +291,20 @@ fn assemble<'w>(
 }
 
 /// Run the engine over a post stream. `on_snapshot` fires on the caller's
-/// thread, in snapshot order, while ingestion continues in the workers.
+/// thread, in snapshot order, while ingestion continues in the workers;
+/// snapshots come from `plan.snapshots`.
 ///
-/// The returned output is byte-identical (table-for-table) to the batch
-/// [`Pipeline`](smishing_core::Pipeline) over the same posts.
+/// The returned output is byte-identical (table-for-table) to a
+/// single-threaded sequential pass over the same posts, at any shard
+/// count. Pass [`Obs::noop`] for an unobserved run — every
+/// instrumentation point short-circuits. A worker-thread panic is counted
+/// under `exec.engine.worker_panics` and re-raised here with its original
+/// payload after the remaining workers drain.
 pub fn ingest<'w, I, F>(
     world: &'w World,
     posts: I,
-    cfg: &StreamConfig,
-    plan: &SnapshotPlan,
-    on_snapshot: F,
-) -> IngestResult<'w>
-where
-    I: Iterator<Item = Post> + Send,
-    F: FnMut(StreamSnapshot<'w>),
-{
-    ingest_observed(world, posts, cfg, plan, &Obs::noop(), on_snapshot)
-}
-
-/// [`ingest`] with full engine instrumentation (see the module docs for
-/// the metric taxonomy). A worker-thread panic is counted under
-/// `stream.engine.worker_panics` and re-raised here with its original
-/// payload after the remaining workers drain.
-pub fn ingest_observed<'w, I, F>(
-    world: &'w World,
-    posts: I,
-    cfg: &StreamConfig,
-    plan: &SnapshotPlan,
+    curation: &CurationOptions,
+    plan: &ExecPlan,
     obs: &Obs,
     mut on_snapshot: F,
 ) -> IngestResult<'w>
@@ -368,15 +312,15 @@ where
     I: Iterator<Item = Post> + Send,
     F: FnMut(StreamSnapshot<'w>),
 {
-    let n_curators = cfg.curators.max(1);
-    let n_shards = cfg.shards.max(1);
-    let cap = cfg.channel_capacity.max(1);
-    let opts = cfg.curation;
+    let n_curators = plan.curators.max(1);
+    let n_shards = plan.shards.max(1);
+    let cap = plan.channel_capacity.max(1);
+    let opts = *curation;
     let observing = obs.is_enabled();
 
     // Worker panic capture: payloads land here, the join path re-raises.
     let panics: Mutex<Vec<Box<dyn std::any::Any + Send>>> = Mutex::new(Vec::new());
-    let panic_counter = obs.counter("stream.engine.worker_panics", &[]);
+    let panic_counter = obs.counter("exec.engine.worker_panics", &[]);
 
     let (curator_txs, curator_rxs): (Vec<Sender<CuratorMsg>>, Vec<Receiver<CuratorMsg>>) =
         (0..n_curators).map(|_| channel::bounded(cap)).unzip();
@@ -386,31 +330,29 @@ where
 
     // Handles resolved once; clones into workers share the same atomics.
     let shard_enrich: Vec<Histogram> = (0..n_shards)
-        .map(|i| obs.histogram("stream.shard.enrich_ns", &[("shard", &i.to_string())]))
+        .map(|i| obs.histogram("exec.shard.enrich_ns", &[("shard", &i.to_string())]))
         .collect();
-    let snap_cost = obs.histogram("stream.snapshot.cost_ns", &[]);
-    let snap_counter = obs.counter("stream.snapshot.count", &[]);
+    let snap_cost = obs.histogram("exec.snapshot.cost_ns", &[]);
+    let snap_counter = obs.counter("exec.snapshot.count", &[]);
+    let snapshots: &SnapshotPlan = &plan.snapshots;
 
     let result = crossbeam::scope(|s| {
         // Feeder: arrival-order fan-out plus marker injection.
         s.spawn({
             let curator_txs = curator_txs;
-            let plan = plan.clone();
+            let snapshots = snapshots.clone();
             let mut posts = posts;
             let obs = obs.clone();
             let panics = &panics;
             let panic_counter = panic_counter.clone();
             move |_| {
                 let body = AssertUnwindSafe(|| {
-                    let posts_counter = obs.counter("stream.feeder.posts", &[]);
-                    let blocked = obs.counter("stream.feeder.blocked_sends", &[]);
-                    let wait = obs.histogram("stream.feeder.backpressure_wait_ns", &[]);
+                    let posts_counter = obs.counter("exec.feeder.posts", &[]);
+                    let blocked = obs.counter("exec.feeder.blocked_sends", &[]);
+                    let wait = obs.histogram("exec.feeder.backpressure_wait_ns", &[]);
                     let depth: Vec<Gauge> = (0..n_curators)
                         .map(|i| {
-                            obs.gauge(
-                                "stream.curator.channel_depth",
-                                &[("curator", &i.to_string())],
-                            )
+                            obs.gauge("exec.curator.channel_depth", &[("curator", &i.to_string())])
                         })
                         .collect();
                     let mut count: u64 = 0;
@@ -426,7 +368,7 @@ where
                         if observing {
                             depth[target].set(curator_txs[target].len() as i64);
                         }
-                        if plan.fires_at(count) {
+                        if snapshots.fires_at(count) {
                             marker_id += 1;
                             for tx in &curator_txs {
                                 let m = CuratorMsg::Marker {
@@ -460,11 +402,11 @@ where
                     let body = AssertUnwindSafe(|| {
                         let label = curator_idx.to_string();
                         let posts_counter =
-                            obs.counter("stream.curator.posts", &[("curator", &label)]);
+                            obs.counter("exec.curator.posts", &[("curator", &label)]);
                         let curated_counter =
-                            obs.counter("stream.curator.curated", &[("curator", &label)]);
-                        let blocked = obs.counter("stream.curator.blocked_sends", &[]);
-                        let wait = obs.histogram("stream.curator.backpressure_wait_ns", &[]);
+                            obs.counter("exec.curator.curated", &[("curator", &label)]);
+                        let blocked = obs.counter("exec.curator.blocked_sends", &[]);
+                        let wait = obs.histogram("exec.curator.backpressure_wait_ns", &[]);
                         let mut accs = AnalysisAccs::new();
                         let mut collection: HashMap<Forum, CollectionStats> = HashMap::new();
                         for msg in rx.iter() {
@@ -536,12 +478,14 @@ where
                     let body = AssertUnwindSafe(|| {
                         let label = shard_idx.to_string();
                         let curated_counter =
-                            obs.counter("stream.shard.curated", &[("shard", &label)]);
-                        let depth = obs.gauge("stream.shard.channel_depth", &[("shard", &label)]);
-                        // Each shard retries independently: the client's
-                        // fault handling is a pure function of (service,
-                        // key, attempt, tick), so per-shard retry loops
-                        // cannot diverge from the batch pass.
+                            obs.counter("exec.shard.curated", &[("shard", &label)]);
+                        let depth = obs.gauge("exec.shard.channel_depth", &[("shard", &label)]);
+                        // Each shard enriches through the same registry
+                        // and retries independently: the client's fault
+                        // handling is a pure function of (service, key,
+                        // attempt, tick), so per-shard retry loops cannot
+                        // diverge from a sequential pass.
+                        let registry = EnricherRegistry::standard();
                         let client = ResilientClient::new(&obs);
                         let mut state = ShardState::new();
                         let mut marker_seen = vec![0u64; n_curators];
@@ -557,7 +501,9 @@ where
                                 ShardMsg::Curated { curator, msg } => {
                                     curated_counter.inc();
                                     if marker_seen[curator] == completed {
-                                        state.apply(msg, world, &opts, &client, &enrich_ns);
+                                        state.apply(
+                                            msg, world, &opts, &registry, &client, &enrich_ns,
+                                        );
                                     } else {
                                         deferred
                                             .entry(marker_seen[curator])
@@ -595,7 +541,9 @@ where
                                         for (_, c) in
                                             deferred.remove(&completed).unwrap_or_default()
                                         {
-                                            state.apply(c, world, &opts, &client, &enrich_ns);
+                                            state.apply(
+                                                c, world, &opts, &registry, &client, &enrich_ns,
+                                            );
                                         }
                                     }
                                 }
@@ -709,7 +657,7 @@ where
     if let Some(payload) = caught.into_iter().next() {
         obs_warn!(
             obs,
-            "stream engine worker panicked; re-raising on the caller thread"
+            "exec engine worker panicked; re-raising on the caller thread"
         );
         resume_unwind(payload);
     }
@@ -717,30 +665,30 @@ where
     if observing {
         // Exact cross-shard combination of the per-shard enrichment
         // histograms, mirroring the accumulators' merge().
-        let all = obs.histogram("stream.shard.enrich_ns", &[("shard", "all")]);
+        let all = obs.histogram("exec.shard.enrich_ns", &[("shard", "all")]);
         for h in &shard_enrich {
             all.merge_from(h);
         }
-        obs.counter("stream.engine.posts_ingested", &[])
+        obs.counter("exec.engine.posts_ingested", &[])
             .add(result.posts_ingested);
-        obs.counter("stream.engine.degraded_records", &[])
+        obs.counter("exec.engine.degraded_records", &[])
             .add(result.accs.degraded_records);
         // Conservation check for the chaos CI job: every curated message a
         // curator routed must have reached a shard. Nonzero means a
         // message vanished between workers.
         let routed: u64 = (0..n_curators)
             .map(|i| {
-                obs.counter("stream.curator.curated", &[("curator", &i.to_string())])
+                obs.counter("exec.curator.curated", &[("curator", &i.to_string())])
                     .get()
             })
             .sum();
         let landed: u64 = (0..n_shards)
             .map(|i| {
-                obs.counter("stream.shard.curated", &[("shard", &i.to_string())])
+                obs.counter("exec.shard.curated", &[("shard", &i.to_string())])
                     .get()
             })
             .sum();
-        obs.counter("stream.engine.uncounted_drops", &[])
+        obs.counter("exec.engine.uncounted_drops", &[])
             .add(routed.saturating_sub(landed));
     }
     result
@@ -759,14 +707,5 @@ mod tests {
                 assert_eq!(s, shard_of(key, shards), "stable");
             }
         }
-    }
-
-    #[test]
-    fn plan_fires() {
-        let p = SnapshotPlan::every(10);
-        assert!(p.fires_at(10) && p.fires_at(20) && !p.fires_at(15) && !p.fires_at(0));
-        let p = SnapshotPlan::at(&[7]);
-        assert!(p.fires_at(7) && !p.fires_at(14));
-        assert!(!SnapshotPlan::none().fires_at(1));
     }
 }

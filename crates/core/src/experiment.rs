@@ -46,13 +46,10 @@ fn timed<T>(obs: &Obs, module: &str, f: impl FnOnce() -> T) -> T {
     f()
 }
 
-/// Run every experiment against a pipeline output.
-pub fn run_all(out: &PipelineOutput<'_>) -> Vec<ExperimentResult> {
-    run_all_observed(out, &Obs::noop())
-}
-
-/// Run every experiment, timing each analysis-module invocation.
-pub fn run_all_observed(out: &PipelineOutput<'_>, obs: &Obs) -> Vec<ExperimentResult> {
+/// Run every experiment against a pipeline output, timing each
+/// analysis-module invocation. Pass [`Obs::noop`] for an unobserved run —
+/// every span short-circuits.
+pub fn run_all(out: &PipelineOutput<'_>, obs: &Obs) -> Vec<ExperimentResult> {
     let _span = obs.span("analysis.run_all.wall_ns");
     let mut results = Vec::new();
 
@@ -488,7 +485,7 @@ mod tests {
 
     #[test]
     fn all_experiments_pass_their_shape_checks() {
-        let results = run_all(testfix::output());
+        let results = run_all(testfix::output(), &Obs::noop());
         assert_eq!(results.len(), 23);
         let mut failures = Vec::new();
         for r in &results {
@@ -507,7 +504,7 @@ mod tests {
 
     #[test]
     fn experiment_ids_are_unique() {
-        let results = run_all(testfix::output());
+        let results = run_all(testfix::output(), &Obs::noop());
         let mut ids: Vec<&str> = results.iter().map(|r| r.id).collect();
         ids.sort_unstable();
         ids.dedup();

@@ -26,11 +26,15 @@ pub mod collect;
 pub mod curation;
 pub mod dataset;
 pub mod enrich;
+pub mod exec;
 pub mod experiment;
 pub mod pipeline;
+pub mod runcfg;
 pub mod table;
 
 pub use curation::{CuratedMessage, CurationOptions, DedupMode, ExtractorChoice};
 pub use enrich::EnrichedRecord;
+pub use exec::{ExecPlan, SnapshotPlan};
 pub use pipeline::{Pipeline, PipelineOutput};
+pub use runcfg::RunConfig;
 pub use table::TextTable;

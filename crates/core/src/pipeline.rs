@@ -1,17 +1,33 @@
 //! Pipeline orchestration: world → collected → curated → enriched.
+//!
+//! `Pipeline` is a thin *batch frontend* over the one execution core in
+//! [`exec`](crate::exec): it feeds the world's posts through the sharded
+//! stage engine with no snapshot plan. Collection, curation, dedup, and
+//! enrichment all happen inside the engine's workers; the engine's merge
+//! step owns canonical output ordering (records and curated messages
+//! sorted by post id — see the ordering invariant in
+//! [`exec::engine`](crate::exec::engine)). Output is byte-identical at
+//! any shard count, so the default plan runs sharded-parallel while tests
+//! that pin schedule-dependent *metrics* use
+//! [`ExecPlan::sequential`](crate::exec::ExecPlan::sequential).
 
-use crate::collect::{collect_all, CollectionStats};
-use crate::curation::{curate_posts, dedup, CuratedMessage, CurationOptions};
-use crate::enrich::{enrich_all_observed, EnrichedRecord};
+use crate::collect::CollectionStats;
+use crate::curation::{CuratedMessage, CurationOptions};
+use crate::enrich::EnrichedRecord;
+use crate::exec::{self, ExecPlan, SnapshotPlan};
 use smishing_obs::Obs;
 use smishing_types::Forum;
 use smishing_worldsim::World;
+use std::collections::HashSet;
 
 /// The full pipeline configuration.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Pipeline {
-    /// Curation options (extractor, dedup mode, parallelism).
+    /// Curation options (extractor, dedup mode).
     pub curation: CurationOptions,
+    /// Worker topology for the execution core. Never changes the output —
+    /// only how much parallelism the run gets.
+    pub exec: ExecPlan,
 }
 
 /// Everything the analyses consume.
@@ -28,67 +44,55 @@ pub struct PipelineOutput<'w> {
 }
 
 impl Pipeline {
-    /// Run the pipeline over a world.
-    pub fn run<'w>(&self, world: &'w World) -> PipelineOutput<'w> {
-        self.run_observed(world, &Obs::noop())
-    }
-
-    /// Run the pipeline with per-stage wall-clock spans and volume counters
-    /// (`pipeline.<stage>.wall_ns`, `pipeline.<stage>.<unit>`). With a
-    /// no-op handle this is exactly [`run`](Self::run): no clock reads, no
-    /// atomics, byte-identical output.
-    pub fn run_observed<'w>(&self, world: &'w World, obs: &Obs) -> PipelineOutput<'w> {
+    /// Run the pipeline over a world through the shared execution core.
+    ///
+    /// Pass [`Obs::noop`] for an unobserved run. With an enabled handle
+    /// the run carries the engine's `exec.*` series plus pipeline volume
+    /// counters (`pipeline.{collect.posts,curate.messages,dedup.unique,
+    /// enrich.{records,degraded,dropped}}`) and the whole-run
+    /// `pipeline.run.wall_ns` span; `pipeline.enrich.dropped` is the
+    /// invariant the chaos CI job pins at zero.
+    pub fn run<'w>(&self, world: &'w World, obs: &Obs) -> PipelineOutput<'w> {
         let _run_span = obs.span("pipeline.run.wall_ns");
-        let collected = {
-            let _s = obs.span("pipeline.collect.wall_ns");
-            collect_all(world)
-        };
-        let mut curated_total = Vec::new();
-        let mut collection = Vec::new();
-        {
-            let _s = obs.span("pipeline.curate.wall_ns");
-            for (forum, posts, stats) in collected {
-                let curated = curate_posts(&posts, &self.curation);
-                curated_total.extend(curated);
-                collection.push((forum, stats));
-            }
-        }
+        // Batch runs never snapshot; everything else about the plan is
+        // honoured as configured.
+        let mut plan = self.exec.clone();
+        plan.snapshots = SnapshotPlan::none();
+        let result = exec::ingest(
+            world,
+            world.posts.iter().cloned(),
+            &self.curation,
+            &plan,
+            obs,
+            |_| {},
+        );
+        let output = result.output;
         if obs.is_enabled() {
-            let posts: usize = collection.iter().map(|(_, s)| s.posts).sum();
+            // Volume counters, derived from the assembled output so they
+            // are exact whatever the worker topology was.
+            let posts: usize = output.collection.iter().map(|(_, s)| s.posts).sum();
             obs.counter("pipeline.collect.posts", &[]).add(posts as u64);
             obs.counter("pipeline.curate.messages", &[])
-                .add(curated_total.len() as u64);
-        }
-        let unique = {
-            let _s = obs.span("pipeline.dedup.wall_ns");
-            curated_total.sort_by_key(|c| c.post_id);
-            dedup(&curated_total, self.curation.dedup)
-        };
-        obs.counter("pipeline.dedup.unique", &[])
-            .add(unique.len() as u64);
-        let unique_in = unique.len();
-        let records = {
-            let _s = obs.span("pipeline.enrich.wall_ns");
-            enrich_all_observed(unique, world, obs)
-        };
-        obs.counter("pipeline.enrich.records", &[])
-            .add(records.len() as u64);
-        if obs.is_enabled() {
+                .add(output.curated_total.len() as u64);
+            let unique: HashSet<String> = output
+                .curated_total
+                .iter()
+                .map(|c| c.dedup_key(self.curation.dedup))
+                .collect();
+            obs.counter("pipeline.dedup.unique", &[])
+                .add(unique.len() as u64);
+            obs.counter("pipeline.enrich.records", &[])
+                .add(output.records.len() as u64);
             // Degradation accounting: service faults may leave records
             // partially enriched, but never drop them — `dropped` is the
             // invariant the chaos CI job pins at zero.
-            let degraded = records.iter().filter(|r| r.is_degraded()).count();
+            let degraded = output.records.iter().filter(|r| r.is_degraded()).count();
             obs.counter("pipeline.enrich.degraded", &[])
                 .add(degraded as u64);
             obs.counter("pipeline.enrich.dropped", &[])
-                .add((unique_in - records.len()) as u64);
+                .add((unique.len().saturating_sub(output.records.len())) as u64);
         }
-        PipelineOutput {
-            world,
-            collection,
-            curated_total,
-            records,
-        }
+        output
     }
 }
 
@@ -114,7 +118,7 @@ mod tests {
     #[test]
     fn end_to_end_counts_are_consistent() {
         let world = World::generate(WorldConfig::test_scale(81));
-        let out = Pipeline::default().run(&world);
+        let out = Pipeline::default().run(&world, &Obs::noop());
         assert!(!out.records.is_empty());
         assert!(out.records.len() <= out.curated_total.len());
         let posts_total: usize = out.collection.iter().map(|(_, s)| s.posts).sum();
@@ -129,13 +133,35 @@ mod tests {
     #[test]
     fn deterministic_output() {
         let world = World::generate(WorldConfig::test_scale(82));
-        let a = Pipeline::default().run(&world);
-        let b = Pipeline::default().run(&world);
+        let a = Pipeline::default().run(&world, &Obs::noop());
+        let b = Pipeline::default().run(&world, &Obs::noop());
         assert_eq!(a.records.len(), b.records.len());
         assert_eq!(a.curated_total.len(), b.curated_total.len());
         for (x, y) in a.records.iter().zip(b.records.iter()) {
             assert_eq!(x.curated.post_id, y.curated.post_id);
             assert_eq!(x.annotation.scam_type, y.annotation.scam_type);
+        }
+    }
+
+    #[test]
+    fn shard_count_never_changes_the_output() {
+        let world = World::generate(WorldConfig::test_scale(83));
+        let base = Pipeline {
+            curation: CurationOptions::default(),
+            exec: ExecPlan::sequential(),
+        }
+        .run(&world, &Obs::noop());
+        for shards in [2, 8] {
+            let out = Pipeline {
+                curation: CurationOptions::default(),
+                exec: ExecPlan::sharded(shards),
+            }
+            .run(&world, &Obs::noop());
+            assert_eq!(base.curated_total.len(), out.curated_total.len());
+            assert_eq!(base.records.len(), out.records.len());
+            for (x, y) in base.records.iter().zip(out.records.iter()) {
+                assert_eq!(x.curated.post_id, y.curated.post_id);
+            }
         }
     }
 }

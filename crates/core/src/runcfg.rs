@@ -1,0 +1,244 @@
+//! One run configuration for every frontend.
+//!
+//! `smish`, `repro`, and integration harnesses all build the same
+//! [`RunConfig`]: world parameters (scale/seed), curation options, an
+//! [`ExecPlan`] for the execution core, a deterministic
+//! [`FaultPlan`](smishing_fault::FaultPlan), and the observability sinks.
+//! The shared [`RunConfig::parse_flag`] gives every binary the same
+//! flag vocabulary — a flag documented for one tool means the same thing
+//! everywhere — and the helpers ([`world`](RunConfig::world),
+//! [`obs`](RunConfig::obs), [`pipeline`](RunConfig::pipeline),
+//! [`emit_metrics`](RunConfig::emit_metrics)) keep per-command plumbing
+//! out of `main`.
+
+use crate::curation::CurationOptions;
+use crate::exec::ExecPlan;
+use crate::pipeline::Pipeline;
+use smishing_fault::FaultPlan;
+use smishing_obs::{obs_info, Level, Obs};
+use smishing_worldsim::{World, WorldConfig};
+use std::io::Write;
+
+/// Where a run's observability output goes.
+#[derive(Debug, Clone)]
+pub struct ObsSinks {
+    /// Write the JSON run report (schema `smishing-obs/v1`) here.
+    pub metrics_json: Option<String>,
+    /// Print a Prometheus-style text exposition to stdout on completion.
+    pub metrics_text: bool,
+    /// Logger level (stderr).
+    pub level: Level,
+}
+
+impl Default for ObsSinks {
+    fn default() -> Self {
+        ObsSinks {
+            metrics_json: None,
+            metrics_text: false,
+            level: Level::Info,
+        }
+    }
+}
+
+/// Everything a run needs: what world, how to curate, how to execute,
+/// which faults to inject, and where observability goes.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// World scale factor (1.0 = the paper's dataset size).
+    pub scale: f64,
+    /// World seed.
+    pub seed: u64,
+    /// Curation options (extractor, dedup mode).
+    pub curation: CurationOptions,
+    /// Worker topology for the execution core.
+    pub exec: ExecPlan,
+    /// Deterministic service-fault plan (default: none).
+    pub faults: FaultPlan,
+    /// Observability sinks.
+    pub sinks: ObsSinks,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            scale: 0.1,
+            seed: 0xF15F,
+            curation: CurationOptions::default(),
+            exec: ExecPlan::default(),
+            faults: FaultPlan::none(),
+            sinks: ObsSinks::default(),
+        }
+    }
+}
+
+/// Parse a seed: decimal, or hex with an `0x` prefix.
+pub fn parse_seed(s: &str) -> Result<u64, String> {
+    if let Some(hex) = s.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16).map_err(|e| e.to_string())
+    } else {
+        s.parse()
+            .map_err(|e: std::num::ParseIntError| e.to_string())
+    }
+}
+
+impl RunConfig {
+    /// The flag vocabulary [`parse_flag`](Self::parse_flag) accepts, for
+    /// usage strings.
+    pub const FLAGS_USAGE: &'static str = "[--scale S] [--seed N] [--shards N] [--curators N] \
+         [--channel-capacity N] [--fault-profile none|mild|harsh[:SEED]] \
+         [--metrics-json PATH] [--metrics-text] [--log-level LEVEL] [--quiet]";
+
+    /// Try to consume one shared flag. Returns `Ok(true)` if `flag` was
+    /// recognized (its value, when needed, pulled via `next`), `Ok(false)`
+    /// if the caller should handle it, and `Err` on a malformed value so
+    /// every binary reports bad input the same way.
+    pub fn parse_flag(
+        &mut self,
+        flag: &str,
+        next: &mut dyn FnMut() -> Option<String>,
+    ) -> Result<bool, String> {
+        let mut take = |name: &str| -> Result<String, String> {
+            next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag {
+            "--scale" => self.scale = take("--scale")?.parse().map_err(|e| format!("{e}"))?,
+            "--seed" => self.seed = parse_seed(&take("--seed")?)?,
+            "--shards" => {
+                self.exec.shards = take("--shards")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--curators" => {
+                self.exec.curators = take("--curators")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--channel-capacity" => {
+                self.exec.channel_capacity = take("--channel-capacity")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?
+            }
+            "--fault-profile" => self.faults = take("--fault-profile")?.parse()?,
+            "--metrics-json" => self.sinks.metrics_json = Some(take("--metrics-json")?),
+            "--metrics-text" => self.sinks.metrics_text = true,
+            "--log-level" => self.sinks.level = take("--log-level")?.parse()?,
+            "--quiet" => self.sinks.level = Level::Error,
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+
+    /// Build the observability handle for this run.
+    pub fn obs(&self) -> Obs {
+        Obs::with_level(self.sinks.level)
+    }
+
+    /// Generate the world and install the fault plan (after generation, so
+    /// only the query-side services misbehave — the world itself is
+    /// unaffected).
+    pub fn world(&self, obs: &Obs) -> World {
+        let mut world = World::generate(WorldConfig {
+            scale: self.scale,
+            seed: self.seed,
+            ..WorldConfig::default()
+        });
+        if !self.faults.is_none() {
+            world.set_fault_plan(&self.faults);
+            obs_info!(
+                obs,
+                "fault plan installed (seed {:#x}) — degraded records will be \
+                 reported, never dropped",
+                self.faults.seed
+            );
+        }
+        world
+    }
+
+    /// The batch pipeline this configuration describes.
+    pub fn pipeline(&self) -> Pipeline {
+        Pipeline {
+            curation: self.curation,
+            exec: self.exec.clone(),
+        }
+    }
+
+    /// Emit the configured run reports once the command finished.
+    pub fn emit_metrics(&self, obs: &Obs) -> Result<(), String> {
+        if let Some(path) = &self.sinks.metrics_json {
+            let json = obs.json_report();
+            std::fs::File::create(path)
+                .and_then(|mut f| f.write_all(json.as_bytes()))
+                .map_err(|e| format!("failed to write metrics report to {path}: {e}"))?;
+            obs_info!(obs, "wrote metrics report to {path}");
+        }
+        if self.sinks.metrics_text {
+            print!("{}", obs.text_exposition());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(cfg: &mut RunConfig, argv: &[&str]) -> Result<(), String> {
+        let mut it = argv.iter().map(|s| s.to_string());
+        while let Some(flag) = it.next() {
+            let handled = cfg.parse_flag(&flag, &mut || it.next())?;
+            assert!(handled, "unhandled flag {flag}");
+        }
+        Ok(())
+    }
+
+    #[test]
+    fn shared_flags_cover_world_exec_faults_and_sinks() {
+        let mut cfg = RunConfig::default();
+        parse(
+            &mut cfg,
+            &[
+                "--scale",
+                "0.02",
+                "--seed",
+                "0xBEEF",
+                "--shards",
+                "8",
+                "--curators",
+                "3",
+                "--channel-capacity",
+                "64",
+                "--fault-profile",
+                "mild:7",
+                "--metrics-json",
+                "out.json",
+                "--quiet",
+            ],
+        )
+        .unwrap();
+        assert_eq!(cfg.scale, 0.02);
+        assert_eq!(cfg.seed, 0xBEEF);
+        assert_eq!(cfg.exec.shards, 8);
+        assert_eq!(cfg.exec.curators, 3);
+        assert_eq!(cfg.exec.channel_capacity, 64);
+        assert!(!cfg.faults.is_none());
+        assert_eq!(cfg.sinks.metrics_json.as_deref(), Some("out.json"));
+        assert_eq!(cfg.sinks.level, Level::Error);
+    }
+
+    #[test]
+    fn unknown_flags_are_left_to_the_caller() {
+        let mut cfg = RunConfig::default();
+        let handled = cfg.parse_flag("--out", &mut || None).unwrap();
+        assert!(!handled);
+    }
+
+    #[test]
+    fn malformed_values_error_instead_of_defaulting() {
+        let mut cfg = RunConfig::default();
+        assert!(parse(&mut cfg, &["--shards", "many"]).is_err());
+        assert!(parse(&mut cfg, &["--seed"]).is_err());
+    }
+
+    #[test]
+    fn seeds_parse_decimal_and_hex() {
+        assert_eq!(parse_seed("10").unwrap(), 10);
+        assert_eq!(parse_seed("0xF15F").unwrap(), 0xF15F);
+        assert!(parse_seed("0xZZ").is_err());
+    }
+}

@@ -1,16 +1,19 @@
 //! Streaming ingest for the smishing measurement pipeline.
 //!
-//! The batch [`Pipeline`](smishing_core::Pipeline) sees the whole report
-//! corpus at once. This crate processes the same reports as a live feed:
+//! The execution machinery itself lives in the core crate
+//! ([`smishing_core::exec`]) — one sharded stage engine behind both the
+//! batch [`Pipeline`](smishing_core::Pipeline) and this crate. Here live
+//! the streaming-only pieces, plus re-exports so streaming callers have a
+//! single front door:
 //!
 //! * [`ReportStream`](smishing_worldsim::ReportStream) (in `worldsim`)
 //!   replays a world's posts in arrival order, or soaks forever;
-//! * [`ingest`] runs the sharded engine — bounded channels with
-//!   backpressure, curation workers, analyst shards owning mergeable
-//!   per-analysis accumulators ([`AnalysisAccs`]);
-//! * [`SnapshotPlan`] injects aligned markers so a consistent
-//!   [`StreamSnapshot`] — every table included — renders mid-stream
-//!   without pausing ingestion;
+//! * [`ingest`] runs the engine — bounded channels with backpressure,
+//!   curation workers, analyst shards owning mergeable per-analysis
+//!   accumulators ([`AnalysisAccs`]);
+//! * [`SnapshotPlan`] (via [`ExecPlan::with_snapshots`]) injects aligned
+//!   markers so a consistent [`StreamSnapshot`] — every table included —
+//!   renders mid-stream without pausing ingestion;
 //! * [`Checkpoint`] persists a snapshot through the serde dataset layer
 //!   and [`resume`] verifies and continues an interrupted run.
 //!
@@ -20,12 +23,9 @@
 
 #![warn(missing_docs)]
 
-pub mod accs;
-pub mod engine;
 pub mod snapshot;
 
-pub use accs::AnalysisAccs;
-pub use engine::{
-    ingest, ingest_observed, IngestResult, SnapshotPlan, StreamConfig, StreamSnapshot,
+pub use smishing_core::exec::{
+    ingest, AnalysisAccs, ExecPlan, IngestResult, SnapshotPlan, StreamSnapshot,
 };
 pub use snapshot::{resume, Checkpoint};

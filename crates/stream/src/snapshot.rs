@@ -8,9 +8,11 @@
 //! the rebuilt dataset matches the checkpoint row-for-row, and carries on
 //! with the remainder of the stream.
 
-use crate::engine::{ingest, IngestResult, SnapshotPlan, StreamConfig, StreamSnapshot};
 use serde::{Deserialize, Serialize};
 use smishing_core::dataset::{build_dataset, DatasetRow};
+use smishing_core::exec::{ingest, ExecPlan, IngestResult, StreamSnapshot};
+use smishing_core::CurationOptions;
+use smishing_obs::Obs;
 use smishing_worldsim::{Post, World};
 
 /// A serializable stream checkpoint.
@@ -31,11 +33,11 @@ pub struct Checkpoint {
 
 impl Checkpoint {
     /// Freeze a snapshot.
-    pub fn capture(snap: &StreamSnapshot<'_>, cfg: &StreamConfig) -> Self {
+    pub fn capture(snap: &StreamSnapshot<'_>, plan: &ExecPlan) -> Self {
         Checkpoint {
             world_seed: snap.output.world.config.seed,
             world_scale: snap.output.world.config.scale,
-            shards: cfg.shards,
+            shards: plan.shards,
             posts_consumed: snap.at_posts,
             dataset: build_dataset(&snap.output.records),
         }
@@ -69,8 +71,8 @@ pub fn resume<'w, I, F>(
     world: &'w World,
     posts: I,
     checkpoint: &Checkpoint,
-    cfg: &StreamConfig,
-    plan: &SnapshotPlan,
+    curation: &CurationOptions,
+    plan: &ExecPlan,
     mut on_snapshot: F,
 ) -> Result<IngestResult<'w>, String>
 where
@@ -84,11 +86,15 @@ where
         ));
     }
     let mut replay_plan = plan.clone();
-    if !replay_plan.at.contains(&checkpoint.posts_consumed) {
-        replay_plan.at.push(checkpoint.posts_consumed);
+    if !replay_plan
+        .snapshots
+        .at
+        .contains(&checkpoint.posts_consumed)
+    {
+        replay_plan.snapshots.at.push(checkpoint.posts_consumed);
     }
     let expected = &checkpoint.dataset;
-    let result = ingest(world, posts, cfg, &replay_plan, |snap| {
+    let result = ingest(world, posts, curation, &replay_plan, &Obs::noop(), |snap| {
         if snap.at_posts == checkpoint.posts_consumed {
             let rebuilt = build_dataset(&snap.output.records);
             assert_eq!(

@@ -2,7 +2,9 @@
 
 use smishing_core::experiment;
 use smishing_core::pipeline::{Pipeline, PipelineOutput};
-use smishing_stream::{ingest, resume, Checkpoint, SnapshotPlan, StreamConfig};
+use smishing_core::CurationOptions;
+use smishing_obs::Obs;
+use smishing_stream::{ingest, resume, Checkpoint, ExecPlan, SnapshotPlan};
 use smishing_worldsim::{ReportStream, World, WorldConfig};
 
 fn world() -> World {
@@ -10,6 +12,14 @@ fn world() -> World {
         scale: 0.02,
         ..WorldConfig::default()
     })
+}
+
+fn plan(curators: usize, shards: usize) -> ExecPlan {
+    ExecPlan {
+        curators,
+        shards,
+        ..ExecPlan::default()
+    }
 }
 
 /// Structural equality of two pipeline outputs, field by field.
@@ -36,7 +46,7 @@ fn assert_outputs_equal(a: &PipelineOutput<'_>, b: &PipelineOutput<'_>, label: &
 
 /// Render every experiment table to one string for byte comparison.
 fn all_tables(out: &PipelineOutput<'_>) -> String {
-    experiment::run_all(out)
+    experiment::run_all(out, &Obs::noop())
         .iter()
         .map(|r| format!("== {}\n{}\n", r.id, r.table))
         .collect()
@@ -45,19 +55,15 @@ fn all_tables(out: &PipelineOutput<'_>) -> String {
 #[test]
 fn streaming_equals_batch_across_shard_counts() {
     let w = world();
-    let batch = Pipeline::default().run(&w);
+    let batch = Pipeline::default().run(&w, &Obs::noop());
     let batch_tables = all_tables(&batch);
     for shards in [1, 4] {
-        let cfg = StreamConfig {
-            shards,
-            curators: 2,
-            ..Default::default()
-        };
         let result = ingest(
             &w,
             ReportStream::replay(&w),
-            &cfg,
-            &SnapshotPlan::none(),
+            &CurationOptions::default(),
+            &plan(2, shards),
+            &Obs::noop(),
             |_| {},
         );
         assert_eq!(result.posts_ingested, w.posts.len() as u64);
@@ -73,17 +79,13 @@ fn streaming_equals_batch_across_shard_counts() {
 fn mid_stream_snapshot_equals_batch_over_prefix() {
     let w = world();
     let half = (w.posts.len() / 2) as u64;
-    let cfg = StreamConfig {
-        shards: 3,
-        curators: 2,
-        ..Default::default()
-    };
     let mut snaps = Vec::new();
     let result = ingest(
         &w,
         ReportStream::replay(&w),
-        &cfg,
-        &SnapshotPlan::at(&[half]),
+        &CurationOptions::default(),
+        &plan(2, 3).with_snapshots(SnapshotPlan::at(&[half])),
+        &Obs::noop(),
         |s| {
             snaps.push(s);
         },
@@ -99,7 +101,7 @@ fn mid_stream_snapshot_equals_batch_over_prefix() {
     // collector would have seen at that instant.
     let mut prefix_world = world();
     prefix_world.posts.truncate(half as usize);
-    let prefix_batch = Pipeline::default().run(&prefix_world);
+    let prefix_batch = Pipeline::default().run(&prefix_world, &Obs::noop());
     assert_outputs_equal(&snap.output, &prefix_batch, "snapshot vs batch prefix");
     snap.accs.assert_matches_batch(&prefix_batch);
     // Every table renders mid-stream.
@@ -115,17 +117,13 @@ fn periodic_snapshots_fire_in_order() {
     let w = world();
     let n = w.posts.len() as u64;
     let step = n / 4;
-    let cfg = StreamConfig {
-        shards: 2,
-        curators: 3,
-        ..Default::default()
-    };
     let mut seen = Vec::new();
     let result = ingest(
         &w,
         ReportStream::replay(&w),
-        &cfg,
-        &SnapshotPlan::every(step),
+        &CurationOptions::default(),
+        &plan(3, 2).with_snapshots(SnapshotPlan::every(step)),
+        &Obs::noop(),
         |s| {
             seen.push(s.at_posts);
         },
@@ -142,21 +140,18 @@ fn periodic_snapshots_fire_in_order() {
 fn checkpoint_roundtrip_and_resume() {
     let w = world();
     let half = (w.posts.len() / 2) as u64;
-    let cfg = StreamConfig {
-        shards: 2,
-        curators: 2,
-        ..Default::default()
-    };
+    let exec = plan(2, 2);
 
     // First run: capture a checkpoint at 50%.
     let mut cp = None;
     ingest(
         &w,
         ReportStream::replay(&w),
-        &cfg,
-        &SnapshotPlan::at(&[half]),
+        &CurationOptions::default(),
+        &exec.clone().with_snapshots(SnapshotPlan::at(&[half])),
+        &Obs::noop(),
         |s| {
-            cp = Some(Checkpoint::capture(&s, &cfg));
+            cp = Some(Checkpoint::capture(&s, &exec));
         },
     );
     let cp = cp.expect("snapshot fired");
@@ -174,12 +169,12 @@ fn checkpoint_roundtrip_and_resume() {
         &w,
         ReportStream::replay(&w),
         &cp2,
-        &cfg,
-        &SnapshotPlan::none(),
+        &CurationOptions::default(),
+        &exec,
         |_| {},
     )
     .expect("same world");
-    let batch = Pipeline::default().run(&w);
+    let batch = Pipeline::default().run(&w, &Obs::noop());
     assert_outputs_equal(&resumed.output, &batch, "resumed vs batch");
 
     // A checkpoint from another world is rejected.
@@ -192,8 +187,8 @@ fn checkpoint_roundtrip_and_resume() {
         &other,
         ReportStream::replay(&other),
         &cp2,
-        &cfg,
-        &SnapshotPlan::none(),
+        &CurationOptions::default(),
+        &exec,
         |_| {}
     )
     .is_err());
@@ -205,22 +200,18 @@ fn soak_feed_with_snapshot_keeps_running() {
     let lap = w.posts.len() as u64;
     // One and a half laps of the infinite feed, snapshot at one lap.
     let budget = lap + lap / 2;
-    let cfg = StreamConfig {
-        shards: 2,
-        curators: 2,
-        ..Default::default()
-    };
     let mut snap_posts = Vec::new();
     let result = ingest(
         &w,
         ReportStream::soak(&w).take(budget as usize),
-        &cfg,
-        &SnapshotPlan::at(&[lap]),
+        &CurationOptions::default(),
+        &plan(2, 2).with_snapshots(SnapshotPlan::at(&[lap])),
+        &Obs::noop(),
         |s| snap_posts.push(s.at_posts),
     );
     assert_eq!(result.posts_ingested, budget);
     assert_eq!(snap_posts, vec![lap]);
     // After exactly one lap the soak feed has replayed the world once.
-    let batch = Pipeline::default().run(&w);
+    let batch = Pipeline::default().run(&w, &Obs::noop());
     assert!(result.output.curated_total.len() > batch.curated_total.len());
 }

@@ -28,7 +28,7 @@ fn world() -> &'static World {
 fn groups() -> &'static Vec<Vec<CuratedMessage>> {
     static G: OnceLock<Vec<Vec<CuratedMessage>>> = OnceLock::new();
     G.get_or_init(|| {
-        let out = Pipeline::default().run(world());
+        let out = Pipeline::default().run(world(), &smishing_obs::Obs::noop());
         let mode = CurationOptions::default().dedup;
         let mut by_key: HashMap<String, Vec<CuratedMessage>> = HashMap::new();
         for c in &out.curated_total {

@@ -2,8 +2,9 @@
 //! report carries the per-shard series, and worker panics surface.
 
 use smishing_core::pipeline::Pipeline;
+use smishing_core::CurationOptions;
 use smishing_obs::Obs;
-use smishing_stream::{ingest_observed, SnapshotPlan, StreamConfig};
+use smishing_stream::{ingest, ExecPlan, SnapshotPlan};
 use smishing_worldsim::{Post, ReportStream, World, WorldConfig};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
@@ -17,19 +18,20 @@ fn world() -> World {
 #[test]
 fn observed_ingest_matches_batch_and_reports_per_shard_metrics() {
     let w = world();
-    let batch = Pipeline::default().run(&w);
+    let batch = Pipeline::default().run(&w, &Obs::noop());
     let obs = Obs::enabled();
-    let cfg = StreamConfig {
-        shards: 4,
+    let plan = ExecPlan {
         curators: 2,
-        ..Default::default()
-    };
+        shards: 4,
+        ..ExecPlan::default()
+    }
+    .with_snapshots(SnapshotPlan::every(500));
     let mut snaps = 0usize;
-    let result = ingest_observed(
+    let result = ingest(
         &w,
         ReportStream::replay(&w),
-        &cfg,
-        &SnapshotPlan::every(500),
+        &CurationOptions::default(),
+        &plan,
         &obs,
         |_| snaps += 1,
     );
@@ -43,38 +45,38 @@ fn observed_ingest_matches_batch_and_reports_per_shard_metrics() {
 
     // Engine-level series.
     assert_eq!(
-        obs.counter("stream.engine.posts_ingested", &[]).get(),
+        obs.counter("exec.engine.posts_ingested", &[]).get(),
         result.posts_ingested
     );
     assert_eq!(
-        obs.counter("stream.feeder.posts", &[]).get(),
+        obs.counter("exec.feeder.posts", &[]).get(),
         result.posts_ingested
     );
     assert_eq!(
-        obs.counter("stream.snapshot.count", &[]).get(),
+        obs.counter("exec.snapshot.count", &[]).get(),
         result.snapshots_taken as u64
     );
     assert_eq!(snaps, result.snapshots_taken);
     assert!(result.snapshots_taken > 0, "plan fired");
     assert_eq!(
-        obs.histogram("stream.snapshot.cost_ns", &[]).count(),
+        obs.histogram("exec.snapshot.cost_ns", &[]).count(),
         result.snapshots_taken as u64
     );
-    assert_eq!(obs.counter("stream.engine.worker_panics", &[]).get(), 0);
+    assert_eq!(obs.counter("exec.engine.worker_panics", &[]).get(), 0);
 
     // Per-shard counters sum to the curated total, and the merged
     // `shard="all"` enrichment histogram is the exact bucket sum.
     let per_shard_curated: u64 = (0..4)
         .map(|i| {
-            obs.counter("stream.shard.curated", &[("shard", &i.to_string())])
+            obs.counter("exec.shard.curated", &[("shard", &i.to_string())])
                 .get()
         })
         .sum();
     assert_eq!(per_shard_curated, result.output.curated_total.len() as u64);
-    let merged = obs.histogram("stream.shard.enrich_ns", &[("shard", "all")]);
+    let merged = obs.histogram("exec.shard.enrich_ns", &[("shard", "all")]);
     let per_shard_enrich: u64 = (0..4)
         .map(|i| {
-            obs.histogram("stream.shard.enrich_ns", &[("shard", &i.to_string())])
+            obs.histogram("exec.shard.enrich_ns", &[("shard", &i.to_string())])
                 .count()
         })
         .sum();
@@ -85,16 +87,16 @@ fn observed_ingest_matches_batch_and_reports_per_shard_metrics() {
     assert!(obs.counter("enrich.hlr.calls", &[]).get() > 0);
     assert!(obs.histogram("enrich.whois.latency_ns", &[]).count() > 0);
 
-    // The JSON run report carries the stream series.
+    // The JSON run report carries the engine series.
     let json = obs.json_report();
     // Labeled keys appear JSON-escaped: `name{shard=\"0\"}`.
     for key in [
-        r#"stream.shard.curated{shard=\"0\"}"#,
-        r#"stream.shard.channel_depth{shard=\"0\"}"#,
-        r#"stream.curator.channel_depth{curator=\"0\"}"#,
-        r#"stream.shard.enrich_ns{shard=\"all\"}"#,
-        "stream.snapshot.cost_ns",
-        "stream.engine.posts_ingested",
+        r#"exec.shard.curated{shard=\"0\"}"#,
+        r#"exec.shard.channel_depth{shard=\"0\"}"#,
+        r#"exec.curator.channel_depth{curator=\"0\"}"#,
+        r#"exec.shard.enrich_ns{shard=\"all\"}"#,
+        "exec.snapshot.cost_ns",
+        "exec.engine.posts_ingested",
         "enrich.hlr.calls",
     ] {
         assert!(json.contains(key), "report missing {key}:\n{json}");
@@ -102,27 +104,28 @@ fn observed_ingest_matches_batch_and_reports_per_shard_metrics() {
 }
 
 #[test]
-fn noop_observed_ingest_equals_plain_ingest() {
+fn noop_observed_ingest_equals_enabled_ingest() {
     let w = world();
-    let cfg = StreamConfig::default();
-    let plain = smishing_stream::ingest(
+    let plan = ExecPlan::default();
+    let noop = ingest(
         &w,
         ReportStream::replay(&w),
-        &cfg,
-        &SnapshotPlan::none(),
-        |_| {},
-    );
-    let noop = ingest_observed(
-        &w,
-        ReportStream::replay(&w),
-        &cfg,
-        &SnapshotPlan::none(),
+        &CurationOptions::default(),
+        &plan,
         &Obs::noop(),
         |_| {},
     );
-    assert_eq!(plain.posts_ingested, noop.posts_ingested);
-    assert_eq!(plain.output.collection, noop.output.collection);
-    assert_eq!(plain.output.records.len(), noop.output.records.len());
+    let observed = ingest(
+        &w,
+        ReportStream::replay(&w),
+        &CurationOptions::default(),
+        &plan,
+        &Obs::enabled(),
+        |_| {},
+    );
+    assert_eq!(observed.posts_ingested, noop.posts_ingested);
+    assert_eq!(observed.output.collection, noop.output.collection);
+    assert_eq!(observed.output.records.len(), noop.output.records.len());
 }
 
 /// A post stream that panics mid-flight, exercising the feeder's panic
@@ -156,9 +159,15 @@ fn worker_panic_is_counted_and_propagated() {
         yielded: 0,
     };
     let obs = Obs::enabled();
-    let cfg = StreamConfig::default();
     let caught = catch_unwind(AssertUnwindSafe(|| {
-        ingest_observed(&w, stream, &cfg, &SnapshotPlan::none(), &obs, |_| {})
+        ingest(
+            &w,
+            stream,
+            &CurationOptions::default(),
+            &ExecPlan::default(),
+            &obs,
+            |_| {},
+        )
     }));
     let payload = match caught {
         Ok(_) => panic!("the worker panic must reach the caller"),
@@ -169,5 +178,5 @@ fn worker_panic_is_counted_and_propagated() {
         .copied()
         .unwrap_or("<non-str payload>");
     assert_eq!(msg, "injected post-iterator failure");
-    assert_eq!(obs.counter("stream.engine.worker_panics", &[]).get(), 1);
+    assert_eq!(obs.counter("exec.engine.worker_panics", &[]).get(), 1);
 }

@@ -19,7 +19,7 @@ fn main() {
         scale: 0.08,
         ..WorldConfig::default()
     });
-    let output = Pipeline::default().run(&world);
+    let output = Pipeline::default().run(&world, &Obs::noop());
 
     // Target brand: CLI arg, or the most-impersonated one.
     let brand = std::env::args().nth(1).unwrap_or_else(|| {

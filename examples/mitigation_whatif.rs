@@ -18,7 +18,7 @@ fn main() {
         scale,
         ..WorldConfig::default()
     });
-    let output = Pipeline::default().run(&world);
+    let output = Pipeline::default().run(&world, &Obs::noop());
     let study = mitigation_study(&output);
 
     println!("{}", study.to_table());

@@ -28,7 +28,7 @@ fn main() {
     );
 
     println!("Running the pipeline (collect -> curate -> enrich)...");
-    let output = Pipeline::default().run(&world);
+    let output = Pipeline::default().run(&world, &Obs::noop());
     println!(
         "  {} curated reports, {} unique enriched records\n",
         output.curated_total.len(),

@@ -9,7 +9,7 @@
 
 use smishing::core::experiment::run_all;
 use smishing::prelude::*;
-use smishing::stream::{ingest, Checkpoint, SnapshotPlan, StreamConfig};
+use smishing::stream::{ingest, Checkpoint};
 use smishing::worldsim::ReportStream;
 
 fn main() {
@@ -18,16 +18,16 @@ fn main() {
         ..WorldConfig::default()
     });
     let half = world.posts.len() as u64 / 2;
-    let cfg = StreamConfig {
-        shards: 4,
+    let plan = ExecPlan {
         curators: 2,
-        ..Default::default()
+        shards: 4,
+        ..ExecPlan::default()
     };
     println!(
         "=== Streaming {} posts through {} curators / {} shards, snapshot at {} ===\n",
         world.posts.len(),
-        cfg.curators,
-        cfg.shards,
+        plan.curators,
+        plan.shards,
         half
     );
 
@@ -35,8 +35,9 @@ fn main() {
     let result = ingest(
         &world,
         ReportStream::replay(&world),
-        &cfg,
-        &SnapshotPlan::at(&[half]),
+        &CurationOptions::default(),
+        &plan.clone().with_snapshots(SnapshotPlan::at(&[half])),
+        &Obs::noop(),
         |snap| {
             // The feed is still flowing while this runs: the snapshot is a
             // consistent cut assembled from per-worker state, not a pause.
@@ -51,7 +52,7 @@ fn main() {
                     println!("mid-stream scam-category mix (Table 10):\n{table}");
                 }
             }
-            checkpoint = Some(Checkpoint::capture(&snap, &cfg));
+            checkpoint = Some(Checkpoint::capture(&snap, &plan));
         },
     );
 
@@ -74,9 +75,9 @@ fn main() {
 
     // Determinism contract: the merged end-of-stream state equals the
     // batch pipeline exactly, table for table.
-    let batch = Pipeline::default().run(&world);
-    let batch_tables = run_all(&batch);
-    let stream_tables = run_all(&result.output);
+    let batch = Pipeline::default().run(&world, &Obs::noop());
+    let batch_tables = run_all(&batch, &Obs::noop());
+    let stream_tables = run_all(&result.output, &Obs::noop());
     assert_eq!(batch_tables.len(), stream_tables.len());
     for (b, s) in batch_tables.iter().zip(&stream_tables) {
         assert_eq!(

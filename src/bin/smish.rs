@@ -11,8 +11,12 @@
 //! smish watch    --scale 0.1 --posts 50000              # infinite-feed soak
 //! ```
 //!
-//! Every command accepts the observability flags:
+//! Every command accepts the shared [`RunConfig`] flags (the same
+//! vocabulary `repro` uses):
 //!
+//! * `--shards N` / `--curators N` / `--channel-capacity N` — worker
+//!   topology of the execution core. Never changes the output, only the
+//!   parallelism: batch and stream both run the same sharded engine.
 //! * `--metrics-json PATH` — write the run report (schema
 //!   `smishing-obs/v1`) to `PATH` on completion.
 //! * `--metrics-text` — print a Prometheus-style text exposition to
@@ -20,9 +24,6 @@
 //! * `--log-level LEVEL` — `error|warn|info|debug|trace` (default
 //!   `info`); progress goes to stderr through the leveled logger.
 //! * `--quiet` — shorthand for `--log-level error`.
-//!
-//! And the chaos flag:
-//!
 //! * `--fault-profile none|mild|harsh[:SEED]` — install a deterministic
 //!   fault plan on the world's services before the pipeline queries them
 //!   (default `none`: byte-identical to a fault-free run). A bare integer
@@ -35,28 +36,22 @@ use smishing::core::analysis::latency::report_latency;
 use smishing::core::analysis::linking::linking_ablation;
 use smishing::core::analysis::mitigation::mitigation_study;
 use smishing::core::dataset;
-use smishing::core::experiment::run_all_observed;
+use smishing::core::experiment::run_all;
+use smishing::core::runcfg::RunConfig;
 use smishing::detect::{binary_study, multiclass_study_grouped};
-use smishing::fault::FaultPlan;
-use smishing::obs::{obs_error, obs_info, Level, Obs};
+use smishing::obs::{obs_error, obs_info};
 use smishing::prelude::*;
-use smishing::stream::{ingest_observed, SnapshotPlan, StreamConfig};
+use smishing::stream::{ingest, SnapshotPlan};
 use smishing::worldsim::ReportStream;
 use std::io::Write;
 
 struct Args {
     command: String,
-    scale: f64,
-    seed: u64,
+    cfg: RunConfig,
     out: Option<String>,
     experiment: Option<String>,
-    shards: usize,
     snapshot_every: Option<u64>,
     posts: Option<u64>,
-    metrics_json: Option<String>,
-    metrics_text: bool,
-    log_level: Level,
-    fault_plan: FaultPlan,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -64,28 +59,22 @@ fn parse_args() -> Result<Args, String> {
     let command = argv.next().ok_or_else(usage)?;
     let mut args = Args {
         command,
-        scale: 0.1,
-        seed: 0xF15F,
+        cfg: RunConfig::default(),
         out: None,
         experiment: None,
-        shards: 4,
         snapshot_every: None,
         posts: None,
-        metrics_json: None,
-        metrics_text: false,
-        log_level: Level::Info,
-        fault_plan: FaultPlan::none(),
     };
     while let Some(flag) = argv.next() {
+        if args.cfg.parse_flag(&flag, &mut || argv.next())? {
+            continue;
+        }
         let mut take = |name: &str| -> Result<String, String> {
             argv.next().ok_or_else(|| format!("{name} needs a value"))
         };
         match flag.as_str() {
-            "--scale" => args.scale = take("--scale")?.parse().map_err(|e| format!("{e}"))?,
-            "--seed" => args.seed = parse_seed(&take("--seed")?)?,
             "--out" => args.out = Some(take("--out")?),
             "--experiment" => args.experiment = Some(take("--experiment")?),
-            "--shards" => args.shards = take("--shards")?.parse().map_err(|e| format!("{e}"))?,
             "--snapshot-every" => {
                 args.snapshot_every = Some(
                     take("--snapshot-every")?
@@ -94,50 +83,19 @@ fn parse_args() -> Result<Args, String> {
                 )
             }
             "--posts" => args.posts = Some(take("--posts")?.parse().map_err(|e| format!("{e}"))?),
-            "--fault-profile" => args.fault_plan = take("--fault-profile")?.parse()?,
-            "--metrics-json" => args.metrics_json = Some(take("--metrics-json")?),
-            "--metrics-text" => args.metrics_text = true,
-            "--log-level" => args.log_level = take("--log-level")?.parse()?,
-            "--quiet" => args.log_level = Level::Error,
             other => return Err(format!("unknown flag {other}\n{}", usage())),
         }
     }
     Ok(args)
 }
 
-fn parse_seed(s: &str) -> Result<u64, String> {
-    if let Some(hex) = s.strip_prefix("0x") {
-        u64::from_str_radix(hex, 16).map_err(|e| e.to_string())
-    } else {
-        s.parse()
-            .map_err(|e: std::num::ParseIntError| e.to_string())
-    }
-}
-
 fn usage() -> String {
-    "usage: smish <generate|run|analyze|detect|link|mitigate|stream|watch> \
-     [--scale S] [--seed N] [--out DIR] [--experiment ID] \
-     [--shards N] [--snapshot-every POSTS] [--posts N] \
-     [--fault-profile none|mild|harsh[:SEED]] \
-     [--metrics-json PATH] [--metrics-text] [--log-level LEVEL] [--quiet]"
-        .to_string()
-}
-
-/// Emit the requested run reports once the command finished.
-fn emit_metrics(obs: &Obs, args: &Args) {
-    if let Some(path) = &args.metrics_json {
-        let json = obs.json_report();
-        match std::fs::File::create(path).and_then(|mut f| f.write_all(json.as_bytes())) {
-            Ok(()) => obs_info!(obs, "wrote metrics report to {path}"),
-            Err(e) => {
-                obs_error!(obs, "failed to write metrics report to {path}: {e}");
-                std::process::exit(1);
-            }
-        }
-    }
-    if args.metrics_text {
-        print!("{}", obs.text_exposition());
-    }
+    format!(
+        "usage: smish <generate|run|analyze|detect|link|mitigate|stream|watch> \
+         [--out DIR] [--experiment ID] [--snapshot-every POSTS] [--posts N] \
+         {}",
+        RunConfig::FLAGS_USAGE
+    )
 }
 
 fn main() {
@@ -148,37 +106,21 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let obs = Obs::with_level(args.log_level);
-    let mut world = World::generate(WorldConfig {
-        scale: args.scale,
-        seed: args.seed,
-        ..WorldConfig::default()
-    });
-    if !args.fault_plan.is_none() {
-        // Installed after generation, so the world itself is unaffected:
-        // only the query-side services misbehave.
-        world.set_fault_plan(&args.fault_plan);
-        obs_info!(
-            obs,
-            "fault plan installed (seed {:#x}) — degraded records will be \
-             reported, never dropped",
-            args.fault_plan.seed
-        );
-    }
-    let world = world;
+    let obs = args.cfg.obs();
+    let world = args.cfg.world(&obs);
     obs_info!(
         obs,
         "world: {} campaigns / {} messages / {} posts (scale {}, seed {:#x})",
         world.campaigns.len(),
         world.messages.len(),
         world.posts.len(),
-        args.scale,
-        args.seed
+        args.cfg.scale,
+        args.cfg.seed
     );
     // The streaming commands never materialize the batch pipeline; the
-    // batch commands run it once here.
+    // batch commands run it once here — through the same engine.
     let run_pipeline = || {
-        let output = Pipeline::default().run_observed(&world, &obs);
+        let output = args.cfg.pipeline().run(&world, &obs);
         obs_info!(obs, "pipeline: {} unique records", output.records.len());
         output
     };
@@ -205,7 +147,7 @@ fn main() {
         }
         "run" | "analyze" => {
             let output = run_pipeline();
-            let results = run_all_observed(&output, &obs);
+            let results = run_all(&output, &obs);
             let mut shown = 0;
             for r in &results {
                 if let Some(want) = &args.experiment {
@@ -230,7 +172,7 @@ fn main() {
             let texts: Vec<String> = world.messages.iter().map(|m| m.text.clone()).collect();
             let binary = obs
                 .histogram("detect.binary.wall_ns", &[])
-                .time(|| binary_study(&texts, args.seed))
+                .time(|| binary_study(&texts, args.cfg.seed))
                 .expect("corpus");
             println!(
                 "binary smish-vs-ham:        accuracy {:.1}%  macro-F1 {:.3}  (n={})",
@@ -245,7 +187,7 @@ fn main() {
                 .collect();
             let grouped = obs
                 .histogram("detect.multiclass.wall_ns", &[])
-                .time(|| multiclass_study_grouped(&labeled, args.seed))
+                .time(|| multiclass_study_grouped(&labeled, args.cfg.seed))
                 .expect("corpus");
             println!(
                 "typology (campaign-held-out): accuracy {:.1}%  macro-F1 {:.3}  (n={})",
@@ -269,18 +211,15 @@ fn main() {
             // Chronological replay through the sharded engine; snapshots
             // report progress without pausing ingestion, and the final
             // merged state renders the same tables as `run`.
-            let cfg = StreamConfig {
-                shards: args.shards,
-                ..Default::default()
-            };
-            let plan = match args.snapshot_every {
+            let snapshots = match args.snapshot_every {
                 Some(n) => SnapshotPlan::every(n),
                 None => SnapshotPlan::every((world.posts.len() as u64 / 4).max(1)),
             };
-            let result = ingest_observed(
+            let plan = args.cfg.exec.clone().with_snapshots(snapshots);
+            let result = ingest(
                 &world,
                 ReportStream::replay(&world),
-                &cfg,
+                &args.cfg.curation,
                 &plan,
                 &obs,
                 |s| {
@@ -297,7 +236,7 @@ fn main() {
                 obs,
                 "stream: {} posts through {} shards, {} snapshots",
                 result.posts_ingested,
-                cfg.shards,
+                plan.shards,
                 result.snapshots_taken
             );
             let mut shown = 0;
@@ -322,15 +261,16 @@ fn main() {
             let lap = world.posts.len() as u64;
             let budget = args.posts.unwrap_or(2 * lap);
             let every = args.snapshot_every.unwrap_or((lap / 2).max(1));
-            let cfg = StreamConfig {
-                shards: args.shards,
-                ..Default::default()
-            };
-            let result = ingest_observed(
+            let plan = args
+                .cfg
+                .exec
+                .clone()
+                .with_snapshots(SnapshotPlan::every(every));
+            let result = ingest(
                 &world,
                 ReportStream::soak(&world).take(budget as usize),
-                &cfg,
-                &SnapshotPlan::every(every),
+                &args.cfg.curation,
+                &plan,
                 &obs,
                 |s| {
                     obs_info!(
@@ -362,5 +302,8 @@ fn main() {
             std::process::exit(2);
         }
     }
-    emit_metrics(&obs, &args);
+    if let Err(e) = args.cfg.emit_metrics(&obs) {
+        obs_error!(obs, "{e}");
+        std::process::exit(1);
+    }
 }

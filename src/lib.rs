@@ -29,7 +29,7 @@
 //!
 //! // Generate a small deterministic world and run the full pipeline.
 //! let world = World::generate(WorldConfig { scale: 0.02, ..WorldConfig::default() });
-//! let output = Pipeline::default().run(&world);
+//! let output = Pipeline::default().run(&world, &Obs::noop());
 //! assert!(!output.records.is_empty());
 //!
 //! // Regenerate a paper table.
@@ -57,8 +57,10 @@ pub use smishing_worldsim as worldsim;
 
 /// The most common imports in one place.
 pub mod prelude {
+    pub use smishing_core::exec::{ExecPlan, SnapshotPlan};
     pub use smishing_core::experiment::{run_all, ExperimentResult};
     pub use smishing_core::pipeline::{Pipeline, PipelineOutput};
+    pub use smishing_core::runcfg::RunConfig;
     pub use smishing_core::{CurationOptions, DedupMode, ExtractorChoice, TextTable};
     pub use smishing_obs::{Level, Obs};
     pub use smishing_types::{

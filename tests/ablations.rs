@@ -117,7 +117,7 @@ fn parallel_curation_is_equivalent_to_serial() {
 #[test]
 fn burst_filter_ablation_shifts_tuesday() {
     let w = world();
-    let out = Pipeline::default().run(&w);
+    let out = Pipeline::default().run(&w, &Obs::noop());
     let with = smishing::core::analysis::timestamps::send_times(&out, true);
     let without = smishing::core::analysis::timestamps::send_times(&out, false);
     assert!(with.burst_removed.is_some());
@@ -137,7 +137,7 @@ fn hlr_original_vs_current_operator_diverge() {
     // corrupts the current one. The ablation: the two disagree for a
     // meaningful minority.
     let w = world();
-    let out = Pipeline::default().run(&w);
+    let out = Pipeline::default().run(&w, &Obs::noop());
     let mut same = 0;
     let mut diff = 0;
     for r in &out.records {

@@ -16,13 +16,23 @@
 //! curated counts are fault-independent, unique ≤ total per forum, and
 //! the sharded streaming engine agrees with the batch pipeline
 //! table-for-table.
+//!
+//! The replay tests run the pipeline on [`ExecPlan::sequential`] and
+//! compare only the schedule-independent counter families (`enrich.*`,
+//! `pipeline.*`). *Output* is deterministic under every plan, but with
+//! multiple shards the interleaving of duplicate keys decides which
+//! displaced dedup losers get enriched before retraction, so raw service
+//! call totals — and timing series like `blocked_sends` or channel-depth
+//! gauges — legitimately vary run to run. On one curator and one shard
+//! every message is applied in arrival order, making the retry/breaker/
+//! degradation counters exact replay invariants.
 
 use proptest::prelude::*;
 use smishing::core::experiment::run_all;
 use smishing::fault::{FaultPlan, FaultProfile, ServiceKind, TickWindow};
 use smishing::obs::Obs;
 use smishing::prelude::*;
-use smishing::stream::{ingest, SnapshotPlan, StreamConfig};
+use smishing::stream::ingest;
 use smishing::worldsim::ReportStream;
 use std::collections::BTreeMap;
 use std::sync::OnceLock;
@@ -35,11 +45,20 @@ fn world_at(scale: f64, seed: u64) -> World {
     })
 }
 
-/// Tables plus the deterministic counter series of one observed batch run.
+fn sequential() -> Pipeline {
+    Pipeline {
+        curation: CurationOptions::default(),
+        exec: ExecPlan::sequential(),
+    }
+}
+
+/// Tables plus the deterministic counter series of one observed batch run
+/// (sequential plan; only the `enrich.*` / `pipeline.*` families — see
+/// the module docs).
 fn observed_run(world: &World) -> (Vec<(String, String)>, BTreeMap<String, u64>) {
     let obs = Obs::enabled();
-    let out = Pipeline::default().run_observed(world, &obs);
-    let tables = run_all(&out)
+    let out = sequential().run(world, &obs);
+    let tables = run_all(&out, &Obs::noop())
         .into_iter()
         .map(|r| (r.id.to_string(), r.table.to_string()))
         .collect();
@@ -49,6 +68,7 @@ fn observed_run(world: &World) -> (Vec<(String, String)>, BTreeMap<String, u64>)
         .counters
         .iter()
         .map(|(k, v)| (k.to_string(), *v))
+        .filter(|(k, _)| k.starts_with("enrich.") || k.starts_with("pipeline."))
         .collect();
     (tables, counters)
 }
@@ -85,10 +105,10 @@ fn same_seed_harsh_runs_replay_byte_identically() {
 #[test]
 fn harsh_profile_completes_with_partial_records() {
     let plain = world_at(0.02, 71);
-    let baseline = Pipeline::default().run(&plain);
+    let baseline = Pipeline::default().run(&plain, &Obs::noop());
     let mut world = world_at(0.02, 71);
     world.set_fault_plan(&FaultPlan::harsh(9));
-    let out = Pipeline::default().run(&world);
+    let out = Pipeline::default().run(&world, &Obs::noop());
     assert_eq!(out.curated_total.len(), baseline.curated_total.len());
     assert_eq!(out.records.len(), baseline.records.len());
     assert!(
@@ -156,7 +176,7 @@ fn baseline_counts() -> (usize, usize) {
     static BASELINE: OnceLock<(usize, usize)> = OnceLock::new();
     *BASELINE.get_or_init(|| {
         let world = world_at(0.01, 0xBAD);
-        let out = Pipeline::default().run(&world);
+        let out = Pipeline::default().run(&world, &Obs::noop());
         (out.curated_total.len(), out.records.len())
     })
 }
@@ -172,7 +192,7 @@ proptest! {
         let (curated, unique) = baseline_counts();
         let mut world = world_at(0.01, 0xBAD);
         world.set_fault_plan(&plan);
-        let out = Pipeline::default().run(&world);
+        let out = Pipeline::default().run(&world, &Obs::noop());
         // (a) curation happens before any service call: counts cannot
         // depend on the plan.
         prop_assert_eq!(out.curated_total.len(), curated);
@@ -188,17 +208,18 @@ proptest! {
     fn stream_and_batch_agree_under_any_plan(plan in arb_plan()) {
         let mut world = world_at(0.01, 0xBAD);
         world.set_fault_plan(&plan);
-        let batch = Pipeline::default().run(&world);
-        let cfg = StreamConfig {
-            shards: 3,
+        let batch = Pipeline::default().run(&world, &Obs::noop());
+        let exec = ExecPlan {
             curators: 2,
-            ..StreamConfig::default()
+            shards: 3,
+            ..ExecPlan::default()
         };
         let result = ingest(
             &world,
             ReportStream::replay(&world),
-            &cfg,
-            &SnapshotPlan::none(),
+            &CurationOptions::default(),
+            &exec,
+            &Obs::noop(),
             |_| {},
         );
         // Table-level equality across every accumulator — panics with the

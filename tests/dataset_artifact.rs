@@ -10,7 +10,7 @@ fn run(seed: u64) -> String {
         seed,
         ..WorldConfig::default()
     });
-    let out = Pipeline::default().run(&world);
+    let out = Pipeline::default().run(&world, &Obs::noop());
     let rows = dataset::build_dataset(&out.records);
     dataset::validate_anonymization(&rows).expect("no PII may leak");
     dataset::to_json(&rows).expect("serializable")
@@ -29,7 +29,7 @@ fn json_and_csv_round_trip_consistently() {
         seed: 3,
         ..WorldConfig::default()
     });
-    let out = Pipeline::default().run(&world);
+    let out = Pipeline::default().run(&world, &Obs::noop());
     let rows = dataset::build_dataset(&out.records);
     assert_eq!(rows.len(), out.records.len());
 
@@ -48,7 +48,7 @@ fn released_fields_match_appendix_c() {
         seed: 4,
         ..WorldConfig::default()
     });
-    let out = Pipeline::default().run(&world);
+    let out = Pipeline::default().run(&world, &Obs::noop());
     let rows = dataset::build_dataset(&out.records);
     let (scams, lures) = dataset::schema_labels();
     let mut translated = 0;

@@ -16,7 +16,7 @@ fn output() -> (World, &'static str) {
 #[test]
 fn pipeline_recovers_most_ground_truth_messages() {
     let (world, _) = output();
-    let out = Pipeline::default().run(&world);
+    let out = Pipeline::default().run(&world, &Obs::noop());
     // Every record that cites a ground-truth message must quote it
     // faithfully (modulo the documented redaction of URLs).
     let mut faithful = 0;
@@ -41,7 +41,7 @@ fn pipeline_recovers_most_ground_truth_messages() {
 #[test]
 fn annotation_accuracy_against_ground_truth() {
     let (world, _) = output();
-    let out = Pipeline::default().run(&world);
+    let out = Pipeline::default().run(&world, &Obs::noop());
     let mut scam_hits = 0;
     let mut brand_hits = 0;
     let mut lang_hits = 0;
@@ -75,7 +75,7 @@ fn annotation_accuracy_against_ground_truth() {
 #[test]
 fn hlr_attribution_matches_campaign_ground_truth() {
     let (world, _) = output();
-    let out = Pipeline::default().run(&world);
+    let out = Pipeline::default().run(&world, &Obs::noop());
     // For records whose ground-truth campaign used a mobile pool, the HLR
     // must attribute the original operator correctly.
     use smishing::worldsim::SenderStrategy;
@@ -108,7 +108,7 @@ fn hlr_attribution_matches_campaign_ground_truth() {
 #[test]
 fn url_enrichment_is_internally_consistent() {
     let (world, _) = output();
-    let out = Pipeline::default().run(&world);
+    let out = Pipeline::default().run(&world, &Obs::noop());
     for r in &out.records {
         let Some(u) = &r.url else { continue };
         // Shortened / WhatsApp URLs never expose infrastructure.
@@ -135,7 +135,7 @@ fn umbrella_prelude_compiles_and_runs() {
         seed: 1,
         ..WorldConfig::default()
     });
-    let out = Pipeline::default().run(&world);
-    let results = smishing::prelude::run_all(&out);
+    let out = Pipeline::default().run(&world, &Obs::noop());
+    let results = smishing::prelude::run_all(&out, &Obs::noop());
     assert_eq!(results.len(), 23);
 }

@@ -1,7 +1,7 @@
 //! Observability is passive: an instrumented run renders byte-identical
 //! tables, and the run report carries every expected stage series.
 
-use smishing::core::experiment::{run_all, run_all_observed};
+use smishing::core::experiment::run_all;
 use smishing::obs::Obs;
 use smishing::prelude::*;
 
@@ -23,11 +23,14 @@ fn all_tables(results: &[smishing::core::experiment::ExperimentResult]) -> Strin
 #[test]
 fn instrumented_batch_run_is_byte_identical() {
     let w = world();
-    let plain = all_tables(&run_all(&Pipeline::default().run(&w)));
+    let plain = all_tables(&run_all(
+        &Pipeline::default().run(&w, &Obs::noop()),
+        &Obs::noop(),
+    ));
 
     let obs = Obs::enabled();
-    let out = Pipeline::default().run_observed(&w, &obs);
-    let observed = all_tables(&run_all_observed(&out, &obs));
+    let out = Pipeline::default().run(&w, &obs);
+    let observed = all_tables(&run_all(&out, &obs));
 
     assert_eq!(plain, observed, "instrumentation must not perturb tables");
 }
@@ -36,25 +39,30 @@ fn instrumented_batch_run_is_byte_identical() {
 fn run_report_carries_every_stage_series() {
     let w = world();
     let obs = Obs::enabled();
-    let out = Pipeline::default().run_observed(&w, &obs);
-    let results = run_all_observed(&out, &obs);
+    let out = Pipeline::default().run(&w, &obs);
+    let results = run_all(&out, &obs);
     assert!(!results.is_empty());
 
     let json = obs.json_report();
     assert!(json.contains("\"schema\": \"smishing-obs/v1\""));
-    // Pipeline stage wall time + volume counters.
+    // Whole-run wall time + volume counters (batch runs through the
+    // execution core, so the per-stage loops live in the engine's workers
+    // and report as `exec.*` series instead of per-stage pipeline spans).
     for key in [
         "pipeline.run.wall_ns",
-        "pipeline.collect.wall_ns",
-        "pipeline.curate.wall_ns",
-        "pipeline.dedup.wall_ns",
-        "pipeline.enrich.wall_ns",
         "pipeline.collect.posts",
+        "pipeline.curate.messages",
         "pipeline.dedup.unique",
         "pipeline.enrich.records",
+        "pipeline.enrich.degraded",
+        "pipeline.enrich.dropped",
+        "exec.feeder.posts",
+        "exec.engine.posts_ingested",
     ] {
         assert!(json.contains(key), "report missing {key}");
     }
+    // The engine's per-shard enrichment histogram, merged across shards.
+    assert!(json.contains(r#"exec.shard.enrich_ns{shard=\"all\"}"#));
     // Per-service enrichment call counts + latency quantiles.
     for service in [
         "hlr",
@@ -91,7 +99,7 @@ fn run_report_carries_every_stage_series() {
 fn noop_handle_collects_nothing() {
     let w = world();
     let obs = Obs::noop();
-    let out = Pipeline::default().run_observed(&w, &obs);
+    let out = Pipeline::default().run(&w, &obs);
     assert!(!out.records.is_empty());
     assert!(obs.report().is_none());
     assert!(obs.json_report().contains("\"counters\": {}"));

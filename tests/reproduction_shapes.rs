@@ -13,8 +13,8 @@ fn results() -> &'static Vec<ExperimentResult> {
             seed: 0x5EED_CAFE,
             ..WorldConfig::default()
         })));
-        let out: &'static _ = Box::leak(Box::new(Pipeline::default().run(world)));
-        run_all(out)
+        let out: &'static _ = Box::leak(Box::new(Pipeline::default().run(world, &Obs::noop())));
+        run_all(out, &Obs::noop())
     })
 }
 

@@ -127,7 +127,7 @@ fn pipeline_survives_a_world_with_every_post_duplicated() {
     // double, uniques stay identical.
     let world = small_world();
     let (n_total, n_unique) = {
-        let out1 = Pipeline::default().run(&world);
+        let out1 = Pipeline::default().run(&world, &Obs::noop());
         (out1.curated_total.len(), out1.records.len())
     };
 
@@ -137,7 +137,7 @@ fn pipeline_survives_a_world_with_every_post_duplicated() {
         p.id = smishing::types::PostId(1_000_000 + i as u64);
     }
     doubled.posts.extend(extra);
-    let out2 = Pipeline::default().run(&doubled);
+    let out2 = Pipeline::default().run(&doubled, &Obs::noop());
 
     assert_eq!(out2.curated_total.len(), n_total * 2);
     assert_eq!(out2.records.len(), n_unique, "uniques are idempotent");
@@ -153,7 +153,7 @@ fn sustained_whois_outage_degrades_only_the_registrar_table() {
 
     let baseline: Vec<(String, String)> = {
         let world = small_world();
-        run_all(&Pipeline::default().run(&world))
+        run_all(&Pipeline::default().run(&world, &Obs::noop()), &Obs::noop())
             .into_iter()
             .map(|r| (r.id.to_string(), r.table.to_string()))
             .collect()
@@ -161,10 +161,11 @@ fn sustained_whois_outage_degrades_only_the_registrar_table() {
 
     let mut world = small_world();
     world.set_fault_plan(&FaultPlan::none().with_outage(ServiceKind::Whois, TickWindow::ALWAYS));
-    let outage: Vec<(String, String)> = run_all(&Pipeline::default().run(&world))
-        .into_iter()
-        .map(|r| (r.id.to_string(), r.table.to_string()))
-        .collect();
+    let outage: Vec<(String, String)> =
+        run_all(&Pipeline::default().run(&world, &Obs::noop()), &Obs::noop())
+            .into_iter()
+            .map(|r| (r.id.to_string(), r.table.to_string()))
+            .collect();
 
     assert_eq!(baseline.len(), outage.len());
     let mut saw_t17 = false;

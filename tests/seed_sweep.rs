@@ -16,8 +16,8 @@ fn shape_checks_hold_across_seeds() {
             seed,
             ..WorldConfig::default()
         });
-        let out = Pipeline::default().run(&world);
-        for r in run_all(&out) {
+        let out = Pipeline::default().run(&world, &Obs::noop());
+        for r in run_all(&out, &Obs::noop()) {
             for (desc, ok) in &r.checks {
                 if !ok {
                     failures.push(format!("seed {seed:#x} {}: {desc}", r.id));
