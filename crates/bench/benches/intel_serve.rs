@@ -1,0 +1,250 @@
+//! Closed-loop load generator for the `smishing-intel` serving layer.
+//!
+//! Builds the intelligence store from a batch run, then replays a seeded
+//! stream of mixed queries against [`Triage`] — known-infrastructure
+//! hits (clean *and* defanged spellings), guaranteed misses, and raw-SMS
+//! triage calls that fall through to the model — measuring per-query
+//! latency into `smishing-obs` histograms and reporting throughput plus
+//! p50/p90/p99 per class.
+//!
+//! Every invocation also runs the ground-truth triage evaluation
+//! (precision/recall vs the campaign-held-out model baseline, per seed)
+//! and writes everything into `target/intel-serve-run-report.json`. Set
+//! `SMISHING_BENCH_QUICK=1` to skip the criterion groups and shrink the
+//! closed loop (the CI serve-smoke job does).
+
+use criterion::{criterion_group, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use smishing_core::pipeline::Pipeline;
+use smishing_intel::{evaluate_triage, IntelHub, IntelSnapshot, Triage};
+use smishing_obs::Obs;
+use smishing_worldsim::{World, WorldConfig};
+use std::hint::black_box;
+use std::io::Write;
+use std::time::Instant;
+
+const SEED: u64 = 0x1A7E;
+
+fn bench_world() -> World {
+    World::generate(WorldConfig {
+        scale: 0.02,
+        seed: SEED,
+        ..WorldConfig::default()
+    })
+}
+
+/// The seeded query mix: (hit keys, miss keys, triage texts).
+struct QueryMix {
+    hit_urls: Vec<String>,
+    hit_senders: Vec<String>,
+    miss_urls: Vec<String>,
+    texts: Vec<String>,
+}
+
+fn build_mix(world: &World, snap: &IntelSnapshot, rng: &mut StdRng) -> QueryMix {
+    let mut hit_urls = Vec::new();
+    let mut hit_senders = Vec::new();
+    for e in snap.entries() {
+        if let Some(u) = e.url {
+            let clean = snap.resolve(u).to_string();
+            // Every other hit uses a defanged spelling — same verdict,
+            // full normalization cost.
+            if hit_urls.len() % 2 == 0 {
+                hit_urls.push(clean);
+            } else {
+                hit_urls.push(
+                    clean
+                        .replacen("https://", "hxxps://", 1)
+                        .replacen("http://", "hxxp://", 1)
+                        .replace('.', "[.]"),
+                );
+            }
+        }
+        if let Some(s) = e.sender {
+            hit_senders.push(snap.resolve(s).to_string());
+        }
+    }
+    let miss_urls = (0..4096)
+        .map(|i| {
+            format!(
+                "https://never-reported-{i}-{:x}.example/x",
+                rng.r#gen::<u32>()
+            )
+        })
+        .collect();
+    // Triage bodies: real smishing texts (some resolve via the index,
+    // the rest exercise extraction + model scoring).
+    let texts = world
+        .messages
+        .iter()
+        .step_by(3)
+        .map(|m| m.text.clone())
+        .collect();
+    QueryMix {
+        hit_urls,
+        hit_senders,
+        miss_urls,
+        texts,
+    }
+}
+
+/// Drive `n` queries through the triage head: ~40% URL hits, ~10% sender
+/// hits, ~40% misses, ~10% full triage. Returns (hits, misses, triaged).
+fn closed_loop(
+    triage: &mut Triage,
+    mix: &QueryMix,
+    n: u64,
+    obs: &Obs,
+    rng: &mut StdRng,
+) -> (u64, u64, u64) {
+    let lookup_ns = obs.histogram("intel.serve.lookup_ns", &[]);
+    let triage_ns = obs.histogram("intel.serve.triage_ns", &[]);
+    let (mut hits, mut misses, mut triaged) = (0u64, 0u64, 0u64);
+    for _ in 0..n {
+        let roll: u32 = rng.gen_range(0..100);
+        if roll < 40 {
+            let q = &mix.hit_urls[rng.gen_range(0..mix.hit_urls.len())];
+            let t = Instant::now();
+            let v = triage.query_url(q);
+            lookup_ns.record(t.elapsed().as_nanos() as u64);
+            debug_assert!(v.attribution().is_some(), "seeded hit missed: {q}");
+            hits += u64::from(v.attribution().is_some());
+        } else if roll < 50 {
+            let q = &mix.hit_senders[rng.gen_range(0..mix.hit_senders.len())];
+            let t = Instant::now();
+            let v = triage.query_sender(q);
+            lookup_ns.record(t.elapsed().as_nanos() as u64);
+            hits += u64::from(v.attribution().is_some());
+        } else if roll < 90 {
+            let q = &mix.miss_urls[rng.gen_range(0..mix.miss_urls.len())];
+            let t = Instant::now();
+            let v = triage.query_url(q);
+            lookup_ns.record(t.elapsed().as_nanos() as u64);
+            misses += u64::from(v.attribution().is_none());
+        } else {
+            let q = &mix.texts[rng.gen_range(0..mix.texts.len())];
+            let t = Instant::now();
+            let v = triage.triage(None, q);
+            triage_ns.record(t.elapsed().as_nanos() as u64);
+            triaged += 1;
+            black_box(v.score());
+        }
+    }
+    (hits, misses, triaged)
+}
+
+fn bench_intel_serve(c: &mut Criterion) {
+    let world = bench_world();
+    let out = Pipeline::default().run(&world, &Obs::noop());
+    let hub = IntelHub::new();
+    hub.publish(IntelSnapshot::build(&out));
+    let snap = hub.latest().expect("published");
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let mix = build_mix(&world, &snap, &mut rng);
+    let mut triage = Triage::new(hub.reader());
+    triage.snapshot(); // train the model outside the timed region
+
+    let mut g = c.benchmark_group("intel_serve");
+    g.bench_function("lookup_hit", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % mix.hit_urls.len();
+            black_box(triage.query_url(&mix.hit_urls[i]))
+        })
+    });
+    g.bench_function("lookup_miss_cached", |b| {
+        b.iter(|| black_box(triage.query_url(&mix.miss_urls[0])))
+    });
+    g.bench_function("triage_model", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % mix.texts.len();
+            black_box(triage.triage(None, &mix.texts[i]))
+        })
+    });
+    g.finish();
+}
+
+/// The closed-loop run + ground-truth scorecard, written as one artifact.
+fn serve_report(quick: bool) {
+    let world = bench_world();
+    let obs = Obs::enabled();
+    let out = Pipeline::default().run(&world, &Obs::noop());
+    let hub = IntelHub::new();
+    hub.publish(IntelSnapshot::build(&out));
+    let snap = hub.latest().expect("published");
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let mix = build_mix(&world, &snap, &mut rng);
+    let mut triage = Triage::new(hub.reader());
+    triage.snapshot(); // train before the loop
+
+    let n: u64 = if quick { 50_000 } else { 2_000_000 };
+    let t = Instant::now();
+    let (hits, misses, triaged) = closed_loop(&mut triage, &mix, n, &obs, &mut rng);
+    let wall = t.elapsed();
+    let qps = n as f64 / wall.as_secs_f64();
+    obs.counter("intel.serve.queries", &[]).add(n);
+    obs.counter("intel.serve.hits", &[]).add(hits);
+    obs.counter("intel.serve.misses", &[]).add(misses);
+    obs.counter("intel.serve.triaged", &[]).add(triaged);
+    obs.gauge("intel.serve.qps", &[]).set(qps as i64);
+
+    let lookup = obs.histogram("intel.serve.lookup_ns", &[]);
+    eprintln!(
+        "closed loop: {n} queries in {:.2}s — {qps:.0} q/s ({hits} hits / {misses} misses / {triaged} triaged)",
+        wall.as_secs_f64()
+    );
+    eprintln!(
+        "lookup latency: p50 {:.1}us  p90 {:.1}us  p99 {:.1}us",
+        lookup.quantile(0.50) / 1e3,
+        lookup.quantile(0.90) / 1e3,
+        lookup.quantile(0.99) / 1e3,
+    );
+
+    // Ground-truth scorecard per seed: full stack vs the campaign-held-out
+    // baseline, exported as permille gauges so the run report carries it.
+    if let Some(e) = evaluate_triage(&world, &out, SEED) {
+        let permille = |v: f64| (v * 1000.0).round() as i64;
+        obs.gauge("intel.eval.triage_precision_permille", &[])
+            .set(permille(e.triage_precision));
+        obs.gauge("intel.eval.triage_recall_permille", &[])
+            .set(permille(e.triage_recall));
+        obs.gauge("intel.eval.baseline_precision_permille", &[])
+            .set(permille(e.baseline_precision));
+        obs.gauge("intel.eval.baseline_recall_permille", &[])
+            .set(permille(e.baseline_recall));
+        obs.gauge("intel.eval.attribution_accuracy_permille", &[])
+            .set(permille(e.attribution_accuracy));
+        eprintln!(
+            "scorecard: triage P {:.3} R {:.3} | baseline P {:.3} R {:.3} | attribution {:.3}",
+            e.triage_precision,
+            e.triage_recall,
+            e.baseline_precision,
+            e.baseline_recall,
+            e.attribution_accuracy
+        );
+    }
+
+    let target = std::env::var("CARGO_TARGET_DIR")
+        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../target").to_string());
+    let path = format!("{target}/intel-serve-run-report.json");
+    match std::fs::File::create(&path).and_then(|mut f| f.write_all(obs.json_report().as_bytes())) {
+        Ok(()) => eprintln!("wrote serve run report to {path}"),
+        Err(e) => eprintln!("could not write serve run report to {path}: {e}"),
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_intel_serve
+}
+
+fn main() {
+    let quick = std::env::var_os("SMISHING_BENCH_QUICK").is_some();
+    if !quick {
+        benches();
+    }
+    serve_report(quick);
+}

@@ -142,7 +142,10 @@ pub fn linking_ablation(
 }
 
 /// Mask volatile spans so template siblings share a skeleton.
-fn skeleton_of(text: &str) -> String {
+///
+/// Public so downstream consumers (the `smishing-intel` snapshot builder)
+/// cluster on exactly the pivots this ablation measures.
+pub fn skeleton_of(text: &str) -> String {
     let mut out = String::with_capacity(text.len());
     for tok in text.split_whitespace() {
         if smishing_textnlp::tokenize::looks_like_url(tok) {
@@ -160,7 +163,11 @@ fn skeleton_of(text: &str) -> String {
 /// Pivot keys for one record: `(key, strong)` — strong pivots (domains)
 /// are exempt from the anti-hub rule, weak ones (senders, skeletons) are
 /// capped.
-fn pivot_keys(r: &crate::enrich::EnrichedRecord, pivots: LinkingPivots) -> Vec<(String, bool)> {
+///
+/// This is the export hook the intelligence layer builds its campaign
+/// clusters on: one pivot vocabulary, shared between the §5.1 ablation
+/// here and the serving-side `IntelSnapshot` linker.
+pub fn pivot_keys(r: &crate::enrich::EnrichedRecord, pivots: LinkingPivots) -> Vec<(String, bool)> {
     let mut keys = Vec::new();
     if pivots.domain {
         if let Some(u) = &r.url {

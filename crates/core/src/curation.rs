@@ -10,7 +10,9 @@ use smishing_screenshot::{Extractor, LlmExtractor, NaiveOcr, Screenshot, VisionO
 use smishing_textnlp::identify_language;
 use smishing_textnlp::normalize::normalize_text;
 use smishing_textnlp::translate::{TemplateTranslator, Translator};
-use smishing_types::{parse_timestamp, Date, Forum, Language, MessageId, ParsedStamp, PostId};
+use smishing_types::{
+    parse_timestamp, Date, Forum, Language, MessageId, ParsedStamp, PostId, UnixTime,
+};
 use smishing_webinfra::refang;
 use smishing_worldsim::{Post, PostBody};
 
@@ -66,6 +68,9 @@ pub struct CuratedMessage {
     pub post_id: PostId,
     /// The forum.
     pub forum: Forum,
+    /// When the report was posted (the forum's arrival clock — the
+    /// first/last-seen evidence an intelligence index carries per entry).
+    pub posted_at: UnixTime,
     /// Extracted message text (original language).
     pub text: String,
     /// English rendering (§3.2 translates non-English texts).
@@ -147,6 +152,7 @@ pub fn curate_post(post: &Post, opts: &CurationOptions) -> Option<CuratedMessage
     Some(CuratedMessage {
         post_id: post.id,
         forum: post.forum,
+        posted_at: post.posted_at,
         text,
         english,
         language,

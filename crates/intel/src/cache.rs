@@ -1,0 +1,200 @@
+//! A bounded LRU set for negative lookups.
+//!
+//! Serving traffic is dominated by misses (most incoming SMS are not in
+//! the store), and every miss costs up to five index probes plus key
+//! normalization. The triage layer remembers recent misses here and
+//! short-circuits repeats; the set is cleared whenever a republish makes
+//! old negatives stale.
+//!
+//! Classic intrusive-list LRU over a slab — O(1) touch, insert, and
+//! evict, no allocation after the slab fills.
+
+use std::collections::HashMap;
+
+const NIL: usize = usize::MAX;
+
+#[derive(Debug)]
+struct Node {
+    key: String,
+    prev: usize,
+    next: usize,
+}
+
+/// A bounded set of strings with least-recently-used eviction.
+#[derive(Debug)]
+pub struct LruSet {
+    map: HashMap<String, usize>,
+    nodes: Vec<Node>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+    capacity: usize,
+}
+
+impl LruSet {
+    /// An empty set holding at most `capacity` keys (capacity 0 disables
+    /// caching entirely — every probe misses).
+    pub fn new(capacity: usize) -> LruSet {
+        LruSet {
+            map: HashMap::with_capacity(capacity.min(1 << 20)),
+            nodes: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            capacity,
+        }
+    }
+
+    /// Number of cached keys.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Drop every key (republish invalidation).
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.nodes.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+
+    fn unlink(&mut self, i: usize) {
+        let (prev, next) = (self.nodes[i].prev, self.nodes[i].next);
+        if prev == NIL {
+            self.head = next;
+        } else {
+            self.nodes[prev].next = next;
+        }
+        if next == NIL {
+            self.tail = prev;
+        } else {
+            self.nodes[next].prev = prev;
+        }
+    }
+
+    fn link_front(&mut self, i: usize) {
+        self.nodes[i].prev = NIL;
+        self.nodes[i].next = self.head;
+        if self.head != NIL {
+            self.nodes[self.head].prev = i;
+        }
+        self.head = i;
+        if self.tail == NIL {
+            self.tail = i;
+        }
+    }
+
+    /// Whether `key` is cached; a hit refreshes its recency.
+    pub fn contains(&mut self, key: &str) -> bool {
+        let Some(&i) = self.map.get(key) else {
+            return false;
+        };
+        if self.head != i {
+            self.unlink(i);
+            self.link_front(i);
+        }
+        true
+    }
+
+    /// Insert `key`, evicting the least-recently-used key when full.
+    /// Re-inserting an existing key just refreshes its recency.
+    pub fn insert(&mut self, key: &str) {
+        if self.capacity == 0 || self.contains(key) {
+            return;
+        }
+        let i = if self.map.len() >= self.capacity {
+            // Reuse the evicted node's slot.
+            let victim = self.tail;
+            self.unlink(victim);
+            let old = std::mem::replace(&mut self.nodes[victim].key, key.to_string());
+            self.map.remove(&old);
+            victim
+        } else if let Some(slot) = self.free.pop() {
+            self.nodes[slot].key = key.to_string();
+            slot
+        } else {
+            self.nodes.push(Node {
+                key: key.to_string(),
+                prev: NIL,
+                next: NIL,
+            });
+            self.nodes.len() - 1
+        };
+        self.map.insert(key.to_string(), i);
+        self.link_front(i);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = LruSet::new(3);
+        c.insert("a");
+        c.insert("b");
+        c.insert("c");
+        assert!(c.contains("a")); // refresh a: order now a, c, b
+        c.insert("d"); // evicts b
+        assert!(!c.contains("b"));
+        assert!(c.contains("a") && c.contains("c") && c.contains("d"));
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn reinsert_refreshes_instead_of_duplicating() {
+        let mut c = LruSet::new(2);
+        c.insert("a");
+        c.insert("b");
+        c.insert("a"); // refresh, not duplicate
+        c.insert("c"); // evicts b
+        assert!(c.contains("a") && c.contains("c") && !c.contains("b"));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn clear_empties_and_stays_usable() {
+        let mut c = LruSet::new(2);
+        c.insert("a");
+        c.clear();
+        assert!(c.is_empty() && !c.contains("a"));
+        c.insert("x");
+        c.insert("y");
+        c.insert("z");
+        assert_eq!(c.len(), 2);
+        assert!(!c.contains("x"));
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut c = LruSet::new(0);
+        c.insert("a");
+        assert!(!c.contains("a"));
+        assert_eq!(c.len(), 0);
+    }
+
+    #[test]
+    fn churn_keeps_len_bounded() {
+        let mut c = LruSet::new(16);
+        for i in 0..1000 {
+            c.insert(&format!("k{i}"));
+            assert!(c.len() <= 16);
+        }
+        // The 16 most recent survive.
+        for i in 984..1000 {
+            assert!(c.contains(&format!("k{i}")), "k{i}");
+        }
+    }
+}

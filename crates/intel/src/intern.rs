@@ -1,0 +1,84 @@
+//! String interning for the snapshot indexes.
+//!
+//! The same apex domain or sender ID recurs across thousands of entries;
+//! interning stores each key string once and lets the indexes hash and
+//! compare 4-byte symbols instead of strings. The interner is filled at
+//! build time and read-only afterwards — exactly the lifecycle of the
+//! immutable [`IntelSnapshot`](crate::IntelSnapshot).
+
+use std::collections::HashMap;
+
+/// A handle to an interned string (index into the interner's table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Sym(pub u32);
+
+/// An append-only string table with O(1) string → symbol lookup.
+#[derive(Debug, Default, Clone)]
+pub struct Interner {
+    map: HashMap<String, Sym>,
+    strings: Vec<String>,
+}
+
+impl Interner {
+    /// An empty interner.
+    pub fn new() -> Interner {
+        Interner::default()
+    }
+
+    /// Intern `s`, returning its (possibly pre-existing) symbol.
+    pub fn intern(&mut self, s: &str) -> Sym {
+        if let Some(&sym) = self.map.get(s) {
+            return sym;
+        }
+        let sym = Sym(self.strings.len() as u32);
+        self.strings.push(s.to_string());
+        self.map.insert(s.to_string(), sym);
+        sym
+    }
+
+    /// Look up without inserting — the read-path operation.
+    pub fn get(&self, s: &str) -> Option<Sym> {
+        self.map.get(s).copied()
+    }
+
+    /// The string behind a symbol.
+    pub fn resolve(&self, sym: Sym) -> &str {
+        &self.strings[sym.0 as usize]
+    }
+
+    /// Number of distinct strings interned.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// Whether the interner is empty.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut i = Interner::new();
+        let a = i.intern("bit.ly");
+        let b = i.intern("cutt.ly");
+        assert_eq!(i.intern("bit.ly"), a);
+        assert_ne!(a, b);
+        assert_eq!(i.resolve(a), "bit.ly");
+        assert_eq!(i.resolve(b), "cutt.ly");
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn get_never_inserts() {
+        let mut i = Interner::new();
+        assert_eq!(i.get("x.com"), None);
+        let s = i.intern("x.com");
+        assert_eq!(i.get("x.com"), Some(s));
+        assert_eq!(i.len(), 1);
+    }
+}

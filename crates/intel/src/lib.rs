@@ -1,0 +1,55 @@
+//! # smishing-intel
+//!
+//! The serving half of the measurement system: an indexed, queryable view
+//! of everything the pipeline learned.
+//!
+//! The paper's end product is threat intelligence — 25.9k URLs, 28.6k
+//! sender IDs, brand and lure annotations, blocklist verdicts — and the
+//! question a carrier, messaging app, or abuse desk actually asks is
+//! *"is this URL / sender / incoming SMS part of a known smishing
+//! campaign?"*. The batch and streaming frontends answer it offline by
+//! rendering tables; this crate answers it online:
+//!
+//! * [`IntelSnapshot`] — an immutable, interned, hash-indexed store built
+//!   from the pipeline's assembled output. Indexes over normalized URL,
+//!   apex domain, sender ID, phone number, brand, and campaign-link
+//!   cluster; each entry carries its evidence (forums, scam type, lures,
+//!   HLR status, AV/GSB verdicts, first/last seen, report counts).
+//! * [`IntelHub`] / [`IntelReader`] — an epoch-based atomic snapshot
+//!   handle. The streaming engine's aligned-marker snapshots republish a
+//!   fresh index mid-run while concurrent readers keep a consistent view
+//!   with **zero locks on the read path** (one atomic epoch load against
+//!   a thread-cached `Arc`; the publish-side lock is touched only when
+//!   the epoch actually moved).
+//! * [`Triage`] — takes a *raw* incoming SMS (text + sender), reuses the
+//!   pipeline's own extraction/normalization stack (`textnlp` features,
+//!   `webinfra` defanged-URL parsing and homoglyph host folding) plus the
+//!   `detect` logistic-regression model, and returns a scored verdict:
+//!   known-infrastructure hit with campaign attribution, or a model-only
+//!   score. Negative lookups go through a bounded LRU cache that is
+//!   invalidated on republish.
+//! * [`serve_lines`] — the stdin/stdout line protocol behind
+//!   `smish serve`, instrumented through `smishing-obs` histograms.
+//! * [`evaluate_triage`] — the ground-truth evaluation: worldsim knows
+//!   every message's true campaign, so triage precision/recall (and the
+//!   campaign-held-out `detect` baseline it must beat) are computed
+//!   deterministically per seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod eval;
+pub mod hub;
+pub mod intern;
+pub mod serve;
+pub mod snapshot;
+pub mod triage;
+
+pub use cache::LruSet;
+pub use eval::{evaluate_triage, TriageEval};
+pub use hub::{IntelHub, IntelReader};
+pub use intern::{Interner, Sym};
+pub use serve::{serve_lines, verdict_line, ServeStats};
+pub use snapshot::{record_keys, IntelEntry, IntelSnapshot, RecordKeys};
+pub use triage::{Attribution, MatchedKey, Triage, TriageConfig, TriageVerdict};

@@ -1,0 +1,256 @@
+//! The stdin/stdout line protocol behind `smish serve`.
+//!
+//! One request per line, one response per line — trivially scriptable
+//! (the CI smoke job pipes a query batch through and reads the counters
+//! out of the run report). Commands:
+//!
+//! ```text
+//! url <raw>            look up a URL (defanged/homoglyph spellings ok)
+//! sender <raw>         look up a sender ID / phone number
+//! msg <text>           triage a raw SMS body
+//! msg <sender>|<text>  triage with a sender
+//! sample <n>           emit n ready-to-feed query lines from the store
+//! stats                one-line counter summary
+//! quit                 stop serving
+//! ```
+//!
+//! Responses: `hit via=<pivot> key=<canonical> cluster=<id> ...`,
+//! `miss <kind> key=<canonical>`, `triage score=<p> smishing=<bool>
+//! via=<index|model|none>`, or `err <reason>`. Latencies go into the
+//! `intel.serve.lookup_ns` / `intel.serve.triage_ns` histograms and the
+//! `intel.serve.*` counters of the run report.
+
+use crate::triage::{Triage, TriageVerdict};
+use smishing_obs::Obs;
+use std::io::{BufRead, Write};
+use std::time::Instant;
+
+/// Counters of one serving session.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Total query lines processed (sample/stats lines excluded).
+    pub queries: u64,
+    /// Known-infrastructure hits.
+    pub hits: u64,
+    /// Lookup misses (url/sender queries that matched nothing).
+    pub misses: u64,
+    /// Messages that fell through to the model (`msg` without an index
+    /// hit).
+    pub triaged: u64,
+    /// Malformed lines.
+    pub errors: u64,
+}
+
+/// Render a verdict as one protocol response line (`hit ...` /
+/// `triage ...`). Shared by `serve` and the one-shot `query` command.
+pub fn verdict_line(v: &TriageVerdict) -> String {
+    match v {
+        TriageVerdict::Hit(a) => format!(
+            "hit via={} key={} cluster={} size={} scam={} reports={} first={} last={}",
+            a.matched.label(),
+            a.key,
+            a.cluster,
+            a.cluster_size,
+            a.scam_type.label(),
+            a.n_reports,
+            a.first_seen.0,
+            a.last_seen.0,
+        ),
+        TriageVerdict::ModelOnly { score } => {
+            format!(
+                "triage score={score:.4} smishing={} via=model",
+                *score >= 0.5
+            )
+        }
+        TriageVerdict::Unknown => "triage score=0.0000 smishing=false via=none".to_string(),
+    }
+}
+
+/// Serve queries line by line until EOF or `quit`.
+pub fn serve_lines<R: BufRead, W: Write>(
+    triage: &mut Triage,
+    input: R,
+    mut out: W,
+    obs: &Obs,
+) -> std::io::Result<ServeStats> {
+    let mut stats = ServeStats::default();
+    let lookup_ns = obs.histogram("intel.serve.lookup_ns", &[]);
+    let triage_ns = obs.histogram("intel.serve.triage_ns", &[]);
+    let threshold = triage.threshold();
+
+    for line in input.lines() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (cmd, rest) = line.split_once(' ').unwrap_or((line, ""));
+        let rest = rest.trim();
+        match cmd {
+            "quit" | "exit" => break,
+            "url" | "sender" if rest.is_empty() => {
+                stats.errors += 1;
+                writeln!(out, "err {cmd} needs a value")?;
+            }
+            "url" => {
+                stats.queries += 1;
+                let t = Instant::now();
+                let v = triage.query_url(rest);
+                lookup_ns.record(t.elapsed().as_nanos() as u64);
+                match &v {
+                    TriageVerdict::Hit(_) => {
+                        stats.hits += 1;
+                        writeln!(out, "{}", verdict_line(&v))?;
+                    }
+                    _ => {
+                        stats.misses += 1;
+                        writeln!(out, "miss url key={rest}")?;
+                    }
+                }
+            }
+            "sender" => {
+                stats.queries += 1;
+                let t = Instant::now();
+                let v = triage.query_sender(rest);
+                lookup_ns.record(t.elapsed().as_nanos() as u64);
+                match &v {
+                    TriageVerdict::Hit(_) => {
+                        stats.hits += 1;
+                        writeln!(out, "{}", verdict_line(&v))?;
+                    }
+                    _ => {
+                        stats.misses += 1;
+                        writeln!(out, "miss sender key={rest}")?;
+                    }
+                }
+            }
+            "msg" => {
+                stats.queries += 1;
+                let (sender, text) = match rest.split_once('|') {
+                    Some((s, t)) => (Some(s.trim()), t.trim()),
+                    None => (None, rest),
+                };
+                let t = Instant::now();
+                let v = triage.triage(sender, text);
+                triage_ns.record(t.elapsed().as_nanos() as u64);
+                match &v {
+                    TriageVerdict::Hit(_) => stats.hits += 1,
+                    _ => stats.triaged += 1,
+                }
+                let _ = threshold; // thresholding is the caller's policy
+                writeln!(out, "{}", verdict_line(&v))?;
+            }
+            "sample" => {
+                let n: usize = rest.parse().unwrap_or(10);
+                match triage.snapshot() {
+                    Some(snap) => {
+                        let mut emitted = 0;
+                        for e in snap.entries() {
+                            if emitted >= n {
+                                break;
+                            }
+                            if let Some(u) = e.url {
+                                writeln!(out, "url {}", snap.resolve(u))?;
+                            } else if let Some(s) = e.sender {
+                                writeln!(out, "sender {}", snap.resolve(s))?;
+                            } else {
+                                continue;
+                            }
+                            emitted += 1;
+                        }
+                    }
+                    None => writeln!(out, "err no snapshot published yet")?,
+                }
+            }
+            "stats" => {
+                writeln!(
+                    out,
+                    "stats queries={} hits={} misses={} triaged={} errors={}",
+                    stats.queries, stats.hits, stats.misses, stats.triaged, stats.errors
+                )?;
+            }
+            other => {
+                stats.errors += 1;
+                writeln!(out, "err unknown command {other}")?;
+            }
+        }
+    }
+
+    obs.counter("intel.serve.queries", &[]).add(stats.queries);
+    obs.counter("intel.serve.hits", &[]).add(stats.hits);
+    obs.counter("intel.serve.misses", &[]).add(stats.misses);
+    obs.counter("intel.serve.triaged", &[]).add(stats.triaged);
+    obs.counter("intel.serve.errors", &[]).add(stats.errors);
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hub::IntelHub;
+    use crate::snapshot::IntelSnapshot;
+    use crate::triage::TriageConfig;
+    use smishing_core::pipeline::Pipeline;
+    use smishing_obs::Obs;
+    use smishing_worldsim::{World, WorldConfig};
+
+    fn triage() -> Triage {
+        let w = World::generate(WorldConfig::test_scale(53));
+        let out = Pipeline::default().run(&w, &Obs::noop());
+        let hub = IntelHub::new();
+        hub.publish(IntelSnapshot::build(&out));
+        Triage::with_config(
+            hub.reader(),
+            TriageConfig {
+                train_model: false,
+                ..TriageConfig::default()
+            },
+        )
+    }
+
+    fn run(t: &mut Triage, script: &str) -> (ServeStats, String) {
+        let mut out = Vec::new();
+        let stats = serve_lines(t, script.as_bytes(), &mut out, &Obs::noop()).unwrap();
+        (stats, String::from_utf8(out).unwrap())
+    }
+
+    #[test]
+    fn sample_round_trips_to_hits() {
+        let mut t = triage();
+        let (_, script) = run(&mut t, "sample 25");
+        assert_eq!(script.lines().count(), 25);
+        let (stats, replies) = run(&mut t, &script);
+        assert_eq!(stats.queries, 25);
+        assert_eq!(stats.hits, 25, "sampled keys must all hit:\n{replies}");
+        assert_eq!(stats.misses, 0);
+    }
+
+    #[test]
+    fn misses_errors_and_quit() {
+        let mut t = triage();
+        let script =
+            "url https://nope.example/x\nbogus line\nsender\nquit\nurl after-quit.example/y\n";
+        let (stats, out) = run(&mut t, script);
+        assert_eq!(stats.queries, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.errors, 2);
+        assert!(out.contains("miss url"));
+        assert!(out.contains("err unknown command"));
+        assert!(!out.contains("after-quit"), "quit must stop the loop");
+    }
+
+    #[test]
+    fn msg_lines_triage_and_counters_export() {
+        let mut t = triage();
+        let obs = Obs::enabled();
+        let script = "msg +15550001111|win a prize now\nstats\n";
+        let mut out = Vec::new();
+        let stats = serve_lines(&mut t, script.as_bytes(), &mut out, &obs).unwrap();
+        assert_eq!(stats.queries, 1);
+        assert_eq!(stats.triaged + stats.hits, 1);
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("stats queries=1"), "{text}");
+        let report = obs.json_report();
+        assert!(report.contains("intel.serve.queries"), "{report}");
+    }
+}

@@ -1,0 +1,524 @@
+//! The immutable, interned, hash-indexed intelligence store.
+//!
+//! [`IntelSnapshot::build`] digests a [`PipelineOutput`] — the assembled,
+//! canonical output of the one execution core — into one entry per unique
+//! record, with secondary indexes over every pivot an abuse desk queries
+//! by: normalized URL, apex domain (registrable domain or free-hosting
+//! site), sender ID, phone number, impersonated brand, and campaign-link
+//! cluster. Each entry carries its evidence: which forums reported it,
+//! how often, first/last seen, scam type and lures, HLR line status, and
+//! AV/GSB verdicts.
+//!
+//! The snapshot is immutable after build (the read path is lock-free by
+//! construction) and owns every byte — no borrow of the world or the
+//! pipeline output survives — so an `Arc<IntelSnapshot>` can be handed to
+//! any thread and republished mid-stream through the
+//! [`IntelHub`](crate::IntelHub).
+//!
+//! Key derivation lives in one place ([`record_keys`]) so the index
+//! builder, the query normalizer, and the linear-scan reference the
+//! proptests compare against can never drift apart.
+
+use crate::intern::{Interner, Sym};
+use smishing_core::analysis::linking::{pivot_keys, LinkingPivots, WEAK_KEY_CAP};
+use smishing_core::curation::DedupMode;
+use smishing_core::enrich::EnrichedRecord;
+use smishing_core::pipeline::PipelineOutput;
+use smishing_stats::unionfind::UnionFind;
+use smishing_telecom::NumberStatus;
+use smishing_textnlp::normalize::normalize_token;
+use smishing_types::{Forum, Language, LureSet, PostId, ScamType, SenderId, UnixTime};
+use smishing_webinfra::{
+    fold_host, free_hosting_site, parse_url, registrable_domain, ParsedUrl, ShortenerCatalog,
+};
+use std::collections::HashMap;
+
+/// The index keys of one enriched record, exactly as the snapshot builder
+/// derives them. Shared by [`IntelSnapshot::build`], the query
+/// normalizers, and the tests' linear-scan reference.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecordKeys {
+    /// Canonical URL string (`ParsedUrl::to_url_string`).
+    pub url: Option<String>,
+    /// Apex domain: registrable domain or free-hosting site of a direct
+    /// URL; `None` for shortened / click-to-chat links (destination
+    /// hidden, §3.3.5).
+    pub domain: Option<String>,
+    /// Sender ID as displayed (`SenderId::display_string`).
+    pub sender: Option<String>,
+    /// Digits-only E.164 for phone senders.
+    pub phone: Option<String>,
+    /// Normalized impersonated-brand token.
+    pub brand: Option<String>,
+}
+
+/// Apex-domain rule for a parsed URL — the same decision
+/// `UrlParseEnricher` makes at enrichment time, applied to raw queries.
+pub fn domain_of(parsed: &ParsedUrl) -> Option<String> {
+    let catalog = ShortenerCatalog::new();
+    if catalog.service_of(parsed).is_some() || catalog.is_whatsapp_link(parsed) {
+        return None;
+    }
+    free_hosting_site(&parsed.host).or_else(|| registrable_domain(&parsed.host))
+}
+
+/// Digits-only key for a phone sender.
+fn phone_key(sender: &SenderId) -> Option<String> {
+    sender
+        .phone()
+        .map(|p| p.e164().chars().filter(|c| c.is_ascii_digit()).collect())
+}
+
+/// Derive the index keys of one enriched record.
+pub fn record_keys(r: &EnrichedRecord) -> RecordKeys {
+    RecordKeys {
+        url: r.url.as_ref().map(|u| u.parsed.to_url_string()),
+        domain: r.url.as_ref().and_then(|u| u.domain.clone()),
+        sender: r.sender.as_ref().map(|s| s.display_string()),
+        phone: r.sender.as_ref().and_then(phone_key),
+        brand: r
+            .annotation
+            .brand
+            .as_deref()
+            .map(normalize_token)
+            .filter(|b| !b.is_empty()),
+    }
+}
+
+fn forum_bit(f: Forum) -> u8 {
+    1 << Forum::ALL
+        .iter()
+        .position(|&x| x == f)
+        .expect("known forum")
+}
+
+/// One unique record's worth of intelligence, fully owned.
+#[derive(Debug, Clone)]
+pub struct IntelEntry {
+    /// Post id of the dedup winner (ties entries back to the pipeline
+    /// output for the equivalence tests).
+    pub post_id: PostId,
+    /// Message text of the winner (model training corpus).
+    pub text: String,
+    /// Canonical URL key.
+    pub url: Option<Sym>,
+    /// Apex-domain key.
+    pub domain: Option<Sym>,
+    /// Sender-ID key.
+    pub sender: Option<Sym>,
+    /// Phone key (digits-only E.164).
+    pub phone: Option<Sym>,
+    /// Normalized brand key.
+    pub brand: Option<Sym>,
+    /// Campaign-link cluster id ([`IntelSnapshot::cluster_entries`]).
+    pub cluster: u32,
+    /// Bitmask over [`Forum::ALL`] of forums that reported this message.
+    pub forums: u8,
+    /// Total reports (duplicates included) behind this entry.
+    pub n_reports: u32,
+    /// Earliest report time.
+    pub first_seen: UnixTime,
+    /// Latest report time.
+    pub last_seen: UnixTime,
+    /// Annotated scam category.
+    pub scam_type: ScamType,
+    /// Annotated lure set.
+    pub lures: LureSet,
+    /// Detected language.
+    pub language: Option<Language>,
+    /// HLR line status for phone senders.
+    pub hlr_status: Option<NumberStatus>,
+    /// Whether any VirusTotal vendor flagged the URL.
+    pub av_flagged: bool,
+    /// GSB Lookup-API verdict for the URL.
+    pub gsb_unsafe: bool,
+    /// Whether enrichment was degraded by service faults.
+    pub degraded: bool,
+    /// Ground-truth campaign id — populated for evaluation, never used on
+    /// the query path.
+    pub truth_campaign: Option<u32>,
+}
+
+impl IntelEntry {
+    /// Decode the forum bitmask.
+    pub fn forums(&self) -> Vec<Forum> {
+        Forum::ALL
+            .iter()
+            .copied()
+            .filter(|&f| self.forums & forum_bit(f) != 0)
+            .collect()
+    }
+}
+
+/// The immutable, indexed intelligence store.
+#[derive(Debug, Clone, Default)]
+pub struct IntelSnapshot {
+    interner: Interner,
+    entries: Vec<IntelEntry>,
+    by_url: HashMap<Sym, Vec<u32>>,
+    by_domain: HashMap<Sym, Vec<u32>>,
+    by_sender: HashMap<Sym, Vec<u32>>,
+    by_phone: HashMap<Sym, Vec<u32>>,
+    by_brand: HashMap<Sym, Vec<u32>>,
+    clusters: Vec<Vec<u32>>,
+    cluster_campaign: Vec<Option<u32>>,
+    built_from_posts: u64,
+}
+
+const NO_ENTRIES: &[u32] = &[];
+
+impl IntelSnapshot {
+    /// Build the store from assembled pipeline output, using the default
+    /// (normalized) dedup keying for evidence aggregation.
+    pub fn build(out: &PipelineOutput<'_>) -> IntelSnapshot {
+        IntelSnapshot::build_with(out, DedupMode::Normalized)
+    }
+
+    /// Build with an explicit dedup mode (must match the curation options
+    /// the pipeline ran with, or duplicate evidence will group wrongly).
+    pub fn build_with(out: &PipelineOutput<'_>, mode: DedupMode) -> IntelSnapshot {
+        // Evidence groups: every curated duplicate, keyed like dedup was.
+        struct Group {
+            forums: u8,
+            n: u32,
+            first: UnixTime,
+            last: UnixTime,
+        }
+        let mut groups: HashMap<String, Group> = HashMap::new();
+        for c in &out.curated_total {
+            let g = groups.entry(c.dedup_key(mode)).or_insert(Group {
+                forums: 0,
+                n: 0,
+                first: c.posted_at,
+                last: c.posted_at,
+            });
+            g.forums |= forum_bit(c.forum);
+            g.n += 1;
+            g.first = g.first.min(c.posted_at);
+            g.last = g.last.max(c.posted_at);
+        }
+
+        // Campaign-link clusters over all unique records, with the same
+        // pivots and anti-hub rule the §5.1 ablation measures.
+        let n = out.records.len();
+        let mut uf = UnionFind::new(n);
+        let mut key_freq: HashMap<String, u32> = HashMap::new();
+        for r in &out.records {
+            for (key, strong) in pivot_keys(r, LinkingPivots::ALL) {
+                if !strong {
+                    *key_freq.entry(key).or_default() += 1;
+                }
+            }
+        }
+        let mut by_key: HashMap<String, usize> = HashMap::new();
+        for (i, r) in out.records.iter().enumerate() {
+            for (key, strong) in pivot_keys(r, LinkingPivots::ALL) {
+                if !strong && key_freq.get(&key).copied().unwrap_or(0) > WEAK_KEY_CAP {
+                    continue;
+                }
+                match by_key.get(&key) {
+                    Some(&j) => {
+                        uf.union(i, j);
+                    }
+                    None => {
+                        by_key.insert(key, i);
+                    }
+                }
+            }
+        }
+        let roots = uf.clusters();
+        // Compact root ids to dense cluster ids in first-appearance order
+        // (records are in canonical post-id order, so this is stable).
+        let mut dense: HashMap<usize, u32> = HashMap::new();
+        let cluster_of: Vec<u32> = roots
+            .iter()
+            .map(|&root| {
+                let next = dense.len() as u32;
+                *dense.entry(root).or_insert(next)
+            })
+            .collect();
+        let n_clusters = dense.len();
+
+        let mut snap = IntelSnapshot {
+            clusters: vec![Vec::new(); n_clusters],
+            cluster_campaign: vec![None; n_clusters],
+            built_from_posts: out.collection.iter().map(|(_, s)| s.posts as u64).sum(),
+            ..IntelSnapshot::default()
+        };
+        let mut cluster_votes: Vec<HashMap<u32, u32>> = vec![HashMap::new(); n_clusters];
+
+        for (i, r) in out.records.iter().enumerate() {
+            let id = snap.entries.len() as u32;
+            let keys = record_keys(r);
+            let mut sym_into = |key: &Option<String>,
+                                index: fn(&mut IntelSnapshot) -> &mut HashMap<Sym, Vec<u32>>|
+             -> Option<Sym> {
+                let key = key.as_deref()?;
+                let sym = snap.interner.intern(key);
+                index(&mut snap).entry(sym).or_default().push(id);
+                Some(sym)
+            };
+            let url = sym_into(&keys.url, |s| &mut s.by_url);
+            let domain = sym_into(&keys.domain, |s| &mut s.by_domain);
+            let sender = sym_into(&keys.sender, |s| &mut s.by_sender);
+            let phone = sym_into(&keys.phone, |s| &mut s.by_phone);
+            let brand = sym_into(&keys.brand, |s| &mut s.by_brand);
+
+            let group = groups.get(&r.curated.dedup_key(mode));
+            let cluster = cluster_of[i];
+            snap.clusters[cluster as usize].push(id);
+            let truth_campaign = r
+                .curated
+                .truth_message
+                .map(|mid| out.world.messages[mid.0 as usize].campaign.0);
+            if let Some(c) = truth_campaign {
+                *cluster_votes[cluster as usize].entry(c).or_default() += 1;
+            }
+
+            snap.entries.push(IntelEntry {
+                post_id: r.curated.post_id,
+                text: r.curated.text.clone(),
+                url,
+                domain,
+                sender,
+                phone,
+                brand,
+                cluster,
+                forums: group.map_or(forum_bit(r.curated.forum), |g| g.forums),
+                n_reports: group.map_or(1, |g| g.n),
+                first_seen: group.map_or(r.curated.posted_at, |g| g.first),
+                last_seen: group.map_or(r.curated.posted_at, |g| g.last),
+                scam_type: r.annotation.scam_type,
+                lures: r.annotation.lures,
+                language: r.annotation.language,
+                hlr_status: r.hlr.as_ref().map(|h| h.status),
+                av_flagged: r.url.as_ref().is_some_and(|u| !u.vt.is_clean()),
+                gsb_unsafe: r.url.as_ref().is_some_and(|u| u.gsb_api_unsafe),
+                degraded: r.is_degraded(),
+                truth_campaign,
+            });
+        }
+
+        // Majority ground-truth campaign per cluster (ties broken by the
+        // smaller campaign id for determinism) — evaluation only.
+        for (cluster, votes) in cluster_votes.into_iter().enumerate() {
+            snap.cluster_campaign[cluster] = votes
+                .into_iter()
+                .max_by_key(|&(c, n)| (n, std::cmp::Reverse(c)))
+                .map(|(c, _)| c);
+        }
+        snap
+    }
+
+    /// Number of entries (== unique records of the source run).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// All entries, in canonical post-id order.
+    pub fn entries(&self) -> &[IntelEntry] {
+        &self.entries
+    }
+
+    /// One entry by id.
+    pub fn entry(&self, id: u32) -> &IntelEntry {
+        &self.entries[id as usize]
+    }
+
+    /// The string behind an interned key.
+    pub fn resolve(&self, sym: Sym) -> &str {
+        self.interner.resolve(sym)
+    }
+
+    /// Posts the source run had consumed when this snapshot was built.
+    pub fn built_from_posts(&self) -> u64 {
+        self.built_from_posts
+    }
+
+    /// Number of campaign-link clusters.
+    pub fn cluster_count(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Entry ids of one cluster.
+    pub fn cluster_entries(&self, cluster: u32) -> &[u32] {
+        self.clusters
+            .get(cluster as usize)
+            .map_or(NO_ENTRIES, |v| v)
+    }
+
+    /// Majority ground-truth campaign of a cluster (evaluation only).
+    pub fn cluster_campaign(&self, cluster: u32) -> Option<u32> {
+        self.cluster_campaign.get(cluster as usize).copied()?
+    }
+
+    fn lookup<'a>(&self, index: &'a HashMap<Sym, Vec<u32>>, key: &str) -> &'a [u32] {
+        self.interner
+            .get(key)
+            .and_then(|sym| index.get(&sym))
+            .map_or(NO_ENTRIES, |v| v)
+    }
+
+    /// Entries for an exact canonical URL key (already normalized).
+    pub fn lookup_url_key(&self, key: &str) -> &[u32] {
+        self.lookup(&self.by_url, key)
+    }
+
+    /// Entries for a raw URL query: defanged, scheme-less, and
+    /// mixed-script spellings normalize through the same `webinfra`
+    /// parser the pipeline uses.
+    pub fn lookup_url(&self, raw: &str) -> &[u32] {
+        match parse_url(raw) {
+            Some(p) => self.lookup_url_key(&p.to_url_string()),
+            None => NO_ENTRIES,
+        }
+    }
+
+    /// Entries for an apex-domain query (homoglyphs folded).
+    pub fn lookup_domain(&self, raw: &str) -> &[u32] {
+        self.lookup(&self.by_domain, &fold_host(raw.trim()))
+    }
+
+    /// Entries for an exact sender-key query.
+    pub fn lookup_sender_key(&self, key: &str) -> &[u32] {
+        self.lookup(&self.by_sender, key)
+    }
+
+    /// Entries for a raw sender query, parsed like the pipeline parses
+    /// sender strings (E.164 canonicalization for phone numbers).
+    pub fn lookup_sender(&self, raw: &str) -> &[u32] {
+        match smishing_core::enrich::parse_sender(raw) {
+            Some(s) => {
+                let hit = self.lookup_sender_key(&s.display_string());
+                if hit.is_empty() {
+                    phone_key(&s).map_or(NO_ENTRIES, |p| self.lookup(&self.by_phone, &p))
+                } else {
+                    hit
+                }
+            }
+            None => NO_ENTRIES,
+        }
+    }
+
+    /// Entries for a digits-only phone query.
+    pub fn lookup_phone(&self, raw: &str) -> &[u32] {
+        let digits: String = raw.chars().filter(|c| c.is_ascii_digit()).collect();
+        self.lookup(&self.by_phone, &digits)
+    }
+
+    /// Entries for a brand query (normalized like brand NER input).
+    pub fn lookup_brand(&self, raw: &str) -> &[u32] {
+        self.lookup(&self.by_brand, &normalize_token(raw))
+    }
+
+    /// Entry texts — the triage model's training corpus.
+    pub fn texts(&self) -> impl Iterator<Item = &str> {
+        self.entries.iter().map(|e| e.text.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smishing_core::pipeline::Pipeline;
+    use smishing_obs::Obs;
+    use smishing_worldsim::{World, WorldConfig};
+    use std::sync::OnceLock;
+
+    fn world() -> &'static World {
+        static W: OnceLock<World> = OnceLock::new();
+        W.get_or_init(|| World::generate(WorldConfig::test_scale(41)))
+    }
+
+    fn snap() -> &'static IntelSnapshot {
+        static S: OnceLock<IntelSnapshot> = OnceLock::new();
+        S.get_or_init(|| {
+            let out = Pipeline::default().run(world(), &Obs::noop());
+            IntelSnapshot::build(&out)
+        })
+    }
+
+    #[test]
+    fn every_record_becomes_one_entry() {
+        let out = Pipeline::default().run(world(), &Obs::noop());
+        let s = IntelSnapshot::build(&out);
+        assert_eq!(s.len(), out.records.len());
+        for (e, r) in s.entries().iter().zip(&out.records) {
+            assert_eq!(e.post_id, r.curated.post_id);
+        }
+    }
+
+    #[test]
+    fn url_lookup_roundtrips_through_keys() {
+        let s = snap();
+        let mut checked = 0;
+        for e in s.entries().iter().take(200) {
+            if let Some(u) = e.url {
+                let raw = s.resolve(u).to_string();
+                let ids = s.lookup_url(&raw);
+                assert!(!ids.is_empty(), "{raw}");
+                assert!(ids.iter().any(|&i| s.entry(i).post_id == e.post_id));
+                checked += 1;
+            }
+        }
+        assert!(checked > 20, "only {checked} URL entries");
+    }
+
+    #[test]
+    fn absent_keys_miss() {
+        let s = snap();
+        assert!(s
+            .lookup_url("https://definitely-not-seen.example/x")
+            .is_empty());
+        assert!(s.lookup_domain("not-a-known-apex.example").is_empty());
+        assert!(s.lookup_sender("NOSUCHSENDER").is_empty());
+        assert!(s.lookup_url("not a url at all").is_empty());
+    }
+
+    #[test]
+    fn evidence_counts_duplicates() {
+        let s = snap();
+        let total: u64 = s.entries().iter().map(|e| e.n_reports as u64).sum();
+        let out = Pipeline::default().run(world(), &Obs::noop());
+        // Every curated duplicate lands in exactly one entry's evidence.
+        assert_eq!(total, out.curated_total.len() as u64);
+        assert!(s.entries().iter().all(|e| e.first_seen <= e.last_seen));
+        assert!(s.entries().iter().any(|e| e.n_reports > 1));
+    }
+
+    #[test]
+    fn clusters_partition_the_entries() {
+        let s = snap();
+        let mut seen = vec![false; s.len()];
+        for c in 0..s.cluster_count() as u32 {
+            for &id in s.cluster_entries(c) {
+                assert_eq!(s.entry(id).cluster, c);
+                assert!(!seen[id as usize], "entry {id} in two clusters");
+                seen[id as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&x| x));
+        assert!(s.cluster_count() > 1);
+        assert!(s.cluster_count() < s.len());
+    }
+
+    #[test]
+    fn defanged_and_homoglyph_queries_normalize() {
+        let s = snap();
+        let e = s
+            .entries()
+            .iter()
+            .find(|e| e.url.is_some())
+            .expect("some URL entry");
+        let clean = s.resolve(e.url.unwrap()).to_string();
+        let defanged = clean
+            .replacen("https://", "hxxps://", 1)
+            .replace('.', "[.]");
+        assert_eq!(s.lookup_url(&clean), s.lookup_url(&defanged), "{defanged}");
+    }
+}

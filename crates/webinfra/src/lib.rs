@@ -44,5 +44,5 @@ pub use hosting::{free_hosting_site, free_hosting_suffix};
 pub use pdns::{PassiveDns, Resolution};
 pub use shortener::{ExpandResult, ShortLinkDb, ShortenerCatalog};
 pub use tld::{registrable_domain, tld_of, TldClass, TldDb};
-pub use url::{find_url_in_text, parse_url, refang, ParsedUrl};
+pub use url::{find_url_in_text, fold_host, parse_url, refang, ParsedUrl};
 pub use whois::{WhoisDb, WhoisRecord, REGISTRARS};

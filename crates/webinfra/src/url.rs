@@ -84,6 +84,51 @@ pub fn refang(input: &str) -> String {
     s
 }
 
+/// Fold Unicode confusables in a hostname to their ASCII look-alikes.
+///
+/// Mixed-script homoglyph domains (`аmazon.com` with a Cyrillic `а`) are
+/// the IDN flavour of the brand-spoofing the paper observes in message
+/// text; queries and reports must normalize them the same way or the same
+/// infrastructure gets two identities. ASCII hosts come back unchanged
+/// (lowercased); a non-ASCII character with no ASCII look-alike is kept
+/// verbatim, so [`parse_url`]'s host validation still rejects the host.
+pub fn fold_host(host: &str) -> String {
+    if host.is_ascii() {
+        return host.to_ascii_lowercase();
+    }
+    host.chars()
+        .flat_map(char::to_lowercase)
+        .map(|c| match c {
+            // Cyrillic look-alikes.
+            'а' => 'a',
+            'е' => 'e',
+            'ё' => 'e',
+            'о' => 'o',
+            'р' => 'p',
+            'с' => 'c',
+            'х' => 'x',
+            'у' => 'y',
+            'і' => 'i',
+            'ѕ' => 's',
+            'ј' => 'j',
+            'һ' => 'h',
+            'ԁ' => 'd',
+            'ԛ' => 'q',
+            'ԝ' => 'w',
+            // Greek look-alikes.
+            'ο' => 'o',
+            'α' => 'a',
+            'ν' => 'v',
+            'ι' => 'i',
+            'ρ' => 'p',
+            'τ' => 't',
+            'υ' => 'u',
+            'κ' => 'k',
+            other => other,
+        })
+        .collect()
+}
+
 fn valid_host(host: &str) -> bool {
     if host.is_empty() || host.len() > 253 || !host.contains('.') {
         return false;
@@ -127,11 +172,7 @@ pub fn parse_url(input: &str) -> Option<ParsedUrl> {
         None => (rest, ""),
     };
     let host_port = host_port.rsplit('@').next().unwrap_or(host_port);
-    let host = host_port
-        .split(':')
-        .next()
-        .unwrap_or(host_port)
-        .to_ascii_lowercase();
+    let host = fold_host(host_port.split(':').next().unwrap_or(host_port));
     if !valid_host(&host) {
         return None;
     }
@@ -257,6 +298,30 @@ mod tests {
         let u = find_url_in_text(body).unwrap();
         assert_eq!(u.host, "royal-mail.fee-pay.com");
         assert_eq!(find_url_in_text("no links at all"), None);
+    }
+
+    #[test]
+    fn homoglyph_hosts_fold_to_ascii() {
+        // Cyrillic а/о and Greek ο spoofing an ASCII brand domain: all
+        // spellings must collapse onto one canonical host.
+        let clean = parse_url("https://amazon.com/verify").unwrap();
+        let cyr = parse_url("https://аmаzon.com/verify").unwrap();
+        let greek = parse_url("https://amazοn.com/verify").unwrap();
+        assert_eq!(cyr.host, clean.host);
+        assert_eq!(greek.host, clean.host);
+        // Defanged + homoglyph together, the worst-case report spelling.
+        let both = parse_url("hxxps://аmаzon[.]com/verify").unwrap();
+        assert_eq!(both.to_url_string(), clean.to_url_string());
+        // Uppercase Cyrillic folds through the Unicode lowercaser first.
+        assert_eq!(fold_host("Аmazon.COM"), "amazon.com");
+    }
+
+    #[test]
+    fn unmapped_scripts_still_rejected() {
+        // CJK has no ASCII look-alike: the host must stay invalid rather
+        // than silently mangle.
+        assert_eq!(parse_url("https://例え.com/x"), None);
+        assert_eq!(fold_host("例え.com"), "例え.com");
     }
 
     #[test]

@@ -9,7 +9,21 @@
 //! smish mitigate --scale 0.1                            # §7.2 what-if coverage
 //! smish stream   --scale 0.1 --shards 4                 # replay as a live feed
 //! smish watch    --scale 0.1 --posts 50000              # infinite-feed soak
+//! smish serve    --scale 0.1 [--stream]                 # answer queries on stdin/stdout
+//! smish query    url hxxps://evil[.]com/x               # one-shot lookup
 //! ```
+//!
+//! Commands dispatch through one table (name → handler); the usage line
+//! is generated from the same table, so the two cannot drift — a unit
+//! test pins the invariant anyway.
+//!
+//! `serve` builds the intelligence store (`smishing-intel`) from a batch
+//! run — or, with `--stream`, republishes it live from every aligned
+//! stream snapshot while queries are being answered — then speaks the
+//! line protocol of `smishing::intel::serve_lines` on stdin/stdout.
+//! `query <url|sender|msg> <value>` is the one-shot form; defanged
+//! (`hxxps://`, `[.]`, `(dot)`) and homoglyph spellings normalize to the
+//! same verdict as the clean string.
 //!
 //! Every command accepts the shared [`RunConfig`] flags (the same
 //! vocabulary `repro` uses):
@@ -37,13 +51,16 @@ use smishing::core::analysis::linking::linking_ablation;
 use smishing::core::analysis::mitigation::mitigation_study;
 use smishing::core::dataset;
 use smishing::core::experiment::run_all;
+use smishing::core::pipeline::PipelineOutput;
 use smishing::core::runcfg::RunConfig;
 use smishing::detect::{binary_study, multiclass_study_grouped};
-use smishing::obs::{obs_error, obs_info};
+use smishing::intel::{serve_lines, verdict_line, IntelHub, IntelSnapshot, Triage, TriageConfig};
+use smishing::obs::{obs_error, obs_info, Obs};
 use smishing::prelude::*;
 use smishing::stream::{ingest, SnapshotPlan};
-use smishing::worldsim::ReportStream;
+use smishing::worldsim::{ReportStream, World};
 use std::io::Write;
+use std::time::Duration;
 
 struct Args {
     command: String,
@@ -52,7 +69,36 @@ struct Args {
     experiment: Option<String>,
     snapshot_every: Option<u64>,
     posts: Option<u64>,
+    /// `serve --stream`: republish the store from live stream snapshots.
+    stream_mode: bool,
+    /// Bare (non-flag) operands, e.g. `query url https://...`.
+    positional: Vec<String>,
 }
+
+type Handler = fn(&Args, &Obs, &World);
+
+/// The single source of truth for subcommands: `(name, summary, handler)`.
+/// `usage()` and dispatch both read this table.
+const COMMANDS: &[(&str, &str, Handler)] = &[
+    (
+        "generate",
+        "export the pseudo-anonymized dataset",
+        cmd_generate,
+    ),
+    ("run", "regenerate paper tables", cmd_run),
+    ("analyze", "alias of `run`", cmd_run),
+    ("detect", "§7.2 detection studies", cmd_detect),
+    ("link", "campaign-linking ablation", cmd_link),
+    ("mitigate", "§7.2 what-if coverage", cmd_mitigate),
+    ("stream", "replay reports as a live feed", cmd_stream),
+    ("watch", "infinite-feed soak", cmd_watch),
+    ("serve", "answer intel queries on stdin/stdout", cmd_serve),
+    (
+        "query",
+        "one-shot lookup: query <url|sender|msg> <value>",
+        cmd_query,
+    ),
+];
 
 fn parse_args() -> Result<Args, String> {
     let mut argv = std::env::args().skip(1);
@@ -64,6 +110,8 @@ fn parse_args() -> Result<Args, String> {
         experiment: None,
         snapshot_every: None,
         posts: None,
+        stream_mode: false,
+        positional: Vec::new(),
     };
     while let Some(flag) = argv.next() {
         if args.cfg.parse_flag(&flag, &mut || argv.next())? {
@@ -83,19 +131,324 @@ fn parse_args() -> Result<Args, String> {
                 )
             }
             "--posts" => args.posts = Some(take("--posts")?.parse().map_err(|e| format!("{e}"))?),
-            other => return Err(format!("unknown flag {other}\n{}", usage())),
+            "--stream" => args.stream_mode = true,
+            other if other.starts_with("--") => {
+                return Err(format!("unknown flag {other}\n{}", usage()))
+            }
+            operand => args.positional.push(operand.to_string()),
         }
     }
     Ok(args)
 }
 
 fn usage() -> String {
+    let names: Vec<&str> = COMMANDS.iter().map(|&(name, _, _)| name).collect();
     format!(
-        "usage: smish <generate|run|analyze|detect|link|mitigate|stream|watch> \
-         [--out DIR] [--experiment ID] [--snapshot-every POSTS] [--posts N] \
+        "usage: smish <{}> \
+         [--out DIR] [--experiment ID] [--snapshot-every POSTS] [--posts N] [--stream] \
          {}",
+        names.join("|"),
         RunConfig::FLAGS_USAGE
     )
+}
+
+/// Batch commands all funnel through here: one pipeline run, same engine
+/// as the streaming commands.
+fn run_pipeline<'w>(args: &Args, obs: &Obs, world: &'w World) -> PipelineOutput<'w> {
+    let output = args.cfg.pipeline().run(world, obs);
+    obs_info!(obs, "pipeline: {} unique records", output.records.len());
+    output
+}
+
+fn cmd_generate(args: &Args, _obs: &Obs, world: &World) {
+    let output = run_pipeline(args, _obs, world);
+    let rows = dataset::build_dataset(&output.records);
+    dataset::validate_anonymization(&rows).expect("anonymization contract");
+    let dir = args.out.clone().unwrap_or_else(|| "dataset".to_string());
+    std::fs::create_dir_all(&dir).expect("create output dir");
+    let json = dataset::to_json(&rows).expect("serialize");
+    let csv = dataset::to_csv(&rows);
+    std::fs::File::create(format!("{dir}/smishing-dataset.json"))
+        .and_then(|mut f| f.write_all(json.as_bytes()))
+        .expect("write json");
+    std::fs::File::create(format!("{dir}/smishing-dataset.csv"))
+        .and_then(|mut f| f.write_all(csv.as_bytes()))
+        .expect("write csv");
+    println!(
+        "wrote {} rows to {dir}/smishing-dataset.{{json,csv}}",
+        rows.len()
+    );
+}
+
+fn cmd_run(args: &Args, obs: &Obs, world: &World) {
+    let output = run_pipeline(args, obs, world);
+    let results = run_all(&output, obs);
+    let mut shown = 0;
+    for r in &results {
+        if let Some(want) = &args.experiment {
+            if !r.id.eq_ignore_ascii_case(want) {
+                continue;
+            }
+        }
+        shown += 1;
+        println!("[{}] paper: {}", r.id, r.paper);
+        println!("{}", r.table);
+        for (desc, ok) in &r.checks {
+            println!("  [{}] {desc}", if *ok { "PASS" } else { "FAIL" });
+        }
+        println!();
+    }
+    if shown == 0 {
+        obs_error!(obs, "no experiment matched {:?}", args.experiment);
+        std::process::exit(2);
+    }
+}
+
+fn cmd_detect(args: &Args, obs: &Obs, world: &World) {
+    let texts: Vec<String> = world.messages.iter().map(|m| m.text.clone()).collect();
+    let binary = obs
+        .histogram("detect.binary.wall_ns", &[])
+        .time(|| binary_study(&texts, args.cfg.seed))
+        .expect("corpus");
+    println!(
+        "binary smish-vs-ham:        accuracy {:.1}%  macro-F1 {:.3}  (n={})",
+        binary.report.accuracy * 100.0,
+        binary.report.macro_f1,
+        binary.report.n
+    );
+    let labeled: Vec<(String, ScamType, u32)> = world
+        .messages
+        .iter()
+        .map(|m| (m.text.clone(), m.truth.scam_type, m.campaign.0))
+        .collect();
+    let grouped = obs
+        .histogram("detect.multiclass.wall_ns", &[])
+        .time(|| multiclass_study_grouped(&labeled, args.cfg.seed))
+        .expect("corpus");
+    println!(
+        "typology (campaign-held-out): accuracy {:.1}%  macro-F1 {:.3}  (n={})",
+        grouped.report.accuracy * 100.0,
+        grouped.report.macro_f1,
+        grouped.report.n
+    );
+}
+
+fn cmd_link(args: &Args, obs: &Obs, world: &World) {
+    let output = run_pipeline(args, obs, world);
+    let (_, table) = linking_ablation(&output);
+    println!("{table}");
+}
+
+fn cmd_mitigate(args: &Args, obs: &Obs, world: &World) {
+    let output = run_pipeline(args, obs, world);
+    println!("{}", mitigation_study(&output).to_table());
+    println!("{}", domain_freshness(&output).to_table());
+    println!("{}", report_latency(&output).to_table());
+}
+
+fn cmd_stream(args: &Args, obs: &Obs, world: &World) {
+    // Chronological replay through the sharded engine; snapshots
+    // report progress without pausing ingestion, and the final
+    // merged state renders the same tables as `run`.
+    let snapshots = match args.snapshot_every {
+        Some(n) => SnapshotPlan::every(n),
+        None => SnapshotPlan::every((world.posts.len() as u64 / 4).max(1)),
+    };
+    let plan = args.cfg.exec.clone().with_snapshots(snapshots);
+    let result = ingest(
+        world,
+        ReportStream::replay(world),
+        &args.cfg.curation,
+        &plan,
+        obs,
+        |s| {
+            obs_info!(
+                obs,
+                "snapshot @ {:>7} posts: {} curated / {} unique records",
+                s.at_posts,
+                s.output.curated_total.len(),
+                s.output.records.len()
+            );
+        },
+    );
+    obs_info!(
+        obs,
+        "stream: {} posts through {} shards, {} snapshots",
+        result.posts_ingested,
+        plan.shards,
+        result.snapshots_taken
+    );
+    let mut shown = 0;
+    for (id, table) in result.accs.tables() {
+        if let Some(want) = &args.experiment {
+            if !id.eq_ignore_ascii_case(want) {
+                continue;
+            }
+        }
+        shown += 1;
+        println!("[{id}]\n{table}\n");
+    }
+    if shown == 0 {
+        obs_error!(obs, "no experiment matched {:?}", args.experiment);
+        std::process::exit(2);
+    }
+}
+
+fn cmd_watch(args: &Args, obs: &Obs, world: &World) {
+    // Infinite-feed soak: the world's reports loop forever with
+    // fresh post ids and advancing timestamps. Bounded by --posts
+    // (default two laps) so the command terminates.
+    let lap = world.posts.len() as u64;
+    let budget = args.posts.unwrap_or(2 * lap);
+    let every = args.snapshot_every.unwrap_or((lap / 2).max(1));
+    let plan = args
+        .cfg
+        .exec
+        .clone()
+        .with_snapshots(SnapshotPlan::every(every));
+    let result = ingest(
+        world,
+        ReportStream::soak(world).take(budget as usize),
+        &args.cfg.curation,
+        &plan,
+        obs,
+        |s| {
+            obs_info!(
+                obs,
+                "[lap {}] {:>7} posts: {} curated / {} unique records",
+                s.at_posts / lap,
+                s.at_posts,
+                s.output.curated_total.len(),
+                s.output.records.len()
+            );
+            if let Some(want) = &args.experiment {
+                for (id, table) in s.accs.tables() {
+                    if id.eq_ignore_ascii_case(want) {
+                        println!("{table}");
+                    }
+                }
+            }
+        },
+    );
+    println!(
+        "soak done: {} posts ({:.1} laps), {} snapshots",
+        result.posts_ingested,
+        result.posts_ingested as f64 / lap as f64,
+        result.snapshots_taken
+    );
+}
+
+fn cmd_serve(args: &Args, obs: &Obs, world: &World) {
+    let hub = IntelHub::new();
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let stats = if args.stream_mode {
+        // Live mode: the streaming engine republishes the store at every
+        // aligned snapshot while this thread keeps answering queries —
+        // the epoch hub guarantees each answer comes from one consistent
+        // view.
+        let snapshots = match args.snapshot_every {
+            Some(n) => SnapshotPlan::every(n),
+            None => SnapshotPlan::every((world.posts.len() as u64 / 4).max(1)),
+        };
+        let plan = args.cfg.exec.clone().with_snapshots(snapshots);
+        std::thread::scope(|scope| {
+            let publisher = hub.clone();
+            scope.spawn(move || {
+                let result = ingest(
+                    world,
+                    ReportStream::replay(world),
+                    &args.cfg.curation,
+                    &plan,
+                    obs,
+                    |s| {
+                        let snap = IntelSnapshot::build(&s.output);
+                        let entries = snap.len();
+                        let epoch = publisher.publish(snap);
+                        obs_info!(
+                            obs,
+                            "published epoch {epoch} @ {:>7} posts ({entries} entries)",
+                            s.at_posts
+                        );
+                    },
+                );
+                let snap = IntelSnapshot::build(&result.output);
+                let entries = snap.len();
+                let epoch = publisher.publish(snap);
+                obs_info!(
+                    obs,
+                    "final publish: epoch {epoch} after {} posts ({entries} entries)",
+                    result.posts_ingested
+                );
+            });
+            let mut ready = hub.reader();
+            if !ready.wait_ready(Duration::from_secs(300)) {
+                obs_error!(obs, "no snapshot published within 300s");
+                std::process::exit(1);
+            }
+            let mut triage = Triage::new(hub.reader());
+            serve_lines(&mut triage, stdin.lock(), stdout.lock(), obs).expect("serve io")
+        })
+    } else {
+        let output = run_pipeline(args, obs, world);
+        hub.publish(IntelSnapshot::build(&output));
+        let mut triage = Triage::new(hub.reader());
+        serve_lines(&mut triage, stdin.lock(), stdout.lock(), obs).expect("serve io")
+    };
+    // Diagnostics go to stderr — stdout is the protocol channel and gets
+    // piped back in as queries by the CI smoke job.
+    eprintln!(
+        "serve done: {} queries ({} hits, {} misses, {} triaged, {} errors), epoch {}",
+        stats.queries,
+        stats.hits,
+        stats.misses,
+        stats.triaged,
+        stats.errors,
+        hub.epoch()
+    );
+}
+
+fn cmd_query(args: &Args, obs: &Obs, world: &World) {
+    let (kind, value) = match args.positional.split_first() {
+        Some((kind, rest)) if !rest.is_empty() => (kind.as_str(), rest.join(" ")),
+        _ => {
+            eprintln!("query needs a kind and a value\n{}", usage());
+            std::process::exit(2);
+        }
+    };
+    if !matches!(kind, "url" | "sender" | "msg") {
+        eprintln!("unknown query kind {kind:?}; expected url|sender|msg");
+        std::process::exit(2);
+    }
+    let output = run_pipeline(args, obs, world);
+    let hub = IntelHub::new();
+    hub.publish(IntelSnapshot::build(&output));
+    // Key-only lookups never need the model; don't pay for training.
+    let mut triage = Triage::with_config(
+        hub.reader(),
+        TriageConfig {
+            train_model: kind == "msg",
+            ..TriageConfig::default()
+        },
+    );
+    let verdict = obs
+        .histogram("intel.query.wall_ns", &[])
+        .time(|| match kind {
+            "url" => triage.query_url(&value),
+            "sender" => triage.query_sender(&value),
+            _ => {
+                let (sender, text) = match value.split_once('|') {
+                    Some((s, t)) => (Some(s.trim()), t.trim()),
+                    None => (None, value.as_str()),
+                };
+                triage.triage(sender, text)
+            }
+        });
+    if verdict.attribution().is_some() || kind == "msg" {
+        println!("{}", verdict_line(&verdict));
+    } else {
+        println!("miss {kind} key={value}");
+    }
 }
 
 fn main() {
@@ -105,6 +458,10 @@ fn main() {
             eprintln!("{e}");
             std::process::exit(2);
         }
+    };
+    let Some(&(_, _, handler)) = COMMANDS.iter().find(|&&(name, _, _)| name == args.command) else {
+        eprintln!("unknown command {}\n{}", args.command, usage());
+        std::process::exit(2);
     };
     let obs = args.cfg.obs();
     let world = args.cfg.world(&obs);
@@ -117,193 +474,51 @@ fn main() {
         args.cfg.scale,
         args.cfg.seed
     );
-    // The streaming commands never materialize the batch pipeline; the
-    // batch commands run it once here — through the same engine.
-    let run_pipeline = || {
-        let output = args.cfg.pipeline().run(&world, &obs);
-        obs_info!(obs, "pipeline: {} unique records", output.records.len());
-        output
-    };
-
-    match args.command.as_str() {
-        "generate" => {
-            let output = run_pipeline();
-            let rows = dataset::build_dataset(&output.records);
-            dataset::validate_anonymization(&rows).expect("anonymization contract");
-            let dir = args.out.clone().unwrap_or_else(|| "dataset".to_string());
-            std::fs::create_dir_all(&dir).expect("create output dir");
-            let json = dataset::to_json(&rows).expect("serialize");
-            let csv = dataset::to_csv(&rows);
-            std::fs::File::create(format!("{dir}/smishing-dataset.json"))
-                .and_then(|mut f| f.write_all(json.as_bytes()))
-                .expect("write json");
-            std::fs::File::create(format!("{dir}/smishing-dataset.csv"))
-                .and_then(|mut f| f.write_all(csv.as_bytes()))
-                .expect("write csv");
-            println!(
-                "wrote {} rows to {dir}/smishing-dataset.{{json,csv}}",
-                rows.len()
-            );
-        }
-        "run" | "analyze" => {
-            let output = run_pipeline();
-            let results = run_all(&output, &obs);
-            let mut shown = 0;
-            for r in &results {
-                if let Some(want) = &args.experiment {
-                    if !r.id.eq_ignore_ascii_case(want) {
-                        continue;
-                    }
-                }
-                shown += 1;
-                println!("[{}] paper: {}", r.id, r.paper);
-                println!("{}", r.table);
-                for (desc, ok) in &r.checks {
-                    println!("  [{}] {desc}", if *ok { "PASS" } else { "FAIL" });
-                }
-                println!();
-            }
-            if shown == 0 {
-                obs_error!(obs, "no experiment matched {:?}", args.experiment);
-                std::process::exit(2);
-            }
-        }
-        "detect" => {
-            let texts: Vec<String> = world.messages.iter().map(|m| m.text.clone()).collect();
-            let binary = obs
-                .histogram("detect.binary.wall_ns", &[])
-                .time(|| binary_study(&texts, args.cfg.seed))
-                .expect("corpus");
-            println!(
-                "binary smish-vs-ham:        accuracy {:.1}%  macro-F1 {:.3}  (n={})",
-                binary.report.accuracy * 100.0,
-                binary.report.macro_f1,
-                binary.report.n
-            );
-            let labeled: Vec<(String, ScamType, u32)> = world
-                .messages
-                .iter()
-                .map(|m| (m.text.clone(), m.truth.scam_type, m.campaign.0))
-                .collect();
-            let grouped = obs
-                .histogram("detect.multiclass.wall_ns", &[])
-                .time(|| multiclass_study_grouped(&labeled, args.cfg.seed))
-                .expect("corpus");
-            println!(
-                "typology (campaign-held-out): accuracy {:.1}%  macro-F1 {:.3}  (n={})",
-                grouped.report.accuracy * 100.0,
-                grouped.report.macro_f1,
-                grouped.report.n
-            );
-        }
-        "link" => {
-            let output = run_pipeline();
-            let (_, table) = linking_ablation(&output);
-            println!("{table}");
-        }
-        "mitigate" => {
-            let output = run_pipeline();
-            println!("{}", mitigation_study(&output).to_table());
-            println!("{}", domain_freshness(&output).to_table());
-            println!("{}", report_latency(&output).to_table());
-        }
-        "stream" => {
-            // Chronological replay through the sharded engine; snapshots
-            // report progress without pausing ingestion, and the final
-            // merged state renders the same tables as `run`.
-            let snapshots = match args.snapshot_every {
-                Some(n) => SnapshotPlan::every(n),
-                None => SnapshotPlan::every((world.posts.len() as u64 / 4).max(1)),
-            };
-            let plan = args.cfg.exec.clone().with_snapshots(snapshots);
-            let result = ingest(
-                &world,
-                ReportStream::replay(&world),
-                &args.cfg.curation,
-                &plan,
-                &obs,
-                |s| {
-                    obs_info!(
-                        obs,
-                        "snapshot @ {:>7} posts: {} curated / {} unique records",
-                        s.at_posts,
-                        s.output.curated_total.len(),
-                        s.output.records.len()
-                    );
-                },
-            );
-            obs_info!(
-                obs,
-                "stream: {} posts through {} shards, {} snapshots",
-                result.posts_ingested,
-                plan.shards,
-                result.snapshots_taken
-            );
-            let mut shown = 0;
-            for (id, table) in result.accs.tables() {
-                if let Some(want) = &args.experiment {
-                    if !id.eq_ignore_ascii_case(want) {
-                        continue;
-                    }
-                }
-                shown += 1;
-                println!("[{id}]\n{table}\n");
-            }
-            if shown == 0 {
-                obs_error!(obs, "no experiment matched {:?}", args.experiment);
-                std::process::exit(2);
-            }
-        }
-        "watch" => {
-            // Infinite-feed soak: the world's reports loop forever with
-            // fresh post ids and advancing timestamps. Bounded by --posts
-            // (default two laps) so the command terminates.
-            let lap = world.posts.len() as u64;
-            let budget = args.posts.unwrap_or(2 * lap);
-            let every = args.snapshot_every.unwrap_or((lap / 2).max(1));
-            let plan = args
-                .cfg
-                .exec
-                .clone()
-                .with_snapshots(SnapshotPlan::every(every));
-            let result = ingest(
-                &world,
-                ReportStream::soak(&world).take(budget as usize),
-                &args.cfg.curation,
-                &plan,
-                &obs,
-                |s| {
-                    obs_info!(
-                        obs,
-                        "[lap {}] {:>7} posts: {} curated / {} unique records",
-                        s.at_posts / lap,
-                        s.at_posts,
-                        s.output.curated_total.len(),
-                        s.output.records.len()
-                    );
-                    if let Some(want) = &args.experiment {
-                        for (id, table) in s.accs.tables() {
-                            if id.eq_ignore_ascii_case(want) {
-                                println!("{table}");
-                            }
-                        }
-                    }
-                },
-            );
-            println!(
-                "soak done: {} posts ({:.1} laps), {} snapshots",
-                result.posts_ingested,
-                result.posts_ingested as f64 / lap as f64,
-                result.snapshots_taken
-            );
-        }
-        other => {
-            eprintln!("unknown command {other}\n{}", usage());
-            std::process::exit(2);
-        }
-    }
+    handler(&args, &obs, &world);
     if let Err(e) = args.cfg.emit_metrics(&obs) {
         obs_error!(obs, "{e}");
         std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The usage string and the dispatch table cannot drift: usage is
+    /// generated from `COMMANDS`, every listed name resolves to a
+    /// handler, and the module docs show an example for each command.
+    #[test]
+    fn usage_and_dispatch_agree() {
+        let u = usage();
+        let inside = u
+            .split('<')
+            .nth(1)
+            .and_then(|s| s.split('>').next())
+            .expect("usage lists commands in <...>");
+        let listed: Vec<&str> = inside.split('|').collect();
+        let table: Vec<&str> = COMMANDS.iter().map(|&(name, _, _)| name).collect();
+        assert_eq!(listed, table, "usage string vs dispatch table");
+
+        let mut unique = table.clone();
+        unique.sort();
+        unique.dedup();
+        assert_eq!(unique.len(), table.len(), "duplicate command names");
+
+        for name in &table {
+            assert!(
+                COMMANDS.iter().any(|&(n, _, _)| n == *name),
+                "{name} listed in usage but not dispatchable"
+            );
+        }
+
+        // And the doc header demonstrates every command.
+        let src = include_str!("smish.rs");
+        for &(name, _, _) in COMMANDS {
+            assert!(
+                src.contains(&format!("smish {name}")),
+                "module docs lack an example for `smish {name}`"
+            );
+        }
     }
 }

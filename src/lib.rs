@@ -21,6 +21,7 @@
 //! | [`core`] | the collection → curation → enrichment → analysis pipeline |
 //! | [`detect`] | §7.2 detection models (Naive Bayes over the labeled dataset) |
 //! | [`stream`] | sharded streaming ingest with mid-stream snapshots |
+//! | [`intel`] | indexed intelligence store + query/triage serving layer |
 //!
 //! ## Quickstart
 //!
@@ -44,6 +45,7 @@ pub use smishing_avscan as avscan;
 pub use smishing_core as core;
 pub use smishing_detect as detect;
 pub use smishing_fault as fault;
+pub use smishing_intel as intel;
 pub use smishing_malcase as malcase;
 pub use smishing_obs as obs;
 pub use smishing_screenshot as screenshot;
@@ -62,6 +64,7 @@ pub mod prelude {
     pub use smishing_core::pipeline::{Pipeline, PipelineOutput};
     pub use smishing_core::runcfg::RunConfig;
     pub use smishing_core::{CurationOptions, DedupMode, ExtractorChoice, TextTable};
+    pub use smishing_intel::{IntelHub, IntelReader, IntelSnapshot, Triage, TriageVerdict};
     pub use smishing_obs::{Level, Obs};
     pub use smishing_types::{
         Country, Forum, Language, Lure, LureSet, ScamType, SenderId, SenderKind, UnixTime,

@@ -1,0 +1,164 @@
+//! End-to-end contract of the intelligence serving layer:
+//!
+//! * a mid-stream republished snapshot answers queries exactly like a
+//!   batch-built store over the same post prefix;
+//! * defanged / homoglyph spellings and the clean string return
+//!   identical verdicts through the serve protocol;
+//! * full-stack triage precision/recall is no worse than the standalone
+//!   campaign-held-out detect baseline on the same seed.
+
+use smishing::core::pipeline::Pipeline;
+use smishing::core::CurationOptions;
+use smishing::intel::{
+    evaluate_triage, serve_lines, IntelHub, IntelSnapshot, Triage, TriageConfig,
+};
+use smishing::obs::Obs;
+use smishing::stream::{ingest, ExecPlan, SnapshotPlan};
+use smishing::worldsim::{ReportStream, World, WorldConfig};
+
+fn world(seed: u64) -> World {
+    World::generate(WorldConfig {
+        scale: 0.02,
+        seed,
+        ..WorldConfig::default()
+    })
+}
+
+fn keyless_triage(hub: &IntelHub) -> Triage {
+    Triage::with_config(
+        hub.reader(),
+        TriageConfig {
+            train_model: false,
+            ..TriageConfig::default()
+        },
+    )
+}
+
+#[test]
+fn mid_stream_republished_snapshot_answers_like_batch_over_prefix() {
+    let w = world(5);
+    let cut = (w.posts.len() as u64 / 2).max(1);
+
+    // Live side: republish from the aligned mid-stream snapshot.
+    let live_hub = IntelHub::new();
+    let mut republished = 0u32;
+    ingest(
+        &w,
+        ReportStream::replay(&w),
+        &CurationOptions::default(),
+        &ExecPlan::default().with_snapshots(SnapshotPlan::every(cut)),
+        &Obs::noop(),
+        |s| {
+            if s.at_posts == cut {
+                live_hub.publish(IntelSnapshot::build(&s.output));
+                republished += 1;
+            }
+        },
+    );
+    assert_eq!(republished, 1, "expected exactly one snapshot at the cut");
+
+    // Batch side: a world truncated to the same prefix is exactly what a
+    // batch collector would have seen at that instant.
+    let mut pw = world(5);
+    pw.posts.truncate(cut as usize);
+    let batch_out = Pipeline::default().run(&pw, &Obs::noop());
+    let batch_hub = IntelHub::new();
+    batch_hub.publish(IntelSnapshot::build(&batch_out));
+
+    let live_snap = live_hub.latest().expect("live publish");
+    let batch_snap = batch_hub.latest().expect("batch publish");
+    assert_eq!(live_snap.len(), batch_snap.len(), "entry counts");
+    assert!(!live_snap.is_empty(), "prefix store must not be empty");
+
+    // Every batch-side key answers identically through the live store.
+    let mut live = keyless_triage(&live_hub);
+    let mut batch = keyless_triage(&batch_hub);
+    let mut checked = 0;
+    for e in batch_snap.entries() {
+        if let Some(u) = e.url {
+            let q = batch_snap.resolve(u);
+            let (a, b) = (live.query_url(q), batch.query_url(q));
+            let a = a.attribution().expect("live hit");
+            let b = b.attribution().expect("batch hit");
+            assert_eq!(a.key, b.key);
+            assert_eq!(a.n_reports, b.n_reports);
+            assert_eq!(a.scam_type, b.scam_type);
+            assert_eq!(a.first_seen, b.first_seen);
+            assert_eq!(a.last_seen, b.last_seen);
+            checked += 1;
+        }
+        if let Some(s) = e.sender {
+            let q = batch_snap.resolve(s);
+            assert_eq!(
+                live.query_sender(q).attribution().is_some(),
+                batch.query_sender(q).attribution().is_some(),
+                "sender {q}"
+            );
+        }
+    }
+    assert!(checked > 0, "no URL keys checked");
+}
+
+#[test]
+fn defanged_and_clean_spellings_serve_identical_verdicts() {
+    let w = world(6);
+    let out = Pipeline::default().run(&w, &Obs::noop());
+    let hub = IntelHub::new();
+    hub.publish(IntelSnapshot::build(&out));
+    let snap = hub.latest().unwrap();
+    let mut t = keyless_triage(&hub);
+
+    let clean = snap
+        .entries()
+        .iter()
+        .find_map(|e| e.url.map(|u| snap.resolve(u).to_string()))
+        .expect("a URL entry");
+    let spellings = [
+        clean.clone(),
+        clean.replacen("https://", "hxxps://", 1),
+        clean.replace('.', "[.]"),
+        clean.replace('.', "(dot)"),
+        clean
+            .replacen("https://", "hxxps://", 1)
+            .replace('.', "[.]"),
+    ];
+
+    // Through the API: same entry, same key, same cluster.
+    let baseline = t.query_url(&clean);
+    let baseline = baseline.attribution().expect("clean spelling hits");
+    for s in &spellings {
+        let v = t.query_url(s);
+        let a = v.attribution().unwrap_or_else(|| panic!("{s} missed"));
+        assert_eq!(a.entry, baseline.entry, "{s}");
+        assert_eq!(a.key, baseline.key, "{s}");
+        assert_eq!(a.cluster, baseline.cluster, "{s}");
+    }
+
+    // Through the serve protocol: byte-identical response lines.
+    let script: String = spellings.iter().map(|s| format!("url {s}\n")).collect();
+    let mut out_buf = Vec::new();
+    let stats = serve_lines(&mut t, script.as_bytes(), &mut out_buf, &Obs::noop()).unwrap();
+    assert_eq!(stats.hits, spellings.len() as u64);
+    let lines: Vec<&str> = std::str::from_utf8(&out_buf).unwrap().lines().collect();
+    assert!(lines.windows(2).all(|w| w[0] == w[1]), "{lines:#?}");
+}
+
+#[test]
+fn triage_matches_or_beats_campaign_held_out_baseline() {
+    let w = world(7);
+    let out = Pipeline::default().run(&w, &Obs::noop());
+    let e = evaluate_triage(&w, &out, 7).expect("splittable world");
+    assert!(
+        e.triage_recall >= e.baseline_recall,
+        "recall {} < baseline {}",
+        e.triage_recall,
+        e.baseline_recall
+    );
+    assert!(
+        e.triage_precision + 1e-9 >= e.baseline_precision,
+        "precision {} < baseline {}",
+        e.triage_precision,
+        e.baseline_precision
+    );
+    assert!(e.infra_hits > 0, "index contributed nothing");
+}
