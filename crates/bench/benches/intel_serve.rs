@@ -2,10 +2,12 @@
 //!
 //! Builds the intelligence store from a batch run, then replays a seeded
 //! stream of mixed queries against [`Triage`] — known-infrastructure
-//! hits (clean *and* defanged spellings), guaranteed misses, and raw-SMS
-//! triage calls that fall through to the model — measuring per-query
-//! latency into `smishing-obs` histograms and reporting throughput plus
-//! p50/p90/p99 per class.
+//! hits (clean *and* defanged spellings), guaranteed misses, similarity
+//! (`near`) probes against the SimHash tier, and raw-SMS triage calls
+//! that fall through to the model — measuring per-query latency into
+//! `smishing-obs` histograms (`intel.serve.*` plus `intel.near.lookup_ns`
+//! and the `intel.near.candidates` candidate-set-size distribution) and
+//! reporting throughput plus p50/p90/p99 per class.
 //!
 //! Every invocation also runs the ground-truth triage evaluation
 //! (precision/recall vs the campaign-held-out model baseline, per seed)
@@ -30,15 +32,19 @@ fn bench_world() -> World {
     World::generate(WorldConfig {
         scale: 0.02,
         seed: SEED,
+        // Probes feed the ground-truth probe-recall gauges in the report;
+        // they never enter the report stream, so the store is unchanged.
+        template_variants: 0.25,
         ..WorldConfig::default()
     })
 }
 
-/// The seeded query mix: (hit keys, miss keys, triage texts).
+/// The seeded query mix: (hit keys, miss keys, near texts, triage texts).
 struct QueryMix {
     hit_urls: Vec<String>,
     hit_senders: Vec<String>,
     miss_urls: Vec<String>,
+    near_texts: Vec<String>,
     texts: Vec<String>,
 }
 
@@ -73,6 +79,16 @@ fn build_mix(world: &World, snap: &IntelSnapshot, rng: &mut StdRng) -> QueryMix 
             )
         })
         .collect();
+    // Similarity probes: indexed lure texts (every one signs to a
+    // non-empty shingle set, so the banded candidate path always runs).
+    let near_texts: Vec<String> = snap
+        .entries()
+        .iter()
+        .enumerate()
+        .filter(|(id, _)| !snap.sim().shingles_of(*id as u32).is_empty())
+        .step_by(2)
+        .map(|(_, e)| e.text.clone())
+        .collect();
     // Triage bodies: real smishing texts (some resolve via the index,
     // the rest exercise extraction + model scoring).
     let texts = world
@@ -85,43 +101,54 @@ fn build_mix(world: &World, snap: &IntelSnapshot, rng: &mut StdRng) -> QueryMix 
         hit_urls,
         hit_senders,
         miss_urls,
+        near_texts,
         texts,
     }
 }
 
-/// Drive `n` queries through the triage head: ~40% URL hits, ~10% sender
-/// hits, ~40% misses, ~10% full triage. Returns (hits, misses, triaged).
+/// Drive `n` queries through the triage head: ~35% URL hits, ~10% sender
+/// hits, ~35% misses, ~10% similarity (`near`) probes, ~10% full triage.
+/// Returns (hits, misses, near_hits, triaged).
 fn closed_loop(
     triage: &mut Triage,
     mix: &QueryMix,
     n: u64,
     obs: &Obs,
     rng: &mut StdRng,
-) -> (u64, u64, u64) {
+) -> (u64, u64, u64, u64) {
     let lookup_ns = obs.histogram("intel.serve.lookup_ns", &[]);
     let triage_ns = obs.histogram("intel.serve.triage_ns", &[]);
-    let (mut hits, mut misses, mut triaged) = (0u64, 0u64, 0u64);
+    let near_ns = obs.histogram("intel.near.lookup_ns", &[]);
+    let near_cand = obs.histogram("intel.near.candidates", &[]);
+    let (mut hits, mut misses, mut near_hits, mut triaged) = (0u64, 0u64, 0u64, 0u64);
     for _ in 0..n {
         let roll: u32 = rng.gen_range(0..100);
-        if roll < 40 {
+        if roll < 35 {
             let q = &mix.hit_urls[rng.gen_range(0..mix.hit_urls.len())];
             let t = Instant::now();
             let v = triage.query_url(q);
             lookup_ns.record(t.elapsed().as_nanos() as u64);
             debug_assert!(v.attribution().is_some(), "seeded hit missed: {q}");
             hits += u64::from(v.attribution().is_some());
-        } else if roll < 50 {
+        } else if roll < 45 {
             let q = &mix.hit_senders[rng.gen_range(0..mix.hit_senders.len())];
             let t = Instant::now();
             let v = triage.query_sender(q);
             lookup_ns.record(t.elapsed().as_nanos() as u64);
             hits += u64::from(v.attribution().is_some());
-        } else if roll < 90 {
+        } else if roll < 80 {
             let q = &mix.miss_urls[rng.gen_range(0..mix.miss_urls.len())];
             let t = Instant::now();
             let v = triage.query_url(q);
             lookup_ns.record(t.elapsed().as_nanos() as u64);
             misses += u64::from(v.attribution().is_none());
+        } else if roll < 90 && !mix.near_texts.is_empty() {
+            let q = &mix.near_texts[rng.gen_range(0..mix.near_texts.len())];
+            let t = Instant::now();
+            let (v, candidates) = triage.query_near_with(q);
+            near_ns.record(t.elapsed().as_nanos() as u64);
+            near_cand.record(candidates as u64);
+            near_hits += u64::from(v.near().is_some());
         } else {
             let q = &mix.texts[rng.gen_range(0..mix.texts.len())];
             let t = Instant::now();
@@ -131,7 +158,7 @@ fn closed_loop(
             black_box(v.score());
         }
     }
-    (hits, misses, triaged)
+    (hits, misses, near_hits, triaged)
 }
 
 fn bench_intel_serve(c: &mut Criterion) {
@@ -155,6 +182,13 @@ fn bench_intel_serve(c: &mut Criterion) {
     });
     g.bench_function("lookup_miss_cached", |b| {
         b.iter(|| black_box(triage.query_url(&mix.miss_urls[0])))
+    });
+    g.bench_function("near_lookup", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % mix.near_texts.len();
+            black_box(triage.query_near(&mix.near_texts[i]))
+        })
     });
     g.bench_function("triage_model", |b| {
         let mut i = 0usize;
@@ -181,18 +215,19 @@ fn serve_report(quick: bool) {
 
     let n: u64 = if quick { 50_000 } else { 2_000_000 };
     let t = Instant::now();
-    let (hits, misses, triaged) = closed_loop(&mut triage, &mix, n, &obs, &mut rng);
+    let (hits, misses, near_hits, triaged) = closed_loop(&mut triage, &mix, n, &obs, &mut rng);
     let wall = t.elapsed();
     let qps = n as f64 / wall.as_secs_f64();
     obs.counter("intel.serve.queries", &[]).add(n);
     obs.counter("intel.serve.hits", &[]).add(hits);
     obs.counter("intel.serve.misses", &[]).add(misses);
+    obs.counter("intel.serve.near_hits", &[]).add(near_hits);
     obs.counter("intel.serve.triaged", &[]).add(triaged);
     obs.gauge("intel.serve.qps", &[]).set(qps as i64);
 
     let lookup = obs.histogram("intel.serve.lookup_ns", &[]);
     eprintln!(
-        "closed loop: {n} queries in {:.2}s — {qps:.0} q/s ({hits} hits / {misses} misses / {triaged} triaged)",
+        "closed loop: {n} queries in {:.2}s — {qps:.0} q/s ({hits} hits / {misses} misses / {near_hits} near hits / {triaged} triaged)",
         wall.as_secs_f64()
     );
     eprintln!(
@@ -200,6 +235,16 @@ fn serve_report(quick: bool) {
         lookup.quantile(0.50) / 1e3,
         lookup.quantile(0.90) / 1e3,
         lookup.quantile(0.99) / 1e3,
+    );
+    let near = obs.histogram("intel.near.lookup_ns", &[]);
+    let cand = obs.histogram("intel.near.candidates", &[]);
+    eprintln!(
+        "near latency: p50 {:.1}us  p90 {:.1}us  p99 {:.1}us | candidates p50 {:.0} p99 {:.0}",
+        near.quantile(0.50) / 1e3,
+        near.quantile(0.90) / 1e3,
+        near.quantile(0.99) / 1e3,
+        cand.quantile(0.50),
+        cand.quantile(0.99),
     );
 
     // Ground-truth scorecard per seed: full stack vs the campaign-held-out
@@ -216,6 +261,10 @@ fn serve_report(quick: bool) {
             .set(permille(e.baseline_recall));
         obs.gauge("intel.eval.attribution_accuracy_permille", &[])
             .set(permille(e.attribution_accuracy));
+        obs.gauge("intel.eval.probe_exact_recall_permille", &[])
+            .set(permille(e.probe_exact_recall));
+        obs.gauge("intel.eval.probe_near_recall_permille", &[])
+            .set(permille(e.probe_near_recall));
         eprintln!(
             "scorecard: triage P {:.3} R {:.3} | baseline P {:.3} R {:.3} | attribution {:.3}",
             e.triage_precision,
@@ -223,6 +272,10 @@ fn serve_report(quick: bool) {
             e.baseline_precision,
             e.baseline_recall,
             e.attribution_accuracy
+        );
+        eprintln!(
+            "rotated probes: {} probes | exact-ladder recall {:.3} | near recall {:.3}",
+            e.probe_n, e.probe_exact_recall, e.probe_near_recall
         );
     }
 

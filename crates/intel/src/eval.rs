@@ -49,6 +49,17 @@ pub struct TriageEval {
     /// Fraction of attributed infrastructure hits whose cluster majority
     /// campaign equals the message's true campaign.
     pub attribution_accuracy: f64,
+    /// Test messages resolved by the similarity (near-duplicate) rung.
+    pub near_hits: usize,
+    /// Rotated-indicator probe messages evaluated (the world's
+    /// `template_variants` knob; 0 when the knob is off).
+    pub probe_n: usize,
+    /// Probe recall through exact pivots only (similarity rung disabled).
+    /// Probes rotate URL and sender, so this is what the old ladder loses.
+    pub probe_exact_recall: f64,
+    /// Probe recall with the similarity rung enabled: exact hits plus
+    /// near-duplicate matches against the indexed lure texts.
+    pub probe_near_recall: f64,
 }
 
 fn prf(tp: usize, fp: usize, fn_: usize) -> (f64, f64, f64) {
@@ -137,6 +148,7 @@ pub fn evaluate_triage(world: &World, out: &PipelineOutput<'_>, seed: u64) -> Op
     let (mut b_tp, mut b_fp, mut b_fn) = (0usize, 0usize, 0usize);
     let (mut t_tp, mut t_fp, mut t_fn) = (0usize, 0usize, 0usize);
     let mut infra_hits = 0usize;
+    let mut near_hits = 0usize;
     let mut attributed = 0usize;
     let mut attributed_right = 0usize;
 
@@ -156,6 +168,9 @@ pub fn evaluate_triage(world: &World, out: &PipelineOutput<'_>, seed: u64) -> Op
                 }
             }
         }
+        if v.near().is_some() {
+            near_hits += 1;
+        }
         if v.is_smishing(threshold) {
             t_tp += 1;
         } else {
@@ -171,6 +186,42 @@ pub fn evaluate_triage(world: &World, out: &PipelineOutput<'_>, seed: u64) -> Op
         }
     }
 
+    // Rotated-indicator probes: the same lure under fresh URL + sender.
+    // The exact-pivot ladder is scored with the similarity rung disabled;
+    // the full ladder additionally counts near-duplicate matches.
+    let mut exact_triage = Triage::with_config(
+        hub.reader(),
+        TriageConfig {
+            threshold,
+            model_seed: seed,
+            near: false,
+            ..TriageConfig::default()
+        },
+    );
+    let mut probe_exact = 0usize;
+    let mut probe_near = 0usize;
+    for m in &world.probe_messages {
+        let sender = m.sender.display_string();
+        if matches!(
+            exact_triage.triage(Some(&sender), &m.text),
+            TriageVerdict::Hit(_)
+        ) {
+            probe_exact += 1;
+        }
+        let v = triage.triage(Some(&sender), &m.text);
+        if matches!(v, TriageVerdict::Hit(_)) || v.near().is_some() {
+            probe_near += 1;
+        }
+    }
+    let probe_n = world.probe_messages.len();
+    let probe_rate = |hits: usize| {
+        if probe_n == 0 {
+            0.0
+        } else {
+            hits as f64 / probe_n as f64
+        }
+    };
+
     let (bp, br, bf1) = prf(b_tp, b_fp, b_fn);
     let (tp, tr, tf1) = prf(t_tp, t_fp, t_fn);
     Some(TriageEval {
@@ -184,6 +235,10 @@ pub fn evaluate_triage(world: &World, out: &PipelineOutput<'_>, seed: u64) -> Op
         baseline_recall: br,
         baseline_f1: bf1,
         attribution_accuracy: attributed_right as f64 / attributed.max(1) as f64,
+        near_hits,
+        probe_n,
+        probe_exact_recall: probe_rate(probe_exact),
+        probe_near_recall: probe_rate(probe_near),
     })
 }
 
@@ -220,6 +275,29 @@ mod tests {
             e.attribution_accuracy >= 0.5,
             "majority-campaign attribution should mostly be right, got {}",
             e.attribution_accuracy
+        );
+    }
+
+    #[test]
+    fn near_rung_recovers_rotated_probe_recall() {
+        let w = World::generate(WorldConfig {
+            template_variants: 0.6,
+            ..WorldConfig::test_scale(59)
+        });
+        let out = Pipeline::default().run(&w, &Obs::noop());
+        let e = evaluate_triage(&w, &out, 59).expect("world big enough to split");
+        assert!(e.probe_n > 0, "template_variants generated probes");
+        assert!(
+            e.probe_near_recall > e.probe_exact_recall,
+            "similarity rung must recover rotated-indicator campaigns: near {} vs exact {}",
+            e.probe_near_recall,
+            e.probe_exact_recall
+        );
+        assert!(
+            e.triage_precision + 1e-9 >= e.baseline_precision,
+            "the near rung must not cost precision: {} < {}",
+            e.triage_precision,
+            e.baseline_precision
         );
     }
 

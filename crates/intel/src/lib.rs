@@ -25,9 +25,11 @@
 //!   pipeline's own extraction/normalization stack (`textnlp` features,
 //!   `webinfra` defanged-URL parsing and homoglyph host folding) plus the
 //!   `detect` logistic-regression model, and returns a scored verdict:
-//!   known-infrastructure hit with campaign attribution, or a model-only
-//!   score. Negative lookups go through a bounded LRU cache that is
-//!   invalidated on republish.
+//!   known-infrastructure hit with campaign attribution, a similarity
+//!   (near-duplicate) match against the snapshot's `smishing-simindex`
+//!   SimHash tier when every exact pivot missed, or a model-only score.
+//!   Negative lookups — similarity misses included — go through a
+//!   bounded LRU cache that is invalidated on republish.
 //! * [`serve_lines`] — the stdin/stdout line protocol behind
 //!   `smish serve`, instrumented through `smishing-obs` histograms.
 //! * [`evaluate_triage`] — the ground-truth evaluation: worldsim knows
@@ -52,4 +54,4 @@ pub use hub::{IntelHub, IntelReader};
 pub use intern::{Interner, Sym};
 pub use serve::{serve_lines, verdict_line, ServeStats};
 pub use snapshot::{record_keys, IntelEntry, IntelSnapshot, RecordKeys};
-pub use triage::{Attribution, MatchedKey, Triage, TriageConfig, TriageVerdict};
+pub use triage::{Attribution, MatchedKey, NearAttribution, Triage, TriageConfig, TriageVerdict};

@@ -9,16 +9,21 @@
 //! sender <raw>         look up a sender ID / phone number
 //! msg <text>           triage a raw SMS body
 //! msg <sender>|<text>  triage with a sender
+//! near <text>          similarity-tier lookup: nearest campaign template
 //! sample <n>           emit n ready-to-feed query lines from the store
-//! stats                one-line counter summary
+//! sample near <n>      emit n ready-to-feed `near` lines (entry texts)
+//! stats                one-line counter summary (incl. template count)
 //! quit                 stop serving
 //! ```
 //!
-//! Responses: `hit via=<pivot> key=<canonical> cluster=<id> ...`,
-//! `miss <kind> key=<canonical>`, `triage score=<p> smishing=<bool>
-//! via=<index|model|none>`, or `err <reason>`. Latencies go into the
-//! `intel.serve.lookup_ns` / `intel.serve.triage_ns` histograms and the
-//! `intel.serve.*` counters of the run report.
+//! Responses: `hit via=<pivot> key=<canonical> template=<id> ...`,
+//! `miss <kind> key=<canonical>`, `near score=<p> template=<id>
+//! hamming=<d> jaccard=<j> ...`, `triage score=<p> smishing=<bool>
+//! via=<index|near|model|none>`, or `err <reason>`. Latencies go into
+//! the `intel.serve.lookup_ns` / `intel.serve.triage_ns` /
+//! `intel.serve.near_ns` histograms (plus the candidate-set sizes into
+//! `intel.serve.near_candidates`) and the `intel.serve.*` counters of
+//! the run report.
 
 use crate::triage::{Triage, TriageVerdict};
 use smishing_obs::Obs;
@@ -32,6 +37,11 @@ pub struct ServeStats {
     pub queries: u64,
     /// Known-infrastructure hits.
     pub hits: u64,
+    /// Similarity-tier hits (`near` queries and `msg` lines resolved by
+    /// the near rung).
+    pub near_hits: u64,
+    /// `near` queries that matched no template.
+    pub near_misses: u64,
     /// Lookup misses (url/sender queries that matched nothing).
     pub misses: u64,
     /// Messages that fell through to the model (`msg` without an index
@@ -46,15 +56,27 @@ pub struct ServeStats {
 pub fn verdict_line(v: &TriageVerdict) -> String {
     match v {
         TriageVerdict::Hit(a) => format!(
-            "hit via={} key={} cluster={} size={} scam={} reports={} first={} last={}",
+            "hit via={} key={} template={} cluster={} size={} scam={} reports={} first={} last={}",
             a.matched.label(),
             a.key,
+            a.template,
             a.cluster,
             a.cluster_size,
             a.scam_type.label(),
             a.n_reports,
             a.first_seen.0,
             a.last_seen.0,
+        ),
+        TriageVerdict::Near(a) => format!(
+            "near score={:.4} template={} cluster={} size={} scam={} hamming={} jaccard={:.4} reports={}",
+            a.score(),
+            a.template,
+            a.cluster,
+            a.cluster_size,
+            a.scam_type.label(),
+            a.hamming,
+            a.jaccard,
+            a.n_reports,
         ),
         TriageVerdict::ModelOnly { score } => {
             format!(
@@ -76,6 +98,8 @@ pub fn serve_lines<R: BufRead, W: Write>(
     let mut stats = ServeStats::default();
     let lookup_ns = obs.histogram("intel.serve.lookup_ns", &[]);
     let triage_ns = obs.histogram("intel.serve.triage_ns", &[]);
+    let near_ns = obs.histogram("intel.serve.near_ns", &[]);
+    let near_candidates = obs.histogram("intel.serve.near_candidates", &[]);
     let threshold = triage.threshold();
 
     for line in input.lines() {
@@ -88,7 +112,7 @@ pub fn serve_lines<R: BufRead, W: Write>(
         let rest = rest.trim();
         match cmd {
             "quit" | "exit" => break,
-            "url" | "sender" if rest.is_empty() => {
+            "url" | "sender" | "near" if rest.is_empty() => {
                 stats.errors += 1;
                 writeln!(out, "err {cmd} needs a value")?;
             }
@@ -124,6 +148,23 @@ pub fn serve_lines<R: BufRead, W: Write>(
                     }
                 }
             }
+            "near" => {
+                stats.queries += 1;
+                let t = Instant::now();
+                let (v, cands) = triage.query_near_with(rest);
+                near_ns.record(t.elapsed().as_nanos() as u64);
+                near_candidates.record(cands as u64);
+                match &v {
+                    TriageVerdict::Near(_) => {
+                        stats.near_hits += 1;
+                        writeln!(out, "{}", verdict_line(&v))?;
+                    }
+                    _ => {
+                        stats.near_misses += 1;
+                        writeln!(out, "miss near key={rest}")?;
+                    }
+                }
+            }
             "msg" => {
                 stats.queries += 1;
                 let (sender, text) = match rest.split_once('|') {
@@ -135,21 +176,35 @@ pub fn serve_lines<R: BufRead, W: Write>(
                 triage_ns.record(t.elapsed().as_nanos() as u64);
                 match &v {
                     TriageVerdict::Hit(_) => stats.hits += 1,
+                    TriageVerdict::Near(_) => stats.near_hits += 1,
                     _ => stats.triaged += 1,
                 }
                 let _ = threshold; // thresholding is the caller's policy
                 writeln!(out, "{}", verdict_line(&v))?;
             }
             "sample" => {
-                let n: usize = rest.parse().unwrap_or(10);
+                // `sample near <n>` emits entry texts as `near` query
+                // lines; plain `sample <n>` emits url/sender lines.
+                let (near_sample, n_str) = match rest.split_once(' ') {
+                    Some(("near", n)) => (true, n.trim()),
+                    _ => (rest == "near", rest),
+                };
+                let n: usize = n_str.parse().unwrap_or(10);
                 match triage.snapshot() {
                     Some(snap) => {
                         let mut emitted = 0;
-                        for e in snap.entries() {
+                        for (id, e) in snap.entries().iter().enumerate() {
                             if emitted >= n {
                                 break;
                             }
-                            if let Some(u) = e.url {
+                            if near_sample {
+                                // Texts that shingle to nothing (URL-only
+                                // bodies) can never self-match; skip them.
+                                if snap.sim().shingles_of(id as u32).is_empty() {
+                                    continue;
+                                }
+                                writeln!(out, "near {}", e.text)?;
+                            } else if let Some(u) = e.url {
                                 writeln!(out, "url {}", snap.resolve(u))?;
                             } else if let Some(s) = e.sender {
                                 writeln!(out, "sender {}", snap.resolve(s))?;
@@ -163,10 +218,18 @@ pub fn serve_lines<R: BufRead, W: Write>(
                 }
             }
             "stats" => {
+                let templates = triage.snapshot().map_or(0, |s| s.template_count());
                 writeln!(
                     out,
-                    "stats queries={} hits={} misses={} triaged={} errors={}",
-                    stats.queries, stats.hits, stats.misses, stats.triaged, stats.errors
+                    "stats queries={} hits={} near_hits={} near_misses={} misses={} triaged={} errors={} templates={}",
+                    stats.queries,
+                    stats.hits,
+                    stats.near_hits,
+                    stats.near_misses,
+                    stats.misses,
+                    stats.triaged,
+                    stats.errors,
+                    templates,
                 )?;
             }
             other => {
@@ -178,6 +241,10 @@ pub fn serve_lines<R: BufRead, W: Write>(
 
     obs.counter("intel.serve.queries", &[]).add(stats.queries);
     obs.counter("intel.serve.hits", &[]).add(stats.hits);
+    obs.counter("intel.serve.near_hits", &[])
+        .add(stats.near_hits);
+    obs.counter("intel.serve.near_misses", &[])
+        .add(stats.near_misses);
     obs.counter("intel.serve.misses", &[]).add(stats.misses);
     obs.counter("intel.serve.triaged", &[]).add(stats.triaged);
     obs.counter("intel.serve.errors", &[]).add(stats.errors);
@@ -247,10 +314,45 @@ mod tests {
         let mut out = Vec::new();
         let stats = serve_lines(&mut t, script.as_bytes(), &mut out, &obs).unwrap();
         assert_eq!(stats.queries, 1);
-        assert_eq!(stats.triaged + stats.hits, 1);
+        assert_eq!(stats.triaged + stats.hits + stats.near_hits, 1);
         let text = String::from_utf8(out).unwrap();
         assert!(text.contains("stats queries=1"), "{text}");
+        assert!(text.contains("templates="), "{text}");
         let report = obs.json_report();
         assert!(report.contains("intel.serve.queries"), "{report}");
+    }
+
+    #[test]
+    fn near_sample_round_trips_to_near_hits() {
+        let mut t = triage();
+        let (_, script) = run(&mut t, "sample near 20");
+        assert_eq!(script.lines().count(), 20);
+        assert!(script.lines().all(|l| l.starts_with("near ")), "{script}");
+        let (stats, replies) = run(&mut t, &script);
+        assert_eq!(stats.queries, 20);
+        assert_eq!(
+            stats.near_hits, 20,
+            "identical texts must self-match:\n{replies}"
+        );
+        assert_eq!(stats.near_misses, 0);
+        assert!(replies.lines().all(|l| l.starts_with("near score=")));
+        assert!(replies.contains("template="), "{replies}");
+    }
+
+    #[test]
+    fn near_miss_and_empty_near_error() {
+        let mut t = triage();
+        let obs = Obs::enabled();
+        let script = "near aimless doodle about watering the office ferns on thursday\nnear\n";
+        let mut out = Vec::new();
+        let stats = serve_lines(&mut t, script.as_bytes(), &mut out, &obs).unwrap();
+        assert_eq!(stats.near_misses, 1);
+        assert_eq!(stats.near_hits, 0);
+        assert_eq!(stats.errors, 1);
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("miss near"), "{text}");
+        let report = obs.json_report();
+        assert!(report.contains("intel.serve.near_misses"), "{report}");
+        assert!(report.contains("intel.serve.near_candidates"), "{report}");
     }
 }

@@ -24,6 +24,7 @@ use smishing_core::analysis::linking::{pivot_keys, LinkingPivots, WEAK_KEY_CAP};
 use smishing_core::curation::DedupMode;
 use smishing_core::enrich::EnrichedRecord;
 use smishing_core::pipeline::PipelineOutput;
+use smishing_simindex::{NearResult, SimIndex};
 use smishing_stats::unionfind::UnionFind;
 use smishing_telecom::NumberStatus;
 use smishing_textnlp::normalize::normalize_token;
@@ -112,6 +113,11 @@ pub struct IntelEntry {
     pub brand: Option<Sym>,
     /// Campaign-link cluster id ([`IntelSnapshot::cluster_entries`]).
     pub cluster: u32,
+    /// Campaign-template id from the similarity index's
+    /// connected-components pass (paper RQ2 lure templates) — entries
+    /// whose texts are near-duplicates share a template even when every
+    /// exact indicator differs.
+    pub template: u32,
     /// Bitmask over [`Forum::ALL`] of forums that reported this message.
     pub forums: u8,
     /// Total reports (duplicates included) behind this entry.
@@ -162,6 +168,7 @@ pub struct IntelSnapshot {
     by_brand: HashMap<Sym, Vec<u32>>,
     clusters: Vec<Vec<u32>>,
     cluster_campaign: Vec<Option<u32>>,
+    sim: SimIndex,
     built_from_posts: u64,
 }
 
@@ -284,6 +291,7 @@ impl IntelSnapshot {
                 phone,
                 brand,
                 cluster,
+                template: 0, // assigned after the similarity index builds
                 forums: group.map_or(forum_bit(r.curated.forum), |g| g.forums),
                 n_reports: group.map_or(1, |g| g.n),
                 first_seen: group.map_or(r.curated.posted_at, |g| g.first),
@@ -306,6 +314,14 @@ impl IntelSnapshot {
                 .into_iter()
                 .max_by_key(|&(c, n)| (n, std::cmp::Reverse(c)))
                 .map(|(c, _)| c);
+        }
+
+        // Similarity tier: one SimHash doc per entry, in entry order, so
+        // doc ids ARE entry ids. Built here so every published epoch
+        // carries its index — the read path never builds anything.
+        snap.sim = SimIndex::build(snap.entries.iter().map(|e| e.text.as_str()));
+        for (id, e) in snap.entries.iter_mut().enumerate() {
+            e.template = snap.sim.template_of(id as u32);
         }
         snap
     }
@@ -420,6 +436,23 @@ impl IntelSnapshot {
     pub fn texts(&self) -> impl Iterator<Item = &str> {
         self.entries.iter().map(|e| e.text.as_str())
     }
+
+    /// The similarity index over entry texts (doc ids == entry ids).
+    pub fn sim(&self) -> &SimIndex {
+        &self.sim
+    }
+
+    /// Number of distinct campaign templates (similarity components).
+    pub fn template_count(&self) -> usize {
+        self.sim.template_count() as usize
+    }
+
+    /// Near-duplicate entries of a raw message text: banded SimHash
+    /// candidates ranked by Hamming distance, re-ranked by exact n-gram
+    /// Jaccard. Match ids are entry ids.
+    pub fn near(&self, text: &str, k: usize) -> NearResult {
+        self.sim.nearest(&self.sim.query(text), k)
+    }
 }
 
 #[cfg(test)]
@@ -505,6 +538,40 @@ mod tests {
         assert!(seen.iter().all(|&x| x));
         assert!(s.cluster_count() > 1);
         assert!(s.cluster_count() < s.len());
+    }
+
+    #[test]
+    fn templates_are_dense_and_group_identical_texts() {
+        let s = snap();
+        let n_templates = s.template_count();
+        assert!(n_templates > 1);
+        assert!(n_templates <= s.len());
+        let max = s.entries().iter().map(|e| e.template).max().unwrap();
+        assert_eq!(max as usize + 1, n_templates, "template ids are dense");
+        // Identical texts are trivially near-duplicates.
+        let mut by_text: HashMap<&str, u32> = HashMap::new();
+        for e in s.entries() {
+            if let Some(&t) = by_text.get(e.text.as_str()) {
+                assert_eq!(t, e.template, "{}", e.text);
+            } else {
+                by_text.insert(e.text.as_str(), e.template);
+            }
+        }
+        // Fewer templates than entries: the corpus has real variants.
+        assert!(n_templates < s.len());
+    }
+
+    #[test]
+    fn near_finds_indexed_texts_and_rejects_unrelated() {
+        let s = snap();
+        let e = &s.entries()[0];
+        let r = s.near(&e.text, 3);
+        let top = r.matches.first().expect("self near-match");
+        assert_eq!(top.hamming, 0);
+        assert_eq!(s.entry(top.id).template, e.template);
+        assert!(r.candidates >= r.matches.len());
+        let none = s.near("completely unrelated grocery list: eggs, milk, bread", 3);
+        assert!(none.matches.is_empty(), "{:?}", none.matches);
     }
 
     #[test]

@@ -13,9 +13,18 @@
 //! homoglyph host folding and `textnlp` featurization — so a defanged or
 //! mixed-script spelling of known infrastructure cannot dodge the index.
 //!
-//! Misses are remembered in a bounded [`LruSet`] keyed per pivot; the
-//! cache is cleared whenever the reader observes a republish, because a
-//! fresh snapshot may turn yesterday's miss into today's hit.
+//! Between the last exact pivot and the model sits the similarity rung:
+//! when a campaign has rotated every exact indicator, the snapshot's
+//! SimHash index (`smishing-simindex`) is probed for near-duplicate
+//! texts, and a match returns the nearest template's evidence with a
+//! similarity score ([`NearAttribution`]).
+//!
+//! Misses are remembered in a bounded [`LruSet`] keyed per pivot —
+//! similarity misses included, keyed by the query's signature + shingle
+//! fingerprint; the cache is cleared whenever the reader observes a
+//! republish, because a fresh snapshot may turn yesterday's miss into
+//! today's hit (for the similarity rung: a newly reported campaign may
+//! now sit within radius of a previously unmatched text).
 
 use crate::cache::LruSet;
 use crate::hub::IntelReader;
@@ -24,6 +33,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use smishing_core::enrich::parse_sender;
 use smishing_detect::{featurize, LogisticRegression, LrConfig};
+use smishing_simindex::{set_hash, SimMatch};
 use smishing_textnlp::ham::generate_ham;
 use smishing_types::{ScamType, UnixTime};
 use smishing_webinfra::{find_url_in_text, parse_url, refang};
@@ -63,6 +73,8 @@ pub struct Attribution {
     pub key: String,
     /// The first matching entry (canonical post-id order).
     pub entry: u32,
+    /// Campaign-template id of that entry (similarity component).
+    pub template: u32,
     /// Campaign-link cluster of that entry.
     pub cluster: u32,
     /// Entries in that cluster.
@@ -82,11 +94,57 @@ pub struct Attribution {
     pub truth_campaign: Option<u32>,
 }
 
+/// A near-duplicate match from the similarity tier: the message is not
+/// known infrastructure, but its text is a near-duplicate of a reported
+/// campaign's — the rotated-indicator case.
+#[derive(Debug, Clone)]
+pub struct NearAttribution {
+    /// The matched entry (canonical post-id order).
+    pub entry: u32,
+    /// Campaign-template id of the matched entry (similarity component).
+    pub template: u32,
+    /// Campaign-link cluster of the matched entry.
+    pub cluster: u32,
+    /// Entries in that cluster.
+    pub cluster_size: usize,
+    /// Hamming distance between query and entry signatures.
+    pub hamming: u32,
+    /// Exact n-gram Jaccard similarity in `[0, 1]`.
+    pub jaccard: f64,
+    /// Size of the banded candidate set that was examined.
+    pub candidates: usize,
+    /// Annotated scam category of the matched entry.
+    pub scam_type: ScamType,
+    /// Impersonated brand, when identified.
+    pub brand: Option<String>,
+    /// Reports (duplicates included) behind the matched entry.
+    pub n_reports: u32,
+    /// Earliest report of the matched entry.
+    pub first_seen: UnixTime,
+    /// Latest report of the matched entry.
+    pub last_seen: UnixTime,
+    /// Majority ground-truth campaign of the cluster — evaluation only.
+    pub truth_campaign: Option<u32>,
+}
+
+impl NearAttribution {
+    /// Similarity score in `(0.5, 1.0]`: halfway between the model
+    /// threshold and an exact-infrastructure hit, scaled by Jaccard — so
+    /// an accepted near match always calls smishing at the default
+    /// threshold, but never outranks exact evidence.
+    pub fn score(&self) -> f64 {
+        0.5 + self.jaccard / 2.0
+    }
+}
+
 /// The outcome of a query or triage call.
 #[derive(Debug, Clone)]
 pub enum TriageVerdict {
     /// A lookup key matched known infrastructure (score 1.0).
     Hit(Attribution),
+    /// Every exact pivot missed, but the text is a near-duplicate of a
+    /// reported campaign's (score `0.5 + jaccard/2`).
+    Near(NearAttribution),
     /// No infrastructure match; the detection model scored the text.
     ModelOnly {
         /// P(smishing) from the logistic-regression model.
@@ -102,6 +160,7 @@ impl TriageVerdict {
     pub fn score(&self) -> f64 {
         match self {
             TriageVerdict::Hit(_) => 1.0,
+            TriageVerdict::Near(a) => a.score(),
             TriageVerdict::ModelOnly { score } => *score,
             TriageVerdict::Unknown => 0.0,
         }
@@ -119,6 +178,14 @@ impl TriageVerdict {
             _ => None,
         }
     }
+
+    /// The near-match attribution, when this is a similarity hit.
+    pub fn near(&self) -> Option<&NearAttribution> {
+        match self {
+            TriageVerdict::Near(a) => Some(a),
+            _ => None,
+        }
+    }
 }
 
 /// Triage tuning knobs.
@@ -132,6 +199,9 @@ pub struct TriageConfig {
     pub model_seed: u64,
     /// Whether to train the model at all (key-only deployments skip it).
     pub train_model: bool,
+    /// Whether the similarity rung runs between the exact-pivot ladder
+    /// and the model fallback.
+    pub near: bool,
 }
 
 impl Default for TriageConfig {
@@ -141,6 +211,7 @@ impl Default for TriageConfig {
             cache_capacity: 4096,
             model_seed: 0xF15F,
             train_model: true,
+            near: true,
         }
     }
 }
@@ -253,6 +324,39 @@ impl Triage {
         hit
     }
 
+    /// Probe the similarity rung, consulting and feeding the negative
+    /// cache exactly like the exact-pivot ladder does. The cache key is
+    /// the query's SimHash signature plus an order-insensitive shingle
+    /// fingerprint — both derived from the text alone, so the key is
+    /// stable across snapshots and invalidates with the rest of the
+    /// cache on republish. Returns the best match (if accepted) and the
+    /// banded candidate-set size examined.
+    fn near_lookup(
+        &mut self,
+        snap: &IntelSnapshot,
+        text: &str,
+    ) -> (Option<NearAttribution>, usize) {
+        if !self.cfg.near {
+            return (None, 0);
+        }
+        let q = snap.sim().query(text);
+        if q.is_empty() {
+            return (None, 0);
+        }
+        let cache_key = format!("near:{:016x}:{:016x}", q.sig, set_hash(&q.shingles));
+        if self.cache.contains(&cache_key) {
+            return (None, 0);
+        }
+        let r = snap.sim().nearest(&q, 1);
+        match r.matches.first() {
+            Some(m) => (Some(near_attribution(snap, m, r.candidates)), r.candidates),
+            None => {
+                self.cache.insert(&cache_key);
+                (None, r.candidates)
+            }
+        }
+    }
+
     /// Key ladder for a raw URL string (exact URL, then apex domain).
     fn url_keys(raw: &str) -> Vec<(MatchedKey, String)> {
         let mut keys = Vec::new();
@@ -304,8 +408,29 @@ impl Triage {
         }
     }
 
+    /// Query by message text alone against the similarity tier (the
+    /// `smish query near` / serve `near` path): no exact pivots, no
+    /// model fallback — a miss is `Unknown`. Returns the verdict plus
+    /// the banded candidate-set size (0 on cache hit or empty query),
+    /// which the serving layer histograms.
+    pub fn query_near_with(&mut self, text: &str) -> (TriageVerdict, usize) {
+        let Some(snap) = self.ensure_fresh() else {
+            return (TriageVerdict::Unknown, 0);
+        };
+        match self.near_lookup(&snap, text) {
+            (Some(a), c) => (TriageVerdict::Near(a), c),
+            (None, c) => (TriageVerdict::Unknown, c),
+        }
+    }
+
+    /// [`Self::query_near_with`] without the candidate count.
+    pub fn query_near(&mut self, text: &str) -> TriageVerdict {
+        self.query_near_with(text).0
+    }
+
     /// Triage a raw incoming SMS: extract URL and sender, walk the index
-    /// ladder, and fall back to the model score.
+    /// ladder, probe the similarity rung, and fall back to the model
+    /// score.
     pub fn triage(&mut self, sender: Option<&str>, text: &str) -> TriageVerdict {
         let Some(snap) = self.ensure_fresh() else {
             return TriageVerdict::Unknown;
@@ -326,6 +451,9 @@ impl Triage {
         if let Some(a) = self.infra_lookup(&snap, &keys) {
             return TriageVerdict::Hit(a);
         }
+        if let (Some(a), _) = self.near_lookup(&snap, &refanged) {
+            return TriageVerdict::Near(a);
+        }
         match &self.model {
             Some(m) => TriageVerdict::ModelOnly {
                 score: m.probability(&featurize(text)),
@@ -335,12 +463,32 @@ impl Triage {
     }
 }
 
+fn near_attribution(snap: &IntelSnapshot, m: &SimMatch, candidates: usize) -> NearAttribution {
+    let e = snap.entry(m.id);
+    NearAttribution {
+        entry: m.id,
+        template: e.template,
+        cluster: e.cluster,
+        cluster_size: snap.cluster_entries(e.cluster).len(),
+        hamming: m.hamming,
+        jaccard: m.jaccard,
+        candidates,
+        scam_type: e.scam_type,
+        brand: e.brand.map(|b| snap.resolve(b).to_string()),
+        n_reports: e.n_reports,
+        first_seen: e.first_seen,
+        last_seen: e.last_seen,
+        truth_campaign: snap.cluster_campaign(e.cluster),
+    }
+}
+
 fn attribution(snap: &IntelSnapshot, matched: MatchedKey, key: String, id: u32) -> Attribution {
     let e = snap.entry(id);
     Attribution {
         matched,
         key,
         entry: id,
+        template: e.template,
         cluster: e.cluster,
         cluster_size: snap.cluster_entries(e.cluster).len(),
         scam_type: e.scam_type,
@@ -465,6 +613,86 @@ mod tests {
         // The republish invalidated the old negatives; only the new
         // query's misses remain.
         assert!(t.cache.len() <= 2);
+    }
+
+    #[test]
+    fn rotated_indicators_fall_through_to_the_near_rung() {
+        let mut t = Triage::with_config(
+            hub().reader(),
+            TriageConfig {
+                train_model: false,
+                ..TriageConfig::default()
+            },
+        );
+        let snap = t.snapshot().unwrap();
+        let e = snap
+            .entries()
+            .iter()
+            .find(|e| e.text.contains("http"))
+            .expect("an entry with a URL in its text");
+        // Rotate every exact indicator: fresh URL, no sender.
+        let rotated: String = e
+            .text
+            .split_whitespace()
+            .map(|tok| {
+                if tok.contains("http") {
+                    "https://rotated-fresh.example/xk9"
+                } else {
+                    tok
+                }
+            })
+            .collect::<Vec<_>>()
+            .join(" ");
+        let v = t.triage(None, &rotated);
+        let a = v.near().expect("near rung should catch the rotation");
+        assert_eq!(a.hamming, 0, "URL rotation must not perturb shingles");
+        assert!(v.is_smishing(t.threshold()));
+        assert!(v.score() > 0.5 && v.score() <= 1.0);
+        assert_eq!(a.template, snap.entry(a.entry).template);
+    }
+
+    #[test]
+    fn republish_flips_cached_near_miss_to_hit() {
+        // Prefix store: only the first quarter of the report stream has
+        // been seen, so campaigns first reported later are absent.
+        let w = World::generate(WorldConfig::test_scale(53));
+        let full_out = Pipeline::default().run(&w, &Obs::noop());
+        let full = IntelSnapshot::build(&full_out);
+        let mut pw = World::generate(WorldConfig::test_scale(53));
+        pw.posts.truncate((pw.posts.len() / 4).max(1));
+        let prefix_out = Pipeline::default().run(&pw, &Obs::noop());
+        let prefix = IntelSnapshot::build(&prefix_out);
+
+        let text = full
+            .entries()
+            .iter()
+            .map(|e| e.text.clone())
+            .find(|t| prefix.near(t, 1).matches.is_empty())
+            .expect("a campaign text the prefix store cannot near-match");
+
+        let hub = IntelHub::new();
+        hub.publish(prefix);
+        let mut t = Triage::with_config(
+            hub.reader(),
+            TriageConfig {
+                train_model: false,
+                ..TriageConfig::default()
+            },
+        );
+        assert!(matches!(t.query_near(&text), TriageVerdict::Unknown));
+        let cached = t.cache.len();
+        assert!(cached > 0, "similarity misses must be cached");
+        // The repeat consults the cache instead of re-missing into it.
+        assert!(matches!(t.query_near(&text), TriageVerdict::Unknown));
+        assert_eq!(t.cache.len(), cached);
+
+        // Republish with the newly similar campaign reported: the cached
+        // miss must be invalidated, not served.
+        hub.publish(full);
+        let v = t.query_near(&text);
+        let a = v.near().expect("republish must flip the cached near miss");
+        assert_eq!(a.hamming, 0);
+        assert!((a.jaccard - 1.0).abs() < 1e-12);
     }
 
     #[test]

@@ -1,0 +1,87 @@
+//! Offline template clustering: connected components over the signature
+//! graph.
+//!
+//! Two indexed texts get an edge when their signatures are within the
+//! configured Hamming budget *and* their exact n-gram Jaccard clears the
+//! (stricter) `cluster_jaccard` floor — the Jaccard gate keeps transitive
+//! chaining from welding unrelated templates together. Components are
+//! then compacted into dense `template_id`s in first-appearance order,
+//! so the assignment is deterministic for a fixed build order.
+
+use crate::index::SimIndex;
+use crate::sig::hamming;
+use smishing_stats::unionfind::UnionFind;
+use smishing_textnlp::ngram::jaccard;
+
+/// Assign every indexed text a template id via connected components.
+/// Returns `(template_of_doc, template_count)`.
+///
+/// Edge discovery reuses the banded candidate generator, so the pass is
+/// near-linear: complete within the guarantee radius, best-effort (but
+/// deterministic) beyond it.
+pub fn connected_templates(idx: &SimIndex) -> (Vec<u32>, u32) {
+    let n = idx.len();
+    let mut uf = UnionFind::new(n);
+    let cfg = *idx.config();
+    for i in 0..n as u32 {
+        let si = idx.shingles_of(i);
+        if si.is_empty() {
+            continue;
+        }
+        let sig_i = idx.sig(i);
+        for j in idx.candidates(sig_i) {
+            if j <= i {
+                continue;
+            }
+            if hamming(sig_i, idx.sig(j)) > cfg.max_hamming {
+                continue;
+            }
+            if jaccard(si, idx.shingles_of(j)) < cfg.cluster_jaccard {
+                continue;
+            }
+            uf.union(i as usize, j as usize);
+        }
+    }
+    let template: Vec<u32> = uf.clusters().into_iter().map(|c| c as u32).collect();
+    (template, uf.components() as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::index::SimIndex;
+
+    #[test]
+    fn singletons_without_similar_peers() {
+        let idx = SimIndex::build([
+            "win a free cruise, claim your prize today",
+            "your electricity bill is overdue, settle now",
+            "package delivery failed, reschedule required",
+        ]);
+        assert_eq!(idx.template_count(), 3);
+        let ids: Vec<u32> = (0..3).map(|i| idx.template_of(i)).collect();
+        assert_eq!(ids, vec![0, 1, 2], "first-appearance dense ids");
+    }
+
+    #[test]
+    fn empty_texts_never_cluster_together() {
+        let idx = SimIndex::build([
+            "https://url-only-one.test/a",
+            "https://url-only-two.test/b",
+            "actual words in a message here",
+        ]);
+        assert_ne!(idx.template_of(0), idx.template_of(1));
+        assert_eq!(idx.template_count(), 3);
+    }
+
+    #[test]
+    fn variants_share_a_template_across_url_rotation() {
+        let idx = SimIndex::build([
+            "Revolut: unusual sign-in detected, secure your account at https://rev-one.top/x now",
+            "Revolut: unusual sign-in detected, secure your account at https://rev-two.xyz/y now",
+            "totally different message about a dentist appointment on tuesday",
+        ]);
+        assert_eq!(idx.template_of(0), idx.template_of(1));
+        assert_ne!(idx.template_of(0), idx.template_of(2));
+        assert_eq!(idx.template_count(), 2);
+    }
+}

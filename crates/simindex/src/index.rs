@@ -1,0 +1,425 @@
+//! The flat banded SimHash index.
+//!
+//! Layout (all contiguous, no per-entry allocation on the read path):
+//!
+//! ```text
+//! sigs:        [u64; n]                  one signature per indexed text
+//! shingle_pool:[u64; Σ shingles]         all shingle sets, back to back
+//! shingle_off: [u32; n+1]                text i's shingles = pool[off[i]..off[i+1]]
+//! postings:    [u32; bands * n]          per-band doc-id lists, bucket-sorted
+//! bucket_off:  [u32; bands * (buckets+1)] per-band prefix offsets into postings
+//! template:    [u32; n]                  connected-components template id
+//! ```
+//!
+//! A query extracts one `64/bands`-bit key per band from its signature,
+//! slices that band's bucket out of `postings`, unions the `bands`
+//! slices, ranks by Hamming distance, and re-ranks the closest survivors
+//! by exact n-gram Jaccard.
+
+use crate::cluster;
+use crate::sig::{hamming, SimQuery};
+use smishing_textnlp::ngram::jaccard;
+
+/// Tuning knobs for the similarity index.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimConfig {
+    /// Character n-gram size for shingling.
+    pub ngram: usize,
+    /// Number of signature bands; must divide 64. Candidate generation is
+    /// complete up to Hamming distance `bands - 1`.
+    pub bands: u32,
+    /// Maximum Hamming distance for a candidate to be rankable.
+    pub max_hamming: u32,
+    /// Minimum exact n-gram Jaccard for a ranked candidate to be accepted
+    /// as a match.
+    pub min_jaccard: f64,
+    /// Stricter Jaccard floor for template-clustering edges, so transitive
+    /// chaining cannot weld unrelated templates together.
+    pub cluster_jaccard: f64,
+    /// How many Hamming-ranked candidates get the exact-Jaccard re-rank.
+    pub rerank: usize,
+}
+
+impl Default for SimConfig {
+    fn default() -> SimConfig {
+        SimConfig {
+            ngram: 4,
+            bands: 16,
+            max_hamming: 20,
+            min_jaccard: 0.30,
+            cluster_jaccard: 0.40,
+            rerank: 48,
+        }
+    }
+}
+
+/// One accepted near-duplicate match.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimMatch {
+    /// Index of the matched text (== intel entry id when built over a
+    /// snapshot's entries).
+    pub id: u32,
+    /// Hamming distance between query and matched signatures.
+    pub hamming: u32,
+    /// Exact n-gram Jaccard similarity in `[0, 1]`.
+    pub jaccard: f64,
+}
+
+/// Result of a near query: accepted matches plus the size of the banded
+/// candidate set that was examined (the load-shedding signal the bench
+/// histograms track).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct NearResult {
+    /// Accepted matches, best first (Hamming asc, then Jaccard desc).
+    pub matches: Vec<SimMatch>,
+    /// Distinct candidates produced by the banded generator.
+    pub candidates: usize,
+}
+
+/// Immutable banded SimHash index over a corpus of message texts.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SimIndex {
+    cfg: SimConfig,
+    n: u32,
+    sigs: Vec<u64>,
+    shingle_pool: Vec<u64>,
+    shingle_off: Vec<u32>,
+    postings: Vec<u32>,
+    bucket_off: Vec<u32>,
+    template: Vec<u32>,
+    n_templates: u32,
+}
+
+impl SimIndex {
+    /// Build the index over `texts` with the default [`SimConfig`].
+    pub fn build<'a, I>(texts: I) -> SimIndex
+    where
+        I: IntoIterator<Item = &'a str>,
+    {
+        SimIndex::build_with(texts, SimConfig::default())
+    }
+
+    /// Build the index over `texts`. Text order defines doc ids, so two
+    /// builds over the same sequence are identical — the property that
+    /// makes mid-stream republished indexes answer like batch builds.
+    pub fn build_with<'a, I>(texts: I, cfg: SimConfig) -> SimIndex
+    where
+        I: IntoIterator<Item = &'a str>,
+    {
+        assert!(
+            cfg.bands >= 1 && 64 % cfg.bands == 0,
+            "bands must divide 64, got {}",
+            cfg.bands
+        );
+        let mut sigs = Vec::new();
+        let mut shingle_pool = Vec::new();
+        let mut shingle_off = vec![0u32];
+        for text in texts {
+            let q = SimQuery::of(text, cfg.ngram);
+            sigs.push(q.sig);
+            shingle_pool.extend_from_slice(&q.shingles);
+            shingle_off.push(shingle_pool.len() as u32);
+        }
+        let n = sigs.len();
+
+        // Packed postings: counting sort per band.
+        let bands = cfg.bands as usize;
+        let width = 64 / bands;
+        let buckets = 1usize << width;
+        let mut bucket_off = vec![0u32; bands * (buckets + 1)];
+        let mut postings = vec![0u32; bands * n];
+        for b in 0..bands {
+            let base = b * (buckets + 1);
+            for &s in &sigs {
+                bucket_off[base + band_key(s, b, width) + 1] += 1;
+            }
+            for k in 0..buckets {
+                bucket_off[base + k + 1] += bucket_off[base + k];
+            }
+            let mut cursor: Vec<u32> = bucket_off[base..base + buckets].to_vec();
+            for (id, &s) in sigs.iter().enumerate() {
+                let k = band_key(s, b, width);
+                postings[b * n + cursor[k] as usize] = id as u32;
+                cursor[k] += 1;
+            }
+        }
+
+        let mut idx = SimIndex {
+            cfg,
+            n: n as u32,
+            sigs,
+            shingle_pool,
+            shingle_off,
+            postings,
+            bucket_off,
+            template: Vec::new(),
+            n_templates: 0,
+        };
+        let (template, n_templates) = cluster::connected_templates(&idx);
+        idx.template = template;
+        idx.n_templates = n_templates;
+        idx
+    }
+
+    /// Number of indexed texts.
+    pub fn len(&self) -> usize {
+        self.n as usize
+    }
+
+    /// Whether the index holds no texts.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The configuration the index was built with.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Hamming radius within which banded candidate generation is provably
+    /// complete (pigeonhole over the bands).
+    pub fn guarantee_radius(&self) -> u32 {
+        self.cfg.bands - 1
+    }
+
+    /// Signature of doc `id`.
+    pub fn sig(&self, id: u32) -> u64 {
+        self.sigs[id as usize]
+    }
+
+    /// Shingle set of doc `id` (sorted, deduplicated).
+    pub fn shingles_of(&self, id: u32) -> &[u64] {
+        let (a, b) = (
+            self.shingle_off[id as usize] as usize,
+            self.shingle_off[id as usize + 1] as usize,
+        );
+        &self.shingle_pool[a..b]
+    }
+
+    /// Template (connected-component) id of doc `id`.
+    pub fn template_of(&self, id: u32) -> u32 {
+        self.template[id as usize]
+    }
+
+    /// Number of distinct template ids.
+    pub fn template_count(&self) -> u32 {
+        self.n_templates
+    }
+
+    /// Prepare a query against this index's shingling configuration.
+    pub fn query(&self, text: &str) -> SimQuery {
+        SimQuery::of(text, self.cfg.ngram)
+    }
+
+    /// Union of the query signature's band buckets: every doc sharing at
+    /// least one full band with `sig`, sorted and deduplicated. Superset
+    /// of all docs within [`Self::guarantee_radius`] of `sig`.
+    pub fn candidates(&self, sig: u64) -> Vec<u32> {
+        let n = self.n as usize;
+        if n == 0 {
+            return Vec::new();
+        }
+        let bands = self.cfg.bands as usize;
+        let width = 64 / bands;
+        let buckets = 1usize << width;
+        let mut out = Vec::new();
+        for b in 0..bands {
+            let base = b * (buckets + 1);
+            let k = band_key(sig, b, width);
+            let (lo, hi) = (
+                self.bucket_off[base + k] as usize,
+                self.bucket_off[base + k + 1] as usize,
+            );
+            out.extend_from_slice(&self.postings[b * n + lo..b * n + hi]);
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Top-`k` accepted near-duplicates of `q`: banded candidates, Hamming
+    /// filter at `max_hamming`, exact-Jaccard re-rank of the closest
+    /// `rerank`, acceptance at `min_jaccard`.
+    pub fn nearest(&self, q: &SimQuery, k: usize) -> NearResult {
+        if q.is_empty() || self.n == 0 || k == 0 {
+            return NearResult::default();
+        }
+        let cand = self.candidates(q.sig);
+        let candidates = cand.len();
+        let mut ranked: Vec<(u32, u32)> = cand
+            .into_iter()
+            .filter_map(|id| {
+                let d = hamming(q.sig, self.sigs[id as usize]);
+                (d <= self.cfg.max_hamming).then_some((d, id))
+            })
+            .collect();
+        ranked.sort_unstable();
+        ranked.truncate(self.cfg.rerank);
+        let mut matches: Vec<SimMatch> = ranked
+            .into_iter()
+            .filter_map(|(d, id)| {
+                let j = jaccard(&q.shingles, self.shingles_of(id));
+                (j >= self.cfg.min_jaccard).then_some(SimMatch {
+                    id,
+                    hamming: d,
+                    jaccard: j,
+                })
+            })
+            .collect();
+        matches.sort_by(|a, b| {
+            a.hamming
+                .cmp(&b.hamming)
+                .then(b.jaccard.total_cmp(&a.jaccard))
+                .then(a.id.cmp(&b.id))
+        });
+        matches.truncate(k);
+        NearResult {
+            matches,
+            candidates,
+        }
+    }
+}
+
+/// The `band`-th `width`-bit key of `sig`.
+fn band_key(sig: u64, band: usize, width: usize) -> usize {
+    ((sig >> (band * width)) & ((1u64 << width) - 1)) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus() -> Vec<&'static str> {
+        vec![
+            "USPS: your parcel is held at the depot, pay the customs fee at https://a.example/1 to release it",
+            "USPS: your parcel is held at the depot, pay the customs fee at https://b.example/2 to release it",
+            "USPS: your parcel is held at the depot, pay the release fee at https://c.example/3 to release it",
+            "Chase alert: your account has been locked, verify your identity at https://d.example/4 immediately",
+            "Chase alert: your account has been locked, confirm your identity at https://e.example/5 immediately",
+            "Hi grandma, this is my new number, my old phone broke, text me back when you can",
+        ]
+    }
+
+    #[test]
+    fn builds_are_deterministic() {
+        let texts = corpus();
+        let a = SimIndex::build(texts.iter().copied());
+        let b = SimIndex::build(texts.iter().copied());
+        assert_eq!(a, b);
+        assert_eq!(a.len(), texts.len());
+    }
+
+    #[test]
+    fn identical_text_is_its_own_nearest_match() {
+        // Docs 0 and 1 differ only in URL, so they are shingle-identical;
+        // the top match for either is the shingle-equal doc with the
+        // lowest id, at Hamming 0 / Jaccard 1.
+        let texts = corpus();
+        let idx = SimIndex::build(texts.iter().copied());
+        for (i, t) in texts.iter().enumerate() {
+            let q = idx.query(t);
+            let r = idx.nearest(&q, 1);
+            let m = r.matches.first().expect("self-match");
+            assert_eq!(m.hamming, 0, "{t}");
+            assert!((m.jaccard - 1.0).abs() < 1e-12, "{t}");
+            assert_eq!(idx.shingles_of(m.id), &q.shingles[..], "{t}");
+            assert!(m.id as usize <= i);
+        }
+    }
+
+    #[test]
+    fn rotated_url_variant_matches_its_family() {
+        let texts = corpus();
+        let idx = SimIndex::build(texts.iter().copied());
+        // Same template, fresh URL never indexed.
+        let probe = "USPS: your parcel is held at the depot, pay the customs fee at https://zz.example/99 to release it";
+        let r = idx.nearest(&idx.query(probe), 3);
+        assert!(!r.matches.is_empty());
+        assert!(r.matches.iter().all(|m| m.id <= 2), "{:?}", r.matches);
+        assert!(r.candidates >= r.matches.len());
+    }
+
+    #[test]
+    fn unrelated_text_is_rejected() {
+        let idx = SimIndex::build(corpus().iter().copied());
+        let r = idx.nearest(&idx.query("lunch tomorrow at the usual place?"), 3);
+        assert!(r.matches.is_empty(), "{:?}", r.matches);
+    }
+
+    #[test]
+    fn empty_query_and_empty_index() {
+        let idx = SimIndex::build(corpus().iter().copied());
+        assert!(idx
+            .nearest(&idx.query("https://only.a.url/x"), 3)
+            .matches
+            .is_empty());
+        let empty = SimIndex::build(std::iter::empty());
+        assert!(empty.is_empty());
+        assert!(empty
+            .nearest(&idx.query("anything at all"), 3)
+            .matches
+            .is_empty());
+    }
+
+    #[test]
+    fn postings_partition_every_band() {
+        let texts = corpus();
+        let idx = SimIndex::build(texts.iter().copied());
+        let n = idx.len();
+        let bands = idx.config().bands as usize;
+        let buckets = 1usize << (64 / bands);
+        for b in 0..bands {
+            let base = b * (buckets + 1);
+            assert_eq!(idx.bucket_off[base], 0);
+            assert_eq!(idx.bucket_off[base + buckets] as usize, n);
+            let mut seen: Vec<u32> = idx.postings[b * n..(b + 1) * n].to_vec();
+            seen.sort_unstable();
+            assert_eq!(seen, (0..n as u32).collect::<Vec<_>>(), "band {b}");
+        }
+    }
+
+    #[test]
+    fn candidates_cover_guarantee_radius_brute_force() {
+        let texts = corpus();
+        let idx = SimIndex::build(texts.iter().copied());
+        let r = idx.guarantee_radius();
+        for i in 0..idx.len() as u32 {
+            let sig = idx.sig(i);
+            let cand = idx.candidates(sig);
+            for j in 0..idx.len() as u32 {
+                if crate::sig::hamming(sig, idx.sig(j)) <= r {
+                    assert!(cand.binary_search(&j).is_ok(), "doc {j} within {r} of {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn templates_group_families() {
+        let texts = corpus();
+        let idx = SimIndex::build(texts.iter().copied());
+        assert_eq!(idx.template_of(0), idx.template_of(1));
+        assert_eq!(idx.template_of(0), idx.template_of(2));
+        assert_eq!(idx.template_of(3), idx.template_of(4));
+        assert_ne!(idx.template_of(0), idx.template_of(3));
+        assert_ne!(idx.template_of(0), idx.template_of(5));
+        assert_eq!(idx.template_count(), 3);
+    }
+
+    #[test]
+    fn bands_four_also_covers_its_radius() {
+        let cfg = SimConfig {
+            bands: 4,
+            ..SimConfig::default()
+        };
+        let texts = corpus();
+        let idx = SimIndex::build_with(texts.iter().copied(), cfg);
+        assert_eq!(idx.guarantee_radius(), 3);
+        let probe = idx.query(texts[1]);
+        let r = idx.nearest(&probe, 1);
+        // Doc 0 is shingle-identical to doc 1 (URL-only difference) and
+        // wins the tie by id.
+        assert_eq!(r.matches.first().map(|m| m.id), Some(0));
+        assert_eq!(r.matches.first().map(|m| m.hamming), Some(0));
+    }
+}

@@ -1,0 +1,168 @@
+//! The banded candidate generator's completeness contract, property-tested:
+//! for any query, the band-bucket union contains *every* indexed document
+//! within the pigeonhole guarantee radius (`bands − 1` differing bits), i.e.
+//! banded candidates ⊇ the brute-force linear scan at that radius — over
+//! corpora produced by real pipeline runs across shard counts {1, 4} and
+//! fault profiles {none, mild} (the same grid `index_equivalence.rs` pins
+//! for the exact indexes), and for both the default and a coarse 4-band
+//! configuration.
+
+use proptest::prelude::*;
+use smishing_core::exec::ExecPlan;
+use smishing_core::pipeline::Pipeline;
+use smishing_fault::FaultPlan;
+use smishing_obs::Obs;
+use smishing_simindex::{hamming, SimConfig, SimIndex};
+use smishing_worldsim::{World, WorldConfig};
+use std::collections::HashSet;
+use std::sync::OnceLock;
+
+/// (shards, mild faults?) — the grid the satellite pins.
+const CONFIGS: [(usize, bool); 4] = [(1, false), (4, false), (1, true), (4, true)];
+
+struct Built {
+    texts: Vec<String>,
+    default_idx: SimIndex,
+    coarse_idx: SimIndex,
+}
+
+fn built(cfg_idx: usize) -> &'static Built {
+    static CELLS: [OnceLock<Built>; 4] = [
+        OnceLock::new(),
+        OnceLock::new(),
+        OnceLock::new(),
+        OnceLock::new(),
+    ];
+    CELLS[cfg_idx].get_or_init(|| {
+        let (shards, faulty) = CONFIGS[cfg_idx];
+        let mut world = World::generate(WorldConfig {
+            scale: 0.01,
+            seed: 11,
+            ..WorldConfig::default()
+        });
+        if faulty {
+            world.set_fault_plan(&FaultPlan::mild(0xFA11));
+        }
+        let pipeline = Pipeline {
+            exec: ExecPlan {
+                shards,
+                ..ExecPlan::default()
+            },
+            ..Pipeline::default()
+        };
+        let out = pipeline.run(&world, &Obs::noop());
+        let texts: Vec<String> = out.records.iter().map(|r| r.curated.text.clone()).collect();
+        let default_idx = SimIndex::build(texts.iter().map(|s| s.as_str()));
+        let coarse_idx = SimIndex::build_with(
+            texts.iter().map(|s| s.as_str()),
+            SimConfig {
+                bands: 4,
+                ..SimConfig::default()
+            },
+        );
+        Built {
+            texts,
+            default_idx,
+            coarse_idx,
+        }
+    })
+}
+
+/// The oracle: every indexed document within `radius` bits of `sig`.
+fn brute_force_within(idx: &SimIndex, sig: u64, radius: u32) -> Vec<u32> {
+    (0..idx.len() as u32)
+        .filter(|&i| hamming(sig, idx.sig(i)) <= radius)
+        .collect()
+}
+
+/// Banded candidates must be a superset of the brute-force scan at the
+/// guarantee radius, and everything `nearest` returns must have come from
+/// the candidate set while obeying the configured filters.
+fn assert_superset(idx: &SimIndex, text: &str) {
+    let q = idx.query(text);
+    if q.is_empty() {
+        return;
+    }
+    let radius = idx.guarantee_radius();
+    let cands: HashSet<u32> = idx.candidates(q.sig).into_iter().collect();
+    for id in brute_force_within(idx, q.sig, radius) {
+        assert!(
+            cands.contains(&id),
+            "doc {id} lies within guarantee radius {radius} but the banded \
+             generator never surfaced it"
+        );
+    }
+    let r = idx.nearest(&q, 5);
+    assert!(
+        r.candidates >= cands.len().min(1),
+        "candidate count reported"
+    );
+    for m in &r.matches {
+        assert!(cands.contains(&m.id), "match {} not a candidate", m.id);
+        assert!(m.hamming <= idx.config().max_hamming);
+        assert!(m.jaccard >= idx.config().min_jaccard);
+    }
+}
+
+/// A deterministic sweep: every seventh corpus text, verbatim, on every
+/// config — the non-fuzzed floor under the property below.
+#[test]
+fn corpus_texts_are_always_covered() {
+    for cfg_idx in 0..CONFIGS.len() {
+        let b = built(cfg_idx);
+        assert!(!b.texts.is_empty(), "pipeline produced a corpus");
+        for text in b.texts.iter().step_by(7) {
+            assert_superset(&b.default_idx, text);
+            assert_superset(&b.coarse_idx, text);
+        }
+    }
+}
+
+/// Shard count and mild faults must not change the similarity index at
+/// all: the engine's byte-identity invariant extends to signatures,
+/// postings, and template assignments.
+#[test]
+fn sharding_and_mild_faults_never_change_the_index() {
+    assert_eq!(built(0).default_idx, built(1).default_idx, "shards 1 vs 4");
+    assert_eq!(
+        built(2).default_idx,
+        built(3).default_idx,
+        "mild: shards 1 vs 4"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Fuzzed queries — verbatim, token-appended, and URL-rotated variants
+    /// of real corpus texts — never escape the banded superset guarantee.
+    #[test]
+    fn banded_candidates_cover_the_guarantee_radius(
+        cfg_idx in 0usize..CONFIGS.len(),
+        pick in 0usize..4096usize,
+        salt in 0u64..u64::MAX,
+    ) {
+        let b = built(cfg_idx);
+        prop_assume!(!b.texts.is_empty());
+        let base = &b.texts[pick % b.texts.len()];
+        let query = match salt % 3 {
+            0 => base.clone(),
+            // An appended token perturbs the signature a few bits.
+            1 => format!("{base} urgent{salt:x}"),
+            // Rotating the URL models a campaign moving infrastructure.
+            _ => base
+                .split_whitespace()
+                .map(|w| {
+                    if w.contains("://") || w.starts_with("www.") {
+                        format!("https://rot-{salt:x}.example/p")
+                    } else {
+                        w.to_string()
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join(" "),
+        };
+        assert_superset(&b.default_idx, &query);
+        assert_superset(&b.coarse_idx, &query);
+    }
+}

@@ -4,6 +4,8 @@
 //! for the paper's GPT-4o annotation stage (§3.3.6, §3.4):
 //!
 //! - [`tokenize`]: unicode-aware tokenization,
+//! - [`ngram`]: hashed character n-gram shingling + exact Jaccard, the shared
+//!   layer under the `smishing-simindex` similarity tier,
 //! - [`normalize`]: homoglyph/leetspeak normalization (`N3tfl!x` → `netflix`),
 //!   the evasion the paper says breaks off-the-shelf NER,
 //! - [`lexicon`]: per-language function-word lexicons, shared by the
@@ -33,6 +35,7 @@ pub mod langid;
 pub mod lexicon;
 pub mod lures;
 pub mod ner;
+pub mod ngram;
 pub mod normalize;
 pub mod scamclass;
 pub mod templates;

@@ -20,6 +20,13 @@ pub struct WorldConfig {
     /// Fraction of URL-bearing campaigns that deliver Android malware via
     /// device-dependent redirects (§6).
     pub malware_campaign_rate: f64,
+    /// Fraction of campaigns that also emit one *unreported* rotated-indicator
+    /// probe message: the same lure text with a freshly generated domain and a
+    /// fresh spoofed sender (RQ2's template-stable, infrastructure-rotating
+    /// behaviour). Probes land in `World::probe_messages`, never in the report
+    /// stream, and are drawn from a dedicated RNG stream, so `0.0` (the
+    /// default) leaves generation byte-identical.
+    pub template_variants: f64,
 }
 
 impl Default for WorldConfig {
@@ -30,6 +37,7 @@ impl Default for WorldConfig {
             campaigns_at_scale_1: 3000,
             include_sbi_burst: true,
             malware_campaign_rate: 0.05,
+            template_variants: 0.0,
         }
     }
 }

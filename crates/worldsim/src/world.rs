@@ -2,6 +2,7 @@
 
 use crate::campaign::{Campaign, SenderStrategy};
 use crate::config::WorldConfig;
+use crate::domaingen::{gen_domain, gen_path};
 use crate::reporting::{build_messages, build_noise_posts, build_reports, Post};
 use crate::schedule::CampaignSchedule;
 use crate::services::Services;
@@ -10,7 +11,9 @@ use rand::{Rng, SeedableRng};
 use smishing_telecom::NumberFactory;
 use smishing_textnlp::brands::BrandCatalog;
 use smishing_textnlp::templates::TemplateLibrary;
-use smishing_types::{CampaignId, Country, Date, Forum, Language, ScamType, SmsMessage, UnixTime};
+use smishing_types::{
+    CampaignId, Country, Date, Forum, Language, MessageId, ScamType, SenderId, SmsMessage, UnixTime,
+};
 
 /// A fully generated world.
 pub struct World {
@@ -22,6 +25,12 @@ pub struct World {
     pub messages: Vec<SmsMessage>,
     /// All forum posts (the pipeline's input).
     pub posts: Vec<Post>,
+    /// Rotated-indicator probe messages (`config.template_variants`): the
+    /// lure text of a reported campaign re-sent under a fresh domain and a
+    /// fresh spoofed sender. Never reported on any forum — they exist to
+    /// measure whether similarity-tier triage recovers what exact-pivot
+    /// lookups lose when a campaign rotates its infrastructure.
+    pub probe_messages: Vec<SmsMessage>,
     /// Populated service simulators (the pipeline's query targets).
     pub services: Services,
     /// Collection-end reference instant (for pDNS lookback etc.):
@@ -35,6 +44,7 @@ impl std::fmt::Debug for World {
             .field("campaigns", &self.campaigns.len())
             .field("messages", &self.messages.len())
             .field("posts", &self.posts.len())
+            .field("probe_messages", &self.probe_messages.len())
             .field("services", &self.services)
             .finish()
     }
@@ -240,6 +250,60 @@ fn wa_me_campaign<R: Rng + ?Sized>(id: CampaignId, cfg: &WorldConfig, rng: &mut 
     }
 }
 
+/// Build the rotated-indicator probes for `config.template_variants`.
+///
+/// Each selected campaign contributes one unreported near-duplicate of its
+/// first URL-bearing message: same lure text, but the URL is swapped for a
+/// freshly generated domain and the sender for a fresh spoofed junk number —
+/// exactly the pivots exact-match triage keys on. Draws come from a
+/// dedicated RNG stream so enabling probes never perturbs the base world.
+fn build_probe_messages(
+    config: &WorldConfig,
+    campaigns: &[Campaign],
+    messages: &[SmsMessage],
+    mut next_message_id: u64,
+) -> Vec<SmsMessage> {
+    if config.template_variants <= 0.0 {
+        return Vec::new();
+    }
+    let rate = config.template_variants.clamp(0.0, 1.0);
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x9E3A_57E1_0B07_A11D);
+    let factory = NumberFactory::new();
+    let mut out = Vec::new();
+    for c in campaigns {
+        if !rng.gen_bool(rate) {
+            continue;
+        }
+        let Some(m) = messages
+            .iter()
+            .find(|m| m.campaign == c.id && m.url.is_some())
+        else {
+            continue;
+        };
+        let url = m.url.as_deref().expect("filtered on url presence");
+        if !m.text.contains(url) {
+            continue;
+        }
+        let rotated = format!(
+            "https://{}{}",
+            gen_domain(c.brand.map(|b| b.name), &mut rng),
+            gen_path(&mut rng)
+        );
+        let text = m.text.replace(url, &rotated);
+        out.push(SmsMessage {
+            id: MessageId(next_message_id),
+            campaign: c.id,
+            sender: SenderId::MalformedPhone(factory.bad_format(&mut rng)),
+            url: Some(rotated),
+            text,
+            received: m.received,
+            truth: m.truth.clone(),
+        });
+        next_message_id += 1;
+    }
+    out
+}
+
 impl World {
     /// Generate a world.
     pub fn generate(config: WorldConfig) -> World {
@@ -303,12 +367,15 @@ impl World {
         }
         posts.sort_by_key(|p| (p.posted_at, p.id));
 
+        let probe_messages = build_probe_messages(&config, &campaigns, &messages, next_message_id);
+
         let now = UnixTime(Date::new(2024, 4, 8).expect("valid").days_from_epoch() * 86_400);
         World {
             config,
             campaigns,
             messages,
             posts,
+            probe_messages,
             services,
             now,
         }
@@ -451,6 +518,46 @@ mod tests {
             .filter(|p| matches!(p.body, PostBody::NoiseImage(_)))
             .count();
         assert!(noise_imgs > 50, "{noise_imgs}");
+    }
+
+    #[test]
+    fn template_variant_probes_are_deterministic_and_opt_in() {
+        let base = World::generate(WorldConfig::test_scale(7));
+        assert!(base.probe_messages.is_empty(), "knob defaults off");
+
+        let cfg = WorldConfig {
+            template_variants: 0.6,
+            ..WorldConfig::test_scale(7)
+        };
+        let a = World::generate(cfg.clone());
+        let b = World::generate(cfg);
+        assert!(!a.probe_messages.is_empty());
+        assert_eq!(a.probe_messages.len(), b.probe_messages.len());
+        for (x, y) in a.probe_messages.iter().zip(&b.probe_messages) {
+            assert_eq!(x.text, y.text);
+            assert_eq!(x.sender, y.sender);
+        }
+
+        // Enabling probes leaves the base world byte-identical.
+        assert_eq!(base.messages.len(), a.messages.len());
+        assert_eq!(base.posts.len(), a.posts.len());
+        for (x, y) in base.messages.iter().zip(&a.messages) {
+            assert_eq!(x.text, y.text);
+        }
+
+        // Every probe keeps its campaign's lure but rotates both pivots.
+        for p in &a.probe_messages {
+            let orig = a
+                .messages
+                .iter()
+                .find(|m| m.campaign == p.campaign && m.url.is_some())
+                .expect("probes derive from URL-bearing messages");
+            assert_ne!(orig.url, p.url, "URL rotated");
+            assert_ne!(orig.sender, p.sender, "sender rotated");
+            let u = p.url.as_deref().unwrap();
+            assert!(p.text.contains(u), "rotated URL sent inline");
+            assert!(p.id.0 >= a.messages.len() as u64, "ids extend, not clash");
+        }
     }
 
     #[test]

@@ -5,8 +5,9 @@
 //! epoch hub — the intelligence store grows *while it is being queried*.
 //! The remaining 40% of reports play the role of tomorrow's incoming SMS
 //! traffic: each raw message (text + sender) goes through [`Triage`],
-//! which either attributes it to a known campaign-link cluster via the
-//! index or falls back to the model score.
+//! which attributes it to a known campaign-link cluster via the exact
+//! index, catches rotated-indicator near-duplicates through the SimHash
+//! similarity tier, or falls back to the model score.
 //!
 //! The run ends with the ground-truth scorecard: full-stack triage
 //! precision/recall next to the campaign-held-out model baseline it has
@@ -71,6 +72,7 @@ fn main() {
     // incoming traffic — triage each underlying raw SMS.
     let mut triage = Triage::new(hub.reader());
     let mut hits = 0usize;
+    let mut near_hits = 0usize;
     let mut model_only = 0usize;
     let mut flagged = 0usize;
     let mut printed = 0usize;
@@ -102,6 +104,22 @@ fn main() {
                     );
                 }
             }
+            TriageVerdict::Near(n) => {
+                near_hits += 1;
+                flagged += 1;
+                if printed < 12 {
+                    printed += 1;
+                    println!(
+                        "  [template {:>2} via near  ] hamming {} jaccard {:.2} ({} reports, {}) :: {}",
+                        n.template,
+                        n.hamming,
+                        n.jaccard,
+                        n.n_reports,
+                        n.scam_type.label(),
+                        msg.text.chars().take(60).collect::<String>()
+                    );
+                }
+            }
             v @ TriageVerdict::ModelOnly { .. } => {
                 model_only += 1;
                 if v.is_smishing(triage.threshold()) {
@@ -112,7 +130,7 @@ fn main() {
         }
     }
     println!(
-        "  attributed {hits} / {} to known clusters; {model_only} model-scored; {flagged} flagged",
+        "  attributed {hits} / {} to known clusters ({near_hits} via similarity); {model_only} model-scored; {flagged} flagged",
         incoming.len()
     );
 

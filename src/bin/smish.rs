@@ -11,6 +11,7 @@
 //! smish watch    --scale 0.1 --posts 50000              # infinite-feed soak
 //! smish serve    --scale 0.1 [--stream]                 # answer queries on stdin/stdout
 //! smish query    url hxxps://evil[.]com/x               # one-shot lookup
+//! smish query    near Your parcel is held, pay at ...   # similarity lookup
 //! ```
 //!
 //! Commands dispatch through one table (name → handler); the usage line
@@ -21,9 +22,12 @@
 //! run — or, with `--stream`, republishes it live from every aligned
 //! stream snapshot while queries are being answered — then speaks the
 //! line protocol of `smishing::intel::serve_lines` on stdin/stdout.
-//! `query <url|sender|msg> <value>` is the one-shot form; defanged
+//! `query <url|sender|msg|near> <value>` is the one-shot form; defanged
 //! (`hxxps://`, `[.]`, `(dot)`) and homoglyph spellings normalize to the
-//! same verdict as the clean string.
+//! same verdict as the clean string. `near` skips the exact pivots and
+//! asks the snapshot's SimHash similarity tier directly: it reports the
+//! closest indexed lure (campaign template id, Hamming distance, n-gram
+//! Jaccard) even when the URL and sender are fresh.
 //!
 //! Every command accepts the shared [`RunConfig`] flags (the same
 //! vocabulary `repro` uses):
@@ -95,7 +99,7 @@ const COMMANDS: &[(&str, &str, Handler)] = &[
     ("serve", "answer intel queries on stdin/stdout", cmd_serve),
     (
         "query",
-        "one-shot lookup: query <url|sender|msg> <value>",
+        "one-shot lookup: query <url|sender|msg|near> <value>",
         cmd_query,
     ),
 ];
@@ -398,9 +402,10 @@ fn cmd_serve(args: &Args, obs: &Obs, world: &World) {
     // Diagnostics go to stderr — stdout is the protocol channel and gets
     // piped back in as queries by the CI smoke job.
     eprintln!(
-        "serve done: {} queries ({} hits, {} misses, {} triaged, {} errors), epoch {}",
+        "serve done: {} queries ({} hits, {} near hits, {} misses, {} triaged, {} errors), epoch {}",
         stats.queries,
         stats.hits,
+        stats.near_hits,
         stats.misses,
         stats.triaged,
         stats.errors,
@@ -416,8 +421,8 @@ fn cmd_query(args: &Args, obs: &Obs, world: &World) {
             std::process::exit(2);
         }
     };
-    if !matches!(kind, "url" | "sender" | "msg") {
-        eprintln!("unknown query kind {kind:?}; expected url|sender|msg");
+    if !matches!(kind, "url" | "sender" | "msg" | "near") {
+        eprintln!("unknown query kind {kind:?}; expected url|sender|msg|near");
         std::process::exit(2);
     }
     let output = run_pipeline(args, obs, world);
@@ -436,6 +441,7 @@ fn cmd_query(args: &Args, obs: &Obs, world: &World) {
         .time(|| match kind {
             "url" => triage.query_url(&value),
             "sender" => triage.query_sender(&value),
+            "near" => triage.query_near(&value),
             _ => {
                 let (sender, text) = match value.split_once('|') {
                     Some((s, t)) => (Some(s.trim()), t.trim()),
@@ -444,7 +450,7 @@ fn cmd_query(args: &Args, obs: &Obs, world: &World) {
                 triage.triage(sender, text)
             }
         });
-    if verdict.attribution().is_some() || kind == "msg" {
+    if verdict.attribution().is_some() || verdict.near().is_some() || kind == "msg" {
         println!("{}", verdict_line(&verdict));
     } else {
         println!("miss {kind} key={value}");

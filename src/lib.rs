@@ -21,6 +21,7 @@
 //! | [`core`] | the collection → curation → enrichment → analysis pipeline |
 //! | [`detect`] | §7.2 detection models (Naive Bayes over the labeled dataset) |
 //! | [`stream`] | sharded streaming ingest with mid-stream snapshots |
+//! | [`simindex`] | SimHash/n-gram similarity index + campaign-template clustering |
 //! | [`intel`] | indexed intelligence store + query/triage serving layer |
 //!
 //! ## Quickstart
@@ -49,6 +50,7 @@ pub use smishing_intel as intel;
 pub use smishing_malcase as malcase;
 pub use smishing_obs as obs;
 pub use smishing_screenshot as screenshot;
+pub use smishing_simindex as simindex;
 pub use smishing_stats as stats;
 pub use smishing_stream as stream;
 pub use smishing_telecom as telecom;

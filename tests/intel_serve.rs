@@ -1,7 +1,8 @@
 //! End-to-end contract of the intelligence serving layer:
 //!
-//! * a mid-stream republished snapshot answers queries exactly like a
-//!   batch-built store over the same post prefix;
+//! * a mid-stream republished snapshot answers queries — exact pivots
+//!   *and* similarity (`near`) lookups — exactly like a batch-built
+//!   store over the same post prefix;
 //! * defanged / homoglyph spellings and the clean string return
 //!   identical verdicts through the serve protocol;
 //! * full-stack triage precision/recall is no worse than the standalone
@@ -97,6 +98,33 @@ fn mid_stream_republished_snapshot_answers_like_batch_over_prefix() {
         }
     }
     assert!(checked > 0, "no URL keys checked");
+
+    // The similarity tier is part of the same epoch-published artifact, so
+    // mid-stream republished `near` answers must match the batch-built
+    // index over the same prefix: identical template partition, identical
+    // ranked match, identical candidate-set size.
+    assert_eq!(
+        live_snap.template_count(),
+        batch_snap.template_count(),
+        "template partition"
+    );
+    let mut near_checked = 0;
+    for (id, e) in batch_snap.entries().iter().enumerate().step_by(5) {
+        if batch_snap.sim().shingles_of(id as u32).is_empty() {
+            continue;
+        }
+        let (av, an) = live.query_near_with(&e.text);
+        let (bv, bn) = batch.query_near_with(&e.text);
+        let a = av.near().expect("live near hit");
+        let b = bv.near().expect("batch near hit");
+        assert_eq!(a.entry, b.entry, "{}", e.text);
+        assert_eq!(a.template, b.template);
+        assert_eq!(a.hamming, b.hamming);
+        assert!((a.jaccard - b.jaccard).abs() < 1e-12);
+        assert_eq!(an, bn, "candidate-set sizes");
+        near_checked += 1;
+    }
+    assert!(near_checked > 0, "no near queries checked");
 }
 
 #[test]
