@@ -26,6 +26,9 @@ struct HubInner {
     /// Bumped *after* the slot is swapped; 0 = nothing published yet.
     epoch: AtomicU64,
     slot: Mutex<Option<Arc<IntelSnapshot>>>,
+    /// When the slot was last swapped — the serve `health` verb reports
+    /// its elapsed as the epoch age. Off the hot path (publishes only).
+    published_at: Mutex<Option<Instant>>,
 }
 
 /// The writer-side handle: publish snapshots, mint readers.
@@ -48,9 +51,16 @@ impl IntelHub {
     /// Publish an already-shared snapshot.
     pub fn publish_arc(&self, snap: Arc<IntelSnapshot>) -> u64 {
         *self.inner.slot.lock() = Some(snap);
+        *self.inner.published_at.lock() = Some(Instant::now());
         // Release-bump after the swap: a reader that sees the new epoch is
         // guaranteed to find (at least) this snapshot in the slot.
         self.inner.epoch.fetch_add(1, Ordering::Release) + 1
+    }
+
+    /// Time since the last publish (`None` before the first). Not the hot
+    /// path: takes the publish-side lock.
+    pub fn epoch_age(&self) -> Option<Duration> {
+        self.inner.published_at.lock().map(|t| t.elapsed())
     }
 
     /// The current epoch (0 until the first publish).
@@ -102,6 +112,13 @@ impl IntelReader {
         self.seen
     }
 
+    /// Time since the hub's last publish (`None` before the first) — the
+    /// serve `health` verb's epoch age. Takes the publish-side lock, so
+    /// keep it off the per-query path.
+    pub fn epoch_age(&self) -> Option<Duration> {
+        self.inner.published_at.lock().map(|t| t.elapsed())
+    }
+
     /// Block until something is published (or the timeout passes).
     /// Returns whether a snapshot is now visible.
     pub fn wait_ready(&mut self, timeout: Duration) -> bool {
@@ -138,7 +155,22 @@ mod tests {
         let mut r = hub.reader();
         assert_eq!(hub.epoch(), 0);
         assert!(r.current().is_none());
+        assert!(hub.epoch_age().is_none());
+        assert!(r.epoch_age().is_none());
         assert!(!r.wait_ready(Duration::from_millis(5)));
+    }
+
+    #[test]
+    fn epoch_age_resets_on_republish() {
+        let hub = IntelHub::new();
+        hub.publish(tiny(1));
+        std::thread::sleep(Duration::from_millis(5));
+        let aged = hub.epoch_age().expect("published");
+        assert!(aged >= Duration::from_millis(5));
+        hub.publish(tiny(2));
+        let fresh = hub.epoch_age().expect("republished");
+        assert!(fresh < aged);
+        assert!(hub.reader().epoch_age().is_some());
     }
 
     #[test]

@@ -30,8 +30,11 @@
 //!   SimHash tier when every exact pivot missed, or a model-only score.
 //!   Negative lookups — similarity misses included — go through a
 //!   bounded LRU cache that is invalidated on republish.
-//! * [`serve_lines`] — the stdin/stdout line protocol behind
-//!   `smish serve`, instrumented through `smishing-obs` histograms.
+//! * [`serve_lines`] / [`serve_session`] — the stdin/stdout line protocol
+//!   behind `smish serve`, instrumented through `smishing-obs` histograms
+//!   and carrying the introspection plane: tail-sampled request traces
+//!   (`explain`, `traces`), a per-second time series (`timeseries`), and
+//!   store health (`health`).
 //! * [`evaluate_triage`] — the ground-truth evaluation: worldsim knows
 //!   every message's true campaign, so triage precision/recall (and the
 //!   campaign-held-out `detect` baseline it must beat) are computed
@@ -52,6 +55,8 @@ pub use cache::LruSet;
 pub use eval::{evaluate_triage, TriageEval};
 pub use hub::{IntelHub, IntelReader};
 pub use intern::{Interner, Sym};
-pub use serve::{serve_lines, verdict_line, ServeStats};
-pub use snapshot::{record_keys, IntelEntry, IntelSnapshot, RecordKeys};
+pub use serve::{
+    serve_lines, serve_session, verdict_label, verdict_line, ServeOptions, ServeSession, ServeStats,
+};
+pub use snapshot::{record_keys, IndexSizes, IntelEntry, IntelSnapshot, RecordKeys};
 pub use triage::{Attribution, MatchedKey, NearAttribution, Triage, TriageConfig, TriageVerdict};

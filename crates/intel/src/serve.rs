@@ -10,9 +10,14 @@
 //! msg <text>           triage a raw SMS body
 //! msg <sender>|<text>  triage with a sender
 //! near <text>          similarity-tier lookup: nearest campaign template
+//! explain <msg|url …>  run one query force-traced; reply + full span tree
+//! traces [n]           render the n slowest retained traces (default 5)
+//! timeseries [n]       per-second qps/latency/rate lines, newest first
+//! health               epoch age, index sizes, templates, cache occupancy
 //! sample <n>           emit n ready-to-feed query lines from the store
 //! sample near <n>      emit n ready-to-feed `near` lines (entry texts)
-//! stats                one-line counter summary (incl. template count)
+//! stats                one-line counter summary (incl. template count and
+//!                      near-tier latency/candidate quantiles)
 //! quit                 stop serving
 //! ```
 //!
@@ -24,9 +29,20 @@
 //! `intel.serve.near_ns` histograms (plus the candidate-set sizes into
 //! `intel.serve.near_candidates`) and the `intel.serve.*` counters of
 //! the run report.
+//!
+//! ## Introspection
+//!
+//! Every session owns a [`Tracer`] and a [`TimeRing`]. Queries are
+//! tail-sampled (1-in-K, [`TracerConfig::sample_every`]) into span-tree
+//! traces — the rest of the traffic runs the exact untraced ladder — and
+//! every query lands in the per-second time-series ring regardless of
+//! sampling. `explain` forces a trace for one query without waiting for
+//! the sampler. At EOF the session exports `trace.*` and `serve.ts.*`
+//! gauges (including per-histogram exemplar trace ids) into the run
+//! report next to the latency histograms they explain.
 
 use crate::triage::{Triage, TriageVerdict};
-use smishing_obs::Obs;
+use smishing_obs::{Obs, TimeRing, Tracer, TracerConfig, TsOutcome};
 use std::io::{BufRead, Write};
 use std::time::Instant;
 
@@ -49,6 +65,45 @@ pub struct ServeStats {
     pub triaged: u64,
     /// Malformed lines.
     pub errors: u64,
+}
+
+/// Session tuning for [`serve_session`].
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Tracer tuning (sampling rate, ring and slowest-N capacities).
+    pub trace: TracerConfig,
+    /// Time-series window in seconds.
+    pub ts_window: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            trace: TracerConfig::default(),
+            ts_window: 120,
+        }
+    }
+}
+
+/// Everything a finished serving session knows about itself.
+#[derive(Debug)]
+pub struct ServeSession {
+    /// Aggregate counters.
+    pub stats: ServeStats,
+    /// Retained traces (ring + slowest-N + exemplars).
+    pub tracer: Tracer,
+    /// Per-second time series.
+    pub ring: TimeRing,
+}
+
+/// Stable verdict label for trace retention and response accounting.
+pub fn verdict_label(v: &TriageVerdict) -> &'static str {
+    match v {
+        TriageVerdict::Hit(_) => "hit",
+        TriageVerdict::Near(_) => "near",
+        TriageVerdict::ModelOnly { .. } => "model",
+        TriageVerdict::Unknown => "unknown",
+    }
 }
 
 /// Render a verdict as one protocol response line (`hit ...` /
@@ -88,14 +143,31 @@ pub fn verdict_line(v: &TriageVerdict) -> String {
     }
 }
 
-/// Serve queries line by line until EOF or `quit`.
+/// Serve queries line by line until EOF or `quit`, with default
+/// introspection tuning. Returns the aggregate counters; the full
+/// session (traces, time series) is available via [`serve_session`].
 pub fn serve_lines<R: BufRead, W: Write>(
+    triage: &mut Triage,
+    input: R,
+    out: W,
+    obs: &Obs,
+) -> std::io::Result<ServeStats> {
+    serve_session(triage, input, out, obs, ServeOptions::default()).map(|s| s.stats)
+}
+
+/// Serve queries line by line until EOF or `quit`, returning the whole
+/// session — counters, retained traces, and the per-second time series.
+pub fn serve_session<R: BufRead, W: Write>(
     triage: &mut Triage,
     input: R,
     mut out: W,
     obs: &Obs,
-) -> std::io::Result<ServeStats> {
+    opts: ServeOptions,
+) -> std::io::Result<ServeSession> {
     let mut stats = ServeStats::default();
+    let mut tracer = Tracer::new(opts.trace);
+    let mut ring = TimeRing::new(opts.ts_window);
+    let started = Instant::now();
     let lookup_ns = obs.histogram("intel.serve.lookup_ns", &[]);
     let triage_ns = obs.histogram("intel.serve.triage_ns", &[]);
     let near_ns = obs.histogram("intel.serve.near_ns", &[]);
@@ -110,59 +182,102 @@ pub fn serve_lines<R: BufRead, W: Write>(
         }
         let (cmd, rest) = line.split_once(' ').unwrap_or((line, ""));
         let rest = rest.trim();
+        let second = started.elapsed().as_secs();
         match cmd {
             "quit" | "exit" => break,
-            "url" | "sender" | "near" if rest.is_empty() => {
+            "url" | "sender" | "near" | "explain" if rest.is_empty() => {
                 stats.errors += 1;
+                ring.record(second, TsOutcome::Error, 0);
                 writeln!(out, "err {cmd} needs a value")?;
             }
             "url" => {
                 stats.queries += 1;
+                let epoch_before = triage.epoch_seen();
+                let mut tb = tracer.begin(line);
                 let t = Instant::now();
-                let v = triage.query_url(rest);
-                lookup_ns.record(t.elapsed().as_nanos() as u64);
-                match &v {
+                let v = triage.query_url_traced(rest, tb.as_mut());
+                let ns = t.elapsed().as_nanos() as u64;
+                lookup_ns.record(ns);
+                if let Some(tb) = tb {
+                    tracer.exemplar("intel.serve.lookup_ns", tb.id(), ns);
+                    tracer.finish(tb.finish(verdict_label(&v)));
+                }
+                let outcome = match &v {
                     TriageVerdict::Hit(_) => {
                         stats.hits += 1;
                         writeln!(out, "{}", verdict_line(&v))?;
+                        TsOutcome::Hit
                     }
                     _ => {
                         stats.misses += 1;
                         writeln!(out, "miss url key={rest}")?;
+                        TsOutcome::Miss
                     }
+                };
+                ring.record(second, outcome, ns);
+                if triage.epoch_seen() != epoch_before {
+                    // This query absorbed a republish (cache flush +
+                    // model retrain); its wall time is the cost.
+                    ring.record_republish(second, ns);
                 }
             }
             "sender" => {
                 stats.queries += 1;
+                let epoch_before = triage.epoch_seen();
+                let mut tb = tracer.begin(line);
                 let t = Instant::now();
-                let v = triage.query_sender(rest);
-                lookup_ns.record(t.elapsed().as_nanos() as u64);
-                match &v {
+                let v = triage.query_sender_traced(rest, tb.as_mut());
+                let ns = t.elapsed().as_nanos() as u64;
+                lookup_ns.record(ns);
+                if let Some(tb) = tb {
+                    tracer.exemplar("intel.serve.lookup_ns", tb.id(), ns);
+                    tracer.finish(tb.finish(verdict_label(&v)));
+                }
+                let outcome = match &v {
                     TriageVerdict::Hit(_) => {
                         stats.hits += 1;
                         writeln!(out, "{}", verdict_line(&v))?;
+                        TsOutcome::Hit
                     }
                     _ => {
                         stats.misses += 1;
                         writeln!(out, "miss sender key={rest}")?;
+                        TsOutcome::Miss
                     }
+                };
+                ring.record(second, outcome, ns);
+                if triage.epoch_seen() != epoch_before {
+                    ring.record_republish(second, ns);
                 }
             }
             "near" => {
                 stats.queries += 1;
+                let epoch_before = triage.epoch_seen();
+                let mut tb = tracer.begin(line);
                 let t = Instant::now();
-                let (v, cands) = triage.query_near_with(rest);
-                near_ns.record(t.elapsed().as_nanos() as u64);
+                let (v, cands) = triage.query_near_traced(rest, tb.as_mut());
+                let ns = t.elapsed().as_nanos() as u64;
+                near_ns.record(ns);
                 near_candidates.record(cands as u64);
-                match &v {
+                if let Some(tb) = tb {
+                    tracer.exemplar("intel.serve.near_ns", tb.id(), ns);
+                    tracer.finish(tb.finish(verdict_label(&v)));
+                }
+                let outcome = match &v {
                     TriageVerdict::Near(_) => {
                         stats.near_hits += 1;
                         writeln!(out, "{}", verdict_line(&v))?;
+                        TsOutcome::Near
                     }
                     _ => {
                         stats.near_misses += 1;
                         writeln!(out, "miss near key={rest}")?;
+                        TsOutcome::Miss
                     }
+                };
+                ring.record(second, outcome, ns);
+                if triage.epoch_seen() != epoch_before {
+                    ring.record_republish(second, ns);
                 }
             }
             "msg" => {
@@ -171,17 +286,112 @@ pub fn serve_lines<R: BufRead, W: Write>(
                     Some((s, t)) => (Some(s.trim()), t.trim()),
                     None => (None, rest),
                 };
+                let epoch_before = triage.epoch_seen();
+                let mut tb = tracer.begin(line);
                 let t = Instant::now();
-                let v = triage.triage(sender, text);
-                triage_ns.record(t.elapsed().as_nanos() as u64);
-                match &v {
-                    TriageVerdict::Hit(_) => stats.hits += 1,
-                    TriageVerdict::Near(_) => stats.near_hits += 1,
-                    _ => stats.triaged += 1,
+                let v = triage.triage_traced(sender, text, tb.as_mut());
+                let ns = t.elapsed().as_nanos() as u64;
+                triage_ns.record(ns);
+                if let Some(tb) = tb {
+                    tracer.exemplar("intel.serve.triage_ns", tb.id(), ns);
+                    tracer.finish(tb.finish(verdict_label(&v)));
+                }
+                let outcome = match &v {
+                    TriageVerdict::Hit(_) => {
+                        stats.hits += 1;
+                        TsOutcome::Hit
+                    }
+                    TriageVerdict::Near(_) => {
+                        stats.near_hits += 1;
+                        TsOutcome::Near
+                    }
+                    _ => {
+                        stats.triaged += 1;
+                        TsOutcome::Triaged
+                    }
+                };
+                ring.record(second, outcome, ns);
+                if triage.epoch_seen() != epoch_before {
+                    ring.record_republish(second, ns);
                 }
                 let _ = threshold; // thresholding is the caller's policy
                 writeln!(out, "{}", verdict_line(&v))?;
             }
+            "explain" => {
+                // Force-traced one-shot: reply line, then the span tree.
+                // Introspection, not traffic — histograms and the time
+                // series stay clean of its always-on tracing overhead.
+                let (kind, val) = rest.split_once(' ').unwrap_or((rest, ""));
+                let mut tb = tracer.begin_forced(rest);
+                let v = match (kind, val) {
+                    ("url", v) if !v.is_empty() => triage.query_url_traced(v, Some(&mut tb)),
+                    ("sender", v) if !v.is_empty() => triage.query_sender_traced(v, Some(&mut tb)),
+                    ("near", v) if !v.is_empty() => triage.query_near_traced(v, Some(&mut tb)).0,
+                    _ => {
+                        // Whole rest is a message (optionally `sender|text`),
+                        // with an explicit `msg ` prefix allowed.
+                        let body = rest.strip_prefix("msg ").unwrap_or(rest).trim();
+                        let (sender, text) = match body.split_once('|') {
+                            Some((s, t)) => (Some(s.trim()), t.trim()),
+                            None => (None, body),
+                        };
+                        triage.triage_traced(sender, text, Some(&mut tb))
+                    }
+                };
+                let trace = tb.finish(verdict_label(&v));
+                writeln!(out, "{}", verdict_line(&v))?;
+                write!(out, "{}", trace.render())?;
+                tracer.finish(trace);
+            }
+            "traces" => {
+                let n: usize = rest.parse().unwrap_or(5);
+                let slowest: Vec<String> = tracer.slowest(n).map(|t| t.render()).collect();
+                writeln!(
+                    out,
+                    "traces retained={} sampled={} requests={}",
+                    slowest.len(),
+                    tracer.sampled(),
+                    tracer.requests()
+                )?;
+                for t in slowest {
+                    write!(out, "{t}")?;
+                }
+            }
+            "timeseries" => {
+                let n: usize = rest.parse().unwrap_or(ring.window());
+                let rendered = ring.render(n);
+                writeln!(
+                    out,
+                    "timeseries window_s={} lines={}",
+                    ring.window(),
+                    rendered.lines().count()
+                )?;
+                write!(out, "{rendered}")?;
+            }
+            "health" => match triage.snapshot() {
+                Some(snap) => {
+                    let sizes = snap.index_sizes();
+                    writeln!(
+                        out,
+                        "health epoch={} epoch_age_s={} entries={} urls={} domains={} \
+                         senders={} phones={} brands={} clusters={} templates={} \
+                         cache_len={} cache_cap={}",
+                        triage.epoch_seen(),
+                        triage.epoch_age().map_or(0, |d| d.as_secs()),
+                        snap.len(),
+                        sizes.urls,
+                        sizes.domains,
+                        sizes.senders,
+                        sizes.phones,
+                        sizes.brands,
+                        snap.cluster_count(),
+                        snap.template_count(),
+                        triage.cache_len(),
+                        triage.cache_capacity(),
+                    )?;
+                }
+                None => writeln!(out, "err no snapshot published yet")?,
+            },
             "sample" => {
                 // `sample near <n>` emits entry texts as `near` query
                 // lines; plain `sample <n>` emits url/sender lines.
@@ -221,7 +431,8 @@ pub fn serve_lines<R: BufRead, W: Write>(
                 let templates = triage.snapshot().map_or(0, |s| s.template_count());
                 writeln!(
                     out,
-                    "stats queries={} hits={} near_hits={} near_misses={} misses={} triaged={} errors={} templates={}",
+                    "stats queries={} hits={} near_hits={} near_misses={} misses={} triaged={} errors={} templates={} \
+                     lookup_p99_ns={} triage_p99_ns={} near_p50_ns={} near_p99_ns={} near_cand_p50={} near_cand_p99={}",
                     stats.queries,
                     stats.hits,
                     stats.near_hits,
@@ -230,10 +441,17 @@ pub fn serve_lines<R: BufRead, W: Write>(
                     stats.triaged,
                     stats.errors,
                     templates,
+                    lookup_ns.quantile(0.99).round() as u64,
+                    triage_ns.quantile(0.99).round() as u64,
+                    near_ns.quantile(0.50).round() as u64,
+                    near_ns.quantile(0.99).round() as u64,
+                    near_candidates.quantile(0.50).round() as u64,
+                    near_candidates.quantile(0.99).round() as u64,
                 )?;
             }
             other => {
                 stats.errors += 1;
+                ring.record(second, TsOutcome::Error, 0);
                 writeln!(out, "err unknown command {other}")?;
             }
         }
@@ -248,7 +466,13 @@ pub fn serve_lines<R: BufRead, W: Write>(
     obs.counter("intel.serve.misses", &[]).add(stats.misses);
     obs.counter("intel.serve.triaged", &[]).add(stats.triaged);
     obs.counter("intel.serve.errors", &[]).add(stats.errors);
-    Ok(stats)
+    tracer.export(obs);
+    ring.export(obs);
+    Ok(ServeSession {
+        stats,
+        tracer,
+        ring,
+    })
 }
 
 #[cfg(test)]
@@ -337,6 +561,143 @@ mod tests {
         assert_eq!(stats.near_misses, 0);
         assert!(replies.lines().all(|l| l.starts_with("near score=")));
         assert!(replies.contains("template="), "{replies}");
+    }
+
+    #[test]
+    fn explain_returns_span_tree_naming_every_rung() {
+        let mut t = triage();
+        let (_, sample) = run(&mut t, "sample 1");
+        let url = sample.trim().strip_prefix("url ").unwrap_or(sample.trim());
+        let script =
+            format!("explain url {url}\nexplain +15550001111|lunch tomorrow at the usual spot?\n");
+        let (stats, out) = run(&mut t, &script);
+        // Introspection lines are not traffic.
+        assert_eq!(stats.queries, 0, "{out}");
+        assert!(out.contains("trace id=1 verdict=hit"), "{out}");
+        assert!(out.contains("rung url wall_ns="), "{out}");
+        assert!(out.contains("end id=1"), "{out}");
+        // The full-message explain walks every rung of the ladder.
+        for rung in ["refang", "sender", "phone", "near"] {
+            assert!(
+                out.contains(&format!("rung {rung} wall_ns=")),
+                "{rung}: {out}"
+            );
+        }
+        assert!(out.contains("trace id=2"), "{out}");
+    }
+
+    #[test]
+    fn traces_verb_lists_retained_traces_slowest_first() {
+        let mut t = triage();
+        let (_, sample) = run(&mut t, "sample 3");
+        // Explains are force-traced, so they are always retained.
+        let explains: String = sample.lines().map(|l| format!("explain {l}\n")).collect();
+        let (_, out) = run(&mut t, &format!("{explains}traces 2\n"));
+        assert!(out.contains("traces retained=2 sampled=3"), "{out}");
+        let totals: Vec<u64> = out
+            .lines()
+            .filter_map(|l| l.strip_prefix("trace id="))
+            .filter_map(|l| {
+                l.split_whitespace()
+                    .find_map(|kv| kv.strip_prefix("total_ns="))
+            })
+            .filter_map(|v| v.parse().ok())
+            .collect();
+        // 3 explain trees + 2 listed trees = 5 rendered traces; the
+        // listed pair comes slowest first.
+        assert_eq!(totals.len(), 5, "{out}");
+        assert!(totals[3] >= totals[4], "slowest first: {totals:?}");
+    }
+
+    #[test]
+    fn timeseries_and_health_report_session_state() {
+        let mut t = triage();
+        let script = "url https://nope.example/x\nhealth\ntimeseries 5\nstats\n";
+        let obs = Obs::enabled();
+        let mut out = Vec::new();
+        let session = serve_session(
+            &mut t,
+            script.as_bytes(),
+            &mut out,
+            &obs,
+            ServeOptions::default(),
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let health = text
+            .lines()
+            .find(|l| l.starts_with("health "))
+            .expect("health line");
+        for key in [
+            "epoch=1",
+            "epoch_age_s=",
+            "entries=",
+            "urls=",
+            "domains=",
+            "senders=",
+            "phones=",
+            "brands=",
+            "clusters=",
+            "templates=",
+            "cache_len=",
+            "cache_cap=4096",
+        ] {
+            assert!(health.contains(key), "{key} missing: {health}");
+        }
+        assert!(text.contains("timeseries window_s=120 lines=1"), "{text}");
+        assert!(text.contains("ts age_s=0 qps=1"), "{text}");
+        // Satellite: the stats line now carries the near-tier series.
+        let stats_line = text
+            .lines()
+            .find(|l| l.starts_with("stats "))
+            .expect("stats line");
+        for key in [
+            "near_p50_ns=",
+            "near_p99_ns=",
+            "near_cand_p50=",
+            "near_cand_p99=",
+            "lookup_p99_ns=",
+        ] {
+            assert!(stats_line.contains(key), "{key} missing: {stats_line}");
+        }
+        // Session export: trace + timeseries gauges land in the report.
+        assert_eq!(session.stats.misses, 1);
+        let report = obs.json_report();
+        assert!(report.contains("trace.requests"), "{report}");
+        assert!(report.contains("serve.ts.last_qps"), "{report}");
+    }
+
+    #[test]
+    fn sampled_traces_attach_exemplars_to_histograms() {
+        let mut t = triage();
+        let (_, sample) = run(&mut t, "sample 8");
+        let obs = Obs::enabled();
+        let mut out = Vec::new();
+        let session = serve_session(
+            &mut t,
+            sample.as_bytes(),
+            &mut out,
+            &obs,
+            ServeOptions {
+                trace: smishing_obs::TracerConfig {
+                    sample_every: 2,
+                    ..smishing_obs::TracerConfig::default()
+                },
+                ts_window: 30,
+            },
+        )
+        .unwrap();
+        assert_eq!(session.stats.queries, 8);
+        assert_eq!(session.tracer.requests(), 8);
+        assert_eq!(session.tracer.sampled(), 4, "1-in-2 sampling");
+        let ex = session.tracer.exemplars();
+        assert!(
+            ex.contains_key("intel.serve.lookup_ns"),
+            "sampled url/sender queries must leave an exemplar: {ex:?}"
+        );
+        let report = obs.json_report();
+        assert!(report.contains("trace.exemplar_id"), "{report}");
+        assert!(report.contains("trace.sampled"), "{report}");
     }
 
     #[test]

@@ -156,6 +156,22 @@ impl IntelEntry {
     }
 }
 
+/// Distinct-key counts of each pivot index, as reported by the serve
+/// `health` verb.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IndexSizes {
+    /// Distinct canonical URLs.
+    pub urls: usize,
+    /// Distinct apex domains.
+    pub domains: usize,
+    /// Distinct sender keys.
+    pub senders: usize,
+    /// Distinct phone keys.
+    pub phones: usize,
+    /// Distinct brand keys.
+    pub brands: usize,
+}
+
 /// The immutable, indexed intelligence store.
 #[derive(Debug, Clone, Default)]
 pub struct IntelSnapshot {
@@ -445,6 +461,18 @@ impl IntelSnapshot {
     /// Number of distinct campaign templates (similarity components).
     pub fn template_count(&self) -> usize {
         self.sim.template_count() as usize
+    }
+
+    /// Distinct-key counts of every pivot index — what the serve `health`
+    /// verb reports so an operator can see the store's shape at a glance.
+    pub fn index_sizes(&self) -> IndexSizes {
+        IndexSizes {
+            urls: self.by_url.len(),
+            domains: self.by_domain.len(),
+            senders: self.by_sender.len(),
+            phones: self.by_phone.len(),
+            brands: self.by_brand.len(),
+        }
     }
 
     /// Near-duplicate entries of a raw message text: banded SimHash

@@ -33,11 +33,20 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use smishing_core::enrich::parse_sender;
 use smishing_detect::{featurize, LogisticRegression, LrConfig};
+use smishing_obs::TraceBuilder;
 use smishing_simindex::{set_hash, SimMatch};
 use smishing_textnlp::ham::generate_ham;
 use smishing_types::{ScamType, UnixTime};
 use smishing_webinfra::{find_url_in_text, parse_url, refang};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Wall-clock ns since `start` when tracing, 0 otherwise.
+fn since(start: Option<Instant>) -> u64 {
+    start.map_or(0, |t| {
+        u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    })
+}
 
 /// Which pivot matched known infrastructure.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -290,16 +299,30 @@ impl Triage {
     }
 
     /// Probe the index ladder, consulting and feeding the negative cache.
+    /// With a trace, every rung probed (or skipped via the cache) records
+    /// a span named after its pivot, with the matched-entry count as the
+    /// candidate figure. Timing only happens when a trace is attached, so
+    /// the untraced path never reads the clock.
     fn infra_lookup(
         &mut self,
         snap: &IntelSnapshot,
         keys: &[(MatchedKey, String)],
+        mut trace: Option<&mut TraceBuilder>,
     ) -> Option<Attribution> {
         let mut missed: Vec<String> = Vec::new();
         let mut hit = None;
         for (kind, key) in keys {
+            let start = trace.as_ref().map(|_| Instant::now());
             let cache_key = format!("{}:{key}", kind.label());
             if self.cache.contains(&cache_key) {
+                if let Some(tb) = trace.as_deref_mut() {
+                    tb.rung(
+                        kind.label(),
+                        since(start),
+                        0,
+                        format!("negative-cache skip key={key}"),
+                    );
+                }
                 continue;
             }
             let ids = match kind {
@@ -308,8 +331,17 @@ impl Triage {
                 MatchedKey::Sender => snap.lookup_sender_key(key),
                 MatchedKey::Phone => snap.lookup_phone(key),
             };
-            match ids.first() {
-                Some(&id) => {
+            let n = ids.len();
+            let first = ids.first().copied();
+            if let Some(tb) = trace.as_deref_mut() {
+                let note = match first {
+                    Some(id) => format!("hit key={key} entry={id}"),
+                    None => format!("miss key={key}"),
+                };
+                tb.rung(kind.label(), since(start), n as u64, note);
+            }
+            match first {
+                Some(id) => {
                     hit = Some(attribution(snap, *kind, key.clone(), id));
                     break;
                 }
@@ -335,19 +367,37 @@ impl Triage {
         &mut self,
         snap: &IntelSnapshot,
         text: &str,
+        mut trace: Option<&mut TraceBuilder>,
     ) -> (Option<NearAttribution>, usize) {
         if !self.cfg.near {
             return (None, 0);
         }
+        let start = trace.as_ref().map(|_| Instant::now());
         let q = snap.sim().query(text);
         if q.is_empty() {
+            if let Some(tb) = trace.as_deref_mut() {
+                tb.rung("near", since(start), 0, "empty query".to_string());
+            }
             return (None, 0);
         }
         let cache_key = format!("near:{:016x}:{:016x}", q.sig, set_hash(&q.shingles));
         if self.cache.contains(&cache_key) {
+            if let Some(tb) = trace.as_deref_mut() {
+                tb.rung("near", since(start), 0, "negative-cache skip".to_string());
+            }
             return (None, 0);
         }
         let r = snap.sim().nearest(&q, 1);
+        if let Some(tb) = trace {
+            let note = match r.matches.first() {
+                Some(m) => format!(
+                    "hit entry={} hamming={} jaccard={:.3} ranked={} reranked={}",
+                    m.id, m.hamming, m.jaccard, r.ranked, r.reranked
+                ),
+                None => format!("miss ranked={} reranked={}", r.ranked, r.reranked),
+            };
+            tb.rung("near", since(start), r.candidates as u64, note);
+        }
         match r.matches.first() {
             Some(m) => (Some(near_attribution(snap, m, r.candidates)), r.candidates),
             None => {
@@ -388,10 +438,20 @@ impl Triage {
     /// homoglyph spellings normalize before lookup; a miss is `Unknown`,
     /// never model-scored (there is no text to score).
     pub fn query_url(&mut self, raw: &str) -> TriageVerdict {
+        self.query_url_traced(raw, None)
+    }
+
+    /// [`Self::query_url`] with an optional request trace recording the
+    /// url/domain rungs.
+    pub fn query_url_traced(
+        &mut self,
+        raw: &str,
+        trace: Option<&mut TraceBuilder>,
+    ) -> TriageVerdict {
         let Some(snap) = self.ensure_fresh() else {
             return TriageVerdict::Unknown;
         };
-        match self.infra_lookup(&snap, &Self::url_keys(raw)) {
+        match self.infra_lookup(&snap, &Self::url_keys(raw), trace) {
             Some(a) => TriageVerdict::Hit(a),
             None => TriageVerdict::Unknown,
         }
@@ -399,10 +459,20 @@ impl Triage {
 
     /// Query by sender alone (the `smish query sender` path).
     pub fn query_sender(&mut self, raw: &str) -> TriageVerdict {
+        self.query_sender_traced(raw, None)
+    }
+
+    /// [`Self::query_sender`] with an optional request trace recording
+    /// the sender/phone rungs.
+    pub fn query_sender_traced(
+        &mut self,
+        raw: &str,
+        trace: Option<&mut TraceBuilder>,
+    ) -> TriageVerdict {
         let Some(snap) = self.ensure_fresh() else {
             return TriageVerdict::Unknown;
         };
-        match self.infra_lookup(&snap, &Self::sender_keys(raw)) {
+        match self.infra_lookup(&snap, &Self::sender_keys(raw), trace) {
             Some(a) => TriageVerdict::Hit(a),
             None => TriageVerdict::Unknown,
         }
@@ -414,10 +484,20 @@ impl Triage {
     /// the banded candidate-set size (0 on cache hit or empty query),
     /// which the serving layer histograms.
     pub fn query_near_with(&mut self, text: &str) -> (TriageVerdict, usize) {
+        self.query_near_traced(text, None)
+    }
+
+    /// [`Self::query_near_with`] with an optional request trace
+    /// recording the near rung (candidates, ranked/reranked counts).
+    pub fn query_near_traced(
+        &mut self,
+        text: &str,
+        trace: Option<&mut TraceBuilder>,
+    ) -> (TriageVerdict, usize) {
         let Some(snap) = self.ensure_fresh() else {
             return (TriageVerdict::Unknown, 0);
         };
-        match self.near_lookup(&snap, text) {
+        match self.near_lookup(&snap, text, trace) {
             (Some(a), c) => (TriageVerdict::Near(a), c),
             (None, c) => (TriageVerdict::Unknown, c),
         }
@@ -432,11 +512,27 @@ impl Triage {
     /// ladder, probe the similarity rung, and fall back to the model
     /// score.
     pub fn triage(&mut self, sender: Option<&str>, text: &str) -> TriageVerdict {
+        self.triage_traced(sender, text, None)
+    }
+
+    /// [`Self::triage`] with an optional request trace. When a trace is
+    /// attached, every rung the message traverses records a span —
+    /// `refang` (body refang + URL extraction), one span per exact pivot
+    /// probed (`url`/`domain`/`sender`/`phone`), `near`, and `model` —
+    /// each with its wall_ns and candidate count. The untraced call
+    /// compiles to the exact same ladder with zero clock reads.
+    pub fn triage_traced(
+        &mut self,
+        sender: Option<&str>,
+        text: &str,
+        mut trace: Option<&mut TraceBuilder>,
+    ) -> TriageVerdict {
         let Some(snap) = self.ensure_fresh() else {
             return TriageVerdict::Unknown;
         };
         // Reports defang; refang the whole body before URL extraction so
         // `evil [dot] com` spellings still surface their host.
+        let start = trace.as_ref().map(|_| Instant::now());
         let refanged = refang(text);
         let mut keys = Vec::new();
         if let Some(u) = find_url_in_text(&refanged) {
@@ -445,21 +541,59 @@ impl Triage {
                 keys.push((MatchedKey::Domain, d));
             }
         }
+        let url_extracted = keys.first().map(|(_, u)| u.clone());
         if let Some(s) = sender {
             keys.extend(Self::sender_keys(s));
         }
-        if let Some(a) = self.infra_lookup(&snap, &keys) {
+        if let Some(tb) = trace.as_deref_mut() {
+            let note = match &url_extracted {
+                Some(url) => format!("extracted url={url}"),
+                None => "no url in text".to_string(),
+            };
+            tb.rung("refang", since(start), keys.len() as u64, note);
+        }
+        if let Some(a) = self.infra_lookup(&snap, &keys, trace.as_deref_mut()) {
             return TriageVerdict::Hit(a);
         }
-        if let (Some(a), _) = self.near_lookup(&snap, &refanged) {
+        if let (Some(a), _) = self.near_lookup(&snap, &refanged, trace.as_deref_mut()) {
             return TriageVerdict::Near(a);
         }
-        match &self.model {
+        let start = trace.as_ref().map(|_| Instant::now());
+        let verdict = match &self.model {
             Some(m) => TriageVerdict::ModelOnly {
                 score: m.probability(&featurize(text)),
             },
             None => TriageVerdict::Unknown,
+        };
+        if let Some(tb) = trace {
+            let note = match &verdict {
+                TriageVerdict::ModelOnly { score } => format!("score={score:.4}"),
+                _ => "no model".to_string(),
+            };
+            tb.rung("model", since(start), 0, note);
         }
+        verdict
+    }
+
+    /// Epoch of the snapshot view last answered from (0 before the first
+    /// successful lookup).
+    pub fn epoch_seen(&self) -> u64 {
+        self.reader.epoch_seen()
+    }
+
+    /// Time since the hub's last publish (`None` before the first).
+    pub fn epoch_age(&self) -> Option<Duration> {
+        self.reader.epoch_age()
+    }
+
+    /// Negative-cache occupancy (entries currently remembered).
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Negative-cache capacity (0 = disabled).
+    pub fn cache_capacity(&self) -> usize {
+        self.cache.capacity()
     }
 }
 
@@ -700,5 +834,67 @@ mod tests {
         let hub = IntelHub::new();
         let mut t = Triage::new(hub.reader());
         assert!(matches!(t.triage(None, "anything"), TriageVerdict::Unknown));
+    }
+
+    #[test]
+    fn traced_triage_names_every_rung_traversed() {
+        use smishing_obs::{Tracer, TracerConfig};
+        let mut t = Triage::with_config(
+            hub().reader(),
+            TriageConfig {
+                train_model: false,
+                ..TriageConfig::default()
+            },
+        );
+        let mut tracer = Tracer::new(TracerConfig::default());
+
+        // A miss walks the whole ladder: refang, sender pivots, near, model.
+        let mut tb = tracer.begin_forced("msg");
+        let v = t.triage_traced(
+            Some("+15550000001"),
+            "hello, are we still on for lunch tomorrow?",
+            Some(&mut tb),
+        );
+        assert!(matches!(v, TriageVerdict::Unknown), "{v:?}");
+        let trace = tb.finish("unknown");
+        let rungs: Vec<&str> = trace.spans.iter().map(|s| s.rung).collect();
+        assert_eq!(rungs, ["refang", "sender", "phone", "near", "model"]);
+        assert!(trace.spans.iter().skip(1).all(|s| s.wall_ns > 0));
+        assert!(trace.spans[3].note.starts_with("miss"), "{trace:?}");
+
+        // An exact-URL hit stops the ladder at its first rung.
+        let snap = t.snapshot().unwrap();
+        let e = snap
+            .entries()
+            .iter()
+            .find(|e| e.url.is_some())
+            .expect("url entry");
+        let url = snap.resolve(e.url.unwrap()).to_string();
+        let mut tb = tracer.begin_forced("url");
+        let v = t.query_url_traced(&url, Some(&mut tb));
+        assert!(v.attribution().is_some());
+        let trace = tb.finish("hit");
+        assert_eq!(trace.spans.len(), 1);
+        assert_eq!(trace.spans[0].rung, "url");
+        assert!(trace.spans[0].note.starts_with("hit key="), "{trace:?}");
+        assert!(trace.spans[0].candidates >= 1);
+
+        // A repeat of the original miss shows the negative cache at work.
+        let mut tb = tracer.begin_forced("msg");
+        let _ = t.triage_traced(
+            Some("+15550000001"),
+            "hello, are we still on for lunch tomorrow?",
+            Some(&mut tb),
+        );
+        let trace = tb.finish("unknown");
+        assert!(
+            trace
+                .spans
+                .iter()
+                .any(|s| s.note.starts_with("negative-cache skip")),
+            "{trace:?}"
+        );
+        assert!(t.cache_len() > 0);
+        assert_eq!(t.cache_capacity(), TriageConfig::default().cache_capacity);
     }
 }

@@ -210,6 +210,105 @@ impl Histogram {
     }
 }
 
+/// A single-owner log-scale histogram: the same bucket layout and
+/// quantile math as [`Histogram`], without the atomics. The time-series
+/// ring keeps one per second-bucket, where a shared atomic histogram
+/// would be pure overhead — recording is a plain add, and the whole
+/// struct is `Copy`-free but trivially clearable for ring reuse.
+#[derive(Debug, Clone)]
+pub struct LocalHistogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LocalHistogram {
+    fn default() -> Self {
+        LocalHistogram {
+            buckets: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl LocalHistogram {
+    /// An empty histogram.
+    pub fn new() -> LocalHistogram {
+        LocalHistogram::default()
+    }
+
+    /// Record one value.
+    pub fn record(&mut self, v: u64) {
+        self.buckets[bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Reset to empty (ring-slot reuse without reallocating).
+    pub fn clear(&mut self) {
+        self.buckets.iter_mut().for_each(|b| *b = 0);
+        self.count = 0;
+        self.sum = 0;
+        self.min = u64::MAX;
+        self.max = 0;
+    }
+
+    /// Recorded value count.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded values.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Smallest recorded value (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Estimated `q`-quantile by in-bucket interpolation, clamped to the
+    /// observed `[min, max]` — identical math to the atomic histogram.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (idx, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if cum + c >= rank {
+                let (lo, hi) = bucket_bounds(idx);
+                let within = (rank - cum) as f64 / c as f64;
+                let est = lo + (hi - lo) * within;
+                return est.clamp(self.min as f64, self.max as f64);
+            }
+            cum += c;
+        }
+        self.max as f64
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -233,5 +332,26 @@ mod tests {
             let (lo, hi) = bucket_bounds(bucket_index(v));
             assert!(lo <= v as f64 && (v as f64) < hi, "{v}: [{lo},{hi})");
         }
+    }
+
+    #[test]
+    fn local_histogram_matches_atomic_quantiles() {
+        let shared = Histogram(Some(Arc::new(HistogramCore::default())));
+        let mut local = LocalHistogram::new();
+        for v in [0u64, 1, 5, 90, 1_000, 65_000, 1 << 30, 17, 17, 17] {
+            shared.record(v);
+            local.record(v);
+        }
+        assert_eq!(local.count(), shared.count());
+        assert_eq!(local.sum(), shared.sum());
+        assert_eq!(local.min(), shared.min());
+        assert_eq!(local.max(), shared.max());
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(local.quantile(q), shared.quantile(q), "q={q}");
+        }
+        local.clear();
+        assert_eq!(local.count(), 0);
+        assert_eq!(local.quantile(0.5), 0.0);
+        assert_eq!(local.min(), 0);
     }
 }

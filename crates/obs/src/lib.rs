@@ -13,7 +13,13 @@
 //!   macros — leveled stderr logging behind `--log-level`/`--quiet`.
 //! * [`Report`] — a deterministic-schema JSON run report
 //!   (`--metrics-json`) and a Prometheus-style text exposition
-//!   (`--metrics-text`).
+//!   (`--metrics-text`); [`parse_report`] reads one back, and
+//!   [`perf_diff`] gates a current report against a checked-in baseline.
+//! * [`Tracer`] — request-level tracing: tail-sampled per-query span
+//!   trees over the triage rungs, with a slowest-N ring and histogram
+//!   exemplars ([`trace`]).
+//! * [`TimeRing`] — a bounded per-second serve-plane time series
+//!   (qps, p50/p99, hit/near/miss/shed, republish cost) ([`timeseries`]).
 //!
 //! The zero-cost contract: [`Obs::noop`] (the `Default`) hands out inert
 //! handles — no allocation, no clock reads, no atomics — so instrumented
@@ -38,16 +44,22 @@
 pub mod histogram;
 pub mod log;
 pub mod metrics;
+pub mod perfdiff;
 pub mod registry;
 pub mod report;
 pub mod span;
+pub mod timeseries;
+pub mod trace;
 
-pub use histogram::Histogram;
+pub use histogram::{Histogram, LocalHistogram};
 pub use log::Level;
 pub use metrics::{Counter, Gauge};
+pub use perfdiff::{perf_diff, DiffLine, DiffReport, Direction};
 pub use registry::{MetricId, Registry};
-pub use report::{GaugeStat, HistStat, Report, SCHEMA};
+pub use report::{parse_report, GaugeStat, HistStat, Report, SCHEMA};
 pub use span::Span;
+pub use timeseries::{TimeRing, TsBucket, TsOutcome};
+pub use trace::{Exemplar, Trace, TraceBuilder, TraceSpan, Tracer, TracerConfig};
 
 use std::sync::Arc;
 use std::time::Instant;

@@ -1,0 +1,295 @@
+//! Per-second serve-plane time series in a bounded ring.
+//!
+//! Long soaks need more than end-of-run aggregates: a latency spike at
+//! minute 40 is invisible in a session-wide p99. [`TimeRing`] keeps one
+//! [`TsBucket`] per wall-clock second over a bounded window — query and
+//! outcome counts (hit/near/miss/shed), a [`LocalHistogram`] for
+//! per-second p50/p99, and the epoch-republish cost observed that second
+//! — overwriting the oldest second on wraparound, so memory stays fixed
+//! no matter how long the serve plane runs.
+//!
+//! The ring is deliberately clock-free: callers pass elapsed seconds
+//! (the serve loop derives them from its session `Instant`), so tests
+//! can drive wraparound deterministically and the recorder itself never
+//! reads a clock.
+
+use crate::histogram::LocalHistogram;
+use crate::Obs;
+use std::fmt::Write as _;
+
+/// How a recorded query resolved, for per-second rate accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TsOutcome {
+    /// Known-infrastructure hit.
+    Hit,
+    /// Similarity-tier hit.
+    Near,
+    /// Lookup/similarity miss.
+    Miss,
+    /// Fell through to the model.
+    Triaged,
+    /// Malformed request.
+    Error,
+    /// Rejected by admission control before any rung ran.
+    Shed,
+}
+
+/// One second's worth of serve-plane accounting.
+#[derive(Debug, Clone, Default)]
+pub struct TsBucket {
+    /// Elapsed-second index this bucket covers (`u64::MAX`-free: buckets
+    /// start zeroed and are re-stamped on reuse).
+    pub second: u64,
+    /// Whether the bucket has recorded anything since its last reset.
+    pub live: bool,
+    /// Queries recorded this second.
+    pub queries: u64,
+    /// Known-infrastructure hits.
+    pub hits: u64,
+    /// Similarity-tier hits.
+    pub near_hits: u64,
+    /// Misses.
+    pub misses: u64,
+    /// Model fallbacks.
+    pub triaged: u64,
+    /// Malformed requests.
+    pub errors: u64,
+    /// Queries shed by admission control.
+    pub shed: u64,
+    /// Epoch republishes observed this second.
+    pub republishes: u64,
+    /// Total republish cost observed this second (ns).
+    pub republish_ns: u64,
+    /// Per-second latency distribution.
+    pub latency: LocalHistogram,
+}
+
+impl TsBucket {
+    fn reset(&mut self, second: u64) {
+        self.second = second;
+        self.live = true;
+        self.queries = 0;
+        self.hits = 0;
+        self.near_hits = 0;
+        self.misses = 0;
+        self.triaged = 0;
+        self.errors = 0;
+        self.shed = 0;
+        self.republishes = 0;
+        self.republish_ns = 0;
+        self.latency.clear();
+    }
+
+    /// Render one protocol line for this bucket, with `age` seconds back
+    /// from now.
+    pub fn line(&self, age: u64) -> String {
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "ts age_s={age} qps={} hits={} near={} miss={} triaged={} errors={} shed={} \
+             p50_ns={} p99_ns={} republishes={} republish_ns={}",
+            self.queries,
+            self.hits,
+            self.near_hits,
+            self.misses,
+            self.triaged,
+            self.errors,
+            self.shed,
+            self.latency.quantile(0.50).round() as u64,
+            self.latency.quantile(0.99).round() as u64,
+            self.republishes,
+            self.republish_ns,
+        );
+        s
+    }
+}
+
+/// Bounded per-second ring recorder.
+#[derive(Debug)]
+pub struct TimeRing {
+    buckets: Vec<TsBucket>,
+    /// Highest second index seen so far.
+    now: u64,
+    started: bool,
+}
+
+impl TimeRing {
+    /// A ring covering `window` seconds (minimum 1).
+    pub fn new(window: usize) -> TimeRing {
+        TimeRing {
+            buckets: vec![TsBucket::default(); window.max(1)],
+            now: 0,
+            started: false,
+        }
+    }
+
+    /// The window size in seconds.
+    pub fn window(&self) -> usize {
+        self.buckets.len()
+    }
+
+    fn bucket_at(&mut self, second: u64) -> &mut TsBucket {
+        let idx = (second % self.buckets.len() as u64) as usize;
+        if !self.buckets[idx].live || self.buckets[idx].second != second {
+            self.buckets[idx].reset(second);
+        }
+        self.started = true;
+        self.now = self.now.max(second);
+        &mut self.buckets[idx]
+    }
+
+    /// Record one query outcome with its latency at `second` (elapsed
+    /// seconds since the session started).
+    pub fn record(&mut self, second: u64, outcome: TsOutcome, wall_ns: u64) {
+        let b = self.bucket_at(second);
+        b.queries += 1;
+        match outcome {
+            TsOutcome::Hit => b.hits += 1,
+            TsOutcome::Near => b.near_hits += 1,
+            TsOutcome::Miss => b.misses += 1,
+            TsOutcome::Triaged => b.triaged += 1,
+            TsOutcome::Error => b.errors += 1,
+            TsOutcome::Shed => {
+                b.shed += 1;
+                b.queries -= 1; // shed requests never became queries
+            }
+        }
+        if !matches!(outcome, TsOutcome::Shed | TsOutcome::Error) {
+            b.latency.record(wall_ns);
+        }
+    }
+
+    /// Record an epoch-republish cost observed at `second`.
+    pub fn record_republish(&mut self, second: u64, cost_ns: u64) {
+        let b = self.bucket_at(second);
+        b.republishes += 1;
+        b.republish_ns += cost_ns;
+    }
+
+    /// The most recent `n` live buckets (newest first), capped at the
+    /// window.
+    pub fn last(&self, n: usize) -> Vec<&TsBucket> {
+        if !self.started {
+            return Vec::new();
+        }
+        let len = self.buckets.len() as u64;
+        let mut out = Vec::new();
+        for back in 0..n.min(self.buckets.len()) as u64 {
+            let Some(second) = self.now.checked_sub(back) else {
+                break;
+            };
+            let b = &self.buckets[(second % len) as usize];
+            if b.live && b.second == second {
+                out.push(b);
+            }
+        }
+        out
+    }
+
+    /// Render the last `n` seconds as protocol lines, newest first.
+    pub fn render(&self, n: usize) -> String {
+        let mut s = String::new();
+        for b in self.last(n) {
+            let _ = writeln!(s, "{}", b.line(self.now - b.second));
+        }
+        s
+    }
+
+    /// Publish the latest second's rates and the window occupancy as
+    /// gauges, so run reports carry the tail of the time series.
+    pub fn export(&self, obs: &Obs) {
+        let live = self.last(self.buckets.len());
+        obs.gauge("serve.ts.window_s", &[])
+            .set(self.buckets.len() as i64);
+        obs.gauge("serve.ts.live_buckets", &[])
+            .set(live.len() as i64);
+        if let Some(latest) = live.first() {
+            obs.gauge("serve.ts.last_qps", &[])
+                .set(latest.queries as i64);
+            obs.gauge("serve.ts.last_p99_ns", &[])
+                .set(latest.latency.quantile(0.99).round() as i64);
+            obs.gauge("serve.ts.last_shed", &[]).set(latest.shed as i64);
+        }
+        let (republishes, republish_ns) = live.iter().fold((0u64, 0u64), |(n, ns), b| {
+            (n + b.republishes, ns + b.republish_ns)
+        });
+        obs.gauge("serve.ts.window_republishes", &[])
+            .set(republishes as i64);
+        obs.gauge("serve.ts.window_republish_ns", &[])
+            .set(i64::try_from(republish_ns).unwrap_or(i64::MAX));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_second_buckets_accumulate_and_quantile() {
+        let mut r = TimeRing::new(60);
+        for i in 0..100 {
+            r.record(0, TsOutcome::Hit, 1_000 + i);
+        }
+        r.record(0, TsOutcome::Miss, 9_000);
+        r.record(1, TsOutcome::Near, 2_000);
+        r.record(1, TsOutcome::Error, 0);
+        let last = r.last(10);
+        assert_eq!(last.len(), 2);
+        assert_eq!(last[0].second, 1);
+        assert_eq!(last[0].near_hits, 1);
+        assert_eq!(last[0].errors, 1);
+        assert_eq!(last[0].latency.count(), 1, "errors never record latency");
+        assert_eq!(last[1].queries, 101);
+        assert_eq!(last[1].hits, 100);
+        assert!(last[1].latency.quantile(0.99) >= 1_000.0);
+        let rendered = r.render(10);
+        assert!(rendered.starts_with("ts age_s=0 qps=2"), "{rendered}");
+        assert!(
+            rendered.contains("ts age_s=1 qps=101 hits=100"),
+            "{rendered}"
+        );
+    }
+
+    #[test]
+    fn ring_wraps_without_growing() {
+        let mut r = TimeRing::new(4);
+        for sec in 0..10u64 {
+            r.record(sec, TsOutcome::Hit, 100);
+            r.record(sec, TsOutcome::Hit, 100);
+        }
+        assert_eq!(r.window(), 4);
+        let last = r.last(100);
+        assert_eq!(last.len(), 4, "only the window survives");
+        let seconds: Vec<u64> = last.iter().map(|b| b.second).collect();
+        assert_eq!(seconds, [9, 8, 7, 6]);
+        assert!(last.iter().all(|b| b.queries == 2), "old data was reset");
+    }
+
+    #[test]
+    fn gaps_leave_stale_buckets_out() {
+        let mut r = TimeRing::new(8);
+        r.record(0, TsOutcome::Hit, 10);
+        r.record(5, TsOutcome::Miss, 10);
+        let seconds: Vec<u64> = r.last(8).iter().map(|b| b.second).collect();
+        // Seconds 1–4 never recorded: absent, not zero-filled.
+        assert_eq!(seconds, [5, 0]);
+    }
+
+    #[test]
+    fn shed_and_republish_account_separately() {
+        let mut r = TimeRing::new(4);
+        r.record(3, TsOutcome::Shed, 0);
+        r.record(3, TsOutcome::Hit, 50);
+        r.record_republish(3, 1_000_000);
+        let last = r.last(1);
+        assert_eq!(last[0].shed, 1);
+        assert_eq!(last[0].queries, 1, "shed requests are not queries");
+        assert_eq!(last[0].republishes, 1);
+        assert_eq!(last[0].republish_ns, 1_000_000);
+        let obs = Obs::enabled();
+        r.export(&obs);
+        assert_eq!(obs.gauge("serve.ts.last_shed", &[]).get(), 1);
+        assert_eq!(obs.gauge("serve.ts.window_republishes", &[]).get(), 1);
+        assert!(obs.json_report().contains("serve.ts.last_qps"));
+    }
+}

@@ -65,15 +65,23 @@ pub struct SimMatch {
     pub jaccard: f64,
 }
 
-/// Result of a near query: accepted matches plus the size of the banded
-/// candidate set that was examined (the load-shedding signal the bench
-/// histograms track).
+/// Result of a near query: accepted matches plus per-stage candidate
+/// accounting — how many docs the banded generator produced, how many
+/// survived the Hamming filter, and how many got the exact-Jaccard
+/// re-rank. `candidates` is the load-shedding signal the bench
+/// histograms track; the stage counts let a request trace show where a
+/// slow similarity probe spent its work.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct NearResult {
     /// Accepted matches, best first (Hamming asc, then Jaccard desc).
     pub matches: Vec<SimMatch>,
     /// Distinct candidates produced by the banded generator.
     pub candidates: usize,
+    /// Candidates within `max_hamming` of the query signature.
+    pub ranked: usize,
+    /// Hamming-ranked candidates that received the exact-Jaccard re-rank
+    /// (≤ `rerank`).
+    pub reranked: usize,
 }
 
 /// Immutable banded SimHash index over a corpus of message texts.
@@ -253,8 +261,10 @@ impl SimIndex {
                 (d <= self.cfg.max_hamming).then_some((d, id))
             })
             .collect();
+        let n_ranked = ranked.len();
         ranked.sort_unstable();
         ranked.truncate(self.cfg.rerank);
+        let n_reranked = ranked.len();
         let mut matches: Vec<SimMatch> = ranked
             .into_iter()
             .filter_map(|(d, id)| {
@@ -276,6 +286,8 @@ impl SimIndex {
         NearResult {
             matches,
             candidates,
+            ranked: n_ranked,
+            reranked: n_reranked,
         }
     }
 }
@@ -337,6 +349,22 @@ mod tests {
         assert!(!r.matches.is_empty());
         assert!(r.matches.iter().all(|m| m.id <= 2), "{:?}", r.matches);
         assert!(r.candidates >= r.matches.len());
+    }
+
+    #[test]
+    fn stage_accounting_is_monotone() {
+        let texts = corpus();
+        let idx = SimIndex::build(texts.iter().copied());
+        let probe = "USPS: your parcel is held at the depot, pay the customs fee at https://zz.example/99 to release it";
+        let r = idx.nearest(&idx.query(probe), 3);
+        // Each stage can only shrink the set.
+        assert!(r.candidates >= r.ranked, "{r:?}");
+        assert!(r.ranked >= r.reranked, "{r:?}");
+        assert!(r.reranked >= r.matches.len(), "{r:?}");
+        assert!(r.reranked <= idx.config().rerank, "{r:?}");
+        assert!(r.ranked > 0, "template family must survive Hamming");
+        let empty = idx.nearest(&idx.query(""), 3);
+        assert_eq!((empty.candidates, empty.ranked, empty.reranked), (0, 0, 0));
     }
 
     #[test]

@@ -12,6 +12,8 @@
 //! smish serve    --scale 0.1 [--stream]                 # answer queries on stdin/stdout
 //! smish query    url hxxps://evil[.]com/x               # one-shot lookup
 //! smish query    near Your parcel is held, pay at ...   # similarity lookup
+//! smish query    explain Your account is locked, go to…  # one-shot + span tree
+//! smish perfdiff baseline.json current.json              # perf-regression gate
 //! ```
 //!
 //! Commands dispatch through one table (name → handler); the usage line
@@ -58,8 +60,10 @@ use smishing::core::experiment::run_all;
 use smishing::core::pipeline::PipelineOutput;
 use smishing::core::runcfg::RunConfig;
 use smishing::detect::{binary_study, multiclass_study_grouped};
-use smishing::intel::{serve_lines, verdict_line, IntelHub, IntelSnapshot, Triage, TriageConfig};
-use smishing::obs::{obs_error, obs_info, Obs};
+use smishing::intel::{
+    serve_lines, verdict_label, verdict_line, IntelHub, IntelSnapshot, Triage, TriageConfig,
+};
+use smishing::obs::{obs_error, obs_info, parse_report, perf_diff, Obs, Tracer, TracerConfig};
 use smishing::prelude::*;
 use smishing::stream::{ingest, SnapshotPlan};
 use smishing::worldsim::{ReportStream, World};
@@ -75,11 +79,20 @@ struct Args {
     posts: Option<u64>,
     /// `serve --stream`: republish the store from live stream snapshots.
     stream_mode: bool,
+    /// `perfdiff --tolerance FRAC`: allowed regression before exit 1.
+    tolerance: Option<f64>,
     /// Bare (non-flag) operands, e.g. `query url https://...`.
     positional: Vec<String>,
 }
 
-type Handler = fn(&Args, &Obs, &World);
+/// How a subcommand consumes the shared setup in `main`.
+enum Handler {
+    /// Needs the simulated world (pipeline/stream/serve commands).
+    World(fn(&Args, &Obs, &World)),
+    /// Pure plumbing over files and reports — skips world generation,
+    /// so e.g. the CI perf gate costs milliseconds, not a synthesis run.
+    Plain(fn(&Args, &Obs)),
+}
 
 /// The single source of truth for subcommands: `(name, summary, handler)`.
 /// `usage()` and dispatch both read this table.
@@ -87,20 +100,45 @@ const COMMANDS: &[(&str, &str, Handler)] = &[
     (
         "generate",
         "export the pseudo-anonymized dataset",
-        cmd_generate,
+        Handler::World(cmd_generate),
     ),
-    ("run", "regenerate paper tables", cmd_run),
-    ("analyze", "alias of `run`", cmd_run),
-    ("detect", "§7.2 detection studies", cmd_detect),
-    ("link", "campaign-linking ablation", cmd_link),
-    ("mitigate", "§7.2 what-if coverage", cmd_mitigate),
-    ("stream", "replay reports as a live feed", cmd_stream),
-    ("watch", "infinite-feed soak", cmd_watch),
-    ("serve", "answer intel queries on stdin/stdout", cmd_serve),
+    ("run", "regenerate paper tables", Handler::World(cmd_run)),
+    ("analyze", "alias of `run`", Handler::World(cmd_run)),
+    (
+        "detect",
+        "§7.2 detection studies",
+        Handler::World(cmd_detect),
+    ),
+    (
+        "link",
+        "campaign-linking ablation",
+        Handler::World(cmd_link),
+    ),
+    (
+        "mitigate",
+        "§7.2 what-if coverage",
+        Handler::World(cmd_mitigate),
+    ),
+    (
+        "stream",
+        "replay reports as a live feed",
+        Handler::World(cmd_stream),
+    ),
+    ("watch", "infinite-feed soak", Handler::World(cmd_watch)),
+    (
+        "serve",
+        "answer intel queries on stdin/stdout",
+        Handler::World(cmd_serve),
+    ),
     (
         "query",
-        "one-shot lookup: query <url|sender|msg|near> <value>",
-        cmd_query,
+        "one-shot lookup: query <url|sender|msg|near|explain> <value>",
+        Handler::World(cmd_query),
+    ),
+    (
+        "perfdiff",
+        "compare two run reports; exit 1 on regression",
+        Handler::Plain(cmd_perfdiff),
     ),
 ];
 
@@ -115,6 +153,7 @@ fn parse_args() -> Result<Args, String> {
         snapshot_every: None,
         posts: None,
         stream_mode: false,
+        tolerance: None,
         positional: Vec::new(),
     };
     while let Some(flag) = argv.next() {
@@ -136,6 +175,16 @@ fn parse_args() -> Result<Args, String> {
             }
             "--posts" => args.posts = Some(take("--posts")?.parse().map_err(|e| format!("{e}"))?),
             "--stream" => args.stream_mode = true,
+            "--tolerance" => {
+                let raw = take("--tolerance")?;
+                let frac: f64 = raw.parse().map_err(|e| format!("--tolerance {raw}: {e}"))?;
+                if !frac.is_finite() || frac < 0.0 {
+                    return Err(format!(
+                        "--tolerance must be a non-negative fraction, got {raw}"
+                    ));
+                }
+                args.tolerance = Some(frac);
+            }
             other if other.starts_with("--") => {
                 return Err(format!("unknown flag {other}\n{}", usage()))
             }
@@ -146,10 +195,11 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    let names: Vec<&str> = COMMANDS.iter().map(|&(name, _, _)| name).collect();
+    let names: Vec<&str> = COMMANDS.iter().map(|(name, _, _)| *name).collect();
     format!(
         "usage: smish <{}> \
          [--out DIR] [--experiment ID] [--snapshot-every POSTS] [--posts N] [--stream] \
+         [--tolerance FRAC] \
          {}",
         names.join("|"),
         RunConfig::FLAGS_USAGE
@@ -346,6 +396,19 @@ fn cmd_serve(args: &Args, obs: &Obs, world: &World) {
     let hub = IntelHub::new();
     let stdin = std::io::stdin();
     let stdout = std::io::stdout();
+    // Serve the protocol, then flush the run report immediately at EOF:
+    // in `--stream` mode the publisher thread may still be replaying
+    // posts, and `main`'s emit only runs after it joins. Flushing here
+    // puts the session's gauges (trace ring, time series, serve stats)
+    // on disk the moment the query stream ends; the later emit rewrites
+    // the same file with the same schema, so the double write is benign.
+    let serve_and_flush = |triage: &mut Triage| {
+        let stats = serve_lines(triage, stdin.lock(), stdout.lock(), obs).expect("serve io");
+        if let Err(e) = args.cfg.emit_metrics(obs) {
+            obs_error!(obs, "{e}");
+        }
+        stats
+    };
     let stats = if args.stream_mode {
         // Live mode: the streaming engine republishes the store at every
         // aligned snapshot while this thread keeps answering queries —
@@ -391,13 +454,13 @@ fn cmd_serve(args: &Args, obs: &Obs, world: &World) {
                 std::process::exit(1);
             }
             let mut triage = Triage::new(hub.reader());
-            serve_lines(&mut triage, stdin.lock(), stdout.lock(), obs).expect("serve io")
+            serve_and_flush(&mut triage)
         })
     } else {
         let output = run_pipeline(args, obs, world);
         hub.publish(IntelSnapshot::build(&output));
         let mut triage = Triage::new(hub.reader());
-        serve_lines(&mut triage, stdin.lock(), stdout.lock(), obs).expect("serve io")
+        serve_and_flush(&mut triage)
     };
     // Diagnostics go to stderr — stdout is the protocol channel and gets
     // piped back in as queries by the CI smoke job.
@@ -421,21 +484,54 @@ fn cmd_query(args: &Args, obs: &Obs, world: &World) {
             std::process::exit(2);
         }
     };
-    if !matches!(kind, "url" | "sender" | "msg" | "near") {
-        eprintln!("unknown query kind {kind:?}; expected url|sender|msg|near");
+    if !matches!(kind, "url" | "sender" | "msg" | "near" | "explain") {
+        eprintln!("unknown query kind {kind:?}; expected url|sender|msg|near|explain");
         std::process::exit(2);
     }
+    // Key-only lookups never need the model; don't pay for training.
+    // An `explain` is a message triage unless its first token names a
+    // narrower pivot, so it trains exactly when a bare `msg` would.
+    let needs_model = kind == "msg"
+        || (kind == "explain"
+            && !matches!(
+                value.split_whitespace().next().unwrap_or(""),
+                "url" | "sender" | "near"
+            ));
     let output = run_pipeline(args, obs, world);
     let hub = IntelHub::new();
     hub.publish(IntelSnapshot::build(&output));
-    // Key-only lookups never need the model; don't pay for training.
     let mut triage = Triage::with_config(
         hub.reader(),
         TriageConfig {
-            train_model: kind == "msg",
+            train_model: needs_model,
             ..TriageConfig::default()
         },
     );
+    if kind == "explain" {
+        // One-shot mirror of the serve-plane `explain` verb: force-trace
+        // the lookup, print the verdict line, then the full span tree.
+        let mut tracer = Tracer::new(TracerConfig::default());
+        let mut tb = tracer.begin_forced(&value);
+        let (ekind, eval) = value.split_once(' ').unwrap_or((value.as_str(), ""));
+        let v = match (ekind, eval) {
+            ("url", v) if !v.is_empty() => triage.query_url_traced(v, Some(&mut tb)),
+            ("sender", v) if !v.is_empty() => triage.query_sender_traced(v, Some(&mut tb)),
+            ("near", v) if !v.is_empty() => triage.query_near_traced(v, Some(&mut tb)).0,
+            _ => {
+                let body = value.strip_prefix("msg ").unwrap_or(&value).trim();
+                let (sender, text) = match body.split_once('|') {
+                    Some((s, t)) => (Some(s.trim()), t.trim()),
+                    None => (None, body),
+                };
+                triage.triage_traced(sender, text, Some(&mut tb))
+            }
+        };
+        let trace = tb.finish(verdict_label(&v));
+        println!("{}", verdict_line(&v));
+        print!("{}", trace.render());
+        tracer.finish(trace);
+        return;
+    }
     let verdict = obs
         .histogram("intel.query.wall_ns", &[])
         .time(|| match kind {
@@ -457,6 +553,40 @@ fn cmd_query(args: &Args, obs: &Obs, world: &World) {
     }
 }
 
+/// The CI perf gate: compare two `smishing-obs/v1` run reports and fail
+/// (exit 1) when a latency quantile, throughput gauge, or recall gauge
+/// moved past the tolerance. `--tolerance 0.25` allows 25% drift.
+fn cmd_perfdiff(args: &Args, obs: &Obs) {
+    let [baseline_path, current_path] = args.positional.as_slice() else {
+        eprintln!("perfdiff needs exactly two report paths\n{}", usage());
+        std::process::exit(2);
+    };
+    let load = |path: &str| {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("perfdiff: read {path}: {e}");
+            std::process::exit(2);
+        });
+        parse_report(&text).unwrap_or_else(|e| {
+            eprintln!("perfdiff: parse {path}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let baseline = load(baseline_path);
+    let current = load(current_path);
+    let tolerance = args.tolerance.unwrap_or(0.25);
+    let diff = perf_diff(&baseline, &current, tolerance);
+    println!("{}", diff.render());
+    if diff.has_regression() {
+        obs_error!(
+            obs,
+            "perf gate: {} regression(s) past {:.0}% tolerance",
+            diff.regressions(),
+            tolerance * 100.0
+        );
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args = match parse_args() {
         Ok(a) => a,
@@ -465,22 +595,27 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let Some(&(_, _, handler)) = COMMANDS.iter().find(|&&(name, _, _)| name == args.command) else {
+    let Some((_, _, handler)) = COMMANDS.iter().find(|(name, _, _)| *name == args.command) else {
         eprintln!("unknown command {}\n{}", args.command, usage());
         std::process::exit(2);
     };
     let obs = args.cfg.obs();
-    let world = args.cfg.world(&obs);
-    obs_info!(
-        obs,
-        "world: {} campaigns / {} messages / {} posts (scale {}, seed {:#x})",
-        world.campaigns.len(),
-        world.messages.len(),
-        world.posts.len(),
-        args.cfg.scale,
-        args.cfg.seed
-    );
-    handler(&args, &obs, &world);
+    match handler {
+        Handler::Plain(f) => f(&args, &obs),
+        Handler::World(f) => {
+            let world = args.cfg.world(&obs);
+            obs_info!(
+                obs,
+                "world: {} campaigns / {} messages / {} posts (scale {}, seed {:#x})",
+                world.campaigns.len(),
+                world.messages.len(),
+                world.posts.len(),
+                args.cfg.scale,
+                args.cfg.seed
+            );
+            f(&args, &obs, &world);
+        }
+    }
     if let Err(e) = args.cfg.emit_metrics(&obs) {
         obs_error!(obs, "{e}");
         std::process::exit(1);

@@ -18,7 +18,10 @@ pub struct Criterion {
 
 impl Default for Criterion {
     fn default() -> Criterion {
-        Criterion { sample_size: 20, filter: None }
+        Criterion {
+            sample_size: 20,
+            filter: None,
+        }
     }
 }
 
@@ -52,7 +55,11 @@ impl Criterion {
 
     /// Start a named group of benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { name: name.into(), sample_size: self.sample_size, criterion: self }
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            criterion: self,
+        }
     }
 
     /// Run a benchmark outside any group.
@@ -75,7 +82,10 @@ impl Criterion {
                 return;
             }
         }
-        let mut b = Bencher { samples: Vec::new(), sample_size };
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size,
+        };
         f(&mut b);
         b.report(id);
     }
@@ -145,7 +155,8 @@ impl Bencher {
                 std::hint::black_box(routine());
             }
             let elapsed = start.elapsed();
-            self.samples.push(elapsed.as_secs_f64() * 1e9 / batch as f64);
+            self.samples
+                .push(elapsed.as_secs_f64() * 1e9 / batch as f64);
         }
     }
 
@@ -230,7 +241,10 @@ mod tests {
 
     #[test]
     fn filter_skips_non_matching() {
-        let c = Criterion { sample_size: 2, filter: Some("wanted".into()) };
+        let c = Criterion {
+            sample_size: 2,
+            filter: Some("wanted".into()),
+        };
         let mut ran = 0;
         c.run_one("other/bench", 2, |_b| ran += 1);
         assert_eq!(ran, 0);

@@ -108,7 +108,12 @@ pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
 
 fn new_channel<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
     let shared = Arc::new(Shared {
-        state: Mutex::new(State { queue: VecDeque::new(), cap, senders: 1, receivers: 1 }),
+        state: Mutex::new(State {
+            queue: VecDeque::new(),
+            cap,
+            senders: 1,
+            receivers: 1,
+        }),
         not_empty: Condvar::new(),
         not_full: Condvar::new(),
     });
@@ -154,7 +159,12 @@ impl<T> Sender<T> {
 
     /// Number of messages currently queued.
     pub fn len(&self) -> usize {
-        self.0.state.lock().unwrap_or_else(|e| e.into_inner()).queue.len()
+        self.0
+            .state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .queue
+            .len()
     }
 
     /// Whether the queue is currently empty.
@@ -165,7 +175,11 @@ impl<T> Sender<T> {
 
 impl<T> Clone for Sender<T> {
     fn clone(&self) -> Sender<T> {
-        self.0.state.lock().unwrap_or_else(|e| e.into_inner()).senders += 1;
+        self.0
+            .state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .senders += 1;
         Sender(self.0.clone())
     }
 }
@@ -225,7 +239,12 @@ impl<T> Receiver<T> {
 
     /// Number of messages currently queued.
     pub fn len(&self) -> usize {
-        self.0.state.lock().unwrap_or_else(|e| e.into_inner()).queue.len()
+        self.0
+            .state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .queue
+            .len()
     }
 
     /// Whether the queue is currently empty.
@@ -236,7 +255,11 @@ impl<T> Receiver<T> {
 
 impl<T> Clone for Receiver<T> {
     fn clone(&self) -> Receiver<T> {
-        self.0.state.lock().unwrap_or_else(|e| e.into_inner()).receivers += 1;
+        self.0
+            .state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .receivers += 1;
         Receiver(self.0.clone())
     }
 }
@@ -319,7 +342,10 @@ mod tests {
         });
         // Give the producer time: it must stall at the capacity.
         std::thread::sleep(Duration::from_millis(50));
-        assert!(sent.load(Ordering::SeqCst) <= 3, "producer ran ahead of capacity");
+        assert!(
+            sent.load(Ordering::SeqCst) <= 3,
+            "producer ran ahead of capacity"
+        );
         let got: Vec<i32> = rx.iter().collect();
         producer.join().unwrap();
         assert_eq!(got, (0..100).collect::<Vec<_>>());

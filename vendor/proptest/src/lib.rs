@@ -55,7 +55,9 @@ impl TestRng {
             h ^= b as u64;
             h = h.wrapping_mul(0x100_0000_01b3);
         }
-        TestRng { rng: StdRng::seed_from_u64(h) }
+        TestRng {
+            rng: StdRng::seed_from_u64(h),
+        }
     }
 
     /// Uniform draw from a range.
@@ -197,7 +199,10 @@ pub mod prop {
 
         /// Vec of values from `element`, with a length drawn from `size`.
         pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-            VecStrategy { element, size: size.into() }
+            VecStrategy {
+                element,
+                size: size.into(),
+            }
         }
 
         /// See [`vec`].
@@ -223,7 +228,10 @@ pub mod prop {
             S: Strategy,
             S::Value: Hash + Eq,
         {
-            HashSetStrategy { element, size: size.into() }
+            HashSetStrategy {
+                element,
+                size: size.into(),
+            }
         }
 
         /// See [`hash_set`].
@@ -300,19 +308,28 @@ impl SizeRange {
 impl From<Range<usize>> for SizeRange {
     fn from(r: Range<usize>) -> SizeRange {
         assert!(r.start < r.end, "empty size range");
-        SizeRange { lo: r.start, hi_inclusive: r.end - 1 }
+        SizeRange {
+            lo: r.start,
+            hi_inclusive: r.end - 1,
+        }
     }
 }
 
 impl From<RangeInclusive<usize>> for SizeRange {
     fn from(r: RangeInclusive<usize>) -> SizeRange {
-        SizeRange { lo: *r.start(), hi_inclusive: *r.end() }
+        SizeRange {
+            lo: *r.start(),
+            hi_inclusive: *r.end(),
+        }
     }
 }
 
 impl From<usize> for SizeRange {
     fn from(n: usize) -> SizeRange {
-        SizeRange { lo: n, hi_inclusive: n }
+        SizeRange {
+            lo: n,
+            hi_inclusive: n,
+        }
     }
 }
 

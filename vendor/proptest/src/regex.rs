@@ -43,7 +43,11 @@ fn emit(node: &Node, rng: &mut TestRng, out: &mut String) {
             emit(&options[i], rng, out);
         }
         Node::Repeat(inner, lo, hi) => {
-            let n = if lo >= hi { *lo } else { rng.gen_range(*lo..=*hi) };
+            let n = if lo >= hi {
+                *lo
+            } else {
+                rng.gen_range(*lo..=*hi)
+            };
             for _ in 0..n {
                 emit(inner, rng, out);
             }
@@ -68,8 +72,8 @@ fn pick_from_class(ranges: &[(char, char)], rng: &mut TestRng) -> char {
 /// characters so normalization paths see real unicode.
 fn pick_printable(rng: &mut TestRng) -> char {
     const UNICODE_POOL: &[char] = &[
-        'é', 'ü', 'ß', 'ñ', 'ç', 'а', 'е', 'о', 'с', 'Ω', '中', '文', '€', '£', '–', '—', '…',
-        '“', '”', '¡', '¿', '٠', '۹', '\u{a0}',
+        'é', 'ü', 'ß', 'ñ', 'ç', 'а', 'е', 'о', 'с', 'Ω', '中', '文', '€', '£', '–', '—', '…', '“',
+        '”', '¡', '¿', '٠', '۹', '\u{a0}',
     ];
     if rng.gen_range(0u32..100) < 85 {
         char::from_u32(rng.gen_range(0x20u32..0x7f)).expect("ASCII printable")
@@ -123,7 +127,10 @@ fn parse_atom(chars: &[char], pos: &mut usize, pattern: &str) -> Node {
     match c {
         '(' => {
             let inner = parse_alt(chars, pos, pattern);
-            assert!(chars.get(*pos) == Some(&')'), "missing ')' in pattern {pattern:?}");
+            assert!(
+                chars.get(*pos) == Some(&')'),
+                "missing ')' in pattern {pattern:?}"
+            );
             *pos += 1;
             inner
         }
@@ -135,7 +142,9 @@ fn parse_atom(chars: &[char], pos: &mut usize, pattern: &str) -> Node {
 }
 
 fn parse_escape(chars: &[char], pos: &mut usize, pattern: &str) -> Node {
-    let c = *chars.get(*pos).unwrap_or_else(|| panic!("dangling '\\' in pattern {pattern:?}"));
+    let c = *chars
+        .get(*pos)
+        .unwrap_or_else(|| panic!("dangling '\\' in pattern {pattern:?}"));
     *pos += 1;
     match c {
         // \PC — the complement of the unicode Control category.
@@ -159,7 +168,9 @@ fn parse_escape(chars: &[char], pos: &mut usize, pattern: &str) -> Node {
 fn parse_class(chars: &[char], pos: &mut usize, pattern: &str) -> Node {
     let mut ranges = Vec::new();
     loop {
-        let c = *chars.get(*pos).unwrap_or_else(|| panic!("missing ']' in pattern {pattern:?}"));
+        let c = *chars
+            .get(*pos)
+            .unwrap_or_else(|| panic!("missing ']' in pattern {pattern:?}"));
         *pos += 1;
         match c {
             ']' => break,
@@ -246,7 +257,9 @@ mod tests {
         for _ in 0..50 {
             let s = generate("[0-9a-f]{64}", &mut r);
             assert_eq!(s.len(), 64);
-            assert!(s.chars().all(|c| c.is_ascii_hexdigit() && !c.is_ascii_uppercase()));
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_hexdigit() && !c.is_ascii_uppercase()));
         }
     }
 
@@ -254,7 +267,10 @@ mod tests {
     fn alternation_and_escapes() {
         let mut r = rng();
         for _ in 0..100 {
-            let s = generate("[a-z]{1,12}(-[a-z]{1,8})?\\.(com|info|co\\.uk|xyz|web\\.app)", &mut r);
+            let s = generate(
+                "[a-z]{1,12}(-[a-z]{1,8})?\\.(com|info|co\\.uk|xyz|web\\.app)",
+                &mut r,
+            );
             let suffix_ok = [".com", ".info", ".co.uk", ".xyz", ".web.app"]
                 .iter()
                 .any(|t| s.ends_with(t));
@@ -271,7 +287,8 @@ mod tests {
             assert!(s.chars().all(|c| (' '..='~').contains(&c)), "{s:?}");
             let t = generate("[A-Za-z./:!-]{0,40}", &mut r);
             assert!(
-                t.chars().all(|c| c.is_ascii_alphabetic() || "./:!-".contains(c)),
+                t.chars()
+                    .all(|c| c.is_ascii_alphabetic() || "./:!-".contains(c)),
                 "{t:?}"
             );
         }
@@ -294,7 +311,10 @@ mod tests {
             let s = generate("(/[a-z0-9]{1,10}){0,3}", &mut r);
             if !s.is_empty() {
                 assert!(s.starts_with('/'));
-                assert!(s.split('/').skip(1).all(|seg| !seg.is_empty() && seg.len() <= 10));
+                assert!(s
+                    .split('/')
+                    .skip(1)
+                    .all(|seg| !seg.is_empty() && seg.len() <= 10));
             }
         }
     }

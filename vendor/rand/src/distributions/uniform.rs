@@ -62,14 +62,11 @@ macro_rules! uniform_int_impl {
                 Self::sample_single_inclusive(low, high - 1, rng)
             }
 
-            fn sample_single_inclusive<R: Rng + ?Sized>(
-                low: $ty,
-                high: $ty,
-                rng: &mut R,
-            ) -> $ty {
+            fn sample_single_inclusive<R: Rng + ?Sized>(low: $ty, high: $ty, rng: &mut R) -> $ty {
                 assert!(low <= high, "low > high in gen_range (inclusive)");
-                let range =
-                    (high as $unsigned).wrapping_sub(low as $unsigned).wrapping_add(1) as $u_large;
+                let range = (high as $unsigned)
+                    .wrapping_sub(low as $unsigned)
+                    .wrapping_add(1) as $u_large;
                 // Full-range request: the multiply-shift degenerates; draw raw.
                 if range == 0 {
                     return rng.gen::<$u_large>() as $ty;
@@ -116,11 +113,7 @@ macro_rules! uniform_float_impl {
                 value0_1 * scale + low
             }
 
-            fn sample_single_inclusive<R: Rng + ?Sized>(
-                low: $ty,
-                high: $ty,
-                rng: &mut R,
-            ) -> $ty {
+            fn sample_single_inclusive<R: Rng + ?Sized>(low: $ty, high: $ty, rng: &mut R) -> $ty {
                 // Matches rand's float behaviour: the inclusive form samples
                 // the same way (the top bound has measure zero).
                 assert!(low <= high, "low > high in gen_range (inclusive)");

@@ -13,7 +13,10 @@ pub struct StepRng {
 impl StepRng {
     /// Create with an initial value and per-call increment.
     pub fn new(initial: u64, increment: u64) -> StepRng {
-        StepRng { v: initial, a: increment }
+        StepRng {
+            v: initial,
+            a: increment,
+        }
     }
 }
 

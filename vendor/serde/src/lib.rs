@@ -104,7 +104,10 @@ impl Deserialize for bool {
     fn from_value(v: &Value) -> Result<bool, DeError> {
         match v {
             Value::Bool(b) => Ok(*b),
-            other => Err(DeError::msg(format!("expected bool, found {}", other.kind()))),
+            other => Err(DeError::msg(format!(
+                "expected bool, found {}",
+                other.kind()
+            ))),
         }
     }
 }
@@ -119,7 +122,10 @@ impl Deserialize for String {
     fn from_value(v: &Value) -> Result<String, DeError> {
         match v {
             Value::Str(s) => Ok(s.clone()),
-            other => Err(DeError::msg(format!("expected string, found {}", other.kind()))),
+            other => Err(DeError::msg(format!(
+                "expected string, found {}",
+                other.kind()
+            ))),
         }
     }
 }
@@ -140,7 +146,10 @@ impl Deserialize for char {
     fn from_value(v: &Value) -> Result<char, DeError> {
         match v {
             Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().expect("one char")),
-            other => Err(DeError::msg(format!("expected single-char string, found {}", other.kind()))),
+            other => Err(DeError::msg(format!(
+                "expected single-char string, found {}",
+                other.kind()
+            ))),
         }
     }
 }
@@ -179,7 +188,10 @@ impl<T: Deserialize> Deserialize for Vec<T> {
     fn from_value(v: &Value) -> Result<Vec<T>, DeError> {
         match v {
             Value::Array(items) => items.iter().map(T::from_value).collect(),
-            other => Err(DeError::msg(format!("expected array, found {}", other.kind()))),
+            other => Err(DeError::msg(format!(
+                "expected array, found {}",
+                other.kind()
+            ))),
         }
     }
 }
@@ -192,8 +204,10 @@ impl<T: Serialize> Serialize for [T] {
 
 impl<V: Serialize> Serialize for std::collections::HashMap<String, V> {
     fn to_value(&self) -> Value {
-        let mut entries: Vec<(String, Value)> =
-            self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect();
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_value()))
+            .collect();
         // Deterministic output regardless of hash order.
         entries.sort_by(|a, b| a.0.cmp(&b.0));
         Value::Object(entries)
@@ -207,14 +221,21 @@ impl<V: Deserialize> Deserialize for std::collections::HashMap<String, V> {
                 .iter()
                 .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
                 .collect(),
-            other => Err(DeError::msg(format!("expected object, found {}", other.kind()))),
+            other => Err(DeError::msg(format!(
+                "expected object, found {}",
+                other.kind()
+            ))),
         }
     }
 }
 
 impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
     fn to_value(&self) -> Value {
-        Value::Object(self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect())
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
     }
 }
 
@@ -225,7 +246,10 @@ impl<V: Deserialize + Ord> Deserialize for std::collections::BTreeMap<String, V>
                 .iter()
                 .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
                 .collect(),
-            other => Err(DeError::msg(format!("expected object, found {}", other.kind()))),
+            other => Err(DeError::msg(format!(
+                "expected object, found {}",
+                other.kind()
+            ))),
         }
     }
 }

@@ -37,9 +37,7 @@ impl Value {
     /// Look up an object key.
     pub fn get(&self, key: &str) -> Option<&Value> {
         match self {
-            Value::Object(entries) => {
-                entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
-            }
+            Value::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
             _ => None,
         }
     }

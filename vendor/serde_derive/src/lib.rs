@@ -62,7 +62,9 @@ fn expand(input: TokenStream, which: Impl) -> TokenStream {
             };
             code.parse().expect("generated impl parses")
         }
-        Err(msg) => format!("compile_error!({msg:?});").parse().expect("error token"),
+        Err(msg) => format!("compile_error!({msg:?});")
+            .parse()
+            .expect("error token"),
     }
 }
 
@@ -97,7 +99,9 @@ fn parse_item(input: TokenStream) -> Result<(String, Shape), String> {
         other => return Err(format!("expected item name, found {other:?}")),
     };
     if matches!(&toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
-        return Err(format!("derive on generic type {name} is not supported by the vendored serde_derive"));
+        return Err(format!(
+            "derive on generic type {name} is not supported by the vendored serde_derive"
+        ));
     }
     match kw.as_str() {
         "struct" => match toks.next() {
@@ -214,16 +218,15 @@ fn gen_serialize(name: &str, shape: &Shape) -> String {
         Shape::NamedStruct(fields) => {
             let entries: Vec<String> = fields
                 .iter()
-                .map(|f| {
-                    format!("({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f}))")
-                })
+                .map(|f| format!("({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f}))"))
                 .collect();
             format!("::serde::Value::Object(vec![{}])", entries.join(", "))
         }
         Shape::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
         Shape::TupleStruct(n) => {
-            let items: Vec<String> =
-                (0..*n).map(|i| format!("::serde::Serialize::to_value(&self.{i})")).collect();
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
             format!("::serde::Value::Array(vec![{}])", items.join(", "))
         }
         Shape::UnitStruct => "::serde::Value::Null".to_string(),

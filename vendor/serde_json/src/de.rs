@@ -3,7 +3,10 @@
 use serde::Value;
 
 pub fn parse(s: &str) -> Result<Value, String> {
-    let mut p = Parser { bytes: s.as_bytes(), pos: 0 };
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
     p.skip_ws();
     let v = p.value()?;
     p.skip_ws();
@@ -39,7 +42,11 @@ impl<'a> Parser<'a> {
         if self.bump() == Some(b) {
             Ok(())
         } else {
-            Err(format!("expected {:?} at byte {}", b as char, self.pos.saturating_sub(1)))
+            Err(format!(
+                "expected {:?} at byte {}",
+                b as char,
+                self.pos.saturating_sub(1)
+            ))
         }
     }
 
@@ -164,7 +171,9 @@ impl<'a> Parser<'a> {
         let mut v = 0u32;
         for _ in 0..4 {
             let b = self.bump().ok_or("truncated \\u escape")?;
-            let d = (b as char).to_digit(16).ok_or("bad hex digit in \\u escape")?;
+            let d = (b as char)
+                .to_digit(16)
+                .ok_or("bad hex digit in \\u escape")?;
             v = (v << 4) | d;
         }
         Ok(v)
@@ -196,12 +205,16 @@ impl<'a> Parser<'a> {
                 self.pos += 1;
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos])
-            .expect("number bytes are ASCII");
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ASCII");
         if is_float {
-            text.parse::<f64>().map(Value::Float).map_err(|e| e.to_string())
+            text.parse::<f64>()
+                .map(Value::Float)
+                .map_err(|e| e.to_string())
         } else {
-            text.parse::<i128>().map(Value::Int).map_err(|e| e.to_string())
+            text.parse::<i128>()
+                .map(Value::Int)
+                .map_err(|e| e.to_string())
         }
     }
 }

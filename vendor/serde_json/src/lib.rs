@@ -62,7 +62,10 @@ mod tests {
     fn round_trip_value() {
         let v = Value::Object(vec![
             ("a".into(), Value::Int(1)),
-            ("b".into(), Value::Array(vec![Value::Null, Value::Bool(true)])),
+            (
+                "b".into(),
+                Value::Array(vec![Value::Null, Value::Bool(true)]),
+            ),
             ("c".into(), Value::Str("x \"quoted\" \n line".into())),
             ("d".into(), Value::Float(1.5)),
         ]);

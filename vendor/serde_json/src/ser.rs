@@ -18,19 +18,25 @@ fn write_into(out: &mut String, v: &Value, indent: Option<usize>) {
         Value::Int(i) => out.push_str(&i.to_string()),
         Value::Float(f) => write_float(out, *f),
         Value::Str(s) => write_string(out, s),
-        Value::Array(items) => write_seq(out, items.iter(), indent, ('[', ']'), |out, item, ind| {
-            write_into(out, item, ind)
-        }),
-        Value::Object(entries) => {
-            write_seq(out, entries.iter(), indent, ('{', '}'), |out, (k, val), ind| {
+        Value::Array(items) => {
+            write_seq(out, items.iter(), indent, ('[', ']'), |out, item, ind| {
+                write_into(out, item, ind)
+            })
+        }
+        Value::Object(entries) => write_seq(
+            out,
+            entries.iter(),
+            indent,
+            ('{', '}'),
+            |out, (k, val), ind| {
                 write_string(out, k);
                 out.push(':');
                 if ind.is_some() {
                     out.push(' ');
                 }
                 write_into(out, val, ind);
-            })
-        }
+            },
+        ),
     }
 }
 
