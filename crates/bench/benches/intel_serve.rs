@@ -19,7 +19,10 @@ use criterion::{criterion_group, Criterion};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use smishing_core::pipeline::Pipeline;
-use smishing_intel::{evaluate_triage, IntelHub, IntelSnapshot, Triage};
+use smishing_intel::{
+    evaluate_triage, serve_workers, IntelHub, IntelSnapshot, ServeOptions, Triage, TriageConfig,
+    WorkerPlan,
+};
 use smishing_obs::{Obs, Tracer, TracerConfig};
 use smishing_worldsim::{World, WorldConfig};
 use std::hint::black_box;
@@ -211,6 +214,84 @@ fn closed_loop(
     (hits, misses, near_hits, triaged)
 }
 
+/// Render the seeded mix as serve-protocol request lines — the same
+/// ~35/10/35/10/10 hit/sender/miss/near/triage blend `closed_loop`
+/// drives, but as the line protocol the worker plane speaks.
+fn build_script(mix: &QueryMix, n: u64, rng: &mut StdRng) -> String {
+    let mut s = String::new();
+    for _ in 0..n {
+        let roll: u32 = rng.gen_range(0..100);
+        if roll < 35 {
+            s.push_str("url ");
+            s.push_str(&mix.hit_urls[rng.gen_range(0..mix.hit_urls.len())]);
+        } else if roll < 45 {
+            s.push_str("sender ");
+            s.push_str(&mix.hit_senders[rng.gen_range(0..mix.hit_senders.len())]);
+        } else if roll < 80 {
+            s.push_str("url ");
+            s.push_str(&mix.miss_urls[rng.gen_range(0..mix.miss_urls.len())]);
+        } else if roll < 90 && !mix.near_texts.is_empty() {
+            s.push_str("near ");
+            s.push_str(&mix.near_texts[rng.gen_range(0..mix.near_texts.len())]);
+        } else {
+            s.push_str("msg ");
+            s.push_str(&mix.texts[rng.gen_range(0..mix.texts.len())]);
+        }
+        s.push('\n');
+    }
+    s
+}
+
+/// Replay the scripted mix through [`serve_workers`] at 1/2/4/8 workers
+/// and export the throughput curve as `intel.serve.scale.qps` gauges
+/// (labeled by worker count — `qps` in the name means `smish perfdiff`
+/// gates them as higher-better once baselined) plus an informational
+/// speedup-vs-one-worker gauge. The queue depth covers the whole script:
+/// an in-memory replay outruns any worker pool, and shed requests cost
+/// nothing, so admission sheds here would fake a speedup.
+fn scaling_curve(hub: &IntelHub, mix: &QueryMix, obs: &Obs, quick: bool, rng: &mut StdRng) {
+    let script_n: u64 = if quick { 8_000 } else { 200_000 };
+    let script = build_script(mix, script_n, rng);
+    let mut qps_one = 0.0f64;
+    for workers in [1usize, 2, 4, 8] {
+        // Skip model training: it runs lazily per worker instance, so a
+        // bigger pool would pay more one-off startup inside the timed
+        // region and the curve would understate real scaling.
+        let cfg = TriageConfig {
+            train_model: false,
+            ..TriageConfig::default()
+        };
+        let t = Instant::now();
+        let session = serve_workers(
+            hub,
+            cfg,
+            script.as_bytes(),
+            std::io::sink(),
+            &Obs::noop(),
+            ServeOptions::default(),
+            &WorkerPlan::new(workers, script_n as usize),
+        )
+        .expect("scaling run");
+        let wall = t.elapsed();
+        assert_eq!(session.stats.shed, 0, "scaling run must not shed");
+        let qps = session.stats.queries as f64 / wall.as_secs_f64();
+        if workers == 1 {
+            qps_one = qps;
+        }
+        let speedup = if qps_one > 0.0 { qps / qps_one } else { 1.0 };
+        let label = workers.to_string();
+        obs.gauge("intel.serve.scale.qps", &[("workers", &label)])
+            .set(qps as i64);
+        obs.gauge("intel.serve.scale.speedup_x1000", &[("workers", &label)])
+            .set((speedup * 1000.0).round() as i64);
+        eprintln!(
+            "scaling: workers={workers} — {} queries in {:.2}s, {qps:.0} q/s ({speedup:.2}x vs 1 worker)",
+            session.stats.queries,
+            wall.as_secs_f64(),
+        );
+    }
+}
+
 fn bench_intel_serve(c: &mut Criterion) {
     let world = bench_world();
     let out = Pipeline::default().run(&world, &Obs::noop());
@@ -351,6 +432,8 @@ fn serve_report(quick: bool) {
         (overhead - 1.0) * 100.0,
         TracerConfig::default().sample_every,
     );
+
+    scaling_curve(&hub, &mix, &obs, quick, &mut rng);
 
     // Ground-truth scorecard per seed: full stack vs the campaign-held-out
     // baseline, exported as permille gauges so the run report carries it.

@@ -56,6 +56,12 @@ pub struct RunConfig {
     pub faults: FaultPlan,
     /// Observability sinks.
     pub sinks: ObsSinks,
+    /// Triage workers for the serve plane (0 = answer inline on one
+    /// thread, the default).
+    pub serve_workers: usize,
+    /// Bounded admission queue for the serve worker plane; a full queue
+    /// sheds requests instead of blocking the intake loop.
+    pub queue_depth: usize,
 }
 
 impl Default for RunConfig {
@@ -67,6 +73,8 @@ impl Default for RunConfig {
             exec: ExecPlan::default(),
             faults: FaultPlan::none(),
             sinks: ObsSinks::default(),
+            serve_workers: 0,
+            queue_depth: 1024,
         }
     }
 }
@@ -85,7 +93,8 @@ impl RunConfig {
     /// The flag vocabulary [`parse_flag`](Self::parse_flag) accepts, for
     /// usage strings.
     pub const FLAGS_USAGE: &'static str = "[--scale S] [--seed N] [--shards N] [--curators N] \
-         [--channel-capacity N] [--fault-profile none|mild|harsh[:SEED]] \
+         [--channel-capacity N] [--serve-workers N] [--queue-depth N] \
+         [--fault-profile none|mild|harsh[:SEED]] \
          [--metrics-json PATH] [--metrics-text] [--log-level LEVEL] [--quiet]";
 
     /// Try to consume one shared flag. Returns `Ok(true)` if `flag` was
@@ -113,6 +122,14 @@ impl RunConfig {
                 self.exec.channel_capacity = take("--channel-capacity")?
                     .parse()
                     .map_err(|e| format!("{e}"))?
+            }
+            "--serve-workers" => {
+                self.serve_workers = take("--serve-workers")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?
+            }
+            "--queue-depth" => {
+                self.queue_depth = take("--queue-depth")?.parse().map_err(|e| format!("{e}"))?
             }
             "--fault-profile" => self.faults = take("--fault-profile")?.parse()?,
             "--metrics-json" => self.sinks.metrics_json = Some(take("--metrics-json")?),
@@ -203,6 +220,10 @@ mod tests {
                 "3",
                 "--channel-capacity",
                 "64",
+                "--serve-workers",
+                "4",
+                "--queue-depth",
+                "256",
                 "--fault-profile",
                 "mild:7",
                 "--metrics-json",
@@ -216,6 +237,8 @@ mod tests {
         assert_eq!(cfg.exec.shards, 8);
         assert_eq!(cfg.exec.curators, 3);
         assert_eq!(cfg.exec.channel_capacity, 64);
+        assert_eq!(cfg.serve_workers, 4);
+        assert_eq!(cfg.queue_depth, 256);
         assert!(!cfg.faults.is_none());
         assert_eq!(cfg.sinks.metrics_json.as_deref(), Some("out.json"));
         assert_eq!(cfg.sinks.level, Level::Error);
@@ -233,6 +256,8 @@ mod tests {
         let mut cfg = RunConfig::default();
         assert!(parse(&mut cfg, &["--shards", "many"]).is_err());
         assert!(parse(&mut cfg, &["--seed"]).is_err());
+        assert!(parse(&mut cfg, &["--serve-workers", "lots"]).is_err());
+        assert!(parse(&mut cfg, &["--queue-depth"]).is_err());
     }
 
     #[test]

@@ -35,6 +35,10 @@
 //!   and carrying the introspection plane: tail-sampled request traces
 //!   (`explain`, `traces`), a per-second time series (`timeseries`), and
 //!   store health (`health`).
+//! * [`serve_workers`] — the same protocol over N triage workers with
+//!   bounded-queue admission control (overload sheds are counted, never
+//!   silent) and in-order reply reassembly, so multi-worker stdout stays
+//!   byte-identical to the single-threaded path.
 //! * [`evaluate_triage`] — the ground-truth evaluation: worldsim knows
 //!   every message's true campaign, so triage precision/recall (and the
 //!   campaign-held-out `detect` baseline it must beat) are computed
@@ -50,6 +54,7 @@ pub mod intern;
 pub mod serve;
 pub mod snapshot;
 pub mod triage;
+pub mod workers;
 
 pub use cache::LruSet;
 pub use eval::{evaluate_triage, TriageEval};
@@ -59,4 +64,8 @@ pub use serve::{
     serve_lines, serve_session, verdict_label, verdict_line, ServeOptions, ServeSession, ServeStats,
 };
 pub use snapshot::{record_keys, IndexSizes, IntelEntry, IntelSnapshot, RecordKeys};
-pub use triage::{Attribution, MatchedKey, NearAttribution, Triage, TriageConfig, TriageVerdict};
+pub use triage::{
+    Attribution, BatchQuery, BatchReply, MatchedKey, NearAttribution, Triage, TriageConfig,
+    TriageVerdict,
+};
+pub use workers::{serve_workers, WorkerPlan};

@@ -13,7 +13,7 @@
 //! explain <msg|url …>  run one query force-traced; reply + full span tree
 //! traces [n]           render the n slowest retained traces (default 5)
 //! timeseries [n]       per-second qps/latency/rate lines, newest first
-//! health               epoch age, index sizes, templates, cache occupancy
+//! health               epoch age, index sizes, templates, cache and shed
 //! sample <n>           emit n ready-to-feed query lines from the store
 //! sample near <n>      emit n ready-to-feed `near` lines (entry texts)
 //! stats                one-line counter summary (incl. template count and
@@ -40,9 +40,21 @@
 //! the sampler. At EOF the session exports `trace.*` and `serve.ts.*`
 //! gauges (including per-histogram exemplar trace ids) into the run
 //! report next to the latency histograms they explain.
+//!
+//! ## Two execution modes, one protocol
+//!
+//! [`serve_session`] answers inline on the calling thread. The
+//! multi-worker plane in [`crate::workers`] parses and classifies on a
+//! reader thread, fans queries out to N triage workers, and reassembles
+//! replies in sequence order — sharing [`SessionCore`] (accounting),
+//! `classify` (parsing), and `reply_for` (formatting) with this module
+//! so its stdout stays byte-identical to the sequential path. Requests
+//! the bounded queue cannot admit are *shed*: no response line, but a
+//! `serve.shed` count surfaced in the `stats`/`health` verbs and the
+//! time-series ring (nothing is ever silently dropped).
 
 use crate::triage::{Triage, TriageVerdict};
-use smishing_obs::{Obs, TimeRing, Tracer, TracerConfig, TsOutcome};
+use smishing_obs::{Histogram, Obs, TimeRing, TraceBuilder, Tracer, TracerConfig, TsOutcome};
 use std::io::{BufRead, Write};
 use std::time::Instant;
 
@@ -65,6 +77,12 @@ pub struct ServeStats {
     pub triaged: u64,
     /// Malformed lines.
     pub errors: u64,
+    /// Queries refused at admission (bounded queue full) or abandoned by
+    /// a dying worker. Always 0 in the sequential path.
+    pub shed: u64,
+    /// Triage workers lost to a panic (the payload is re-raised on the
+    /// caller after the session's accounting is exported).
+    pub worker_panics: u64,
 }
 
 /// Session tuning for [`serve_session`].
@@ -143,186 +161,254 @@ pub fn verdict_line(v: &TriageVerdict) -> String {
     }
 }
 
-/// Serve queries line by line until EOF or `quit`, with default
-/// introspection tuning. Returns the aggregate counters; the full
-/// session (traces, time series) is available via [`serve_session`].
-pub fn serve_lines<R: BufRead, W: Write>(
-    triage: &mut Triage,
-    input: R,
-    out: W,
-    obs: &Obs,
-) -> std::io::Result<ServeStats> {
-    serve_session(triage, input, out, obs, ServeOptions::default()).map(|s| s.stats)
+/// Which triage ladder a query line drives. Classification happens once
+/// (sequential loop or worker-plane reader); the worker hop ships the
+/// kind over the channel instead of re-parsing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum QueryKind {
+    /// `url <raw>` — exact URL/domain ladder.
+    Url,
+    /// `sender <raw>` — exact sender/phone ladder.
+    Sender,
+    /// `near <text>` — similarity tier only.
+    Near,
+    /// `msg [<sender>|]<text>` — full triage ladder.
+    Msg,
 }
 
-/// Serve queries line by line until EOF or `quit`, returning the whole
-/// session — counters, retained traces, and the per-second time series.
-pub fn serve_session<R: BufRead, W: Write>(
-    triage: &mut Triage,
-    input: R,
-    mut out: W,
-    obs: &Obs,
-    opts: ServeOptions,
-) -> std::io::Result<ServeSession> {
-    let mut stats = ServeStats::default();
-    let mut tracer = Tracer::new(opts.trace);
-    let mut ring = TimeRing::new(opts.ts_window);
-    let started = Instant::now();
-    let lookup_ns = obs.histogram("intel.serve.lookup_ns", &[]);
-    let triage_ns = obs.histogram("intel.serve.triage_ns", &[]);
-    let near_ns = obs.histogram("intel.serve.near_ns", &[]);
-    let near_candidates = obs.histogram("intel.serve.near_candidates", &[]);
-    let threshold = triage.threshold();
-
-    for line in input.lines() {
-        let line = line?;
-        let line = line.trim();
-        if line.is_empty() {
-            continue;
+impl QueryKind {
+    /// Name of the latency histogram this query kind is accounted into
+    /// (also the exemplar key sampled traces attach to).
+    pub(crate) fn hist_name(self) -> &'static str {
+        match self {
+            QueryKind::Url | QueryKind::Sender => "intel.serve.lookup_ns",
+            QueryKind::Near => "intel.serve.near_ns",
+            QueryKind::Msg => "intel.serve.triage_ns",
         }
-        let (cmd, rest) = line.split_once(' ').unwrap_or((line, ""));
-        let rest = rest.trim();
-        let second = started.elapsed().as_secs();
+    }
+}
+
+/// One classified request line.
+pub(crate) enum Parsed<'a> {
+    /// `quit` / `exit` — stop serving.
+    Quit,
+    /// A triage query, answerable by any worker.
+    Query(QueryKind),
+    /// An introspection verb, answered on the session (collector)
+    /// thread where the tracer/ring/stats live.
+    Verb(&'a str),
+    /// A value-taking command with no value: `err {cmd} needs a value`.
+    NeedsValue(&'a str),
+    /// `err unknown command {cmd}`.
+    Unknown(&'a str),
+}
+
+/// Classify one trimmed, non-empty request line (pre-split into command
+/// and trimmed rest). The single protocol grammar shared by the
+/// sequential loop and the worker-plane reader.
+pub(crate) fn classify<'a>(cmd: &'a str, rest: &str) -> Parsed<'a> {
+    match cmd {
+        "quit" | "exit" => Parsed::Quit,
+        "url" | "sender" | "near" | "explain" if rest.is_empty() => Parsed::NeedsValue(cmd),
+        "url" => Parsed::Query(QueryKind::Url),
+        "sender" => Parsed::Query(QueryKind::Sender),
+        "near" => Parsed::Query(QueryKind::Near),
+        "msg" => Parsed::Query(QueryKind::Msg),
+        "explain" | "traces" | "timeseries" | "health" | "sample" | "stats" => Parsed::Verb(cmd),
+        other => Parsed::Unknown(other),
+    }
+}
+
+/// Run one query inline (per-query snapshot refresh). The worker plane
+/// instead batches through [`Triage::query_batch_with`] to amortize the
+/// refresh; both paths reach the identical ladder code underneath.
+/// Returns the verdict plus the near candidate-set size (0 for
+/// non-`near` kinds).
+pub(crate) fn run_query(
+    triage: &mut Triage,
+    kind: QueryKind,
+    rest: &str,
+    trace: Option<&mut TraceBuilder>,
+) -> (TriageVerdict, usize) {
+    match kind {
+        QueryKind::Url => (triage.query_url_traced(rest, trace), 0),
+        QueryKind::Sender => (triage.query_sender_traced(rest, trace), 0),
+        QueryKind::Near => triage.query_near_traced(rest, trace),
+        QueryKind::Msg => {
+            let (sender, text) = split_msg(rest);
+            (triage.triage_traced(sender, text, trace), 0)
+        }
+    }
+}
+
+/// Split a `msg` payload into its optional `sender|` prefix and text.
+pub(crate) fn split_msg(rest: &str) -> (Option<&str>, &str) {
+    match rest.split_once('|') {
+        Some((s, t)) => (Some(s.trim()), t.trim()),
+        None => (None, rest),
+    }
+}
+
+/// A fully formatted response to one query plus everything the session
+/// needs to account for it. Built inline by the sequential loop and
+/// shipped over the reply channel by triage workers.
+#[derive(Debug)]
+pub(crate) struct QueryReply {
+    /// The query kind this answers.
+    pub kind: QueryKind,
+    /// The response line (no trailing newline).
+    pub text: String,
+    /// Time-series outcome bucket.
+    pub outcome: TsOutcome,
+    /// Wall time the triage call took, wherever it ran.
+    pub ns: u64,
+    /// Near candidate-set size (meaningful when `kind` is `Near`).
+    pub candidates: u64,
+    /// True when the triage call absorbed a republish (cache flush +
+    /// model retrain); its wall time is the cost.
+    pub republished: bool,
+}
+
+/// Turn a verdict into the protocol response + accounting buckets for
+/// one query. The single formatting point both execution modes share.
+pub(crate) fn reply_for(
+    kind: QueryKind,
+    rest: &str,
+    v: &TriageVerdict,
+    ns: u64,
+    candidates: u64,
+    republished: bool,
+) -> QueryReply {
+    let (text, outcome) = match kind {
+        QueryKind::Url => match v {
+            TriageVerdict::Hit(_) => (verdict_line(v), TsOutcome::Hit),
+            _ => (format!("miss url key={rest}"), TsOutcome::Miss),
+        },
+        QueryKind::Sender => match v {
+            TriageVerdict::Hit(_) => (verdict_line(v), TsOutcome::Hit),
+            _ => (format!("miss sender key={rest}"), TsOutcome::Miss),
+        },
+        QueryKind::Near => match v {
+            TriageVerdict::Near(_) => (verdict_line(v), TsOutcome::Near),
+            _ => (format!("miss near key={rest}"), TsOutcome::Miss),
+        },
+        QueryKind::Msg => (
+            verdict_line(v),
+            match v {
+                TriageVerdict::Hit(_) => TsOutcome::Hit,
+                TriageVerdict::Near(_) => TsOutcome::Near,
+                _ => TsOutcome::Triaged,
+            },
+        ),
+    };
+    QueryReply {
+        kind,
+        text,
+        outcome,
+        ns,
+        candidates,
+        republished,
+    }
+}
+
+/// The session-thread half of a serving session: counters, tracer,
+/// time-series ring, and the latency histograms every response lands
+/// in. The sequential loop drives one inline; the worker plane's
+/// collector drives one in sequence order, which keeps every
+/// protocol-visible number (stats counters, histogram quantiles, trace
+/// ids) prefix-exact with the single-threaded path.
+pub(crate) struct SessionCore {
+    pub stats: ServeStats,
+    pub tracer: Tracer,
+    pub ring: TimeRing,
+    pub started: Instant,
+    lookup_ns: Histogram,
+    triage_ns: Histogram,
+    near_ns: Histogram,
+    near_candidates: Histogram,
+}
+
+impl SessionCore {
+    pub(crate) fn new(obs: &Obs, opts: &ServeOptions) -> Self {
+        SessionCore {
+            stats: ServeStats::default(),
+            tracer: Tracer::new(opts.trace),
+            ring: TimeRing::new(opts.ts_window),
+            started: Instant::now(),
+            lookup_ns: obs.histogram("intel.serve.lookup_ns", &[]),
+            triage_ns: obs.histogram("intel.serve.triage_ns", &[]),
+            near_ns: obs.histogram("intel.serve.near_ns", &[]),
+            near_candidates: obs.histogram("intel.serve.near_candidates", &[]),
+        }
+    }
+
+    fn hist(&self, kind: QueryKind) -> &Histogram {
+        match kind {
+            QueryKind::Url | QueryKind::Sender => &self.lookup_ns,
+            QueryKind::Near => &self.near_ns,
+            QueryKind::Msg => &self.triage_ns,
+        }
+    }
+
+    /// Account one malformed line.
+    pub(crate) fn error(&mut self) {
+        self.stats.errors += 1;
+        let second = self.started.elapsed().as_secs();
+        self.ring.record(second, TsOutcome::Error, 0);
+    }
+
+    /// Account one shed request (admitted nowhere, answered never).
+    pub(crate) fn shed(&mut self) {
+        self.stats.shed += 1;
+        let second = self.started.elapsed().as_secs();
+        self.ring.record(second, TsOutcome::Shed, 0);
+    }
+
+    /// Account one answered query: stats bucket, latency histogram,
+    /// time-series ring, republish absorption.
+    pub(crate) fn record_reply(&mut self, r: &QueryReply) {
+        self.stats.queries += 1;
+        match r.outcome {
+            TsOutcome::Hit => self.stats.hits += 1,
+            TsOutcome::Near => self.stats.near_hits += 1,
+            TsOutcome::Miss => {
+                if r.kind == QueryKind::Near {
+                    self.stats.near_misses += 1;
+                } else {
+                    self.stats.misses += 1;
+                }
+            }
+            TsOutcome::Triaged => self.stats.triaged += 1,
+            TsOutcome::Error | TsOutcome::Shed => {}
+        }
+        self.hist(r.kind).record(r.ns);
+        if r.kind == QueryKind::Near {
+            self.near_candidates.record(r.candidates);
+        }
+        let second = self.started.elapsed().as_secs();
+        self.ring.record(second, r.outcome, r.ns);
+        if r.republished {
+            self.ring.record_republish(second, r.ns);
+        }
+    }
+
+    /// Handle one introspection verb. Runs on the thread that owns the
+    /// tracer/ring/stats (inline sequentially; the collector in worker
+    /// mode), with a triage handle for snapshot-backed verbs.
+    pub(crate) fn verb<W: Write>(
+        &mut self,
+        triage: &mut Triage,
+        cmd: &str,
+        rest: &str,
+        out: &mut W,
+    ) -> std::io::Result<()> {
         match cmd {
-            "quit" | "exit" => break,
-            "url" | "sender" | "near" | "explain" if rest.is_empty() => {
-                stats.errors += 1;
-                ring.record(second, TsOutcome::Error, 0);
-                writeln!(out, "err {cmd} needs a value")?;
-            }
-            "url" => {
-                stats.queries += 1;
-                let epoch_before = triage.epoch_seen();
-                let mut tb = tracer.begin(line);
-                let t = Instant::now();
-                let v = triage.query_url_traced(rest, tb.as_mut());
-                let ns = t.elapsed().as_nanos() as u64;
-                lookup_ns.record(ns);
-                if let Some(tb) = tb {
-                    tracer.exemplar("intel.serve.lookup_ns", tb.id(), ns);
-                    tracer.finish(tb.finish(verdict_label(&v)));
-                }
-                let outcome = match &v {
-                    TriageVerdict::Hit(_) => {
-                        stats.hits += 1;
-                        writeln!(out, "{}", verdict_line(&v))?;
-                        TsOutcome::Hit
-                    }
-                    _ => {
-                        stats.misses += 1;
-                        writeln!(out, "miss url key={rest}")?;
-                        TsOutcome::Miss
-                    }
-                };
-                ring.record(second, outcome, ns);
-                if triage.epoch_seen() != epoch_before {
-                    // This query absorbed a republish (cache flush +
-                    // model retrain); its wall time is the cost.
-                    ring.record_republish(second, ns);
-                }
-            }
-            "sender" => {
-                stats.queries += 1;
-                let epoch_before = triage.epoch_seen();
-                let mut tb = tracer.begin(line);
-                let t = Instant::now();
-                let v = triage.query_sender_traced(rest, tb.as_mut());
-                let ns = t.elapsed().as_nanos() as u64;
-                lookup_ns.record(ns);
-                if let Some(tb) = tb {
-                    tracer.exemplar("intel.serve.lookup_ns", tb.id(), ns);
-                    tracer.finish(tb.finish(verdict_label(&v)));
-                }
-                let outcome = match &v {
-                    TriageVerdict::Hit(_) => {
-                        stats.hits += 1;
-                        writeln!(out, "{}", verdict_line(&v))?;
-                        TsOutcome::Hit
-                    }
-                    _ => {
-                        stats.misses += 1;
-                        writeln!(out, "miss sender key={rest}")?;
-                        TsOutcome::Miss
-                    }
-                };
-                ring.record(second, outcome, ns);
-                if triage.epoch_seen() != epoch_before {
-                    ring.record_republish(second, ns);
-                }
-            }
-            "near" => {
-                stats.queries += 1;
-                let epoch_before = triage.epoch_seen();
-                let mut tb = tracer.begin(line);
-                let t = Instant::now();
-                let (v, cands) = triage.query_near_traced(rest, tb.as_mut());
-                let ns = t.elapsed().as_nanos() as u64;
-                near_ns.record(ns);
-                near_candidates.record(cands as u64);
-                if let Some(tb) = tb {
-                    tracer.exemplar("intel.serve.near_ns", tb.id(), ns);
-                    tracer.finish(tb.finish(verdict_label(&v)));
-                }
-                let outcome = match &v {
-                    TriageVerdict::Near(_) => {
-                        stats.near_hits += 1;
-                        writeln!(out, "{}", verdict_line(&v))?;
-                        TsOutcome::Near
-                    }
-                    _ => {
-                        stats.near_misses += 1;
-                        writeln!(out, "miss near key={rest}")?;
-                        TsOutcome::Miss
-                    }
-                };
-                ring.record(second, outcome, ns);
-                if triage.epoch_seen() != epoch_before {
-                    ring.record_republish(second, ns);
-                }
-            }
-            "msg" => {
-                stats.queries += 1;
-                let (sender, text) = match rest.split_once('|') {
-                    Some((s, t)) => (Some(s.trim()), t.trim()),
-                    None => (None, rest),
-                };
-                let epoch_before = triage.epoch_seen();
-                let mut tb = tracer.begin(line);
-                let t = Instant::now();
-                let v = triage.triage_traced(sender, text, tb.as_mut());
-                let ns = t.elapsed().as_nanos() as u64;
-                triage_ns.record(ns);
-                if let Some(tb) = tb {
-                    tracer.exemplar("intel.serve.triage_ns", tb.id(), ns);
-                    tracer.finish(tb.finish(verdict_label(&v)));
-                }
-                let outcome = match &v {
-                    TriageVerdict::Hit(_) => {
-                        stats.hits += 1;
-                        TsOutcome::Hit
-                    }
-                    TriageVerdict::Near(_) => {
-                        stats.near_hits += 1;
-                        TsOutcome::Near
-                    }
-                    _ => {
-                        stats.triaged += 1;
-                        TsOutcome::Triaged
-                    }
-                };
-                ring.record(second, outcome, ns);
-                if triage.epoch_seen() != epoch_before {
-                    ring.record_republish(second, ns);
-                }
-                let _ = threshold; // thresholding is the caller's policy
-                writeln!(out, "{}", verdict_line(&v))?;
-            }
             "explain" => {
                 // Force-traced one-shot: reply line, then the span tree.
                 // Introspection, not traffic — histograms and the time
                 // series stay clean of its always-on tracing overhead.
                 let (kind, val) = rest.split_once(' ').unwrap_or((rest, ""));
-                let mut tb = tracer.begin_forced(rest);
+                let mut tb = self.tracer.begin_forced(rest);
                 let v = match (kind, val) {
                     ("url", v) if !v.is_empty() => triage.query_url_traced(v, Some(&mut tb)),
                     ("sender", v) if !v.is_empty() => triage.query_sender_traced(v, Some(&mut tb)),
@@ -331,39 +417,36 @@ pub fn serve_session<R: BufRead, W: Write>(
                         // Whole rest is a message (optionally `sender|text`),
                         // with an explicit `msg ` prefix allowed.
                         let body = rest.strip_prefix("msg ").unwrap_or(rest).trim();
-                        let (sender, text) = match body.split_once('|') {
-                            Some((s, t)) => (Some(s.trim()), t.trim()),
-                            None => (None, body),
-                        };
+                        let (sender, text) = split_msg(body);
                         triage.triage_traced(sender, text, Some(&mut tb))
                     }
                 };
                 let trace = tb.finish(verdict_label(&v));
                 writeln!(out, "{}", verdict_line(&v))?;
                 write!(out, "{}", trace.render())?;
-                tracer.finish(trace);
+                self.tracer.finish(trace);
             }
             "traces" => {
                 let n: usize = rest.parse().unwrap_or(5);
-                let slowest: Vec<String> = tracer.slowest(n).map(|t| t.render()).collect();
+                let slowest: Vec<String> = self.tracer.slowest(n).map(|t| t.render()).collect();
                 writeln!(
                     out,
                     "traces retained={} sampled={} requests={}",
                     slowest.len(),
-                    tracer.sampled(),
-                    tracer.requests()
+                    self.tracer.sampled(),
+                    self.tracer.requests()
                 )?;
                 for t in slowest {
                     write!(out, "{t}")?;
                 }
             }
             "timeseries" => {
-                let n: usize = rest.parse().unwrap_or(ring.window());
-                let rendered = ring.render(n);
+                let n: usize = rest.parse().unwrap_or(self.ring.window());
+                let rendered = self.ring.render(n);
                 writeln!(
                     out,
                     "timeseries window_s={} lines={}",
-                    ring.window(),
+                    self.ring.window(),
                     rendered.lines().count()
                 )?;
                 write!(out, "{rendered}")?;
@@ -375,7 +458,7 @@ pub fn serve_session<R: BufRead, W: Write>(
                         out,
                         "health epoch={} epoch_age_s={} entries={} urls={} domains={} \
                          senders={} phones={} brands={} clusters={} templates={} \
-                         cache_len={} cache_cap={}",
+                         cache_len={} cache_cap={} shed={}",
                         triage.epoch_seen(),
                         triage.epoch_age().map_or(0, |d| d.as_secs()),
                         snap.len(),
@@ -388,6 +471,7 @@ pub fn serve_session<R: BufRead, W: Write>(
                         snap.template_count(),
                         triage.cache_len(),
                         triage.cache_capacity(),
+                        self.stats.shed,
                     )?;
                 }
                 None => writeln!(out, "err no snapshot published yet")?,
@@ -431,48 +515,130 @@ pub fn serve_session<R: BufRead, W: Write>(
                 let templates = triage.snapshot().map_or(0, |s| s.template_count());
                 writeln!(
                     out,
-                    "stats queries={} hits={} near_hits={} near_misses={} misses={} triaged={} errors={} templates={} \
+                    "stats queries={} hits={} near_hits={} near_misses={} misses={} triaged={} errors={} shed={} templates={} \
                      lookup_p99_ns={} triage_p99_ns={} near_p50_ns={} near_p99_ns={} near_cand_p50={} near_cand_p99={}",
-                    stats.queries,
-                    stats.hits,
-                    stats.near_hits,
-                    stats.near_misses,
-                    stats.misses,
-                    stats.triaged,
-                    stats.errors,
+                    self.stats.queries,
+                    self.stats.hits,
+                    self.stats.near_hits,
+                    self.stats.near_misses,
+                    self.stats.misses,
+                    self.stats.triaged,
+                    self.stats.errors,
+                    self.stats.shed,
                     templates,
-                    lookup_ns.quantile(0.99).round() as u64,
-                    triage_ns.quantile(0.99).round() as u64,
-                    near_ns.quantile(0.50).round() as u64,
-                    near_ns.quantile(0.99).round() as u64,
-                    near_candidates.quantile(0.50).round() as u64,
-                    near_candidates.quantile(0.99).round() as u64,
+                    self.lookup_ns.quantile(0.99).round() as u64,
+                    self.triage_ns.quantile(0.99).round() as u64,
+                    self.near_ns.quantile(0.50).round() as u64,
+                    self.near_ns.quantile(0.99).round() as u64,
+                    self.near_candidates.quantile(0.50).round() as u64,
+                    self.near_candidates.quantile(0.99).round() as u64,
                 )?;
             }
             other => {
-                stats.errors += 1;
-                ring.record(second, TsOutcome::Error, 0);
+                debug_assert!(false, "not a verb: {other}");
+            }
+        }
+        Ok(())
+    }
+
+    /// Export the session's counters, traces, and time series into the
+    /// run report and hand back the finished [`ServeSession`].
+    pub(crate) fn finish(self, obs: &Obs) -> ServeSession {
+        let SessionCore {
+            stats,
+            tracer,
+            ring,
+            ..
+        } = self;
+        obs.counter("intel.serve.queries", &[]).add(stats.queries);
+        obs.counter("intel.serve.hits", &[]).add(stats.hits);
+        obs.counter("intel.serve.near_hits", &[])
+            .add(stats.near_hits);
+        obs.counter("intel.serve.near_misses", &[])
+            .add(stats.near_misses);
+        obs.counter("intel.serve.misses", &[]).add(stats.misses);
+        obs.counter("intel.serve.triaged", &[]).add(stats.triaged);
+        obs.counter("intel.serve.errors", &[]).add(stats.errors);
+        obs.counter("intel.serve.shed", &[]).add(stats.shed);
+        obs.counter("intel.serve.worker_panics", &[])
+            .add(stats.worker_panics);
+        tracer.export(obs);
+        ring.export(obs);
+        ServeSession {
+            stats,
+            tracer,
+            ring,
+        }
+    }
+}
+
+/// Serve queries line by line until EOF or `quit`, with default
+/// introspection tuning. Returns the aggregate counters; the full
+/// session (traces, time series) is available via [`serve_session`].
+pub fn serve_lines<R: BufRead, W: Write>(
+    triage: &mut Triage,
+    input: R,
+    out: W,
+    obs: &Obs,
+) -> std::io::Result<ServeStats> {
+    serve_session(triage, input, out, obs, ServeOptions::default()).map(|s| s.stats)
+}
+
+/// Serve queries line by line until EOF or `quit`, returning the whole
+/// session — counters, retained traces, and the per-second time series.
+pub fn serve_session<R: BufRead, W: Write>(
+    triage: &mut Triage,
+    input: R,
+    mut out: W,
+    obs: &Obs,
+    opts: ServeOptions,
+) -> std::io::Result<ServeSession> {
+    let mut core = SessionCore::new(obs, &opts);
+
+    for line in input.lines() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (cmd, rest) = line.split_once(' ').unwrap_or((line, ""));
+        let rest = rest.trim();
+        match classify(cmd, rest) {
+            Parsed::Quit => break,
+            Parsed::NeedsValue(cmd) => {
+                core.error();
+                writeln!(out, "err {cmd} needs a value")?;
+            }
+            Parsed::Unknown(other) => {
+                core.error();
                 writeln!(out, "err unknown command {other}")?;
             }
+            Parsed::Query(kind) => {
+                let epoch_before = triage.epoch_seen();
+                let mut tb = core.tracer.begin(line);
+                let t = Instant::now();
+                let (v, cands) = run_query(triage, kind, rest, tb.as_mut());
+                let ns = t.elapsed().as_nanos() as u64;
+                if let Some(tb) = tb {
+                    core.tracer.exemplar(kind.hist_name(), tb.id(), ns);
+                    core.tracer.finish(tb.finish(verdict_label(&v)));
+                }
+                let reply = reply_for(
+                    kind,
+                    rest,
+                    &v,
+                    ns,
+                    cands as u64,
+                    triage.epoch_seen() != epoch_before,
+                );
+                core.record_reply(&reply);
+                writeln!(out, "{}", reply.text)?;
+            }
+            Parsed::Verb(cmd) => core.verb(triage, cmd, rest, &mut out)?,
         }
     }
 
-    obs.counter("intel.serve.queries", &[]).add(stats.queries);
-    obs.counter("intel.serve.hits", &[]).add(stats.hits);
-    obs.counter("intel.serve.near_hits", &[])
-        .add(stats.near_hits);
-    obs.counter("intel.serve.near_misses", &[])
-        .add(stats.near_misses);
-    obs.counter("intel.serve.misses", &[]).add(stats.misses);
-    obs.counter("intel.serve.triaged", &[]).add(stats.triaged);
-    obs.counter("intel.serve.errors", &[]).add(stats.errors);
-    tracer.export(obs);
-    ring.export(obs);
-    Ok(ServeSession {
-        stats,
-        tracer,
-        ring,
-    })
+    Ok(core.finish(obs))
 }
 
 #[cfg(test)]
@@ -641,6 +807,7 @@ mod tests {
             "templates=",
             "cache_len=",
             "cache_cap=4096",
+            "shed=0",
         ] {
             assert!(health.contains(key), "{key} missing: {health}");
         }
@@ -657,6 +824,7 @@ mod tests {
             "near_cand_p50=",
             "near_cand_p99=",
             "lookup_p99_ns=",
+            "shed=0",
         ] {
             assert!(stats_line.contains(key), "{key} missing: {stats_line}");
         }

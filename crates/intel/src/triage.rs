@@ -286,16 +286,26 @@ impl Triage {
     /// Refresh the reader; on a republish, drop stale negatives and
     /// retrain the model from the new snapshot's texts.
     fn ensure_fresh(&mut self) -> Option<Arc<IntelSnapshot>> {
+        self.refresh().0
+    }
+
+    /// [`Self::ensure_fresh`], also reporting whether this refresh
+    /// observed an epoch flip (the batch path surfaces that to the
+    /// serving layer's republish accounting).
+    fn refresh(&mut self) -> (Option<Arc<IntelSnapshot>>, bool) {
         let before = self.reader.epoch_seen();
-        let snap = self.reader.current()?.clone();
-        if self.reader.epoch_seen() != before {
+        let Some(snap) = self.reader.current().cloned() else {
+            return (None, false);
+        };
+        let flipped = self.reader.epoch_seen() != before;
+        if flipped {
             self.cache.clear();
             self.model = None;
         }
         if self.model.is_none() && self.cfg.train_model {
             self.model = train_model(&snap, self.cfg.model_seed);
         }
-        Some(snap)
+        (Some(snap), flipped)
     }
 
     /// Probe the index ladder, consulting and feeding the negative cache.
@@ -451,7 +461,18 @@ impl Triage {
         let Some(snap) = self.ensure_fresh() else {
             return TriageVerdict::Unknown;
         };
-        match self.infra_lookup(&snap, &Self::url_keys(raw), trace) {
+        self.url_verdict(&snap, raw, trace)
+    }
+
+    /// [`Self::query_url`] against an already-refreshed snapshot (the
+    /// batch path shares one `ensure_fresh` across many queries).
+    fn url_verdict(
+        &mut self,
+        snap: &IntelSnapshot,
+        raw: &str,
+        trace: Option<&mut TraceBuilder>,
+    ) -> TriageVerdict {
+        match self.infra_lookup(snap, &Self::url_keys(raw), trace) {
             Some(a) => TriageVerdict::Hit(a),
             None => TriageVerdict::Unknown,
         }
@@ -472,7 +493,17 @@ impl Triage {
         let Some(snap) = self.ensure_fresh() else {
             return TriageVerdict::Unknown;
         };
-        match self.infra_lookup(&snap, &Self::sender_keys(raw), trace) {
+        self.sender_verdict(&snap, raw, trace)
+    }
+
+    /// [`Self::query_sender`] against an already-refreshed snapshot.
+    fn sender_verdict(
+        &mut self,
+        snap: &IntelSnapshot,
+        raw: &str,
+        trace: Option<&mut TraceBuilder>,
+    ) -> TriageVerdict {
+        match self.infra_lookup(snap, &Self::sender_keys(raw), trace) {
             Some(a) => TriageVerdict::Hit(a),
             None => TriageVerdict::Unknown,
         }
@@ -497,7 +528,17 @@ impl Triage {
         let Some(snap) = self.ensure_fresh() else {
             return (TriageVerdict::Unknown, 0);
         };
-        match self.near_lookup(&snap, text, trace) {
+        self.near_verdict(&snap, text, trace)
+    }
+
+    /// [`Self::query_near_with`] against an already-refreshed snapshot.
+    fn near_verdict(
+        &mut self,
+        snap: &IntelSnapshot,
+        text: &str,
+        trace: Option<&mut TraceBuilder>,
+    ) -> (TriageVerdict, usize) {
+        match self.near_lookup(snap, text, trace) {
             (Some(a), c) => (TriageVerdict::Near(a), c),
             (None, c) => (TriageVerdict::Unknown, c),
         }
@@ -525,11 +566,22 @@ impl Triage {
         &mut self,
         sender: Option<&str>,
         text: &str,
-        mut trace: Option<&mut TraceBuilder>,
+        trace: Option<&mut TraceBuilder>,
     ) -> TriageVerdict {
         let Some(snap) = self.ensure_fresh() else {
             return TriageVerdict::Unknown;
         };
+        self.msg_verdict(&snap, sender, text, trace)
+    }
+
+    /// [`Self::triage`] against an already-refreshed snapshot.
+    fn msg_verdict(
+        &mut self,
+        snap: &IntelSnapshot,
+        sender: Option<&str>,
+        text: &str,
+        mut trace: Option<&mut TraceBuilder>,
+    ) -> TriageVerdict {
         // Reports defang; refang the whole body before URL extraction so
         // `evil [dot] com` spellings still surface their host.
         let start = trace.as_ref().map(|_| Instant::now());
@@ -552,10 +604,10 @@ impl Triage {
             };
             tb.rung("refang", since(start), keys.len() as u64, note);
         }
-        if let Some(a) = self.infra_lookup(&snap, &keys, trace.as_deref_mut()) {
+        if let Some(a) = self.infra_lookup(snap, &keys, trace.as_deref_mut()) {
             return TriageVerdict::Hit(a);
         }
-        if let (Some(a), _) = self.near_lookup(&snap, &refanged, trace.as_deref_mut()) {
+        if let (Some(a), _) = self.near_lookup(snap, &refanged, trace.as_deref_mut()) {
             return TriageVerdict::Near(a);
         }
         let start = trace.as_ref().map(|_| Instant::now());
@@ -573,6 +625,60 @@ impl Triage {
             tb.rung("model", since(start), 0, note);
         }
         verdict
+    }
+
+    /// Answer a batch of queries against a single snapshot refresh.
+    ///
+    /// One [`Self::refresh`] (epoch check, cache invalidation, model
+    /// retrain) is amortized across the whole batch — the serve worker
+    /// plane drains its queue into batches precisely to buy this. Each
+    /// item is individually wall-clock timed; `epoch_flipped` is set on
+    /// item 0 only when this batch's refresh observed a republish.
+    ///
+    /// `traces` pairs an optional [`TraceBuilder`] with each item (an
+    /// empty vec means none are traced); the builder is threaded through
+    /// the lookup ladder and handed back to `sink` for finishing. `sink`
+    /// receives `(index, reply, trace)` in item order.
+    pub fn query_batch_with<F>(
+        &mut self,
+        items: &[BatchQuery],
+        traces: Vec<Option<TraceBuilder>>,
+        mut sink: F,
+    ) where
+        F: FnMut(usize, BatchReply, Option<TraceBuilder>),
+    {
+        let (snap, flipped) = self.refresh();
+        let mut traces = traces;
+        traces.resize_with(items.len(), || None);
+        for (i, (item, mut trace)) in items.iter().zip(traces).enumerate() {
+            let start = Instant::now();
+            let (verdict, candidates) = match &snap {
+                None => (TriageVerdict::Unknown, 0),
+                Some(snap) => match item {
+                    BatchQuery::Url(raw) => (self.url_verdict(snap, raw, trace.as_mut()), 0),
+                    BatchQuery::Sender(raw) => (self.sender_verdict(snap, raw, trace.as_mut()), 0),
+                    BatchQuery::Near(text) => self.near_verdict(snap, text, trace.as_mut()),
+                    BatchQuery::Msg { sender, text } => (
+                        self.msg_verdict(snap, sender.as_deref(), text, trace.as_mut()),
+                        0,
+                    ),
+                },
+            };
+            let reply = BatchReply {
+                verdict,
+                candidates,
+                wall_ns: start.elapsed().as_nanos() as u64,
+                epoch_flipped: flipped && i == 0,
+            };
+            sink(i, reply, trace);
+        }
+    }
+
+    /// [`Self::query_batch_with`] without traces, collecting the replies.
+    pub fn query_batch(&mut self, items: &[BatchQuery]) -> Vec<BatchReply> {
+        let mut out = Vec::with_capacity(items.len());
+        self.query_batch_with(items, Vec::new(), |_, reply, _| out.push(reply));
+        out
     }
 
     /// Epoch of the snapshot view last answered from (0 before the first
@@ -595,6 +701,39 @@ impl Triage {
     pub fn cache_capacity(&self) -> usize {
         self.cache.capacity()
     }
+}
+
+/// One query in a [`Triage::query_batch`] call, mirroring the serve
+/// verbs that hit the triage engine (`url`/`sender`/`near`/`msg`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum BatchQuery {
+    /// Exact URL/domain ladder (`serve` verb `url`).
+    Url(String),
+    /// Exact sender/phone ladder (`serve` verb `sender`).
+    Sender(String),
+    /// Similarity rung only (`serve` verb `near`).
+    Near(String),
+    /// Full triage ladder (`serve` verb `msg`, optional `sender|text`).
+    Msg {
+        /// Claimed sender, when the request carried one.
+        sender: Option<String>,
+        /// Message body.
+        text: String,
+    },
+}
+
+/// Per-item result of a [`Triage::query_batch`] call.
+#[derive(Debug, Clone)]
+pub struct BatchReply {
+    /// The triage outcome.
+    pub verdict: TriageVerdict,
+    /// Banded candidate-set size (meaningful for `Near` items, 0 else).
+    pub candidates: usize,
+    /// Wall time spent answering this item.
+    pub wall_ns: u64,
+    /// True on item 0 only, when this batch's snapshot refresh observed
+    /// an epoch flip (republish) — the serving layer counts those.
+    pub epoch_flipped: bool,
 }
 
 fn near_attribution(snap: &IntelSnapshot, m: &SimMatch, candidates: usize) -> NearAttribution {
@@ -834,6 +973,81 @@ mod tests {
         let hub = IntelHub::new();
         let mut t = Triage::new(hub.reader());
         assert!(matches!(t.triage(None, "anything"), TriageVerdict::Unknown));
+        // The batch path degrades identically.
+        let replies = t.query_batch(&[
+            BatchQuery::Url("https://x.example/a".into()),
+            BatchQuery::Near("anything".into()),
+        ]);
+        assert_eq!(replies.len(), 2);
+        assert!(replies
+            .iter()
+            .all(|r| matches!(r.verdict, TriageVerdict::Unknown)));
+    }
+
+    #[test]
+    fn batch_matches_singles_and_flags_the_flip_once() {
+        let w = World::generate(WorldConfig::test_scale(61));
+        let out = Pipeline::default().run(&w, &Obs::noop());
+        let hub = IntelHub::new();
+        hub.publish(IntelSnapshot::build(&out));
+        let cfg = TriageConfig {
+            train_model: false,
+            ..TriageConfig::default()
+        };
+        let mut batch = Triage::with_config(hub.reader(), cfg.clone());
+        let mut single = Triage::with_config(hub.reader(), cfg);
+
+        let snap = batch.snapshot().unwrap();
+        let e = snap
+            .entries()
+            .iter()
+            .find(|e| e.url.is_some())
+            .expect("url entry");
+        let url = snap.resolve(e.url.unwrap()).to_string();
+        let items = vec![
+            BatchQuery::Url(url.clone()),
+            BatchQuery::Sender("shortcode 999999".into()),
+            BatchQuery::Near(e.text.clone()),
+            BatchQuery::Msg {
+                sender: None,
+                text: e.text.clone(),
+            },
+            BatchQuery::Url("https://never-reported.example/x".into()),
+        ];
+        let replies = batch.query_batch(&items);
+        assert_eq!(replies.len(), items.len());
+        // A snapshot() already consumed the first refresh above, so no
+        // flip is observed by the batch itself.
+        assert!(replies.iter().all(|r| !r.epoch_flipped));
+        assert!(replies.iter().all(|r| r.wall_ns > 0));
+        assert!(replies[2].candidates >= 1, "near reply carries candidates");
+
+        let singles = vec![
+            single.query_url(&url),
+            single.query_sender("shortcode 999999"),
+            single.query_near(&e.text),
+            single.triage(None, &e.text),
+            single.query_url("https://never-reported.example/x"),
+        ];
+        for (i, (b, s)) in replies.iter().zip(&singles).enumerate() {
+            assert_eq!(
+                b.verdict.score(),
+                s.score(),
+                "batch item {i} diverged from the single-query path"
+            );
+        }
+        assert!(matches!(replies[0].verdict, TriageVerdict::Hit(_)));
+        assert!(matches!(replies[2].verdict, TriageVerdict::Near(_)));
+
+        // A republish between batches surfaces exactly one flip flag, on
+        // item 0 of the first batch that sees the new epoch.
+        hub.publish(IntelSnapshot::build(&out));
+        let replies = batch.query_batch(&items);
+        let flips: Vec<bool> = replies.iter().map(|r| r.epoch_flipped).collect();
+        assert!(flips[0], "{flips:?}");
+        assert!(flips[1..].iter().all(|f| !f), "{flips:?}");
+        let replies = batch.query_batch(&items);
+        assert!(replies.iter().all(|r| !r.epoch_flipped));
     }
 
     #[test]

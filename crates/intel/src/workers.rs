@@ -1,0 +1,586 @@
+//! The multi-worker serve plane behind `smish serve --serve-workers N`.
+//!
+//! [`serve_session`](crate::serve::serve_session) answers every request
+//! inline on one thread; at paper scale (millions of user reports, a
+//! carrier-side query stream) that single core is the ceiling. This
+//! module keeps the *protocol* — and, by construction, the exact bytes
+//! on stdout — while spreading the triage work over N workers:
+//!
+//! ```text
+//!             parse + classify + admit (bounded try_send)
+//!  stdin ──▶ reader ──┬────────────── work queue ──▶ worker 0 ┐ batched
+//!   (caller   │       │  (cap = --queue-depth)  ──▶ worker 1 │ query_batch,
+//!    thread)  │       └─────────────────────────▶ worker N-1 ┘ own Triage
+//!             │ verbs/errors (seq-stamped, blocking)   │ replies + traces
+//!             ▼                                        ▼
+//!           collector ◀────────── reply queue ◀────────┘
+//!             │  reorder by seq (BTreeMap) → SessionCore accounting
+//!  stdout ◀───┘  → verbs answered at their barrier position
+//! ```
+//!
+//! **Ordering.** Every admitted request gets a dense sequence number;
+//! the collector buffers out-of-order replies and emits strictly by
+//! seq, so responses interleave exactly as the sequential loop would
+//! have written them. Introspection verbs (`stats`, `health`, …) are
+//! seq-stamped too and handled *by the collector at their position*,
+//! which makes each one a natural barrier: its counters and histogram
+//! quantiles reflect precisely the queries before it in the input, same
+//! as single-threaded serving.
+//!
+//! **Admission control.** The work queue is bounded (`--queue-depth`).
+//! When it is full the reader does not block the intake loop; the
+//! request is *shed*: no response line, a `serve.shed` count in the
+//! session stats, the `stats`/`health` verbs, and the time-series ring.
+//! Nothing is ever silently dropped — every request is either answered
+//! or counted.
+//!
+//! **Failure.** A worker panic is caught per batch: replies already
+//! sunk stay valid (the collector has or will emit them in order), the
+//! unsent remainder of the batch is shed, the panic is counted under
+//! `serve.worker_panics`, and the first payload is re-raised on the
+//! caller *after* the session's accounting is exported — mirroring the
+//! exec engine's worker-panic propagation.
+//!
+//! **Tracing.** The reader replicates the tracer's 1-in-K sampling
+//! cadence; traced requests carry a detached [`TraceBuilder`] through
+//! the worker hop and the collector adopts finished traces in seq
+//! order, so trace ids (and the `traces` verb) match the sequential
+//! session's.
+
+use crate::hub::IntelHub;
+use crate::serve::{
+    classify, reply_for, split_msg, verdict_label, Parsed, QueryKind, QueryReply, ServeOptions,
+    ServeSession, SessionCore,
+};
+use crate::triage::{BatchQuery, Triage, TriageConfig};
+use crossbeam::channel::{bounded, Sender, TrySendError};
+use smishing_obs::{Counter, Histogram, Obs, Trace, TraceBuilder};
+use std::collections::BTreeMap;
+use std::io::{self, BufRead, Write};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::thread;
+
+/// Tuning for [`serve_workers`].
+#[derive(Debug, Clone)]
+pub struct WorkerPlan {
+    /// Triage workers (clamped to at least 1).
+    pub workers: usize,
+    /// Work-queue bound: requests admitted but not yet picked up by a
+    /// worker. A full queue sheds (clamped to at least 1).
+    pub queue_depth: usize,
+    /// Most queries a worker folds into one `query_batch` call (one
+    /// snapshot refresh per batch).
+    pub batch_max: usize,
+    /// Test hook: a worker answering a request whose *full line* equals
+    /// this panics mid-batch (exercises the shutdown/panic path).
+    pub panic_on: Option<String>,
+}
+
+impl WorkerPlan {
+    /// A plan with the default batching and no fault injection.
+    pub fn new(workers: usize, queue_depth: usize) -> WorkerPlan {
+        WorkerPlan {
+            workers,
+            queue_depth,
+            batch_max: 32,
+            panic_on: None,
+        }
+    }
+}
+
+impl Default for WorkerPlan {
+    fn default() -> Self {
+        WorkerPlan::new(4, 1024)
+    }
+}
+
+/// One admitted query on its way to a worker.
+struct Work {
+    seq: u64,
+    kind: QueryKind,
+    /// The full request line (command + rest), owned for the hop; also
+    /// the traced request string, matching the sequential tracer.
+    line: String,
+    traced: bool,
+}
+
+/// What the collector reassembles.
+enum ToCollector {
+    /// An answered query.
+    Reply {
+        seq: u64,
+        reply: QueryReply,
+        trace: Option<Trace>,
+    },
+    /// A verb / malformed line, answered by the collector at its
+    /// barrier position.
+    Verb { seq: u64, line: String },
+    /// An admitted query abandoned by a dying worker (or drained after
+    /// every worker exited): fills the seq hole so later responses
+    /// still flow, and is counted as shed.
+    Shed { seq: u64 },
+}
+
+impl ToCollector {
+    fn seq(&self) -> u64 {
+        match self {
+            ToCollector::Reply { seq, .. }
+            | ToCollector::Verb { seq, .. }
+            | ToCollector::Shed { seq } => *seq,
+        }
+    }
+}
+
+/// Send with backpressure accounting, same discipline as the exec
+/// engine: only genuinely blocked sends pay for a clock read. Returns
+/// `false` when the receiver is gone.
+fn obs_send<T>(tx: &Sender<T>, msg: T, blocked: &Counter, wait: &Histogram) -> bool {
+    if wait.is_active() {
+        match tx.try_send(msg) {
+            Ok(()) => true,
+            Err(TrySendError::Full(m)) => {
+                blocked.inc();
+                wait.time(|| tx.send(m)).is_ok()
+            }
+            Err(TrySendError::Disconnected(_)) => false,
+        }
+    } else {
+        tx.send(msg).is_ok()
+    }
+}
+
+/// `rest` of a request line as the reader classified it.
+fn rest_of(line: &str) -> &str {
+    line.split_once(' ').map_or("", |(_, r)| r.trim())
+}
+
+fn to_batch_query(kind: QueryKind, rest: &str) -> BatchQuery {
+    match kind {
+        QueryKind::Url => BatchQuery::Url(rest.to_string()),
+        QueryKind::Sender => BatchQuery::Sender(rest.to_string()),
+        QueryKind::Near => BatchQuery::Near(rest.to_string()),
+        QueryKind::Msg => {
+            let (sender, text) = split_msg(rest);
+            BatchQuery::Msg {
+                sender: sender.map(str::to_string),
+                text: text.to_string(),
+            }
+        }
+    }
+}
+
+/// Serve the line protocol over `plan.workers` triage workers with
+/// in-order reassembly. Byte-for-byte the same stdout as
+/// [`serve_session`](crate::serve::serve_session) given the same input
+/// and no shedding; see the module docs for the ordering, admission,
+/// and failure guarantees. Worker panics are re-raised on the caller
+/// after the session's metrics are exported.
+pub fn serve_workers<R: BufRead, W: Write + Send>(
+    hub: &IntelHub,
+    cfg: TriageConfig,
+    input: R,
+    out: W,
+    obs: &Obs,
+    opts: ServeOptions,
+    plan: &WorkerPlan,
+) -> io::Result<ServeSession> {
+    let workers = plan.workers.max(1);
+    let depth = plan.queue_depth.max(1);
+    let batch_max = plan.batch_max.max(1);
+    let sample_every = opts.trace.sample_every;
+
+    obs.gauge("intel.serve.workers", &[]).set(workers as i64);
+    obs.gauge("intel.serve.queue_depth", &[]).set(depth as i64);
+    let blocked = obs.counter("intel.serve.blocked_sends", &[]);
+    let wait = obs.histogram("intel.serve.backpressure_wait_ns", &[]);
+
+    let (work_tx, work_rx) = bounded::<Work>(depth);
+    // The reply queue holds at most one in-flight message per admitted
+    // request, so depth + a batch per worker never truly blocks; the
+    // bound exists to keep a stalled writer from buffering unboundedly.
+    let (reply_tx, reply_rx) = bounded::<ToCollector>(depth + workers * batch_max);
+
+    // Sheds noted by the reader (no seq, no message) for the collector
+    // to fold into the session stats before its next in-order message.
+    let shed_unseq = AtomicU64::new(0);
+    let panics: Mutex<Vec<Box<dyn std::any::Any + Send>>> = Mutex::new(Vec::new());
+
+    let (session, out, reader_err, collector_err) = thread::scope(|s| {
+        // ---- triage workers ------------------------------------------------
+        let worker_handles: Vec<_> = (0..workers)
+            .map(|wid| {
+                let work_rx = work_rx.clone();
+                let reply_tx = reply_tx.clone();
+                let mut triage = Triage::with_config(hub.reader(), cfg.clone());
+                let blocked = blocked.clone();
+                let wait = wait.clone();
+                let panics = &panics;
+                let panic_on = plan.panic_on.as_deref();
+                let label = wid.to_string();
+                let w_queries = obs.counter("intel.serve.worker.queries", &[("worker", &label)]);
+                let w_batches = obs.counter("intel.serve.worker.batches", &[("worker", &label)]);
+                let batch_size = obs.histogram("intel.serve.worker.batch_size", &[]);
+                let busy_ns = obs.histogram("intel.serve.worker.busy_ns", &[]);
+                s.spawn(move || {
+                    let mut items: Vec<Work> = Vec::with_capacity(batch_max);
+                    while let Ok(first) = work_rx.recv() {
+                        items.clear();
+                        items.push(first);
+                        while items.len() < batch_max {
+                            match work_rx.try_recv() {
+                                Ok(m) => items.push(m),
+                                Err(_) => break,
+                            }
+                        }
+                        let queries: Vec<BatchQuery> = items
+                            .iter()
+                            .map(|m| to_batch_query(m.kind, rest_of(&m.line)))
+                            .collect();
+                        let traces: Vec<Option<TraceBuilder>> = items
+                            .iter()
+                            .map(|m| m.traced.then(|| TraceBuilder::detached(&m.line)))
+                            .collect();
+                        // How many replies made it out before a panic, so
+                        // the remainder of the batch can be shed.
+                        let sent = std::cell::Cell::new(0usize);
+                        let body = AssertUnwindSafe(|| {
+                            busy_ns.time(|| {
+                                triage.query_batch_with(&queries, traces, |i, br, tb| {
+                                    let m = &items[i];
+                                    if panic_on == Some(m.line.as_str()) {
+                                        panic!("injected worker fault: {}", m.line);
+                                    }
+                                    let reply = reply_for(
+                                        m.kind,
+                                        rest_of(&m.line),
+                                        &br.verdict,
+                                        br.wall_ns,
+                                        br.candidates as u64,
+                                        br.epoch_flipped,
+                                    );
+                                    let trace = tb.map(|tb| tb.finish(verdict_label(&br.verdict)));
+                                    obs_send(
+                                        &reply_tx,
+                                        ToCollector::Reply {
+                                            seq: m.seq,
+                                            reply,
+                                            trace,
+                                        },
+                                        &blocked,
+                                        &wait,
+                                    );
+                                    sent.set(sent.get() + 1);
+                                });
+                            });
+                        });
+                        w_batches.inc();
+                        batch_size.record(items.len() as u64);
+                        if let Err(payload) = catch_unwind(body) {
+                            w_queries.add(sent.get() as u64);
+                            panics.lock().unwrap().push(payload);
+                            // Shed the batch's unanswered remainder so the
+                            // seq stream stays dense past the failure.
+                            for m in items.drain(sent.get()..) {
+                                let _ = reply_tx.send(ToCollector::Shed { seq: m.seq });
+                            }
+                            return;
+                        }
+                        w_queries.add(items.len() as u64);
+                    }
+                })
+            })
+            .collect();
+
+        // ---- collector -----------------------------------------------------
+        let collector = {
+            let mut triage = Triage::with_config(hub.reader(), cfg.clone());
+            let mut core = SessionCore::new(obs, &opts);
+            let shed_unseq = &shed_unseq;
+            let reorder_high = obs.gauge("intel.serve.reorder_depth", &[]);
+            let mut out = out;
+            s.spawn(move || {
+                let mut pending: BTreeMap<u64, ToCollector> = BTreeMap::new();
+                let mut next: u64 = 0;
+                let mut high: usize = 0;
+                let mut io_err: Option<io::Error> = None;
+                let handle = |msg: ToCollector,
+                              core: &mut SessionCore,
+                              triage: &mut Triage,
+                              out: &mut W|
+                 -> io::Result<()> {
+                    match msg {
+                        ToCollector::Reply { reply, trace, .. } => {
+                            core.tracer.note_requests(1);
+                            if let Some(trace) = trace {
+                                let ns = reply.ns;
+                                let hist = reply.kind.hist_name();
+                                let id = core.tracer.adopt(trace);
+                                core.tracer.exemplar(hist, id, ns);
+                            }
+                            core.record_reply(&reply);
+                            writeln!(out, "{}", reply.text)
+                        }
+                        ToCollector::Verb { line, .. } => {
+                            let (cmd, rest) = line.split_once(' ').unwrap_or((&line, ""));
+                            let rest = rest.trim();
+                            match classify(cmd, rest) {
+                                Parsed::NeedsValue(cmd) => {
+                                    core.error();
+                                    writeln!(out, "err {cmd} needs a value")
+                                }
+                                Parsed::Unknown(other) => {
+                                    core.error();
+                                    writeln!(out, "err unknown command {other}")
+                                }
+                                Parsed::Verb(cmd) => core.verb(triage, cmd, rest, out),
+                                // The reader never forwards these.
+                                Parsed::Quit | Parsed::Query(_) => Ok(()),
+                            }
+                        }
+                        ToCollector::Shed { .. } => {
+                            core.shed();
+                            Ok(())
+                        }
+                    }
+                };
+                for msg in reply_rx.iter() {
+                    // Reader-side sheds are folded in before the next
+                    // in-order message, so any verb sent after a shed
+                    // observes it.
+                    for _ in 0..shed_unseq.swap(0, Ordering::Relaxed) {
+                        core.shed();
+                    }
+                    pending.insert(msg.seq(), msg);
+                    high = high.max(pending.len());
+                    while let Some(m) = pending.remove(&next) {
+                        next += 1;
+                        if let Err(e) = handle(m, &mut core, &mut triage, &mut out) {
+                            io_err.get_or_insert(e);
+                        }
+                    }
+                }
+                // Conservation: every admitted seq arrives exactly once,
+                // so pending is empty here unless a hole was never
+                // filled; emit whatever remains in ascending order
+                // rather than losing it.
+                for (_, m) in std::mem::take(&mut pending) {
+                    if let Err(e) = handle(m, &mut core, &mut triage, &mut out) {
+                        io_err.get_or_insert(e);
+                    }
+                }
+                for _ in 0..shed_unseq.swap(0, Ordering::Relaxed) {
+                    core.shed();
+                }
+                reorder_high.set(high as i64);
+                (core, out, io_err)
+            })
+        };
+
+        // ---- reader (caller thread) ---------------------------------------
+        let mut seq: u64 = 0;
+        let mut q_count: u64 = 0;
+        let mut reader_err: Option<io::Error> = None;
+        for line in input.lines() {
+            let line = match line {
+                Ok(l) => l,
+                Err(e) => {
+                    reader_err = Some(e);
+                    break;
+                }
+            };
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (cmd, rest) = line.split_once(' ').unwrap_or((line, ""));
+            let rest = rest.trim();
+            match classify(cmd, rest) {
+                Parsed::Quit => break,
+                Parsed::Query(kind) => {
+                    // Replicates Tracer::begin's cadence: first query
+                    // always traced, then 1-in-K (0 = never).
+                    let traced = sample_every != 0 && q_count.is_multiple_of(sample_every);
+                    match work_tx.try_send(Work {
+                        seq,
+                        kind,
+                        line: line.to_string(),
+                        traced,
+                    }) {
+                        Ok(()) => {
+                            seq += 1;
+                            q_count += 1;
+                        }
+                        Err(TrySendError::Full(_)) => {
+                            shed_unseq.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(TrySendError::Disconnected(_)) => break,
+                    }
+                }
+                Parsed::Verb(_) | Parsed::NeedsValue(_) | Parsed::Unknown(_) => {
+                    if reply_tx
+                        .send(ToCollector::Verb {
+                            seq,
+                            line: line.to_string(),
+                        })
+                        .is_err()
+                    {
+                        break;
+                    }
+                    seq += 1;
+                }
+            }
+        }
+
+        // Shutdown: starve the workers, join them, then shed whatever
+        // they never picked up (all-workers-dead case) so the collector
+        // sees every seq.
+        drop(work_tx);
+        for h in worker_handles {
+            let _ = h.join();
+        }
+        while let Ok(m) = work_rx.try_recv() {
+            let _ = reply_tx.send(ToCollector::Shed { seq: m.seq });
+        }
+        drop(reply_tx);
+        let (core, out, collector_err) = collector.join().expect("collector never panics");
+        (core, out, reader_err, collector_err)
+    });
+    drop(out);
+
+    let mut core = session;
+    let panics = panics.into_inner().unwrap();
+    core.stats.worker_panics = panics.len() as u64;
+    let session = core.finish(obs);
+    if let Some(payload) = panics.into_iter().next() {
+        resume_unwind(payload);
+    }
+    if let Some(e) = reader_err.or(collector_err) {
+        return Err(e);
+    }
+    Ok(session)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::IntelSnapshot;
+    use smishing_core::pipeline::Pipeline;
+    use smishing_worldsim::{World, WorldConfig};
+
+    fn hub() -> IntelHub {
+        let w = World::generate(WorldConfig::test_scale(53));
+        let out = Pipeline::default().run(&w, &Obs::noop());
+        let hub = IntelHub::new();
+        hub.publish(IntelSnapshot::build(&out));
+        hub
+    }
+
+    fn cfg() -> TriageConfig {
+        TriageConfig {
+            train_model: false,
+            ..TriageConfig::default()
+        }
+    }
+
+    #[test]
+    fn workers_answer_in_input_order() {
+        let hub = hub();
+        let mut t = Triage::with_config(hub.reader(), cfg());
+        let mut sample = Vec::new();
+        crate::serve::serve_lines(&mut t, "sample 40\n".as_bytes(), &mut sample, &Obs::noop())
+            .unwrap();
+        let script = String::from_utf8(sample).unwrap();
+
+        let mut seq_out = Vec::new();
+        let seq_stats =
+            crate::serve::serve_lines(&mut t, script.as_bytes(), &mut seq_out, &Obs::noop())
+                .unwrap();
+
+        for workers in [1, 4] {
+            let mut out = Vec::new();
+            let session = serve_workers(
+                &hub,
+                cfg(),
+                script.as_bytes(),
+                &mut out,
+                &Obs::noop(),
+                ServeOptions::default(),
+                &WorkerPlan::new(workers, 1024),
+            )
+            .unwrap();
+            assert_eq!(out, seq_out, "workers={workers}");
+            assert_eq!(session.stats.queries, seq_stats.queries);
+            assert_eq!(session.stats.hits, seq_stats.hits);
+            assert_eq!(session.stats.shed, 0);
+        }
+    }
+
+    #[test]
+    fn verbs_are_barriers_with_prefix_exact_counts() {
+        let hub = hub();
+        let script = "url https://nope-1.example/a\nurl https://nope-2.example/b\nstats\n\
+                      url https://nope-3.example/c\nstats\nquit\n";
+        let mut out = Vec::new();
+        let session = serve_workers(
+            &hub,
+            cfg(),
+            script.as_bytes(),
+            &mut out,
+            &Obs::noop(),
+            ServeOptions::default(),
+            &WorkerPlan::new(4, 64),
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let stats_lines: Vec<&str> = text.lines().filter(|l| l.starts_with("stats ")).collect();
+        assert_eq!(stats_lines.len(), 2, "{text}");
+        assert!(stats_lines[0].contains("queries=2 "), "{}", stats_lines[0]);
+        assert!(stats_lines[1].contains("queries=3 "), "{}", stats_lines[1]);
+        assert_eq!(session.stats.queries, 3);
+        assert_eq!(session.stats.misses, 3);
+    }
+
+    #[test]
+    fn worker_metrics_and_trace_ids_follow_request_order() {
+        let hub = hub();
+        let obs = Obs::enabled();
+        let script = "url https://nope-1.example/a\nurl https://nope-2.example/b\n\
+                      url https://nope-3.example/c\ntraces 10\n";
+        let mut out = Vec::new();
+        let session = serve_workers(
+            &hub,
+            cfg(),
+            script.as_bytes(),
+            &mut out,
+            &obs,
+            ServeOptions {
+                trace: smishing_obs::TracerConfig {
+                    sample_every: 2,
+                    ..smishing_obs::TracerConfig::default()
+                },
+                ts_window: 30,
+            },
+            &WorkerPlan::new(2, 64),
+        )
+        .unwrap();
+        // 3 queries, 1-in-2 sampling: requests 1 and 3 traced.
+        assert_eq!(session.tracer.requests(), 3);
+        assert_eq!(session.tracer.sampled(), 2);
+        let text = String::from_utf8(out).unwrap();
+        assert!(
+            text.contains("traces retained=2 sampled=2 requests=3"),
+            "{text}"
+        );
+        let report = obs.json_report();
+        for key in [
+            "intel.serve.worker.queries",
+            "intel.serve.worker.batch_size",
+            "intel.serve.workers",
+            "intel.serve.queue_depth",
+        ] {
+            assert!(report.contains(key), "{key} missing: {report}");
+        }
+    }
+}

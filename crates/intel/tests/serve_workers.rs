@@ -1,0 +1,199 @@
+//! Satellites: the worker plane's admission-control and failure
+//! contracts.
+//!
+//! * **Overload** — a deliberately stalled consumer behind a tiny
+//!   bounded queue forces admission sheds; every request must be either
+//!   answered or counted under `serve.shed` (never silently dropped),
+//!   and the `health` verb must report the shed total.
+//! * **Worker panic** — a worker dying mid-request is counted under
+//!   `serve.worker_panics`, re-raised on the caller after the session's
+//!   accounting exports, and loses no response bytes before the failure
+//!   point.
+
+use smishing_core::pipeline::Pipeline;
+use smishing_intel::{
+    serve_lines, serve_workers, IntelHub, IntelSnapshot, ServeOptions, Triage, TriageConfig,
+    WorkerPlan,
+};
+use smishing_obs::Obs;
+use smishing_worldsim::{World, WorldConfig};
+use std::io::Write;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Duration;
+
+fn hub() -> IntelHub {
+    let w = World::generate(WorldConfig::test_scale(53));
+    let out = Pipeline::default().run(&w, &Obs::noop());
+    let hub = IntelHub::new();
+    hub.publish(IntelSnapshot::build(&out));
+    hub
+}
+
+fn cfg() -> TriageConfig {
+    TriageConfig {
+        train_model: false,
+        ..TriageConfig::default()
+    }
+}
+
+/// A writer that stalls its first write, pinning the collector long
+/// enough for the reader to outrun a depth-1 queue.
+struct StalledWriter {
+    out: Vec<u8>,
+    stalled: bool,
+}
+
+impl Write for StalledWriter {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        if !self.stalled {
+            self.stalled = true;
+            std::thread::sleep(Duration::from_millis(150));
+        }
+        self.out.write(buf)
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.out.flush()
+    }
+}
+
+#[test]
+fn overload_sheds_are_counted_never_silent() {
+    let hub = hub();
+    const N: u64 = 300;
+    let mut script = String::new();
+    for i in 0..N {
+        script.push_str(&format!("url https://flood-{i}.example/x\n"));
+    }
+    script.push_str("health\nstats\n");
+
+    let mut writer = StalledWriter {
+        out: Vec::new(),
+        stalled: false,
+    };
+    let obs = Obs::enabled();
+    let session = serve_workers(
+        &hub,
+        cfg(),
+        script.as_bytes(),
+        &mut writer,
+        &obs,
+        ServeOptions::default(),
+        &WorkerPlan {
+            workers: 1,
+            queue_depth: 1,
+            batch_max: 1,
+            panic_on: None,
+        },
+    )
+    .unwrap();
+
+    let stats = session.stats;
+    assert!(
+        stats.shed > 0,
+        "a stalled depth-1 queue must shed: {stats:?}"
+    );
+    assert_eq!(
+        stats.queries + stats.shed,
+        N,
+        "answered + shed must conserve the request stream: {stats:?}"
+    );
+    let text = String::from_utf8(writer.out).unwrap();
+    let answered = text.lines().filter(|l| l.starts_with("miss url ")).count() as u64;
+    assert_eq!(
+        answered, stats.queries,
+        "one response line per answered query"
+    );
+
+    // The verbs land after the flood, so both report the final total.
+    let health = text
+        .lines()
+        .find(|l| l.starts_with("health "))
+        .expect("health line");
+    assert!(
+        health.contains(&format!("shed={}", stats.shed)),
+        "health must carry the shed total: {health}"
+    );
+    let stats_line = text
+        .lines()
+        .find(|l| l.starts_with("stats "))
+        .expect("stats line");
+    assert!(
+        stats_line.contains(&format!("shed={}", stats.shed)),
+        "{stats_line}"
+    );
+    // And the session export carries it into the run report's counters
+    // and the time-series ring.
+    let report = obs.json_report();
+    assert!(report.contains("intel.serve.shed"), "{report}");
+    assert!(report.contains("serve.ts."), "{report}");
+}
+
+#[test]
+fn worker_panic_is_counted_reraised_and_loses_no_prior_bytes() {
+    let hub = hub();
+    let snap = hub.latest().unwrap();
+    let hits: Vec<String> = snap
+        .entries()
+        .iter()
+        .filter_map(|e| e.url.map(|u| format!("url {}", snap.resolve(u))))
+        .take(11)
+        .collect();
+    assert!(hits.len() >= 11, "need 11 hit lines");
+    let poison = "url https://poison.example/kaboom";
+    let script: String = hits[..6]
+        .iter()
+        .map(|l| format!("{l}\n"))
+        .chain([format!("{poison}\n")])
+        .chain(hits[6..].iter().map(|l| format!("{l}\n")))
+        .collect();
+
+    // The sequential expectation for the pre-panic prefix.
+    let mut expected = Vec::new();
+    let prefix: String = hits[..6].iter().map(|l| format!("{l}\n")).collect();
+    serve_lines(
+        &mut Triage::with_config(hub.reader(), cfg()),
+        prefix.as_bytes(),
+        &mut expected,
+        &Obs::noop(),
+    )
+    .unwrap();
+
+    let obs = Obs::enabled();
+    let mut out = Vec::new();
+    let payload = catch_unwind(AssertUnwindSafe(|| {
+        serve_workers(
+            &hub,
+            cfg(),
+            script.as_bytes(),
+            &mut out,
+            &obs,
+            ServeOptions::default(),
+            &WorkerPlan {
+                workers: 1,
+                queue_depth: 16,
+                batch_max: 1,
+                panic_on: Some(poison.to_string()),
+            },
+        )
+    }))
+    .expect_err("the worker's panic must re-raise on the caller");
+    let msg = payload
+        .downcast_ref::<String>()
+        .cloned()
+        .expect("panic payload is the injected message");
+    assert!(msg.contains("injected worker fault"), "{msg}");
+
+    // Every reply before the failure point arrived, in order, intact;
+    // nothing after the dead worker got answered.
+    assert_eq!(out, expected, "pre-panic bytes must survive the panic");
+
+    // The accounting exported before the re-raise: the panic counted,
+    // the poisoned + unanswered requests shed, nothing silent.
+    let report = obs.json_report();
+    assert!(
+        report.contains("\"intel.serve.worker_panics\": 1"),
+        "{report}"
+    );
+    assert!(report.contains("\"intel.serve.queries\": 6"), "{report}");
+    assert!(report.contains("\"intel.serve.shed\": 6"), "{report}");
+}

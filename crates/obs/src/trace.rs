@@ -135,7 +135,17 @@ impl TraceBuilder {
         }
     }
 
-    /// The trace id (assigned at sampling time).
+    /// A builder minted outside any [`Tracer`] (id 0), for pipelines
+    /// where the sampling decision and the retention happen on different
+    /// threads: a dispatcher decides *which* requests are traced, a
+    /// worker fills the builder in, and the owning tracer assigns the
+    /// session id when it [`Tracer::adopt`]s the finished trace.
+    pub fn detached(request: &str) -> TraceBuilder {
+        TraceBuilder::new(0, request)
+    }
+
+    /// The trace id (assigned at sampling time; 0 for a detached builder
+    /// until the tracer adopts it).
     pub fn id(&self) -> u64 {
         self.id
     }
@@ -251,6 +261,27 @@ impl Tracer {
         self.sampled += 1;
         self.next_id += 1;
         TraceBuilder::new(self.next_id, request)
+    }
+
+    /// Count `n` requests whose sampling decision was made elsewhere (a
+    /// dispatcher thread replicating the 1-in-K policy). Keeps
+    /// [`Tracer::requests`] meaningful when `begin` never runs.
+    pub fn note_requests(&mut self, n: u64) {
+        self.requests += n;
+    }
+
+    /// Adopt a trace whose builder was minted with
+    /// [`TraceBuilder::detached`]: assign the next session id, count it
+    /// as sampled, retain it, and return the id (for exemplars). Adopt
+    /// order defines id order, so an in-order collector reproduces the
+    /// ids a single-threaded session would have assigned.
+    pub fn adopt(&mut self, mut trace: Trace) -> u64 {
+        self.sampled += 1;
+        self.next_id += 1;
+        trace.id = self.next_id;
+        let id = trace.id;
+        self.finish(trace);
+        id
     }
 
     /// Retain a finished trace: into the ring (overwriting the oldest on
@@ -444,6 +475,27 @@ mod tests {
         // the slowest set.
         assert!(tr.find(2).is_some());
         assert!(tr.find(3).is_none());
+    }
+
+    #[test]
+    fn detached_builders_get_ids_in_adopt_order() {
+        let mut tr = Tracer::new(TracerConfig::default());
+        // Worker threads fill detached builders; the collector adopts in
+        // protocol order and ids come out exactly as `begin` would have
+        // assigned them.
+        let a = TraceBuilder::detached("url a").finish("hit");
+        let b = TraceBuilder::detached("url b").finish("miss");
+        assert_eq!((a.id, b.id), (0, 0));
+        tr.note_requests(2);
+        assert_eq!(tr.adopt(a), 1);
+        assert_eq!(tr.adopt(b), 2);
+        assert_eq!(tr.requests(), 2);
+        assert_eq!(tr.sampled(), 2);
+        assert_eq!(tr.find(1).unwrap().request, "url a");
+        assert_eq!(tr.find(2).unwrap().verdict, "miss");
+        // Adopted ids continue the same sequence `begin_forced` uses.
+        let c = tr.begin_forced("explain x").finish("hit");
+        assert_eq!(c.id, 3);
     }
 
     #[test]

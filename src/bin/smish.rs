@@ -10,6 +10,7 @@
 //! smish stream   --scale 0.1 --shards 4                 # replay as a live feed
 //! smish watch    --scale 0.1 --posts 50000              # infinite-feed soak
 //! smish serve    --scale 0.1 [--stream]                 # answer queries on stdin/stdout
+//! smish serve    --scale 0.1 --serve-workers 4          # …over a multi-worker serve plane
 //! smish query    url hxxps://evil[.]com/x               # one-shot lookup
 //! smish query    near Your parcel is held, pay at ...   # similarity lookup
 //! smish query    explain Your account is locked, go to…  # one-shot + span tree
@@ -37,6 +38,11 @@
 //! * `--shards N` / `--curators N` / `--channel-capacity N` — worker
 //!   topology of the execution core. Never changes the output, only the
 //!   parallelism: batch and stream both run the same sharded engine.
+//! * `--serve-workers N` / `--queue-depth M` — topology of the `serve`
+//!   plane: N triage workers behind a bounded admission queue of M
+//!   requests, with in-order reply reassembly (stdout stays
+//!   byte-identical to the default inline loop; a full queue sheds
+//!   requests into the `serve.shed` counter instead of blocking).
 //! * `--metrics-json PATH` — write the run report (schema
 //!   `smishing-obs/v1`) to `PATH` on completion.
 //! * `--metrics-text` — print a Prometheus-style text exposition to
@@ -61,7 +67,8 @@ use smishing::core::pipeline::PipelineOutput;
 use smishing::core::runcfg::RunConfig;
 use smishing::detect::{binary_study, multiclass_study_grouped};
 use smishing::intel::{
-    serve_lines, verdict_label, verdict_line, IntelHub, IntelSnapshot, Triage, TriageConfig,
+    serve_lines, serve_workers, verdict_label, verdict_line, IntelHub, IntelSnapshot, ServeOptions,
+    Triage, TriageConfig, WorkerPlan,
 };
 use smishing::obs::{obs_error, obs_info, parse_report, perf_diff, Obs, Tracer, TracerConfig};
 use smishing::prelude::*;
@@ -402,8 +409,31 @@ fn cmd_serve(args: &Args, obs: &Obs, world: &World) {
     // puts the session's gauges (trace ring, time series, serve stats)
     // on disk the moment the query stream ends; the later emit rewrites
     // the same file with the same schema, so the double write is benign.
-    let serve_and_flush = |triage: &mut Triage| {
-        let stats = serve_lines(triage, stdin.lock(), stdout.lock(), obs).expect("serve io");
+    let serve_and_flush = |hub: &IntelHub| {
+        let stats = if args.cfg.serve_workers > 0 {
+            // Multi-worker plane: parsed requests fan out over a bounded
+            // queue to N triage workers and reassemble in order, so
+            // stdout is byte-identical to the inline path; overload is
+            // shed (counted, never silent) instead of blocking intake.
+            let plan = WorkerPlan::new(args.cfg.serve_workers, args.cfg.queue_depth);
+            // The collector thread owns the output, so it takes the
+            // `Stdout` handle (`Send`, line-buffered) rather than the
+            // caller-pinned `StdoutLock`.
+            serve_workers(
+                hub,
+                TriageConfig::default(),
+                stdin.lock(),
+                std::io::stdout(),
+                obs,
+                ServeOptions::default(),
+                &plan,
+            )
+            .expect("serve io")
+            .stats
+        } else {
+            let mut triage = Triage::new(hub.reader());
+            serve_lines(&mut triage, stdin.lock(), stdout.lock(), obs).expect("serve io")
+        };
         if let Err(e) = args.cfg.emit_metrics(obs) {
             obs_error!(obs, "{e}");
         }
@@ -453,25 +483,24 @@ fn cmd_serve(args: &Args, obs: &Obs, world: &World) {
                 obs_error!(obs, "no snapshot published within 300s");
                 std::process::exit(1);
             }
-            let mut triage = Triage::new(hub.reader());
-            serve_and_flush(&mut triage)
+            serve_and_flush(&hub)
         })
     } else {
         let output = run_pipeline(args, obs, world);
         hub.publish(IntelSnapshot::build(&output));
-        let mut triage = Triage::new(hub.reader());
-        serve_and_flush(&mut triage)
+        serve_and_flush(&hub)
     };
     // Diagnostics go to stderr — stdout is the protocol channel and gets
     // piped back in as queries by the CI smoke job.
     eprintln!(
-        "serve done: {} queries ({} hits, {} near hits, {} misses, {} triaged, {} errors), epoch {}",
+        "serve done: {} queries ({} hits, {} near hits, {} misses, {} triaged, {} errors, {} shed), epoch {}",
         stats.queries,
         stats.hits,
         stats.near_hits,
         stats.misses,
         stats.triaged,
         stats.errors,
+        stats.shed,
         hub.epoch()
     );
 }
