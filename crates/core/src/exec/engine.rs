@@ -97,6 +97,13 @@ pub struct StreamSnapshot<'w> {
     pub accs: AnalysisAccs,
     /// Batch-equivalent assembled output.
     pub output: PipelineOutput<'w>,
+    /// Curated messages (duplicates included) that arrived since the
+    /// previous snapshot marker — the delta an incremental consumer
+    /// (e.g. `IntelSnapshot::build_incremental`) applies on top of its
+    /// previous epoch. Sorted by post id; the concatenation of every
+    /// snapshot's delta plus the end-of-stream delta is exactly
+    /// `curated_total`, each message appearing once.
+    pub curated_delta: Vec<CuratedMessage>,
 }
 
 /// The end-of-stream result.
@@ -106,6 +113,9 @@ pub struct IngestResult<'w> {
     pub output: PipelineOutput<'w>,
     /// Merged accumulator bundle.
     pub accs: AnalysisAccs,
+    /// Curated messages that arrived after the last snapshot marker (the
+    /// whole stream when no snapshot fired). Sorted by post id.
+    pub curated_delta: Vec<CuratedMessage>,
     /// Posts consumed from the stream.
     pub posts_ingested: u64,
     /// Snapshots emitted.
@@ -149,11 +159,13 @@ enum CollectorMsg {
         at_posts: u64,
         accs: AnalysisAccs,
         curated: Vec<CuratedMessage>,
+        curated_delta: Vec<CuratedMessage>,
         records: Vec<EnrichedRecord>,
     },
     ShardDone {
         accs: AnalysisAccs,
         curated: Vec<CuratedMessage>,
+        curated_delta: Vec<CuratedMessage>,
         records: Vec<EnrichedRecord>,
     },
 }
@@ -248,8 +260,18 @@ struct SnapParts {
     accs: Vec<AnalysisAccs>,
     collections: Vec<HashMap<Forum, CollectionStats>>,
     curated: Vec<Vec<CuratedMessage>>,
+    curated_delta: Vec<Vec<CuratedMessage>>,
     records: Vec<Vec<EnrichedRecord>>,
     parts: usize,
+}
+
+/// Merge per-shard curated deltas into one post-id-sorted vector — the
+/// same canonical ordering [`assemble`] gives `curated_total`, so the
+/// delta is a pure function of the post multiset too.
+fn assemble_delta(parts: Vec<Vec<CuratedMessage>>) -> Vec<CuratedMessage> {
+    let mut delta: Vec<CuratedMessage> = parts.into_iter().flatten().collect();
+    delta.sort_by_key(|c| c.post_id);
+    delta
 }
 
 /// Deterministically assemble worker parts into a batch-identical
@@ -488,6 +510,10 @@ where
                         let registry = EnricherRegistry::standard();
                         let client = ResilientClient::new(&obs);
                         let mut state = ShardState::new();
+                        // Watermark into `state.curated` at the last emitted
+                        // marker: everything past it is this shard's delta
+                        // for the next snapshot interval.
+                        let mut snap_mark: usize = 0;
                         let mut marker_seen = vec![0u64; n_curators];
                         let mut completed: u64 = 0;
                         let mut deferred: HashMap<u64, Vec<(usize, CuratedMessage)>> =
@@ -528,13 +554,19 @@ where
                                         let at = marker_posts
                                             .remove(&completed)
                                             .expect("marker position recorded");
+                                        // Deferred messages for the next
+                                        // interval are applied *after* this
+                                        // send, so `curated` holds exactly
+                                        // the ≤-marker messages here.
                                         let snap = CollectorMsg::ShardSnap {
                                             id: completed,
                                             at_posts: at,
                                             accs: state.accs.clone(),
                                             curated: state.curated.clone(),
+                                            curated_delta: state.curated[snap_mark..].to_vec(),
                                             records: state.records(),
                                         };
+                                        snap_mark = state.curated.len();
                                         if collector_tx.send(snap).is_err() {
                                             return;
                                         }
@@ -549,9 +581,11 @@ where
                                 }
                             }
                         }
+                        let curated_delta = state.curated[snap_mark..].to_vec();
                         let _ = collector_tx.send(CollectorMsg::ShardDone {
                             accs: state.accs,
                             curated: state.curated,
+                            curated_delta,
                             records: state.winners.into_values().collect(),
                         });
                     });
@@ -573,6 +607,7 @@ where
         let mut final_accs = AnalysisAccs::new();
         let mut final_collections: Vec<HashMap<Forum, CollectionStats>> = Vec::new();
         let mut final_curated: Vec<Vec<CuratedMessage>> = Vec::new();
+        let mut final_curated_delta: Vec<Vec<CuratedMessage>> = Vec::new();
         let mut final_records: Vec<Vec<EnrichedRecord>> = Vec::new();
         for msg in collector_rx.iter() {
             match msg {
@@ -591,12 +626,14 @@ where
                     at_posts,
                     accs,
                     curated,
+                    curated_delta,
                     records,
                 } => {
                     let p = pending.entry(id).or_default();
                     p.at_posts = at_posts;
                     p.accs.push(accs);
                     p.curated.push(curated);
+                    p.curated_delta.push(curated_delta);
                     p.records.push(records);
                     p.parts += 1;
                 }
@@ -607,10 +644,12 @@ where
                 CollectorMsg::ShardDone {
                     accs,
                     curated,
+                    curated_delta,
                     records,
                 } => {
                     final_accs.merge(accs);
                     final_curated.push(curated);
+                    final_curated_delta.push(curated_delta);
                     final_records.push(records);
                 }
             }
@@ -619,19 +658,21 @@ where
                 .is_some_and(|p| p.parts == parts_per_snapshot)
             {
                 let p = pending.remove(&next_emit).expect("checked");
-                let (accs, output) = snap_cost.time(|| {
+                let (accs, output, curated_delta) = snap_cost.time(|| {
                     let mut accs = AnalysisAccs::new();
                     for a in p.accs {
                         accs.merge(a);
                     }
                     let output = assemble(world, p.collections, p.curated, p.records);
-                    (accs, output)
+                    let curated_delta = assemble_delta(p.curated_delta);
+                    (accs, output, curated_delta)
                 });
                 snap_counter.inc();
                 on_snapshot(StreamSnapshot {
                     at_posts: p.at_posts,
                     accs,
                     output,
+                    curated_delta,
                 });
                 snapshots_taken += 1;
                 next_emit += 1;
@@ -643,9 +684,11 @@ where
             .map(|s| s.posts as u64)
             .sum();
         let output = assemble(world, final_collections, final_curated, final_records);
+        let curated_delta = assemble_delta(final_curated_delta);
         IngestResult {
             output,
             accs: final_accs,
+            curated_delta,
             posts_ingested,
             snapshots_taken,
         }

@@ -62,6 +62,11 @@ pub struct RunConfig {
     /// Bounded admission queue for the serve worker plane; a full queue
     /// sheds requests instead of blocking the intake loop.
     pub queue_depth: usize,
+    /// Aging window (seconds) for the serve plane's intel snapshots:
+    /// entries whose dedup group was last reported more than this long
+    /// before the newest report are evicted at republish. `None` (the
+    /// default) keeps everything forever.
+    pub intel_window_secs: Option<u64>,
 }
 
 impl Default for RunConfig {
@@ -75,6 +80,7 @@ impl Default for RunConfig {
             sinks: ObsSinks::default(),
             serve_workers: 0,
             queue_depth: 1024,
+            intel_window_secs: None,
         }
     }
 }
@@ -93,7 +99,7 @@ impl RunConfig {
     /// The flag vocabulary [`parse_flag`](Self::parse_flag) accepts, for
     /// usage strings.
     pub const FLAGS_USAGE: &'static str = "[--scale S] [--seed N] [--shards N] [--curators N] \
-         [--channel-capacity N] [--serve-workers N] [--queue-depth N] \
+         [--channel-capacity N] [--serve-workers N] [--queue-depth N] [--intel-window SECS] \
          [--fault-profile none|mild|harsh[:SEED]] \
          [--metrics-json PATH] [--metrics-text] [--log-level LEVEL] [--quiet]";
 
@@ -130,6 +136,13 @@ impl RunConfig {
             }
             "--queue-depth" => {
                 self.queue_depth = take("--queue-depth")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--intel-window" => {
+                self.intel_window_secs = Some(
+                    take("--intel-window")?
+                        .parse()
+                        .map_err(|e| format!("{e}"))?,
+                )
             }
             "--fault-profile" => self.faults = take("--fault-profile")?.parse()?,
             "--metrics-json" => self.sinks.metrics_json = Some(take("--metrics-json")?),
@@ -224,6 +237,8 @@ mod tests {
                 "4",
                 "--queue-depth",
                 "256",
+                "--intel-window",
+                "86400",
                 "--fault-profile",
                 "mild:7",
                 "--metrics-json",
@@ -239,6 +254,7 @@ mod tests {
         assert_eq!(cfg.exec.channel_capacity, 64);
         assert_eq!(cfg.serve_workers, 4);
         assert_eq!(cfg.queue_depth, 256);
+        assert_eq!(cfg.intel_window_secs, Some(86400));
         assert!(!cfg.faults.is_none());
         assert_eq!(cfg.sinks.metrics_json.as_deref(), Some("out.json"));
         assert_eq!(cfg.sinks.level, Level::Error);
@@ -258,6 +274,8 @@ mod tests {
         assert!(parse(&mut cfg, &["--seed"]).is_err());
         assert!(parse(&mut cfg, &["--serve-workers", "lots"]).is_err());
         assert!(parse(&mut cfg, &["--queue-depth"]).is_err());
+        assert!(parse(&mut cfg, &["--intel-window", "forever"]).is_err());
+        assert!(parse(&mut cfg, &["--intel-window"]).is_err());
     }
 
     #[test]

@@ -43,6 +43,16 @@ impl IntelHub {
         IntelHub::default()
     }
 
+    /// A hub whose epoch counter starts at `epoch` with nothing published
+    /// yet — how a resumed server re-enters the epoch sequence recorded in
+    /// its checkpoint: seed with `checkpoint_epoch - 1` and the first
+    /// republish lands on `checkpoint_epoch`.
+    pub fn with_epoch(epoch: u64) -> IntelHub {
+        let hub = IntelHub::default();
+        hub.inner.epoch.store(epoch, Ordering::Release);
+        hub
+    }
+
     /// Publish a snapshot, returning the new epoch (≥ 1).
     pub fn publish(&self, snap: IntelSnapshot) -> u64 {
         self.publish_arc(Arc::new(snap))

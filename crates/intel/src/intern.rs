@@ -13,7 +13,12 @@ use std::collections::HashMap;
 pub struct Sym(pub u32);
 
 /// An append-only string table with O(1) string → symbol lookup.
-#[derive(Debug, Default, Clone)]
+///
+/// Equality compares the full table (map and insertion order) — two
+/// interners are equal exactly when the same strings were interned in the
+/// same first-appearance order, the property the incremental snapshot
+/// build relies on when it re-interns reused keys canonically.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct Interner {
     map: HashMap<String, Sym>,
     strings: Vec<String>,

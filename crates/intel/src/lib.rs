@@ -61,9 +61,12 @@ pub use eval::{evaluate_triage, TriageEval};
 pub use hub::{IntelHub, IntelReader};
 pub use intern::{Interner, Sym};
 pub use serve::{
-    serve_lines, serve_session, verdict_label, verdict_line, ServeOptions, ServeSession, ServeStats,
+    process_rss_bytes, serve_lines, serve_session, verdict_label, verdict_line, ServeOptions,
+    ServeSession, ServeStats,
 };
-pub use snapshot::{record_keys, IndexSizes, IntelEntry, IntelSnapshot, RecordKeys};
+pub use snapshot::{
+    record_keys, BuildOptions, IndexSizes, IntelEntry, IntelSnapshot, RecordKeys, SnapshotDelta,
+};
 pub use triage::{
     Attribution, BatchQuery, BatchReply, MatchedKey, NearAttribution, Triage, TriageConfig,
     TriageVerdict,

@@ -13,7 +13,8 @@
 //! explain <msg|url …>  run one query force-traced; reply + full span tree
 //! traces [n]           render the n slowest retained traces (default 5)
 //! timeseries [n]       per-second qps/latency/rate lines, newest first
-//! health               epoch age, index sizes, templates, cache and shed
+//! health               epoch age, index sizes, templates, cache, shed,
+//!                      retained/evicted counts, aging window, process RSS
 //! sample <n>           emit n ready-to-feed query lines from the store
 //! sample near <n>      emit n ready-to-feed `near` lines (entry texts)
 //! stats                one-line counter summary (incl. template count and
@@ -458,7 +459,8 @@ impl SessionCore {
                         out,
                         "health epoch={} epoch_age_s={} entries={} urls={} domains={} \
                          senders={} phones={} brands={} clusters={} templates={} \
-                         cache_len={} cache_cap={} shed={}",
+                         cache_len={} cache_cap={} shed={} retained={} evicted={} \
+                         window_s={} rss_bytes={}",
                         triage.epoch_seen(),
                         triage.epoch_age().map_or(0, |d| d.as_secs()),
                         snap.len(),
@@ -472,6 +474,10 @@ impl SessionCore {
                         triage.cache_len(),
                         triage.cache_capacity(),
                         self.stats.shed,
+                        snap.len(),
+                        snap.evicted_count(),
+                        snap.window_secs().map_or(0, |w| w),
+                        process_rss_bytes(),
                     )?;
                 }
                 None => writeln!(out, "err no snapshot published yet")?,
@@ -562,6 +568,8 @@ impl SessionCore {
         obs.counter("intel.serve.shed", &[]).add(stats.shed);
         obs.counter("intel.serve.worker_panics", &[])
             .add(stats.worker_panics);
+        obs.gauge("intel.serve.rss_bytes", &[])
+            .set(process_rss_bytes() as i64);
         tracer.export(obs);
         ring.export(obs);
         ServeSession {
@@ -569,6 +577,31 @@ impl SessionCore {
             tracer,
             ring,
         }
+    }
+}
+
+/// Resident set size of this process in bytes: field 2 of
+/// `/proc/self/statm` (pages) times the page size on Linux, 0 on other
+/// platforms. Reported by the `health` verb and exported as the
+/// `intel.serve.rss_bytes` gauge so the soak CI job can budget memory.
+pub fn process_rss_bytes() -> u64 {
+    #[cfg(target_os = "linux")]
+    {
+        // statm: size resident shared text lib data dt (in pages). The
+        // kernel's page size is 4096 on every platform we run CI on; if
+        // the file is unreadable, report 0 rather than fail a query.
+        std::fs::read_to_string("/proc/self/statm")
+            .ok()
+            .and_then(|s| {
+                s.split_whitespace()
+                    .nth(1)
+                    .and_then(|p| p.parse::<u64>().ok())
+            })
+            .map_or(0, |pages| pages * 4096)
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        0
     }
 }
 

@@ -21,10 +21,10 @@
 
 use crate::intern::{Interner, Sym};
 use smishing_core::analysis::linking::{pivot_keys, LinkingPivots, WEAK_KEY_CAP};
-use smishing_core::curation::DedupMode;
+use smishing_core::curation::{CuratedMessage, DedupMode};
 use smishing_core::enrich::EnrichedRecord;
 use smishing_core::pipeline::PipelineOutput;
-use smishing_simindex::{NearResult, SimIndex};
+use smishing_simindex::{DocInput, NearResult, SimIndex};
 use smishing_stats::unionfind::UnionFind;
 use smishing_telecom::NumberStatus;
 use smishing_textnlp::normalize::normalize_token;
@@ -32,7 +32,7 @@ use smishing_types::{Forum, Language, LureSet, PostId, ScamType, SenderId, UnixT
 use smishing_webinfra::{
     fold_host, free_hosting_site, parse_url, registrable_domain, ParsedUrl, ShortenerCatalog,
 };
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// The index keys of one enriched record, exactly as the snapshot builder
 /// derives them. Shared by [`IntelSnapshot::build`], the query
@@ -93,8 +93,103 @@ fn forum_bit(f: Forum) -> u8 {
         .expect("known forum")
 }
 
+/// How to build a snapshot: dedup keying for evidence aggregation plus an
+/// optional aging window for eviction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BuildOptions {
+    /// Dedup keying (must match the curation options the pipeline ran
+    /// with, or duplicate evidence will group wrongly).
+    pub mode: DedupMode,
+    /// Aging window in seconds: entries whose evidence group was last
+    /// reported more than this long before the newest report anywhere in
+    /// the stream are evicted at build time. `None` keeps everything.
+    pub window_secs: Option<u64>,
+}
+
+impl Default for BuildOptions {
+    fn default() -> Self {
+        BuildOptions {
+            mode: DedupMode::Normalized,
+            window_secs: None,
+        }
+    }
+}
+
+/// The curated messages that arrived since the previous epoch's snapshot
+/// was built — what [`IntelSnapshot::build_incremental`] applies on top of
+/// the previous epoch instead of re-digesting the whole history. Produced
+/// by the exec engine (`StreamSnapshot::curated_delta` /
+/// `IngestResult::curated_delta`); sorted by post id, and the deltas of
+/// consecutive snapshots partition `curated_total`.
+#[derive(Debug, Clone, Copy)]
+pub struct SnapshotDelta<'a> {
+    /// New curated messages, duplicates included.
+    pub curated: &'a [CuratedMessage],
+}
+
+impl<'a> SnapshotDelta<'a> {
+    /// Wrap an engine-produced delta slice.
+    pub fn new(curated: &'a [CuratedMessage]) -> Self {
+        SnapshotDelta { curated }
+    }
+}
+
+/// One dedup group's evidence ledger: every curated duplicate keyed like
+/// dedup was, carried across epochs so the incremental build never has to
+/// re-scan history.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Group {
+    forums: u8,
+    n: u32,
+    first: UnixTime,
+    last: UnixTime,
+    /// Min post id of the group — by dedup construction, the post id of
+    /// the enriched record that represents this group in `out.records`.
+    winner: PostId,
+}
+
+impl Group {
+    fn absorb(&mut self, c: &CuratedMessage) {
+        self.forums |= forum_bit(c.forum);
+        self.n += 1;
+        self.first = self.first.min(c.posted_at);
+        self.last = self.last.max(c.posted_at);
+        self.winner = self.winner.min(c.post_id);
+    }
+}
+
+/// Oldest last-seen a dedup group may have and still be retained.
+fn cutoff_of(horizon: UnixTime, window_secs: Option<u64>) -> Option<UnixTime> {
+    window_secs.map(|w| UnixTime(horizon.0.saturating_sub(w as i64)))
+}
+
+fn absorb_into(groups: &mut HashMap<String, Group>, key: String, c: &CuratedMessage) {
+    groups
+        .entry(key)
+        .or_insert(Group {
+            forums: 0,
+            n: 0,
+            first: c.posted_at,
+            last: c.posted_at,
+            winner: c.post_id,
+        })
+        .absorb(c);
+}
+
+/// Where one retained record's entry comes from during a build.
+enum EntrySource {
+    /// Compute keys, evidence, and SimHash signature from scratch.
+    Fresh,
+    /// Same winner as the previous epoch: reuse its key strings, enriched
+    /// annotations, and SimHash signature/shingles. `fresh_evidence` is
+    /// set when the record's dedup group absorbed new reports this epoch,
+    /// so the forums/count/first/last evidence must be re-read from the
+    /// ledger instead of copied.
+    Reuse { prev_id: u32, fresh_evidence: bool },
+}
+
 /// One unique record's worth of intelligence, fully owned.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct IntelEntry {
     /// Post id of the dedup winner (ties entries back to the pipeline
     /// output for the equivalence tests).
@@ -173,7 +268,7 @@ pub struct IndexSizes {
 }
 
 /// The immutable, indexed intelligence store.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct IntelSnapshot {
     interner: Interner,
     entries: Vec<IntelEntry>,
@@ -186,6 +281,46 @@ pub struct IntelSnapshot {
     cluster_campaign: Vec<Option<u32>>,
     sim: SimIndex,
     built_from_posts: u64,
+    /// Evidence ledger over the *whole* history (groups are never
+    /// evicted — a returning campaign keeps its full report count), keyed
+    /// by dedup key. Carried forward so incremental builds apply only the
+    /// delta.
+    groups: HashMap<String, Group>,
+    /// Curated messages (duplicates included) digested so far — the
+    /// incremental guard: a delta only applies if `curated_seen + delta`
+    /// equals the new total.
+    curated_seen: u64,
+    /// Newest report time seen anywhere in the stream — the aging clock
+    /// that eviction windows measure against. Monotone across epochs.
+    horizon: UnixTime,
+    /// The options this snapshot was built with; an incremental build
+    /// must use the same ones or it falls back to a full build.
+    opts: BuildOptions,
+    /// Records dropped by the aging window at this build.
+    evicted: usize,
+}
+
+impl Default for IntelSnapshot {
+    fn default() -> Self {
+        IntelSnapshot {
+            interner: Interner::default(),
+            entries: Vec::new(),
+            by_url: HashMap::new(),
+            by_domain: HashMap::new(),
+            by_sender: HashMap::new(),
+            by_phone: HashMap::new(),
+            by_brand: HashMap::new(),
+            clusters: Vec::new(),
+            cluster_campaign: Vec::new(),
+            sim: SimIndex::default(),
+            built_from_posts: 0,
+            groups: HashMap::new(),
+            curated_seen: 0,
+            horizon: UnixTime(i64::MIN),
+            opts: BuildOptions::default(),
+            evicted: 0,
+        }
+    }
 }
 
 const NO_ENTRIES: &[u32] = &[];
@@ -194,48 +329,188 @@ impl IntelSnapshot {
     /// Build the store from assembled pipeline output, using the default
     /// (normalized) dedup keying for evidence aggregation.
     pub fn build(out: &PipelineOutput<'_>) -> IntelSnapshot {
-        IntelSnapshot::build_with(out, DedupMode::Normalized)
+        IntelSnapshot::build_full(out, BuildOptions::default())
     }
 
     /// Build with an explicit dedup mode (must match the curation options
     /// the pipeline ran with, or duplicate evidence will group wrongly).
     pub fn build_with(out: &PipelineOutput<'_>, mode: DedupMode) -> IntelSnapshot {
+        IntelSnapshot::build_full(
+            out,
+            BuildOptions {
+                mode,
+                window_secs: None,
+            },
+        )
+    }
+
+    /// Build from scratch: digest the whole history. This is the
+    /// reference the incremental path is pinned against — for any prefix
+    /// of the stream, `build_incremental` chained over the snapshot
+    /// deltas must produce exactly this snapshot.
+    pub fn build_full(out: &PipelineOutput<'_>, opts: BuildOptions) -> IntelSnapshot {
         // Evidence groups: every curated duplicate, keyed like dedup was.
-        struct Group {
-            forums: u8,
-            n: u32,
-            first: UnixTime,
-            last: UnixTime,
-        }
         let mut groups: HashMap<String, Group> = HashMap::new();
         for c in &out.curated_total {
-            let g = groups.entry(c.dedup_key(mode)).or_insert(Group {
-                forums: 0,
-                n: 0,
-                first: c.posted_at,
-                last: c.posted_at,
-            });
-            g.forums |= forum_bit(c.forum);
-            g.n += 1;
-            g.first = g.first.min(c.posted_at);
-            g.last = g.last.max(c.posted_at);
+            absorb_into(&mut groups, c.dedup_key(opts.mode), c);
+        }
+        let horizon = groups
+            .values()
+            .map(|g| g.last)
+            .max()
+            .unwrap_or(UnixTime(i64::MIN));
+
+        // Retention: a record survives iff its dedup group was reported
+        // within the window of the newest report anywhere.
+        let cutoff = cutoff_of(horizon, opts.window_secs);
+        let plan: Vec<(usize, EntrySource)> = out
+            .records
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| match cutoff {
+                None => true,
+                Some(c) => groups
+                    .get(&r.curated.dedup_key(opts.mode))
+                    .is_none_or(|g| g.last >= c),
+            })
+            .map(|(i, _)| (i, EntrySource::Fresh))
+            .collect();
+
+        Self::assemble_snapshot(out, groups, horizon, opts, None, plan)
+    }
+
+    /// Build the next epoch from the previous one plus the delta of
+    /// curated messages that arrived since — O(delta + retained) instead
+    /// of O(history): evidence updates touch only dirty dedup groups, and
+    /// unchanged entries reuse their key strings, annotations, and SimHash
+    /// signatures from `prev` instead of re-deriving them.
+    ///
+    /// Falls back to [`IntelSnapshot::build_full`] when there is no
+    /// previous snapshot, the options changed, or the delta does not line
+    /// up with what `prev` had digested (`prev.curated_seen + delta` must
+    /// equal the new curated total).
+    pub fn build_incremental(
+        out: &PipelineOutput<'_>,
+        prev: Option<&IntelSnapshot>,
+        delta: SnapshotDelta<'_>,
+        opts: BuildOptions,
+    ) -> IntelSnapshot {
+        let Some(prev) = prev else {
+            return Self::build_full(out, opts);
+        };
+        if prev.opts != opts
+            || prev.curated_seen + delta.curated.len() as u64 != out.curated_total.len() as u64
+        {
+            return Self::build_full(out, opts);
         }
 
-        // Campaign-link clusters over all unique records, with the same
-        // pivots and anti-hub rule the §5.1 ablation measures.
-        let n = out.records.len();
+        // Apply the delta to the carried evidence ledger. A dedup key is
+        // *dirty* when the delta touched it; everything else kept exactly
+        // the evidence (and the winner) it had last epoch.
+        let mut groups = prev.groups.clone();
+        let mut horizon = prev.horizon;
+        let mut dirty_keys: HashSet<String> = HashSet::new();
+        for c in delta.curated {
+            let key = c.dedup_key(opts.mode);
+            horizon = horizon.max(c.posted_at);
+            dirty_keys.insert(key.clone());
+            absorb_into(&mut groups, key, c);
+        }
+        // A record is dirty iff its dedup group is — and because both the
+        // pipeline's dedup winner and `Group::winner` are the min post id
+        // of the group, the dirty records are exactly the current winners
+        // of the dirty keys. Clean records never pay for a dedup-key
+        // derivation.
+        let dirty_posts: HashSet<PostId> = dirty_keys.iter().map(|k| groups[k].winner).collect();
+
+        // Walk the new records against the previous entries (both in
+        // canonical post-id order) and decide each record's fate.
+        let cutoff = cutoff_of(horizon, opts.window_secs);
+        let mut plan: Vec<(usize, EntrySource)> = Vec::with_capacity(out.records.len());
+        let mut pi = 0usize;
+        for (j, r) in out.records.iter().enumerate() {
+            let pid = r.curated.post_id;
+            while pi < prev.entries.len() && prev.entries[pi].post_id < pid {
+                pi += 1;
+            }
+            let matched = pi < prev.entries.len() && prev.entries[pi].post_id == pid;
+            let dirty = dirty_posts.contains(&pid);
+            if dirty {
+                // Evidence changed: re-read the ledger; keys, annotations,
+                // and signature still reuse when the winner is unchanged.
+                let retained = match cutoff {
+                    None => true,
+                    Some(c) => groups
+                        .get(&r.curated.dedup_key(opts.mode))
+                        .is_none_or(|g| g.last >= c),
+                };
+                if retained {
+                    plan.push((
+                        j,
+                        if matched {
+                            EntrySource::Reuse {
+                                prev_id: pi as u32,
+                                fresh_evidence: true,
+                            }
+                        } else {
+                            EntrySource::Fresh
+                        },
+                    ));
+                }
+            } else if matched {
+                // Untouched group: the previous entry's last_seen *is* the
+                // group's last report, so retention needs no string work.
+                if cutoff.is_none_or(|c| prev.entries[pi].last_seen >= c) {
+                    plan.push((
+                        j,
+                        EntrySource::Reuse {
+                            prev_id: pi as u32,
+                            fresh_evidence: false,
+                        },
+                    ));
+                }
+            }
+            // Unmatched and clean: the winner is unchanged, so this record
+            // existed last epoch yet has no entry — it was already evicted,
+            // and the horizon only moves forward, so it stays evicted.
+        }
+
+        Self::assemble_snapshot(out, groups, horizon, opts, Some(prev), plan)
+    }
+
+    /// Shared back half of both build paths: campaign linking, entry and
+    /// index construction, and the similarity tier, over the retained
+    /// records in `plan` (canonical post-id order).
+    ///
+    /// Reused entries re-intern their key strings so the interner is a
+    /// pure function of the retained set — a reused symbol table would
+    /// leak evicted strings and break incremental ≡ from-scratch.
+    fn assemble_snapshot(
+        out: &PipelineOutput<'_>,
+        groups: HashMap<String, Group>,
+        horizon: UnixTime,
+        opts: BuildOptions,
+        prev: Option<&IntelSnapshot>,
+        plan: Vec<(usize, EntrySource)>,
+    ) -> IntelSnapshot {
+        // Campaign-link clusters over the retained records, with the same
+        // pivots and anti-hub rule the §5.1 ablation measures. Recomputed
+        // every epoch: the weak-key cap is non-monotone (a pivot can cross
+        // it as reports accumulate), so a carried union-find would diverge
+        // from the from-scratch reference.
+        let n = plan.len();
         let mut uf = UnionFind::new(n);
         let mut key_freq: HashMap<String, u32> = HashMap::new();
-        for r in &out.records {
-            for (key, strong) in pivot_keys(r, LinkingPivots::ALL) {
+        for &(ri, _) in &plan {
+            for (key, strong) in pivot_keys(&out.records[ri], LinkingPivots::ALL) {
                 if !strong {
                     *key_freq.entry(key).or_default() += 1;
                 }
             }
         }
         let mut by_key: HashMap<String, usize> = HashMap::new();
-        for (i, r) in out.records.iter().enumerate() {
-            for (key, strong) in pivot_keys(r, LinkingPivots::ALL) {
+        for (i, &(ri, _)) in plan.iter().enumerate() {
+            for (key, strong) in pivot_keys(&out.records[ri], LinkingPivots::ALL) {
                 if !strong && key_freq.get(&key).copied().unwrap_or(0) > WEAK_KEY_CAP {
                     continue;
                 }
@@ -266,62 +541,106 @@ impl IntelSnapshot {
             clusters: vec![Vec::new(); n_clusters],
             cluster_campaign: vec![None; n_clusters],
             built_from_posts: out.collection.iter().map(|(_, s)| s.posts as u64).sum(),
+            curated_seen: out.curated_total.len() as u64,
+            horizon,
+            opts,
+            evicted: out.records.len() - plan.len(),
             ..IntelSnapshot::default()
         };
         let mut cluster_votes: Vec<HashMap<u32, u32>> = vec![HashMap::new(); n_clusters];
+        let mut docs: Vec<DocInput<'_>> = Vec::with_capacity(n);
 
-        for (i, r) in out.records.iter().enumerate() {
+        for (i, &(ri, ref src)) in plan.iter().enumerate() {
+            let r = &out.records[ri];
             let id = snap.entries.len() as u32;
-            let keys = record_keys(r);
-            let mut sym_into = |key: &Option<String>,
+            let mut sym_into = |key: Option<&str>,
                                 index: fn(&mut IntelSnapshot) -> &mut HashMap<Sym, Vec<u32>>|
              -> Option<Sym> {
-                let key = key.as_deref()?;
+                let key = key?;
                 let sym = snap.interner.intern(key);
                 index(&mut snap).entry(sym).or_default().push(id);
                 Some(sym)
             };
-            let url = sym_into(&keys.url, |s| &mut s.by_url);
-            let domain = sym_into(&keys.domain, |s| &mut s.by_domain);
-            let sender = sym_into(&keys.sender, |s| &mut s.by_sender);
-            let phone = sym_into(&keys.phone, |s| &mut s.by_phone);
-            let brand = sym_into(&keys.brand, |s| &mut s.by_brand);
 
-            let group = groups.get(&r.curated.dedup_key(mode));
+            let entry = match *src {
+                EntrySource::Fresh => {
+                    let keys = record_keys(r);
+                    let url = sym_into(keys.url.as_deref(), |s| &mut s.by_url);
+                    let domain = sym_into(keys.domain.as_deref(), |s| &mut s.by_domain);
+                    let sender = sym_into(keys.sender.as_deref(), |s| &mut s.by_sender);
+                    let phone = sym_into(keys.phone.as_deref(), |s| &mut s.by_phone);
+                    let brand = sym_into(keys.brand.as_deref(), |s| &mut s.by_brand);
+                    let group = groups.get(&r.curated.dedup_key(opts.mode));
+                    docs.push(DocInput::Text(r.curated.text.as_str()));
+                    IntelEntry {
+                        post_id: r.curated.post_id,
+                        text: r.curated.text.clone(),
+                        url,
+                        domain,
+                        sender,
+                        phone,
+                        brand,
+                        cluster: 0,  // assigned below
+                        template: 0, // assigned after the similarity index builds
+                        forums: group.map_or(forum_bit(r.curated.forum), |g| g.forums),
+                        n_reports: group.map_or(1, |g| g.n),
+                        first_seen: group.map_or(r.curated.posted_at, |g| g.first),
+                        last_seen: group.map_or(r.curated.posted_at, |g| g.last),
+                        scam_type: r.annotation.scam_type,
+                        lures: r.annotation.lures,
+                        language: r.annotation.language,
+                        hlr_status: r.hlr.as_ref().map(|h| h.status),
+                        av_flagged: r.url.as_ref().is_some_and(|u| !u.vt.is_clean()),
+                        gsb_unsafe: r.url.as_ref().is_some_and(|u| u.gsb_api_unsafe),
+                        degraded: r.is_degraded(),
+                        truth_campaign: r
+                            .curated
+                            .truth_message
+                            .map(|mid| out.world.messages[mid.0 as usize].campaign.0),
+                    }
+                }
+                EntrySource::Reuse {
+                    prev_id,
+                    fresh_evidence,
+                } => {
+                    let prev = prev.expect("reuse plan requires a previous snapshot");
+                    let pe = &prev.entries[prev_id as usize];
+                    let url = sym_into(pe.url.map(|s| prev.resolve(s)), |s| &mut s.by_url);
+                    let domain = sym_into(pe.domain.map(|s| prev.resolve(s)), |s| &mut s.by_domain);
+                    let sender = sym_into(pe.sender.map(|s| prev.resolve(s)), |s| &mut s.by_sender);
+                    let phone = sym_into(pe.phone.map(|s| prev.resolve(s)), |s| &mut s.by_phone);
+                    let brand = sym_into(pe.brand.map(|s| prev.resolve(s)), |s| &mut s.by_brand);
+                    let mut e = IntelEntry {
+                        url,
+                        domain,
+                        sender,
+                        phone,
+                        brand,
+                        cluster: 0,
+                        template: 0,
+                        ..pe.clone()
+                    };
+                    if fresh_evidence {
+                        if let Some(g) = groups.get(&r.curated.dedup_key(opts.mode)) {
+                            e.forums = g.forums;
+                            e.n_reports = g.n;
+                            e.first_seen = g.first;
+                            e.last_seen = g.last;
+                        }
+                    }
+                    docs.push(DocInput::Reuse(prev_id));
+                    e
+                }
+            };
+
             let cluster = cluster_of[i];
             snap.clusters[cluster as usize].push(id);
-            let truth_campaign = r
-                .curated
-                .truth_message
-                .map(|mid| out.world.messages[mid.0 as usize].campaign.0);
-            if let Some(c) = truth_campaign {
+            if let Some(c) = entry.truth_campaign {
                 *cluster_votes[cluster as usize].entry(c).or_default() += 1;
             }
-
-            snap.entries.push(IntelEntry {
-                post_id: r.curated.post_id,
-                text: r.curated.text.clone(),
-                url,
-                domain,
-                sender,
-                phone,
-                brand,
-                cluster,
-                template: 0, // assigned after the similarity index builds
-                forums: group.map_or(forum_bit(r.curated.forum), |g| g.forums),
-                n_reports: group.map_or(1, |g| g.n),
-                first_seen: group.map_or(r.curated.posted_at, |g| g.first),
-                last_seen: group.map_or(r.curated.posted_at, |g| g.last),
-                scam_type: r.annotation.scam_type,
-                lures: r.annotation.lures,
-                language: r.annotation.language,
-                hlr_status: r.hlr.as_ref().map(|h| h.status),
-                av_flagged: r.url.as_ref().is_some_and(|u| !u.vt.is_clean()),
-                gsb_unsafe: r.url.as_ref().is_some_and(|u| u.gsb_api_unsafe),
-                degraded: r.is_degraded(),
-                truth_campaign,
-            });
+            snap.entries.push(IntelEntry { cluster, ..entry });
         }
+        snap.groups = groups;
 
         // Majority ground-truth campaign per cluster (ties broken by the
         // smaller campaign id for determinism) — evaluation only.
@@ -334,8 +653,14 @@ impl IntelSnapshot {
 
         // Similarity tier: one SimHash doc per entry, in entry order, so
         // doc ids ARE entry ids. Built here so every published epoch
-        // carries its index — the read path never builds anything.
-        snap.sim = SimIndex::build(snap.entries.iter().map(|e| e.text.as_str()));
+        // carries its index — the read path never builds anything. On the
+        // incremental path, reused docs skip shingling + signature work
+        // entirely, and template components update incrementally when no
+        // doc was evicted.
+        snap.sim = match prev {
+            Some(p) => SimIndex::rebuild(p.sim(), docs),
+            None => SimIndex::build(snap.entries.iter().map(|e| e.text.as_str())),
+        };
         for (id, e) in snap.entries.iter_mut().enumerate() {
             e.template = snap.sim.template_of(id as u32);
         }
@@ -370,6 +695,34 @@ impl IntelSnapshot {
     /// Posts the source run had consumed when this snapshot was built.
     pub fn built_from_posts(&self) -> u64 {
         self.built_from_posts
+    }
+
+    /// Curated messages (duplicates included) digested so far — what the
+    /// next epoch's delta must line up against.
+    pub fn curated_seen(&self) -> u64 {
+        self.curated_seen
+    }
+
+    /// The options this snapshot was built with.
+    pub fn build_options(&self) -> BuildOptions {
+        self.opts
+    }
+
+    /// The aging window, if any.
+    pub fn window_secs(&self) -> Option<u64> {
+        self.opts.window_secs
+    }
+
+    /// Newest report time seen anywhere in the stream — the clock the
+    /// aging window measures against.
+    pub fn horizon(&self) -> UnixTime {
+        self.horizon
+    }
+
+    /// Records dropped by the aging window at this build. Retained count
+    /// is [`IntelSnapshot::len`].
+    pub fn evicted_count(&self) -> usize {
+        self.evicted
     }
 
     /// Number of campaign-link clusters.

@@ -889,6 +889,70 @@ mod tests {
     }
 
     #[test]
+    fn eviction_republish_turns_hit_into_miss() {
+        use crate::snapshot::BuildOptions;
+        let w = World::generate(WorldConfig::test_scale(59));
+        let out = Pipeline::default().run(&w, &Obs::noop());
+        let full = IntelSnapshot::build(&out);
+
+        // Age out the older three quarters of the store: window = time
+        // between the newest report and the 75th-percentile entry.
+        let mut lasts: Vec<i64> = full.entries().iter().map(|e| e.last_seen.0).collect();
+        lasts.sort_unstable();
+        let cutoff = lasts[lasts.len() * 3 / 4];
+        let horizon = full.horizon().0;
+        assert!(cutoff < horizon, "need age spread to exercise eviction");
+        let windowed = IntelSnapshot::build_full(
+            &out,
+            BuildOptions {
+                window_secs: Some((horizon - cutoff) as u64),
+                ..BuildOptions::default()
+            },
+        );
+        assert!(windowed.evicted_count() > 0, "window must evict something");
+        assert!(!windowed.is_empty(), "window must retain something");
+
+        // A URL the full store serves but whose every ladder rung (exact
+        // URL, apex domain) is gone from the windowed store.
+        let url = full
+            .entries()
+            .iter()
+            .filter_map(|e| e.url.map(|s| full.resolve(s).to_string()))
+            .find(|u| {
+                Triage::url_keys(u).iter().all(|(kind, key)| match kind {
+                    MatchedKey::Url => windowed.lookup_url_key(key).is_empty(),
+                    _ => windowed.lookup_domain(key).is_empty(),
+                })
+            })
+            .expect("an evicted URL with no surviving ladder rung");
+
+        let hub = IntelHub::new();
+        hub.publish(full);
+        let mut t = Triage::with_config(
+            hub.reader(),
+            TriageConfig {
+                train_model: false,
+                ..TriageConfig::default()
+            },
+        );
+        assert!(
+            t.query_url(&url).attribution().is_some(),
+            "key must hit before eviction"
+        );
+
+        // Republish with the aging window: the key must transition to a
+        // genuine miss — not a stale hit, and not a stale cached verdict.
+        hub.publish(windowed);
+        assert!(
+            matches!(t.query_url(&url), TriageVerdict::Unknown),
+            "evicted key must miss after the windowed republish"
+        );
+        // The repeat is served from the refreshed negative cache and
+        // stays a miss.
+        assert!(matches!(t.query_url(&url), TriageVerdict::Unknown));
+    }
+
+    #[test]
     fn rotated_indicators_fall_through_to_the_near_rung() {
         let mut t = Triage::with_config(
             hub().reader(),

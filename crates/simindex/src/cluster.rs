@@ -46,6 +46,69 @@ pub fn connected_templates(idx: &SimIndex) -> (Vec<u32>, u32) {
     (template, uf.components() as u32)
 }
 
+/// Incremental template assignment for a rebuild in which *every* doc of
+/// `prev` was reused (`old_to_new[old] = Some(new id)`) plus the brand-new
+/// docs in `fresh`.
+///
+/// Produces exactly the [`connected_templates`] partition without
+/// re-scanning old↔old pairs: reused docs keep their signatures and
+/// shingles, so the old↔old edge set is unchanged — band collisions,
+/// Hamming, and Jaccard all depend only on the two endpoints — and its
+/// transitive closure is the previous partition, which spanning unions
+/// re-impose directly. Only edges incident to a new doc can be new, and
+/// those are discovered from the new side (candidate generation is
+/// symmetric, so every such edge is seen).
+///
+/// Dense ids come out identical too: [`UnionFind::clusters`] assigns them
+/// by first appearance in doc order, independent of union order.
+pub fn incremental_templates(
+    idx: &SimIndex,
+    prev: &SimIndex,
+    old_to_new: &[Option<u32>],
+    fresh: &[u32],
+) -> (Vec<u32>, u32) {
+    let n = idx.len();
+    let mut uf = UnionFind::new(n);
+    let cfg = *idx.config();
+    // Re-impose the previous partition: union each reused doc with the
+    // first reused doc of its previous template.
+    let mut first_of: Vec<Option<u32>> = vec![None; prev.template_count() as usize];
+    for (old, new) in old_to_new.iter().enumerate() {
+        let new = new.expect("incremental templates require every prev doc reused");
+        let t = prev.template_of(old as u32) as usize;
+        match first_of[t] {
+            Some(f) => {
+                uf.union(f as usize, new as usize);
+            }
+            None => first_of[t] = Some(new),
+        }
+    }
+    // Discover the edges incident to new docs, with the same gates as the
+    // full pass (empty-shingle docs never edge: the outer skip here, the
+    // zero Jaccard against a non-empty peer otherwise).
+    for &i in fresh {
+        let si = idx.shingles_of(i);
+        if si.is_empty() {
+            continue;
+        }
+        let sig_i = idx.sig(i);
+        for j in idx.candidates(sig_i) {
+            if j == i {
+                continue;
+            }
+            if hamming(sig_i, idx.sig(j)) > cfg.max_hamming {
+                continue;
+            }
+            if jaccard(si, idx.shingles_of(j)) < cfg.cluster_jaccard {
+                continue;
+            }
+            uf.union(i as usize, j as usize);
+        }
+    }
+    let template: Vec<u32> = uf.clusters().into_iter().map(|c| c as u32).collect();
+    (template, uf.components() as u32)
+}
+
 #[cfg(test)]
 mod tests {
     use crate::index::SimIndex;

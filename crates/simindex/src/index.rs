@@ -84,6 +84,19 @@ pub struct NearResult {
     pub reranked: usize,
 }
 
+/// One document of a [`SimIndex::rebuild`] call: either new text to
+/// shingle and sign from scratch, or a doc id in the previous index whose
+/// signature and shingle set carry over unchanged — the reuse that makes
+/// an epoch rebuild O(new docs) instead of O(corpus).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DocInput<'a> {
+    /// New text: shingle + sign from scratch.
+    Text(&'a str),
+    /// Carry over the signature and shingles of doc `id` in the previous
+    /// index. Each previous doc may be reused at most once.
+    Reuse(u32),
+}
+
 /// Immutable banded SimHash index over a corpus of message texts.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct SimIndex {
@@ -128,9 +141,77 @@ impl SimIndex {
             shingle_pool.extend_from_slice(&q.shingles);
             shingle_off.push(shingle_pool.len() as u32);
         }
-        let n = sigs.len();
+        let mut idx = SimIndex::pack(cfg, sigs, shingle_pool, shingle_off);
+        let (template, n_templates) = cluster::connected_templates(&idx);
+        idx.template = template;
+        idx.n_templates = n_templates;
+        idx
+    }
 
-        // Packed postings: counting sort per band.
+    /// Rebuild the index for a new epoch, inheriting `prev`'s
+    /// configuration. [`DocInput::Reuse`] docs copy their signature and
+    /// shingle set out of `prev` instead of re-shingling, and when *every*
+    /// doc of `prev` is reused (pure growth, no eviction) the template
+    /// components update incrementally — only edges incident to new docs
+    /// are discovered, and the previous partition is re-imposed by
+    /// spanning unions. The result is byte-identical to
+    /// [`SimIndex::build_with`] over the equivalent text sequence.
+    pub fn rebuild<'a, I>(prev: &SimIndex, docs: I) -> SimIndex
+    where
+        I: IntoIterator<Item = DocInput<'a>>,
+    {
+        let cfg = prev.cfg;
+        let mut sigs = Vec::new();
+        let mut shingle_pool = Vec::new();
+        let mut shingle_off = vec![0u32];
+        let mut old_to_new: Vec<Option<u32>> = vec![None; prev.n as usize];
+        let mut fresh: Vec<u32> = Vec::new();
+        for doc in docs {
+            let id = sigs.len() as u32;
+            match doc {
+                DocInput::Text(text) => {
+                    let q = SimQuery::of(text, cfg.ngram);
+                    sigs.push(q.sig);
+                    shingle_pool.extend_from_slice(&q.shingles);
+                    fresh.push(id);
+                }
+                DocInput::Reuse(old) => {
+                    sigs.push(prev.sig(old));
+                    shingle_pool.extend_from_slice(prev.shingles_of(old));
+                    debug_assert!(
+                        old_to_new[old as usize].is_none(),
+                        "prev doc {old} reused twice"
+                    );
+                    old_to_new[old as usize] = Some(id);
+                }
+            }
+            shingle_off.push(shingle_pool.len() as u32);
+        }
+
+        let mut idx = SimIndex::pack(cfg, sigs, shingle_pool, shingle_off);
+        let all_reused = old_to_new.iter().all(|m| m.is_some());
+        let (template, n_templates) = if all_reused {
+            cluster::incremental_templates(&idx, prev, &old_to_new, &fresh)
+        } else {
+            // Some previous doc was evicted: its unions are no longer
+            // valid, so rediscover components from scratch (shingling —
+            // the expensive part — was still reused above).
+            cluster::connected_templates(&idx)
+        };
+        idx.template = template;
+        idx.n_templates = n_templates;
+        idx
+    }
+
+    /// Pack signatures + shingles into the flat layout: counting-sorted
+    /// per-band postings with prefix offsets. Templates are left empty.
+    fn pack(
+        cfg: SimConfig,
+        sigs: Vec<u64>,
+        shingle_pool: Vec<u64>,
+        shingle_off: Vec<u32>,
+    ) -> SimIndex {
+        let n = sigs.len();
         let bands = cfg.bands as usize;
         let width = 64 / bands;
         let buckets = 1usize << width;
@@ -151,8 +232,7 @@ impl SimIndex {
                 cursor[k] += 1;
             }
         }
-
-        let mut idx = SimIndex {
+        SimIndex {
             cfg,
             n: n as u32,
             sigs,
@@ -162,11 +242,7 @@ impl SimIndex {
             bucket_off,
             template: Vec::new(),
             n_templates: 0,
-        };
-        let (template, n_templates) = cluster::connected_templates(&idx);
-        idx.template = template;
-        idx.n_templates = n_templates;
-        idx
+        }
     }
 
     /// Number of indexed texts.

@@ -37,5 +37,5 @@ pub mod cluster;
 pub mod index;
 pub mod sig;
 
-pub use index::{NearResult, SimConfig, SimIndex, SimMatch};
+pub use index::{DocInput, NearResult, SimConfig, SimIndex, SimMatch};
 pub use sig::{hamming, set_hash, simhash, SimQuery};

@@ -28,4 +28,4 @@ pub mod snapshot;
 pub use smishing_core::exec::{
     ingest, AnalysisAccs, ExecPlan, IngestResult, SnapshotPlan, StreamSnapshot,
 };
-pub use snapshot::{resume, Checkpoint};
+pub use snapshot::{resume, Checkpoint, ServeState};

@@ -15,6 +15,25 @@ use smishing_core::CurationOptions;
 use smishing_obs::Obs;
 use smishing_worldsim::{Post, World};
 
+/// Serve-side state frozen alongside a stream checkpoint, so a live
+/// `smish serve --stream` can restart mid-soak and resume publishing from
+/// the epoch it left off at instead of epoch 1.
+///
+/// Everything else the serve plane needs is deterministic replay: the
+/// snapshot contents themselves are rebuilt from the stream prefix, so
+/// only the epoch clock and the build/triage configuration that shaped
+/// the published sequence need to survive.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServeState {
+    /// Hub epoch at the checkpointed publish — resume seeds the hub with
+    /// `epoch - 1` so its first republish lands back on this epoch.
+    pub epoch: u64,
+    /// Aging/eviction window the published snapshots were built with.
+    pub intel_window_secs: Option<u64>,
+    /// Negative-cache capacity of the triage tier.
+    pub cache_capacity: usize,
+}
+
 /// A serializable stream checkpoint.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Checkpoint {
@@ -29,6 +48,11 @@ pub struct Checkpoint {
     /// The released dataset built from the snapshot's unique records
     /// (Appendix C schema, via the existing serde dataset layer).
     pub dataset: Vec<DatasetRow>,
+    /// Serve-side state, when the checkpoint came from a live server.
+    /// Checkpoints written before this field existed still deserialize:
+    /// the vendored serde treats a missing field as `null`, which an
+    /// `Option` reads as `None`.
+    pub serve: Option<ServeState>,
 }
 
 impl Checkpoint {
@@ -40,6 +64,16 @@ impl Checkpoint {
             shards: plan.shards,
             posts_consumed: snap.at_posts,
             dataset: build_dataset(&snap.output.records),
+            serve: None,
+        }
+    }
+
+    /// Freeze a snapshot taken by a live server, recording the serve-side
+    /// state needed to resume publishing where it left off.
+    pub fn capture_serving(snap: &StreamSnapshot<'_>, plan: &ExecPlan, serve: ServeState) -> Self {
+        Checkpoint {
+            serve: Some(serve),
+            ..Checkpoint::capture(snap, plan)
         }
     }
 

@@ -11,6 +11,7 @@
 //! smish watch    --scale 0.1 --posts 50000              # infinite-feed soak
 //! smish serve    --scale 0.1 [--stream]                 # answer queries on stdin/stdout
 //! smish serve    --scale 0.1 --serve-workers 4          # …over a multi-worker serve plane
+//! smish serve    --stream --checkpoint ck.json          # …resumable: restart picks up the epoch clock
 //! smish query    url hxxps://evil[.]com/x               # one-shot lookup
 //! smish query    near Your parcel is held, pay at ...   # similarity lookup
 //! smish query    explain Your account is locked, go to…  # one-shot + span tree
@@ -25,6 +26,15 @@
 //! run — or, with `--stream`, republishes it live from every aligned
 //! stream snapshot while queries are being answered — then speaks the
 //! line protocol of `smishing::intel::serve_lines` on stdin/stdout.
+//! Streamed republishes are incremental: epoch 1 builds the store from
+//! scratch, and every later epoch folds only that snapshot's curated
+//! delta into the previous store. `--intel-window SECS` ages entries
+//! out: a dedup group last reported more than SECS before the newest
+//! report is evicted at the next republish (and its keys go back to
+//! missing). `--checkpoint PATH` persists a resumable checkpoint at
+//! every published epoch; restarting with the same flags replays the
+//! verified prefix without republishing it and re-enters the epoch
+//! sequence where the interrupted server left off.
 //! `query <url|sender|msg|near> <value>` is the one-shot form; defanged
 //! (`hxxps://`, `[.]`, `(dot)`) and homoglyph spellings normalize to the
 //! same verdict as the clean string. `near` skips the exact pivots and
@@ -67,14 +77,15 @@ use smishing::core::pipeline::PipelineOutput;
 use smishing::core::runcfg::RunConfig;
 use smishing::detect::{binary_study, multiclass_study_grouped};
 use smishing::intel::{
-    serve_lines, serve_workers, verdict_label, verdict_line, IntelHub, IntelSnapshot, ServeOptions,
-    Triage, TriageConfig, WorkerPlan,
+    serve_lines, serve_workers, verdict_label, verdict_line, BuildOptions, IntelHub, IntelSnapshot,
+    ServeOptions, SnapshotDelta, Triage, TriageConfig, WorkerPlan,
 };
 use smishing::obs::{obs_error, obs_info, parse_report, perf_diff, Obs, Tracer, TracerConfig};
 use smishing::prelude::*;
-use smishing::stream::{ingest, SnapshotPlan};
+use smishing::stream::{ingest, resume, Checkpoint, ServeState, SnapshotPlan, StreamSnapshot};
 use smishing::worldsim::{ReportStream, World};
 use std::io::Write;
+use std::sync::Arc;
 use std::time::Duration;
 
 struct Args {
@@ -86,6 +97,9 @@ struct Args {
     posts: Option<u64>,
     /// `serve --stream`: republish the store from live stream snapshots.
     stream_mode: bool,
+    /// `serve --stream --checkpoint PATH`: persist a resumable checkpoint
+    /// at every published epoch; an existing file resumes the epoch clock.
+    checkpoint: Option<String>,
     /// `perfdiff --tolerance FRAC`: allowed regression before exit 1.
     tolerance: Option<f64>,
     /// Bare (non-flag) operands, e.g. `query url https://...`.
@@ -160,6 +174,7 @@ fn parse_args() -> Result<Args, String> {
         snapshot_every: None,
         posts: None,
         stream_mode: false,
+        checkpoint: None,
         tolerance: None,
         positional: Vec::new(),
     };
@@ -182,6 +197,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--posts" => args.posts = Some(take("--posts")?.parse().map_err(|e| format!("{e}"))?),
             "--stream" => args.stream_mode = true,
+            "--checkpoint" => args.checkpoint = Some(take("--checkpoint")?),
             "--tolerance" => {
                 let raw = take("--tolerance")?;
                 let frac: f64 = raw.parse().map_err(|e| format!("--tolerance {raw}: {e}"))?;
@@ -206,7 +222,7 @@ fn usage() -> String {
     format!(
         "usage: smish <{}> \
          [--out DIR] [--experiment ID] [--snapshot-every POSTS] [--posts N] [--stream] \
-         [--tolerance FRAC] \
+         [--checkpoint PATH] [--tolerance FRAC] \
          {}",
         names.join("|"),
         RunConfig::FLAGS_USAGE
@@ -399,8 +415,93 @@ fn cmd_watch(args: &Args, obs: &Obs, world: &World) {
     );
 }
 
+/// Persist a serve checkpoint atomically: write to `PATH.tmp`, then
+/// rename over `PATH`, so a crash mid-write never leaves a torn file.
+fn write_checkpoint(path: &str, ck: &Checkpoint, obs: &Obs) {
+    let json = match ck.to_json() {
+        Ok(j) => j,
+        Err(e) => {
+            obs_error!(obs, "checkpoint serialize: {e}");
+            return;
+        }
+    };
+    let tmp = format!("{path}.tmp");
+    if let Err(e) = std::fs::write(&tmp, json).and_then(|()| std::fs::rename(&tmp, path)) {
+        obs_error!(obs, "checkpoint write {path}: {e}");
+    }
+}
+
+/// Load the checkpoint behind `serve --stream --checkpoint PATH`, when
+/// the file exists and belongs to this world. A missing file is a fresh
+/// run that will start writing one; a mismatched or unreadable file is
+/// reported and ignored.
+fn load_checkpoint(path: &str, obs: &Obs, world: &World) -> Option<Checkpoint> {
+    let text = std::fs::read_to_string(path).ok()?;
+    match Checkpoint::from_json(&text) {
+        Ok(ck) if ck.matches_world(world) => {
+            obs_info!(
+                obs,
+                "resuming from checkpoint: {} posts, epoch {}",
+                ck.posts_consumed,
+                ck.serve.map_or(0, |s| s.epoch)
+            );
+            Some(ck)
+        }
+        Ok(ck) => {
+            obs_error!(
+                obs,
+                "checkpoint {path} is for world seed={:#x} scale={}; starting fresh",
+                ck.world_seed,
+                ck.world_scale
+            );
+            None
+        }
+        Err(e) => {
+            obs_error!(obs, "checkpoint {path} unreadable ({e}); starting fresh");
+            None
+        }
+    }
+}
+
 fn cmd_serve(args: &Args, obs: &Obs, world: &World) {
-    let hub = IntelHub::new();
+    let mut build_opts = BuildOptions {
+        mode: args.cfg.curation.dedup,
+        window_secs: args.cfg.intel_window_secs,
+    };
+    // `--checkpoint PATH` over an existing matching file turns this
+    // invocation into a resume: the epoch clock re-enters the recorded
+    // sequence and the verified replay prefix is not republished.
+    let resumed = match (&args.checkpoint, args.stream_mode) {
+        (Some(path), true) => load_checkpoint(path, obs, world),
+        _ => None,
+    };
+    let serve_state = resumed.as_ref().and_then(|ck| ck.serve);
+    if let Some(sv) = serve_state {
+        // The checkpointed build/triage configuration wins over flags:
+        // resuming must continue the exact published sequence.
+        if build_opts.window_secs != sv.intel_window_secs {
+            obs_info!(
+                obs,
+                "resume: using checkpointed intel window {:?} (flags said {:?})",
+                sv.intel_window_secs,
+                build_opts.window_secs
+            );
+            build_opts.window_secs = sv.intel_window_secs;
+        }
+    }
+    let hub = match serve_state {
+        // Seed with `epoch - 1`: the first republish (the snapshot the
+        // checkpoint was taken at) lands back on the recorded epoch.
+        Some(sv) => IntelHub::with_epoch(sv.epoch.saturating_sub(1)),
+        None => IntelHub::new(),
+    };
+    let triage_cfg = match serve_state {
+        Some(sv) => TriageConfig {
+            cache_capacity: sv.cache_capacity,
+            ..TriageConfig::default()
+        },
+        None => TriageConfig::default(),
+    };
     let stdin = std::io::stdin();
     let stdout = std::io::stdout();
     // Serve the protocol, then flush the run report immediately at EOF:
@@ -421,7 +522,7 @@ fn cmd_serve(args: &Args, obs: &Obs, world: &World) {
             // caller-pinned `StdoutLock`.
             serve_workers(
                 hub,
-                TriageConfig::default(),
+                triage_cfg.clone(),
                 stdin.lock(),
                 std::io::stdout(),
                 obs,
@@ -431,7 +532,7 @@ fn cmd_serve(args: &Args, obs: &Obs, world: &World) {
             .expect("serve io")
             .stats
         } else {
-            let mut triage = Triage::new(hub.reader());
+            let mut triage = Triage::with_config(hub.reader(), triage_cfg.clone());
             serve_lines(&mut triage, stdin.lock(), stdout.lock(), obs).expect("serve io")
         };
         if let Err(e) = args.cfg.emit_metrics(obs) {
@@ -443,7 +544,8 @@ fn cmd_serve(args: &Args, obs: &Obs, world: &World) {
         // Live mode: the streaming engine republishes the store at every
         // aligned snapshot while this thread keeps answering queries —
         // the epoch hub guarantees each answer comes from one consistent
-        // view.
+        // view. Epoch 1 is a full build; every later epoch folds the
+        // snapshot's curated delta into the previous store (O(delta)).
         let snapshots = match args.snapshot_every {
             Some(n) => SnapshotPlan::every(n),
             None => SnapshotPlan::every((world.posts.len() as u64 / 4).max(1)),
@@ -451,25 +553,73 @@ fn cmd_serve(args: &Args, obs: &Obs, world: &World) {
         let plan = args.cfg.exec.clone().with_snapshots(snapshots);
         std::thread::scope(|scope| {
             let publisher = hub.clone();
+            let resumed_ck = resumed;
+            let ck_path = args.checkpoint.clone();
+            let cache_capacity = triage_cfg.cache_capacity;
             scope.spawn(move || {
-                let result = ingest(
-                    world,
-                    ReportStream::replay(world),
-                    &args.cfg.curation,
-                    &plan,
-                    obs,
-                    |s| {
-                        let snap = IntelSnapshot::build(&s.output);
-                        let entries = snap.len();
-                        let epoch = publisher.publish(snap);
-                        obs_info!(
-                            obs,
-                            "published epoch {epoch} @ {:>7} posts ({entries} entries)",
-                            s.at_posts
+                let mut prev: Option<Arc<IntelSnapshot>> = None;
+                let skip_below = resumed_ck.as_ref().map_or(0, |ck| ck.posts_consumed);
+                let mut on_snapshot = |s: StreamSnapshot<'_>| {
+                    if s.at_posts < skip_below {
+                        // Verified replay prefix: the interrupted server
+                        // already published (and checkpointed past) it.
+                        return;
+                    }
+                    let snap = IntelSnapshot::build_incremental(
+                        &s.output,
+                        prev.as_deref(),
+                        SnapshotDelta::new(&s.curated_delta),
+                        build_opts,
+                    );
+                    let entries = snap.len();
+                    let evicted = snap.evicted_count();
+                    let shared = Arc::new(snap);
+                    let epoch = publisher.publish_arc(Arc::clone(&shared));
+                    prev = Some(shared);
+                    if let Some(path) = &ck_path {
+                        let ck = Checkpoint::capture_serving(
+                            &s,
+                            &plan,
+                            ServeState {
+                                epoch,
+                                intel_window_secs: build_opts.window_secs,
+                                cache_capacity,
+                            },
                         );
-                    },
+                        write_checkpoint(path, &ck, obs);
+                    }
+                    obs_info!(
+                        obs,
+                        "published epoch {epoch} @ {:>7} posts \
+                         ({entries} entries, {evicted} evicted)",
+                        s.at_posts
+                    );
+                };
+                let result = match &resumed_ck {
+                    Some(ck) => resume(
+                        world,
+                        ReportStream::replay(world),
+                        ck,
+                        &args.cfg.curation,
+                        &plan,
+                        &mut on_snapshot,
+                    )
+                    .expect("checkpoint world identity already verified"),
+                    None => ingest(
+                        world,
+                        ReportStream::replay(world),
+                        &args.cfg.curation,
+                        &plan,
+                        obs,
+                        &mut on_snapshot,
+                    ),
+                };
+                let snap = IntelSnapshot::build_incremental(
+                    &result.output,
+                    prev.as_deref(),
+                    SnapshotDelta::new(&result.curated_delta),
+                    build_opts,
                 );
-                let snap = IntelSnapshot::build(&result.output);
                 let entries = snap.len();
                 let epoch = publisher.publish(snap);
                 obs_info!(
@@ -487,7 +637,7 @@ fn cmd_serve(args: &Args, obs: &Obs, world: &World) {
         })
     } else {
         let output = run_pipeline(args, obs, world);
-        hub.publish(IntelSnapshot::build(&output));
+        hub.publish(IntelSnapshot::build_full(&output, build_opts));
         serve_and_flush(&hub)
     };
     // Diagnostics go to stderr — stdout is the protocol channel and gets

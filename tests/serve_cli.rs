@@ -125,15 +125,15 @@ fn worker_plane_cli_matches_inline_responses() {
     let inline = run(&[]);
     let workers = run(&["--serve-workers", "4", "--queue-depth", "64"]);
 
-    // Byte parity modulo wall-clock digits (stats quantiles, health
-    // epoch age / cache fill, which depend on scheduling).
+    // Byte parity modulo per-process digits (stats quantiles, health
+    // epoch age / cache fill / RSS, which depend on scheduling).
     let mask = |text: &str| -> String {
         text.lines()
             .map(|line| {
                 let masked: Vec<String> = line
                     .split(' ')
                     .map(|tok| {
-                        let volatile = ["_ns=", "age_s=", "cache_len=", "near_cand_p"]
+                        let volatile = ["_ns=", "age_s=", "cache_len=", "near_cand_p", "rss_bytes="]
                             .iter()
                             .any(|k| tok.contains(k));
                         if volatile {
