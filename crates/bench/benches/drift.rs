@@ -1,0 +1,125 @@
+//! Adversarial-drift benchmark + the CI drift-soak artifact.
+//!
+//! Two measurements:
+//!
+//! * A criterion pair on the adversary engine itself — `wave_schedule`
+//!   (build the full rotation schedule for a world) and
+//!   `adversarial_stream` vs `base_replay` (drain the injected stream vs
+//!   the plain one) — the injection layer must stay cheap relative to
+//!   ingest, since `serve --stream` pays it on the publisher thread.
+//! * The drift soak: a 16-epoch `rotation`-profile stream at scale 0.02
+//!   scored by `drift_scorecard`. Asserts the rung attribution sums to
+//!   the probe count and that every warm epoch (≥ 2) with rotations kept
+//!   a nonzero near-rung recall, then writes the scorecard's gauges
+//!   (`adversary.drift.warm_min_near_recall_x1000`, `.mean_tta_x1000`,
+//!   `.unresolved`, per-rung counters) plus the render to
+//!   `target/drift-run-report.json` for the CI `drift-soak` job to gate
+//!   on. `SMISHING_BENCH_QUICK=1` skips criterion and shrinks the soak;
+//!   `SMISHING_DRIFT_SOAK=1` skips criterion but keeps the full soak.
+
+use criterion::{criterion_group, Criterion};
+use smishing_adversary::{drift_scorecard, AdversaryWorld, DriftOptions};
+use smishing_obs::Obs;
+use smishing_types::AdversaryPlan;
+use smishing_worldsim::{ReportStream, World, WorldConfig};
+use std::hint::black_box;
+use std::io::Write;
+
+const SEED: u64 = 0xD21F;
+const EPOCHS: u64 = 16;
+
+fn bench_world(quick: bool) -> World {
+    World::generate(WorldConfig {
+        scale: if quick { 0.01 } else { 0.02 },
+        seed: SEED,
+        adversary: AdversaryPlan::profile("rotation").expect("known profile"),
+        ..WorldConfig::default()
+    })
+}
+
+fn bench_drift(c: &mut Criterion) {
+    let world = bench_world(false);
+    let epoch_posts = (world.posts.len() as u64 / EPOCHS).max(1);
+    let mut g = c.benchmark_group("drift");
+    g.bench_function("wave_schedule", |b| {
+        b.iter(|| black_box(AdversaryWorld::build(&world, epoch_posts).waves.len()))
+    });
+    let adv = AdversaryWorld::build(&world, epoch_posts);
+    g.bench_function("adversarial_stream", |b| {
+        b.iter(|| black_box(adv.stream().count()))
+    });
+    g.bench_function("base_replay", |b| {
+        b.iter(|| black_box(ReportStream::replay(&world).count()))
+    });
+    g.finish();
+}
+
+/// The drift soak, written as one run-report artifact.
+fn drift_report(quick: bool) {
+    let world = bench_world(quick);
+    let obs = Obs::enabled();
+    let epochs = if quick { 8 } else { EPOCHS };
+    let opts = DriftOptions {
+        target_epochs: epochs,
+        ..DriftOptions::default()
+    };
+    let card = drift_scorecard(&world, &opts, &obs).expect("rotation profile schedules waves");
+    eprint!("{}", card.render());
+
+    // Accounting closure: every probe landed on exactly one rung.
+    assert_eq!(
+        card.rungs_total().total(),
+        card.total_probes(),
+        "rung attribution must sum to the probe count"
+    );
+    // The arms-race floor: rotation kills the exact rung by design, so
+    // the similarity rung has to hold recall up at every *warm* boundary
+    // (epoch ≥ 2) that probed anything. Epoch 1 probes a store built
+    // from a single epoch of reports; at soak scales the similarity tier
+    // may legitimately have nothing near the rotated lures yet.
+    for e in &card.epochs {
+        if e.probes > 0 && e.epoch >= 2 {
+            assert!(
+                e.near_recall() > 0.0,
+                "epoch {}: near rung caught nothing of {} probes",
+                e.epoch,
+                e.probes
+            );
+        }
+    }
+    eprintln!(
+        "soak: {} waves over {} epochs, {} injected posts, \
+         warm min near recall {:.3}, unresolved {}",
+        card.waves,
+        card.epochs.len(),
+        card.injected_posts,
+        card.warm_min_near_recall(),
+        card.unresolved,
+    );
+
+    let target = std::env::var("CARGO_TARGET_DIR")
+        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../target").to_string());
+    let path = format!("{target}/drift-run-report.json");
+    match std::fs::File::create(&path).and_then(|mut f| f.write_all(obs.json_report().as_bytes())) {
+        Ok(()) => eprintln!("wrote drift run report to {path}"),
+        Err(e) => eprintln!("could not write drift run report to {path}: {e}"),
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_drift
+}
+
+fn main() {
+    // SMISHING_BENCH_QUICK=1 skips criterion and shrinks the soak (local
+    // smoke); SMISHING_DRIFT_SOAK=1 also skips criterion but keeps the
+    // full 16-epoch scale-0.02 soak (the CI drift-soak job).
+    let quick = std::env::var_os("SMISHING_BENCH_QUICK").is_some();
+    let soak = std::env::var_os("SMISHING_DRIFT_SOAK").is_some();
+    if !quick && !soak {
+        benches();
+    }
+    drift_report(quick && !soak);
+}

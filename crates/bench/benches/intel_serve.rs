@@ -24,6 +24,7 @@ use smishing_intel::{
     WorkerPlan,
 };
 use smishing_obs::{Obs, Tracer, TracerConfig};
+use smishing_types::AdversaryPlan;
 use smishing_worldsim::{World, WorldConfig};
 use std::hint::black_box;
 use std::io::Write;
@@ -32,12 +33,24 @@ use std::time::Instant;
 const SEED: u64 = 0x1A7E;
 
 fn bench_world() -> World {
+    // `SMISHING_BENCH_ADVERSARY=PROFILE[:SEED]` builds the store from an
+    // adversarial world so the CI drift-soak job can gate serve latency
+    // on the drifted path with the same report shape the baseline has;
+    // unset keeps the baseline world (the serve-smoke job).
+    let adversary = std::env::var("SMISHING_BENCH_ADVERSARY")
+        .ok()
+        .map(|s| {
+            s.parse::<AdversaryPlan>()
+                .expect("SMISHING_BENCH_ADVERSARY must be PROFILE[:SEED]")
+        })
+        .unwrap_or_default();
     World::generate(WorldConfig {
         scale: 0.02,
         seed: SEED,
         // Probes feed the ground-truth probe-recall gauges in the report;
         // they never enter the report stream, so the store is unchanged.
         template_variants: 0.25,
+        adversary,
         ..WorldConfig::default()
     })
 }

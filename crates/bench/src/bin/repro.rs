@@ -89,6 +89,7 @@ fn main() {
         World::generate(WorldConfig {
             scale: cfg.scale,
             seed: cfg.seed,
+            adversary: cfg.adversary.clone(),
             ..WorldConfig::default()
         })
     });

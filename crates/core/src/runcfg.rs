@@ -16,6 +16,7 @@ use crate::exec::ExecPlan;
 use crate::pipeline::Pipeline;
 use smishing_fault::FaultPlan;
 use smishing_obs::{obs_info, Level, Obs};
+use smishing_types::AdversaryPlan;
 use smishing_worldsim::{World, WorldConfig};
 use std::io::Write;
 
@@ -67,6 +68,9 @@ pub struct RunConfig {
     /// before the newest report are evicted at republish. `None` (the
     /// default) keeps everything forever.
     pub intel_window_secs: Option<u64>,
+    /// Adversarial campaign-evolution plan (default: empty, which leaves
+    /// every output byte-identical to a plan-free run).
+    pub adversary: AdversaryPlan,
 }
 
 impl Default for RunConfig {
@@ -81,6 +85,7 @@ impl Default for RunConfig {
             serve_workers: 0,
             queue_depth: 1024,
             intel_window_secs: None,
+            adversary: AdversaryPlan::none(),
         }
     }
 }
@@ -100,7 +105,7 @@ impl RunConfig {
     /// usage strings.
     pub const FLAGS_USAGE: &'static str = "[--scale S] [--seed N] [--shards N] [--curators N] \
          [--channel-capacity N] [--serve-workers N] [--queue-depth N] [--intel-window SECS] \
-         [--fault-profile none|mild|harsh[:SEED]] \
+         [--adversary PROFILE[:SEED]] [--fault-profile none|mild|harsh[:SEED]] \
          [--metrics-json PATH] [--metrics-text] [--log-level LEVEL] [--quiet]";
 
     /// Try to consume one shared flag. Returns `Ok(true)` if `flag` was
@@ -144,6 +149,7 @@ impl RunConfig {
                         .map_err(|e| format!("{e}"))?,
                 )
             }
+            "--adversary" => self.adversary = take("--adversary")?.parse()?,
             "--fault-profile" => self.faults = take("--fault-profile")?.parse()?,
             "--metrics-json" => self.sinks.metrics_json = Some(take("--metrics-json")?),
             "--metrics-text" => self.sinks.metrics_text = true,
@@ -166,6 +172,7 @@ impl RunConfig {
         let mut world = World::generate(WorldConfig {
             scale: self.scale,
             seed: self.seed,
+            adversary: self.adversary.clone(),
             ..WorldConfig::default()
         });
         if !self.faults.is_none() {
@@ -239,6 +246,8 @@ mod tests {
                 "256",
                 "--intel-window",
                 "86400",
+                "--adversary",
+                "rotation:0x5EED",
                 "--fault-profile",
                 "mild:7",
                 "--metrics-json",
@@ -255,6 +264,9 @@ mod tests {
         assert_eq!(cfg.serve_workers, 4);
         assert_eq!(cfg.queue_depth, 256);
         assert_eq!(cfg.intel_window_secs, Some(86400));
+        assert_eq!(cfg.adversary.profile, "rotation");
+        assert_eq!(cfg.adversary.seed, 0x5EED);
+        assert!(cfg.adversary.rotate_url && cfg.adversary.rotate_sender);
         assert!(!cfg.faults.is_none());
         assert_eq!(cfg.sinks.metrics_json.as_deref(), Some("out.json"));
         assert_eq!(cfg.sinks.level, Level::Error);
@@ -276,6 +288,8 @@ mod tests {
         assert!(parse(&mut cfg, &["--queue-depth"]).is_err());
         assert!(parse(&mut cfg, &["--intel-window", "forever"]).is_err());
         assert!(parse(&mut cfg, &["--intel-window"]).is_err());
+        assert!(parse(&mut cfg, &["--adversary", "bogus"]).is_err());
+        assert!(parse(&mut cfg, &["--adversary", "rotation:banana"]).is_err());
     }
 
     #[test]

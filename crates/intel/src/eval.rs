@@ -60,6 +60,75 @@ pub struct TriageEval {
     /// Probe recall with the similarity rung enabled: exact hits plus
     /// near-duplicate matches against the indexed lure texts.
     pub probe_near_recall: f64,
+    /// Full-ladder rung attribution over the probes: which rung resolved
+    /// each probe. Counts always sum to [`TriageEval::probe_n`].
+    pub probe_rungs: RungCounts,
+}
+
+/// The triage-ladder rung that resolved a verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rung {
+    /// An exact pivot hit (URL, apex, sender, or phone).
+    Exact,
+    /// The similarity (near-duplicate) rung.
+    Near,
+    /// No infrastructure match; the model called it at the threshold.
+    Model,
+    /// Nothing caught it.
+    Miss,
+}
+
+/// Attribute a full-ladder verdict to the rung that resolved it.
+pub fn rung_of(v: &TriageVerdict, threshold: f64) -> Rung {
+    match v {
+        TriageVerdict::Hit(_) => Rung::Exact,
+        TriageVerdict::Near(_) => Rung::Near,
+        TriageVerdict::ModelOnly { score } if *score >= threshold => Rung::Model,
+        _ => Rung::Miss,
+    }
+}
+
+/// Per-rung verdict counts (drift scorecards, probe attribution).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RungCounts {
+    /// Exact-pivot hits.
+    pub exact: usize,
+    /// Similarity-rung hits.
+    pub near: usize,
+    /// Model-threshold calls.
+    pub model: usize,
+    /// Complete misses.
+    pub miss: usize,
+}
+
+impl RungCounts {
+    /// Tally one verdict's rung.
+    pub fn record(&mut self, rung: Rung) {
+        match rung {
+            Rung::Exact => self.exact += 1,
+            Rung::Near => self.near += 1,
+            Rung::Model => self.model += 1,
+            Rung::Miss => self.miss += 1,
+        }
+    }
+
+    /// Total verdicts tallied.
+    pub fn total(&self) -> usize {
+        self.exact + self.near + self.model + self.miss
+    }
+
+    /// Verdicts resolved by an infrastructure rung (exact or near).
+    pub fn infra(&self) -> usize {
+        self.exact + self.near
+    }
+
+    /// Accumulate another tally into this one.
+    pub fn merge(&mut self, other: &RungCounts) {
+        self.exact += other.exact;
+        self.near += other.near;
+        self.model += other.model;
+        self.miss += other.miss;
+    }
 }
 
 fn prf(tp: usize, fp: usize, fn_: usize) -> (f64, f64, f64) {
@@ -200,6 +269,7 @@ pub fn evaluate_triage(world: &World, out: &PipelineOutput<'_>, seed: u64) -> Op
     );
     let mut probe_exact = 0usize;
     let mut probe_near = 0usize;
+    let mut probe_rungs = RungCounts::default();
     for m in &world.probe_messages {
         let sender = m.sender.display_string();
         if matches!(
@@ -212,6 +282,7 @@ pub fn evaluate_triage(world: &World, out: &PipelineOutput<'_>, seed: u64) -> Op
         if matches!(v, TriageVerdict::Hit(_)) || v.near().is_some() {
             probe_near += 1;
         }
+        probe_rungs.record(rung_of(&v, threshold));
     }
     let probe_n = world.probe_messages.len();
     let probe_rate = |hits: usize| {
@@ -239,6 +310,7 @@ pub fn evaluate_triage(world: &World, out: &PipelineOutput<'_>, seed: u64) -> Op
         probe_n,
         probe_exact_recall: probe_rate(probe_exact),
         probe_near_recall: probe_rate(probe_near),
+        probe_rungs,
     })
 }
 
@@ -292,6 +364,15 @@ mod tests {
             "similarity rung must recover rotated-indicator campaigns: near {} vs exact {}",
             e.probe_near_recall,
             e.probe_exact_recall
+        );
+        // Rung attribution partitions the probes: every probe lands on
+        // exactly one rung, and the near rung is doing real work.
+        assert_eq!(e.probe_rungs.total(), e.probe_n, "{:?}", e.probe_rungs);
+        assert!(e.probe_rungs.near > 0, "{:?}", e.probe_rungs);
+        assert!(
+            (e.probe_rungs.infra() as f64 / e.probe_n as f64 - e.probe_near_recall).abs() < 1e-9,
+            "infra rungs and near-recall agree: {:?}",
+            e.probe_rungs
         );
         assert!(
             e.triage_precision + 1e-9 >= e.baseline_precision,

@@ -57,12 +57,12 @@ pub mod triage;
 pub mod workers;
 
 pub use cache::LruSet;
-pub use eval::{evaluate_triage, TriageEval};
+pub use eval::{evaluate_triage, rung_of, Rung, RungCounts, TriageEval};
 pub use hub::{IntelHub, IntelReader};
 pub use intern::{Interner, Sym};
 pub use serve::{
-    process_rss_bytes, serve_lines, serve_session, verdict_label, verdict_line, ServeOptions,
-    ServeSession, ServeStats,
+    process_rss_bytes, serve_lines, serve_session, verdict_label, verdict_line, AdversaryGauge,
+    ServeOptions, ServeSession, ServeStats,
 };
 pub use snapshot::{
     record_keys, BuildOptions, IndexSizes, IntelEntry, IntelSnapshot, RecordKeys, SnapshotDelta,

@@ -15,6 +15,7 @@
 //! timeseries [n]       per-second qps/latency/rate lines, newest first
 //! health               epoch age, index sizes, templates, cache, shed,
 //!                      retained/evicted counts, aging window, process RSS
+//!                      (plus an adversary gauge when a drift profile is live)
 //! sample <n>           emit n ready-to-feed query lines from the store
 //! sample near <n>      emit n ready-to-feed `near` lines (entry texts)
 //! stats                one-line counter summary (incl. template count and
@@ -57,6 +58,8 @@
 use crate::triage::{Triage, TriageVerdict};
 use smishing_obs::{Histogram, Obs, TimeRing, TraceBuilder, Tracer, TracerConfig, TsOutcome};
 use std::io::{BufRead, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Counters of one serving session.
@@ -86,6 +89,21 @@ pub struct ServeStats {
     pub worker_panics: u64,
 }
 
+/// Live gauge for a session fed by an adversarial stream: which drift
+/// profile is running, how many rotation waves it scheduled, and (via a
+/// counter shared with the stream iterator) how many wave posts have
+/// been injected so far. Surfaced as a suffix on the `health` line; when
+/// absent the line is byte-identical to a plain session.
+#[derive(Debug, Clone)]
+pub struct AdversaryGauge {
+    /// Profile label (the `AdversaryPlan` display form).
+    pub profile: String,
+    /// Rotation waves scheduled over the stream.
+    pub waves: u64,
+    /// Wave posts injected so far, incremented by the stream side.
+    pub injected: Arc<AtomicU64>,
+}
+
 /// Session tuning for [`serve_session`].
 #[derive(Debug, Clone)]
 pub struct ServeOptions {
@@ -93,6 +111,9 @@ pub struct ServeOptions {
     pub trace: TracerConfig,
     /// Time-series window in seconds.
     pub ts_window: usize,
+    /// Adversarial-stream gauge, if this session's snapshots come from
+    /// a drifting world.
+    pub adversary: Option<AdversaryGauge>,
 }
 
 impl Default for ServeOptions {
@@ -100,6 +121,7 @@ impl Default for ServeOptions {
         ServeOptions {
             trace: TracerConfig::default(),
             ts_window: 120,
+            adversary: None,
         }
     }
 }
@@ -323,6 +345,7 @@ pub(crate) struct SessionCore {
     pub tracer: Tracer,
     pub ring: TimeRing,
     pub started: Instant,
+    adversary: Option<AdversaryGauge>,
     lookup_ns: Histogram,
     triage_ns: Histogram,
     near_ns: Histogram,
@@ -336,6 +359,7 @@ impl SessionCore {
             tracer: Tracer::new(opts.trace),
             ring: TimeRing::new(opts.ts_window),
             started: Instant::now(),
+            adversary: opts.adversary.clone(),
             lookup_ns: obs.histogram("intel.serve.lookup_ns", &[]),
             triage_ns: obs.histogram("intel.serve.triage_ns", &[]),
             near_ns: obs.histogram("intel.serve.near_ns", &[]),
@@ -455,12 +479,22 @@ impl SessionCore {
             "health" => match triage.snapshot() {
                 Some(snap) => {
                     let sizes = snap.index_sizes();
+                    // Empty unless an adversarial stream registered a
+                    // gauge — the default line must stay byte-identical.
+                    let adversary = self.adversary.as_ref().map_or_else(String::new, |g| {
+                        format!(
+                            " adversary={} waves={} injected={}",
+                            g.profile,
+                            g.waves,
+                            g.injected.load(Ordering::Relaxed),
+                        )
+                    });
                     writeln!(
                         out,
                         "health epoch={} epoch_age_s={} entries={} urls={} domains={} \
                          senders={} phones={} brands={} clusters={} templates={} \
                          cache_len={} cache_cap={} shed={} retained={} evicted={} \
-                         window_s={} rss_bytes={}",
+                         window_s={} rss_bytes={}{adversary}",
                         triage.epoch_seen(),
                         triage.epoch_age().map_or(0, |d| d.as_secs()),
                         snap.len(),
@@ -869,6 +903,35 @@ mod tests {
     }
 
     #[test]
+    fn health_gauge_appears_only_with_an_adversary_stream() {
+        // Default options: no adversary key anywhere on the line.
+        let mut t = triage();
+        let (_, out) = run(&mut t, "health\n");
+        assert!(out.starts_with("health "), "{out}");
+        assert!(!out.contains("adversary="), "{out}");
+
+        // With a registered gauge the suffix carries the live counter.
+        let injected = Arc::new(AtomicU64::new(0));
+        let opts = ServeOptions {
+            adversary: Some(AdversaryGauge {
+                profile: "rotation".to_string(),
+                waves: 7,
+                injected: Arc::clone(&injected),
+            }),
+            ..ServeOptions::default()
+        };
+        injected.store(42, Ordering::Relaxed);
+        let mut out = Vec::new();
+        serve_session(&mut t, "health\n".as_bytes(), &mut out, &Obs::noop(), opts).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(
+            text.trim_end()
+                .ends_with("adversary=rotation waves=7 injected=42"),
+            "{text}"
+        );
+    }
+
+    #[test]
     fn sampled_traces_attach_exemplars_to_histograms() {
         let mut t = triage();
         let (_, sample) = run(&mut t, "sample 8");
@@ -885,6 +948,7 @@ mod tests {
                     ..smishing_obs::TracerConfig::default()
                 },
                 ts_window: 30,
+                ..ServeOptions::default()
             },
         )
         .unwrap();

@@ -561,6 +561,7 @@ mod tests {
                     ..smishing_obs::TracerConfig::default()
                 },
                 ts_window: 30,
+                ..ServeOptions::default()
             },
             &WorkerPlan::new(2, 64),
         )

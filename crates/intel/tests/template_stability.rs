@@ -1,0 +1,149 @@
+//! Template ids are an **epoch-local naming**, not a stable handle — the
+//! similarity index recomputes its connected components at every
+//! republish and reindexes them densely (`0..template_count`), so the
+//! number an entry carries can change whenever the store grows. What IS
+//! contractual is *membership*: two entries that share a template (or a
+//! campaign-link cluster) in one published snapshot still share one in
+//! every later snapshot — new reports only add near-duplicate edges, so
+//! components can merge but never split (with aging disabled).
+//!
+//! This suite pins both halves: the membership guarantee consumers may
+//! rely on, and the id instability they must not (DESIGN.md §10 — store
+//! template ids only alongside the epoch they were read at).
+
+use smishing_core::exec::{ingest, ExecPlan, SnapshotPlan};
+use smishing_core::CurationOptions;
+use smishing_intel::{BuildOptions, IntelSnapshot, SnapshotDelta};
+use smishing_obs::Obs;
+use smishing_worldsim::{ReportStream, World, WorldConfig};
+use std::collections::{HashMap, HashSet};
+use std::sync::OnceLock;
+
+/// Every published snapshot of one chained incremental run (aging off,
+/// so components only ever merge).
+fn epochs() -> &'static Vec<IntelSnapshot> {
+    static CELL: OnceLock<Vec<IntelSnapshot>> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let world = World::generate(WorldConfig {
+            scale: 0.01,
+            seed: 11,
+            ..WorldConfig::default()
+        });
+        let opts = BuildOptions::default();
+        let every = (world.posts.len() as u64 / 4).max(1);
+        let plan = ExecPlan::sequential().with_snapshots(SnapshotPlan::every(every));
+        let mut snaps: Vec<IntelSnapshot> = Vec::new();
+        let result = ingest(
+            &world,
+            ReportStream::replay(&world),
+            &CurationOptions::default(),
+            &plan,
+            &Obs::noop(),
+            |s| {
+                let snap = IntelSnapshot::build_incremental(
+                    &s.output,
+                    snaps.last(),
+                    SnapshotDelta::new(&s.curated_delta),
+                    opts,
+                );
+                snaps.push(snap);
+            },
+        );
+        snaps.push(IntelSnapshot::build_incremental(
+            &result.output,
+            snaps.last(),
+            SnapshotDelta::new(&result.curated_delta),
+            opts,
+        ));
+        assert!(snaps.len() >= 4, "need a real epoch chain");
+        snaps
+    })
+}
+
+/// Entry text → (template id, cluster id). Text is the stable join key
+/// across snapshots (an entry is a dedup group; its representative text
+/// never changes). Texts appearing more than once are dropped from the
+/// map rather than risking a bad join.
+fn groups(snap: &IntelSnapshot) -> HashMap<&str, (u32, u32)> {
+    let mut seen_twice = HashSet::new();
+    let mut map = HashMap::new();
+    for e in snap.entries() {
+        if map
+            .insert(e.text.as_str(), (e.template, e.cluster))
+            .is_some()
+        {
+            seen_twice.insert(e.text.as_str());
+        }
+    }
+    for t in seen_twice {
+        map.remove(t);
+    }
+    map
+}
+
+#[test]
+fn template_and_cluster_membership_survives_republish() {
+    let snaps = epochs();
+    for pair in snaps.windows(2) {
+        let (before, after) = (groups(&pair[0]), groups(&pair[1]));
+        // Collect each old component's member texts, then demand they
+        // land in exactly one new component: merges are fine (new edges
+        // arrived), splits would break every consumer keying on
+        // "these two lures are the same campaign template".
+        let mut by_old_template: HashMap<u32, Vec<&str>> = HashMap::new();
+        let mut by_old_cluster: HashMap<u32, Vec<&str>> = HashMap::new();
+        for (text, &(t, c)) in &before {
+            by_old_template.entry(t).or_default().push(text);
+            by_old_cluster.entry(c).or_default().push(text);
+        }
+        for (old, members) in &by_old_template {
+            let new_ids: HashSet<u32> = members
+                .iter()
+                .filter_map(|t| after.get(*t).map(|&(nt, _)| nt))
+                .collect();
+            assert!(
+                new_ids.len() <= 1,
+                "template {old} split across republish into {new_ids:?}"
+            );
+        }
+        for (old, members) in &by_old_cluster {
+            let new_ids: HashSet<u32> = members
+                .iter()
+                .filter_map(|t| after.get(*t).map(|&(_, nc)| nc))
+                .collect();
+            assert!(
+                new_ids.len() <= 1,
+                "cluster {old} split across republish into {new_ids:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn template_ids_are_reindexed_per_snapshot_not_stable() {
+    let snaps = epochs();
+    // Dense per-snapshot naming: ids are exactly 0..template_count in
+    // every epoch, so they MUST shift as components appear and merge.
+    for (i, s) in snaps.iter().enumerate() {
+        let max = s.entries().iter().map(|e| e.template).max().unwrap();
+        assert_eq!(
+            max as usize + 1,
+            s.template_count(),
+            "epoch {i}: template ids are a dense reindex"
+        );
+    }
+    // The non-contract, pinned so nobody starts relying on it by
+    // accident: an entry present from the first epoch to the last does
+    // NOT keep its template id (deterministic for this seed).
+    let (first, last) = (groups(&snaps[0]), groups(&snaps[snaps.len() - 1]));
+    let renamed = first
+        .iter()
+        .filter(|(text, &(t, _))| last.get(*text).is_some_and(|&(lt, _)| lt != t))
+        .count();
+    assert!(
+        renamed > 0,
+        "every surviving entry kept its template id — if ids became \
+         stable on purpose, document the new contract in DESIGN.md §10 \
+         and delete this assertion"
+    );
+}

@@ -18,6 +18,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adversary;
 pub mod brand;
 pub mod country;
 pub mod error;
@@ -30,6 +31,7 @@ pub mod scam;
 pub mod sender;
 pub mod time;
 
+pub use adversary::{AdversaryPlan, Archetype};
 pub use brand::Sector;
 pub use country::Country;
 pub use error::{CallCtx, ServiceError, TypeError};

@@ -17,6 +17,8 @@
 //!   records follow each CA's validity policy — Let's Encrypt's 90-day
 //!   certificates mechanically inflate its cert counts (Table 7),
 //! - [`pdns`]: passive DNS (domain → historical IP resolutions, §4.6),
+//! - [`punycode`]: RFC 3492 label transforms so IDN (`xn--`) respellings of
+//!   brand apexes fold to the same identity as their homoglyph spellings,
 //! - [`asn`]: IP → AS/organization/country mapping including bulletproof
 //!   hosting providers (Table 8).
 //!
@@ -32,6 +34,7 @@ pub mod asn;
 pub mod ctlog;
 pub mod hosting;
 pub mod pdns;
+pub mod punycode;
 pub mod shortener;
 pub mod tld;
 pub mod url;
@@ -42,6 +45,7 @@ pub use asn::{AsnDb, AsnRecord, IpInfo};
 pub use ctlog::{ca_policy, CaPolicy, CertRecord, CtLog, CA_POLICIES};
 pub use hosting::{free_hosting_site, free_hosting_suffix};
 pub use pdns::{PassiveDns, Resolution};
+pub use punycode::{decode_label, encode_host, encode_label};
 pub use shortener::{ExpandResult, ShortLinkDb, ShortenerCatalog};
 pub use tld::{registrable_domain, tld_of, TldClass, TldDb};
 pub use url::{find_url_in_text, fold_host, parse_url, refang, ParsedUrl};

@@ -1,0 +1,233 @@
+//! Punycode (RFC 3492) for IDN host labels.
+//!
+//! Smishing operators respell brand apexes as internationalized domain
+//! names: the victim's messaging app may render `xn--mazon-3ve.com` as
+//! `аmazon.com` (Cyrillic `а`). The defender must fold both the Unicode
+//! spelling *and* its punycode ASCII-compatible encoding to the same apex
+//! (`fold_host` does the confusable folding; this module supplies the
+//! `xn--` decode in front of it). The encoder exists for the attack side:
+//! the adversary engine uses it to emit respelled apexes in ACE form.
+//!
+//! Hand-rolled from RFC 3492 §6 — no registry crates in this build
+//! environment. Only the bare label transform is implemented (no `xn--`
+//! prefix handling, no IDNA mapping); callers strip/add the prefix.
+
+/// RFC 3492 parameters.
+const BASE: u32 = 36;
+const TMIN: u32 = 1;
+const TMAX: u32 = 26;
+const SKEW: u32 = 38;
+const DAMP: u32 = 700;
+const INITIAL_BIAS: u32 = 72;
+const INITIAL_N: u32 = 128;
+
+fn adapt(mut delta: u32, numpoints: u32, firsttime: bool) -> u32 {
+    delta /= if firsttime { DAMP } else { 2 };
+    delta += delta / numpoints;
+    let mut k = 0;
+    while delta > ((BASE - TMIN) * TMAX) / 2 {
+        delta /= BASE - TMIN;
+        k += BASE;
+    }
+    k + (((BASE - TMIN + 1) * delta) / (delta + SKEW))
+}
+
+fn decode_digit(c: char) -> Option<u32> {
+    match c {
+        'a'..='z' => Some(c as u32 - 'a' as u32),
+        'A'..='Z' => Some(c as u32 - 'A' as u32),
+        '0'..='9' => Some(c as u32 - '0' as u32 + 26),
+        _ => None,
+    }
+}
+
+fn encode_digit(d: u32) -> char {
+    match d {
+        0..=25 => char::from(b'a' + d as u8),
+        26..=35 => char::from(b'0' + (d - 26) as u8),
+        _ => unreachable!("digit out of range"),
+    }
+}
+
+/// Decode one punycode label body (the part after `xn--`) to Unicode.
+///
+/// Returns `None` on any malformed input (bad digit, overflow, invalid
+/// code point) — callers keep the label verbatim in that case.
+pub fn decode_label(input: &str) -> Option<String> {
+    let (mut output, extended) = match input.rfind('-') {
+        Some(pos) => {
+            let basic = &input[..pos];
+            if !basic.is_ascii() {
+                return None;
+            }
+            (basic.chars().collect::<Vec<char>>(), &input[pos + 1..])
+        }
+        None => (Vec::new(), input),
+    };
+    let mut n = INITIAL_N;
+    let mut i: u32 = 0;
+    let mut bias = INITIAL_BIAS;
+    let mut chars = extended.chars();
+    let mut next = chars.next();
+    if input.is_empty() {
+        return Some(String::new());
+    }
+    while next.is_some() {
+        let old_i = i;
+        let mut w: u32 = 1;
+        let mut k = BASE;
+        loop {
+            let c = next?;
+            next = chars.next();
+            let digit = decode_digit(c)?;
+            i = i.checked_add(digit.checked_mul(w)?)?;
+            let t = if k <= bias {
+                TMIN
+            } else if k >= bias + TMAX {
+                TMAX
+            } else {
+                k - bias
+            };
+            if digit < t {
+                break;
+            }
+            w = w.checked_mul(BASE - t)?;
+            k += BASE;
+        }
+        let len = output.len() as u32 + 1;
+        bias = adapt(i - old_i, len, old_i == 0);
+        n = n.checked_add(i / len)?;
+        i %= len;
+        let c = char::from_u32(n)?;
+        output.insert(i as usize, c);
+        i += 1;
+    }
+    Some(output.into_iter().collect())
+}
+
+/// Encode a Unicode label to its punycode body (no `xn--` prefix).
+///
+/// Returns `None` for inputs punycode cannot represent (overflow). ASCII
+/// inputs are valid and encode to `input + "-"` per the RFC, but callers
+/// normally skip encoding for pure-ASCII labels.
+pub fn encode_label(input: &str) -> Option<String> {
+    let mut output: String = input.chars().filter(|c| c.is_ascii()).collect();
+    let basic_len = output.len() as u32;
+    let mut handled = basic_len;
+    if basic_len > 0 {
+        output.push('-');
+    }
+    let total = input.chars().count() as u32;
+    let mut n = INITIAL_N;
+    let mut delta: u32 = 0;
+    let mut bias = INITIAL_BIAS;
+    while handled < total {
+        let m = input
+            .chars()
+            .map(|c| c as u32)
+            .filter(|&c| c >= n)
+            .min()
+            .expect("non-ASCII code point remains");
+        delta = delta.checked_add((m - n).checked_mul(handled + 1)?)?;
+        n = m;
+        for c in input.chars().map(|c| c as u32) {
+            if c < n {
+                delta = delta.checked_add(1)?;
+            }
+            if c == n {
+                let mut q = delta;
+                let mut k = BASE;
+                loop {
+                    let t = if k <= bias {
+                        TMIN
+                    } else if k >= bias + TMAX {
+                        TMAX
+                    } else {
+                        k - bias
+                    };
+                    if q < t {
+                        break;
+                    }
+                    output.push(encode_digit(t + ((q - t) % (BASE - t))));
+                    q = (q - t) / (BASE - t);
+                    k += BASE;
+                }
+                output.push(encode_digit(q));
+                bias = adapt(delta, handled + 1, handled == basic_len);
+                delta = 0;
+                handled += 1;
+            }
+        }
+        delta = delta.checked_add(1)?;
+        n = n.checked_add(1)?;
+    }
+    Some(output)
+}
+
+/// Encode a dotted hostname label-by-label, prefixing `xn--` on labels that
+/// need it. Pure-ASCII hosts come back unchanged.
+pub fn encode_host(host: &str) -> Option<String> {
+    if host.is_ascii() {
+        return Some(host.to_string());
+    }
+    let mut labels = Vec::new();
+    for label in host.split('.') {
+        if label.is_ascii() {
+            labels.push(label.to_string());
+        } else {
+            labels.push(format!("xn--{}", encode_label(label)?));
+        }
+    }
+    Some(labels.join("."))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc3492_sample_strings_roundtrip() {
+        // RFC 3492 §7.1 samples (subset) + mixed-case annotation dropped.
+        for (unicode, puny) in [
+            ("bücher", "bcher-kva"),
+            ("münchen", "mnchen-3ya"),
+            ("maana", "maana-"),
+            ("ليهمابتكلموشعربي؟", "egbpdaj6bu4bxfgehfvwxn"),
+            ("他们为什么不说中文", "ihqwcrb4cv8a8dqg056pqjye"),
+        ] {
+            if !unicode.is_ascii() {
+                assert_eq!(encode_label(unicode).as_deref(), Some(puny), "{unicode}");
+            }
+            assert_eq!(decode_label(puny).as_deref(), Some(unicode), "{puny}");
+        }
+    }
+
+    #[test]
+    fn homoglyph_apex_roundtrips_through_ace() {
+        // Cyrillic-а amazon: the respelling the adversary engine emits.
+        let spoof = "аmazon";
+        let ace = encode_label(spoof).unwrap();
+        assert!(ace.is_ascii());
+        assert_eq!(decode_label(&ace).unwrap(), spoof);
+        let host = format!("{spoof}.com");
+        let enc = encode_host(&host).unwrap();
+        assert!(enc.starts_with("xn--"), "{enc}");
+        assert!(enc.ends_with(".com"), "{enc}");
+    }
+
+    #[test]
+    fn malformed_inputs_return_none() {
+        assert_eq!(decode_label("not valid!"), None);
+        assert_eq!(decode_label("-9999999999"), None);
+        // Garbage that overflows the delta accumulator.
+        assert_eq!(decode_label("99999999999999999999"), None);
+    }
+
+    #[test]
+    fn ascii_hosts_pass_through() {
+        assert_eq!(
+            encode_host("bank-verify.com").as_deref(),
+            Some("bank-verify.com")
+        );
+    }
+}

@@ -89,10 +89,33 @@ pub fn refang(input: &str) -> String {
 /// Mixed-script homoglyph domains (`аmazon.com` with a Cyrillic `а`) are
 /// the IDN flavour of the brand-spoofing the paper observes in message
 /// text; queries and reports must normalize them the same way or the same
-/// infrastructure gets two identities. ASCII hosts come back unchanged
+/// infrastructure gets two identities. Punycode (`xn--`) labels decode
+/// first, so the ACE form of a respelled apex reaches the same fold as its
+/// Unicode spelling. ASCII hosts without `xn--` labels come back unchanged
 /// (lowercased); a non-ASCII character with no ASCII look-alike is kept
-/// verbatim, so [`parse_url`]'s host validation still rejects the host.
+/// verbatim, so [`parse_url`]'s host validation still rejects the host
+/// (a CJK IDN stays rejected whether written in Unicode or punycode).
 pub fn fold_host(host: &str) -> String {
+    let mut decoded;
+    let mut host = host;
+    let is_ace = |l: &str| l.get(..4).is_some_and(|p| p.eq_ignore_ascii_case("xn--"));
+    if host.split('.').any(is_ace) {
+        decoded = String::with_capacity(host.len());
+        for (i, label) in host.split('.').enumerate() {
+            if i > 0 {
+                decoded.push('.');
+            }
+            let ace = is_ace(label)
+                .then(|| crate::punycode::decode_label(&label[4..].to_ascii_lowercase()))
+                .flatten();
+            match ace {
+                Some(unicode) => decoded.push_str(&unicode),
+                // Malformed punycode: keep the label verbatim.
+                None => decoded.push_str(label),
+            }
+        }
+        host = &decoded;
+    }
     if host.is_ascii() {
         return host.to_ascii_lowercase();
     }
@@ -322,6 +345,28 @@ mod tests {
         // than silently mangle.
         assert_eq!(parse_url("https://例え.com/x"), None);
         assert_eq!(fold_host("例え.com"), "例え.com");
+    }
+
+    #[test]
+    fn punycode_hosts_fold_to_the_same_apex() {
+        // The IDN (`xn--`) respelling of a homoglyph apex must reach the
+        // exact identity of the clean and Unicode spellings.
+        let clean = parse_url("https://amazon.com/verify").unwrap();
+        let spoof = "аmаzon"; // two Cyrillic а's
+        let ace = crate::punycode::encode_host(&format!("{spoof}.com")).unwrap();
+        assert!(ace.contains("xn--"), "{ace}");
+        let puny = parse_url(&format!("https://{ace}/verify")).unwrap();
+        assert_eq!(puny.to_url_string(), clean.to_url_string());
+        // Mixed spelling: punycode label next to a plain homoglyph label.
+        let sub = crate::punycode::encode_host("lоgin").unwrap(); // Cyrillic о
+        let mixed = parse_url(&format!("https://{sub}.аmаzon.com/verify")).unwrap();
+        assert_eq!(mixed.host, "login.amazon.com");
+        // Uppercase ACE prefix still decodes.
+        assert_eq!(fold_host("XN--MAZON-3VE.COM"), "amazon.com");
+        // A punycoded CJK apex decodes to CJK and stays rejected, exactly
+        // like its Unicode spelling.
+        let cjk = crate::punycode::encode_host("例え.com").unwrap();
+        assert_eq!(parse_url(&format!("https://{cjk}/x")), None);
     }
 
     #[test]

@@ -1,0 +1,402 @@
+//! Adversarial campaign archetypes grafted onto a generated world.
+//!
+//! When `WorldConfig::adversary` carries a positive `funnel_rate`, the world
+//! gains multi-turn *funnel* campaigns on top of the baseline single-turn
+//! lures (ROADMAP item 2, after Anansi's multi-stage job scams and the
+//! conversational-smishing corpus):
+//!
+//! - [`Archetype::ConversationalFunnel`]: wrong-number / hey-mum openers
+//!   that build rapport over two URL-free turns before the wa.me hand-off
+//!   lands in the final turn — the payload the triage ladder can pivot on
+//!   arrives late and only in a fraction of the reported traffic.
+//! - [`Archetype::JobScamFunnel`]: unsolicited recruitment pitch → task/pay
+//!   details → onboarding link on freshly registered infrastructure.
+//!
+//! All draws come from an RNG stream isolated from the base world's (seeded
+//! `world_seed ^ plan.seed ^ GRAFT_STREAM`), so an empty plan leaves
+//! generation byte-identical — the same contract `template_variants` keeps.
+//! Grafted campaigns, messages, and posts extend the base id spaces
+//! contiguously; the caller re-sorts posts chronologically afterwards.
+//!
+//! Mid-stream *rotation* of live campaigns is not done here: worlds are
+//! immutable once generated. The `smishing-adversary` crate wraps the
+//! report stream instead and injects rotation waves between epochs.
+
+use crate::campaign::{Campaign, SenderStrategy, UrlPlan};
+use crate::config::WorldConfig;
+use crate::domaingen::{gen_domain, gen_path};
+use crate::names::{pick_amount, pick_name};
+use crate::reporting::{build_report_post, pick_forum_for, Post};
+use crate::schedule::CampaignSchedule;
+use crate::services::Services;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use smishing_telecom::NumberFactory;
+use smishing_textnlp::templates::TemplateLibrary;
+use smishing_types::{
+    Archetype, CampaignId, Country, Language, Lure, LureSet, MessageId, MessageTruth, PostId,
+    ScamType, SmsMessage, UnixTime,
+};
+
+/// Stream separator for the graft RNG (see module docs).
+const GRAFT_STREAM: u64 = 0xC0A5_7A1E_D21F_7001;
+
+/// One rendered conversation turn: text template with `{}` slots already
+/// filled, plus whether this turn carries the campaign URL.
+struct Turn {
+    text: String,
+    with_url: bool,
+    lures: LureSet,
+}
+
+fn conversational_turns<R: Rng + ?Sized>(
+    scam: ScamType,
+    country: Country,
+    rng: &mut R,
+) -> Vec<Turn> {
+    let name = pick_name(country, rng);
+    let peer = pick_name(country, rng);
+    match scam {
+        ScamType::HeyMumDad => vec![
+            Turn {
+                text: format!(
+                    "Hi mum its {name}, my phone fell in the sink and this is my temporary number"
+                ),
+                with_url: false,
+                lures: LureSet::from_slice(&[Lure::Kindness]),
+            },
+            Turn {
+                text: "Cant call on this sim, are you around? I need a small favour x".to_string(),
+                with_url: false,
+                lures: LureSet::from_slice(&[Lure::Kindness, Lure::TimeUrgency]),
+            },
+            Turn {
+                text: "Message me on whatsapp {URL} its urgent, bill due today x".to_string(),
+                with_url: true,
+                lures: LureSet::from_slice(&[Lure::Kindness, Lure::TimeUrgency]),
+            },
+        ],
+        _ => vec![
+            Turn {
+                text: format!("Hi {peer}! Are we still on for dinner saturday?"),
+                with_url: false,
+                lures: LureSet::from_slice(&[Lure::Distraction]),
+            },
+            Turn {
+                text: format!(
+                    "Oh no, so sorry — wrong number! I'm {name}. You seem friendly though :)"
+                ),
+                with_url: false,
+                lures: LureSet::from_slice(&[Lure::Distraction, Lure::Kindness]),
+            },
+            Turn {
+                text: "I mostly chat on whatsapp, add me {URL} and I'll show you how my \
+                       investments are going"
+                    .to_string(),
+                with_url: true,
+                lures: LureSet::from_slice(&[Lure::NeedAndGreed, Lure::Dishonesty]),
+            },
+        ],
+    }
+}
+
+fn job_scam_turns<R: Rng + ?Sized>(country: Country, rng: &mut R) -> Vec<Turn> {
+    let recruiter = pick_name(country, rng);
+    let daily = pick_amount(country, rng);
+    let companies = [
+        "TalentBridge HR",
+        "GlobalHire Partners",
+        "PrimeStaff Agency",
+        "BlueOcean Recruiting",
+    ];
+    let company = companies[rng.gen_range(0..companies.len())];
+    vec![
+        Turn {
+            text: format!(
+                "Hello, this is {recruiter} from {company}. Your resume was recommended to us — \
+                 we offer flexible remote work, 60-90 minutes a day"
+            ),
+            with_url: false,
+            lures: LureSet::from_slice(&[Lure::Authority, Lure::NeedAndGreed]),
+        },
+        Turn {
+            text: format!(
+                "The tasks are simple product ratings done from your phone. Daily salary {daily}, \
+                 settled the same evening. Over 300 members already work with us"
+            ),
+            with_url: false,
+            lures: LureSet::from_slice(&[Lure::NeedAndGreed, Lure::Herd]),
+        },
+        Turn {
+            text: "To start today, register with our onboarding portal {URL} and your supervisor \
+                   will release your first task"
+                .to_string(),
+            with_url: true,
+            lures: LureSet::from_slice(&[Lure::NeedAndGreed, Lure::TimeUrgency]),
+        },
+    ]
+}
+
+/// Build one funnel campaign plus its multi-turn messages and reports.
+#[allow(clippy::too_many_arguments)]
+fn build_funnel<R: Rng + ?Sized>(
+    archetype: Archetype,
+    id: CampaignId,
+    services: &Services,
+    next_message_id: &mut u64,
+    next_post_id: &mut u64,
+    messages: &mut Vec<SmsMessage>,
+    posts: &mut Vec<Post>,
+    rng: &mut R,
+) -> Campaign {
+    let lib = TemplateLibrary::global();
+    let (scam_type, country) = match archetype {
+        Archetype::ConversationalFunnel => {
+            let scam = if rng.gen_bool(0.5) {
+                ScamType::WrongNumber
+            } else {
+                ScamType::HeyMumDad
+            };
+            let countries = [
+                Country::UnitedStates,
+                Country::UnitedKingdom,
+                Country::Australia,
+            ];
+            (scam, countries[rng.gen_range(0..countries.len())])
+        }
+        _ => {
+            let countries = [
+                Country::UnitedStates,
+                Country::India,
+                Country::UnitedKingdom,
+            ];
+            (
+                ScamType::Others,
+                countries[rng.gen_range(0..countries.len())],
+            )
+        }
+    };
+    // Anchor truth on a real template of the same scam type so downstream
+    // template accounting stays in-catalog; turn texts are funnel-specific.
+    let template = lib.for_scam_lang(scam_type, Language::English)[0];
+
+    let mut schedule = CampaignSchedule::draw(rng);
+    // Funnels need room for their turn delays inside the forum windows.
+    schedule.duration_days = schedule.duration_days.max(3);
+
+    let url_plan = match archetype {
+        Archetype::ConversationalFunnel => UrlPlan {
+            domain: "wa.me".to_string(),
+            free_hosted: false,
+            whatsapp: true,
+            paths: vec![format!("/447{:09}", rng.gen_range(0..1_000_000_000u64))],
+            shortener: None,
+            short_codes: Vec::new(),
+        },
+        _ => {
+            let domain = gen_domain(None, rng);
+            services.whois.register(
+                &domain,
+                "NameSilo",
+                UnixTime(schedule.start.0 - 2 * 86_400),
+                365,
+            );
+            if let Some(ca) = smishing_webinfra::ca_policy("Let's Encrypt") {
+                services.ctlog.provision(
+                    &domain,
+                    &ca,
+                    UnixTime(schedule.start.0 - 2 * 86_400),
+                    UnixTime(schedule.start.0 + 90 * 86_400),
+                );
+            }
+            UrlPlan {
+                domain,
+                free_hosted: false,
+                whatsapp: false,
+                paths: vec![gen_path(rng)],
+                shortener: None,
+                short_codes: Vec::new(),
+            }
+        }
+    };
+
+    let factory = NumberFactory::new();
+    let n_threads = rng.gen_range(2..=4usize);
+    let senders = SenderStrategy::BadFormatPool {
+        pool: (0..n_threads).map(|_| factory.bad_format(rng)).collect(),
+    };
+
+    let mut n_reports = 0usize;
+    let mut n_variants = 0usize;
+    for _ in 0..n_threads {
+        let turns = match archetype {
+            Archetype::ConversationalFunnel => conversational_turns(scam_type, country, rng),
+            _ => job_scam_turns(country, rng),
+        };
+        let sender = senders.pick(rng);
+        let mut received = schedule.sample_send(rng);
+        for turn in turns {
+            let url = turn.with_url.then(|| url_plan.sms_url(0));
+            let text = match &url {
+                Some(u) => turn.text.replace("{URL}", u),
+                None => turn.text,
+            };
+            let msg = SmsMessage {
+                id: MessageId(*next_message_id),
+                campaign: id,
+                sender: sender.clone(),
+                text: text.clone(),
+                url,
+                received,
+                truth: MessageTruth {
+                    scam_type,
+                    lures: turn.lures,
+                    brand: None,
+                    language: Language::English,
+                    english_text: text,
+                    recipient_country: country,
+                },
+            };
+            *next_message_id += 1;
+            n_variants += 1;
+            // Victims screenshot the payload turn far more often than the
+            // rapport turns — the funnel's evasion is precisely that most
+            // of its traffic carries nothing to pivot on.
+            let report_p = if msg.url.is_some() { 0.95 } else { 0.35 };
+            if rng.gen_bool(report_p) {
+                let forum = pick_forum_for(msg.received, rng);
+                posts.push(build_report_post(PostId(*next_post_id), &msg, forum, rng));
+                *next_post_id += 1;
+                n_reports += 1;
+            }
+            messages.push(msg);
+            // Next turn lands minutes to hours later in the same thread.
+            received = received.plus_secs(rng.gen_range(180..14_400));
+        }
+    }
+
+    Campaign {
+        id,
+        scam_type,
+        brand: None,
+        language: Language::English,
+        country,
+        template_id: template.id,
+        schedule,
+        senders,
+        url_plan: Some(url_plan),
+        malware: None,
+        n_reports,
+        n_variants,
+        is_sbi_burst: false,
+        archetype,
+    }
+}
+
+/// Graft funnel-archetype campaigns onto a world under construction.
+///
+/// No-op (and draws nothing) when the plan adds no funnels; otherwise
+/// appends campaigns/messages/posts with contiguous ids. The caller sorts
+/// `posts` afterwards.
+pub(crate) fn graft_funnels(
+    config: &WorldConfig,
+    services: &Services,
+    campaigns: &mut Vec<Campaign>,
+    messages: &mut Vec<SmsMessage>,
+    posts: &mut Vec<Post>,
+    next_message_id: &mut u64,
+    next_post_id: &mut u64,
+) {
+    let plan = &config.adversary;
+    if plan.is_empty() || plan.funnel_rate <= 0.0 {
+        return;
+    }
+    let mut rng = StdRng::seed_from_u64(config.seed ^ plan.seed ^ GRAFT_STREAM);
+    let n_funnels =
+        ((config.n_campaigns() as f64 * plan.funnel_rate.clamp(0.0, 1.0)).round() as usize).max(1);
+    for i in 0..n_funnels {
+        let archetype = if i % 2 == 0 {
+            Archetype::ConversationalFunnel
+        } else {
+            Archetype::JobScamFunnel
+        };
+        let c = build_funnel(
+            archetype,
+            CampaignId(campaigns.len() as u32),
+            services,
+            next_message_id,
+            next_post_id,
+            messages,
+            posts,
+            &mut rng,
+        );
+        campaigns.push(c);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::World;
+    use smishing_types::AdversaryPlan;
+
+    fn funnel_cfg(seed: u64) -> WorldConfig {
+        WorldConfig {
+            adversary: AdversaryPlan {
+                funnel_rate: 0.2,
+                ..AdversaryPlan::none()
+            },
+            ..WorldConfig::test_scale(seed)
+        }
+    }
+
+    #[test]
+    fn funnels_extend_the_world_without_perturbing_the_base() {
+        let base = World::generate(WorldConfig::test_scale(21));
+        let a = World::generate(funnel_cfg(21));
+        let b = World::generate(funnel_cfg(21));
+
+        // Deterministic for a fixed seed.
+        assert_eq!(a.campaigns.len(), b.campaigns.len());
+        assert_eq!(a.messages.len(), b.messages.len());
+        assert_eq!(a.posts.len(), b.posts.len());
+
+        // The base prefix is byte-identical: funnels only append.
+        assert!(a.campaigns.len() > base.campaigns.len());
+        for (x, y) in base.messages.iter().zip(&a.messages) {
+            assert_eq!(x.text, y.text);
+        }
+        let funnels: Vec<_> = a
+            .campaigns
+            .iter()
+            .filter(|c| c.archetype.is_funnel())
+            .collect();
+        assert_eq!(funnels.len(), a.campaigns.len() - base.campaigns.len());
+        assert!(funnels
+            .iter()
+            .any(|c| c.archetype == Archetype::ConversationalFunnel));
+        assert!(funnels
+            .iter()
+            .any(|c| c.archetype == Archetype::JobScamFunnel));
+    }
+
+    #[test]
+    fn funnel_payload_arrives_in_the_final_turn_only() {
+        let w = World::generate(funnel_cfg(22));
+        for c in w.campaigns.iter().filter(|c| c.archetype.is_funnel()) {
+            let msgs: Vec<_> = w.messages.iter().filter(|m| m.campaign == c.id).collect();
+            assert!(msgs.len() >= 6, "multi-turn threads");
+            let with_url = msgs.iter().filter(|m| m.url.is_some()).count();
+            assert!(with_url > 0, "payload turn exists");
+            assert!(
+                with_url * 2 < msgs.len(),
+                "most turns carry nothing to pivot on ({with_url}/{})",
+                msgs.len()
+            );
+            // Message ids stay a valid contiguous index into world.messages.
+            for m in &msgs {
+                assert_eq!(w.messages[m.id.0 as usize].id, m.id);
+            }
+        }
+    }
+}

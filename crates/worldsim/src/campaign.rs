@@ -15,7 +15,9 @@ use rand::Rng;
 use smishing_telecom::{NumberFactory, NumberType};
 use smishing_textnlp::brands::{Brand, BrandCatalog};
 use smishing_textnlp::templates::TemplateLibrary;
-use smishing_types::{CampaignId, Country, Language, PhoneNumber, ScamType, Sector, SenderId};
+use smishing_types::{
+    Archetype, CampaignId, Country, Language, PhoneNumber, ScamType, Sector, SenderId,
+};
 use smishing_webinfra::ca_policy;
 
 /// How a campaign provisions sender identities.
@@ -173,6 +175,10 @@ pub struct Campaign {
     pub n_variants: usize,
     /// Whether this is the §5.1 SBI burst.
     pub is_sbi_burst: bool,
+    /// Engagement archetype. The base generator emits only
+    /// [`Archetype::Baseline`]; funnel archetypes are grafted by
+    /// [`crate::adversary`] when an adversary plan asks for them.
+    pub archetype: Archetype,
 }
 
 fn pick_weighted<'a, T, R: Rng + ?Sized>(table: &'a [(T, f64)], rng: &mut R) -> &'a T {
@@ -316,6 +322,7 @@ impl Campaign {
             n_reports,
             n_variants,
             is_sbi_burst: false,
+            archetype: Archetype::Baseline,
         }
     }
 }

@@ -2,7 +2,7 @@
 //! paper's published marginals (the tables each constant reproduces are
 //! cited inline).
 
-use smishing_types::{Country, Language, ScamType};
+use smishing_types::{AdversaryPlan, Country, Language, ScamType};
 
 /// Configuration of one generated world.
 #[derive(Debug, Clone)]
@@ -27,6 +27,13 @@ pub struct WorldConfig {
     /// stream, and are drawn from a dedicated RNG stream, so `0.0` (the
     /// default) leaves generation byte-identical.
     pub template_variants: f64,
+    /// Adversarial evolution plan. The empty plan (the default) leaves
+    /// generation byte-identical; a non-empty plan grafts funnel-archetype
+    /// campaigns onto the world ([`crate::adversary`]) and parameterizes the
+    /// mid-stream rotation engine in `smishing-adversary`. Like
+    /// `template_variants`, all plan randomness comes from an isolated RNG
+    /// stream.
+    pub adversary: AdversaryPlan,
 }
 
 impl Default for WorldConfig {
@@ -38,6 +45,7 @@ impl Default for WorldConfig {
             include_sbi_burst: true,
             malware_campaign_rate: 0.05,
             template_variants: 0.0,
+            adversary: AdversaryPlan::none(),
         }
     }
 }

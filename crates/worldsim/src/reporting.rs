@@ -196,7 +196,11 @@ pub fn build_messages<R: Rng + ?Sized>(
     out
 }
 
-fn pick_forum_for<R: Rng + ?Sized>(received: UnixTime, rng: &mut R) -> Forum {
+/// Pick the forum a report of a message received at `received` lands on,
+/// honouring each forum's collection window. Public as a mutation hook: the
+/// adversary engine reuses it so injected rotation-wave reports follow the
+/// same forum mix as organic ones.
+pub fn pick_forum_for<R: Rng + ?Sized>(received: UnixTime, rng: &mut R) -> Forum {
     let weights: Vec<f64> = FORUM_MIX.iter().map(|x| x.1).collect();
     for _ in 0..8 {
         let forum = FORUM_MIX[weighted_index(&weights, rng)].0;
@@ -279,8 +283,10 @@ fn render_report_screenshot<R: Rng + ?Sized>(msg: &SmsMessage, rng: &mut R) -> S
     )
 }
 
-/// One report of `msg` on `forum`, posted `delay` after receipt.
-fn build_report_post<R: Rng + ?Sized>(
+/// One report of `msg` on `forum`, posted a sampled delay after receipt.
+/// Public as a mutation hook: the adversary engine renders reports of
+/// rotated messages through the same per-forum body model.
+pub fn build_report_post<R: Rng + ?Sized>(
     id: PostId,
     msg: &SmsMessage,
     forum: Forum,

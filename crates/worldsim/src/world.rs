@@ -12,7 +12,8 @@ use smishing_telecom::NumberFactory;
 use smishing_textnlp::brands::BrandCatalog;
 use smishing_textnlp::templates::TemplateLibrary;
 use smishing_types::{
-    CampaignId, Country, Date, Forum, Language, MessageId, ScamType, SenderId, SmsMessage, UnixTime,
+    Archetype, CampaignId, Country, Date, Forum, Language, MessageId, ScamType, SenderId,
+    SmsMessage, UnixTime,
 };
 
 /// A fully generated world.
@@ -122,6 +123,7 @@ fn sbi_burst_campaign<R: Rng + ?Sized>(
         n_reports,
         n_variants,
         is_sbi_burst: true,
+        archetype: Archetype::Baseline,
     }
 }
 
@@ -201,6 +203,7 @@ fn smsspy_campaign<R: Rng + ?Sized>(
         n_reports,
         n_variants,
         is_sbi_burst: false,
+        archetype: Archetype::Baseline,
     }
 }
 
@@ -247,6 +250,7 @@ fn wa_me_campaign<R: Rng + ?Sized>(id: CampaignId, cfg: &WorldConfig, rng: &mut 
         n_reports,
         n_variants,
         is_sbi_burst: false,
+        archetype: Archetype::Baseline,
     }
 }
 
@@ -365,6 +369,18 @@ impl World {
                 &mut rng,
             ));
         }
+        // Funnel archetypes graft on with contiguous ids before the final
+        // sort; a no-op (and byte-identical) when the adversary plan is
+        // empty.
+        crate::adversary::graft_funnels(
+            &config,
+            &services,
+            &mut campaigns,
+            &mut messages,
+            &mut posts,
+            &mut next_message_id,
+            &mut next_post_id,
+        );
         posts.sort_by_key(|p| (p.posted_at, p.id));
 
         let probe_messages = build_probe_messages(&config, &campaigns, &messages, next_message_id);
@@ -558,6 +574,39 @@ mod tests {
             assert!(p.text.contains(u), "rotated URL sent inline");
             assert!(p.id.0 >= a.messages.len() as u64, "ids extend, not clash");
         }
+    }
+
+    #[test]
+    fn empty_adversary_plan_is_byte_identical() {
+        use smishing_types::AdversaryPlan;
+        let base = World::generate(WorldConfig::test_scale(7));
+        // An explicitly-constructed empty plan (not just Default) must leave
+        // every generated artifact byte-identical: it gates all adversary
+        // draws, which come from an isolated RNG stream anyway.
+        let cfg = WorldConfig {
+            adversary: AdversaryPlan::none(),
+            ..WorldConfig::test_scale(7)
+        };
+        let w = World::generate(cfg);
+        assert_eq!(base.campaigns.len(), w.campaigns.len());
+        assert_eq!(base.messages.len(), w.messages.len());
+        assert_eq!(base.posts.len(), w.posts.len());
+        for (x, y) in base.messages.iter().zip(&w.messages) {
+            assert_eq!(x.id, y.id);
+            assert_eq!(x.text, y.text);
+            assert_eq!(x.sender, y.sender);
+            assert_eq!(x.received, y.received);
+        }
+        for (x, y) in base.posts.iter().zip(&w.posts) {
+            assert_eq!(x.id, y.id);
+            assert_eq!(x.posted_at, y.posted_at);
+            assert_eq!(x.forum, y.forum);
+            assert_eq!(x.reported_message, y.reported_message);
+        }
+        assert!(w
+            .campaigns
+            .iter()
+            .all(|c| c.archetype == Archetype::Baseline));
     }
 
     #[test]

@@ -8,7 +8,9 @@
 //! smish link     --scale 0.1                            # campaign-linking ablation
 //! smish mitigate --scale 0.1                            # §7.2 what-if coverage
 //! smish stream   --scale 0.1 --shards 4                 # replay as a live feed
+//! smish stream   --scale 0.1 --adversary rotation       # …with drifting campaigns
 //! smish watch    --scale 0.1 --posts 50000              # infinite-feed soak
+//! smish drift    --scale 0.05 --adversary rotation      # per-epoch drift scorecard
 //! smish serve    --scale 0.1 [--stream]                 # answer queries on stdin/stdout
 //! smish serve    --scale 0.1 --serve-workers 4          # …over a multi-worker serve plane
 //! smish serve    --stream --checkpoint ck.json          # …resumable: restart picks up the epoch clock
@@ -60,6 +62,13 @@
 //! * `--log-level LEVEL` — `error|warn|info|debug|trace` (default
 //!   `info`); progress goes to stderr through the leveled logger.
 //! * `--quiet` — shorthand for `--log-level error`.
+//! * `--adversary PROFILE[:SEED]` — run a seeded campaign-evolution plan
+//!   (`none|rotation|respell|shorteners|funnels|full`) against the triage
+//!   ladder. Funnel archetypes are grafted into the world at generation;
+//!   rotation waves are injected into the `stream` / `serve --stream`
+//!   replay at epoch boundaries. `smish drift` measures the effect as a
+//!   per-epoch scorecard (rung-attributed recall, time-to-reacquire). The
+//!   default (`none`) keeps every output byte-identical to a plan-free run.
 //! * `--fault-profile none|mild|harsh[:SEED]` — install a deterministic
 //!   fault plan on the world's services before the pipeline queries them
 //!   (default `none`: byte-identical to a fault-free run). A bare integer
@@ -67,6 +76,7 @@
 //!   dropping them; the run report's `enrich.*` counters show retries,
 //!   breaker trips, and degraded-record totals.
 
+use smishing::adversary::{drift_scorecard, AdversaryWorld, DriftOptions};
 use smishing::core::analysis::freshness::domain_freshness;
 use smishing::core::analysis::latency::report_latency;
 use smishing::core::analysis::linking::linking_ablation;
@@ -77,14 +87,15 @@ use smishing::core::pipeline::PipelineOutput;
 use smishing::core::runcfg::RunConfig;
 use smishing::detect::{binary_study, multiclass_study_grouped};
 use smishing::intel::{
-    serve_lines, serve_workers, verdict_label, verdict_line, BuildOptions, IntelHub, IntelSnapshot,
-    ServeOptions, SnapshotDelta, Triage, TriageConfig, WorkerPlan,
+    serve_session, serve_workers, verdict_label, verdict_line, AdversaryGauge, BuildOptions,
+    IntelHub, IntelSnapshot, ServeOptions, SnapshotDelta, Triage, TriageConfig, WorkerPlan,
 };
 use smishing::obs::{obs_error, obs_info, parse_report, perf_diff, Obs, Tracer, TracerConfig};
 use smishing::prelude::*;
 use smishing::stream::{ingest, resume, Checkpoint, ServeState, SnapshotPlan, StreamSnapshot};
-use smishing::worldsim::{ReportStream, World};
+use smishing::worldsim::{Post, ReportStream, World};
 use std::io::Write;
+use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -146,6 +157,11 @@ const COMMANDS: &[(&str, &str, Handler)] = &[
         Handler::World(cmd_stream),
     ),
     ("watch", "infinite-feed soak", Handler::World(cmd_watch)),
+    (
+        "drift",
+        "per-epoch drift scorecard under an adversary profile",
+        Handler::World(cmd_drift),
+    ),
     (
         "serve",
         "answer intel queries on stdin/stdout",
@@ -327,27 +343,38 @@ fn cmd_stream(args: &Args, obs: &Obs, world: &World) {
     // Chronological replay through the sharded engine; snapshots
     // report progress without pausing ingestion, and the final
     // merged state renders the same tables as `run`.
-    let snapshots = match args.snapshot_every {
-        Some(n) => SnapshotPlan::every(n),
-        None => SnapshotPlan::every((world.posts.len() as u64 / 4).max(1)),
+    let epoch_posts = args
+        .snapshot_every
+        .unwrap_or((world.posts.len() as u64 / 4).max(1));
+    let plan = args
+        .cfg
+        .exec
+        .clone()
+        .with_snapshots(SnapshotPlan::every(epoch_posts));
+    let adv = AdversaryWorld::build(world, epoch_posts);
+    if !adv.waves.is_empty() {
+        obs_info!(
+            obs,
+            "adversary {}: {} rotation waves over {} epochs",
+            adv.plan,
+            adv.waves.len(),
+            adv.n_epochs()
+        );
+    }
+    let posts: Box<dyn Iterator<Item = Post> + Send + '_> = if adv.waves.is_empty() {
+        Box::new(ReportStream::replay(world))
+    } else {
+        Box::new(adv.stream())
     };
-    let plan = args.cfg.exec.clone().with_snapshots(snapshots);
-    let result = ingest(
-        world,
-        ReportStream::replay(world),
-        &args.cfg.curation,
-        &plan,
-        obs,
-        |s| {
-            obs_info!(
-                obs,
-                "snapshot @ {:>7} posts: {} curated / {} unique records",
-                s.at_posts,
-                s.output.curated_total.len(),
-                s.output.records.len()
-            );
-        },
-    );
+    let result = ingest(world, posts, &args.cfg.curation, &plan, obs, |s| {
+        obs_info!(
+            obs,
+            "snapshot @ {:>7} posts: {} curated / {} unique records",
+            s.at_posts,
+            s.output.curated_total.len(),
+            s.output.records.len()
+        );
+    });
     obs_info!(
         obs,
         "stream: {} posts through {} shards, {} snapshots",
@@ -413,6 +440,30 @@ fn cmd_watch(args: &Args, obs: &Obs, world: &World) {
         result.posts_ingested as f64 / lap as f64,
         result.snapshots_taken
     );
+}
+
+fn cmd_drift(args: &Args, obs: &Obs, world: &World) {
+    // Run the adversarial stream through the incremental intel plane and
+    // probe each wave's rotated URL at every epoch boundary: how far did
+    // exact-rung recall fall, which rung caught the probe instead, and
+    // how many epochs until the rotated infrastructure was reacquired.
+    let opts = DriftOptions {
+        epoch_posts: args.snapshot_every,
+        window_secs: args.cfg.intel_window_secs,
+        ..DriftOptions::default()
+    };
+    match drift_scorecard(world, &opts, obs) {
+        Some(card) => print!("{}", card.render()),
+        None => {
+            obs_error!(
+                obs,
+                "adversary plan `{}` schedules no rotation waves; \
+                 pass --adversary rotation|respell|shorteners|full",
+                world.config.adversary
+            );
+            std::process::exit(2);
+        }
+    }
 }
 
 /// Persist a serve checkpoint atomically: write to `PATH.tmp`, then
@@ -504,6 +555,23 @@ fn cmd_serve(args: &Args, obs: &Obs, world: &World) {
     };
     let stdin = std::io::stdin();
     let stdout = std::io::stdout();
+    // Epoch cadence: also the boundary rotation waves align to.
+    let epoch_posts = args
+        .snapshot_every
+        .unwrap_or((world.posts.len() as u64 / 4).max(1));
+    let adv = AdversaryWorld::build(world, epoch_posts);
+    let injected = Arc::new(AtomicU64::new(0));
+    // Adversarial injection only exists in `--stream` mode (waves land at
+    // epoch boundaries of the live replay); the gauge rides the `health`
+    // line so an operator can see the drift pressure the store is under.
+    let serve_opts = ServeOptions {
+        adversary: (args.stream_mode && !adv.waves.is_empty()).then(|| AdversaryGauge {
+            profile: adv.plan.to_string(),
+            waves: adv.waves.len() as u64,
+            injected: Arc::clone(&injected),
+        }),
+        ..ServeOptions::default()
+    };
     // Serve the protocol, then flush the run report immediately at EOF:
     // in `--stream` mode the publisher thread may still be replaying
     // posts, and `main`'s emit only runs after it joins. Flushing here
@@ -526,14 +594,22 @@ fn cmd_serve(args: &Args, obs: &Obs, world: &World) {
                 stdin.lock(),
                 std::io::stdout(),
                 obs,
-                ServeOptions::default(),
+                serve_opts.clone(),
                 &plan,
             )
             .expect("serve io")
             .stats
         } else {
             let mut triage = Triage::with_config(hub.reader(), triage_cfg.clone());
-            serve_lines(&mut triage, stdin.lock(), stdout.lock(), obs).expect("serve io")
+            serve_session(
+                &mut triage,
+                stdin.lock(),
+                stdout.lock(),
+                obs,
+                serve_opts.clone(),
+            )
+            .expect("serve io")
+            .stats
         };
         if let Err(e) = args.cfg.emit_metrics(obs) {
             obs_error!(obs, "{e}");
@@ -546,16 +622,27 @@ fn cmd_serve(args: &Args, obs: &Obs, world: &World) {
         // the epoch hub guarantees each answer comes from one consistent
         // view. Epoch 1 is a full build; every later epoch folds the
         // snapshot's curated delta into the previous store (O(delta)).
-        let snapshots = match args.snapshot_every {
-            Some(n) => SnapshotPlan::every(n),
-            None => SnapshotPlan::every((world.posts.len() as u64 / 4).max(1)),
-        };
-        let plan = args.cfg.exec.clone().with_snapshots(snapshots);
+        let plan = args
+            .cfg
+            .exec
+            .clone()
+            .with_snapshots(SnapshotPlan::every(epoch_posts));
+        if !adv.waves.is_empty() {
+            obs_info!(
+                obs,
+                "adversary {}: {} rotation waves over {} epochs",
+                adv.plan,
+                adv.waves.len(),
+                adv.n_epochs()
+            );
+        }
         std::thread::scope(|scope| {
             let publisher = hub.clone();
             let resumed_ck = resumed;
             let ck_path = args.checkpoint.clone();
             let cache_capacity = triage_cfg.cache_capacity;
+            let adv = &adv;
+            let wave_counter = Arc::clone(&injected);
             scope.spawn(move || {
                 let mut prev: Option<Arc<IntelSnapshot>> = None;
                 let skip_below = resumed_ck.as_ref().map_or(0, |ck| ck.posts_consumed);
@@ -595,10 +682,18 @@ fn cmd_serve(args: &Args, obs: &Obs, world: &World) {
                         s.at_posts
                     );
                 };
+                // The replay (and any resume of it) must carry the same
+                // injected waves as the original run, or the epoch clock
+                // would drift from the checkpointed sequence.
+                let posts: Box<dyn Iterator<Item = Post> + Send + '_> = if adv.waves.is_empty() {
+                    Box::new(ReportStream::replay(world))
+                } else {
+                    Box::new(adv.stream_counted(Some(wave_counter)))
+                };
                 let result = match &resumed_ck {
                     Some(ck) => resume(
                         world,
-                        ReportStream::replay(world),
+                        posts,
                         ck,
                         &args.cfg.curation,
                         &plan,
@@ -607,7 +702,7 @@ fn cmd_serve(args: &Args, obs: &Obs, world: &World) {
                     .expect("checkpoint world identity already verified"),
                     None => ingest(
                         world,
-                        ReportStream::replay(world),
+                        posts,
                         &args.cfg.curation,
                         &plan,
                         obs,

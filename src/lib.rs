@@ -23,6 +23,7 @@
 //! | [`stream`] | sharded streaming ingest with mid-stream snapshots |
 //! | [`simindex`] | SimHash/n-gram similarity index + campaign-template clustering |
 //! | [`intel`] | indexed intelligence store + query/triage serving layer |
+//! | [`adversary`] | seeded campaign-evolution engine + per-epoch drift scorecard |
 //!
 //! ## Quickstart
 //!
@@ -42,6 +43,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use smishing_adversary as adversary;
 pub use smishing_avscan as avscan;
 pub use smishing_core as core;
 pub use smishing_detect as detect;
@@ -61,6 +63,7 @@ pub use smishing_worldsim as worldsim;
 
 /// The most common imports in one place.
 pub mod prelude {
+    pub use smishing_adversary::{AdversaryWorld, DriftOptions};
     pub use smishing_core::exec::{ExecPlan, SnapshotPlan};
     pub use smishing_core::experiment::{run_all, ExperimentResult};
     pub use smishing_core::pipeline::{Pipeline, PipelineOutput};

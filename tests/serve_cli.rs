@@ -133,9 +133,10 @@ fn worker_plane_cli_matches_inline_responses() {
                 let masked: Vec<String> = line
                     .split(' ')
                     .map(|tok| {
-                        let volatile = ["_ns=", "age_s=", "cache_len=", "near_cand_p", "rss_bytes="]
-                            .iter()
-                            .any(|k| tok.contains(k));
+                        let volatile =
+                            ["_ns=", "age_s=", "cache_len=", "near_cand_p", "rss_bytes="]
+                                .iter()
+                                .any(|k| tok.contains(k));
                         if volatile {
                             let key = tok.split_once('=').map_or(tok, |(k, _)| k);
                             format!("{key}=X")
